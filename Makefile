@@ -1,0 +1,44 @@
+# AlfredO (Go) — common tasks. Everything is stdlib-only; no network
+# access or external tools required beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments fuzz fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# testing.B entry points (one per paper table/figure + micro-benches).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Regenerate the paper's full evaluation with side-by-side numbers.
+experiments:
+	$(GO) run ./cmd/alfredo-bench -full
+
+# Short fuzz pass over every untrusted-input parser.
+fuzz:
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=15s -run '^$$' .
+	$(GO) test -fuzz=FuzzFilterParse -fuzztime=15s -run '^$$' .
+	$(GO) test -fuzz=FuzzExprParse -fuzztime=15s -run '^$$' .
+	$(GO) test -fuzz=FuzzDescriptorParse -fuzztime=15s -run '^$$' .
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean -testcache

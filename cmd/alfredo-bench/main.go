@@ -1,0 +1,57 @@
+// Command alfredo-bench regenerates the paper's evaluation (§4): the
+// resource-consumption report, Tables 1 and 2, Figures 3–6, and the
+// three design-choice ablations. Measured values print next to the
+// paper's reported numbers.
+//
+// Usage:
+//
+//	alfredo-bench                  # everything, short windows
+//	alfredo-bench -exp table1      # one experiment
+//	alfredo-bench -full -window 10s  # longer, with saturation points
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all, "+strings.Join(bench.Order, ", "))
+		window = flag.Duration("window", 3*time.Second, "measurement window per point")
+		warmup = flag.Duration("warmup", time.Second, "warmup before each window")
+		full   = flag.Bool("full", false, "include saturation points and full sweeps")
+		reps   = flag.Int("repeats", 3, "repetitions for the startup tables")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Out:     os.Stdout,
+		Window:  *window,
+		Warmup:  *warmup,
+		Full:    *full,
+		Repeats: *reps,
+	}
+
+	if *exp == "all" {
+		if err := bench.RunAll(cfg); err != nil {
+			log.Fatalf("alfredo-bench: %v", err)
+		}
+		return
+	}
+	runner, ok := bench.Experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose from: all, %s\n",
+			*exp, strings.Join(bench.Order, ", "))
+		os.Exit(2)
+	}
+	if err := runner(cfg); err != nil {
+		log.Fatalf("alfredo-bench: %v", err)
+	}
+}

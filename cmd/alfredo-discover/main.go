@@ -1,0 +1,84 @@
+// Command alfredo-discover browses the SLP discovery group: it prints
+// announced invitations as they arrive and answers -query requests with
+// an active service request.
+//
+// Usage:
+//
+//	alfredo-discover                       # watch invitations
+//	alfredo-discover -query "(apps=*)"     # active search with predicate
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/discovery"
+	"github.com/alfredo-mw/alfredo/internal/filter"
+)
+
+func main() {
+	var (
+		group   = flag.String("group", discovery.DefaultGroup, "discovery multicast group")
+		query   = flag.String("query", "", "active search with an optional LDAP predicate")
+		active  = flag.Bool("active", false, "perform an active search (implied by -query)")
+		timeout = flag.Duration("timeout", 2*time.Second, "active search window")
+	)
+	flag.Parse()
+
+	if err := run(*group, *query, *timeout, *active || *query != ""); err != nil {
+		log.Fatalf("alfredo-discover: %v", err)
+	}
+}
+
+func run(group, query string, window time.Duration, active bool) error {
+	bus, err := discovery.NewUDPBus(group)
+	if err != nil {
+		return err
+	}
+	defer bus.Close()
+	agent, err := discovery.NewAgent(fmt.Sprintf("discover-%d", os.Getpid()), bus)
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+
+	if active {
+		var pred *filter.Filter
+		if query != "" {
+			pred, err = filter.Parse(query)
+			if err != nil {
+				return fmt.Errorf("bad predicate: %w", err)
+			}
+		}
+		fmt.Printf("searching %s for %v ...\n", group, window)
+		ctx, cancel := context.WithTimeout(context.Background(), window)
+		defer cancel()
+		found, err := agent.Discover(ctx, "alfredo", "", pred)
+		if err != nil {
+			return err
+		}
+		if len(found) == 0 {
+			fmt.Println("nothing found")
+			return nil
+		}
+		for _, adv := range found {
+			fmt.Printf("%-45s scope=%s attrs=%v\n", adv.URL, adv.Scope, adv.Attributes)
+		}
+		return nil
+	}
+
+	fmt.Printf("listening for invitations on %s (ctrl-c to stop)\n", group)
+	agent.OnAnnouncement(func(adv discovery.Advertisement) {
+		fmt.Printf("%s  %-45s %v\n", time.Now().Format("15:04:05"), adv.URL, adv.Attributes)
+	})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
+}

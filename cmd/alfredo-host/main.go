@@ -1,0 +1,118 @@
+// Command alfredo-host runs a target device: it hosts one or both of
+// the prototype applications over real TCP, optionally serves the HTML
+// rendering through the HTTP service, and announces itself on the SLP
+// discovery group.
+//
+// Usage:
+//
+//	alfredo-host -listen 127.0.0.1:9278 -apps shop,mouse -announce
+//	alfredo-host -listen 127.0.0.1:9278 -http 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/mousecontroller"
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/discovery"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9278", "TCP address to serve AlfredO on")
+		apps     = flag.String("apps", "shop,mouse", "comma-separated apps to host: shop, mouse")
+		name     = flag.String("name", "alfredo-host", "device name announced to peers")
+		announce = flag.Bool("announce", false, "broadcast SLP invitations on the discovery group")
+		group    = flag.String("group", discovery.DefaultGroup, "discovery multicast group")
+		snapshot = flag.Duration("snapshot", 500*time.Millisecond, "mouse screen snapshot interval")
+		storage  = flag.String("storage", "", "directory for persistent bundle storage")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *apps, *name, *group, *storage, *snapshot, *announce); err != nil {
+		log.Fatalf("alfredo-host: %v", err)
+	}
+}
+
+func run(listen, apps, name, group, storage string, snapshotEvery time.Duration, announce bool) error {
+	node, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Notebook(), StorageDir: storage})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	var hosted []string
+	for _, app := range strings.Split(apps, ",") {
+		switch strings.TrimSpace(app) {
+		case "shop":
+			if err := node.RegisterApp(shop.New().App()); err != nil {
+				return err
+			}
+			hosted = append(hosted, shop.InterfaceName)
+		case "mouse":
+			svc := mousecontroller.New(1280, 800)
+			if err := node.RegisterApp(svc.App()); err != nil {
+				return err
+			}
+			if err := svc.StartSnapshots(node.Events(), snapshotEvery); err != nil {
+				return err
+			}
+			defer svc.StopSnapshots()
+			hosted = append(hosted, mousecontroller.InterfaceName)
+		case "":
+		default:
+			return fmt.Errorf("unknown app %q (want shop, mouse)", app)
+		}
+	}
+	if len(hosted) == 0 {
+		return fmt.Errorf("no apps selected")
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", listen, err)
+	}
+	defer l.Close()
+	node.Serve(l)
+	fmt.Printf("%s serving %s on %s\n", name, strings.Join(hosted, ", "), l.Addr())
+
+	if announce {
+		bus, err := discovery.NewUDPBus(group)
+		if err != nil {
+			return fmt.Errorf("joining discovery group: %w", err)
+		}
+		defer bus.Close()
+		agent, err := discovery.NewAgent(name, bus)
+		if err != nil {
+			return err
+		}
+		defer agent.Close()
+		if _, err := agent.Register(discovery.Advertisement{
+			URL:        discovery.MakeServiceURL("alfredo", l.Addr().String()),
+			Attributes: map[string]any{"apps": strings.Join(hosted, ","), "name": name},
+		}); err != nil {
+			return err
+		}
+		if err := agent.StartAnnouncing(2 * time.Second); err != nil {
+			return err
+		}
+		defer agent.StopAnnouncing()
+		fmt.Printf("announcing on %s every 2s\n", group)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,283 @@
+// Command alfredo-phone is the interactive client: it connects to an
+// alfredo-host over TCP (or discovers one via SLP), leases an
+// application, renders it with the chosen device profile, and drives it
+// from a small REPL.
+//
+// Usage:
+//
+//	alfredo-phone -connect 127.0.0.1:9278 -profile nokia9300i
+//	alfredo-phone -discover
+//
+// REPL commands:
+//
+//	list                        show leased services
+//	acquire <interface>         lease a service and render its UI
+//	show                        print the current screen
+//	press <control>             press a button / pad
+//	select <control> <value>    select a list/choice entry
+//	type <control> <text>       change a text input
+//	move <control> <dx> <dy>    move a pad
+//	ping                        measure link RTT
+//	release                     release the current app
+//	quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/devsim"
+	"github.com/alfredo-mw/alfredo/internal/discovery"
+	"github.com/alfredo-mw/alfredo/internal/httpd"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/render"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+func main() {
+	var (
+		connect  = flag.String("connect", "", "TCP address of an alfredo-host")
+		discover = flag.Bool("discover", false, "discover a host via SLP instead of -connect")
+		group    = flag.String("group", discovery.DefaultGroup, "discovery multicast group")
+		profile  = flag.String("profile", "nokia9300i", "device profile: nokia9300i, se-m600i, iphone, notebook")
+		simulate = flag.Bool("simulate-cpu", false, "simulate the profile's CPU speed (realistic acquire times)")
+		httpAddr = flag.String("http", "", "serve html-rendered apps on this address (the browser/iPhone path)")
+	)
+	flag.Parse()
+
+	if err := run(*connect, *group, *profile, *httpAddr, *discover, *simulate); err != nil {
+		log.Fatalf("alfredo-phone: %v", err)
+	}
+}
+
+func run(connect, group, profileName, httpAddr string, discover, simulate bool) error {
+	prof, ok := device.ProfileByName(profileName)
+	if !ok {
+		return fmt.Errorf("unknown profile %q", profileName)
+	}
+	var sim *devsim.Device
+	if simulate {
+		sim, _ = devsim.DeviceByName(prof.SimDevice)
+	}
+
+	if discover {
+		addr, err := discoverHost(group)
+		if err != nil {
+			return err
+		}
+		connect = addr
+	}
+	if connect == "" {
+		return fmt.Errorf("need -connect or -discover")
+	}
+
+	proxyCode := remote.NewProxyCodeRegistry()
+	// Pre-install the shop's smart proxy code (trusted distribution).
+	if err := shop.RegisterProxyCode(proxyCode); err != nil {
+		return err
+	}
+	node, err := core.NewNode(core.NodeConfig{
+		Name:      "phone-" + profileName,
+		Profile:   prof,
+		Sim:       sim,
+		ProxyCode: proxyCode,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	conn, err := net.Dial("tcp", connect)
+	if err != nil {
+		return fmt.Errorf("connecting to %s: %w", connect, err)
+	}
+	session, err := node.Connect(conn)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+	fmt.Printf("connected to %s as a %s\n", session.RemoteID(), prof.Name)
+
+	// The servlet path: acquired HTML views are registered with the
+	// HTTP service so any browser can drive them (§3.3, the paper's
+	// iPhone scenario).
+	var web *httpd.Service
+	if httpAddr != "" {
+		web = httpd.NewService()
+		addr, err := web.Start(httpAddr)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = web.Stop(ctx)
+		}()
+		fmt.Printf("serving html views on http://%s/\n", addr)
+	}
+
+	return repl(session, prof, web)
+}
+
+func discoverHost(group string) (string, error) {
+	bus, err := discovery.NewUDPBus(group)
+	if err != nil {
+		return "", err
+	}
+	defer bus.Close()
+	agent, err := discovery.NewAgent(fmt.Sprintf("phone-%d", os.Getpid()), bus)
+	if err != nil {
+		return "", err
+	}
+	defer agent.Close()
+	fmt.Println("discovering hosts for 2s ...")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	found, err := agent.Discover(ctx, "alfredo", "", nil)
+	if err != nil {
+		return "", err
+	}
+	if len(found) == 0 {
+		return "", fmt.Errorf("no hosts discovered on %s", group)
+	}
+	for _, adv := range found {
+		fmt.Printf("  found %s %v\n", adv.URL, adv.Attributes)
+	}
+	_, addr, err := discovery.ParseServiceURL(found[0].URL)
+	return addr, err
+}
+
+func repl(session *core.Session, prof device.Profile, web *httpd.Service) error {
+	var app *core.Application
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit":
+			return nil
+		case "list":
+			for _, s := range session.Services() {
+				fmt.Printf("  #%d %s\n", s.ID, strings.Join(s.Interfaces, ", "))
+			}
+		case "ping":
+			rtt, err := session.Ping()
+			if err != nil {
+				fmt.Println("  error:", err)
+			} else {
+				fmt.Printf("  rtt %v\n", rtt.Round(time.Microsecond))
+			}
+		case "acquire":
+			if len(args) != 1 {
+				fmt.Println("  usage: acquire <interface>")
+				break
+			}
+			if app != nil {
+				app.Release()
+				app = nil
+			}
+			a, err := session.Acquire(args[0], core.AcquireOptions{
+				Policy: core.AdaptivePolicy{}, Trusted: true,
+			})
+			if err != nil {
+				fmt.Println("  error:", err)
+				break
+			}
+			app = a
+			if web != nil {
+				if hv, ok := a.View.(*render.HTMLView); ok {
+					alias := "/" + strings.ToLower(args[0])
+					if err := web.RegisterServlet(alias, hv); err == nil {
+						if addr, up := web.Addr(); up {
+							fmt.Printf("  browse at http://%s%s/\n", addr, alias)
+						}
+					}
+				}
+			}
+			t := a.Timing
+			fmt.Printf("  acquired in %v (fetch %v, build %v, install %v, start %v)\n",
+				t.TotalStart().Round(time.Millisecond), t.AcquireInterface.Round(time.Millisecond),
+				t.BuildProxy.Round(time.Millisecond), t.InstallProxy.Round(time.Millisecond),
+				t.StartProxy.Round(time.Millisecond))
+			fmt.Println(a.View.Render())
+		case "show":
+			if app == nil {
+				fmt.Println("  no app acquired")
+				break
+			}
+			fmt.Println(app.View.Render())
+		case "press", "select", "type", "move":
+			if app == nil {
+				fmt.Println("  no app acquired")
+				break
+			}
+			ev, err := buildEvent(cmd, args)
+			if err != nil {
+				fmt.Println(" ", err)
+				break
+			}
+			if err := app.View.Inject(ev); err != nil {
+				fmt.Println("  error:", err)
+				break
+			}
+			fmt.Println(app.View.Render())
+		case "release":
+			if app != nil {
+				app.Release()
+				app = nil
+				fmt.Println("  released")
+			}
+		default:
+			fmt.Println("  commands: list, acquire, show, press, select, type, move, ping, release, quit")
+		}
+		fmt.Print("> ")
+	}
+	return scanner.Err()
+}
+
+func buildEvent(cmd string, args []string) (ui.Event, error) {
+	switch cmd {
+	case "press":
+		if len(args) != 1 {
+			return ui.Event{}, fmt.Errorf("usage: press <control>")
+		}
+		return ui.Event{Control: args[0], Kind: ui.EventPress}, nil
+	case "select":
+		if len(args) < 2 {
+			return ui.Event{}, fmt.Errorf("usage: select <control> <value>")
+		}
+		return ui.Event{Control: args[0], Kind: ui.EventSelect, Value: strings.Join(args[1:], " ")}, nil
+	case "type":
+		if len(args) < 2 {
+			return ui.Event{}, fmt.Errorf("usage: type <control> <text>")
+		}
+		return ui.Event{Control: args[0], Kind: ui.EventChange, Value: strings.Join(args[1:], " ")}, nil
+	case "move":
+		if len(args) != 3 {
+			return ui.Event{}, fmt.Errorf("usage: move <control> <dx> <dy>")
+		}
+		dx, err1 := strconv.ParseInt(args[1], 10, 64)
+		dy, err2 := strconv.ParseInt(args[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return ui.Event{}, fmt.Errorf("dx/dy must be integers")
+		}
+		return ui.Event{Control: args[0], Kind: ui.EventMove, Value: []any{dx, dy}}, nil
+	}
+	return ui.Event{}, fmt.Errorf("unknown command %q", cmd)
+}

@@ -1,0 +1,183 @@
+// Command alfredoshop demonstrates the paper's §5.2 prototype: an
+// information screen behind a shop window controlled from a phone. It
+// shows the three claims the paper makes for the application:
+//
+//  1. Device independence: the SAME abstract UI renders on a landscape
+//     Nokia 9300i (text/eRCP analog), a portrait Sony Ericsson M600i
+//     (tree/AWT analog), and a browser-only iPhone (html/servlet
+//     analog).
+//  2. The browse/detail/compare interaction drives the remote service
+//     through interpreted controller rules.
+//  3. Tier negotiation: on a slow trusted link the comparison logic is
+//     pulled to the phone and runs locally (smart proxy).
+//
+// Run with: go run ./examples/alfredoshop
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alfredoshop:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	svc := shop.New()
+	fmt.Println(shop.Blurb(false))
+	fmt.Println()
+
+	screen, err := core.NewNode(core.NodeConfig{Name: "shop-screen", Profile: device.Touchscreen()})
+	if err != nil {
+		return err
+	}
+	defer screen.Close()
+	if err := screen.RegisterApp(svc.App()); err != nil {
+		return err
+	}
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("shop-screen")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	screen.Serve(l)
+
+	// --- 1. Device independence: three phones, three renderings. ---
+	for _, prof := range []device.Profile{
+		device.Nokia9300i(), device.SonyEricssonM600i(), device.IPhone(),
+	} {
+		if err := showOn(fabric, prof); err != nil {
+			return fmt.Errorf("rendering on %s: %w", prof.Name, err)
+		}
+	}
+
+	// --- 2 & 3. Interaction + tier negotiation on a slow link. ---
+	proxyCode := remote.NewProxyCodeRegistry()
+	if err := shop.RegisterProxyCode(proxyCode); err != nil {
+		return err
+	}
+	phone, err := core.NewNode(core.NodeConfig{
+		Name:         "nokia9300i",
+		Profile:      device.Nokia9300i(),
+		ProxyCode:    proxyCode,
+		FreeMemoryKB: 8 * 1024,
+	})
+	if err != nil {
+		return err
+	}
+	defer phone.Close()
+
+	conn, err := fabric.Dial("shop-screen", netsim.WLAN11b)
+	if err != nil {
+		return err
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{
+		Policy:  core.AdaptivePolicy{},
+		Trusted: true,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Tier negotiation over 802.11b (trusted):")
+	for dep, reason := range app.Placement.Reasons {
+		fmt.Printf("  %-28s %s\n", dep, reason)
+	}
+	fmt.Println()
+
+	// Browse beds and open the Malm detail (the paper's Figure 8).
+	if err := app.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "beds"}); err != nil {
+		return err
+	}
+	if err := app.View.Inject(ui.Event{Control: "products", Kind: ui.EventSelect, Value: "Malm"}); err != nil {
+		return err
+	}
+	fmt.Println("Phone screen while browsing beds:")
+	fmt.Println(app.View.Render())
+
+	// Compare locally through the pulled logic tier vs remotely.
+	logic := app.Deps[shop.LogicInterface]
+	if logic == nil {
+		return fmt.Errorf("logic tier was not pulled")
+	}
+	a, _ := svc.Catalog().Product("Malm")
+	b, _ := svc.Catalog().Product("Duken")
+	aMap := map[string]any{"name": a.Name, "price": a.Price}
+	bMap := map[string]any{"name": b.Name, "price": b.Price}
+
+	start := time.Now()
+	local, err := logic.Invoke("Compare", []any{aMap, bMap})
+	if err != nil {
+		return err
+	}
+	localTime := time.Since(start)
+
+	start = time.Now()
+	if _, err := app.Invoke("Compare", "Malm", "Duken"); err != nil {
+		return err
+	}
+	remoteTime := time.Since(start)
+
+	fmt.Printf("Compare executed locally (pulled logic tier): %v   -> %s\n", localTime.Round(time.Microsecond), local)
+	fmt.Printf("Compare executed remotely (thin-client path): %v\n", remoteTime.Round(time.Millisecond))
+	fmt.Printf("Offloading the logic tier saved %v per interaction on this link.\n",
+		(remoteTime - localTime).Round(time.Millisecond))
+	return nil
+}
+
+// showOn connects a phone with the given profile and prints how the
+// same abstract UI renders there.
+func showOn(fabric *netsim.Fabric, prof device.Profile) error {
+	phone, err := core.NewNode(core.NodeConfig{Name: "demo-" + prof.Name, Profile: prof})
+	if err != nil {
+		return err
+	}
+	defer phone.Close()
+	conn, err := fabric.Dial("shop-screen", netsim.Loopback)
+	if err != nil {
+		return err
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		return err
+	}
+	rep := app.View.Report()
+	fmt.Printf("=== %s (%s renderer, %s) ===\n", prof.Name, rep.Renderer, prof.Display.Orientation)
+	if len(rep.DroppedCapability) > 0 {
+		fmt.Printf("(dropped for missing capabilities: %v)\n", rep.DroppedCapability)
+	}
+	out := app.View.Render()
+	if rep.Renderer == "html" {
+		// Print just a summary for the HTML page.
+		fmt.Printf("HTML page, %d bytes; controls: %s\n", len(out), strings.Join(rep.Shown, ", "))
+	} else {
+		fmt.Println(out)
+	}
+	fmt.Println()
+	return nil
+}

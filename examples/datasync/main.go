@@ -1,0 +1,159 @@
+// Command datasync demonstrates the paper's §7 future work, implemented
+// in internal/datasync: transparent synchronization of a data tier. The
+// shop screen holds the authoritative shopping-list store; two phones
+// hold replicas. Writes from either phone go through the master and
+// appear on the other phone via forwarded change events — without any
+// phone-to-phone connection.
+//
+// Run with: go run ./examples/datasync
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/datasync"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datasync:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- Master: the shop screen owns the shopping list. ---
+	store := datasync.NewStore("shopping-list")
+	screen, err := core.NewNode(core.NodeConfig{Name: "shop-screen", Profile: device.Touchscreen()})
+	if err != nil {
+		return err
+	}
+	defer screen.Close()
+
+	table, iface := datasync.Export(store, screen.Events())
+	if _, err := screen.Framework().Registry().Register([]string{iface}, table,
+		service.Properties{remote.PropExported: true}, "screen"); err != nil {
+		return err
+	}
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("shop-screen")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	screen.Serve(l)
+
+	// --- Two phones, each with a replica. ---
+	alice, aliceReplica, err := phoneWithReplica(fabric, "alice", iface)
+	if err != nil {
+		return err
+	}
+	defer alice.Close()
+	defer aliceReplica.Close()
+	bob, bobReplica, err := phoneWithReplica(fabric, "bob", iface)
+	if err != nil {
+		return err
+	}
+	defer bob.Close()
+	defer bobReplica.Close()
+
+	// Alice adds items; they replicate to Bob through the master.
+	fmt.Println("alice writes: Malm bed, 2 Lack tables")
+	if err := aliceReplica.Put("Malm", int64(1)); err != nil {
+		return err
+	}
+	if err := aliceReplica.Put("Lack", int64(2)); err != nil {
+		return err
+	}
+
+	if err := waitSync(bobReplica, "Lack", int64(2)); err != nil {
+		return err
+	}
+	fmt.Printf("bob sees (v%d): %v\n", bobReplica.Version(), bobReplica.Keys())
+
+	// Bob removes one; Alice converges.
+	fmt.Println("bob deletes: Malm")
+	if err := bobReplica.Delete("Malm"); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := aliceReplica.Get("Malm"); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("alice never saw the delete")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("alice sees (v%d): %v\n", aliceReplica.Version(), aliceReplica.Keys())
+	fmt.Printf("master state  (v%d): %v\n", store.Version(), store.Keys())
+	fmt.Println("data tier stayed on the target device; both phones converged.")
+	return nil
+}
+
+func phoneWithReplica(fabric *netsim.Fabric, name, iface string) (*core.Node, *datasync.Replica, error) {
+	phone, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Nokia9300i()})
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, err := fabric.Dial("shop-screen", netsim.WLAN11b)
+	if err != nil {
+		phone.Close()
+		return nil, nil, err
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		phone.Close()
+		return nil, nil, err
+	}
+	if err := session.Channel().SetRemoteSubscriptions([]string{datasync.ChangeTopic("shopping-list")}); err != nil {
+		phone.Close()
+		return nil, nil, err
+	}
+	time.Sleep(100 * time.Millisecond) // let the subscription land
+
+	info, ok := session.Channel().FindRemoteService(iface)
+	if !ok {
+		phone.Close()
+		return nil, nil, fmt.Errorf("%s: store not leased", name)
+	}
+	reply, err := session.Channel().Fetch(info.ID)
+	if err != nil {
+		phone.Close()
+		return nil, nil, err
+	}
+	_, proxy, err := session.Channel().InstallProxy(reply)
+	if err != nil {
+		phone.Close()
+		return nil, nil, err
+	}
+	replica, err := datasync.NewReplica("shopping-list", proxy, phone.Events(),
+		datasync.ReplicaOptions{PollInterval: time.Second})
+	if err != nil {
+		phone.Close()
+		return nil, nil, err
+	}
+	return phone, replica, nil
+}
+
+func waitSync(r *datasync.Replica, key string, want any) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, ok := r.Get(key); ok && v == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica never converged on %s", key)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

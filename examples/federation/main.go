@@ -1,0 +1,172 @@
+// Command federation demonstrates spontaneous discovery (paper §3.2):
+// several target devices advertise themselves on an SLP-style
+// discovery bus — some by answering requests, one by periodically
+// broadcasting invitations — and a phone finds them, filters them with
+// an LDAP predicate, and leases a service from the best match.
+//
+// Run with: go run ./examples/federation
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/discovery"
+	"github.com/alfredo-mw/alfredo/internal/filter"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+}
+
+type screen struct {
+	name  string
+	node  *core.Node
+	agent *discovery.Agent
+}
+
+func run() error {
+	fabric := netsim.NewFabric()
+	bus := discovery.NewInProcBus()
+
+	// --- Three target devices join the environment. ---
+	var screens []*screen
+	for _, cfg := range []struct {
+		name     string
+		category string
+	}{
+		{"mall-screen-north", "furniture"},
+		{"mall-screen-south", "furniture"},
+		{"vending-machine-7", "vending"},
+	} {
+		s, err := newScreen(fabric, bus, cfg.name, cfg.category)
+		if err != nil {
+			return err
+		}
+		defer s.close()
+		screens = append(screens, s)
+	}
+
+	// The south screen broadcasts invitations, as §3.2 describes.
+	if err := screens[1].agent.StartAnnouncing(50 * time.Millisecond); err != nil {
+		return err
+	}
+	defer screens[1].agent.StopAnnouncing()
+
+	// --- The phone arrives. ---
+	phone, err := core.NewNode(core.NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		return err
+	}
+	defer phone.Close()
+	phoneAgent, err := discovery.NewAgent("phone", bus)
+	if err != nil {
+		return err
+	}
+	defer phoneAgent.Close()
+
+	// Invitations surface as they arrive.
+	var mu sync.Mutex
+	invited := map[string]bool{}
+	phoneAgent.OnAnnouncement(func(adv discovery.Advertisement) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !invited[adv.URL] {
+			invited[adv.URL] = true
+			fmt.Printf("Invitation received: %s %v\n", adv.URL, adv.Attributes)
+		}
+	})
+	time.Sleep(120 * time.Millisecond)
+
+	// Active discovery with a predicate: furniture screens only.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	found, err := phoneAgent.Discover(ctx, "alfredo", "", filter.MustParse("(category=furniture)"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nDiscovery for (category=furniture) found %d screens:\n", len(found))
+	for _, adv := range found {
+		fmt.Printf("  %s\n", adv.URL)
+	}
+	if len(found) == 0 {
+		return fmt.Errorf("nothing discovered")
+	}
+
+	// --- Connect to the first furniture screen and lease the shop. ---
+	_, addr, err := discovery.ParseServiceURL(found[0].URL)
+	if err != nil {
+		return err
+	}
+	conn, err := fabric.Dial(addr, netsim.WLAN11b)
+	if err != nil {
+		return err
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nLeased %s from %s (total start %v)\n",
+		shop.InterfaceName, session.RemoteID(), app.Timing.TotalStart().Round(time.Millisecond))
+
+	if err := app.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "sofas"}); err != nil {
+		return err
+	}
+	items, _ := app.View.Property("products", "items")
+	fmt.Printf("Sofas on offer: %v\n", items)
+	return nil
+}
+
+func newScreen(fabric *netsim.Fabric, bus discovery.Bus, name, category string) (*screen, error) {
+	node, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Touchscreen()})
+	if err != nil {
+		return nil, err
+	}
+	if err := node.RegisterApp(shop.New().App()); err != nil {
+		node.Close()
+		return nil, err
+	}
+	l, err := fabric.Listen(name)
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	node.Serve(l)
+
+	agent, err := discovery.NewAgent(name, bus)
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	if _, err := agent.Register(discovery.Advertisement{
+		URL:        discovery.MakeServiceURL("alfredo", name),
+		Attributes: map[string]any{"category": category, "app": shop.InterfaceName},
+	}); err != nil {
+		agent.Close()
+		node.Close()
+		return nil, err
+	}
+	return &screen{name: name, node: node, agent: agent}, nil
+}
+
+func (s *screen) close() {
+	s.agent.Close()
+	s.node.Close()
+}

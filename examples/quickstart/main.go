@@ -1,0 +1,133 @@
+// Command quickstart is the smallest complete AlfredO interaction: a
+// target device registers a greeter application, a phone connects over
+// a simulated WLAN link, leases the client side, presses a button, and
+// releases the service again.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- Target device: a coffee machine with one service. ---
+	brews := int64(0)
+	greeter := remote.NewService("demo.CoffeeMachine").
+		Method("Brew", []string{"string"}, "string", func(args []any) (any, error) {
+			brews++
+			return fmt.Sprintf("brewing %s (order #%d)", args[0], brews), nil
+		})
+
+	app := &core.App{
+		Descriptor: &core.Descriptor{
+			Service: "demo.CoffeeMachine",
+			UI: &ui.Description{
+				Title: "Coffee",
+				Controls: []ui.Control{
+					{ID: "kind", Kind: ui.KindChoice, Text: "Drink",
+						Items: []string{"espresso", "cappuccino", "flat white"}, Value: "espresso"},
+					{ID: "brew", Kind: ui.KindButton, Text: "Brew"},
+					{ID: "status", Kind: ui.KindLabel, Text: "Ready."},
+				},
+			},
+			Controller: &script.Program{
+				Rules: []script.Rule{{
+					Name: "brew-on-press",
+					On:   script.Trigger{UI: &script.UITrigger{Control: "brew", Kind: ui.EventPress}},
+					Do: []script.Action{
+						{Invoke: &script.InvokeAction{Method: "Brew", Args: []string{"str(vars.kind) + ''"}}},
+						{SetControl: &script.SetControlAction{Control: "status", Property: "value", Value: "result"}},
+					},
+				}, {
+					Name: "remember-kind",
+					On:   script.Trigger{UI: &script.UITrigger{Control: "kind", Kind: ui.EventSelect}},
+					Do: []script.Action{
+						{SetVar: &script.SetVarAction{Name: "kind", Value: "event.value"}},
+					},
+				}},
+				Init: map[string]string{"kind": "'espresso'"},
+			},
+		},
+		Service: greeter,
+	}
+
+	machine, err := core.NewNode(core.NodeConfig{Name: "coffee-machine", Profile: device.Touchscreen()})
+	if err != nil {
+		return err
+	}
+	defer machine.Close()
+	if err := machine.RegisterApp(app); err != nil {
+		return err
+	}
+
+	// --- Phone: connect over simulated 802.11b, lease, interact. ---
+	phone, err := core.NewNode(core.NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		return err
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("coffee-machine")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	machine.Serve(l)
+
+	conn, err := fabric.Dial("coffee-machine", netsim.WLAN11b)
+	if err != nil {
+		return err
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	fmt.Println("Lease received. Services offered by", session.RemoteID()+":")
+	for _, s := range session.Services() {
+		fmt.Printf("  #%d %v\n", s.ID, s.Interfaces)
+	}
+
+	acquired, err := session.Acquire("demo.CoffeeMachine", core.AcquireOptions{})
+	if err != nil {
+		return err
+	}
+	t := acquired.Timing
+	fmt.Printf("\nAcquired in %v (acquire %v, build %v, install %v, start %v)\n\n",
+		t.TotalStart().Round(1e6), t.AcquireInterface.Round(1e6), t.BuildProxy.Round(1e6),
+		t.InstallProxy.Round(1e6), t.StartProxy.Round(1e6))
+
+	fmt.Println(acquired.View.Render())
+
+	// Order a cappuccino through the rendered UI.
+	if err := acquired.View.Inject(ui.Event{Control: "kind", Kind: ui.EventSelect, Value: "cappuccino"}); err != nil {
+		return err
+	}
+	if err := acquired.View.Inject(ui.Event{Control: "brew", Kind: ui.EventPress}); err != nil {
+		return err
+	}
+	fmt.Println("After pressing Brew:")
+	fmt.Println(acquired.View.Render())
+
+	acquired.Release()
+	fmt.Println("Released: proxy bundle uninstalled, phone is clean again.")
+	return nil
+}

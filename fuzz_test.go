@@ -1,0 +1,129 @@
+package alfredo_test
+
+import (
+	"testing"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// Native fuzz targets for every parser that consumes untrusted input:
+// the wire decoder (network frames), the LDAP filter parser (service
+// predicates from peers), the expression parser (shipped controller
+// rules), and the UI description parser (shipped descriptors). Run at
+// depth with `go test -fuzz=FuzzWireDecode .` etc.; during normal test
+// runs only the seed corpus executes, acting as a regression net.
+
+func FuzzWireDecode(f *testing.F) {
+	for _, m := range []wire.Message{
+		&wire.Hello{PeerID: "p", Version: 1, Props: map[string]any{"a": int64(1)}},
+		&wire.Invoke{CallID: 1, ServiceID: 2, Method: "M", Args: []any{"x", int64(3)}},
+		&wire.ServiceReply{RequestID: 1, Descriptor: []byte("{}")},
+		&wire.Event{Topic: "a/b", Props: map[string]any{}},
+		&wire.StreamData{StreamID: 9, Chunk: []byte{1, 2, 3}},
+	} {
+		frame, err := wire.EncodeMessage(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msg, err := wire.DecodeMessage(payload)
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode without panicking.
+		if _, err := wire.EncodeMessage(msg); err != nil {
+			// Some decoded values (e.g. oversized re-encodes) may fail
+			// encoding; that is an error, not a panic, and acceptable.
+			_ = err
+		}
+	})
+}
+
+func FuzzFilterParse(f *testing.F) {
+	for _, s := range []string{
+		"(a=b)", "(&(a=b)(c>=5))", "(|(x~=y)(!(z=*)))", "(name=Mouse*ler)",
+		"(((", "(a=b))", `(p=a\*b)`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		flt, err := filter.Parse(s)
+		if err != nil {
+			return
+		}
+		// Canonical form must reparse to the same canonical form.
+		again, err := filter.Parse(flt.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", flt.String(), s, err)
+		}
+		if flt.String() != again.String() {
+			t.Fatalf("canonical form unstable: %q -> %q", flt.String(), again.String())
+		}
+		// Matching must not panic on assorted property shapes.
+		flt.Matches(map[string]any{"a": "b", "c": int64(7), "z": []string{"v"}})
+	})
+}
+
+func FuzzExprParse(f *testing.F) {
+	for _, s := range []string{
+		"1 + 2 * 3", "event.value[0] * 8", "'a' + 'b'", "len(items) > 0 && enabled",
+		"clamp(x, 0, 10)", "((", "1 +",
+	} {
+		f.Add(s)
+	}
+	env := map[string]any{
+		"event":   map[string]any{"value": []any{int64(1), int64(2)}},
+		"items":   []any{"a"},
+		"enabled": true,
+		"x":       int64(5),
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := script.ParseExpr(s)
+		if err != nil {
+			return
+		}
+		// Evaluation may fail (unknown vars etc.) but must not panic.
+		_, _ = e.Eval(env)
+	})
+}
+
+func FuzzDescriptorParse(f *testing.F) {
+	valid := &ui.Description{
+		Title: "t",
+		Controls: []ui.Control{
+			{ID: "a", Kind: ui.KindButton, Text: "go"},
+			{ID: "b", Kind: ui.KindRange, Min: 0, Max: 5},
+		},
+		Relations: []ui.Relation{{Kind: ui.RelOrder, Members: []string{"a", "b"}}},
+	}
+	b, err := valid.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"controls":[{"id":"x","kind":"nope"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ui.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// A successfully parsed description must re-marshal and still
+		// validate.
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Unmarshal returned invalid description: %v", err)
+		}
+		if _, err := d.Marshal(); err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+	})
+}

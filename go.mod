@@ -1,0 +1,3 @@
+module github.com/alfredo-mw/alfredo
+
+go 1.22

@@ -1,0 +1,192 @@
+package alfredo_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/mousecontroller"
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// TestFullStackOverTCP drives the complete system over a real TCP
+// loopback connection — host and phone exactly as the cmd/ tools wire
+// them — covering lease exchange, acquisition, controller-driven
+// interaction, snapshot events, and release.
+func TestFullStackOverTCP(t *testing.T) {
+	host, err := core.NewNode(core.NodeConfig{Name: "tcp-host", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	mouse := mousecontroller.New(1280, 800)
+	if err := host.RegisterApp(mouse.App()); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.RegisterApp(shop.New().App()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mouse.StartSnapshots(host.Events(), 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer mouse.StopSnapshots()
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	host.Serve(l)
+
+	phone, err := core.NewNode(core.NodeConfig{Name: "tcp-phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	// The lease lists both apps plus the shop's tier services.
+	if n := len(session.Services()); n < 4 {
+		t.Fatalf("lease has %d services, want >= 4", n)
+	}
+	if rtt, err := session.Ping(); err != nil || rtt <= 0 {
+		t.Fatalf("ping = %v, %v", rtt, err)
+	}
+
+	// Shop: browse through the interpreted controller.
+	shopApp, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shopApp.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"}); err != nil {
+		t.Fatal(err)
+	}
+	items, _ := shopApp.View.Property("products", "items")
+	if list, ok := items.([]any); !ok || len(list) != 2 {
+		t.Fatalf("tables = %v (ctl err %v)", items, shopApp.Controller.LastError())
+	}
+
+	// Mouse: pad movement crosses TCP; a snapshot event comes back.
+	mouseApp, err := session.Acquire(mousecontroller.InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, _ := mouse.Desktop().Position()
+	if err := mouseApp.View.Inject(ui.Event{Control: "cursor", Kind: ui.EventMove, Value: []any{int64(2), int64(0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if x1, _ := mouse.Desktop().Position(); x1 != x0+16 {
+		t.Errorf("cursor x = %d, want %d", x1, x0+16)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if img, ok := mouseApp.View.Property("screen", "image"); ok {
+			if _, isBytes := img.([]byte); isBytes {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never arrived over TCP")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Release: proxies disappear from the phone's registry.
+	shopBundle, mouseBundle := shopApp.Bundle, mouseApp.Bundle
+	shopApp.Release()
+	mouseApp.Release()
+	if shopBundle.State() != module.StateUninstalled || mouseBundle.State() != module.StateUninstalled {
+		t.Error("proxy bundles survived release")
+	}
+	if phone.Framework().Registry().Find(shop.InterfaceName, nil) != nil {
+		t.Error("shop proxy service survived release")
+	}
+}
+
+// TestHostDeathFailsCleanly injects a provider crash mid-session: the
+// phone's pending call fails, the channel tears down, and the proxy
+// bundle is uninstalled — the module-unload semantics of §2.1
+// ("disconnections between services can be mapped to module unload
+// events, which the software can handle gracefully").
+func TestHostDeathFailsCleanly(t *testing.T) {
+	host, err := core.NewNode(core.NodeConfig{Name: "doomed-host", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.RegisterApp(shop.New().App()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	host.Serve(l)
+
+	phone, err := core.NewNode(core.NodeConfig{Name: "survivor", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Invoke("Categories"); err != nil {
+		t.Fatalf("pre-crash invoke: %v", err)
+	}
+
+	// The shop's screen dies.
+	host.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		_, err := app.Invoke("Categories")
+		if err != nil {
+			if !errors.Is(err, remote.ErrChannelClosed) && !strings.Contains(err.Error(), "closed") {
+				t.Logf("post-crash invoke error (acceptable): %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("invocations kept succeeding after host death")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The proxy bundle is garbage-collected with the channel.
+	deadline = time.Now().Add(3 * time.Second)
+	for app.Bundle.State() != module.StateUninstalled {
+		if time.Now().After(deadline) {
+			t.Fatalf("proxy bundle state = %v after host death", app.Bundle.State())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,249 @@
+package mousecontroller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+func TestDesktopMechanics(t *testing.T) {
+	d := NewDesktop(800, 600)
+	x, y := d.Position()
+	if x != 400 || y != 300 {
+		t.Errorf("initial position = %d,%d", x, y)
+	}
+	x, y = d.MoveBy(100, -50)
+	if x != 500 || y != 250 {
+		t.Errorf("after move = %d,%d", x, y)
+	}
+	// Clamping at the edges.
+	x, y = d.MoveBy(10000, 10000)
+	if x != 799 || y != 599 {
+		t.Errorf("clamped = %d,%d", x, y)
+	}
+	x, y = d.MoveBy(-10000, -10000)
+	if x != 0 || y != 0 {
+		t.Errorf("clamped low = %d,%d", x, y)
+	}
+}
+
+func TestClickMinimizesWindow(t *testing.T) {
+	d := NewDesktop(800, 600)
+	// Move onto the Browser title bar (window at 40,30).
+	d.MoveBy(-400+50, -300+35)
+	msg := d.Click()
+	if !strings.Contains(msg, "minimized Browser") {
+		t.Errorf("click = %q", msg)
+	}
+	ws := d.Windows()
+	if !ws[0].Minimized {
+		t.Error("Browser not minimized")
+	}
+	// Click the task bar to restore.
+	d.MoveBy(0, 10000)
+	msg = d.Click()
+	if !strings.Contains(msg, "restored") {
+		t.Errorf("restore click = %q", msg)
+	}
+	if d.Clicks() != 2 {
+		t.Errorf("clicks = %d", d.Clicks())
+	}
+}
+
+func TestSnapshotGeometry(t *testing.T) {
+	d := NewDesktop(800, 600)
+	frame := d.Snapshot()
+	if len(frame) != SnapshotWidth*SnapshotHeight*3 {
+		t.Fatalf("frame size = %d", len(frame))
+	}
+	// ~200 kB, the client memory figure of §4.1.
+	if len(frame) < 190_000 || len(frame) > 210_000 {
+		t.Errorf("frame size %d not ~200kB", len(frame))
+	}
+	// The cursor pixel is red.
+	x, y := d.Position()
+	cx := x * SnapshotWidth / 800
+	cy := y * SnapshotHeight / 600
+	o := (cy*SnapshotWidth + cx) * 3
+	if frame[o] != 255 {
+		t.Errorf("cursor pixel = %v", frame[o:o+3])
+	}
+}
+
+func TestSnapshotPublishing(t *testing.T) {
+	svc := New(800, 600)
+	admin := event.NewAdmin(0)
+	defer admin.Close()
+
+	frames := make(chan int, 16)
+	_, _ = admin.Subscribe(SnapshotTopic, nil, func(ev event.Event) {
+		frame, _ := ev.Properties["frame"].([]byte)
+		select {
+		case frames <- len(frame):
+		default:
+		}
+	})
+	if err := svc.StartSnapshots(admin, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.StartSnapshots(admin, 10*time.Millisecond); err == nil {
+		t.Error("double start accepted")
+	}
+	select {
+	case n := <-frames:
+		if n != SnapshotWidth*SnapshotHeight*3 {
+			t.Errorf("frame bytes = %d", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no snapshot published")
+	}
+	svc.StopSnapshots()
+	svc.StopSnapshots() // idempotent
+}
+
+// TestEndToEndPhoneControlsDesktop drives the full paper scenario:
+// phone acquires MouseController, pad events move the notebook cursor.
+func TestEndToEndPhoneControlsDesktop(t *testing.T) {
+	svc := New(800, 600)
+
+	notebook, err := core.NewNode(core.NodeConfig{Name: "notebook", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer notebook.Close()
+	if err := notebook.RegisterApp(svc.App()); err != nil {
+		t.Fatal(err)
+	}
+
+	phone, err := core.NewNode(core.NodeConfig{Name: "nokia", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("notebook")
+	defer l.Close()
+	notebook.Serve(l)
+	conn, err := fabric.Dial("notebook", netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	// The Nokia renders the pad via its cursor keys (capability map).
+	if impl := app.View.Report().Implementors[string(device.PointingDevice)]; impl != "CursorKeys" {
+		t.Errorf("PointingDevice implementor = %q", impl)
+	}
+
+	x0, y0 := svc.Desktop().Position()
+	// Simulate cursor-key presses: pad move right+down.
+	if err := app.View.Inject(ui.Event{Control: "cursor", Kind: ui.EventMove,
+		Value: []any{int64(1), int64(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	x1, y1 := svc.Desktop().Position()
+	if x1 != x0+8 || y1 != y0+8 {
+		t.Errorf("cursor moved to %d,%d from %d,%d (ctl err %v)",
+			x1, y1, x0, y0, app.Controller.LastError())
+	}
+	// The status label reflects the new position.
+	if v, _ := app.View.Property("status", "value"); v == nil {
+		t.Error("status not updated")
+	}
+	// Click crosses the wire too.
+	if err := app.View.Inject(ui.Event{Control: "cursor", Kind: ui.EventPress}); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Desktop().Clicks() != 1 {
+		t.Errorf("clicks = %d", svc.Desktop().Clicks())
+	}
+}
+
+// TestSnapshotReachesPhoneView checks the asynchronous event path of
+// §5.1 end to end: published frames land in the phone's image control.
+func TestSnapshotReachesPhoneView(t *testing.T) {
+	svc := New(800, 600)
+	notebook, err := core.NewNode(core.NodeConfig{Name: "notebook", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer notebook.Close()
+	_ = notebook.RegisterApp(svc.App())
+
+	phone, err := core.NewNode(core.NodeConfig{Name: "nokia", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("notebook")
+	defer l.Close()
+	notebook.Serve(l)
+	conn, _ := fabric.Dial("notebook", netsim.Loopback)
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // subscription frame
+
+	if err := svc.StartSnapshots(notebook.Events(), 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.StopSnapshots()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if img, ok := app.View.Property("screen", "image"); ok {
+			if frame, isBytes := img.([]byte); isBytes && len(frame) == SnapshotWidth*SnapshotHeight*3 {
+				return // success
+			}
+		}
+		if time.Now().After(deadline) {
+			img, _ := app.View.Property("screen", "image")
+			t.Fatalf("snapshot never reached view; image = %T, ctl err = %v",
+				img, app.Controller.LastError())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSnapshotPNG(t *testing.T) {
+	d := NewDesktop(800, 600)
+	data, err := d.SnapshotPNG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 100 {
+		t.Fatalf("png size = %d", len(data))
+	}
+	// PNG magic + much smaller than the raw RGB frame.
+	if data[0] != 0x89 || string(data[1:4]) != "PNG" {
+		t.Errorf("not a PNG: % x", data[:8])
+	}
+	if len(data) >= SnapshotWidth*SnapshotHeight*3 {
+		t.Errorf("png (%d) not smaller than raw frame", len(data))
+	}
+}

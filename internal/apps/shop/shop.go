@@ -1,0 +1,393 @@
+// Package shop implements the AlfredOShop prototype of paper §5.2: an
+// information screen behind a shop window that passers-by control from
+// their phones — browsing and comparing products even when the shop is
+// closed. The application decomposes exactly along the paper's tiers:
+// the product catalog is the pinned data tier, the filtering/comparison
+// logic is a movable logic tier (with a smart proxy so pulled logic
+// really executes on the client), and the UI ships as a descriptor.
+package shop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// Interface names.
+const (
+	// InterfaceName is the main (presentation-facing) service.
+	InterfaceName = "alfredo.apps.AlfredOShop"
+	// CatalogInterface is the data-tier catalog service (always on the
+	// target, §3.2).
+	CatalogInterface = "alfredo.apps.shop.Catalog"
+	// LogicInterface is the movable logic-tier service.
+	LogicInterface = "alfredo.apps.shop.Logic"
+)
+
+// Product is one catalog entry.
+type Product struct {
+	Name     string
+	Category string
+	Price    int64 // cents
+	Detail   string
+	WidthCM  int64
+	HeightCM int64
+}
+
+func (p Product) asMap() map[string]any {
+	return map[string]any{
+		"name":     p.Name,
+		"category": p.Category,
+		"price":    p.Price,
+		"detail":   p.Detail,
+		"widthCM":  p.WidthCM,
+		"heightCM": p.HeightCM,
+	}
+}
+
+// Catalog is the data tier: thread-safe product storage.
+type Catalog struct {
+	mu       sync.RWMutex
+	products map[string]Product
+}
+
+// NewCatalog creates a catalog preloaded with the furniture the paper's
+// screenshots show (beds, figure 8).
+func NewCatalog() *Catalog {
+	c := &Catalog{products: make(map[string]Product)}
+	for _, p := range []Product{
+		{Name: "Norddal", Category: "beds", Price: 29900, Detail: "Bunk bed, pine, 90x200 cm", WidthCM: 90, HeightCM: 200},
+		{Name: "Malm", Category: "beds", Price: 19900, Detail: "Bed frame, oak veneer, 160x200 cm", WidthCM: 160, HeightCM: 200},
+		{Name: "Duken", Category: "beds", Price: 24900, Detail: "Four-poster bed, 180x200 cm", WidthCM: 180, HeightCM: 200},
+		{Name: "Klippan", Category: "sofas", Price: 34900, Detail: "Two-seat sofa, red", WidthCM: 180, HeightCM: 88},
+		{Name: "Ektorp", Category: "sofas", Price: 44900, Detail: "Three-seat sofa, beige", WidthCM: 218, HeightCM: 88},
+		{Name: "Lack", Category: "tables", Price: 2900, Detail: "Side table, black-brown", WidthCM: 55, HeightCM: 45},
+		{Name: "Norden", Category: "tables", Price: 19900, Detail: "Gateleg table, birch", WidthCM: 152, HeightCM: 80},
+	} {
+		c.products[p.Name] = p
+	}
+	return c
+}
+
+// Add inserts or replaces a product.
+func (c *Catalog) Add(p Product) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.products[p.Name] = p
+}
+
+// Categories returns the sorted distinct categories.
+func (c *Catalog) Categories() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, p := range c.products {
+		set[p.Category] = true
+	}
+	out := make([]string, 0, len(set))
+	for cat := range set {
+		out = append(out, cat)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProductsIn returns the sorted product names of a category.
+func (c *Catalog) ProductsIn(category string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for _, p := range c.products {
+		if p.Category == category {
+			out = append(out, p.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Product looks up a product by name.
+func (c *Catalog) Product(name string) (Product, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	p, ok := c.products[name]
+	return p, ok
+}
+
+// Size returns the product count.
+func (c *Catalog) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.products)
+}
+
+// Service is the provider-side AlfredOShop application.
+type Service struct {
+	catalog *Catalog
+}
+
+// New creates the application with a stocked catalog.
+func New() *Service {
+	return &Service{catalog: NewCatalog()}
+}
+
+// Catalog exposes the data tier (tests, examples).
+func (s *Service) Catalog() *Catalog { return s.catalog }
+
+// catalogTable builds the data-tier service.
+func (s *Service) catalogTable() *remote.MethodTable {
+	return remote.NewService(CatalogInterface).
+		Method("Categories", nil, "list", func(args []any) (any, error) {
+			return toAnyList(s.catalog.Categories()), nil
+		}).
+		Method("ProductsIn", []string{"string"}, "list", func(args []any) (any, error) {
+			return toAnyList(s.catalog.ProductsIn(args[0].(string))), nil
+		}).
+		Method("Product", []string{"string"}, "map", func(args []any) (any, error) {
+			p, ok := s.catalog.Product(args[0].(string))
+			if !ok {
+				return nil, fmt.Errorf("shop: no product %q", args[0])
+			}
+			return p.asMap(), nil
+		}).
+		WithTypes(wire.TypeDesc{
+			Name: "Product",
+			Fields: []wire.TypeField{
+				{Name: "name", Type: "string"},
+				{Name: "category", Type: "string"},
+				{Name: "price", Type: "int"},
+				{Name: "detail", Type: "string"},
+				{Name: "widthCM", Type: "int"},
+				{Name: "heightCM", Type: "int"},
+			},
+		})
+}
+
+// LogicCodeRef is the content-addressed reference of the shop logic's
+// smart proxy code. Clients that pre-installed it (RegisterProxyCode)
+// execute Compare and FormatPrice locally after pulling the logic tier.
+var LogicCodeRef = module.HashRef([]byte("alfredo.apps.shop.Logic/v1"))
+
+// logicTable builds the movable logic-tier service.
+func (s *Service) logicTable() *remote.MethodTable {
+	return remote.NewService(LogicInterface).
+		Method("Compare", []string{"map", "map"}, "string", func(args []any) (any, error) {
+			return CompareProducts(args[0].(map[string]any), args[1].(map[string]any)), nil
+		}).
+		Method("FormatPrice", []string{"int"}, "string", func(args []any) (any, error) {
+			return FormatPrice(args[0].(int64)), nil
+		}).
+		Method("Cheapest", []string{"string"}, "string", func(args []any) (any, error) {
+			names := s.catalog.ProductsIn(args[0].(string))
+			best := ""
+			var bestPrice int64 = 1 << 62
+			for _, n := range names {
+				if p, ok := s.catalog.Product(n); ok && p.Price < bestPrice {
+					best, bestPrice = n, p.Price
+				}
+			}
+			return best, nil
+		}).
+		WithSmartProxy(&wire.SmartProxyRef{
+			CodeRef:      LogicCodeRef,
+			LocalMethods: []string{"Compare", "FormatPrice"},
+		})
+}
+
+// mainTable builds the presentation-facing main service.
+func (s *Service) mainTable() *remote.MethodTable {
+	return remote.NewService(InterfaceName).
+		Method("Browse", []string{"string"}, "list", func(args []any) (any, error) {
+			return toAnyList(s.catalog.ProductsIn(args[0].(string))), nil
+		}).
+		Method("Categories", nil, "list", func(args []any) (any, error) {
+			return toAnyList(s.catalog.Categories()), nil
+		}).
+		Method("Detail", []string{"string"}, "string", func(args []any) (any, error) {
+			p, ok := s.catalog.Product(args[0].(string))
+			if !ok {
+				return "unknown product", nil
+			}
+			return fmt.Sprintf("%s — %s (%s)", p.Name, p.Detail, FormatPrice(p.Price)), nil
+		}).
+		Method("Compare", []string{"string", "string"}, "string", func(args []any) (any, error) {
+			a, okA := s.catalog.Product(args[0].(string))
+			b, okB := s.catalog.Product(args[1].(string))
+			if !okA || !okB {
+				return "need two known products", nil
+			}
+			return CompareProducts(a.asMap(), b.asMap()), nil
+		})
+}
+
+// App builds the registerable AlfredO application.
+func (s *Service) App() *core.App {
+	desc := &core.Descriptor{
+		Service: InterfaceName,
+		UI: &ui.Description{
+			Title: "AlfredOShop",
+			Controls: []ui.Control{
+				{ID: "welcome", Kind: ui.KindLabel, Text: "Browse our products", Importance: 4},
+				{ID: "categories", Kind: ui.KindChoice, Text: "Category",
+					Items: []string{"beds", "sofas", "tables"}, Importance: 9,
+					Requires: []string{string(device.SelectionDevice)}},
+				{ID: "products", Kind: ui.KindList, Text: "Products", Importance: 10,
+					Requires: []string{string(device.SelectionDevice)}},
+				{ID: "detail", Kind: ui.KindLabel, Text: "Detail", Importance: 8},
+				{ID: "compareWith", Kind: ui.KindTextInput, Text: "Compare with", Importance: 5,
+					Requires: []string{string(device.KeyboardDevice)}},
+				{ID: "compareBtn", Kind: ui.KindButton, Text: "Compare", Importance: 6},
+			},
+			Relations: []ui.Relation{
+				{Kind: ui.RelOrder, Members: []string{"welcome", "categories", "products", "detail", "compareWith", "compareBtn"}},
+				{Kind: ui.RelGroup, Name: "browse", Members: []string{"categories", "products"}},
+				{Kind: ui.RelDetails, From: "products", To: "detail"},
+			},
+			Requires: []string{string(device.SelectionDevice)},
+		},
+		Controller: &script.Program{
+			Init: map[string]string{"selected": "''"},
+			Rules: []script.Rule{
+				{
+					Name: "browse-category",
+					On:   script.Trigger{UI: &script.UITrigger{Control: "categories", Kind: ui.EventSelect}},
+					Do: []script.Action{
+						{Invoke: &script.InvokeAction{Method: "Browse", Args: []string{"event.value"}}},
+						{SetControl: &script.SetControlAction{Control: "products", Property: "items", Value: "result"}},
+					},
+				},
+				{
+					Name: "show-detail",
+					On:   script.Trigger{UI: &script.UITrigger{Control: "products", Kind: ui.EventSelect}},
+					Do: []script.Action{
+						{SetVar: &script.SetVarAction{Name: "selected", Value: "event.value"}},
+						{Invoke: &script.InvokeAction{Method: "Detail", Args: []string{"event.value"}}},
+						{SetControl: &script.SetControlAction{Control: "detail", Property: "value", Value: "result"}},
+					},
+				},
+				{
+					Name: "compare",
+					On:   script.Trigger{UI: &script.UITrigger{Control: "compareBtn", Kind: ui.EventPress}},
+					When: "selected != ''",
+					Do: []script.Action{
+						{Invoke: &script.InvokeAction{Method: "Compare",
+							Args: []string{"selected", "str(vars.compareWith)"}}},
+						{SetControl: &script.SetControlAction{Control: "detail", Property: "value", Value: "result"}},
+					},
+				},
+				{
+					Name: "remember-compare-input",
+					On:   script.Trigger{UI: &script.UITrigger{Control: "compareWith", Kind: ui.EventChange}},
+					Do: []script.Action{
+						{SetVar: &script.SetVarAction{Name: "compareWith", Value: "event.value"}},
+					},
+				},
+			},
+		},
+		Dependencies: []core.Dependency{
+			{Service: CatalogInterface, Tier: core.TierData},
+			{Service: LogicInterface, Tier: core.TierLogic, Movable: true,
+				Requirements: core.Requirements{MinMemoryKB: 64}},
+		},
+		// Calibrated so the proxy start lands at ~360 ms on the Nokia
+		// 9300i (Table 1): UI state wiring only.
+		StartWorkMs: 15,
+	}
+
+	return &core.App{
+		Descriptor: desc,
+		Service:    s.mainTable(),
+		Dependencies: map[string]*remote.MethodTable{
+			CatalogInterface: s.catalogTable(),
+			LogicInterface:   s.logicTable(),
+		},
+	}
+}
+
+// LogicProxyCode is the client-side smart proxy implementation of the
+// shop logic: Compare and FormatPrice run locally, everything else
+// (Cheapest needs the catalog) goes remote. Register it under
+// LogicCodeRef on client nodes.
+type LogicProxyCode struct{}
+
+var _ remote.ProxyCode = LogicProxyCode{}
+
+// Invoke implements remote.ProxyCode.
+func (LogicProxyCode) Invoke(method string, args []any, remoteCall remote.Invoker) (any, error) {
+	switch method {
+	case "Compare":
+		a, okA := args[0].(map[string]any)
+		b, okB := args[1].(map[string]any)
+		if !okA || !okB {
+			return nil, fmt.Errorf("shop: Compare needs two product maps")
+		}
+		return CompareProducts(a, b), nil
+	case "FormatPrice":
+		price, ok := args[0].(int64)
+		if !ok {
+			return nil, fmt.Errorf("shop: FormatPrice needs an int")
+		}
+		return FormatPrice(price), nil
+	default:
+		return remoteCall.Invoke(method, args)
+	}
+}
+
+// RegisterProxyCode pre-installs the shop logic's smart proxy code in a
+// client's registry (the trusted-code distribution model, DESIGN.md §2).
+func RegisterProxyCode(reg *remote.ProxyCodeRegistry) error {
+	return reg.Register(LogicCodeRef, func() remote.ProxyCode { return LogicProxyCode{} })
+}
+
+// CompareProducts renders a human-readable comparison; it is pure so
+// that the provider service and the smart proxy share it.
+func CompareProducts(a, b map[string]any) string {
+	name := func(m map[string]any) string { s, _ := m["name"].(string); return s }
+	price := func(m map[string]any) int64 { p, _ := m["price"].(int64); return p }
+	var verdict string
+	switch {
+	case price(a) < price(b):
+		verdict = fmt.Sprintf("%s is cheaper by %s", name(a), FormatPrice(price(b)-price(a)))
+	case price(b) < price(a):
+		verdict = fmt.Sprintf("%s is cheaper by %s", name(b), FormatPrice(price(a)-price(b)))
+	default:
+		verdict = "same price"
+	}
+	return fmt.Sprintf("%s (%s) vs %s (%s): %s",
+		name(a), FormatPrice(price(a)), name(b), FormatPrice(price(b)), verdict)
+}
+
+// FormatPrice renders cents as "123.45".
+func FormatPrice(cents int64) string {
+	sign := ""
+	if cents < 0 {
+		sign, cents = "-", -cents
+	}
+	return fmt.Sprintf("%s%d.%02d", sign, cents/100, cents%100)
+}
+
+func toAnyList(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+// Blurb returns the shop-window greeting, including opening status —
+// the 24h accessibility pitch of §5.2.
+func Blurb(shopOpen bool) string {
+	if shopOpen {
+		return "Welcome! Come in or browse from your phone."
+	}
+	return strings.TrimSpace("Shop closed — browse our products from your phone, 24 hours a day.")
+}

@@ -1,0 +1,263 @@
+package shop
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	cats := c.Categories()
+	if len(cats) != 3 || cats[0] != "beds" {
+		t.Errorf("categories = %v", cats)
+	}
+	beds := c.ProductsIn("beds")
+	if len(beds) != 3 {
+		t.Errorf("beds = %v", beds)
+	}
+	p, ok := c.Product("Malm")
+	if !ok || p.Price != 19900 {
+		t.Errorf("Malm = %+v, %v", p, ok)
+	}
+	if _, ok := c.Product("Ghost"); ok {
+		t.Error("phantom product")
+	}
+	c.Add(Product{Name: "New", Category: "beds", Price: 100})
+	if c.Size() != 8 {
+		t.Errorf("size = %d", c.Size())
+	}
+}
+
+func TestFormatPrice(t *testing.T) {
+	cases := map[int64]string{
+		0:      "0.00",
+		5:      "0.05",
+		19900:  "199.00",
+		123456: "1234.56",
+		-250:   "-2.50",
+	}
+	for cents, want := range cases {
+		if got := FormatPrice(cents); got != want {
+			t.Errorf("FormatPrice(%d) = %q, want %q", cents, got, want)
+		}
+	}
+}
+
+func TestCompareProducts(t *testing.T) {
+	c := NewCatalog()
+	a, _ := c.Product("Malm")
+	b, _ := c.Product("Duken")
+	out := CompareProducts(a.asMap(), b.asMap())
+	if !strings.Contains(out, "Malm is cheaper by 50.00") {
+		t.Errorf("compare = %q", out)
+	}
+	same := CompareProducts(a.asMap(), a.asMap())
+	if !strings.Contains(same, "same price") {
+		t.Errorf("self compare = %q", same)
+	}
+}
+
+func TestBlurb(t *testing.T) {
+	if !strings.Contains(Blurb(false), "24 hours") {
+		t.Error("closed blurb should advertise 24h browsing")
+	}
+	if !strings.Contains(Blurb(true), "Welcome") {
+		t.Error("open blurb should greet")
+	}
+}
+
+type shopPair struct {
+	screen  *core.Node
+	phone   *core.Node
+	session *core.Session
+	svc     *Service
+}
+
+func newShopPair(t *testing.T, link netsim.LinkProfile, registerCode bool) *shopPair {
+	t.Helper()
+	svc := New()
+	screen, err := core.NewNode(core.NodeConfig{Name: "shop-screen", Profile: device.Touchscreen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := screen.RegisterApp(svc.App()); err != nil {
+		t.Fatal(err)
+	}
+
+	proxyCode := remote.NewProxyCodeRegistry()
+	if registerCode {
+		if err := RegisterProxyCode(proxyCode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phone, err := core.NewNode(core.NodeConfig{
+		Name:         "nokia",
+		Profile:      device.Nokia9300i(),
+		ProxyCode:    proxyCode,
+		FreeMemoryKB: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("shop-screen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	screen.Serve(l)
+	conn, err := fabric.Dial("shop-screen", link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		session.Close()
+		phone.Close()
+		screen.Close()
+		_ = l.Close()
+	})
+	return &shopPair{screen: screen, phone: phone, session: session, svc: svc}
+}
+
+func TestBrowseFlowEndToEnd(t *testing.T) {
+	p := newShopPair(t, netsim.Loopback, false)
+	app, err := p.session.Acquire(InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	// Select the beds category: the controller invokes Browse remotely
+	// and fills the product list.
+	if err := app.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "beds"}); err != nil {
+		t.Fatal(err)
+	}
+	items, _ := app.View.Property("products", "items")
+	list, ok := items.([]any)
+	if !ok || len(list) != 3 {
+		t.Fatalf("products = %v (ctl err %v)", items, app.Controller.LastError())
+	}
+
+	// Select a product: detail appears.
+	if err := app.View.Inject(ui.Event{Control: "products", Kind: ui.EventSelect, Value: "Malm"}); err != nil {
+		t.Fatal(err)
+	}
+	detail, _ := app.View.Property("detail", "value")
+	if s, _ := detail.(string); !strings.Contains(s, "Malm") || !strings.Contains(s, "199.00") {
+		t.Errorf("detail = %v", detail)
+	}
+
+	// Compare against another bed.
+	_ = app.View.Inject(ui.Event{Control: "compareWith", Kind: ui.EventChange, Value: "Duken"})
+	_ = app.View.Inject(ui.Event{Control: "compareBtn", Kind: ui.EventPress})
+	cmp, _ := app.View.Property("detail", "value")
+	if s, _ := cmp.(string); !strings.Contains(s, "cheaper") {
+		t.Errorf("compare = %v (ctl err %v)", cmp, app.Controller.LastError())
+	}
+}
+
+func TestLogicTierOffload(t *testing.T) {
+	// Slow trusted link + registered proxy code: the logic tier moves
+	// to the phone and Compare executes locally.
+	slow := netsim.LinkProfile{Name: "slow", Latency: 30 * time.Millisecond}
+	p := newShopPair(t, slow, true)
+	app, err := p.session.Acquire(InterfaceName, core.AcquireOptions{
+		Policy:  core.AdaptivePolicy{},
+		Trusted: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logic, ok := app.Deps[LogicInterface]
+	if !ok {
+		t.Fatalf("logic tier not pulled; reasons %v", app.Placement.Reasons)
+	}
+	// The data tier must never move (§3.2).
+	if _, pulled := app.Deps[CatalogInterface]; pulled {
+		t.Error("data tier was pulled to the client")
+	}
+
+	// Local execution: a locally-implemented method answers much faster
+	// than a 60 ms round trip.
+	a, _ := p.svc.Catalog().Product("Malm")
+	b, _ := p.svc.Catalog().Product("Duken")
+	start := time.Now()
+	out, err := logic.Invoke("Compare", []any{a.asMap(), b.asMap()})
+	local := time.Since(start)
+	if err != nil || !strings.Contains(out.(string), "cheaper") {
+		t.Fatalf("Compare = %v, %v", out, err)
+	}
+	if local > 20*time.Millisecond {
+		t.Errorf("local Compare took %v; smart proxy did not run locally", local)
+	}
+	// A method outside LocalMethods crosses the network.
+	start = time.Now()
+	cheapest, err := logic.Invoke("Cheapest", []any{"beds"})
+	remoteTime := time.Since(start)
+	if err != nil || cheapest != "Malm" {
+		t.Fatalf("Cheapest = %v, %v", cheapest, err)
+	}
+	if remoteTime < 50*time.Millisecond {
+		t.Errorf("Cheapest took %v; expected a remote round trip", remoteTime)
+	}
+}
+
+func TestThinVsOffloadLatency(t *testing.T) {
+	// The §3.2 motivation made measurable: on a slow link, a pulled
+	// logic tier answers Compare faster than the remote main service.
+	slow := netsim.LinkProfile{Name: "slow", Latency: 30 * time.Millisecond}
+	p := newShopPair(t, slow, true)
+	app, err := p.session.Acquire(InterfaceName, core.AcquireOptions{
+		Policy: core.AdaptivePolicy{}, Trusted: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	if _, err := app.Invoke("Compare", "Malm", "Duken"); err != nil {
+		t.Fatal(err)
+	}
+	thin := time.Since(start)
+
+	a, _ := p.svc.Catalog().Product("Malm")
+	b, _ := p.svc.Catalog().Product("Duken")
+	logic := app.Deps[LogicInterface]
+	start = time.Now()
+	if _, err := logic.Invoke("Compare", []any{a.asMap(), b.asMap()}); err != nil {
+		t.Fatal(err)
+	}
+	offloaded := time.Since(start)
+
+	if offloaded*2 > thin {
+		t.Errorf("offloaded Compare (%v) not clearly faster than remote (%v)", offloaded, thin)
+	}
+}
+
+func TestInjectedTypesShipWithCatalog(t *testing.T) {
+	p := newShopPair(t, netsim.Loopback, false)
+	info, ok := p.session.Channel().FindRemoteService(CatalogInterface)
+	if !ok {
+		t.Fatal("catalog not leased")
+	}
+	reply, err := p.session.Channel().Fetch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Types) != 1 || reply.Types[0].Name != "Product" {
+		t.Errorf("injected types = %v", reply.Types)
+	}
+	if len(reply.Types[0].Fields) != 6 {
+		t.Errorf("Product fields = %v", reply.Types[0].Fields)
+	}
+}

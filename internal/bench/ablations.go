@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/devsim"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/render"
+)
+
+// TierPoint is one row of the tier-placement ablation.
+type TierPoint struct {
+	RTT       time.Duration
+	Thin      time.Duration // Compare through the remote main service
+	Offloaded time.Duration // Compare through the pulled smart proxy
+}
+
+// RunTierAblation quantifies the §3.2 design choice the paper motivates
+// but does not measure: at what link latency does pulling the logic
+// tier pay off? For each RTT the shop's Compare runs once through the
+// thin-client path and once through the pulled logic tier.
+func RunTierAblation(cfg Config) ([]TierPoint, error) {
+	cfg = cfg.withDefaults()
+	rtts := []time.Duration{
+		1 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond,
+		20 * time.Millisecond, 40 * time.Millisecond, 80 * time.Millisecond,
+	}
+	fmt.Fprintln(cfg.Out, "Ablation: tier placement vs link latency (shop Compare)")
+	fmt.Fprintf(cfg.Out, "%-12s %14s %14s %10s\n", "link RTT", "thin client", "logic pulled", "speedup")
+
+	var out []TierPoint
+	for _, rtt := range rtts {
+		link := netsim.LinkProfile{Name: "ablation", Latency: rtt / 2}
+		p, err := measureTierPoint(link)
+		if err != nil {
+			return nil, err
+		}
+		p.RTT = rtt
+		out = append(out, p)
+		speedup := float64(p.Thin) / float64(p.Offloaded)
+		fmt.Fprintf(cfg.Out, "%-12s %14s %14s %9.1fx\n",
+			fmtDur(rtt), fmtDur(p.Thin), fmtDur(p.Offloaded), speedup)
+	}
+	fmt.Fprintln(cfg.Out)
+	return out, nil
+}
+
+func measureTierPoint(link netsim.LinkProfile) (TierPoint, error) {
+	svc := shop.New()
+	screen, err := core.NewNode(core.NodeConfig{Name: "screen", Profile: device.Touchscreen()})
+	if err != nil {
+		return TierPoint{}, err
+	}
+	defer screen.Close()
+	if err := screen.RegisterApp(svc.App()); err != nil {
+		return TierPoint{}, err
+	}
+
+	proxyCode := remote.NewProxyCodeRegistry()
+	if err := shop.RegisterProxyCode(proxyCode); err != nil {
+		return TierPoint{}, err
+	}
+	phone, err := core.NewNode(core.NodeConfig{
+		Name: "phone", Profile: device.Nokia9300i(),
+		ProxyCode: proxyCode, FreeMemoryKB: 8192,
+	})
+	if err != nil {
+		return TierPoint{}, err
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("screen")
+	if err != nil {
+		return TierPoint{}, err
+	}
+	defer l.Close()
+	screen.Serve(l)
+	conn, err := fabric.Dial("screen", link)
+	if err != nil {
+		return TierPoint{}, err
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		return TierPoint{}, err
+	}
+	defer session.Close()
+
+	// Force-pull the logic tier regardless of the adaptive threshold.
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{
+		Policy: pullAllPolicy{}, Trusted: true, SkipUI: true,
+	})
+	if err != nil {
+		return TierPoint{}, err
+	}
+	defer app.Release()
+	logic, ok := app.Deps[shop.LogicInterface]
+	if !ok {
+		return TierPoint{}, fmt.Errorf("bench: logic tier not pulled")
+	}
+
+	a, _ := svc.Catalog().Product("Malm")
+	b, _ := svc.Catalog().Product("Duken")
+	aMap := map[string]any{"name": a.Name, "price": a.Price}
+	bMap := map[string]any{"name": b.Name, "price": b.Price}
+
+	const rounds = 5
+	var thin, offloaded time.Duration
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		if _, err := app.Invoke("Compare", "Malm", "Duken"); err != nil {
+			return TierPoint{}, err
+		}
+		thin += time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := logic.Invoke("Compare", []any{aMap, bMap}); err != nil {
+			return TierPoint{}, err
+		}
+		offloaded += time.Since(t0)
+	}
+	return TierPoint{Thin: thin / rounds, Offloaded: offloaded / rounds}, nil
+}
+
+// pullAllPolicy pulls every movable logic dependency unconditionally.
+type pullAllPolicy struct{}
+
+func (pullAllPolicy) Decide(desc *core.Descriptor, ctx core.PolicyContext) core.Placement {
+	out := core.Placement{Reasons: map[string]string{}}
+	for _, dep := range desc.Dependencies {
+		if dep.Tier == core.TierLogic && dep.Movable {
+			out.PullLogic = append(out.PullLogic, dep.Service)
+			out.Reasons[dep.Service] = "forced by ablation"
+		}
+	}
+	return out
+}
+
+// RendererPoint is one row of the renderer ablation.
+type RendererPoint struct {
+	Renderer string
+	PerView  time.Duration
+	Bytes    int
+}
+
+// RunRendererAblation times rendering the shop UI with each engine —
+// the §3.3 claim that one abstract description serves all platforms,
+// quantified.
+func RunRendererAblation(cfg Config) ([]RendererPoint, error) {
+	cfg = cfg.withDefaults()
+	desc := shop.New().App().Descriptor.UI
+	reg := render.NewRegistry()
+	profiles := map[string]device.Profile{
+		"tree": device.SonyEricssonM600i(),
+		"text": device.Nokia9300i(),
+		"html": device.IPhone(),
+	}
+	fmt.Fprintln(cfg.Out, "Ablation: rendering the same abstract UI with each engine")
+	fmt.Fprintf(cfg.Out, "%-8s %14s %12s\n", "engine", "render time", "output size")
+
+	const rounds = 200
+	var out []RendererPoint
+	for _, name := range []string{"tree", "text", "html"} {
+		engine, ok := reg.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: engine %s missing", name)
+		}
+		view, err := engine.Render(desc, profiles[name])
+		if err != nil {
+			return nil, err
+		}
+		var rendered string
+		t0 := time.Now()
+		for i := 0; i < rounds; i++ {
+			rendered = view.Render()
+		}
+		per := time.Since(t0) / rounds
+		out = append(out, RendererPoint{Renderer: name, PerView: per, Bytes: len(rendered)})
+		fmt.Fprintf(cfg.Out, "%-8s %14s %12d\n", name, fmtDur(per), len(rendered))
+		_ = view.Close()
+	}
+	fmt.Fprintln(cfg.Out)
+	return out, nil
+}
+
+// SmartProxyPoint is one row of the smart-proxy ablation.
+type SmartProxyPoint struct {
+	Mode string
+	Per  time.Duration
+}
+
+// RunSmartProxyAblation compares a method served locally by smart proxy
+// code against the same method served remotely, over a phone-class link
+// — the §2.2 smart proxy benefit, quantified.
+func RunSmartProxyAblation(cfg Config) ([]SmartProxyPoint, error) {
+	cfg = cfg.withDefaults()
+	link := netsim.WLAN11b
+
+	svc := shop.New()
+	screen, err := core.NewNode(core.NodeConfig{Name: "screen", Profile: device.Touchscreen()})
+	if err != nil {
+		return nil, err
+	}
+	defer screen.Close()
+	if err := screen.RegisterApp(svc.App()); err != nil {
+		return nil, err
+	}
+
+	proxyCode := remote.NewProxyCodeRegistry()
+	if err := shop.RegisterProxyCode(proxyCode); err != nil {
+		return nil, err
+	}
+	phone, err := core.NewNode(core.NodeConfig{
+		Name: "phone", Profile: device.Nokia9300i(), ProxyCode: proxyCode, FreeMemoryKB: 8192,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("screen")
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	screen.Serve(l)
+	conn, err := fabric.Dial("screen", link)
+	if err != nil {
+		return nil, err
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		return nil, err
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{
+		Policy: pullAllPolicy{}, Trusted: true, SkipUI: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer app.Release()
+	logic := app.Deps[shop.LogicInterface]
+
+	const rounds = 5
+	measure := func(fn func() error) (time.Duration, error) {
+		var total time.Duration
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			total += time.Since(t0)
+		}
+		return total / rounds, nil
+	}
+
+	local, err := measure(func() error {
+		_, err := logic.Invoke("FormatPrice", []any{int64(19900)})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	remoteDur, err := measure(func() error {
+		_, err := logic.Invoke("Cheapest", []any{"beds"})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := []SmartProxyPoint{
+		{Mode: "local method (smart proxy)", Per: local},
+		{Mode: "remote method (fallthrough)", Per: remoteDur},
+	}
+	fmt.Fprintln(cfg.Out, "Ablation: smart proxy local vs remote methods over 802.11b")
+	for _, p := range out {
+		fmt.Fprintf(cfg.Out, "%-30s %14s\n", p.Mode, fmtDur(p.Per))
+	}
+	fmt.Fprintln(cfg.Out)
+	return out, nil
+}
+
+// BuildCostPoint is one row of the proxy-build ablation.
+type BuildCostPoint struct {
+	Methods int
+	Build   time.Duration
+}
+
+// RunBuildCostAblation measures proxy build time against interface
+// size on the Nokia profile — quantifying the paper's §4.2 observation
+// that "the time is not primarily influenced by the size of the
+// service interface".
+func RunBuildCostAblation(cfg Config) ([]BuildCostPoint, error) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(cfg.Out, "Ablation: proxy build time vs interface size (Nokia 9300i)")
+	fmt.Fprintf(cfg.Out, "%-10s %14s\n", "methods", "build time")
+	var out []BuildCostPoint
+	for _, methods := range []int{1, 4, 16, 64} {
+		sim := devsim.Nokia9300i()
+		sim.CPU().SetJitter(0)
+		start := time.Now()
+		sim.BuildProxy(methods)
+		took := time.Since(start)
+		out = append(out, BuildCostPoint{Methods: methods, Build: took})
+		fmt.Fprintf(cfg.Out, "%-10d %14s\n", methods, fmtDur(took))
+	}
+	// Sanity: a 64x bigger interface must cost well under 2x.
+	if len(out) == 4 && out[3].Build > out[0].Build*2 {
+		fmt.Fprintln(cfg.Out, "WARNING: build time scales with interface size; the paper says it should not")
+	}
+	fmt.Fprintln(cfg.Out)
+	return out, nil
+}

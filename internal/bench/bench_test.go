@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/devsim"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+)
+
+// The harness tests use tiny windows: they verify mechanics and rough
+// shape, not tight confidence intervals (that is alfredo-bench's job).
+
+func shortCfg(buf *bytes.Buffer) Config {
+	return Config{
+		Out:     buf,
+		Window:  400 * time.Millisecond,
+		Warmup:  200 * time.Millisecond,
+		Repeats: 1,
+	}
+}
+
+func TestStartupOnceWithoutSimulation(t *testing.T) {
+	// nil device: only real work is measured, still all phases > 0
+	// except the simulated ones.
+	timing, err := StartupOnce("shop", nil, device.Nokia9300i(), netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.AcquireInterface <= 0 {
+		t.Errorf("timing = %+v", timing)
+	}
+	if _, err := StartupOnce("bogus", nil, device.Nokia9300i(), netsim.Loopback); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestStartupTablesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulated phases")
+	}
+	var buf bytes.Buffer
+	cfg := shortCfg(&buf)
+	t1, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(tab *StartupTable, app, phase string) time.Duration {
+		for _, row := range tab.Rows {
+			if row.App == app {
+				return row.Measured[phase]
+			}
+		}
+		t.Fatalf("row %s missing", app)
+		return 0
+	}
+
+	// Shape assertions from the paper:
+	// 1. Build dominates the total on both phones (§4.2: "Building,
+	//    installing, and starting the proxy ... takes much longer" than
+	//    the network fetch).
+	for _, tab := range []*StartupTable{t1, t2} {
+		for _, app := range []string{"MouseController", "AlfredOShop"} {
+			build := get(tab, app, "Build proxy bundle")
+			acq := get(tab, app, "Acquire service interface")
+			if build < 3*acq {
+				t.Errorf("%s/%s: build %v not >> acquire %v", tab.Title, app, build, acq)
+			}
+		}
+	}
+	// 2. The M600i builds ~40% faster than the Nokia.
+	nokiaBuild := get(t1, "MouseController", "Build proxy bundle")
+	m600iBuild := get(t2, "MouseController", "Build proxy bundle")
+	ratio := float64(m600iBuild) / float64(nokiaBuild)
+	if ratio < 0.4 || ratio > 0.85 {
+		t.Errorf("M600i/Nokia build ratio = %.2f, want ~0.6", ratio)
+	}
+	// 3. BT makes the interface acquisition slower despite the faster
+	//    phone (Table 2 vs Table 1).
+	nokiaAcq := get(t1, "AlfredOShop", "Acquire service interface")
+	m600iAcq := get(t2, "AlfredOShop", "Acquire service interface")
+	if m600iAcq < nokiaAcq {
+		t.Errorf("BT acquire %v should exceed WLAN acquire %v", m600iAcq, nokiaAcq)
+	}
+	// 4. Totals land in the paper's ballpark (seconds, not tens).
+	total := get(t1, "MouseController", "Total start time")
+	if total < 3*time.Second || total > 8*time.Second {
+		t.Errorf("Nokia mouse total = %v, want ~5s", total)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("report not printed")
+	}
+}
+
+func TestServerLoadLowVsHigh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second-scale measurement windows")
+	}
+	low, err := MeasureServerLoad(devsim.DesktopP4(), netsim.Ethernet100,
+		1, 100*time.Millisecond, 300*time.Millisecond, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single client: ~1 ms (paper Figure 3).
+	if low.Avg > 5*time.Millisecond {
+		t.Errorf("1-client latency = %v, want ~1ms", low.Avg)
+	}
+	// Far beyond capacity (~1500/s for the P4): clear queueing blow-up.
+	over, err := MeasureServerLoad(devsim.DesktopP4(), netsim.Ethernet100,
+		256, 100*time.Millisecond, time.Second, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Avg < 3*low.Avg {
+		t.Errorf("overload latency %v not clearly above baseline %v", over.Avg, low.Avg)
+	}
+}
+
+func TestPhoneLoadMatchesPaperBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second-scale measurement windows")
+	}
+	p, baseline, err := MeasurePhoneLoad(devsim.Nokia9300i(), netsim.WLAN11b,
+		10, time.Second, 300*time.Millisecond, 1500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Figure 5: ~100 ms, ping baseline below the curve.
+	if p.Avg < 60*time.Millisecond || p.Avg > 200*time.Millisecond {
+		t.Errorf("phone invocation = %v, want ~100ms", p.Avg)
+	}
+	if baseline <= 0 || baseline > p.Avg {
+		t.Errorf("ping baseline %v should sit below the invocation time %v", baseline, p.Avg)
+	}
+}
+
+func TestFootprintReport(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := RunFootprint(shortCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "about 2 kBytes for each application" shipped.
+	for app, n := range res.TransferBytes {
+		if n < 500 || n > 8192 {
+			t.Errorf("%s transfer = %d bytes, want ~2kB", app, n)
+		}
+	}
+	// Proxy archives exist and shop's is the larger one (paper: 6 vs 7 kB).
+	if res.ProxyArchiveBytes["AlfredOShop"] <= res.ProxyArchiveBytes["MouseController"] {
+		t.Errorf("proxy sizes = %v, shop should exceed mouse", res.ProxyArchiveBytes)
+	}
+	// Client memory: mouse (bitmap) >> shop (paper: 200 kB vs 30 kB).
+	if res.ClientMemoryBytes["MouseController"] < 150_000 {
+		t.Errorf("mouse client memory = %d, want ~200kB", res.ClientMemoryBytes["MouseController"])
+	}
+	if res.ClientMemoryBytes["AlfredOShop"] > res.ClientMemoryBytes["MouseController"]/2 {
+		t.Errorf("shop memory %d not well below mouse %d",
+			res.ClientMemoryBytes["AlfredOShop"], res.ClientMemoryBytes["MouseController"])
+	}
+	if !strings.Contains(buf.String(), "Resource consumption") {
+		t.Error("report not printed")
+	}
+}
+
+func TestTierAblationCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point network sweeps")
+	}
+	var buf bytes.Buffer
+	points, err := RunTierAblation(shortCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// On the slowest link, offloading must win decisively.
+	last := points[len(points)-1]
+	if last.Offloaded*4 > last.Thin {
+		t.Errorf("at RTT %v offloaded %v not clearly below thin %v",
+			last.RTT, last.Offloaded, last.Thin)
+	}
+}
+
+func TestRendererAblation(t *testing.T) {
+	var buf bytes.Buffer
+	points, err := RunRendererAblation(shortCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %v", points)
+	}
+	for _, p := range points {
+		if p.Bytes == 0 || p.PerView <= 0 {
+			t.Errorf("engine %s: %+v", p.Renderer, p)
+		}
+	}
+}
+
+func TestSmartProxyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("radio-link round trips")
+	}
+	var buf bytes.Buffer
+	points, err := RunSmartProxyAblation(shortCfg(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %v", points)
+	}
+	if points[0].Per*10 > points[1].Per {
+		t.Errorf("local %v not an order of magnitude below remote %v",
+			points[0].Per, points[1].Per)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Order) != len(Experiments) {
+		t.Errorf("Order (%d) and Experiments (%d) out of sync", len(Order), len(Experiments))
+	}
+	for _, id := range Order {
+		if Experiments[id] == nil {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}

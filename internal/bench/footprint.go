@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/mousecontroller"
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// FootprintResult is the §4.1 resource-consumption report.
+type FootprintResult struct {
+	// TransferBytes is the data shipped to acquire each app (interface
+	// + descriptor; the paper reports "about 2 kBytes for each
+	// application").
+	TransferBytes map[string]int
+	// ProxyArchiveBytes is the installed proxy bundle size (paper: 6 kB
+	// MouseController, 7 kB AlfredOShop on the file system).
+	ProxyArchiveBytes map[string]int
+	// DescriptorBytes is the size of the shipped AlfredO descriptor.
+	DescriptorBytes map[string]int
+	// ClientMemoryBytes is the measured runtime memory of the client
+	// application state (paper: ~200 kB MouseController — dominated by
+	// the received RGB bitmap — vs ~30 kB AlfredOShop).
+	ClientMemoryBytes map[string]int
+}
+
+// RunFootprint measures the §4.1 numbers on the real code path: it
+// performs the acquisitions on a loopback link and weighs the shipped
+// and retained artifacts.
+func RunFootprint(cfg Config) (*FootprintResult, error) {
+	cfg = cfg.withDefaults()
+	res := &FootprintResult{
+		TransferBytes:     make(map[string]int),
+		ProxyArchiveBytes: make(map[string]int),
+		DescriptorBytes:   make(map[string]int),
+		ClientMemoryBytes: make(map[string]int),
+	}
+
+	provider, err := core.NewNode(core.NodeConfig{Name: "target", Profile: device.Notebook()})
+	if err != nil {
+		return nil, err
+	}
+	defer provider.Close()
+	mouseSvc := mousecontroller.New(1280, 800)
+	if err := provider.RegisterApp(mouseSvc.App()); err != nil {
+		return nil, err
+	}
+	if err := provider.RegisterApp(shop.New().App()); err != nil {
+		return nil, err
+	}
+
+	phone, err := core.NewNode(core.NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		return nil, err
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("target")
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	provider.Serve(l)
+	conn, err := fabric.Dial("target", netsim.Loopback)
+	if err != nil {
+		return nil, err
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		return nil, err
+	}
+	defer session.Close()
+
+	for _, app := range []struct{ label, iface string }{
+		{"MouseController", mousecontroller.InterfaceName},
+		{"AlfredOShop", shop.InterfaceName},
+	} {
+		info, ok := session.Channel().FindRemoteService(app.iface)
+		if !ok {
+			return nil, fmt.Errorf("bench: %s not leased", app.iface)
+		}
+		reply, err := session.Channel().Fetch(info.ID)
+		if err != nil {
+			return nil, err
+		}
+		if frame, err := wire.EncodeMessage(reply); err == nil {
+			res.TransferBytes[app.label] = len(frame)
+		}
+		res.DescriptorBytes[app.label] = len(reply.Descriptor)
+		pb, err := session.Channel().BuildProxy(reply)
+		if err != nil {
+			return nil, err
+		}
+		res.ProxyArchiveBytes[app.label] = pb.Archive.Size()
+
+		// Client runtime memory: acquire the application, feed it its
+		// characteristic state (the Mouse view holds the received RGB
+		// bitmap), and weigh the heap.
+		acquired, err := session.Acquire(app.iface, core.AcquireOptions{})
+		if err != nil {
+			return nil, err
+		}
+		before := heapAlloc()
+		if app.label == "MouseController" {
+			frame := mouseSvc.Desktop().Snapshot()
+			if err := acquired.View.SetProperty("screen", "image", frame); err != nil {
+				return nil, err
+			}
+		} else {
+			// Browse once so the view holds the product list + detail.
+			_ = acquired.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "beds"})
+			_ = acquired.View.Inject(ui.Event{Control: "products", Kind: ui.EventSelect, Value: "Malm"})
+		}
+		after := heapAlloc()
+		delta := int(after) - int(before)
+		if delta < 0 {
+			delta = 0
+		}
+		res.ClientMemoryBytes[app.label] = delta
+		acquired.Release()
+	}
+
+	printFootprint(cfg, res)
+	return res, nil
+}
+
+func heapAlloc() uint64 {
+	runtime.GC()
+	runtime.GC()
+	time.Sleep(time.Millisecond)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func printFootprint(cfg Config, res *FootprintResult) {
+	w := cfg.Out
+	fmt.Fprintln(w, "Resource consumption (paper §4.1)")
+	fmt.Fprintf(w, "%-34s %16s %16s %14s\n", "", "MouseController", "AlfredOShop", "(paper)")
+	fmt.Fprintf(w, "%-34s %16d %16d %14s\n", "acquisition transfer (bytes)",
+		res.TransferBytes["MouseController"], res.TransferBytes["AlfredOShop"], "~2 kB each")
+	fmt.Fprintf(w, "%-34s %16d %16d %14s\n", "proxy bundle size (bytes)",
+		res.ProxyArchiveBytes["MouseController"], res.ProxyArchiveBytes["AlfredOShop"], "6 kB / 7 kB")
+	fmt.Fprintf(w, "%-34s %16d %16d %14s\n", "shipped descriptor (bytes)",
+		res.DescriptorBytes["MouseController"], res.DescriptorBytes["AlfredOShop"], "-")
+	fmt.Fprintf(w, "%-34s %16d %16d %14s\n", "client app memory (bytes)",
+		res.ClientMemoryBytes["MouseController"], res.ClientMemoryBytes["AlfredOShop"], "200 kB / 30 kB")
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/devsim"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+// PayloadPoint is one row of the payload-size experiment.
+type PayloadPoint struct {
+	Bytes int
+	WLAN  time.Duration
+	BT    time.Duration
+}
+
+// RunPayloadAblation quantifies the paper's §4.3 observation head-on:
+// "since the messages exchanged are fairly small, the bandwidth is not
+// a dominating factor unless a larger amount of data is shipped through
+// the network". It measures round-trip invocation time for growing
+// reply sizes over WLAN and Bluetooth: small payloads are comparable
+// (latency-bound), large ones diverge with the ~8x bandwidth gap.
+func RunPayloadAblation(cfg Config) ([]PayloadPoint, error) {
+	cfg = cfg.withDefaults()
+	sizes := []int{64, 1 << 10, 8 << 10, 64 << 10}
+	fmt.Fprintln(cfg.Out, "Ablation: invocation time vs payload size (Nokia/WLAN vs M600i/BT)")
+	fmt.Fprintf(cfg.Out, "%-12s %14s %14s %10s\n", "payload", "wlan11b", "bt20", "bt/wlan")
+
+	var out []PayloadPoint
+	for _, size := range sizes {
+		wlan, err := measurePayload(netsim.WLAN11b, devsim.Nokia9300i(), size)
+		if err != nil {
+			return nil, err
+		}
+		bt, err := measurePayload(netsim.BT20, devsim.SonyEricssonM600i(), size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PayloadPoint{Bytes: size, WLAN: wlan, BT: bt})
+		fmt.Fprintf(cfg.Out, "%-12d %14s %14s %9.1fx\n",
+			size, fmtDur(wlan), fmtDur(bt), float64(bt)/float64(wlan))
+	}
+	fmt.Fprintln(cfg.Out)
+	return out, nil
+}
+
+// measurePayload times one warm invocation returning a blob of the
+// given size.
+func measurePayload(link netsim.LinkProfile, phoneSim *devsim.Device, size int) (time.Duration, error) {
+	fabric := netsim.NewFabric()
+
+	serverFW := module.NewFramework(module.Config{Name: "server"})
+	defer serverFW.Shutdown()
+	serverPeer, err := remote.NewPeer(remote.Config{Framework: serverFW, Device: devsim.DesktopP4()})
+	if err != nil {
+		return 0, err
+	}
+	defer serverPeer.Close()
+	blob := remote.NewService("bench.Blob").
+		Method("Fetch", []string{"int"}, "bytes", func(args []any) (any, error) {
+			return make([]byte, args[0].(int64)), nil
+		})
+	if _, err := serverFW.Registry().Register([]string{"bench.Blob"}, blob,
+		service.Properties{remote.PropExported: true}, "bench"); err != nil {
+		return 0, err
+	}
+	l, err := fabric.Listen("server")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	go func() { _ = serverPeer.Serve(l) }()
+
+	phoneFW := module.NewFramework(module.Config{Name: "phone"})
+	defer phoneFW.Shutdown()
+	phonePeer, err := remote.NewPeer(remote.Config{Framework: phoneFW, Device: phoneSim, Timeout: time.Minute})
+	if err != nil {
+		return 0, err
+	}
+	defer phonePeer.Close()
+	conn, err := fabric.Dial("server", link)
+	if err != nil {
+		return 0, err
+	}
+	ch, err := phonePeer.Connect(conn)
+	if err != nil {
+		return 0, err
+	}
+	defer ch.Close()
+
+	info, ok := ch.FindRemoteService("bench.Blob")
+	if !ok {
+		return 0, fmt.Errorf("bench: blob service not leased")
+	}
+	// One warmup, then average a few rounds.
+	if _, err := ch.Invoke(info.ID, "Fetch", []any{int64(size)}); err != nil {
+		return 0, err
+	}
+	const rounds = 3
+	var total time.Duration
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		res, err := ch.Invoke(info.ID, "Fetch", []any{int64(size)})
+		if err != nil {
+			return 0, err
+		}
+		if b, ok := res.([]byte); !ok || len(b) != size {
+			return 0, fmt.Errorf("bench: blob reply %T len mismatch", res)
+		}
+		total += time.Since(t0)
+	}
+	return total / rounds, nil
+}

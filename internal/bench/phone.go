@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/devsim"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+// phoneServiceCount is how many distinct services the provider
+// registers for the Figure 5/6 sweep (the paper installs 1024).
+const phoneServiceCount = 1024
+
+// MeasurePhoneLoad runs the Figure 5/6 workload for one concurrency
+// level: the phone holds n acquired services and invokes a method on
+// every one of them each second; invocation latencies inside the
+// measurement window are averaged. The returned baseline is the
+// application-level ping RTT (the dotted line in the paper's figures).
+//
+// Proxy construction is deliberately excluded here — the figures
+// measure steady-state invocation latency, and the phone-side
+// per-invocation cost (marshalling, proxy dispatch) is applied through
+// the devsim model exactly as a proxy invocation would.
+func MeasurePhoneLoad(phoneSim *devsim.Device, link netsim.LinkProfile,
+	n int, interval, warmup, window time.Duration) (Point, time.Duration, error) {
+	fabric := netsim.NewFabric()
+
+	serverFW := module.NewFramework(module.Config{Name: "server"})
+	defer serverFW.Shutdown()
+	serverPeer, err := remote.NewPeer(remote.Config{Framework: serverFW, Device: devsim.DesktopP4()})
+	if err != nil {
+		return Point{}, 0, err
+	}
+	defer serverPeer.Close()
+	// 1024 distinct services, as in the paper's setup.
+	echo := newEchoService()
+	ids := make([]int64, 0, phoneServiceCount)
+	for i := 0; i < phoneServiceCount; i++ {
+		reg, err := serverFW.Registry().Register(
+			[]string{fmt.Sprintf("bench.Svc%04d", i)}, echo,
+			service.Properties{remote.PropExported: true}, "bench")
+		if err != nil {
+			return Point{}, 0, err
+		}
+		ids = append(ids, reg.Reference().ID())
+	}
+	l, err := fabric.Listen("server")
+	if err != nil {
+		return Point{}, 0, err
+	}
+	defer l.Close()
+	go func() { _ = serverPeer.Serve(l) }()
+
+	phoneFW := module.NewFramework(module.Config{Name: "phone"})
+	defer phoneFW.Shutdown()
+	phonePeer, err := remote.NewPeer(remote.Config{
+		Framework: phoneFW,
+		Device:    phoneSim,
+		Timeout:   30 * time.Second,
+	})
+	if err != nil {
+		return Point{}, 0, err
+	}
+	defer phonePeer.Close()
+
+	conn, err := fabric.Dial("server", link)
+	if err != nil {
+		return Point{}, 0, err
+	}
+	ch, err := phonePeer.Connect(conn)
+	if err != nil {
+		return Point{}, 0, err
+	}
+	defer ch.Close()
+
+	// Ping baseline (averaged over a few probes).
+	var baseline time.Duration
+	const probes = 5
+	for i := 0; i < probes; i++ {
+		rtt, err := ch.Ping()
+		if err != nil {
+			return Point{}, 0, err
+		}
+		baseline += rtt
+	}
+	baseline /= probes
+
+	var (
+		mu      sync.Mutex
+		samples []time.Duration
+	)
+	measureFrom := time.Now().Add(warmup)
+	measureTo := measureFrom.Add(window)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 77))
+			svcID := ids[i]
+			timer := time.NewTimer(time.Duration(rng.Int63n(int64(interval))))
+			select {
+			case <-timer.C:
+			case <-done:
+				timer.Stop()
+				return
+			}
+			for {
+				t0 := time.Now()
+				if _, err := ch.Invoke(svcID, "Work", []any{int64(i)}); err != nil {
+					return
+				}
+				if now := time.Now(); now.After(measureFrom) && now.Before(measureTo) {
+					mu.Lock()
+					samples = append(samples, now.Sub(t0))
+					mu.Unlock()
+				}
+				think := interval + time.Duration(rng.Int63n(int64(interval)/4)) - interval/8
+				timer.Reset(think)
+				select {
+				case <-timer.C:
+				case <-done:
+					timer.Stop()
+					return
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(time.Until(measureTo) + 50*time.Millisecond)
+	close(done)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(samples) == 0 {
+		return Point{X: n}, baseline, fmt.Errorf("bench: no samples at %d services", n)
+	}
+	return summarize(n, samples), baseline, nil
+}
+
+func runPhoneSeries(cfg Config, title, note string, sim func() *devsim.Device, link netsim.LinkProfile) (*Series, error) {
+	cfg = cfg.withDefaults()
+	counts := []int{5, 10, 15, 20, 25, 30, 35, 40}
+	if !cfg.Full {
+		counts = []int{5, 10, 20, 30, 40}
+	}
+	series := &Series{Title: title, XLabel: "services", PaperNote: note}
+	for _, n := range counts {
+		p, baseline, err := MeasurePhoneLoad(sim(), link, n, time.Second, cfg.Warmup, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		series.Points = append(series.Points, p)
+		series.Baseline = baseline
+		fmt.Fprintf(cfg.Out, "  %s: %2d services -> %s (%d samples, ping %s)\n",
+			link.Name, p.X, fmtDur(p.Avg), p.Count, fmtDur(baseline))
+	}
+	series.Print(cfg.Out)
+	return series, nil
+}
+
+// RunFigure5 regenerates Figure 5: invocation time on a Nokia 9300i
+// over 802.11b WLAN with 5..40 concurrently held services, each invoked
+// once per second, against a server holding 1024 registered services.
+func RunFigure5(cfg Config) (*Series, error) {
+	return runPhoneSeries(cfg,
+		"Figure 5: invocation time vs held services (Nokia 9300i, 802.11b WLAN)",
+		"~100 ms average; below 150 ms at 40 services; ping baseline dotted",
+		devsim.Nokia9300i, netsim.WLAN11b)
+}
+
+// RunFigure6 regenerates Figure 6: the same sweep on a Sony Ericsson
+// M600i over Bluetooth 2.0 — comparable latencies despite ~4x lower
+// nominal bandwidth, because the messages are small (§4.3).
+func RunFigure6(cfg Config) (*Series, error) {
+	return runPhoneSeries(cfg,
+		"Figure 6: invocation time vs held services (SE M600i, Bluetooth 2.0)",
+		"comparable to Figure 5: small messages are latency-bound, not bandwidth-bound",
+		devsim.SonyEricssonM600i, netsim.BT20)
+}

@@ -1,0 +1,185 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§4) on the simulated substrate:
+//
+//	§4.1  resource consumption (footprint report)
+//	Table 1  startup phases, Nokia 9300i over 802.11b WLAN
+//	Table 2  startup phases, Sony Ericsson M600i over Bluetooth 2.0
+//	Fig. 3   invocation time vs concurrent clients, P4 server, 100 Mb/s
+//	Fig. 4   invocation time vs concurrent clients, Opteron cluster, 1 Gb/s
+//	Fig. 5   invocation time vs acquired services, Nokia 9300i, WLAN
+//	Fig. 6   invocation time vs acquired services, M600i, Bluetooth
+//
+// plus three ablations the paper motivates but does not measure:
+// tier placement vs link latency, renderer cost, and smart-proxy
+// local/remote method mixes.
+//
+// Absolute numbers come from the netsim/devsim calibration (see
+// DESIGN.md §2); the harness prints paper-reported values next to the
+// measured ones so the shape comparison is one glance. Measurement
+// windows are shorter than the paper's 90 s by default; raise
+// Config.Window to tighten confidence.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Config tunes the harness.
+type Config struct {
+	// Out receives the reports (defaults to io.Discard when nil).
+	Out io.Writer
+	// Window is the per-point measurement window (default 3s).
+	Window time.Duration
+	// Warmup precedes each measurement window (default 1s).
+	Warmup time.Duration
+	// Repeats averages the startup tables over this many runs
+	// (default 3).
+	Repeats int
+	// Full includes the slow saturation points of Figure 4 and the
+	// full-length phone sweeps.
+	Full bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.Window <= 0 {
+		c.Window = 3 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = time.Second
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	return c
+}
+
+// Point is one x/y sample of a figure series.
+type Point struct {
+	X     int
+	Avg   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Count int
+	// Util is the server CPU utilization during the window (0 when not
+	// measured). It makes the queueing knees of Figures 3/4 legible:
+	// latency explodes as Util approaches 1.
+	Util float64
+}
+
+// summarize computes a Point from raw samples.
+func summarize(x int, samples []time.Duration) Point {
+	if len(samples) == 0 {
+		return Point{X: x}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, s := range sorted {
+		sum += s
+	}
+	pick := func(q float64) time.Duration {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return Point{
+		X:     x,
+		Avg:   sum / time.Duration(len(sorted)),
+		P50:   pick(0.50),
+		P95:   pick(0.95),
+		Count: len(sorted),
+	}
+}
+
+// Series is a measured figure.
+type Series struct {
+	Title  string
+	XLabel string
+	Points []Point
+	// Baseline is the ping round-trip (dotted line of Figs. 5 and 6).
+	Baseline time.Duration
+	// PaperNote summarizes what the paper's curve shows.
+	PaperNote string
+}
+
+// Print renders the series as the paper's figures-as-tables, with
+// median and tail columns the paper's plots do not show.
+func (s *Series) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", s.Title)
+	fmt.Fprintf(w, "%-12s %14s %10s %10s %9s %8s\n", s.XLabel, "avg invocation", "p50", "p95", "samples", "srv-util")
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+	for _, p := range s.Points {
+		util := "-"
+		if p.Util > 0 {
+			util = fmt.Sprintf("%.0f%%", p.Util*100)
+		}
+		fmt.Fprintf(w, "%-12d %14s %10s %10s %9d %8s\n", p.X, fmtDur(p.Avg), fmtDur(p.P50), fmtDur(p.P95), p.Count, util)
+	}
+	if s.Baseline > 0 {
+		fmt.Fprintf(w, "%-12s %14s\n", "ping", fmtDur(s.Baseline))
+	}
+	if s.PaperNote != "" {
+		fmt.Fprintf(w, "paper: %s\n", s.PaperNote)
+	}
+	fmt.Fprintln(w)
+}
+
+// StartupRow is one application column of Tables 1 and 2.
+type StartupRow struct {
+	App      string
+	Measured map[string]time.Duration
+	Paper    map[string]time.Duration
+}
+
+// StartupTable is a full Table 1 / Table 2.
+type StartupTable struct {
+	Title  string
+	Phases []string
+	Rows   []StartupRow
+}
+
+// Phase names, in table order.
+var startupPhases = []string{
+	"Acquire service interface",
+	"Build proxy bundle",
+	"Install proxy bundle",
+	"Start proxy bundle",
+	"Total start time",
+}
+
+// Print renders the table with measured-vs-paper columns per app.
+func (t *StartupTable) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	fmt.Fprintf(w, "%-28s", "Operation")
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, " %18s %12s", row.App, "(paper)")
+	}
+	fmt.Fprintln(w)
+	for _, phase := range t.Phases {
+		fmt.Fprintf(w, "%-28s", phase)
+		for _, row := range t.Rows {
+			fmt.Fprintf(w, " %18s %12s", fmtDur(row.Measured[phase]), fmtDur(row.Paper[phase]))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d < time.Second:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// Experiments maps experiment ids (as used by alfredo-bench -exp) to
+// runners.
+var Experiments = map[string]func(Config) error{
+	"footprint":  func(c Config) error { _, err := RunFootprint(c); return err },
+	"table1":     func(c Config) error { _, err := RunTable1(c); return err },
+	"table2":     func(c Config) error { _, err := RunTable2(c); return err },
+	"fig3":       func(c Config) error { _, err := RunFigure3(c); return err },
+	"fig4":       func(c Config) error { _, err := RunFigure4(c); return err },
+	"fig5":       func(c Config) error { _, err := RunFigure5(c); return err },
+	"fig6":       func(c Config) error { _, err := RunFigure6(c); return err },
+	"tiers":      func(c Config) error { _, err := RunTierAblation(c); return err },
+	"renderers":  func(c Config) error { _, err := RunRendererAblation(c); return err },
+	"smartproxy": func(c Config) error { _, err := RunSmartProxyAblation(c); return err },
+	"buildcost":  func(c Config) error { _, err := RunBuildCostAblation(c); return err },
+	"payload":    func(c Config) error { _, err := RunPayloadAblation(c); return err },
+}
+
+// Order lists experiment ids in report order.
+var Order = []string{
+	"footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6",
+	"tiers", "renderers", "smartproxy", "buildcost", "payload",
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config) error {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	for _, id := range Order {
+		fmt.Fprintf(cfg.Out, "=== %s ===\n", id)
+		if err := Experiments[id](cfg); err != nil {
+			return fmt.Errorf("bench: experiment %s: %w", id, err)
+		}
+	}
+	fmt.Fprintf(cfg.Out, "all experiments completed in %v\n", time.Since(start).Round(time.Second))
+	return nil
+}

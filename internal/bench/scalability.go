@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/devsim"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+// echoInterface is the service invoked by the scalability workloads.
+const echoInterface = "bench.Echo"
+
+// newEchoService builds the invoked service: one small method, like the
+// paper's "service invocation of the same service method every 100 ms".
+func newEchoService() *remote.MethodTable {
+	return remote.NewService(echoInterface).
+		Method("Work", []string{"int"}, "int", func(args []any) (any, error) {
+			return args[0], nil
+		})
+}
+
+// scalabilityServer is a provider node with a cost-simulated CPU.
+type scalabilityServer struct {
+	fw   *module.Framework
+	peer *remote.Peer
+	l    *netsim.Listener
+}
+
+func newScalabilityServer(fabric *netsim.Fabric, sim *devsim.Device) (*scalabilityServer, error) {
+	fw := module.NewFramework(module.Config{Name: "server"})
+	peer, err := remote.NewPeer(remote.Config{Framework: fw, Device: sim})
+	if err != nil {
+		_ = fw.Shutdown()
+		return nil, err
+	}
+	if _, err := fw.Registry().Register([]string{echoInterface}, newEchoService(),
+		service.Properties{remote.PropExported: true}, "bench"); err != nil {
+		peer.Close()
+		_ = fw.Shutdown()
+		return nil, err
+	}
+	l, err := fabric.Listen("server")
+	if err != nil {
+		peer.Close()
+		_ = fw.Shutdown()
+		return nil, err
+	}
+	go func() { _ = peer.Serve(l) }()
+	return &scalabilityServer{fw: fw, peer: peer, l: l}, nil
+}
+
+func (s *scalabilityServer) close() {
+	_ = s.l.Close()
+	s.peer.Close()
+	_ = s.fw.Shutdown()
+}
+
+// MeasureServerLoad runs the Figure 3/4 workload for one client count:
+// clients invoke the echo service every interval; after warmup, the
+// invocation latencies of the last-started client are averaged over the
+// window (the paper's "average invocation time of the last client
+// instance, which is started when all other client instances are
+// already running").
+func MeasureServerLoad(serverSim *devsim.Device, link netsim.LinkProfile,
+	clients int, interval, warmup, window time.Duration) (Point, error) {
+	fabric := netsim.NewFabric()
+	server, err := newScalabilityServer(fabric, serverSim)
+	if err != nil {
+		return Point{}, err
+	}
+	defer server.close()
+
+	clientFW := module.NewFramework(module.Config{Name: "clients"})
+	defer clientFW.Shutdown()
+	clientPeer, err := remote.NewPeer(remote.Config{Framework: clientFW, Timeout: 30 * time.Second})
+	if err != nil {
+		return Point{}, err
+	}
+	defer clientPeer.Close()
+
+	channels := make([]*remote.Channel, clients)
+	for i := range channels {
+		conn, err := fabric.Dial("server", link)
+		if err != nil {
+			return Point{}, err
+		}
+		ch, err := clientPeer.Connect(conn)
+		if err != nil {
+			return Point{}, fmt.Errorf("bench: connecting client %d: %w", i, err)
+		}
+		channels[i] = ch
+	}
+	defer func() {
+		for _, ch := range channels {
+			ch.Close()
+		}
+	}()
+	info, ok := channels[0].FindRemoteService(echoInterface)
+	if !ok {
+		return Point{}, fmt.Errorf("bench: echo service not leased")
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []time.Duration
+	)
+	measureFrom := time.Now().Add(warmup)
+	measureTo := measureFrom.Add(window)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for i, ch := range channels {
+		wg.Add(1)
+		go func(i int, ch *remote.Channel) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			// Stagger client phases across the interval so arrivals
+			// spread like the paper's one-client-per-second ramp.
+			startDelay := time.Duration(rng.Int63n(int64(interval)))
+			timer := time.NewTimer(startDelay)
+			select {
+			case <-timer.C:
+			case <-done:
+				timer.Stop()
+				return
+			}
+			last := i == len(channels)-1
+			for {
+				t0 := time.Now()
+				_, err := ch.Invoke(info.ID, "Work", []any{int64(i)})
+				if err != nil {
+					return // channel closed at teardown
+				}
+				if last {
+					if now := time.Now(); now.After(measureFrom) && now.Before(measureTo) {
+						mu.Lock()
+						samples = append(samples, now.Sub(t0))
+						mu.Unlock()
+					}
+				}
+				// Think time with jitter (deterministic per client).
+				think := interval + time.Duration(rng.Int63n(int64(interval)/2)) - interval/4
+				timer.Reset(think)
+				select {
+				case <-timer.C:
+				case <-done:
+					timer.Stop()
+					return
+				}
+			}
+		}(i, ch)
+	}
+
+	// Sample server busy-time at the window edges for utilization.
+	time.Sleep(time.Until(measureFrom))
+	busy0, _ := serverSim.CPU().Stats()
+	time.Sleep(time.Until(measureTo) + 50*time.Millisecond)
+	busy1, _ := serverSim.CPU().Stats()
+	close(done)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(samples) == 0 {
+		return Point{X: clients}, fmt.Errorf("bench: no samples at %d clients", clients)
+	}
+	p := summarize(clients, samples)
+	capacity := float64(window) * float64(serverSim.CPU().Units())
+	if capacity > 0 {
+		p.Util = float64(busy1-busy0) / capacity
+	}
+	return p, nil
+}
+
+// RunFigure3 regenerates Figure 3: method invocation time with 1..128
+// concurrent clients against a single P4-class server over 100 Mb/s
+// Ethernet.
+func RunFigure3(cfg Config) (*Series, error) {
+	cfg = cfg.withDefaults()
+	counts := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	series := &Series{
+		Title:     "Figure 3: invocation time vs concurrent clients (P4 server, 100 Mb/s)",
+		XLabel:    "clients",
+		PaperNote: "~1 ms at 1 client, rising below 2.5 ms at 128",
+	}
+	for _, n := range counts {
+		p, err := MeasureServerLoad(devsim.DesktopP4(), netsim.Ethernet100,
+			n, 100*time.Millisecond, cfg.Warmup, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		series.Points = append(series.Points, p)
+		fmt.Fprintf(cfg.Out, "  fig3: %4d clients -> %s (%d samples)\n", p.X, fmtDur(p.Avg), p.Count)
+	}
+	series.Print(cfg.Out)
+	return series, nil
+}
+
+// RunFigure4 regenerates Figure 4: the same workload against a 4-core
+// Opteron cluster node over Gigabit, clients spread over six client
+// machines. With Config.Full the saturation points beyond the paper's
+// plotted range (540, 600 clients — §4.3's knee) are included.
+func RunFigure4(cfg Config) (*Series, error) {
+	cfg = cfg.withDefaults()
+	counts := []int{6, 12, 24, 48, 96, 192, 384}
+	if cfg.Full {
+		counts = append(counts, 540, 600)
+	}
+	series := &Series{
+		Title:     "Figure 4: invocation time vs concurrent clients (Opteron node, 1 Gb/s, 6 client machines)",
+		XLabel:    "clients",
+		PaperNote: "~1-2.2 ms up to 384; 3.6 ms at 540; >42 ms at 600 (knee ~550)",
+	}
+	for _, n := range counts {
+		p, err := MeasureServerLoad(devsim.OpteronNode(), netsim.Gigabit,
+			n, 100*time.Millisecond, cfg.Warmup, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+		series.Points = append(series.Points, p)
+		fmt.Fprintf(cfg.Out, "  fig4: %4d clients -> %s (%d samples)\n", p.X, fmtDur(p.Avg), p.Count)
+	}
+	series.Print(cfg.Out)
+	return series, nil
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/mousecontroller"
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/devsim"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+)
+
+// Paper values for Tables 1 and 2, in milliseconds.
+var (
+	paperTable1 = map[string]map[string]time.Duration{
+		"MouseController": {
+			"Acquire service interface": 94 * time.Millisecond,
+			"Build proxy bundle":        3125 * time.Millisecond,
+			"Install proxy bundle":      703 * time.Millisecond,
+			"Start proxy bundle":        1000 * time.Millisecond,
+			"Total start time":          4922 * time.Millisecond,
+		},
+		"AlfredOShop": {
+			"Acquire service interface": 110 * time.Millisecond,
+			"Build proxy bundle":        3110 * time.Millisecond,
+			"Install proxy bundle":      703 * time.Millisecond,
+			"Start proxy bundle":        359 * time.Millisecond,
+			"Total start time":          4282 * time.Millisecond,
+		},
+	}
+	paperTable2 = map[string]map[string]time.Duration{
+		"MouseController": {
+			"Acquire service interface": 263 * time.Millisecond,
+			"Build proxy bundle":        1882 * time.Millisecond,
+			"Install proxy bundle":      259 * time.Millisecond,
+			"Start proxy bundle":        892 * time.Millisecond,
+			"Total start time":          3296 * time.Millisecond,
+		},
+		"AlfredOShop": {
+			"Acquire service interface": 312 * time.Millisecond,
+			"Build proxy bundle":        1881 * time.Millisecond,
+			"Install proxy bundle":      260 * time.Millisecond,
+			"Start proxy bundle":        246 * time.Millisecond,
+			"Total start time":          2699 * time.Millisecond,
+		},
+	}
+)
+
+// StartupOnce runs a single acquisition of the named app ("mouse" or
+// "shop") with the given phone simulation and link, returning the
+// phase timings. It is the primitive under Tables 1 and 2 and the
+// corresponding testing.B benchmarks.
+func StartupOnce(app string, phoneSim *devsim.Device, phoneProfile device.Profile, link netsim.LinkProfile) (core.Timing, error) {
+	provider, err := core.NewNode(core.NodeConfig{Name: "target", Profile: device.Notebook()})
+	if err != nil {
+		return core.Timing{}, err
+	}
+	defer provider.Close()
+
+	var iface string
+	switch app {
+	case "mouse":
+		iface = mousecontroller.InterfaceName
+		if err := provider.RegisterApp(mousecontroller.New(1280, 800).App()); err != nil {
+			return core.Timing{}, err
+		}
+	case "shop":
+		iface = shop.InterfaceName
+		if err := provider.RegisterApp(shop.New().App()); err != nil {
+			return core.Timing{}, err
+		}
+	default:
+		return core.Timing{}, fmt.Errorf("bench: unknown app %q", app)
+	}
+
+	phone, err := core.NewNode(core.NodeConfig{
+		Name:    "phone",
+		Profile: phoneProfile,
+		Sim:     phoneSim,
+	})
+	if err != nil {
+		return core.Timing{}, err
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("target")
+	if err != nil {
+		return core.Timing{}, err
+	}
+	defer l.Close()
+	provider.Serve(l)
+
+	conn, err := fabric.Dial("target", link)
+	if err != nil {
+		return core.Timing{}, err
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		return core.Timing{}, err
+	}
+	defer session.Close()
+
+	acquired, err := session.Acquire(iface, core.AcquireOptions{SkipUI: true})
+	if err != nil {
+		return core.Timing{}, err
+	}
+	t := acquired.Timing
+	acquired.Release()
+	return t, nil
+}
+
+// runStartupTable measures both apps on one phone/link pair, averaging
+// Repeats runs.
+func runStartupTable(cfg Config, title string, mkSim func() *devsim.Device,
+	profile device.Profile, link netsim.LinkProfile,
+	paper map[string]map[string]time.Duration) (*StartupTable, error) {
+	cfg = cfg.withDefaults()
+	table := &StartupTable{Title: title, Phases: startupPhases}
+	for _, app := range []struct{ key, label string }{
+		{"mouse", "MouseController"},
+		{"shop", "AlfredOShop"},
+	} {
+		sum := make(map[string]time.Duration, len(startupPhases))
+		for i := 0; i < cfg.Repeats; i++ {
+			t, err := StartupOnce(app.key, mkSim(), profile, link)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %s run %d: %w", title, app.label, i, err)
+			}
+			sum["Acquire service interface"] += t.AcquireInterface
+			sum["Build proxy bundle"] += t.BuildProxy
+			sum["Install proxy bundle"] += t.InstallProxy
+			sum["Start proxy bundle"] += t.StartProxy
+			sum["Total start time"] += t.TotalStart()
+		}
+		measured := make(map[string]time.Duration, len(sum))
+		for k, v := range sum {
+			measured[k] = v / time.Duration(cfg.Repeats)
+		}
+		table.Rows = append(table.Rows, StartupRow{
+			App:      app.label,
+			Measured: measured,
+			Paper:    paper[app.label],
+		})
+	}
+	return table, nil
+}
+
+// RunTable1 regenerates Table 1: initial delay for service interaction
+// on a Nokia 9300i over 802.11b WLAN.
+func RunTable1(cfg Config) (*StartupTable, error) {
+	cfg = cfg.withDefaults()
+	table, err := runStartupTable(cfg, "Table 1: initial delay, Nokia 9300i over WLAN",
+		devsim.Nokia9300i, device.Nokia9300i(), netsim.WLAN11b, paperTable1)
+	if err != nil {
+		return nil, err
+	}
+	table.Print(cfg.Out)
+	return table, nil
+}
+
+// RunTable2 regenerates Table 2: initial delay on a Sony Ericsson M600i
+// over Bluetooth 2.0.
+func RunTable2(cfg Config) (*StartupTable, error) {
+	cfg = cfg.withDefaults()
+	table, err := runStartupTable(cfg, "Table 2: initial delay, Sony Ericsson M600i over Bluetooth",
+		devsim.SonyEricssonM600i, device.SonyEricssonM600i(), netsim.BT20, paperTable2)
+	if err != nil {
+		return nil, err
+	}
+	table.Print(cfg.Out)
+	return table, nil
+}

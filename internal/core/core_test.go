@@ -1,0 +1,677 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// counterApp is a minimal complete AlfredO app: a counter service with
+// a movable "stats" logic dependency and a button-driven UI.
+func counterApp() *App {
+	// Exported services are invoked from concurrent sessions; the
+	// counter must be atomic like any real service state.
+	var count atomic.Int64
+	svc := remote.NewService("demo.Counter").
+		Method("Increment", nil, "int", func(args []any) (any, error) {
+			return count.Add(1), nil
+		}).
+		Method("Value", nil, "int", func(args []any) (any, error) {
+			return count.Load(), nil
+		})
+
+	stats := remote.NewService("demo.Stats").
+		Method("Double", []string{"int"}, "int", func(args []any) (any, error) {
+			return args[0].(int64) * 2, nil
+		})
+
+	desc := &Descriptor{
+		Service: "demo.Counter",
+		UI: &ui.Description{
+			Title: "Counter",
+			Controls: []ui.Control{
+				{ID: "display", Kind: ui.KindLabel, Text: "Count:"},
+				{ID: "inc", Kind: ui.KindButton, Text: "Increment"},
+			},
+		},
+		Controller: &script.Program{
+			Rules: []script.Rule{{
+				Name: "inc-on-press",
+				On:   script.Trigger{UI: &script.UITrigger{Control: "inc", Kind: ui.EventPress}},
+				Do: []script.Action{
+					{Invoke: &script.InvokeAction{Service: "", Method: "Increment"}},
+					{SetControl: &script.SetControlAction{Control: "display", Property: "value", Value: "result"}},
+				},
+			}},
+		},
+		Dependencies: []Dependency{
+			{Service: "demo.Stats", Tier: TierLogic, Movable: true},
+		},
+		StartWorkMs: 0,
+	}
+
+	return &App{
+		Descriptor:   desc,
+		Service:      svc,
+		Dependencies: map[string]*remote.MethodTable{"demo.Stats": stats},
+	}
+}
+
+type testPair struct {
+	provider *Node
+	phone    *Node
+	session  *Session
+}
+
+func newTestPair(t *testing.T, link netsim.LinkProfile, phoneCfg NodeConfig) *testPair {
+	t.Helper()
+	provider, err := NewNode(NodeConfig{
+		Name:    "shop-screen",
+		Profile: device.Notebook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := provider.RegisterApp(counterApp()); err != nil {
+		t.Fatalf("RegisterApp: %v", err)
+	}
+
+	if phoneCfg.Name == "" {
+		phoneCfg.Name = "phone"
+	}
+	if phoneCfg.Profile.Name == "" {
+		phoneCfg.Profile = device.Nokia9300i()
+	}
+	phone, err := NewNode(phoneCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("shop-screen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider.Serve(l)
+
+	conn, err := fabric.Dial("shop-screen", link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Cleanup(func() {
+		session.Close()
+		phone.Close()
+		provider.Close()
+		_ = l.Close()
+	})
+	return &testPair{provider: provider, phone: phone, session: session}
+}
+
+func TestLeaseListsAppAndDependencies(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	svcs := p.session.Services()
+	var names []string
+	for _, s := range svcs {
+		names = append(names, s.Interfaces...)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "demo.Counter") || !strings.Contains(joined, "demo.Stats") {
+		t.Errorf("lease = %v", names)
+	}
+}
+
+func TestAcquireFullPipeline(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	app, err := p.session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	// The proxy bundle is installed and active.
+	if app.Bundle.State() != module.StateActive {
+		t.Errorf("bundle state = %v", app.Bundle.State())
+	}
+	// The descriptor arrived intact.
+	if app.Descriptor.Service != "demo.Counter" || len(app.Descriptor.Dependencies) != 1 {
+		t.Errorf("descriptor = %+v", app.Descriptor)
+	}
+	// The view rendered with the phone's preferred engine (text).
+	if app.View == nil {
+		t.Fatal("no view")
+	}
+	if !strings.Contains(app.View.Render(), "Counter") {
+		t.Errorf("view missing title:\n%s", app.View.Render())
+	}
+	// Thin client by default: no dependencies pulled.
+	if len(app.Deps) != 0 {
+		t.Errorf("thin client pulled %v", app.Deps)
+	}
+	// All timing phases populated.
+	if app.Timing.AcquireInterface <= 0 || app.Timing.BuildProxy <= 0 {
+		t.Errorf("timing = %+v", app.Timing)
+	}
+	if app.Timing.TotalStart() <= 0 {
+		t.Error("TotalStart not positive")
+	}
+}
+
+func TestUIEventDrivesRemoteService(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	app, err := p.session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Press the button twice: the controller invokes Increment remotely
+	// and writes the result back into the view.
+	for i := 0; i < 2; i++ {
+		if err := app.View.Inject(ui.Event{Control: "inc", Kind: ui.EventPress}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := app.View.Property("display", "value"); v != int64(2) {
+		t.Errorf("display value = %v, want 2 (controller err: %v)", v, app.Controller.LastError())
+	}
+	// The target-side state really changed.
+	got, err := app.Invoke("Value")
+	if err != nil || got != int64(2) {
+		t.Errorf("Value = %v, %v", got, err)
+	}
+}
+
+func TestAdaptivePolicyPullsLogicOnSlowLink(t *testing.T) {
+	slow := netsim.LinkProfile{Name: "slow", Latency: 25 * time.Millisecond}
+	p := newTestPair(t, slow, NodeConfig{})
+	app, err := p.session.Acquire("demo.Counter", AcquireOptions{
+		Policy:  AdaptivePolicy{},
+		Trusted: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Placement.PullLogic) != 1 || app.Placement.PullLogic[0] != "demo.Stats" {
+		t.Fatalf("placement = %+v", app.Placement)
+	}
+	dep, ok := app.Deps["demo.Stats"]
+	if !ok {
+		t.Fatal("dependency proxy missing")
+	}
+	got, err := dep.Invoke("Double", []any{int64(21)})
+	if err != nil || got != int64(42) {
+		t.Errorf("Double = %v, %v", got, err)
+	}
+	if app.Timing.Dependencies <= 0 {
+		t.Error("dependency timing not recorded")
+	}
+}
+
+func TestAdaptivePolicyStaysThinOnFastOrUntrusted(t *testing.T) {
+	// Fast link: logic stays remote even when trusted.
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	app, err := p.session.Acquire("demo.Counter", AcquireOptions{Policy: AdaptivePolicy{}, Trusted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Deps) != 0 {
+		t.Errorf("fast link pulled %v; reasons %v", app.Deps, app.Placement.Reasons)
+	}
+	app.Release()
+
+	// Slow but untrusted: logic stays remote.
+	slow := netsim.LinkProfile{Name: "slow", Latency: 25 * time.Millisecond}
+	p2 := newTestPair(t, slow, NodeConfig{Name: "phone2"})
+	app2, err := p2.session.Acquire("demo.Counter", AcquireOptions{Policy: AdaptivePolicy{}, Trusted: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app2.Deps) != 0 {
+		t.Errorf("untrusted target had logic pulled: %v", app2.Placement.Reasons)
+	}
+	if reason := app2.Placement.Reasons["demo.Stats"]; !strings.Contains(reason, "untrusted") {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestControllerReachesUnpulledDependencyTransparently(t *testing.T) {
+	// Thin client: host.Invoke("demo.Stats", ...) must route over the
+	// network without a proxy — tier placement is transparent.
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	app, err := p.session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := &sessionHost{app: app}
+	got, err := host.Invoke("demo.Stats", "Double", []any{int64(5)})
+	if err != nil || got != int64(10) {
+		t.Errorf("transparent dep invoke = %v, %v", got, err)
+	}
+	if _, err := host.Invoke("no.Such", "M", nil); !errors.Is(err, ErrNoSuchRemoteService) {
+		t.Errorf("unknown service = %v", err)
+	}
+}
+
+func TestReleaseUninstallsProxy(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	app, err := p.session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := app.Bundle
+	app.Release()
+	if bundle.State() != module.StateUninstalled {
+		t.Errorf("bundle state after release = %v", bundle.State())
+	}
+	if p.phone.Framework().Registry().Find("demo.Counter", nil) != nil {
+		t.Error("proxy service survived release")
+	}
+	// Re-acquire works after release.
+	app2, err := p.session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatalf("re-acquire: %v", err)
+	}
+	app2.Release()
+}
+
+func TestDoubleAcquireRejected(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	if _, err := p.session.Acquire("demo.Counter", AcquireOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.session.Acquire("demo.Counter", AcquireOptions{}); !errors.Is(err, ErrAlreadyAcquired) {
+		t.Errorf("double acquire = %v", err)
+	}
+}
+
+func TestAcquireUnknownService(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	if _, err := p.session.Acquire("no.Such", AcquireOptions{}); !errors.Is(err, ErrNoSuchRemoteService) {
+		t.Errorf("unknown acquire = %v", err)
+	}
+}
+
+func TestAcquireServiceWithoutDescriptor(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	// demo.Stats is exported but has no AlfredO descriptor.
+	if _, err := p.session.Acquire("demo.Stats", AcquireOptions{}); !errors.Is(err, ErrNoDescriptor) {
+		t.Errorf("descriptor-less acquire = %v", err)
+	}
+}
+
+func TestRequirementsGate(t *testing.T) {
+	provider, err := NewNode(NodeConfig{Name: "prov", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+	app := counterApp()
+	app.Descriptor.Requirements.Capabilities = []string{string(device.AudioDevice)}
+	if err := provider.RegisterApp(app); err != nil {
+		t.Fatal(err)
+	}
+
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("prov")
+	defer l.Close()
+	provider.Serve(l)
+	conn, _ := fabric.Dial("prov", netsim.Loopback)
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	if _, err := session.Acquire("demo.Counter", AcquireOptions{}); !errors.Is(err, ErrUnsatisfied) {
+		t.Errorf("unsatisfiable acquire = %v", err)
+	}
+}
+
+func TestRemoteEventReachesController(t *testing.T) {
+	provider, err := NewNode(NodeConfig{Name: "prov", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+	app := counterApp()
+	app.Descriptor.Controller.Rules = append(app.Descriptor.Controller.Rules, script.Rule{
+		Name: "on-tick",
+		On:   script.Trigger{Event: &script.EventTrigger{Topic: "counter/tick"}},
+		Do: []script.Action{
+			{SetControl: &script.SetControlAction{Control: "display", Property: "text", Value: "'tick ' + event.props.n"}},
+		},
+	})
+	if err := provider.RegisterApp(app); err != nil {
+		t.Fatal(err)
+	}
+
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("prov")
+	defer l.Close()
+	provider.Serve(l)
+	conn, _ := fabric.Dial("prov", netsim.Loopback)
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	acquired, err := session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the Subscribe frame a moment to land on the provider.
+	time.Sleep(30 * time.Millisecond)
+
+	// The target device posts an event; it must cross the link and run
+	// the controller rule.
+	if err := provider.Events().Post(event.Event{
+		Topic:      "counter/tick",
+		Properties: map[string]any{"n": int64(7)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, _ := acquired.View.Property("display", "text"); v == "tick 7" {
+			break
+		}
+		if time.Now().After(deadline) {
+			v, _ := acquired.View.Property("display", "text")
+			t.Fatalf("event never updated view; text = %v, ctlErr = %v", v, acquired.Controller.LastError())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRegisterAppValidation(t *testing.T) {
+	n, err := NewNode(NodeConfig{Name: "n", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	if err := n.RegisterApp(nil); err == nil {
+		t.Error("nil app accepted")
+	}
+	app := counterApp()
+	app.Dependencies = nil // declared dependency without implementation
+	if err := n.RegisterApp(app); err == nil {
+		t.Error("missing dependency implementation accepted")
+	}
+	good := counterApp()
+	if err := n.RegisterApp(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RegisterApp(counterApp()); err == nil {
+		t.Error("duplicate app accepted")
+	}
+	if _, ok := n.RegisteredApp("demo.Counter"); !ok {
+		t.Error("RegisteredApp lookup failed")
+	}
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	base := func() *Descriptor { return counterApp().Descriptor }
+
+	d := base()
+	d.Service = ""
+	if err := d.Validate(); !errors.Is(err, ErrBadDescriptor) {
+		t.Errorf("no service = %v", err)
+	}
+	d = base()
+	d.UI = nil
+	if err := d.Validate(); !errors.Is(err, ErrBadDescriptor) {
+		t.Errorf("no UI = %v", err)
+	}
+	d = base()
+	d.Dependencies = append(d.Dependencies, Dependency{Service: "demo.Stats", Tier: TierLogic})
+	if err := d.Validate(); !errors.Is(err, ErrBadDescriptor) {
+		t.Errorf("duplicate dep = %v", err)
+	}
+	d = base()
+	d.Dependencies[0].Tier = "quantum"
+	if err := d.Validate(); !errors.Is(err, ErrBadDescriptor) {
+		t.Errorf("bad tier = %v", err)
+	}
+	d = base()
+	d.Dependencies[0].Tier = TierData
+	d.Dependencies[0].Movable = true
+	if err := d.Validate(); !errors.Is(err, ErrBadDescriptor) {
+		t.Errorf("movable data tier = %v", err)
+	}
+	d = base()
+	d.StartWorkMs = -1
+	if err := d.Validate(); !errors.Is(err, ErrBadDescriptor) {
+		t.Errorf("negative start work = %v", err)
+	}
+	// Round trip.
+	d = base()
+	b, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalDescriptor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Service != d.Service || len(got.Dependencies) != 1 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := UnmarshalDescriptor([]byte("junk")); !errors.Is(err, ErrBadDescriptor) {
+		t.Errorf("junk descriptor = %v", err)
+	}
+}
+
+func TestSessionCloseReleasesEverything(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	app, err := p.session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := app.Bundle
+	p.session.Close()
+	if bundle.State() != module.StateUninstalled {
+		t.Errorf("bundle state after session close = %v", bundle.State())
+	}
+	if len(p.session.Apps()) != 0 {
+		t.Error("apps survive session close")
+	}
+	p.session.Close() // idempotent
+}
+
+func TestForcedRenderer(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	app, err := p.session.Acquire("demo.Counter", AcquireOptions{Renderer: "tree"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.View.Report().Renderer != "tree" {
+		t.Errorf("renderer = %s, want tree", app.View.Report().Renderer)
+	}
+	if _, err := p.session.Acquire("x", AcquireOptions{Renderer: "quantum"}); err == nil {
+		t.Error("unknown renderer accepted") // fails earlier on unknown service, so force it:
+	}
+}
+
+func TestPolicyUnit(t *testing.T) {
+	desc := counterApp().Descriptor
+	ctx := PolicyContext{Profile: device.Nokia9300i(), Trusted: true, LinkRTT: 80 * time.Millisecond}
+
+	thin := ThinClientPolicy{}.Decide(desc, ctx)
+	if len(thin.PullLogic) != 0 {
+		t.Errorf("thin policy pulled %v", thin.PullLogic)
+	}
+	adaptive := AdaptivePolicy{}.Decide(desc, ctx)
+	if len(adaptive.PullLogic) != 1 {
+		t.Errorf("adaptive policy pulled %v (reasons %v)", adaptive.PullLogic, adaptive.Reasons)
+	}
+	// Requirements block movement.
+	desc2 := counterApp().Descriptor
+	desc2.Dependencies[0].Requirements.MinMemoryKB = 1 << 30
+	ctx.FreeMemoryKB = 1024
+	blocked := AdaptivePolicy{}.Decide(desc2, ctx)
+	if len(blocked.PullLogic) != 0 {
+		t.Errorf("requirements did not block movement: %v", blocked.Reasons)
+	}
+}
+
+// TestManyConcurrentPhones exercises the provider under several
+// simultaneous sessions — the §4.3 claim that "a service running on a
+// coffee machine, on a touchscreen in a shop, or on a vending machine
+// may need to support an average of 2-3 concurrent users and a maximum
+// of 30".
+func TestManyConcurrentPhones(t *testing.T) {
+	provider, err := NewNode(NodeConfig{Name: "busy-screen", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+	if err := provider.RegisterApp(counterApp()); err != nil {
+		t.Fatal(err)
+	}
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("busy-screen")
+	defer l.Close()
+	provider.Serve(l)
+
+	const phones = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, phones)
+	for i := 0; i < phones; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			phone, err := NewNode(NodeConfig{
+				Name:    fmt.Sprintf("phone-%d", i),
+				Profile: device.Nokia9300i(),
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer phone.Close()
+			conn, err := fabric.Dial("busy-screen", netsim.Loopback)
+			if err != nil {
+				errs <- err
+				return
+			}
+			session, err := phone.Connect(conn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer session.Close()
+			app, err := session.Acquire("demo.Counter", AcquireOptions{})
+			if err != nil {
+				errs <- fmt.Errorf("phone %d acquire: %w", i, err)
+				return
+			}
+			for j := 0; j < 5; j++ {
+				if err := app.View.Inject(ui.Event{Control: "inc", Kind: ui.EventPress}); err != nil {
+					errs <- fmt.Errorf("phone %d press: %w", i, err)
+					return
+				}
+			}
+			app.Release()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCapabilityExposureInHandshake(t *testing.T) {
+	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	// The provider sees the phone's announced profile and capabilities.
+	waitFor := time.Now().Add(time.Second)
+	for {
+		chans := p.provider.Peer().Channels()
+		if len(chans) == 1 {
+			props := chans[0].RemoteProps()
+			if props["profile"] != "nokia9300i" {
+				t.Fatalf("announced profile = %v", props["profile"])
+			}
+			caps, ok := props["capabilities"].([]any)
+			if !ok || len(caps) == 0 {
+				t.Fatalf("announced capabilities = %v", props["capabilities"])
+			}
+			return
+		}
+		if time.Now().After(waitFor) {
+			t.Fatal("provider never saw the channel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCapabilityHiding(t *testing.T) {
+	provider, err := NewNode(NodeConfig{Name: "nosy-target", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+	phone, err := NewNode(NodeConfig{
+		Name: "private-phone", Profile: device.Nokia9300i(), HideCapabilities: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("nosy-target")
+	defer l.Close()
+	provider.Serve(l)
+	conn, _ := fabric.Dial("nosy-target", netsim.Loopback)
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	deadline := time.Now().Add(time.Second)
+	for {
+		chans := provider.Peer().Channels()
+		if len(chans) == 1 {
+			props := chans[0].RemoteProps()
+			if _, leaked := props["capabilities"]; leaked {
+				t.Fatalf("capabilities leaked despite HideCapabilities: %v", props)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("provider never saw the channel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

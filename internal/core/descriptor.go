@@ -1,0 +1,153 @@
+// Package core implements AlfredO itself (paper §3): the service
+// descriptor model, the multi-tier service architecture with negotiable
+// tier placement, the AlfredOEngine that turns a shipped descriptor
+// into a rendered View and an interpreted Controller, and the provider
+// side that packages device functions as leasable services.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// Descriptor errors.
+var (
+	ErrBadDescriptor = errors.New("core: invalid service descriptor")
+)
+
+// Tier names the three tiers of the service architecture (§3.2).
+type Tier string
+
+// Service tiers. In the current implementation — exactly as in the
+// paper — the data tier always resides on the target device and the
+// presentation tier always on the client; logic-tier placement is
+// negotiated.
+const (
+	TierPresentation Tier = "presentation"
+	TierLogic        Tier = "logic"
+	TierData         Tier = "data"
+)
+
+// Requirements bound what a client must offer before a service part
+// may be placed on it (§3.2: "an abstract description of its
+// requirements (e.g., other service dependencies, memory and CPU lower
+// boundaries, etc.)").
+type Requirements struct {
+	MinMemoryKB  int64    `json:"minMemoryKB,omitempty"`
+	MinCPUMHz    int64    `json:"minCPUMHz,omitempty"`
+	Capabilities []string `json:"capabilities,omitempty"`
+}
+
+// Dependency names a service the main service depends on, its tier,
+// and whether it may be moved to the client.
+type Dependency struct {
+	// Service is the interface name of the dependency.
+	Service string `json:"service"`
+	// Tier classifies the dependency.
+	Tier Tier `json:"tier"`
+	// Movable logic-tier dependencies may be pulled to the client
+	// during tier negotiation.
+	Movable bool `json:"movable,omitempty"`
+	// Requirements gate movement.
+	Requirements Requirements `json:"requirements,omitempty"`
+}
+
+// Descriptor is the AlfredO service descriptor (§3.2): the abstract UI,
+// the controller program, the dependency list with per-dependency
+// requirements, and simulation metadata.
+type Descriptor struct {
+	// Service is the main service interface name.
+	Service string `json:"service"`
+	// UI is the abstract user interface description.
+	UI *ui.Description `json:"ui"`
+	// Controller is the shippable rule program (may be nil for
+	// render-only services).
+	Controller *script.Program `json:"controller,omitempty"`
+	// Dependencies lists the services this service depends on.
+	Dependencies []Dependency `json:"dependencies,omitempty"`
+	// Requirements apply to hosting the presentation tier itself.
+	Requirements Requirements `json:"requirements,omitempty"`
+	// StartWorkMs is the app-specific work the proxy activator performs
+	// at start (devsim cost; behind the divergent "Start proxy bundle"
+	// rows of Tables 1–2).
+	StartWorkMs int64 `json:"startWorkMs,omitempty"`
+}
+
+// StartWork returns the declared start cost.
+func (d *Descriptor) StartWork() time.Duration {
+	return time.Duration(d.StartWorkMs) * time.Millisecond
+}
+
+// Validate checks the descriptor, including the embedded UI and
+// controller program.
+func (d *Descriptor) Validate() error {
+	if d.Service == "" {
+		return fmt.Errorf("%w: no service name", ErrBadDescriptor)
+	}
+	if d.UI == nil {
+		return fmt.Errorf("%w: %s has no UI description", ErrBadDescriptor, d.Service)
+	}
+	if err := d.UI.Validate(); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadDescriptor, d.Service, err)
+	}
+	if d.Controller != nil {
+		if err := d.Controller.Validate(); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrBadDescriptor, d.Service, err)
+		}
+	}
+	seen := make(map[string]bool, len(d.Dependencies))
+	for _, dep := range d.Dependencies {
+		if dep.Service == "" {
+			return fmt.Errorf("%w: %s has a dependency without a service name", ErrBadDescriptor, d.Service)
+		}
+		if seen[dep.Service] {
+			return fmt.Errorf("%w: %s lists dependency %s twice", ErrBadDescriptor, d.Service, dep.Service)
+		}
+		seen[dep.Service] = true
+		switch dep.Tier {
+		case TierPresentation, TierLogic, TierData:
+		default:
+			return fmt.Errorf("%w: %s dependency %s has tier %q", ErrBadDescriptor, d.Service, dep.Service, dep.Tier)
+		}
+		if dep.Tier == TierData && dep.Movable {
+			// §3.2: "In the current implementation, the data tier always
+			// resides on the target device". Automatic data-tier
+			// distribution is the paper's future work; see package sync.
+			return fmt.Errorf("%w: %s data-tier dependency %s cannot be movable", ErrBadDescriptor, d.Service, dep.Service)
+		}
+	}
+	if d.StartWorkMs < 0 {
+		return fmt.Errorf("%w: %s has negative start work", ErrBadDescriptor, d.Service)
+	}
+	return nil
+}
+
+// Marshal serializes the descriptor; this is what ships inside
+// ServiceReply.Descriptor.
+func (d *Descriptor) Marshal() ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: marshaling descriptor %s: %w", d.Service, err)
+	}
+	return b, nil
+}
+
+// UnmarshalDescriptor parses and validates a shipped descriptor.
+func UnmarshalDescriptor(b []byte) (*Descriptor, error) {
+	var d Descriptor
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDescriptor, err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

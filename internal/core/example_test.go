@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// Example shows the complete provider/client round trip: register an
+// application on a target device, lease it from a phone, drive the
+// rendered UI, and release it.
+func Example() {
+	// --- Target device side. ---
+	lamp := remote.NewService("demo.Lamp").
+		Method("Toggle", nil, "string", func(args []any) (any, error) {
+			return "light is on", nil
+		})
+	app := &core.App{
+		Descriptor: &core.Descriptor{
+			Service: "demo.Lamp",
+			UI: &ui.Description{
+				Title: "Lamp",
+				Controls: []ui.Control{
+					{ID: "toggle", Kind: ui.KindButton, Text: "Toggle"},
+					{ID: "state", Kind: ui.KindLabel, Text: "unknown"},
+				},
+			},
+			Controller: &script.Program{Rules: []script.Rule{{
+				On: script.Trigger{UI: &script.UITrigger{Control: "toggle", Kind: ui.EventPress}},
+				Do: []script.Action{
+					{Invoke: &script.InvokeAction{Method: "Toggle"}},
+					{SetControl: &script.SetControlAction{Control: "state", Property: "value", Value: "result"}},
+				},
+			}}},
+		},
+		Service: lamp,
+	}
+	target, err := core.NewNode(core.NodeConfig{Name: "lamp", Profile: device.Touchscreen()})
+	if err != nil {
+		fmt.Println("node:", err)
+		return
+	}
+	defer target.Close()
+	if err := target.RegisterApp(app); err != nil {
+		fmt.Println("register:", err)
+		return
+	}
+
+	// --- Phone side. ---
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("lamp")
+	defer l.Close()
+	target.Serve(l)
+
+	phone, err := core.NewNode(core.NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		fmt.Println("node:", err)
+		return
+	}
+	defer phone.Close()
+	conn, _ := fabric.Dial("lamp", netsim.Loopback)
+	session, err := phone.Connect(conn)
+	if err != nil {
+		fmt.Println("connect:", err)
+		return
+	}
+	defer session.Close()
+
+	acquired, err := session.Acquire("demo.Lamp", core.AcquireOptions{})
+	if err != nil {
+		fmt.Println("acquire:", err)
+		return
+	}
+	_ = acquired.View.Inject(ui.Event{Control: "toggle", Kind: ui.EventPress})
+	state, _ := acquired.View.Property("state", "value")
+	fmt.Println(state)
+	acquired.Release()
+	// Output: light is on
+}

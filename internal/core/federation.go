@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// ScreenMethodDisplay and ScreenMethodClear are the methods of the
+// ScreenDevice service interface (§3.3).
+const (
+	ScreenMethodDisplay = "Display"
+	ScreenMethodClear   = "Clear"
+)
+
+// NewScreenService builds an exportable implementation of the
+// ScreenDevice capability interface: other devices can render onto this
+// platform's display. display receives the full screen content; clear
+// may be nil.
+//
+// This is the §3.3 federation scenario: "the phone may decide to use a
+// notebook's screen with larger resolution; in this case, the
+// ScreenDevice service would be implemented remotely by the notebook
+// platform and invoked on the phone through a local proxy."
+func NewScreenService(display func(content string), clear func()) *remote.MethodTable {
+	return remote.NewService(string(device.ScreenDevice)).
+		Method(ScreenMethodDisplay, []string{"string"}, "void", func(args []any) (any, error) {
+			display(args[0].(string))
+			return nil, nil
+		}).
+		Method(ScreenMethodClear, nil, "void", func(args []any) (any, error) {
+			if clear != nil {
+				clear()
+			}
+			return nil, nil
+		})
+}
+
+// Mirror pushes a view's rendering to a (typically remote) ScreenDevice
+// whenever it changes. Create with MirrorView, release with Stop.
+type Mirror struct {
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// Renderable is the slice of render.View the mirror needs.
+type Renderable interface {
+	Render() string
+}
+
+// MirrorView polls the view at the given interval and ships changed
+// renderings to the screen service (a local object or a remote proxy —
+// the call is the same, which is the point of the exercise).
+func MirrorView(view Renderable, screen remote.Invoker, interval time.Duration) *Mirror {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	m := &Mirror{stop: make(chan struct{})}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		last := ""
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+			}
+			content := view.Render()
+			if content == last {
+				continue
+			}
+			if _, err := screen.Invoke(ScreenMethodDisplay, []any{content}); err != nil {
+				return // screen gone; mirroring ends
+			}
+			last = content
+		}
+	}()
+	return m
+}
+
+// Stop ends the mirroring and waits for the loop to exit.
+func (m *Mirror) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	m.wg.Wait()
+}
+
+// InputMethodInject is the method of the remote input-device interface.
+const InputMethodInject = "Inject"
+
+// NewInputService exposes a view's input path as a remotely invocable
+// service: another device's hardware can drive this application — the
+// input half of §3.3's federation ("the UI can be partly on the local
+// phone, partly on the target device, and partly on other external
+// devices"). The interface name is the capability the remote hardware
+// implements (e.g. device.KeyboardDevice).
+func NewInputService(capability string, inject func(ev ui.Event) error) *remote.MethodTable {
+	return remote.NewService(capability).
+		Method(InputMethodInject, []string{"string", "string", "any"}, "void", func(args []any) (any, error) {
+			ev := ui.Event{
+				Control: args[0].(string),
+				Kind:    ui.EventKind(args[1].(string)),
+				Value:   args[2],
+			}
+			return nil, inject(ev)
+		})
+}
+
+// RemoteInput wraps a proxy to a remote input service with a typed
+// injection helper.
+type RemoteInput struct {
+	invoker remote.Invoker
+}
+
+// NewRemoteInput adapts a proxy (or any invoker) of an input service.
+func NewRemoteInput(invoker remote.Invoker) *RemoteInput {
+	return &RemoteInput{invoker: invoker}
+}
+
+// Inject delivers a user interaction to the remote view.
+func (r *RemoteInput) Inject(ev ui.Event) error {
+	_, err := r.invoker.Invoke(InputMethodInject, []any{ev.Control, string(ev.Kind), ev.Value})
+	return err
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// TestFederatedScreen exercises §3.3's federation scenario end to end:
+// the phone leases an app from one device and renders its view onto a
+// *different* device's larger screen through a remote ScreenDevice
+// proxy.
+func TestFederatedScreen(t *testing.T) {
+	fabric := netsim.NewFabric()
+
+	// Device A: hosts the counter app.
+	appHost, err := NewNode(NodeConfig{Name: "app-host", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appHost.Close()
+	if err := appHost.RegisterApp(counterApp()); err != nil {
+		t.Fatal(err)
+	}
+	la, _ := fabric.Listen("app-host")
+	defer la.Close()
+	appHost.Serve(la)
+
+	// Device B: a notebook exporting its screen.
+	var mu sync.Mutex
+	displayed := ""
+	notebook, err := NewNode(NodeConfig{Name: "big-screen", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer notebook.Close()
+	screenSvc := NewScreenService(func(content string) {
+		mu.Lock()
+		displayed = content
+		mu.Unlock()
+	}, nil)
+	if _, err := notebook.Framework().Registry().Register(
+		[]string{string(device.ScreenDevice)}, screenSvc,
+		service.Properties{remote.PropExported: true}, "screen"); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := fabric.Listen("big-screen")
+	defer lb.Close()
+	notebook.Serve(lb)
+
+	// The phone connects to both devices.
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	connA, _ := fabric.Dial("app-host", netsim.Loopback)
+	sessionA, err := phone.Connect(connA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sessionA.Close()
+	app, err := sessionA.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	connB, _ := fabric.Dial("big-screen", netsim.Loopback)
+	sessionB, err := phone.Connect(connB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sessionB.Close()
+	info, ok := sessionB.Channel().FindRemoteService(string(device.ScreenDevice))
+	if !ok {
+		t.Fatal("screen device not leased")
+	}
+	reply, err := sessionB.Channel().Fetch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, screenProxy, err := sessionB.Channel().InstallProxy(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror the phone's view onto the notebook's screen.
+	mirror := MirrorView(app.View, screenProxy, 10*time.Millisecond)
+	defer mirror.Stop()
+
+	waitDisplayed := func(substr string) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			mu.Lock()
+			ok := strings.Contains(displayed, substr)
+			mu.Unlock()
+			if ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				mu.Lock()
+				got := displayed
+				mu.Unlock()
+				t.Fatalf("screen never showed %q; displayed:\n%s", substr, got)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitDisplayed("Counter")
+
+	// Interacting on the phone updates the federated screen.
+	if err := app.View.Inject(ui.Event{Control: "inc", Kind: ui.EventPress}); err != nil {
+		t.Fatal(err)
+	}
+	waitDisplayed("1")
+}
+
+func TestMirrorStopsWhenScreenDies(t *testing.T) {
+	// A mirror whose screen proxy fails must end, not spin.
+	view := &fakeView{content: "x"}
+	dead := deadInvoker{}
+	m := MirrorView(view, dead, 5*time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	view.set("y")
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("mirror kept running after screen failure")
+	}
+	m.Stop() // still safe
+}
+
+type deadInvoker struct{}
+
+func (deadInvoker) Invoke(string, []any) (any, error) {
+	return nil, remote.ErrChannelClosed
+}
+
+// fakeView implements just enough of render.View for the mirror.
+type fakeView struct {
+	mu      sync.Mutex
+	content string
+}
+
+func (f *fakeView) set(s string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.content = s
+}
+func (f *fakeView) Render() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.content
+}
+
+// TestFederatedInput drives an application's UI from a different
+// device's hardware: a notebook keyboard injects events into the
+// phone's acquired view over the network (§3.3 input federation).
+func TestFederatedInput(t *testing.T) {
+	fabric := netsim.NewFabric()
+
+	appHost, err := NewNode(NodeConfig{Name: "app-host", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appHost.Close()
+	if err := appHost.RegisterApp(counterApp()); err != nil {
+		t.Fatal(err)
+	}
+	la, _ := fabric.Listen("app-host")
+	defer la.Close()
+	appHost.Serve(la)
+
+	// The phone acquires the app and exports its view's input path
+	// under the KeyboardDevice capability.
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+	connA, _ := fabric.Dial("app-host", netsim.Loopback)
+	sessionA, err := phone.Connect(connA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sessionA.Close()
+	app, err := sessionA.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inputSvc := NewInputService(string(device.KeyboardDevice), app.View.Inject)
+	if _, err := phone.Framework().Registry().Register(
+		[]string{string(device.KeyboardDevice)}, inputSvc,
+		service.Properties{remote.PropExported: true}, "phone"); err != nil {
+		t.Fatal(err)
+	}
+	lp, _ := fabric.Listen("phone")
+	defer lp.Close()
+	phone.Serve(lp)
+
+	// The notebook connects to the phone and presses the button through
+	// the federated input path.
+	notebook, err := NewNode(NodeConfig{Name: "kb-notebook", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer notebook.Close()
+	connP, _ := fabric.Dial("phone", netsim.Loopback)
+	sessionP, err := notebook.Connect(connP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sessionP.Close()
+	info, ok := sessionP.Channel().FindRemoteService(string(device.KeyboardDevice))
+	if !ok {
+		t.Fatal("input service not leased")
+	}
+	reply, err := sessionP.Channel().Fetch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, proxy, err := sessionP.Channel().InstallProxy(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	input := NewRemoteInput(proxy)
+	if err := input.Inject(ui.Event{Control: "inc", Kind: ui.EventPress}); err != nil {
+		t.Fatal(err)
+	}
+	// The press traveled notebook -> phone -> (controller) -> app host
+	// and back into the phone's view.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, _ := app.View.Property("display", "value"); v == int64(1) {
+			break
+		}
+		if time.Now().After(deadline) {
+			v, _ := app.View.Property("display", "value")
+			t.Fatalf("federated press never landed; display = %v", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Bad events are rejected across the wire, not swallowed.
+	if err := input.Inject(ui.Event{Control: "ghost", Kind: ui.EventPress}); err == nil {
+		t.Error("invalid federated event accepted")
+	}
+}

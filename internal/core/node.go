@@ -1,0 +1,269 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/devsim"
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/render"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+// Node errors.
+var (
+	ErrNodeClosed = errors.New("core: node closed")
+	ErrNoApp      = errors.New("core: app not found")
+)
+
+// NodeConfig parameterizes an AlfredO node. A node is symmetric: the
+// same type acts as target device (RegisterApp + Serve) and as client
+// (Connect + Acquire), exactly like the symmetric leases of §3.2.
+type NodeConfig struct {
+	// Name identifies the node (peer id, framework name).
+	Name string
+	// Profile describes the platform's display and input hardware.
+	Profile device.Profile
+	// Sim is the simulated execution platform (nil disables cost
+	// simulation).
+	Sim *devsim.Device
+	// ProxyCode holds pre-installed smart proxy code.
+	ProxyCode *remote.ProxyCodeRegistry
+	// Renderers overrides the stock renderer registry.
+	Renderers *render.Registry
+	// InvokeTimeout bounds remote calls.
+	InvokeTimeout time.Duration
+	// ClientInvokeCost overrides the per-invocation client cost fed to
+	// the device model (zero = full AlfredO path).
+	ClientInvokeCost time.Duration
+	// FreeMemoryKB and CPUMHz describe the platform for tier
+	// negotiation.
+	FreeMemoryKB int64
+	CPUMHz       int64
+	// StorageDir enables Concierge-style bundle persistence for the
+	// node's framework (proxies are never persisted).
+	StorageDir string
+	// HideCapabilities withholds the device's input capabilities from
+	// the handshake. By default they are announced so the target can
+	// tailor what it offers (§3.2: "the device can decide which
+	// capabilities to expose to the target device").
+	HideCapabilities bool
+}
+
+// Node is one AlfredO endpoint: framework, event admin, remote peer and
+// renderer registry bundled together.
+type Node struct {
+	cfg       NodeConfig
+	fw        *module.Framework
+	events    *event.Admin
+	peer      *remote.Peer
+	renderers *render.Registry
+
+	mu       sync.Mutex
+	sessions map[*Session]struct{}
+	apps     map[string]*App
+	closed   bool
+}
+
+// NewNode boots a node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: node requires a name")
+	}
+	if cfg.Renderers == nil {
+		cfg.Renderers = render.NewRegistry()
+	}
+	if cfg.ProxyCode == nil {
+		cfg.ProxyCode = remote.NewProxyCodeRegistry()
+	}
+	fw := module.NewFramework(module.Config{Name: cfg.Name, StorageDir: cfg.StorageDir})
+	events := event.NewAdmin(0)
+	helloProps := map[string]any{"profile": cfg.Profile.Name}
+	if !cfg.HideCapabilities {
+		caps := make([]string, 0, 4)
+		for _, c := range cfg.Profile.Capabilities() {
+			caps = append(caps, string(c))
+		}
+		helloProps["capabilities"] = caps
+	}
+	peer, err := remote.NewPeer(remote.Config{
+		Framework:        fw,
+		Events:           events,
+		Device:           cfg.Sim,
+		ProxyCode:        cfg.ProxyCode,
+		Timeout:          cfg.InvokeTimeout,
+		ClientInvokeCost: cfg.ClientInvokeCost,
+		HelloProps:       helloProps,
+	})
+	if err != nil {
+		events.Close()
+		_ = fw.Shutdown()
+		return nil, err
+	}
+	return &Node{
+		cfg:       cfg,
+		fw:        fw,
+		events:    events,
+		peer:      peer,
+		renderers: cfg.Renderers,
+		sessions:  make(map[*Session]struct{}),
+		apps:      make(map[string]*App),
+	}, nil
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Framework returns the node's module framework.
+func (n *Node) Framework() *module.Framework { return n.fw }
+
+// Events returns the node's event admin.
+func (n *Node) Events() *event.Admin { return n.events }
+
+// Peer returns the node's remote peer.
+func (n *Node) Peer() *remote.Peer { return n.peer }
+
+// Profile returns the node's device profile.
+func (n *Node) Profile() device.Profile { return n.cfg.Profile }
+
+// Renderers returns the node's renderer registry.
+func (n *Node) Renderers() *render.Registry { return n.renderers }
+
+// App bundles everything a provider registers for one leasable
+// application: the descriptor, the main service, and the dependency
+// services (logic and data tiers, §3.2).
+type App struct {
+	// Descriptor is the shippable service description.
+	Descriptor *Descriptor
+	// Service implements the main service interface.
+	Service *remote.MethodTable
+	// Dependencies maps dependency interface names to implementations.
+	// Every dependency named in the descriptor that the provider hosts
+	// must appear here.
+	Dependencies map[string]*remote.MethodTable
+}
+
+// RegisterApp publishes an application: the main service and all its
+// dependency services become exported (leased) services, and the
+// descriptor is attached so clients receive it in ServiceReply.
+func (n *Node) RegisterApp(app *App) error {
+	if app == nil || app.Service == nil || app.Descriptor == nil {
+		return fmt.Errorf("core: RegisterApp requires descriptor and service")
+	}
+	if err := app.Descriptor.Validate(); err != nil {
+		return err
+	}
+	for _, dep := range app.Descriptor.Dependencies {
+		if _, ok := app.Dependencies[dep.Service]; !ok {
+			return fmt.Errorf("core: app %s declares dependency %s but provides no implementation",
+				app.Descriptor.Service, dep.Service)
+		}
+	}
+	descBytes, err := app.Descriptor.Marshal()
+	if err != nil {
+		return err
+	}
+	app.Service.WithDescriptor(descBytes)
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNodeClosed
+	}
+	if _, dup := n.apps[app.Descriptor.Service]; dup {
+		n.mu.Unlock()
+		return fmt.Errorf("core: app %s already registered", app.Descriptor.Service)
+	}
+	n.apps[app.Descriptor.Service] = app
+	n.mu.Unlock()
+
+	reg := n.fw.Registry()
+	if _, err := reg.Register([]string{app.Descriptor.Service}, app.Service,
+		service.Properties{remote.PropExported: true, "alfredo.app": true}, n.cfg.Name); err != nil {
+		return err
+	}
+	for iface, impl := range app.Dependencies {
+		if _, err := reg.Register([]string{iface}, impl,
+			service.Properties{remote.PropExported: true, "alfredo.dependency": true}, n.cfg.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisteredApp returns a registered app definition by service name.
+func (n *Node) RegisteredApp(name string) (*App, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	app, ok := n.apps[name]
+	return app, ok
+}
+
+// Serve accepts inbound connections on l in the background; close the
+// listener to stop.
+func (n *Node) Serve(l net.Listener) {
+	go func() {
+		// Accept errors (listener closed) end the loop; sessions keep
+		// running until their channels close.
+		_ = n.peer.Serve(l)
+	}()
+}
+
+// Connect establishes a client session over conn.
+func (n *Node) Connect(conn net.Conn) (*Session, error) {
+	ch, err := n.peer.Connect(conn)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		node: n,
+		ch:   ch,
+		apps: make(map[string]*Application),
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ch.Close()
+		return nil, ErrNodeClosed
+	}
+	n.sessions[s] = struct{}{}
+	n.mu.Unlock()
+	return s, nil
+}
+
+// Footprint returns the installed-bundle footprint in bytes (§4.1).
+func (n *Node) Footprint() int { return n.fw.Footprint() }
+
+// Close releases all sessions and platform services.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	sessions := make([]*Session, 0, len(n.sessions))
+	for s := range n.sessions {
+		sessions = append(sessions, s)
+	}
+	n.mu.Unlock()
+
+	for _, s := range sessions {
+		s.Close()
+	}
+	n.peer.Close()
+	n.events.Close()
+	_ = n.fw.Shutdown()
+}
+
+func (n *Node) removeSession(s *Session) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.sessions, s)
+}

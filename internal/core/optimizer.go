@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Optimizer errors.
+var (
+	ErrOptimizerRunning = errors.New("core: optimizer already running")
+	ErrNotMovable       = errors.New("core: dependency is not a movable logic tier")
+)
+
+// PullDependency moves one movable logic-tier dependency to the client
+// at runtime: its proxy is fetched, installed and added to the
+// application's dependency set, so subsequent controller invocations of
+// that service run through it (locally, when smart proxy code is
+// installed). It is the mechanism under the online optimizer and may
+// also be called directly.
+func (a *Application) PullDependency(service string) error {
+	var dep *Dependency
+	for i := range a.Descriptor.Dependencies {
+		if a.Descriptor.Dependencies[i].Service == service {
+			dep = &a.Descriptor.Dependencies[i]
+			break
+		}
+	}
+	if dep == nil {
+		return fmt.Errorf("%w: %s not declared", ErrNoSuchRemoteService, service)
+	}
+	if dep.Tier != TierLogic || !dep.Movable {
+		return fmt.Errorf("%w: %s", ErrNotMovable, service)
+	}
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return ErrAlreadyAcquired
+	}
+	if _, dup := a.Deps[service]; dup {
+		a.mu.Unlock()
+		return nil // already local
+	}
+	a.mu.Unlock()
+
+	info, ok := a.session.ch.FindRemoteService(service)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchRemoteService, service)
+	}
+	reply, err := a.session.ch.Fetch(info.ID)
+	if err != nil {
+		return err
+	}
+	_, proxy, err := a.session.ch.InstallProxy(reply)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.Deps[service] = proxy
+	if a.Placement.Reasons == nil {
+		a.Placement.Reasons = make(map[string]string)
+	}
+	a.Placement.PullLogic = append(a.Placement.PullLogic, service)
+	a.Placement.Reasons[service] = "pulled at runtime by the online optimizer"
+	a.mu.Unlock()
+	return nil
+}
+
+// dep resolves a pulled dependency proxy under the application lock.
+func (a *Application) dep(service string) (invoker interface {
+	Invoke(method string, args []any) (any, error)
+}, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.Deps[service]
+	return d, ok
+}
+
+// OptimizerConfig tunes the online distribution optimizer.
+type OptimizerConfig struct {
+	// Interval between link probes (default 1s).
+	Interval time.Duration
+	// RTTThreshold above which movable logic is pulled in (default
+	// DefaultRTTThreshold).
+	RTTThreshold time.Duration
+	// OnDecision, when non-nil, is called after every probe with the
+	// measured RTT and the dependencies pulled in response (empty when
+	// none).
+	OnDecision func(rtt time.Duration, pulled []string)
+}
+
+// Optimizer implements the paper's §7 future work: "an online
+// optimization mechanism to customize service distribution at
+// runtime". It periodically measures the link round-trip time and,
+// when the link degrades past the threshold, pulls the application's
+// movable logic-tier dependencies to the client mid-session —
+// invocations transparently switch from remote to local execution.
+type Optimizer struct {
+	app *Application
+	cfg OptimizerConfig
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// StartOptimizer attaches an optimizer to the application. Stop it
+// before releasing the application.
+func (a *Application) StartOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.RTTThreshold <= 0 {
+		cfg.RTTThreshold = DefaultRTTThreshold
+	}
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return nil, ErrAlreadyAcquired
+	}
+	a.mu.Unlock()
+
+	o := &Optimizer{app: a, cfg: cfg, stop: make(chan struct{})}
+	o.wg.Add(1)
+	go o.loop()
+	return o, nil
+}
+
+func (o *Optimizer) loop() {
+	defer o.wg.Done()
+	ticker := time.NewTicker(o.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-o.stop:
+			return
+		case <-ticker.C:
+		}
+		rtt, err := o.app.session.Ping()
+		if err != nil {
+			return // channel gone; the session will clean up
+		}
+		var pulled []string
+		if rtt >= o.cfg.RTTThreshold {
+			for _, dep := range o.app.Descriptor.Dependencies {
+				if dep.Tier != TierLogic || !dep.Movable {
+					continue
+				}
+				if _, already := o.app.dep(dep.Service); already {
+					continue
+				}
+				if err := o.app.PullDependency(dep.Service); err == nil {
+					pulled = append(pulled, dep.Service)
+				}
+			}
+		}
+		if o.cfg.OnDecision != nil {
+			o.cfg.OnDecision(rtt, pulled)
+		}
+	}
+}
+
+// Stop halts the optimizer and waits for its loop to exit.
+func (o *Optimizer) Stop() {
+	o.once.Do(func() { close(o.stop) })
+	o.wg.Wait()
+}

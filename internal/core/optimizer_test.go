@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+)
+
+// optimizerPair builds a provider/phone pair whose link can be degraded
+// at runtime.
+func optimizerPair(t *testing.T) (*Session, *netsim.Conn) {
+	t.Helper()
+	provider, err := NewNode(NodeConfig{Name: "target", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := provider.RegisterApp(counterApp()); err != nil {
+		t.Fatal(err)
+	}
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider.Serve(l)
+	conn, err := fabric.Dial("target", netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simConn, ok := conn.(*netsim.Conn)
+	if !ok {
+		t.Fatal("expected a netsim conn")
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		session.Close()
+		phone.Close()
+		provider.Close()
+		_ = l.Close()
+	})
+	return session, simConn
+}
+
+func TestOptimizerPullsLogicWhenLinkDegrades(t *testing.T) {
+	session, conn := optimizerPair(t)
+	app, err := session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, pulled := app.dep("demo.Stats"); pulled {
+		t.Fatal("logic pulled prematurely")
+	}
+
+	var mu sync.Mutex
+	var decisions []time.Duration
+	opt, err := app.StartOptimizer(OptimizerConfig{
+		Interval:     20 * time.Millisecond,
+		RTTThreshold: 20 * time.Millisecond,
+		OnDecision: func(rtt time.Duration, pulled []string) {
+			mu.Lock()
+			decisions = append(decisions, rtt)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opt.Stop()
+
+	// Fast link: a few probe rounds must not pull anything.
+	time.Sleep(80 * time.Millisecond)
+	if _, pulled := app.dep("demo.Stats"); pulled {
+		t.Fatal("logic pulled on a fast link")
+	}
+
+	// The user walks away from the access point: RTT jumps to ~60 ms.
+	conn.SetLink(netsim.LinkProfile{Name: "degraded", Latency: 30 * time.Millisecond})
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, pulled := app.dep("demo.Stats"); pulled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("optimizer never pulled the logic tier after degradation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Invocations through the host now use the local proxy path.
+	host := &sessionHost{app: app}
+	if _, err := host.Invoke("demo.Stats", "Double", []any{int64(4)}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(decisions) == 0 {
+		t.Error("OnDecision never fired")
+	}
+	reason := app.Placement.Reasons["demo.Stats"]
+	if reason == "" {
+		t.Error("placement reason not recorded")
+	}
+}
+
+func TestPullDependencyValidation(t *testing.T) {
+	session, _ := optimizerPair(t)
+	app, err := session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.PullDependency("no.Such"); !errors.Is(err, ErrNoSuchRemoteService) {
+		t.Errorf("unknown dep = %v", err)
+	}
+	// Pulling twice is a no-op.
+	if err := app.PullDependency("demo.Stats"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.PullDependency("demo.Stats"); err != nil {
+		t.Errorf("second pull = %v", err)
+	}
+	// Pinned or data-tier dependencies refuse to move.
+	app2desc := app.Descriptor
+	app2desc.Dependencies = append(app2desc.Dependencies, Dependency{
+		Service: "demo.Pinned", Tier: TierLogic, Movable: false,
+	})
+	if err := app.PullDependency("demo.Pinned"); !errors.Is(err, ErrNotMovable) {
+		t.Errorf("pinned dep = %v", err)
+	}
+}
+
+func TestOptimizerStopIdempotent(t *testing.T) {
+	session, _ := optimizerPair(t)
+	app, err := session.Acquire("demo.Counter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := app.StartOptimizer(OptimizerConfig{Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Stop()
+	opt.Stop()
+}

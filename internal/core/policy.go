@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+)
+
+// PolicyContext is what a distribution policy may consider when
+// deciding tier placement (§3.2: "This decision may depend on the
+// phone's capabilities as well as its current execution context").
+type PolicyContext struct {
+	// Profile is the client device profile.
+	Profile device.Profile
+	// FreeMemoryKB is the client's available memory.
+	FreeMemoryKB int64
+	// CPUMHz is the client's nominal CPU speed.
+	CPUMHz int64
+	// LinkRTT is the measured round-trip time to the target device.
+	LinkRTT time.Duration
+	// Trusted reports whether the target device is trusted; untrusted
+	// targets never get logic pulled from them (§3.2: "In trusted
+	// environments, this approach can be effective").
+	Trusted bool
+}
+
+// Placement is a policy's verdict: which movable logic-tier
+// dependencies to pull to the client, with per-dependency reasoning
+// for diagnostics and the experiment reports.
+type Placement struct {
+	PullLogic []string
+	Reasons   map[string]string
+}
+
+// Policy decides tier placement for one acquisition.
+type Policy interface {
+	Decide(desc *Descriptor, ctx PolicyContext) Placement
+}
+
+// ThinClientPolicy is the paper's default: only the presentation tier
+// moves to the phone; every invocation crosses the network. It
+// maximizes security and minimizes client load.
+type ThinClientPolicy struct{}
+
+var _ Policy = ThinClientPolicy{}
+
+// Decide implements Policy.
+func (ThinClientPolicy) Decide(desc *Descriptor, ctx PolicyContext) Placement {
+	reasons := make(map[string]string, len(desc.Dependencies))
+	for _, dep := range desc.Dependencies {
+		reasons[dep.Service] = "thin-client policy keeps all logic on the target"
+	}
+	return Placement{Reasons: reasons}
+}
+
+// AdaptivePolicy implements the negotiation sketched in §3.2: pull
+// movable logic-tier dependencies when the environment is trusted, the
+// link is slow enough to make round trips hurt, and the client meets
+// the dependency's resource requirements.
+type AdaptivePolicy struct {
+	// RTTThreshold is the link round-trip time above which logic is
+	// worth pulling; zero selects DefaultRTTThreshold.
+	RTTThreshold time.Duration
+}
+
+// DefaultRTTThreshold separates "wired" from "radio" links.
+const DefaultRTTThreshold = 20 * time.Millisecond
+
+var _ Policy = AdaptivePolicy{}
+
+// Decide implements Policy.
+func (p AdaptivePolicy) Decide(desc *Descriptor, ctx PolicyContext) Placement {
+	threshold := p.RTTThreshold
+	if threshold <= 0 {
+		threshold = DefaultRTTThreshold
+	}
+	out := Placement{Reasons: make(map[string]string, len(desc.Dependencies))}
+	for _, dep := range desc.Dependencies {
+		switch {
+		case dep.Tier != TierLogic:
+			out.Reasons[dep.Service] = fmt.Sprintf("%s tier is not movable", dep.Tier)
+		case !dep.Movable:
+			out.Reasons[dep.Service] = "dependency is pinned to the target"
+		case !ctx.Trusted:
+			out.Reasons[dep.Service] = "environment untrusted; logic stays remote"
+		case ctx.LinkRTT < threshold:
+			out.Reasons[dep.Service] = fmt.Sprintf("link RTT %v below threshold %v; remote calls are cheap", ctx.LinkRTT, threshold)
+		case !meetsRequirements(dep.Requirements, ctx):
+			out.Reasons[dep.Service] = "client does not meet dependency requirements"
+		default:
+			out.Reasons[dep.Service] = fmt.Sprintf("pulled: trusted target, link RTT %v exceeds %v", ctx.LinkRTT, threshold)
+			out.PullLogic = append(out.PullLogic, dep.Service)
+		}
+	}
+	return out
+}
+
+func meetsRequirements(req Requirements, ctx PolicyContext) bool {
+	if req.MinMemoryKB > 0 && ctx.FreeMemoryKB > 0 && ctx.FreeMemoryKB < req.MinMemoryKB {
+		return false
+	}
+	if req.MinCPUMHz > 0 && ctx.CPUMHz > 0 && ctx.CPUMHz < req.MinCPUMHz {
+		return false
+	}
+	if ok, _ := ctx.Profile.Satisfies(req.Capabilities); !ok {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// TestPollingControllerEndToEnd exercises the §3.2 Controller shape the
+// paper describes verbatim: "the Controller ... may periodically poll a
+// certain service method provided by the remote device and react to its
+// changes by ... changing the implementation of a control command of
+// the UI."
+func TestPollingControllerEndToEnd(t *testing.T) {
+	var temperature atomic.Int64
+	temperature.Store(20)
+
+	sensor := remote.NewService("demo.Thermostat").
+		Method("Read", nil, "int", func(args []any) (any, error) {
+			return temperature.Load(), nil
+		}).
+		Method("SetTarget", []string{"int"}, "void", func(args []any) (any, error) {
+			temperature.Store(args[0].(int64))
+			return nil, nil
+		})
+
+	app := &App{
+		Descriptor: &Descriptor{
+			Service: "demo.Thermostat",
+			UI: &ui.Description{
+				Title: "Thermostat",
+				Controls: []ui.Control{
+					{ID: "reading", Kind: ui.KindLabel, Text: "Temperature"},
+					{ID: "target", Kind: ui.KindRange, Min: 5, Max: 30, Value: 20},
+					{ID: "alert", Kind: ui.KindLabel, Text: ""},
+				},
+			},
+			Controller: &script.Program{
+				Rules: []script.Rule{
+					{
+						Name: "poll-sensor",
+						On: script.Trigger{Poll: &script.PollTrigger{
+							Method: "Read", IntervalMs: 15, OnChange: true,
+						}},
+						Do: []script.Action{
+							{SetControl: &script.SetControlAction{Control: "reading", Property: "value", Value: "result"}},
+							{SetControl: &script.SetControlAction{Control: "alert", Property: "value",
+								Value: "result"}},
+						},
+					},
+					{
+						Name: "alert-when-hot",
+						On: script.Trigger{Poll: &script.PollTrigger{
+							Method: "Read", IntervalMs: 15, OnChange: true,
+						}},
+						When: "result >= 28",
+						Do: []script.Action{
+							{SetControl: &script.SetControlAction{Control: "alert", Property: "text", Value: "'TOO HOT'"}},
+						},
+					},
+					{
+						Name: "set-target",
+						On:   script.Trigger{UI: &script.UITrigger{Control: "target", Kind: ui.EventChange}},
+						Do: []script.Action{
+							{Invoke: &script.InvokeAction{Method: "SetTarget", Args: []string{"event.value"}}},
+						},
+					},
+				},
+			},
+		},
+		Service: sensor,
+	}
+
+	provider, err := NewNode(NodeConfig{Name: "thermostat", Profile: device.Touchscreen()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+	if err := provider.RegisterApp(app); err != nil {
+		t.Fatal(err)
+	}
+
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("thermostat")
+	defer l.Close()
+	provider.Serve(l)
+	conn, _ := fabric.Dial("thermostat", netsim.Loopback)
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	acquired, err := session.Acquire("demo.Thermostat", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The poll loop populates the reading without any user interaction.
+	waitProp(t, acquired, "reading", "value", int64(20))
+
+	// A UI change drives SetTarget remotely; the next poll reflects it.
+	if err := acquired.View.Inject(ui.Event{Control: "target", Kind: ui.EventChange, Value: int64(29)}); err != nil {
+		t.Fatal(err)
+	}
+	waitProp(t, acquired, "reading", "value", int64(29))
+	// The guarded alert rule fired, too.
+	waitProp(t, acquired, "alert", "text", "TOO HOT")
+
+	// Releasing the app stops the poll loops: the remote service sees
+	// no further reads.
+	acquired.Release()
+	time.Sleep(40 * time.Millisecond)
+	before := temperature.Load()
+	time.Sleep(60 * time.Millisecond)
+	if temperature.Load() != before {
+		t.Error("state changed after release")
+	}
+}
+
+func waitProp(t *testing.T, app *Application, control, prop string, want any) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, _ := app.View.Property(control, prop); v == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			v, _ := app.View.Property(control, prop)
+			t.Fatalf("%s.%s = %v, want %v (ctl err %v)", control, prop, v, want, app.Controller.LastError())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/render"
+	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// Session errors.
+var (
+	ErrNoSuchRemoteService = errors.New("core: remote service not offered")
+	ErrNoDescriptor        = errors.New("core: remote service ships no AlfredO descriptor")
+	ErrAlreadyAcquired     = errors.New("core: service already acquired in this session")
+	ErrUnsatisfied         = errors.New("core: device cannot satisfy service requirements")
+)
+
+// Timing records the acquisition phases of Tables 1 and 2 plus the
+// client-side extras.
+type Timing struct {
+	// AcquireInterface is the network fetch of interface + descriptor.
+	AcquireInterface time.Duration
+	// BuildProxy is the proxy bundle synthesis.
+	BuildProxy time.Duration
+	// InstallProxy is the bundle installation.
+	InstallProxy time.Duration
+	// StartProxy is the bundle start (incl. app start work).
+	StartProxy time.Duration
+	// Dependencies is the time spent pulling logic-tier dependencies.
+	Dependencies time.Duration
+	// RenderUI is the view + controller construction.
+	RenderUI time.Duration
+}
+
+// TotalStart is the paper's "Total start time" row: the four proxy
+// phases.
+func (t Timing) TotalStart() time.Duration {
+	return t.AcquireInterface + t.BuildProxy + t.InstallProxy + t.StartProxy
+}
+
+// AcquireOptions tune one acquisition.
+type AcquireOptions struct {
+	// Policy decides logic-tier placement; nil means ThinClientPolicy.
+	Policy Policy
+	// Trusted marks the target device as trusted (enables logic
+	// pulling under AdaptivePolicy).
+	Trusted bool
+	// Renderer forces a specific engine instead of the profile's
+	// preference.
+	Renderer string
+	// SkipUI suppresses view/controller construction (used by
+	// benchmarks that only exercise the proxy pipeline).
+	SkipUI bool
+}
+
+// Application is one leased, running client application: the proxy
+// bundle, the rendered View, the interpreted Controller, and the
+// pulled dependencies.
+type Application struct {
+	Interface  string
+	Descriptor *Descriptor
+	Bundle     *module.Bundle
+	Proxy      *remote.DynamicService
+	View       render.View
+	Controller *script.Controller
+	Timing     Timing
+	// Placement records the tier negotiation outcome.
+	Placement Placement
+	// Deps maps pulled dependency interfaces to their proxies.
+	Deps map[string]*remote.DynamicService
+
+	session *Session
+	evToks  []int64
+	mu      sync.Mutex
+	done    bool
+}
+
+// Session is one client connection to a target device.
+type Session struct {
+	node *Node
+	ch   *remote.Channel
+
+	mu     sync.Mutex
+	apps   map[string]*Application
+	closed bool
+}
+
+// Channel exposes the underlying remote channel.
+func (s *Session) Channel() *remote.Channel { return s.ch }
+
+// RemoteID returns the target device's identity.
+func (s *Session) RemoteID() string { return s.ch.RemoteID() }
+
+// Services lists what the target device offers (the lease contents).
+func (s *Session) Services() []wire.ServiceInfo { return s.ch.RemoteServices() }
+
+// Ping measures the link round-trip time.
+func (s *Session) Ping() (time.Duration, error) { return s.ch.Ping() }
+
+// Acquire leases the client side of the named service: it fetches the
+// interface and descriptor, builds/installs/starts the proxy bundle
+// (each phase timed — the rows of Tables 1 and 2), negotiates logic
+// placement, renders the UI for this node's device profile, and starts
+// the interpreted controller.
+func (s *Session) Acquire(iface string, opts AcquireOptions) (*Application, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, remote.ErrChannelClosed
+	}
+	if _, dup := s.apps[iface]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyAcquired, iface)
+	}
+	s.mu.Unlock()
+
+	info, ok := s.ch.FindRemoteService(iface)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchRemoteService, iface)
+	}
+
+	app := &Application{Interface: iface, session: s, Deps: make(map[string]*remote.DynamicService)}
+
+	// Phase 1: acquire service interface (+ descriptor) over the link.
+	start := time.Now()
+	reply, err := s.ch.Fetch(info.ID)
+	if err != nil {
+		return nil, err
+	}
+	app.Timing.AcquireInterface = time.Since(start)
+
+	if len(reply.Descriptor) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoDescriptor, iface)
+	}
+	desc, err := UnmarshalDescriptor(reply.Descriptor)
+	if err != nil {
+		return nil, err
+	}
+	app.Descriptor = desc
+
+	// Requirements gate: the presentation tier must fit this device.
+	if ok, missing := s.node.Profile().Satisfies(desc.Requirements.Capabilities); !ok {
+		return nil, fmt.Errorf("%w: %s needs %v", ErrUnsatisfied, iface, missing)
+	}
+
+	// Phase 2: build the proxy bundle.
+	start = time.Now()
+	pb, err := s.ch.BuildProxy(reply)
+	if err != nil {
+		return nil, err
+	}
+	pb.SetStartWork(desc.StartWork())
+	app.Timing.BuildProxy = time.Since(start)
+
+	// Phase 3: install it.
+	start = time.Now()
+	s.node.cfg.Sim.InstallBundle()
+	bundle, err := s.node.fw.InstallDynamic(pb.Archive, pb.Activator)
+	if err != nil {
+		return nil, err
+	}
+	app.Timing.InstallProxy = time.Since(start)
+
+	// Phase 4: start it (registers the proxy service locally).
+	start = time.Now()
+	if err := bundle.Start(); err != nil {
+		_ = bundle.Uninstall()
+		return nil, err
+	}
+	app.Timing.StartProxy = time.Since(start)
+	s.ch.TrackProxy(bundle)
+	app.Bundle = bundle
+	app.Proxy = pb.Service
+
+	// Tier negotiation (§3.2).
+	if err := s.pullDependencies(app, opts); err != nil {
+		app.Release()
+		return nil, err
+	}
+
+	// View + Controller (§3.3, Fig. 2).
+	if !opts.SkipUI {
+		start = time.Now()
+		if err := s.buildUI(app, opts); err != nil {
+			app.Release()
+			return nil, err
+		}
+		app.Timing.RenderUI = time.Since(start)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		app.Release()
+		return nil, remote.ErrChannelClosed
+	}
+	s.apps[iface] = app
+	s.mu.Unlock()
+	// Ship the merged event-pattern set now that the app is listed.
+	s.updateRemoteSubscriptions()
+	return app, nil
+}
+
+// pullDependencies runs the distribution policy and acquires proxies
+// for the logic-tier dependencies it decides to move.
+func (s *Session) pullDependencies(app *Application, opts AcquireOptions) error {
+	policy := opts.Policy
+	if policy == nil {
+		policy = ThinClientPolicy{}
+	}
+	movable := false
+	for _, dep := range app.Descriptor.Dependencies {
+		if dep.Movable {
+			movable = true
+			break
+		}
+	}
+	ctx := PolicyContext{
+		Profile:      s.node.Profile(),
+		FreeMemoryKB: s.node.cfg.FreeMemoryKB,
+		CPUMHz:       s.node.cfg.CPUMHz,
+		Trusted:      opts.Trusted,
+	}
+	if movable {
+		if rtt, err := s.ch.Ping(); err == nil {
+			ctx.LinkRTT = rtt
+		}
+	}
+	app.Placement = policy.Decide(app.Descriptor, ctx)
+
+	start := time.Now()
+	for _, depIface := range app.Placement.PullLogic {
+		info, ok := s.ch.FindRemoteService(depIface)
+		if !ok {
+			return fmt.Errorf("%w: dependency %s", ErrNoSuchRemoteService, depIface)
+		}
+		reply, err := s.ch.Fetch(info.ID)
+		if err != nil {
+			return fmt.Errorf("core: pulling dependency %s: %w", depIface, err)
+		}
+		_, proxy, err := s.ch.InstallProxy(reply)
+		if err != nil {
+			return fmt.Errorf("core: installing dependency %s: %w", depIface, err)
+		}
+		app.Deps[depIface] = proxy
+	}
+	app.Timing.Dependencies = time.Since(start)
+	return nil
+}
+
+// buildUI renders the view and starts the controller.
+func (s *Session) buildUI(app *Application, opts AcquireOptions) error {
+	var engine render.Renderer
+	var err error
+	if opts.Renderer != "" {
+		var ok bool
+		engine, ok = s.node.renderers.Lookup(opts.Renderer)
+		if !ok {
+			return fmt.Errorf("%w: %s", render.ErrUnknownRenderer, opts.Renderer)
+		}
+	} else {
+		engine, err = s.node.renderers.ForProfile(s.node.Profile())
+		if err != nil {
+			return err
+		}
+	}
+	view, err := engine.Render(app.Descriptor.UI, s.node.Profile())
+	if err != nil {
+		return err
+	}
+	app.View = view
+
+	prog := app.Descriptor.Controller
+	if prog == nil {
+		prog = &script.Program{}
+	}
+	controller, err := script.NewController(prog, &sessionHost{app: app})
+	if err != nil {
+		_ = view.Close()
+		return err
+	}
+	if err := controller.Start(); err != nil {
+		_ = view.Close()
+		return err
+	}
+	app.Controller = controller
+	view.OnEvent(controller.OnUIEvent)
+
+	// Remote event plumbing: subscribe locally for each pattern the
+	// controller listens to, and tell the peer to forward them.
+	patterns := controller.EventPatterns()
+	for _, pat := range patterns {
+		tok, err := s.node.events.Subscribe(pat, nil, func(ev event.Event) {
+			controller.OnRemoteEvent(ev.Topic, ev.Properties)
+		})
+		if err == nil {
+			app.evToks = append(app.evToks, tok)
+		}
+	}
+	return nil
+}
+
+// updateRemoteSubscriptions merges the event patterns of all running
+// applications and ships them to the peer.
+func (s *Session) updateRemoteSubscriptions() {
+	set := make(map[string]bool)
+	s.mu.Lock()
+	apps := make([]*Application, 0, len(s.apps)+1)
+	for _, a := range s.apps {
+		apps = append(apps, a)
+	}
+	s.mu.Unlock()
+	var patterns []string
+	for _, a := range apps {
+		if a.Controller == nil {
+			continue
+		}
+		for _, p := range a.Controller.EventPatterns() {
+			if !set[p] {
+				set[p] = true
+				patterns = append(patterns, p)
+			}
+		}
+	}
+	_ = s.ch.SetRemoteSubscriptions(patterns)
+}
+
+// Apps returns the currently acquired applications.
+func (s *Session) Apps() []*Application {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Application, 0, len(s.apps))
+	for _, a := range s.apps {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Close releases all applications and the channel.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	apps := make([]*Application, 0, len(s.apps))
+	for _, a := range s.apps {
+		apps = append(apps, a)
+	}
+	s.apps = map[string]*Application{}
+	s.mu.Unlock()
+
+	for _, a := range apps {
+		a.release(false)
+	}
+	s.ch.Close()
+	s.node.removeSession(s)
+}
+
+// Release ends the interaction: the controller stops, the view closes,
+// and the proxy bundle is uninstalled immediately (§4.1: proxies are
+// never cached).
+func (a *Application) Release() {
+	a.release(true)
+}
+
+func (a *Application) release(unlist bool) {
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return
+	}
+	a.done = true
+	a.mu.Unlock()
+
+	if a.Controller != nil {
+		a.Controller.Stop()
+	}
+	if a.View != nil {
+		_ = a.View.Close()
+	}
+	for _, tok := range a.evToks {
+		a.session.node.events.Unsubscribe(tok)
+	}
+	if a.Bundle != nil && a.Bundle.State() != module.StateUninstalled {
+		_ = a.Bundle.Uninstall()
+	}
+	if unlist {
+		a.session.mu.Lock()
+		delete(a.session.apps, a.Interface)
+		a.session.mu.Unlock()
+		a.session.updateRemoteSubscriptions()
+	}
+}
+
+// Invoke calls a method on the application's main service through the
+// proxy.
+func (a *Application) Invoke(method string, args ...any) (any, error) {
+	return a.Proxy.Invoke(method, args)
+}
+
+// sessionHost is the sandbox surface handed to the controller (§3.2):
+// it can reach the session's services, the application's own view, and
+// the event bus — nothing else on the device.
+type sessionHost struct {
+	app *Application
+}
+
+var _ script.Host = (*sessionHost)(nil)
+
+func (h *sessionHost) Invoke(service, method string, args []any) (any, error) {
+	app := h.app
+	if service == "" || service == app.Interface {
+		return app.Proxy.Invoke(method, args)
+	}
+	// A pulled dependency runs through its local proxy (possibly smart,
+	// i.e. locally executing)...
+	if dep, ok := app.dep(service); ok {
+		return dep.Invoke(method, args)
+	}
+	// ...while an unpulled one is invoked directly on the target. The
+	// controller cannot tell the difference: tier placement is
+	// transparent.
+	if info, ok := app.session.ch.FindRemoteService(service); ok {
+		return app.session.ch.Invoke(info.ID, method, args)
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoSuchRemoteService, service)
+}
+
+func (h *sessionHost) SetControl(controlID, property string, value any) error {
+	if h.app.View == nil {
+		return render.ErrViewClosed
+	}
+	return h.app.View.SetProperty(controlID, property, value)
+}
+
+func (h *sessionHost) ControlValue(controlID string) (any, bool) {
+	if h.app.View == nil {
+		return nil, false
+	}
+	return h.app.View.Property(controlID, "value")
+}
+
+func (h *sessionHost) Post(topic string, props map[string]any) error {
+	return h.app.session.node.events.Post(event.Event{Topic: topic, Properties: props})
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// TestProviderUpgradeMidSession exercises §3.1's "software as a
+// process": the provider upgrades an application while a phone is
+// connected. The old lease entry disappears, the new one appears, and a
+// fresh acquisition gets the new descriptor — without the phone ever
+// reinstalling anything by hand.
+func TestProviderUpgradeMidSession(t *testing.T) {
+	provider, err := NewNode(NodeConfig{Name: "target", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+
+	mkApp := func(version string, greeting string) (*App, *service.Registration) {
+		svc := remote.NewService("demo.Greeter").
+			Method("Greet", nil, "string", func(args []any) (any, error) {
+				return greeting, nil
+			})
+		desc := &Descriptor{
+			Service: "demo.Greeter",
+			UI: &ui.Description{
+				Title: "Greeter " + version,
+				Controls: []ui.Control{
+					{ID: "msg", Kind: ui.KindLabel, Text: version},
+					{ID: "go", Kind: ui.KindButton, Text: "Greet"},
+				},
+			},
+			Controller: &script.Program{Rules: []script.Rule{{
+				On: script.Trigger{UI: &script.UITrigger{Control: "go", Kind: ui.EventPress}},
+				Do: []script.Action{
+					{Invoke: &script.InvokeAction{Method: "Greet"}},
+					{SetControl: &script.SetControlAction{Control: "msg", Property: "value", Value: "result"}},
+				},
+			}}},
+		}
+		b, err := desc.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.WithDescriptor(b)
+		reg, err := provider.Framework().Registry().Register([]string{"demo.Greeter"}, svc,
+			service.Properties{remote.PropExported: true, "version": version}, "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &App{Descriptor: desc, Service: svc}, reg
+	}
+
+	_, regV1 := mkApp("v1", "hello from v1")
+
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("target")
+	defer l.Close()
+	provider.Serve(l)
+	conn, _ := fabric.Dial("target", netsim.Loopback)
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	appV1, err := session.Acquire("demo.Greeter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appV1.View.Inject(ui.Event{Control: "go", Kind: ui.EventPress}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := appV1.View.Property("msg", "value"); v != "hello from v1" {
+		t.Fatalf("v1 greet = %v", v)
+	}
+
+	// The shop owner upgrades the software while the phone is connected.
+	appV1.Release()
+	if err := regV1.Unregister(); err != nil {
+		t.Fatal(err)
+	}
+	mkApp("v2", "hello from v2")
+
+	// The phone's lease converges on the new registration.
+	deadline := time.Now().Add(2 * time.Second)
+	var newInfo bool
+	for time.Now().Before(deadline) {
+		if info, ok := session.Channel().FindRemoteService("demo.Greeter"); ok && info.Props["version"] == "v2" {
+			newInfo = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !newInfo {
+		t.Fatal("lease never showed v2")
+	}
+
+	// Re-acquiring yields the upgraded descriptor and behaviour.
+	appV2, err := session.Acquire("demo.Greeter", AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appV2.Descriptor.UI.Title != "Greeter v2" {
+		t.Errorf("descriptor title = %q", appV2.Descriptor.UI.Title)
+	}
+	if err := appV2.View.Inject(ui.Event{Control: "go", Kind: ui.EventPress}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := appV2.View.Property("msg", "value"); v != "hello from v2" {
+		t.Errorf("v2 greet = %v", v)
+	}
+}

@@ -1,0 +1,452 @@
+// Package datasync implements the paper's §7 future work: "an
+// automatic distribution mechanism of the data tiers to provide
+// transparent synchronization".
+//
+// The model is single-master replication, which matches the paper's
+// tier rules: the authoritative Store always lives on the target
+// device (§3.2: "the data tier always resides on the target device"),
+// and clients hold Replicas. A replica serves reads locally, forwards
+// writes to the master (write-through), and stays current by pulling
+// the master's version-ordered change log — triggered either by change
+// events forwarded over the remote layer or by periodic polling.
+package datasync
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// Errors.
+var (
+	ErrNoSuchKey     = errors.New("datasync: no such key")
+	ErrReplicaClosed = errors.New("datasync: replica closed")
+)
+
+// changeLogCap bounds the retained change log; replicas further behind
+// resynchronize with a full snapshot.
+const changeLogCap = 1024
+
+// change is one entry of the master's log.
+type change struct {
+	version int64
+	key     string
+	value   any // nil means deleted
+	deleted bool
+}
+
+// Store is the master data tier: a versioned key/value store with a
+// change log. Values must be wire-normalizable.
+type Store struct {
+	name string
+
+	mu      sync.Mutex
+	data    map[string]any
+	version int64
+	log     []change
+	// logBase is the version of the oldest retained log entry minus 1.
+	logBase int64
+}
+
+// NewStore creates an empty master store.
+func NewStore(name string) *Store {
+	return &Store{name: name, data: make(map[string]any)}
+}
+
+// Name returns the store name.
+func (s *Store) Name() string { return s.name }
+
+// Put stores a value and returns the new store version.
+func (s *Store) Put(key string, value any) (int64, error) {
+	norm, err := wire.Normalize(value)
+	if err != nil {
+		return 0, fmt.Errorf("datasync: value for %q: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	s.data[key] = norm
+	s.appendLocked(change{version: s.version, key: key, value: norm})
+	return s.version, nil
+}
+
+// Delete removes a key (idempotent) and returns the new version.
+func (s *Store) Delete(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	delete(s.data, key)
+	s.appendLocked(change{version: s.version, key: key, deleted: true})
+	return s.version
+}
+
+// Get reads a value.
+func (s *Store) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Version returns the current store version.
+func (s *Store) Version() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Keys returns the sorted keys.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns the full state and its version.
+func (s *Store) Snapshot() (map[string]any, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make(map[string]any, len(s.data))
+	for k, v := range s.data {
+		cp[k] = v
+	}
+	return cp, s.version
+}
+
+// ChangesSince returns the log entries after version since, or ok=false
+// when the log has been truncated past that point (replica must
+// resnapshot).
+func (s *Store) ChangesSince(since int64) (changes []change, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if since < s.logBase {
+		return nil, false
+	}
+	for _, c := range s.log {
+		if c.version > since {
+			changes = append(changes, c)
+		}
+	}
+	return changes, true
+}
+
+func (s *Store) appendLocked(c change) {
+	s.log = append(s.log, c)
+	if len(s.log) > changeLogCap {
+		drop := len(s.log) - changeLogCap
+		s.logBase = s.log[drop-1].version
+		s.log = append([]change(nil), s.log[drop:]...)
+	}
+}
+
+// ChangeTopic returns the event topic on which the exported store
+// announces changes.
+func ChangeTopic(name string) string { return "alfredo/data/" + name }
+
+// Export wraps the store as an exportable remote service and wires
+// change announcements into the event admin (which the remote layer
+// forwards to subscribed peers). The returned interface name is
+// "alfredo.data.<name>".
+func Export(store *Store, admin *event.Admin) (*remote.MethodTable, string) {
+	iface := "alfredo.data." + store.Name()
+	announce := func(version int64) {
+		if admin == nil {
+			return
+		}
+		_ = admin.Post(event.Event{
+			Topic:      ChangeTopic(store.Name()),
+			Properties: map[string]any{"version": version},
+		})
+	}
+	table := remote.NewService(iface).
+		Method("Get", []string{"string"}, "any", func(args []any) (any, error) {
+			v, ok := store.Get(args[0].(string))
+			if !ok {
+				return nil, fmt.Errorf("%w: %s", ErrNoSuchKey, args[0])
+			}
+			return v, nil
+		}).
+		Method("Put", []string{"string", "any"}, "int", func(args []any) (any, error) {
+			version, err := store.Put(args[0].(string), args[1])
+			if err != nil {
+				return nil, err
+			}
+			announce(version)
+			return version, nil
+		}).
+		Method("Delete", []string{"string"}, "int", func(args []any) (any, error) {
+			version := store.Delete(args[0].(string))
+			announce(version)
+			return version, nil
+		}).
+		Method("Snapshot", nil, "map", func(args []any) (any, error) {
+			data, version := store.Snapshot()
+			return map[string]any{"version": version, "data": data}, nil
+		}).
+		Method("Changes", []string{"int"}, "map", func(args []any) (any, error) {
+			since := args[0].(int64)
+			changes, ok := store.ChangesSince(since)
+			if !ok {
+				return map[string]any{"resync": true}, nil
+			}
+			list := make([]any, 0, len(changes))
+			for _, c := range changes {
+				list = append(list, map[string]any{
+					"version": c.version,
+					"key":     c.key,
+					"value":   c.value,
+					"deleted": c.deleted,
+				})
+			}
+			return map[string]any{"changes": list}, nil
+		}).
+		Method("Version", nil, "int", func(args []any) (any, error) {
+			return store.Version(), nil
+		})
+	return table, iface
+}
+
+// Replica is the client-side copy of a master store. Reads are local;
+// writes go through the master. Create with NewReplica, release with
+// Close.
+type Replica struct {
+	name    string
+	invoker remote.Invoker
+	admin   *event.Admin
+
+	mu      sync.Mutex
+	data    map[string]any
+	version int64
+	closed  bool
+	evTok   int64
+	hasTok  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ReplicaOptions tune a replica.
+type ReplicaOptions struct {
+	// PollInterval is the fallback resynchronization period when no
+	// change events arrive (0 disables polling).
+	PollInterval time.Duration
+}
+
+// NewReplica creates a replica of the named store reachable through
+// invoker (typically the DynamicService proxy of the exported store).
+// It synchronizes immediately, then applies change events (when admin
+// is non-nil) and polls as configured.
+func NewReplica(name string, invoker remote.Invoker, admin *event.Admin, opts ReplicaOptions) (*Replica, error) {
+	r := &Replica{
+		name:    name,
+		invoker: invoker,
+		admin:   admin,
+		data:    make(map[string]any),
+		stop:    make(chan struct{}),
+	}
+	if err := r.resync(); err != nil {
+		return nil, err
+	}
+	if admin != nil {
+		tok, err := admin.Subscribe(ChangeTopic(name), nil, func(event.Event) {
+			// Pull outside the dispatcher goroutine to keep event
+			// delivery prompt. The closed check under the mutex keeps
+			// the Add from racing Close's Wait.
+			r.mu.Lock()
+			if r.closed {
+				r.mu.Unlock()
+				return
+			}
+			r.wg.Add(1)
+			r.mu.Unlock()
+			go func() {
+				defer r.wg.Done()
+				_ = r.Sync()
+			}()
+		})
+		if err == nil {
+			r.evTok = tok
+			r.hasTok = true
+		}
+	}
+	if opts.PollInterval > 0 {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			ticker := time.NewTicker(opts.PollInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-ticker.C:
+					_ = r.Sync()
+				}
+			}
+		}()
+	}
+	return r, nil
+}
+
+// Get reads from the local replica.
+func (r *Replica) Get(key string) (any, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.data[key]
+	return v, ok
+}
+
+// Version returns the replica's applied version.
+func (r *Replica) Version() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// Keys returns the sorted replica keys.
+func (r *Replica) Keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.data))
+	for k := range r.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Put writes through to the master and applies the change locally
+// without waiting for the round-tripped event.
+func (r *Replica) Put(key string, value any) error {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return ErrReplicaClosed
+	}
+	version, err := r.invoker.Invoke("Put", []any{key, value})
+	if err != nil {
+		return err
+	}
+	norm, err := wire.Normalize(value)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := version.(int64); ok && v > r.version {
+		r.data[key] = norm
+		r.version = v
+	}
+	return nil
+}
+
+// Delete writes through to the master.
+func (r *Replica) Delete(key string) error {
+	version, err := r.invoker.Invoke("Delete", []any{key})
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := version.(int64); ok && v > r.version {
+		delete(r.data, key)
+		r.version = v
+	}
+	return nil
+}
+
+// Sync pulls outstanding changes from the master (or a full snapshot
+// when the master's log no longer covers the replica's version).
+func (r *Replica) Sync() error {
+	r.mu.Lock()
+	since := r.version
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return ErrReplicaClosed
+	}
+
+	res, err := r.invoker.Invoke("Changes", []any{since})
+	if err != nil {
+		return err
+	}
+	m, ok := res.(map[string]any)
+	if !ok {
+		return fmt.Errorf("datasync: unexpected Changes reply %T", res)
+	}
+	if resync, _ := m["resync"].(bool); resync {
+		return r.resync()
+	}
+	list, _ := m["changes"].([]any)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range list {
+		cm, ok := e.(map[string]any)
+		if !ok {
+			continue
+		}
+		version, _ := cm["version"].(int64)
+		if version <= r.version {
+			continue
+		}
+		key, _ := cm["key"].(string)
+		if deleted, _ := cm["deleted"].(bool); deleted {
+			delete(r.data, key)
+		} else {
+			r.data[key] = cm["value"]
+		}
+		r.version = version
+	}
+	return nil
+}
+
+func (r *Replica) resync() error {
+	res, err := r.invoker.Invoke("Snapshot", nil)
+	if err != nil {
+		return err
+	}
+	m, ok := res.(map[string]any)
+	if !ok {
+		return fmt.Errorf("datasync: unexpected Snapshot reply %T", res)
+	}
+	data, _ := m["data"].(map[string]any)
+	version, _ := m["version"].(int64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.data = make(map[string]any, len(data))
+	for k, v := range data {
+		r.data[k] = v
+	}
+	r.version = version
+	return nil
+}
+
+// Close stops background synchronization.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	hasTok, tok := r.hasTok, r.evTok
+	r.hasTok = false
+	r.mu.Unlock()
+	close(r.stop)
+	if hasTok && r.admin != nil {
+		r.admin.Unsubscribe(tok)
+	}
+	r.wg.Wait()
+}

@@ -1,0 +1,349 @@
+package datasync
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore("catalog")
+	if s.Name() != "catalog" {
+		t.Errorf("name = %s", s.Name())
+	}
+	v1, err := s.Put("a", int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := s.Put("b", "two")
+	if v2 <= v1 {
+		t.Errorf("versions not increasing: %d, %d", v1, v2)
+	}
+	if got, ok := s.Get("a"); !ok || got != int64(1) {
+		t.Errorf("Get(a) = %v, %v", got, ok)
+	}
+	v3 := s.Delete("a")
+	if _, ok := s.Get("a"); ok {
+		t.Error("a survived delete")
+	}
+	if keys := s.Keys(); len(keys) != 1 || keys[0] != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+	if s.Version() != v3 {
+		t.Errorf("version = %d, want %d", s.Version(), v3)
+	}
+	// Non-normalizable values are rejected at the boundary.
+	if _, err := s.Put("bad", make(chan int)); err == nil {
+		t.Error("channel value accepted")
+	}
+	// Int widening happens on Put.
+	_, _ = s.Put("n", 7)
+	if got, _ := s.Get("n"); got != int64(7) {
+		t.Errorf("widened value = %T %v", got, got)
+	}
+}
+
+func TestChangeLog(t *testing.T) {
+	s := NewStore("log")
+	_, _ = s.Put("a", int64(1))
+	_, _ = s.Put("b", int64(2))
+	s.Delete("a")
+
+	changes, ok := s.ChangesSince(0)
+	if !ok || len(changes) != 3 {
+		t.Fatalf("changes = %v, %v", changes, ok)
+	}
+	changes, ok = s.ChangesSince(2)
+	if !ok || len(changes) != 1 || !changes[0].deleted {
+		t.Errorf("tail changes = %v", changes)
+	}
+	changes, ok = s.ChangesSince(99)
+	if !ok || len(changes) != 0 {
+		t.Errorf("future changes = %v, %v", changes, ok)
+	}
+}
+
+func TestChangeLogTruncation(t *testing.T) {
+	s := NewStore("trunc")
+	for i := 0; i < changeLogCap+50; i++ {
+		_, _ = s.Put(fmt.Sprintf("k%d", i%10), int64(i))
+	}
+	if _, ok := s.ChangesSince(0); ok {
+		t.Error("truncated log should demand resync from version 0")
+	}
+	if _, ok := s.ChangesSince(s.Version() - 5); !ok {
+		t.Error("recent versions should still be served")
+	}
+}
+
+// syncNodes wires a master and a client over the remote layer and
+// returns the replica-side invoker and both event admins.
+type syncEnv struct {
+	store       *Store
+	masterAdmin *event.Admin
+	clientAdmin *event.Admin
+	proxy       *remote.DynamicService
+	channel     *remote.Channel
+}
+
+func newSyncEnv(t *testing.T) *syncEnv {
+	t.Helper()
+	store := NewStore("catalog")
+	_, _ = store.Put("greeting", "hello")
+
+	masterFW := module.NewFramework(module.Config{Name: "master"})
+	masterAdmin := event.NewAdmin(0)
+	masterPeer, err := remote.NewPeer(remote.Config{Framework: masterFW, Events: masterAdmin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, iface := Export(store, masterAdmin)
+	if _, err := masterFW.Registry().Register([]string{iface}, table,
+		service.Properties{remote.PropExported: true}, "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	clientFW := module.NewFramework(module.Config{Name: "client"})
+	clientAdmin := event.NewAdmin(0)
+	clientPeer, err := remote.NewPeer(remote.Config{Framework: clientFW, Events: clientAdmin})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = masterPeer.Serve(l) }()
+	conn, err := fabric.Dial("master", netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := clientPeer.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.SetRemoteSubscriptions([]string{ChangeTopic("catalog")}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	info, ok := ch.FindRemoteService(iface)
+	if !ok {
+		t.Fatal("store not leased")
+	}
+	reply, err := ch.Fetch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, proxy, err := ch.InstallProxy(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Cleanup(func() {
+		ch.Close()
+		clientPeer.Close()
+		masterPeer.Close()
+		clientAdmin.Close()
+		masterAdmin.Close()
+		_ = clientFW.Shutdown()
+		_ = masterFW.Shutdown()
+		_ = l.Close()
+	})
+	return &syncEnv{
+		store: store, masterAdmin: masterAdmin, clientAdmin: clientAdmin,
+		proxy: proxy, channel: ch,
+	}
+}
+
+func TestReplicaInitialSync(t *testing.T) {
+	env := newSyncEnv(t)
+	r, err := NewReplica("catalog", env.proxy, env.clientAdmin, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got, ok := r.Get("greeting"); !ok || got != "hello" {
+		t.Errorf("initial state = %v, %v", got, ok)
+	}
+	if r.Version() != env.store.Version() {
+		t.Errorf("version = %d, want %d", r.Version(), env.store.Version())
+	}
+}
+
+func TestReplicaFollowsMasterViaEvents(t *testing.T) {
+	env := newSyncEnv(t)
+	r, err := NewReplica("catalog", env.proxy, env.clientAdmin, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// A master-side write propagates via the forwarded change event.
+	if _, err := env.store.Put("price", int64(199)); err != nil {
+		t.Fatal(err)
+	}
+	_ = env.masterAdmin.Post(event.Event{
+		Topic:      ChangeTopic("catalog"),
+		Properties: map[string]any{"version": env.store.Version()},
+	})
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, ok := r.Get("price"); ok && v == int64(199) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never saw the write; version %d vs %d", r.Version(), env.store.Version())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestReplicaWriteThrough(t *testing.T) {
+	env := newSyncEnv(t)
+	r, err := NewReplica("catalog", env.proxy, env.clientAdmin, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if err := r.Put("cart", []any{"Malm"}); err != nil {
+		t.Fatal(err)
+	}
+	// Master sees the write...
+	if got, ok := env.store.Get("cart"); !ok {
+		t.Errorf("master missing write: %v", got)
+	}
+	// ...and the replica applied it locally without waiting.
+	if got, ok := r.Get("cart"); !ok {
+		t.Errorf("replica missing own write: %v", got)
+	}
+
+	if err := r.Delete("cart"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := env.store.Get("cart"); ok {
+		t.Error("master still has deleted key")
+	}
+	if _, ok := r.Get("cart"); ok {
+		t.Error("replica still has deleted key")
+	}
+}
+
+func TestReplicaPolling(t *testing.T) {
+	env := newSyncEnv(t)
+	// No event admin: rely purely on polling.
+	r, err := NewReplica("catalog", env.proxy, nil, ReplicaOptions{PollInterval: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	_, _ = env.store.Put("polled", true)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, ok := r.Get("polled"); ok && v == true {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("polling replica never caught up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestReplicaResyncAfterTruncation(t *testing.T) {
+	env := newSyncEnv(t)
+	r, err := NewReplica("catalog", env.proxy, nil, ReplicaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Overflow the change log so the replica's version falls off.
+	for i := 0; i < changeLogCap+10; i++ {
+		_, _ = env.store.Put(fmt.Sprintf("k%d", i%7), int64(i))
+	}
+	if err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() != env.store.Version() {
+		t.Errorf("version after resync = %d, want %d", r.Version(), env.store.Version())
+	}
+	want, _ := env.store.Get("k3")
+	if got, _ := r.Get("k3"); got != want {
+		t.Errorf("k3 = %v, want %v", got, want)
+	}
+}
+
+func TestReplicaClose(t *testing.T) {
+	env := newSyncEnv(t)
+	r, err := NewReplica("catalog", env.proxy, env.clientAdmin, ReplicaOptions{PollInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // idempotent
+	if err := r.Put("x", 1); !errors.Is(err, ErrReplicaClosed) {
+		t.Errorf("Put after close = %v", err)
+	}
+	if err := r.Sync(); !errors.Is(err, ErrReplicaClosed) {
+		t.Errorf("Sync after close = %v", err)
+	}
+}
+
+// TestPropertyStoreReplayEquivalence: applying any sequence of puts and
+// deletes, a replica synced from version 0 via the change log equals
+// the master state.
+func TestPropertyStoreReplayEquivalence(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		s := NewStore("p")
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%8)
+			if op%5 == 0 {
+				s.Delete(key)
+			} else {
+				_, _ = s.Put(key, int64(i))
+			}
+		}
+		changes, ok := s.ChangesSince(0)
+		if !ok {
+			return true // truncation not exercised at this size
+		}
+		rebuilt := make(map[string]any)
+		for _, c := range changes {
+			if c.deleted {
+				delete(rebuilt, c.key)
+			} else {
+				rebuilt[c.key] = c.value
+			}
+		}
+		want, _ := s.Snapshot()
+		if len(rebuilt) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if rebuilt[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package device models the input/output capabilities of the
+// heterogeneous hardware AlfredO runs on (paper §3.3): capabilities are
+// abstract service interfaces (KeyboardDevice, PointingDevice, …)
+// organized in a hierarchy, concrete input devices implement one or
+// more of them, and a device profile describes what a platform offers —
+// so "the mouse of a desktop computer is equivalent to the joystick of
+// a phone or the knob of a coffee machine".
+package device
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Capability names the abstract input/output service interfaces of the
+// presentation model. They are what UI descriptions declare in their
+// Requires lists.
+type Capability string
+
+// The capability hierarchy of §3.3.
+const (
+	// KeyboardDevice enters characters.
+	KeyboardDevice Capability = "ui.KeyboardDevice"
+	// PointingDevice moves a pointer / selects positions.
+	PointingDevice Capability = "ui.PointingDevice"
+	// ScreenDevice displays rendered output.
+	ScreenDevice Capability = "ui.ScreenDevice"
+	// SelectionDevice navigates discrete choices (lists, menus).
+	SelectionDevice Capability = "ui.SelectionDevice"
+	// AudioDevice plays sounds.
+	AudioDevice Capability = "ui.AudioDevice"
+)
+
+// InputDevice is a concrete piece of hardware implementing one or more
+// capability interfaces — e.g. the Nokia communicator's cursor keys
+// implement both KeyboardDevice navigation and PointingDevice movement
+// (§5.1), and an iPhone's accelerometer implements PointingDevice.
+type InputDevice struct {
+	Name     string       `json:"name"`
+	Provides []Capability `json:"provides"`
+}
+
+// Orientation of a display.
+type Orientation string
+
+// Display orientations.
+const (
+	Landscape Orientation = "landscape"
+	Portrait  Orientation = "portrait"
+)
+
+// Display describes a platform's screen.
+type Display struct {
+	Width       int         `json:"width"`
+	Height      int         `json:"height"`
+	Orientation Orientation `json:"orientation"`
+	Color       bool        `json:"color"`
+}
+
+// Profile describes one platform: identity, display, input hardware,
+// the renderers its runtime supports (in preference order), and the
+// devsim profile that models its CPU.
+type Profile struct {
+	Name      string        `json:"name"`
+	Display   Display       `json:"display"`
+	Inputs    []InputDevice `json:"inputs"`
+	Renderers []string      `json:"renderers"`
+	// SimDevice names the devsim profile modelling this platform.
+	SimDevice string `json:"simDevice,omitempty"`
+	// Link names the netsim profile of the platform's radio.
+	Link string `json:"link,omitempty"`
+}
+
+// Capabilities returns the sorted set of capabilities the profile's
+// inputs provide; ScreenDevice is implied by a non-zero display.
+func (p Profile) Capabilities() []Capability {
+	set := make(map[Capability]bool)
+	for _, in := range p.Inputs {
+		for _, c := range in.Provides {
+			set[c] = true
+		}
+	}
+	if p.Display.Width > 0 && p.Display.Height > 0 {
+		set[ScreenDevice] = true
+	}
+	out := make([]Capability, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Has reports whether the profile offers a capability.
+func (p Profile) Has(c Capability) bool {
+	for _, have := range p.Capabilities() {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Satisfies reports whether the profile offers every required
+// capability; the second result lists what is missing.
+func (p Profile) Satisfies(requires []string) (bool, []Capability) {
+	var missing []Capability
+	for _, r := range requires {
+		if !p.Has(Capability(r)) {
+			missing = append(missing, Capability(r))
+		}
+	}
+	return len(missing) == 0, missing
+}
+
+// ImplementorFor returns the name of an input device providing the
+// capability, preferring earlier entries (profile preference order).
+func (p Profile) ImplementorFor(c Capability) (string, bool) {
+	for _, in := range p.Inputs {
+		for _, have := range in.Provides {
+			if have == c {
+				return in.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	return fmt.Sprintf("profile{%s %dx%d %s}", p.Name, p.Display.Width, p.Display.Height, p.Display.Orientation)
+}
+
+// Stock profiles of the platforms in the paper.
+
+// Nokia9300i is the landscape communicator: full keyboard whose cursor
+// keys double as a pointing device, eRCP/SWT-class rendering modelled
+// by the text renderer.
+func Nokia9300i() Profile {
+	return Profile{
+		Name:    "nokia9300i",
+		Display: Display{Width: 640, Height: 200, Orientation: Landscape, Color: true},
+		Inputs: []InputDevice{
+			{Name: "CursorKeys", Provides: []Capability{PointingDevice, SelectionDevice}},
+			{Name: "FullKeyboard", Provides: []Capability{KeyboardDevice}},
+		},
+		Renderers: []string{"text", "tree"},
+		SimDevice: "nokia9300i",
+		Link:      "wlan11b",
+	}
+}
+
+// SonyEricssonM600i is the portrait smartphone: jog dial and keypad,
+// AWT-class rendering modelled by the tree renderer.
+func SonyEricssonM600i() Profile {
+	return Profile{
+		Name:    "se-m600i",
+		Display: Display{Width: 240, Height: 320, Orientation: Portrait, Color: true},
+		Inputs: []InputDevice{
+			{Name: "JogDial", Provides: []Capability{SelectionDevice}},
+			{Name: "Keypad", Provides: []Capability{KeyboardDevice, PointingDevice}},
+		},
+		Renderers: []string{"tree", "text"},
+		SimDevice: "se-m600i",
+		Link:      "bt20",
+	}
+}
+
+// IPhone has no Java runtime in 2008 (paper §5.2): only the servlet
+// renderer applies, the touch screen covers pointing and selection, and
+// the accelerometer implements PointingDevice for MouseController.
+func IPhone() Profile {
+	return Profile{
+		Name:    "iphone",
+		Display: Display{Width: 320, Height: 480, Orientation: Portrait, Color: true},
+		Inputs: []InputDevice{
+			{Name: "TouchScreen", Provides: []Capability{PointingDevice, SelectionDevice, KeyboardDevice}},
+			{Name: "Accelerometer", Provides: []Capability{PointingDevice}},
+		},
+		Renderers: []string{"html"},
+		SimDevice: "se-m600i",
+		Link:      "wlan11b",
+	}
+}
+
+// Notebook is the target-device platform of the prototype applications
+// (§5): mouse, keyboard, large landscape screen.
+func Notebook() Profile {
+	return Profile{
+		Name:    "notebook",
+		Display: Display{Width: 1280, Height: 800, Orientation: Landscape, Color: true},
+		Inputs: []InputDevice{
+			{Name: "Mouse", Provides: []Capability{PointingDevice, SelectionDevice}},
+			{Name: "NotebookKeyboard", Provides: []Capability{KeyboardDevice, PointingDevice}},
+		},
+		Renderers: []string{"tree", "text", "html"},
+		SimDevice: "notebook",
+		Link:      "eth100",
+	}
+}
+
+// Touchscreen is an input-constrained public information screen.
+func Touchscreen() Profile {
+	return Profile{
+		Name:    "touchscreen",
+		Display: Display{Width: 1024, Height: 768, Orientation: Landscape, Color: true},
+		Inputs: []InputDevice{
+			{Name: "TouchPanel", Provides: []Capability{PointingDevice, SelectionDevice}},
+		},
+		Renderers: []string{"html", "tree"},
+		SimDevice: "notebook",
+		Link:      "eth100",
+	}
+}
+
+// ProfileByName resolves a stock profile.
+func ProfileByName(name string) (Profile, bool) {
+	switch name {
+	case "nokia9300i":
+		return Nokia9300i(), true
+	case "se-m600i":
+		return SonyEricssonM600i(), true
+	case "iphone":
+		return IPhone(), true
+	case "notebook":
+		return Notebook(), true
+	case "touchscreen":
+		return Touchscreen(), true
+	default:
+		return Profile{}, false
+	}
+}

@@ -1,0 +1,90 @@
+package device
+
+import "testing"
+
+func TestStockProfilesResolve(t *testing.T) {
+	for _, name := range []string{"nokia9300i", "se-m600i", "iphone", "notebook", "touchscreen"} {
+		p, ok := ProfileByName(name)
+		if !ok {
+			t.Errorf("profile %s missing", name)
+			continue
+		}
+		if p.Name != name {
+			t.Errorf("name mismatch: %s", p.Name)
+		}
+		if p.Display.Width <= 0 || p.Display.Height <= 0 {
+			t.Errorf("%s has no display", name)
+		}
+		if len(p.Renderers) == 0 {
+			t.Errorf("%s has no renderers", name)
+		}
+	}
+	if _, ok := ProfileByName("commodore64"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestCapabilityMapping(t *testing.T) {
+	nokia := Nokia9300i()
+	// §5.1: on a Nokia 9300i the PointingDevice interface is implemented
+	// with the cursor keys of the keyboard.
+	impl, ok := nokia.ImplementorFor(PointingDevice)
+	if !ok || impl != "CursorKeys" {
+		t.Errorf("Nokia PointingDevice implementor = %s, %v", impl, ok)
+	}
+	// On an iPhone the same interface can be implemented with the
+	// accelerometer (touch screen is preferred as it is listed first).
+	iphone := IPhone()
+	if impl, _ := iphone.ImplementorFor(PointingDevice); impl != "TouchScreen" {
+		t.Errorf("iPhone PointingDevice implementor = %s", impl)
+	}
+	if !iphone.Has(PointingDevice) {
+		t.Error("iPhone lacks PointingDevice")
+	}
+}
+
+func TestScreenDeviceImplied(t *testing.T) {
+	p := Profile{Name: "headless"}
+	if p.Has(ScreenDevice) {
+		t.Error("headless device claims a screen")
+	}
+	p.Display = Display{Width: 100, Height: 100}
+	if !p.Has(ScreenDevice) {
+		t.Error("display does not imply ScreenDevice")
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	nokia := Nokia9300i()
+	ok, missing := nokia.Satisfies([]string{string(PointingDevice), string(KeyboardDevice)})
+	if !ok || len(missing) != 0 {
+		t.Errorf("Nokia should satisfy pointing+keyboard, missing %v", missing)
+	}
+	ok, missing = nokia.Satisfies([]string{string(AudioDevice)})
+	if ok || len(missing) != 1 || missing[0] != AudioDevice {
+		t.Errorf("Nokia should miss AudioDevice, got %v", missing)
+	}
+	// Empty requirements are trivially satisfied.
+	if ok, _ := (Profile{}).Satisfies(nil); !ok {
+		t.Error("empty requirements unsatisfied")
+	}
+}
+
+func TestOrientations(t *testing.T) {
+	if Nokia9300i().Display.Orientation != Landscape {
+		t.Error("9300i should be landscape (paper §5.2)")
+	}
+	if SonyEricssonM600i().Display.Orientation != Portrait {
+		t.Error("M600i should be portrait (paper §5.2)")
+	}
+}
+
+func TestCapabilitiesSortedAndDeduped(t *testing.T) {
+	p := Notebook()
+	caps := p.Capabilities()
+	for i := 1; i < len(caps); i++ {
+		if caps[i-1] >= caps[i] {
+			t.Errorf("capabilities not sorted/deduped: %v", caps)
+		}
+	}
+}

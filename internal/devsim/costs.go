@@ -1,0 +1,72 @@
+package devsim
+
+import "time"
+
+// Cost catalog: the reference-desktop duration of each framework
+// operation. A device executes an operation in catalogCost/deviceSpeed.
+//
+// Calibration (all derived from the paper, not measured on 2008
+// hardware):
+//
+//   - Tables 1–2 put "Build proxy bundle" at 3125 ms on the Nokia 9300i
+//     (speed 0.048) and 1881 ms on the M600i (speed 0.080): both imply a
+//     reference cost of ~150 ms, dominated by a fixed part (the two
+//     apps' interfaces differ in size yet build times differ by <1%).
+//   - "Install proxy bundle" is I/O-bound (flash write): 703 ms vs
+//     259 ms do NOT follow the CPU ratio, so install runs on the
+//     device's I/O queue with its own speed factor.
+//   - "Start proxy bundle" is app-dependent (the MouseController
+//     activator subscribes to snapshot events and allocates a
+//     framebuffer; AlfredOShop only wires UI state): the app start work
+//     is declared per-archive and executed on the device CPU.
+//   - Figure 3 (~1 ms single-client invocation on a P4 over Ethernet,
+//     rising to ~2.5 ms at 128 clients at 10 inv/s each) implies a
+//     server-side dispatch cost of ~0.67 ms: utilization 0.86 at
+//     1280 inv/s produces exactly that gentle queueing rise, and the
+//     knee the paper reports between 400 and 800 clients on the 4-core
+//     cluster node (Fig. 4) follows from the same constant.
+//   - Figures 5–6 (~100 ms phone-side invocation latency, < 150 ms at
+//     40 concurrent services) imply ~1 ms of reference-CPU work per
+//     invocation on the client path: ~21 ms on the Nokia, which at 40
+//     invocations/s loads the phone CPU to ~0.8 and reproduces the
+//     sub-150 ms rise.
+const (
+	// CostParseReplyPerKB is the client-side cost of decoding a fetched
+	// service interface + descriptor, per KB.
+	CostParseReplyPerKB = 750 * time.Microsecond
+
+	// CostBuildProxyBase is the fixed cost of synthesizing a proxy
+	// bundle from a shipped interface.
+	CostBuildProxyBase = 149 * time.Millisecond
+
+	// CostBuildProxyPerMethod is the incremental cost per proxied
+	// method.
+	CostBuildProxyPerMethod = 300 * time.Microsecond
+
+	// CostInstallBundle is the I/O-queue cost of installing a proxy
+	// bundle.
+	CostInstallBundle = 30 * time.Millisecond
+
+	// CostStartBundleBase is the fixed CPU cost of starting a proxy
+	// bundle (registry interaction, activator dispatch). App-specific
+	// start work is declared in the service descriptor and added.
+	CostStartBundleBase = 2 * time.Millisecond
+
+	// CostClientInvoke is the client-side CPU cost per invocation
+	// (marshalling, proxy dispatch, demarshalling the result).
+	CostClientInvoke = 1 * time.Millisecond
+
+	// CostClientInvokePerKB adds to CostClientInvoke for large payloads.
+	CostClientInvokePerKB = 200 * time.Microsecond
+
+	// CostServerDispatch is the server-side CPU cost per invocation
+	// (decode, registry lookup, dispatch, encode).
+	CostServerDispatch = 670 * time.Microsecond
+
+	// CostServerDispatchPerKB adds to CostServerDispatch for large
+	// payloads.
+	CostServerDispatchPerKB = 150 * time.Microsecond
+
+	// CostJitter is the default multiplicative service-time jitter.
+	CostJitter = 0.35
+)

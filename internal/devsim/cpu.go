@@ -1,0 +1,166 @@
+// Package devsim simulates the execution platforms of the paper's
+// evaluation: resource-constrained phones (Nokia 9300i, Sony Ericsson
+// M600i), a Pentium 4 desktop, and dual-processor dual-core Opteron
+// cluster nodes (DESIGN.md §2).
+//
+// Every framework operation with a measurable cost in the paper — proxy
+// building, bundle install/start, argument marshalling, service dispatch
+// — is routed through a device's CPU (or I/O) queue. A queue has a fixed
+// number of units and a speed factor relative to the reference desktop;
+// operations block for their scaled duration while holding a unit, so
+// queueing delay, saturation knees and cross-device speedups emerge from
+// contention rather than being scripted. Cost constants live in
+// costs.go with their calibration notes.
+//
+// Timer precision: time.Sleep overshoots sub-millisecond durations by
+// up to ~1 ms, which would inflate the sub-millisecond dispatch costs
+// of Figures 3 and 4 several-fold. Each unit therefore keeps a signed
+// sleep *debt*: costs accumulate, the unit sleeps only once the debt
+// exceeds a quantum, and the measured oversleep is credited back. The
+// long-run busy time per unit — and with it utilization, capacity and
+// the saturation knee — is exact, at the price of lumpier individual
+// latencies (which all experiments average anyway).
+package devsim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// sleepQuantum is the smallest debt a unit pays in one sleep.
+const sleepQuantum = 1500 * time.Microsecond
+
+// Queue models a pool of identical execution units (CPU cores or an
+// I/O channel). Execute blocks for the scaled duration of an operation
+// while holding one unit; when all units are busy, callers queue.
+type Queue struct {
+	name  string
+	units int
+	speed float64
+
+	slots chan int // unit ids
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	jitter float64
+	busy   time.Duration
+	ops    int64
+	debt   []time.Duration // per-unit sleep debt
+}
+
+// NewQueue creates a queue with the given unit count and speed factor
+// (1.0 = reference desktop; 0.05 = a 20x slower phone).
+func NewQueue(name string, units int, speed float64) *Queue {
+	if units < 1 {
+		units = 1
+	}
+	if speed <= 0 {
+		speed = 1.0
+	}
+	q := &Queue{
+		name:  name,
+		units: units,
+		speed: speed,
+		slots: make(chan int, units),
+		rng:   rand.New(rand.NewSource(int64(len(name)) + 42)),
+		debt:  make([]time.Duration, units),
+	}
+	for i := 0; i < units; i++ {
+		q.slots <- i
+	}
+	return q
+}
+
+// SetJitter configures multiplicative cost jitter: each operation's
+// duration is scaled by a uniform factor in [1-j, 1+j]. Real service
+// times vary; without variance, deterministic arrivals would hide
+// queueing effects that the paper's measurements show.
+func (q *Queue) SetJitter(j float64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j < 0 {
+		j = 0
+	}
+	if j > 0.9 {
+		j = 0.9
+	}
+	q.jitter = j
+}
+
+// Execute blocks for cost (scaled by the queue's speed and jitter)
+// while holding one unit. A zero or negative cost returns immediately.
+func (q *Queue) Execute(cost time.Duration) {
+	_ = q.ExecuteCtx(context.Background(), cost)
+}
+
+// ExecuteCtx is Execute with cancellation while waiting for a unit.
+func (q *Queue) ExecuteCtx(ctx context.Context, cost time.Duration) error {
+	if q == nil || cost <= 0 {
+		return nil
+	}
+	var unit int
+	select {
+	case unit = <-q.slots:
+	case <-ctx.Done():
+		return fmt.Errorf("devsim: waiting for %s: %w", q.name, ctx.Err())
+	}
+	defer func() { q.slots <- unit }()
+
+	d := q.scale(cost)
+	q.mu.Lock()
+	q.busy += d
+	q.ops++
+	q.debt[unit] += d
+	pay := time.Duration(0)
+	if q.debt[unit] >= sleepQuantum {
+		pay = q.debt[unit]
+		q.debt[unit] = 0
+	}
+	q.mu.Unlock()
+
+	if pay > 0 {
+		t0 := time.Now()
+		time.Sleep(pay)
+		oversleep := time.Since(t0) - pay
+		if oversleep > 0 {
+			q.mu.Lock()
+			q.debt[unit] -= oversleep
+			q.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+func (q *Queue) scale(cost time.Duration) time.Duration {
+	d := time.Duration(float64(cost) / q.speed)
+	q.mu.Lock()
+	j := q.jitter
+	var f float64
+	if j > 0 {
+		f = 1 - j + 2*j*q.rng.Float64()
+	}
+	q.mu.Unlock()
+	if j > 0 {
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// Stats reports the cumulative busy time and operation count.
+func (q *Queue) Stats() (busy time.Duration, ops int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.busy, q.ops
+}
+
+// Units returns the number of execution units.
+func (q *Queue) Units() int { return q.units }
+
+// Speed returns the speed factor.
+func (q *Queue) Speed() float64 { return q.speed }
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }

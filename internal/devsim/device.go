@@ -1,0 +1,155 @@
+package devsim
+
+import "time"
+
+// Device bundles the execution queues of one simulated platform. A nil
+// *Device disables cost simulation entirely (all hooks return
+// immediately), which is what plain unit tests use.
+type Device struct {
+	name string
+	cpu  *Queue
+	io   *Queue
+}
+
+// NewDevice creates a device with a CPU queue of cpuUnits cores at
+// cpuSpeed and a single-channel I/O queue at ioSpeed (both relative to
+// the reference desktop = 1.0).
+func NewDevice(name string, cpuUnits int, cpuSpeed, ioSpeed float64) *Device {
+	cpu := NewQueue(name+"/cpu", cpuUnits, cpuSpeed)
+	cpu.SetJitter(CostJitter)
+	ioq := NewQueue(name+"/io", 1, ioSpeed)
+	ioq.SetJitter(CostJitter / 2)
+	return &Device{name: name, cpu: cpu, io: ioq}
+}
+
+// Stock device profiles. Speed factors are calibrated in costs.go.
+//
+//   - Nokia9300i: 150 MHz ARM9 communicator (WLAN experiments).
+//   - SonyEricssonM600i: 208 MHz ARM9 smartphone (Bluetooth
+//     experiments); ~40% faster CPU than the 9300i but with a much
+//     faster flash path (the paper's install times do not follow the
+//     CPU ratio).
+//   - DesktopP4: the single-core Pentium 4 class service provider of
+//     Figure 3 (reference speed 1.0).
+//   - OpteronNode: a two-processor dual-core 2.2 GHz cluster node of
+//     Figure 4.
+//   - Notebook: the target device of the prototype applications (§5).
+// Nokia9300i models the 150 MHz ARM9 communicator.
+func Nokia9300i() *Device { return NewDevice("nokia9300i", 1, 0.048, 0.0427) }
+
+// SonyEricssonM600i models the 208 MHz ARM9 smartphone.
+func SonyEricssonM600i() *Device { return NewDevice("se-m600i", 1, 0.080, 0.116) }
+
+// DesktopP4 models the single-core Pentium 4 reference desktop.
+func DesktopP4() *Device { return NewDevice("desktop-p4", 1, 1.0, 1.0) }
+
+// OpteronNode models a two-processor dual-core 2.2 GHz cluster node.
+func OpteronNode() *Device { return NewDevice("opteron", 4, 0.92, 1.5) }
+
+// Notebook models the prototype applications' target device.
+func Notebook() *Device { return NewDevice("notebook", 2, 0.85, 0.9) }
+
+// DeviceByName resolves a stock profile name.
+func DeviceByName(name string) (*Device, bool) {
+	switch name {
+	case "nokia9300i":
+		return Nokia9300i(), true
+	case "se-m600i":
+		return SonyEricssonM600i(), true
+	case "desktop-p4":
+		return DesktopP4(), true
+	case "opteron":
+		return OpteronNode(), true
+	case "notebook":
+		return Notebook(), true
+	default:
+		return nil, false
+	}
+}
+
+// Name returns the device name ("" for nil).
+func (d *Device) Name() string {
+	if d == nil {
+		return ""
+	}
+	return d.name
+}
+
+// CPU returns the device's CPU queue (nil for a nil device).
+func (d *Device) CPU() *Queue {
+	if d == nil {
+		return nil
+	}
+	return d.cpu
+}
+
+// IO returns the device's I/O queue (nil for a nil device).
+func (d *Device) IO() *Queue {
+	if d == nil {
+		return nil
+	}
+	return d.io
+}
+
+// The methods below are the cost hooks the remote and core layers call
+// at the corresponding points of the acquire/invoke pipelines. All are
+// nil-safe.
+
+// ParseReply accounts for decoding a fetched service reply of the given
+// size.
+func (d *Device) ParseReply(bytes int) {
+	if d == nil {
+		return
+	}
+	d.cpu.Execute(time.Duration(float64(CostParseReplyPerKB) * float64(bytes) / 1024))
+}
+
+// BuildProxy accounts for synthesizing a proxy bundle with the given
+// number of methods.
+func (d *Device) BuildProxy(methods int) {
+	if d == nil {
+		return
+	}
+	d.cpu.Execute(CostBuildProxyBase + time.Duration(methods)*CostBuildProxyPerMethod)
+}
+
+// InstallBundle accounts for persisting a proxy bundle (I/O-bound).
+func (d *Device) InstallBundle() {
+	if d == nil {
+		return
+	}
+	d.io.Execute(CostInstallBundle)
+}
+
+// StartBundle accounts for starting a proxy bundle; extra is the
+// app-specific start work declared in the service descriptor.
+func (d *Device) StartBundle(extra time.Duration) {
+	if d == nil {
+		return
+	}
+	d.cpu.Execute(CostStartBundleBase + extra)
+}
+
+// ClientInvoke accounts for the client-side work of one invocation with
+// the given payload size. base distinguishes the full AlfredO client
+// path (CostClientInvoke) from a raw remote-service client
+// (CostClientInvokeRaw).
+func (d *Device) ClientInvoke(base time.Duration, payloadBytes int) {
+	if d == nil {
+		return
+	}
+	d.cpu.Execute(base + time.Duration(float64(CostClientInvokePerKB)*float64(payloadBytes)/1024))
+}
+
+// ServerDispatch accounts for the server-side work of one invocation.
+func (d *Device) ServerDispatch(payloadBytes int) {
+	if d == nil {
+		return
+	}
+	d.cpu.Execute(CostServerDispatch + time.Duration(float64(CostServerDispatchPerKB)*float64(payloadBytes)/1024))
+}
+
+// CostClientInvokeRaw is the client-side cost of a bare remote-service
+// invocation without the AlfredO presentation/controller layers — the
+// desktop clients of Figures 3 and 4.
+const CostClientInvokeRaw = 80 * time.Microsecond

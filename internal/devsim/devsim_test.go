@@ -1,0 +1,216 @@
+package devsim
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueScalesBySpeed(t *testing.T) {
+	fast := NewQueue("fast", 1, 1.0)
+	slow := NewQueue("slow", 1, 0.1)
+
+	start := time.Now()
+	fast.Execute(10 * time.Millisecond)
+	fastTook := time.Since(start)
+
+	start = time.Now()
+	slow.Execute(10 * time.Millisecond)
+	slowTook := time.Since(start)
+
+	if fastTook < 8*time.Millisecond {
+		t.Errorf("fast queue took %v, want >= ~10ms", fastTook)
+	}
+	if slowTook < 80*time.Millisecond {
+		t.Errorf("slow queue took %v, want >= ~100ms (10x slower)", slowTook)
+	}
+}
+
+func TestQueueContention(t *testing.T) {
+	// Two 20 ms jobs on one core must serialize: total >= 40 ms.
+	q := NewQueue("contended", 1, 1.0)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.Execute(20 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if took := time.Since(start); took < 38*time.Millisecond {
+		t.Errorf("serialized execution took %v, want >= ~40ms", took)
+	}
+
+	// The same jobs on two cores run in parallel: total < 40 ms.
+	q2 := NewQueue("parallel", 2, 1.0)
+	start = time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q2.Execute(20 * time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if took := time.Since(start); took > 38*time.Millisecond {
+		t.Errorf("parallel execution took %v, want < ~40ms", took)
+	}
+}
+
+func TestQueueJitterBounds(t *testing.T) {
+	// Individual operations may not sleep (debt accounting), but the
+	// aggregate busy time of n jittered 4ms ops stays in [2ms,6ms]*n,
+	// and the wall clock tracks the aggregate.
+	q := NewQueue("jittery", 1, 1.0)
+	q.SetJitter(0.5)
+	const n = 20
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		q.Execute(4 * time.Millisecond)
+	}
+	took := time.Since(start)
+	busy, ops := q.Stats()
+	if ops != n {
+		t.Fatalf("ops = %d", ops)
+	}
+	if busy < n*2*time.Millisecond || busy > n*6*time.Millisecond {
+		t.Errorf("aggregate busy = %v, want within [%v,%v]", busy, n*2*time.Millisecond, n*6*time.Millisecond)
+	}
+	// Wall clock within debt quantum + scheduling slack of busy time.
+	if took < busy-2*sleepQuantum {
+		t.Errorf("wall clock %v far below busy %v", took, busy)
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	q := NewQueue("stats", 1, 1.0)
+	q.Execute(2 * time.Millisecond)
+	q.Execute(3 * time.Millisecond)
+	busy, ops := q.Stats()
+	if ops != 2 {
+		t.Errorf("ops = %d, want 2", ops)
+	}
+	if busy < 4*time.Millisecond || busy > 8*time.Millisecond {
+		t.Errorf("busy = %v, want ~5ms", busy)
+	}
+}
+
+func TestQueueCtxCancel(t *testing.T) {
+	q := NewQueue("busy", 1, 1.0)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-release
+		q.Execute(50 * time.Millisecond)
+	}()
+	close(release)
+	time.Sleep(5 * time.Millisecond) // let the holder grab the core
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := q.ExecuteCtx(ctx, time.Millisecond); err == nil {
+		t.Error("ExecuteCtx should fail while the core is held past the deadline")
+	}
+	wg.Wait()
+}
+
+func TestZeroAndNilSafety(t *testing.T) {
+	var q *Queue
+	if err := q.ExecuteCtx(context.Background(), time.Second); err != nil {
+		t.Errorf("nil queue ExecuteCtx = %v", err)
+	}
+	q2 := NewQueue("zero", 1, 1.0)
+	q2.Execute(0)
+	q2.Execute(-time.Second)
+
+	var d *Device
+	d.ParseReply(1000)
+	d.BuildProxy(10)
+	d.InstallBundle()
+	d.StartBundle(time.Second)
+	d.ClientInvoke(CostClientInvoke, 100)
+	d.ServerDispatch(100)
+	if d.Name() != "" || d.CPU() != nil || d.IO() != nil {
+		t.Error("nil device accessors should return zero values")
+	}
+}
+
+func TestStockProfiles(t *testing.T) {
+	for _, name := range []string{"nokia9300i", "se-m600i", "desktop-p4", "opteron", "notebook"} {
+		d, ok := DeviceByName(name)
+		if !ok {
+			t.Errorf("device %s missing", name)
+			continue
+		}
+		if d.Name() != name {
+			t.Errorf("device name = %s, want %s", d.Name(), name)
+		}
+	}
+	if _, ok := DeviceByName("psion5"); ok {
+		t.Error("unknown device should not resolve")
+	}
+
+	// Calibration relations from the paper:
+	nokia, m600i := Nokia9300i(), SonyEricssonM600i()
+	// 1. The M600i CPU is faster than the Nokia's (Table 2 vs 1: "the
+	//    performance is in average 40% faster").
+	if m600i.CPU().Speed() <= nokia.CPU().Speed() {
+		t.Error("M600i should have a faster CPU than the 9300i")
+	}
+	ratio := nokia.CPU().Speed() / m600i.CPU().Speed()
+	if ratio < 0.5 || ratio > 0.7 {
+		t.Errorf("build-time ratio = %.2f, want ~0.6 (3125ms vs 1881ms)", ratio)
+	}
+	// 2. Install is I/O bound and does not follow the CPU ratio.
+	ioRatio := nokia.IO().Speed() / m600i.IO().Speed()
+	if ioRatio > 0.5 {
+		t.Errorf("install ratio = %.2f, want ~0.37 (703ms vs 259ms)", ioRatio)
+	}
+	// 3. The cluster node out-muscles the P4 by roughly 3.7x in
+	//    aggregate (Fig. 4 knee at ~550 clients vs Fig. 3's 128-client
+	//    ceiling).
+	p4, opt := DesktopP4(), OpteronNode()
+	aggP4 := float64(p4.CPU().Units()) * p4.CPU().Speed()
+	aggOpt := float64(opt.CPU().Units()) * opt.CPU().Speed()
+	if r := aggOpt / aggP4; r < 3.0 || r > 4.5 {
+		t.Errorf("cluster/P4 aggregate ratio = %.2f, want ~3.7", r)
+	}
+}
+
+func TestDeviceHookDurations(t *testing.T) {
+	// On the Nokia profile, building a small proxy must land in the
+	// paper's ~3.1s band.
+	nokia := Nokia9300i()
+	nokia.CPU().SetJitter(0) // deterministic for the assertion
+	start := time.Now()
+	nokia.BuildProxy(4)
+	took := time.Since(start)
+	if took < 2800*time.Millisecond || took > 3500*time.Millisecond {
+		t.Errorf("Nokia proxy build = %v, want ~3.1s (Table 1)", took)
+	}
+}
+
+func TestDeviceInstallDurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	nokia := Nokia9300i()
+	nokia.IO().SetJitter(0)
+	start := time.Now()
+	nokia.InstallBundle()
+	if took := time.Since(start); took < 600*time.Millisecond || took > 850*time.Millisecond {
+		t.Errorf("Nokia install = %v, want ~703ms (Table 1)", took)
+	}
+	m := SonyEricssonM600i()
+	m.IO().SetJitter(0)
+	start = time.Now()
+	m.InstallBundle()
+	if took := time.Since(start); took < 200*time.Millisecond || took > 350*time.Millisecond {
+		t.Errorf("M600i install = %v, want ~259ms (Table 2)", took)
+	}
+}

@@ -1,0 +1,401 @@
+// Package discovery implements SLP-style service discovery (paper §3.2;
+// R-OSGi uses SLP [10,11]): service agents register advertisements with
+// service URLs and attributes, user agents multicast service requests
+// with scopes and LDAP predicates and collect replies, and — matching
+// the paper's invitation model — agents can periodically broadcast
+// announcements that nearby devices surface to their users.
+//
+// The multicast domain is abstracted as a Bus. InProcBus is the
+// in-process implementation used by tests and simulations; it delivers
+// every packet to every member except the sender, like a multicast
+// group on one segment.
+package discovery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+)
+
+// Discovery errors.
+var (
+	ErrBadServiceURL = errors.New("discovery: malformed service URL")
+	ErrAgentClosed   = errors.New("discovery: agent closed")
+	ErrDuplicate     = errors.New("discovery: member already joined")
+)
+
+// DefaultScope is used when an advertisement or request names none.
+const DefaultScope = "default"
+
+// Advertisement describes one discoverable service.
+type Advertisement struct {
+	// URL locates the service, e.g. "service:alfredo://shop-screen:9278".
+	URL string `json:"url"`
+	// Scope partitions the discovery domain (SLP scopes).
+	Scope string `json:"scope,omitempty"`
+	// Attributes are matched against request predicates.
+	Attributes map[string]any `json:"attributes,omitempty"`
+	// Lifetime bounds the advertisement's validity.
+	Lifetime time.Duration `json:"lifetime,omitempty"`
+}
+
+// ServiceType extracts the type from the advertisement URL
+// ("service:alfredo://x" -> "alfredo").
+func (a Advertisement) ServiceType() string {
+	t, _, err := ParseServiceURL(a.URL)
+	if err != nil {
+		return ""
+	}
+	return t
+}
+
+// ParseServiceURL splits "service:<type>://<address>".
+func ParseServiceURL(url string) (serviceType, address string, err error) {
+	rest, ok := strings.CutPrefix(url, "service:")
+	if !ok {
+		return "", "", fmt.Errorf("%w: %q lacks service: prefix", ErrBadServiceURL, url)
+	}
+	serviceType, address, ok = strings.Cut(rest, "://")
+	if !ok || serviceType == "" || address == "" {
+		return "", "", fmt.Errorf("%w: %q", ErrBadServiceURL, url)
+	}
+	return serviceType, address, nil
+}
+
+// MakeServiceURL builds a service URL.
+func MakeServiceURL(serviceType, address string) string {
+	return "service:" + serviceType + "://" + address
+}
+
+// PacketKind enumerates SLP-style packets.
+type PacketKind int
+
+// Packet kinds.
+const (
+	// PacketSrvRqst asks for services of a type/scope matching a
+	// predicate.
+	PacketSrvRqst PacketKind = iota + 1
+	// PacketSrvRply answers a SrvRqst.
+	PacketSrvRply
+	// PacketAnnounce is an unsolicited invitation (paper §3.2: "the
+	// target device itself may periodically broadcast invitations").
+	PacketAnnounce
+)
+
+// Packet is one discovery message on the bus.
+type Packet struct {
+	Kind        PacketKind
+	From        string
+	RequestID   int64
+	ServiceType string
+	Scope       string
+	Predicate   string
+	Services    []Advertisement
+}
+
+// Bus is the multicast domain: every member receives every packet sent
+// by any other member.
+type Bus interface {
+	// Join adds a member; the handler receives packets from others.
+	// The returned send function broadcasts, leave departs.
+	Join(member string, h func(Packet)) (send func(Packet), leave func(), err error)
+}
+
+// InProcBus is the in-process multicast segment.
+type InProcBus struct {
+	mu      sync.Mutex
+	members map[string]func(Packet)
+}
+
+var _ Bus = (*InProcBus)(nil)
+
+// NewInProcBus creates an empty bus.
+func NewInProcBus() *InProcBus {
+	return &InProcBus{members: make(map[string]func(Packet))}
+}
+
+// Join implements Bus.
+func (b *InProcBus) Join(member string, h func(Packet)) (func(Packet), func(), error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.members[member]; dup {
+		return nil, nil, fmt.Errorf("%w: %s", ErrDuplicate, member)
+	}
+	b.members[member] = h
+
+	send := func(p Packet) {
+		p.From = member
+		b.mu.Lock()
+		handlers := make([]func(Packet), 0, len(b.members))
+		for name, mh := range b.members {
+			if name != member {
+				handlers = append(handlers, mh)
+			}
+		}
+		b.mu.Unlock()
+		for _, mh := range handlers {
+			mh(p)
+		}
+	}
+	leave := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.members, member)
+	}
+	return send, leave, nil
+}
+
+// Agent is a combined SLP service agent (answers requests for its
+// registered services) and user agent (discovers remote services).
+type Agent struct {
+	name string
+	send func(Packet)
+
+	mu        sync.Mutex
+	leave     func()
+	local     map[string]Advertisement // by URL
+	nextReq   int64
+	collect   map[int64]chan []Advertisement
+	announceH []func(Advertisement)
+	closed    bool
+
+	wg       sync.WaitGroup
+	stopAnno chan struct{}
+}
+
+// NewAgent joins the bus under the given member name.
+func NewAgent(name string, bus Bus) (*Agent, error) {
+	a := &Agent{
+		name:    name,
+		local:   make(map[string]Advertisement),
+		collect: make(map[int64]chan []Advertisement),
+	}
+	send, leave, err := bus.Join(name, a.onPacket)
+	if err != nil {
+		return nil, err
+	}
+	a.send = send
+	a.leave = leave
+	return a, nil
+}
+
+// Register adds a local advertisement; the returned function withdraws
+// it.
+func (a *Agent) Register(adv Advertisement) (func(), error) {
+	if _, _, err := ParseServiceURL(adv.URL); err != nil {
+		return nil, err
+	}
+	if adv.Scope == "" {
+		adv.Scope = DefaultScope
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, ErrAgentClosed
+	}
+	a.local[adv.URL] = adv
+	url := adv.URL
+	return func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		delete(a.local, url)
+	}, nil
+}
+
+// Registered lists local advertisements.
+func (a *Agent) Registered() []Advertisement {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Advertisement, 0, len(a.local))
+	for _, adv := range a.local {
+		out = append(out, adv)
+	}
+	return out
+}
+
+// Discover multicasts a service request and collects replies until the
+// context expires or is cancelled. serviceType and scope filter
+// candidates ("" matches any type); predicate is an optional RFC 1960
+// filter over advertisement attributes.
+func (a *Agent) Discover(ctx context.Context, serviceType, scope string, predicate *filter.Filter) ([]Advertisement, error) {
+	if scope == "" {
+		scope = DefaultScope
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil, ErrAgentClosed
+	}
+	a.nextReq++
+	reqID := a.nextReq
+	ch := make(chan []Advertisement, 16)
+	a.collect[reqID] = ch
+	a.mu.Unlock()
+
+	defer func() {
+		a.mu.Lock()
+		delete(a.collect, reqID)
+		a.mu.Unlock()
+	}()
+
+	pred := ""
+	if predicate != nil {
+		pred = predicate.String()
+	}
+	a.send(Packet{
+		Kind:        PacketSrvRqst,
+		RequestID:   reqID,
+		ServiceType: serviceType,
+		Scope:       scope,
+		Predicate:   pred,
+	})
+
+	var found []Advertisement
+	seen := make(map[string]bool)
+	for {
+		select {
+		case advs := <-ch:
+			for _, adv := range advs {
+				if !seen[adv.URL] {
+					seen[adv.URL] = true
+					found = append(found, adv)
+				}
+			}
+		case <-ctx.Done():
+			return found, nil
+		}
+	}
+}
+
+// OnAnnouncement registers a handler for unsolicited invitations from
+// other devices.
+func (a *Agent) OnAnnouncement(h func(Advertisement)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.announceH = append(a.announceH, h)
+}
+
+// StartAnnouncing broadcasts all local advertisements every interval
+// until StopAnnouncing or Close.
+func (a *Agent) StartAnnouncing(interval time.Duration) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrAgentClosed
+	}
+	if a.stopAnno != nil {
+		return nil // already announcing
+	}
+	a.stopAnno = make(chan struct{})
+	stop := a.stopAnno
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				for _, adv := range a.Registered() {
+					a.send(Packet{Kind: PacketAnnounce, Services: []Advertisement{adv}})
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// StopAnnouncing halts the announcement loop.
+func (a *Agent) StopAnnouncing() {
+	a.mu.Lock()
+	stop := a.stopAnno
+	a.stopAnno = nil
+	a.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	a.wg.Wait()
+}
+
+// Close leaves the bus and stops announcing.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	stop := a.stopAnno
+	a.stopAnno = nil
+	leave := a.leave
+	a.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	a.wg.Wait()
+	if leave != nil {
+		leave()
+	}
+}
+
+func (a *Agent) onPacket(p Packet) {
+	switch p.Kind {
+	case PacketSrvRqst:
+		a.answerRequest(p)
+	case PacketSrvRply:
+		a.mu.Lock()
+		ch, ok := a.collect[p.RequestID]
+		a.mu.Unlock()
+		if ok {
+			select {
+			case ch <- p.Services:
+			default:
+			}
+		}
+	case PacketAnnounce:
+		a.mu.Lock()
+		handlers := make([]func(Advertisement), len(a.announceH))
+		copy(handlers, a.announceH)
+		a.mu.Unlock()
+		for _, adv := range p.Services {
+			for _, h := range handlers {
+				h(adv)
+			}
+		}
+	}
+}
+
+func (a *Agent) answerRequest(p Packet) {
+	var pred *filter.Filter
+	if p.Predicate != "" {
+		f, err := filter.Parse(p.Predicate)
+		if err != nil {
+			return // malformed predicates match nothing
+		}
+		pred = f
+	}
+	var matches []Advertisement
+	for _, adv := range a.Registered() {
+		if p.ServiceType != "" && adv.ServiceType() != p.ServiceType {
+			continue
+		}
+		if p.Scope != "" && adv.Scope != p.Scope {
+			continue
+		}
+		if pred != nil && !pred.Matches(adv.Attributes) {
+			continue
+		}
+		matches = append(matches, adv)
+	}
+	if len(matches) == 0 {
+		return
+	}
+	a.send(Packet{Kind: PacketSrvRply, RequestID: p.RequestID, Services: matches})
+}

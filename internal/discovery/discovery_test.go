@@ -1,0 +1,236 @@
+package discovery
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+)
+
+func newAgentPair(t *testing.T) (*Agent, *Agent) {
+	t.Helper()
+	bus := NewInProcBus()
+	sa, err := NewAgent("shop-screen", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua, err := NewAgent("phone", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		sa.Close()
+		ua.Close()
+	})
+	return sa, ua
+}
+
+func discoverCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 100*time.Millisecond)
+}
+
+func TestServiceURLParsing(t *testing.T) {
+	typ, addr, err := ParseServiceURL("service:alfredo://screen:9278")
+	if err != nil || typ != "alfredo" || addr != "screen:9278" {
+		t.Errorf("parse = %q, %q, %v", typ, addr, err)
+	}
+	for _, bad := range []string{"", "alfredo://x", "service:", "service:alfredo", "service://x"} {
+		if _, _, err := ParseServiceURL(bad); !errors.Is(err, ErrBadServiceURL) {
+			t.Errorf("ParseServiceURL(%q) = %v", bad, err)
+		}
+	}
+	if MakeServiceURL("alfredo", "h:1") != "service:alfredo://h:1" {
+		t.Error("MakeServiceURL mismatch")
+	}
+}
+
+func TestDiscoverByType(t *testing.T) {
+	sa, ua := newAgentPair(t)
+	_, err := sa.Register(Advertisement{
+		URL:        "service:alfredo://shop-screen:9278",
+		Attributes: map[string]any{"app": "AlfredOShop"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = sa.Register(Advertisement{URL: "service:printer://shop-screen:631"})
+
+	ctx, cancel := discoverCtx()
+	defer cancel()
+	found, err := ua.Discover(ctx, "alfredo", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0].URL != "service:alfredo://shop-screen:9278" {
+		t.Errorf("found = %v", found)
+	}
+	if found[0].Attributes["app"] != "AlfredOShop" {
+		t.Errorf("attributes = %v", found[0].Attributes)
+	}
+}
+
+func TestDiscoverWithPredicate(t *testing.T) {
+	sa, ua := newAgentPair(t)
+	_, _ = sa.Register(Advertisement{
+		URL:        "service:alfredo://a:1",
+		Attributes: map[string]any{"category": "furniture"},
+	})
+	_, _ = sa.Register(Advertisement{
+		URL:        "service:alfredo://b:2",
+		Attributes: map[string]any{"category": "vending"},
+	})
+
+	ctx, cancel := discoverCtx()
+	defer cancel()
+	found, err := ua.Discover(ctx, "alfredo", "", filter.MustParse("(category=furniture)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0].URL != "service:alfredo://a:1" {
+		t.Errorf("found = %v", found)
+	}
+}
+
+func TestDiscoverScope(t *testing.T) {
+	sa, ua := newAgentPair(t)
+	_, _ = sa.Register(Advertisement{URL: "service:alfredo://a:1", Scope: "mall"})
+	_, _ = sa.Register(Advertisement{URL: "service:alfredo://b:2"}) // default scope
+
+	ctx, cancel := discoverCtx()
+	defer cancel()
+	found, _ := ua.Discover(ctx, "alfredo", "mall", nil)
+	if len(found) != 1 || found[0].URL != "service:alfredo://a:1" {
+		t.Errorf("scoped discovery = %v", found)
+	}
+	ctx2, cancel2 := discoverCtx()
+	defer cancel2()
+	found, _ = ua.Discover(ctx2, "alfredo", "", nil) // "" = default scope
+	if len(found) != 1 || found[0].URL != "service:alfredo://b:2" {
+		t.Errorf("default scope discovery = %v", found)
+	}
+}
+
+func TestDeregistration(t *testing.T) {
+	sa, ua := newAgentPair(t)
+	unregister, _ := sa.Register(Advertisement{URL: "service:alfredo://a:1"})
+	unregister()
+
+	ctx, cancel := discoverCtx()
+	defer cancel()
+	found, _ := ua.Discover(ctx, "alfredo", "", nil)
+	if len(found) != 0 {
+		t.Errorf("withdrawn advertisement found: %v", found)
+	}
+}
+
+func TestMultipleResponders(t *testing.T) {
+	bus := NewInProcBus()
+	for i, name := range []string{"screen-a", "screen-b", "screen-c"} {
+		agent, err := NewAgent(name, bus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer agent.Close()
+		_, _ = agent.Register(Advertisement{
+			URL:        MakeServiceURL("alfredo", name+":9278"),
+			Attributes: map[string]any{"idx": i},
+		})
+	}
+	ua, err := NewAgent("phone", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ua.Close()
+
+	ctx, cancel := discoverCtx()
+	defer cancel()
+	found, _ := ua.Discover(ctx, "alfredo", "", nil)
+	if len(found) != 3 {
+		t.Errorf("found %d services, want 3: %v", len(found), found)
+	}
+}
+
+func TestAnnouncements(t *testing.T) {
+	sa, ua := newAgentPair(t)
+	_, _ = sa.Register(Advertisement{URL: "service:alfredo://shop:1"})
+
+	var mu sync.Mutex
+	var got []string
+	ua.OnAnnouncement(func(adv Advertisement) {
+		mu.Lock()
+		got = append(got, adv.URL)
+		mu.Unlock()
+	})
+
+	if err := sa.StartAnnouncing(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("announcements never arrived")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	sa.StopAnnouncing()
+	mu.Lock()
+	if got[0] != "service:alfredo://shop:1" {
+		t.Errorf("announced URL = %s", got[0])
+	}
+	mu.Unlock()
+}
+
+func TestAgentClose(t *testing.T) {
+	bus := NewInProcBus()
+	a, _ := NewAgent("x", bus)
+	a.Close()
+	a.Close() // idempotent
+	if _, err := a.Register(Advertisement{URL: "service:a://b"}); !errors.Is(err, ErrAgentClosed) {
+		t.Errorf("Register after close = %v", err)
+	}
+	if _, err := a.Discover(context.Background(), "a", "", nil); !errors.Is(err, ErrAgentClosed) {
+		t.Errorf("Discover after close = %v", err)
+	}
+	// The name is reusable after leaving.
+	b, err := NewAgent("x", bus)
+	if err != nil {
+		t.Errorf("rejoin after close: %v", err)
+	} else {
+		b.Close()
+	}
+}
+
+func TestDuplicateMember(t *testing.T) {
+	bus := NewInProcBus()
+	a, _ := NewAgent("same", bus)
+	defer a.Close()
+	if _, err := NewAgent("same", bus); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate join = %v", err)
+	}
+}
+
+func TestBadPredicateMatchesNothing(t *testing.T) {
+	sa, ua := newAgentPair(t)
+	_, _ = sa.Register(Advertisement{URL: "service:alfredo://a:1"})
+	// Send a raw malformed request; must be ignored, not crash.
+	ua.send(Packet{Kind: PacketSrvRqst, RequestID: 99, ServiceType: "alfredo", Scope: DefaultScope, Predicate: "((("})
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestRegisterValidatesURL(t *testing.T) {
+	bus := NewInProcBus()
+	a, _ := NewAgent("v", bus)
+	defer a.Close()
+	if _, err := a.Register(Advertisement{URL: "not-a-url"}); !errors.Is(err, ErrBadServiceURL) {
+		t.Errorf("bad URL register = %v", err)
+	}
+}

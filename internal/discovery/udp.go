@@ -1,0 +1,161 @@
+package discovery
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// DefaultGroup is the default multicast group and port for the UDP bus
+// (port 427 is SLP's; an unprivileged port is used instead).
+const DefaultGroup = "239.255.255.253:42700"
+
+// maxDatagram bounds accepted discovery datagrams.
+const maxDatagram = 60 * 1024
+
+// ErrBusClosed is returned when joining a closed bus.
+var ErrBusClosed = errors.New("discovery: bus closed")
+
+// UDPBus is a Bus over UDP multicast, for real cross-process discovery
+// on a LAN segment. Packets are JSON datagrams. Multicast may be
+// unavailable in restricted environments; NewUDPBus fails cleanly then.
+type UDPBus struct {
+	group *net.UDPAddr
+	recv  *net.UDPConn
+	send  *net.UDPConn
+
+	mu      sync.Mutex
+	members map[string]func(Packet)
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ Bus = (*UDPBus)(nil)
+
+// udpPacket is the wire form of a Packet.
+type udpPacket struct {
+	Kind        int             `json:"kind"`
+	From        string          `json:"from"`
+	RequestID   int64           `json:"requestId,omitempty"`
+	ServiceType string          `json:"serviceType,omitempty"`
+	Scope       string          `json:"scope,omitempty"`
+	Predicate   string          `json:"predicate,omitempty"`
+	Services    []Advertisement `json:"services,omitempty"`
+}
+
+// NewUDPBus joins the multicast group ("" selects DefaultGroup).
+func NewUDPBus(group string) (*UDPBus, error) {
+	if group == "" {
+		group = DefaultGroup
+	}
+	addr, err := net.ResolveUDPAddr("udp4", group)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: resolving group %s: %w", group, err)
+	}
+	recv, err := net.ListenMulticastUDP("udp4", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: joining multicast group %s: %w", group, err)
+	}
+	send, err := net.DialUDP("udp4", nil, addr)
+	if err != nil {
+		_ = recv.Close()
+		return nil, fmt.Errorf("discovery: opening send socket: %w", err)
+	}
+	b := &UDPBus{
+		group:   addr,
+		recv:    recv,
+		send:    send,
+		members: make(map[string]func(Packet)),
+	}
+	b.wg.Add(1)
+	go b.readLoop()
+	return b, nil
+}
+
+func (b *UDPBus) readLoop() {
+	defer b.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := b.recv.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		var up udpPacket
+		if err := json.Unmarshal(buf[:n], &up); err != nil {
+			continue // malformed datagrams are ignored
+		}
+		p := Packet{
+			Kind:        PacketKind(up.Kind),
+			From:        up.From,
+			RequestID:   up.RequestID,
+			ServiceType: up.ServiceType,
+			Scope:       up.Scope,
+			Predicate:   up.Predicate,
+			Services:    up.Services,
+		}
+		b.mu.Lock()
+		handlers := make([]func(Packet), 0, len(b.members))
+		for name, h := range b.members {
+			if name != p.From {
+				handlers = append(handlers, h)
+			}
+		}
+		b.mu.Unlock()
+		for _, h := range handlers {
+			h(p)
+		}
+	}
+}
+
+// Join implements Bus.
+func (b *UDPBus) Join(member string, h func(Packet)) (func(Packet), func(), error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, nil, ErrBusClosed
+	}
+	if _, dup := b.members[member]; dup {
+		return nil, nil, fmt.Errorf("%w: %s", ErrDuplicate, member)
+	}
+	b.members[member] = h
+
+	sendFn := func(p Packet) {
+		p.From = member
+		payload, err := json.Marshal(udpPacket{
+			Kind:        int(p.Kind),
+			From:        p.From,
+			RequestID:   p.RequestID,
+			ServiceType: p.ServiceType,
+			Scope:       p.Scope,
+			Predicate:   p.Predicate,
+			Services:    p.Services,
+		})
+		if err != nil || len(payload) > maxDatagram {
+			return
+		}
+		_, _ = b.send.Write(payload)
+	}
+	leave := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.members, member)
+	}
+	return sendFn, leave, nil
+}
+
+// Close leaves the group and stops the reader.
+func (b *UDPBus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	_ = b.recv.Close()
+	_ = b.send.Close()
+	b.wg.Wait()
+}

@@ -1,0 +1,96 @@
+package discovery
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// newUDPBusOrSkip joins the multicast group, skipping the test in
+// environments without multicast support.
+func newUDPBusOrSkip(t *testing.T) *UDPBus {
+	t.Helper()
+	bus, err := NewUDPBus("239.255.255.253:42713")
+	if err != nil {
+		t.Skipf("multicast unavailable: %v", err)
+	}
+	t.Cleanup(bus.Close)
+	return bus
+}
+
+func TestUDPBusDiscovery(t *testing.T) {
+	bus := newUDPBusOrSkip(t)
+
+	sa, err := NewAgent("udp-screen", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	ua, err := NewAgent("udp-phone", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ua.Close()
+
+	if _, err := sa.Register(Advertisement{
+		URL:        "service:alfredo://udp-screen:9278",
+		Attributes: map[string]any{"transport": "udp"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	found, err := ua.Discover(ctx, "alfredo", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0].URL != "service:alfredo://udp-screen:9278" {
+		t.Fatalf("found = %v", found)
+	}
+}
+
+func TestUDPBusAnnouncements(t *testing.T) {
+	bus := newUDPBusOrSkip(t)
+	sa, err := NewAgent("udp-annc", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	ua, err := NewAgent("udp-listener", bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ua.Close()
+
+	got := make(chan string, 8)
+	ua.OnAnnouncement(func(adv Advertisement) {
+		select {
+		case got <- adv.URL:
+		default:
+		}
+	})
+	_, _ = sa.Register(Advertisement{URL: "service:alfredo://udp-annc:1"})
+	if err := sa.StartAnnouncing(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	defer sa.StopAnnouncing()
+
+	select {
+	case url := <-got:
+		if url != "service:alfredo://udp-annc:1" {
+			t.Errorf("announced = %s", url)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no announcement over UDP")
+	}
+}
+
+func TestUDPBusClose(t *testing.T) {
+	bus := newUDPBusOrSkip(t)
+	bus.Close()
+	bus.Close() // idempotent
+	if _, _, err := bus.Join("late", func(Packet) {}); err == nil {
+		t.Error("join after close accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package event implements a topic-based publish/subscribe service, the
+// OSGi EventAdmin analog. AlfredO uses it for asynchronous non-blocking
+// interactions (paper §2.1): the remote layer forwards posted events to
+// peers that registered a handler for the topic.
+//
+// Topics are hierarchical, slash-separated strings such as
+// "alfredo/mouse/snapshot". Subscriptions may end in "/*" to match a
+// whole subtree, or be the single token "*" to match everything.
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+)
+
+// Event admin errors.
+var (
+	ErrBadTopic    = errors.New("event: malformed topic")
+	ErrAdminClosed = errors.New("event: admin closed")
+)
+
+// Event is an immutable notification published on a topic.
+type Event struct {
+	Topic      string
+	Properties map[string]any
+	Time       time.Time
+}
+
+// Property returns a single event property.
+func (e Event) Property(key string) (any, bool) {
+	v, ok := e.Properties[key]
+	return v, ok
+}
+
+// Handler consumes events. Handlers registered for asynchronous
+// delivery run on the admin's dispatch goroutine and must not block
+// indefinitely.
+type Handler func(Event)
+
+type sub struct {
+	tok     int64
+	pattern string
+	flt     *filter.Filter
+	h       Handler
+}
+
+// Admin routes events from publishers to topic subscribers. Create with
+// NewAdmin and release with Close.
+type Admin struct {
+	mu     sync.Mutex
+	subs   map[int64]*sub
+	next   int64
+	closed bool
+
+	queue chan Event
+	wg    sync.WaitGroup
+}
+
+// NewAdmin creates an event admin with an asynchronous delivery queue
+// of the given depth (a sensible default is used when depth <= 0).
+func NewAdmin(depth int) *Admin {
+	if depth <= 0 {
+		depth = 256
+	}
+	a := &Admin{
+		subs:  make(map[int64]*sub),
+		queue: make(chan Event, depth),
+	}
+	a.wg.Add(1)
+	go a.dispatchLoop()
+	return a
+}
+
+func (a *Admin) dispatchLoop() {
+	defer a.wg.Done()
+	for ev := range a.queue {
+		a.deliver(ev)
+	}
+}
+
+// Subscribe registers a handler for topics matching pattern, optionally
+// constrained by a property filter. It returns a token for Unsubscribe.
+func (a *Admin) Subscribe(pattern string, flt *filter.Filter, h Handler) (int64, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return 0, err
+	}
+	if h == nil {
+		return 0, fmt.Errorf("event: nil handler for pattern %q", pattern)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return 0, ErrAdminClosed
+	}
+	a.next++
+	a.subs[a.next] = &sub{tok: a.next, pattern: pattern, flt: flt, h: h}
+	return a.next, nil
+}
+
+// Unsubscribe removes a subscription; unknown tokens are ignored.
+func (a *Admin) Unsubscribe(tok int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.subs, tok)
+}
+
+// Subscriptions returns the patterns of all current subscriptions
+// (with duplicates), sorted. The remote layer uses this to tell peers
+// which topics to forward.
+func (a *Admin) Subscriptions() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.subs))
+	for _, s := range a.subs {
+		out = append(out, s.pattern)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Post delivers the event asynchronously, preserving per-admin posting
+// order. It blocks only when the queue is full.
+func (a *Admin) Post(ev Event) error {
+	if err := ValidateTopic(ev.Topic); err != nil {
+		return err
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	a.mu.Lock()
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return ErrAdminClosed
+	}
+	a.queue <- ev
+	return nil
+}
+
+// Send delivers the event synchronously: all matching handlers have run
+// when Send returns.
+func (a *Admin) Send(ev Event) error {
+	if err := ValidateTopic(ev.Topic); err != nil {
+		return err
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	a.mu.Lock()
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return ErrAdminClosed
+	}
+	a.deliver(ev)
+	return nil
+}
+
+// Close stops the dispatcher after draining queued events. Posting or
+// subscribing afterwards fails with ErrAdminClosed.
+func (a *Admin) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.queue)
+	a.wg.Wait()
+}
+
+func (a *Admin) deliver(ev Event) {
+	a.mu.Lock()
+	matches := make([]*sub, 0, 4)
+	for _, s := range a.subs {
+		if TopicMatches(s.pattern, ev.Topic) && (s.flt == nil || s.flt.Matches(ev.Properties)) {
+			matches = append(matches, s)
+		}
+	}
+	a.mu.Unlock()
+
+	sort.Slice(matches, func(i, j int) bool { return matches[i].tok < matches[j].tok })
+	for _, s := range matches {
+		s.h(ev)
+	}
+}
+
+// ValidateTopic checks a concrete (wildcard-free) topic.
+func ValidateTopic(topic string) error {
+	if topic == "" {
+		return fmt.Errorf("%w: empty topic", ErrBadTopic)
+	}
+	if strings.Contains(topic, "*") {
+		return fmt.Errorf("%w: wildcards not allowed in published topics (%q)", ErrBadTopic, topic)
+	}
+	return validateSegments(topic)
+}
+
+// ValidatePattern checks a subscription pattern: a concrete topic, a
+// subtree pattern ending in "/*", or the catch-all "*".
+func ValidatePattern(pattern string) error {
+	if pattern == "*" {
+		return nil
+	}
+	if pattern == "" {
+		return fmt.Errorf("%w: empty pattern", ErrBadTopic)
+	}
+	base := pattern
+	if strings.HasSuffix(pattern, "/*") {
+		base = pattern[:len(pattern)-2]
+	}
+	if strings.Contains(base, "*") {
+		return fmt.Errorf("%w: wildcard only allowed as final segment (%q)", ErrBadTopic, pattern)
+	}
+	return validateSegments(base)
+}
+
+func validateSegments(topic string) error {
+	for _, seg := range strings.Split(topic, "/") {
+		if seg == "" {
+			return fmt.Errorf("%w: empty segment in %q", ErrBadTopic, topic)
+		}
+	}
+	return nil
+}
+
+// TopicMatches reports whether a concrete topic matches a subscription
+// pattern.
+func TopicMatches(pattern, topic string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "/*") {
+		prefix := pattern[:len(pattern)-1] // keep the slash
+		return strings.HasPrefix(topic, prefix)
+	}
+	return pattern == topic
+}

@@ -1,0 +1,264 @@
+package event
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+)
+
+func newTestAdmin(t *testing.T) *Admin {
+	t.Helper()
+	a := NewAdmin(0)
+	t.Cleanup(a.Close)
+	return a
+}
+
+func TestSendSync(t *testing.T) {
+	a := newTestAdmin(t)
+	var got []string
+	_, err := a.Subscribe("alfredo/ui/*", nil, func(ev Event) {
+		got = append(got, ev.Topic)
+	})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if err := a.Send(Event{Topic: "alfredo/ui/click"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := a.Send(Event{Topic: "alfredo/net/drop"}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if len(got) != 1 || got[0] != "alfredo/ui/click" {
+		t.Errorf("got %v, want [alfredo/ui/click]", got)
+	}
+}
+
+func TestPostAsyncOrdered(t *testing.T) {
+	a := newTestAdmin(t)
+	var mu sync.Mutex
+	var got []string
+	done := make(chan struct{})
+	const n = 20
+	_, _ = a.Subscribe("seq/*", nil, func(ev Event) {
+		mu.Lock()
+		got = append(got, ev.Topic)
+		if len(got) == n {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < n; i++ {
+		if err := a.Post(Event{Topic: "seq/" + string(rune('a'+i))}); err != nil {
+			t.Fatalf("Post: %v", err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for async delivery")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("delivery out of order: %v", got)
+		}
+	}
+}
+
+func TestWildcardSemantics(t *testing.T) {
+	cases := []struct {
+		pattern, topic string
+		want           bool
+	}{
+		{"*", "anything/at/all", true},
+		{"a/b", "a/b", true},
+		{"a/b", "a/b/c", false},
+		{"a/*", "a/b", true},
+		{"a/*", "a/b/c", true},
+		{"a/*", "a", false},
+		{"a/*", "ab/c", false},
+	}
+	for _, c := range cases {
+		if got := TopicMatches(c.pattern, c.topic); got != c.want {
+			t.Errorf("TopicMatches(%q, %q) = %v, want %v", c.pattern, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestSubscriptionFilter(t *testing.T) {
+	a := newTestAdmin(t)
+	var hits int
+	_, _ = a.Subscribe("m/*", filter.MustParse("(severity>=3)"), func(ev Event) { hits++ })
+	_ = a.Send(Event{Topic: "m/x", Properties: map[string]any{"severity": 1}})
+	_ = a.Send(Event{Topic: "m/x", Properties: map[string]any{"severity": 5}})
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	a := newTestAdmin(t)
+	var hits int
+	tok, _ := a.Subscribe("t", nil, func(ev Event) { hits++ })
+	_ = a.Send(Event{Topic: "t"})
+	a.Unsubscribe(tok)
+	_ = a.Send(Event{Topic: "t"})
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+}
+
+func TestHandlerOrderStable(t *testing.T) {
+	a := newTestAdmin(t)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		_, _ = a.Subscribe("o", nil, func(ev Event) { got = append(got, i) })
+	}
+	_ = a.Send(Event{Topic: "o"})
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("handlers ran out of subscription order: %v", got)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	a := newTestAdmin(t)
+	badTopics := []string{"", "a//b", "a/*", "*", "/a", "a/"}
+	for _, topic := range badTopics {
+		if err := a.Send(Event{Topic: topic}); !errors.Is(err, ErrBadTopic) {
+			t.Errorf("Send(%q) = %v, want ErrBadTopic", topic, err)
+		}
+	}
+	badPatterns := []string{"", "a/*/b", "*a", "a//*"}
+	for _, p := range badPatterns {
+		if _, err := a.Subscribe(p, nil, func(Event) {}); !errors.Is(err, ErrBadTopic) {
+			t.Errorf("Subscribe(%q) = %v, want ErrBadTopic", p, err)
+		}
+	}
+	if _, err := a.Subscribe("ok", nil, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	a := NewAdmin(0)
+	delivered := make(chan struct{}, 8)
+	_, _ = a.Subscribe("c", nil, func(ev Event) { delivered <- struct{}{} })
+	_ = a.Post(Event{Topic: "c"})
+	a.Close()
+	// Queued events are drained before Close returns.
+	select {
+	case <-delivered:
+	default:
+		t.Error("queued event lost on Close")
+	}
+	if err := a.Post(Event{Topic: "c"}); !errors.Is(err, ErrAdminClosed) {
+		t.Errorf("Post after Close = %v", err)
+	}
+	if err := a.Send(Event{Topic: "c"}); !errors.Is(err, ErrAdminClosed) {
+		t.Errorf("Send after Close = %v", err)
+	}
+	if _, err := a.Subscribe("c", nil, func(Event) {}); !errors.Is(err, ErrAdminClosed) {
+		t.Errorf("Subscribe after Close = %v", err)
+	}
+	a.Close() // idempotent
+}
+
+func TestEventTimestampDefaulted(t *testing.T) {
+	a := newTestAdmin(t)
+	var ts time.Time
+	_, _ = a.Subscribe("ts", nil, func(ev Event) { ts = ev.Time })
+	before := time.Now()
+	_ = a.Send(Event{Topic: "ts"})
+	if ts.Before(before) || time.Since(ts) > time.Second {
+		t.Errorf("timestamp not defaulted sensibly: %v", ts)
+	}
+}
+
+func TestSubscriptions(t *testing.T) {
+	a := newTestAdmin(t)
+	_, _ = a.Subscribe("b/*", nil, func(Event) {})
+	_, _ = a.Subscribe("a", nil, func(Event) {})
+	subs := a.Subscriptions()
+	if len(subs) != 2 || subs[0] != "a" || subs[1] != "b/*" {
+		t.Errorf("Subscriptions = %v", subs)
+	}
+}
+
+func TestPropertyExactTopicAlwaysMatchesItself(t *testing.T) {
+	prop := func(segs []uint8) bool {
+		if len(segs) == 0 || len(segs) > 6 {
+			return true
+		}
+		topic := ""
+		for i, s := range segs {
+			if i > 0 {
+				topic += "/"
+			}
+			topic += string(rune('a' + s%26))
+		}
+		if ValidateTopic(topic) != nil {
+			return false
+		}
+		return TopicMatches(topic, topic) && TopicMatches("*", topic)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubtreePatternMatchesChildren(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		parent := "p" + string(rune('a'+a%26))
+		child := parent + "/" + "c" + string(rune('a'+b%26))
+		return TopicMatches(parent+"/*", child) && !TopicMatches(parent+"/*", parent)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	a := newTestAdmin(t)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	count := 0
+	_, _ = a.Subscribe("load/*", nil, func(Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	const workers, each = 8, 25
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := a.Post(Event{Topic: "load/x"}); err != nil {
+					t.Errorf("Post: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		c := count
+		mu.Unlock()
+		if c == workers*each {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", c, workers*each)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

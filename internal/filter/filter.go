@@ -1,0 +1,618 @@
+// Package filter implements the LDAP search filter language of RFC 1960,
+// the dialect used by the OSGi service registry and by SLP predicates.
+//
+// A filter is parsed once with Parse and can then be matched against
+// property maps concurrently. Attribute names are matched
+// case-insensitively, as required by the OSGi core specification.
+//
+// Supported grammar:
+//
+//	filter     = '(' (and | or | not | operation) ')'
+//	and        = '&' filter+
+//	or         = '|' filter+
+//	not        = '!' filter
+//	operation  = attr ('=' | '~=' | '>=' | '<=') value
+//	presence   = attr '=*'
+//	substring  = attr '=' [initial] ('*' [any])+ [final]
+//
+// The characters '(', ')', '*' and '\' are escaped in values with a
+// backslash.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Operator identifies the comparison performed by a leaf node.
+type Operator int
+
+// Leaf operators. And, Or and Not are composite node kinds.
+const (
+	OpEqual Operator = iota + 1
+	OpApprox
+	OpGreaterEqual
+	OpLessEqual
+	OpPresent
+	OpSubstring
+)
+
+func (o Operator) String() string {
+	switch o {
+	case OpEqual:
+		return "="
+	case OpApprox:
+		return "~="
+	case OpGreaterEqual:
+		return ">="
+	case OpLessEqual:
+		return "<="
+	case OpPresent:
+		return "=*"
+	case OpSubstring:
+		return "=~sub"
+	default:
+		return fmt.Sprintf("Operator(%d)", int(o))
+	}
+}
+
+// ErrSyntax is wrapped by all parse errors returned from Parse.
+var ErrSyntax = errors.New("filter: syntax error")
+
+// Filter is a parsed, immutable RFC 1960 filter. The zero value matches
+// nothing; obtain instances through Parse or MustParse.
+type Filter struct {
+	root node
+	src  string
+}
+
+// Parse compiles the filter expression s.
+func Parse(s string) (*Filter, error) {
+	p := &parser{in: s}
+	n, err := p.parseFilter()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("%w: trailing garbage at offset %d in %q", ErrSyntax, p.pos, s)
+	}
+	return &Filter{root: n, src: s}, nil
+}
+
+// MustParse is like Parse but panics on error. It is intended for
+// compile-time-constant filters.
+func MustParse(s string) *Filter {
+	f, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Matches reports whether the filter matches the given attribute map.
+// A nil map is treated as empty.
+func (f *Filter) Matches(attrs map[string]any) bool {
+	if f == nil || f.root == nil {
+		return false
+	}
+	return f.root.matches(attrs)
+}
+
+// String returns the canonical textual form of the filter.
+func (f *Filter) String() string {
+	if f == nil || f.root == nil {
+		return ""
+	}
+	var b strings.Builder
+	f.root.write(&b)
+	return b.String()
+}
+
+// node is the interface implemented by all AST nodes.
+type node interface {
+	matches(attrs map[string]any) bool
+	write(b *strings.Builder)
+}
+
+type andNode struct{ kids []node }
+
+func (n *andNode) matches(attrs map[string]any) bool {
+	for _, k := range n.kids {
+		if !k.matches(attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *andNode) write(b *strings.Builder) {
+	b.WriteString("(&")
+	for _, k := range n.kids {
+		k.write(b)
+	}
+	b.WriteByte(')')
+}
+
+type orNode struct{ kids []node }
+
+func (n *orNode) matches(attrs map[string]any) bool {
+	for _, k := range n.kids {
+		if k.matches(attrs) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *orNode) write(b *strings.Builder) {
+	b.WriteString("(|")
+	for _, k := range n.kids {
+		k.write(b)
+	}
+	b.WriteByte(')')
+}
+
+type notNode struct{ kid node }
+
+func (n *notNode) matches(attrs map[string]any) bool {
+	return !n.kid.matches(attrs)
+}
+
+func (n *notNode) write(b *strings.Builder) {
+	b.WriteString("(!")
+	n.kid.write(b)
+	b.WriteByte(')')
+}
+
+type leafNode struct {
+	attr string
+	op   Operator
+	// value is the literal operand for comparison operators. For
+	// OpSubstring, parts holds the segments between '*' wildcards
+	// (empty leading/trailing segments denote an unanchored side).
+	value string
+	parts []string
+}
+
+func (n *leafNode) matches(attrs map[string]any) bool {
+	v, ok := lookup(attrs, n.attr)
+	if n.op == OpPresent {
+		return ok
+	}
+	if !ok {
+		return false
+	}
+	return matchValue(v, n)
+}
+
+func (n *leafNode) write(b *strings.Builder) {
+	b.WriteByte('(')
+	b.WriteString(n.attr)
+	switch n.op {
+	case OpEqual:
+		b.WriteByte('=')
+		b.WriteString(escapeValue(n.value))
+	case OpApprox:
+		b.WriteString("~=")
+		b.WriteString(escapeValue(n.value))
+	case OpGreaterEqual:
+		b.WriteString(">=")
+		b.WriteString(escapeValue(n.value))
+	case OpLessEqual:
+		b.WriteString("<=")
+		b.WriteString(escapeValue(n.value))
+	case OpPresent:
+		b.WriteString("=*")
+	case OpSubstring:
+		b.WriteByte('=')
+		for i, p := range n.parts {
+			if i > 0 {
+				b.WriteByte('*')
+			}
+			b.WriteString(escapeValue(p))
+		}
+	}
+	b.WriteByte(')')
+}
+
+// lookup finds attr in attrs case-insensitively. An exact-case hit wins.
+func lookup(attrs map[string]any, attr string) (any, bool) {
+	if v, ok := attrs[attr]; ok {
+		return v, true
+	}
+	for k, v := range attrs {
+		if strings.EqualFold(k, attr) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// matchValue applies a leaf comparison to a single attribute value. If the
+// value is a slice, the comparison succeeds when any element matches
+// (OSGi multi-value semantics).
+func matchValue(v any, n *leafNode) bool {
+	switch vv := v.(type) {
+	case []string:
+		for _, e := range vv {
+			if matchScalar(e, n) {
+				return true
+			}
+		}
+		return false
+	case []any:
+		for _, e := range vv {
+			if matchScalar(e, n) {
+				return true
+			}
+		}
+		return false
+	default:
+		return matchScalar(v, n)
+	}
+}
+
+func matchScalar(v any, n *leafNode) bool {
+	switch n.op {
+	case OpSubstring:
+		return matchSubstring(toString(v), n.parts)
+	case OpApprox:
+		return approxEqual(toString(v), n.value)
+	case OpEqual, OpGreaterEqual, OpLessEqual:
+		c, ok := compare(v, n.value)
+		if !ok {
+			return false
+		}
+		switch n.op {
+		case OpEqual:
+			return c == 0
+		case OpGreaterEqual:
+			return c >= 0
+		default:
+			return c <= 0
+		}
+	default:
+		return false
+	}
+}
+
+// compare compares an attribute value against the filter literal, using
+// the attribute's native type to interpret the literal. It returns
+// (cmp, true) on success; ok is false when the literal cannot be
+// interpreted in the attribute's type.
+func compare(v any, lit string) (int, bool) {
+	switch vv := v.(type) {
+	case string:
+		return strings.Compare(vv, lit), true
+	case bool:
+		b, err := strconv.ParseBool(strings.TrimSpace(lit))
+		if err != nil {
+			return 0, false
+		}
+		switch {
+		case vv == b:
+			return 0, true
+		case vv && !b:
+			return 1, true
+		default:
+			return -1, true
+		}
+	case int:
+		return compareInt(int64(vv), lit)
+	case int8:
+		return compareInt(int64(vv), lit)
+	case int16:
+		return compareInt(int64(vv), lit)
+	case int32:
+		return compareInt(int64(vv), lit)
+	case int64:
+		return compareInt(vv, lit)
+	case uint:
+		return compareInt(int64(vv), lit)
+	case uint8:
+		return compareInt(int64(vv), lit)
+	case uint16:
+		return compareInt(int64(vv), lit)
+	case uint32:
+		return compareInt(int64(vv), lit)
+	case float32:
+		return compareFloat(float64(vv), lit)
+	case float64:
+		return compareFloat(vv, lit)
+	case fmt.Stringer:
+		return strings.Compare(vv.String(), lit), true
+	default:
+		return 0, false
+	}
+}
+
+func compareInt(v int64, lit string) (int, bool) {
+	l, err := strconv.ParseInt(strings.TrimSpace(lit), 10, 64)
+	if err != nil {
+		// Fall back to float so (x>=2.5) works on integer attributes.
+		return compareFloat(float64(v), lit)
+	}
+	switch {
+	case v < l:
+		return -1, true
+	case v > l:
+		return 1, true
+	default:
+		return 0, true
+	}
+}
+
+func compareFloat(v float64, lit string) (int, bool) {
+	l, err := strconv.ParseFloat(strings.TrimSpace(lit), 64)
+	if err != nil {
+		return 0, false
+	}
+	switch {
+	case v < l:
+		return -1, true
+	case v > l:
+		return 1, true
+	default:
+		return 0, true
+	}
+}
+
+func toString(v any) string {
+	switch vv := v.(type) {
+	case string:
+		return vv
+	case fmt.Stringer:
+		return vv.String()
+	default:
+		return fmt.Sprint(vv)
+	}
+}
+
+// approxEqual implements ~=: case-insensitive comparison ignoring all
+// whitespace, the conventional OSGi interpretation.
+func approxEqual(a, b string) bool {
+	return strings.EqualFold(stripSpace(a), stripSpace(b))
+}
+
+func stripSpace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if r != ' ' && r != '\t' && r != '\n' && r != '\r' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// matchSubstring matches s against wildcard segments. parts always has at
+// least two elements (a bare '*' parses to ["", ""]).
+func matchSubstring(s string, parts []string) bool {
+	if len(parts) == 0 {
+		return false
+	}
+	first, last := parts[0], parts[len(parts)-1]
+	if !strings.HasPrefix(s, first) {
+		return false
+	}
+	s = s[len(first):]
+	middle := parts[1 : len(parts)-1]
+	for _, m := range middle {
+		idx := strings.Index(s, m)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(m):]
+	}
+	return strings.HasSuffix(s, last)
+}
+
+func escapeValue(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	// Operate on bytes so that arbitrary (even invalid UTF-8) values
+	// survive an escape/parse round trip; all escapable characters are
+	// single-byte ASCII.
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', ')', '*', '\\':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// parser holds the scanning state for a single Parse call.
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	return fmt.Errorf("%w: %s at offset %d in %q", ErrSyntax, msg, p.pos, p.in)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) parseFilter() (node, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '(' {
+		return nil, p.errf("expected '('")
+	}
+	p.pos++
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return nil, p.errf("unterminated filter")
+	}
+	var n node
+	var err error
+	switch p.in[p.pos] {
+	case '&':
+		p.pos++
+		kids, kerr := p.parseList()
+		if kerr != nil {
+			return nil, kerr
+		}
+		n = &andNode{kids: kids}
+	case '|':
+		p.pos++
+		kids, kerr := p.parseList()
+		if kerr != nil {
+			return nil, kerr
+		}
+		n = &orNode{kids: kids}
+	case '!':
+		p.pos++
+		kid, kerr := p.parseFilter()
+		if kerr != nil {
+			return nil, kerr
+		}
+		n = &notNode{kid: kid}
+	default:
+		n, err = p.parseOperation()
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != ')' {
+		return nil, p.errf("expected ')'")
+	}
+	p.pos++
+	return n, nil
+}
+
+func (p *parser) parseList() ([]node, error) {
+	var kids []node
+	for {
+		p.skipSpace()
+		if p.pos < len(p.in) && p.in[p.pos] == '(' {
+			k, err := p.parseFilter()
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, k)
+			continue
+		}
+		break
+	}
+	if len(kids) == 0 {
+		return nil, p.errf("composite filter requires at least one operand")
+	}
+	return kids, nil
+}
+
+func (p *parser) parseOperation() (node, error) {
+	attr, err := p.parseAttr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos >= len(p.in) {
+		return nil, p.errf("expected operator")
+	}
+	var op Operator
+	switch p.in[p.pos] {
+	case '=':
+		op = OpEqual
+		p.pos++
+	case '~':
+		op = OpApprox
+		p.pos++
+		if p.pos >= len(p.in) || p.in[p.pos] != '=' {
+			return nil, p.errf("expected '=' after '~'")
+		}
+		p.pos++
+	case '>':
+		op = OpGreaterEqual
+		p.pos++
+		if p.pos >= len(p.in) || p.in[p.pos] != '=' {
+			return nil, p.errf("expected '=' after '>'")
+		}
+		p.pos++
+	case '<':
+		op = OpLessEqual
+		p.pos++
+		if p.pos >= len(p.in) || p.in[p.pos] != '=' {
+			return nil, p.errf("expected '=' after '<'")
+		}
+		p.pos++
+	default:
+		return nil, p.errf("unexpected operator character %q", p.in[p.pos])
+	}
+	parts, wild, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	if op != OpEqual && wild {
+		return nil, p.errf("wildcards are only valid with '='")
+	}
+	if !wild {
+		return &leafNode{attr: attr, op: op, value: parts[0]}, nil
+	}
+	if len(parts) == 2 && parts[0] == "" && parts[1] == "" {
+		return &leafNode{attr: attr, op: OpPresent}, nil
+	}
+	return &leafNode{attr: attr, op: OpSubstring, parts: parts}, nil
+}
+
+func (p *parser) parseAttr() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '=' || c == '~' || c == '>' || c == '<' || c == '(' || c == ')' {
+			break
+		}
+		p.pos++
+	}
+	attr := strings.TrimSpace(p.in[start:p.pos])
+	if attr == "" {
+		return "", p.errf("empty attribute name")
+	}
+	if strings.ContainsAny(attr, "*\\") {
+		return "", p.errf("invalid attribute name %q", attr)
+	}
+	return attr, nil
+}
+
+// parseValue scans the operand up to the closing ')'. It returns the
+// wildcard-separated segments and whether any unescaped '*' was seen.
+// For a non-wildcard value, parts has exactly one element.
+func (p *parser) parseValue() (parts []string, wild bool, err error) {
+	var cur strings.Builder
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch c {
+		case ')':
+			parts = append(parts, cur.String())
+			return parts, wild, nil
+		case '(':
+			return nil, false, p.errf("unescaped '(' in value")
+		case '*':
+			wild = true
+			parts = append(parts, cur.String())
+			cur.Reset()
+			p.pos++
+		case '\\':
+			p.pos++
+			if p.pos >= len(p.in) {
+				return nil, false, p.errf("dangling escape")
+			}
+			cur.WriteByte(p.in[p.pos])
+			p.pos++
+		default:
+			cur.WriteByte(c)
+			p.pos++
+		}
+	}
+	return nil, false, p.errf("unterminated value")
+}

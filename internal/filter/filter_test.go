@@ -1,0 +1,258 @@
+package filter
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustMatch(t *testing.T, expr string, attrs map[string]any) {
+	t.Helper()
+	f, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	if !f.Matches(attrs) {
+		t.Errorf("filter %q should match %v", expr, attrs)
+	}
+}
+
+func mustNotMatch(t *testing.T, expr string, attrs map[string]any) {
+	t.Helper()
+	f, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	if f.Matches(attrs) {
+		t.Errorf("filter %q should not match %v", expr, attrs)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	attrs := map[string]any{"objectClass": "ch.ethz.PointerService", "port": 9278}
+	mustMatch(t, "(objectClass=ch.ethz.PointerService)", attrs)
+	mustNotMatch(t, "(objectClass=ch.ethz.ShopService)", attrs)
+	mustMatch(t, "(port=9278)", attrs)
+	mustNotMatch(t, "(port=9279)", attrs)
+}
+
+func TestCaseInsensitiveAttributeNames(t *testing.T) {
+	attrs := map[string]any{"Service.Ranking": 5}
+	mustMatch(t, "(service.ranking=5)", attrs)
+	mustMatch(t, "(SERVICE.RANKING>=4)", attrs)
+}
+
+func TestNumericComparisons(t *testing.T) {
+	attrs := map[string]any{"mem": int64(4096), "load": 0.75, "cores": uint8(4)}
+	mustMatch(t, "(mem>=4096)", attrs)
+	mustMatch(t, "(mem<=4096)", attrs)
+	mustNotMatch(t, "(mem>=4097)", attrs)
+	mustMatch(t, "(load>=0.5)", attrs)
+	mustNotMatch(t, "(load>=0.9)", attrs)
+	mustMatch(t, "(cores>=2)", attrs)
+	// Float literal against an integer attribute.
+	mustMatch(t, "(mem>=4095.5)", attrs)
+}
+
+func TestBooleanComparison(t *testing.T) {
+	attrs := map[string]any{"remote": true}
+	mustMatch(t, "(remote=true)", attrs)
+	mustNotMatch(t, "(remote=false)", attrs)
+	mustMatch(t, "(remote>=false)", attrs)
+}
+
+func TestPresence(t *testing.T) {
+	attrs := map[string]any{"screen": "640x200"}
+	mustMatch(t, "(screen=*)", attrs)
+	mustNotMatch(t, "(keyboard=*)", attrs)
+}
+
+func TestSubstring(t *testing.T) {
+	attrs := map[string]any{"name": "MouseController"}
+	mustMatch(t, "(name=Mouse*)", attrs)
+	mustMatch(t, "(name=*Controller)", attrs)
+	mustMatch(t, "(name=M*use*ler)", attrs)
+	mustMatch(t, "(name=*ouse*)", attrs)
+	mustNotMatch(t, "(name=Shop*)", attrs)
+	mustNotMatch(t, "(name=*Shop*)", attrs)
+	// Segments must match in order without overlap.
+	mustNotMatch(t, "(name=*Controller*Mouse*)", attrs)
+}
+
+func TestApprox(t *testing.T) {
+	attrs := map[string]any{"vendor": "Sony Ericsson"}
+	mustMatch(t, "(vendor~=sonyericsson)", attrs)
+	mustMatch(t, "(vendor~=SONY ERICSSON)", attrs)
+	mustNotMatch(t, "(vendor~=nokia)", attrs)
+}
+
+func TestComposite(t *testing.T) {
+	attrs := map[string]any{"objectClass": "ui.PointingDevice", "precision": 3}
+	mustMatch(t, "(&(objectClass=ui.PointingDevice)(precision>=2))", attrs)
+	mustNotMatch(t, "(&(objectClass=ui.PointingDevice)(precision>=4))", attrs)
+	mustMatch(t, "(|(objectClass=ui.KeyboardDevice)(objectClass=ui.PointingDevice))", attrs)
+	mustNotMatch(t, "(!(objectClass=ui.PointingDevice))", attrs)
+	mustMatch(t, "(!(objectClass=ui.KeyboardDevice))", attrs)
+	mustMatch(t, "(&(|(precision=1)(precision=3))(!(objectClass=x)))", attrs)
+}
+
+func TestMultiValuedAttributes(t *testing.T) {
+	attrs := map[string]any{
+		"capabilities": []string{"KeyboardDevice", "PointingDevice"},
+		"ports":        []any{80, 9278},
+	}
+	mustMatch(t, "(capabilities=PointingDevice)", attrs)
+	mustNotMatch(t, "(capabilities=ScreenDevice)", attrs)
+	mustMatch(t, "(ports=9278)", attrs)
+	mustMatch(t, "(capabilities=Pointing*)", attrs)
+}
+
+func TestEscaping(t *testing.T) {
+	attrs := map[string]any{"desc": "a*b(c)d\\e"}
+	mustMatch(t, `(desc=a\*b\(c\)d\\e)`, attrs)
+	mustNotMatch(t, `(desc=a\*b\(c\)d\\f)`, attrs)
+	// An escaped '*' is a literal, so this is equality not substring.
+	mustNotMatch(t, `(desc=a\*)`, attrs)
+}
+
+func TestNilAndMissing(t *testing.T) {
+	var f *Filter
+	if f.Matches(map[string]any{"a": 1}) {
+		t.Error("nil filter must match nothing")
+	}
+	mustNotMatch(t, "(a=1)", nil)
+	mustNotMatch(t, "(a>=1)", map[string]any{"b": 2})
+}
+
+func TestWhitespaceTolerance(t *testing.T) {
+	attrs := map[string]any{"a": "x", "b": int64(2)}
+	mustMatch(t, " ( & (a=x) ( b>=2 ) ) ", attrs)
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(",
+		"()",
+		"(a)",
+		"(a=x",
+		"a=x",
+		"(=x)",
+		"(a=x))",
+		"(&)",
+		"(!(a=x)(b=y))",
+		"(a>x)",
+		"(a<x)",
+		"(a~x)",
+		"(a=x\\)",
+		"(a*=x)",
+		"(a=(x))",
+		"(a>=*)",
+		"(a<=foo*bar)",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		} else if !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) error %v is not ErrSyntax", s, err)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		"(a=b)",
+		"(&(a=b)(c>=5))",
+		"(|(a=b)(!(c~=d)))",
+		"(name=Mouse*ler)",
+		"(screen=*)",
+		`(desc=a\*b\(c\))`,
+	}
+	for _, s := range exprs {
+		f1, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		f2, err := Parse(f1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", s, f1.String(), err)
+		}
+		if f1.String() != f2.String() {
+			t.Errorf("round trip not stable: %q -> %q -> %q", s, f1.String(), f2.String())
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("(((")
+}
+
+// TestPropertyEqualityRoundTrip checks that for any string value, an
+// equality filter built by escaping that value matches a map containing it.
+func TestPropertyEqualityRoundTrip(t *testing.T) {
+	prop := func(val string) bool {
+		if strings.ContainsAny(val, "\x00") {
+			return true
+		}
+		expr := "(key=" + escapeValue(val) + ")"
+		f, err := Parse(expr)
+		if err != nil {
+			return false
+		}
+		return f.Matches(map[string]any{"key": val})
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCanonicalFormStable checks that String() is a fixed point:
+// parsing the canonical form yields the same canonical form.
+func TestPropertyCanonicalFormStable(t *testing.T) {
+	prop := func(val string, ge int64) bool {
+		expr := "(&(k=" + escapeValue(val) + ")(n>=" + int64String(ge) + "))"
+		f, err := Parse(expr)
+		if err != nil {
+			return false
+		}
+		g, err := Parse(f.String())
+		if err != nil {
+			return false
+		}
+		return f.String() == g.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySubstringSelfMatch checks that a substring filter built from
+// slicing a value around a '*' always matches the original value.
+func TestPropertySubstringSelfMatch(t *testing.T) {
+	prop := func(val string, cut uint8) bool {
+		if len(val) == 0 {
+			return true
+		}
+		i := int(cut) % (len(val) + 1)
+		expr := "(k=" + escapeValue(val[:i]) + "*" + escapeValue(val[i:]) + ")"
+		f, err := Parse(expr)
+		if err != nil {
+			return false
+		}
+		return f.Matches(map[string]any{"k": val})
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func int64String(v int64) string {
+	return strconv.FormatInt(v, 10)
+}

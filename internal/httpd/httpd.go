@@ -1,0 +1,159 @@
+// Package httpd is the OSGi HTTP service analog: bundles register
+// servlets (http.Handlers) under aliases, and the service routes
+// requests by longest-prefix match. The HTML renderer registers its
+// views here to serve browser-only clients (paper §3.3: "a web browser
+// that is fed by a servlet renderer").
+package httpd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// HTTP service errors.
+var (
+	ErrAliasInUse     = errors.New("httpd: alias already registered")
+	ErrBadAlias       = errors.New("httpd: alias must start with '/'")
+	ErrNotRunning     = errors.New("httpd: service not started")
+	ErrAlreadyServing = errors.New("httpd: service already started")
+)
+
+// InterfaceName is the service registry interface of the HTTP service.
+const InterfaceName = "org.osgi.service.http.HttpService"
+
+// Service is a registerable servlet container.
+type Service struct {
+	mu       sync.RWMutex
+	servlets map[string]http.Handler
+	server   *http.Server
+	listener net.Listener
+	done     chan struct{}
+}
+
+var _ http.Handler = (*Service)(nil)
+
+// NewService creates an empty HTTP service.
+func NewService() *Service {
+	return &Service{servlets: make(map[string]http.Handler)}
+}
+
+// RegisterServlet binds a handler to an alias ("/shop"). Nested aliases
+// are allowed; the longest prefix wins at dispatch.
+func (s *Service) RegisterServlet(alias string, h http.Handler) error {
+	if !strings.HasPrefix(alias, "/") {
+		return fmt.Errorf("%w: %q", ErrBadAlias, alias)
+	}
+	if h == nil {
+		return fmt.Errorf("httpd: nil handler for %q", alias)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.servlets[alias]; dup {
+		return fmt.Errorf("%w: %s", ErrAliasInUse, alias)
+	}
+	s.servlets[alias] = h
+	return nil
+}
+
+// UnregisterServlet removes an alias; unknown aliases are ignored.
+func (s *Service) UnregisterServlet(alias string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.servlets, alias)
+}
+
+// Aliases returns the registered aliases, sorted.
+func (s *Service) Aliases() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.servlets))
+	for a := range s.servlets {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServeHTTP dispatches by longest registered prefix.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	var best string
+	var handler http.Handler
+	for alias, h := range s.servlets {
+		if matchesAlias(r.URL.Path, alias) && len(alias) > len(best) {
+			best, handler = alias, h
+		}
+	}
+	s.mu.RUnlock()
+	if handler == nil {
+		http.NotFound(w, r)
+		return
+	}
+	handler.ServeHTTP(w, r)
+}
+
+func matchesAlias(path, alias string) bool {
+	if alias == "/" {
+		return true
+	}
+	return path == alias || strings.HasPrefix(path, alias+"/")
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// serves in the background. It returns the bound address.
+func (s *Service) Start(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.server != nil {
+		return "", ErrAlreadyServing
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("httpd: listening on %s: %w", addr, err)
+	}
+	s.listener = l
+	s.server = &http.Server{Handler: s}
+	s.done = make(chan struct{})
+	done := s.done
+	go func() {
+		defer close(done)
+		// http.ErrServerClosed is the orderly-shutdown signal.
+		_ = s.server.Serve(l)
+	}()
+	return l.Addr().String(), nil
+}
+
+// Stop shuts the server down and waits for the serve loop to exit.
+func (s *Service) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	server := s.server
+	done := s.done
+	s.server = nil
+	s.listener = nil
+	s.mu.Unlock()
+	if server == nil {
+		return ErrNotRunning
+	}
+	err := server.Shutdown(ctx)
+	<-done
+	if err != nil {
+		return fmt.Errorf("httpd: shutdown: %w", err)
+	}
+	return nil
+}
+
+// Addr returns the bound address while running.
+func (s *Service) Addr() (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.listener == nil {
+		return "", false
+	}
+	return s.listener.Addr().String(), true
+}

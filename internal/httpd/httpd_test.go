@@ -1,0 +1,139 @@
+package httpd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func echoHandler(tag string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "%s:%s", tag, r.URL.Path)
+	})
+}
+
+func TestRegisterAndDispatch(t *testing.T) {
+	s := NewService()
+	if err := s.RegisterServlet("/shop", echoHandler("shop")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterServlet("/shop/admin", echoHandler("admin")); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]string{
+		"/shop":         "shop:/shop",
+		"/shop/items":   "shop:/shop/items",
+		"/shop/admin":   "admin:/shop/admin",
+		"/shop/admin/x": "admin:/shop/admin/x",
+	}
+	for path, want := range cases {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Body.String() != want {
+			t.Errorf("GET %s = %q, want %q", path, rec.Body.String(), want)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/unknown", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path = %d", rec.Code)
+	}
+	// "/shopx" must not match the "/shop" alias.
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/shopx", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("/shopx = %d, want 404", rec.Code)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := NewService()
+	if err := s.RegisterServlet("shop", echoHandler("x")); !errors.Is(err, ErrBadAlias) {
+		t.Errorf("missing slash = %v", err)
+	}
+	if err := s.RegisterServlet("/a", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	_ = s.RegisterServlet("/a", echoHandler("x"))
+	if err := s.RegisterServlet("/a", echoHandler("y")); !errors.Is(err, ErrAliasInUse) {
+		t.Errorf("duplicate alias = %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	s := NewService()
+	_ = s.RegisterServlet("/a", echoHandler("a"))
+	s.UnregisterServlet("/a")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/a", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("after unregister = %d", rec.Code)
+	}
+	if got := s.Aliases(); len(got) != 0 {
+		t.Errorf("Aliases = %v", got)
+	}
+	// Alias reusable.
+	if err := s.RegisterServlet("/a", echoHandler("a2")); err != nil {
+		t.Errorf("re-register = %v", err)
+	}
+}
+
+func TestRootAliasCatchesAll(t *testing.T) {
+	s := NewService()
+	_ = s.RegisterServlet("/", echoHandler("root"))
+	_ = s.RegisterServlet("/specific", echoHandler("specific"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/anything", nil))
+	if rec.Body.String() != "root:/anything" {
+		t.Errorf("root dispatch = %q", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/specific/x", nil))
+	if rec.Body.String() != "specific:/specific/x" {
+		t.Errorf("specific dispatch = %q", rec.Body.String())
+	}
+}
+
+func TestStartServeStop(t *testing.T) {
+	s := NewService()
+	_ = s.RegisterServlet("/hello", echoHandler("hi"))
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if got, ok := s.Addr(); !ok || got != addr {
+		t.Errorf("Addr = %q, %v", got, ok)
+	}
+	if _, err := s.Start("127.0.0.1:0"); !errors.Is(err, ErrAlreadyServing) {
+		t.Errorf("second Start = %v", err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/hello/world")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if string(body) != "hi:/hello/world" {
+		t.Errorf("body = %q", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if err := s.Stop(ctx); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("double Stop = %v", err)
+	}
+	if _, ok := s.Addr(); ok {
+		t.Error("Addr available after Stop")
+	}
+}

@@ -1,0 +1,345 @@
+package module
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// State enumerates the bundle lifecycle states.
+type State int
+
+// Bundle lifecycle states, in the usual OSGi progression.
+const (
+	StateInstalled State = iota + 1
+	StateResolved
+	StateStarting
+	StateActive
+	StateStopping
+	StateUninstalled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateInstalled:
+		return "INSTALLED"
+	case StateResolved:
+		return "RESOLVED"
+	case StateStarting:
+		return "STARTING"
+	case StateActive:
+		return "ACTIVE"
+	case StateStopping:
+		return "STOPPING"
+	case StateUninstalled:
+		return "UNINSTALLED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Lifecycle errors.
+var (
+	ErrUninstalledBundle = errors.New("module: bundle is uninstalled")
+	ErrAlreadyActive     = errors.New("module: bundle is already active")
+	ErrNotActive         = errors.New("module: bundle is not active")
+)
+
+// ResolutionError reports the imports that could not be wired when a
+// bundle failed to resolve.
+type ResolutionError struct {
+	Bundle  string
+	Missing []ImportedPackage
+}
+
+func (e *ResolutionError) Error() string {
+	return fmt.Sprintf("module: bundle %s unresolved, missing %v", e.Bundle, e.Missing)
+}
+
+// Bundle is an installed unit of modularity. All methods are safe for
+// concurrent use; lifecycle transitions are serialized per bundle.
+type Bundle struct {
+	id int64
+	fw *Framework
+
+	// opMu serializes lifecycle operations (start/stop/update/uninstall).
+	opMu sync.Mutex
+
+	mu        sync.RWMutex
+	archive   *Archive
+	state     State
+	activator Activator
+	// dynActivator, when non-nil, overrides the code-registry lookup.
+	// It is how runtime-synthesized bundles (remote service proxies)
+	// carry their generated activator.
+	dynActivator Activator
+	ctx          *Context
+	// wiring maps each imported package name to the providing bundle id.
+	wiring map[string]int64
+}
+
+// ID returns the framework-assigned bundle id.
+func (b *Bundle) ID() int64 { return b.id }
+
+// SymbolicName returns the manifest symbolic name.
+func (b *Bundle) SymbolicName() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.archive.Manifest.SymbolicName
+}
+
+// Version returns the manifest version.
+func (b *Bundle) Version() Version {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.archive.Manifest.Version
+}
+
+// State returns the current lifecycle state.
+func (b *Bundle) State() State {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.state
+}
+
+// Manifest returns a copy of the bundle manifest.
+func (b *Bundle) Manifest() Manifest {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.archive.Manifest
+}
+
+// Resource returns a named resource from the bundle archive.
+func (b *Bundle) Resource(name string) ([]byte, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	r, ok := b.archive.Resources[name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(r))
+	copy(out, r)
+	return out, true
+}
+
+// Footprint returns the serialized size of the bundle archive in bytes.
+func (b *Bundle) Footprint() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.archive.Size()
+}
+
+// Wiring returns the import-package wiring established at resolution
+// time (import name to provider bundle id).
+func (b *Bundle) Wiring() map[string]int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string]int64, len(b.wiring))
+	for k, v := range b.wiring {
+		out[k] = v
+	}
+	return out
+}
+
+// owner is the registry owner string for services registered through
+// this bundle's context.
+func (b *Bundle) owner() string {
+	return fmt.Sprintf("bundle:%d:%s", b.id, b.SymbolicName())
+}
+
+// Start resolves the bundle if necessary, instantiates its activator
+// and moves it to ACTIVE. Starting an active bundle is an error;
+// starting a bundle with no activator succeeds and only transitions
+// state.
+func (b *Bundle) Start() error {
+	b.opMu.Lock()
+	defer b.opMu.Unlock()
+	return b.startLocked()
+}
+
+func (b *Bundle) startLocked() error {
+	switch b.State() {
+	case StateUninstalled:
+		return fmt.Errorf("%w: %s", ErrUninstalledBundle, b.SymbolicName())
+	case StateActive:
+		return fmt.Errorf("%w: %s", ErrAlreadyActive, b.SymbolicName())
+	case StateInstalled:
+		if err := b.fw.resolve(b); err != nil {
+			return err
+		}
+	case StateResolved, StateStarting, StateStopping:
+		// StateResolved falls through to the start sequence below;
+		// Starting/Stopping cannot be observed here because opMu is held
+		// for the whole transition.
+	}
+
+	activator, err := b.makeActivator()
+	if err != nil {
+		return err
+	}
+
+	b.setState(StateStarting)
+	b.fw.fireEvent(BundleEvent{Type: BundleStarting, Bundle: b})
+
+	ctx := newContext(b.fw, b)
+	b.mu.Lock()
+	b.ctx = ctx
+	b.activator = activator
+	b.mu.Unlock()
+
+	if activator != nil {
+		if err := activator.Start(ctx); err != nil {
+			ctx.cleanup()
+			b.mu.Lock()
+			b.ctx = nil
+			b.activator = nil
+			b.mu.Unlock()
+			b.setState(StateResolved)
+			return fmt.Errorf("module: activator of %s failed to start: %w", b.SymbolicName(), err)
+		}
+	}
+	b.setState(StateActive)
+	b.fw.fireEvent(BundleEvent{Type: BundleStarted, Bundle: b})
+	b.fw.noteStarted(b.id)
+	return nil
+}
+
+// Stop deactivates the bundle: the activator's Stop runs, then all
+// services registered by the bundle are unregistered and its listeners
+// removed.
+func (b *Bundle) Stop() error {
+	b.opMu.Lock()
+	defer b.opMu.Unlock()
+	return b.stopLocked()
+}
+
+func (b *Bundle) stopLocked() error {
+	if b.State() == StateUninstalled {
+		return fmt.Errorf("%w: %s", ErrUninstalledBundle, b.SymbolicName())
+	}
+	if b.State() != StateActive {
+		return fmt.Errorf("%w: %s in state %s", ErrNotActive, b.SymbolicName(), b.State())
+	}
+
+	b.setState(StateStopping)
+	b.fw.fireEvent(BundleEvent{Type: BundleStopping, Bundle: b})
+
+	b.mu.Lock()
+	activator := b.activator
+	ctx := b.ctx
+	b.activator = nil
+	b.ctx = nil
+	b.mu.Unlock()
+
+	var stopErr error
+	if activator != nil {
+		stopErr = activator.Stop(ctx)
+	}
+	if ctx != nil {
+		ctx.cleanup()
+	}
+	b.setState(StateResolved)
+	b.fw.fireEvent(BundleEvent{Type: BundleStopped, Bundle: b})
+	b.fw.noteStopped(b.id)
+	if stopErr != nil {
+		return fmt.Errorf("module: activator of %s failed to stop: %w", b.SymbolicName(), stopErr)
+	}
+	return nil
+}
+
+// Update replaces the bundle's archive. An active bundle is stopped,
+// updated and restarted, mirroring OSGi update semantics.
+func (b *Bundle) Update(a *Archive) error {
+	if err := a.Manifest.Validate(); err != nil {
+		return err
+	}
+	b.opMu.Lock()
+	defer b.opMu.Unlock()
+
+	if b.State() == StateUninstalled {
+		return fmt.Errorf("%w: %s", ErrUninstalledBundle, b.SymbolicName())
+	}
+	wasActive := b.State() == StateActive
+	if wasActive {
+		if err := b.stopLocked(); err != nil {
+			return err
+		}
+	}
+	b.mu.Lock()
+	b.archive = a
+	b.state = StateInstalled
+	b.wiring = nil
+	isDynamic := b.dynActivator != nil
+	b.mu.Unlock()
+	if !isDynamic {
+		if err := b.fw.persist(b); err != nil {
+			return err
+		}
+	}
+	b.fw.fireEvent(BundleEvent{Type: BundleUpdated, Bundle: b})
+
+	if wasActive {
+		if err := b.startLocked(); err != nil {
+			return fmt.Errorf("module: restart after update of %s: %w", b.SymbolicName(), err)
+		}
+	}
+	return nil
+}
+
+// Uninstall stops the bundle if active and removes it from the
+// framework permanently.
+func (b *Bundle) Uninstall() error {
+	b.opMu.Lock()
+	defer b.opMu.Unlock()
+
+	switch b.State() {
+	case StateUninstalled:
+		return fmt.Errorf("%w: %s", ErrUninstalledBundle, b.SymbolicName())
+	case StateActive:
+		if err := b.stopLocked(); err != nil {
+			return err
+		}
+	case StateInstalled, StateResolved, StateStarting, StateStopping:
+		// Nothing to tear down beyond removal.
+	}
+	b.setState(StateUninstalled)
+	b.fw.remove(b)
+	b.fw.fireEvent(BundleEvent{Type: BundleUninstalled, Bundle: b})
+	return nil
+}
+
+// Context returns the bundle's context while ACTIVE, or nil.
+func (b *Bundle) Context() *Context {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.ctx
+}
+
+func (b *Bundle) setState(s State) {
+	b.mu.Lock()
+	b.state = s
+	b.mu.Unlock()
+}
+
+func (b *Bundle) makeActivator() (Activator, error) {
+	b.mu.RLock()
+	dyn := b.dynActivator
+	ref := b.archive.Manifest.ActivatorRef
+	b.mu.RUnlock()
+	if dyn != nil {
+		return dyn, nil
+	}
+	if ref == "" {
+		return nil, nil
+	}
+	factory, ok := b.fw.code.Lookup(ref)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (bundle %s)", ErrUnknownCode, ref, b.SymbolicName())
+	}
+	return factory(), nil
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (b *Bundle) String() string {
+	return fmt.Sprintf("bundle{id=%d, name=%s, state=%s}", b.id, b.SymbolicName(), b.State())
+}

@@ -1,0 +1,85 @@
+package module
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Code registry errors.
+var (
+	ErrDuplicateCode = errors.New("module: code already registered under this name")
+	ErrUnknownCode   = errors.New("module: no code registered under this name")
+)
+
+// Activator receives lifecycle callbacks when its bundle starts and
+// stops, the OSGi BundleActivator analog.
+type Activator interface {
+	Start(ctx *Context) error
+	Stop(ctx *Context) error
+}
+
+// ActivatorFactory creates a fresh activator instance per bundle start.
+type ActivatorFactory func() Activator
+
+// CodeRegistry maps activator names to factories. It stands in for
+// dynamic code loading: a manifest's ActivatorRef is looked up here
+// instead of being class-loaded from the archive. Names may be plain
+// identifiers or content hashes (see HashRef) for the trusted
+// smart-proxy distribution model.
+type CodeRegistry struct {
+	mu        sync.RWMutex
+	factories map[string]ActivatorFactory
+}
+
+// NewCodeRegistry creates an empty code registry.
+func NewCodeRegistry() *CodeRegistry {
+	return &CodeRegistry{factories: make(map[string]ActivatorFactory)}
+}
+
+// Register adds a factory under name. Registering the same name twice
+// is an error, to catch accidental shadowing of installed code.
+func (c *CodeRegistry) Register(name string, f ActivatorFactory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("module: invalid code registration (name=%q, nil=%v)", name, f == nil)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.factories[name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateCode, name)
+	}
+	c.factories[name] = f
+	return nil
+}
+
+// Lookup returns the factory registered under name.
+func (c *CodeRegistry) Lookup(name string) (ActivatorFactory, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.factories[name]
+	return f, ok
+}
+
+// Names returns all registered names, sorted.
+func (c *CodeRegistry) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.factories))
+	for n := range c.factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HashRef derives a content-addressed code reference from an opaque
+// descriptor (e.g. the serialized form of smart-proxy code). Peers that
+// have pre-installed the same code under HashRef(desc) can activate it
+// when the hash arrives over the wire, without any code transfer.
+func HashRef(desc []byte) string {
+	sum := sha256.Sum256(desc)
+	return "sha256:" + hex.EncodeToString(sum[:8])
+}

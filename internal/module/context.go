@@ -1,0 +1,146 @@
+package module
+
+import (
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+// Context is the bundle's window into the framework while it is active
+// (the OSGi BundleContext analog). Everything acquired through a context
+// — service registrations, listeners, trackers — is released
+// automatically when the bundle stops.
+type Context struct {
+	fw *Framework
+	b  *Bundle
+
+	mu       sync.Mutex
+	regs     []*service.Registration
+	tokens   []int64
+	trackers []*service.Tracker
+	closed   bool
+}
+
+func newContext(fw *Framework, b *Bundle) *Context {
+	return &Context{fw: fw, b: b}
+}
+
+// Bundle returns the owning bundle.
+func (c *Context) Bundle() *Bundle { return c.b }
+
+// Framework returns the hosting framework.
+func (c *Context) Framework() *Framework { return c.fw }
+
+// RegisterService publishes a service owned by this bundle. It is
+// unregistered automatically when the bundle stops.
+func (c *Context) RegisterService(ifaces []string, svc any, props service.Properties) (*service.Registration, error) {
+	reg, err := c.fw.reg.Register(ifaces, svc, props, c.b.owner())
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = reg.Unregister()
+		return nil, ErrNotActive
+	}
+	c.regs = append(c.regs, reg)
+	c.mu.Unlock()
+	return reg, nil
+}
+
+// FindService returns the best reference for iface matching flt.
+func (c *Context) FindService(iface string, flt *filter.Filter) *service.Reference {
+	return c.fw.reg.Find(iface, flt)
+}
+
+// FindServices returns all references for iface matching flt.
+func (c *Context) FindServices(iface string, flt *filter.Filter) []*service.Reference {
+	return c.fw.reg.FindAll(iface, flt)
+}
+
+// GetService resolves a reference to its service object. The returned
+// release function must be called when the service is no longer used.
+func (c *Context) GetService(ref *service.Reference) (svc any, release func(), ok bool) {
+	svc, ok = c.fw.reg.Get(ref, c.b.owner())
+	if !ok {
+		return nil, func() {}, false
+	}
+	var once sync.Once
+	return svc, func() { once.Do(func() { c.fw.reg.Unget(ref) }) }, true
+}
+
+// AddServiceListener subscribes to service events for the lifetime of
+// the bundle (or until RemoveServiceListener).
+func (c *Context) AddServiceListener(l service.Listener, flt *filter.Filter) int64 {
+	tok := c.fw.reg.AddListener(l, flt)
+	c.mu.Lock()
+	c.tokens = append(c.tokens, tok)
+	c.mu.Unlock()
+	return tok
+}
+
+// RemoveServiceListener cancels a subscription made through this
+// context.
+func (c *Context) RemoveServiceListener(tok int64) {
+	c.fw.reg.RemoveListener(tok)
+	c.mu.Lock()
+	for i, t := range c.tokens {
+		if t == tok {
+			c.tokens = append(c.tokens[:i], c.tokens[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// NewTracker creates and opens a service tracker bound to the bundle's
+// lifetime.
+func (c *Context) NewTracker(iface string, flt *filter.Filter, cbs service.TrackerCallbacks) *service.Tracker {
+	tr := service.NewTracker(c.fw.reg, iface, flt, c.b.owner(), cbs)
+	c.mu.Lock()
+	c.trackers = append(c.trackers, tr)
+	c.mu.Unlock()
+	tr.Open()
+	return tr
+}
+
+// InstallBundle installs another archive into the hosting framework.
+func (c *Context) InstallBundle(a *Archive) (*Bundle, error) {
+	return c.fw.Install(a)
+}
+
+// Resource reads a named resource from the owning bundle's archive.
+func (c *Context) Resource(name string) ([]byte, bool) {
+	return c.b.Resource(name)
+}
+
+// cleanup releases everything acquired through the context. It runs
+// when the bundle stops.
+func (c *Context) cleanup() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	regs := c.regs
+	tokens := c.tokens
+	trackers := c.trackers
+	c.regs, c.tokens, c.trackers = nil, nil, nil
+	c.mu.Unlock()
+
+	for _, tr := range trackers {
+		tr.Close()
+	}
+	for _, tok := range tokens {
+		c.fw.reg.RemoveListener(tok)
+	}
+	for _, reg := range regs {
+		_ = reg.Unregister()
+	}
+	// Catch services registered directly against the registry with this
+	// bundle's owner string (e.g. by helper libraries).
+	c.fw.reg.UnregisterOwned(c.b.owner())
+}

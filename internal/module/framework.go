@@ -1,0 +1,418 @@
+// Package module implements the bundle framework underneath AlfredO —
+// the analog of the Concierge OSGi platform the paper runs on. Bundles
+// are installable archives with manifests, version-ranged package
+// wiring, a lifecycle, and activators; services are published through
+// the registry in package service.
+//
+// Substitution note (see DESIGN.md §2): Go cannot load code at runtime,
+// so activator code is resolved through a process-local CodeRegistry (by
+// name or content hash) while everything else about a bundle — manifest,
+// resources, lifecycle, resolution, events — behaves as in OSGi. Proxy
+// bundles for remote services are synthesized at runtime with dynamic
+// activators and pass through the same install/resolve/start pipeline,
+// which is the operation the paper times in Tables 1 and 2.
+package module
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+// Framework errors.
+var (
+	ErrFrameworkDown = errors.New("module: framework is shut down")
+)
+
+// BundleEventType enumerates bundle lifecycle events.
+type BundleEventType int
+
+// Bundle event types.
+const (
+	BundleInstalled BundleEventType = iota + 1
+	BundleResolved
+	BundleStarting
+	BundleStarted
+	BundleStopping
+	BundleStopped
+	BundleUpdated
+	BundleUninstalled
+)
+
+func (t BundleEventType) String() string {
+	switch t {
+	case BundleInstalled:
+		return "INSTALLED"
+	case BundleResolved:
+		return "RESOLVED"
+	case BundleStarting:
+		return "STARTING"
+	case BundleStarted:
+		return "STARTED"
+	case BundleStopping:
+		return "STOPPING"
+	case BundleStopped:
+		return "STOPPED"
+	case BundleUpdated:
+		return "UPDATED"
+	case BundleUninstalled:
+		return "UNINSTALLED"
+	default:
+		return fmt.Sprintf("BundleEventType(%d)", int(t))
+	}
+}
+
+// BundleEvent describes a bundle lifecycle transition.
+type BundleEvent struct {
+	Type   BundleEventType
+	Bundle *Bundle
+}
+
+// BundleListener receives bundle events synchronously.
+type BundleListener func(BundleEvent)
+
+// Config parameterizes a framework instance.
+type Config struct {
+	// Name identifies the framework instance (typically the device
+	// name); it appears in diagnostics and peer identities.
+	Name string
+	// Code is the activator code registry. A fresh one is created when
+	// nil.
+	Code *CodeRegistry
+	// StorageDir, when set, persists installed bundle archives to disk
+	// and reloads them on the next boot (Concierge-style bundle
+	// storage). Dynamic bundles (runtime-synthesized proxies) are never
+	// persisted.
+	StorageDir string
+}
+
+// Framework hosts bundles and the service registry. Create instances
+// with NewFramework; a Framework must be shut down with Shutdown to
+// release bundle resources.
+type Framework struct {
+	name       string
+	reg        *service.Registry
+	code       *CodeRegistry
+	storageDir string
+
+	mu         sync.Mutex
+	bundles    map[int64]*Bundle
+	nextID     int64
+	listeners  map[int64]BundleListener
+	nextTok    int64
+	startOrder []int64
+	down       bool
+	bootErr    error
+}
+
+// NewFramework creates and "boots" a framework instance. With a
+// storage directory configured, previously persisted bundles are
+// reinstalled (state INSTALLED); loading errors are reported through
+// the returned framework's BootError.
+func NewFramework(cfg Config) *Framework {
+	code := cfg.Code
+	if code == nil {
+		code = NewCodeRegistry()
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "framework"
+	}
+	f := &Framework{
+		name:       name,
+		reg:        service.NewRegistry(),
+		code:       code,
+		storageDir: cfg.StorageDir,
+		bundles:    make(map[int64]*Bundle),
+		listeners:  make(map[int64]BundleListener),
+	}
+	f.bootErr = f.loadStorage()
+	return f
+}
+
+// BootError reports problems encountered while reloading persisted
+// bundles at boot (nil when storage is disabled or clean).
+func (f *Framework) BootError() error { return f.bootErr }
+
+// Name returns the framework instance name.
+func (f *Framework) Name() string { return f.name }
+
+// Registry returns the framework's service registry.
+func (f *Framework) Registry() *service.Registry { return f.reg }
+
+// Code returns the framework's activator code registry.
+func (f *Framework) Code() *CodeRegistry { return f.code }
+
+// Install adds an archive as a new bundle in state INSTALLED.
+func (f *Framework) Install(a *Archive) (*Bundle, error) {
+	return f.install(a, nil)
+}
+
+// InstallDynamic installs an archive whose activator is supplied
+// directly instead of via the code registry. This is how the remote
+// layer installs runtime-synthesized proxy bundles.
+func (f *Framework) InstallDynamic(a *Archive, act Activator) (*Bundle, error) {
+	if act == nil {
+		return nil, fmt.Errorf("module: InstallDynamic requires an activator for %s", a.Manifest.SymbolicName)
+	}
+	return f.install(a, act)
+}
+
+func (f *Framework) install(a *Archive, dyn Activator) (*Bundle, error) {
+	if err := a.Manifest.Validate(); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	if f.down {
+		f.mu.Unlock()
+		return nil, ErrFrameworkDown
+	}
+	f.nextID++
+	b := &Bundle{
+		id:           f.nextID,
+		fw:           f,
+		archive:      a,
+		state:        StateInstalled,
+		dynActivator: dyn,
+	}
+	f.bundles[b.id] = b
+	f.mu.Unlock()
+
+	// Only code-registry bundles persist; dynamic proxies are
+	// per-interaction artifacts (§4.1: never cached).
+	if dyn == nil {
+		if err := f.persist(b); err != nil {
+			f.mu.Lock()
+			delete(f.bundles, b.id)
+			f.mu.Unlock()
+			return nil, err
+		}
+	}
+
+	f.fireEvent(BundleEvent{Type: BundleInstalled, Bundle: b})
+	return b, nil
+}
+
+// InstallAndStart installs an archive and starts the bundle.
+func (f *Framework) InstallAndStart(a *Archive) (*Bundle, error) {
+	b, err := f.Install(a)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Start(); err != nil {
+		return b, err
+	}
+	return b, nil
+}
+
+// Bundle returns the bundle with the given id, or nil.
+func (f *Framework) Bundle(id int64) *Bundle {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bundles[id]
+}
+
+// FindBundle returns the installed bundle with the given symbolic name
+// (the highest version when several are installed), or nil.
+func (f *Framework) FindBundle(symbolicName string) *Bundle {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var best *Bundle
+	for _, b := range f.bundles {
+		if b.SymbolicName() != symbolicName {
+			continue
+		}
+		if best == nil || b.Version().Compare(best.Version()) > 0 {
+			best = b
+		}
+	}
+	return best
+}
+
+// Bundles returns all installed bundles ordered by id.
+func (f *Framework) Bundles() []*Bundle {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Bundle, 0, len(f.bundles))
+	for _, b := range f.bundles {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Footprint returns the total serialized size of all installed bundles,
+// the number the paper's §4.1 reports as the platform footprint.
+func (f *Framework) Footprint() int {
+	total := 0
+	for _, b := range f.Bundles() {
+		total += b.Footprint()
+	}
+	return total
+}
+
+// AddBundleListener subscribes to bundle events; the returned token is
+// passed to RemoveBundleListener.
+func (f *Framework) AddBundleListener(l BundleListener) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nextTok++
+	f.listeners[f.nextTok] = l
+	return f.nextTok
+}
+
+// RemoveBundleListener cancels a subscription.
+func (f *Framework) RemoveBundleListener(tok int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.listeners, tok)
+}
+
+// Shutdown stops all active bundles in reverse start order and closes
+// the service registry. The framework cannot be used afterwards.
+func (f *Framework) Shutdown() error {
+	f.mu.Lock()
+	if f.down {
+		f.mu.Unlock()
+		return nil
+	}
+	f.down = true
+	order := make([]int64, len(f.startOrder))
+	copy(order, f.startOrder)
+	f.mu.Unlock()
+
+	var errs []error
+	for i := len(order) - 1; i >= 0; i-- {
+		b := f.Bundle(order[i])
+		if b != nil && b.State() == StateActive {
+			if err := b.Stop(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	f.reg.Close()
+	return errors.Join(errs...)
+}
+
+// resolve wires a bundle's imports against the exports of installed
+// bundles, transitively resolving providers. Cycles are tolerated by
+// treating in-progress bundles as resolvable.
+func (f *Framework) resolve(b *Bundle) error {
+	if err := f.resolveRec(b, map[int64]bool{}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (f *Framework) resolveRec(b *Bundle, inProgress map[int64]bool) error {
+	if b.State() != StateInstalled || inProgress[b.id] {
+		return nil
+	}
+	inProgress[b.id] = true
+
+	manifest := b.Manifest()
+	wiring := make(map[string]int64, len(manifest.Imports))
+	var missing []ImportedPackage
+	var providers []*Bundle
+	for _, imp := range manifest.Imports {
+		p := f.findProvider(imp, b.id)
+		if p == nil {
+			if !imp.Optional {
+				missing = append(missing, imp)
+			}
+			continue
+		}
+		wiring[imp.Name] = p.id
+		providers = append(providers, p)
+	}
+	if len(missing) > 0 {
+		return &ResolutionError{Bundle: manifest.SymbolicName, Missing: missing}
+	}
+	for _, p := range providers {
+		if err := f.resolveRec(p, inProgress); err != nil {
+			return fmt.Errorf("module: resolving dependency %s of %s: %w",
+				p.SymbolicName(), manifest.SymbolicName, err)
+		}
+	}
+
+	b.mu.Lock()
+	b.wiring = wiring
+	if b.state == StateInstalled {
+		b.state = StateResolved
+	}
+	b.mu.Unlock()
+	f.fireEvent(BundleEvent{Type: BundleResolved, Bundle: b})
+	return nil
+}
+
+// findProvider selects the best export for an import: highest version
+// within range; ties break toward the lowest bundle id. A bundle may
+// satisfy its own import (self-wiring).
+func (f *Framework) findProvider(imp ImportedPackage, _ int64) *Bundle {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var best *Bundle
+	var bestVersion Version
+	for _, cand := range f.bundles {
+		if cand.State() == StateUninstalled {
+			continue
+		}
+		for _, exp := range cand.Manifest().Exports {
+			if exp.Name != imp.Name || !imp.Range.Includes(exp.Version) {
+				continue
+			}
+			switch c := exp.Version.Compare(bestVersion); {
+			case best == nil || c > 0:
+				best, bestVersion = cand, exp.Version
+			case c == 0 && cand.id < best.id:
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+func (f *Framework) remove(b *Bundle) {
+	f.mu.Lock()
+	delete(f.bundles, b.id)
+	f.mu.Unlock()
+	f.unpersist(b.id)
+}
+
+func (f *Framework) noteStarted(id int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.startOrder = append(f.startOrder, id)
+}
+
+func (f *Framework) noteStopped(id int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, v := range f.startOrder {
+		if v == id {
+			f.startOrder = append(f.startOrder[:i], f.startOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+func (f *Framework) fireEvent(ev BundleEvent) {
+	f.mu.Lock()
+	toks := make([]int64, 0, len(f.listeners))
+	for t := range f.listeners {
+		toks = append(toks, t)
+	}
+	sort.Slice(toks, func(i, j int) bool { return toks[i] < toks[j] })
+	ls := make([]BundleListener, len(toks))
+	for i, t := range toks {
+		ls[i] = f.listeners[t]
+	}
+	f.mu.Unlock()
+
+	for _, l := range ls {
+		l(ev)
+	}
+}

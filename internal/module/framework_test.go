@@ -1,0 +1,607 @@
+package module
+
+import (
+	"errors"
+	"fmt"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"testing"
+)
+
+// recordingActivator records lifecycle calls and optionally fails.
+type recordingActivator struct {
+	started, stopped int
+	failStart        error
+	failStop         error
+	onStart          func(ctx *Context) error
+}
+
+func (a *recordingActivator) Start(ctx *Context) error {
+	a.started++
+	if a.failStart != nil {
+		return a.failStart
+	}
+	if a.onStart != nil {
+		return a.onStart(ctx)
+	}
+	return nil
+}
+
+func (a *recordingActivator) Stop(ctx *Context) error {
+	a.stopped++
+	return a.failStop
+}
+
+func newTestFramework(t *testing.T) *Framework {
+	t.Helper()
+	fw := NewFramework(Config{Name: "test"})
+	t.Cleanup(func() {
+		if err := fw.Shutdown(); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return fw
+}
+
+func archive(name, version string) *Archive {
+	return &Archive{Manifest: Manifest{
+		SymbolicName: name,
+		Version:      MustParseVersion(version),
+	}}
+}
+
+func TestInstallStartStop(t *testing.T) {
+	fw := newTestFramework(t)
+	act := &recordingActivator{}
+	if err := fw.Code().Register("test.act", func() Activator { return act }); err != nil {
+		t.Fatalf("Register code: %v", err)
+	}
+
+	a := archive("com.example.a", "1.0.0")
+	a.Manifest.ActivatorRef = "test.act"
+	b, err := fw.Install(a)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if b.State() != StateInstalled {
+		t.Errorf("state = %v, want INSTALLED", b.State())
+	}
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if b.State() != StateActive {
+		t.Errorf("state = %v, want ACTIVE", b.State())
+	}
+	if act.started != 1 {
+		t.Errorf("activator started %d times", act.started)
+	}
+	if err := b.Start(); !errors.Is(err, ErrAlreadyActive) {
+		t.Errorf("double Start = %v, want ErrAlreadyActive", err)
+	}
+	if err := b.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if b.State() != StateResolved {
+		t.Errorf("state after stop = %v, want RESOLVED", b.State())
+	}
+	if act.stopped != 1 {
+		t.Errorf("activator stopped %d times", act.stopped)
+	}
+}
+
+func TestStartWithoutActivator(t *testing.T) {
+	fw := newTestFramework(t)
+	b, err := fw.InstallAndStart(archive("plain", "1.0.0"))
+	if err != nil {
+		t.Fatalf("InstallAndStart: %v", err)
+	}
+	if b.State() != StateActive {
+		t.Errorf("state = %v", b.State())
+	}
+}
+
+func TestStartUnknownActivator(t *testing.T) {
+	fw := newTestFramework(t)
+	a := archive("ghost", "1.0.0")
+	a.Manifest.ActivatorRef = "no.such.code"
+	b, _ := fw.Install(a)
+	if err := b.Start(); !errors.Is(err, ErrUnknownCode) {
+		t.Errorf("Start = %v, want ErrUnknownCode", err)
+	}
+}
+
+func TestActivatorStartFailure(t *testing.T) {
+	fw := newTestFramework(t)
+	boom := errors.New("boom")
+	_ = fw.Code().Register("failing", func() Activator { return &recordingActivator{failStart: boom} })
+	a := archive("f", "1.0.0")
+	a.Manifest.ActivatorRef = "failing"
+	b, _ := fw.Install(a)
+	err := b.Start()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Start = %v, want wrapped boom", err)
+	}
+	if b.State() != StateResolved {
+		t.Errorf("state after failed start = %v, want RESOLVED", b.State())
+	}
+}
+
+func TestServicesReleasedOnStop(t *testing.T) {
+	fw := newTestFramework(t)
+	_ = fw.Code().Register("svc.provider", func() Activator {
+		return &recordingActivator{onStart: func(ctx *Context) error {
+			_, err := ctx.RegisterService([]string{"test.Svc"}, &struct{}{}, nil)
+			return err
+		}}
+	})
+	a := archive("provider", "1.0.0")
+	a.Manifest.ActivatorRef = "svc.provider"
+	b, err := fw.InstallAndStart(a)
+	if err != nil {
+		t.Fatalf("InstallAndStart: %v", err)
+	}
+	if fw.Registry().Find("test.Svc", nil) == nil {
+		t.Fatal("service not registered")
+	}
+	if err := b.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if fw.Registry().Find("test.Svc", nil) != nil {
+		t.Error("service survived bundle stop")
+	}
+}
+
+func TestResolution(t *testing.T) {
+	fw := newTestFramework(t)
+	prov := archive("provider", "1.0.0")
+	prov.Manifest.Exports = []ExportedPackage{{Name: "api.shop", Version: MustParseVersion("1.2.0")}}
+	pb, _ := fw.Install(prov)
+
+	cons := archive("consumer", "1.0.0")
+	cons.Manifest.Imports = []ImportedPackage{{Name: "api.shop", Range: MustParseVersionRange("[1.0,2.0)")}}
+	cb, _ := fw.Install(cons)
+
+	if err := cb.Start(); err != nil {
+		t.Fatalf("Start consumer: %v", err)
+	}
+	wiring := cb.Wiring()
+	if wiring["api.shop"] != pb.ID() {
+		t.Errorf("wiring = %v, want api.shop -> %d", wiring, pb.ID())
+	}
+	// Provider is resolved transitively.
+	if pb.State() != StateResolved {
+		t.Errorf("provider state = %v, want RESOLVED", pb.State())
+	}
+}
+
+func TestResolutionFailure(t *testing.T) {
+	fw := newTestFramework(t)
+	cons := archive("consumer", "1.0.0")
+	cons.Manifest.Imports = []ImportedPackage{{Name: "api.missing"}}
+	cb, _ := fw.Install(cons)
+	err := cb.Start()
+	var resErr *ResolutionError
+	if !errors.As(err, &resErr) {
+		t.Fatalf("Start = %v, want ResolutionError", err)
+	}
+	if len(resErr.Missing) != 1 || resErr.Missing[0].Name != "api.missing" {
+		t.Errorf("missing = %v", resErr.Missing)
+	}
+	if cb.State() != StateInstalled {
+		t.Errorf("state = %v, want INSTALLED", cb.State())
+	}
+}
+
+func TestOptionalImportDoesNotBlock(t *testing.T) {
+	fw := newTestFramework(t)
+	cons := archive("consumer", "1.0.0")
+	cons.Manifest.Imports = []ImportedPackage{{Name: "api.missing", Optional: true}}
+	cb, _ := fw.Install(cons)
+	if err := cb.Start(); err != nil {
+		t.Fatalf("Start with optional missing import: %v", err)
+	}
+}
+
+func TestResolutionPicksHighestVersion(t *testing.T) {
+	fw := newTestFramework(t)
+	old := archive("provider-old", "1.0.0")
+	old.Manifest.Exports = []ExportedPackage{{Name: "api.x", Version: MustParseVersion("1.0.0")}}
+	_, _ = fw.Install(old)
+	newer := archive("provider-new", "1.0.0")
+	newer.Manifest.Exports = []ExportedPackage{{Name: "api.x", Version: MustParseVersion("1.5.0")}}
+	nb, _ := fw.Install(newer)
+	tooNew := archive("provider-2x", "1.0.0")
+	tooNew.Manifest.Exports = []ExportedPackage{{Name: "api.x", Version: MustParseVersion("2.0.0")}}
+	_, _ = fw.Install(tooNew)
+
+	cons := archive("consumer", "1.0.0")
+	cons.Manifest.Imports = []ImportedPackage{{Name: "api.x", Range: MustParseVersionRange("[1.0,2.0)")}}
+	cb, _ := fw.Install(cons)
+	if err := cb.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if cb.Wiring()["api.x"] != nb.ID() {
+		t.Errorf("wired to bundle %d, want %d (highest in range)", cb.Wiring()["api.x"], nb.ID())
+	}
+}
+
+func TestResolutionCycle(t *testing.T) {
+	fw := newTestFramework(t)
+	a := archive("cycle-a", "1.0.0")
+	a.Manifest.Exports = []ExportedPackage{{Name: "pkg.a", Version: MustParseVersion("1.0.0")}}
+	a.Manifest.Imports = []ImportedPackage{{Name: "pkg.b"}}
+	ab, _ := fw.Install(a)
+
+	b := archive("cycle-b", "1.0.0")
+	b.Manifest.Exports = []ExportedPackage{{Name: "pkg.b", Version: MustParseVersion("1.0.0")}}
+	b.Manifest.Imports = []ImportedPackage{{Name: "pkg.a"}}
+	_, _ = fw.Install(b)
+
+	if err := ab.Start(); err != nil {
+		t.Fatalf("Start in cycle: %v", err)
+	}
+}
+
+func TestUpdateRestartsActiveBundle(t *testing.T) {
+	fw := newTestFramework(t)
+	act := &recordingActivator{}
+	_ = fw.Code().Register("upd", func() Activator { return act })
+	a := archive("u", "1.0.0")
+	a.Manifest.ActivatorRef = "upd"
+	b, err := fw.InstallAndStart(a)
+	if err != nil {
+		t.Fatalf("InstallAndStart: %v", err)
+	}
+	a2 := archive("u", "1.1.0")
+	a2.Manifest.ActivatorRef = "upd"
+	if err := b.Update(a2); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if b.State() != StateActive {
+		t.Errorf("state after update = %v, want ACTIVE", b.State())
+	}
+	if b.Version().String() != "1.1.0" {
+		t.Errorf("version = %v", b.Version())
+	}
+	if act.started != 2 || act.stopped != 1 {
+		t.Errorf("start/stop = %d/%d, want 2/1", act.started, act.stopped)
+	}
+}
+
+func TestUninstall(t *testing.T) {
+	fw := newTestFramework(t)
+	act := &recordingActivator{}
+	_ = fw.Code().Register("uni", func() Activator { return act })
+	a := archive("u", "1.0.0")
+	a.Manifest.ActivatorRef = "uni"
+	b, _ := fw.InstallAndStart(a)
+	if err := b.Uninstall(); err != nil {
+		t.Fatalf("Uninstall: %v", err)
+	}
+	if b.State() != StateUninstalled {
+		t.Errorf("state = %v", b.State())
+	}
+	if act.stopped != 1 {
+		t.Errorf("activator not stopped on uninstall")
+	}
+	if fw.Bundle(b.ID()) != nil {
+		t.Error("bundle still listed after uninstall")
+	}
+	if err := b.Start(); !errors.Is(err, ErrUninstalledBundle) {
+		t.Errorf("Start after uninstall = %v", err)
+	}
+}
+
+func TestInstallDynamic(t *testing.T) {
+	fw := newTestFramework(t)
+	act := &recordingActivator{}
+	b, err := fw.InstallDynamic(archive("dyn.proxy", "1.0.0"), act)
+	if err != nil {
+		t.Fatalf("InstallDynamic: %v", err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if act.started != 1 {
+		t.Error("dynamic activator not started")
+	}
+	if _, err := fw.InstallDynamic(archive("x", "1.0.0"), nil); err == nil {
+		t.Error("InstallDynamic(nil) should fail")
+	}
+}
+
+func TestBundleEvents(t *testing.T) {
+	fw := newTestFramework(t)
+	var types []BundleEventType
+	fw.AddBundleListener(func(ev BundleEvent) { types = append(types, ev.Type) })
+	b, _ := fw.Install(archive("ev", "1.0.0"))
+	_ = b.Start()
+	_ = b.Stop()
+	_ = b.Uninstall()
+	want := []BundleEventType{
+		BundleInstalled, BundleResolved, BundleStarting, BundleStarted,
+		BundleStopping, BundleStopped, BundleUninstalled,
+	}
+	if len(types) != len(want) {
+		t.Fatalf("events = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Errorf("event[%d] = %v, want %v", i, types[i], want[i])
+		}
+	}
+}
+
+func TestFindBundlePicksHighestVersion(t *testing.T) {
+	fw := newTestFramework(t)
+	_, _ = fw.Install(archive("multi", "1.0.0"))
+	b2, _ := fw.Install(archive("multi", "2.0.0"))
+	if got := fw.FindBundle("multi"); got != b2 {
+		t.Errorf("FindBundle = %v, want version 2.0.0", got)
+	}
+	if fw.FindBundle("nope") != nil {
+		t.Error("FindBundle for unknown name should be nil")
+	}
+}
+
+func TestShutdownStopsInReverseOrder(t *testing.T) {
+	fw := NewFramework(Config{})
+	var order []string
+	for _, name := range []string{"first", "second", "third"} {
+		name := name
+		_ = fw.Code().Register(name, func() Activator {
+			return &stopOrderActivator{name: name, order: &order}
+		})
+		a := archive(name, "1.0.0")
+		a.Manifest.ActivatorRef = name
+		if _, err := fw.InstallAndStart(a); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+	}
+	if err := fw.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	want := []string{"third", "second", "first"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("stop order = %v, want %v", order, want)
+	}
+	if _, err := fw.Install(archive("late", "1.0.0")); !errors.Is(err, ErrFrameworkDown) {
+		t.Errorf("Install after shutdown = %v", err)
+	}
+}
+
+type stopOrderActivator struct {
+	name  string
+	order *[]string
+}
+
+func (a *stopOrderActivator) Start(ctx *Context) error { return nil }
+func (a *stopOrderActivator) Stop(ctx *Context) error {
+	*a.order = append(*a.order, a.name)
+	return nil
+}
+
+func TestFootprint(t *testing.T) {
+	fw := newTestFramework(t)
+	a := archive("fp", "1.0.0")
+	a.Resources = map[string][]byte{"descriptor.json": make([]byte, 1000)}
+	b, _ := fw.Install(a)
+	if b.Footprint() <= 1000 {
+		t.Errorf("Footprint = %d, want > 1000 (resources + manifest)", b.Footprint())
+	}
+	if fw.Footprint() != b.Footprint() {
+		t.Errorf("framework footprint %d != bundle %d", fw.Footprint(), b.Footprint())
+	}
+}
+
+func TestArchiveEncodeDecode(t *testing.T) {
+	a := archive("codec", "1.2.3")
+	a.Manifest.Exports = []ExportedPackage{{Name: "p", Version: MustParseVersion("1.0.0")}}
+	a.Resources = map[string][]byte{"r1": []byte("hello"), "r2": {0, 1, 2}}
+	b, err := a.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	a2, err := DecodeArchive(b)
+	if err != nil {
+		t.Fatalf("DecodeArchive: %v", err)
+	}
+	if a2.Manifest.SymbolicName != "codec" || string(a2.Resources["r1"]) != "hello" {
+		t.Errorf("round trip mismatch: %+v", a2)
+	}
+	if got := a2.ResourceNames(); len(got) != 2 || got[0] != "r1" {
+		t.Errorf("ResourceNames = %v", got)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	bad := []Manifest{
+		{},
+		{SymbolicName: "x", Exports: []ExportedPackage{{Name: ""}}},
+		{SymbolicName: "x", Imports: []ImportedPackage{{Name: ""}}},
+		{SymbolicName: "x", Exports: []ExportedPackage{{Name: "p"}, {Name: "p"}}},
+	}
+	for i, m := range bad {
+		m := m
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestContextGetServiceRelease(t *testing.T) {
+	fw := newTestFramework(t)
+	var ctx *Context
+	_ = fw.Code().Register("holder", func() Activator {
+		return &recordingActivator{onStart: func(c *Context) error { ctx = c; return nil }}
+	})
+	a := archive("h", "1.0.0")
+	a.Manifest.ActivatorRef = "holder"
+	if _, err := fw.InstallAndStart(a); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	reg, _ := fw.Registry().Register([]string{"x"}, &struct{}{}, nil, "other")
+	ref := reg.Reference()
+	svc, release, ok := ctx.GetService(ref)
+	if !ok || svc == nil {
+		t.Fatal("GetService failed")
+	}
+	if uc := fw.Registry().UseCount(ref); uc != 1 {
+		t.Errorf("use count = %d", uc)
+	}
+	release()
+	release() // double release is safe
+	if uc := fw.Registry().UseCount(ref); uc != 0 {
+		t.Errorf("use count after release = %d", uc)
+	}
+}
+
+func TestUpdateUninstalledBundle(t *testing.T) {
+	fw := newTestFramework(t)
+	b, _ := fw.Install(archive("u", "1.0.0"))
+	_ = b.Uninstall()
+	if err := b.Update(archive("u", "2.0.0")); !errors.Is(err, ErrUninstalledBundle) {
+		t.Errorf("Update after uninstall = %v", err)
+	}
+	if err := b.Stop(); !errors.Is(err, ErrUninstalledBundle) {
+		t.Errorf("Stop after uninstall = %v", err)
+	}
+	if err := b.Uninstall(); !errors.Is(err, ErrUninstalledBundle) {
+		t.Errorf("double Uninstall = %v", err)
+	}
+}
+
+func TestUpdateRejectsInvalidManifest(t *testing.T) {
+	fw := newTestFramework(t)
+	b, _ := fw.Install(archive("u", "1.0.0"))
+	bad := &Archive{} // no symbolic name
+	if err := b.Update(bad); !errors.Is(err, ErrNoSymbolicName) {
+		t.Errorf("Update with bad manifest = %v", err)
+	}
+}
+
+func TestActivatorStopFailurePropagates(t *testing.T) {
+	fw := newTestFramework(t)
+	boom := errors.New("stop failed")
+	_ = fw.Code().Register("stopfail", func() Activator {
+		return &recordingActivator{failStop: boom}
+	})
+	a := archive("s", "1.0.0")
+	a.Manifest.ActivatorRef = "stopfail"
+	b, err := fw.InstallAndStart(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stop(); !errors.Is(err, boom) {
+		t.Errorf("Stop = %v, want wrapped boom", err)
+	}
+	// Despite the activator failure, the bundle reached RESOLVED and
+	// its resources were released.
+	if b.State() != StateResolved {
+		t.Errorf("state after failed stop = %v", b.State())
+	}
+}
+
+func TestStopNotActive(t *testing.T) {
+	fw := newTestFramework(t)
+	b, _ := fw.Install(archive("idle", "1.0.0"))
+	if err := b.Stop(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("Stop on installed bundle = %v", err)
+	}
+}
+
+func TestBundleResourceAccess(t *testing.T) {
+	fw := newTestFramework(t)
+	a := archive("res", "1.0.0")
+	a.Resources = map[string][]byte{"cfg.json": []byte(`{"x":1}`)}
+	b, _ := fw.Install(a)
+	data, ok := b.Resource("cfg.json")
+	if !ok || string(data) != `{"x":1}` {
+		t.Errorf("Resource = %q, %v", data, ok)
+	}
+	// The returned slice is a copy: mutating it cannot corrupt the archive.
+	data[0] = 'X'
+	again, _ := b.Resource("cfg.json")
+	if string(again) != `{"x":1}` {
+		t.Error("Resource returned a shared slice")
+	}
+	if _, ok := b.Resource("missing"); ok {
+		t.Error("phantom resource")
+	}
+}
+
+func TestCodeRegistry(t *testing.T) {
+	reg := NewCodeRegistry()
+	if err := reg.Register("", nil); err == nil {
+		t.Error("empty registration accepted")
+	}
+	if err := reg.Register("a", func() Activator { return &recordingActivator{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("a", func() Activator { return &recordingActivator{} }); !errors.Is(err, ErrDuplicateCode) {
+		t.Errorf("duplicate = %v", err)
+	}
+	if _, ok := reg.Lookup("a"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, ok := reg.Lookup("b"); ok {
+		t.Error("phantom code")
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "a" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestHashRefDeterministic(t *testing.T) {
+	a := HashRef([]byte("code-v1"))
+	b := HashRef([]byte("code-v1"))
+	c := HashRef([]byte("code-v2"))
+	if a != b {
+		t.Error("HashRef not deterministic")
+	}
+	if a == c {
+		t.Error("HashRef collision on different content")
+	}
+	if len(a) < 10 || a[:7] != "sha256:" {
+		t.Errorf("HashRef format: %q", a)
+	}
+}
+
+func TestDecodeArchiveErrors(t *testing.T) {
+	if _, err := DecodeArchive([]byte("not json")); err == nil {
+		t.Error("garbage archive accepted")
+	}
+}
+
+func TestContextListenerManagement(t *testing.T) {
+	fw := newTestFramework(t)
+	var ctx *Context
+	_ = fw.Code().Register("lm", func() Activator {
+		return &recordingActivator{onStart: func(c *Context) error { ctx = c; return nil }}
+	})
+	a := archive("lm", "1.0.0")
+	a.Manifest.ActivatorRef = "lm"
+	b, err := fw.InstallAndStart(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	tok := ctx.AddServiceListener(func(ev service.Event) { hits++ }, nil)
+	_, _ = fw.Registry().Register([]string{"x"}, &struct{}{}, nil, "other")
+	if hits != 1 {
+		t.Fatalf("hits = %d", hits)
+	}
+	ctx.RemoveServiceListener(tok)
+	_, _ = fw.Registry().Register([]string{"y"}, &struct{}{}, nil, "other")
+	if hits != 1 {
+		t.Errorf("listener survived removal: %d", hits)
+	}
+	// A tracker opened through the context closes with the bundle.
+	tr := ctx.NewTracker("x", nil, service.TrackerCallbacks{})
+	if tr.Count() != 1 {
+		t.Fatalf("tracker count = %d", tr.Count())
+	}
+	_ = b.Stop()
+	if tr.Count() != 0 {
+		t.Errorf("tracker survived bundle stop: %d", tr.Count())
+	}
+}

@@ -1,0 +1,113 @@
+package module
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Manifest errors.
+var (
+	ErrNoSymbolicName = errors.New("module: manifest requires a symbolic name")
+)
+
+// ExportedPackage declares a package a bundle offers to others.
+type ExportedPackage struct {
+	Name    string  `json:"name"`
+	Version Version `json:"version"`
+}
+
+// ImportedPackage declares a package a bundle requires. A zero Range
+// accepts any version. Optional imports do not block resolution.
+type ImportedPackage struct {
+	Name     string       `json:"name"`
+	Range    VersionRange `json:"range"`
+	Optional bool         `json:"optional,omitempty"`
+}
+
+// Manifest is the metadata of a bundle: identity, package wiring
+// declarations and the reference to its activator code.
+//
+// Because Go cannot load code at runtime, ActivatorRef names an entry in
+// the framework's CodeRegistry rather than embedding byte code; see the
+// package documentation for the substitution rationale.
+type Manifest struct {
+	SymbolicName string            `json:"symbolicName"`
+	Version      Version           `json:"version"`
+	Exports      []ExportedPackage `json:"exports,omitempty"`
+	Imports      []ImportedPackage `json:"imports,omitempty"`
+	ActivatorRef string            `json:"activatorRef,omitempty"`
+	Headers      map[string]string `json:"headers,omitempty"`
+}
+
+// Validate reports whether the manifest is structurally sound.
+func (m *Manifest) Validate() error {
+	if m.SymbolicName == "" {
+		return ErrNoSymbolicName
+	}
+	seen := make(map[string]bool, len(m.Exports))
+	for _, e := range m.Exports {
+		if e.Name == "" {
+			return fmt.Errorf("module: bundle %s exports a package with no name", m.SymbolicName)
+		}
+		key := e.Name + "/" + e.Version.String()
+		if seen[key] {
+			return fmt.Errorf("module: bundle %s exports %s twice", m.SymbolicName, key)
+		}
+		seen[key] = true
+	}
+	for _, i := range m.Imports {
+		if i.Name == "" {
+			return fmt.Errorf("module: bundle %s imports a package with no name", m.SymbolicName)
+		}
+	}
+	return nil
+}
+
+// Archive is an installable unit: a manifest plus named resources
+// (descriptors, images, data files). It is the moral equivalent of a
+// bundle JAR; Size reports its serialized footprint, which is what the
+// paper's §4.1 resource-consumption numbers measure.
+type Archive struct {
+	Manifest  Manifest          `json:"manifest"`
+	Resources map[string][]byte `json:"resources,omitempty"`
+}
+
+// Size returns the serialized size of the archive in bytes.
+func (a *Archive) Size() int {
+	b, err := a.Encode()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// Encode serializes the archive deterministically (resources in sorted
+// key order via JSON object encoding).
+func (a *Archive) Encode() ([]byte, error) {
+	b, err := json.Marshal(a)
+	if err != nil {
+		return nil, fmt.Errorf("module: encoding archive %s: %w", a.Manifest.SymbolicName, err)
+	}
+	return b, nil
+}
+
+// DecodeArchive parses an archive previously produced by Encode.
+func DecodeArchive(b []byte) (*Archive, error) {
+	var a Archive
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("module: decoding archive: %w", err)
+	}
+	return &a, nil
+}
+
+// ResourceNames returns the sorted resource names of the archive.
+func (a *Archive) ResourceNames() []string {
+	names := make([]string, 0, len(a.Resources))
+	for n := range a.Resources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

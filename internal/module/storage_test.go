@@ -1,0 +1,129 @@
+package module
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBundlePersistenceAcrossBoots(t *testing.T) {
+	dir := t.TempDir()
+
+	// Boot 1: install two bundles, one with resources.
+	fw1 := NewFramework(Config{Name: "persist", StorageDir: dir})
+	if err := fw1.BootError(); err != nil {
+		t.Fatalf("boot 1: %v", err)
+	}
+	a := archive("app.one", "1.2.0")
+	a.Resources = map[string][]byte{"cfg": []byte("hello")}
+	if _, err := fw1.Install(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw1.Install(archive("app.two", "2.0.0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The archives landed on the file system (§4.1 measures exactly
+	// this).
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+archiveExt))
+	if len(files) != 2 {
+		t.Fatalf("stored files = %v", files)
+	}
+
+	// Boot 2: both bundles come back in INSTALLED state, in order.
+	fw2 := NewFramework(Config{Name: "persist", StorageDir: dir})
+	if err := fw2.BootError(); err != nil {
+		t.Fatalf("boot 2: %v", err)
+	}
+	defer fw2.Shutdown()
+	bundles := fw2.Bundles()
+	if len(bundles) != 2 {
+		t.Fatalf("restored %d bundles", len(bundles))
+	}
+	if bundles[0].SymbolicName() != "app.one" || bundles[1].SymbolicName() != "app.two" {
+		t.Errorf("restore order: %v, %v", bundles[0], bundles[1])
+	}
+	if bundles[0].Version().String() != "1.2.0" {
+		t.Errorf("version = %v", bundles[0].Version())
+	}
+	if data, ok := bundles[0].Resource("cfg"); !ok || string(data) != "hello" {
+		t.Errorf("resource = %q, %v", data, ok)
+	}
+}
+
+func TestUninstallRemovesStoredArchive(t *testing.T) {
+	dir := t.TempDir()
+	fw := NewFramework(Config{Name: "p", StorageDir: dir})
+	defer fw.Shutdown()
+	b, err := fw.Install(archive("gone", "1.0.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Uninstall(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+archiveExt))
+	if len(files) != 0 {
+		t.Errorf("archive survived uninstall: %v", files)
+	}
+}
+
+func TestDynamicBundlesNeverPersist(t *testing.T) {
+	dir := t.TempDir()
+	fw := NewFramework(Config{Name: "p", StorageDir: dir})
+	defer fw.Shutdown()
+	if _, err := fw.InstallDynamic(archive("proxy.x", "1.0.0"), &recordingActivator{}); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+archiveExt))
+	if len(files) != 0 {
+		t.Errorf("dynamic bundle persisted: %v", files)
+	}
+}
+
+func TestUpdatePersists(t *testing.T) {
+	dir := t.TempDir()
+	fw := NewFramework(Config{Name: "p", StorageDir: dir})
+	defer fw.Shutdown()
+	b, _ := fw.Install(archive("u", "1.0.0"))
+	if err := b.Update(archive("u", "1.1.0")); err != nil {
+		t.Fatal(err)
+	}
+	_ = fw.Shutdown()
+
+	fw2 := NewFramework(Config{Name: "p", StorageDir: dir})
+	defer fw2.Shutdown()
+	restored := fw2.FindBundle("u")
+	if restored == nil || restored.Version().String() != "1.1.0" {
+		t.Errorf("restored = %v", restored)
+	}
+}
+
+func TestBootToleratesCorruptArchive(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "000001"+archiveExt), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fw := NewFramework(Config{Name: "p", StorageDir: dir})
+	defer fw.Shutdown()
+	if fw.BootError() == nil {
+		t.Error("corrupt archive not reported")
+	}
+	// The framework still boots and accepts new installs.
+	if _, err := fw.Install(archive("fresh", "1.0.0")); err != nil {
+		t.Errorf("install after dirty boot: %v", err)
+	}
+}
+
+func TestStorageDisabledByDefault(t *testing.T) {
+	fw := newTestFramework(t)
+	if fw.BootError() != nil {
+		t.Errorf("BootError without storage = %v", fw.BootError())
+	}
+	if _, err := fw.Install(archive("mem", "1.0.0")); err != nil {
+		t.Fatal(err)
+	}
+}

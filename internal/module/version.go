@@ -1,0 +1,198 @@
+package module
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrVersionSyntax is wrapped by all version parse errors.
+var ErrVersionSyntax = errors.New("module: invalid version syntax")
+
+// Version is an OSGi-style three-part version number with an optional
+// qualifier. Versions are compared numerically on the three parts, then
+// lexically on the qualifier.
+type Version struct {
+	Major     int
+	Minor     int
+	Micro     int
+	Qualifier string
+}
+
+// ParseVersion parses "major[.minor[.micro[.qualifier]]]".
+func ParseVersion(s string) (Version, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Version{}, fmt.Errorf("%w: empty version", ErrVersionSyntax)
+	}
+	parts := strings.SplitN(s, ".", 4)
+	var v Version
+	var err error
+	if v.Major, err = parsePart(parts[0]); err != nil {
+		return Version{}, err
+	}
+	if len(parts) > 1 {
+		if v.Minor, err = parsePart(parts[1]); err != nil {
+			return Version{}, err
+		}
+	}
+	if len(parts) > 2 {
+		if v.Micro, err = parsePart(parts[2]); err != nil {
+			return Version{}, err
+		}
+	}
+	if len(parts) > 3 {
+		v.Qualifier = parts[3]
+	}
+	return v, nil
+}
+
+func parsePart(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%w: bad numeric component %q", ErrVersionSyntax, s)
+	}
+	return n, nil
+}
+
+// MustParseVersion is ParseVersion panicking on error, for constants.
+func MustParseVersion(s string) Version {
+	v, err := ParseVersion(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Compare returns -1, 0 or 1 as v is less than, equal to or greater
+// than o.
+func (v Version) Compare(o Version) int {
+	if c := cmpInt(v.Major, o.Major); c != 0 {
+		return c
+	}
+	if c := cmpInt(v.Minor, o.Minor); c != 0 {
+		return c
+	}
+	if c := cmpInt(v.Micro, o.Micro); c != 0 {
+		return c
+	}
+	return strings.Compare(v.Qualifier, o.Qualifier)
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the canonical dotted form.
+func (v Version) String() string {
+	s := fmt.Sprintf("%d.%d.%d", v.Major, v.Minor, v.Micro)
+	if v.Qualifier != "" {
+		s += "." + v.Qualifier
+	}
+	return s
+}
+
+// VersionRange is an OSGi version range. The zero value matches every
+// version (the "unbounded from 0.0.0" default of a bare import).
+type VersionRange struct {
+	Min          Version
+	MinExclusive bool
+	// Max is nil for an unbounded range.
+	Max          *Version
+	MaxExclusive bool
+}
+
+// ParseVersionRange parses either a single version "1.2" (meaning
+// [1.2, infinity)) or an interval "[1.0,2.0)" with the usual bracket
+// conventions.
+func ParseVersionRange(s string) (VersionRange, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return VersionRange{}, nil
+	}
+	if s[0] != '[' && s[0] != '(' {
+		min, err := ParseVersion(s)
+		if err != nil {
+			return VersionRange{}, err
+		}
+		return VersionRange{Min: min}, nil
+	}
+	if len(s) < 2 {
+		return VersionRange{}, fmt.Errorf("%w: truncated range %q", ErrVersionSyntax, s)
+	}
+	last := s[len(s)-1]
+	if last != ']' && last != ')' {
+		return VersionRange{}, fmt.Errorf("%w: range %q must end with ']' or ')'", ErrVersionSyntax, s)
+	}
+	body := s[1 : len(s)-1]
+	parts := strings.Split(body, ",")
+	if len(parts) != 2 {
+		return VersionRange{}, fmt.Errorf("%w: range %q must have two endpoints", ErrVersionSyntax, s)
+	}
+	min, err := ParseVersion(parts[0])
+	if err != nil {
+		return VersionRange{}, err
+	}
+	max, err := ParseVersion(parts[1])
+	if err != nil {
+		return VersionRange{}, err
+	}
+	if max.Compare(min) < 0 {
+		return VersionRange{}, fmt.Errorf("%w: range %q is empty", ErrVersionSyntax, s)
+	}
+	return VersionRange{
+		Min:          min,
+		MinExclusive: s[0] == '(',
+		Max:          &max,
+		MaxExclusive: last == ')',
+	}, nil
+}
+
+// MustParseVersionRange is ParseVersionRange panicking on error.
+func MustParseVersionRange(s string) VersionRange {
+	r, err := ParseVersionRange(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Includes reports whether v lies within the range.
+func (r VersionRange) Includes(v Version) bool {
+	c := v.Compare(r.Min)
+	if c < 0 || (c == 0 && r.MinExclusive) {
+		return false
+	}
+	if r.Max == nil {
+		return true
+	}
+	c = v.Compare(*r.Max)
+	return c < 0 || (c == 0 && !r.MaxExclusive)
+}
+
+// String renders the canonical range form.
+func (r VersionRange) String() string {
+	if r.Max == nil {
+		if r.MinExclusive {
+			// Not expressible in shorthand; render as open interval.
+			return "(" + r.Min.String() + ",)"
+		}
+		return r.Min.String()
+	}
+	lo, hi := "[", "]"
+	if r.MinExclusive {
+		lo = "("
+	}
+	if r.MaxExclusive {
+		hi = ")"
+	}
+	return lo + r.Min.String() + "," + r.Max.String() + hi
+}

@@ -1,0 +1,124 @@
+package module
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseVersion(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Version
+	}{
+		{"1", Version{Major: 1}},
+		{"1.2", Version{Major: 1, Minor: 2}},
+		{"1.2.3", Version{Major: 1, Minor: 2, Micro: 3}},
+		{"1.2.3.beta", Version{Major: 1, Minor: 2, Micro: 3, Qualifier: "beta"}},
+		{" 4.1.0 ", Version{Major: 4, Minor: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseVersion(c.in)
+		if err != nil {
+			t.Errorf("ParseVersion(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseVersion(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseVersionErrors(t *testing.T) {
+	for _, s := range []string{"", "a", "1.a", "-1", "1.-2", "1..2"} {
+		if _, err := ParseVersion(s); err == nil {
+			t.Errorf("ParseVersion(%q) should fail", s)
+		} else if !errors.Is(err, ErrVersionSyntax) {
+			t.Errorf("ParseVersion(%q) error %v not ErrVersionSyntax", s, err)
+		}
+	}
+}
+
+func TestVersionCompare(t *testing.T) {
+	ordered := []string{"0.0.0", "0.0.1", "0.1.0", "1.0.0", "1.0.0.alpha", "1.0.0.beta", "1.0.1", "2.0.0"}
+	for i := 1; i < len(ordered); i++ {
+		a, b := MustParseVersion(ordered[i-1]), MustParseVersion(ordered[i])
+		if a.Compare(b) >= 0 {
+			t.Errorf("%s should sort before %s", a, b)
+		}
+		if b.Compare(a) <= 0 {
+			t.Errorf("%s should sort after %s", b, a)
+		}
+	}
+	v := MustParseVersion("1.2.3")
+	if v.Compare(v) != 0 {
+		t.Error("version not equal to itself")
+	}
+}
+
+func TestVersionRange(t *testing.T) {
+	cases := []struct {
+		rng     string
+		version string
+		want    bool
+	}{
+		{"", "0.0.0", true},
+		{"", "99.0.0", true},
+		{"1.0", "0.9.0", false},
+		{"1.0", "1.0.0", true},
+		{"1.0", "5.0.0", true},
+		{"[1.0,2.0)", "1.0.0", true},
+		{"[1.0,2.0)", "1.9.9", true},
+		{"[1.0,2.0)", "2.0.0", false},
+		{"[1.0,2.0]", "2.0.0", true},
+		{"(1.0,2.0]", "1.0.0", false},
+		{"(1.0,2.0]", "1.0.1", true},
+	}
+	for _, c := range cases {
+		r := MustParseVersionRange(c.rng)
+		v := MustParseVersion(c.version)
+		if got := r.Includes(v); got != c.want {
+			t.Errorf("range %q includes %q = %v, want %v", c.rng, c.version, got, c.want)
+		}
+	}
+}
+
+func TestVersionRangeErrors(t *testing.T) {
+	for _, s := range []string{"[1.0", "[1.0,2.0", "[2.0,1.0]", "[a,b]", "[1.0,2.0,3.0]", "[1.0]"} {
+		if _, err := ParseVersionRange(s); err == nil {
+			t.Errorf("ParseVersionRange(%q) should fail", s)
+		}
+	}
+}
+
+func TestVersionStringRoundTrip(t *testing.T) {
+	prop := func(maj, min, mic uint8) bool {
+		v := Version{Major: int(maj), Minor: int(min), Micro: int(mic)}
+		p, err := ParseVersion(v.String())
+		return err == nil && p == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVersionRangeStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"1.0.0", "[1.0.0,2.0.0)", "(1.0.0,2.0.0]", "[1.2.3,1.2.3]"} {
+		r := MustParseVersionRange(s)
+		r2 := MustParseVersionRange(r.String())
+		if r.String() != r2.String() {
+			t.Errorf("range round trip %q -> %q -> %q", s, r.String(), r2.String())
+		}
+	}
+}
+
+func TestVersionCompareAntisymmetric(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		va := Version{Major: int(a >> 8), Minor: int(a & 0xff)}
+		vb := Version{Major: int(b >> 8), Minor: int(b & 0xff)}
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

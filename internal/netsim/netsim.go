@@ -1,0 +1,438 @@
+// Package netsim provides simulated network links with configurable
+// latency, jitter, bandwidth and loss, plus an in-process fabric of
+// net.Conn/net.Listener pairs shaped by those links.
+//
+// It stands in for the paper's testbeds (DESIGN.md §2): 802.11b WLAN and
+// Bluetooth 2.0 between phones and a desktop, 100 Mb/s Ethernet between
+// desktops, and switched Gigabit in the cluster experiment. Profile
+// constants are calibrated so that the latency relations the paper
+// reports (Tables 1–2, Figures 3–6) emerge from the link model rather
+// than being hard-coded; see profiles.go for the calibration notes.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fabric errors.
+var (
+	ErrAddrInUse    = errors.New("netsim: address already bound")
+	ErrConnRefused  = errors.New("netsim: connection refused")
+	ErrClosed       = errors.New("netsim: closed")
+	ErrLinkDropped  = errors.New("netsim: link dropped the connection")
+	errDeadline     = errors.New("netsim: i/o timeout")
+	errWriteOnClose = errors.New("netsim: write on closed connection")
+)
+
+// LinkProfile describes the characteristics of a (symmetric) link.
+type LinkProfile struct {
+	// Name identifies the profile in diagnostics and reports.
+	Name string
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter is added uniformly in [0, Jitter) per transfer.
+	Jitter time.Duration
+	// Bandwidth is the link throughput in bytes/second (0 = unlimited).
+	// Writers are paced: a write of n bytes occupies the link for
+	// n/Bandwidth before it propagates.
+	Bandwidth int64
+	// LossProb is the probability that a write is silently lost. It is
+	// zero for the paper's reliable transports and is used by failure
+	// injection tests.
+	LossProb float64
+}
+
+// RTT returns the theoretical round-trip time for a tiny payload: two
+// propagation delays plus the mean jitter in both directions.
+func (p LinkProfile) RTT() time.Duration {
+	return 2*p.Latency + p.Jitter
+}
+
+// TransferTime returns the theoretical one-way delivery time for a
+// payload of n bytes.
+func (p LinkProfile) TransferTime(n int) time.Duration {
+	d := p.Latency + p.Jitter/2
+	if p.Bandwidth > 0 {
+		d += time.Duration(float64(n) / float64(p.Bandwidth) * float64(time.Second))
+	}
+	return d
+}
+
+type simAddr string
+
+func (a simAddr) Network() string { return "sim" }
+func (a simAddr) String() string  { return string(a) }
+
+// Fabric is an in-process network: named listeners, dialable with a
+// per-connection link profile. The zero value is not usable; create
+// with NewFabric.
+type Fabric struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	seed      int64
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{listeners: make(map[string]*Listener)}
+}
+
+// Listen binds a listener to addr.
+func (f *Fabric) Listen(addr string) (*Listener, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, busy := f.listeners[addr]; busy {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &Listener{
+		fabric:  f,
+		addr:    simAddr(addr),
+		backlog: make(chan net.Conn, 16),
+		done:    make(chan struct{}),
+	}
+	f.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to the listener bound at addr through a link with the
+// given profile. Both directions of the resulting connection are shaped.
+func (f *Fabric) Dial(addr string, link LinkProfile) (net.Conn, error) {
+	f.mu.Lock()
+	l := f.listeners[addr]
+	f.seed++
+	seed := f.seed
+	f.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+
+	dialerAddr := simAddr(fmt.Sprintf("dialer-%d", seed))
+	c2s := newShapedPipe(link, seed*2)
+	s2c := newShapedPipe(link, seed*2+1)
+	clientConn := &Conn{
+		link:   link,
+		read:   s2c,
+		write:  c2s,
+		local:  dialerAddr,
+		remote: l.addr,
+	}
+	serverConn := &Conn{
+		link:   link,
+		read:   c2s,
+		write:  s2c,
+		local:  l.addr,
+		remote: dialerAddr,
+	}
+
+	select {
+	case l.backlog <- serverConn:
+		// Model connection establishment as one round trip.
+		sleep(link.RTT())
+		return clientConn, nil
+	case <-l.done:
+		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
+	}
+}
+
+// Listener implements net.Listener over the fabric.
+type Listener struct {
+	fabric  *Fabric
+	addr    simAddr
+	backlog chan net.Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Accept waits for an inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close unbinds the listener.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.fabric.mu.Lock()
+		delete(l.fabric.listeners, string(l.addr))
+		l.fabric.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// chunk is one in-flight transfer on a shaped pipe.
+type chunk struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// shapedPipe is one direction of a simulated link: writes are paced by
+// bandwidth, delivery is delayed by latency+jitter, FIFO order is
+// preserved.
+type shapedPipe struct {
+	link LinkProfile
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	lastIn   time.Time // when the link becomes free for the next write
+	lastOut  time.Time // monotone delivery horizon (FIFO clamp)
+	closed   bool
+	leftover []byte
+
+	ch   chan chunk
+	done chan struct{}
+}
+
+func newShapedPipe(link LinkProfile, seed int64) *shapedPipe {
+	return &shapedPipe{
+		link: link,
+		rng:  rand.New(rand.NewSource(seed)),
+		ch:   make(chan chunk, 1024),
+		done: make(chan struct{}),
+	}
+}
+
+func (p *shapedPipe) write(b []byte) (int, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return 0, errWriteOnClose
+	}
+	// Loss injection drops the payload after pacing, as a real lossy
+	// link would.
+	lost := p.link.LossProb > 0 && p.rng.Float64() < p.link.LossProb
+	jitter := time.Duration(0)
+	if p.link.Jitter > 0 {
+		jitter = time.Duration(p.rng.Int63n(int64(p.link.Jitter)))
+	}
+
+	now := time.Now()
+	start := p.lastIn
+	if start.Before(now) {
+		start = now
+	}
+	serialization := time.Duration(0)
+	if p.link.Bandwidth > 0 {
+		serialization = time.Duration(float64(len(b)) / float64(p.link.Bandwidth) * float64(time.Second))
+	}
+	sendDone := start.Add(serialization)
+	p.lastIn = sendDone
+	deliverAt := sendDone.Add(p.link.Latency + jitter)
+	if deliverAt.Before(p.lastOut) {
+		deliverAt = p.lastOut // preserve FIFO delivery
+	}
+	p.lastOut = deliverAt
+	p.mu.Unlock()
+
+	// Pace the writer (models transmit-side backpressure).
+	sleep(time.Until(sendDone))
+
+	if lost {
+		return len(b), nil
+	}
+	data := make([]byte, len(b))
+	copy(data, b)
+	select {
+	case p.ch <- chunk{data: data, deliverAt: deliverAt}:
+		return len(b), nil
+	case <-p.done:
+		return 0, errWriteOnClose
+	}
+}
+
+func (p *shapedPipe) read(b []byte, deadline time.Time) (int, error) {
+	p.mu.Lock()
+	if len(p.leftover) > 0 {
+		n := copy(b, p.leftover)
+		p.leftover = p.leftover[n:]
+		p.mu.Unlock()
+		return n, nil
+	}
+	p.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		t := time.NewTimer(time.Until(deadline))
+		defer t.Stop()
+		timeout = t.C
+	}
+
+	select {
+	case c, ok := <-p.ch:
+		if !ok {
+			return 0, io.EOF
+		}
+		sleep(time.Until(c.deliverAt))
+		n := copy(b, c.data)
+		if n < len(c.data) {
+			p.mu.Lock()
+			p.leftover = append(p.leftover, c.data[n:]...)
+			p.mu.Unlock()
+		}
+		return n, nil
+	case <-p.done:
+		// Drain anything that raced with close.
+		select {
+		case c, ok := <-p.ch:
+			if ok {
+				sleep(time.Until(c.deliverAt))
+				n := copy(b, c.data)
+				if n < len(c.data) {
+					p.mu.Lock()
+					p.leftover = append(p.leftover, c.data[n:]...)
+					p.mu.Unlock()
+				}
+				return n, nil
+			}
+		default:
+		}
+		return 0, io.EOF
+	case <-timeout:
+		return 0, errDeadline
+	}
+}
+
+func (p *shapedPipe) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+}
+
+// Conn is a net.Conn shaped by a LinkProfile.
+type Conn struct {
+	link   LinkProfile
+	read   *shapedPipe
+	write  *shapedPipe
+	local  simAddr
+	remote simAddr
+
+	mu           sync.Mutex
+	readDeadline time.Time
+	closed       bool
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	deadline := c.readDeadline
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, io.EOF
+	}
+	n, err := c.read.read(b, deadline)
+	if errors.Is(err, errDeadline) {
+		return n, &net.OpError{Op: "read", Net: "sim", Addr: c.remote, Err: err}
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, errWriteOnClose
+	}
+	return c.write.write(b)
+}
+
+// Close tears down both directions.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.write.close()
+	c.read.close()
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (read side only; writes are paced,
+// not deadlined).
+func (c *Conn) SetDeadline(t time.Time) error {
+	return c.SetReadDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readDeadline = t
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// Link returns the profile currently shaping this connection.
+func (c *Conn) Link() LinkProfile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.link
+}
+
+// SetLink changes the link characteristics at runtime (both
+// directions). It models mobility: a phone walking away from an access
+// point, radio interference, or a handover — and is what the online
+// distribution optimizer reacts to.
+func (c *Conn) SetLink(p LinkProfile) {
+	c.mu.Lock()
+	c.link = p
+	c.mu.Unlock()
+	c.read.setLink(p)
+	c.write.setLink(p)
+}
+
+func (p *shapedPipe) setLink(link LinkProfile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.link = link
+}
+
+// sleepFloor is the smallest delay worth sleeping for: time.Sleep
+// overshoots sub-millisecond durations by up to ~1 ms, so sleeping for
+// e.g. a 150 µs Ethernet propagation delay would inflate it several-
+// fold. Delays below the floor are treated as zero; wired-LAN latencies
+// therefore read as "negligible", which is also what the paper's
+// measurements resolve them to.
+const sleepFloor = 500 * time.Microsecond
+
+// sleep is time.Sleep with the sub-precision floor applied.
+func sleep(d time.Duration) {
+	if d >= sleepFloor {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,431 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func pipePair(t *testing.T, link LinkProfile) (client, server net.Conn) {
+	t.Helper()
+	f := NewFabric()
+	l, err := f.Listen("host")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		server = c
+	}()
+	client, err = f.Dial("host", link)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	wg.Wait()
+	t.Cleanup(func() {
+		_ = client.Close()
+		if server != nil {
+			_ = server.Close()
+		}
+	})
+	return client, server
+}
+
+func TestFabricEcho(t *testing.T) {
+	client, server := pipePair(t, Loopback)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64)
+		n, err := server.Read(buf)
+		if err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := server.Write(buf[:n]); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+
+	msg := []byte("hello over the fabric")
+	if _, err := client.Write(msg); err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	reply := make([]byte, 64)
+	n, err := client.Read(reply)
+	if err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if !bytes.Equal(reply[:n], msg) {
+		t.Errorf("echo mismatch: %q", reply[:n])
+	}
+	wg.Wait()
+}
+
+func TestLatencyShaping(t *testing.T) {
+	link := LinkProfile{Name: "slow", Latency: 30 * time.Millisecond}
+	client, server := pipePair(t, link)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 8)
+		if _, err := server.Read(buf); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if _, err := server.Write(buf); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+
+	start := time.Now()
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := client.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	rtt := time.Since(start)
+	<-done
+	if rtt < 55*time.Millisecond {
+		t.Errorf("RTT %v below configured 2x30ms latency", rtt)
+	}
+	if rtt > 200*time.Millisecond {
+		t.Errorf("RTT %v implausibly high", rtt)
+	}
+}
+
+func TestBandwidthShaping(t *testing.T) {
+	// 100 KB at 1 MB/s should take >= 100 ms.
+	link := LinkProfile{Name: "thin", Bandwidth: 1_000_000}
+	client, server := pipePair(t, link)
+
+	const size = 100_000
+	received := make(chan time.Time, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		total := 0
+		for total < size {
+			n, err := server.Read(buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			total += n
+		}
+		received <- time.Now()
+	}()
+
+	start := time.Now()
+	payload := make([]byte, size)
+	if _, err := client.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	end := <-received
+	if d := end.Sub(start); d < 90*time.Millisecond {
+		t.Errorf("transfer of %d bytes took %v, want >= ~100ms at 1MB/s", size, d)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	link := LinkProfile{Name: "jittery", Latency: time.Millisecond, Jitter: 5 * time.Millisecond}
+	client, server := pipePair(t, link)
+
+	const n = 50
+	go func() {
+		for i := 0; i < n; i++ {
+			if _, err := client.Write([]byte{byte(i)}); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 1)
+	var got []byte
+	for len(got) < n {
+		k, err := server.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, buf[:k]...)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != byte(i) {
+			t.Fatalf("out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	client, _ := pipePair(t, Loopback)
+	if err := client.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_, err := client.Read(buf)
+	var nerr net.Error
+	if !errors.As(err, &nerr) {
+		t.Fatalf("deadline read error = %v, want net.Error", err)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	client, server := pipePair(t, Loopback)
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Error("write on closed conn should fail")
+	}
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); !errors.Is(err, io.EOF) {
+		t.Errorf("peer read after close = %v, want EOF", err)
+	}
+	_ = client.Close() // idempotent
+}
+
+func TestDialUnknownAddress(t *testing.T) {
+	f := NewFabric()
+	if _, err := f.Dial("nowhere", Loopback); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("Dial = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestListenTwice(t *testing.T) {
+	f := NewFabric()
+	l, err := f.Listen("dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := f.Listen("dup"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("second Listen = %v, want ErrAddrInUse", err)
+	}
+	// Address is reusable after close.
+	_ = l.Close()
+	l2, err := f.Listen("dup")
+	if err != nil {
+		t.Errorf("Listen after Close: %v", err)
+	} else {
+		_ = l2.Close()
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	f := NewFabric()
+	l, _ := f.Listen("h")
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errCh <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	_ = l.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("Accept after Close = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept did not return after Close")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	link := LinkProfile{Name: "lossy", LossProb: 1.0}
+	client, server := pipePair(t, link)
+	if _, err := client.Write([]byte("doomed")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := server.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := server.Read(buf); err == nil {
+		t.Error("lossy link delivered the payload")
+	}
+}
+
+func TestPartialReadKeepsLeftover(t *testing.T) {
+	client, server := pipePair(t, Loopback)
+	if _, err := client.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 2)
+	n, err := server.Read(small)
+	if err != nil || n != 2 || string(small) != "ab" {
+		t.Fatalf("first read = %q, %v", small[:n], err)
+	}
+	rest := make([]byte, 8)
+	n, err = server.Read(rest)
+	if err != nil || string(rest[:n]) != "cdef" {
+		t.Fatalf("second read = %q, %v", rest[:n], err)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for _, name := range []string{"loopback", "eth100", "gigabit", "wlan11b", "bt20"} {
+		p, ok := ProfileByName(name)
+		if !ok {
+			t.Errorf("profile %s missing", name)
+			continue
+		}
+		if p.Name != name {
+			t.Errorf("profile name mismatch: %s vs %s", p.Name, name)
+		}
+	}
+	if _, ok := ProfileByName("carrier-pigeon"); ok {
+		t.Error("unknown profile should not resolve")
+	}
+	// Calibration sanity: phone links are orders of magnitude slower
+	// than wired links, and BT moves bulk data slower than WLAN.
+	if WLAN11b.RTT() <= Ethernet100.RTT() {
+		t.Error("WLAN RTT should exceed Ethernet RTT")
+	}
+	if BT20.TransferTime(2048) <= WLAN11b.TransferTime(2048) {
+		t.Error("2KB over BT should be slower than over WLAN")
+	}
+	// Small messages are latency-bound: WLAN and BT within 2x.
+	w, b := WLAN11b.TransferTime(40), BT20.TransferTime(40)
+	if b > 2*w {
+		t.Errorf("small transfers should be comparable: wlan %v vs bt %v", w, b)
+	}
+}
+
+func TestConcurrentConnections(t *testing.T) {
+	f := NewFabric()
+	l, err := f.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				defer c.Close()
+				buf := make([]byte, 16)
+				n, err := c.Read(buf)
+				if err != nil {
+					return
+				}
+				_, _ = c.Write(buf[:n])
+			}(c)
+		}
+	}()
+
+	const clients = 10
+	var cwg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			c, err := f.Dial("srv", Loopback)
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			msg := []byte{byte(i)}
+			if _, err := c.Write(msg); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+			buf := make([]byte, 1)
+			if _, err := c.Read(buf); err != nil || buf[0] != byte(i) {
+				t.Errorf("echo %d = %v, %v", i, buf[0], err)
+			}
+		}(i)
+	}
+	cwg.Wait()
+	_ = l.Close()
+	wg.Wait()
+}
+
+func TestLinkProfileMath(t *testing.T) {
+	p := LinkProfile{Latency: 10 * time.Millisecond, Jitter: 2 * time.Millisecond, Bandwidth: 1000}
+	if rtt := p.RTT(); rtt != 22*time.Millisecond {
+		t.Errorf("RTT = %v", rtt)
+	}
+	// 500 bytes at 1000 B/s = 500ms serialization + latency + jitter/2.
+	if tt := p.TransferTime(500); tt != 511*time.Millisecond {
+		t.Errorf("TransferTime = %v", tt)
+	}
+	unbounded := LinkProfile{Latency: time.Millisecond}
+	if tt := unbounded.TransferTime(1 << 30); tt != time.Millisecond {
+		t.Errorf("unlimited bandwidth TransferTime = %v", tt)
+	}
+}
+
+func TestSetLinkChangesShaping(t *testing.T) {
+	client, server := pipePair(t, Loopback)
+	simClient := client.(*Conn)
+	if simClient.Link().Name != "loopback" {
+		t.Errorf("initial link = %s", simClient.Link().Name)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 8)
+		for i := 0; i < 2; i++ {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+			if _, err := server.Write(buf[:4]); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Fast round trip first.
+	start := time.Now()
+	_, _ = client.Write([]byte("ping"))
+	buf := make([]byte, 8)
+	_, _ = client.Read(buf)
+	fast := time.Since(start)
+
+	// Degrade and measure again.
+	simClient.SetLink(LinkProfile{Name: "slow", Latency: 25 * time.Millisecond})
+	if simClient.Link().Name != "slow" {
+		t.Error("SetLink not reflected")
+	}
+	start = time.Now()
+	_, _ = client.Write([]byte("ping"))
+	_, _ = client.Read(buf)
+	slow := time.Since(start)
+	<-done
+
+	if slow < 45*time.Millisecond {
+		t.Errorf("degraded RTT = %v, want >= ~50ms", slow)
+	}
+	if slow < fast {
+		t.Errorf("degraded (%v) not slower than fast (%v)", slow, fast)
+	}
+}

@@ -1,0 +1,657 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// Remote error codes carried in ErrorReply frames.
+const (
+	CodeNoSuchService = "NO_SUCH_SERVICE"
+	CodeNoSuchMethod  = "NO_SUCH_METHOD"
+	CodeBadArgs       = "BAD_ARGS"
+	CodeInvokeFailed  = "INVOKE_FAILED"
+	CodeBadRequest    = "BAD_REQUEST"
+)
+
+// RemoteError is a failure reported by the remote peer.
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote: peer error %s: %s", e.Code, e.Message)
+}
+
+// Is maps well-known codes onto the package sentinels so that callers
+// can use errors.Is across the network boundary.
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case ErrNoSuchService:
+		return e.Code == CodeNoSuchService
+	case ErrNoSuchMethod:
+		return e.Code == CodeNoSuchMethod
+	case ErrBadArgs:
+		return e.Code == CodeBadArgs
+	case ErrRemoteFailure:
+		return true
+	default:
+		return false
+	}
+}
+
+type callResult struct {
+	value any
+	err   error
+}
+
+// Channel is one established connection to a remote peer. It is
+// symmetric: either side can fetch, invoke, stream and receive events.
+type Channel struct {
+	peer *Peer
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu           sync.Mutex
+	remoteID     string
+	remoteProps  map[string]any
+	remoteSvcs   map[int64]wire.ServiceInfo
+	pendingCalls map[int64]chan callResult
+	pendingFetch map[int64]chan *wire.ServiceReply
+	pendingPings map[int64]chan struct{}
+	nextID       int64
+	remoteSubs   []string
+	streams      map[int64]*inStream
+	streamFn     func(name string, props map[string]any, r *StreamReader)
+	svcWatchers  []func()
+	proxies      []*module.Bundle
+	evTok        int64
+	hasEvTok     bool
+	closeReason  error
+
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// setupChannel performs the symmetric handshake: Hello exchange, then
+// lease exchange, then the reader starts.
+func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
+	c := &Channel{
+		peer:         p,
+		conn:         conn,
+		remoteSvcs:   make(map[int64]wire.ServiceInfo),
+		pendingCalls: make(map[int64]chan callResult),
+		pendingFetch: make(map[int64]chan *wire.ServiceReply),
+		pendingPings: make(map[int64]chan struct{}),
+		streams:      make(map[int64]*inStream),
+		closed:       make(chan struct{}),
+	}
+
+	// Bound the handshake: a dead or hostile peer must not hang the
+	// connector forever.
+	if err := conn.SetReadDeadline(time.Now().Add(p.cfg.Timeout)); err == nil {
+		defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
+	}
+
+	helloProps := map[string]any{"device": p.cfg.Device.Name()}
+	for k, v := range p.cfg.HelloProps {
+		helloProps[k] = v
+	}
+	if err := wire.WriteMessage(conn, &wire.Hello{
+		PeerID:  p.ID(),
+		Version: wire.ProtocolVersion,
+		Props:   helloProps,
+	}); err != nil {
+		return nil, fmt.Errorf("%w: sending hello: %w", ErrBadHandshake, err)
+	}
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading hello: %w", ErrBadHandshake, err)
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		return nil, fmt.Errorf("%w: expected HELLO, got %s", ErrBadHandshake, msg.Type())
+	}
+	if hello.Version != wire.ProtocolVersion {
+		return nil, fmt.Errorf("%w: protocol version %d, want %d", ErrBadHandshake, hello.Version, wire.ProtocolVersion)
+	}
+	c.remoteID = hello.PeerID
+	c.remoteProps = hello.Props
+
+	// The channel joins the broadcast set *before* the lease snapshot is
+	// taken, under the peer's lease lock: any concurrent export is
+	// therefore either contained in the snapshot or broadcast to this
+	// channel — never lost.
+	p.leaseMu.Lock()
+	if err := p.addChannel(c); err != nil {
+		p.leaseMu.Unlock()
+		return nil, err
+	}
+	err = wire.WriteMessage(conn, &wire.Lease{Services: p.exportedInfos()})
+	p.leaseMu.Unlock()
+	if err != nil {
+		p.removeChannel(c)
+		return nil, fmt.Errorf("%w: sending lease: %w", ErrBadHandshake, err)
+	}
+	msg, err = wire.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading lease: %w", ErrBadHandshake, err)
+	}
+	lease, ok := msg.(*wire.Lease)
+	if !ok {
+		p.removeChannel(c)
+		return nil, fmt.Errorf("%w: expected LEASE, got %s", ErrBadHandshake, msg.Type())
+	}
+	c.mu.Lock()
+	for _, s := range lease.Services {
+		c.remoteSvcs[s.ID] = s
+	}
+	c.mu.Unlock()
+
+	if p.cfg.Events != nil {
+		tok, err := p.cfg.Events.Subscribe("*", nil, c.forwardEvent)
+		if err == nil {
+			c.mu.Lock()
+			c.evTok, c.hasEvTok = tok, true
+			c.mu.Unlock()
+		}
+	}
+
+	// Clear the handshake deadline before the reader starts so an idle
+	// channel does not time out (the deferred clear also runs, which is
+	// harmless).
+	_ = conn.SetReadDeadline(time.Time{})
+
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// RemoteID returns the peer identity on the other side.
+func (c *Channel) RemoteID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remoteID
+}
+
+// RemoteProps returns the properties announced in the remote Hello.
+func (c *Channel) RemoteProps() map[string]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]any, len(c.remoteProps))
+	for k, v := range c.remoteProps {
+		out[k] = v
+	}
+	return out
+}
+
+// RemoteServices lists the services currently offered by the remote
+// peer, ordered by service id.
+func (c *Channel) RemoteServices() []wire.ServiceInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.ServiceInfo, 0, len(c.remoteSvcs))
+	for _, s := range c.remoteSvcs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FindRemoteService returns the remote service offered under the given
+// interface name.
+func (c *Channel) FindRemoteService(iface string) (wire.ServiceInfo, bool) {
+	for _, s := range c.RemoteServices() {
+		for _, i := range s.Interfaces {
+			if i == iface {
+				return s, true
+			}
+		}
+	}
+	return wire.ServiceInfo{}, false
+}
+
+// OnServicesChanged registers a callback fired whenever the remote
+// lease changes.
+func (c *Channel) OnServicesChanged(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.svcWatchers = append(c.svcWatchers, fn)
+}
+
+// Err returns the teardown cause after the channel closed, nil before.
+func (c *Channel) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closeReason
+}
+
+// Done returns a channel closed when the connection tears down.
+func (c *Channel) Done() <-chan struct{} { return c.closed }
+
+// send encodes and writes one message.
+func (c *Channel) send(m wire.Message) error {
+	frame, err := wire.EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	return c.sendFrame(frame)
+}
+
+func (c *Channel) sendFrame(frame []byte) error {
+	select {
+	case <-c.closed:
+		return ErrChannelClosed
+	default:
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.conn.Write(frame); err != nil {
+		return fmt.Errorf("remote: writing frame: %w", err)
+	}
+	return nil
+}
+
+// Invoke performs a synchronous remote invocation of a service offered
+// by the remote peer.
+func (c *Channel) Invoke(serviceID int64, method string, args []any) (any, error) {
+	norm := make([]any, len(args))
+	for i, a := range args {
+		n, err := wire.Normalize(a)
+		if err != nil {
+			return nil, fmt.Errorf("remote: invoking %s: %w", method, err)
+		}
+		norm[i] = n
+	}
+
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan callResult, 1)
+	c.pendingCalls[id] = ch
+	c.mu.Unlock()
+
+	cleanup := func() {
+		c.mu.Lock()
+		delete(c.pendingCalls, id)
+		c.mu.Unlock()
+	}
+
+	frame, err := wire.EncodeMessage(&wire.Invoke{
+		CallID:    id,
+		ServiceID: serviceID,
+		Method:    method,
+		Args:      norm,
+	})
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	// Client-side marshalling/dispatch cost on the simulated device.
+	c.peer.cfg.Device.ClientInvoke(c.peer.cfg.ClientInvokeCost, len(frame))
+
+	if err := c.sendFrame(frame); err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	timer := time.NewTimer(c.peer.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.value, res.err
+	case <-timer.C:
+		cleanup()
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, c.peer.cfg.Timeout)
+	case <-c.closed:
+		cleanup()
+		return nil, ErrChannelClosed
+	}
+}
+
+// Fetch retrieves everything needed to build a local proxy for a remote
+// service: its interface descriptor(s), injected types, the AlfredO
+// service descriptor, and any smart proxy reference. This is the
+// "Acquire service interface" phase of Tables 1 and 2.
+func (c *Channel) Fetch(serviceID int64) (*wire.ServiceReply, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *wire.ServiceReply, 1)
+	c.pendingFetch[id] = ch
+	c.mu.Unlock()
+
+	cleanup := func() {
+		c.mu.Lock()
+		delete(c.pendingFetch, id)
+		c.mu.Unlock()
+	}
+
+	if err := c.send(&wire.FetchService{RequestID: id, ServiceID: serviceID}); err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	timer := time.NewTimer(c.peer.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case reply := <-ch:
+		if reply == nil || len(reply.Interfaces) == 0 {
+			return nil, fmt.Errorf("%w: service %d", ErrNoSuchService, serviceID)
+		}
+		// Client-side parse cost proportional to the reply size.
+		if frame, err := wire.EncodeMessage(reply); err == nil {
+			c.peer.cfg.Device.ParseReply(len(frame))
+		}
+		return reply, nil
+	case <-timer.C:
+		cleanup()
+		return nil, fmt.Errorf("%w: fetch of service %d after %v", ErrTimeout, serviceID, c.peer.cfg.Timeout)
+	case <-c.closed:
+		cleanup()
+		return nil, ErrChannelClosed
+	}
+}
+
+// Ping measures the application-level round-trip time, the analog of
+// the ICMP baseline in Figures 5 and 6.
+func (c *Channel) Ping() (time.Duration, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan struct{}, 1)
+	c.pendingPings[id] = ch
+	c.mu.Unlock()
+
+	start := time.Now()
+	if err := c.send(&wire.Ping{Seq: id}); err != nil {
+		return 0, err
+	}
+	timer := time.NewTimer(c.peer.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return time.Since(start), nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pendingPings, id)
+		c.mu.Unlock()
+		return 0, fmt.Errorf("%w: ping after %v", ErrTimeout, c.peer.cfg.Timeout)
+	case <-c.closed:
+		return 0, ErrChannelClosed
+	}
+}
+
+// SetRemoteSubscriptions tells the remote peer which event topics to
+// forward to this side.
+func (c *Channel) SetRemoteSubscriptions(patterns []string) error {
+	for _, pat := range patterns {
+		if err := event.ValidatePattern(pat); err != nil {
+			return err
+		}
+	}
+	return c.send(&wire.Subscribe{Patterns: patterns})
+}
+
+// Close tears the channel down with an orderly Bye.
+func (c *Channel) Close() {
+	c.teardown(nil, true)
+}
+
+func (c *Channel) teardown(cause error, sendBye bool) {
+	c.once.Do(func() {
+		if sendBye {
+			_ = c.send(&wire.Bye{Reason: "close"})
+		}
+		c.mu.Lock()
+		c.closeReason = cause
+		pending := c.pendingCalls
+		c.pendingCalls = map[int64]chan callResult{}
+		fetches := c.pendingFetch
+		c.pendingFetch = map[int64]chan *wire.ServiceReply{}
+		streams := c.streams
+		c.streams = map[int64]*inStream{}
+		proxies := c.proxies
+		c.proxies = nil
+		hasTok, tok := c.hasEvTok, c.evTok
+		c.hasEvTok = false
+		c.mu.Unlock()
+
+		close(c.closed)
+		for _, ch := range pending {
+			ch <- callResult{err: ErrChannelClosed}
+		}
+		for _, ch := range fetches {
+			ch <- nil
+		}
+		for _, s := range streams {
+			s.closeWith(ErrChannelClosed)
+		}
+		if hasTok && c.peer.cfg.Events != nil {
+			c.peer.cfg.Events.Unsubscribe(tok)
+		}
+		// Proxy bundles are not cached: they are uninstalled as soon as
+		// the interaction terminates (paper §4.1).
+		for _, b := range proxies {
+			_ = b.Uninstall()
+		}
+		_ = c.conn.Close()
+		c.peer.removeChannel(c)
+	})
+}
+
+// readLoop is the single reader of the connection. Invocations are
+// dispatched on worker goroutines so that a slow service method cannot
+// stall lease updates or event delivery.
+func (c *Channel) readLoop() {
+	defer c.wg.Done()
+	for {
+		msg, err := wire.ReadMessage(c.conn)
+		if err != nil {
+			c.teardown(err, false)
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Lease:
+			// Post-handshake full leases merge (they only occur as
+			// refreshes; incremental updates carry removals).
+			c.mu.Lock()
+			for _, s := range m.Services {
+				c.remoteSvcs[s.ID] = s
+			}
+			c.mu.Unlock()
+			c.notifyServiceWatchers()
+		case *wire.ServiceAdded:
+			c.mu.Lock()
+			c.remoteSvcs[m.Service.ID] = m.Service
+			c.mu.Unlock()
+			c.notifyServiceWatchers()
+		case *wire.ServiceRemoved:
+			c.mu.Lock()
+			delete(c.remoteSvcs, m.ServiceID)
+			c.mu.Unlock()
+			c.notifyServiceWatchers()
+		case *wire.FetchService:
+			c.handleFetch(m)
+		case *wire.ServiceReply:
+			c.mu.Lock()
+			ch, ok := c.pendingFetch[m.RequestID]
+			delete(c.pendingFetch, m.RequestID)
+			c.mu.Unlock()
+			if ok {
+				ch <- m
+			}
+		case *wire.Invoke:
+			c.wg.Add(1)
+			go func(m *wire.Invoke) {
+				defer c.wg.Done()
+				c.handleInvoke(m)
+			}(m)
+		case *wire.Result:
+			c.mu.Lock()
+			ch, ok := c.pendingCalls[m.CallID]
+			delete(c.pendingCalls, m.CallID)
+			c.mu.Unlock()
+			if ok {
+				ch <- callResult{value: m.Value}
+			}
+		case *wire.ErrorReply:
+			c.mu.Lock()
+			ch, ok := c.pendingCalls[m.CallID]
+			delete(c.pendingCalls, m.CallID)
+			c.mu.Unlock()
+			if ok {
+				ch <- callResult{err: &RemoteError{Code: m.Code, Message: m.Message}}
+			}
+		case *wire.Event:
+			c.handleRemoteEvent(m)
+		case *wire.Subscribe:
+			c.mu.Lock()
+			c.remoteSubs = m.Patterns
+			c.mu.Unlock()
+		case *wire.StreamOpen:
+			c.handleStreamOpen(m)
+		case *wire.StreamData:
+			c.handleStreamData(m)
+		case *wire.StreamClose:
+			c.handleStreamClose(m)
+		case *wire.Ping:
+			_ = c.send(&wire.Pong{Seq: m.Seq})
+		case *wire.Pong:
+			c.mu.Lock()
+			ch, ok := c.pendingPings[m.Seq]
+			delete(c.pendingPings, m.Seq)
+			c.mu.Unlock()
+			if ok {
+				ch <- struct{}{}
+			}
+		case *wire.Bye:
+			c.teardown(nil, false)
+			return
+		case *wire.Hello:
+			c.teardown(fmt.Errorf("%w: unexpected HELLO mid-stream", ErrBadHandshake), false)
+			return
+		}
+	}
+}
+
+func (c *Channel) notifyServiceWatchers() {
+	c.mu.Lock()
+	watchers := make([]func(), len(c.svcWatchers))
+	copy(watchers, c.svcWatchers)
+	c.mu.Unlock()
+	for _, fn := range watchers {
+		fn()
+	}
+}
+
+func (c *Channel) handleFetch(m *wire.FetchService) {
+	svc, ok := c.peer.lookupExported(m.ServiceID)
+	if !ok {
+		_ = c.send(&wire.ErrorReply{CallID: 0, Code: CodeNoSuchService,
+			Message: fmt.Sprintf("service %d not exported", m.ServiceID)})
+		// Also unblock the requester's pending fetch with an empty reply.
+		_ = c.send(&wire.ServiceReply{RequestID: m.RequestID})
+		return
+	}
+	reply := &wire.ServiceReply{
+		RequestID:  m.RequestID,
+		Interfaces: []wire.InterfaceDesc{svc.Describe()},
+	}
+	if info, known := c.peer.exportedInfo(m.ServiceID); known {
+		reply.Info = info
+	}
+	if dp, ok := svc.(DescriptorProvider); ok {
+		reply.Descriptor = dp.ServiceDescriptor()
+	}
+	if tp, ok := svc.(TypeProvider); ok {
+		reply.Types = tp.InjectedTypes()
+	}
+	if sp, ok := svc.(SmartProxyProvider); ok {
+		reply.Smart = sp.SmartProxy()
+	}
+	_ = c.send(reply)
+}
+
+func (c *Channel) handleInvoke(m *wire.Invoke) {
+	svc, ok := c.peer.lookupExported(m.ServiceID)
+	if !ok {
+		_ = c.send(&wire.ErrorReply{CallID: m.CallID, Code: CodeNoSuchService,
+			Message: fmt.Sprintf("service %d not exported", m.ServiceID)})
+		return
+	}
+
+	// Server-side dispatch cost on the simulated device; payload size
+	// approximates decode+encode work.
+	size := 0
+	if frame, err := wire.EncodeMessage(m); err == nil {
+		size = len(frame)
+	}
+	c.peer.cfg.Device.ServerDispatch(size)
+
+	value, err := svc.Invoke(m.Method, m.Args)
+	if err != nil {
+		code := CodeInvokeFailed
+		switch {
+		case errors.Is(err, ErrNoSuchMethod):
+			code = CodeNoSuchMethod
+		case errors.Is(err, ErrBadArgs):
+			code = CodeBadArgs
+		}
+		_ = c.send(&wire.ErrorReply{CallID: m.CallID, Code: code, Message: err.Error()})
+		return
+	}
+	if err := c.send(&wire.Result{CallID: m.CallID, Value: value}); err != nil {
+		// The result could not be encoded or the link failed; report
+		// the former to the caller if the channel is still up.
+		_ = c.send(&wire.ErrorReply{CallID: m.CallID, Code: CodeInvokeFailed,
+			Message: fmt.Sprintf("result not encodable: %v", err)})
+	}
+}
+
+func (c *Channel) handleRemoteEvent(m *wire.Event) {
+	admin := c.peer.cfg.Events
+	if admin == nil {
+		return
+	}
+	props := make(map[string]any, len(m.Props)+1)
+	for k, v := range m.Props {
+		props[k] = v
+	}
+	props[PropOriginPeer] = c.RemoteID()
+	_ = admin.Post(event.Event{Topic: m.Topic, Properties: props})
+}
+
+// forwardEvent ships locally published events to the remote side when
+// they match its subscription patterns. Events that originated at that
+// peer are not echoed back.
+func (c *Channel) forwardEvent(ev event.Event) {
+	c.mu.Lock()
+	subs := c.remoteSubs
+	remoteID := c.remoteID
+	c.mu.Unlock()
+	if len(subs) == 0 {
+		return
+	}
+	if origin, ok := ev.Properties[PropOriginPeer]; ok && origin == remoteID {
+		return
+	}
+	for _, pat := range subs {
+		if event.TopicMatches(pat, ev.Topic) {
+			_ = c.send(&wire.Event{Topic: ev.Topic, Props: sanitizeProps(ev.Properties)})
+			return
+		}
+	}
+}

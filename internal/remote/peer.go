@@ -1,0 +1,323 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/devsim"
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// PropExported marks a registered service as remotely visible: set it
+// to true in the service properties and the peer includes the service
+// in its leases. The service object must implement remote.Service.
+const PropExported = "service.exported"
+
+// PropOriginPeer is attached to events that arrived from a remote peer,
+// to prevent forwarding loops.
+const PropOriginPeer = "event.remote.origin"
+
+// DefaultInvokeTimeout bounds a remote invocation when Config.Timeout
+// is zero.
+const DefaultInvokeTimeout = 30 * time.Second
+
+// Config parameterizes a Peer.
+type Config struct {
+	// Framework hosts proxy bundles and supplies the service registry
+	// and peer identity. Required.
+	Framework *module.Framework
+	// Events enables remote event forwarding when non-nil.
+	Events *event.Admin
+	// Device is the simulated platform executing this peer's framework
+	// operations; nil disables cost simulation.
+	Device *devsim.Device
+	// ProxyCode resolves smart proxy references; nil disables smart
+	// proxies (all methods go remote).
+	ProxyCode *ProxyCodeRegistry
+	// Timeout bounds remote invocations and fetches.
+	Timeout time.Duration
+	// ClientInvokeCost is the client-side CPU cost per invocation fed
+	// to the device model. Zero selects devsim.CostClientInvoke (the
+	// full AlfredO client path); raw benchmark clients use
+	// devsim.CostClientInvokeRaw.
+	ClientInvokeCost time.Duration
+	// HelloProps are announced to peers during the handshake (§3.2:
+	// "the device can decide which capabilities to expose to the
+	// target device"). Values must be wire-normalizable.
+	HelloProps map[string]any
+}
+
+type exportedService struct {
+	info wire.ServiceInfo
+	svc  Service
+}
+
+// Peer is one endpoint of the remote service layer, bound to a local
+// framework. It serves inbound connections, dials outbound ones, and
+// keeps leases synchronized with every connected peer.
+type Peer struct {
+	cfg Config
+
+	// leaseMu makes lease snapshots consistent with incremental
+	// broadcasts: it is held across (channel join + lease write) during
+	// the handshake and across (export change + broadcast), so a
+	// concurrent export is either in the snapshot or broadcast — never
+	// lost.
+	leaseMu sync.Mutex
+
+	mu       sync.Mutex
+	exported map[int64]exportedService
+	channels map[*Channel]struct{}
+	regTok   int64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewPeer creates a peer bound to cfg.Framework. Services already
+// registered with PropExported are exported immediately; later
+// registrations and unregistrations are propagated to connected peers
+// as incremental lease updates.
+func NewPeer(cfg Config) (*Peer, error) {
+	if cfg.Framework == nil {
+		return nil, fmt.Errorf("remote: config requires a framework")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultInvokeTimeout
+	}
+	if cfg.ClientInvokeCost <= 0 {
+		cfg.ClientInvokeCost = devsim.CostClientInvoke
+	}
+	p := &Peer{
+		cfg:      cfg,
+		exported: make(map[int64]exportedService),
+		channels: make(map[*Channel]struct{}),
+	}
+
+	reg := cfg.Framework.Registry()
+	p.regTok = reg.AddListener(p.onServiceEvent, nil)
+	for _, ref := range reg.FindAll("", nil) {
+		p.maybeExport(ref)
+	}
+	return p, nil
+}
+
+// ID returns the peer identity (the framework name).
+func (p *Peer) ID() string { return p.cfg.Framework.Name() }
+
+// Framework returns the hosting framework.
+func (p *Peer) Framework() *module.Framework { return p.cfg.Framework }
+
+// Events returns the attached event admin (possibly nil).
+func (p *Peer) Events() *event.Admin { return p.cfg.Events }
+
+// Device returns the simulated device (possibly nil).
+func (p *Peer) Device() *devsim.Device { return p.cfg.Device }
+
+// Serve accepts connections from l until the listener closes. Run it
+// in a goroutine; it returns the listener's Accept error.
+func (p *Peer) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("remote: accept: %w", err)
+		}
+		p.wg.Add(1)
+		go func(conn net.Conn) {
+			defer p.wg.Done()
+			if _, err := p.setupChannel(conn); err != nil {
+				_ = conn.Close()
+			}
+		}(conn)
+	}
+}
+
+// Connect establishes a channel over an existing connection (dialer
+// side).
+func (p *Peer) Connect(conn net.Conn) (*Channel, error) {
+	return p.setupChannel(conn)
+}
+
+// Channels returns the currently connected channels.
+func (p *Peer) Channels() []*Channel {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Channel, 0, len(p.channels))
+	for c := range p.channels {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Close tears down all channels. The peer cannot be reused.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	chans := make([]*Channel, 0, len(p.channels))
+	for c := range p.channels {
+		chans = append(chans, c)
+	}
+	p.mu.Unlock()
+
+	p.cfg.Framework.Registry().RemoveListener(p.regTok)
+	for _, c := range chans {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+// exportedInfos snapshots the current lease content.
+func (p *Peer) exportedInfos() []wire.ServiceInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]wire.ServiceInfo, 0, len(p.exported))
+	for _, e := range p.exported {
+		out = append(out, e.info)
+	}
+	return out
+}
+
+// lookupExported resolves a service id from an inbound invocation.
+func (p *Peer) lookupExported(id int64) (Service, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.exported[id]
+	return e.svc, ok
+}
+
+// exportedInfo returns the lease entry for an exported service id.
+func (p *Peer) exportedInfo(id int64) (wire.ServiceInfo, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.exported[id]
+	return e.info, ok
+}
+
+func (p *Peer) onServiceEvent(ev service.Event) {
+	p.leaseMu.Lock()
+	defer p.leaseMu.Unlock()
+	switch ev.Type {
+	case service.EventRegistered:
+		if info, ok := p.maybeExport(ev.Ref); ok {
+			p.broadcast(&wire.ServiceAdded{Service: info})
+		}
+	case service.EventModified:
+		p.mu.Lock()
+		e, exported := p.exported[ev.Ref.ID()]
+		p.mu.Unlock()
+		flagged, _ := ev.Ref.Property(PropExported)
+		switch {
+		case exported && flagged != true:
+			// The export flag was withdrawn: retract the lease entry.
+			p.mu.Lock()
+			delete(p.exported, ev.Ref.ID())
+			p.mu.Unlock()
+			p.cfg.Framework.Registry().Unget(ev.Ref)
+			p.broadcast(&wire.ServiceRemoved{ServiceID: ev.Ref.ID()})
+		case exported:
+			// Properties changed: peers keep their lease entries
+			// synchronized (§2.2: "changes of services ... are
+			// immediately visible to all connected machines").
+			e.info.Props = sanitizeProps(ev.Ref.Properties())
+			p.mu.Lock()
+			p.exported[ev.Ref.ID()] = e
+			p.mu.Unlock()
+			p.broadcast(&wire.ServiceAdded{Service: e.info})
+		default:
+			if info, ok := p.maybeExport(ev.Ref); ok {
+				p.broadcast(&wire.ServiceAdded{Service: info})
+			}
+		}
+	case service.EventUnregistering:
+		p.mu.Lock()
+		_, was := p.exported[ev.Ref.ID()]
+		delete(p.exported, ev.Ref.ID())
+		p.mu.Unlock()
+		if was {
+			p.cfg.Framework.Registry().Unget(ev.Ref)
+			p.broadcast(&wire.ServiceRemoved{ServiceID: ev.Ref.ID()})
+		}
+	}
+}
+
+// maybeExport exports ref if it is flagged and invocable; it reports
+// whether a new export happened and the resulting lease entry.
+func (p *Peer) maybeExport(ref *service.Reference) (wire.ServiceInfo, bool) {
+	flagged, _ := ref.Property(PropExported)
+	if flagged != true {
+		return wire.ServiceInfo{}, false
+	}
+	p.mu.Lock()
+	if _, dup := p.exported[ref.ID()]; dup {
+		p.mu.Unlock()
+		return wire.ServiceInfo{}, false
+	}
+	p.mu.Unlock()
+
+	obj, ok := p.cfg.Framework.Registry().Get(ref, "remote:"+p.ID())
+	if !ok {
+		return wire.ServiceInfo{}, false
+	}
+	svc, ok := obj.(Service)
+	if !ok {
+		// Flagged but not invocable: leave it local (%w documented on
+		// the constant); unexportable services are a configuration
+		// error surfaced at registration review, not a crash.
+		p.cfg.Framework.Registry().Unget(ref)
+		return wire.ServiceInfo{}, false
+	}
+	info := wire.ServiceInfo{
+		ID:         ref.ID(),
+		Interfaces: ref.Interfaces(),
+		Props:      sanitizeProps(ref.Properties()),
+	}
+	p.mu.Lock()
+	p.exported[ref.ID()] = exportedService{info: info, svc: svc}
+	p.mu.Unlock()
+	return info, true
+}
+
+// broadcast sends a lease update to every channel, dropping channels
+// whose link has failed.
+func (p *Peer) broadcast(m wire.Message) {
+	for _, c := range p.Channels() {
+		_ = c.send(m)
+	}
+}
+
+func (p *Peer) addChannel(c *Channel) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrChannelClosed
+	}
+	p.channels[c] = struct{}{}
+	return nil
+}
+
+func (p *Peer) removeChannel(c *Channel) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.channels, c)
+}
+
+// sanitizeProps keeps only wire-encodable property values so that a
+// lease never fails to serialize because of an exotic local property.
+func sanitizeProps(props service.Properties) map[string]any {
+	out := make(map[string]any, len(props))
+	for k, v := range props {
+		if n, err := wire.Normalize(v); err == nil {
+			out[k] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package remote
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// DescriptorResource is the archive resource name under which a proxy
+// bundle carries the shipped AlfredO service descriptor.
+const DescriptorResource = "alfredo/descriptor.json"
+
+// DynamicService is the client-side face of a remote service: a proxy
+// synthesized from the shipped interface descriptor. It is registered
+// in the local registry under the remote interface names, so consumers
+// "invoke service functions as if they were locally implemented"
+// (paper §2.1). It itself implements Service, which makes re-export
+// (proxy chaining) possible.
+type DynamicService struct {
+	desc    wire.InterfaceDesc
+	types   []wire.TypeDesc
+	invoke  func(method string, args []any) (any, error)
+	local   map[string]bool
+	code    ProxyCode
+	channel *Channel
+	svcID   int64
+}
+
+var _ Service = (*DynamicService)(nil)
+
+// Describe implements Service with the shipped interface descriptor.
+func (d *DynamicService) Describe() wire.InterfaceDesc { return d.desc }
+
+// Types returns the injected type descriptors shipped with the service.
+func (d *DynamicService) Types() []wire.TypeDesc { return d.types }
+
+// ServiceID returns the remote service id this proxy is bound to.
+func (d *DynamicService) ServiceID() int64 { return d.svcID }
+
+// Channel returns the channel the proxy invokes through.
+func (d *DynamicService) Channel() *Channel { return d.channel }
+
+// Invoke validates the call against the shipped interface and routes it
+// either into smart proxy code (locally implemented methods) or over
+// the network.
+func (d *DynamicService) Invoke(method string, args []any) (any, error) {
+	m, ok := d.desc.Method(method)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, d.desc.Name, method)
+	}
+	norm := make([]any, len(args))
+	for i, a := range args {
+		n, err := wire.Normalize(a)
+		if err != nil {
+			return nil, fmt.Errorf("remote: proxy %s.%s: %w", d.desc.Name, method, err)
+		}
+		norm[i] = n
+	}
+	if err := CheckArgs(m, norm); err != nil {
+		return nil, err
+	}
+	if d.code != nil && d.local[method] {
+		return d.code.Invoke(method, norm, remoteInvoker{d})
+	}
+	return d.invoke(method, norm)
+}
+
+// remoteInvoker hands smart proxy code the fall-through path without
+// re-entering the local-method dispatch.
+type remoteInvoker struct{ d *DynamicService }
+
+func (r remoteInvoker) Invoke(method string, args []any) (any, error) {
+	return r.d.invoke(method, args)
+}
+
+// ProxyBundle is the synthesized result of BuildProxy: an installable
+// archive and its activator, plus the proxy service object.
+type ProxyBundle struct {
+	Archive   *module.Archive
+	Activator module.Activator
+	Service   *DynamicService
+}
+
+// BuildProxy synthesizes a proxy bundle from a fetched ServiceReply —
+// the "Build proxy bundle" phase of Tables 1 and 2. The returned
+// archive installs like any other bundle; starting it registers the
+// DynamicService in the local registry under the remote interface
+// names.
+//
+// Substitution note: R-OSGi generates Java bytecode here; we generate a
+// method-table proxy plus a dynamic activator (DESIGN.md §2).
+func (c *Channel) BuildProxy(reply *wire.ServiceReply) (*ProxyBundle, error) {
+	if len(reply.Interfaces) == 0 {
+		return nil, fmt.Errorf("%w: reply for service %d carries no interface", ErrNoSuchService, reply.Info.ID)
+	}
+	iface := reply.Interfaces[0]
+	svcID := reply.Info.ID
+
+	dyn := &DynamicService{
+		desc:    iface,
+		types:   reply.Types,
+		channel: c,
+		svcID:   svcID,
+		invoke: func(method string, args []any) (any, error) {
+			return c.Invoke(svcID, method, args)
+		},
+	}
+	if reply.Smart != nil {
+		if factory, ok := c.peer.cfg.ProxyCode.Lookup(reply.Smart.CodeRef); ok {
+			dyn.code = factory()
+			dyn.local = make(map[string]bool, len(reply.Smart.LocalMethods))
+			for _, m := range reply.Smart.LocalMethods {
+				dyn.local[m] = true
+			}
+		}
+	}
+
+	archive := &module.Archive{
+		Manifest: module.Manifest{
+			SymbolicName: fmt.Sprintf("proxy.%s.%d", c.RemoteID(), svcID),
+			Version:      module.Version{Major: 1},
+			Headers: map[string]string{
+				"Proxy-For":  iface.Name,
+				"Proxy-Peer": c.RemoteID(),
+			},
+		},
+		Resources: map[string][]byte{},
+	}
+	if len(reply.Descriptor) > 0 {
+		archive.Resources[DescriptorResource] = reply.Descriptor
+	}
+
+	props := service.Properties{
+		service.PropRemote:     true,
+		service.PropRemotePeer: c.RemoteID(),
+	}
+	for k, v := range reply.Info.Props {
+		switch k {
+		case service.PropObjectClass, service.PropServiceID, PropExported:
+			// Identity properties are reassigned locally, and a proxy
+			// must not be re-exported implicitly.
+		default:
+			props[k] = v
+		}
+	}
+
+	activator := &proxyActivator{ifaces: reply.Info.Interfaces, dyn: dyn, props: props}
+	if len(activator.ifaces) == 0 {
+		activator.ifaces = []string{iface.Name}
+	}
+
+	// The synthesis work happens on the simulated device CPU.
+	c.peer.cfg.Device.BuildProxy(len(iface.Methods))
+
+	return &ProxyBundle{Archive: archive, Activator: activator, Service: dyn}, nil
+}
+
+// proxyActivator registers the dynamic service while the proxy bundle
+// is active.
+type proxyActivator struct {
+	ifaces []string
+	dyn    *DynamicService
+	props  service.Properties
+	// startWork is extra app-specific start cost (set by the core layer
+	// from the service descriptor).
+	startWork time.Duration
+}
+
+var _ module.Activator = (*proxyActivator)(nil)
+
+func (a *proxyActivator) Start(ctx *module.Context) error {
+	dev := a.dyn.channel.peer.cfg.Device
+	dev.StartBundle(a.startWork)
+	_, err := ctx.RegisterService(a.ifaces, a.dyn, a.props)
+	if err != nil {
+		return fmt.Errorf("remote: registering proxy for %v: %w", a.ifaces, err)
+	}
+	return nil
+}
+
+func (a *proxyActivator) Stop(ctx *module.Context) error { return nil }
+
+// SetStartWork declares app-specific start cost executed when the proxy
+// bundle starts (the descriptor-declared work behind the divergent
+// "Start proxy bundle" rows of Tables 1 and 2).
+func (p *ProxyBundle) SetStartWork(d time.Duration) {
+	if a, ok := p.Activator.(*proxyActivator); ok {
+		a.startWork = d
+	}
+}
+
+// InstallProxy performs the full default client flow after Fetch:
+// build, install and start the proxy bundle, tracking it for automatic
+// uninstall when the channel closes. It returns the started bundle and
+// the proxy service.
+func (c *Channel) InstallProxy(reply *wire.ServiceReply) (*module.Bundle, *DynamicService, error) {
+	pb, err := c.BuildProxy(reply)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.peer.cfg.Device.InstallBundle()
+	b, err := c.peer.cfg.Framework.InstallDynamic(pb.Archive, pb.Activator)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := b.Start(); err != nil {
+		_ = b.Uninstall()
+		return nil, nil, err
+	}
+	c.TrackProxy(b)
+	return b, pb.Service, nil
+}
+
+// TrackProxy records a proxy bundle for automatic uninstall at channel
+// teardown ("proxy bundles ... are not cached but immediately
+// uninstalled as soon as the interaction is terminated", §4.1). The
+// core layer calls it when it drives the install/start phases itself
+// for timing.
+func (c *Channel) TrackProxy(b *module.Bundle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.proxies = append(c.proxies, b)
+}

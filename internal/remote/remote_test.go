@@ -1,0 +1,942 @@
+package remote
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// testNode is one side of a two-peer test setup.
+type testNode struct {
+	fw     *module.Framework
+	events *event.Admin
+	peer   *Peer
+}
+
+func newTestNode(t *testing.T, name string) *testNode {
+	t.Helper()
+	fw := module.NewFramework(module.Config{Name: name})
+	ev := event.NewAdmin(0)
+	peer, err := NewPeer(Config{
+		Framework: fw,
+		Events:    ev,
+		ProxyCode: NewProxyCodeRegistry(),
+		Timeout:   5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewPeer(%s): %v", name, err)
+	}
+	n := &testNode{fw: fw, events: ev, peer: peer}
+	t.Cleanup(func() {
+		peer.Close()
+		ev.Close()
+		_ = fw.Shutdown()
+	})
+	return n
+}
+
+// connectNodes wires two nodes over the netsim fabric and returns the
+// client-side channel.
+func connectNodes(t *testing.T, server, client *testNode, link netsim.LinkProfile) *Channel {
+	t.Helper()
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen(server.peer.ID())
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+
+	go func() { _ = server.peer.Serve(l) }()
+
+	conn, err := fabric.Dial(server.peer.ID(), link)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	ch, err := client.peer.Connect(conn)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	t.Cleanup(ch.Close)
+	return ch
+}
+
+// calculator is a tiny exported service used across the tests.
+func calculatorService() *MethodTable {
+	return NewService("test.Calculator").
+		Method("Add", []string{"int", "int"}, "int", func(args []any) (any, error) {
+			return args[0].(int64) + args[1].(int64), nil
+		}).
+		Method("Concat", []string{"string", "string"}, "string", func(args []any) (any, error) {
+			return args[0].(string) + args[1].(string), nil
+		}).
+		Method("Fail", nil, "void", func(args []any) (any, error) {
+			return nil, errors.New("deliberate failure")
+		}).
+		WithDescriptor([]byte(`{"service":"test.Calculator"}`))
+}
+
+func exportCalculator(t *testing.T, n *testNode) *service.Registration {
+	t.Helper()
+	reg, err := n.fw.Registry().Register(
+		[]string{"test.Calculator"}, calculatorService(),
+		service.Properties{PropExported: true, "flavor": "vanilla"}, "test")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return reg
+}
+
+func TestHandshakeAndLease(t *testing.T) {
+	server := newTestNode(t, "target-device")
+	client := newTestNode(t, "phone")
+	exportCalculator(t, server)
+
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	if ch.RemoteID() != "target-device" {
+		t.Errorf("RemoteID = %s", ch.RemoteID())
+	}
+	svcs := ch.RemoteServices()
+	if len(svcs) != 1 {
+		t.Fatalf("remote services = %d, want 1", len(svcs))
+	}
+	if svcs[0].Interfaces[0] != "test.Calculator" {
+		t.Errorf("lease interface = %v", svcs[0].Interfaces)
+	}
+	if svcs[0].Props["flavor"] != "vanilla" {
+		t.Errorf("lease props = %v", svcs[0].Props)
+	}
+}
+
+func TestNonExportedServicesInvisible(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	// Registered without the export flag.
+	_, _ = server.fw.Registry().Register([]string{"hidden.Svc"}, calculatorService(), nil, "test")
+
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	if got := len(ch.RemoteServices()); got != 0 {
+		t.Errorf("lease should be empty, got %d services", got)
+	}
+}
+
+func TestInvoke(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	exportCalculator(t, server)
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	info, ok := ch.FindRemoteService("test.Calculator")
+	if !ok {
+		t.Fatal("calculator not in lease")
+	}
+	got, err := ch.Invoke(info.ID, "Add", []any{int64(20), int64(22)})
+	if err != nil {
+		t.Fatalf("Invoke Add: %v", err)
+	}
+	if got != int64(42) {
+		t.Errorf("Add = %v, want 42", got)
+	}
+	got, err = ch.Invoke(info.ID, "Concat", []any{"foo", "bar"})
+	if err != nil {
+		t.Fatalf("Invoke Concat: %v", err)
+	}
+	if got != "foobar" {
+		t.Errorf("Concat = %v", got)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	exportCalculator(t, server)
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	info, _ := ch.FindRemoteService("test.Calculator")
+
+	if _, err := ch.Invoke(info.ID, "Missing", nil); !errors.Is(err, ErrNoSuchMethod) {
+		t.Errorf("missing method error = %v", err)
+	}
+	if _, err := ch.Invoke(info.ID, "Add", []any{"not", "ints"}); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("bad args error = %v", err)
+	}
+	if _, err := ch.Invoke(info.ID, "Fail", nil); !errors.Is(err, ErrRemoteFailure) {
+		t.Errorf("service failure error = %v", err)
+	}
+	if _, err := ch.Invoke(99999, "Add", []any{int64(1), int64(2)}); !errors.Is(err, ErrNoSuchService) {
+		t.Errorf("unknown service error = %v", err)
+	}
+	var re *RemoteError
+	_, err := ch.Invoke(info.ID, "Fail", nil)
+	if !errors.As(err, &re) || re.Code != CodeInvokeFailed {
+		t.Errorf("error detail = %v", err)
+	}
+}
+
+func TestFetchAndInstallProxy(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	exportCalculator(t, server)
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	info, _ := ch.FindRemoteService("test.Calculator")
+
+	reply, err := ch.Fetch(info.ID)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if len(reply.Interfaces) != 1 || reply.Interfaces[0].Name != "test.Calculator" {
+		t.Fatalf("fetched interfaces = %v", reply.Interfaces)
+	}
+	if len(reply.Interfaces[0].Methods) != 3 {
+		t.Errorf("method count = %d, want 3", len(reply.Interfaces[0].Methods))
+	}
+	if string(reply.Descriptor) != `{"service":"test.Calculator"}` {
+		t.Errorf("descriptor = %q", reply.Descriptor)
+	}
+
+	bundle, proxy, err := ch.InstallProxy(reply)
+	if err != nil {
+		t.Fatalf("InstallProxy: %v", err)
+	}
+	if bundle.State() != module.StateActive {
+		t.Errorf("proxy bundle state = %v", bundle.State())
+	}
+
+	// The proxy is now a regular local service.
+	ref := client.fw.Registry().Find("test.Calculator", nil)
+	if ref == nil {
+		t.Fatal("proxy not registered locally")
+	}
+	if remoteFlag, _ := ref.Property(service.PropRemote); remoteFlag != true {
+		t.Error("proxy not marked service.remote")
+	}
+	obj, _ := client.fw.Registry().Get(ref, "consumer")
+	local := obj.(*DynamicService)
+	got, err := local.Invoke("Add", []any{int64(1), int64(2)})
+	if err != nil || got != int64(3) {
+		t.Errorf("proxy Invoke = %v, %v", got, err)
+	}
+	if local != proxy {
+		t.Error("registered proxy is not the returned proxy")
+	}
+
+	// Int widening happens transparently in the proxy.
+	got, err = local.Invoke("Add", []any{3, 4})
+	if err != nil || got != int64(7) {
+		t.Errorf("proxy Invoke with plain ints = %v, %v", got, err)
+	}
+}
+
+func TestFetchUnknownService(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	exportCalculator(t, server)
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	if _, err := ch.Fetch(424242); !errors.Is(err, ErrNoSuchService) {
+		t.Errorf("Fetch unknown = %v", err)
+	}
+}
+
+func TestProxyUninstalledOnChannelClose(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	exportCalculator(t, server)
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	info, _ := ch.FindRemoteService("test.Calculator")
+	reply, err := ch.Fetch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, _, err := ch.InstallProxy(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ch.Close()
+	waitFor(t, time.Second, func() bool {
+		return bundle.State() == module.StateUninstalled
+	})
+	if client.fw.Registry().Find("test.Calculator", nil) != nil {
+		t.Error("proxy service survived channel close")
+	}
+}
+
+func TestLeaseUpdates(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	var mu sync.Mutex
+	changes := 0
+	ch.OnServicesChanged(func() {
+		mu.Lock()
+		changes++
+		mu.Unlock()
+	})
+
+	if len(ch.RemoteServices()) != 0 {
+		t.Fatal("lease should start empty")
+	}
+	reg := exportCalculator(t, server)
+	waitFor(t, time.Second, func() bool { return len(ch.RemoteServices()) == 1 })
+
+	_ = reg.Unregister()
+	waitFor(t, time.Second, func() bool { return len(ch.RemoteServices()) == 0 })
+
+	mu.Lock()
+	defer mu.Unlock()
+	if changes < 2 {
+		t.Errorf("change notifications = %d, want >= 2", changes)
+	}
+}
+
+func TestRemoteEvents(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	received := make(chan event.Event, 8)
+	if _, err := client.events.Subscribe("telemetry/*", nil, func(ev event.Event) {
+		received <- ev
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.SetRemoteSubscriptions([]string{"telemetry/*"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the Subscribe frame land
+
+	if err := server.events.Post(event.Event{
+		Topic:      "telemetry/temp",
+		Properties: map[string]any{"celsius": int64(21)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case ev := <-received:
+		if ev.Topic != "telemetry/temp" {
+			t.Errorf("topic = %s", ev.Topic)
+		}
+		if ev.Properties["celsius"] != int64(21) {
+			t.Errorf("props = %v", ev.Properties)
+		}
+		if ev.Properties[PropOriginPeer] != "srv" {
+			t.Errorf("origin = %v", ev.Properties[PropOriginPeer])
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("remote event never arrived")
+	}
+
+	// Unmatched topics are not forwarded.
+	_ = server.events.Post(event.Event{Topic: "other/topic"})
+	select {
+	case ev := <-received:
+		t.Errorf("unexpected event %v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestEventLoopPrevention(t *testing.T) {
+	a := newTestNode(t, "a")
+	b := newTestNode(t, "b")
+	ch := connectNodes(t, a, b, netsim.Loopback)
+
+	// Both sides subscribe to everything — without origin tracking this
+	// would ping-pong forever.
+	if err := ch.SetRemoteSubscriptions([]string{"*"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range a.peer.Channels() {
+		if err := c.SetRemoteSubscriptions([]string{"*"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	var mu sync.Mutex
+	count := 0
+	_, _ = a.events.Subscribe("ping/pong", nil, func(event.Event) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	_ = a.events.Post(event.Event{Topic: "ping/pong"})
+	time.Sleep(150 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count > 2 {
+		t.Errorf("event echoed %d times; loop prevention failed", count)
+	}
+}
+
+func TestStreams(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	got := make(chan []byte, 16)
+	name := make(chan string, 1)
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			name <- r.Name
+			for {
+				chunk, err := r.Next()
+				if err != nil {
+					close(got)
+					return
+				}
+				got <- chunk
+			}
+		})
+	}
+
+	w, err := ch.OpenStream("screen", map[string]any{"fmt": "rgb"})
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	if _, err := w.Write([]byte("frame-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("frame-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case n := <-name:
+		if n != "screen" {
+			t.Errorf("stream name = %s", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stream never opened")
+	}
+	var frames []string
+	for chunk := range got {
+		frames = append(frames, string(chunk))
+	}
+	if len(frames) != 2 || frames[0] != "frame-1" || frames[1] != "frame-2" {
+		t.Errorf("frames = %v", frames)
+	}
+	if _, err := w.Write([]byte("late")); err == nil {
+		t.Error("write after close should fail")
+	}
+}
+
+func TestPing(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	link := netsim.LinkProfile{Name: "10ms", Latency: 10 * time.Millisecond}
+	ch := connectNodes(t, server, client, link)
+
+	rtt, err := ch.Ping()
+	if err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if rtt < 18*time.Millisecond || rtt > 150*time.Millisecond {
+		t.Errorf("RTT = %v, want ~20ms", rtt)
+	}
+}
+
+type doubleProxy struct{}
+
+func (doubleProxy) Invoke(method string, args []any, remoteCall Invoker) (any, error) {
+	if method == "Double" {
+		return args[0].(int64) * 2, nil
+	}
+	return remoteCall.Invoke(method, args)
+}
+
+func TestSmartProxy(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+
+	code := []byte("smart-proxy-code-v1")
+	ref := module.HashRef(code)
+	if err := client.peer.cfg.ProxyCode.Register(ref, func() ProxyCode { return doubleProxy{} }); err != nil {
+		t.Fatal(err)
+	}
+
+	smart := NewService("test.Doubler").
+		Method("Double", []string{"int"}, "int", func(args []any) (any, error) {
+			t.Error("Double must run locally on the client, not remotely")
+			return args[0].(int64) * 2, nil
+		}).
+		Method("Triple", []string{"int"}, "int", func(args []any) (any, error) {
+			return args[0].(int64) * 3, nil
+		}).
+		WithSmartProxy(&wire.SmartProxyRef{CodeRef: ref, LocalMethods: []string{"Double"}})
+	_, _ = server.fw.Registry().Register([]string{"test.Doubler"}, smart,
+		service.Properties{PropExported: true}, "test")
+
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	info, _ := ch.FindRemoteService("test.Doubler")
+	reply, err := ch.Fetch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, proxy, err := ch.InstallProxy(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Local method runs in the pre-installed proxy code.
+	got, err := proxy.Invoke("Double", []any{int64(21)})
+	if err != nil || got != int64(42) {
+		t.Errorf("Double = %v, %v", got, err)
+	}
+	// Abstract method falls through to the remote service.
+	got, err = proxy.Invoke("Triple", []any{int64(7)})
+	if err != nil || got != int64(21) {
+		t.Errorf("Triple = %v, %v", got, err)
+	}
+}
+
+func TestSmartProxyWithoutLocalCodeFallsBack(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+
+	smart := NewService("test.Doubler").
+		Method("Double", []string{"int"}, "int", func(args []any) (any, error) {
+			return args[0].(int64) * 2, nil
+		}).
+		WithSmartProxy(&wire.SmartProxyRef{CodeRef: "sha256:unknown", LocalMethods: []string{"Double"}})
+	_, _ = server.fw.Registry().Register([]string{"test.Doubler"}, smart,
+		service.Properties{PropExported: true}, "test")
+
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	info, _ := ch.FindRemoteService("test.Doubler")
+	reply, _ := ch.Fetch(info.ID)
+	_, proxy, err := ch.InstallProxy(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown code ref: everything goes remote, still correct.
+	got, err := proxy.Invoke("Double", []any{int64(5)})
+	if err != nil || got != int64(10) {
+		t.Errorf("Double fallback = %v, %v", got, err)
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	exportCalculator(t, server)
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	info, _ := ch.FindRemoteService("test.Calculator")
+
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := ch.Invoke(info.ID, "Add", []any{int64(i), int64(i)})
+			if err != nil {
+				t.Errorf("Invoke %d: %v", i, err)
+				return
+			}
+			if got != int64(2*i) {
+				t.Errorf("Invoke %d = %v", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestChannelCloseFailsPendingCalls(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	slow := NewService("test.Slow").
+		Method("Sleep", nil, "void", func(args []any) (any, error) {
+			time.Sleep(2 * time.Second)
+			return nil, nil
+		})
+	_, _ = server.fw.Registry().Register([]string{"test.Slow"}, slow,
+		service.Properties{PropExported: true}, "test")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	info, _ := ch.FindRemoteService("test.Slow")
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := ch.Invoke(info.ID, "Sleep", nil)
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	ch.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrChannelClosed) {
+			t.Errorf("pending call error = %v, want ErrChannelClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending call not failed on close")
+	}
+}
+
+func TestInvokeTimeout(t *testing.T) {
+	fwS := module.NewFramework(module.Config{Name: "slow-srv"})
+	defer fwS.Shutdown()
+	peerS, err := NewPeer(Config{Framework: fwS, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerS.Close()
+	slow := NewService("test.Slow").
+		Method("Sleep", nil, "void", func(args []any) (any, error) {
+			time.Sleep(time.Second)
+			return nil, nil
+		})
+	_, _ = fwS.Registry().Register([]string{"test.Slow"}, slow,
+		service.Properties{PropExported: true}, "test")
+
+	fwC := module.NewFramework(module.Config{Name: "impatient"})
+	defer fwC.Shutdown()
+	peerC, err := NewPeer(Config{Framework: fwC, Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerC.Close()
+
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("slow-srv")
+	defer l.Close()
+	go func() { _ = peerS.Serve(l) }()
+	conn, err := fabric.Dial("slow-srv", netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := peerC.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	info, _ := ch.FindRemoteService("test.Slow")
+	if _, err := ch.Invoke(info.ID, "Sleep", nil); !errors.Is(err, ErrTimeout) {
+		t.Errorf("Invoke = %v, want ErrTimeout", err)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	client := newTestNode(t, "cli")
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.peer.Connect(a)
+		done <- err
+	}()
+	// Fake server with wrong protocol version.
+	if _, err := wire.ReadMessage(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteMessage(b, &wire.Hello{PeerID: "impostor", Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrBadHandshake) {
+			t.Errorf("Connect = %v, want ErrBadHandshake", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("handshake did not fail")
+	}
+}
+
+func TestServiceExportRequiresInterface(t *testing.T) {
+	n := newTestNode(t, "n")
+	// A plain struct flagged for export is ignored, not fatal.
+	_, _ = n.fw.Registry().Register([]string{"bogus"}, &struct{ X int }{},
+		service.Properties{PropExported: true}, "test")
+	if infos := n.peer.exportedInfos(); len(infos) != 0 {
+		t.Errorf("unexportable service leaked into lease: %v", infos)
+	}
+}
+
+func TestMethodTablePanicsOnDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate method should panic")
+		}
+	}()
+	NewService("x").
+		Method("A", nil, "void", func([]any) (any, error) { return nil, nil }).
+		Method("A", nil, "void", func([]any) (any, error) { return nil, nil })
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+func TestLeasePropertyModification(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	reg := exportCalculator(t, server)
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	// Property changes on an exported service propagate to the lease.
+	if err := reg.SetProperties(service.Properties{
+		PropExported: true, "flavor": "chocolate",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool {
+		info, ok := ch.FindRemoteService("test.Calculator")
+		return ok && info.Props["flavor"] == "chocolate"
+	})
+
+	// Withdrawing the export flag retracts the lease entry.
+	if err := reg.SetProperties(service.Properties{"flavor": "chocolate"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool {
+		_, ok := ch.FindRemoteService("test.Calculator")
+		return !ok
+	})
+
+	// Re-flagging exports it again.
+	if err := reg.SetProperties(service.Properties{PropExported: true}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool {
+		_, ok := ch.FindRemoteService("test.Calculator")
+		return ok
+	})
+}
+
+func TestStreamBackpressureDropsOldest(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	started := make(chan *StreamReader, 1)
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			started <- r
+			// Deliberately never read: the consumer is stuck.
+			<-r.s.ch // consume exactly one to prove ordering, then stall
+			select {}
+		})
+	}
+
+	w, err := ch.OpenStream("firehose", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the backlog decisively.
+	for i := 0; i < streamBacklog*2; i++ {
+		if _, err := w.Write([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reader *StreamReader
+	select {
+	case reader = <-started:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stream never started")
+	}
+	waitFor(t, 2*time.Second, func() bool { return reader.Dropped() > 0 })
+}
+
+func TestStreamAbortReportsError(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	errCh := make(chan error, 1)
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			for {
+				if _, err := r.Next(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		})
+	}
+	w, err := ch.OpenStream("doomed", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abort("camera unplugged"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "camera unplugged") {
+			t.Errorf("stream error = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abort never reached the reader")
+	}
+}
+
+func TestStreamReaderAsIOReader(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	got := make(chan []byte, 1)
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			data, err := io.ReadAll(r)
+			if err != nil {
+				t.Errorf("ReadAll: %v", err)
+			}
+			got <- data
+		})
+	}
+	w, err := ch.OpenStream("bytes", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("high-volume data exchange through transparent stream proxies")
+	if _, err := w.Write(payload[:20]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(payload[20:]); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	select {
+	case data := <-got:
+		if string(data) != string(payload) {
+			t.Errorf("stream data = %q", data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stream data never arrived")
+	}
+}
+
+func TestInvokeTimesOutOnLossyLink(t *testing.T) {
+	fwS := module.NewFramework(module.Config{Name: "lossy-srv"})
+	defer fwS.Shutdown()
+	peerS, err := NewPeer(Config{Framework: fwS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerS.Close()
+	_, _ = fwS.Registry().Register([]string{"test.Calculator"}, calculatorService(),
+		service.Properties{PropExported: true}, "test")
+
+	fwC := module.NewFramework(module.Config{Name: "lossy-cli"})
+	defer fwC.Shutdown()
+	peerC, err := NewPeer(Config{Framework: fwC, Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerC.Close()
+
+	fabric := netsim.NewFabric()
+	l, _ := fabric.Listen("lossy-srv")
+	defer l.Close()
+	go func() { _ = peerS.Serve(l) }()
+	conn, err := fabric.Dial("lossy-srv", netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simConn := conn.(*netsim.Conn)
+	ch, err := peerC.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	info, _ := ch.FindRemoteService("test.Calculator")
+
+	// The radio degrades to total loss after the handshake: the next
+	// invocation must fail with a timeout, not hang.
+	simConn.SetLink(netsim.LinkProfile{Name: "dead", LossProb: 1.0})
+	if _, err := ch.Invoke(info.ID, "Add", []any{int64(1), int64(2)}); !errors.Is(err, ErrTimeout) {
+		t.Errorf("Invoke over dead link = %v, want ErrTimeout", err)
+	}
+}
+
+func TestChannelAccessors(t *testing.T) {
+	server := newTestNode(t, "accessor-srv")
+	client := newTestNode(t, "accessor-cli")
+	exportCalculator(t, server)
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	props := ch.RemoteProps()
+	if _, ok := props["device"]; !ok {
+		t.Errorf("hello props = %v", props)
+	}
+	if ch.Err() != nil {
+		t.Errorf("Err before close = %v", ch.Err())
+	}
+	select {
+	case <-ch.Done():
+		t.Fatal("Done closed prematurely")
+	default:
+	}
+	if got := len(client.peer.Channels()); got != 1 {
+		t.Errorf("client channels = %d", got)
+	}
+	if client.peer.Framework() != client.fw || client.peer.Events() != client.events {
+		t.Error("peer accessors mismatched")
+	}
+	if client.peer.Device() != nil {
+		t.Error("device should be nil")
+	}
+
+	// Type injection survives the proxy pipeline.
+	smart := NewService("typed.Svc").
+		Method("Get", nil, "map", func(args []any) (any, error) {
+			return map[string]any{"a": int64(1)}, nil
+		}).
+		WithTypes(wire.TypeDesc{Name: "Thing", Fields: []wire.TypeField{{Name: "a", Type: "int"}}})
+	_, _ = server.fw.Registry().Register([]string{"typed.Svc"}, smart,
+		service.Properties{PropExported: true}, "test")
+	waitFor(t, time.Second, func() bool {
+		_, ok := ch.FindRemoteService("typed.Svc")
+		return ok
+	})
+	info, _ := ch.FindRemoteService("typed.Svc")
+	reply, err := ch.Fetch(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, proxy, err := ch.InstallProxy(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := proxy.Types()
+	if len(types) != 1 || types[0].Name != "Thing" {
+		t.Errorf("injected types = %v", types)
+	}
+	if proxy.ServiceID() != info.ID || proxy.Channel() != ch {
+		t.Error("proxy identity accessors wrong")
+	}
+
+	ch.Close()
+	select {
+	case <-ch.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done never closed")
+	}
+}

@@ -1,0 +1,275 @@
+// Package remote implements distributed services on top of the module
+// framework — the R-OSGi analog (paper §2). Peers connect over any
+// net.Conn transport (TCP or the netsim fabric), exchange symmetric
+// leases describing their exported services, ship service interfaces on
+// demand, and synthesize local proxy bundles through which remote
+// services are invoked as if they were local.
+//
+// The package also carries the R-OSGi extras AlfredO relies on:
+// asynchronous remote events bridged through the event admin, smart
+// proxies (content-addressed client-side code with remote fallback),
+// transparent byte streams for high-volume data, and ping probes.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// Remote layer errors.
+var (
+	ErrNoSuchService  = errors.New("remote: no such service")
+	ErrNoSuchMethod   = errors.New("remote: no such method")
+	ErrBadArgs        = errors.New("remote: arguments do not match method signature")
+	ErrChannelClosed  = errors.New("remote: channel closed")
+	ErrTimeout        = errors.New("remote: invocation timed out")
+	ErrBadHandshake   = errors.New("remote: handshake failed")
+	ErrRemoteFailure  = errors.New("remote: remote invocation failed")
+	ErrNotExportable  = errors.New("remote: service does not implement remote.Service")
+	ErrDuplicateProxy = errors.New("remote: proxy code already registered")
+)
+
+// Service is the invocable form of an exportable service: a
+// self-describing method table. Because Go cannot synthesize interface
+// implementations at runtime, remote dispatch is name-based; Describe
+// supplies the interface descriptor that ships to clients.
+type Service interface {
+	Describe() wire.InterfaceDesc
+	Invoke(method string, args []any) (any, error)
+}
+
+// DescriptorProvider optionally attaches an opaque service descriptor
+// (the AlfredO UI/controller/dependency description, §3.2) that ships
+// inside ServiceReply.
+type DescriptorProvider interface {
+	ServiceDescriptor() []byte
+}
+
+// TypeProvider optionally ships composite type descriptors alongside
+// the interface (type injection, §2.2).
+type TypeProvider interface {
+	InjectedTypes() []wire.TypeDesc
+}
+
+// SmartProxyProvider optionally names client-side proxy code (§2.2
+// smart proxies).
+type SmartProxyProvider interface {
+	SmartProxy() *wire.SmartProxyRef
+}
+
+// MethodFunc implements one service method over normalized wire values.
+type MethodFunc func(args []any) (any, error)
+
+// MethodTable is a builder-style Service implementation. It validates
+// invocation arguments against declared signatures before dispatch.
+type MethodTable struct {
+	name    string
+	mu      sync.RWMutex
+	order   []string
+	methods map[string]tableMethod
+
+	descriptor []byte
+	types      []wire.TypeDesc
+	smart      *wire.SmartProxyRef
+}
+
+type tableMethod struct {
+	desc wire.MethodDesc
+	fn   MethodFunc
+}
+
+var (
+	_ Service            = (*MethodTable)(nil)
+	_ DescriptorProvider = (*MethodTable)(nil)
+	_ TypeProvider       = (*MethodTable)(nil)
+	_ SmartProxyProvider = (*MethodTable)(nil)
+)
+
+// NewService creates an empty method table published under the given
+// interface name.
+func NewService(interfaceName string) *MethodTable {
+	return &MethodTable{
+		name:    interfaceName,
+		methods: make(map[string]tableMethod),
+	}
+}
+
+// Method declares a method with its argument wire types (see
+// wire.TypeName) and return wire type ("void" for none), and its
+// implementation. It returns the table for chaining and panics on a
+// duplicate name (a programming error).
+func (t *MethodTable) Method(name string, argTypes []string, returnType string, fn MethodFunc) *MethodTable {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.methods[name]; dup {
+		panic(fmt.Sprintf("remote: method %s.%s declared twice", t.name, name))
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("remote: method %s.%s has no implementation", t.name, name))
+	}
+	t.methods[name] = tableMethod{
+		desc: wire.MethodDesc{Name: name, Args: argTypes, Return: returnType},
+		fn:   fn,
+	}
+	t.order = append(t.order, name)
+	return t
+}
+
+// WithDescriptor attaches the AlfredO service descriptor.
+func (t *MethodTable) WithDescriptor(d []byte) *MethodTable {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.descriptor = d
+	return t
+}
+
+// WithTypes attaches injected type descriptors.
+func (t *MethodTable) WithTypes(types ...wire.TypeDesc) *MethodTable {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.types = append(t.types, types...)
+	return t
+}
+
+// WithSmartProxy attaches a smart proxy reference.
+func (t *MethodTable) WithSmartProxy(ref *wire.SmartProxyRef) *MethodTable {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.smart = ref
+	return t
+}
+
+// Describe implements Service.
+func (t *MethodTable) Describe() wire.InterfaceDesc {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d := wire.InterfaceDesc{Name: t.name, Methods: make([]wire.MethodDesc, 0, len(t.order))}
+	for _, n := range t.order {
+		d.Methods = append(d.Methods, t.methods[n].desc)
+	}
+	return d
+}
+
+// Invoke implements Service: it validates args against the declared
+// signature and dispatches.
+func (t *MethodTable) Invoke(method string, args []any) (any, error) {
+	t.mu.RLock()
+	m, ok := t.methods[method]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, t.name, method)
+	}
+	if err := CheckArgs(m.desc, args); err != nil {
+		return nil, err
+	}
+	return m.fn(args)
+}
+
+// ServiceDescriptor implements DescriptorProvider.
+func (t *MethodTable) ServiceDescriptor() []byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.descriptor
+}
+
+// InjectedTypes implements TypeProvider.
+func (t *MethodTable) InjectedTypes() []wire.TypeDesc {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.types
+}
+
+// SmartProxy implements SmartProxyProvider.
+func (t *MethodTable) SmartProxy() *wire.SmartProxyRef {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.smart
+}
+
+// CheckArgs validates normalized argument values against a method
+// descriptor. The "any" wire type accepts every value.
+func CheckArgs(desc wire.MethodDesc, args []any) error {
+	if len(args) != len(desc.Args) {
+		return fmt.Errorf("%w: %s takes %d args, got %d", ErrBadArgs, desc.Name, len(desc.Args), len(args))
+	}
+	for i, want := range desc.Args {
+		if want == "any" {
+			continue
+		}
+		got := wire.TypeName(args[i])
+		if got != want && !(args[i] == nil) {
+			return fmt.Errorf("%w: %s arg %d is %s, want %s", ErrBadArgs, desc.Name, i, got, want)
+		}
+	}
+	return nil
+}
+
+// Invoker is the minimal remote-invocation capability handed to smart
+// proxy code for its fall-through methods.
+type Invoker interface {
+	Invoke(method string, args []any) (any, error)
+}
+
+// ProxyCode is client-side smart proxy logic. Locally implemented
+// methods run in-process; the code may delegate to remoteCall for
+// anything else.
+type ProxyCode interface {
+	Invoke(method string, args []any, remoteCall Invoker) (any, error)
+}
+
+// ProxyCodeFactory creates a ProxyCode instance per proxy.
+type ProxyCodeFactory func() ProxyCode
+
+// ProxyCodeRegistry holds pre-installed smart proxy code, keyed by the
+// content-addressed reference that arrives in SmartProxyRef.CodeRef
+// (DESIGN.md §2: the trusted smart-proxy distribution model).
+type ProxyCodeRegistry struct {
+	mu        sync.RWMutex
+	factories map[string]ProxyCodeFactory
+}
+
+// NewProxyCodeRegistry creates an empty registry.
+func NewProxyCodeRegistry() *ProxyCodeRegistry {
+	return &ProxyCodeRegistry{factories: make(map[string]ProxyCodeFactory)}
+}
+
+// Register installs proxy code under ref.
+func (r *ProxyCodeRegistry) Register(ref string, f ProxyCodeFactory) error {
+	if ref == "" || f == nil {
+		return fmt.Errorf("remote: invalid proxy code registration %q", ref)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[ref]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateProxy, ref)
+	}
+	r.factories[ref] = f
+	return nil
+}
+
+// Lookup resolves a proxy code reference.
+func (r *ProxyCodeRegistry) Lookup(ref string) (ProxyCodeFactory, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.factories[ref]
+	return f, ok
+}
+
+// Refs lists registered references, sorted.
+func (r *ProxyCodeRegistry) Refs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for k := range r.factories {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

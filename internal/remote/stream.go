@@ -1,0 +1,232 @@
+package remote
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// streamBacklog bounds the per-stream receive queue. When the consumer
+// falls behind, the oldest queued chunks are dropped — matching the
+// paper's adaptive semantics for high-volume data ("the application ...
+// sends updates whenever there is enough bandwidth", §5.1). Dropped
+// counts are observable through StreamReader.Dropped.
+const streamBacklog = 256
+
+// StreamWriter is the sending end of a transparent stream proxy.
+type StreamWriter struct {
+	c  *Channel
+	id int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ io.WriteCloser = (*StreamWriter)(nil)
+
+// OpenStream opens a named byte stream to the remote peer (§3.2:
+// "high-volume data exchange through transparent stream proxies").
+func (c *Channel) OpenStream(name string, props map[string]any) (*StreamWriter, error) {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	if err := c.send(&wire.StreamOpen{StreamID: id, Name: name, Props: props}); err != nil {
+		return nil, err
+	}
+	return &StreamWriter{c: c, id: id}, nil
+}
+
+// Write ships one chunk. Writes after Close fail.
+func (w *StreamWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		return 0, fmt.Errorf("remote: write on closed stream %d", w.id)
+	}
+	chunk := make([]byte, len(p))
+	copy(chunk, p)
+	if err := w.c.send(&wire.StreamData{StreamID: w.id, Chunk: chunk}); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close terminates the stream cleanly.
+func (w *StreamWriter) Close() error {
+	return w.closeWith("")
+}
+
+// Abort terminates the stream with an error reported to the reader.
+func (w *StreamWriter) Abort(reason string) error {
+	if reason == "" {
+		reason = "aborted"
+	}
+	return w.closeWith(reason)
+}
+
+func (w *StreamWriter) closeWith(errMsg string) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	return w.c.send(&wire.StreamClose{StreamID: w.id, Err: errMsg})
+}
+
+// StreamReader is the receiving end of a stream: chunk-oriented, with
+// an io.Reader view for byte consumers.
+type StreamReader struct {
+	Name  string
+	Props map[string]any
+
+	s        *inStream
+	leftover []byte
+}
+
+// Next returns the next chunk, blocking until one arrives or the
+// stream ends (io.EOF on clean close).
+func (r *StreamReader) Next() ([]byte, error) {
+	chunk, ok := <-r.s.ch
+	if !ok {
+		return nil, r.s.err()
+	}
+	return chunk, nil
+}
+
+// Read implements io.Reader over the chunk sequence.
+func (r *StreamReader) Read(p []byte) (int, error) {
+	if len(r.leftover) == 0 {
+		chunk, err := r.Next()
+		if err != nil {
+			return 0, err
+		}
+		r.leftover = chunk
+	}
+	n := copy(p, r.leftover)
+	r.leftover = r.leftover[n:]
+	return n, nil
+}
+
+// Dropped reports chunks discarded because the consumer fell behind.
+func (r *StreamReader) Dropped() int64 {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return r.s.dropped
+}
+
+type inStream struct {
+	id int64
+	ch chan []byte
+
+	mu      sync.Mutex
+	closed  bool
+	errMsg  string
+	failure error
+	dropped int64
+}
+
+func (s *inStream) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure != nil {
+		return s.failure
+	}
+	if s.errMsg != "" {
+		return fmt.Errorf("remote: stream %d: %s", s.id, s.errMsg)
+	}
+	return io.EOF
+}
+
+func (s *inStream) closeWith(err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.failure = err
+	s.mu.Unlock()
+	close(s.ch)
+}
+
+// HandleStreams registers the callback invoked (on its own goroutine)
+// for every inbound stream. Only one handler is supported; later calls
+// replace it for subsequently opened streams.
+func (c *Channel) HandleStreams(fn func(r *StreamReader)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.streamFn = func(name string, props map[string]any, r *StreamReader) {
+		r.Name = name
+		r.Props = props
+		fn(r)
+	}
+}
+
+func (c *Channel) handleStreamOpen(m *wire.StreamOpen) {
+	s := &inStream{id: m.StreamID, ch: make(chan []byte, streamBacklog)}
+	c.mu.Lock()
+	c.streams[m.StreamID] = s
+	fn := c.streamFn
+	c.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	reader := &StreamReader{s: s}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		fn(m.Name, m.Props, reader)
+	}()
+}
+
+func (c *Channel) handleStreamData(m *wire.StreamData) {
+	c.mu.Lock()
+	s := c.streams[m.StreamID]
+	c.mu.Unlock()
+	if s == nil {
+		return
+	}
+	// The lock is held across the channel sends so that closeWith (which
+	// closes s.ch under the same lock) cannot race a send-on-closed.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- m.Chunk:
+	default:
+		// Consumer is behind: drop the oldest chunk to make room, so
+		// the stream stays fresh rather than ever-later (adaptive
+		// snapshot semantics, §5.1).
+		select {
+		case <-s.ch:
+		default:
+		}
+		s.dropped++
+		select {
+		case s.ch <- m.Chunk:
+		default:
+		}
+	}
+}
+
+func (c *Channel) handleStreamClose(m *wire.StreamClose) {
+	c.mu.Lock()
+	s := c.streams[m.StreamID]
+	delete(c.streams, m.StreamID)
+	c.mu.Unlock()
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = m.Err
+	s.mu.Unlock()
+	s.closeWith(nil)
+}

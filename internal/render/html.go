@@ -1,0 +1,220 @@
+package render
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// HTMLRenderer produces an HTML page plus a small polling script — the
+// servlet/AJAX analog of §3.3 for platforms without a native toolkit
+// (the paper demonstrates it on an iPhone, §5.2). The view implements
+// http.Handler so it can be registered with the HTTP service as a
+// servlet:
+//
+//	GET  /        the page
+//	GET  /state   {"version": n, "controls": {...}} for the poll loop
+//	POST /event   {"control": ..., "kind": ..., "value": ...}
+type HTMLRenderer struct{}
+
+var _ Renderer = (*HTMLRenderer)(nil)
+
+// Name implements Renderer.
+func (*HTMLRenderer) Name() string { return "html" }
+
+// Render implements Renderer. Browsers scroll, so no space budget
+// applies; capability filtering still does.
+func (*HTMLRenderer) Render(desc *ui.Description, profile device.Profile) (View, error) {
+	base, err := newBaseView(desc, profile, "html", 0)
+	if err != nil {
+		return nil, err
+	}
+	return &HTMLView{baseView: base}, nil
+}
+
+// HTMLView is the servlet-rendered view.
+type HTMLView struct {
+	*baseView
+}
+
+var _ View = (*HTMLView)(nil)
+var _ http.Handler = (*HTMLView)(nil)
+
+// Render returns the full HTML page.
+func (v *HTMLView) Render() string {
+	order, state := v.snapshot()
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">")
+	fmt.Fprintf(&b, "<title>%s</title>", html.EscapeString(v.desc.Title))
+	b.WriteString(pollScript)
+	b.WriteString("</head><body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(v.desc.Title))
+	for _, id := range order {
+		ctrl, _ := v.desc.Control(id)
+		v.renderControl(&b, ctrl, state[id])
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func (v *HTMLView) renderControl(b *strings.Builder, c ui.Control, props map[string]any) {
+	eid := html.EscapeString(c.ID)
+	text := html.EscapeString(str(props["text"]))
+	val := str(props["value"])
+	switch c.Kind {
+	case ui.KindLabel:
+		fmt.Fprintf(b, "<p id=%q data-kind=\"label\">%s %s</p>\n", eid, text, html.EscapeString(val))
+	case ui.KindButton:
+		fmt.Fprintf(b, "<button id=%q onclick=\"sendEvent('%s','press',null)\">%s</button>\n", eid, eid, text)
+	case ui.KindTextInput:
+		fmt.Fprintf(b, "<label>%s <input id=%q value=%q onchange=\"sendEvent('%s','change',this.value)\"></label>\n",
+			text, eid, html.EscapeString(val), eid)
+	case ui.KindList:
+		fmt.Fprintf(b, "<ul id=%q data-kind=\"list\">\n", eid)
+		if items, ok := props["items"].([]any); ok {
+			for _, it := range items {
+				item := html.EscapeString(str(it))
+				fmt.Fprintf(b, "  <li onclick=\"sendEvent('%s','select','%s')\">%s</li>\n", eid, item, item)
+			}
+		}
+		b.WriteString("</ul>\n")
+	case ui.KindChoice:
+		fmt.Fprintf(b, "<select id=%q onchange=\"sendEvent('%s','select',this.value)\">\n", eid, eid)
+		if items, ok := props["items"].([]any); ok {
+			for _, it := range items {
+				item := html.EscapeString(str(it))
+				sel := ""
+				if str(it) == val {
+					sel = " selected"
+				}
+				fmt.Fprintf(b, "  <option%s>%s</option>\n", sel, item)
+			}
+		}
+		b.WriteString("</select>\n")
+	case ui.KindRange:
+		fmt.Fprintf(b, "<input type=\"range\" id=%q min=\"%d\" max=\"%d\" value=%q onchange=\"sendEvent('%s','change',Number(this.value))\">\n",
+			eid, c.Min, c.Max, html.EscapeString(val), eid)
+	case ui.KindImage:
+		if data, ok := props["image"].([]byte); ok && isPNG(data) {
+			fmt.Fprintf(b, "<img id=%q data-kind=\"image\" src=\"data:image/png;base64,%s\">\n",
+				eid, base64.StdEncoding.EncodeToString(data))
+		} else {
+			fmt.Fprintf(b, "<div id=%q data-kind=\"image\">%s</div>\n", eid, html.EscapeString(describeImage(props["image"])))
+		}
+	case ui.KindProgress:
+		fmt.Fprintf(b, "<progress id=%q max=\"100\" value=%q></progress>\n", eid, html.EscapeString(val))
+	case ui.KindPad:
+		fmt.Fprintf(b, "<div id=%q data-kind=\"pad\">", eid)
+		for _, dir := range [...]struct{ label, dx, dy string }{
+			{"←", "-1", "0"}, {"→", "1", "0"}, {"↑", "0", "-1"}, {"↓", "0", "1"},
+		} {
+			fmt.Fprintf(b, "<button onclick=\"sendEvent('%s','move',[%s,%s])\">%s</button>", eid, dir.dx, dir.dy, dir.label)
+		}
+		b.WriteString("</div>\n")
+	}
+}
+
+// ServeHTTP implements the servlet endpoints.
+func (v *HTMLView) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/state"):
+		v.serveState(w)
+	case r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/event"):
+		v.serveEvent(w, r)
+	case r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(v.Render()))
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (v *HTMLView) serveState(w http.ResponseWriter) {
+	_, state := v.snapshot()
+	// Image bytes would bloat the JSON; replace with a size note.
+	for _, props := range state {
+		if img, ok := props["image"].([]byte); ok {
+			props["image"] = fmt.Sprintf("bytes:%d", len(img))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"version":  v.Version(),
+		"controls": state,
+	})
+}
+
+func (v *HTMLView) serveEvent(w http.ResponseWriter, r *http.Request) {
+	var ev ui.Event
+	if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+		http.Error(w, "bad event: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// JSON numbers arrive as float64; integerize for the wire domain.
+	if f, ok := ev.Value.(float64); ok && f == float64(int64(f)) {
+		ev.Value = int64(f)
+	}
+	if err := v.Inject(ev); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// isPNG detects the PNG signature; PNG image values render as inline
+// data URIs, anything else as a size note.
+func isPNG(data []byte) bool {
+	return bytes.HasPrefix(data, []byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'})
+}
+
+func str(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// pollScript is the "AJAX" of 2008: poll /state, patch the DOM, and
+// POST events back.
+const pollScript = `<script>
+function sendEvent(control, kind, value) {
+  fetch('event', {method:'POST', headers:{'Content-Type':'application/json'},
+    body: JSON.stringify({control:control, kind:kind, value:value})});
+}
+var lastVersion = -1;
+function poll() {
+  fetch('state').then(function(r){return r.json();}).then(function(s){
+    if (s.version === lastVersion) return;
+    lastVersion = s.version;
+    for (var id in s.controls) {
+      var el = document.getElementById(id);
+      if (!el) continue;
+      var p = s.controls[id];
+      if (el.dataset.kind === 'label' && p.text !== undefined) {
+        el.textContent = p.text + ' ' + (p.value === null || p.value === undefined ? '' : p.value);
+      } else if ('value' in p && 'value' in el && p.value !== null) {
+        el.value = p.value;
+      }
+    }
+  }).catch(function(){});
+}
+setInterval(poll, 500);
+</script>`

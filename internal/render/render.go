@@ -1,0 +1,377 @@
+// Package render turns abstract UI descriptions (package ui) into
+// concrete views on a given device profile — the Renderer of paper
+// §3.3. Three engines model the paper's rendering paths:
+//
+//   - "tree": a headless widget tree, the AWT-panel analog, fully
+//     inspectable from code (used by tests and the M600i profile).
+//   - "text": a character-cell renderer honoring display size and
+//     orientation, the eRCP/SWT-on-communicator analog.
+//   - "html": an HTML + polling-JavaScript page served through the
+//     HTTP service, the servlet/AJAX analog for browser-only clients
+//     such as the 2008 iPhone.
+//
+// All engines render the SAME description; controls whose capability
+// requirements the device cannot satisfy are dropped (and reported),
+// and low-importance controls are shed when the display is too small —
+// the paper's device-independence story made testable.
+package render
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// Renderer errors.
+var (
+	ErrUnknownControl  = errors.New("render: unknown control")
+	ErrUnknownRenderer = errors.New("render: no such renderer")
+	ErrNoRenderer      = errors.New("render: no renderer suits the device profile")
+	ErrViewClosed      = errors.New("render: view closed")
+	ErrBadEvent        = errors.New("render: event does not fit control")
+)
+
+// View is a rendered user interface instance: the application's View in
+// the MVC of Figure 2. It is safe for concurrent use.
+type View interface {
+	// Description returns the abstract description the view renders.
+	Description() *ui.Description
+	// SetProperty updates a control property ("text", "value", "items",
+	// "image", …); the visual representation changes accordingly.
+	SetProperty(controlID, property string, value any) error
+	// Property reads a control property.
+	Property(controlID, property string) (any, bool)
+	// Inject delivers a user interaction to the view, as if the user
+	// had operated the physical input device. The view updates its
+	// state and forwards the event to the OnEvent sink.
+	Inject(ev ui.Event) error
+	// OnEvent registers the controller-facing event sink.
+	OnEvent(fn func(ui.Event))
+	// Render returns the current concrete representation (text screen,
+	// HTML page, or tree dump, depending on the engine).
+	Render() string
+	// Report describes how the abstract UI was adapted to the device.
+	Report() AdaptationReport
+	// Close releases the view.
+	Close() error
+}
+
+// AdaptationReport records how a description was fitted to a device.
+type AdaptationReport struct {
+	Renderer string
+	Device   string
+	// Shown lists rendered control ids in display order.
+	Shown []string
+	// DroppedCapability lists controls dropped for missing capabilities.
+	DroppedCapability []string
+	// DroppedSpace lists controls shed for lack of display space.
+	DroppedSpace []string
+	// Implementors maps required capabilities to the input device
+	// chosen to implement them (e.g. PointingDevice -> CursorKeys).
+	Implementors map[string]string
+}
+
+// Renderer builds views of abstract descriptions on a device profile.
+type Renderer interface {
+	Name() string
+	Render(desc *ui.Description, profile device.Profile) (View, error)
+}
+
+// Registry maps renderer names to engines.
+type Registry struct {
+	mu      sync.RWMutex
+	engines map[string]Renderer
+}
+
+// NewRegistry creates a registry preloaded with the three stock
+// engines.
+func NewRegistry() *Registry {
+	r := &Registry{engines: make(map[string]Renderer)}
+	r.Register(&TreeRenderer{})
+	r.Register(&TextRenderer{})
+	r.Register(&HTMLRenderer{})
+	return r
+}
+
+// Register adds an engine (replacing any previous one of that name).
+func (r *Registry) Register(engine Renderer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.engines[engine.Name()] = engine
+}
+
+// Lookup returns the engine with the given name.
+func (r *Registry) Lookup(name string) (Renderer, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.engines[name]
+	return e, ok
+}
+
+// ForProfile selects the first engine in the profile's renderer
+// preference list that is registered.
+func (r *Registry) ForProfile(profile device.Profile) (Renderer, error) {
+	for _, name := range profile.Renderers {
+		if e, ok := r.Lookup(name); ok {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s wants %v", ErrNoRenderer, profile.Name, profile.Renderers)
+}
+
+// Render picks the engine for the profile and renders.
+func (r *Registry) Render(desc *ui.Description, profile device.Profile) (View, error) {
+	engine, err := r.ForProfile(profile)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Render(desc, profile)
+}
+
+// baseView carries the engine-independent state machinery.
+type baseView struct {
+	desc    *ui.Description
+	profile device.Profile
+	report  AdaptationReport
+
+	mu      sync.Mutex
+	state   map[string]map[string]any // control -> property -> value
+	order   []string                  // display order of shown controls
+	sink    func(ui.Event)
+	version int64
+	closed  bool
+}
+
+// newBaseView adapts the description to the profile: capability
+// filtering, ordering, and (given a row budget > 0) space shedding.
+func newBaseView(desc *ui.Description, profile device.Profile, rendererName string, rowBudget int) (*baseView, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	v := &baseView{
+		desc:    desc,
+		profile: profile,
+		state:   make(map[string]map[string]any, len(desc.Controls)),
+	}
+	v.report = AdaptationReport{
+		Renderer:     rendererName,
+		Device:       profile.Name,
+		Implementors: make(map[string]string),
+	}
+	for _, req := range desc.AllRequires() {
+		if impl, ok := profile.ImplementorFor(device.Capability(req)); ok {
+			v.report.Implementors[req] = impl
+		}
+	}
+
+	// Capability filtering.
+	var kept []ui.Control
+	for _, c := range desc.Controls {
+		if ok, _ := profile.Satisfies(c.Requires); !ok {
+			v.report.DroppedCapability = append(v.report.DroppedCapability, c.ID)
+			continue
+		}
+		kept = append(kept, c)
+	}
+
+	// Ordering: an explicit RelOrder wins; otherwise declaration order.
+	orderIndex := make(map[string]int, len(kept))
+	for i, c := range kept {
+		orderIndex[c.ID] = i + 1000 // after any explicit ordering
+	}
+	for _, rel := range desc.Relations {
+		if rel.Kind == ui.RelOrder {
+			for i, id := range rel.Members {
+				if _, shown := orderIndex[id]; shown {
+					orderIndex[id] = i
+				}
+			}
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		return orderIndex[kept[i].ID] < orderIndex[kept[j].ID]
+	})
+
+	// Space shedding: drop lowest-importance controls beyond the budget.
+	if rowBudget > 0 && len(kept) > rowBudget {
+		byImportance := make([]ui.Control, len(kept))
+		copy(byImportance, kept)
+		sort.SliceStable(byImportance, func(i, j int) bool {
+			return byImportance[i].Importance < byImportance[j].Importance
+		})
+		drop := make(map[string]bool)
+		for _, c := range byImportance[:len(kept)-rowBudget] {
+			drop[c.ID] = true
+			v.report.DroppedSpace = append(v.report.DroppedSpace, c.ID)
+		}
+		var fitted []ui.Control
+		for _, c := range kept {
+			if !drop[c.ID] {
+				fitted = append(fitted, c)
+			}
+		}
+		kept = fitted
+	}
+
+	for _, c := range kept {
+		v.order = append(v.order, c.ID)
+		v.report.Shown = append(v.report.Shown, c.ID)
+		props := map[string]any{
+			"text":  c.Text,
+			"value": c.Value,
+		}
+		if len(c.Items) > 0 {
+			items := make([]any, len(c.Items))
+			for i, it := range c.Items {
+				items[i] = it
+			}
+			props["items"] = items
+		}
+		v.state[c.ID] = props
+	}
+	return v, nil
+}
+
+func (v *baseView) Description() *ui.Description { return v.desc }
+
+func (v *baseView) Report() AdaptationReport { return v.report }
+
+func (v *baseView) SetProperty(controlID, property string, value any) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrViewClosed
+	}
+	props, ok := v.state[controlID]
+	if !ok {
+		if _, exists := v.desc.Control(controlID); exists {
+			// Dropped during adaptation: setting properties is a no-op
+			// rather than an error, so controllers stay portable.
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrUnknownControl, controlID)
+	}
+	props[property] = value
+	v.version++
+	return nil
+}
+
+func (v *baseView) Property(controlID, property string) (any, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	props, ok := v.state[controlID]
+	if !ok {
+		return nil, false
+	}
+	val, ok := props[property]
+	return val, ok
+}
+
+func (v *baseView) OnEvent(fn func(ui.Event)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.sink = fn
+}
+
+// Inject validates the event against the control kind, applies state
+// changes, and forwards to the sink.
+func (v *baseView) Inject(ev ui.Event) error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return ErrViewClosed
+	}
+	ctrl, exists := v.desc.Control(ev.Control)
+	if !exists {
+		v.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownControl, ev.Control)
+	}
+	if _, shown := v.state[ev.Control]; !shown {
+		v.mu.Unlock()
+		return fmt.Errorf("%w: %s was dropped during adaptation", ErrUnknownControl, ev.Control)
+	}
+	if err := checkEventFits(ctrl, ev); err != nil {
+		v.mu.Unlock()
+		return err
+	}
+	// Declarative input validation: a rejected change never reaches the
+	// view state or the controller.
+	if ev.Kind == ui.EventChange && !ctrl.Validate.Zero() {
+		if err := ctrl.Validate.Check(ev.Value); err != nil {
+			v.mu.Unlock()
+			return fmt.Errorf("render: %s: %w", ctrl.ID, err)
+		}
+	}
+	switch ev.Kind {
+	case ui.EventChange, ui.EventSelect:
+		v.state[ev.Control]["value"] = ev.Value
+		v.version++
+	case ui.EventPress, ui.EventMove:
+		// Momentary events carry no persistent state.
+	}
+	sink := v.sink
+	v.mu.Unlock()
+
+	if sink != nil {
+		sink(ev)
+	}
+	return nil
+}
+
+func (v *baseView) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.closed = true
+	return nil
+}
+
+// Version returns a counter incremented on every visible state change;
+// the HTML engine's polling uses it.
+func (v *baseView) Version() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.version
+}
+
+// snapshotOrder returns the display order and a deep-enough copy of the
+// state for rendering without holding the lock.
+func (v *baseView) snapshot() ([]string, map[string]map[string]any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	order := make([]string, len(v.order))
+	copy(order, v.order)
+	state := make(map[string]map[string]any, len(v.state))
+	for id, props := range v.state {
+		cp := make(map[string]any, len(props))
+		for k, val := range props {
+			cp[k] = val
+		}
+		state[id] = cp
+	}
+	return order, state
+}
+
+func checkEventFits(c ui.Control, ev ui.Event) error {
+	allowed := map[ui.Kind][]ui.EventKind{
+		ui.KindButton:    {ui.EventPress},
+		ui.KindTextInput: {ui.EventChange},
+		ui.KindList:      {ui.EventSelect},
+		ui.KindChoice:    {ui.EventSelect, ui.EventChange},
+		ui.KindRange:     {ui.EventChange},
+		ui.KindPad:       {ui.EventMove, ui.EventPress},
+	}
+	kinds, interactive := allowed[c.Kind]
+	if !interactive {
+		return fmt.Errorf("%w: %s control %q is not interactive", ErrBadEvent, c.Kind, c.ID)
+	}
+	for _, k := range kinds {
+		if k == ev.Kind {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s on %s control %q", ErrBadEvent, ev.Kind, c.Kind, c.ID)
+}

@@ -1,0 +1,378 @@
+package render
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+func shopDesc() *ui.Description {
+	return &ui.Description{
+		Title: "AlfredOShop",
+		Controls: []ui.Control{
+			{ID: "title", Kind: ui.KindLabel, Text: "Shop window", Importance: 5},
+			{ID: "categories", Kind: ui.KindChoice, Text: "Category", Items: []string{"beds", "sofas"}, Importance: 9},
+			{ID: "products", Kind: ui.KindList, Text: "Products", Importance: 10},
+			{ID: "detail", Kind: ui.KindLabel, Text: "Detail", Importance: 8},
+			{ID: "typing", Kind: ui.KindTextInput, Text: "Search", Requires: []string{string(device.KeyboardDevice)}, Importance: 4},
+			{ID: "zoom", Kind: ui.KindRange, Text: "Zoom", Min: 0, Max: 10, Value: 5, Importance: 1},
+		},
+		Relations: []ui.Relation{
+			{Kind: ui.RelOrder, Members: []string{"title", "categories", "products", "detail", "typing", "zoom"}},
+			{Kind: ui.RelGroup, Name: "browse", Members: []string{"categories", "products"}},
+		},
+		Requires: []string{string(device.SelectionDevice)},
+	}
+}
+
+func TestRegistrySelection(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"tree", "text", "html"} {
+		if _, ok := reg.Lookup(name); !ok {
+			t.Errorf("engine %s missing", name)
+		}
+	}
+	engine, err := reg.ForProfile(device.Nokia9300i())
+	if err != nil {
+		t.Fatalf("ForProfile: %v", err)
+	}
+	if engine.Name() != "text" {
+		t.Errorf("Nokia engine = %s, want text (first preference)", engine.Name())
+	}
+	engine, _ = reg.ForProfile(device.IPhone())
+	if engine.Name() != "html" {
+		t.Errorf("iPhone engine = %s, want html", engine.Name())
+	}
+	if _, err := reg.ForProfile(device.Profile{Name: "alien", Renderers: []string{"quantum"}}); !errors.Is(err, ErrNoRenderer) {
+		t.Errorf("unknown renderer error = %v", err)
+	}
+}
+
+func TestSameDescriptionRendersEverywhere(t *testing.T) {
+	reg := NewRegistry()
+	desc := shopDesc()
+	for _, profile := range []device.Profile{
+		device.Nokia9300i(), device.SonyEricssonM600i(), device.IPhone(), device.Notebook(),
+	} {
+		view, err := reg.Render(desc, profile)
+		if err != nil {
+			t.Errorf("render on %s: %v", profile.Name, err)
+			continue
+		}
+		out := view.Render()
+		if !strings.Contains(out, "AlfredOShop") {
+			t.Errorf("%s output lacks title:\n%s", profile.Name, out)
+		}
+		_ = view.Close()
+	}
+}
+
+func TestCapabilityFiltering(t *testing.T) {
+	// A profile with no keyboard must drop the textinput control.
+	noKeyboard := device.Profile{
+		Name:    "kiosk",
+		Display: device.Display{Width: 800, Height: 600, Orientation: device.Landscape},
+		Inputs: []device.InputDevice{
+			{Name: "Touch", Provides: []device.Capability{device.PointingDevice, device.SelectionDevice}},
+		},
+		Renderers: []string{"tree"},
+	}
+	view, err := NewRegistry().Render(shopDesc(), noKeyboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := view.Report()
+	if len(rep.DroppedCapability) != 1 || rep.DroppedCapability[0] != "typing" {
+		t.Errorf("DroppedCapability = %v, want [typing]", rep.DroppedCapability)
+	}
+	if strings.Contains(view.Render(), "Search") {
+		t.Error("dropped control still rendered")
+	}
+	// Events on dropped controls are rejected.
+	if err := view.Inject(ui.Event{Control: "typing", Kind: ui.EventChange, Value: "x"}); err == nil {
+		t.Error("event on dropped control accepted")
+	}
+	// Setting properties on dropped controls is a tolerated no-op.
+	if err := view.SetProperty("typing", "text", "hi"); err != nil {
+		t.Errorf("SetProperty on dropped control = %v", err)
+	}
+}
+
+func TestSpaceShedding(t *testing.T) {
+	// A tiny display sheds the lowest-importance controls.
+	tiny := device.Profile{
+		Name:    "watch",
+		Display: device.Display{Width: 200, Height: 60, Orientation: device.Portrait},
+		Inputs: []device.InputDevice{
+			{Name: "Crown", Provides: []device.Capability{device.SelectionDevice, device.KeyboardDevice}},
+		},
+		Renderers: []string{"text"},
+	}
+	view, err := NewRegistry().Render(shopDesc(), tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := view.Report()
+	if len(rep.DroppedSpace) == 0 {
+		t.Fatal("nothing shed on a 60px display")
+	}
+	for _, dropped := range rep.DroppedSpace {
+		if dropped == "products" || dropped == "categories" {
+			t.Errorf("high-importance control %s shed before low-importance ones", dropped)
+		}
+	}
+	// zoom (importance 1) must be the first to go.
+	if rep.DroppedSpace[0] != "zoom" {
+		t.Errorf("first shed control = %s, want zoom", rep.DroppedSpace[0])
+	}
+}
+
+func TestImplementorReport(t *testing.T) {
+	view, err := NewRegistry().Render(shopDesc(), device.Nokia9300i())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := view.Report()
+	if impl := rep.Implementors[string(device.SelectionDevice)]; impl != "CursorKeys" {
+		t.Errorf("SelectionDevice implementor = %q, want CursorKeys", impl)
+	}
+}
+
+func TestViewStateAndEvents(t *testing.T) {
+	view, err := NewRegistry().Render(shopDesc(), device.Notebook())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []ui.Event
+	view.OnEvent(func(ev ui.Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+
+	if err := view.SetProperty("products", "items", []any{"bed-1", "bed-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Inject(ui.Event{Control: "products", Kind: ui.EventSelect, Value: "bed-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := view.Property("products", "value"); v != "bed-2" {
+		t.Errorf("selection not reflected: %v", v)
+	}
+	mu.Lock()
+	if len(events) != 1 || events[0].Value != "bed-2" {
+		t.Errorf("events = %v", events)
+	}
+	mu.Unlock()
+
+	// Event/kind mismatches are rejected.
+	if err := view.Inject(ui.Event{Control: "title", Kind: ui.EventPress}); !errors.Is(err, ErrBadEvent) {
+		t.Errorf("press on label = %v", err)
+	}
+	if err := view.Inject(ui.Event{Control: "ghost", Kind: ui.EventPress}); !errors.Is(err, ErrUnknownControl) {
+		t.Errorf("unknown control = %v", err)
+	}
+	if err := view.SetProperty("ghost", "text", "x"); !errors.Is(err, ErrUnknownControl) {
+		t.Errorf("SetProperty unknown control = %v", err)
+	}
+
+	if err := view.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := view.Inject(ui.Event{Control: "products", Kind: ui.EventSelect, Value: "x"}); !errors.Is(err, ErrViewClosed) {
+		t.Errorf("Inject after close = %v", err)
+	}
+}
+
+func TestTextRendererGeometry(t *testing.T) {
+	desc := shopDesc()
+	reg := NewRegistry()
+	engine, _ := reg.Lookup("text")
+
+	nokia, err := engine.Render(desc, device.Nokia9300i())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m600i, err := engine.Render(desc, device.SonyEricssonM600i())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nokiaLines := strings.Split(strings.TrimRight(nokia.Render(), "\n"), "\n")
+	m600iLines := strings.Split(strings.TrimRight(m600i.Render(), "\n"), "\n")
+	// Landscape Nokia lines are wider than portrait M600i lines.
+	if len(nokiaLines[0]) <= len(m600iLines[0]) {
+		t.Errorf("landscape width %d should exceed portrait width %d",
+			len(nokiaLines[0]), len(m600iLines[0]))
+	}
+}
+
+func TestTreeRendererOutput(t *testing.T) {
+	engine, ok := NewRegistry().Lookup("tree")
+	if !ok {
+		t.Fatal("tree engine missing")
+	}
+	v, err := engine.Render(shopDesc(), device.SonyEricssonM600i())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.Render()
+	for _, want := range []string{`Panel "AlfredOShop"`, `Container "browse"`, `ListBox "products"`, `Choice "categories"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTMLViewServesAndAcceptsEvents(t *testing.T) {
+	engine, _ := NewRegistry().Lookup("html")
+	v, err := engine.Render(shopDesc(), device.IPhone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	htmlView := v.(*HTMLView)
+
+	// Page.
+	rec := httptest.NewRecorder()
+	htmlView.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	page := rec.Body.String()
+	for _, want := range []string{"<h1>AlfredOShop</h1>", "sendEvent", "<select", "<ul"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+
+	// State endpoint.
+	rec = httptest.NewRecorder()
+	htmlView.ServeHTTP(rec, httptest.NewRequest("GET", "/state", nil))
+	var state struct {
+		Version  int64                     `json:"version"`
+		Controls map[string]map[string]any `json:"controls"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &state); err != nil {
+		t.Fatalf("state JSON: %v", err)
+	}
+	if _, ok := state.Controls["products"]; !ok {
+		t.Error("state lacks products control")
+	}
+
+	// Event endpoint drives the view.
+	var got []ui.Event
+	var mu sync.Mutex
+	htmlView.OnEvent(func(ev ui.Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	})
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/event",
+		strings.NewReader(`{"control":"zoom","kind":"change","value":7}`))
+	htmlView.ServeHTTP(rec, req)
+	if rec.Code != 204 {
+		t.Fatalf("event POST = %d: %s", rec.Code, rec.Body.String())
+	}
+	mu.Lock()
+	if len(got) != 1 || got[0].Value != int64(7) {
+		t.Errorf("events = %v", got)
+	}
+	mu.Unlock()
+	if v, _ := htmlView.Property("zoom", "value"); v != int64(7) {
+		t.Errorf("zoom value = %v", v)
+	}
+
+	// Bad event rejected.
+	rec = httptest.NewRecorder()
+	htmlView.ServeHTTP(rec, httptest.NewRequest("POST", "/event", strings.NewReader("{bad")))
+	if rec.Code != 400 {
+		t.Errorf("bad event = %d", rec.Code)
+	}
+
+	// XSS: titles and items are escaped.
+	evil := &ui.Description{
+		Title:    "<script>alert(1)</script>",
+		Controls: []ui.Control{{ID: "l", Kind: ui.KindLabel, Text: "<b>bold</b>"}},
+	}
+	ev2, err := engine.Render(evil, device.IPhone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	page2 := ev2.Render()
+	if strings.Contains(page2, "<script>alert") || strings.Contains(page2, "<b>bold</b>") {
+		t.Error("HTML output not escaped")
+	}
+}
+
+func TestVersionIncrements(t *testing.T) {
+	engine, _ := NewRegistry().Lookup("html")
+	v, _ := engine.Render(shopDesc(), device.IPhone())
+	hv := v.(*HTMLView)
+	v0 := hv.Version()
+	_ = hv.SetProperty("detail", "text", "new detail")
+	if hv.Version() <= v0 {
+		t.Error("version did not increase on SetProperty")
+	}
+}
+
+func TestInputValidationEnforcedByViews(t *testing.T) {
+	desc := &ui.Description{
+		Title: "validated",
+		Controls: []ui.Control{
+			{ID: "qty", Kind: ui.KindTextInput, Text: "Quantity",
+				Validate: ui.Validation{Required: true, Numeric: true}},
+		},
+	}
+	// Every engine enforces the same shipped constraints.
+	for _, name := range []string{"tree", "text", "html"} {
+		engine, _ := NewRegistry().Lookup(name)
+		view, err := engine.Render(desc, device.Notebook())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := view.Inject(ui.Event{Control: "qty", Kind: ui.EventChange, Value: "abc"}); !errors.Is(err, ui.ErrValidation) {
+			t.Errorf("%s: non-numeric accepted: %v", name, err)
+		}
+		if v, ok := view.Property("qty", "value"); ok && v == "abc" {
+			t.Errorf("%s: rejected value reached state", name)
+		}
+		if err := view.Inject(ui.Event{Control: "qty", Kind: ui.EventChange, Value: "3"}); err != nil {
+			t.Errorf("%s: valid value rejected: %v", name, err)
+		}
+		if v, _ := view.Property("qty", "value"); v != "3" {
+			t.Errorf("%s: valid value not applied: %v", name, v)
+		}
+		_ = view.Close()
+	}
+}
+
+func TestHTMLImageDataURI(t *testing.T) {
+	// A tiny valid PNG (1x1 transparent pixel) must render as an <img>
+	// data URI; non-PNG bytes fall back to a size note.
+	png1x1 := []byte{
+		0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n',
+		0, 0, 0, 13, 'I', 'H', 'D', 'R', 0, 0, 0, 1, 0, 0, 0, 1,
+		8, 6, 0, 0, 0, 0x1f, 0x15, 0xc4, 0x89,
+	}
+	desc := &ui.Description{
+		Title:    "img",
+		Controls: []ui.Control{{ID: "shot", Kind: ui.KindImage}},
+	}
+	engine, _ := NewRegistry().Lookup("html")
+	view, err := engine.Render(desc, device.IPhone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = view.SetProperty("shot", "image", png1x1)
+	if out := view.Render(); !strings.Contains(out, "data:image/png;base64,") {
+		t.Errorf("PNG not inlined:\n%s", out)
+	}
+	_ = view.SetProperty("shot", "image", []byte{1, 2, 3})
+	if out := view.Render(); strings.Contains(out, "data:image/png") {
+		t.Error("non-PNG bytes inlined as PNG")
+	}
+}

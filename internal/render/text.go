@@ -1,0 +1,172 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// TextRenderer draws a character-cell screen honoring the device's
+// display geometry — the eRCP/SWT-on-communicator analog. A landscape
+// Nokia 9300i and a portrait M600i render the same description into
+// visibly different screens (paper §5.2: "the output interface is
+// adapted accordingly").
+type TextRenderer struct{}
+
+var _ Renderer = (*TextRenderer)(nil)
+
+// Cell geometry: a character cell approximates 8x10 pixels of a 2008
+// phone display.
+const (
+	cellWidth  = 8
+	cellHeight = 10
+)
+
+// Name implements Renderer.
+func (*TextRenderer) Name() string { return "text" }
+
+// Render implements Renderer. The row budget derives from the display
+// height; low-importance controls are shed when they do not fit.
+func (*TextRenderer) Render(desc *ui.Description, profile device.Profile) (View, error) {
+	rows := profile.Display.Height / cellHeight
+	// Title and frame take three rows; every control needs at least one.
+	budget := rows - 3
+	if budget < 1 {
+		budget = 1
+	}
+	base, err := newBaseView(desc, profile, "text", budget)
+	if err != nil {
+		return nil, err
+	}
+	return &textView{baseView: base, cols: profile.Display.Width / cellWidth}, nil
+}
+
+type textView struct {
+	*baseView
+	cols int
+}
+
+// Render draws the screen: a frame, the title, and one line (or more
+// for lists) per control, clipped to the column budget.
+func (v *textView) Render() string {
+	order, state := v.snapshot()
+	width := v.cols
+	if width < 16 {
+		width = 16
+	}
+	inner := width - 2
+
+	var b strings.Builder
+	line := func(s string) {
+		if len(s) > inner {
+			s = s[:inner-1] + "…"
+		}
+		fmt.Fprintf(&b, "|%-*s|\n", inner, s)
+	}
+	b.WriteString("+" + strings.Repeat("-", inner) + "+\n")
+	line(center(v.desc.Title, inner))
+	for _, id := range order {
+		ctrl, _ := v.desc.Control(id)
+		props := state[id]
+		text, _ := props["text"].(string)
+		switch ctrl.Kind {
+		case ui.KindLabel:
+			line(text)
+			if val, ok := props["value"]; ok && val != nil {
+				line("  " + fmt.Sprint(val))
+			}
+		case ui.KindButton:
+			line("[ " + text + " ]")
+		case ui.KindTextInput:
+			line(text + ": " + fmt.Sprint(orEmpty(props["value"])) + "_")
+		case ui.KindList:
+			line(text + ":")
+			if items, ok := props["items"].([]any); ok {
+				sel := props["value"]
+				for _, it := range items {
+					marker := "  "
+					if sel != nil && fmt.Sprint(it) == fmt.Sprint(sel) {
+						marker = "> "
+					}
+					line(marker + fmt.Sprint(it))
+				}
+			}
+		case ui.KindChoice:
+			choice := fmt.Sprint(orEmpty(props["value"]))
+			line(text + " <" + choice + ">")
+		case ui.KindRange:
+			line(renderGauge(text, props["value"], ctrl.Min, ctrl.Max, inner))
+		case ui.KindImage:
+			if img, ok := props["image"]; ok && img != nil {
+				line("(image: " + describeImage(img) + ")")
+			} else {
+				line("(no image)")
+			}
+		case ui.KindProgress:
+			line(renderGauge(text, props["value"], 0, 100, inner))
+		case ui.KindPad:
+			line("< " + text + " (pad) >")
+		}
+	}
+	b.WriteString("+" + strings.Repeat("-", inner) + "+\n")
+	return b.String()
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}
+
+func orEmpty(v any) any {
+	if v == nil {
+		return ""
+	}
+	return v
+}
+
+func renderGauge(label string, value any, min, max, width int) string {
+	val := 0
+	switch x := value.(type) {
+	case int:
+		val = x
+	case int64:
+		val = int(x)
+	case float64:
+		val = int(x)
+	}
+	if max <= min {
+		max = min + 1
+	}
+	if val < min {
+		val = min
+	}
+	if val > max {
+		val = max
+	}
+	barWidth := width / 3
+	if barWidth < 4 {
+		barWidth = 4
+	}
+	filled := (val - min) * barWidth / (max - min)
+	return fmt.Sprintf("%s [%s%s] %d", label,
+		strings.Repeat("#", filled), strings.Repeat(".", barWidth-filled), val)
+}
+
+func describeImage(img any) string {
+	switch x := img.(type) {
+	case []byte:
+		return fmt.Sprintf("%d bytes", len(x))
+	case string:
+		if len(x) > 16 {
+			return fmt.Sprintf("%d chars", len(x))
+		}
+		return x
+	default:
+		return fmt.Sprintf("%T", img)
+	}
+}

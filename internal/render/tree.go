@@ -1,0 +1,136 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// TreeRenderer produces a headless widget tree — the AWT-panel analog.
+// Its Render output is a deterministic, indented dump of the widget
+// hierarchy, which makes it the engine of choice for tests and for
+// platforms driven programmatically.
+type TreeRenderer struct{}
+
+var _ Renderer = (*TreeRenderer)(nil)
+
+// Name implements Renderer.
+func (*TreeRenderer) Name() string { return "tree" }
+
+// Render implements Renderer. The tree engine imposes no space budget:
+// like a scrollable widget container, it shows every capability-
+// compatible control.
+func (*TreeRenderer) Render(desc *ui.Description, profile device.Profile) (View, error) {
+	base, err := newBaseView(desc, profile, "tree", 0)
+	if err != nil {
+		return nil, err
+	}
+	return &treeView{baseView: base}, nil
+}
+
+type treeView struct {
+	*baseView
+}
+
+// Render dumps the widget tree: groups become nested containers,
+// remaining controls hang off the root panel.
+func (v *treeView) Render() string {
+	order, state := v.snapshot()
+
+	groups := make(map[string]string) // control -> group name
+	groupOrder := make([]string, 0)
+	for _, rel := range v.desc.Relations {
+		if rel.Kind != ui.RelGroup {
+			continue
+		}
+		name := rel.Name
+		if name == "" {
+			name = "group"
+		}
+		if !contains(groupOrder, name) {
+			groupOrder = append(groupOrder, name)
+		}
+		for _, m := range rel.Members {
+			groups[m] = name
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Panel %q [%s/%s]\n", v.desc.Title, v.profile.Name, "tree")
+	printed := make(map[string]bool)
+	for _, id := range order {
+		if printed[id] {
+			continue
+		}
+		g, grouped := groups[id]
+		if !grouped {
+			v.printControl(&b, 1, id, state[id])
+			printed[id] = true
+			continue
+		}
+		fmt.Fprintf(&b, "  Container %q\n", g)
+		for _, mid := range order {
+			if groups[mid] == g && !printed[mid] {
+				v.printControl(&b, 2, mid, state[mid])
+				printed[mid] = true
+			}
+		}
+	}
+	return b.String()
+}
+
+func (v *treeView) printControl(b *strings.Builder, depth int, id string, props map[string]any) {
+	ctrl, _ := v.desc.Control(id)
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s %q", indent, widgetName(ctrl.Kind), id)
+	if t, _ := props["text"].(string); t != "" {
+		fmt.Fprintf(b, " text=%q", t)
+	}
+	if val, ok := props["value"]; ok && val != nil {
+		fmt.Fprintf(b, " value=%v", val)
+	}
+	if items, ok := props["items"].([]any); ok && len(items) > 0 {
+		keys := make([]string, len(items))
+		for i, it := range items {
+			keys[i] = fmt.Sprint(it)
+		}
+		fmt.Fprintf(b, " items=[%s]", strings.Join(keys, ", "))
+	}
+	b.WriteByte('\n')
+}
+
+func widgetName(k ui.Kind) string {
+	switch k {
+	case ui.KindLabel:
+		return "Label"
+	case ui.KindButton:
+		return "Button"
+	case ui.KindTextInput:
+		return "TextField"
+	case ui.KindList:
+		return "ListBox"
+	case ui.KindChoice:
+		return "Choice"
+	case ui.KindRange:
+		return "Slider"
+	case ui.KindImage:
+		return "Canvas"
+	case ui.KindProgress:
+		return "ProgressBar"
+	case ui.KindPad:
+		return "DirectionPad"
+	default:
+		return string(k)
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,352 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// Controller errors.
+var (
+	ErrNotRunning     = errors.New("script: controller not running")
+	ErrAlreadyRunning = errors.New("script: controller already running")
+)
+
+// Host is the effect surface a running controller may touch: the
+// session's services, its own view, and the event bus. Nothing else is
+// reachable from shipped rules — this interface IS the sandbox
+// boundary of §3.2.
+type Host interface {
+	// Invoke calls a method on a session service (usually the remote
+	// proxy).
+	Invoke(service, method string, args []any) (any, error)
+	// SetControl updates a property of a rendered control.
+	SetControl(controlID, property string, value any) error
+	// ControlValue reads the current value of a rendered control.
+	ControlValue(controlID string) (any, bool)
+	// Post publishes an event on the session's event bus.
+	Post(topic string, props map[string]any) error
+}
+
+// Controller interprets a Program against a Host: the generated
+// application Controller of Figure 2. Create with NewController, drive
+// with OnUIEvent/OnRemoteEvent, and Stop when the interaction ends.
+type Controller struct {
+	prog *Program
+	host Host
+	// exprs caches compiled expressions by source; populated once at
+	// construction so rule execution never reparses.
+	exprs map[string]*Expr
+
+	mu      sync.Mutex
+	vars    map[string]any
+	running bool
+	done    chan struct{}
+	lastErr error
+
+	wg sync.WaitGroup
+}
+
+// NewController compiles prog (which must validate) for the host.
+func NewController(prog *Program, host Host) (*Controller, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if host == nil {
+		return nil, fmt.Errorf("script: controller requires a host")
+	}
+	c := &Controller{
+		prog:  prog,
+		host:  host,
+		exprs: make(map[string]*Expr),
+		vars:  make(map[string]any),
+	}
+	for _, src := range prog.expressions() {
+		if _, dup := c.exprs[src]; dup {
+			continue
+		}
+		e, err := ParseExpr(src)
+		if err != nil {
+			// Validate has already compiled these; a failure here is a
+			// programming error in expressions().
+			return nil, fmt.Errorf("script: compiling %q: %w", src, err)
+		}
+		c.exprs[src] = e
+	}
+	return c, nil
+}
+
+// expr returns the precompiled expression for src (compiling on the
+// fly only for sources outside the program, which does not happen in
+// normal operation).
+func (c *Controller) expr(src string) *Expr {
+	if e, ok := c.exprs[src]; ok {
+		return e
+	}
+	return MustParseExpr(src)
+}
+
+// Start evaluates the initial variables and starts the poll loops.
+func (c *Controller) Start() error {
+	c.mu.Lock()
+	if c.running {
+		c.mu.Unlock()
+		return ErrAlreadyRunning
+	}
+	c.running = true
+	c.done = make(chan struct{})
+	c.mu.Unlock()
+
+	for name, src := range c.prog.Init {
+		v, err := c.expr(src).Eval(c.baseEnv())
+		if err != nil {
+			c.Stop()
+			return fmt.Errorf("script: init %s: %w", name, err)
+		}
+		c.mu.Lock()
+		c.vars[name] = v
+		c.mu.Unlock()
+	}
+
+	for i := range c.prog.Rules {
+		rule := &c.prog.Rules[i]
+		if rule.On.Poll == nil {
+			continue
+		}
+		c.wg.Add(1)
+		go c.pollLoop(rule)
+	}
+	return nil
+}
+
+// Stop terminates poll loops and blocks until they exit. Idempotent.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = false
+	close(c.done)
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Vars returns a snapshot of the controller variables.
+func (c *Controller) Vars() map[string]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]any, len(c.vars))
+	for k, v := range c.vars {
+		out[k] = v
+	}
+	return out
+}
+
+// LastError returns the most recent rule execution error (rules are
+// fire-and-forget from the view's perspective; errors are retained for
+// diagnosis rather than crashing the UI).
+func (c *Controller) LastError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// OnUIEvent feeds a user interaction into the rule set.
+func (c *Controller) OnUIEvent(ev ui.Event) {
+	env := c.baseEnv()
+	env["event"] = map[string]any{
+		"control": ev.Control,
+		"kind":    string(ev.Kind),
+		"value":   ev.Value,
+	}
+	for i := range c.prog.Rules {
+		rule := &c.prog.Rules[i]
+		t := rule.On.UI
+		if t == nil || t.Control != ev.Control {
+			continue
+		}
+		if t.Kind != "" && t.Kind != ev.Kind {
+			continue
+		}
+		c.runRule(rule, env)
+	}
+}
+
+// OnRemoteEvent feeds a (remote or local) event-bus event into the rule
+// set.
+func (c *Controller) OnRemoteEvent(topic string, props map[string]any) {
+	env := c.baseEnv()
+	env["event"] = map[string]any{"topic": topic, "props": props}
+	for i := range c.prog.Rules {
+		rule := &c.prog.Rules[i]
+		t := rule.On.Event
+		if t == nil || !event.TopicMatches(t.Topic, topic) {
+			continue
+		}
+		c.runRule(rule, env)
+	}
+}
+
+// EventPatterns returns the topic patterns the program listens to; the
+// engine uses this to set up remote subscriptions.
+func (c *Controller) EventPatterns() []string {
+	var out []string
+	for _, r := range c.prog.Rules {
+		if r.On.Event != nil {
+			out = append(out, r.On.Event.Topic)
+		}
+	}
+	return out
+}
+
+func (c *Controller) pollLoop(rule *Rule) {
+	defer c.wg.Done()
+	poll := rule.On.Poll
+	ticker := time.NewTicker(poll.Interval())
+	defer ticker.Stop()
+	var last any
+	first := true
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		env := c.baseEnv()
+		args, err := c.evalArgs(poll.Args, env)
+		if err != nil {
+			c.noteErr(err)
+			continue
+		}
+		result, err := c.host.Invoke(poll.Service, poll.Method, args)
+		if err != nil {
+			c.noteErr(err)
+			continue
+		}
+		if poll.OnChange && !first && reflect.DeepEqual(result, last) {
+			continue
+		}
+		last = result
+		first = false
+		env["result"] = result
+		c.runRule(rule, env)
+	}
+}
+
+// runRule executes the guard and actions of one rule against env.
+func (c *Controller) runRule(rule *Rule, env map[string]any) {
+	if rule.When != "" {
+		ok, err := c.expr(rule.When).Eval(env)
+		if err != nil {
+			c.noteErr(fmt.Errorf("script: guard of %s: %w", ruleName(rule), err))
+			return
+		}
+		if !truthy(ok) {
+			return
+		}
+	}
+	for _, a := range rule.Do {
+		if err := c.runAction(a, env); err != nil {
+			c.noteErr(fmt.Errorf("script: %s: %w", ruleName(rule), err))
+			return
+		}
+	}
+}
+
+func (c *Controller) runAction(a Action, env map[string]any) error {
+	switch {
+	case a.Invoke != nil:
+		args, err := c.evalArgs(a.Invoke.Args, env)
+		if err != nil {
+			return err
+		}
+		result, err := c.host.Invoke(a.Invoke.Service, a.Invoke.Method, args)
+		if err != nil {
+			return err
+		}
+		env["result"] = result
+		if a.Invoke.AssignTo != "" {
+			c.mu.Lock()
+			c.vars[a.Invoke.AssignTo] = result
+			c.mu.Unlock()
+			env[a.Invoke.AssignTo] = result
+			env["vars"] = c.Vars()
+		}
+		return nil
+	case a.SetControl != nil:
+		v, err := c.expr(a.SetControl.Value).Eval(env)
+		if err != nil {
+			return err
+		}
+		return c.host.SetControl(a.SetControl.Control, a.SetControl.Property, v)
+	case a.SetVar != nil:
+		v, err := c.expr(a.SetVar.Value).Eval(env)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		c.vars[a.SetVar.Name] = v
+		c.mu.Unlock()
+		env[a.SetVar.Name] = v
+		env["vars"] = c.Vars()
+		return nil
+	case a.Post != nil:
+		props := make(map[string]any, len(a.Post.Props))
+		for k, src := range a.Post.Props {
+			v, err := c.expr(src).Eval(env)
+			if err != nil {
+				return err
+			}
+			props[k] = v
+		}
+		return c.host.Post(a.Post.Topic, props)
+	default:
+		return fmt.Errorf("%w: empty action", ErrBadProgram)
+	}
+}
+
+func (c *Controller) evalArgs(exprs []string, env map[string]any) ([]any, error) {
+	args := make([]any, len(exprs))
+	for i, src := range exprs {
+		v, err := c.expr(src).Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+// baseEnv builds the standard evaluation environment: controller vars
+// both as the "vars" map and flattened for direct reference.
+func (c *Controller) baseEnv() map[string]any {
+	env := make(map[string]any, len(c.vars)+2)
+	c.mu.Lock()
+	vars := make(map[string]any, len(c.vars))
+	for k, v := range c.vars {
+		vars[k] = v
+		env[k] = v
+	}
+	c.mu.Unlock()
+	env["vars"] = vars
+	return env
+}
+
+func (c *Controller) noteErr(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastErr = err
+}
+
+func ruleName(r *Rule) string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return "anonymous rule"
+}

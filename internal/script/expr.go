@@ -1,0 +1,761 @@
+// Package script implements the AlfredO controller language: a small,
+// sandboxed rule system that ships as data inside the service
+// descriptor and is interpreted on the client (paper §3.2: the
+// AlfredOEngine "generates the application's Controller based on the
+// service requirements specified in the descriptor").
+//
+// A Program consists of rules. Each rule has a trigger (a UI event, a
+// remote event topic, or a periodic poll of a service method), an
+// optional guard expression, and a list of actions (invoke a service
+// method, set a control property, set a variable, post an event). The
+// expression language is pure: all effects go through the Host
+// interface, which is how the sandbox-security property of §3.2 is
+// enforced — shipped behaviour can only touch the session it belongs
+// to, never the phone's local resources.
+package script
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expression errors.
+var (
+	ErrExprSyntax = errors.New("script: expression syntax error")
+	ErrExprEval   = errors.New("script: expression evaluation error")
+)
+
+// Expr is a parsed expression, reusable across evaluations.
+type Expr struct {
+	node exprNode
+	src  string
+}
+
+// ParseExpr compiles an expression.
+func ParseExpr(src string) (*Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &exprParser{src: src, toks: toks}
+	n, err := p.parse(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("%w: trailing tokens in %q", ErrExprSyntax, src)
+	}
+	return &Expr{node: n, src: src}, nil
+}
+
+// MustParseExpr is ParseExpr panicking on error, for literals in code.
+func MustParseExpr(src string) *Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// String returns the source of the expression.
+func (e *Expr) String() string { return e.src }
+
+// Eval evaluates the expression against an environment of variables.
+// Values follow the wire domain: nil, bool, int64, float64, string,
+// []byte, []any, map[string]any.
+func (e *Expr) Eval(env map[string]any) (any, error) {
+	if e == nil || e.node == nil {
+		return nil, nil
+	}
+	return e.node.eval(env)
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokNumber tokKind = iota + 1
+	tokString
+	tokIdent
+	tokOp
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			seenDot := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || (src[j] == '.' && !seenDot && j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9')) {
+				if src[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j]})
+			i = j
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+					switch src[j] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					default:
+						sb.WriteByte(src[j])
+					}
+				} else {
+					sb.WriteByte(src[j])
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("%w: unterminated string in %q", ErrExprSyntax, src)
+			}
+			toks = append(toks, token{tokString, sb.String()})
+			i = j + 1
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j]})
+			i = j
+		default:
+			for _, op := range [...]string{"==", "!=", "<=", ">=", "&&", "||"} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{tokOp, op})
+					i += 2
+					goto next
+				}
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '!', '(', ')', ',', '.', '[', ']':
+				toks = append(toks, token{tokOp, string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("%w: unexpected character %q in %q", ErrExprSyntax, c, src)
+			}
+		next:
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// --- parser (Pratt) ---
+
+type exprParser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *exprParser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *exprParser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *exprParser) expectOp(op string) error {
+	t, ok := p.next()
+	if !ok || t.kind != tokOp || t.text != op {
+		return fmt.Errorf("%w: expected %q in %q", ErrExprSyntax, op, p.src)
+	}
+	return nil
+}
+
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5,
+}
+
+func (p *exprParser) parse(minPrec int) (exprNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOp {
+			return left, nil
+		}
+		prec, isBin := binaryPrec[t.text]
+		if !isBin || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parse(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryNode{op: t.text, left: left, right: right}
+	}
+}
+
+func (p *exprParser) parseUnary() (exprNode, error) {
+	t, ok := p.peek()
+	if ok && t.kind == tokOp && (t.text == "!" || t.text == "-") {
+		p.pos++
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryNode{op: t.text, operand: operand}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *exprParser) parsePostfix() (exprNode, error) {
+	n, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != tokOp {
+			return n, nil
+		}
+		switch t.text {
+		case ".":
+			p.pos++
+			id, ok := p.next()
+			if !ok || id.kind != tokIdent {
+				return nil, fmt.Errorf("%w: expected field after '.' in %q", ErrExprSyntax, p.src)
+			}
+			n = &memberNode{base: n, field: id.text}
+		case "[":
+			p.pos++
+			idx, err := p.parse(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			n = &indexNode{base: n, index: idx}
+		default:
+			return n, nil
+		}
+	}
+}
+
+func (p *exprParser) parsePrimary() (exprNode, error) {
+	t, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("%w: unexpected end of %q", ErrExprSyntax, p.src)
+	}
+	switch t.kind {
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad number %q", ErrExprSyntax, t.text)
+			}
+			return &literalNode{value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad number %q", ErrExprSyntax, t.text)
+		}
+		return &literalNode{value: n}, nil
+	case tokString:
+		return &literalNode{value: t.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return &literalNode{value: true}, nil
+		case "false":
+			return &literalNode{value: false}, nil
+		case "nil":
+			return &literalNode{value: nil}, nil
+		}
+		// Function call?
+		if nt, ok := p.peek(); ok && nt.kind == tokOp && nt.text == "(" {
+			p.pos++
+			var args []exprNode
+			if ct, ok := p.peek(); ok && !(ct.kind == tokOp && ct.text == ")") {
+				for {
+					arg, err := p.parse(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, arg)
+					sep, ok := p.next()
+					if !ok || sep.kind != tokOp {
+						return nil, fmt.Errorf("%w: expected ',' or ')' in %q", ErrExprSyntax, p.src)
+					}
+					if sep.text == ")" {
+						return &callNode{fn: t.text, args: args}, nil
+					}
+					if sep.text != "," {
+						return nil, fmt.Errorf("%w: expected ',' or ')' in %q", ErrExprSyntax, p.src)
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &callNode{fn: t.text, args: args}, nil
+		}
+		return &identNode{name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			inner, err := p.parse(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: unexpected token %q in %q", ErrExprSyntax, t.text, p.src)
+}
+
+// --- AST & evaluation ---
+
+type exprNode interface {
+	eval(env map[string]any) (any, error)
+}
+
+type literalNode struct{ value any }
+
+func (n *literalNode) eval(map[string]any) (any, error) { return n.value, nil }
+
+type identNode struct{ name string }
+
+func (n *identNode) eval(env map[string]any) (any, error) {
+	if v, ok := env[n.name]; ok {
+		return v, nil
+	}
+	return nil, fmt.Errorf("%w: unknown variable %q", ErrExprEval, n.name)
+}
+
+type memberNode struct {
+	base  exprNode
+	field string
+}
+
+func (n *memberNode) eval(env map[string]any) (any, error) {
+	base, err := n.base.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := base.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("%w: member access .%s on %T", ErrExprEval, n.field, base)
+	}
+	return m[n.field], nil
+}
+
+type indexNode struct {
+	base  exprNode
+	index exprNode
+}
+
+func (n *indexNode) eval(env map[string]any) (any, error) {
+	base, err := n.base.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := n.index.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	switch b := base.(type) {
+	case []any:
+		i, ok := idx.(int64)
+		if !ok || i < 0 || int(i) >= len(b) {
+			return nil, fmt.Errorf("%w: index %v out of range (len %d)", ErrExprEval, idx, len(b))
+		}
+		return b[i], nil
+	case map[string]any:
+		k, ok := idx.(string)
+		if !ok {
+			return nil, fmt.Errorf("%w: map index must be string, got %T", ErrExprEval, idx)
+		}
+		return b[k], nil
+	default:
+		return nil, fmt.Errorf("%w: cannot index %T", ErrExprEval, base)
+	}
+}
+
+type unaryNode struct {
+	op      string
+	operand exprNode
+}
+
+func (n *unaryNode) eval(env map[string]any) (any, error) {
+	v, err := n.operand.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	switch n.op {
+	case "!":
+		return !truthy(v), nil
+	case "-":
+		switch x := v.(type) {
+		case int64:
+			return -x, nil
+		case float64:
+			return -x, nil
+		}
+		return nil, fmt.Errorf("%w: cannot negate %T", ErrExprEval, v)
+	}
+	return nil, fmt.Errorf("%w: unknown unary %q", ErrExprEval, n.op)
+}
+
+type binaryNode struct {
+	op          string
+	left, right exprNode
+}
+
+func (n *binaryNode) eval(env map[string]any) (any, error) {
+	// Short-circuit logic first.
+	if n.op == "&&" || n.op == "||" {
+		l, err := n.left.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		if n.op == "&&" && !truthy(l) {
+			return false, nil
+		}
+		if n.op == "||" && truthy(l) {
+			return true, nil
+		}
+		r, err := n.right.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		return truthy(r), nil
+	}
+
+	l, err := n.left.eval(env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.right.eval(env)
+	if err != nil {
+		return nil, err
+	}
+
+	switch n.op {
+	case "+":
+		if ls, ok := l.(string); ok {
+			return ls + toStr(r), nil
+		}
+		if rs, ok := r.(string); ok {
+			return toStr(l) + rs, nil
+		}
+		return arith(l, r, n.op)
+	case "-", "*", "/", "%":
+		return arith(l, r, n.op)
+	case "==":
+		return equal(l, r), nil
+	case "!=":
+		return !equal(l, r), nil
+	case "<", "<=", ">", ">=":
+		c, err := compareValues(l, r)
+		if err != nil {
+			return nil, err
+		}
+		switch n.op {
+		case "<":
+			return c < 0, nil
+		case "<=":
+			return c <= 0, nil
+		case ">":
+			return c > 0, nil
+		default:
+			return c >= 0, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: unknown operator %q", ErrExprEval, n.op)
+}
+
+type callNode struct {
+	fn   string
+	args []exprNode
+}
+
+func (n *callNode) eval(env map[string]any) (any, error) {
+	vals := make([]any, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return callBuiltin(n.fn, vals)
+}
+
+// callBuiltin dispatches the pure builtin functions. There is no way to
+// register new ones: the function set is part of the sandbox surface.
+func callBuiltin(fn string, args []any) (any, error) {
+	argc := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%w: %s takes %d args, got %d", ErrExprEval, fn, n, len(args))
+		}
+		return nil
+	}
+	switch fn {
+	case "len":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case string:
+			return int64(len(v)), nil
+		case []any:
+			return int64(len(v)), nil
+		case map[string]any:
+			return int64(len(v)), nil
+		case []byte:
+			return int64(len(v)), nil
+		case nil:
+			return int64(0), nil
+		}
+		return nil, fmt.Errorf("%w: len of %T", ErrExprEval, args[0])
+	case "str":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		return toStr(args[0]), nil
+	case "num":
+		if err := argc(1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case int64:
+			return v, nil
+		case float64:
+			return v, nil
+		case bool:
+			if v {
+				return int64(1), nil
+			}
+			return int64(0), nil
+		case string:
+			if i, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil {
+				return i, nil
+			}
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				return f, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: num(%v)", ErrExprEval, args[0])
+	case "min", "max":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("%w: %s needs at least one arg", ErrExprEval, fn)
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			c, err := compareValues(a, best)
+			if err != nil {
+				return nil, err
+			}
+			if (fn == "min" && c < 0) || (fn == "max" && c > 0) {
+				best = a
+			}
+		}
+		return best, nil
+	case "contains":
+		if err := argc(2); err != nil {
+			return nil, err
+		}
+		s, ok1 := args[0].(string)
+		sub, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("%w: contains needs strings", ErrExprEval)
+		}
+		return strings.Contains(s, sub), nil
+	case "clamp":
+		if err := argc(3); err != nil {
+			return nil, err
+		}
+		lo, err1 := compareValues(args[0], args[1])
+		hi, err2 := compareValues(args[0], args[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%w: clamp needs comparable args", ErrExprEval)
+		}
+		if lo < 0 {
+			return args[1], nil
+		}
+		if hi > 0 {
+			return args[2], nil
+		}
+		return args[0], nil
+	default:
+		return nil, fmt.Errorf("%w: unknown function %q", ErrExprEval, fn)
+	}
+}
+
+// --- value helpers ---
+
+func truthy(v any) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	case int64:
+		return x != 0
+	case float64:
+		return x != 0
+	case string:
+		return x != ""
+	case []any:
+		return len(x) > 0
+	case map[string]any:
+		return len(x) > 0
+	default:
+		return true
+	}
+}
+
+func toStr(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func arith(l, r any, op string) (any, error) {
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, fmt.Errorf("%w: division by zero", ErrExprEval)
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, fmt.Errorf("%w: modulo by zero", ErrExprEval)
+			}
+			return li % ri, nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("%w: %T %s %T", ErrExprEval, l, op, r)
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("%w: division by zero", ErrExprEval)
+		}
+		return lf / rf, nil
+	case "%":
+		return nil, fmt.Errorf("%w: %% needs integers", ErrExprEval)
+	}
+	return nil, fmt.Errorf("%w: unknown operator %q", ErrExprEval, op)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+func equal(l, r any) bool {
+	if lf, ok := toFloat(l); ok {
+		if rf, ok := toFloat(r); ok {
+			return lf == rf
+		}
+		return false
+	}
+	return l == r
+}
+
+func compareValues(l, r any) (int, error) {
+	if lf, lok := toFloat(l); lok {
+		rf, rok := toFloat(r)
+		if !rok {
+			return 0, fmt.Errorf("%w: comparing %T with %T", ErrExprEval, l, r)
+		}
+		switch {
+		case lf < rf:
+			return -1, nil
+		case lf > rf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	ls, lok := l.(string)
+	rs, rok := r.(string)
+	if lok && rok {
+		return strings.Compare(ls, rs), nil
+	}
+	return 0, fmt.Errorf("%w: cannot compare %T with %T", ErrExprEval, l, r)
+}

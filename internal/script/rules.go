@@ -1,0 +1,273 @@
+package script
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// Program errors.
+var (
+	ErrBadProgram = errors.New("script: invalid program")
+)
+
+// UITrigger fires on a user interaction with a control. Empty Kind
+// matches any interaction on the control.
+type UITrigger struct {
+	Control string       `json:"control"`
+	Kind    ui.EventKind `json:"kind,omitempty"`
+}
+
+// EventTrigger fires on a (possibly remote) event whose topic matches
+// the pattern.
+type EventTrigger struct {
+	Topic string `json:"topic"`
+}
+
+// PollTrigger periodically invokes a service method and fires with the
+// result bound to "result" — the §3.2 Controller that "may periodically
+// poll a certain service method ... and react to its changes".
+type PollTrigger struct {
+	Service    string   `json:"service"`
+	Method     string   `json:"method"`
+	Args       []string `json:"args,omitempty"` // expressions
+	IntervalMs int64    `json:"intervalMs"`
+	// OnChange restricts firing to polls whose result differs from the
+	// previous one.
+	OnChange bool `json:"onChange,omitempty"`
+}
+
+// Interval returns the poll period.
+func (p *PollTrigger) Interval() time.Duration {
+	return time.Duration(p.IntervalMs) * time.Millisecond
+}
+
+// Trigger is the tagged union of rule triggers; exactly one field must
+// be set.
+type Trigger struct {
+	UI    *UITrigger    `json:"ui,omitempty"`
+	Event *EventTrigger `json:"event,omitempty"`
+	Poll  *PollTrigger  `json:"poll,omitempty"`
+}
+
+// InvokeAction calls a service method; the result is bound to "result"
+// for subsequent actions and optionally stored in a variable.
+type InvokeAction struct {
+	Service  string   `json:"service"`
+	Method   string   `json:"method"`
+	Args     []string `json:"args,omitempty"` // expressions
+	AssignTo string   `json:"assignTo,omitempty"`
+}
+
+// SetControlAction updates a property of a rendered control ("text",
+// "value", "items", "image", …).
+type SetControlAction struct {
+	Control  string `json:"control"`
+	Property string `json:"property"`
+	Value    string `json:"value"` // expression
+}
+
+// SetVarAction updates a controller variable.
+type SetVarAction struct {
+	Name  string `json:"name"`
+	Value string `json:"value"` // expression
+}
+
+// PostAction publishes an event on the local event admin (which remote
+// peers may have subscribed to).
+type PostAction struct {
+	Topic string            `json:"topic"`
+	Props map[string]string `json:"props,omitempty"` // expressions
+}
+
+// Action is the tagged union of rule actions; exactly one field must be
+// set.
+type Action struct {
+	Invoke     *InvokeAction     `json:"invoke,omitempty"`
+	SetControl *SetControlAction `json:"setControl,omitempty"`
+	SetVar     *SetVarAction     `json:"setVar,omitempty"`
+	Post       *PostAction       `json:"post,omitempty"`
+}
+
+// Rule binds a trigger to guarded actions.
+type Rule struct {
+	Name string   `json:"name,omitempty"`
+	On   Trigger  `json:"on"`
+	When string   `json:"when,omitempty"` // guard expression
+	Do   []Action `json:"do"`
+}
+
+// Program is a complete shippable controller: initial variables plus
+// rules. It is pure data and JSON-serializable.
+type Program struct {
+	Init  map[string]string `json:"init,omitempty"` // var -> expression
+	Rules []Rule            `json:"rules"`
+}
+
+// Marshal serializes the program.
+func (p *Program) Marshal() ([]byte, error) {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("script: marshaling program: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalProgram parses and validates a program.
+func UnmarshalProgram(b []byte) (*Program, error) {
+	var p Program
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("script: parsing program: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// expressions returns every expression source embedded in the program
+// (with duplicates), in a stable order; the controller precompiles them.
+func (p *Program) expressions() []string {
+	var out []string
+	for _, src := range p.Init {
+		out = append(out, src)
+	}
+	for _, r := range p.Rules {
+		if r.When != "" {
+			out = append(out, r.When)
+		}
+		if r.On.Poll != nil {
+			out = append(out, r.On.Poll.Args...)
+		}
+		for _, a := range r.Do {
+			switch {
+			case a.Invoke != nil:
+				out = append(out, a.Invoke.Args...)
+			case a.SetControl != nil:
+				out = append(out, a.SetControl.Value)
+			case a.SetVar != nil:
+				out = append(out, a.SetVar.Value)
+			case a.Post != nil:
+				for _, v := range a.Post.Props {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural soundness and compiles every embedded
+// expression once, so malformed shipped controllers are rejected before
+// any rule runs.
+func (p *Program) Validate() error {
+	for name, src := range p.Init {
+		if _, err := ParseExpr(src); err != nil {
+			return fmt.Errorf("%w: init %s: %v", ErrBadProgram, name, err)
+		}
+	}
+	for i, r := range p.Rules {
+		where := r.Name
+		if where == "" {
+			where = fmt.Sprintf("rule #%d", i)
+		}
+		set := 0
+		if r.On.UI != nil {
+			set++
+			if r.On.UI.Control == "" {
+				return fmt.Errorf("%w: %s: ui trigger without control", ErrBadProgram, where)
+			}
+		}
+		if r.On.Event != nil {
+			set++
+			if err := event.ValidatePattern(r.On.Event.Topic); err != nil {
+				return fmt.Errorf("%w: %s: %v", ErrBadProgram, where, err)
+			}
+		}
+		if r.On.Poll != nil {
+			set++
+			// An empty Service targets the session's main service.
+			if r.On.Poll.Method == "" {
+				return fmt.Errorf("%w: %s: poll trigger needs a method", ErrBadProgram, where)
+			}
+			if r.On.Poll.IntervalMs <= 0 {
+				return fmt.Errorf("%w: %s: poll interval must be positive", ErrBadProgram, where)
+			}
+			for _, a := range r.On.Poll.Args {
+				if _, err := ParseExpr(a); err != nil {
+					return fmt.Errorf("%w: %s: poll arg: %v", ErrBadProgram, where, err)
+				}
+			}
+		}
+		if set != 1 {
+			return fmt.Errorf("%w: %s: exactly one trigger required, got %d", ErrBadProgram, where, set)
+		}
+		if r.When != "" {
+			if _, err := ParseExpr(r.When); err != nil {
+				return fmt.Errorf("%w: %s: guard: %v", ErrBadProgram, where, err)
+			}
+		}
+		if len(r.Do) == 0 {
+			return fmt.Errorf("%w: %s: no actions", ErrBadProgram, where)
+		}
+		for j, a := range r.Do {
+			if err := validateAction(a); err != nil {
+				return fmt.Errorf("%w: %s action #%d: %v", ErrBadProgram, where, j, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateAction(a Action) error {
+	set := 0
+	if a.Invoke != nil {
+		set++
+		// An empty Service targets the session's main service.
+		if a.Invoke.Method == "" {
+			return errors.New("invoke needs a method")
+		}
+		for _, arg := range a.Invoke.Args {
+			if _, err := ParseExpr(arg); err != nil {
+				return err
+			}
+		}
+	}
+	if a.SetControl != nil {
+		set++
+		if a.SetControl.Control == "" || a.SetControl.Property == "" {
+			return errors.New("setControl needs control and property")
+		}
+		if _, err := ParseExpr(a.SetControl.Value); err != nil {
+			return err
+		}
+	}
+	if a.SetVar != nil {
+		set++
+		if a.SetVar.Name == "" {
+			return errors.New("setVar needs a name")
+		}
+		if _, err := ParseExpr(a.SetVar.Value); err != nil {
+			return err
+		}
+	}
+	if a.Post != nil {
+		set++
+		if err := event.ValidateTopic(a.Post.Topic); err != nil {
+			return err
+		}
+		for _, v := range a.Post.Props {
+			if _, err := ParseExpr(v); err != nil {
+				return err
+			}
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("exactly one action kind required, got %d", set)
+	}
+	return nil
+}

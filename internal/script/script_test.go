@@ -1,0 +1,462 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+func evalStr(t *testing.T, src string, env map[string]any) any {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestExprArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"1 + 2 * 3", int64(7)},
+		{"(1 + 2) * 3", int64(9)},
+		{"10 / 4", int64(2)},
+		{"10.0 / 4", 2.5},
+		{"10 % 3", int64(1)},
+		{"-5 + 3", int64(-2)},
+		{"2 * 3.5", 7.0},
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"'a' + 'b'", "ab"},
+		{"'n=' + 5", "n=5"},
+		{"1 == 1.0", true},
+		{"1 != 2", true},
+		{"'x' == 'x'", true},
+		{"true && false", false},
+		{"true || false", true},
+		{"!true", false},
+		{"!0", true},
+		{"nil == nil", true},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src, nil); got != c.want {
+			t.Errorf("%q = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprVariablesAndMembers(t *testing.T) {
+	env := map[string]any{
+		"x": int64(5),
+		"event": map[string]any{
+			"control": "btn",
+			"value":   []any{int64(1), int64(2)},
+		},
+	}
+	if got := evalStr(t, "x * 2", env); got != int64(10) {
+		t.Errorf("x*2 = %v", got)
+	}
+	if got := evalStr(t, "event.control", env); got != "btn" {
+		t.Errorf("event.control = %v", got)
+	}
+	if got := evalStr(t, "event.value[1]", env); got != int64(2) {
+		t.Errorf("event.value[1] = %v", got)
+	}
+	if got := evalStr(t, "event['control']", env); got != "btn" {
+		t.Errorf("event['control'] = %v", got)
+	}
+}
+
+func TestExprBuiltins(t *testing.T) {
+	env := map[string]any{"items": []any{"a", "b", "c"}}
+	cases := []struct {
+		src  string
+		want any
+	}{
+		{"len(items)", int64(3)},
+		{"len('hello')", int64(5)},
+		{"str(42)", "42"},
+		{"num('17')", int64(17)},
+		{"num('2.5')", 2.5},
+		{"min(3, 1, 2)", int64(1)},
+		{"max(3, 1, 2)", int64(3)},
+		{"contains('MouseController', 'Ctrl') || contains('MouseController', 'Controller')", true},
+		{"clamp(15, 0, 10)", int64(10)},
+		{"clamp(-3, 0, 10)", int64(0)},
+		{"clamp(5, 0, 10)", int64(5)},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src, env); got != c.want {
+			t.Errorf("%q = %#v, want %#v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	badSyntax := []string{"", "1 +", "(1", "1 ++ 2", "foo(", "a.", "a[1", "'unterminated", "@", "1 2"}
+	for _, src := range badSyntax {
+		if _, err := ParseExpr(src); !errors.Is(err, ErrExprSyntax) {
+			t.Errorf("ParseExpr(%q) = %v, want ErrExprSyntax", src, err)
+		}
+	}
+	badEval := []string{"unknownVar", "1 / 0", "5 % 0", "'a' - 'b'", "nope(1)", "x.field", "len(5)", "arr[9]"}
+	env := map[string]any{"x": int64(1), "arr": []any{}}
+	for _, src := range badEval {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+			continue
+		}
+		if _, err := e.Eval(env); !errors.Is(err, ErrExprEval) {
+			t.Errorf("Eval(%q) = %v, want ErrExprEval", src, err)
+		}
+	}
+}
+
+func TestExprShortCircuit(t *testing.T) {
+	// The right side would fail, but short-circuit must prevent that.
+	if got := evalStr(t, "false && missingVar", nil); got != false {
+		t.Errorf("short-circuit && = %v", got)
+	}
+	if got := evalStr(t, "true || missingVar", nil); got != true {
+		t.Errorf("short-circuit || = %v", got)
+	}
+}
+
+func TestPropertyIntExprRoundTrip(t *testing.T) {
+	prop := func(a, b int16) bool {
+		src := fmt.Sprintf("%d + %d", a, b)
+		e, err := ParseExpr(src)
+		if err != nil {
+			return false
+		}
+		v, err := e.Eval(nil)
+		return err == nil && v == int64(a)+int64(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStringLiteralRoundTrip(t *testing.T) {
+	prop := func(s string) bool {
+		// Only printable ASCII without quote/backslash, to stay within
+		// simple literal syntax.
+		for _, r := range s {
+			if r < 32 || r > 126 || r == '\'' || r == '"' || r == '\\' {
+				return true
+			}
+		}
+		e, err := ParseExpr("'" + s + "'")
+		if err != nil {
+			return false
+		}
+		v, err := e.Eval(nil)
+		return err == nil && v == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// fakeHost records effects for controller tests.
+type fakeHost struct {
+	mu       sync.Mutex
+	invokes  []string
+	controls map[string]any
+	posts    []string
+	results  map[string]any // "service.method" -> result
+	fail     error
+}
+
+func newFakeHost() *fakeHost {
+	return &fakeHost{controls: make(map[string]any), results: make(map[string]any)}
+}
+
+func (h *fakeHost) Invoke(service, method string, args []any) (any, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.invokes = append(h.invokes, fmt.Sprintf("%s.%s(%v)", service, method, args))
+	if h.fail != nil {
+		return nil, h.fail
+	}
+	return h.results[service+"."+method], nil
+}
+
+func (h *fakeHost) SetControl(id, prop string, v any) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.controls[id+"."+prop] = v
+	return nil
+}
+
+func (h *fakeHost) ControlValue(id string) (any, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v, ok := h.controls[id+".value"]
+	return v, ok
+}
+
+func (h *fakeHost) Post(topic string, props map[string]any) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.posts = append(h.posts, topic)
+	return nil
+}
+
+func (h *fakeHost) invokeLog() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.invokes))
+	copy(out, h.invokes)
+	return out
+}
+
+func (h *fakeHost) control(key string) any {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.controls[key]
+}
+
+func startController(t *testing.T, prog *Program, host Host) *Controller {
+	t.Helper()
+	c, err := NewController(prog, host)
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestControllerUIRule(t *testing.T) {
+	host := newFakeHost()
+	host.results["shop.Browse"] = []any{"bed-1", "bed-2"}
+	prog := &Program{Rules: []Rule{{
+		Name: "browse-on-press",
+		On:   Trigger{UI: &UITrigger{Control: "browseBtn", Kind: ui.EventPress}},
+		Do: []Action{
+			{Invoke: &InvokeAction{Service: "shop", Method: "Browse", Args: []string{"'beds'"}}},
+			{SetControl: &SetControlAction{Control: "productList", Property: "items", Value: "result"}},
+		},
+	}}}
+	c := startController(t, prog, host)
+
+	c.OnUIEvent(ui.Event{Control: "browseBtn", Kind: ui.EventPress})
+	if got := host.invokeLog(); len(got) != 1 || got[0] != "shop.Browse([beds])" {
+		t.Errorf("invokes = %v", got)
+	}
+	items := host.control("productList.items")
+	if list, ok := items.([]any); !ok || len(list) != 2 {
+		t.Errorf("items = %v", items)
+	}
+	// Non-matching control does nothing.
+	c.OnUIEvent(ui.Event{Control: "other", Kind: ui.EventPress})
+	if got := host.invokeLog(); len(got) != 1 {
+		t.Errorf("invokes after unrelated event = %v", got)
+	}
+	if c.LastError() != nil {
+		t.Errorf("LastError = %v", c.LastError())
+	}
+}
+
+func TestControllerGuard(t *testing.T) {
+	host := newFakeHost()
+	prog := &Program{
+		Init: map[string]string{"enabled": "false"},
+		Rules: []Rule{{
+			On:   Trigger{UI: &UITrigger{Control: "b"}},
+			When: "enabled",
+			Do:   []Action{{Invoke: &InvokeAction{Service: "s", Method: "M"}}},
+		}},
+	}
+	c := startController(t, prog, host)
+	c.OnUIEvent(ui.Event{Control: "b", Kind: ui.EventPress})
+	if len(host.invokeLog()) != 0 {
+		t.Error("guarded rule ran with false guard")
+	}
+	_ = c
+}
+
+func TestControllerVariables(t *testing.T) {
+	host := newFakeHost()
+	host.results["calc.Add"] = int64(42)
+	prog := &Program{
+		Init: map[string]string{"count": "0"},
+		Rules: []Rule{{
+			On: Trigger{UI: &UITrigger{Control: "b"}},
+			Do: []Action{
+				{SetVar: &SetVarAction{Name: "count", Value: "count + 1"}},
+				{Invoke: &InvokeAction{Service: "calc", Method: "Add", AssignTo: "lastResult"}},
+				{SetControl: &SetControlAction{Control: "lbl", Property: "text", Value: "'pressed ' + count + ' times, got ' + lastResult"}},
+			},
+		}},
+	}
+	c := startController(t, prog, host)
+	c.OnUIEvent(ui.Event{Control: "b", Kind: ui.EventPress})
+	c.OnUIEvent(ui.Event{Control: "b", Kind: ui.EventPress})
+	if got := host.control("lbl.text"); got != "pressed 2 times, got 42" {
+		t.Errorf("lbl.text = %v (lastErr %v)", got, c.LastError())
+	}
+	if v := c.Vars()["count"]; v != int64(2) {
+		t.Errorf("count = %v", v)
+	}
+}
+
+func TestControllerRemoteEvent(t *testing.T) {
+	host := newFakeHost()
+	prog := &Program{Rules: []Rule{{
+		On: Trigger{Event: &EventTrigger{Topic: "mouse/*"}},
+		Do: []Action{{SetControl: &SetControlAction{
+			Control: "screen", Property: "image", Value: "event.props.frame"}}},
+	}}}
+	c := startController(t, prog, host)
+	c.OnRemoteEvent("mouse/snapshot", map[string]any{"frame": "png-bytes"})
+	if got := host.control("screen.image"); got != "png-bytes" {
+		t.Errorf("screen.image = %v", got)
+	}
+	if pats := c.EventPatterns(); len(pats) != 1 || pats[0] != "mouse/*" {
+		t.Errorf("EventPatterns = %v", pats)
+	}
+	c.OnRemoteEvent("other/topic", nil)
+	if got := host.control("screen.image"); got != "png-bytes" {
+		t.Errorf("unrelated topic changed state: %v", got)
+	}
+}
+
+func TestControllerPoll(t *testing.T) {
+	host := newFakeHost()
+	host.results["sensor.Read"] = int64(7)
+	prog := &Program{Rules: []Rule{{
+		On: Trigger{Poll: &PollTrigger{Service: "sensor", Method: "Read", IntervalMs: 10}},
+		Do: []Action{{SetControl: &SetControlAction{Control: "gauge", Property: "value", Value: "result"}}},
+	}}}
+	c := startController(t, prog, host)
+	deadline := time.Now().Add(2 * time.Second)
+	for host.control("gauge.value") != int64(7) {
+		if time.Now().After(deadline) {
+			t.Fatalf("poll never updated gauge (lastErr %v)", c.LastError())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Stop()
+	n := len(host.invokeLog())
+	time.Sleep(30 * time.Millisecond)
+	if len(host.invokeLog()) != n {
+		t.Error("polling continued after Stop")
+	}
+}
+
+func TestControllerPollOnChange(t *testing.T) {
+	host := newFakeHost()
+	host.results["s.Get"] = "same"
+	prog := &Program{Rules: []Rule{{
+		On: Trigger{Poll: &PollTrigger{Service: "s", Method: "Get", IntervalMs: 5, OnChange: true}},
+		Do: []Action{{Post: &PostAction{Topic: "changed"}}},
+	}}}
+	c := startController(t, prog, host)
+	time.Sleep(60 * time.Millisecond)
+	c.Stop()
+	host.mu.Lock()
+	posts := len(host.posts)
+	host.mu.Unlock()
+	if posts != 1 {
+		t.Errorf("OnChange fired %d times for a constant value, want 1", posts)
+	}
+}
+
+func TestControllerErrorRetention(t *testing.T) {
+	host := newFakeHost()
+	host.fail = errors.New("service down")
+	prog := &Program{Rules: []Rule{{
+		On: Trigger{UI: &UITrigger{Control: "b"}},
+		Do: []Action{{Invoke: &InvokeAction{Service: "s", Method: "M"}}},
+	}}}
+	c := startController(t, prog, host)
+	c.OnUIEvent(ui.Event{Control: "b", Kind: ui.EventPress})
+	if c.LastError() == nil {
+		t.Error("failed invoke not retained in LastError")
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	bad := []*Program{
+		{Rules: []Rule{{Do: []Action{{Post: &PostAction{Topic: "t"}}}}}},                                                                              // no trigger
+		{Rules: []Rule{{On: Trigger{UI: &UITrigger{Control: "c"}, Event: &EventTrigger{Topic: "t"}}, Do: []Action{{Post: &PostAction{Topic: "t"}}}}}}, // two triggers
+		{Rules: []Rule{{On: Trigger{UI: &UITrigger{Control: "c"}}}}},                                                                                  // no actions
+		{Rules: []Rule{{On: Trigger{UI: &UITrigger{Control: ""}}, Do: []Action{{Post: &PostAction{Topic: "t"}}}}}},                                    // empty control
+		{Rules: []Rule{{On: Trigger{Poll: &PollTrigger{Service: "s", Method: "m"}}, Do: []Action{{Post: &PostAction{Topic: "t"}}}}}},                  // no interval
+		{Rules: []Rule{{On: Trigger{UI: &UITrigger{Control: "c"}}, When: "1 +", Do: []Action{{Post: &PostAction{Topic: "t"}}}}}},                      // bad guard
+		{Rules: []Rule{{On: Trigger{UI: &UITrigger{Control: "c"}}, Do: []Action{{}}}}},                                                                // empty action
+		{Init: map[string]string{"x": "(("}}, // bad init
+		{Rules: []Rule{{On: Trigger{Event: &EventTrigger{Topic: "a/*/b"}}, Do: []Action{{Post: &PostAction{Topic: "t"}}}}}}, // bad pattern
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadProgram) {
+			t.Errorf("program %d: Validate = %v, want ErrBadProgram", i, err)
+		}
+	}
+}
+
+func TestProgramJSONRoundTrip(t *testing.T) {
+	prog := &Program{
+		Init: map[string]string{"n": "0"},
+		Rules: []Rule{{
+			Name: "r1",
+			On:   Trigger{UI: &UITrigger{Control: "b", Kind: ui.EventPress}},
+			When: "n < 10",
+			Do: []Action{
+				{SetVar: &SetVarAction{Name: "n", Value: "n + 1"}},
+				{Post: &PostAction{Topic: "pressed", Props: map[string]string{"n": "n"}}},
+			},
+		}},
+	}
+	b, err := prog.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalProgram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rules) != 1 || got.Rules[0].Name != "r1" || got.Rules[0].When != "n < 10" {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := UnmarshalProgram([]byte("{bad json")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := UnmarshalProgram([]byte(`{"rules":[{"do":[]}]}`)); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestControllerDoubleStart(t *testing.T) {
+	host := newFakeHost()
+	c, err := NewController(&Program{}, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.Start(); !errors.Is(err, ErrAlreadyRunning) {
+		t.Errorf("double Start = %v", err)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+}

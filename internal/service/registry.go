@@ -1,0 +1,497 @@
+// Package service implements an OSGi-style service registry: services are
+// ordinary Go values published under one or more service interface names
+// together with a property map, and consumers look them up by interface
+// name and RFC 1960 filter.
+//
+// The registry is the local communication backbone of the framework
+// (paper §2: "Modules typically communicate through services, which are
+// ordinary ... classes published under a service interface in a central
+// service registry"). The remote layer builds on it by registering proxies
+// that are indistinguishable from local services.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+)
+
+// Standard service property names.
+const (
+	// PropObjectClass lists the interface names a service is published
+	// under. It is maintained by the registry and cannot be overridden.
+	PropObjectClass = "objectClass"
+	// PropServiceID is the unique, registry-assigned service id (int64).
+	PropServiceID = "service.id"
+	// PropServiceRanking orders competing providers; higher wins (int).
+	PropServiceRanking = "service.ranking"
+	// PropServicePID is an optional persistent identifier.
+	PropServicePID = "service.pid"
+	// PropRemote marks services imported from a remote peer (bool).
+	PropRemote = "service.remote"
+	// PropRemotePeer names the peer a remote service was imported from.
+	PropRemotePeer = "service.remote.peer"
+)
+
+// Registry errors.
+var (
+	ErrNoInterfaces   = errors.New("service: at least one interface name required")
+	ErrNilService     = errors.New("service: nil service object")
+	ErrUnregistered   = errors.New("service: registration is no longer valid")
+	ErrRegistryClosed = errors.New("service: registry closed")
+)
+
+// Properties is the property map attached to a registration. Maps are
+// copied at the registry boundary; mutating a Properties value after
+// passing it to the registry has no effect.
+type Properties map[string]any
+
+func (p Properties) clone() Properties {
+	c := make(Properties, len(p)+3)
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}
+
+// EventType enumerates service lifecycle events.
+type EventType int
+
+// Service event types.
+const (
+	EventRegistered EventType = iota + 1
+	EventModified
+	EventUnregistering
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventRegistered:
+		return "REGISTERED"
+	case EventModified:
+		return "MODIFIED"
+	case EventUnregistering:
+		return "UNREGISTERING"
+	default:
+		return fmt.Sprintf("EventType(%d)", int(t))
+	}
+}
+
+// Event describes a change to a registered service.
+type Event struct {
+	Type EventType
+	Ref  *Reference
+}
+
+// Listener receives service events. Listeners are invoked synchronously
+// in registration order, outside of any registry lock; they may call back
+// into the registry but must not block for long.
+type Listener func(Event)
+
+// Factory may be implemented by registered service objects to provide a
+// distinct instance per requesting owner (the OSGi ServiceFactory analog).
+type Factory interface {
+	GetService(owner string) any
+}
+
+// Registry is a thread-safe service registry. The zero value is not
+// usable; create instances with NewRegistry.
+type Registry struct {
+	mu        sync.Mutex
+	nextID    int64
+	nextTok   int64
+	entries   map[int64]*entry
+	byIface   map[string]map[int64]*entry
+	listeners map[int64]*listenerEntry
+	closed    bool
+}
+
+type entry struct {
+	ref      *Reference
+	svc      any
+	useCount int
+}
+
+type listenerEntry struct {
+	fn  Listener
+	flt *filter.Filter
+	tok int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries:   make(map[int64]*entry),
+		byIface:   make(map[string]map[int64]*entry),
+		listeners: make(map[int64]*listenerEntry),
+	}
+}
+
+// Register publishes svc under the given interface names. owner
+// identifies the registering party (bundle symbolic name or peer id) and
+// is recorded on the reference. The returned Registration controls the
+// service's lifecycle.
+func (r *Registry) Register(ifaces []string, svc any, props Properties, owner string) (*Registration, error) {
+	if len(ifaces) == 0 {
+		return nil, ErrNoInterfaces
+	}
+	if svc == nil {
+		return nil, ErrNilService
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrRegistryClosed
+	}
+	r.nextID++
+	id := r.nextID
+	p := props.clone()
+	ifcopy := make([]string, len(ifaces))
+	copy(ifcopy, ifaces)
+	p[PropObjectClass] = ifcopy
+	p[PropServiceID] = id
+	ref := &Reference{id: id, ifaces: ifcopy, owner: owner, props: p, reg: r}
+	e := &entry{ref: ref, svc: svc}
+	r.entries[id] = e
+	for _, i := range ifcopy {
+		m := r.byIface[i]
+		if m == nil {
+			m = make(map[int64]*entry)
+			r.byIface[i] = m
+		}
+		m[id] = e
+	}
+	ls := r.snapshotListenersLocked()
+	r.mu.Unlock()
+
+	fire(ls, Event{Type: EventRegistered, Ref: ref})
+	return &Registration{ref: ref}, nil
+}
+
+// Get returns the service object for ref, incrementing its use count.
+// It returns false if the reference is stale. owner is passed to a
+// Factory service if the object implements it.
+func (r *Registry) Get(ref *Reference, owner string) (any, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[ref.id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, false
+	}
+	e.useCount++
+	svc := e.svc
+	r.mu.Unlock()
+
+	if f, isFactory := svc.(Factory); isFactory {
+		return f.GetService(owner), true
+	}
+	return svc, true
+}
+
+// Unget decrements the use count taken by Get. It is safe to call with a
+// stale reference.
+func (r *Registry) Unget(ref *Reference) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[ref.id]; ok && e.useCount > 0 {
+		e.useCount--
+	}
+}
+
+// UseCount reports the current use count of ref (0 for stale references).
+func (r *Registry) UseCount(ref *Reference) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[ref.id]; ok {
+		return e.useCount
+	}
+	return 0
+}
+
+// FindAll returns the references of all services registered under iface
+// (any interface if iface is empty) whose properties match flt (all if
+// flt is nil), ordered by descending ranking then ascending service id.
+func (r *Registry) FindAll(iface string, flt *filter.Filter) []*Reference {
+	r.mu.Lock()
+	var refs []*Reference
+	scan := func(e *entry) {
+		if flt == nil || flt.Matches(e.ref.props) {
+			refs = append(refs, e.ref)
+		}
+	}
+	if iface == "" {
+		for _, e := range r.entries {
+			scan(e)
+		}
+	} else {
+		for _, e := range r.byIface[iface] {
+			scan(e)
+		}
+	}
+	r.mu.Unlock()
+
+	sort.Slice(refs, func(i, j int) bool {
+		ri, rj := refs[i].Ranking(), refs[j].Ranking()
+		if ri != rj {
+			return ri > rj
+		}
+		return refs[i].id < refs[j].id
+	})
+	return refs
+}
+
+// Find returns the best reference for iface matching flt, or nil.
+func (r *Registry) Find(iface string, flt *filter.Filter) *Reference {
+	refs := r.FindAll(iface, flt)
+	if len(refs) == 0 {
+		return nil
+	}
+	return refs[0]
+}
+
+// AddListener subscribes fn to service events whose reference properties
+// match flt (all events if flt is nil). The returned token removes the
+// subscription via RemoveListener.
+func (r *Registry) AddListener(fn Listener, flt *filter.Filter) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextTok++
+	tok := r.nextTok
+	r.listeners[tok] = &listenerEntry{fn: fn, flt: flt, tok: tok}
+	return tok
+}
+
+// RemoveListener cancels a subscription. Unknown tokens are ignored.
+func (r *Registry) RemoveListener(tok int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.listeners, tok)
+}
+
+// UnregisterOwned unregisters every service registered by owner. It is
+// used by the module layer when a bundle stops.
+func (r *Registry) UnregisterOwned(owner string) int {
+	r.mu.Lock()
+	var victims []*Reference
+	for _, e := range r.entries {
+		if e.ref.owner == owner {
+			victims = append(victims, e.ref)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, ref := range victims {
+		r.unregister(ref)
+	}
+	return len(victims)
+}
+
+// Size reports the number of currently registered services.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Close unregisters all services (firing UNREGISTERING events) and
+// rejects further registrations.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	var victims []*Reference
+	for _, e := range r.entries {
+		victims = append(victims, e.ref)
+	}
+	r.mu.Unlock()
+
+	for _, ref := range victims {
+		r.unregister(ref)
+	}
+}
+
+func (r *Registry) unregister(ref *Reference) bool {
+	r.mu.Lock()
+	e, ok := r.entries[ref.id]
+	if !ok {
+		r.mu.Unlock()
+		return false
+	}
+	ls := r.snapshotListenersLocked()
+	r.mu.Unlock()
+
+	// UNREGISTERING fires while the service is still resolvable so that
+	// listeners can perform an orderly release (OSGi semantics).
+	fire(ls, Event{Type: EventUnregistering, Ref: ref})
+
+	r.mu.Lock()
+	delete(r.entries, e.ref.id)
+	for _, i := range e.ref.ifaces {
+		delete(r.byIface[i], e.ref.id)
+		if len(r.byIface[i]) == 0 {
+			delete(r.byIface, i)
+		}
+	}
+	r.mu.Unlock()
+	return true
+}
+
+func (r *Registry) setProperties(ref *Reference, props Properties) error {
+	r.mu.Lock()
+	_, ok := r.entries[ref.id]
+	if !ok {
+		r.mu.Unlock()
+		return ErrUnregistered
+	}
+	p := props.clone()
+	p[PropObjectClass] = ref.ifaces
+	p[PropServiceID] = ref.id
+	ref.setProps(p)
+	ls := r.snapshotListenersLocked()
+	r.mu.Unlock()
+
+	fire(ls, Event{Type: EventModified, Ref: ref})
+	return nil
+}
+
+func (r *Registry) snapshotListenersLocked() []*listenerEntry {
+	ls := make([]*listenerEntry, 0, len(r.listeners))
+	for _, l := range r.listeners {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].tok < ls[j].tok })
+	return ls
+}
+
+func fire(ls []*listenerEntry, ev Event) {
+	for _, l := range ls {
+		if l.flt == nil || l.flt.Matches(ev.Ref.Properties()) {
+			l.fn(ev)
+		}
+	}
+}
+
+// Reference is a stable handle to a registered service. References are
+// safe for concurrent use and remain valid (but stale) after the service
+// is unregistered.
+type Reference struct {
+	id     int64
+	ifaces []string
+	owner  string
+	reg    *Registry
+
+	mu    sync.RWMutex
+	props Properties
+}
+
+// ID returns the registry-assigned service id.
+func (r *Reference) ID() int64 { return r.id }
+
+// Interfaces returns the interface names the service is published under.
+func (r *Reference) Interfaces() []string {
+	out := make([]string, len(r.ifaces))
+	copy(out, r.ifaces)
+	return out
+}
+
+// Owner returns the identifier of the registering party.
+func (r *Reference) Owner() string { return r.owner }
+
+// Property returns a single service property.
+func (r *Reference) Property(key string) (any, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.props[key]
+	return v, ok
+}
+
+// Properties returns a copy of the full property map.
+func (r *Reference) Properties() Properties {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.props.clone()
+}
+
+// Ranking returns the service.ranking property (0 when absent).
+func (r *Reference) Ranking() int {
+	v, ok := r.Property(PropServiceRanking)
+	if !ok {
+		return 0
+	}
+	switch n := v.(type) {
+	case int:
+		return n
+	case int64:
+		return int(n)
+	default:
+		return 0
+	}
+}
+
+// Alive reports whether the service is still registered.
+func (r *Reference) Alive() bool {
+	r.reg.mu.Lock()
+	defer r.reg.mu.Unlock()
+	_, ok := r.reg.entries[r.id]
+	return ok
+}
+
+func (r *Reference) setProps(p Properties) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.props = p
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (r *Reference) String() string {
+	return fmt.Sprintf("service{id=%d, ifaces=%v, owner=%s}", r.id, r.ifaces, r.owner)
+}
+
+// Registration is the publisher-side handle to a registered service.
+type Registration struct {
+	mu  sync.Mutex
+	ref *Reference
+}
+
+// Reference returns the reference for this registration, or nil after
+// Unregister.
+func (g *Registration) Reference() *Reference {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ref
+}
+
+// SetProperties replaces the service properties (objectClass and
+// service.id are preserved) and fires a MODIFIED event.
+func (g *Registration) SetProperties(props Properties) error {
+	g.mu.Lock()
+	ref := g.ref
+	g.mu.Unlock()
+	if ref == nil {
+		return ErrUnregistered
+	}
+	return ref.reg.setProperties(ref, props)
+}
+
+// Unregister removes the service from the registry, firing an
+// UNREGISTERING event first. It is idempotent.
+func (g *Registration) Unregister() error {
+	g.mu.Lock()
+	ref := g.ref
+	g.ref = nil
+	g.mu.Unlock()
+	if ref == nil {
+		return ErrUnregistered
+	}
+	if !ref.reg.unregister(ref) {
+		return ErrUnregistered
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+)
+
+type echoService struct{ name string }
+
+func TestRegisterAndFind(t *testing.T) {
+	reg := NewRegistry()
+	svc := &echoService{name: "a"}
+	g, err := reg.Register([]string{"test.Echo"}, svc, Properties{"lang": "en"}, "bundle.a")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	ref := reg.Find("test.Echo", nil)
+	if ref == nil {
+		t.Fatal("Find returned nil")
+	}
+	if ref.ID() != g.Reference().ID() {
+		t.Errorf("reference mismatch: %d vs %d", ref.ID(), g.Reference().ID())
+	}
+	got, ok := reg.Get(ref, "consumer")
+	if !ok || got != svc {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if uc := reg.UseCount(ref); uc != 1 {
+		t.Errorf("UseCount = %d, want 1", uc)
+	}
+	reg.Unget(ref)
+	if uc := reg.UseCount(ref); uc != 0 {
+		t.Errorf("UseCount after Unget = %d, want 0", uc)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Register(nil, &echoService{}, nil, "o"); !errors.Is(err, ErrNoInterfaces) {
+		t.Errorf("want ErrNoInterfaces, got %v", err)
+	}
+	if _, err := reg.Register([]string{"x"}, nil, nil, "o"); !errors.Is(err, ErrNilService) {
+		t.Errorf("want ErrNilService, got %v", err)
+	}
+}
+
+func TestObjectClassAndIDProperties(t *testing.T) {
+	reg := NewRegistry()
+	g, err := reg.Register([]string{"a.A", "b.B"}, &echoService{}, Properties{
+		PropObjectClass: "spoofed",
+		PropServiceID:   int64(999),
+	}, "o")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	ref := g.Reference()
+	oc, _ := ref.Property(PropObjectClass)
+	ifaces, ok := oc.([]string)
+	if !ok || len(ifaces) != 2 || ifaces[0] != "a.A" {
+		t.Errorf("objectClass not protected: %v", oc)
+	}
+	id, _ := ref.Property(PropServiceID)
+	if id != ref.ID() {
+		t.Errorf("service.id not protected: %v vs %d", id, ref.ID())
+	}
+}
+
+func TestRankingOrder(t *testing.T) {
+	reg := NewRegistry()
+	low, _ := reg.Register([]string{"x.X"}, &echoService{name: "low"}, Properties{PropServiceRanking: 1}, "o")
+	high, _ := reg.Register([]string{"x.X"}, &echoService{name: "high"}, Properties{PropServiceRanking: 10}, "o")
+	mid, _ := reg.Register([]string{"x.X"}, &echoService{name: "mid"}, Properties{PropServiceRanking: 5}, "o")
+
+	refs := reg.FindAll("x.X", nil)
+	if len(refs) != 3 {
+		t.Fatalf("FindAll = %d entries, want 3", len(refs))
+	}
+	want := []int64{high.Reference().ID(), mid.Reference().ID(), low.Reference().ID()}
+	for i, ref := range refs {
+		if ref.ID() != want[i] {
+			t.Errorf("order[%d] = %d, want %d", i, ref.ID(), want[i])
+		}
+	}
+	// Equal ranking ties break by ascending id (registration order).
+	reg2 := NewRegistry()
+	a, _ := reg2.Register([]string{"y"}, &echoService{}, nil, "o")
+	b, _ := reg2.Register([]string{"y"}, &echoService{}, nil, "o")
+	refs2 := reg2.FindAll("y", nil)
+	if refs2[0].ID() != a.Reference().ID() || refs2[1].ID() != b.Reference().ID() {
+		t.Error("tie break by id failed")
+	}
+}
+
+func TestFindWithFilter(t *testing.T) {
+	reg := NewRegistry()
+	_, _ = reg.Register([]string{"dev.Input"}, &echoService{}, Properties{"kind": "keyboard"}, "o")
+	_, _ = reg.Register([]string{"dev.Input"}, &echoService{}, Properties{"kind": "joystick"}, "o")
+
+	f := filter.MustParse("(kind=joystick)")
+	refs := reg.FindAll("dev.Input", f)
+	if len(refs) != 1 {
+		t.Fatalf("filtered FindAll = %d entries, want 1", len(refs))
+	}
+	if k, _ := refs[0].Property("kind"); k != "joystick" {
+		t.Errorf("wrong match: %v", k)
+	}
+	if ref := reg.Find("dev.Input", filter.MustParse("(kind=mouse)")); ref != nil {
+		t.Errorf("Find with non-matching filter = %v, want nil", ref)
+	}
+}
+
+func TestFindAllEmptyInterface(t *testing.T) {
+	reg := NewRegistry()
+	_, _ = reg.Register([]string{"a"}, &echoService{}, nil, "o")
+	_, _ = reg.Register([]string{"b"}, &echoService{}, nil, "o")
+	if n := len(reg.FindAll("", nil)); n != 2 {
+		t.Errorf("FindAll(\"\") = %d, want 2", n)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	reg := NewRegistry()
+	g, _ := reg.Register([]string{"x"}, &echoService{}, nil, "o")
+	ref := g.Reference()
+	if !ref.Alive() {
+		t.Fatal("service should be alive")
+	}
+	if err := g.Unregister(); err != nil {
+		t.Fatalf("Unregister: %v", err)
+	}
+	if ref.Alive() {
+		t.Error("service should be gone")
+	}
+	if reg.Find("x", nil) != nil {
+		t.Error("Find should return nil after unregister")
+	}
+	if err := g.Unregister(); !errors.Is(err, ErrUnregistered) {
+		t.Errorf("second Unregister = %v, want ErrUnregistered", err)
+	}
+	if _, ok := reg.Get(ref, "o"); ok {
+		t.Error("Get on stale reference should fail")
+	}
+}
+
+func TestUnregisterOwned(t *testing.T) {
+	reg := NewRegistry()
+	_, _ = reg.Register([]string{"x"}, &echoService{}, nil, "bundle.a")
+	_, _ = reg.Register([]string{"y"}, &echoService{}, nil, "bundle.a")
+	_, _ = reg.Register([]string{"z"}, &echoService{}, nil, "bundle.b")
+	if n := reg.UnregisterOwned("bundle.a"); n != 2 {
+		t.Errorf("UnregisterOwned = %d, want 2", n)
+	}
+	if reg.Size() != 1 {
+		t.Errorf("Size = %d, want 1", reg.Size())
+	}
+}
+
+func TestListenerEvents(t *testing.T) {
+	reg := NewRegistry()
+	var events []Event
+	tok := reg.AddListener(func(ev Event) { events = append(events, ev) }, nil)
+
+	g, _ := reg.Register([]string{"x"}, &echoService{}, nil, "o")
+	_ = g.SetProperties(Properties{"v": 2})
+	_ = g.Unregister()
+
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	wantTypes := []EventType{EventRegistered, EventModified, EventUnregistering}
+	for i, ev := range events {
+		if ev.Type != wantTypes[i] {
+			t.Errorf("event[%d] = %v, want %v", i, ev.Type, wantTypes[i])
+		}
+	}
+	// UNREGISTERING must fire while the service is still resolvable.
+	reg.RemoveListener(tok)
+	g2, _ := reg.Register([]string{"y"}, &echoService{}, nil, "o")
+	aliveAtUnregister := false
+	reg.AddListener(func(ev Event) {
+		if ev.Type == EventUnregistering {
+			aliveAtUnregister = ev.Ref.Alive()
+		}
+	}, nil)
+	_ = g2.Unregister()
+	if !aliveAtUnregister {
+		t.Error("service was not resolvable during UNREGISTERING")
+	}
+}
+
+func TestListenerFilter(t *testing.T) {
+	reg := NewRegistry()
+	var hits int
+	reg.AddListener(func(ev Event) { hits++ }, filter.MustParse("(objectClass=only.This)"))
+	_, _ = reg.Register([]string{"other.Thing"}, &echoService{}, nil, "o")
+	_, _ = reg.Register([]string{"only.This"}, &echoService{}, nil, "o")
+	if hits != 1 {
+		t.Errorf("filtered listener hits = %d, want 1", hits)
+	}
+}
+
+func TestSetPropertiesPreservesIdentity(t *testing.T) {
+	reg := NewRegistry()
+	g, _ := reg.Register([]string{"x"}, &echoService{}, Properties{"a": 1}, "o")
+	if err := g.SetProperties(Properties{"b": 2}); err != nil {
+		t.Fatalf("SetProperties: %v", err)
+	}
+	ref := g.Reference()
+	if _, ok := ref.Property("a"); ok {
+		t.Error("old property survived SetProperties")
+	}
+	if v, _ := ref.Property("b"); v != 2 {
+		t.Error("new property missing")
+	}
+	if v, _ := ref.Property(PropServiceID); v != ref.ID() {
+		t.Error("service.id lost")
+	}
+}
+
+type perOwnerFactory struct{ mu sync.Mutex }
+
+func (f *perOwnerFactory) GetService(owner string) any {
+	return "instance-for-" + owner
+}
+
+func TestServiceFactory(t *testing.T) {
+	reg := NewRegistry()
+	g, _ := reg.Register([]string{"f"}, &perOwnerFactory{}, nil, "o")
+	a, _ := reg.Get(g.Reference(), "alice")
+	b, _ := reg.Get(g.Reference(), "bob")
+	if a != "instance-for-alice" || b != "instance-for-bob" {
+		t.Errorf("factory dispensing wrong instances: %v, %v", a, b)
+	}
+}
+
+func TestRegistryClose(t *testing.T) {
+	reg := NewRegistry()
+	_, _ = reg.Register([]string{"x"}, &echoService{}, nil, "o")
+	reg.Close()
+	if reg.Size() != 0 {
+		t.Errorf("Size after Close = %d", reg.Size())
+	}
+	if _, err := reg.Register([]string{"y"}, &echoService{}, nil, "o"); !errors.Is(err, ErrRegistryClosed) {
+		t.Errorf("Register after Close = %v, want ErrRegistryClosed", err)
+	}
+	reg.Close() // idempotent
+}
+
+func TestConcurrentRegisterFind(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	const n = 50
+	for i := 0; i < n; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			g, err := reg.Register([]string{"conc.Svc"}, &echoService{}, Properties{"i": i}, "o")
+			if err != nil {
+				t.Errorf("Register: %v", err)
+				return
+			}
+			if i%2 == 0 {
+				_ = g.Unregister()
+			}
+		}(i)
+		go func() {
+			defer wg.Done()
+			refs := reg.FindAll("conc.Svc", nil)
+			for _, ref := range refs {
+				if svc, ok := reg.Get(ref, "c"); ok && svc != nil {
+					reg.Unget(ref)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(reg.FindAll("conc.Svc", nil)); got != n/2 {
+		t.Errorf("surviving services = %d, want %d", got, n/2)
+	}
+}
+
+func TestPropertyRegisterFindAllCount(t *testing.T) {
+	// For any small k, registering k services under one interface yields
+	// exactly k references, ranked ids strictly increasing on ties.
+	prop := func(k uint8) bool {
+		n := int(k%16) + 1
+		reg := NewRegistry()
+		for i := 0; i < n; i++ {
+			if _, err := reg.Register([]string{"p.P"}, &echoService{}, nil, "o"); err != nil {
+				return false
+			}
+		}
+		refs := reg.FindAll("p.P", nil)
+		if len(refs) != n {
+			return false
+		}
+		for i := 1; i < len(refs); i++ {
+			if refs[i-1].ID() >= refs[i].ID() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUseCountBalance(t *testing.T) {
+	// Any interleaving of k Gets and k Ungets leaves the use count at 0.
+	prop := func(k uint8) bool {
+		n := int(k % 20)
+		reg := NewRegistry()
+		g, err := reg.Register([]string{"u"}, &echoService{}, nil, "o")
+		if err != nil {
+			return false
+		}
+		ref := g.Reference()
+		for i := 0; i < n; i++ {
+			if _, ok := reg.Get(ref, "c"); !ok {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			reg.Unget(ref)
+		}
+		return reg.UseCount(ref) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ExampleRegistry() {
+	reg := NewRegistry()
+	g, _ := reg.Register([]string{"example.Greeter"}, &echoService{name: "hello"},
+		Properties{"lang": "en"}, "example.bundle")
+	ref := reg.Find("example.Greeter", filter.MustParse("(lang=en)"))
+	svc, _ := reg.Get(ref, "consumer")
+	fmt.Println(svc.(*echoService).name)
+	reg.Unget(ref)
+	_ = g.Unregister()
+	// Output: hello
+}

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+)
+
+// TrackerCallbacks customize a Tracker. All callbacks are optional and
+// are invoked synchronously from the registry's event dispatch.
+type TrackerCallbacks struct {
+	// Adding is called when a matching service appears. Returning false
+	// rejects the service (it will not be tracked).
+	Adding func(ref *Reference, svc any) bool
+	// Modified is called when a tracked service's properties change.
+	Modified func(ref *Reference, svc any)
+	// Removed is called when a tracked service goes away.
+	Removed func(ref *Reference, svc any)
+}
+
+// Tracker follows the set of services registered under an interface name
+// and matching an optional filter, the OSGi ServiceTracker analog. It
+// shields consumers from service dynamism: the tracked set is kept
+// current as services come and go.
+type Tracker struct {
+	reg   *Registry
+	iface string
+	flt   *filter.Filter
+	cbs   TrackerCallbacks
+	owner string
+
+	mu      sync.Mutex
+	tracked map[int64]any
+	tok     int64
+	open    bool
+}
+
+// NewTracker creates a tracker for services published under iface and
+// matching flt (nil tracks all). owner is used when getting service
+// objects from the registry.
+func NewTracker(reg *Registry, iface string, flt *filter.Filter, owner string, cbs TrackerCallbacks) *Tracker {
+	return &Tracker{
+		reg:     reg,
+		iface:   iface,
+		flt:     flt,
+		cbs:     cbs,
+		owner:   owner,
+		tracked: make(map[int64]any),
+	}
+}
+
+// Open starts tracking: existing matching services are added and a
+// listener is installed for subsequent changes. Open is idempotent.
+func (t *Tracker) Open() {
+	t.mu.Lock()
+	if t.open {
+		t.mu.Unlock()
+		return
+	}
+	t.open = true
+	t.mu.Unlock()
+
+	// Install the listener first so that registrations racing with the
+	// initial scan are not lost; duplicates are suppressed in add().
+	t.tok = t.reg.AddListener(t.onEvent, nil)
+	for _, ref := range t.reg.FindAll(t.iface, t.flt) {
+		t.add(ref)
+	}
+}
+
+// Close stops tracking and removes all tracked services (invoking the
+// Removed callback for each). Close is idempotent.
+func (t *Tracker) Close() {
+	t.mu.Lock()
+	if !t.open {
+		t.mu.Unlock()
+		return
+	}
+	t.open = false
+	tok := t.tok
+	t.mu.Unlock()
+
+	t.reg.RemoveListener(tok)
+
+	t.mu.Lock()
+	victims := make(map[int64]any, len(t.tracked))
+	for id, svc := range t.tracked {
+		victims[id] = svc
+	}
+	t.tracked = make(map[int64]any)
+	t.mu.Unlock()
+
+	if t.cbs.Removed != nil {
+		for id, svc := range victims {
+			ref := &Reference{id: id, reg: t.reg}
+			t.cbs.Removed(ref, svc)
+		}
+	}
+	// Balance the Get performed in add.
+	for id := range victims {
+		t.reg.Unget(&Reference{id: id, reg: t.reg})
+	}
+}
+
+// Count returns the number of currently tracked services.
+func (t *Tracker) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.tracked)
+}
+
+// Service returns an arbitrary tracked service object (the registry's
+// best match), or nil when none is tracked.
+func (t *Tracker) Service() any {
+	ref := t.reg.Find(t.iface, t.flt)
+	if ref == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tracked[ref.ID()]
+}
+
+// Services returns all tracked service objects in unspecified order.
+func (t *Tracker) Services() []any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]any, 0, len(t.tracked))
+	for _, svc := range t.tracked {
+		out = append(out, svc)
+	}
+	return out
+}
+
+func (t *Tracker) matches(ref *Reference) bool {
+	if t.iface != "" {
+		found := false
+		for _, i := range ref.Interfaces() {
+			if i == t.iface {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return t.flt == nil || t.flt.Matches(ref.Properties())
+}
+
+func (t *Tracker) onEvent(ev Event) {
+	switch ev.Type {
+	case EventRegistered:
+		if t.matches(ev.Ref) {
+			t.add(ev.Ref)
+		}
+	case EventModified:
+		t.mu.Lock()
+		_, wasTracked := t.tracked[ev.Ref.ID()]
+		t.mu.Unlock()
+		nowMatches := t.matches(ev.Ref)
+		switch {
+		case wasTracked && !nowMatches:
+			t.remove(ev.Ref)
+		case !wasTracked && nowMatches:
+			t.add(ev.Ref)
+		case wasTracked && nowMatches:
+			if t.cbs.Modified != nil {
+				t.mu.Lock()
+				svc := t.tracked[ev.Ref.ID()]
+				t.mu.Unlock()
+				t.cbs.Modified(ev.Ref, svc)
+			}
+		}
+	case EventUnregistering:
+		t.mu.Lock()
+		_, wasTracked := t.tracked[ev.Ref.ID()]
+		t.mu.Unlock()
+		if wasTracked {
+			t.remove(ev.Ref)
+		}
+	}
+}
+
+func (t *Tracker) add(ref *Reference) {
+	t.mu.Lock()
+	if !t.open {
+		t.mu.Unlock()
+		return
+	}
+	if _, dup := t.tracked[ref.ID()]; dup {
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+
+	svc, ok := t.reg.Get(ref, t.owner)
+	if !ok {
+		return
+	}
+	if t.cbs.Adding != nil && !t.cbs.Adding(ref, svc) {
+		t.reg.Unget(ref)
+		return
+	}
+
+	t.mu.Lock()
+	if _, dup := t.tracked[ref.ID()]; dup || !t.open {
+		t.mu.Unlock()
+		t.reg.Unget(ref)
+		return
+	}
+	t.tracked[ref.ID()] = svc
+	t.mu.Unlock()
+}
+
+func (t *Tracker) remove(ref *Reference) {
+	t.mu.Lock()
+	svc, ok := t.tracked[ref.ID()]
+	if ok {
+		delete(t.tracked, ref.ID())
+	}
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	if t.cbs.Removed != nil {
+		t.cbs.Removed(ref, svc)
+	}
+	t.reg.Unget(ref)
+}

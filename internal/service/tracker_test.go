@@ -1,0 +1,145 @@
+package service
+
+import (
+	"testing"
+
+	"github.com/alfredo-mw/alfredo/internal/filter"
+)
+
+func TestTrackerSeesPreexisting(t *testing.T) {
+	reg := NewRegistry()
+	_, _ = reg.Register([]string{"tr.Svc"}, &echoService{name: "pre"}, nil, "o")
+
+	var added []string
+	tr := NewTracker(reg, "tr.Svc", nil, "consumer", TrackerCallbacks{
+		Adding: func(ref *Reference, svc any) bool {
+			added = append(added, svc.(*echoService).name)
+			return true
+		},
+	})
+	tr.Open()
+	defer tr.Close()
+
+	if len(added) != 1 || added[0] != "pre" {
+		t.Errorf("added = %v, want [pre]", added)
+	}
+	if tr.Count() != 1 {
+		t.Errorf("Count = %d, want 1", tr.Count())
+	}
+}
+
+func TestTrackerFollowsDynamics(t *testing.T) {
+	reg := NewRegistry()
+	var removed int
+	tr := NewTracker(reg, "tr.Svc", nil, "c", TrackerCallbacks{
+		Removed: func(ref *Reference, svc any) { removed++ },
+	})
+	tr.Open()
+	defer tr.Close()
+
+	g1, _ := reg.Register([]string{"tr.Svc"}, &echoService{name: "a"}, nil, "o")
+	g2, _ := reg.Register([]string{"tr.Svc"}, &echoService{name: "b"}, nil, "o")
+	_, _ = reg.Register([]string{"other"}, &echoService{name: "x"}, nil, "o")
+
+	if tr.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", tr.Count())
+	}
+	_ = g1.Unregister()
+	if tr.Count() != 1 {
+		t.Errorf("Count after unregister = %d, want 1", tr.Count())
+	}
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1", removed)
+	}
+	svc := tr.Service()
+	if svc == nil || svc.(*echoService).name != "b" {
+		t.Errorf("Service = %v, want b", svc)
+	}
+	_ = g2
+}
+
+func TestTrackerFilterTransitions(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracker(reg, "tr.Svc", filter.MustParse("(enabled=true)"), "c", TrackerCallbacks{})
+	tr.Open()
+	defer tr.Close()
+
+	g, _ := reg.Register([]string{"tr.Svc"}, &echoService{}, Properties{"enabled": false}, "o")
+	if tr.Count() != 0 {
+		t.Fatalf("disabled service tracked")
+	}
+	// Property change brings it into the tracked set...
+	_ = g.SetProperties(Properties{"enabled": true})
+	if tr.Count() != 1 {
+		t.Fatalf("Count after enable = %d, want 1", tr.Count())
+	}
+	// ...and back out.
+	_ = g.SetProperties(Properties{"enabled": false})
+	if tr.Count() != 0 {
+		t.Fatalf("Count after disable = %d, want 0", tr.Count())
+	}
+}
+
+func TestTrackerModifiedCallback(t *testing.T) {
+	reg := NewRegistry()
+	var modified int
+	tr := NewTracker(reg, "tr.Svc", nil, "c", TrackerCallbacks{
+		Modified: func(ref *Reference, svc any) { modified++ },
+	})
+	tr.Open()
+	defer tr.Close()
+	g, _ := reg.Register([]string{"tr.Svc"}, &echoService{}, nil, "o")
+	_ = g.SetProperties(Properties{"v": 1})
+	_ = g.SetProperties(Properties{"v": 2})
+	if modified != 2 {
+		t.Errorf("modified = %d, want 2", modified)
+	}
+}
+
+func TestTrackerAddingVeto(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracker(reg, "tr.Svc", nil, "c", TrackerCallbacks{
+		Adding: func(ref *Reference, svc any) bool { return false },
+	})
+	tr.Open()
+	defer tr.Close()
+	g, _ := reg.Register([]string{"tr.Svc"}, &echoService{}, nil, "o")
+	if tr.Count() != 0 {
+		t.Errorf("vetoed service tracked")
+	}
+	// Veto must not leak a use count.
+	if uc := reg.UseCount(g.Reference()); uc != 0 {
+		t.Errorf("use count leaked: %d", uc)
+	}
+}
+
+func TestTrackerCloseReleasesUseCounts(t *testing.T) {
+	reg := NewRegistry()
+	g, _ := reg.Register([]string{"tr.Svc"}, &echoService{}, nil, "o")
+	tr := NewTracker(reg, "tr.Svc", nil, "c", TrackerCallbacks{})
+	tr.Open()
+	if uc := reg.UseCount(g.Reference()); uc != 1 {
+		t.Fatalf("use count = %d, want 1", uc)
+	}
+	tr.Close()
+	if uc := reg.UseCount(g.Reference()); uc != 0 {
+		t.Errorf("use count after Close = %d, want 0", uc)
+	}
+	if tr.Count() != 0 {
+		t.Errorf("Count after Close = %d", tr.Count())
+	}
+	tr.Close() // idempotent
+}
+
+func TestTrackerReopen(t *testing.T) {
+	reg := NewRegistry()
+	_, _ = reg.Register([]string{"tr.Svc"}, &echoService{}, nil, "o")
+	tr := NewTracker(reg, "tr.Svc", nil, "c", TrackerCallbacks{})
+	tr.Open()
+	tr.Close()
+	tr.Open()
+	defer tr.Close()
+	if tr.Count() != 1 {
+		t.Errorf("Count after reopen = %d, want 1", tr.Count())
+	}
+}

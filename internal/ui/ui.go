@@ -1,0 +1,222 @@
+// Package ui defines the device-independent presentation model of
+// AlfredO (paper §3.3): a user interface is described with abstract
+// controls and relationships — never pixel layouts — plus the input
+// capabilities it requires. Each client platform renders the same
+// description with whatever hardware it has (package render).
+//
+// A Description is pure data: it serializes to JSON, ships inside the
+// service descriptor, and is safe to interpret from untrusted sources —
+// the sandbox-security property of §3.2 ("only a passive description of
+// the UI is retrieved ... and no computation takes place on the actual
+// phone").
+package ui
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Kind enumerates abstract control types.
+type Kind string
+
+// Abstract control kinds.
+const (
+	KindLabel     Kind = "label"     // read-only text
+	KindButton    Kind = "button"    // momentary action
+	KindTextInput Kind = "textinput" // free text entry (requires KeyboardDevice)
+	KindList      Kind = "list"      // selectable item collection
+	KindChoice    Kind = "choice"    // one-of-n selection
+	KindRange     Kind = "range"     // bounded numeric value (slider/knob)
+	KindImage     Kind = "image"     // pixel content (e.g. screen snapshots)
+	KindProgress  Kind = "progress"  // read-only completion indicator
+	KindPad       Kind = "pad"       // 2D directional input (requires PointingDevice)
+)
+
+// Control is one abstract UI element. Importance guides constrained
+// renderers: controls with lower Importance are dropped first on small
+// screens.
+type Control struct {
+	ID   string `json:"id"`
+	Kind Kind   `json:"kind"`
+	// Text is the label / caption.
+	Text string `json:"text,omitempty"`
+	// Value is the initial value (type depends on Kind).
+	Value any `json:"value,omitempty"`
+	// Items populates list and choice controls.
+	Items []string `json:"items,omitempty"`
+	// Min and Max bound range controls.
+	Min int `json:"min,omitempty"`
+	Max int `json:"max,omitempty"`
+	// Requires lists capability interfaces this control needs (see
+	// package device); empty means displayable everywhere.
+	Requires []string `json:"requires,omitempty"`
+	// Importance orders controls under space pressure (higher = keep).
+	Importance int `json:"importance,omitempty"`
+	// Hints carries renderer-specific advice ("monospace", "wide", …).
+	Hints map[string]string `json:"hints,omitempty"`
+	// Validate declares input constraints every renderer enforces on
+	// change events (the XForms-style validation of §3.2).
+	Validate Validation `json:"validate,omitempty"`
+}
+
+// RelationKind enumerates relationship types between controls.
+type RelationKind string
+
+// Relationship kinds: the abstract alternative to pixel layouts.
+const (
+	// RelLabels: From is the caption of To.
+	RelLabels RelationKind = "labels"
+	// RelGroup: Members belong together (rendered adjacently).
+	RelGroup RelationKind = "group"
+	// RelOrder: Members appear in the given sequence.
+	RelOrder RelationKind = "order"
+	// RelDetails: To shows detail for the selection in From.
+	RelDetails RelationKind = "details"
+)
+
+// Relation expresses structure between controls.
+type Relation struct {
+	Kind    RelationKind `json:"kind"`
+	From    string       `json:"from,omitempty"`
+	To      string       `json:"to,omitempty"`
+	Members []string     `json:"members,omitempty"`
+	Name    string       `json:"name,omitempty"`
+}
+
+// Description is a complete abstract user interface.
+type Description struct {
+	Title     string     `json:"title"`
+	Controls  []Control  `json:"controls"`
+	Relations []Relation `json:"relations,omitempty"`
+	// Requires lists capabilities the interaction as a whole needs.
+	Requires []string `json:"requires,omitempty"`
+}
+
+// Validation errors.
+var (
+	ErrNoControls  = errors.New("ui: description has no controls")
+	ErrDuplicateID = errors.New("ui: duplicate control id")
+	ErrUnknownRef  = errors.New("ui: relation references unknown control")
+	ErrBadKind     = errors.New("ui: unknown control kind")
+	ErrBadRange    = errors.New("ui: range control needs min < max")
+	ErrMissingID   = errors.New("ui: control without id")
+)
+
+var validKinds = map[Kind]bool{
+	KindLabel: true, KindButton: true, KindTextInput: true, KindList: true,
+	KindChoice: true, KindRange: true, KindImage: true, KindProgress: true,
+	KindPad: true,
+}
+
+// Validate checks structural soundness of the description.
+func (d *Description) Validate() error {
+	if len(d.Controls) == 0 {
+		return ErrNoControls
+	}
+	ids := make(map[string]bool, len(d.Controls))
+	for _, c := range d.Controls {
+		if c.ID == "" {
+			return ErrMissingID
+		}
+		if ids[c.ID] {
+			return fmt.Errorf("%w: %s", ErrDuplicateID, c.ID)
+		}
+		ids[c.ID] = true
+		if !validKinds[c.Kind] {
+			return fmt.Errorf("%w: %q on %s", ErrBadKind, c.Kind, c.ID)
+		}
+		if c.Kind == KindRange && c.Min >= c.Max {
+			return fmt.Errorf("%w: %s has [%d,%d]", ErrBadRange, c.ID, c.Min, c.Max)
+		}
+	}
+	check := func(ref string) error {
+		if ref != "" && !ids[ref] {
+			return fmt.Errorf("%w: %s", ErrUnknownRef, ref)
+		}
+		return nil
+	}
+	for _, r := range d.Relations {
+		if err := check(r.From); err != nil {
+			return err
+		}
+		if err := check(r.To); err != nil {
+			return err
+		}
+		for _, m := range r.Members {
+			if err := check(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Control returns the control with the given id.
+func (d *Description) Control(id string) (Control, bool) {
+	for _, c := range d.Controls {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Control{}, false
+}
+
+// AllRequires returns the union of description-level and per-control
+// capability requirements.
+func (d *Description) AllRequires() []string {
+	set := make(map[string]bool)
+	for _, r := range d.Requires {
+		set[r] = true
+	}
+	for _, c := range d.Controls {
+		for _, r := range c.Requires {
+			set[r] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Marshal serializes the description to JSON.
+func (d *Description) Marshal() ([]byte, error) {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("ui: marshaling description %q: %w", d.Title, err)
+	}
+	return b, nil
+}
+
+// Unmarshal parses and validates a description.
+func Unmarshal(b []byte) (*Description, error) {
+	var d Description
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("ui: parsing description: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// EventKind enumerates interaction events flowing from a View to the
+// Controller.
+type EventKind string
+
+// UI event kinds.
+const (
+	EventPress  EventKind = "press"  // button activated
+	EventChange EventKind = "change" // value changed (textinput, range, choice)
+	EventSelect EventKind = "select" // list item selected
+	EventMove   EventKind = "move"   // pad movement: Value is [dx, dy]
+)
+
+// Event is one user interaction on a rendered control.
+type Event struct {
+	Control string    `json:"control"`
+	Kind    EventKind `json:"kind"`
+	Value   any       `json:"value,omitempty"`
+}

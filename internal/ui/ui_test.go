@@ -1,0 +1,133 @@
+package ui
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func shopUI() *Description {
+	return &Description{
+		Title: "AlfredOShop",
+		Controls: []Control{
+			{ID: "title", Kind: KindLabel, Text: "Welcome to the shop", Importance: 5},
+			{ID: "categories", Kind: KindChoice, Items: []string{"beds", "sofas", "tables"}, Importance: 9},
+			{ID: "products", Kind: KindList, Importance: 10},
+			{ID: "detail", Kind: KindLabel, Importance: 8},
+			{ID: "compare", Kind: KindButton, Text: "Compare", Importance: 3},
+			{ID: "zoom", Kind: KindRange, Min: 1, Max: 10, Value: 5, Importance: 1},
+		},
+		Relations: []Relation{
+			{Kind: RelLabels, From: "title", To: "products"},
+			{Kind: RelDetails, From: "products", To: "detail"},
+			{Kind: RelOrder, Members: []string{"title", "categories", "products", "detail", "compare", "zoom"}},
+		},
+		Requires: []string{"ui.SelectionDevice"},
+	}
+}
+
+func TestValidDescription(t *testing.T) {
+	if err := shopUI().Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		mutate func(*Description)
+		want   error
+	}{
+		{func(d *Description) { d.Controls = nil }, ErrNoControls},
+		{func(d *Description) { d.Controls[1].ID = "title" }, ErrDuplicateID},
+		{func(d *Description) { d.Controls[0].ID = "" }, ErrMissingID},
+		{func(d *Description) { d.Controls[0].Kind = "blinkenlights" }, ErrBadKind},
+		{func(d *Description) { d.Controls[5].Max = 0 }, ErrBadRange},
+		{func(d *Description) { d.Relations[0].To = "ghost" }, ErrUnknownRef},
+		{func(d *Description) { d.Relations[2].Members[0] = "ghost" }, ErrUnknownRef},
+	}
+	for i, c := range cases {
+		d := shopUI()
+		c.mutate(d)
+		if err := d.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("case %d: Validate = %v, want %v", i, err, c.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := shopUI()
+	b, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != d.Title || len(got.Controls) != len(d.Controls) || len(got.Relations) != len(d.Relations) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	c, ok := got.Control("zoom")
+	if !ok || c.Min != 1 || c.Max != 10 {
+		t.Errorf("zoom control = %+v, %v", c, ok)
+	}
+	if _, err := Unmarshal([]byte("{}")); !errors.Is(err, ErrNoControls) {
+		t.Errorf("empty description error = %v", err)
+	}
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestControlLookup(t *testing.T) {
+	d := shopUI()
+	if _, ok := d.Control("products"); !ok {
+		t.Error("products not found")
+	}
+	if _, ok := d.Control("nope"); ok {
+		t.Error("phantom control found")
+	}
+}
+
+func TestAllRequires(t *testing.T) {
+	d := shopUI()
+	d.Controls[0].Requires = []string{"ui.ScreenDevice"}
+	d.Controls[1].Requires = []string{"ui.SelectionDevice"} // duplicate of top-level
+	reqs := d.AllRequires()
+	set := make(map[string]bool)
+	for _, r := range reqs {
+		if set[r] {
+			t.Errorf("duplicate requirement %s", r)
+		}
+		set[r] = true
+	}
+	if !set["ui.ScreenDevice"] || !set["ui.SelectionDevice"] {
+		t.Errorf("requires = %v", reqs)
+	}
+}
+
+func TestPropertyValidDescriptionsRoundTrip(t *testing.T) {
+	prop := func(n uint8, title string) bool {
+		count := int(n%8) + 1
+		d := &Description{Title: title}
+		for i := 0; i < count; i++ {
+			d.Controls = append(d.Controls, Control{
+				ID:   string(rune('a' + i)),
+				Kind: KindLabel,
+				Text: title,
+			})
+		}
+		if d.Validate() != nil {
+			return false
+		}
+		b, err := d.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		return err == nil && len(got.Controls) == count && got.Title == title
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

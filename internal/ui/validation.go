@@ -1,0 +1,138 @@
+package ui
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Validation is the declarative input-validation part of the
+// presentation model. The paper positions the descriptor against
+// XForms-style declarative UIs "with input validation and content
+// submission" (§3.2); these constraints are that capability: they ship
+// as data and every renderer enforces them before an EventChange
+// reaches the controller.
+type Validation struct {
+	// Required rejects empty values.
+	Required bool `json:"required,omitempty"`
+	// MinLen and MaxLen bound string lengths (MaxLen 0 = unbounded).
+	MinLen int `json:"minLen,omitempty"`
+	MaxLen int `json:"maxLen,omitempty"`
+	// Pattern is a glob-style pattern ('*' matches any run, '?' one
+	// character) the string value must match.
+	Pattern string `json:"pattern,omitempty"`
+	// OneOf restricts the value to an enumeration.
+	OneOf []string `json:"oneOf,omitempty"`
+	// Numeric rejects values that do not parse as numbers.
+	Numeric bool `json:"numeric,omitempty"`
+}
+
+// ErrValidation is wrapped by all input-validation failures.
+var ErrValidation = errors.New("ui: input validation failed")
+
+// Zero reports whether no constraints are set.
+func (v Validation) Zero() bool {
+	return !v.Required && v.MinLen == 0 && v.MaxLen == 0 &&
+		v.Pattern == "" && len(v.OneOf) == 0 && !v.Numeric
+}
+
+// Check validates a candidate value against the constraints.
+func (v Validation) Check(value any) error {
+	s := valueString(value)
+	if v.Required && strings.TrimSpace(s) == "" {
+		return fmt.Errorf("%w: value required", ErrValidation)
+	}
+	if s == "" && !v.Required {
+		return nil // optional empty values pass remaining checks
+	}
+	if v.MinLen > 0 && len(s) < v.MinLen {
+		return fmt.Errorf("%w: %q shorter than %d", ErrValidation, s, v.MinLen)
+	}
+	if v.MaxLen > 0 && len(s) > v.MaxLen {
+		return fmt.Errorf("%w: %q longer than %d", ErrValidation, s, v.MaxLen)
+	}
+	if v.Pattern != "" && !globMatch(v.Pattern, s) {
+		return fmt.Errorf("%w: %q does not match %q", ErrValidation, s, v.Pattern)
+	}
+	if len(v.OneOf) > 0 {
+		ok := false
+		for _, allowed := range v.OneOf {
+			if s == allowed {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: %q not in %v", ErrValidation, s, v.OneOf)
+		}
+	}
+	if v.Numeric && !isNumeric(value) {
+		return fmt.Errorf("%w: %q is not numeric", ErrValidation, s)
+	}
+	return nil
+}
+
+func valueString(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func isNumeric(v any) bool {
+	switch x := v.(type) {
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32, float32, float64:
+		return true
+	case string:
+		s := strings.TrimSpace(x)
+		if s == "" {
+			return false
+		}
+		dot := false
+		for i, r := range s {
+			switch {
+			case r >= '0' && r <= '9':
+			case r == '-' && i == 0:
+			case r == '.' && !dot:
+				dot = true
+			default:
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// globMatch matches s against a pattern where '*' matches any run and
+// '?' any single byte.
+func globMatch(pattern, s string) bool {
+	// Classic iterative glob with backtracking on the last '*'.
+	pi, si := 0, 0
+	star, starSi := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '?' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '*':
+			star, starSi = pi, si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			starSi++
+			si = starSi
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}

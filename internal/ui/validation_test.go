@@ -1,0 +1,157 @@
+package ui
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidationZero(t *testing.T) {
+	if !(Validation{}).Zero() {
+		t.Error("empty validation should be zero")
+	}
+	if (Validation{Required: true}).Zero() {
+		t.Error("non-empty validation reported zero")
+	}
+	// Zero validation accepts anything.
+	if err := (Validation{}).Check(nil); err != nil {
+		t.Errorf("zero check = %v", err)
+	}
+}
+
+func TestValidationRequired(t *testing.T) {
+	v := Validation{Required: true}
+	for _, bad := range []any{nil, "", "   "} {
+		if err := v.Check(bad); !errors.Is(err, ErrValidation) {
+			t.Errorf("Check(%v) = %v, want ErrValidation", bad, err)
+		}
+	}
+	if err := v.Check("x"); err != nil {
+		t.Errorf("Check(x) = %v", err)
+	}
+	// Optional empty values skip the remaining checks.
+	opt := Validation{MinLen: 3}
+	if err := opt.Check(""); err != nil {
+		t.Errorf("optional empty = %v", err)
+	}
+}
+
+func TestValidationLengths(t *testing.T) {
+	v := Validation{MinLen: 2, MaxLen: 4}
+	if err := v.Check("a"); !errors.Is(err, ErrValidation) {
+		t.Errorf("too short = %v", err)
+	}
+	if err := v.Check("abcde"); !errors.Is(err, ErrValidation) {
+		t.Errorf("too long = %v", err)
+	}
+	if err := v.Check("abc"); err != nil {
+		t.Errorf("in range = %v", err)
+	}
+}
+
+func TestValidationPattern(t *testing.T) {
+	v := Validation{Pattern: "SKU-*-??"}
+	if err := v.Check("SKU-table-01"); err != nil {
+		t.Errorf("matching = %v", err)
+	}
+	if err := v.Check("SKU-table-1"); !errors.Is(err, ErrValidation) {
+		t.Errorf("short suffix = %v", err)
+	}
+	if err := v.Check("BED-table-01"); !errors.Is(err, ErrValidation) {
+		t.Errorf("wrong prefix = %v", err)
+	}
+}
+
+func TestValidationOneOf(t *testing.T) {
+	v := Validation{OneOf: []string{"beds", "sofas"}}
+	if err := v.Check("beds"); err != nil {
+		t.Errorf("allowed = %v", err)
+	}
+	if err := v.Check("tables"); !errors.Is(err, ErrValidation) {
+		t.Errorf("disallowed = %v", err)
+	}
+}
+
+func TestValidationNumeric(t *testing.T) {
+	v := Validation{Numeric: true}
+	for _, good := range []any{int64(5), 2.5, "42", "-3.5", 7} {
+		if err := v.Check(good); err != nil {
+			t.Errorf("Check(%v) = %v", good, err)
+		}
+	}
+	for _, bad := range []any{"4x2", "2.5.1", "--2", true} {
+		if err := v.Check(bad); !errors.Is(err, ErrValidation) {
+			t.Errorf("Check(%v) = %v, want ErrValidation", bad, err)
+		}
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"*", "", true},
+		{"*", "anything", true},
+		{"a*b", "ab", true},
+		{"a*b", "axxxb", true},
+		{"a*b", "axxxc", false},
+		{"?", "x", true},
+		{"?", "", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"*a*a*", "banana", true},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestPropertyGlobStarMatchesEverything(t *testing.T) {
+	prop := func(s string) bool {
+		return globMatch("*", s) && globMatch(s+"*", s) && globMatch("*"+s, s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySelfMatch(t *testing.T) {
+	prop := func(s string) bool {
+		for i := 0; i < len(s); i++ {
+			if s[i] == '*' || s[i] == '?' {
+				return true // literal-only inputs
+			}
+		}
+		return globMatch(s, s)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidationSerializes(t *testing.T) {
+	d := &Description{
+		Title: "v",
+		Controls: []Control{{
+			ID: "sku", Kind: KindTextInput,
+			Validate: Validation{Required: true, Pattern: "SKU-*"},
+		}},
+	}
+	b, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := got.Control("sku")
+	if !c.Validate.Required || c.Validate.Pattern != "SKU-*" {
+		t.Errorf("validation lost in round trip: %+v", c.Validate)
+	}
+}

@@ -1,0 +1,238 @@
+// Package wire implements the binary protocol spoken between remote
+// peers — the analog of the R-OSGi network protocol (paper §2). It
+// provides a tagged value codec for invocation arguments and results, and
+// a fixed message set for handshakes, leases, service fetches,
+// invocations, remote events and streams.
+//
+// Framing: every message is [4-byte big-endian frame length][1-byte
+// message type][payload]. Payload layouts are defined per message type in
+// msg.go. All multi-byte integers are big-endian; variable-length data is
+// length-prefixed with unsigned varints.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec limits. They bound memory consumption when decoding untrusted
+// input.
+const (
+	// MaxFrame is the largest accepted frame payload.
+	MaxFrame = 16 << 20
+	// MaxBlob is the largest accepted single string or byte slice.
+	MaxBlob = 8 << 20
+	// MaxDepth is the deepest accepted value nesting.
+	MaxDepth = 32
+	// MaxElems is the largest accepted list or map cardinality.
+	MaxElems = 1 << 20
+)
+
+// Codec errors.
+var (
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrTooLarge  = errors.New("wire: size limit exceeded")
+	ErrBadTag    = errors.New("wire: unknown value tag")
+	ErrBadMsg    = errors.New("wire: malformed message")
+)
+
+// Buffer is an append-only encoder and cursor-based decoder for the wire
+// format. Encoding methods never fail; decoding methods record the first
+// error, after which subsequent reads return zero values. Check Err once
+// after a decode sequence.
+type Buffer struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewBuffer wraps b for decoding (or further encoding).
+func NewBuffer(b []byte) *Buffer {
+	return &Buffer{b: b}
+}
+
+// Bytes returns the encoded bytes.
+func (b *Buffer) Bytes() []byte { return b.b }
+
+// Err returns the first decoding error, if any.
+func (b *Buffer) Err() error { return b.err }
+
+// Remaining reports the number of undecoded bytes.
+func (b *Buffer) Remaining() int { return len(b.b) - b.off }
+
+func (b *Buffer) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// WriteUvarint appends an unsigned varint.
+func (b *Buffer) WriteUvarint(v uint64) {
+	b.b = binary.AppendUvarint(b.b, v)
+}
+
+// ReadUvarint consumes an unsigned varint.
+func (b *Buffer) ReadUvarint() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(b.b[b.off:])
+	if n <= 0 {
+		b.fail(fmt.Errorf("%w: reading uvarint at offset %d", ErrTruncated, b.off))
+		return 0
+	}
+	b.off += n
+	return v
+}
+
+// WriteU8 appends a single byte.
+func (b *Buffer) WriteU8(v byte) {
+	b.b = append(b.b, v)
+}
+
+// ReadU8 consumes a single byte.
+func (b *Buffer) ReadU8() byte {
+	if b.err != nil {
+		return 0
+	}
+	if b.off >= len(b.b) {
+		b.fail(fmt.Errorf("%w: reading byte at offset %d", ErrTruncated, b.off))
+		return 0
+	}
+	v := b.b[b.off]
+	b.off++
+	return v
+}
+
+// WriteBool appends a boolean.
+func (b *Buffer) WriteBool(v bool) {
+	if v {
+		b.WriteU8(1)
+	} else {
+		b.WriteU8(0)
+	}
+}
+
+// ReadBool consumes a boolean.
+func (b *Buffer) ReadBool() bool {
+	return b.ReadU8() != 0
+}
+
+// WriteInt64 appends a zig-zag varint-encoded signed integer.
+func (b *Buffer) WriteInt64(v int64) {
+	b.b = binary.AppendVarint(b.b, v)
+}
+
+// ReadInt64 consumes a zig-zag varint-encoded signed integer.
+func (b *Buffer) ReadInt64() int64 {
+	if b.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(b.b[b.off:])
+	if n <= 0 {
+		b.fail(fmt.Errorf("%w: reading varint at offset %d", ErrTruncated, b.off))
+		return 0
+	}
+	b.off += n
+	return v
+}
+
+// WriteFloat64 appends an IEEE-754 double.
+func (b *Buffer) WriteFloat64(v float64) {
+	b.b = binary.BigEndian.AppendUint64(b.b, math.Float64bits(v))
+}
+
+// ReadFloat64 consumes an IEEE-754 double.
+func (b *Buffer) ReadFloat64() float64 {
+	if b.err != nil {
+		return 0
+	}
+	if b.off+8 > len(b.b) {
+		b.fail(fmt.Errorf("%w: reading float64 at offset %d", ErrTruncated, b.off))
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(b.b[b.off:]))
+	b.off += 8
+	return v
+}
+
+// WriteString appends a length-prefixed string.
+func (b *Buffer) WriteString(s string) {
+	b.WriteUvarint(uint64(len(s)))
+	b.b = append(b.b, s...)
+}
+
+// ReadString consumes a length-prefixed string.
+func (b *Buffer) ReadString() string {
+	n := b.ReadUvarint()
+	if b.err != nil {
+		return ""
+	}
+	if n > MaxBlob {
+		b.fail(fmt.Errorf("%w: string of %d bytes", ErrTooLarge, n))
+		return ""
+	}
+	if b.off+int(n) > len(b.b) {
+		b.fail(fmt.Errorf("%w: string of %d bytes at offset %d", ErrTruncated, n, b.off))
+		return ""
+	}
+	s := string(b.b[b.off : b.off+int(n)])
+	b.off += int(n)
+	return s
+}
+
+// WriteBytes appends a length-prefixed byte slice.
+func (b *Buffer) WriteBytes(v []byte) {
+	b.WriteUvarint(uint64(len(v)))
+	b.b = append(b.b, v...)
+}
+
+// ReadBytes consumes a length-prefixed byte slice (copied out).
+func (b *Buffer) ReadBytes() []byte {
+	n := b.ReadUvarint()
+	if b.err != nil {
+		return nil
+	}
+	if n > MaxBlob {
+		b.fail(fmt.Errorf("%w: blob of %d bytes", ErrTooLarge, n))
+		return nil
+	}
+	if b.off+int(n) > len(b.b) {
+		b.fail(fmt.Errorf("%w: blob of %d bytes at offset %d", ErrTruncated, n, b.off))
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b.b[b.off:b.off+int(n)])
+	b.off += int(n)
+	return out
+}
+
+// WriteStrings appends a length-prefixed list of strings.
+func (b *Buffer) WriteStrings(ss []string) {
+	b.WriteUvarint(uint64(len(ss)))
+	for _, s := range ss {
+		b.WriteString(s)
+	}
+}
+
+// ReadStrings consumes a length-prefixed list of strings.
+func (b *Buffer) ReadStrings() []string {
+	n := b.ReadUvarint()
+	if b.err != nil {
+		return nil
+	}
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d strings", ErrTooLarge, n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, min(int(n), 1024))
+	for i := uint64(0); i < n && b.err == nil; i++ {
+		out = append(out, b.ReadString())
+	}
+	return out
+}

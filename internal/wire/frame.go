@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// EncodeMessage serializes a message to a complete frame (header
+// included), suitable for a single Write.
+func EncodeMessage(m Message) ([]byte, error) {
+	body := &Buffer{}
+	body.WriteU8(byte(m.Type()))
+	if err := m.encode(body); err != nil {
+		return nil, fmt.Errorf("wire: encoding %s: %w", m.Type(), err)
+	}
+	payload := body.Bytes()
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("%w: %s frame of %d bytes", ErrTooLarge, m.Type(), len(payload))
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	return frame, nil
+}
+
+// WriteMessage encodes and writes one framed message.
+func WriteMessage(w io.Writer, m Message) error {
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire: writing %s frame: %w", m.Type(), err)
+	}
+	return nil
+}
+
+// ReadMessage reads and decodes one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrBadMsg)
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return DecodeMessage(payload)
+}
+
+// DecodeMessage decodes a frame payload (type byte + message body).
+func DecodeMessage(payload []byte) (Message, error) {
+	b := NewBuffer(payload)
+	t := MsgType(b.ReadU8())
+	if b.Err() != nil {
+		return nil, b.Err()
+	}
+	m, err := newMessage(t)
+	if err != nil {
+		return nil, err
+	}
+	m.decode(b)
+	if b.Err() != nil {
+		return nil, fmt.Errorf("wire: decoding %s: %w", t, b.Err())
+	}
+	if b.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %s", ErrBadMsg, b.Remaining(), t)
+	}
+	return m, nil
+}

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// TestProtocolGoldens locks the wire format: these hex transcripts are
+// what interoperating peers have on the wire today. If a change breaks
+// one of them, it breaks protocol compatibility and needs a version
+// bump (ProtocolVersion), not a silent re-encode.
+//
+// Messages containing multi-entry maps are excluded (Go map iteration
+// makes their byte order nondeterministic); single-entry maps encode
+// deterministically.
+func TestProtocolGoldens(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  Message
+		hex  string
+	}{
+		{
+			name: "hello",
+			msg:  &Hello{PeerID: "phone", Version: 1, Props: map[string]any{"device": "nokia"}},
+			hex:  "00000018010570686f6e650207010664657669636504056e6f6b6961",
+		},
+		{
+			name: "lease-single",
+			msg: &Lease{Services: []ServiceInfo{{
+				ID: 7, Interfaces: []string{"a.B"}, Props: map[string]any{"r": int64(3)},
+			}}},
+			hex: "0000000e02010e0103612e42070101720206",
+		},
+		{
+			name: "service-removed",
+			msg:  &ServiceRemoved{ServiceID: 9},
+			hex:  "000000020412",
+		},
+		{
+			name: "fetch",
+			msg:  &FetchService{RequestID: 5, ServiceID: 2},
+			hex:  "00000003050a04",
+		},
+		{
+			name: "invoke",
+			msg:  &Invoke{CallID: 1, ServiceID: 2, Method: "Work", Args: []any{int64(42)}},
+			hex:  "0000000b07020404576f726b010254",
+		},
+		{
+			name: "result",
+			msg:  &Result{CallID: 1, Value: "ok"},
+			hex:  "00000006080204026f6b",
+		},
+		{
+			name: "error",
+			msg:  &ErrorReply{CallID: 1, Code: "NO_SUCH_METHOD", Message: "x"},
+			hex:  "0000001309020e4e4f5f535543485f4d4554484f440178",
+		},
+		{
+			name: "subscribe",
+			msg:  &Subscribe{Patterns: []string{"a/*"}},
+			hex:  "000000060b0103612f2a",
+		},
+		{
+			name: "stream-data",
+			msg:  &StreamData{StreamID: 3, Chunk: []byte{1, 2, 3}},
+			hex:  "000000060d0603010203",
+		},
+		{
+			name: "ping",
+			msg:  &Ping{Seq: 42},
+			hex:  "000000020f54",
+		},
+		{
+			name: "bye",
+			msg:  &Bye{Reason: "done"},
+			hex:  "000000061104646f6e65",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			frame, err := EncodeMessage(c.msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := hex.EncodeToString(frame)
+			if c.hex == "" {
+				t.Fatalf("golden missing; current encoding: %s", got)
+			}
+			if got != c.hex {
+				t.Errorf("wire format changed!\n got  %s\n want %s", got, c.hex)
+			}
+			// And the golden bytes decode back to the message type.
+			want, err := hex.DecodeString(c.hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := DecodeMessage(want[4:])
+			if err != nil {
+				t.Fatalf("golden does not decode: %v", err)
+			}
+			if decoded.Type() != c.msg.Type() {
+				t.Errorf("golden decodes to %s, want %s", decoded.Type(), c.msg.Type())
+			}
+		})
+	}
+}

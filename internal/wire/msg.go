@@ -1,0 +1,626 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// MsgType identifies a protocol message.
+type MsgType byte
+
+// Protocol messages. The set mirrors the R-OSGi protocol: connection
+// handshake and symmetric lease exchange, incremental lease updates,
+// service fetching (interface + descriptor shipping), synchronous
+// invocations, asynchronous remote events, stream proxies and liveness
+// probes.
+const (
+	MsgHello MsgType = iota + 1
+	MsgLease
+	MsgServiceAdded
+	MsgServiceRemoved
+	MsgFetchService
+	MsgServiceReply
+	MsgInvoke
+	MsgResult
+	MsgError
+	MsgEvent
+	MsgSubscribe
+	MsgStreamOpen
+	MsgStreamData
+	MsgStreamClose
+	MsgPing
+	MsgPong
+	MsgBye
+)
+
+func (t MsgType) String() string {
+	names := [...]string{
+		"HELLO", "LEASE", "SERVICE_ADDED", "SERVICE_REMOVED", "FETCH_SERVICE",
+		"SERVICE_REPLY", "INVOKE", "RESULT", "ERROR", "EVENT", "SUBSCRIBE",
+		"STREAM_OPEN", "STREAM_DATA", "STREAM_CLOSE", "PING", "PONG", "BYE",
+	}
+	if t >= 1 && int(t) <= len(names) {
+		return names[t-1]
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// ProtocolVersion is negotiated in Hello; peers reject mismatches.
+const ProtocolVersion = 1
+
+// Message is implemented by all protocol messages.
+type Message interface {
+	// Type returns the message discriminator used in the frame header.
+	Type() MsgType
+	encode(b *Buffer) error
+	decode(b *Buffer)
+}
+
+// ServiceInfo describes one remotely offered service inside a lease.
+type ServiceInfo struct {
+	ID         int64
+	Interfaces []string
+	Props      map[string]any
+}
+
+func (s *ServiceInfo) encode(b *Buffer) error {
+	b.WriteInt64(s.ID)
+	b.WriteStrings(s.Interfaces)
+	return b.WriteProps(s.Props)
+}
+
+func (s *ServiceInfo) decode(b *Buffer) {
+	s.ID = b.ReadInt64()
+	s.Interfaces = b.ReadStrings()
+	s.Props = b.ReadProps()
+}
+
+// MethodDesc describes one method of a shipped service interface: its
+// name, the wire type names of its arguments and of its return value
+// ("void" for none).
+type MethodDesc struct {
+	Name   string
+	Args   []string
+	Return string
+}
+
+// InterfaceDesc is the shippable form of a service interface, from
+// which the receiving peer synthesizes a proxy (paper §2.2: "the service
+// interface is shipped through the network and a local proxy for the
+// service is created from this interface").
+type InterfaceDesc struct {
+	Name    string
+	Methods []MethodDesc
+}
+
+// Method returns the descriptor of the named method, if present.
+func (d *InterfaceDesc) Method(name string) (MethodDesc, bool) {
+	for _, m := range d.Methods {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MethodDesc{}, false
+}
+
+func (d *InterfaceDesc) encode(b *Buffer) {
+	b.WriteString(d.Name)
+	b.WriteUvarint(uint64(len(d.Methods)))
+	for _, m := range d.Methods {
+		b.WriteString(m.Name)
+		b.WriteStrings(m.Args)
+		b.WriteString(m.Return)
+	}
+}
+
+func (d *InterfaceDesc) decode(b *Buffer) {
+	d.Name = b.ReadString()
+	n := b.ReadUvarint()
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d methods", ErrTooLarge, n))
+		return
+	}
+	if n == 0 {
+		return
+	}
+	d.Methods = make([]MethodDesc, 0, min(int(n), 256))
+	for i := uint64(0); i < n && b.err == nil; i++ {
+		var m MethodDesc
+		m.Name = b.ReadString()
+		m.Args = b.ReadStrings()
+		m.Return = b.ReadString()
+		d.Methods = append(d.Methods, m)
+	}
+}
+
+// TypeField is one field of an injected type descriptor.
+type TypeField struct {
+	Name string
+	Type string
+}
+
+// TypeDesc is the analog of R-OSGi type injection: when a service
+// interface references composite types, their shape is shipped alongside
+// so the client can validate and display them.
+type TypeDesc struct {
+	Name   string
+	Fields []TypeField
+}
+
+func (d *TypeDesc) encode(b *Buffer) {
+	b.WriteString(d.Name)
+	b.WriteUvarint(uint64(len(d.Fields)))
+	for _, f := range d.Fields {
+		b.WriteString(f.Name)
+		b.WriteString(f.Type)
+	}
+}
+
+func (d *TypeDesc) decode(b *Buffer) {
+	d.Name = b.ReadString()
+	n := b.ReadUvarint()
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d fields", ErrTooLarge, n))
+		return
+	}
+	if n == 0 {
+		return
+	}
+	d.Fields = make([]TypeField, 0, min(int(n), 256))
+	for i := uint64(0); i < n && b.err == nil; i++ {
+		var f TypeField
+		f.Name = b.ReadString()
+		f.Type = b.ReadString()
+		d.Fields = append(d.Fields, f)
+	}
+}
+
+// SmartProxyRef names client-side proxy code by content hash. Methods in
+// LocalMethods run in the locally installed code; all others fall
+// through to remote invocation (paper §2.2 smart proxies).
+type SmartProxyRef struct {
+	CodeRef      string
+	LocalMethods []string
+}
+
+// Hello opens a connection: identities and protocol version are
+// exchanged in both directions.
+type Hello struct {
+	PeerID  string
+	Version int64
+	Props   map[string]any
+}
+
+// Type implements Message.
+func (m *Hello) Type() MsgType { return MsgHello }
+
+func (m *Hello) encode(b *Buffer) error {
+	b.WriteString(m.PeerID)
+	b.WriteInt64(m.Version)
+	return b.WriteProps(m.Props)
+}
+
+func (m *Hello) decode(b *Buffer) {
+	m.PeerID = b.ReadString()
+	m.Version = b.ReadInt64()
+	m.Props = b.ReadProps()
+}
+
+// Lease carries the full set of services a peer currently offers; it is
+// exchanged symmetrically right after Hello (paper §3.2: "the two
+// devices exchange symmetric leases that contain the name of the
+// services that each device offers").
+type Lease struct {
+	Services []ServiceInfo
+}
+
+// Type implements Message.
+func (m *Lease) Type() MsgType { return MsgLease }
+
+func (m *Lease) encode(b *Buffer) error {
+	b.WriteUvarint(uint64(len(m.Services)))
+	for i := range m.Services {
+		if err := m.Services[i].encode(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Lease) decode(b *Buffer) {
+	n := b.ReadUvarint()
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d lease entries", ErrTooLarge, n))
+		return
+	}
+	if n == 0 {
+		return
+	}
+	m.Services = make([]ServiceInfo, 0, min(int(n), 1024))
+	for i := uint64(0); i < n && b.err == nil; i++ {
+		var s ServiceInfo
+		s.decode(b)
+		m.Services = append(m.Services, s)
+	}
+}
+
+// ServiceAdded announces a newly registered remote service
+// (incremental lease update; §2.2: "service descriptions are
+// synchronized between the devices").
+type ServiceAdded struct {
+	Service ServiceInfo
+}
+
+// Type implements Message.
+func (m *ServiceAdded) Type() MsgType { return MsgServiceAdded }
+
+func (m *ServiceAdded) encode(b *Buffer) error { return m.Service.encode(b) }
+func (m *ServiceAdded) decode(b *Buffer)       { m.Service.decode(b) }
+
+// ServiceRemoved announces the unregistration of a remote service.
+type ServiceRemoved struct {
+	ServiceID int64
+}
+
+// Type implements Message.
+func (m *ServiceRemoved) Type() MsgType { return MsgServiceRemoved }
+
+func (m *ServiceRemoved) encode(b *Buffer) error {
+	b.WriteInt64(m.ServiceID)
+	return nil
+}
+
+func (m *ServiceRemoved) decode(b *Buffer) { m.ServiceID = b.ReadInt64() }
+
+// FetchService asks the peer for everything needed to build a local
+// proxy for one of its services.
+type FetchService struct {
+	RequestID int64
+	ServiceID int64
+}
+
+// Type implements Message.
+func (m *FetchService) Type() MsgType { return MsgFetchService }
+
+func (m *FetchService) encode(b *Buffer) error {
+	b.WriteInt64(m.RequestID)
+	b.WriteInt64(m.ServiceID)
+	return nil
+}
+
+func (m *FetchService) decode(b *Buffer) {
+	m.RequestID = b.ReadInt64()
+	m.ServiceID = b.ReadInt64()
+}
+
+// ServiceReply answers FetchService with the shipped interface(s), any
+// injected types, the AlfredO service descriptor resource, and an
+// optional smart proxy reference.
+type ServiceReply struct {
+	RequestID  int64
+	Info       ServiceInfo
+	Interfaces []InterfaceDesc
+	Types      []TypeDesc
+	Descriptor []byte
+	Smart      *SmartProxyRef
+}
+
+// Type implements Message.
+func (m *ServiceReply) Type() MsgType { return MsgServiceReply }
+
+func (m *ServiceReply) encode(b *Buffer) error {
+	b.WriteInt64(m.RequestID)
+	if err := m.Info.encode(b); err != nil {
+		return err
+	}
+	b.WriteUvarint(uint64(len(m.Interfaces)))
+	for i := range m.Interfaces {
+		m.Interfaces[i].encode(b)
+	}
+	b.WriteUvarint(uint64(len(m.Types)))
+	for i := range m.Types {
+		m.Types[i].encode(b)
+	}
+	b.WriteBytes(m.Descriptor)
+	if m.Smart != nil {
+		b.WriteBool(true)
+		b.WriteString(m.Smart.CodeRef)
+		b.WriteStrings(m.Smart.LocalMethods)
+	} else {
+		b.WriteBool(false)
+	}
+	return nil
+}
+
+func (m *ServiceReply) decode(b *Buffer) {
+	m.RequestID = b.ReadInt64()
+	m.Info.decode(b)
+	n := b.ReadUvarint()
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d interfaces", ErrTooLarge, n))
+		return
+	}
+	if n > 0 {
+		m.Interfaces = make([]InterfaceDesc, 0, min(int(n), 64))
+		for i := uint64(0); i < n && b.err == nil; i++ {
+			var d InterfaceDesc
+			d.decode(b)
+			m.Interfaces = append(m.Interfaces, d)
+		}
+	}
+	n = b.ReadUvarint()
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d types", ErrTooLarge, n))
+		return
+	}
+	if n > 0 {
+		m.Types = make([]TypeDesc, 0, min(int(n), 64))
+		for i := uint64(0); i < n && b.err == nil; i++ {
+			var d TypeDesc
+			d.decode(b)
+			m.Types = append(m.Types, d)
+		}
+	}
+	m.Descriptor = b.ReadBytes()
+	if b.ReadBool() {
+		m.Smart = &SmartProxyRef{
+			CodeRef:      b.ReadString(),
+			LocalMethods: b.ReadStrings(),
+		}
+	}
+}
+
+// Invoke is a synchronous remote method invocation.
+type Invoke struct {
+	CallID    int64
+	ServiceID int64
+	Method    string
+	Args      []any
+}
+
+// Type implements Message.
+func (m *Invoke) Type() MsgType { return MsgInvoke }
+
+func (m *Invoke) encode(b *Buffer) error {
+	b.WriteInt64(m.CallID)
+	b.WriteInt64(m.ServiceID)
+	b.WriteString(m.Method)
+	return b.WriteValues(m.Args)
+}
+
+func (m *Invoke) decode(b *Buffer) {
+	m.CallID = b.ReadInt64()
+	m.ServiceID = b.ReadInt64()
+	m.Method = b.ReadString()
+	m.Args = b.ReadValues()
+}
+
+// Result carries a successful invocation result.
+type Result struct {
+	CallID int64
+	Value  any
+}
+
+// Type implements Message.
+func (m *Result) Type() MsgType { return MsgResult }
+
+func (m *Result) encode(b *Buffer) error {
+	b.WriteInt64(m.CallID)
+	return b.WriteValue(m.Value)
+}
+
+func (m *Result) decode(b *Buffer) {
+	m.CallID = b.ReadInt64()
+	m.Value = b.ReadValue()
+}
+
+// ErrorReply carries a failed invocation (CallID > 0) or a
+// connection-level protocol error (CallID == 0).
+type ErrorReply struct {
+	CallID  int64
+	Code    string
+	Message string
+}
+
+// Type implements Message.
+func (m *ErrorReply) Type() MsgType { return MsgError }
+
+func (m *ErrorReply) encode(b *Buffer) error {
+	b.WriteInt64(m.CallID)
+	b.WriteString(m.Code)
+	b.WriteString(m.Message)
+	return nil
+}
+
+func (m *ErrorReply) decode(b *Buffer) {
+	m.CallID = b.ReadInt64()
+	m.Code = b.ReadString()
+	m.Message = b.ReadString()
+}
+
+// Event forwards an EventAdmin event to a subscribed peer (§2.1
+// asynchronous remote events).
+type Event struct {
+	Topic string
+	Props map[string]any
+}
+
+// Type implements Message.
+func (m *Event) Type() MsgType { return MsgEvent }
+
+func (m *Event) encode(b *Buffer) error {
+	b.WriteString(m.Topic)
+	return b.WriteProps(m.Props)
+}
+
+func (m *Event) decode(b *Buffer) {
+	m.Topic = b.ReadString()
+	m.Props = b.ReadProps()
+}
+
+// Subscribe replaces the set of topic patterns the sending peer wants
+// forwarded to it.
+type Subscribe struct {
+	Patterns []string
+}
+
+// Type implements Message.
+func (m *Subscribe) Type() MsgType { return MsgSubscribe }
+
+func (m *Subscribe) encode(b *Buffer) error {
+	b.WriteStrings(m.Patterns)
+	return nil
+}
+
+func (m *Subscribe) decode(b *Buffer) { m.Patterns = b.ReadStrings() }
+
+// StreamOpen opens a byte stream to the peer (transparent stream
+// proxies for high-volume data, §3.2).
+type StreamOpen struct {
+	StreamID int64
+	Name     string
+	Props    map[string]any
+}
+
+// Type implements Message.
+func (m *StreamOpen) Type() MsgType { return MsgStreamOpen }
+
+func (m *StreamOpen) encode(b *Buffer) error {
+	b.WriteInt64(m.StreamID)
+	b.WriteString(m.Name)
+	return b.WriteProps(m.Props)
+}
+
+func (m *StreamOpen) decode(b *Buffer) {
+	m.StreamID = b.ReadInt64()
+	m.Name = b.ReadString()
+	m.Props = b.ReadProps()
+}
+
+// StreamData carries one chunk of an open stream.
+type StreamData struct {
+	StreamID int64
+	Chunk    []byte
+}
+
+// Type implements Message.
+func (m *StreamData) Type() MsgType { return MsgStreamData }
+
+func (m *StreamData) encode(b *Buffer) error {
+	b.WriteInt64(m.StreamID)
+	b.WriteBytes(m.Chunk)
+	return nil
+}
+
+func (m *StreamData) decode(b *Buffer) {
+	m.StreamID = b.ReadInt64()
+	m.Chunk = b.ReadBytes()
+}
+
+// StreamClose terminates a stream; Err is empty on clean EOF.
+type StreamClose struct {
+	StreamID int64
+	Err      string
+}
+
+// Type implements Message.
+func (m *StreamClose) Type() MsgType { return MsgStreamClose }
+
+func (m *StreamClose) encode(b *Buffer) error {
+	b.WriteInt64(m.StreamID)
+	b.WriteString(m.Err)
+	return nil
+}
+
+func (m *StreamClose) decode(b *Buffer) {
+	m.StreamID = b.ReadInt64()
+	m.Err = b.ReadString()
+}
+
+// Ping is a liveness and latency probe; the peer answers with Pong
+// carrying the same sequence number. It doubles as the ICMP-ping
+// baseline in the paper's Figures 5 and 6.
+type Ping struct {
+	Seq int64
+}
+
+// Type implements Message.
+func (m *Ping) Type() MsgType { return MsgPing }
+
+func (m *Ping) encode(b *Buffer) error {
+	b.WriteInt64(m.Seq)
+	return nil
+}
+
+func (m *Ping) decode(b *Buffer) { m.Seq = b.ReadInt64() }
+
+// Pong answers Ping.
+type Pong struct {
+	Seq int64
+}
+
+// Type implements Message.
+func (m *Pong) Type() MsgType { return MsgPong }
+
+func (m *Pong) encode(b *Buffer) error {
+	b.WriteInt64(m.Seq)
+	return nil
+}
+
+func (m *Pong) decode(b *Buffer) { m.Seq = b.ReadInt64() }
+
+// Bye announces an orderly disconnect.
+type Bye struct {
+	Reason string
+}
+
+// Type implements Message.
+func (m *Bye) Type() MsgType { return MsgBye }
+
+func (m *Bye) encode(b *Buffer) error {
+	b.WriteString(m.Reason)
+	return nil
+}
+
+func (m *Bye) decode(b *Buffer) { m.Reason = b.ReadString() }
+
+// newMessage allocates the message struct for a type discriminator.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case MsgHello:
+		return &Hello{}, nil
+	case MsgLease:
+		return &Lease{}, nil
+	case MsgServiceAdded:
+		return &ServiceAdded{}, nil
+	case MsgServiceRemoved:
+		return &ServiceRemoved{}, nil
+	case MsgFetchService:
+		return &FetchService{}, nil
+	case MsgServiceReply:
+		return &ServiceReply{}, nil
+	case MsgInvoke:
+		return &Invoke{}, nil
+	case MsgResult:
+		return &Result{}, nil
+	case MsgError:
+		return &ErrorReply{}, nil
+	case MsgEvent:
+		return &Event{}, nil
+	case MsgSubscribe:
+		return &Subscribe{}, nil
+	case MsgStreamOpen:
+		return &StreamOpen{}, nil
+	case MsgStreamData:
+		return &StreamData{}, nil
+	case MsgStreamClose:
+		return &StreamClose{}, nil
+	case MsgPing:
+		return &Ping{}, nil
+	case MsgPong:
+		return &Pong{}, nil
+	case MsgBye:
+		return &Bye{}, nil
+	default:
+		return nil, fmt.Errorf("%w: type %d", ErrBadMsg, byte(t))
+	}
+}

@@ -1,0 +1,273 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// Value tags for the tagged codec. Invocation arguments and results, and
+// service/event property maps, are encoded as tagged values.
+const (
+	tagNil     = 0
+	tagBool    = 1
+	tagInt64   = 2
+	tagFloat64 = 3
+	tagString  = 4
+	tagBytes   = 5
+	tagList    = 6
+	tagMap     = 7
+)
+
+// TypeName returns the wire type name used in interface descriptors for
+// a Go value: one of "void", "bool", "int", "float", "string", "bytes",
+// "list", "map". Unsupported Go types map to "" (callers must normalize
+// first).
+func TypeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "void"
+	case bool:
+		return "bool"
+	case int, int8, int16, int32, int64, uint, uint8, uint16, uint32:
+		return "int"
+	case float32, float64:
+		return "float"
+	case string:
+		return "string"
+	case []byte:
+		return "bytes"
+	case []any:
+		return "list"
+	case map[string]any:
+		return "map"
+	default:
+		return ""
+	}
+}
+
+// Normalize converts a supported Go value into its canonical wire form:
+// integers widen to int64, float32 to float64, []string to []any.
+// It returns an error for unsupported types, which keeps surprises at
+// the encoding boundary instead of on the remote side.
+func Normalize(v any) (any, error) {
+	switch vv := v.(type) {
+	case nil, bool, int64, float64, string:
+		return vv, nil
+	case []byte:
+		return vv, nil
+	case int:
+		return int64(vv), nil
+	case int8:
+		return int64(vv), nil
+	case int16:
+		return int64(vv), nil
+	case int32:
+		return int64(vv), nil
+	case uint:
+		return int64(vv), nil
+	case uint8:
+		return int64(vv), nil
+	case uint16:
+		return int64(vv), nil
+	case uint32:
+		return int64(vv), nil
+	case float32:
+		return float64(vv), nil
+	case []string:
+		out := make([]any, len(vv))
+		for i, s := range vv {
+			out[i] = s
+		}
+		return out, nil
+	case []any:
+		out := make([]any, len(vv))
+		for i, e := range vv {
+			n, err := Normalize(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = n
+		}
+		return out, nil
+	case map[string]any:
+		out := make(map[string]any, len(vv))
+		for k, e := range vv {
+			n, err := Normalize(e)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = n
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported value type %T", v)
+	}
+}
+
+// WriteValue appends a normalized value (see Normalize) to the buffer.
+// Values that Normalize rejects cause an encoding error return.
+func (b *Buffer) WriteValue(v any) error {
+	n, err := Normalize(v)
+	if err != nil {
+		return err
+	}
+	b.writeNormalized(n)
+	return nil
+}
+
+func (b *Buffer) writeNormalized(v any) {
+	switch vv := v.(type) {
+	case nil:
+		b.WriteU8(tagNil)
+	case bool:
+		b.WriteU8(tagBool)
+		b.WriteBool(vv)
+	case int64:
+		b.WriteU8(tagInt64)
+		b.WriteInt64(vv)
+	case float64:
+		b.WriteU8(tagFloat64)
+		b.WriteFloat64(vv)
+	case string:
+		b.WriteU8(tagString)
+		b.WriteString(vv)
+	case []byte:
+		b.WriteU8(tagBytes)
+		b.WriteBytes(vv)
+	case []any:
+		b.WriteU8(tagList)
+		b.WriteUvarint(uint64(len(vv)))
+		for _, e := range vv {
+			b.writeNormalized(e)
+		}
+	case map[string]any:
+		b.WriteU8(tagMap)
+		b.WriteUvarint(uint64(len(vv)))
+		// Deterministic encoding is not required for correctness (maps
+		// are unordered), so iterate directly and keep encoding cheap.
+		for k, e := range vv {
+			b.WriteString(k)
+			b.writeNormalized(e)
+		}
+	default:
+		// writeNormalized is only called with Normalize output; reaching
+		// this branch is a programming error worth failing loudly on.
+		panic(fmt.Sprintf("wire: writeNormalized on unnormalized %T", v))
+	}
+}
+
+// ReadValue consumes a tagged value.
+func (b *Buffer) ReadValue() any {
+	return b.readValueDepth(0)
+}
+
+func (b *Buffer) readValueDepth(depth int) any {
+	if b.err != nil {
+		return nil
+	}
+	if depth > MaxDepth {
+		b.fail(fmt.Errorf("%w: nesting deeper than %d", ErrTooLarge, MaxDepth))
+		return nil
+	}
+	tag := b.ReadU8()
+	if b.err != nil {
+		return nil
+	}
+	switch tag {
+	case tagNil:
+		return nil
+	case tagBool:
+		return b.ReadBool()
+	case tagInt64:
+		return b.ReadInt64()
+	case tagFloat64:
+		return b.ReadFloat64()
+	case tagString:
+		return b.ReadString()
+	case tagBytes:
+		return b.ReadBytes()
+	case tagList:
+		n := b.ReadUvarint()
+		if n > MaxElems {
+			b.fail(fmt.Errorf("%w: list of %d elements", ErrTooLarge, n))
+			return nil
+		}
+		out := make([]any, 0, min(int(n), 1024))
+		for i := uint64(0); i < n && b.err == nil; i++ {
+			out = append(out, b.readValueDepth(depth+1))
+		}
+		return out
+	case tagMap:
+		n := b.ReadUvarint()
+		if n > MaxElems {
+			b.fail(fmt.Errorf("%w: map of %d entries", ErrTooLarge, n))
+			return nil
+		}
+		out := make(map[string]any, min(int(n), 1024))
+		for i := uint64(0); i < n && b.err == nil; i++ {
+			k := b.ReadString()
+			out[k] = b.readValueDepth(depth + 1)
+		}
+		return out
+	default:
+		b.fail(fmt.Errorf("%w: tag %d at offset %d", ErrBadTag, tag, b.off-1))
+		return nil
+	}
+}
+
+// WriteValues appends a length-prefixed list of values.
+func (b *Buffer) WriteValues(vs []any) error {
+	b.WriteUvarint(uint64(len(vs)))
+	for _, v := range vs {
+		if err := b.WriteValue(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadValues consumes a length-prefixed list of values.
+func (b *Buffer) ReadValues() []any {
+	n := b.ReadUvarint()
+	if b.err != nil {
+		return nil
+	}
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d values", ErrTooLarge, n))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]any, 0, min(int(n), 1024))
+	for i := uint64(0); i < n && b.err == nil; i++ {
+		out = append(out, b.ReadValue())
+	}
+	return out
+}
+
+// WriteProps appends a property map.
+func (b *Buffer) WriteProps(p map[string]any) error {
+	n, err := Normalize(p)
+	if err != nil {
+		return err
+	}
+	if n == nil {
+		n = map[string]any{}
+	}
+	b.writeNormalized(n)
+	return nil
+}
+
+// ReadProps consumes a property map.
+func (b *Buffer) ReadProps() map[string]any {
+	v := b.ReadValue()
+	if b.err != nil {
+		return nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		b.fail(fmt.Errorf("%w: expected map, got %T", ErrBadMsg, v))
+		return nil
+	}
+	return m
+}

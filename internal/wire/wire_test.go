@@ -1,0 +1,336 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	values := []any{
+		nil,
+		true,
+		false,
+		int64(0),
+		int64(-1),
+		int64(math.MaxInt64),
+		int64(math.MinInt64),
+		3.14159,
+		math.Inf(1),
+		"",
+		"hello, wörld",
+		[]byte{},
+		[]byte{0, 1, 2, 255},
+		[]any{int64(1), "two", 3.0, nil, true},
+		map[string]any{"a": int64(1), "b": []any{"x"}, "c": map[string]any{"d": nil}},
+	}
+	for _, v := range values {
+		b := &Buffer{}
+		if err := b.WriteValue(v); err != nil {
+			t.Errorf("WriteValue(%v): %v", v, err)
+			continue
+		}
+		d := NewBuffer(b.Bytes())
+		got := d.ReadValue()
+		if d.Err() != nil {
+			t.Errorf("ReadValue(%v): %v", v, d.Err())
+			continue
+		}
+		if !reflect.DeepEqual(got, v) && !equalEmpty(got, v) {
+			t.Errorf("round trip %#v -> %#v", v, got)
+		}
+	}
+}
+
+// equalEmpty treats empty slices as equal regardless of nil-ness.
+func equalEmpty(a, b any) bool {
+	ab, aok := a.([]byte)
+	bb, bok := b.([]byte)
+	return aok && bok && len(ab) == 0 && len(bb) == 0
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in   any
+		want any
+	}{
+		{42, int64(42)},
+		{uint8(7), int64(7)},
+		{float32(1.5), 1.5},
+		{[]string{"a", "b"}, []any{"a", "b"}},
+		{[]any{1, float32(2)}, []any{int64(1), float64(2)}},
+		{map[string]any{"k": 1}, map[string]any{"k": int64(1)}},
+	}
+	for _, c := range cases {
+		got, err := Normalize(c.in)
+		if err != nil {
+			t.Errorf("Normalize(%v): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Normalize(%#v) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+	if _, err := Normalize(struct{}{}); err == nil {
+		t.Error("Normalize(struct{}{}) should fail")
+	}
+	if _, err := Normalize(map[string]any{"bad": make(chan int)}); err == nil {
+		t.Error("Normalize of nested unsupported type should fail")
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	cases := map[string]any{
+		"void": nil, "bool": true, "int": 5, "float": 2.5,
+		"string": "s", "bytes": []byte{1}, "list": []any{}, "map": map[string]any{},
+	}
+	for want, v := range cases {
+		if got := TypeName(v); got != want {
+			t.Errorf("TypeName(%T) = %q, want %q", v, got, want)
+		}
+	}
+	if TypeName(struct{}{}) != "" {
+		t.Error("TypeName of unsupported type should be empty")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	// Hand-encode nesting beyond MaxDepth.
+	b := &Buffer{}
+	for i := 0; i < MaxDepth+2; i++ {
+		b.WriteU8(tagList)
+		b.WriteUvarint(1)
+	}
+	b.WriteU8(tagNil)
+	d := NewBuffer(b.Bytes())
+	d.ReadValue()
+	if !errors.Is(d.Err(), ErrTooLarge) {
+		t.Errorf("deep nesting error = %v, want ErrTooLarge", d.Err())
+	}
+}
+
+func TestTruncatedValues(t *testing.T) {
+	b := &Buffer{}
+	if err := b.WriteValue(map[string]any{"key": "a long enough value"}); err != nil {
+		t.Fatal(err)
+	}
+	full := b.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewBuffer(full[:cut])
+		d.ReadValue()
+		if d.Err() == nil && cut < len(full) {
+			// Some prefixes decode to a smaller valid value; they must
+			// not panic, and the common case is an error.
+			continue
+		}
+	}
+}
+
+func TestBadTag(t *testing.T) {
+	d := NewBuffer([]byte{99})
+	d.ReadValue()
+	if !errors.Is(d.Err(), ErrBadTag) {
+		t.Errorf("error = %v, want ErrBadTag", d.Err())
+	}
+}
+
+func allMessages() []Message {
+	return []Message{
+		&Hello{PeerID: "phone-nokia9300i", Version: ProtocolVersion, Props: map[string]any{"cpu": "arm9"}},
+		&Lease{Services: []ServiceInfo{
+			{ID: 1, Interfaces: []string{"ch.ethz.Pointer"}, Props: map[string]any{"ranking": int64(3)}},
+			{ID: 2, Interfaces: []string{"ch.ethz.Shop", "ch.ethz.Catalog"}, Props: map[string]any{}},
+		}},
+		&Lease{},
+		&ServiceAdded{Service: ServiceInfo{ID: 9, Interfaces: []string{"x"}, Props: map[string]any{}}},
+		&ServiceRemoved{ServiceID: 9},
+		&FetchService{RequestID: 5, ServiceID: 2},
+		&ServiceReply{
+			RequestID: 5,
+			Info:      ServiceInfo{ID: 2, Interfaces: []string{"ch.ethz.Shop"}, Props: map[string]any{}},
+			Interfaces: []InterfaceDesc{{
+				Name: "ch.ethz.Shop",
+				Methods: []MethodDesc{
+					{Name: "Browse", Args: []string{"string"}, Return: "list"},
+					{Name: "Detail", Args: []string{"int"}, Return: "map"},
+				},
+			}},
+			Types:      []TypeDesc{{Name: "Product", Fields: []TypeField{{Name: "name", Type: "string"}}}},
+			Descriptor: []byte(`{"ui":[]}`),
+			Smart:      &SmartProxyRef{CodeRef: "sha256:abc", LocalMethods: []string{"Browse"}},
+		},
+		&ServiceReply{RequestID: 6, Info: ServiceInfo{ID: 3, Props: map[string]any{}}, Descriptor: []byte{}},
+		&Invoke{CallID: 77, ServiceID: 2, Method: "Browse", Args: []any{"beds", int64(10)}},
+		&Result{CallID: 77, Value: []any{"bed-1", "bed-2"}},
+		&Result{CallID: 78, Value: nil},
+		&ErrorReply{CallID: 77, Code: "NO_SUCH_METHOD", Message: "Browse2 not found"},
+		&Event{Topic: "alfredo/mouse/snapshot", Props: map[string]any{"seq": int64(1)}},
+		&Subscribe{Patterns: []string{"alfredo/*", "shop/update"}},
+		&StreamOpen{StreamID: 3, Name: "screen", Props: map[string]any{"fmt": "rgb"}},
+		&StreamData{StreamID: 3, Chunk: []byte{9, 9, 9}},
+		&StreamClose{StreamID: 3, Err: "link lost"},
+		&Ping{Seq: 42},
+		&Pong{Seq: 42},
+		&Bye{Reason: "session end"},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, m := range allMessages() {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Errorf("WriteMessage(%s): %v", m.Type(), err)
+			continue
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Errorf("ReadMessage(%s): %v", m.Type(), err)
+			continue
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip %s:\n got %#v\nwant %#v", m.Type(), got, m)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%s left %d bytes in stream", m.Type(), buf.Len())
+		}
+	}
+}
+
+func TestMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := allMessages()
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("WriteMessage: %v", err)
+		}
+	}
+	for i := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("ReadMessage #%d: %v", i, err)
+		}
+		if got.Type() != msgs[i].Type() {
+			t.Errorf("message %d type = %s, want %s", i, got.Type(), msgs[i].Type())
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                    // empty payload
+		{0},                   // type 0
+		{200},                 // unknown type
+		{byte(MsgPing)},       // truncated body
+		{byte(MsgPing), 1, 1}, // trailing bytes
+	}
+	for _, payload := range cases {
+		if _, err := DecodeMessage(payload); err == nil {
+			t.Errorf("DecodeMessage(%v) should fail", payload)
+		}
+	}
+}
+
+func TestReadMessageRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized frame error = %v", err)
+	}
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrBadMsg) {
+		t.Errorf("empty frame error = %v", err)
+	}
+}
+
+func TestPropertyScalarRoundTrip(t *testing.T) {
+	prop := func(i int64, f float64, s string, bs []byte, flag bool) bool {
+		in := []any{i, f, s, bs, flag}
+		b := &Buffer{}
+		if err := b.WriteValues(in); err != nil {
+			return false
+		}
+		d := NewBuffer(b.Bytes())
+		out := d.ReadValues()
+		if d.Err() != nil || len(out) != len(in) {
+			return false
+		}
+		if out[0] != i || out[2] != s || out[4] != flag {
+			return false
+		}
+		// NaN is the one float that does not compare equal to itself.
+		of, _ := out[1].(float64)
+		if f == f && of != f {
+			return false
+		}
+		ob, _ := out[3].([]byte)
+		return bytes.Equal(ob, bs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInvokeRoundTrip(t *testing.T) {
+	prop := func(callID, svcID int64, method string, arg string) bool {
+		m := &Invoke{CallID: callID, ServiceID: svcID, Method: method, Args: []any{arg}}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			return false
+		}
+		gm, ok := got.(*Invoke)
+		return ok && gm.CallID == callID && gm.ServiceID == svcID &&
+			gm.Method == method && len(gm.Args) == 1 && gm.Args[0] == arg
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDecodeNeverPanics feeds random bytes to the frame decoder.
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	prop := func(payload []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("DecodeMessage panicked on %v: %v", payload, r)
+			}
+		}()
+		_, _ = DecodeMessage(payload)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterfaceDescMethodLookup(t *testing.T) {
+	d := InterfaceDesc{Name: "I", Methods: []MethodDesc{{Name: "A"}, {Name: "B"}}}
+	if m, ok := d.Method("B"); !ok || m.Name != "B" {
+		t.Errorf("Method(B) = %v, %v", m, ok)
+	}
+	if _, ok := d.Method("C"); ok {
+		t.Error("Method(C) should not exist")
+	}
+}
+
+func TestEmptyPropsDecodeToEmptyMap(t *testing.T) {
+	m := &Hello{PeerID: "p", Version: 1}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*Hello).Props == nil {
+		t.Error("nil props should decode as empty map")
+	}
+}
