@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz fmt vet clean
+.PHONY: all build test race cover bench experiments fuzz fmt vet chaos check clean
 
 all: build test
 
@@ -39,6 +39,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# End-to-end fault-injection suite: sessions driven through scripted
+# disconnects, partitions, loss and corruption, always under -race.
+chaos:
+	$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/remote/
+
+# The full pre-merge gate: compile, vet, and the whole tree under -race.
+check: build vet
+	$(GO) test -race ./...
 
 clean:
 	$(GO) clean -testcache

@@ -28,7 +28,21 @@ func FuzzWireDecode(f *testing.F) {
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(frame[4:])
+		payload := frame[4:]
+		f.Add(payload)
+		// Truncation seeds: chop the payload at several depths, modeling
+		// a stream cut mid-frame.
+		for _, frac := range []int{2, 3, 4} {
+			f.Add(payload[:len(payload)/frac])
+		}
+		// Bit-flip seeds: single-bit corruption like a noisy radio link
+		// (netsim FaultCorrupt) would produce.
+		for _, bit := range []int{0, 7, len(payload) * 4, len(payload)*8 - 1} {
+			flipped := make([]byte, len(payload))
+			copy(flipped, payload)
+			flipped[bit/8] ^= 1 << (bit % 8)
+			f.Add(flipped)
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0x00})

@@ -225,6 +225,25 @@ func TestSmartProxyAblation(t *testing.T) {
 	}
 }
 
+func TestFaultAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full disconnect/recover cycles")
+	}
+	rec, err := measureRecovery(netsim.WLAN11b, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovery includes the outage itself plus redial + handshake +
+	// re-lease overhead; it cannot undercut the blackout, and on a WLAN
+	// link the overhead should stay well under a second.
+	if rec < 200*time.Millisecond {
+		t.Errorf("recovery %v shorter than the 200ms outage", rec)
+	}
+	if rec > 5*time.Second {
+		t.Errorf("recovery %v implausibly slow for a 200ms outage", rec)
+	}
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	if len(Order) != len(Experiments) {
 		t.Errorf("Order (%d) and Experiments (%d) out of sync", len(Order), len(Experiments))

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// FaultPoint is one row of the fault-recovery ablation: how long a
+// resilient session needs to get back to a successful invocation after
+// a hard disconnect followed by an outage of the given length.
+type FaultPoint struct {
+	Link     string
+	Outage   time.Duration
+	Recovery time.Duration // disconnect -> first successful invocation
+	Overhead time.Duration // Recovery - Outage: redial + handshake + re-lease
+}
+
+// RunFaultAblation measures recovery time versus disconnect duration
+// over the paper's phone links. The paper's lease model (§3.2) argues
+// that devices vanish and reappear on wireless links; this experiment
+// quantifies what that costs with the resilient layer in place: the
+// connection is hard-dropped, redials are refused for the outage
+// duration (access point out of range), and the clock stops at the
+// first invocation that completes after the blackout lifts.
+func RunFaultAblation(cfg Config) ([]FaultPoint, error) {
+	cfg = cfg.withDefaults()
+	outages := []time.Duration{
+		100 * time.Millisecond, 250 * time.Millisecond,
+		500 * time.Millisecond, time.Second,
+	}
+	if cfg.Full {
+		outages = append(outages, 2*time.Second, 4*time.Second)
+	}
+	links := []netsim.LinkProfile{netsim.WLAN11b, netsim.BT20}
+
+	fmt.Fprintln(cfg.Out, "Ablation: recovery time vs disconnect duration (shop session)")
+	fmt.Fprintf(cfg.Out, "%-10s %10s %14s %14s\n", "link", "outage", "recovery", "overhead")
+
+	var out []FaultPoint
+	for _, link := range links {
+		for _, outage := range outages {
+			var total time.Duration
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				rec, err := measureRecovery(link, outage)
+				if err != nil {
+					return nil, err
+				}
+				total += rec
+			}
+			p := FaultPoint{
+				Link:     link.Name,
+				Outage:   outage,
+				Recovery: total / time.Duration(cfg.Repeats),
+			}
+			p.Overhead = p.Recovery - outage
+			out = append(out, p)
+			fmt.Fprintf(cfg.Out, "%-10s %10s %14s %14s\n",
+				p.Link, fmtDur(p.Outage), fmtDur(p.Recovery), fmtDur(p.Overhead))
+		}
+	}
+	fmt.Fprintln(cfg.Out)
+	return out, nil
+}
+
+// measureRecovery runs one disconnect/recover cycle: establish a
+// resilient shop session, drop the transport with redials refused for
+// the outage duration, and time until an invocation completes again.
+func measureRecovery(link netsim.LinkProfile, outage time.Duration) (time.Duration, error) {
+	fabric := netsim.NewFabric()
+	host, err := core.NewNode(core.NodeConfig{Name: "fault-host", Profile: device.Notebook()})
+	if err != nil {
+		return 0, err
+	}
+	defer host.Close()
+	if err := host.RegisterApp(shop.New().App()); err != nil {
+		return 0, err
+	}
+	l, err := fabric.Listen("fault-host")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	host.Serve(l)
+
+	phone, err := core.NewNode(core.NodeConfig{
+		Name:    "fault-phone",
+		Profile: device.Nokia9300i(),
+		Retry: remote.RetryPolicy{
+			MaxAttempts:     3,
+			BaseDelay:       25 * time.Millisecond,
+			ReconnectBudget: outage + 15*time.Second,
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer phone.Close()
+
+	var mu sync.Mutex
+	var last *netsim.Conn
+	dial := func() (net.Conn, error) {
+		c, err := fabric.Dial("fault-host", link)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		last = c.(*netsim.Conn)
+		mu.Unlock()
+		return c, nil
+	}
+	session, err := phone.ConnectResilient(dial)
+	if err != nil {
+		return 0, err
+	}
+	defer session.Close()
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{SkipUI: true})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := app.Invoke("Categories"); err != nil {
+		return 0, err
+	}
+
+	// Outage: hard drop, redials refused until the blackout lifts.
+	start := time.Now()
+	fabric.Block("fault-host", outage)
+	mu.Lock()
+	last.Drop()
+	mu.Unlock()
+
+	// Wait for the session to notice the failure (the degraded window
+	// spans the whole blackout, so this poll cannot miss it).
+	for !app.Degraded() {
+		if session.Link().State() == remote.LinkDown {
+			return 0, fmt.Errorf("bench: link down during %v outage", outage)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Invoke blocks while degraded and completes once the lease is
+	// re-established — exactly the user-visible recovery time.
+	if _, err := app.Invoke("Categories"); err != nil {
+		return 0, fmt.Errorf("bench: recovery invoke after %v outage: %w", outage, err)
+	}
+	return time.Since(start), nil
+}

@@ -20,12 +20,13 @@ var Experiments = map[string]func(Config) error{
 	"smartproxy": func(c Config) error { _, err := RunSmartProxyAblation(c); return err },
 	"buildcost":  func(c Config) error { _, err := RunBuildCostAblation(c); return err },
 	"payload":    func(c Config) error { _, err := RunPayloadAblation(c); return err },
+	"faults":     func(c Config) error { _, err := RunFaultAblation(c); return err },
 }
 
 // Order lists experiment ids in report order.
 var Order = []string{
 	"footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6",
-	"tiers", "renderers", "smartproxy", "buildcost", "payload",
+	"tiers", "renderers", "smartproxy", "buildcost", "payload", "faults",
 }
 
 // RunAll executes every experiment in order.

@@ -1,0 +1,348 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/mousecontroller"
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/render"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// rig is a host + phone pair wired over the netsim fabric, with every
+// client-side connection recorded so tests can inject faults into it.
+type rig struct {
+	fabric *netsim.Fabric
+	host   *core.Node
+	phone  *core.Node
+	mouse  *mousecontroller.Service
+
+	mu    sync.Mutex
+	conns []*netsim.Conn
+	link  netsim.LinkProfile
+}
+
+const hostAddr = "chaos-host"
+
+func newRig(t *testing.T, link netsim.LinkProfile, timeout time.Duration, retry remote.RetryPolicy) *rig {
+	t.Helper()
+	host, err := core.NewNode(core.NodeConfig{Name: hostAddr, Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(host.Close)
+	mouse := mousecontroller.New(1280, 800)
+	if err := host.RegisterApp(mouse.App()); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.RegisterApp(shop.New().App()); err != nil {
+		t.Fatal(err)
+	}
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen(hostAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	host.Serve(l)
+
+	phone, err := core.NewNode(core.NodeConfig{
+		Name:          "chaos-phone",
+		Profile:       device.Nokia9300i(),
+		InvokeTimeout: timeout,
+		Retry:         retry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(phone.Close)
+	return &rig{fabric: fabric, host: host, phone: phone, mouse: mouse, link: link}
+}
+
+// dial is the Dialer handed to ConnectResilient; it records every
+// connection it makes.
+func (r *rig) dial() (net.Conn, error) {
+	c, err := r.fabric.Dial(hostAddr, r.link)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.conns = append(r.conns, c.(*netsim.Conn))
+	r.mu.Unlock()
+	return c, nil
+}
+
+// lastConn returns the most recently dialed connection.
+func (r *rig) lastConn() *netsim.Conn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.conns[len(r.conns)-1]
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestShopSurvivesMidSessionDisconnect is the headline recovery arc: a
+// hard disconnect lands mid-interaction, the UI degrades (controls
+// disabled, not wedged), the link redials, the session re-establishes
+// its lease with a fresh proxy bundle, the controls come back, and a
+// pending invocation completes — all inside the reconnect budget.
+func TestShopSurvivesMidSessionDisconnect(t *testing.T) {
+	retry := remote.RetryPolicy{
+		MaxAttempts:     3,
+		BaseDelay:       20 * time.Millisecond,
+		ReconnectBudget: 5 * time.Second,
+	}
+	r := newRig(t, netsim.WLAN11b, 2*time.Second, retry)
+
+	session, err := r.phone.ConnectResilient(r.dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normal interaction before the fault.
+	if err := app.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blackout the host briefly so the degraded window is observable,
+	// then cut the radio link mid-session.
+	r.fabric.Block(hostAddr, 250*time.Millisecond)
+	r.lastConn().Drop()
+
+	waitFor(t, 2*time.Second, "application to degrade", app.Degraded)
+	// While degraded, user input bounces off the disabled controls.
+	err = app.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "chairs"})
+	if !errors.Is(err, render.ErrControlDisabled) {
+		t.Errorf("Inject while degraded = %v, want ErrControlDisabled", err)
+	}
+
+	// An invocation issued during the outage blocks and then succeeds
+	// once the lease is re-established — within the backoff budget.
+	start := time.Now()
+	cats, err := app.Invoke("Categories")
+	if err != nil {
+		t.Fatalf("Invoke across disconnect: %v", err)
+	}
+	if d := time.Since(start); d > retry.ReconnectBudget {
+		t.Errorf("recovery took %v, budget %v", d, retry.ReconnectBudget)
+	}
+	if list, ok := cats.([]any); !ok || len(list) == 0 {
+		t.Errorf("Categories after recovery = %#v", cats)
+	}
+
+	waitFor(t, 2*time.Second, "application to recover", func() bool { return !app.Degraded() })
+	// Controls are live again and the interaction works end to end.
+	if err := app.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"}); err != nil {
+		t.Fatalf("Inject after recovery: %v", err)
+	}
+	items, _ := app.View.Property("products", "items")
+	if list, ok := items.([]any); !ok || len(list) != 2 {
+		t.Errorf("tables after recovery = %v (ctl err %v)", items, app.Controller.LastError())
+	}
+	// The lease was re-exchanged on the new channel.
+	if len(session.Services()) == 0 {
+		t.Error("lease empty after recovery")
+	}
+}
+
+// TestPermanentPartitionDegradesWithTypedError keeps the host
+// unreachable past the reconnect budget: the link must go terminally
+// down, invocations must fail fast with ErrDegraded (not hang), and the
+// UI must stay disabled.
+func TestPermanentPartitionDegradesWithTypedError(t *testing.T) {
+	retry := remote.RetryPolicy{
+		MaxAttempts:     2,
+		BaseDelay:       20 * time.Millisecond,
+		ReconnectBudget: 300 * time.Millisecond,
+	}
+	r := newRig(t, netsim.WLAN11b, time.Second, retry)
+
+	session, err := r.phone.ConnectResilient(r.dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Permanent partition: every redial is refused.
+	r.fabric.Block(hostAddr, time.Hour)
+	r.lastConn().Drop()
+
+	waitFor(t, 5*time.Second, "link to go down", func() bool {
+		return session.Link().State() == remote.LinkDown
+	})
+
+	start := time.Now()
+	if _, err := app.Invoke("Categories"); !errors.Is(err, core.ErrDegraded) {
+		t.Errorf("Invoke on downed link = %v, want ErrDegraded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("degraded Invoke took %v, want fast typed failure", d)
+	}
+	if err := app.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"}); !errors.Is(err, render.ErrControlDisabled) {
+		t.Errorf("Inject on downed link = %v, want ErrControlDisabled", err)
+	}
+	if !app.Degraded() {
+		t.Error("application not degraded with link down")
+	}
+}
+
+// TestMouseControllerUnderFaultSchedule runs a MouseController session
+// through a scripted schedule — asymmetric loss, a partition, byte
+// corruption, then a hard drop — while the client keeps issuing
+// idempotent cursor moves. Losses desync the stream and corruption
+// poisons frames; the resilient link keeps tearing down and redialing,
+// and the at-least-once invocation layer must keep making progress.
+func TestMouseControllerUnderFaultSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fault schedule")
+	}
+	retry := remote.RetryPolicy{
+		MaxAttempts:     4,
+		BaseDelay:       25 * time.Millisecond,
+		ReconnectBudget: 10 * time.Second,
+	}
+	r := newRig(t, netsim.WLAN11b, 400*time.Millisecond, retry)
+
+	session, err := r.phone.ConnectResilient(r.dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	x0, _ := r.mouse.Desktop().Position()
+
+	stop := netsim.Schedule{
+		{At: 50 * time.Millisecond, Kind: netsim.FaultLoss, In: -1, Out: 0.05},
+		{At: 300 * time.Millisecond, Kind: netsim.FaultStall, For: 200 * time.Millisecond},
+		{At: 700 * time.Millisecond, Kind: netsim.FaultCorrupt, Prob: 0.02},
+		{At: 1200 * time.Millisecond, Kind: netsim.FaultDrop},
+	}.Run(r.lastConn())
+	defer stop()
+
+	successes := 0
+	deadline := time.Now().Add(8 * time.Second)
+	for i := 0; i < 40 && time.Now().Before(deadline); i++ {
+		ch := session.Channel()
+		info, ok := ch.FindRemoteService(mousecontroller.InterfaceName)
+		if !ok {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if _, err := ch.InvokeIdempotent(info.ID, "MoveBy", []any{int64(1), int64(0)}); err == nil {
+			successes++
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if successes < 10 {
+		t.Fatalf("only %d/40 idempotent moves landed under the fault schedule", successes)
+	}
+	// At-least-once: every acknowledged move executed one or more times.
+	x1, _ := r.mouse.Desktop().Position()
+	if x1-x0 < successes {
+		t.Errorf("cursor advanced %d for %d acknowledged moves", x1-x0, successes)
+	}
+	// The link healed behind the schedule (the final drop redials).
+	if _, err := session.Link().Await(5 * time.Second); err != nil {
+		t.Errorf("link did not recover after the schedule: %v", err)
+	}
+}
+
+// failingConn fails every write after the first n, then crash-drops the
+// transport, modeling a disconnect at a precise point of the protocol.
+type failingConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int
+}
+
+var errInjectedWrite = errors.New("chaos: injected write failure")
+
+func (f *failingConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	if f.remaining <= 0 {
+		f.mu.Unlock()
+		f.Conn.(*netsim.Conn).Drop()
+		return 0, errInjectedWrite
+	}
+	f.remaining--
+	f.mu.Unlock()
+	return f.Conn.Write(b)
+}
+
+// TestMidAcquireDisconnectDoesNotLeak disconnects at every write offset
+// of the acquisition protocol in turn and asserts the phone returns to
+// its baseline afterwards: no leaked proxy bundles (module footprint),
+// no leaked service registrations, no leaked goroutines.
+func TestMidAcquireDisconnectDoesNotLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps many disconnect offsets")
+	}
+	r := newRig(t, netsim.Loopback, 500*time.Millisecond, remote.RetryPolicy{MaxAttempts: 1})
+
+	baseFootprint := r.phone.Footprint()
+	baseServices := len(r.phone.Framework().Registry().FindAll("", nil))
+	runtime.GC()
+	baseGoroutines := runtime.NumGoroutine()
+
+	for n := 0; n < 10; n++ {
+		raw, err := r.fabric.Dial(hostAddr, netsim.Loopback)
+		if err != nil {
+			t.Fatalf("offset %d: dial: %v", n, err)
+		}
+		conn := &failingConn{Conn: raw, remaining: n}
+		session, err := r.phone.Connect(conn)
+		if err != nil {
+			continue // handshake itself hit the fault; nothing to clean
+		}
+		_, aerr := session.Acquire(shop.InterfaceName, core.AcquireOptions{})
+		session.Close()
+		if aerr == nil && n < 3 {
+			t.Errorf("offset %d: acquisition survived a disconnect that early", n)
+		}
+
+		if fp := r.phone.Footprint(); fp != baseFootprint {
+			t.Errorf("offset %d: footprint %d bytes, baseline %d — proxy bundle leaked", n, fp, baseFootprint)
+		}
+		if svc := len(r.phone.Framework().Registry().FindAll("", nil)); svc != baseServices {
+			t.Errorf("offset %d: %d registered services, baseline %d", n, svc, baseServices)
+		}
+	}
+
+	// Goroutines wind down asynchronously after channel teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines+3 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseGoroutines+3 {
+		t.Errorf("goroutines %d after sweep, baseline %d — goroutine leak", g, baseGoroutines)
+	}
+}

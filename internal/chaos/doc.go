@@ -1,0 +1,7 @@
+// Package chaos holds the end-to-end fault-injection test suite: real
+// application sessions (MouseController, AlfredOShop) driven through
+// scripted netsim fault schedules — disconnects, partitions, loss,
+// corruption — asserting that the remote and core layers degrade and
+// recover the way the paper's lease model (§3.2) promises. The package
+// contains only tests; there is no library code here.
+package chaos

@@ -39,6 +39,9 @@ type NodeConfig struct {
 	Renderers *render.Registry
 	// InvokeTimeout bounds remote calls.
 	InvokeTimeout time.Duration
+	// Retry governs remote retries and link reconnection for resilient
+	// sessions (zero fields take defaults).
+	Retry remote.RetryPolicy
 	// ClientInvokeCost overrides the per-invocation client cost fed to
 	// the device model (zero = full AlfredO path).
 	ClientInvokeCost time.Duration
@@ -98,6 +101,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Device:           cfg.Sim,
 		ProxyCode:        cfg.ProxyCode,
 		Timeout:          cfg.InvokeTimeout,
+		Retry:            cfg.Retry,
 		ClientInvokeCost: cfg.ClientInvokeCost,
 		HelloProps:       helloProps,
 	})
@@ -234,6 +238,35 @@ func (n *Node) Connect(conn net.Conn) (*Session, error) {
 	}
 	n.sessions[s] = struct{}{}
 	n.mu.Unlock()
+	return s, nil
+}
+
+// ConnectResilient establishes a client session over a self-healing
+// link: when the transport drops, the link redials within its reconnect
+// budget while the session degrades its applications (controls
+// disabled) and recovers them — fresh proxy bundles, re-established
+// leases — once the link is back up (§3.2). dial must reach the same
+// target on every call.
+func (n *Node) ConnectResilient(dial remote.Dialer) (*Session, error) {
+	link, err := n.peer.DialLink(dial)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		node: n,
+		link: link,
+		ch:   link.Channel(),
+		apps: make(map[string]*Application),
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		link.Close()
+		return nil, ErrNodeClosed
+	}
+	n.sessions[s] = struct{}{}
+	n.mu.Unlock()
+	link.OnStateChange(s.onLinkState)
 	return s, nil
 }
 

@@ -44,15 +44,15 @@ func (a *Application) PullDependency(service string) error {
 	}
 	a.mu.Unlock()
 
-	info, ok := a.session.ch.FindRemoteService(service)
+	info, ok := a.session.channel().FindRemoteService(service)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchRemoteService, service)
 	}
-	reply, err := a.session.ch.Fetch(info.ID)
+	reply, err := a.session.channel().Fetch(info.ID)
 	if err != nil {
 		return err
 	}
-	_, proxy, err := a.session.ch.InstallProxy(reply)
+	_, proxy, err := a.session.channel().InstallProxy(reply)
 	if err != nil {
 		return err
 	}

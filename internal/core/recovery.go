@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/render"
+)
+
+// Session recovery: a resilient session (ConnectResilient) reacts to
+// link state transitions. When the link drops, every application is
+// degraded — its controls are disabled so the user sees an inert UI
+// instead of one that wedges on a dead transport. When the link comes
+// back, the session re-establishes each lease through the normal
+// acquisition path (§3.2): fetch the interface again, synthesize and
+// start a fresh proxy bundle, re-pull logic-tier dependencies, then
+// re-enable the controls. The old channel's teardown has already
+// uninstalled the proxies it tracked, so nothing leaks across the
+// outage.
+
+// onLinkState is the watcher registered by ConnectResilient. It runs
+// sequentially on the link's monitor goroutine.
+func (s *Session) onLinkState(st remote.LinkState, ch *remote.Channel) {
+	switch st {
+	case remote.LinkReconnecting, remote.LinkDown:
+		s.degradeAll()
+	case remote.LinkUp:
+		s.mu.Lock()
+		closed := s.closed
+		if !closed {
+			s.ch = ch
+		}
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		s.recoverAll()
+		s.updateRemoteSubscriptions()
+	}
+}
+
+// degradeAll marks every application degraded and disables its
+// controls. Idempotent: the LinkDown transition after a failed
+// reconnect re-runs it harmlessly.
+func (s *Session) degradeAll() {
+	for _, app := range s.Apps() {
+		app.degrade()
+	}
+}
+
+// recoverAll re-acquires every application on the fresh channel. An
+// application whose service is no longer offered stays degraded.
+func (s *Session) recoverAll() {
+	for _, app := range s.Apps() {
+		if err := s.recoverApp(app); err != nil {
+			continue // stays degraded; next LinkUp retries
+		}
+	}
+}
+
+// degrade flips the application into the degraded state and disables
+// its rendered controls.
+func (a *Application) degrade() {
+	a.mu.Lock()
+	if a.done || a.degraded {
+		a.mu.Unlock()
+		return
+	}
+	a.degraded = true
+	a.recovered = make(chan struct{})
+	view := a.View
+	a.mu.Unlock()
+	a.setControlsEnabled(view, false)
+}
+
+// recoverApp rebuilds the application's remote half on the session's
+// current channel: resolve the service again, fetch, build/install/
+// start a fresh proxy bundle, re-pull the logic-tier dependencies the
+// placement decision had moved, then swap the pieces in and re-enable
+// the UI.
+func (s *Session) recoverApp(app *Application) error {
+	app.mu.Lock()
+	if app.done || !app.degraded {
+		app.mu.Unlock()
+		return nil
+	}
+	desc := app.Descriptor
+	pull := app.Placement.PullLogic
+	app.mu.Unlock()
+
+	ch := s.channel()
+	info, ok := ch.FindRemoteService(app.Interface)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchRemoteService, app.Interface)
+	}
+	reply, err := ch.Fetch(info.ID)
+	if err != nil {
+		return err
+	}
+	pb, err := ch.BuildProxy(reply)
+	if err != nil {
+		return err
+	}
+	pb.SetStartWork(desc.StartWork())
+	s.node.cfg.Sim.InstallBundle()
+	bundle, err := s.node.fw.InstallDynamic(pb.Archive, pb.Activator)
+	if err != nil {
+		return err
+	}
+	if err := bundle.Start(); err != nil {
+		_ = bundle.Uninstall()
+		return err
+	}
+	ch.TrackProxy(bundle)
+
+	deps := make(map[string]*remote.DynamicService, len(pull))
+	for _, depIface := range pull {
+		dinfo, ok := ch.FindRemoteService(depIface)
+		if !ok {
+			_ = bundle.Uninstall()
+			return fmt.Errorf("%w: dependency %s", ErrNoSuchRemoteService, depIface)
+		}
+		dreply, err := ch.Fetch(dinfo.ID)
+		if err != nil {
+			_ = bundle.Uninstall()
+			return err
+		}
+		_, proxy, err := ch.InstallProxy(dreply)
+		if err != nil {
+			_ = bundle.Uninstall()
+			return err
+		}
+		deps[depIface] = proxy
+	}
+
+	app.mu.Lock()
+	if app.done {
+		app.mu.Unlock()
+		_ = bundle.Uninstall()
+		return nil
+	}
+	app.Bundle = bundle
+	app.Proxy = pb.Service
+	app.Deps = deps
+	app.degraded = false
+	recovered := app.recovered
+	app.recovered = nil
+	view := app.View
+	app.mu.Unlock()
+	if recovered != nil {
+		close(recovered)
+	}
+	app.setControlsEnabled(view, true)
+	return nil
+}
+
+// setControlsEnabled toggles the enabled-gate on every rendered
+// control of the view (no-op without a UI).
+func (a *Application) setControlsEnabled(view render.View, enabled bool) {
+	if view == nil {
+		return
+	}
+	for _, id := range view.Report().Shown {
+		_ = view.SetProperty(id, render.PropEnabled, enabled)
+	}
+}

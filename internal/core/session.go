@@ -20,6 +20,11 @@ var (
 	ErrNoDescriptor        = errors.New("core: remote service ships no AlfredO descriptor")
 	ErrAlreadyAcquired     = errors.New("core: service already acquired in this session")
 	ErrUnsatisfied         = errors.New("core: device cannot satisfy service requirements")
+	// ErrDegraded is returned for invocations on an application whose
+	// target is unreachable (link reconnecting past its budget, or
+	// terminally down). The UI is disabled, not wedged: the session
+	// recovers automatically if the link comes back.
+	ErrDegraded = errors.New("core: application degraded: target unreachable")
 )
 
 // Timing records the acquisition phases of Tables 1 and 2 plus the
@@ -80,29 +85,47 @@ type Application struct {
 	evToks  []int64
 	mu      sync.Mutex
 	done    bool
+	// degraded marks the target unreachable; recovered (non-nil only
+	// while degraded) is closed when the session re-acquires the lease.
+	degraded  bool
+	recovered chan struct{}
 }
 
 // Session is one client connection to a target device.
 type Session struct {
 	node *Node
-	ch   *remote.Channel
+	// link is non-nil for resilient sessions (ConnectResilient); it
+	// owns reconnection and drives degrade/recover transitions.
+	link *remote.Link
 
 	mu     sync.Mutex
+	ch     *remote.Channel
 	apps   map[string]*Application
 	closed bool
 }
 
+// channel returns the current channel (it changes on reconnection).
+func (s *Session) channel() *remote.Channel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ch
+}
+
 // Channel exposes the underlying remote channel.
-func (s *Session) Channel() *remote.Channel { return s.ch }
+func (s *Session) Channel() *remote.Channel { return s.channel() }
+
+// Link returns the resilient link backing this session (nil for plain
+// Connect sessions).
+func (s *Session) Link() *remote.Link { return s.link }
 
 // RemoteID returns the target device's identity.
-func (s *Session) RemoteID() string { return s.ch.RemoteID() }
+func (s *Session) RemoteID() string { return s.channel().RemoteID() }
 
 // Services lists what the target device offers (the lease contents).
-func (s *Session) Services() []wire.ServiceInfo { return s.ch.RemoteServices() }
+func (s *Session) Services() []wire.ServiceInfo { return s.channel().RemoteServices() }
 
 // Ping measures the link round-trip time.
-func (s *Session) Ping() (time.Duration, error) { return s.ch.Ping() }
+func (s *Session) Ping() (time.Duration, error) { return s.channel().Ping() }
 
 // Acquire leases the client side of the named service: it fetches the
 // interface and descriptor, builds/installs/starts the proxy bundle
@@ -121,7 +144,7 @@ func (s *Session) Acquire(iface string, opts AcquireOptions) (*Application, erro
 	}
 	s.mu.Unlock()
 
-	info, ok := s.ch.FindRemoteService(iface)
+	info, ok := s.channel().FindRemoteService(iface)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchRemoteService, iface)
 	}
@@ -130,7 +153,7 @@ func (s *Session) Acquire(iface string, opts AcquireOptions) (*Application, erro
 
 	// Phase 1: acquire service interface (+ descriptor) over the link.
 	start := time.Now()
-	reply, err := s.ch.Fetch(info.ID)
+	reply, err := s.channel().Fetch(info.ID)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +175,7 @@ func (s *Session) Acquire(iface string, opts AcquireOptions) (*Application, erro
 
 	// Phase 2: build the proxy bundle.
 	start = time.Now()
-	pb, err := s.ch.BuildProxy(reply)
+	pb, err := s.channel().BuildProxy(reply)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +198,7 @@ func (s *Session) Acquire(iface string, opts AcquireOptions) (*Application, erro
 		return nil, err
 	}
 	app.Timing.StartProxy = time.Since(start)
-	s.ch.TrackProxy(bundle)
+	s.channel().TrackProxy(bundle)
 	app.Bundle = bundle
 	app.Proxy = pb.Service
 
@@ -229,7 +252,7 @@ func (s *Session) pullDependencies(app *Application, opts AcquireOptions) error 
 		Trusted:      opts.Trusted,
 	}
 	if movable {
-		if rtt, err := s.ch.Ping(); err == nil {
+		if rtt, err := s.channel().Ping(); err == nil {
 			ctx.LinkRTT = rtt
 		}
 	}
@@ -237,15 +260,15 @@ func (s *Session) pullDependencies(app *Application, opts AcquireOptions) error 
 
 	start := time.Now()
 	for _, depIface := range app.Placement.PullLogic {
-		info, ok := s.ch.FindRemoteService(depIface)
+		info, ok := s.channel().FindRemoteService(depIface)
 		if !ok {
 			return fmt.Errorf("%w: dependency %s", ErrNoSuchRemoteService, depIface)
 		}
-		reply, err := s.ch.Fetch(info.ID)
+		reply, err := s.channel().Fetch(info.ID)
 		if err != nil {
 			return fmt.Errorf("core: pulling dependency %s: %w", depIface, err)
 		}
-		_, proxy, err := s.ch.InstallProxy(reply)
+		_, proxy, err := s.channel().InstallProxy(reply)
 		if err != nil {
 			return fmt.Errorf("core: installing dependency %s: %w", depIface, err)
 		}
@@ -329,7 +352,7 @@ func (s *Session) updateRemoteSubscriptions() {
 			}
 		}
 	}
-	_ = s.ch.SetRemoteSubscriptions(patterns)
+	_ = s.channel().SetRemoteSubscriptions(patterns)
 }
 
 // Apps returns the currently acquired applications.
@@ -361,7 +384,13 @@ func (s *Session) Close() {
 	for _, a := range apps {
 		a.release(false)
 	}
-	s.ch.Close()
+	// Closing the link also closes its current channel; watchers run on
+	// the link's monitor goroutine, so s.mu must not be held here.
+	if s.link != nil {
+		s.link.Close()
+	} else {
+		s.channel().Close()
+	}
 	s.node.removeSession(s)
 }
 
@@ -402,9 +431,54 @@ func (a *Application) release(unlist bool) {
 }
 
 // Invoke calls a method on the application's main service through the
-// proxy.
+// proxy. While the session is degraded (target unreachable, link
+// reconnecting) the call waits for recovery up to the link's reconnect
+// budget; a terminally down link yields ErrDegraded immediately.
 func (a *Application) Invoke(method string, args ...any) (any, error) {
-	return a.Proxy.Invoke(method, args)
+	if err := a.awaitUsable(); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	proxy := a.Proxy
+	a.mu.Unlock()
+	return proxy.Invoke(method, args)
+}
+
+// awaitUsable blocks while the application is degraded, until the
+// session recovers it or the recovery window closes.
+func (a *Application) awaitUsable() error {
+	a.mu.Lock()
+	degraded, recovered := a.degraded, a.recovered
+	a.mu.Unlock()
+	if !degraded {
+		return nil
+	}
+	link := a.session.link
+	if link == nil || recovered == nil {
+		return ErrDegraded
+	}
+	deadline := time.NewTimer(link.Policy().ReconnectBudget)
+	defer deadline.Stop()
+	for {
+		st, wait := link.StateAndWait()
+		if st == remote.LinkDown || st == remote.LinkClosed {
+			return fmt.Errorf("%w: %s", ErrDegraded, st)
+		}
+		select {
+		case <-recovered:
+			return nil
+		case <-wait:
+		case <-deadline.C:
+			return fmt.Errorf("%w: not recovered within %v", ErrDegraded, link.Policy().ReconnectBudget)
+		}
+	}
+}
+
+// Degraded reports whether the application is currently degraded.
+func (a *Application) Degraded() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.degraded
 }
 
 // sessionHost is the sandbox surface handed to the controller (§3.2):
@@ -429,8 +503,8 @@ func (h *sessionHost) Invoke(service, method string, args []any) (any, error) {
 	// ...while an unpulled one is invoked directly on the target. The
 	// controller cannot tell the difference: tier placement is
 	// transparent.
-	if info, ok := app.session.ch.FindRemoteService(service); ok {
-		return app.session.ch.Invoke(info.ID, method, args)
+	if info, ok := app.session.channel().FindRemoteService(service); ok {
+		return app.session.channel().Invoke(info.ID, method, args)
 	}
 	return nil, fmt.Errorf("%w: %s", ErrNoSuchRemoteService, service)
 }

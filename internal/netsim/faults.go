@@ -1,0 +1,190 @@
+// Fault injection for the simulated fabric. The paper's lease model
+// (§3.2) exists because phones on WLAN/Bluetooth links disappear
+// mid-interaction; this file makes those failures scriptable so the
+// remote and core layers can be tested against them: hard disconnects,
+// stalls (partitions) of a bounded duration, byte corruption, and
+// asymmetric loss, plus dial blackouts that model an access point out
+// of range.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Drop hard-disconnects the connection: both directions fail
+// immediately on both endpoints (reads return EOF, writes fail), as if
+// the radio link was cut. Unlike Close, Drop models a crash fault: no
+// orderly shutdown is exchanged, frames in flight are lost, and both
+// endpoints discover the failure through their next I/O.
+func (c *Conn) Drop() {
+	c.write.drop()
+	c.read.drop()
+}
+
+// Partition stalls both directions for d, measured from now: frames
+// already in flight and frames written during the stall are delivered
+// only after it lifts. It models a temporary radio shadow or handover;
+// unlike Drop the connection recovers by itself.
+func (c *Conn) Partition(d time.Duration) {
+	until := time.Now().Add(d)
+	c.write.stall(until)
+	c.read.stall(until)
+}
+
+// SetCorruption sets the per-write probability that a random bit of the
+// payload is flipped in transit (both directions). Corruption reaches
+// the receiver — unlike loss — so it exercises decoder hardening rather
+// than timeouts.
+func (c *Conn) SetCorruption(p float64) {
+	c.write.setCorrupt(p)
+	c.read.setCorrupt(p)
+}
+
+// SetLoss overrides the link's LossProb per direction: out applies to
+// writes from this endpoint, in applies to traffic towards it. Pass a
+// negative value to leave a direction on the link profile's LossProb.
+// This is the knob for deliberately asymmetric loss experiments; plain
+// LossProb is symmetric (see LinkProfile.LossProb).
+func (c *Conn) SetLoss(in, out float64) {
+	c.write.setLoss(out)
+	c.read.setLoss(in)
+}
+
+// Dropped reports whether the connection was hard-disconnected (or
+// closed).
+func (c *Conn) Dropped() bool {
+	select {
+	case <-c.write.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// FaultKind enumerates scripted fault types.
+type FaultKind int
+
+const (
+	// FaultDrop hard-disconnects the link (see Conn.Drop).
+	FaultDrop FaultKind = iota
+	// FaultStall partitions the link for Fault.For (see Conn.Partition).
+	FaultStall
+	// FaultCorrupt sets the corruption probability to Fault.Prob.
+	FaultCorrupt
+	// FaultLoss sets asymmetric loss: Fault.In inbound, Fault.Out
+	// outbound (see Conn.SetLoss).
+	FaultLoss
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultStall:
+		return "stall"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultLoss:
+		return "loss"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is one scripted fault event, At after schedule start.
+type Fault struct {
+	At   time.Duration
+	Kind FaultKind
+	// For is the stall duration (FaultStall).
+	For time.Duration
+	// Prob is the corruption probability (FaultCorrupt).
+	Prob float64
+	// In and Out are the per-direction loss probabilities (FaultLoss);
+	// negative leaves that direction on the link profile.
+	In, Out float64
+}
+
+// Schedule is a scripted fault sequence for one connection.
+type Schedule []Fault
+
+// Run applies the schedule to conn in a background goroutine, events in
+// At order relative to the call time. The returned stop function
+// cancels events that have not fired yet (it never un-does applied
+// faults) and waits for the runner to exit.
+func (s Schedule) Run(conn *Conn) (stop func()) {
+	events := make(Schedule, len(s))
+	copy(events, s)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		for _, f := range events {
+			wait := time.Until(start.Add(f.At))
+			if wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-t.C:
+				case <-quit:
+					t.Stop()
+					return
+				}
+			}
+			switch f.Kind {
+			case FaultDrop:
+				conn.Drop()
+			case FaultStall:
+				conn.Partition(f.For)
+			case FaultCorrupt:
+				conn.SetCorruption(f.Prob)
+			case FaultLoss:
+				conn.SetLoss(f.In, f.Out)
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(quit)
+		}
+		<-done
+	}
+}
+
+// Block refuses dials to addr for the given duration, modeling a target
+// out of radio range: the listener still exists, but connection
+// attempts fail with ErrConnRefused until the blackout lifts. Calling
+// Block again replaces the previous blackout for that address.
+func (f *Fabric) Block(addr string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.blocked == nil {
+		f.blocked = make(map[string]time.Time)
+	}
+	f.blocked[addr] = time.Now().Add(d)
+}
+
+// Unblock lifts a blackout early.
+func (f *Fabric) Unblock(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.blocked, addr)
+}
+
+// blockedNow reports whether addr is inside a dial blackout. Caller
+// holds f.mu.
+func (f *Fabric) blockedNow(addr string) bool {
+	until, ok := f.blocked[addr]
+	if !ok {
+		return false
+	}
+	if time.Now().After(until) {
+		delete(f.blocked, addr)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,237 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"math/bits"
+	"net"
+	"testing"
+	"time"
+)
+
+// receivedSet reads single-byte messages until the deadline passes and
+// returns which values arrived.
+func receivedSet(t *testing.T, c net.Conn, deadline time.Time) map[byte]bool {
+	t.Helper()
+	got := make(map[byte]bool)
+	buf := make([]byte, 64)
+	for {
+		_ = c.SetReadDeadline(deadline)
+		n, err := c.Read(buf)
+		for i := 0; i < n; i++ {
+			got[buf[i]] = true
+		}
+		if err != nil {
+			return got
+		}
+	}
+}
+
+func TestDeterministicLossPattern(t *testing.T) {
+	// Two fresh fabrics dialing the same link in the same order must
+	// observe the same loss pattern: pipe RNGs are seeded from the link
+	// name plus the dial sequence number.
+	link := LinkProfile{Name: "chaos-lossy", LossProb: 0.5}
+	const n = 40
+	run := func() map[byte]bool {
+		client, server := pipePair(t, link)
+		for i := 0; i < n; i++ {
+			if _, err := client.Write([]byte{byte(i)}); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		return receivedSet(t, server, time.Now().Add(100*time.Millisecond))
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == n {
+		t.Fatalf("loss 0.5 delivered %d/%d messages; pattern not informative", len(a), n)
+	}
+	for i := 0; i < n; i++ {
+		if a[byte(i)] != b[byte(i)] {
+			t.Fatalf("loss pattern diverged at message %d: run1=%v run2=%v", i, a[byte(i)], b[byte(i)])
+		}
+	}
+}
+
+func TestPartitionDelaysDelivery(t *testing.T) {
+	client, server := pipePair(t, Loopback)
+	const stall = 80 * time.Millisecond
+	client.(*Conn).Partition(stall)
+
+	start := time.Now()
+	if _, err := client.Write([]byte("held")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 8)
+	n, err := server.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if d := time.Since(start); d < stall-10*time.Millisecond {
+		t.Errorf("partitioned delivery took %v, want >= ~%v", d, stall)
+	}
+	if string(buf[:n]) != "held" {
+		t.Errorf("payload = %q after stall", buf[:n])
+	}
+}
+
+func TestDropKillsBothEndpoints(t *testing.T) {
+	client, server := pipePair(t, Loopback)
+	sim := client.(*Conn)
+	if sim.Dropped() {
+		t.Fatal("fresh connection reports dropped")
+	}
+	sim.Drop()
+	if !sim.Dropped() {
+		t.Error("Dropped() false after Drop")
+	}
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Error("write on dropped conn succeeded")
+	}
+	buf := make([]byte, 4)
+	if _, err := server.Read(buf); err == nil {
+		t.Error("peer read on dropped conn succeeded")
+	}
+	if _, err := server.Write([]byte("y")); err == nil {
+		t.Error("peer write on dropped conn succeeded")
+	}
+}
+
+func TestCorruptionFlipsOneBit(t *testing.T) {
+	client, server := pipePair(t, Loopback)
+	client.(*Conn).SetCorruption(1.0)
+
+	payload := bytes.Repeat([]byte{0xAA}, 32)
+	if _, err := client.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(payload))
+	total := 0
+	for total < len(payload) {
+		n, err := server.Read(got[total:])
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		total += n
+	}
+	flipped := 0
+	for i := range payload {
+		flipped += bits.OnesCount8(payload[i] ^ got[i])
+	}
+	if flipped != 1 {
+		t.Errorf("corruption flipped %d bits, want exactly 1 per write", flipped)
+	}
+}
+
+func TestSetLossAsymmetric(t *testing.T) {
+	client, server := pipePair(t, Loopback)
+	// Outbound loss 100%, inbound untouched: client->server traffic
+	// vanishes while server->client still flows.
+	client.(*Conn).SetLoss(-1, 1.0)
+
+	if _, err := client.Write([]byte("gone")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = server.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 8)
+	if _, err := server.Read(buf); err == nil {
+		t.Error("outbound-lossy direction delivered the payload")
+	}
+
+	if _, err := server.Write([]byte("back")); err != nil {
+		t.Fatalf("server write: %v", err)
+	}
+	_ = client.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	n, err := client.Read(buf)
+	if err != nil || string(buf[:n]) != "back" {
+		t.Errorf("inbound direction broken: %q, %v", buf[:n], err)
+	}
+
+	// Negative values restore the profile default (loopback: no loss).
+	client.(*Conn).SetLoss(-1, -1)
+	if _, err := client.Write([]byte("ok")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = server.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := server.Read(buf); err != nil {
+		t.Errorf("restored direction still lossy: %v", err)
+	}
+}
+
+func TestScheduleRun(t *testing.T) {
+	client, server := pipePair(t, Loopback)
+	sim := client.(*Conn)
+	stop := Schedule{
+		{At: 0, Kind: FaultStall, For: 500 * time.Millisecond},
+		{At: 30 * time.Millisecond, Kind: FaultDrop},
+	}.Run(sim)
+	defer stop()
+	// Give the At=0 stall a moment to land before writing into it.
+	time.Sleep(10 * time.Millisecond)
+
+	// The stall holds the payload; the drop then kills the link before
+	// delivery, so the server sees the failure, not the data.
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	deadlineRead := func() error {
+		_ = server.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		_, err := server.Read(make([]byte, 4))
+		return err
+	}
+	if err := deadlineRead(); err == nil {
+		t.Error("scheduled drop did not prevent delivery")
+	}
+	if !sim.Dropped() {
+		t.Error("connection not dropped after schedule ran")
+	}
+}
+
+func TestScheduleStopCancelsPending(t *testing.T) {
+	client, _ := pipePair(t, Loopback)
+	sim := client.(*Conn)
+	stop := Schedule{{At: time.Hour, Kind: FaultDrop}}.Run(sim)
+	stop()
+	stop() // idempotent
+	if sim.Dropped() {
+		t.Error("cancelled schedule still dropped the connection")
+	}
+}
+
+func TestFabricBlock(t *testing.T) {
+	f := NewFabric()
+	l, err := f.Listen("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			_ = c.Close()
+		}
+	}()
+
+	f.Block("target", time.Hour)
+	if _, err := f.Dial("target", Loopback); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("Dial during blackout = %v, want ErrConnRefused", err)
+	}
+	f.Unblock("target")
+	c, err := f.Dial("target", Loopback)
+	if err != nil {
+		t.Fatalf("Dial after Unblock: %v", err)
+	}
+	_ = c.Close()
+
+	// A blackout expires on its own.
+	f.Block("target", 10*time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	c, err = f.Dial("target", Loopback)
+	if err != nil {
+		t.Fatalf("Dial after blackout expiry: %v", err)
+	}
+	_ = c.Close()
+}

@@ -45,6 +45,13 @@ type LinkProfile struct {
 	// LossProb is the probability that a write is silently lost. It is
 	// zero for the paper's reliable transports and is used by failure
 	// injection tests.
+	//
+	// Loss is applied on the sending side of each direction's pipe, so
+	// a nonzero LossProb affects BOTH directions symmetrically: the
+	// dialer's writes and the listener's writes each pass through their
+	// own lossy pipe shaped by this profile. For deliberately
+	// asymmetric loss, use Conn.SetLoss, which overrides the
+	// probability per direction.
 	LossProb float64
 }
 
@@ -75,6 +82,7 @@ func (a simAddr) String() string  { return string(a) }
 type Fabric struct {
 	mu        sync.Mutex
 	listeners map[string]*Listener
+	blocked   map[string]time.Time
 	seed      int64
 }
 
@@ -105,14 +113,19 @@ func (f *Fabric) Listen(addr string) (*Listener, error) {
 func (f *Fabric) Dial(addr string, link LinkProfile) (net.Conn, error) {
 	f.mu.Lock()
 	l := f.listeners[addr]
+	blocked := f.blockedNow(addr)
 	f.seed++
-	seed := f.seed
+	seq := f.seed
 	f.mu.Unlock()
-	if l == nil {
+	if l == nil || blocked {
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
 
-	dialerAddr := simAddr(fmt.Sprintf("dialer-%d", seed))
+	// Pipe RNGs are seeded from the link profile's name plus the dial
+	// sequence number, so a test that dials the same links in the same
+	// order observes the same loss/jitter pattern on every run.
+	seed := int64(linkSeed(link.Name)) + seq
+	dialerAddr := simAddr(fmt.Sprintf("dialer-%d", seq))
 	c2s := newShapedPipe(link, seed*2)
 	s2c := newShapedPipe(link, seed*2+1)
 	clientConn := &Conn{
@@ -194,6 +207,13 @@ type shapedPipe struct {
 	closed   bool
 	leftover []byte
 
+	// Fault injection state (see faults.go).
+	stallUntil time.Time // delivery suspended until then
+	corrupt    float64   // per-write bit-flip probability
+	lossProb   float64   // per-direction loss override
+	lossSet    bool      // lossProb overrides link.LossProb when true
+	dropped    bool      // crash fault: in-flight chunks are discarded
+
 	ch   chan chunk
 	done chan struct{}
 }
@@ -214,8 +234,18 @@ func (p *shapedPipe) write(b []byte) (int, error) {
 		return 0, errWriteOnClose
 	}
 	// Loss injection drops the payload after pacing, as a real lossy
-	// link would.
-	lost := p.link.LossProb > 0 && p.rng.Float64() < p.link.LossProb
+	// link would. A per-direction override (Conn.SetLoss) wins over the
+	// symmetric profile probability.
+	lossProb := p.link.LossProb
+	if p.lossSet {
+		lossProb = p.lossProb
+	}
+	lost := lossProb > 0 && p.rng.Float64() < lossProb
+	flip := p.corrupt > 0 && p.rng.Float64() < p.corrupt
+	flipBit := 0
+	if flip && len(b) > 0 {
+		flipBit = p.rng.Intn(len(b) * 8)
+	}
 	jitter := time.Duration(0)
 	if p.link.Jitter > 0 {
 		jitter = time.Duration(p.rng.Int63n(int64(p.link.Jitter)))
@@ -236,6 +266,10 @@ func (p *shapedPipe) write(b []byte) (int, error) {
 	if deliverAt.Before(p.lastOut) {
 		deliverAt = p.lastOut // preserve FIFO delivery
 	}
+	// A partition holds delivery until it lifts.
+	if deliverAt.Before(p.stallUntil) {
+		deliverAt = p.stallUntil
+	}
 	p.lastOut = deliverAt
 	p.mu.Unlock()
 
@@ -247,6 +281,9 @@ func (p *shapedPipe) write(b []byte) (int, error) {
 	}
 	data := make([]byte, len(b))
 	copy(data, b)
+	if flip && len(data) > 0 {
+		data[flipBit/8] ^= 1 << (flipBit % 8)
+	}
 	select {
 	case p.ch <- chunk{data: data, deliverAt: deliverAt}:
 		return len(b), nil
@@ -277,7 +314,9 @@ func (p *shapedPipe) read(b []byte, deadline time.Time) (int, error) {
 		if !ok {
 			return 0, io.EOF
 		}
-		sleep(time.Until(c.deliverAt))
+		if !p.waitDeliver(c) {
+			return 0, io.EOF
+		}
 		n := copy(b, c.data)
 		if n < len(c.data) {
 			p.mu.Lock()
@@ -286,11 +325,18 @@ func (p *shapedPipe) read(b []byte, deadline time.Time) (int, error) {
 		}
 		return n, nil
 	case <-p.done:
-		// Drain anything that raced with close.
+		p.mu.Lock()
+		crashed := p.dropped
+		p.mu.Unlock()
+		if crashed {
+			// Crash fault (Conn.Drop): in-flight chunks are lost.
+			return 0, io.EOF
+		}
+		// Orderly close: drain anything that raced with it.
 		select {
 		case c, ok := <-p.ch:
 			if ok {
-				sleep(time.Until(c.deliverAt))
+				sleep(time.Until(p.deliverTime(c)))
 				n := copy(b, c.data)
 				if n < len(c.data) {
 					p.mu.Lock()
@@ -316,6 +362,44 @@ func (p *shapedPipe) close() {
 	p.closed = true
 	p.mu.Unlock()
 	close(p.done)
+}
+
+// waitDeliver sleeps until the chunk's delivery time, re-checking after
+// each wait because a partition may extend it. It aborts — reporting
+// false — when the pipe is crash-dropped mid-wait: a chunk still "in
+// the air" when the radio link is cut never arrives.
+func (p *shapedPipe) waitDeliver(c chunk) bool {
+	for {
+		d := time.Until(p.deliverTime(c))
+		if d <= 0 {
+			return true
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-p.done:
+			t.Stop()
+			p.mu.Lock()
+			crashed := p.dropped
+			p.mu.Unlock()
+			if crashed {
+				return false
+			}
+			// Orderly close: the chunk is still delivered on time.
+			sleep(time.Until(p.deliverTime(c)))
+			return true
+		}
+	}
+}
+
+// drop closes the pipe as a crash fault: pending chunks are discarded
+// instead of drained, so neither endpoint sees data written but not yet
+// delivered (see Conn.Drop).
+func (p *shapedPipe) drop() {
+	p.mu.Lock()
+	p.dropped = true
+	p.mu.Unlock()
+	p.close()
 }
 
 // Conn is a net.Conn shaped by a LinkProfile.
@@ -420,6 +504,61 @@ func (p *shapedPipe) setLink(link LinkProfile) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.link = link
+}
+
+// deliverTime returns the chunk's delivery time, pushed back by any
+// active partition (chunks queued before the stall wait it out too).
+func (p *shapedPipe) deliverTime(c chunk) time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c.deliverAt.Before(p.stallUntil) {
+		return p.stallUntil
+	}
+	return c.deliverAt
+}
+
+func (p *shapedPipe) stall(until time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if until.After(p.stallUntil) {
+		p.stallUntil = until
+	}
+}
+
+func (p *shapedPipe) setCorrupt(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.corrupt = prob
+}
+
+// setLoss overrides the profile loss probability for this direction; a
+// negative value restores the profile's LossProb.
+func (p *shapedPipe) setLoss(prob float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prob < 0 {
+		p.lossSet = false
+		p.lossProb = 0
+		return
+	}
+	p.lossSet = true
+	p.lossProb = prob
+}
+
+// linkSeed hashes a link profile name to an RNG seed (FNV-1a), so the
+// shaped-pipe randomness is a deterministic function of (link name,
+// dial order).
+func linkSeed(name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
 }
 
 // sleepFloor is the smallest delay worth sleeping for: time.Sleep

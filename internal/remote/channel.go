@@ -264,8 +264,57 @@ func (c *Channel) sendFrame(frame []byte) error {
 }
 
 // Invoke performs a synchronous remote invocation of a service offered
-// by the remote peer.
+// by the remote peer. It is not retried: a timed-out invocation may
+// have executed remotely, and Invoke makes no idempotency assumption.
+// Use InvokeIdempotent for methods that are safe to replay.
 func (c *Channel) Invoke(serviceID int64, method string, args []any) (any, error) {
+	norm, err := normalizeArgs(method, args)
+	if err != nil {
+		return nil, err
+	}
+	return c.invokeOnce(serviceID, method, norm)
+}
+
+// InvokeIdempotent invokes a method that is declared safe to execute
+// more than once: timeouts are retried with the peer's backoff policy
+// (at-least-once semantics). Non-idempotent methods must go through
+// Invoke, which never replays a call whose outcome is unknown.
+func (c *Channel) InvokeIdempotent(serviceID int64, method string, args []any) (any, error) {
+	norm, err := normalizeArgs(method, args)
+	if err != nil {
+		return nil, err
+	}
+	policy := c.peer.cfg.Retry
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !c.backoff(policy.Backoff(attempt - 1)) {
+				return nil, ErrChannelClosed
+			}
+		}
+		value, err := c.invokeOnce(serviceID, method, norm)
+		if err == nil || !errors.Is(err, ErrTimeout) {
+			return value, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("remote: %s failed after %d attempts: %w", method, policy.MaxAttempts, lastErr)
+}
+
+// backoff sleeps for d unless the channel closes first; it reports
+// whether the channel is still usable.
+func (c *Channel) backoff(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closed:
+		return false
+	}
+}
+
+func normalizeArgs(method string, args []any) ([]any, error) {
 	norm := make([]any, len(args))
 	for i, a := range args {
 		n, err := wire.Normalize(a)
@@ -274,7 +323,12 @@ func (c *Channel) Invoke(serviceID int64, method string, args []any) (any, error
 		}
 		norm[i] = n
 	}
+	return norm, nil
+}
 
+// invokeOnce performs one invocation attempt with already-normalized
+// arguments.
+func (c *Channel) invokeOnce(serviceID int64, method string, norm []any) (any, error) {
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -324,8 +378,28 @@ func (c *Channel) Invoke(serviceID int64, method string, args []any) (any, error
 // Fetch retrieves everything needed to build a local proxy for a remote
 // service: its interface descriptor(s), injected types, the AlfredO
 // service descriptor, and any smart proxy reference. This is the
-// "Acquire service interface" phase of Tables 1 and 2.
+// "Acquire service interface" phase of Tables 1 and 2. Fetching is
+// read-only and therefore always retried on timeout.
 func (c *Channel) Fetch(serviceID int64) (*wire.ServiceReply, error) {
+	policy := c.peer.cfg.Retry
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !c.backoff(policy.Backoff(attempt - 1)) {
+				return nil, ErrChannelClosed
+			}
+		}
+		reply, err := c.fetchOnce(serviceID)
+		if err == nil || !errors.Is(err, ErrTimeout) {
+			return reply, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("remote: fetch of service %d failed after %d attempts: %w",
+		serviceID, policy.MaxAttempts, lastErr)
+}
+
+func (c *Channel) fetchOnce(serviceID int64) (*wire.ServiceReply, error) {
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -366,8 +440,27 @@ func (c *Channel) Fetch(serviceID int64) (*wire.ServiceReply, error) {
 }
 
 // Ping measures the application-level round-trip time, the analog of
-// the ICMP baseline in Figures 5 and 6.
+// the ICMP baseline in Figures 5 and 6. Pings are side-effect free and
+// always retried on timeout.
 func (c *Channel) Ping() (time.Duration, error) {
+	policy := c.peer.cfg.Retry
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !c.backoff(policy.Backoff(attempt - 1)) {
+				return 0, ErrChannelClosed
+			}
+		}
+		rtt, err := c.pingOnce()
+		if err == nil || !errors.Is(err, ErrTimeout) {
+			return rtt, err
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("remote: ping failed after %d attempts: %w", policy.MaxAttempts, lastErr)
+}
+
+func (c *Channel) pingOnce() (time.Duration, error) {
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID

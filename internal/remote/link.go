@@ -1,0 +1,281 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrLinkDown is returned once a Link has exhausted its reconnect
+// budget: the target is considered unreachable until a new link is
+// established explicitly.
+var ErrLinkDown = errors.New("remote: link down: reconnect budget exhausted")
+
+// LinkState is the lifecycle of a resilient link.
+type LinkState int
+
+const (
+	// LinkUp means the channel is established and usable.
+	LinkUp LinkState = iota
+	// LinkReconnecting means the channel dropped and redial attempts
+	// are in progress.
+	LinkReconnecting
+	// LinkDown means the reconnect budget was exhausted; the link is
+	// terminal.
+	LinkDown
+	// LinkClosed means the link was closed deliberately.
+	LinkClosed
+)
+
+func (s LinkState) String() string {
+	switch s {
+	case LinkUp:
+		return "up"
+	case LinkReconnecting:
+		return "reconnecting"
+	case LinkDown:
+		return "down"
+	case LinkClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Dialer produces a fresh transport connection to the same target; a
+// Link calls it for the initial connection and for every reconnect.
+type Dialer func() (net.Conn, error)
+
+// Link is a self-healing channel: it watches the underlying Channel,
+// and when the transport fails it redials with exponential backoff and
+// jitter, re-runs the handshake, and re-establishes the symmetric lease
+// (§3.2) — all within the policy's reconnect budget. State transitions
+// are published to watchers; the core layer uses them to degrade and
+// recover sessions.
+type Link struct {
+	peer   *Peer
+	dial   Dialer
+	policy RetryPolicy
+
+	mu       sync.Mutex
+	ch       *Channel
+	state    LinkState
+	err      error
+	changed  chan struct{}
+	watchers []func(LinkState, *Channel)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// DialLink establishes a resilient link using the peer's retry policy:
+// dial makes the initial connection now and is retained for automatic
+// reconnection. The initial dial is not retried — a target that was
+// never reachable is an error, not an outage.
+func (p *Peer) DialLink(dial Dialer) (*Link, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	ch, err := p.setupChannel(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	l := &Link{
+		peer:    p,
+		dial:    dial,
+		policy:  p.cfg.Retry,
+		ch:      ch,
+		state:   LinkUp,
+		changed: make(chan struct{}),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go l.monitor(ch)
+	return l, nil
+}
+
+// Policy returns the retry policy governing this link.
+func (l *Link) Policy() RetryPolicy { return l.policy }
+
+// Channel returns the current channel. During reconnection it is the
+// last (closed) channel; check State before relying on it.
+func (l *Link) Channel() *Channel {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ch
+}
+
+// State returns the current link state.
+func (l *Link) State() LinkState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state
+}
+
+// Err returns the cause of the last transition into LinkReconnecting or
+// LinkDown (nil while the link has never failed).
+func (l *Link) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// OnStateChange registers a watcher invoked (sequentially, from the
+// link's monitor goroutine) on every state transition. On LinkUp the
+// new channel is passed; on other states the channel argument is nil.
+func (l *Link) OnStateChange(fn func(LinkState, *Channel)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.watchers = append(l.watchers, fn)
+}
+
+// StateAndWait returns the current state plus a channel closed at the
+// next transition, for callers that need to block on recovery.
+func (l *Link) StateAndWait() (LinkState, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state, l.changed
+}
+
+// Await blocks until the link is up (returning its channel) or
+// terminally down/closed, but no longer than d.
+func (l *Link) Await(d time.Duration) (*Channel, error) {
+	deadline := time.NewTimer(d)
+	defer deadline.Stop()
+	for {
+		st, wait := l.StateAndWait()
+		switch st {
+		case LinkUp:
+			// The transport may have died an instant ago, before the
+			// monitor observed it; never hand out a dead channel.
+			if ch := l.Channel(); ch != nil {
+				select {
+				case <-ch.Done():
+				default:
+					return ch, nil
+				}
+			}
+		case LinkDown:
+			return nil, fmt.Errorf("%w: %v", ErrLinkDown, l.Err())
+		case LinkClosed:
+			return nil, ErrChannelClosed
+		}
+		select {
+		case <-wait:
+		case <-deadline.C:
+			return nil, fmt.Errorf("%w: not reconnected within %v", ErrLinkDown, d)
+		}
+	}
+}
+
+// Close tears the link down deliberately; no reconnection is attempted.
+func (l *Link) Close() {
+	l.mu.Lock()
+	if l.state == LinkClosed {
+		l.mu.Unlock()
+		return
+	}
+	l.state = LinkClosed
+	ch := l.ch
+	close(l.stop)
+	close(l.changed)
+	l.changed = make(chan struct{})
+	l.mu.Unlock()
+	if ch != nil {
+		ch.Close()
+	}
+	<-l.done
+}
+
+func (l *Link) setState(st LinkState, ch *Channel, cause error) {
+	l.mu.Lock()
+	if l.state == LinkClosed {
+		l.mu.Unlock()
+		return
+	}
+	l.state = st
+	if ch != nil {
+		l.ch = ch
+	}
+	if cause != nil || st == LinkUp {
+		l.err = cause
+	}
+	close(l.changed)
+	l.changed = make(chan struct{})
+	watchers := make([]func(LinkState, *Channel), len(l.watchers))
+	copy(watchers, l.watchers)
+	l.mu.Unlock()
+	for _, fn := range watchers {
+		fn(st, ch)
+	}
+}
+
+func (l *Link) closing() bool {
+	select {
+	case <-l.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// monitor watches the current channel and drives the reconnect loop.
+func (l *Link) monitor(ch *Channel) {
+	defer close(l.done)
+	for {
+		select {
+		case <-ch.Done():
+		case <-l.stop:
+			return
+		}
+		if l.closing() {
+			return
+		}
+		l.setState(LinkReconnecting, nil, ch.Err())
+		next, err := l.redial()
+		if err != nil {
+			if !l.closing() {
+				l.setState(LinkDown, nil, err)
+			}
+			return
+		}
+		ch = next
+		l.setState(LinkUp, next, nil)
+	}
+}
+
+// redial re-establishes the channel: dial, handshake, lease exchange —
+// retried with backoff until the reconnect budget runs out.
+func (l *Link) redial() (*Channel, error) {
+	deadline := time.Now().Add(l.policy.ReconnectBudget)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if l.closing() {
+			return nil, ErrChannelClosed
+		}
+		conn, err := l.dial()
+		if err == nil {
+			ch, herr := l.peer.setupChannel(conn)
+			if herr == nil {
+				return ch, nil
+			}
+			_ = conn.Close()
+			err = herr
+		}
+		lastErr = err
+		delay := l.policy.Backoff(attempt)
+		if time.Now().Add(delay).After(deadline) {
+			return nil, fmt.Errorf("%w: last error: %v", ErrLinkDown, lastErr)
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-l.stop:
+			t.Stop()
+			return nil, ErrChannelClosed
+		}
+	}
+}

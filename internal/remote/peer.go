@@ -41,6 +41,9 @@ type Config struct {
 	ProxyCode *ProxyCodeRegistry
 	// Timeout bounds remote invocations and fetches.
 	Timeout time.Duration
+	// Retry governs per-call retries (idempotent invokes, fetches,
+	// pings) and Link reconnection backoff. Zero fields take defaults.
+	Retry RetryPolicy
 	// ClientInvokeCost is the client-side CPU cost per invocation fed
 	// to the device model. Zero selects devsim.CostClientInvoke (the
 	// full AlfredO client path); raw benchmark clients use
@@ -93,6 +96,7 @@ func NewPeer(cfg Config) (*Peer, error) {
 	if cfg.ClientInvokeCost <= 0 {
 		cfg.ClientInvokeCost = devsim.CostClientInvoke
 	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	p := &Peer{
 		cfg:      cfg,
 		exported: make(map[int64]exportedService),

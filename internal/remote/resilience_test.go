@@ -1,0 +1,361 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+// newRetryNode is newTestNode with an explicit timeout and retry
+// policy, for tests that exercise the failure paths.
+func newRetryNode(t *testing.T, name string, timeout time.Duration, retry RetryPolicy) *testNode {
+	t.Helper()
+	fw := module.NewFramework(module.Config{Name: name})
+	ev := event.NewAdmin(0)
+	peer, err := NewPeer(Config{
+		Framework: fw,
+		Events:    ev,
+		ProxyCode: NewProxyCodeRegistry(),
+		Timeout:   timeout,
+		Retry:     retry,
+	})
+	if err != nil {
+		t.Fatalf("NewPeer(%s): %v", name, err)
+	}
+	n := &testNode{fw: fw, events: ev, peer: peer}
+	t.Cleanup(func() {
+		peer.Close()
+		ev.Close()
+		_ = fw.Shutdown()
+	})
+	return n
+}
+
+// serveFabric binds the server peer to the fabric under its own id.
+func serveFabric(t *testing.T, fabric *netsim.Fabric, server *testNode) {
+	t.Helper()
+	l, err := fabric.Listen(server.peer.ID())
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = server.peer.Serve(l) }()
+}
+
+// connectRaw dials over the fabric and returns both the channel and the
+// client-side simulated connection, so tests can inject faults.
+func connectRaw(t *testing.T, fabric *netsim.Fabric, server, client *testNode, link netsim.LinkProfile) (*Channel, *netsim.Conn) {
+	t.Helper()
+	conn, err := fabric.Dial(server.peer.ID(), link)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	ch, err := client.peer.Connect(conn)
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	t.Cleanup(ch.Close)
+	return ch, conn.(*netsim.Conn)
+}
+
+// slowService counts invocations and sleeps past the caller's timeout.
+func slowService(calls *atomic.Int64, d time.Duration) *MethodTable {
+	return NewService("test.Slow").
+		Method("Nap", nil, "int", func(args []any) (any, error) {
+			calls.Add(1)
+			time.Sleep(d)
+			return int64(42), nil
+		}).
+		Method("Fast", nil, "int", func(args []any) (any, error) {
+			return int64(7), nil
+		})
+}
+
+func exportSlow(t *testing.T, n *testNode, calls *atomic.Int64, d time.Duration) {
+	t.Helper()
+	if _, err := n.fw.Registry().Register([]string{"test.Slow"}, slowService(calls, d),
+		service.Properties{PropExported: true}, "test"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+}
+
+func soleServiceID(t *testing.T, ch *Channel) int64 {
+	t.Helper()
+	svcs := ch.RemoteServices()
+	if len(svcs) != 1 {
+		t.Fatalf("remote services = %d, want 1", len(svcs))
+	}
+	return svcs[0].ID
+}
+
+// TestInvokeTimeoutTyped asserts the single-attempt timeout contract:
+// Invoke wraps ErrTimeout, is never retried (the outcome of the first
+// attempt is unknown), and the channel stays usable afterwards.
+func TestInvokeTimeoutTyped(t *testing.T) {
+	var calls atomic.Int64
+	server := newTestNode(t, "target")
+	client := newRetryNode(t, "phone", 100*time.Millisecond,
+		RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond})
+	exportSlow(t, server, &calls, 300*time.Millisecond)
+
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+	ch, _ := connectRaw(t, fabric, server, client, netsim.Loopback)
+	id := soleServiceID(t, ch)
+
+	_, err := ch.Invoke(id, "Nap", nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Invoke error = %v, want ErrTimeout", err)
+	}
+	// Even with MaxAttempts=3 the non-idempotent path must not replay.
+	time.Sleep(400 * time.Millisecond)
+	if n := calls.Load(); n != 1 {
+		t.Errorf("slow method executed %d times after Invoke, want 1", n)
+	}
+	// The channel survives the timeout (the stale reply is discarded).
+	v, err := ch.Invoke(id, "Fast", nil)
+	if err != nil || v != int64(7) {
+		t.Errorf("Fast after timeout = %v, %v", v, err)
+	}
+}
+
+// TestInvokeIdempotentRetries asserts the at-least-once path: every
+// attempt times out, the call is replayed MaxAttempts times, and the
+// final error reports the attempt count and wraps ErrTimeout.
+func TestInvokeIdempotentRetries(t *testing.T) {
+	var calls atomic.Int64
+	server := newTestNode(t, "target")
+	client := newRetryNode(t, "phone", 80*time.Millisecond,
+		RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond})
+	exportSlow(t, server, &calls, 250*time.Millisecond)
+
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+	ch, _ := connectRaw(t, fabric, server, client, netsim.Loopback)
+	id := soleServiceID(t, ch)
+
+	_, err := ch.InvokeIdempotent(id, "Nap", nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("InvokeIdempotent error = %v, want ErrTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error does not report attempt count: %v", err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	if n := calls.Load(); n != 3 {
+		t.Errorf("idempotent method executed %d times, want 3", n)
+	}
+}
+
+// TestInvokeIdempotentRecovers asserts a retry succeeding once a
+// partition lifts: the first attempt times out inside the stall, a
+// later one lands after it.
+func TestInvokeIdempotentRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent retry test")
+	}
+	server := newTestNode(t, "target")
+	client := newRetryNode(t, "phone", 150*time.Millisecond,
+		RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, Multiplier: 1})
+	var calls atomic.Int64
+	exportSlow(t, server, &calls, 0)
+
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+	ch, conn := connectRaw(t, fabric, server, client, netsim.Loopback)
+	id := soleServiceID(t, ch)
+
+	conn.Partition(250 * time.Millisecond)
+	v, err := ch.InvokeIdempotent(id, "Fast", nil)
+	if err != nil || v != int64(7) {
+		t.Fatalf("InvokeIdempotent across partition = %v, %v", v, err)
+	}
+}
+
+func TestFetchTimeoutTyped(t *testing.T) {
+	var calls atomic.Int64
+	server := newTestNode(t, "target")
+	client := newRetryNode(t, "phone", 100*time.Millisecond, RetryPolicy{MaxAttempts: 1})
+	exportSlow(t, server, &calls, 0)
+
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+	ch, conn := connectRaw(t, fabric, server, client, netsim.Loopback)
+	id := soleServiceID(t, ch)
+
+	conn.Partition(300 * time.Millisecond)
+	if _, err := ch.Fetch(id); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Fetch error = %v, want ErrTimeout", err)
+	}
+	// After the partition lifts the channel works again.
+	time.Sleep(300 * time.Millisecond)
+	if _, err := ch.Fetch(id); err != nil {
+		t.Errorf("Fetch after partition = %v", err)
+	}
+}
+
+func TestPingTimeoutTyped(t *testing.T) {
+	server := newTestNode(t, "target")
+	client := newRetryNode(t, "phone", 100*time.Millisecond, RetryPolicy{MaxAttempts: 1})
+
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+	ch, conn := connectRaw(t, fabric, server, client, netsim.Loopback)
+
+	conn.Partition(300 * time.Millisecond)
+	if _, err := ch.Ping(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Ping error = %v, want ErrTimeout", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if _, err := ch.Ping(); err != nil {
+		t.Errorf("Ping after partition = %v", err)
+	}
+}
+
+// TestLinkReconnect drops the transport under a resilient link and
+// asserts the full recovery arc: Reconnecting is observed, the link
+// comes back Up with a fresh channel, the lease is re-established, and
+// invocations work again.
+func TestLinkReconnect(t *testing.T) {
+	server := newTestNode(t, "target")
+	client := newRetryNode(t, "phone", time.Second,
+		RetryPolicy{MaxAttempts: 3, BaseDelay: 20 * time.Millisecond, ReconnectBudget: 5 * time.Second})
+	exportCalculator(t, server)
+
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+
+	var mu sync.Mutex
+	var conns []*netsim.Conn
+	dial := func() (net.Conn, error) {
+		c, err := fabric.Dial(server.peer.ID(), netsim.Loopback)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		conns = append(conns, c.(*netsim.Conn))
+		mu.Unlock()
+		return c, nil
+	}
+	link, err := client.peer.DialLink(dial)
+	if err != nil {
+		t.Fatalf("DialLink: %v", err)
+	}
+	defer link.Close()
+
+	var states []LinkState
+	link.OnStateChange(func(st LinkState, _ *Channel) {
+		mu.Lock()
+		states = append(states, st)
+		mu.Unlock()
+	})
+
+	first := link.Channel()
+	id := soleServiceID(t, first)
+	if v, err := first.Invoke(id, "Add", []any{int64(2), int64(3)}); err != nil || v != int64(5) {
+		t.Fatalf("Add before drop = %v, %v", v, err)
+	}
+
+	mu.Lock()
+	conns[0].Drop()
+	mu.Unlock()
+	// The failure propagates through the dead channel's read loop; wait
+	// for the link to notice before asking for recovery.
+	deadline := time.Now().Add(2 * time.Second)
+	for link.State() == LinkUp && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ch, err := link.Await(5 * time.Second)
+	if err != nil {
+		t.Fatalf("Await after drop: %v", err)
+	}
+	if ch == first {
+		t.Fatal("Await returned the dropped channel")
+	}
+	// The lease was re-exchanged during the reconnect handshake.
+	id2 := soleServiceID(t, ch)
+	if v, err := ch.Invoke(id2, "Add", []any{int64(20), int64(30)}); err != nil || v != int64(50) {
+		t.Errorf("Add after reconnect = %v, %v", v, err)
+	}
+	if link.State() != LinkUp {
+		t.Errorf("link state = %v, want up", link.State())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(states) < 2 || states[0] != LinkReconnecting || states[len(states)-1] != LinkUp {
+		t.Errorf("state transitions = %v, want reconnecting...up", states)
+	}
+}
+
+// TestLinkDownAfterBudget blocks the dial target so every reconnect
+// attempt fails: the link must go terminally Down within its budget and
+// surface the typed error.
+func TestLinkDownAfterBudget(t *testing.T) {
+	server := newTestNode(t, "target")
+	client := newRetryNode(t, "phone", time.Second,
+		RetryPolicy{MaxAttempts: 2, BaseDelay: 20 * time.Millisecond, ReconnectBudget: 250 * time.Millisecond})
+	exportCalculator(t, server)
+
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+
+	dial := func() (net.Conn, error) { return fabric.Dial(server.peer.ID(), netsim.Loopback) }
+	link, err := client.peer.DialLink(dial)
+	if err != nil {
+		t.Fatalf("DialLink: %v", err)
+	}
+	defer link.Close()
+
+	fabric.Block(server.peer.ID(), time.Hour)
+	link.Channel().Close()
+
+	start := time.Now()
+	if _, err := link.Await(5 * time.Second); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("Await = %v, want ErrLinkDown", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("link took %v to go down, budget was 250ms", d)
+	}
+	if link.State() != LinkDown {
+		t.Errorf("state = %v, want down", link.State())
+	}
+	if !errors.Is(link.Err(), ErrLinkDown) {
+		t.Errorf("Err() = %v, want ErrLinkDown", link.Err())
+	}
+}
+
+// TestLinkCloseStopsReconnect closes the link while it is mid-reconnect
+// and asserts the monitor goroutine exits without going Down.
+func TestLinkCloseStopsReconnect(t *testing.T) {
+	server := newTestNode(t, "target")
+	client := newRetryNode(t, "phone", time.Second,
+		RetryPolicy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond, ReconnectBudget: time.Hour})
+	exportCalculator(t, server)
+
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+
+	dial := func() (net.Conn, error) { return fabric.Dial(server.peer.ID(), netsim.Loopback) }
+	link, err := client.peer.DialLink(dial)
+	if err != nil {
+		t.Fatalf("DialLink: %v", err)
+	}
+	fabric.Block(server.peer.ID(), time.Hour)
+	link.Channel().Close()
+	time.Sleep(30 * time.Millisecond) // let the monitor enter redial
+	link.Close()                      // must return (waits for the monitor)
+	if st := link.State(); st != LinkClosed {
+		t.Errorf("state after Close = %v, want closed", st)
+	}
+	link.Close() // idempotent
+}

@@ -1,0 +1,92 @@
+package remote
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Retry defaults. They are sized for the paper's WLAN/Bluetooth links:
+// a first retry well under a human-visible delay, capped growth, and a
+// reconnect budget long enough to ride out a several-second radio
+// shadow.
+const (
+	DefaultRetryAttempts   = 3
+	DefaultRetryBase       = 25 * time.Millisecond
+	DefaultRetryMax        = 2 * time.Second
+	DefaultRetryMultiplier = 2.0
+	DefaultRetryJitter     = 0.2
+	DefaultReconnectBudget = 15 * time.Second
+)
+
+// RetryPolicy parameterizes per-call retries and channel reconnection:
+// exponential backoff with full-range jitter, a per-call attempt cap,
+// and a total wall-clock budget for re-establishing a dropped link.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (first attempt
+	// included). 1 disables retries; 0 selects the default.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Multiplier is the per-attempt growth factor.
+	Multiplier float64
+	// Jitter spreads each delay uniformly in [d*(1-J), d*(1+J)] so that
+	// many clients recovering from the same outage do not retry in
+	// lockstep.
+	Jitter float64
+	// ReconnectBudget bounds how long a Link keeps redialing a dropped
+	// connection before giving up and going Down.
+	ReconnectBudget time.Duration
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryBase
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryMax
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultRetryMultiplier
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = DefaultRetryJitter
+	} else if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.ReconnectBudget <= 0 {
+		p.ReconnectBudget = DefaultReconnectBudget
+	}
+	return p
+}
+
+// Backoff returns the jittered delay before retry number attempt
+// (0-based: Backoff(0) precedes the second try).
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	// Full-range jitter: uniform in [d*(1-J), d*(1+J)], clamped to the
+	// cap so the worst case stays bounded.
+	d *= 1 + p.Jitter*(2*rand.Float64()-1)
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

@@ -33,7 +33,15 @@ var (
 	ErrNoRenderer      = errors.New("render: no renderer suits the device profile")
 	ErrViewClosed      = errors.New("render: view closed")
 	ErrBadEvent        = errors.New("render: event does not fit control")
+	ErrControlDisabled = errors.New("render: control disabled")
 )
+
+// PropEnabled is the control property the enabled-gate reads: setting
+// it to false makes the view reject injected events for that control
+// with ErrControlDisabled. The core layer uses it to degrade a UI
+// whose target device is unreachable instead of letting interactions
+// wedge on a dead link.
+const PropEnabled = "enabled"
 
 // View is a rendered user interface instance: the application's View in
 // the MVC of Figure 2. It is safe for concurrent use.
@@ -293,6 +301,10 @@ func (v *baseView) Inject(ev ui.Event) error {
 	if _, shown := v.state[ev.Control]; !shown {
 		v.mu.Unlock()
 		return fmt.Errorf("%w: %s was dropped during adaptation", ErrUnknownControl, ev.Control)
+	}
+	if en, set := v.state[ev.Control][PropEnabled]; set && en == false {
+		v.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrControlDisabled, ev.Control)
 	}
 	if err := checkEventFits(ctrl, ev); err != nil {
 		v.mu.Unlock()

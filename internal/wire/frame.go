@@ -49,11 +49,33 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readPayload(r, int(n))
+	if err != nil {
 		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
 	}
 	return DecodeMessage(payload)
+}
+
+// payloadChunk bounds how much memory a frame read commits to ahead of
+// the bytes actually arriving. A corrupted or hostile length prefix can
+// claim anything up to MaxFrame; reading in chunks means such a frame
+// costs at most one chunk of allocation before the stream runs dry.
+const payloadChunk = 64 << 10
+
+// readPayload reads exactly n payload bytes, growing the buffer
+// chunkwise so the allocation tracks delivered bytes, not the claimed
+// frame length.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	buf := make([]byte, 0, min(n, payloadChunk))
+	for len(buf) < n {
+		k := min(n-len(buf), payloadChunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // DecodeMessage decodes a frame payload (type byte + message body).

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// countingReader tracks how many bytes were consumed from the source.
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+func TestReadMessageRoundTrip(t *testing.T) {
+	m := &Invoke{CallID: 7, ServiceID: 9, Method: "Click", Args: []any{int64(1)}}
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	inv, ok := got.(*Invoke)
+	if !ok || inv.CallID != 7 || inv.Method != "Click" {
+		t.Fatalf("round trip = %#v", got)
+	}
+}
+
+func TestReadMessageRejectsOversizedHeader(t *testing.T) {
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], MaxFrame+1)
+	_, err := ReadMessage(bytes.NewReader(header[:]))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized header error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadMessageRejectsEmptyFrame(t *testing.T) {
+	_, err := ReadMessage(bytes.NewReader(make([]byte, 4)))
+	if !errors.Is(err, ErrBadMsg) {
+		t.Errorf("empty frame error = %v, want ErrBadMsg", err)
+	}
+}
+
+// TestReadMessageTruncatedHugeClaim models a corrupted length prefix: a
+// header that claims a near-maximal frame over a stream that ends after
+// a few bytes must fail quickly and must not commit multi-megabyte
+// allocations for bytes that never arrive.
+func TestReadMessageTruncatedHugeClaim(t *testing.T) {
+	frame := make([]byte, 4, 12)
+	binary.BigEndian.PutUint32(frame, MaxFrame) // claims 16 MB
+	frame = append(frame, 1, 2, 3, 4, 5, 6, 7, 8)
+
+	start := time.Now()
+	_, err := ReadMessage(bytes.NewReader(frame))
+	if err == nil {
+		t.Fatal("truncated frame decoded successfully")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated frame error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("truncated huge frame took %v to fail", d)
+	}
+}
+
+// TestReadPayloadChunked verifies the chunked reader consumes exactly
+// the claimed length and reassembles it intact across chunk boundaries.
+func TestReadPayloadChunked(t *testing.T) {
+	payload := make([]byte, payloadChunk*2+137)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	src := &countingReader{r: bytes.NewReader(append(payload, 0xEE, 0xEE))}
+	got, err := readPayload(src, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("chunked payload reassembly corrupted data")
+	}
+	if src.n != len(payload) {
+		t.Errorf("consumed %d bytes, want %d", src.n, len(payload))
+	}
+}
+
+// TestDecodeBitFlips flips every bit of a valid frame payload in turn:
+// each variant must either decode cleanly or fail with an error — never
+// panic — exercising the decoder the way netsim corruption does.
+func TestDecodeBitFlips(t *testing.T) {
+	m := &ServiceReply{
+		RequestID: 3,
+		Info:      ServiceInfo{ID: 12, Interfaces: []string{"IShop"}, Props: map[string]any{"k": int64(1)}},
+		Interfaces: []InterfaceDesc{{
+			Name:    "IShop",
+			Methods: []MethodDesc{{Name: "Buy", Args: []string{"string"}, Return: "void"}},
+		}},
+		Descriptor: []byte(`{"title":"shop"}`),
+	}
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[4:]
+	for bit := 0; bit < len(payload)*8; bit++ {
+		mutated := make([]byte, len(payload))
+		copy(mutated, payload)
+		mutated[bit/8] ^= 1 << (bit % 8)
+		if _, err := DecodeMessage(mutated); err != nil {
+			// Every decode error must be one of the typed wire errors or
+			// wrap one of them; callers dispatch on these.
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrTooLarge) &&
+				!errors.Is(err, ErrBadMsg) && !errors.Is(err, ErrBadTag) {
+				t.Fatalf("bit %d: untyped decode error %v", bit, err)
+			}
+		}
+	}
+}
