@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz fmt vet chaos check clean
+.PHONY: all build test race cover bench experiments fuzz fmt vet chaos obs check clean
 
 all: build test
 
@@ -17,7 +17,7 @@ race:
 	$(GO) test -race ./...
 
 cover:
-	$(GO) test -cover ./internal/...
+	$(GO) test -cover ./...
 
 # testing.B entry points (one per paper table/figure + micro-benches).
 bench:
@@ -44,6 +44,13 @@ vet:
 # disconnects, partitions, loss and corruption, always under -race.
 chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/remote/
+
+# Telemetry demo: drive one instrumented session (partition + drop)
+# and dump the metrics snapshot plus the slowest recorded trace, then
+# prove the disabled-telemetry path allocates nothing.
+obs:
+	$(GO) run ./cmd/alfredo-bench -exp obs
+	$(GO) test -bench 'BenchmarkNopInvokeTelemetry' -benchmem -run '^$$' ./internal/obs/
 
 # The full pre-merge gate: compile, vet, and the whole tree under -race.
 check: build vet

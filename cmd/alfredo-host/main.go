@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/core"
 	"github.com/alfredo-mw/alfredo/internal/device"
 	"github.com/alfredo-mw/alfredo/internal/discovery"
+	"github.com/alfredo-mw/alfredo/internal/httpd"
 )
 
 func main() {
@@ -36,15 +38,16 @@ func main() {
 		group    = flag.String("group", discovery.DefaultGroup, "discovery multicast group")
 		snapshot = flag.Duration("snapshot", 500*time.Millisecond, "mouse screen snapshot interval")
 		storage  = flag.String("storage", "", "directory for persistent bundle storage")
+		obsAddr  = flag.String("obs", "", "serve the telemetry introspection endpoint (metrics + traces) on this address")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *apps, *name, *group, *storage, *snapshot, *announce); err != nil {
+	if err := run(*listen, *apps, *name, *group, *storage, *obsAddr, *snapshot, *announce); err != nil {
 		log.Fatalf("alfredo-host: %v", err)
 	}
 }
 
-func run(listen, apps, name, group, storage string, snapshotEvery time.Duration, announce bool) error {
+func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool) error {
 	node, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Notebook(), StorageDir: storage})
 	if err != nil {
 		return err
@@ -85,6 +88,25 @@ func run(listen, apps, name, group, storage string, snapshotEvery time.Duration,
 	defer l.Close()
 	node.Serve(l)
 	fmt.Printf("%s serving %s on %s\n", name, strings.Join(hosted, ", "), l.Addr())
+
+	// Live introspection: metrics snapshot and recent traces, curl-able
+	// while the host serves sessions.
+	if obsAddr != "" {
+		web := httpd.NewService()
+		if err := httpd.RegisterIntrospection(web, nil); err != nil {
+			return err
+		}
+		addr, err := web.Start(obsAddr)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = web.Stop(ctx)
+		}()
+		fmt.Printf("telemetry at http://%s%s/metrics\n", addr, httpd.IntrospectionAlias)
+	}
 
 	if announce {
 		bus, err := discovery.NewUDPBus(group)

@@ -53,15 +53,16 @@ func main() {
 		profile  = flag.String("profile", "nokia9300i", "device profile: nokia9300i, se-m600i, iphone, notebook")
 		simulate = flag.Bool("simulate-cpu", false, "simulate the profile's CPU speed (realistic acquire times)")
 		httpAddr = flag.String("http", "", "serve html-rendered apps on this address (the browser/iPhone path)")
+		obsAddr  = flag.String("obs", "", "serve the telemetry introspection endpoint (metrics + traces) on this address")
 	)
 	flag.Parse()
 
-	if err := run(*connect, *group, *profile, *httpAddr, *discover, *simulate); err != nil {
+	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate); err != nil {
 		log.Fatalf("alfredo-phone: %v", err)
 	}
 }
 
-func run(connect, group, profileName, httpAddr string, discover, simulate bool) error {
+func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool) error {
 	prof, ok := device.ProfileByName(profileName)
 	if !ok {
 		return fmt.Errorf("unknown profile %q", profileName)
@@ -125,6 +126,29 @@ func run(connect, group, profileName, httpAddr string, discover, simulate bool) 
 			_ = web.Stop(ctx)
 		}()
 		fmt.Printf("serving html views on http://%s/\n", addr)
+		// Piggyback the introspection endpoint on the servlet service.
+		if err := httpd.RegisterIntrospection(web, nil); err == nil {
+			fmt.Printf("telemetry at http://%s%s/metrics\n", addr, httpd.IntrospectionAlias)
+		}
+	}
+
+	// Dedicated telemetry endpoint when no -http service is running (or
+	// a separate port is wanted).
+	if obsAddr != "" {
+		ws := httpd.NewService()
+		if err := httpd.RegisterIntrospection(ws, nil); err != nil {
+			return err
+		}
+		addr, err := ws.Start(obsAddr)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = ws.Stop(ctx)
+		}()
+		fmt.Printf("telemetry at http://%s%s/metrics\n", addr, httpd.IntrospectionAlias)
 	}
 
 	return repl(session, prof, web)

@@ -20,6 +20,9 @@ func FuzzWireDecode(f *testing.F) {
 	for _, m := range []wire.Message{
 		&wire.Hello{PeerID: "p", Version: 1, Props: map[string]any{"a": int64(1)}},
 		&wire.Invoke{CallID: 1, ServiceID: 2, Method: "M", Args: []any{"x", int64(3)}},
+		&wire.Invoke{CallID: 1, ServiceID: 2, Method: "M", Args: []any{"x"},
+			TraceID: 0xdeadbeefcafe, SpanID: 7},
+		&wire.FetchService{RequestID: 4, ServiceID: 9, TraceID: 1, SpanID: 1},
 		&wire.ServiceReply{RequestID: 1, Descriptor: []byte("{}")},
 		&wire.Event{Topic: "a/b", Props: map[string]any{}},
 		&wire.StreamData{StreamID: 9, Chunk: []byte{1, 2, 3}},

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// RunObsDemo drives one instrumented session end to end and dumps what
+// the telemetry stack recorded: a shop acquisition and invocations over
+// a simulated WLAN link, a partition that forces a timed-out retry, a
+// hard drop that forces reconnection and lease recovery — then the
+// acquire-phase latencies, the full Prometheus snapshot, the slowest
+// recorded trace as a span tree, and an instrumented-vs-disabled invoke
+// overhead comparison. Everything it prints comes from the process-wide
+// obs.Default() hub, i.e. exactly what the introspection endpoint would
+// serve.
+func RunObsDemo(cfg Config) error {
+	cfg = cfg.withDefaults()
+	hub := obs.Default()
+
+	fmt.Fprintln(cfg.Out, "Telemetry demo: instrumented shop session (WLAN, partition, drop)")
+
+	if err := obsDemoSession(); err != nil {
+		return err
+	}
+
+	// Phase timings, as the acquire-phase histograms recorded them.
+	fmt.Fprintln(cfg.Out, "\nAcquire phase latencies (histogram means):")
+	for _, s := range hub.Metrics.Snapshot() {
+		if s.Name != "alfredo_core_acquire_phase_seconds" || s.Hist == nil {
+			continue
+		}
+		fmt.Fprintf(cfg.Out, "  %-40s %10v (n=%d)\n",
+			s.Name+s.LabelString(), s.Hist.Mean().Round(time.Microsecond), s.Hist.Count)
+	}
+
+	fmt.Fprintln(cfg.Out, "\nMetrics snapshot (Prometheus exposition):")
+	if err := obs.WritePrometheus(cfg.Out, hub.Metrics); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(cfg.Out, "\nSlowest recorded trace:")
+	if slow := hub.Traces.Slowest(1); len(slow) > 0 {
+		if spans, ok := hub.Traces.Trace(slow[0].TraceID); ok {
+			fmt.Fprint(cfg.Out, obs.FormatTrace(spans))
+		}
+	} else {
+		fmt.Fprintln(cfg.Out, "(no traces recorded)")
+	}
+
+	// Overhead: the same invoke loop against the same target, once on
+	// the default hub and once with telemetry disabled (obs.Nop()).
+	instr, plain, n, err := obsOverhead()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "\nInvoke overhead (%d invocations, loopback link):\n", n)
+	fmt.Fprintf(cfg.Out, "  instrumented %10v/op\n", instr.Round(time.Microsecond))
+	fmt.Fprintf(cfg.Out, "  disabled     %10v/op\n", plain.Round(time.Microsecond))
+	fmt.Fprintf(cfg.Out, "  delta        %10v/op\n", (instr - plain).Round(time.Microsecond))
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+// obsDemoSession runs the scripted session whose telemetry the demo
+// dumps: acquire, a few invokes, a partition long enough to time out
+// one attempt (counted retry), and a hard drop (reconnect + recovery).
+func obsDemoSession() error {
+	fabric := netsim.NewFabric()
+	host, err := core.NewNode(core.NodeConfig{Name: "obs-host", Profile: device.Notebook()})
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	if err := host.RegisterApp(shop.New().App()); err != nil {
+		return err
+	}
+	l, err := fabric.Listen("obs-host")
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	host.Serve(l)
+
+	phone, err := core.NewNode(core.NodeConfig{
+		Name:          "obs-phone",
+		Profile:       device.Nokia9300i(),
+		InvokeTimeout: 150 * time.Millisecond,
+		Retry: remote.RetryPolicy{
+			MaxAttempts:     4,
+			BaseDelay:       100 * time.Millisecond,
+			ReconnectBudget: 10 * time.Second,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer phone.Close()
+
+	var mu sync.Mutex
+	var last *netsim.Conn
+	dial := func() (net.Conn, error) {
+		c, err := fabric.Dial("obs-host", netsim.WLAN11b)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		last = c.(*netsim.Conn)
+		mu.Unlock()
+		return c, nil
+	}
+	session, err := phone.ConnectResilient(dial)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := app.Invoke("Categories"); err != nil {
+			return err
+		}
+	}
+
+	// Partition: the in-flight attempt times out, the idempotent retry
+	// lands after the stall lifts — one retries_total{op=invoke} tick.
+	info, _ := session.Channel().FindRemoteService(shop.InterfaceName)
+	mu.Lock()
+	last.Partition(200 * time.Millisecond)
+	mu.Unlock()
+	if _, err := session.Channel().InvokeIdempotent(info.ID, "Categories", nil); err != nil {
+		return fmt.Errorf("bench: invoke across partition: %w", err)
+	}
+
+	// Hard drop: reconnect + degrade/recover cycle.
+	mu.Lock()
+	last.Drop()
+	mu.Unlock()
+	for !app.Degraded() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := app.Invoke("Categories"); err != nil {
+		return fmt.Errorf("bench: invoke after drop: %w", err)
+	}
+	return nil
+}
+
+// obsOverhead measures the same invoke loop with telemetry on (default
+// hub) and off (obs.Nop()), returning per-op means and the loop count.
+func obsOverhead() (instrumented, disabled time.Duration, n int, err error) {
+	n = 300
+	run := func(hub *obs.Hub) (time.Duration, error) {
+		fabric := netsim.NewFabric()
+		host, err := core.NewNode(core.NodeConfig{Name: "ovh-host", Profile: device.Notebook(), Obs: hub})
+		if err != nil {
+			return 0, err
+		}
+		defer host.Close()
+		if err := host.RegisterApp(shop.New().App()); err != nil {
+			return 0, err
+		}
+		l, err := fabric.Listen("ovh-host")
+		if err != nil {
+			return 0, err
+		}
+		defer l.Close()
+		host.Serve(l)
+
+		phone, err := core.NewNode(core.NodeConfig{Name: "ovh-phone", Profile: device.Nokia9300i(), Obs: hub})
+		if err != nil {
+			return 0, err
+		}
+		defer phone.Close()
+		conn, err := fabric.Dial("ovh-host", netsim.Loopback)
+		if err != nil {
+			return 0, err
+		}
+		session, err := phone.Connect(conn)
+		if err != nil {
+			return 0, err
+		}
+		defer session.Close()
+		app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{SkipUI: true})
+		if err != nil {
+			return 0, err
+		}
+		// Warmup.
+		for i := 0; i < 20; i++ {
+			if _, err := app.Invoke("Categories"); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := app.Invoke("Categories"); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(n), nil
+	}
+	if instrumented, err = run(obs.Default()); err != nil {
+		return 0, 0, 0, err
+	}
+	if disabled, err = run(obs.Nop()); err != nil {
+		return 0, 0, 0, err
+	}
+	return instrumented, disabled, n, nil
+}

@@ -21,12 +21,14 @@ var Experiments = map[string]func(Config) error{
 	"buildcost":  func(c Config) error { _, err := RunBuildCostAblation(c); return err },
 	"payload":    func(c Config) error { _, err := RunPayloadAblation(c); return err },
 	"faults":     func(c Config) error { _, err := RunFaultAblation(c); return err },
+	"obs":        RunObsDemo,
 }
 
 // Order lists experiment ids in report order.
 var Order = []string{
 	"footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6",
 	"tiers", "renderers", "smartproxy", "buildcost", "payload", "faults",
+	"obs",
 }
 
 // RunAll executes every experiment in order.

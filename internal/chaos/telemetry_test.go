@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// TestTelemetryMatchesFaultSchedule scripts a fault sequence against a
+// resilient session whose phone reports into a private hub, then
+// asserts the retry, reconnect and degrade/recover counters agree with
+// what the schedule provoked. This is the end-to-end check that the
+// failure-path instrumentation counts real events, not approximations.
+func TestTelemetryMatchesFaultSchedule(t *testing.T) {
+	hub := obs.NewHub()     // phone-side: the counters under test
+	hostHub := obs.NewHub() // host-side: server counters, kept separate
+
+	retry := remote.RetryPolicy{
+		MaxAttempts:     4,
+		BaseDelay:       100 * time.Millisecond,
+		ReconnectBudget: 10 * time.Second,
+	}
+
+	host, err := core.NewNode(core.NodeConfig{Name: "tel-host", Profile: device.Notebook(), Obs: hostHub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(host.Close)
+	if err := host.RegisterApp(shop.New().App()); err != nil {
+		t.Fatal(err)
+	}
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("tel-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	host.Serve(l)
+
+	phone, err := core.NewNode(core.NodeConfig{
+		Name:          "tel-phone",
+		Profile:       device.Nokia9300i(),
+		InvokeTimeout: 150 * time.Millisecond,
+		Retry:         retry,
+		Obs:           hub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(phone.Close)
+
+	var mu sync.Mutex
+	var last *netsim.Conn
+	dial := func() (net.Conn, error) {
+		c, err := fabric.Dial("tel-host", netsim.WLAN11b)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		last = c.(*netsim.Conn)
+		mu.Unlock()
+		return c, nil
+	}
+	session, err := phone.ConnectResilient(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{SkipUI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Invoke("Categories"); err != nil {
+		t.Fatal(err)
+	}
+
+	counter := func(name string, labels ...string) int64 {
+		return hub.Metrics.Counter(name, labels...).Value()
+	}
+
+	// Fault 1: partition long enough to time out the in-flight attempt;
+	// the idempotent retry lands after the stall lifts.
+	info, ok := session.Channel().FindRemoteService(shop.InterfaceName)
+	if !ok {
+		t.Fatal("shop service not offered")
+	}
+	mu.Lock()
+	last.Partition(200 * time.Millisecond)
+	mu.Unlock()
+	if _, err := session.Channel().InvokeIdempotent(info.ID, "Categories", nil); err != nil {
+		t.Fatalf("invoke across partition: %v", err)
+	}
+	retries := counter("alfredo_remote_retries_total", "op", "invoke", "cause", "timeout")
+	if retries < 1 || retries > int64(retry.MaxAttempts-1) {
+		t.Fatalf("retries after partition = %d, want 1..%d", retries, retry.MaxAttempts-1)
+	}
+
+	// Fault 2: hard drop — the session must degrade, the link must
+	// redial, and the next invoke completes only after recovery.
+	mu.Lock()
+	last.Drop()
+	mu.Unlock()
+	waitFor(t, 5*time.Second, "degrade after drop", app.Degraded)
+	if _, err := app.Invoke("Categories"); err != nil {
+		t.Fatalf("invoke after drop: %v", err)
+	}
+
+	if got := counter("alfredo_core_degrades_total"); got != 1 {
+		t.Errorf("degrades_total = %d, want 1", got)
+	}
+	if got := counter("alfredo_core_recoveries_total"); got != 1 {
+		t.Errorf("recoveries_total = %d, want 1", got)
+	}
+	if got := counter("alfredo_remote_link_transitions_total", "state", "reconnecting"); got != 1 {
+		t.Errorf("transitions{reconnecting} = %d, want 1", got)
+	}
+	// The initial DialLink is not a transition; only the reconnect is.
+	if got := counter("alfredo_remote_link_transitions_total", "state", "up"); got != 1 {
+		t.Errorf("transitions{up} = %d, want 1", got)
+	}
+	if got := counter("alfredo_remote_redials_total"); got < 1 {
+		t.Errorf("redials_total = %d, want >= 1", got)
+	}
+	if got := hub.Metrics.Histogram("alfredo_remote_reconnect_seconds").Count(); got != 1 {
+		t.Errorf("reconnect_seconds count = %d, want 1", got)
+	}
+
+	// Session lifecycle must balance once the session closes.
+	if got := counter("alfredo_core_sessions_opened_total"); got != 1 {
+		t.Errorf("sessions_opened_total = %d, want 1", got)
+	}
+	session.Close()
+	if got := counter("alfredo_core_sessions_closed_total"); got != 1 {
+		t.Errorf("sessions_closed_total = %d, want 1", got)
+	}
+	if got := hub.Metrics.Gauge("alfredo_core_sessions_active").Value(); got != 0 {
+		t.Errorf("sessions_active = %d, want 0", got)
+	}
+
+	// The host saw the served invokes on its own hub, not the phone's.
+	served := hostHub.Metrics.Counter("alfredo_remote_served_invokes_total",
+		"service", shop.InterfaceName).Value()
+	if served < 2 {
+		t.Errorf("host served_invokes_total = %d, want >= 2", served)
+	}
+	if phoneServed := counter("alfredo_remote_served_invokes_total", "service", shop.InterfaceName); phoneServed != 0 {
+		t.Errorf("phone served_invokes_total = %d, want 0", phoneServed)
+	}
+}

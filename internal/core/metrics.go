@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// Core-layer telemetry helpers. The hub comes from NodeConfig.Obs
+// (defaulted in NewNode), so every counter below lands on the same
+// registry the node's remote peer reports into.
+
+func (n *Node) obsHub() *obs.Hub { return n.cfg.Obs }
+
+func (s *Session) obsHub() *obs.Hub { return s.node.cfg.Obs }
+
+// countSessionOpened/Closed keep the active-session gauge balanced:
+// opened is counted only once the session is registered with the node,
+// closed only from Session.Close (which is idempotent).
+func (n *Node) countSessionOpened() {
+	m := n.obsHub().Metrics
+	m.Counter("alfredo_core_sessions_opened_total").Inc()
+	m.Gauge("alfredo_core_sessions_active").Add(1)
+}
+
+func (n *Node) countSessionClosed() {
+	m := n.obsHub().Metrics
+	m.Counter("alfredo_core_sessions_closed_total").Inc()
+	m.Gauge("alfredo_core_sessions_active").Add(-1)
+}
+
+// observeAcquire records a completed acquisition: total latency per
+// app plus the phase breakdown of Tables 1 and 2, so the histogram
+// view reproduces the paper's timing rows from live traffic.
+func (s *Session) observeAcquire(app *Application) {
+	m := s.obsHub().Metrics
+	t := app.Timing
+	m.Histogram("alfredo_core_acquire_seconds", "app", app.Interface).
+		Observe(t.TotalStart() + t.Dependencies + t.RenderUI)
+	phase := func(name string, d time.Duration) {
+		m.Histogram("alfredo_core_acquire_phase_seconds", "phase", name).Observe(d)
+	}
+	phase("acquire_interface", t.AcquireInterface)
+	phase("build_proxy", t.BuildProxy)
+	phase("install_proxy", t.InstallProxy)
+	phase("start_proxy", t.StartProxy)
+	phase("dependencies", t.Dependencies)
+	phase("render_ui", t.RenderUI)
+}
+
+// countPlacement records one tier-negotiation outcome.
+func (s *Session) countPlacement(pulled int) {
+	m := s.obsHub().Metrics
+	m.Counter("alfredo_core_placement_decisions_total",
+		"pulled", strconv.FormatBool(pulled > 0)).Inc()
+	m.Counter("alfredo_core_tier_pulls_total").Add(int64(pulled))
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/devsim"
 	"github.com/alfredo-mw/alfredo/internal/event"
 	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/render"
 	"github.com/alfredo-mw/alfredo/internal/service"
@@ -57,6 +58,9 @@ type NodeConfig struct {
 	// tailor what it offers (§3.2: "the device can decide which
 	// capabilities to expose to the target device").
 	HideCapabilities bool
+	// Obs is the telemetry hub for metrics and traces. Nil uses the
+	// process-wide obs.Default(); obs.Nop() disables telemetry.
+	Obs *obs.Hub
 }
 
 // Node is one AlfredO endpoint: framework, event admin, remote peer and
@@ -85,6 +89,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.ProxyCode == nil {
 		cfg.ProxyCode = remote.NewProxyCodeRegistry()
 	}
+	cfg.Obs = cfg.Obs.OrDefault()
 	fw := module.NewFramework(module.Config{Name: cfg.Name, StorageDir: cfg.StorageDir})
 	events := event.NewAdmin(0)
 	helloProps := map[string]any{"profile": cfg.Profile.Name}
@@ -104,6 +109,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Retry:            cfg.Retry,
 		ClientInvokeCost: cfg.ClientInvokeCost,
 		HelloProps:       helloProps,
+		Obs:              cfg.Obs,
 	})
 	if err != nil {
 		events.Close()
@@ -238,6 +244,7 @@ func (n *Node) Connect(conn net.Conn) (*Session, error) {
 	}
 	n.sessions[s] = struct{}{}
 	n.mu.Unlock()
+	n.countSessionOpened()
 	return s, nil
 }
 
@@ -266,6 +273,7 @@ func (n *Node) ConnectResilient(dial remote.Dialer) (*Session, error) {
 	}
 	n.sessions[s] = struct{}{}
 	n.mu.Unlock()
+	n.countSessionOpened()
 	link.OnStateChange(s.onLinkState)
 	return s, nil
 }

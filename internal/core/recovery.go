@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/render"
@@ -53,6 +55,7 @@ func (s *Session) degradeAll() {
 func (s *Session) recoverAll() {
 	for _, app := range s.Apps() {
 		if err := s.recoverApp(app); err != nil {
+			s.obsHub().Metrics.Counter("alfredo_core_recovery_failures_total").Inc()
 			continue // stays degraded; next LinkUp retries
 		}
 	}
@@ -70,6 +73,7 @@ func (a *Application) degrade() {
 	a.recovered = make(chan struct{})
 	view := a.View
 	a.mu.Unlock()
+	a.session.obsHub().Metrics.Counter("alfredo_core_degrades_total").Inc()
 	a.setControlsEnabled(view, false)
 }
 
@@ -78,7 +82,7 @@ func (a *Application) degrade() {
 // start a fresh proxy bundle, re-pull the logic-tier dependencies the
 // placement decision had moved, then swap the pieces in and re-enable
 // the UI.
-func (s *Session) recoverApp(app *Application) error {
+func (s *Session) recoverApp(app *Application) (err error) {
 	app.mu.Lock()
 	if app.done || !app.degraded {
 		app.mu.Unlock()
@@ -88,12 +92,28 @@ func (s *Session) recoverApp(app *Application) error {
 	pull := app.Placement.PullLogic
 	app.mu.Unlock()
 
+	hub := s.obsHub()
+	start := time.Now()
+	ctx, span := hub.Tracer.Start(context.Background(), "core.recover")
+	if span != nil {
+		span.SetAttr("app", app.Interface)
+		span.SetAttr("node", s.node.Name())
+	}
+	defer func() {
+		if err == nil {
+			hub.Metrics.Counter("alfredo_core_recoveries_total").Inc()
+			hub.Metrics.Histogram("alfredo_core_recover_seconds").ObserveSince(start)
+		}
+		span.Fail(err)
+		span.Finish()
+	}()
+
 	ch := s.channel()
 	info, ok := ch.FindRemoteService(app.Interface)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchRemoteService, app.Interface)
 	}
-	reply, err := ch.Fetch(info.ID)
+	reply, err := ch.FetchCtx(ctx, info.ID)
 	if err != nil {
 		return err
 	}
@@ -120,7 +140,7 @@ func (s *Session) recoverApp(app *Application) error {
 			_ = bundle.Uninstall()
 			return fmt.Errorf("%w: dependency %s", ErrNoSuchRemoteService, depIface)
 		}
-		dreply, err := ch.Fetch(dinfo.ID)
+		dreply, err := ch.FetchCtx(ctx, dinfo.ID)
 		if err != nil {
 			_ = bundle.Uninstall()
 			return err

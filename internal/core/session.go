@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -133,6 +134,35 @@ func (s *Session) Ping() (time.Duration, error) { return s.channel().Ping() }
 // placement, renders the UI for this node's device profile, and starts
 // the interpreted controller.
 func (s *Session) Acquire(iface string, opts AcquireOptions) (*Application, error) {
+	return s.AcquireCtx(context.Background(), iface, opts)
+}
+
+// AcquireCtx is Acquire with a caller context. The whole acquisition
+// runs under one "core.acquire" span — the network fetches inside it
+// (interface fetch, dependency pulls) become child spans on both peers
+// — and the phase timings land in the acquire-phase histograms.
+func (s *Session) AcquireCtx(ctx context.Context, iface string, opts AcquireOptions) (*Application, error) {
+	hub := s.obsHub()
+	start := time.Now()
+	ctx, span := hub.Tracer.Start(ctx, "core.acquire")
+	if span != nil {
+		span.SetAttr("app", iface)
+		span.SetAttr("node", s.node.Name())
+	}
+	app, err := s.acquire(ctx, iface, opts)
+	hub.Metrics.Counter("alfredo_core_acquisitions_total").Inc()
+	if err != nil {
+		hub.Metrics.Counter("alfredo_core_acquire_errors_total").Inc()
+		span.Fail(err)
+	} else {
+		s.observeAcquire(app)
+	}
+	hub.Metrics.Histogram("alfredo_core_acquire_wall_seconds").ObserveSince(start)
+	span.Finish()
+	return app, err
+}
+
+func (s *Session) acquire(ctx context.Context, iface string, opts AcquireOptions) (*Application, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -153,7 +183,7 @@ func (s *Session) Acquire(iface string, opts AcquireOptions) (*Application, erro
 
 	// Phase 1: acquire service interface (+ descriptor) over the link.
 	start := time.Now()
-	reply, err := s.channel().Fetch(info.ID)
+	reply, err := s.channel().FetchCtx(ctx, info.ID)
 	if err != nil {
 		return nil, err
 	}
@@ -203,7 +233,7 @@ func (s *Session) Acquire(iface string, opts AcquireOptions) (*Application, erro
 	app.Proxy = pb.Service
 
 	// Tier negotiation (§3.2).
-	if err := s.pullDependencies(app, opts); err != nil {
+	if err := s.pullDependencies(ctx, app, opts); err != nil {
 		app.Release()
 		return nil, err
 	}
@@ -233,7 +263,7 @@ func (s *Session) Acquire(iface string, opts AcquireOptions) (*Application, erro
 
 // pullDependencies runs the distribution policy and acquires proxies
 // for the logic-tier dependencies it decides to move.
-func (s *Session) pullDependencies(app *Application, opts AcquireOptions) error {
+func (s *Session) pullDependencies(ctx context.Context, app *Application, opts AcquireOptions) error {
 	policy := opts.Policy
 	if policy == nil {
 		policy = ThinClientPolicy{}
@@ -245,7 +275,7 @@ func (s *Session) pullDependencies(app *Application, opts AcquireOptions) error 
 			break
 		}
 	}
-	ctx := PolicyContext{
+	pctx := PolicyContext{
 		Profile:      s.node.Profile(),
 		FreeMemoryKB: s.node.cfg.FreeMemoryKB,
 		CPUMHz:       s.node.cfg.CPUMHz,
@@ -253,10 +283,11 @@ func (s *Session) pullDependencies(app *Application, opts AcquireOptions) error 
 	}
 	if movable {
 		if rtt, err := s.channel().Ping(); err == nil {
-			ctx.LinkRTT = rtt
+			pctx.LinkRTT = rtt
 		}
 	}
-	app.Placement = policy.Decide(app.Descriptor, ctx)
+	app.Placement = policy.Decide(app.Descriptor, pctx)
+	s.countPlacement(len(app.Placement.PullLogic))
 
 	start := time.Now()
 	for _, depIface := range app.Placement.PullLogic {
@@ -264,7 +295,7 @@ func (s *Session) pullDependencies(app *Application, opts AcquireOptions) error 
 		if !ok {
 			return fmt.Errorf("%w: dependency %s", ErrNoSuchRemoteService, depIface)
 		}
-		reply, err := s.channel().Fetch(info.ID)
+		reply, err := s.channel().FetchCtx(ctx, info.ID)
 		if err != nil {
 			return fmt.Errorf("core: pulling dependency %s: %w", depIface, err)
 		}
@@ -392,6 +423,7 @@ func (s *Session) Close() {
 		s.channel().Close()
 	}
 	s.node.removeSession(s)
+	s.node.countSessionClosed()
 }
 
 // Release ends the interaction: the controller stops, the view closes,
@@ -435,13 +467,34 @@ func (a *Application) release(unlist bool) {
 // reconnecting) the call waits for recovery up to the link's reconnect
 // budget; a terminally down link yields ErrDegraded immediately.
 func (a *Application) Invoke(method string, args ...any) (any, error) {
+	return a.InvokeCtx(context.Background(), method, args...)
+}
+
+// InvokeCtx is Invoke with a caller context. Each call is the root of
+// an "app.invoke" span (unless ctx already carries one), so a single
+// user action shows up as one trace spanning proxy, wire, and the
+// target's serve-side spans.
+func (a *Application) InvokeCtx(ctx context.Context, method string, args ...any) (any, error) {
+	hub := a.session.obsHub()
+	ctx, span := hub.Tracer.Start(ctx, "app.invoke")
+	if span != nil {
+		span.SetAttr("app", a.Interface)
+		span.SetAttr("method", method)
+	}
+	res, err := a.invokeCtx(ctx, method, args)
+	span.Fail(err)
+	span.Finish()
+	return res, err
+}
+
+func (a *Application) invokeCtx(ctx context.Context, method string, args []any) (any, error) {
 	if err := a.awaitUsable(); err != nil {
 		return nil, err
 	}
 	a.mu.Lock()
 	proxy := a.Proxy
 	a.mu.Unlock()
-	return proxy.Invoke(method, args)
+	return proxy.InvokeCtx(ctx, method, args)
 }
 
 // awaitUsable blocks while the application is degraded, until the

@@ -1,0 +1,112 @@
+package httpd
+
+// Live introspection endpoint: serves the telemetry hub's metrics and
+// recent traces over the node's own HTTP service, so an operator (or a
+// test) can curl the phone or the target mid-session and see invoke
+// latencies, retry counters and cross-peer traces without stopping
+// anything.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// IntrospectionAlias is the servlet alias RegisterIntrospection uses.
+const IntrospectionAlias = "/obs"
+
+// NewIntrospectionHandler builds the introspection mux for a hub:
+//
+//	GET /metrics           Prometheus text exposition
+//	GET /metrics.json      same registry as JSON
+//	GET /traces?n=20       most recent trace summaries
+//	GET /traces/slow?n=20  slowest trace summaries
+//	GET /trace?id=<hex>    one trace; &format=text for the span tree
+//
+// The handler is standalone (paths are relative to its mount point);
+// use RegisterIntrospection to mount it on a Service.
+func NewIntrospectionHandler(hub *obs.Hub) http.Handler {
+	hub = hub.OrDefault()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, hub.Metrics)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteJSON(w, hub.Metrics)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeSummaries(w, hub.Traces.Recent(queryN(r)))
+	})
+	mux.HandleFunc("/traces/slow", func(w http.ResponseWriter, r *http.Request) {
+		writeSummaries(w, hub.Traces.Slowest(queryN(r)))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		spans, ok := hub.Traces.Trace(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no trace %q", id), http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = fmt.Fprint(w, obs.FormatTrace(spans))
+			return
+		}
+		out := make([]spanJSON, len(spans))
+		for i, sp := range spans {
+			out[i] = spanJSON{
+				SpanData: sp,
+				TraceID:  obs.FormatID(sp.TraceID),
+				SpanID:   obs.FormatID(sp.SpanID),
+				ParentID: obs.FormatID(sp.ParentID),
+			}
+		}
+		writeJSON(w, out)
+	})
+	return mux
+}
+
+// spanJSON re-attaches the span identity (hex-encoded) that SpanData
+// withholds from plain JSON marshaling.
+type spanJSON struct {
+	obs.SpanData
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+}
+
+func writeSummaries(w http.ResponseWriter, sums []obs.TraceSummary) {
+	if sums == nil {
+		sums = []obs.TraceSummary{}
+	}
+	writeJSON(w, sums)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// queryN parses ?n= with a sane default for list views.
+func queryN(r *http.Request) int {
+	if s := r.URL.Query().Get("n"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 20
+}
+
+// RegisterIntrospection mounts the introspection handler on the
+// service under IntrospectionAlias.
+func RegisterIntrospection(s *Service, hub *obs.Hub) error {
+	return s.RegisterServlet(IntrospectionAlias,
+		http.StripPrefix(IntrospectionAlias, NewIntrospectionHandler(hub)))
+}

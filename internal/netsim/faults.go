@@ -19,6 +19,7 @@ import (
 // orderly shutdown is exchanged, frames in flight are lost, and both
 // endpoints discover the failure through their next I/O.
 func (c *Conn) Drop() {
+	countFault(FaultDrop.String())
 	c.write.drop()
 	c.read.drop()
 }
@@ -28,6 +29,7 @@ func (c *Conn) Drop() {
 // only after it lifts. It models a temporary radio shadow or handover;
 // unlike Drop the connection recovers by itself.
 func (c *Conn) Partition(d time.Duration) {
+	countFault(FaultStall.String())
 	until := time.Now().Add(d)
 	c.write.stall(until)
 	c.read.stall(until)
@@ -38,6 +40,7 @@ func (c *Conn) Partition(d time.Duration) {
 // the receiver — unlike loss — so it exercises decoder hardening rather
 // than timeouts.
 func (c *Conn) SetCorruption(p float64) {
+	countFault(FaultCorrupt.String())
 	c.write.setCorrupt(p)
 	c.read.setCorrupt(p)
 }
@@ -48,6 +51,7 @@ func (c *Conn) SetCorruption(p float64) {
 // This is the knob for deliberately asymmetric loss experiments; plain
 // LossProb is symmetric (see LinkProfile.LossProb).
 func (c *Conn) SetLoss(in, out float64) {
+	countFault(FaultLoss.String())
 	c.write.setLoss(out)
 	c.read.setLoss(in)
 }
@@ -160,6 +164,7 @@ func (s Schedule) Run(conn *Conn) (stop func()) {
 // attempts fail with ErrConnRefused until the blackout lifts. Calling
 // Block again replaces the previous blackout for that address.
 func (f *Fabric) Block(addr string, d time.Duration) {
+	countFault("block")
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.blocked == nil {

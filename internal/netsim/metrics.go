@@ -1,0 +1,33 @@
+package netsim
+
+import "github.com/alfredo-mw/alfredo/internal/obs"
+
+// Per-link traffic and fault-injection telemetry, recorded on the
+// process-wide default hub (the fabric has no config to plumb a hub
+// through). Pipe handles are resolved once per dial; the per-write cost
+// is atomic adds.
+type pipeObs struct {
+	bytes  *obs.Counter
+	chunks *obs.Counter
+	lost   *obs.Counter
+}
+
+func newPipeObs(link string) pipeObs {
+	m := obs.Default().Metrics
+	return pipeObs{
+		bytes:  m.Counter("alfredo_netsim_bytes_total", "link", link),
+		chunks: m.Counter("alfredo_netsim_chunks_total", "link", link),
+		lost:   m.Counter("alfredo_netsim_lost_chunks_total", "link", link),
+	}
+}
+
+// countFault records one injected fault by kind ("drop", "partition",
+// "corruption", "loss", "block").
+func countFault(kind string) {
+	obs.Default().Metrics.Counter("alfredo_netsim_faults_total", "kind", kind).Inc()
+}
+
+var (
+	mDials        = obs.Default().Metrics.Counter("alfredo_netsim_dials_total")
+	mDialsRefused = obs.Default().Metrics.Counter("alfredo_netsim_dials_refused_total")
+)

@@ -117,7 +117,9 @@ func (f *Fabric) Dial(addr string, link LinkProfile) (net.Conn, error) {
 	f.seed++
 	seq := f.seed
 	f.mu.Unlock()
+	mDials.Inc()
 	if l == nil || blocked {
+		mDialsRefused.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
 
@@ -214,6 +216,8 @@ type shapedPipe struct {
 	lossSet    bool      // lossProb overrides link.LossProb when true
 	dropped    bool      // crash fault: in-flight chunks are discarded
 
+	obs pipeObs
+
 	ch   chan chunk
 	done chan struct{}
 }
@@ -222,6 +226,7 @@ func newShapedPipe(link LinkProfile, seed int64) *shapedPipe {
 	return &shapedPipe{
 		link: link,
 		rng:  rand.New(rand.NewSource(seed)),
+		obs:  newPipeObs(link.Name),
 		ch:   make(chan chunk, 1024),
 		done: make(chan struct{}),
 	}
@@ -276,7 +281,10 @@ func (p *shapedPipe) write(b []byte) (int, error) {
 	// Pace the writer (models transmit-side backpressure).
 	sleep(time.Until(sendDone))
 
+	p.obs.chunks.Inc()
+	p.obs.bytes.Add(int64(len(b)))
 	if lost {
+		p.obs.lost.Inc()
 		return len(b), nil
 	}
 	data := make([]byte, len(b))

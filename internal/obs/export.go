@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot of the registry in the Prometheus
+// text exposition format (version 0.0.4): counters and gauges as bare
+// samples, histograms as cumulative `_bucket{le="..."}` series plus
+// `_sum` (seconds) and `_count`. Nil-safe.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	var lastName string
+	for _, s := range r.Snapshot() {
+		if s.Name != lastName {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if s.Hist == nil {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, s.LabelString(), s.Value); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writePromHistogram(w, &s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, s *Sample) error {
+	var cum int64
+	for _, b := range s.Hist.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if b.UpperBound != 0 {
+			le = strconv.FormatFloat(b.UpperBound.Seconds(), 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			s.Name, mergeLabels(s, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", s.Name, s.LabelString(), s.Hist.Sum.Seconds()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, s.LabelString(), s.Hist.Count)
+	return err
+}
+
+// mergeLabels renders the sample's labels with one extra pair appended.
+func mergeLabels(s *Sample, key, value string) string {
+	base := s.LabelString()
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if base == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(base, "}") + "," + extra + "}"
+}
+
+// WriteJSON renders a snapshot of the registry as a JSON array of
+// samples. Nil-safe (renders []).
+func WriteJSON(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []Sample{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

@@ -1,0 +1,52 @@
+package obs
+
+// Hub bundles one registry, tracer and trace store — the unit of
+// telemetry plumbed through remote.Config and core.NodeConfig. Peers
+// sharing a Hub (the common in-process case: tests, netsim experiments,
+// or simply the process-wide Default) land their spans in the same
+// store, so a remote invocation shows up as ONE trace with spans from
+// both sides.
+//
+// The zero Hub (&Hub{}, see Nop) has nil components; every operation on
+// them is a no-op with zero allocations.
+type Hub struct {
+	Metrics *Registry
+	Tracer  *Tracer
+	Traces  *TraceStore
+}
+
+// NewHub creates a fully enabled hub with a DefaultTraceCap-sized
+// trace store.
+func NewHub() *Hub {
+	store := NewTraceStore(DefaultTraceCap)
+	return &Hub{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(store),
+		Traces:  store,
+	}
+}
+
+// Nop returns a disabled hub: telemetry calls through it are no-ops
+// and allocate nothing.
+func Nop() *Hub { return &Hub{} }
+
+// Enabled reports whether the hub records anything at all.
+func (h *Hub) Enabled() bool {
+	return h != nil && (h.Metrics != nil || h.Tracer != nil)
+}
+
+var defaultHub = NewHub()
+
+// Default returns the process-wide hub. Packages without config
+// plumbing (wire, netsim, render) record here; nodes and peers default
+// here too unless a Config/NodeConfig supplies its own.
+func Default() *Hub { return defaultHub }
+
+// OrDefault resolves a possibly-nil hub from a config field: nil means
+// "use the process default". To disable telemetry, pass Nop() instead.
+func (h *Hub) OrDefault() *Hub {
+	if h == nil {
+		return Default()
+	}
+	return h
+}

@@ -1,0 +1,440 @@
+// Package obs is the stdlib-only telemetry core: a lock-cheap metrics
+// registry (atomic counters, gauges, fixed-bucket latency histograms
+// with labeled families), span-based tracing with context.Context
+// propagation across peers, and point-in-time snapshots feeding the
+// Prometheus-text / JSON exporters served by internal/httpd.
+//
+// Every handle type (*Counter, *Gauge, *Histogram, *Span) and the
+// *Registry / *Tracer themselves are nil-safe: a nil receiver makes
+// every operation a no-op with zero allocations, so instrumented hot
+// paths cost nothing when telemetry is disabled (see Nop). Handles are
+// meant to be resolved once (package init or construction time) and
+// then hit only with atomic operations on the hot path.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (may be negative). Nil-safe.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// LatencyBuckets are the fixed upper bounds of every latency histogram,
+// spanning sub-millisecond wired-LAN invokes up to the multi-second
+// acquisition totals of Tables 1 and 2.
+var LatencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are two
+// atomic adds plus a short linear scan over the bounds.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{
+		bounds: LatencyBuckets,
+		counts: make([]atomic.Int64, len(LatencyBuckets)+1),
+	}
+}
+
+// Observe records one duration. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if d <= h.bounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// ObserveSince records the elapsed time since start. Nil-safe.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// metric is the union of the three handle kinds inside a family.
+type metric struct {
+	labels  []string // alternating key, value
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// family is one named metric with any number of label permutations.
+type family struct {
+	name string
+	kind kind
+	help string
+
+	mu     sync.RWMutex
+	series map[string]*metric
+}
+
+// Registry holds metric families. A nil *Registry is the disabled
+// registry: every lookup returns a nil handle and every handle
+// operation is a no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey encodes alternating key/value pairs into a map key.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return strings.Join(labels, "\xff")
+}
+
+// lookup resolves (creating on first use) the series for name+labels.
+// A kind mismatch with an existing family returns a detached handle so
+// that instrumentation bugs degrade to lost samples, not panics.
+func (r *Registry) lookup(k kind, name string, labels []string) *metric {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, kind: k, series: make(map[string]*metric)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != k {
+		return newMetric(k, nil)
+	}
+	key := labelKey(labels)
+	f.mu.RLock()
+	m := f.series[key]
+	f.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m = f.series[key]; m == nil {
+		ls := make([]string, len(labels))
+		copy(ls, labels)
+		m = newMetric(k, ls)
+		f.series[key] = m
+	}
+	return m
+}
+
+func newMetric(k kind, labels []string) *metric {
+	m := &metric{labels: labels}
+	switch k {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = newHistogram()
+	}
+	return m
+}
+
+// Counter resolves the counter for name and alternating label key/value
+// pairs, creating it on first use. Nil registry returns a nil handle.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(kindCounter, name, labels).counter
+}
+
+// Gauge resolves a gauge handle. Nil registry returns a nil handle.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(kindGauge, name, labels).gauge
+}
+
+// Histogram resolves a latency histogram handle. Nil registry returns a
+// nil handle.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(kindHistogram, name, labels).hist
+}
+
+// Help attaches a help string to a family, emitted as # HELP by the
+// Prometheus exporter.
+func (r *Registry) Help(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, kind: kindCounter, series: make(map[string]*metric)}
+		r.families[name] = f
+	}
+	f.help = help
+	r.mu.Unlock()
+}
+
+// Bucket is one histogram bucket in a snapshot (non-cumulative count).
+type Bucket struct {
+	UpperBound time.Duration `json:"upper_bound"` // 0 marks the +Inf bucket
+	Count      int64         `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     time.Duration `json:"sum"`
+	Buckets []Bucket      `json:"buckets"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *HistogramSnapshot) Mean() time.Duration {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket that contains it. Observations in the
+// +Inf bucket resolve to the largest finite bound.
+func (h *HistogramSnapshot) Quantile(q float64) time.Duration {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var seen float64
+	lower := time.Duration(0)
+	for _, b := range h.Buckets {
+		if b.UpperBound == 0 { // +Inf
+			return lower
+		}
+		if seen+float64(b.Count) >= rank {
+			if b.Count == 0 {
+				return b.UpperBound
+			}
+			frac := (rank - seen) / float64(b.Count)
+			return lower + time.Duration(frac*float64(b.UpperBound-lower))
+		}
+		seen += float64(b.Count)
+		lower = b.UpperBound
+	}
+	return lower
+}
+
+// Sample is one metric series in a snapshot.
+type Sample struct {
+	Name   string             `json:"name"`
+	Kind   string             `json:"kind"`
+	Labels map[string]string  `json:"labels,omitempty"`
+	Help   string             `json:"help,omitempty"`
+	Value  int64              `json:"value"`
+	Hist   *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// LabelString renders the sample's labels as {k="v",...} ("" when
+// unlabeled), in sorted key order.
+func (s *Sample) LabelString() string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, s.Labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Snapshot returns a point-in-time copy of every series, sorted by name
+// then labels. Nil registry returns nil.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var out []Sample
+	for _, f := range fams {
+		f.mu.RLock()
+		series := make([]*metric, 0, len(f.series))
+		for _, m := range f.series {
+			series = append(series, m)
+		}
+		help := f.help
+		f.mu.RUnlock()
+		sort.Slice(series, func(i, j int) bool {
+			return labelKey(series[i].labels) < labelKey(series[j].labels)
+		})
+		for _, m := range series {
+			s := Sample{Name: f.name, Kind: f.kind.String(), Help: help}
+			if len(m.labels) >= 2 {
+				s.Labels = make(map[string]string, len(m.labels)/2)
+				for i := 0; i+1 < len(m.labels); i += 2 {
+					s.Labels[m.labels[i]] = m.labels[i+1]
+				}
+			}
+			switch f.kind {
+			case kindCounter:
+				s.Value = m.counter.Value()
+			case kindGauge:
+				s.Value = m.gauge.Value()
+			case kindHistogram:
+				s.Hist = snapshotHistogram(m.hist)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func snapshotHistogram(h *Histogram) *HistogramSnapshot {
+	snap := &HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     time.Duration(h.sum.Load()),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	for i := range h.counts {
+		var ub time.Duration
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		snap.Buckets[i] = Bucket{UpperBound: ub, Count: h.counts[i].Load()}
+	}
+	return snap
+}

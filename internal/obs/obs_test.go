@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("hits_total"); again != c {
+		t.Fatal("same name+labels must resolve to the same handle")
+	}
+	g := r.Gauge("active")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs_total", "op", "invoke")
+	b := r.Counter("reqs_total", "op", "fetch")
+	if a == b {
+		t.Fatal("distinct labels must yield distinct series")
+	}
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	if r.Counter("reqs_total", "op", "invoke").Value() != 2 {
+		t.Fatal("labeled lookup did not find existing series")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d samples, want 2", len(snap))
+	}
+	if snap[0].Labels["op"] != "fetch" || snap[1].Labels["op"] != "invoke" {
+		t.Fatalf("snapshot not sorted by labels: %+v", snap)
+	}
+}
+
+func TestKindMismatchReturnsDetachedHandle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	g := r.Gauge("x") // wrong kind for existing family
+	if g == nil {
+		t.Fatal("mismatch must return a usable detached handle, not nil")
+	}
+	g.Set(99) // must not panic and must not corrupt the family
+	if got := r.Counter("x").Value(); got != 1 {
+		t.Fatalf("counter corrupted by kind mismatch: %d", got)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds")
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Millisecond) // falls in the (2.5ms, 5ms] bucket
+	}
+	h.Observe(20 * time.Second) // +Inf bucket
+	if h.Count() != 101 {
+		t.Fatalf("count = %d, want 101", h.Count())
+	}
+	snap := r.Snapshot()[0].Hist
+	if snap.Count != 101 {
+		t.Fatalf("snapshot count = %d", snap.Count)
+	}
+	q50 := snap.Quantile(0.5)
+	if q50 < 2500*time.Microsecond || q50 > 5*time.Millisecond {
+		t.Fatalf("median %v outside the (2.5ms, 5ms] bucket", q50)
+	}
+	// The +Inf observation resolves to the largest finite bound.
+	if q := snap.Quantile(1); q != LatencyBuckets[len(LatencyBuckets)-1] {
+		t.Fatalf("q100 = %v, want top bound", q)
+	}
+	if snap.Mean() <= 0 {
+		t.Fatal("mean must be positive")
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	r := NewRegistry()
+	r.Help("frames_total", "Frames seen.")
+	r.Counter("frames_total", "dir", "in").Add(3)
+	r.Gauge("active").Set(2)
+	r.Histogram("lat_seconds").Observe(time.Millisecond)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP frames_total Frames seen.",
+		"# TYPE frames_total counter",
+		`frames_total{dir="in"} 3`,
+		"# TYPE active gauge",
+		"active 2",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.001"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 1`,
+		"lat_seconds_sum 0.001",
+		"lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	var jb strings.Builder
+	if err := WriteJSON(&jb, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), `"frames_total"`) {
+		t.Fatalf("json output missing sample: %s", jb.String())
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", "k", "v").Inc()
+				r.Histogram("h").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "k", "v").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestTracerParentChildAndRemote(t *testing.T) {
+	store := NewTraceStore(16)
+	tr := NewTracer(store)
+
+	ctx, root := tr.Start(context.Background(), "client.invoke")
+	_, child := tr.Start(ctx, "rpc.invoke")
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child must join the parent trace")
+	}
+	// Simulate the wire hop: only the SpanContext crosses.
+	server := tr.StartRemote(child.Context(), "rpc.server")
+	server.SetAttr("node", "target")
+	server.Annotate("handled")
+	server.Finish()
+	child.Finish()
+	root.Finish()
+
+	spans, ok := store.Trace(FormatID(root.Context().TraceID))
+	if !ok {
+		t.Fatal("trace not found in store")
+	}
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	// The server span's parent must be the client rpc span.
+	var srv *SpanData
+	for i := range spans {
+		if spans[i].Name == "rpc.server" {
+			srv = &spans[i]
+		}
+	}
+	if srv == nil || srv.ParentID != child.Context().SpanID {
+		t.Fatalf("server span not parented under client rpc span: %+v", srv)
+	}
+	tree := FormatTrace(spans)
+	if !strings.Contains(tree, "rpc.server") || !strings.Contains(tree, "node=target") {
+		t.Fatalf("FormatTrace missing content:\n%s", tree)
+	}
+}
+
+func TestStartRemoteWithoutParentStartsFreshTrace(t *testing.T) {
+	tr := NewTracer(NewTraceStore(4))
+	s := tr.StartRemote(SpanContext{}, "rpc.server")
+	if !s.Context().Valid() {
+		t.Fatal("span without parent must still get a trace ID")
+	}
+}
+
+func TestTraceStoreEvictionAndViews(t *testing.T) {
+	store := NewTraceStore(2)
+	tr := NewTracer(store)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, s := tr.Start(context.Background(), "op")
+		if i == 1 {
+			time.Sleep(2 * time.Millisecond) // make the middle trace slowest
+		}
+		s.Finish()
+		ids = append(ids, FormatID(s.Context().TraceID))
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store holds %d traces, want 2 (evicted oldest)", store.Len())
+	}
+	if _, ok := store.Trace(ids[0]); ok {
+		t.Fatal("oldest trace should have been evicted")
+	}
+	recent := store.Recent(10)
+	if len(recent) != 2 || recent[0].TraceID != ids[2] {
+		t.Fatalf("Recent order wrong: %+v", recent)
+	}
+	slow := store.Slowest(1)
+	if len(slow) != 1 || slow[0].TraceID != ids[1] {
+		t.Fatalf("Slowest should pick the slept trace: %+v", slow)
+	}
+}
+
+func TestSpanFinishIdempotent(t *testing.T) {
+	store := NewTraceStore(4)
+	tr := NewTracer(store)
+	_, s := tr.Start(context.Background(), "op")
+	s.Finish()
+	s.Finish()
+	spans, _ := store.Trace(FormatID(s.Context().TraceID))
+	if len(spans) != 1 {
+		t.Fatalf("double Finish published %d spans", len(spans))
+	}
+}
+
+func TestNewIDsAreUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := newID()
+		if id == 0 || seen[id] {
+			t.Fatalf("id collision or zero at iteration %d", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestHubDefaults(t *testing.T) {
+	var h *Hub
+	if h.OrDefault() != Default() {
+		t.Fatal("nil hub must resolve to Default")
+	}
+	if Nop().Enabled() {
+		t.Fatal("Nop hub must be disabled")
+	}
+	if !Default().Enabled() {
+		t.Fatal("Default hub must be enabled")
+	}
+	if Nop().OrDefault() == Default() {
+		t.Fatal("Nop must not resolve to Default")
+	}
+}

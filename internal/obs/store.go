@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	// DefaultTraceCap bounds how many traces the ring store retains.
+	DefaultTraceCap = 256
+	// maxSpansPerTrace caps span accumulation inside one trace so a
+	// runaway trace ID cannot grow without bound.
+	maxSpansPerTrace = 512
+)
+
+// TraceStore is a ring buffer of recent traces, grouped by trace ID.
+// When full, the oldest trace is evicted to admit a new one.
+type TraceStore struct {
+	mu     sync.Mutex
+	cap    int
+	traces map[uint64]*traceRec
+	order  []uint64 // insertion order for eviction
+}
+
+type traceRec struct {
+	id      uint64
+	spans   []SpanData
+	dropped int
+}
+
+// NewTraceStore creates a store retaining up to capacity traces
+// (DefaultTraceCap when <= 0).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceStore{cap: capacity, traces: make(map[uint64]*traceRec)}
+}
+
+func (ts *TraceStore) add(span SpanData) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	rec := ts.traces[span.TraceID]
+	if rec == nil {
+		if len(ts.order) >= ts.cap {
+			oldest := ts.order[0]
+			ts.order = ts.order[1:]
+			delete(ts.traces, oldest)
+		}
+		rec = &traceRec{id: span.TraceID}
+		ts.traces[span.TraceID] = rec
+		ts.order = append(ts.order, span.TraceID)
+	}
+	if len(rec.spans) >= maxSpansPerTrace {
+		rec.dropped++
+		return
+	}
+	rec.spans = append(rec.spans, span)
+}
+
+// TraceSummary is the list-view of one trace.
+type TraceSummary struct {
+	TraceID  string        `json:"trace_id"`
+	Root     string        `json:"root"`
+	Spans    int           `json:"spans"`
+	Errors   int           `json:"errors"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+}
+
+// summarize must be called with ts.mu held.
+func (rec *traceRec) summarize() TraceSummary {
+	sum := TraceSummary{TraceID: FormatID(rec.id), Spans: len(rec.spans) + rec.dropped}
+	var start, end time.Time
+	var rootDur time.Duration
+	for i := range rec.spans {
+		sp := &rec.spans[i]
+		if start.IsZero() || sp.Start.Before(start) {
+			start = sp.Start
+		}
+		if e := sp.Start.Add(sp.Duration); end.IsZero() || e.After(end) {
+			end = e
+		}
+		if sp.Error != "" {
+			sum.Errors++
+		}
+		if sp.ParentID == 0 && sp.Duration > rootDur {
+			sum.Root, rootDur = sp.Name, sp.Duration
+		}
+	}
+	if sum.Root == "" && len(rec.spans) > 0 {
+		sum.Root = rec.spans[0].Name
+	}
+	sum.Start = start
+	if !start.IsZero() {
+		sum.Duration = end.Sub(start)
+	}
+	return sum
+}
+
+// Recent returns summaries of the n most recently started traces,
+// newest first. Nil-safe.
+func (ts *TraceStore) Recent(n int) []TraceSummary {
+	return ts.view(n, func(a, b TraceSummary) bool { return a.Start.After(b.Start) })
+}
+
+// Slowest returns summaries of the n slowest traces, slowest first.
+// Nil-safe.
+func (ts *TraceStore) Slowest(n int) []TraceSummary {
+	return ts.view(n, func(a, b TraceSummary) bool { return a.Duration > b.Duration })
+}
+
+func (ts *TraceStore) view(n int, less func(a, b TraceSummary) bool) []TraceSummary {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	sums := make([]TraceSummary, 0, len(ts.traces))
+	for _, rec := range ts.traces {
+		sums = append(sums, rec.summarize())
+	}
+	ts.mu.Unlock()
+	sort.Slice(sums, func(i, j int) bool { return less(sums[i], sums[j]) })
+	if n > 0 && len(sums) > n {
+		sums = sums[:n]
+	}
+	return sums
+}
+
+// Trace returns all spans of the trace identified by the hex ID (as
+// printed in summaries), sorted by start time. Nil-safe.
+func (ts *TraceStore) Trace(hexID string) ([]SpanData, bool) {
+	if ts == nil {
+		return nil, false
+	}
+	id, err := strconv.ParseUint(strings.TrimSpace(hexID), 16, 64)
+	if err != nil {
+		return nil, false
+	}
+	ts.mu.Lock()
+	rec := ts.traces[id]
+	var spans []SpanData
+	if rec != nil {
+		spans = append([]SpanData(nil), rec.spans...)
+	}
+	ts.mu.Unlock()
+	if rec == nil {
+		return nil, false
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return spans, true
+}
+
+// Len returns how many traces the store currently holds. Nil-safe.
+func (ts *TraceStore) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.traces)
+}
+
+// FormatID renders a trace/span ID the way the HTTP views expect it.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// FormatTrace renders spans (one trace, as returned by Trace) as an
+// indented tree with durations, annotations and errors — the curl-able
+// plain-text trace view.
+func FormatTrace(spans []SpanData) string {
+	if len(spans) == 0 {
+		return "(empty trace)\n"
+	}
+	children := make(map[uint64][]SpanData)
+	byID := make(map[uint64]bool, len(spans))
+	for _, sp := range spans {
+		byID[sp.SpanID] = true
+	}
+	var roots []SpanData
+	for _, sp := range spans {
+		if sp.ParentID != 0 && byID[sp.ParentID] {
+			children[sp.ParentID] = append(children[sp.ParentID], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s (%d spans)\n", FormatID(spans[0].TraceID), len(spans))
+	var walk func(sp SpanData, depth int)
+	walk = func(sp SpanData, depth int) {
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&b, "%s- %-28s %10s", indent, sp.Name, sp.Duration.Round(time.Microsecond))
+		for _, a := range sp.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		if sp.Error != "" {
+			fmt.Fprintf(&b, " ERROR=%q", sp.Error)
+		}
+		b.WriteByte('\n')
+		for _, ev := range sp.Events {
+			fmt.Fprintf(&b, "%s    @%s %s\n", indent,
+				ev.At.Sub(sp.Start).Round(time.Microsecond), ev.Msg)
+		}
+		kids := children[sp.SpanID]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+		for _, kid := range kids {
+			walk(kid, depth+1)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Start.Before(roots[j].Start) })
+	for _, root := range roots {
+		walk(root, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext is the wire-portable identity of a span: carried inside
+// wire.Invoke / wire.FetchService so the server side of a remote call
+// can parent its span under the client's, making one trace cover
+// phone -> target -> phone.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context identifies a live trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Event is a timestamped annotation on a span (retry attempts, redials,
+// degrade/recover transitions).
+type Event struct {
+	At  time.Time `json:"at"`
+	Msg string    `json:"msg"`
+}
+
+// Span is one timed operation inside a trace. All methods are nil-safe
+// so disabled tracers cost nothing on instrumented paths.
+type Span struct {
+	tracer   *Tracer
+	name     string
+	traceID  uint64
+	spanID   uint64
+	parentID uint64
+	start    time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	events   []Event
+	errMsg   string
+	finished bool
+}
+
+// Context returns the span's wire-portable identity (zero when nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.spanID}
+}
+
+// SetAttr attaches a key/value annotation. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Annotate appends a timestamped event. Nil-safe.
+func (s *Span) Annotate(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.events = append(s.events, Event{At: time.Now(), Msg: msg})
+	s.mu.Unlock()
+}
+
+// Fail marks the span failed with err's message; a nil err is ignored
+// so `span.Fail(err)` is safe on both outcomes. Nil-safe.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errMsg = err.Error()
+	s.mu.Unlock()
+}
+
+// Finish ends the span and publishes it to the tracer's store. Calling
+// Finish more than once is a no-op. Nil-safe.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	data := SpanData{
+		Name:     s.name,
+		TraceID:  s.traceID,
+		SpanID:   s.spanID,
+		ParentID: s.parentID,
+		Start:    s.start,
+		Duration: end.Sub(s.start),
+		Attrs:    s.attrs,
+		Events:   s.events,
+		Error:    s.errMsg,
+	}
+	s.mu.Unlock()
+	if s.tracer != nil && s.tracer.store != nil {
+		s.tracer.store.add(data)
+	}
+}
+
+// SpanData is the immutable record of a finished span.
+type SpanData struct {
+	Name     string        `json:"name"`
+	TraceID  uint64        `json:"-"`
+	SpanID   uint64        `json:"-"`
+	ParentID uint64        `json:"-"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Events   []Event       `json:"events,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// Tracer mints spans and publishes finished ones to a TraceStore. A nil
+// *Tracer is the disabled tracer: Start returns the context unchanged
+// and a nil span.
+type Tracer struct {
+	store *TraceStore
+}
+
+// NewTracer creates a tracer publishing to store (which may be nil to
+// trace into the void).
+func NewTracer(store *TraceStore) *Tracer { return &Tracer{store: store} }
+
+// Store returns the tracer's trace store (nil for a disabled tracer).
+func (t *Tracer) Store() *TraceStore {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying span.
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, span)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// Start begins a span named name. If ctx carries a span, the new span
+// joins its trace as a child; otherwise a new trace begins. The
+// returned context carries the new span for further propagation.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var parent SpanContext
+	if p := SpanFromContext(ctx); p != nil {
+		parent = p.Context()
+	}
+	s := t.startSpan(parent, name)
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartRemote begins the server-side span of a remote operation whose
+// client shipped parent over the wire. An invalid (zero) parent starts
+// a fresh trace, which is what an un-instrumented old client produces.
+func (t *Tracer) StartRemote(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startSpan(parent, name)
+}
+
+func (t *Tracer) startSpan(parent SpanContext, name string) *Span {
+	s := &Span{
+		tracer: t,
+		name:   name,
+		spanID: newID(),
+		start:  time.Now(),
+	}
+	if parent.Valid() {
+		s.traceID = parent.TraceID
+		s.parentID = parent.SpanID
+	} else {
+		s.traceID = newID()
+	}
+	return s
+}
+
+// idState is a Weyl sequence seeded once from the wall clock; newID
+// finalizes each step with a splitmix64 mix for well-spread, unique,
+// nonzero 64-bit IDs without math/rand.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano())) }
+
+func newID() uint64 {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}

@@ -1,15 +1,18 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/event"
 	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/wire"
 )
 
@@ -79,6 +82,10 @@ type Channel struct {
 	hasEvTok     bool
 	closeReason  error
 
+	// Cached per-service telemetry handles (see metrics.go).
+	invokeObsBySvc map[int64]*svcObs
+	serveObsBySvc  map[int64]*svcObs
+
 	closed chan struct{}
 	once   sync.Once
 	wg     sync.WaitGroup
@@ -88,14 +95,16 @@ type Channel struct {
 // lease exchange, then the reader starts.
 func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	c := &Channel{
-		peer:         p,
-		conn:         conn,
-		remoteSvcs:   make(map[int64]wire.ServiceInfo),
-		pendingCalls: make(map[int64]chan callResult),
-		pendingFetch: make(map[int64]chan *wire.ServiceReply),
-		pendingPings: make(map[int64]chan struct{}),
-		streams:      make(map[int64]*inStream),
-		closed:       make(chan struct{}),
+		peer:           p,
+		conn:           conn,
+		remoteSvcs:     make(map[int64]wire.ServiceInfo),
+		pendingCalls:   make(map[int64]chan callResult),
+		pendingFetch:   make(map[int64]chan *wire.ServiceReply),
+		pendingPings:   make(map[int64]chan struct{}),
+		streams:        make(map[int64]*inStream),
+		invokeObsBySvc: make(map[int64]*svcObs),
+		serveObsBySvc:  make(map[int64]*svcObs),
+		closed:         make(chan struct{}),
 	}
 
 	// Bound the handshake: a dead or hostile peer must not hang the
@@ -172,6 +181,9 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	// channel does not time out (the deferred clear also runs, which is
 	// harmless).
 	_ = conn.SetReadDeadline(time.Time{})
+
+	p.cfg.Obs.Metrics.Counter("alfredo_remote_channels_opened_total").Inc()
+	p.cfg.Obs.Metrics.Gauge("alfredo_remote_channels_active").Add(1)
 
 	c.wg.Add(1)
 	go c.readLoop()
@@ -268,11 +280,18 @@ func (c *Channel) sendFrame(frame []byte) error {
 // have executed remotely, and Invoke makes no idempotency assumption.
 // Use InvokeIdempotent for methods that are safe to replay.
 func (c *Channel) Invoke(serviceID int64, method string, args []any) (any, error) {
+	return c.InvokeCtx(context.Background(), serviceID, method, args)
+}
+
+// InvokeCtx is Invoke with a caller context: when ctx carries a span,
+// the invocation joins its trace and ships the span context over the
+// wire, so the serving peer's span lands in the same trace.
+func (c *Channel) InvokeCtx(ctx context.Context, serviceID int64, method string, args []any) (any, error) {
 	norm, err := normalizeArgs(method, args)
 	if err != nil {
 		return nil, err
 	}
-	return c.invokeOnce(serviceID, method, norm)
+	return c.invokeOnce(ctx, serviceID, method, norm)
 }
 
 // InvokeIdempotent invokes a method that is declared safe to execute
@@ -280,25 +299,41 @@ func (c *Channel) Invoke(serviceID int64, method string, args []any) (any, error
 // (at-least-once semantics). Non-idempotent methods must go through
 // Invoke, which never replays a call whose outcome is unknown.
 func (c *Channel) InvokeIdempotent(serviceID int64, method string, args []any) (any, error) {
+	return c.InvokeIdempotentCtx(context.Background(), serviceID, method, args)
+}
+
+// InvokeIdempotentCtx is InvokeIdempotent with trace propagation: the
+// retry loop gets its own span, each attempt a child span, and every
+// retry is annotated with its cause and counted.
+func (c *Channel) InvokeIdempotentCtx(ctx context.Context, serviceID int64, method string, args []any) (any, error) {
 	norm, err := normalizeArgs(method, args)
 	if err != nil {
 		return nil, err
 	}
+	ctx, span := c.obsHub().Tracer.Start(ctx, "rpc.invoke.retryable")
+	span.SetAttr("method", method)
+	defer span.Finish()
 	policy := c.peer.cfg.Retry
 	var lastErr error
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			c.retryCounter("invoke", "timeout").Inc()
+			span.Annotate(fmt.Sprintf("retry %d (cause: timeout)", attempt))
 			if !c.backoff(policy.Backoff(attempt - 1)) {
+				span.Fail(ErrChannelClosed)
 				return nil, ErrChannelClosed
 			}
 		}
-		value, err := c.invokeOnce(serviceID, method, norm)
+		value, err := c.invokeOnce(ctx, serviceID, method, norm)
 		if err == nil || !errors.Is(err, ErrTimeout) {
+			span.Fail(err)
 			return value, err
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("remote: %s failed after %d attempts: %w", method, policy.MaxAttempts, lastErr)
+	failure := fmt.Errorf("remote: %s failed after %d attempts: %w", method, policy.MaxAttempts, lastErr)
+	span.Fail(failure)
+	return nil, failure
 }
 
 // backoff sleeps for d unless the channel closes first; it reports
@@ -327,8 +362,27 @@ func normalizeArgs(method string, args []any) ([]any, error) {
 }
 
 // invokeOnce performs one invocation attempt with already-normalized
-// arguments.
-func (c *Channel) invokeOnce(serviceID int64, method string, norm []any) (any, error) {
+// arguments, wrapped in telemetry: a span (propagated over the wire)
+// plus per-service counters and a latency histogram.
+func (c *Channel) invokeOnce(ctx context.Context, serviceID int64, method string, norm []any) (any, error) {
+	so := c.invokeObs(serviceID)
+	start := time.Now()
+	_, span := c.obsHub().Tracer.Start(ctx, "rpc.invoke")
+	span.SetAttr("method", method)
+	value, err := c.invokeWire(span, serviceID, method, norm)
+	so.calls.Inc()
+	if err != nil {
+		so.errors.Inc()
+	}
+	so.lat.ObserveSince(start)
+	span.Fail(err)
+	span.Finish()
+	return value, err
+}
+
+// invokeWire performs the actual wire exchange of one invocation
+// attempt, shipping span's context in the Invoke frame.
+func (c *Channel) invokeWire(span *obs.Span, serviceID int64, method string, norm []any) (any, error) {
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -342,15 +396,22 @@ func (c *Channel) invokeOnce(serviceID int64, method string, norm []any) (any, e
 		c.mu.Unlock()
 	}
 
+	sc := span.Context()
 	frame, err := wire.EncodeMessage(&wire.Invoke{
 		CallID:    id,
 		ServiceID: serviceID,
 		Method:    method,
 		Args:      norm,
+		TraceID:   sc.TraceID,
+		SpanID:    sc.SpanID,
 	})
 	if err != nil {
 		cleanup()
 		return nil, err
+	}
+	if span != nil {
+		span.SetAttr("node", c.peer.ID())
+		span.SetAttr("bytes", strconv.Itoa(len(frame)))
 	}
 
 	// Client-side marshalling/dispatch cost on the simulated device.
@@ -381,25 +442,55 @@ func (c *Channel) invokeOnce(serviceID int64, method string, norm []any) (any, e
 // "Acquire service interface" phase of Tables 1 and 2. Fetching is
 // read-only and therefore always retried on timeout.
 func (c *Channel) Fetch(serviceID int64) (*wire.ServiceReply, error) {
+	return c.FetchCtx(context.Background(), serviceID)
+}
+
+// FetchCtx is Fetch with trace propagation: the retry loop gets its own
+// span, each attempt a child span shipped over the wire, and every
+// retry is annotated and counted.
+func (c *Channel) FetchCtx(ctx context.Context, serviceID int64) (*wire.ServiceReply, error) {
+	ctx, span := c.obsHub().Tracer.Start(ctx, "rpc.fetch.retryable")
+	defer span.Finish()
 	policy := c.peer.cfg.Retry
 	var lastErr error
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			c.retryCounter("fetch", "timeout").Inc()
+			span.Annotate(fmt.Sprintf("retry %d (cause: timeout)", attempt))
 			if !c.backoff(policy.Backoff(attempt - 1)) {
+				span.Fail(ErrChannelClosed)
 				return nil, ErrChannelClosed
 			}
 		}
-		reply, err := c.fetchOnce(serviceID)
+		reply, err := c.fetchOnce(ctx, serviceID)
 		if err == nil || !errors.Is(err, ErrTimeout) {
+			span.Fail(err)
 			return reply, err
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("remote: fetch of service %d failed after %d attempts: %w",
+	failure := fmt.Errorf("remote: fetch of service %d failed after %d attempts: %w",
 		serviceID, policy.MaxAttempts, lastErr)
+	span.Fail(failure)
+	return nil, failure
 }
 
-func (c *Channel) fetchOnce(serviceID int64) (*wire.ServiceReply, error) {
+func (c *Channel) fetchOnce(ctx context.Context, serviceID int64) (reply *wire.ServiceReply, err error) {
+	name := c.remoteServiceName(serviceID)
+	m := c.obsHub().Metrics
+	start := time.Now()
+	_, span := c.obsHub().Tracer.Start(ctx, "rpc.fetch")
+	span.SetAttr("service", name)
+	defer func() {
+		m.Counter("alfredo_remote_fetches_total", "service", name).Inc()
+		if err != nil {
+			m.Counter("alfredo_remote_fetch_errors_total", "service", name).Inc()
+		}
+		m.Histogram("alfredo_remote_fetch_seconds", "service", name).ObserveSince(start)
+		span.Fail(err)
+		span.Finish()
+	}()
+
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -413,7 +504,9 @@ func (c *Channel) fetchOnce(serviceID int64) (*wire.ServiceReply, error) {
 		c.mu.Unlock()
 	}
 
-	if err := c.send(&wire.FetchService{RequestID: id, ServiceID: serviceID}); err != nil {
+	sc := span.Context()
+	if err := c.send(&wire.FetchService{RequestID: id, ServiceID: serviceID,
+		TraceID: sc.TraceID, SpanID: sc.SpanID}); err != nil {
 		cleanup()
 		return nil, err
 	}
@@ -447,6 +540,7 @@ func (c *Channel) Ping() (time.Duration, error) {
 	var lastErr error
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			c.retryCounter("ping", "timeout").Inc()
 			if !c.backoff(policy.Backoff(attempt - 1)) {
 				return 0, ErrChannelClosed
 			}
@@ -542,6 +636,8 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 		}
 		_ = c.conn.Close()
 		c.peer.removeChannel(c)
+		c.peer.cfg.Obs.Metrics.Counter("alfredo_remote_channels_closed_total").Inc()
+		c.peer.cfg.Obs.Metrics.Gauge("alfredo_remote_channels_active").Add(-1)
 	})
 }
 
@@ -651,8 +747,16 @@ func (c *Channel) notifyServiceWatchers() {
 }
 
 func (c *Channel) handleFetch(m *wire.FetchService) {
+	// Parent the serving span under the requester's, carried in the
+	// frame; un-traced frames start a fresh trace.
+	span := c.obsHub().Tracer.StartRemote(
+		obs.SpanContext{TraceID: m.TraceID, SpanID: m.SpanID}, "rpc.serve.fetch")
+	span.SetAttr("node", c.peer.ID())
+	defer span.Finish()
+
 	svc, ok := c.peer.lookupExported(m.ServiceID)
 	if !ok {
+		span.Fail(fmt.Errorf("service %d not exported", m.ServiceID))
 		_ = c.send(&wire.ErrorReply{CallID: 0, Code: CodeNoSuchService,
 			Message: fmt.Sprintf("service %d not exported", m.ServiceID)})
 		// Also unblock the requester's pending fetch with an empty reply.
@@ -679,8 +783,28 @@ func (c *Channel) handleFetch(m *wire.FetchService) {
 }
 
 func (c *Channel) handleInvoke(m *wire.Invoke) {
+	// Parent the serving span under the caller's span carried in the
+	// frame: this is the server half of the cross-peer trace.
+	so := c.serveObs(m.ServiceID)
+	start := time.Now()
+	span := c.obsHub().Tracer.StartRemote(
+		obs.SpanContext{TraceID: m.TraceID, SpanID: m.SpanID}, "rpc.serve")
+	span.SetAttr("method", m.Method)
+	span.SetAttr("node", c.peer.ID())
+	var failure error
+	defer func() {
+		so.calls.Inc()
+		if failure != nil {
+			so.errors.Inc()
+		}
+		so.lat.ObserveSince(start)
+		span.Fail(failure)
+		span.Finish()
+	}()
+
 	svc, ok := c.peer.lookupExported(m.ServiceID)
 	if !ok {
+		failure = fmt.Errorf("service %d not exported", m.ServiceID)
 		_ = c.send(&wire.ErrorReply{CallID: m.CallID, Code: CodeNoSuchService,
 			Message: fmt.Sprintf("service %d not exported", m.ServiceID)})
 		return
@@ -696,6 +820,7 @@ func (c *Channel) handleInvoke(m *wire.Invoke) {
 
 	value, err := svc.Invoke(m.Method, m.Args)
 	if err != nil {
+		failure = err
 		code := CodeInvokeFailed
 		switch {
 		case errors.Is(err, ErrNoSuchMethod):
@@ -707,6 +832,7 @@ func (c *Channel) handleInvoke(m *wire.Invoke) {
 		return
 	}
 	if err := c.send(&wire.Result{CallID: m.CallID, Value: value}); err != nil {
+		failure = err
 		// The result could not be encoded or the link failed; report
 		// the former to the caller if the channel is still up.
 		_ = c.send(&wire.ErrorReply{CallID: m.CallID, Code: CodeInvokeFailed,

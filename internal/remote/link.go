@@ -1,11 +1,14 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
 )
 
 // ErrLinkDown is returned once a Link has exhausted its reconnect
@@ -222,7 +225,16 @@ func (l *Link) closing() bool {
 	}
 }
 
+// transitionCounter counts one link state transition on the peer's hub.
+func (l *Link) transitionCounter(state LinkState) *obs.Counter {
+	return l.peer.cfg.Obs.Metrics.Counter(
+		"alfredo_remote_link_transitions_total", "state", state.String())
+}
+
 // monitor watches the current channel and drives the reconnect loop.
+// Each reconnect episode is a trace of its own: a link.reconnect span
+// annotated with every redial attempt, plus transition counters and a
+// reconnect-duration histogram.
 func (l *Link) monitor(ch *Channel) {
 	defer close(l.done)
 	for {
@@ -235,35 +247,56 @@ func (l *Link) monitor(ch *Channel) {
 			return
 		}
 		l.setState(LinkReconnecting, nil, ch.Err())
-		next, err := l.redial()
+		l.transitionCounter(LinkReconnecting).Inc()
+		reconStart := time.Now()
+		_, span := l.peer.cfg.Obs.Tracer.Start(context.Background(), "link.reconnect")
+		span.SetAttr("node", l.peer.ID())
+		if cause := ch.Err(); cause != nil {
+			span.Annotate("link lost: " + cause.Error())
+		}
+		next, err := l.redial(span)
 		if err != nil {
 			if !l.closing() {
 				l.setState(LinkDown, nil, err)
+				l.transitionCounter(LinkDown).Inc()
 			}
+			span.Fail(err)
+			span.Finish()
 			return
 		}
 		ch = next
 		l.setState(LinkUp, next, nil)
+		l.transitionCounter(LinkUp).Inc()
+		l.peer.cfg.Obs.Metrics.Histogram("alfredo_remote_reconnect_seconds").ObserveSince(reconStart)
+		span.Finish()
 	}
 }
 
 // redial re-establishes the channel: dial, handshake, lease exchange —
 // retried with backoff until the reconnect budget runs out.
-func (l *Link) redial() (*Channel, error) {
+func (l *Link) redial(span *obs.Span) (*Channel, error) {
 	deadline := time.Now().Add(l.policy.ReconnectBudget)
+	redials := l.peer.cfg.Obs.Metrics.Counter("alfredo_remote_redials_total")
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if l.closing() {
 			return nil, ErrChannelClosed
 		}
+		redials.Inc()
 		conn, err := l.dial()
 		if err == nil {
 			ch, herr := l.peer.setupChannel(conn)
 			if herr == nil {
+				if span != nil {
+					span.Annotate(fmt.Sprintf("redial attempt %d succeeded", attempt+1))
+				}
 				return ch, nil
 			}
 			_ = conn.Close()
 			err = herr
+		}
+		if span != nil {
+			span.Annotate(fmt.Sprintf("redial attempt %d failed: %v", attempt+1, err))
 		}
 		lastErr = err
 		delay := l.policy.Backoff(attempt)

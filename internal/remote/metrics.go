@@ -1,0 +1,93 @@
+package remote
+
+import (
+	"strconv"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// svcObs bundles the per-service telemetry handles of one direction of
+// a channel (client invokes or served invokes). Handles are resolved
+// once per (channel, service) and cached, so the steady-state cost per
+// call is atomic adds only — no registry lookups, no label allocation.
+type svcObs struct {
+	calls  *obs.Counter
+	errors *obs.Counter
+	lat    *obs.Histogram
+}
+
+// obsHub returns the telemetry hub this channel records to (never nil;
+// NewPeer normalizes Config.Obs).
+func (c *Channel) obsHub() *obs.Hub { return c.peer.cfg.Obs }
+
+// remoteServiceName labels a service offered by the remote peer by its
+// first interface, falling back to the numeric id.
+func (c *Channel) remoteServiceName(id int64) string {
+	c.mu.Lock()
+	s, ok := c.remoteSvcs[id]
+	c.mu.Unlock()
+	if ok && len(s.Interfaces) > 0 {
+		return s.Interfaces[0]
+	}
+	return "svc-" + strconv.FormatInt(id, 10)
+}
+
+// localServiceName labels a locally exported service by its first
+// interface, falling back to the numeric id.
+func (c *Channel) localServiceName(id int64) string {
+	if info, ok := c.peer.exportedInfo(id); ok && len(info.Interfaces) > 0 {
+		return info.Interfaces[0]
+	}
+	return "svc-" + strconv.FormatInt(id, 10)
+}
+
+// invokeObs resolves (and caches) client-side invoke telemetry for a
+// remote service.
+func (c *Channel) invokeObs(id int64) *svcObs {
+	c.mu.Lock()
+	so, ok := c.invokeObsBySvc[id]
+	c.mu.Unlock()
+	if ok {
+		return so
+	}
+	name := c.remoteServiceName(id)
+	m := c.obsHub().Metrics
+	so = &svcObs{
+		calls:  m.Counter("alfredo_remote_invokes_total", "service", name),
+		errors: m.Counter("alfredo_remote_invoke_errors_total", "service", name),
+		lat:    m.Histogram("alfredo_remote_invoke_seconds", "service", name),
+	}
+	c.mu.Lock()
+	c.invokeObsBySvc[id] = so
+	c.mu.Unlock()
+	return so
+}
+
+// serveObs resolves (and caches) server-side invoke telemetry for a
+// locally exported service.
+func (c *Channel) serveObs(id int64) *svcObs {
+	c.mu.Lock()
+	so, ok := c.serveObsBySvc[id]
+	c.mu.Unlock()
+	if ok {
+		return so
+	}
+	name := c.localServiceName(id)
+	m := c.obsHub().Metrics
+	so = &svcObs{
+		calls:  m.Counter("alfredo_remote_served_invokes_total", "service", name),
+		errors: m.Counter("alfredo_remote_served_invoke_errors_total", "service", name),
+		lat:    m.Histogram("alfredo_remote_server_invoke_seconds", "service", name),
+	}
+	c.mu.Lock()
+	c.serveObsBySvc[id] = so
+	c.mu.Unlock()
+	return so
+}
+
+// retryCounter counts one retry of op ("invoke", "fetch", "ping") by
+// cause. Retries are a cold path, so this resolves from the registry
+// each time.
+func (c *Channel) retryCounter(op, cause string) *obs.Counter {
+	return c.obsHub().Metrics.Counter("alfredo_remote_retries_total", "op", op, "cause", cause)
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/devsim"
 	"github.com/alfredo-mw/alfredo/internal/event"
 	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/service"
 	"github.com/alfredo-mw/alfredo/internal/wire"
 )
@@ -53,6 +54,10 @@ type Config struct {
 	// "the device can decide which capabilities to expose to the
 	// target device"). Values must be wire-normalizable.
 	HelloProps map[string]any
+	// Obs supplies telemetry: metrics and traces for invokes, fetches,
+	// retries and link transitions. Nil selects the process-wide
+	// obs.Default(); pass obs.Nop() to disable telemetry entirely.
+	Obs *obs.Hub
 }
 
 type exportedService struct {
@@ -97,6 +102,7 @@ func NewPeer(cfg Config) (*Peer, error) {
 		cfg.ClientInvokeCost = devsim.CostClientInvoke
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
+	cfg.Obs = cfg.Obs.OrDefault()
 	p := &Peer{
 		cfg:      cfg,
 		exported: make(map[int64]exportedService),

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -22,7 +23,7 @@ const DescriptorResource = "alfredo/descriptor.json"
 type DynamicService struct {
 	desc    wire.InterfaceDesc
 	types   []wire.TypeDesc
-	invoke  func(method string, args []any) (any, error)
+	invoke  func(ctx context.Context, method string, args []any) (any, error)
 	local   map[string]bool
 	code    ProxyCode
 	channel *Channel
@@ -47,6 +48,13 @@ func (d *DynamicService) Channel() *Channel { return d.channel }
 // either into smart proxy code (locally implemented methods) or over
 // the network.
 func (d *DynamicService) Invoke(method string, args []any) (any, error) {
+	return d.InvokeCtx(context.Background(), method, args)
+}
+
+// InvokeCtx is Invoke with a caller context: a span carried in ctx
+// propagates through the proxy into the remote invocation, so the
+// whole chain lands in one trace.
+func (d *DynamicService) InvokeCtx(ctx context.Context, method string, args []any) (any, error) {
 	m, ok := d.desc.Method(method)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, d.desc.Name, method)
@@ -63,17 +71,25 @@ func (d *DynamicService) Invoke(method string, args []any) (any, error) {
 		return nil, err
 	}
 	if d.code != nil && d.local[method] {
-		return d.code.Invoke(method, norm, remoteInvoker{d})
+		return d.code.Invoke(method, norm, remoteInvoker{d: d, ctx: ctx})
 	}
-	return d.invoke(method, norm)
+	return d.invoke(ctx, method, norm)
 }
 
 // remoteInvoker hands smart proxy code the fall-through path without
-// re-entering the local-method dispatch.
-type remoteInvoker struct{ d *DynamicService }
+// re-entering the local-method dispatch, carrying the caller's context
+// for trace propagation.
+type remoteInvoker struct {
+	d   *DynamicService
+	ctx context.Context
+}
 
 func (r remoteInvoker) Invoke(method string, args []any) (any, error) {
-	return r.d.invoke(method, args)
+	ctx := r.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return r.d.invoke(ctx, method, args)
 }
 
 // ProxyBundle is the synthesized result of BuildProxy: an installable
@@ -104,8 +120,8 @@ func (c *Channel) BuildProxy(reply *wire.ServiceReply) (*ProxyBundle, error) {
 		types:   reply.Types,
 		channel: c,
 		svcID:   svcID,
-		invoke: func(method string, args []any) (any, error) {
-			return c.Invoke(svcID, method, args)
+		invoke: func(ctx context.Context, method string, args []any) (any, error) {
+			return c.InvokeCtx(ctx, svcID, method, args)
 		},
 	}
 	if reply.Smart != nil {

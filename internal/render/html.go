@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/device"
 	"github.com/alfredo-mw/alfredo/internal/ui"
@@ -33,6 +34,7 @@ func (*HTMLRenderer) Name() string { return "html" }
 // Render implements Renderer. Browsers scroll, so no space budget
 // applies; capability filtering still does.
 func (*HTMLRenderer) Render(desc *ui.Description, profile device.Profile) (View, error) {
+	defer observeRender("html", time.Now())
 	base, err := newBaseView(desc, profile, "html", 0)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,22 @@
+package render
+
+import (
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// observeRender times one engine Render call on the process-wide hub
+// (views are built for whatever node asked; there is no per-view hub).
+// Use as `defer observeRender("tree", time.Now())` — the start time is
+// captured when the defer is registered.
+func observeRender(engine string, start time.Time) {
+	obs.Default().Metrics.Histogram("alfredo_render_render_seconds", "engine", engine).
+		ObserveSince(start)
+}
+
+// injectHistogram resolves the per-engine event-injection latency
+// histogram once per view, so the per-event cost is an atomic add.
+func injectHistogram(engine string) *obs.Histogram {
+	return obs.Default().Metrics.Histogram("alfredo_render_inject_seconds", "engine", engine)
+}

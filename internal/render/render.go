@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/ui"
 )
 
@@ -152,6 +154,8 @@ type baseView struct {
 	sink    func(ui.Event)
 	version int64
 	closed  bool
+
+	injectHist *obs.Histogram
 }
 
 // newBaseView adapts the description to the profile: capability
@@ -161,9 +165,10 @@ func newBaseView(desc *ui.Description, profile device.Profile, rendererName stri
 		return nil, err
 	}
 	v := &baseView{
-		desc:    desc,
-		profile: profile,
-		state:   make(map[string]map[string]any, len(desc.Controls)),
+		desc:       desc,
+		profile:    profile,
+		state:      make(map[string]map[string]any, len(desc.Controls)),
+		injectHist: injectHistogram(rendererName),
 	}
 	v.report = AdaptationReport{
 		Renderer:     rendererName,
@@ -288,6 +293,7 @@ func (v *baseView) OnEvent(fn func(ui.Event)) {
 // Inject validates the event against the control kind, applies state
 // changes, and forwards to the sink.
 func (v *baseView) Inject(ev ui.Event) error {
+	defer v.injectHist.ObserveSince(time.Now())
 	v.mu.Lock()
 	if v.closed {
 		v.mu.Unlock()

@@ -3,6 +3,7 @@ package render
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/device"
 	"github.com/alfredo-mw/alfredo/internal/ui"
@@ -30,6 +31,7 @@ func (*TextRenderer) Name() string { return "text" }
 // Render implements Renderer. The row budget derives from the display
 // height; low-importance controls are shed when they do not fit.
 func (*TextRenderer) Render(desc *ui.Description, profile device.Profile) (View, error) {
+	defer observeRender("text", time.Now())
 	rows := profile.Display.Height / cellHeight
 	// Title and frame take three rows; every control needs at least one.
 	budget := rows - 3

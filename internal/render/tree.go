@@ -3,6 +3,7 @@ package render
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/device"
 	"github.com/alfredo-mw/alfredo/internal/ui"
@@ -23,6 +24,7 @@ func (*TreeRenderer) Name() string { return "tree" }
 // like a scrollable widget container, it shows every capability-
 // compatible control.
 func (*TreeRenderer) Render(desc *ui.Description, profile device.Profile) (View, error) {
+	defer observeRender("tree", time.Now())
 	base, err := newBaseView(desc, profile, "tree", 0)
 	if err != nil {
 		return nil, err

@@ -21,6 +21,8 @@ func EncodeMessage(m Message) ([]byte, error) {
 	frame := make([]byte, 4+len(payload))
 	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
 	copy(frame[4:], payload)
+	mFramesEncoded.Inc()
+	mBytesEncoded.Add(int64(len(frame)))
 	return frame, nil
 }
 
@@ -44,9 +46,11 @@ func ReadMessage(r io.Reader) (Message, error) {
 	}
 	n := binary.BigEndian.Uint32(header[:])
 	if n == 0 {
+		mDecodeErrors.Inc()
 		return nil, fmt.Errorf("%w: empty frame", ErrBadMsg)
 	}
 	if n > MaxFrame {
+		mDecodeErrors.Inc()
 		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
 	}
 	payload, err := readPayload(r, int(n))
@@ -83,18 +87,24 @@ func DecodeMessage(payload []byte) (Message, error) {
 	b := NewBuffer(payload)
 	t := MsgType(b.ReadU8())
 	if b.Err() != nil {
+		mDecodeErrors.Inc()
 		return nil, b.Err()
 	}
 	m, err := newMessage(t)
 	if err != nil {
+		mDecodeErrors.Inc()
 		return nil, err
 	}
 	m.decode(b)
 	if b.Err() != nil {
+		mDecodeErrors.Inc()
 		return nil, fmt.Errorf("wire: decoding %s: %w", t, b.Err())
 	}
 	if b.Remaining() != 0 {
+		mDecodeErrors.Inc()
 		return nil, fmt.Errorf("%w: %d trailing bytes after %s", ErrBadMsg, b.Remaining(), t)
 	}
+	mFramesDecoded.Inc()
+	mBytesDecoded.Add(int64(len(payload)))
 	return m, nil
 }

@@ -276,6 +276,13 @@ func (m *ServiceRemoved) decode(b *Buffer) { m.ServiceID = b.ReadInt64() }
 type FetchService struct {
 	RequestID int64
 	ServiceID int64
+	// TraceID and SpanID carry the requester's trace context so the
+	// serving peer can parent its handling span under the caller's.
+	// Zero TraceID means "no trace context": the pair is then omitted
+	// from the frame entirely, keeping the encoding byte-identical to
+	// peers that predate tracing.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Type implements Message.
@@ -284,12 +291,20 @@ func (m *FetchService) Type() MsgType { return MsgFetchService }
 func (m *FetchService) encode(b *Buffer) error {
 	b.WriteInt64(m.RequestID)
 	b.WriteInt64(m.ServiceID)
+	if m.TraceID != 0 {
+		b.WriteUvarint(m.TraceID)
+		b.WriteUvarint(m.SpanID)
+	}
 	return nil
 }
 
 func (m *FetchService) decode(b *Buffer) {
 	m.RequestID = b.ReadInt64()
 	m.ServiceID = b.ReadInt64()
+	if b.err == nil && b.Remaining() > 0 {
+		m.TraceID = b.ReadUvarint()
+		m.SpanID = b.ReadUvarint()
+	}
 }
 
 // ServiceReply answers FetchService with the shipped interface(s), any
@@ -375,6 +390,13 @@ type Invoke struct {
 	ServiceID int64
 	Method    string
 	Args      []any
+	// TraceID and SpanID carry the caller's trace context across the
+	// wire so one trace covers phone -> target -> phone. Zero TraceID
+	// means "no trace context": the pair is then omitted from the frame
+	// entirely, keeping the encoding byte-identical to peers that
+	// predate tracing, and decoders accept both forms.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Type implements Message.
@@ -384,7 +406,14 @@ func (m *Invoke) encode(b *Buffer) error {
 	b.WriteInt64(m.CallID)
 	b.WriteInt64(m.ServiceID)
 	b.WriteString(m.Method)
-	return b.WriteValues(m.Args)
+	if err := b.WriteValues(m.Args); err != nil {
+		return err
+	}
+	if m.TraceID != 0 {
+		b.WriteUvarint(m.TraceID)
+		b.WriteUvarint(m.SpanID)
+	}
+	return nil
 }
 
 func (m *Invoke) decode(b *Buffer) {
@@ -392,6 +421,10 @@ func (m *Invoke) decode(b *Buffer) {
 	m.ServiceID = b.ReadInt64()
 	m.Method = b.ReadString()
 	m.Args = b.ReadValues()
+	if b.err == nil && b.Remaining() > 0 {
+		m.TraceID = b.ReadUvarint()
+		m.SpanID = b.ReadUvarint()
+	}
 }
 
 // Result carries a successful invocation result.

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"encoding/hex"
+	"math"
+	"testing"
+)
+
+// Trace-context framing: Invoke and FetchService optionally carry the
+// caller's (TraceID, SpanID) as two trailing uvarints. A zero TraceID
+// omits the pair entirely, so the untraced encoding stays byte-
+// identical to the pre-tracing protocol, and decoders accept both.
+
+func TestInvokeTraceContextGolden(t *testing.T) {
+	legacy := "0000000b07020404576f726b010254"
+	traced := "0000000d07020404576f726b0102540506"
+
+	m := &Invoke{CallID: 1, ServiceID: 2, Method: "Work", Args: []any{int64(42)}}
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(frame); got != legacy {
+		t.Fatalf("untraced invoke changed encoding:\n got  %s\n want %s", got, legacy)
+	}
+
+	m.TraceID, m.SpanID = 5, 6
+	frame, err = EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(frame); got != traced {
+		t.Fatalf("traced invoke golden mismatch:\n got  %s\n want %s", got, traced)
+	}
+
+	dec, err := DecodeMessage(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := dec.(*Invoke)
+	if inv.TraceID != 5 || inv.SpanID != 6 {
+		t.Fatalf("decoded trace context = (%d, %d), want (5, 6)", inv.TraceID, inv.SpanID)
+	}
+}
+
+func TestFetchServiceTraceContextGolden(t *testing.T) {
+	legacy := "00000003050a04"
+	traced := "00000005050a040506"
+
+	m := &FetchService{RequestID: 5, ServiceID: 2}
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(frame); got != legacy {
+		t.Fatalf("untraced fetch changed encoding:\n got  %s\n want %s", got, legacy)
+	}
+
+	m.TraceID, m.SpanID = 5, 6
+	frame, err = EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(frame); got != traced {
+		t.Fatalf("traced fetch golden mismatch:\n got  %s\n want %s", got, traced)
+	}
+
+	dec, err := DecodeMessage(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := dec.(*FetchService)
+	if f.TraceID != 5 || f.SpanID != 6 {
+		t.Fatalf("decoded trace context = (%d, %d), want (5, 6)", f.TraceID, f.SpanID)
+	}
+}
+
+// TestTraceContextBackwardCompat replays pre-tracing frames (no
+// trailing trace fields) and verifies they still decode, with a zero
+// trace context.
+func TestTraceContextBackwardCompat(t *testing.T) {
+	for name, payloadHex := range map[string]string{
+		"invoke": "07020404576f726b010254",
+		"fetch":  "050a04",
+	} {
+		payload, err := hex.DecodeString(payloadHex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := DecodeMessage(payload)
+		if err != nil {
+			t.Fatalf("%s: legacy frame no longer decodes: %v", name, err)
+		}
+		switch m := m.(type) {
+		case *Invoke:
+			if m.TraceID != 0 || m.SpanID != 0 {
+				t.Fatalf("legacy invoke grew trace context: %+v", m)
+			}
+		case *FetchService:
+			if m.TraceID != 0 || m.SpanID != 0 {
+				t.Fatalf("legacy fetch grew trace context: %+v", m)
+			}
+		default:
+			t.Fatalf("%s decoded to %T", name, m)
+		}
+	}
+}
+
+// TestTraceContextRoundTrip round-trips boundary trace IDs, including
+// the full 64-bit range.
+func TestTraceContextRoundTrip(t *testing.T) {
+	for _, ids := range [][2]uint64{
+		{1, 0},
+		{1, 1},
+		{math.MaxUint64, math.MaxUint64},
+		{0xdeadbeefcafe, 7},
+	} {
+		inv := &Invoke{CallID: 9, ServiceID: 3, Method: "M", Args: []any{"x"},
+			TraceID: ids[0], SpanID: ids[1]}
+		frame, err := EncodeMessage(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeMessage(frame[4:])
+		if err != nil {
+			t.Fatalf("trace ids %v: %v", ids, err)
+		}
+		got := dec.(*Invoke)
+		if got.TraceID != ids[0] || got.SpanID != ids[1] {
+			t.Fatalf("round trip (%d, %d) -> (%d, %d)", ids[0], ids[1], got.TraceID, got.SpanID)
+		}
+
+		fs := &FetchService{RequestID: 1, ServiceID: 2, TraceID: ids[0], SpanID: ids[1]}
+		frame, err = EncodeMessage(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err = DecodeMessage(frame[4:])
+		if err != nil {
+			t.Fatalf("fetch trace ids %v: %v", ids, err)
+		}
+		gf := dec.(*FetchService)
+		if gf.TraceID != ids[0] || gf.SpanID != ids[1] {
+			t.Fatalf("fetch round trip (%d, %d) -> (%d, %d)", ids[0], ids[1], gf.TraceID, gf.SpanID)
+		}
+	}
+}
+
+// TestTraceContextTruncated verifies that a frame claiming trace
+// context but cut inside it is rejected, not misread.
+func TestTraceContextTruncated(t *testing.T) {
+	inv := &Invoke{CallID: 1, ServiceID: 2, Method: "Work", Args: []any{int64(42)},
+		TraceID: math.MaxUint64, SpanID: 6}
+	frame, err := EncodeMessage(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := frame[4:]
+	// Chop inside the 10-byte TraceID uvarint.
+	if _, err := DecodeMessage(payload[:len(payload)-5]); err == nil {
+		t.Fatal("truncated trace context decoded without error")
+	}
+}

@@ -1,0 +1,161 @@
+package alfredo_test
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/httpd"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// TestCrossPeerTraceViaIntrospection is the acceptance check for the
+// telemetry stack: a single remote invocation from the phone must
+// produce ONE trace whose spans come from both peers — the phone's
+// app.invoke/rpc.invoke and the host's rpc.serve — and that trace must
+// be reachable through the HTTP introspection endpoint, along with a
+// Prometheus metrics view carrying the invoke counters of both sides.
+func TestCrossPeerTraceViaIntrospection(t *testing.T) {
+	// Both nodes share one fresh hub, exactly as two peers reporting to
+	// the same collector would: the trace store merges their spans by
+	// trace ID, which only works if the IDs actually crossed the wire.
+	hub := obs.NewHub()
+
+	host, err := core.NewNode(core.NodeConfig{Name: "trace-host", Profile: device.Notebook(), Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	if err := host.RegisterApp(shop.New().App()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	host.Serve(l)
+
+	phone, err := core.NewNode(core.NodeConfig{Name: "trace-phone", Profile: device.Nokia9300i(), Obs: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{SkipUI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := hub.Traces.Len()
+	if _, err := app.Invoke("Categories"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the invoke trace among the recent ones (acquire traced too).
+	var invokeTrace string
+	for _, sum := range hub.Traces.Recent(10) {
+		if sum.Root == "app.invoke" {
+			invokeTrace = sum.TraceID
+			if sum.Spans < 3 {
+				t.Fatalf("app.invoke trace has %d spans, want >= 3 (client + server)", sum.Spans)
+			}
+		}
+	}
+	if invokeTrace == "" {
+		t.Fatalf("no app.invoke trace recorded (have %d traces, %d before invoke)",
+			hub.Traces.Len(), before)
+	}
+
+	// The whole thing must be visible through the introspection servlet,
+	// mounted on the httpd service like the cmd/ tools mount it.
+	svc := httpd.NewService()
+	if err := httpd.RegisterIntrospection(svc, hub); err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(svc)
+	defer web.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(web.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// One trace, spans from both peers, via the text trace view.
+	tree := get("/obs/trace?id=" + invokeTrace + "&format=text")
+	for _, want := range []string{"app.invoke", "rpc.invoke", "rpc.serve", "node=trace-phone", "node=trace-host"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("trace view missing %q:\n%s", want, tree)
+		}
+	}
+
+	// The JSON span view must carry the shared trace id on every span.
+	var spans []struct {
+		Name    string `json:"name"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal([]byte(get("/obs/trace?id="+invokeTrace)), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) < 3 {
+		t.Fatalf("JSON trace has %d spans, want >= 3", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.TraceID != invokeTrace {
+			t.Errorf("span %s carries trace %s, want %s", sp.Name, sp.TraceID, invokeTrace)
+		}
+	}
+
+	// Metrics endpoint: Prometheus exposition with both sides' counters.
+	metrics := get("/obs/metrics")
+	for _, want := range []string{
+		"alfredo_remote_invokes_total{service=\"" + shop.InterfaceName + "\"}",
+		"alfredo_remote_served_invokes_total{service=\"" + shop.InterfaceName + "\"}",
+		"alfredo_remote_invoke_seconds_bucket",
+		"# TYPE alfredo_remote_invoke_seconds histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics view missing %q", want)
+		}
+	}
+	// Frame I/O counters land on the process-wide hub (the wire layer
+	// has no per-connection hub); they must be serveable the same way.
+	defaultHandler := httpd.NewIntrospectionHandler(nil)
+	rec := httptest.NewRecorder()
+	defaultHandler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "alfredo_wire_frames_encoded_total") {
+		t.Error("default-hub metrics view missing alfredo_wire_frames_encoded_total")
+	}
+
+	// Trace summaries list the invoke trace.
+	if recent := get("/obs/traces?n=50"); !strings.Contains(recent, invokeTrace) {
+		t.Errorf("/obs/traces does not list trace %s", invokeTrace)
+	}
+}
