@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments fuzz fmt vet chaos obs check clean
+.PHONY: all build test race cover bench experiments throughput fuzz fmt vet chaos obs check clean
 
 all: build test
 
@@ -26,6 +26,11 @@ bench:
 # Regenerate the paper's full evaluation with side-by-side numbers.
 experiments:
 	$(GO) run ./cmd/alfredo-bench -full
+
+# Invoke hot-path throughput sweep: ops/sec vs concurrent callers,
+# sync vs pipelined, pooled encoder vs seed-ablation dispatch.
+throughput:
+	$(GO) run ./cmd/alfredo-bench -exp throughput
 
 # Short fuzz pass over every untrusted-input parser.
 fuzz:

@@ -39,16 +39,18 @@ func main() {
 		snapshot = flag.Duration("snapshot", 500*time.Millisecond, "mouse screen snapshot interval")
 		storage  = flag.String("storage", "", "directory for persistent bundle storage")
 		obsAddr  = flag.String("obs", "", "serve the telemetry introspection endpoint (metrics + traces) on this address")
+		dispatch = flag.Int("dispatch-workers", 0, "max concurrent inbound invocation handlers per channel (0 = default, negative = unbounded)")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *apps, *name, *group, *storage, *obsAddr, *snapshot, *announce); err != nil {
+	if err := run(*listen, *apps, *name, *group, *storage, *obsAddr, *snapshot, *announce, *dispatch); err != nil {
 		log.Fatalf("alfredo-host: %v", err)
 	}
 }
 
-func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool) error {
-	node, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Notebook(), StorageDir: storage})
+func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool, dispatchWorkers int) error {
+	node, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Notebook(), StorageDir: storage,
+		DispatchWorkers: dispatchWorkers})
 	if err != nil {
 		return err
 	}

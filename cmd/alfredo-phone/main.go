@@ -54,15 +54,16 @@ func main() {
 		simulate = flag.Bool("simulate-cpu", false, "simulate the profile's CPU speed (realistic acquire times)")
 		httpAddr = flag.String("http", "", "serve html-rendered apps on this address (the browser/iPhone path)")
 		obsAddr  = flag.String("obs", "", "serve the telemetry introspection endpoint (metrics + traces) on this address")
+		dispatch = flag.Int("dispatch-workers", 0, "max concurrent inbound invocation handlers per channel (0 = default, negative = unbounded)")
 	)
 	flag.Parse()
 
-	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate); err != nil {
+	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate, *dispatch); err != nil {
 		log.Fatalf("alfredo-phone: %v", err)
 	}
 }
 
-func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool) error {
+func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool, dispatchWorkers int) error {
 	prof, ok := device.ProfileByName(profileName)
 	if !ok {
 		return fmt.Errorf("unknown profile %q", profileName)
@@ -89,10 +90,11 @@ func run(connect, group, profileName, httpAddr, obsAddr string, discover, simula
 		return err
 	}
 	node, err := core.NewNode(core.NodeConfig{
-		Name:      "phone-" + profileName,
-		Profile:   prof,
-		Sim:       sim,
-		ProxyCode: proxyCode,
+		Name:            "phone-" + profileName,
+		Profile:         prof,
+		Sim:             sim,
+		ProxyCode:       proxyCode,
+		DispatchWorkers: dispatchWorkers,
 	})
 	if err != nil {
 		return err

@@ -21,6 +21,7 @@ var Experiments = map[string]func(Config) error{
 	"buildcost":  func(c Config) error { _, err := RunBuildCostAblation(c); return err },
 	"payload":    func(c Config) error { _, err := RunPayloadAblation(c); return err },
 	"faults":     func(c Config) error { _, err := RunFaultAblation(c); return err },
+	"throughput": func(c Config) error { _, err := RunThroughput(c); return err },
 	"obs":        RunObsDemo,
 }
 
@@ -28,7 +29,7 @@ var Experiments = map[string]func(Config) error{
 var Order = []string{
 	"footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6",
 	"tiers", "renderers", "smartproxy", "buildcost", "payload", "faults",
-	"obs",
+	"throughput", "obs",
 }
 
 // RunAll executes every experiment in order.

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+// ThroughputEnv is a ready-to-invoke server/client pair on the in-proc
+// Gigabit fabric with device simulation disabled: invocation cost is the
+// real encode/dispatch/write path, nothing simulated. It backs
+// BenchmarkInvokeThroughput and the -exp throughput sweep.
+type ThroughputEnv struct {
+	Ch    *remote.Channel
+	SvcID int64
+
+	serverFW   *module.Framework
+	serverPeer *remote.Peer
+	clientFW   *module.Framework
+	clientPeer *remote.Peer
+	l          *netsim.Listener
+}
+
+// NewThroughputEnv builds the echo server and one connected client
+// channel with the peer's default dispatch configuration.
+func NewThroughputEnv() (*ThroughputEnv, error) {
+	return NewThroughputEnvConfig(remote.Config{})
+}
+
+// NewThroughputEnvConfig is NewThroughputEnv with server-side dispatch
+// knobs (Config.Framework is overwritten; everything else is kept), so
+// ablations can pin worker-pool settings.
+func NewThroughputEnvConfig(serverCfg remote.Config) (*ThroughputEnv, error) {
+	env := &ThroughputEnv{}
+	env.serverFW = module.NewFramework(module.Config{Name: "tp-server"})
+	serverCfg.Framework = env.serverFW
+	peer, err := remote.NewPeer(serverCfg)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	env.serverPeer = peer
+	if _, err := env.serverFW.Registry().Register([]string{echoInterface}, newEchoService(),
+		service.Properties{remote.PropExported: true}, "bench"); err != nil {
+		env.Close()
+		return nil, err
+	}
+	fabric := netsim.NewFabric()
+	if env.l, err = fabric.Listen("tp-server"); err != nil {
+		env.Close()
+		return nil, err
+	}
+	go func() { _ = peer.Serve(env.l) }()
+
+	env.clientFW = module.NewFramework(module.Config{Name: "tp-client"})
+	env.clientPeer, err = remote.NewPeer(remote.Config{
+		Framework: env.clientFW,
+		Timeout:   30 * time.Second,
+	})
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	conn, err := fabric.Dial("tp-server", netsim.Gigabit)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	if env.Ch, err = env.clientPeer.Connect(conn); err != nil {
+		env.Close()
+		return nil, err
+	}
+	info, ok := env.Ch.FindRemoteService(echoInterface)
+	if !ok {
+		env.Close()
+		return nil, fmt.Errorf("bench: echo service not leased")
+	}
+	env.SvcID = info.ID
+	return env, nil
+}
+
+// ThroughputPoint is one measured cell of the throughput sweep.
+type ThroughputPoint struct {
+	Callers   int
+	SyncOps   float64 // synchronous Invoke, bounded dispatch pool
+	AsyncOps  float64 // pipelined InvokeAsync batches, bounded pool
+	SeedOps   float64 // synchronous Invoke, seed goroutine-per-invoke
+	AsyncGain float64 // AsyncOps / SyncOps
+}
+
+// asyncBatch is how many invocations a pipelined caller keeps in
+// flight before collecting; deep enough to hide the link round trip,
+// shallow enough that a sweep cell finishes promptly.
+const asyncBatch = 16
+
+// RunThroughput sweeps sustained invoke throughput (ops/sec) against
+// the number of concurrent callers on the in-proc Gigabit fabric, with
+// three variants per point: synchronous invokes on the bounded dispatch
+// pool, pipelined InvokeAsync batches on the same pool, and the seed's
+// unbounded goroutine-per-invoke dispatch as the ablation baseline
+// (remote.Config{DispatchWorkers: -1}).
+func RunThroughput(cfg Config) ([]ThroughputPoint, error) {
+	cfg = cfg.withDefaults()
+	window := cfg.Window / 3
+	if window < 200*time.Millisecond {
+		window = 200 * time.Millisecond
+	}
+	callers := []int{1, 2, 4, 8, 16, 32, 64}
+
+	fmt.Fprintln(cfg.Out, "Invoke throughput vs concurrent callers (in-proc Gigabit, echo service)")
+	fmt.Fprintf(cfg.Out, "%-8s %14s %14s %14s %10s\n",
+		"callers", "sync op/s", "pipelined op/s", "seed op/s", "pipe/sync")
+
+	pooled, err := NewThroughputEnv()
+	if err != nil {
+		return nil, err
+	}
+	defer pooled.Close()
+	seed, err := NewThroughputEnvConfig(remote.Config{DispatchWorkers: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer seed.Close()
+
+	var out []ThroughputPoint
+	for _, n := range callers {
+		syncOps := measureThroughput(pooled, n, window, false)
+		asyncOps := measureThroughput(pooled, n, window, true)
+		seedOps := measureThroughput(seed, n, window, false)
+		p := ThroughputPoint{
+			Callers:   n,
+			SyncOps:   syncOps,
+			AsyncOps:  asyncOps,
+			SeedOps:   seedOps,
+			AsyncGain: asyncOps / syncOps,
+		}
+		out = append(out, p)
+		fmt.Fprintf(cfg.Out, "%-8d %14.0f %14.0f %14.0f %9.2fx\n",
+			n, syncOps, asyncOps, seedOps, p.AsyncGain)
+	}
+	fmt.Fprintln(cfg.Out)
+	return out, nil
+}
+
+// measureThroughput runs n concurrent callers against env's echo
+// service for the given window and reports aggregate ops/sec. Pipelined
+// callers keep asyncBatch invocations in flight; synchronous callers
+// issue one at a time.
+func measureThroughput(env *ThroughputEnv, n int, window time.Duration, pipelined bool) float64 {
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			args := []any{int64(1)}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if pipelined {
+					calls := make([]*remote.Call, asyncBatch)
+					for j := range calls {
+						calls[j] = env.Ch.InvokeAsync(env.SvcID, "Work", args)
+					}
+					if _, err := remote.CollectResults(calls); err != nil {
+						return
+					}
+					ops.Add(int64(asyncBatch))
+				} else {
+					if _, err := env.Ch.Invoke(env.SvcID, "Work", args); err != nil {
+						return
+					}
+					ops.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	return float64(ops.Load()) / time.Since(start).Seconds()
+}
+
+// Close tears the pair down.
+func (e *ThroughputEnv) Close() {
+	if e.Ch != nil {
+		e.Ch.Close()
+	}
+	if e.l != nil {
+		_ = e.l.Close()
+	}
+	if e.clientPeer != nil {
+		e.clientPeer.Close()
+	}
+	if e.serverPeer != nil {
+		e.serverPeer.Close()
+	}
+	if e.clientFW != nil {
+		_ = e.clientFW.Shutdown()
+	}
+	if e.serverFW != nil {
+		_ = e.serverFW.Shutdown()
+	}
+}

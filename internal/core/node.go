@@ -46,6 +46,10 @@ type NodeConfig struct {
 	// ClientInvokeCost overrides the per-invocation client cost fed to
 	// the device model (zero = full AlfredO path).
 	ClientInvokeCost time.Duration
+	// DispatchWorkers bounds concurrent inbound invocation handlers per
+	// channel (zero = remote.DefaultDispatchWorkers, negative =
+	// unbounded).
+	DispatchWorkers int
 	// FreeMemoryKB and CPUMHz describe the platform for tier
 	// negotiation.
 	FreeMemoryKB int64
@@ -108,6 +112,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Timeout:          cfg.InvokeTimeout,
 		Retry:            cfg.Retry,
 		ClientInvokeCost: cfg.ClientInvokeCost,
+		DispatchWorkers:  cfg.DispatchWorkers,
 		HelloProps:       helloProps,
 		Obs:              cfg.Obs,
 	})

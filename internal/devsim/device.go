@@ -133,7 +133,9 @@ func (d *Device) StartBundle(extra time.Duration) {
 // ClientInvoke accounts for the client-side work of one invocation with
 // the given payload size. base distinguishes the full AlfredO client
 // path (CostClientInvoke) from a raw remote-service client
-// (CostClientInvokeRaw).
+// (CostClientInvokeRaw). payloadBytes is the invocation's actual frame
+// size as reported by the transport encoder — callers never re-encode a
+// message just to learn its length.
 func (d *Device) ClientInvoke(base time.Duration, payloadBytes int) {
 	if d == nil {
 		return
@@ -142,6 +144,9 @@ func (d *Device) ClientInvoke(base time.Duration, payloadBytes int) {
 }
 
 // ServerDispatch accounts for the server-side work of one invocation.
+// payloadBytes is the inbound frame size reported by the transport
+// reader — the serving side sizes the work from what actually crossed
+// the wire instead of re-encoding the decoded message.
 func (d *Device) ServerDispatch(payloadBytes int) {
 	if d == nil {
 		return

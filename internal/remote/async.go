@@ -1,0 +1,132 @@
+package remote
+
+// Pipelined invocations. InvokeAsync ships the Invoke frame and returns
+// a Call future immediately, so a client can keep many invocations in
+// flight on one channel and overlap their round-trip times — the wire
+// analog of HTTP pipelining. Combined with write coalescing in
+// sendFrame, a burst of InvokeAsync calls lands on the transport as a
+// handful of large writes instead of one write per frame.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// Call is an in-flight pipelined invocation started by InvokeAsync.
+// Wait resolves it; a Call must be resolved exactly by one Wait (or via
+// CollectResults) to release its telemetry span.
+type Call struct {
+	c        *Channel
+	method   string
+	id       int64
+	ch       chan callResult
+	so       *svcObs
+	span     *obs.Span
+	start    time.Time
+	deadline time.Time
+
+	mu    sync.Mutex
+	done  bool
+	value any
+	err   error
+}
+
+// InvokeAsync starts a remote invocation without waiting for its
+// result. The returned Call is resolved with Wait. Errors that occur
+// before the frame is sent (bad arguments, closed channel) surface on
+// Wait, never here, so call sites can fire a batch unconditionally and
+// collect afterwards.
+func (c *Channel) InvokeAsync(serviceID int64, method string, args []any) *Call {
+	return c.InvokeAsyncCtx(context.Background(), serviceID, method, args)
+}
+
+// InvokeAsyncCtx is InvokeAsync with trace propagation: the call joins
+// the span carried by ctx, like InvokeCtx.
+func (c *Channel) InvokeAsyncCtx(ctx context.Context, serviceID int64, method string, args []any) *Call {
+	so := c.invokeObs(serviceID)
+	start := time.Now()
+	_, span := c.obsHub().Tracer.Start(ctx, "rpc.invoke")
+	span.SetAttr("method", method)
+	call := &Call{
+		c:        c,
+		method:   method,
+		so:       so,
+		span:     span,
+		start:    start,
+		deadline: start.Add(c.peer.cfg.Timeout),
+	}
+	norm, err := normalizeArgs(method, args)
+	if err != nil {
+		call.done, call.err = true, err
+		call.finishObs(err)
+		return call
+	}
+	id, ch, err := c.sendInvoke(span, serviceID, method, norm)
+	if err != nil {
+		call.done, call.err = true, err
+		call.finishObs(err)
+		return call
+	}
+	call.id, call.ch = id, ch
+	return call
+}
+
+// finishObs records the call's telemetry exactly once, at resolution.
+func (call *Call) finishObs(err error) {
+	call.so.calls.Inc()
+	if err != nil {
+		call.so.errors.Inc()
+	}
+	call.so.lat.ObserveSince(call.start)
+	call.span.Fail(err)
+	call.span.Finish()
+}
+
+// Wait blocks until the invocation resolves (result, error, timeout, or
+// channel teardown) and returns its outcome. Wait is idempotent: later
+// calls return the cached outcome.
+func (call *Call) Wait() (any, error) {
+	call.mu.Lock()
+	defer call.mu.Unlock()
+	if call.done {
+		return call.value, call.err
+	}
+	call.done = true
+	c := call.c
+
+	timer := time.NewTimer(time.Until(call.deadline))
+	defer timer.Stop()
+	select {
+	case res := <-call.ch:
+		call.value, call.err = res.value, res.err
+	case <-timer.C:
+		c.dropPendingCall(call.id)
+		call.err = fmt.Errorf("%w: %s after %v", ErrTimeout, call.method, c.peer.cfg.Timeout)
+	case <-c.closed:
+		c.dropPendingCall(call.id)
+		call.err = ErrChannelClosed
+	}
+	call.finishObs(call.err)
+	return call.value, call.err
+}
+
+// CollectResults waits for every call and returns their values in
+// order, along with the first error encountered. All calls are resolved
+// even when an early one fails, so no telemetry span or pending-call
+// entry is left dangling.
+func CollectResults(calls []*Call) ([]any, error) {
+	values := make([]any, len(calls))
+	var firstErr error
+	for i, call := range calls {
+		v, err := call.Wait()
+		values[i] = v
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return values, firstErr
+}

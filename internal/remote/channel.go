@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/event"
@@ -57,21 +59,46 @@ type callResult struct {
 	err   error
 }
 
+// fetchResult is what a pending fetch resolves to: the reply plus its
+// on-the-wire frame size (for devsim parse-cost accounting — the reply
+// is never re-encoded just to learn its length), or a teardown error.
+type fetchResult struct {
+	reply *wire.ServiceReply
+	size  int
+	err   error
+}
+
 // Channel is one established connection to a remote peer. It is
 // symmetric: either side can fetch, invoke, stream and receive events.
 type Channel struct {
 	peer *Peer
 	conn net.Conn
 
-	wmu sync.Mutex // serializes frame writes
+	// Frame writes are coalesced: senders append to bw under wmu, and
+	// the last sender out of the lock flushes (wpend tracks senders
+	// committed to the lock). A lone sender therefore still flushes its
+	// own frame immediately — coalescing adds no latency, only merges
+	// bursts into fewer transport writes.
+	wmu   sync.Mutex
+	bw    *bufio.Writer
+	wpend atomic.Int32
+
+	// dispatchSem bounds the handler goroutines serving inbound
+	// invocations: one slot per in-flight handler, the reader blocks
+	// when all are taken (nil selects unbounded goroutine-per-invoke,
+	// the seed behavior kept for ablations). See dispatch.go.
+	dispatchSem    chan struct{}
+	chainQ         chan invokeWork
+	dispatchDepth  *obs.Gauge
+	dispatchStalls *obs.Counter
 
 	mu           sync.Mutex
 	remoteID     string
 	remoteProps  map[string]any
 	remoteSvcs   map[int64]wire.ServiceInfo
 	pendingCalls map[int64]chan callResult
-	pendingFetch map[int64]chan *wire.ServiceReply
-	pendingPings map[int64]chan struct{}
+	pendingFetch map[int64]chan fetchResult
+	pendingPings map[int64]chan error
 	nextID       int64
 	remoteSubs   []string
 	streams      map[int64]*inStream
@@ -97,10 +124,11 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	c := &Channel{
 		peer:           p,
 		conn:           conn,
+		bw:             bufio.NewWriterSize(conn, writeCoalesceBuffer),
 		remoteSvcs:     make(map[int64]wire.ServiceInfo),
 		pendingCalls:   make(map[int64]chan callResult),
-		pendingFetch:   make(map[int64]chan *wire.ServiceReply),
-		pendingPings:   make(map[int64]chan struct{}),
+		pendingFetch:   make(map[int64]chan fetchResult),
+		pendingPings:   make(map[int64]chan error),
 		streams:        make(map[int64]*inStream),
 		invokeObsBySvc: make(map[int64]*svcObs),
 		serveObsBySvc:  make(map[int64]*svcObs),
@@ -185,6 +213,7 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	p.cfg.Obs.Metrics.Counter("alfredo_remote_channels_opened_total").Inc()
 	p.cfg.Obs.Metrics.Gauge("alfredo_remote_channels_active").Add(1)
 
+	c.startDispatch()
 	c.wg.Add(1)
 	go c.readLoop()
 	return c, nil
@@ -252,24 +281,51 @@ func (c *Channel) Err() error {
 // Done returns a channel closed when the connection tears down.
 func (c *Channel) Done() <-chan struct{} { return c.closed }
 
-// send encodes and writes one message.
+// writeCoalesceBuffer sizes the per-channel write buffer: large enough
+// to merge a burst of invocation frames into one transport write, small
+// enough to be irrelevant per connection.
+const writeCoalesceBuffer = 32 << 10
+
+// send encodes and writes one message through a pooled encode buffer:
+// the frame is built in place and released after the write, so the
+// steady-state send path allocates nothing for framing.
 func (c *Channel) send(m wire.Message) error {
-	frame, err := wire.EncodeMessage(m)
+	buf := wire.GetBuffer()
+	frame, err := wire.EncodeInto(buf, m)
 	if err != nil {
+		wire.PutBuffer(buf)
 		return err
 	}
-	return c.sendFrame(frame)
+	err = c.sendFrame(frame)
+	wire.PutBuffer(buf)
+	return err
 }
 
+// sendFrame writes one encoded frame with write coalescing: the frame
+// goes into the buffered writer, and whoever is the last sender holding
+// the lock flushes. Concurrent senders therefore batch into a single
+// transport write (one netsim chunk, one syscall on real sockets) while
+// an uncontended sender flushes its own frame immediately — there is no
+// flush timer, so coalescing never delays a frame.
 func (c *Channel) sendFrame(frame []byte) error {
 	select {
 	case <-c.closed:
 		return ErrChannelClosed
 	default:
 	}
+	c.wpend.Add(1)
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if _, err := c.conn.Write(frame); err != nil {
+	_, err := c.bw.Write(frame)
+	if c.wpend.Add(-1) == 0 {
+		// No other sender is committed to the lock: flush now. If one
+		// is, it flushes on its way out (buffered write errors would
+		// surface there and through the reader's teardown).
+		if ferr := c.bw.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	c.wmu.Unlock()
+	if err != nil {
 		return fmt.Errorf("remote: writing frame: %w", err)
 	}
 	return nil
@@ -383,6 +439,29 @@ func (c *Channel) invokeOnce(ctx context.Context, serviceID int64, method string
 // invokeWire performs the actual wire exchange of one invocation
 // attempt, shipping span's context in the Invoke frame.
 func (c *Channel) invokeWire(span *obs.Span, serviceID int64, method string, norm []any) (any, error) {
+	id, ch, err := c.sendInvoke(span, serviceID, method, norm)
+	if err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(c.peer.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.value, res.err
+	case <-timer.C:
+		c.dropPendingCall(id)
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, c.peer.cfg.Timeout)
+	case <-c.closed:
+		c.dropPendingCall(id)
+		return nil, ErrChannelClosed
+	}
+}
+
+// sendInvoke registers a pending call and ships its Invoke frame from a
+// pooled encode buffer; the synchronous and pipelined invoke paths both
+// go through here. The frame size doubles as the devsim payload size —
+// the frame is encoded exactly once.
+func (c *Channel) sendInvoke(span *obs.Span, serviceID int64, method string, norm []any) (int64, chan callResult, error) {
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -390,14 +469,9 @@ func (c *Channel) invokeWire(span *obs.Span, serviceID int64, method string, nor
 	c.pendingCalls[id] = ch
 	c.mu.Unlock()
 
-	cleanup := func() {
-		c.mu.Lock()
-		delete(c.pendingCalls, id)
-		c.mu.Unlock()
-	}
-
 	sc := span.Context()
-	frame, err := wire.EncodeMessage(&wire.Invoke{
+	buf := wire.GetBuffer()
+	frame, err := wire.EncodeInto(buf, &wire.Invoke{
 		CallID:    id,
 		ServiceID: serviceID,
 		Method:    method,
@@ -406,8 +480,9 @@ func (c *Channel) invokeWire(span *obs.Span, serviceID int64, method string, nor
 		SpanID:    sc.SpanID,
 	})
 	if err != nil {
-		cleanup()
-		return nil, err
+		wire.PutBuffer(buf)
+		c.dropPendingCall(id)
+		return 0, nil, err
 	}
 	if span != nil {
 		span.SetAttr("node", c.peer.ID())
@@ -417,23 +492,19 @@ func (c *Channel) invokeWire(span *obs.Span, serviceID int64, method string, nor
 	// Client-side marshalling/dispatch cost on the simulated device.
 	c.peer.cfg.Device.ClientInvoke(c.peer.cfg.ClientInvokeCost, len(frame))
 
-	if err := c.sendFrame(frame); err != nil {
-		cleanup()
-		return nil, err
+	err = c.sendFrame(frame)
+	wire.PutBuffer(buf)
+	if err != nil {
+		c.dropPendingCall(id)
+		return 0, nil, err
 	}
+	return id, ch, nil
+}
 
-	timer := time.NewTimer(c.peer.cfg.Timeout)
-	defer timer.Stop()
-	select {
-	case res := <-ch:
-		return res.value, res.err
-	case <-timer.C:
-		cleanup()
-		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, c.peer.cfg.Timeout)
-	case <-c.closed:
-		cleanup()
-		return nil, ErrChannelClosed
-	}
+func (c *Channel) dropPendingCall(id int64) {
+	c.mu.Lock()
+	delete(c.pendingCalls, id)
+	c.mu.Unlock()
 }
 
 // Fetch retrieves everything needed to build a local proxy for a remote
@@ -494,7 +565,7 @@ func (c *Channel) fetchOnce(ctx context.Context, serviceID int64) (reply *wire.S
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
-	ch := make(chan *wire.ServiceReply, 1)
+	ch := make(chan fetchResult, 1)
 	c.pendingFetch[id] = ch
 	c.mu.Unlock()
 
@@ -514,15 +585,19 @@ func (c *Channel) fetchOnce(ctx context.Context, serviceID int64) (reply *wire.S
 	timer := time.NewTimer(c.peer.cfg.Timeout)
 	defer timer.Stop()
 	select {
-	case reply := <-ch:
-		if reply == nil || len(reply.Interfaces) == 0 {
+	case res := <-ch:
+		// A teardown-drained fetch carries the teardown error: it must
+		// not be mistaken for the peer answering "no such service".
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.reply == nil || len(res.reply.Interfaces) == 0 {
 			return nil, fmt.Errorf("%w: service %d", ErrNoSuchService, serviceID)
 		}
-		// Client-side parse cost proportional to the reply size.
-		if frame, err := wire.EncodeMessage(reply); err == nil {
-			c.peer.cfg.Device.ParseReply(len(frame))
-		}
-		return reply, nil
+		// Client-side parse cost proportional to the reply's wire size,
+		// reported by the reader — the reply is not re-encoded here.
+		c.peer.cfg.Device.ParseReply(res.size)
+		return res.reply, nil
 	case <-timer.C:
 		cleanup()
 		return nil, fmt.Errorf("%w: fetch of service %d after %v", ErrTimeout, serviceID, c.peer.cfg.Timeout)
@@ -558,25 +633,34 @@ func (c *Channel) pingOnce() (time.Duration, error) {
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
-	ch := make(chan struct{}, 1)
+	ch := make(chan error, 1)
 	c.pendingPings[id] = ch
 	c.mu.Unlock()
 
+	dropPending := func() {
+		c.mu.Lock()
+		delete(c.pendingPings, id)
+		c.mu.Unlock()
+	}
+
 	start := time.Now()
 	if err := c.send(&wire.Ping{Seq: id}); err != nil {
+		dropPending()
 		return 0, err
 	}
 	timer := time.NewTimer(c.peer.cfg.Timeout)
 	defer timer.Stop()
 	select {
-	case <-ch:
+	case err := <-ch:
+		if err != nil {
+			return 0, err
+		}
 		return time.Since(start), nil
 	case <-timer.C:
-		c.mu.Lock()
-		delete(c.pendingPings, id)
-		c.mu.Unlock()
+		dropPending()
 		return 0, fmt.Errorf("%w: ping after %v", ErrTimeout, c.peer.cfg.Timeout)
 	case <-c.closed:
+		dropPending()
 		return 0, ErrChannelClosed
 	}
 }
@@ -607,7 +691,9 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 		pending := c.pendingCalls
 		c.pendingCalls = map[int64]chan callResult{}
 		fetches := c.pendingFetch
-		c.pendingFetch = map[int64]chan *wire.ServiceReply{}
+		c.pendingFetch = map[int64]chan fetchResult{}
+		pings := c.pendingPings
+		c.pendingPings = map[int64]chan error{}
 		streams := c.streams
 		c.streams = map[int64]*inStream{}
 		proxies := c.proxies
@@ -621,7 +707,10 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 			ch <- callResult{err: ErrChannelClosed}
 		}
 		for _, ch := range fetches {
-			ch <- nil
+			ch <- fetchResult{err: ErrChannelClosed}
+		}
+		for _, ch := range pings {
+			ch <- ErrChannelClosed
 		}
 		for _, s := range streams {
 			s.closeWith(ErrChannelClosed)
@@ -642,12 +731,14 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 }
 
 // readLoop is the single reader of the connection. Invocations are
-// dispatched on worker goroutines so that a slow service method cannot
-// stall lease updates or event delivery.
+// handed to the bounded dispatch pool so that a slow service method
+// cannot stall lease updates or event delivery; a full dispatch queue
+// blocks the reader, pushing backpressure onto the transport instead of
+// growing goroutines without bound.
 func (c *Channel) readLoop() {
 	defer c.wg.Done()
 	for {
-		msg, err := wire.ReadMessage(c.conn)
+		msg, size, err := wire.ReadMessageSize(c.conn)
 		if err != nil {
 			c.teardown(err, false)
 			return
@@ -680,14 +771,10 @@ func (c *Channel) readLoop() {
 			delete(c.pendingFetch, m.RequestID)
 			c.mu.Unlock()
 			if ok {
-				ch <- m
+				ch <- fetchResult{reply: m, size: size}
 			}
 		case *wire.Invoke:
-			c.wg.Add(1)
-			go func(m *wire.Invoke) {
-				defer c.wg.Done()
-				c.handleInvoke(m)
-			}(m)
+			c.dispatchInvoke(m, size)
 		case *wire.Result:
 			c.mu.Lock()
 			ch, ok := c.pendingCalls[m.CallID]
@@ -724,7 +811,7 @@ func (c *Channel) readLoop() {
 			delete(c.pendingPings, m.Seq)
 			c.mu.Unlock()
 			if ok {
-				ch <- struct{}{}
+				ch <- nil
 			}
 		case *wire.Bye:
 			c.teardown(nil, false)
@@ -757,9 +844,9 @@ func (c *Channel) handleFetch(m *wire.FetchService) {
 	svc, ok := c.peer.lookupExported(m.ServiceID)
 	if !ok {
 		span.Fail(fmt.Errorf("service %d not exported", m.ServiceID))
-		_ = c.send(&wire.ErrorReply{CallID: 0, Code: CodeNoSuchService,
-			Message: fmt.Sprintf("service %d not exported", m.ServiceID)})
-		// Also unblock the requester's pending fetch with an empty reply.
+		// An empty reply tells the requester "no such service". No
+		// ErrorReply is sent: fetches are correlated by RequestID, and an
+		// ErrorReply would carry a meaningless CallID instead.
 		_ = c.send(&wire.ServiceReply{RequestID: m.RequestID})
 		return
 	}
@@ -782,7 +869,7 @@ func (c *Channel) handleFetch(m *wire.FetchService) {
 	_ = c.send(reply)
 }
 
-func (c *Channel) handleInvoke(m *wire.Invoke) {
+func (c *Channel) handleInvoke(m *wire.Invoke, size int) {
 	// Parent the serving span under the caller's span carried in the
 	// frame: this is the server half of the cross-peer trace.
 	so := c.serveObs(m.ServiceID)
@@ -810,12 +897,9 @@ func (c *Channel) handleInvoke(m *wire.Invoke) {
 		return
 	}
 
-	// Server-side dispatch cost on the simulated device; payload size
-	// approximates decode+encode work.
-	size := 0
-	if frame, err := wire.EncodeMessage(m); err == nil {
-		size = len(frame)
-	}
+	// Server-side dispatch cost on the simulated device; the inbound
+	// frame size (reported by the reader) approximates decode+encode
+	// work without re-encoding the message.
 	c.peer.cfg.Device.ServerDispatch(size)
 
 	value, err := svc.Invoke(m.Method, m.Args)

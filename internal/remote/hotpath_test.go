@@ -1,0 +1,307 @@
+package remote
+
+// Regression tests for the invoke hot-path overhaul: teardown error
+// reporting, pending-map hygiene, stray-frame suppression, the bounded
+// dispatch contract under an inbound flood, and invoke/fetch/ping
+// racing a crash-fault teardown.
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// TestFetchDuringTeardownIsChannelClosed pins the teardown error
+// contract: a fetch whose reply never arrives because the channel tore
+// down must report ErrChannelClosed — not ErrNoSuchService, which would
+// tell the caller the peer authoritatively denied the service. The
+// outcome used to depend on which select case won the race against the
+// teardown drain, so the test repeats the race.
+func TestFetchDuringTeardownIsChannelClosed(t *testing.T) {
+	link := netsim.LinkProfile{Name: "slow", Latency: 20 * time.Millisecond, Bandwidth: 125e6}
+	for i := 0; i < 20; i++ {
+		server := newTestNode(t, "fetch-srv")
+		client := newTestNode(t, "fetch-cli")
+		fabric := netsim.NewFabric()
+		serveFabric(t, fabric, server)
+		ch, _ := connectRaw(t, fabric, server, client, link)
+
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := ch.Fetch(9999)
+			errCh <- err
+		}()
+		time.Sleep(5 * time.Millisecond)
+		ch.Close()
+
+		select {
+		case err := <-errCh:
+			if errors.Is(err, ErrNoSuchService) {
+				t.Fatalf("iteration %d: fetch during teardown = ErrNoSuchService, want ErrChannelClosed", i)
+			}
+			if !errors.Is(err, ErrChannelClosed) {
+				t.Fatalf("iteration %d: fetch during teardown = %v, want ErrChannelClosed", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: fetch did not return after teardown", i)
+		}
+	}
+}
+
+// TestPingSendErrorDropsPending pins the send-error cleanup of
+// pingOnce: a ping whose frame cannot be sent must remove its pending
+// entry instead of leaking it until channel teardown.
+func TestPingSendErrorDropsPending(t *testing.T) {
+	server := newTestNode(t, "ping-srv")
+	client := newTestNode(t, "ping-cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+	ch.Close()
+
+	if _, err := ch.pingOnce(); err == nil {
+		t.Fatal("pingOnce on a closed channel succeeded")
+	}
+	ch.mu.Lock()
+	n := len(ch.pendingPings)
+	ch.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("pendingPings holds %d entries after send error, want 0", n)
+	}
+}
+
+// TestTeardownDrainsPendingPings pins the teardown drain: an in-flight
+// ping must be woken with ErrChannelClosed when the channel dies, and
+// its pending entry must be gone.
+func TestTeardownDrainsPendingPings(t *testing.T) {
+	server := newTestNode(t, "drain-srv")
+	client := newTestNode(t, "drain-cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	pch := make(chan error, 1)
+	ch.mu.Lock()
+	ch.pendingPings[42] = pch
+	ch.mu.Unlock()
+
+	ch.Close()
+	select {
+	case err := <-pch:
+		if !errors.Is(err, ErrChannelClosed) {
+			t.Fatalf("drained ping got %v, want ErrChannelClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("teardown did not drain the pending ping")
+	}
+	ch.mu.Lock()
+	n := len(ch.pendingPings)
+	ch.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("pendingPings holds %d entries after teardown, want 0", n)
+	}
+}
+
+// rawHandshake performs the peer handshake from the raw side of a pipe:
+// the test plays a protocol-conformant peer with no services.
+func rawHandshake(t *testing.T, conn net.Conn, peerID string) *wire.Lease {
+	t.Helper()
+	if _, err := wire.ReadMessage(conn); err != nil {
+		t.Fatalf("reading hello: %v", err)
+	}
+	if err := wire.WriteMessage(conn, &wire.Hello{PeerID: peerID, Version: wire.ProtocolVersion}); err != nil {
+		t.Fatalf("writing hello: %v", err)
+	}
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatalf("reading lease: %v", err)
+	}
+	lease, ok := msg.(*wire.Lease)
+	if !ok {
+		t.Fatalf("expected LEASE, got %s", msg.Type())
+	}
+	if err := wire.WriteMessage(conn, &wire.Lease{}); err != nil {
+		t.Fatalf("writing lease: %v", err)
+	}
+	return lease
+}
+
+// TestFetchUnknownServiceSendsNoStrayErrorReply pins the wire-level
+// "no such service" answer to a fetch: exactly one empty ServiceReply,
+// with no trailing ErrorReply frame (the stray frame carried CallID 0
+// and could be mistaken for an answer to a real call).
+func TestFetchUnknownServiceSendsNoStrayErrorReply(t *testing.T) {
+	node := newTestNode(t, "fetch-target")
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	_ = b.SetDeadline(time.Now().Add(5 * time.Second))
+
+	connected := make(chan error, 1)
+	go func() {
+		_, err := node.peer.Connect(a)
+		connected <- err
+	}()
+	rawHandshake(t, b, "raw-tester")
+	if err := <-connected; err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+
+	if err := wire.WriteMessage(b, &wire.FetchService{RequestID: 7, ServiceID: 4242}); err != nil {
+		t.Fatalf("writing fetch: %v", err)
+	}
+	msg, err := wire.ReadMessage(b)
+	if err != nil {
+		t.Fatalf("reading fetch answer: %v", err)
+	}
+	reply, ok := msg.(*wire.ServiceReply)
+	if !ok {
+		t.Fatalf("fetch of unknown service answered with %s, want SERVICE_REPLY", msg.Type())
+	}
+	if reply.RequestID != 7 || len(reply.Interfaces) != 0 {
+		t.Fatalf("unexpected reply: RequestID=%d Interfaces=%d", reply.RequestID, len(reply.Interfaces))
+	}
+
+	// The very next frame must answer our ping — any interleaved
+	// ErrorReply is the stray frame this test exists to catch.
+	if err := wire.WriteMessage(b, &wire.Ping{Seq: 1}); err != nil {
+		t.Fatalf("writing ping: %v", err)
+	}
+	msg, err = wire.ReadMessage(b)
+	if err != nil {
+		t.Fatalf("reading pong: %v", err)
+	}
+	if _, ok := msg.(*wire.Pong); !ok {
+		t.Fatalf("frame after ServiceReply is %s, want PONG (stray frame leaked)", msg.Type())
+	}
+}
+
+// TestInvokeFetchPingRacingTeardown exercises every pending-map path
+// against a crash-fault teardown under the race detector: concurrent
+// invokes, fetches and pings must all return promptly once the link is
+// dropped, with no panic, leak or misclassified error.
+func TestInvokeFetchPingRacingTeardown(t *testing.T) {
+	server := newTestNode(t, "race-srv")
+	client := newTestNode(t, "race-cli")
+	exportCalculator(t, server)
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+	link := netsim.LinkProfile{Name: "lan", Latency: 2 * time.Millisecond, Bandwidth: 125e6}
+	ch, conn := connectRaw(t, fabric, server, client, link)
+	svcID := soleServiceID(t, ch)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := ch.Invoke(svcID, "Add", []any{int64(1), int64(2)}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := ch.Fetch(svcID); err != nil {
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := ch.Ping(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(30 * time.Millisecond)
+	conn.Drop()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("callers did not return after the link dropped")
+	}
+}
+
+// TestInboundInvokeFloodBounded pins the dispatch bound: a peer
+// flooding invocations at a channel must never inflate the handler
+// goroutine count past DispatchWorkers — backpressure holds the excess
+// on the transport instead.
+func TestInboundInvokeFloodBounded(t *testing.T) {
+	node := newTestNode(t, "flood-target")
+	gate := make(chan struct{})
+	var entered atomic.Int32
+	blocker := NewService("test.Block").
+		Method("Block", nil, "void", func(args []any) (any, error) {
+			entered.Add(1)
+			<-gate
+			return nil, nil
+		})
+	if _, err := node.fw.Registry().Register([]string{"test.Block"}, blocker,
+		service.Properties{PropExported: true}, "test"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	defer close(gate)
+
+	connected := make(chan error, 1)
+	go func() {
+		_, err := node.peer.Connect(a)
+		connected <- err
+	}()
+	lease := rawHandshake(t, b, "flooder")
+	if err := <-connected; err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if len(lease.Services) != 1 {
+		t.Fatalf("lease carries %d services, want 1", len(lease.Services))
+	}
+	svcID := lease.Services[0].ID
+
+	base := runtime.NumGoroutine()
+	go func() {
+		for i := 1; i <= 10000; i++ {
+			if err := wire.WriteMessage(b, &wire.Invoke{
+				CallID: int64(i), ServiceID: svcID, Method: "Block",
+			}); err != nil {
+				return // pipe closed at test end while backpressured
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for entered.Load() < int32(DefaultDispatchWorkers) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d handlers started, want %d", entered.Load(), DefaultDispatchWorkers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Give an unbounded dispatcher time to spawn thousands more.
+	time.Sleep(100 * time.Millisecond)
+
+	if n := int(entered.Load()); n > DefaultDispatchWorkers {
+		t.Errorf("%d handlers entered the service, want at most %d", n, DefaultDispatchWorkers)
+	}
+	if g := runtime.NumGoroutine(); g > base+DefaultDispatchWorkers+25 {
+		t.Errorf("goroutines grew to %d (baseline %d): dispatch is not bounded", g, base)
+	}
+}

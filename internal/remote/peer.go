@@ -27,6 +27,10 @@ const PropOriginPeer = "event.remote.origin"
 // is zero.
 const DefaultInvokeTimeout = 30 * time.Second
 
+// DefaultDispatchWorkers bounds in-flight inbound invocation handlers
+// per channel when Config.DispatchWorkers is zero.
+const DefaultDispatchWorkers = 8
+
 // Config parameterizes a Peer.
 type Config struct {
 	// Framework hosts proxy bundles and supplies the service registry
@@ -50,6 +54,15 @@ type Config struct {
 	// full AlfredO client path); raw benchmark clients use
 	// devsim.CostClientInvokeRaw.
 	ClientInvokeCost time.Duration
+	// DispatchWorkers bounds the handler goroutines serving inbound
+	// invocations per channel. Zero selects DefaultDispatchWorkers; a
+	// negative value removes the bound and spawns one goroutine per
+	// inbound invocation (the seed behavior, kept for ablation runs).
+	// With the bound, a flood of inbound invokes is held to
+	// DispatchWorkers concurrent handlers and backpressure propagates
+	// to the transport: the channel reader stops consuming frames until
+	// a handler finishes.
+	DispatchWorkers int
 	// HelloProps are announced to peers during the handshake (§3.2:
 	// "the device can decide which capabilities to expose to the
 	// target device"). Values must be wire-normalizable.
@@ -100,6 +113,9 @@ func NewPeer(cfg Config) (*Peer, error) {
 	}
 	if cfg.ClientInvokeCost <= 0 {
 		cfg.ClientInvokeCost = devsim.CostClientInvoke
+	}
+	if cfg.DispatchWorkers == 0 {
+		cfg.DispatchWorkers = DefaultDispatchWorkers
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
 	cfg.Obs = cfg.Obs.OrDefault()

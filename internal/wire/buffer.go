@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Codec limits. They bound memory consumption when decoding untrusted
@@ -55,6 +56,37 @@ func NewBuffer(b []byte) *Buffer {
 
 // Bytes returns the encoded bytes.
 func (b *Buffer) Bytes() []byte { return b.b }
+
+// Reset empties the buffer for reuse, keeping its storage.
+func (b *Buffer) Reset() {
+	b.b = b.b[:0]
+	b.off = 0
+	b.err = nil
+}
+
+// maxPooledBuffer caps the storage a pooled buffer may retain: a rare
+// multi-megabyte frame (descriptor shipping, stream chunks) must not pin
+// its allocation in the pool forever.
+const maxPooledBuffer = 64 << 10
+
+var bufPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// GetBuffer returns an empty encode buffer from the pool. Release it
+// with PutBuffer once the encoded bytes have been written out; frames
+// returned by EncodeInto alias the buffer and must not outlive it.
+func GetBuffer() *Buffer {
+	return bufPool.Get().(*Buffer)
+}
+
+// PutBuffer returns a buffer to the pool. Oversized buffers are dropped
+// so a single large frame cannot pin its storage.
+func PutBuffer(b *Buffer) {
+	if b == nil || cap(b.b) > maxPooledBuffer {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
 
 // Err returns the first decoding error, if any.
 func (b *Buffer) Err() error { return b.err }

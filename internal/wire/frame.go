@@ -6,29 +6,43 @@ import (
 	"io"
 )
 
-// EncodeMessage serializes a message to a complete frame (header
-// included), suitable for a single Write.
-func EncodeMessage(m Message) ([]byte, error) {
-	body := &Buffer{}
-	body.WriteU8(byte(m.Type()))
-	if err := m.encode(body); err != nil {
+// EncodeInto serializes a message as a complete frame (header included)
+// into b, resetting it first. The returned slice aliases b's storage, so
+// it is valid until the next use of b; callers that pool buffers write
+// the frame out and release b without any intermediate copy. The frame
+// is built in a single pass: the header is patched in place once the
+// payload length is known.
+func EncodeInto(b *Buffer, m Message) ([]byte, error) {
+	b.Reset()
+	b.b = append(b.b, 0, 0, 0, 0) // frame header, patched below
+	b.WriteU8(byte(m.Type()))
+	if err := m.encode(b); err != nil {
 		return nil, fmt.Errorf("wire: encoding %s: %w", m.Type(), err)
 	}
-	payload := body.Bytes()
-	if len(payload) > MaxFrame {
-		return nil, fmt.Errorf("%w: %s frame of %d bytes", ErrTooLarge, m.Type(), len(payload))
+	payload := len(b.b) - 4
+	if payload > MaxFrame {
+		return nil, fmt.Errorf("%w: %s frame of %d bytes", ErrTooLarge, m.Type(), payload)
 	}
-	frame := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[4:], payload)
+	binary.BigEndian.PutUint32(b.b[:4], uint32(payload))
 	mFramesEncoded.Inc()
-	mBytesEncoded.Add(int64(len(frame)))
-	return frame, nil
+	mBytesEncoded.Add(int64(len(b.b)))
+	return b.b, nil
 }
 
-// WriteMessage encodes and writes one framed message.
+// EncodeMessage serializes a message to a freshly allocated frame,
+// suitable for a single Write. Hot paths should prefer EncodeInto with a
+// pooled buffer (GetBuffer/PutBuffer); EncodeMessage remains for callers
+// that retain the frame.
+func EncodeMessage(m Message) ([]byte, error) {
+	return EncodeInto(&Buffer{}, m)
+}
+
+// WriteMessage encodes and writes one framed message through a pooled
+// encode buffer: no per-message buffer allocation.
 func WriteMessage(w io.Writer, m Message) error {
-	frame, err := EncodeMessage(m)
+	b := GetBuffer()
+	defer PutBuffer(b)
+	frame, err := EncodeInto(b, m)
 	if err != nil {
 		return err
 	}
@@ -40,24 +54,38 @@ func WriteMessage(w io.Writer, m Message) error {
 
 // ReadMessage reads and decodes one framed message.
 func ReadMessage(r io.Reader) (Message, error) {
+	m, _, err := ReadMessageSize(r)
+	return m, err
+}
+
+// ReadMessageSize reads and decodes one framed message, additionally
+// reporting the frame's size on the wire (header + payload). The size
+// lets receivers account per-message transfer and dispatch costs without
+// ever re-encoding the message (the seed's invoke path encoded every
+// inbound frame a second time just to learn its length).
+func ReadMessageSize(r io.Reader) (Message, int, error) {
 	var header [4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+		return nil, 0, fmt.Errorf("wire: reading frame header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(header[:])
 	if n == 0 {
 		mDecodeErrors.Inc()
-		return nil, fmt.Errorf("%w: empty frame", ErrBadMsg)
+		return nil, 0, fmt.Errorf("%w: empty frame", ErrBadMsg)
 	}
 	if n > MaxFrame {
 		mDecodeErrors.Inc()
-		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
+		return nil, 0, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, n)
 	}
 	payload, err := readPayload(r, int(n))
 	if err != nil {
-		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
+		return nil, 0, fmt.Errorf("wire: reading frame payload: %w", err)
 	}
-	return DecodeMessage(payload)
+	m, err := DecodeMessage(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, 4 + int(n), nil
 }
 
 // payloadChunk bounds how much memory a frame read commits to ahead of

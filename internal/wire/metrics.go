@@ -5,9 +5,9 @@ import "github.com/alfredo-mw/alfredo/internal/obs"
 // Frame I/O telemetry, recorded on the process-wide default hub (the
 // codec has no per-connection configuration to plumb a hub through).
 // Handles are resolved once at init so the per-frame cost is a single
-// atomic add each. Note that frames_encoded counts every successful
-// EncodeMessage call — including encodes done for cost estimation, not
-// just frames that reach a transport.
+// atomic add each. Every message is encoded exactly once — receivers
+// learn frame sizes from ReadMessageSize instead of re-encoding — so
+// frames_encoded tracks frames actually produced for a transport.
 var (
 	mFramesEncoded = obs.Default().Metrics.Counter("alfredo_wire_frames_encoded_total")
 	mBytesEncoded  = obs.Default().Metrics.Counter("alfredo_wire_bytes_encoded_total")
@@ -18,7 +18,7 @@ var (
 
 func init() {
 	m := obs.Default().Metrics
-	m.Help("alfredo_wire_frames_encoded_total", "Frames successfully encoded (including cost-estimation encodes).")
+	m.Help("alfredo_wire_frames_encoded_total", "Frames successfully encoded for a transport.")
 	m.Help("alfredo_wire_bytes_encoded_total", "Total bytes of encoded frames, headers included.")
 	m.Help("alfredo_wire_frames_decoded_total", "Frame payloads successfully decoded.")
 	m.Help("alfredo_wire_bytes_decoded_total", "Total bytes of decoded frame payloads.")
