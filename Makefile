@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments throughput fuzz fmt vet chaos obs check clean
+.PHONY: all build test race cover bench experiments throughput fuzz fmt vet chaos sim obs check clean
 
 all: build test
 
@@ -49,6 +49,15 @@ vet:
 # disconnects, partitions, loss and corruption, always under -race.
 chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/remote/
+
+# Deterministic simulation sweep (DESIGN.md §9): 500 seeded
+# whole-cluster runs on the virtual clock with invariants checked after
+# every event, then the harness itself under -race. A failing seed
+# prints a minimized trace; replay with:
+#   go test -run TestSim -v ./internal/sim/ -args -sim.seed=N
+sim:
+	$(GO) test -run TestSim ./internal/sim/ -args -sim.n=500
+	$(GO) test -race ./internal/sim/...
 
 # Telemetry demo: drive one instrumented session (partition + drop)
 # and dump the metrics snapshot plus the slowest recorded trace, then

@@ -15,6 +15,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/render"
 	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 )
 
 // Node errors.
@@ -65,6 +66,14 @@ type NodeConfig struct {
 	// Obs is the telemetry hub for metrics and traces. Nil uses the
 	// process-wide obs.Default(); obs.Nop() disables telemetry.
 	Obs *obs.Hub
+	// Clock is the node's time source: invocation timeouts, retries,
+	// link reconnection, recovery waits and controller poll tickers all
+	// run on it. Nil selects the wall clock; the simulation harness
+	// injects a virtual clock.
+	Clock clock.Clock
+	// Seed derandomizes the node's retry jitter when non-zero (see
+	// remote.Config.Seed).
+	Seed int64
 }
 
 // Node is one AlfredO endpoint: framework, event admin, remote peer and
@@ -94,6 +103,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg.ProxyCode = remote.NewProxyCodeRegistry()
 	}
 	cfg.Obs = cfg.Obs.OrDefault()
+	cfg.Clock = clock.Or(cfg.Clock)
 	fw := module.NewFramework(module.Config{Name: cfg.Name, StorageDir: cfg.StorageDir})
 	events := event.NewAdmin(0)
 	helloProps := map[string]any{"profile": cfg.Profile.Name}
@@ -115,6 +125,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		DispatchWorkers:  cfg.DispatchWorkers,
 		HelloProps:       helloProps,
 		Obs:              cfg.Obs,
+		Clock:            cfg.Clock,
+		Seed:             cfg.Seed,
 	})
 	if err != nil {
 		events.Close()
@@ -146,6 +158,9 @@ func (n *Node) Peer() *remote.Peer { return n.peer }
 
 // Profile returns the node's device profile.
 func (n *Node) Profile() device.Profile { return n.cfg.Profile }
+
+// Clock returns the node's time source.
+func (n *Node) Clock() clock.Clock { return n.cfg.Clock }
 
 // Renderers returns the node's renderer registry.
 func (n *Node) Renderers() *render.Registry { return n.renderers }

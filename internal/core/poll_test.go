@@ -9,15 +9,35 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/netsim"
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
 	"github.com/alfredo-mw/alfredo/internal/ui"
 )
+
+// driveV runs fn on its own goroutine and steps the virtual clock until
+// it returns — how a virtual-clock test waits out a blocking call
+// (connect, acquire, release) whose progress depends on simulated time.
+func driveV(t *testing.T, v *clock.Virtual, budget time.Duration, fn func()) {
+	t.Helper()
+	var done atomic.Bool
+	go func() {
+		defer done.Store(true)
+		fn()
+	}()
+	if !v.WaitCond(budget, done.Load) {
+		t.Fatalf("blocked call did not finish within %v of virtual time", budget)
+	}
+}
 
 // TestPollingControllerEndToEnd exercises the §3.2 Controller shape the
 // paper describes verbatim: "the Controller ... may periodically poll a
 // certain service method provided by the remote device and react to its
 // changes by ... changing the implementation of a control command of
-// the UI."
+// the UI." The whole stack — poll tickers, invocation timeouts, netsim
+// delivery — runs on one virtual clock, so the poll cadence is exact
+// simulated time rather than scheduler-dependent sleeps.
 func TestPollingControllerEndToEnd(t *testing.T) {
+	leak.CheckGoroutines(t)
 	var temperature atomic.Int64
 	temperature.Store(20)
 
@@ -77,70 +97,94 @@ func TestPollingControllerEndToEnd(t *testing.T) {
 		Service: sensor,
 	}
 
-	provider, err := NewNode(NodeConfig{Name: "thermostat", Profile: device.Touchscreen()})
+	v := clock.NewVirtual(1)
+	provider, err := NewNode(NodeConfig{Name: "thermostat", Profile: device.Touchscreen(), Clock: v, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer provider.Close()
+	defer driveV(t, v, time.Minute, func() { provider.Close() })
 	if err := provider.RegisterApp(app); err != nil {
 		t.Fatal(err)
 	}
 
-	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i(), Clock: v, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer phone.Close()
+	defer driveV(t, v, time.Minute, func() { phone.Close() })
 
-	fabric := netsim.NewFabric()
+	fabric := netsim.NewFabric().WithClock(v).WithSeed(1)
 	l, _ := fabric.Listen("thermostat")
 	defer l.Close()
 	provider.Serve(l)
-	conn, _ := fabric.Dial("thermostat", netsim.Loopback)
-	session, err := phone.Connect(conn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer session.Close()
 
-	acquired, err := session.Acquire("demo.Thermostat", AcquireOptions{})
-	if err != nil {
-		t.Fatal(err)
+	var session *Session
+	driveV(t, v, time.Minute, func() {
+		conn, err := fabric.Dial("thermostat", netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		s, err := phone.Connect(conn)
+		if err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		session = s
+	})
+	if session == nil {
+		t.FailNow()
+	}
+	defer driveV(t, v, time.Minute, func() { session.Close() })
+
+	var acquired *Application
+	driveV(t, v, time.Minute, func() {
+		a, err := session.Acquire("demo.Thermostat", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+			return
+		}
+		acquired = a
+	})
+	if acquired == nil {
+		t.FailNow()
 	}
 
 	// The poll loop populates the reading without any user interaction.
-	waitProp(t, acquired, "reading", "value", int64(20))
+	waitProp(t, v, acquired, "reading", "value", int64(20))
 
 	// A UI change drives SetTarget remotely; the next poll reflects it.
-	if err := acquired.View.Inject(ui.Event{Control: "target", Kind: ui.EventChange, Value: int64(29)}); err != nil {
-		t.Fatal(err)
-	}
-	waitProp(t, acquired, "reading", "value", int64(29))
+	driveV(t, v, time.Minute, func() {
+		if err := acquired.View.Inject(ui.Event{Control: "target", Kind: ui.EventChange, Value: int64(29)}); err != nil {
+			t.Errorf("Inject: %v", err)
+		}
+	})
+	waitProp(t, v, acquired, "reading", "value", int64(29))
 	// The guarded alert rule fired, too.
-	waitProp(t, acquired, "alert", "text", "TOO HOT")
+	waitProp(t, v, acquired, "alert", "text", "TOO HOT")
 
-	// Releasing the app stops the poll loops: the remote service sees
-	// no further reads.
-	acquired.Release()
-	time.Sleep(40 * time.Millisecond)
+	// Releasing the app stops the poll loops: advance well past several
+	// poll intervals and assert the remote service sees no further reads.
+	driveV(t, v, time.Minute, func() { acquired.Release() })
+	v.Advance(40 * time.Millisecond)
 	before := temperature.Load()
-	time.Sleep(60 * time.Millisecond)
+	v.Advance(60 * time.Millisecond)
 	if temperature.Load() != before {
 		t.Error("state changed after release")
 	}
 }
 
-func waitProp(t *testing.T, app *Application, control, prop string, want any) {
+// waitProp drives the virtual clock until the rendered property reaches
+// the wanted value — the clock-driven replacement for sleep-polling the
+// view.
+func waitProp(t *testing.T, v *clock.Virtual, app *Application, control, prop string, want any) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if v, _ := app.View.Property(control, prop); v == want {
-			return
-		}
-		if time.Now().After(deadline) {
-			v, _ := app.View.Property(control, prop)
-			t.Fatalf("%s.%s = %v, want %v (ctl err %v)", control, prop, v, want, app.Controller.LastError())
-		}
-		time.Sleep(5 * time.Millisecond)
+	if v.WaitCond(2*time.Second, func() bool {
+		got, _ := app.View.Property(control, prop)
+		return got == want
+	}) {
+		return
 	}
+	got, _ := app.View.Property(control, prop)
+	t.Fatalf("%s.%s = %v, want %v (ctl err %v)", control, prop, got, want, app.Controller.LastError())
 }

@@ -340,6 +340,7 @@ func (s *Session) buildUI(app *Application, opts AcquireOptions) error {
 		_ = view.Close()
 		return err
 	}
+	controller.WithClock(s.node.cfg.Clock)
 	if err := controller.Start(); err != nil {
 		_ = view.Close()
 		return err
@@ -510,7 +511,7 @@ func (a *Application) awaitUsable() error {
 	if link == nil || recovered == nil {
 		return ErrDegraded
 	}
-	deadline := time.NewTimer(link.Policy().ReconnectBudget)
+	deadline := a.session.node.cfg.Clock.NewTimer(link.Policy().ReconnectBudget)
 	defer deadline.Stop()
 	for {
 		st, wait := link.StateAndWait()

@@ -30,7 +30,7 @@ func (c *Conn) Drop() {
 // unlike Drop the connection recovers by itself.
 func (c *Conn) Partition(d time.Duration) {
 	countFault(FaultStall.String())
-	until := time.Now().Add(d)
+	until := c.write.clk.Now().Add(d)
 	c.write.stall(until)
 	c.read.stall(until)
 }
@@ -123,13 +123,14 @@ func (s Schedule) Run(conn *Conn) (stop func()) {
 
 	quit := make(chan struct{})
 	done := make(chan struct{})
-	start := time.Now()
+	clk := conn.write.clk
+	start := clk.Now()
 	go func() {
 		defer close(done)
 		for _, f := range events {
-			wait := time.Until(start.Add(f.At))
+			wait := clk.Until(start.Add(f.At))
 			if wait > 0 {
-				t := time.NewTimer(wait)
+				t := clk.NewTimer(wait)
 				select {
 				case <-t.C:
 				case <-quit:
@@ -170,7 +171,7 @@ func (f *Fabric) Block(addr string, d time.Duration) {
 	if f.blocked == nil {
 		f.blocked = make(map[string]time.Time)
 	}
-	f.blocked[addr] = time.Now().Add(d)
+	f.blocked[addr] = f.clk.Now().Add(d)
 }
 
 // Unblock lifts a blackout early.
@@ -187,7 +188,7 @@ func (f *Fabric) blockedNow(addr string) bool {
 	if !ok {
 		return false
 	}
-	if time.Now().After(until) {
+	if f.clk.Now().After(until) {
 		delete(f.blocked, addr)
 		return false
 	}

@@ -17,7 +17,10 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 )
 
 // Fabric errors.
@@ -80,16 +83,57 @@ func (a simAddr) String() string  { return string(a) }
 // per-connection link profile. The zero value is not usable; create
 // with NewFabric.
 type Fabric struct {
+	clk   clock.Clock
+	base  int64 // per-run RNG seed offset (see WithSeed)
+	stats Stats
+
 	mu        sync.Mutex
 	listeners map[string]*Listener
 	blocked   map[string]time.Time
 	seed      int64
 }
 
-// NewFabric creates an empty fabric.
+// NewFabric creates an empty fabric on the wall clock.
 func NewFabric() *Fabric {
-	return &Fabric{listeners: make(map[string]*Listener)}
+	return &Fabric{clk: clock.Wall, listeners: make(map[string]*Listener)}
 }
+
+// WithClock rebinds the fabric to c: all pacing, latency, jitter and
+// fault timing runs on that clock. Under a virtual clock the fabric
+// never sleeps wall time, and the sub-millisecond sleep floor (see
+// sleepFloor) does not apply — virtual delays are exact and free. Call
+// before the first Listen/Dial; returns the fabric for chaining.
+func (f *Fabric) WithClock(c clock.Clock) *Fabric {
+	f.clk = clock.Or(c)
+	return f
+}
+
+// WithSeed offsets every per-connection RNG seed by s, so one
+// simulation seed selects a distinct (but reproducible) loss, jitter
+// and corruption stream for the whole fabric. Call before the first
+// Dial; returns the fabric for chaining.
+func (f *Fabric) WithSeed(s int64) *Fabric {
+	f.base = s
+	return f
+}
+
+// Clock returns the clock the fabric runs on.
+func (f *Fabric) Clock() clock.Clock { return f.clk }
+
+// Stats are the fabric-wide chunk counters, readable at any time and
+// used by the simulation harness as a conservation invariant: every
+// chunk written is eventually delivered, lost to injected loss, or
+// discarded in flight by a crash-drop.
+type Stats struct {
+	Written   atomic.Int64 // chunks accepted by a pipe write
+	Bytes     atomic.Int64 // payload bytes accepted
+	Delivered atomic.Int64 // chunks handed to a reader
+	Lost      atomic.Int64 // chunks discarded by loss injection
+	Dropped   atomic.Int64 // in-flight chunks discarded by a crash-drop
+}
+
+// Stats exposes the fabric's counters.
+func (f *Fabric) Stats() *Stats { return &f.stats }
 
 // Listen binds a listener to addr.
 func (f *Fabric) Listen(addr string) (*Listener, error) {
@@ -124,12 +168,13 @@ func (f *Fabric) Dial(addr string, link LinkProfile) (net.Conn, error) {
 	}
 
 	// Pipe RNGs are seeded from the link profile's name plus the dial
-	// sequence number, so a test that dials the same links in the same
-	// order observes the same loss/jitter pattern on every run.
-	seed := int64(linkSeed(link.Name)) + seq
+	// sequence number plus the fabric's run seed (WithSeed), so a test
+	// that dials the same links in the same order observes the same
+	// loss/jitter pattern on every run of the same seed.
+	seed := int64(linkSeed(link.Name)) + seq + f.base
 	dialerAddr := simAddr(fmt.Sprintf("dialer-%d", seq))
-	c2s := newShapedPipe(link, seed*2)
-	s2c := newShapedPipe(link, seed*2+1)
+	c2s := newShapedPipe(link, seed*2, f.clk, &f.stats)
+	s2c := newShapedPipe(link, seed*2+1, f.clk, &f.stats)
 	clientConn := &Conn{
 		link:   link,
 		read:   s2c,
@@ -148,7 +193,7 @@ func (f *Fabric) Dial(addr string, link LinkProfile) (net.Conn, error) {
 	select {
 	case l.backlog <- serverConn:
 		// Model connection establishment as one round trip.
-		sleep(link.RTT())
+		sleepOn(f.clk, link.RTT())
 		return clientConn, nil
 	case <-l.done:
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
@@ -200,7 +245,9 @@ type chunk struct {
 // bandwidth, delivery is delayed by latency+jitter, FIFO order is
 // preserved.
 type shapedPipe struct {
-	link LinkProfile
+	link  LinkProfile
+	clk   clock.Clock
+	stats *Stats
 
 	mu       sync.Mutex
 	rng      *rand.Rand
@@ -222,15 +269,20 @@ type shapedPipe struct {
 	done chan struct{}
 }
 
-func newShapedPipe(link LinkProfile, seed int64) *shapedPipe {
+func newShapedPipe(link LinkProfile, seed int64, clk clock.Clock, stats *Stats) *shapedPipe {
 	return &shapedPipe{
-		link: link,
-		rng:  rand.New(rand.NewSource(seed)),
-		obs:  newPipeObs(link.Name),
-		ch:   make(chan chunk, 1024),
-		done: make(chan struct{}),
+		link:  link,
+		clk:   clock.Or(clk),
+		stats: stats,
+		rng:   rand.New(rand.NewSource(seed)),
+		obs:   newPipeObs(link.Name),
+		ch:    make(chan chunk, 1024),
+		done:  make(chan struct{}),
 	}
 }
+
+// sleep pauses for d on the pipe's clock.
+func (p *shapedPipe) sleep(d time.Duration) { sleepOn(p.clk, d) }
 
 func (p *shapedPipe) write(b []byte) (int, error) {
 	p.mu.Lock()
@@ -256,7 +308,7 @@ func (p *shapedPipe) write(b []byte) (int, error) {
 		jitter = time.Duration(p.rng.Int63n(int64(p.link.Jitter)))
 	}
 
-	now := time.Now()
+	now := p.clk.Now()
 	start := p.lastIn
 	if start.Before(now) {
 		start = now
@@ -279,12 +331,15 @@ func (p *shapedPipe) write(b []byte) (int, error) {
 	p.mu.Unlock()
 
 	// Pace the writer (models transmit-side backpressure).
-	sleep(time.Until(sendDone))
+	p.sleep(p.clk.Until(sendDone))
 
 	p.obs.chunks.Inc()
 	p.obs.bytes.Add(int64(len(b)))
 	if lost {
 		p.obs.lost.Inc()
+		p.stats.Written.Add(1)
+		p.stats.Bytes.Add(int64(len(b)))
+		p.stats.Lost.Add(1)
 		return len(b), nil
 	}
 	data := make([]byte, len(b))
@@ -294,6 +349,10 @@ func (p *shapedPipe) write(b []byte) (int, error) {
 	}
 	select {
 	case p.ch <- chunk{data: data, deliverAt: deliverAt}:
+		// Count only chunks that actually entered the pipe, so that
+		// after quiescence Written == Delivered + Lost + Dropped.
+		p.stats.Written.Add(1)
+		p.stats.Bytes.Add(int64(len(b)))
 		return len(b), nil
 	case <-p.done:
 		return 0, errWriteOnClose
@@ -312,7 +371,7 @@ func (p *shapedPipe) read(b []byte, deadline time.Time) (int, error) {
 
 	var timeout <-chan time.Time
 	if !deadline.IsZero() {
-		t := time.NewTimer(time.Until(deadline))
+		t := p.clk.NewTimer(p.clk.Until(deadline))
 		defer t.Stop()
 		timeout = t.C
 	}
@@ -323,8 +382,11 @@ func (p *shapedPipe) read(b []byte, deadline time.Time) (int, error) {
 			return 0, io.EOF
 		}
 		if !p.waitDeliver(c) {
+			// Crash-dropped while in the air: the chunk never arrives.
+			p.stats.Dropped.Add(1)
 			return 0, io.EOF
 		}
+		p.stats.Delivered.Add(1)
 		n := copy(b, c.data)
 		if n < len(c.data) {
 			p.mu.Lock()
@@ -344,7 +406,8 @@ func (p *shapedPipe) read(b []byte, deadline time.Time) (int, error) {
 		select {
 		case c, ok := <-p.ch:
 			if ok {
-				sleep(time.Until(p.deliverTime(c)))
+				p.sleep(p.clk.Until(p.deliverTime(c)))
+				p.stats.Delivered.Add(1)
 				n := copy(b, c.data)
 				if n < len(c.data) {
 					p.mu.Lock()
@@ -378,11 +441,11 @@ func (p *shapedPipe) close() {
 // the air" when the radio link is cut never arrives.
 func (p *shapedPipe) waitDeliver(c chunk) bool {
 	for {
-		d := time.Until(p.deliverTime(c))
+		d := p.clk.Until(p.deliverTime(c))
 		if d <= 0 {
 			return true
 		}
-		t := time.NewTimer(d)
+		t := p.clk.NewTimer(d)
 		select {
 		case <-t.C:
 		case <-p.done:
@@ -394,7 +457,7 @@ func (p *shapedPipe) waitDeliver(c chunk) bool {
 				return false
 			}
 			// Orderly close: the chunk is still delivered on time.
-			sleep(time.Until(p.deliverTime(c)))
+			p.sleep(p.clk.Until(p.deliverTime(c)))
 			return true
 		}
 	}
@@ -408,6 +471,17 @@ func (p *shapedPipe) drop() {
 	p.dropped = true
 	p.mu.Unlock()
 	p.close()
+	// Discard chunks still queued: they were in the air when the link
+	// was cut. Chunks a reader already holds are counted by its aborted
+	// waitDeliver instead, so each chunk is accounted exactly once.
+	for {
+		select {
+		case <-p.ch:
+			p.stats.Dropped.Add(1)
+		default:
+			return
+		}
+	}
 }
 
 // Conn is a net.Conn shaped by a LinkProfile.
@@ -577,9 +651,18 @@ func linkSeed(name string) uint64 {
 // measurements resolve them to.
 const sleepFloor = 500 * time.Microsecond
 
-// sleep is time.Sleep with the sub-precision floor applied.
-func sleep(d time.Duration) {
-	if d >= sleepFloor {
-		time.Sleep(d)
+// sleepOn pauses for d on c. On the wall clock the sub-precision floor
+// applies; on a virtual clock every positive delay is honored exactly,
+// since virtual sleeps cost no real time and skipping them would erase
+// short latencies from the simulated schedule.
+func sleepOn(c clock.Clock, d time.Duration) {
+	if c == clock.Wall {
+		if d >= sleepFloor {
+			time.Sleep(d)
+		}
+		return
+	}
+	if d > 0 {
+		c.Sleep(d)
 	}
 }

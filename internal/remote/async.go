@@ -52,12 +52,14 @@ func (c *Channel) InvokeAsyncCtx(ctx context.Context, serviceID int64, method st
 	_, span := c.obsHub().Tracer.Start(ctx, "rpc.invoke")
 	span.SetAttr("method", method)
 	call := &Call{
-		c:        c,
-		method:   method,
-		so:       so,
-		span:     span,
-		start:    start,
-		deadline: start.Add(c.peer.cfg.Timeout),
+		c:      c,
+		method: method,
+		so:     so,
+		span:   span,
+		start:  start,
+		// The deadline lives on the channel's clock (virtual in
+		// simulation); start stays wall time for telemetry latencies.
+		deadline: c.clock().Now().Add(c.peer.cfg.Timeout),
 	}
 	norm, err := normalizeArgs(method, args)
 	if err != nil {
@@ -98,7 +100,7 @@ func (call *Call) Wait() (any, error) {
 	call.done = true
 	c := call.c
 
-	timer := time.NewTimer(time.Until(call.deadline))
+	timer := c.clock().NewTimer(c.clock().Until(call.deadline))
 	defer timer.Stop()
 	select {
 	case res := <-call.ch:

@@ -15,6 +15,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/event"
 	"github.com/alfredo-mw/alfredo/internal/module"
 	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 	"github.com/alfredo-mw/alfredo/internal/wire"
 )
 
@@ -113,6 +114,11 @@ type Channel struct {
 	invokeObsBySvc map[int64]*svcObs
 	serveObsBySvc  map[int64]*svcObs
 
+	// opened records that setup completed and the channel was counted
+	// in the opened/active telemetry; teardown mirrors the accounting
+	// only when it is set.
+	opened atomic.Bool
+
 	closed chan struct{}
 	once   sync.Once
 	wg     sync.WaitGroup
@@ -136,8 +142,10 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	}
 
 	// Bound the handshake: a dead or hostile peer must not hang the
-	// connector forever.
-	if err := conn.SetReadDeadline(time.Now().Add(p.cfg.Timeout)); err == nil {
+	// connector forever. The deadline is computed on the peer's clock so
+	// that a netsim transport on the same (virtual) clock interprets it
+	// consistently.
+	if err := conn.SetReadDeadline(p.cfg.Clock.Now().Add(p.cfg.Timeout)); err == nil {
 		defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
 	}
 
@@ -183,6 +191,10 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	}
 	msg, err = wire.ReadMessage(conn)
 	if err != nil {
+		// Without this removal the half-set-up channel stays in the
+		// peer's broadcast set forever and Peer.Close later tears down
+		// a channel that never finished its handshake.
+		p.removeChannel(c)
 		return nil, fmt.Errorf("%w: reading lease: %w", ErrBadHandshake, err)
 	}
 	lease, ok := msg.(*wire.Lease)
@@ -210,6 +222,7 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	// harmless).
 	_ = conn.SetReadDeadline(time.Time{})
 
+	c.opened.Store(true)
 	p.cfg.Obs.Metrics.Counter("alfredo_remote_channels_opened_total").Inc()
 	p.cfg.Obs.Metrics.Gauge("alfredo_remote_channels_active").Add(1)
 
@@ -280,6 +293,19 @@ func (c *Channel) Err() error {
 
 // Done returns a channel closed when the connection tears down.
 func (c *Channel) Done() <-chan struct{} { return c.closed }
+
+// PendingOps reports the number of in-flight request/reply operations
+// (invokes, fetches, pings) still awaiting a reply. A quiescent channel
+// holds zero — the simulation harness checks this after every step to
+// catch pending-map leaks.
+func (c *Channel) PendingOps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pendingCalls) + len(c.pendingFetch) + len(c.pendingPings)
+}
+
+// clock returns the peer's time source.
+func (c *Channel) clock() clock.Clock { return c.peer.cfg.Clock }
 
 // writeCoalesceBuffer sizes the per-channel write buffer: large enough
 // to merge a burst of invocation frames into one transport write, small
@@ -375,7 +401,7 @@ func (c *Channel) InvokeIdempotentCtx(ctx context.Context, serviceID int64, meth
 		if attempt > 0 {
 			c.retryCounter("invoke", "timeout").Inc()
 			span.Annotate(fmt.Sprintf("retry %d (cause: timeout)", attempt))
-			if !c.backoff(policy.Backoff(attempt - 1)) {
+			if !c.backoff(c.peer.retryDelay(attempt - 1)) {
 				span.Fail(ErrChannelClosed)
 				return nil, ErrChannelClosed
 			}
@@ -395,7 +421,7 @@ func (c *Channel) InvokeIdempotentCtx(ctx context.Context, serviceID int64, meth
 // backoff sleeps for d unless the channel closes first; it reports
 // whether the channel is still usable.
 func (c *Channel) backoff(d time.Duration) bool {
-	t := time.NewTimer(d)
+	t := c.clock().NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -443,7 +469,7 @@ func (c *Channel) invokeWire(span *obs.Span, serviceID int64, method string, nor
 	if err != nil {
 		return nil, err
 	}
-	timer := time.NewTimer(c.peer.cfg.Timeout)
+	timer := c.clock().NewTimer(c.peer.cfg.Timeout)
 	defer timer.Stop()
 	select {
 	case res := <-ch:
@@ -528,7 +554,7 @@ func (c *Channel) FetchCtx(ctx context.Context, serviceID int64) (*wire.ServiceR
 		if attempt > 0 {
 			c.retryCounter("fetch", "timeout").Inc()
 			span.Annotate(fmt.Sprintf("retry %d (cause: timeout)", attempt))
-			if !c.backoff(policy.Backoff(attempt - 1)) {
+			if !c.backoff(c.peer.retryDelay(attempt - 1)) {
 				span.Fail(ErrChannelClosed)
 				return nil, ErrChannelClosed
 			}
@@ -582,7 +608,7 @@ func (c *Channel) fetchOnce(ctx context.Context, serviceID int64) (reply *wire.S
 		return nil, err
 	}
 
-	timer := time.NewTimer(c.peer.cfg.Timeout)
+	timer := c.clock().NewTimer(c.peer.cfg.Timeout)
 	defer timer.Stop()
 	select {
 	case res := <-ch:
@@ -616,7 +642,7 @@ func (c *Channel) Ping() (time.Duration, error) {
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.retryCounter("ping", "timeout").Inc()
-			if !c.backoff(policy.Backoff(attempt - 1)) {
+			if !c.backoff(c.peer.retryDelay(attempt - 1)) {
 				return 0, ErrChannelClosed
 			}
 		}
@@ -643,19 +669,19 @@ func (c *Channel) pingOnce() (time.Duration, error) {
 		c.mu.Unlock()
 	}
 
-	start := time.Now()
+	start := c.clock().Now()
 	if err := c.send(&wire.Ping{Seq: id}); err != nil {
 		dropPending()
 		return 0, err
 	}
-	timer := time.NewTimer(c.peer.cfg.Timeout)
+	timer := c.clock().NewTimer(c.peer.cfg.Timeout)
 	defer timer.Stop()
 	select {
 	case err := <-ch:
 		if err != nil {
 			return 0, err
 		}
-		return time.Since(start), nil
+		return c.clock().Since(start), nil
 	case <-timer.C:
 		dropPending()
 		return 0, fmt.Errorf("%w: ping after %v", ErrTimeout, c.peer.cfg.Timeout)
@@ -725,8 +751,13 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 		}
 		_ = c.conn.Close()
 		c.peer.removeChannel(c)
-		c.peer.cfg.Obs.Metrics.Counter("alfredo_remote_channels_closed_total").Inc()
-		c.peer.cfg.Obs.Metrics.Gauge("alfredo_remote_channels_active").Add(-1)
+		// Only channels that completed setup were counted opened; a
+		// teardown racing an in-flight handshake (peer shutdown mid-
+		// redial) must not drive the active gauge negative.
+		if c.opened.Load() {
+			c.peer.cfg.Obs.Metrics.Counter("alfredo_remote_channels_closed_total").Inc()
+			c.peer.cfg.Obs.Metrics.Gauge("alfredo_remote_channels_active").Add(-1)
+		}
 	})
 }
 

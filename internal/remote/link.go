@@ -146,7 +146,7 @@ func (l *Link) StateAndWait() (LinkState, <-chan struct{}) {
 // Await blocks until the link is up (returning its channel) or
 // terminally down/closed, but no longer than d.
 func (l *Link) Await(d time.Duration) (*Channel, error) {
-	deadline := time.NewTimer(d)
+	deadline := l.peer.cfg.Clock.NewTimer(d)
 	defer deadline.Stop()
 	for {
 		st, wait := l.StateAndWait()
@@ -275,7 +275,8 @@ func (l *Link) monitor(ch *Channel) {
 // redial re-establishes the channel: dial, handshake, lease exchange —
 // retried with backoff until the reconnect budget runs out.
 func (l *Link) redial(span *obs.Span) (*Channel, error) {
-	deadline := time.Now().Add(l.policy.ReconnectBudget)
+	clk := l.peer.cfg.Clock
+	deadline := clk.Now().Add(l.policy.ReconnectBudget)
 	redials := l.peer.cfg.Obs.Metrics.Counter("alfredo_remote_redials_total")
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -299,11 +300,11 @@ func (l *Link) redial(span *obs.Span) (*Channel, error) {
 			span.Annotate(fmt.Sprintf("redial attempt %d failed: %v", attempt+1, err))
 		}
 		lastErr = err
-		delay := l.policy.Backoff(attempt)
-		if time.Now().Add(delay).After(deadline) {
+		delay := l.peer.retryDelay(attempt)
+		if clk.Now().Add(delay).After(deadline) {
 			return nil, fmt.Errorf("%w: last error: %v", ErrLinkDown, lastErr)
 		}
-		t := time.NewTimer(delay)
+		t := clk.NewTimer(delay)
 		select {
 		case <-t.C:
 		case <-l.stop:

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/module"
 	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 	"github.com/alfredo-mw/alfredo/internal/wire"
 )
 
@@ -71,6 +73,17 @@ type Config struct {
 	// retries and link transitions. Nil selects the process-wide
 	// obs.Default(); pass obs.Nop() to disable telemetry entirely.
 	Obs *obs.Hub
+	// Clock is the time source for invocation timeouts, retry backoff,
+	// ping RTTs and link reconnection. Nil selects the wall clock (the
+	// production default); the simulation harness injects a virtual
+	// clock so the whole retry/reconnect machinery runs on simulated
+	// time.
+	Clock clock.Clock
+	// Seed, when non-zero, derandomizes retry jitter: backoff delays
+	// are drawn from a dedicated RNG seeded with this value instead of
+	// the process-global source, so a simulated run replays its exact
+	// retry schedule. Zero keeps the production behavior.
+	Seed int64
 }
 
 type exportedService struct {
@@ -83,6 +96,10 @@ type exportedService struct {
 // keeps leases synchronized with every connected peer.
 type Peer struct {
 	cfg Config
+
+	// rng is the seeded jitter source when Config.Seed is set; nil
+	// selects the process-global source (see RetryPolicy.BackoffRand).
+	rng *rand.Rand
 
 	// leaseMu makes lease snapshots consistent with incremental
 	// broadcasts: it is held across (channel join + lease write) during
@@ -119,10 +136,14 @@ func NewPeer(cfg Config) (*Peer, error) {
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
 	cfg.Obs = cfg.Obs.OrDefault()
+	cfg.Clock = clock.Or(cfg.Clock)
 	p := &Peer{
 		cfg:      cfg,
 		exported: make(map[int64]exportedService),
 		channels: make(map[*Channel]struct{}),
+	}
+	if cfg.Seed != 0 {
+		p.rng = rand.New(&lockedSource{src: rand.NewSource(cfg.Seed).(rand.Source64)})
 	}
 
 	reg := cfg.Framework.Registry()
@@ -135,6 +156,15 @@ func NewPeer(cfg Config) (*Peer, error) {
 
 // ID returns the peer identity (the framework name).
 func (p *Peer) ID() string { return p.cfg.Framework.Name() }
+
+// Clock returns the peer's time source.
+func (p *Peer) Clock() clock.Clock { return p.cfg.Clock }
+
+// retryDelay returns the jittered backoff before retry number attempt,
+// drawn from the peer's seeded RNG when configured.
+func (p *Peer) retryDelay(attempt int) time.Duration {
+	return p.cfg.Retry.BackoffRand(attempt, p.rng)
+}
 
 // Framework returns the hosting framework.
 func (p *Peer) Framework() *module.Framework { return p.cfg.Framework }

@@ -13,11 +13,29 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/module"
 	"github.com/alfredo-mw/alfredo/internal/netsim"
 	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
 )
 
-// newRetryNode is newTestNode with an explicit timeout and retry
-// policy, for tests that exercise the failure paths.
-func newRetryNode(t *testing.T, name string, timeout time.Duration, retry RetryPolicy) *testNode {
+// The resilience tests run entirely on a virtual clock: timeouts, retry
+// backoff, partitions and reconnect budgets are all simulated time, so
+// the suite is deterministic and finishes in milliseconds of wall time.
+// Blocking calls are run on their own goroutine while the test
+// goroutine drives the clock (vrig.drive) — the virtual-clock
+// replacement for the sleep-polling loops this file used to contain.
+
+// vrig is a seeded two-peer rig on one shared virtual clock: fabric,
+// server and client all take their time from v.
+type vrig struct {
+	v      *clock.Virtual
+	fabric *netsim.Fabric
+	server *testNode
+	client *testNode
+}
+
+// newClockNode is newTestNode with an explicit clock, timeout and retry
+// policy, for tests that exercise the failure paths on simulated time.
+func newClockNode(t *testing.T, name string, v *clock.Virtual, timeout time.Duration, retry RetryPolicy) *testNode {
 	t.Helper()
 	fw := module.NewFramework(module.Config{Name: name})
 	ev := event.NewAdmin(0)
@@ -27,32 +45,100 @@ func newRetryNode(t *testing.T, name string, timeout time.Duration, retry RetryP
 		ProxyCode: NewProxyCodeRegistry(),
 		Timeout:   timeout,
 		Retry:     retry,
+		Clock:     v,
 	})
 	if err != nil {
 		t.Fatalf("NewPeer(%s): %v", name, err)
 	}
 	n := &testNode{fw: fw, events: ev, peer: peer}
 	t.Cleanup(func() {
-		peer.Close()
-		ev.Close()
-		_ = fw.Shutdown()
+		// Teardown can wait on virtual timers (draining channels, the
+		// link monitor), so it has to be driven like any blocking call.
+		var done atomic.Bool
+		go func() {
+			defer done.Store(true)
+			peer.Close()
+			ev.Close()
+			_ = fw.Shutdown()
+		}()
+		if !v.WaitCond(time.Minute, done.Load) {
+			t.Errorf("teardown of %s stalled under the virtual clock", name)
+		}
 	})
 	return n
 }
 
-// serveFabric binds the server peer to the fabric under its own id.
-func serveFabric(t *testing.T, fabric *netsim.Fabric, server *testNode) {
+func newVRig(t *testing.T, seed int64, timeout time.Duration, retry RetryPolicy) *vrig {
 	t.Helper()
-	l, err := fabric.Listen(server.peer.ID())
-	if err != nil {
-		t.Fatalf("Listen: %v", err)
+	// Registered before the node cleanups, so it runs after them (LIFO)
+	// and verifies the rig's goroutines are gone once both peers close.
+	leak.CheckGoroutines(t)
+	v := clock.NewVirtual(seed)
+	r := &vrig{
+		v:      v,
+		fabric: netsim.NewFabric().WithClock(v).WithSeed(seed),
+		server: newClockNode(t, "target", v, 5*time.Second, RetryPolicy{}),
+		client: newClockNode(t, "phone", v, timeout, retry),
 	}
-	t.Cleanup(func() { _ = l.Close() })
-	go func() { _ = server.peer.Serve(l) }()
+	serveFabric(t, r.fabric, r.server)
+	return r
+}
+
+// drive runs fn on its own goroutine and steps the virtual clock until
+// it returns, failing the test if fn is still blocked after budget of
+// virtual time.
+func (r *vrig) drive(t *testing.T, budget time.Duration, fn func()) {
+	t.Helper()
+	var done atomic.Bool
+	go func() {
+		defer done.Store(true)
+		fn()
+	}()
+	if !r.v.WaitCond(budget, done.Load) {
+		t.Fatalf("blocked call did not finish within %v of virtual time", budget)
+	}
+}
+
+// connect dials the server over the fabric and returns both the channel
+// and the client-side simulated connection, so tests can inject faults.
+func (r *vrig) connect(t *testing.T, link netsim.LinkProfile) (*Channel, *netsim.Conn) {
+	t.Helper()
+	var ch *Channel
+	var conn net.Conn
+	r.drive(t, time.Minute, func() {
+		c, err := r.fabric.Dial(r.server.peer.ID(), link)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		conn = c
+		cc, err := r.client.peer.Connect(c)
+		if err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		ch = cc
+	})
+	if ch == nil {
+		t.FailNow()
+	}
+	t.Cleanup(func() {
+		var done atomic.Bool
+		go func() {
+			defer done.Store(true)
+			ch.Close()
+		}()
+		if !r.v.WaitCond(time.Minute, done.Load) {
+			t.Error("channel close stalled under the virtual clock")
+		}
+	})
+	return ch, conn.(*netsim.Conn)
 }
 
 // connectRaw dials over the fabric and returns both the channel and the
-// client-side simulated connection, so tests can inject faults.
+// client-side simulated connection, so tests can inject faults. Unlike
+// vrig.connect it runs on whatever clock the nodes use (the hotpath
+// tests use it on the wall clock).
 func connectRaw(t *testing.T, fabric *netsim.Fabric, server, client *testNode, link netsim.LinkProfile) (*Channel, *netsim.Conn) {
 	t.Helper()
 	conn, err := fabric.Dial(server.peer.ID(), link)
@@ -67,12 +153,24 @@ func connectRaw(t *testing.T, fabric *netsim.Fabric, server, client *testNode, l
 	return ch, conn.(*netsim.Conn)
 }
 
-// slowService counts invocations and sleeps past the caller's timeout.
-func slowService(calls *atomic.Int64, d time.Duration) *MethodTable {
+// serveFabric binds the server peer to the fabric under its own id.
+func serveFabric(t *testing.T, fabric *netsim.Fabric, server *testNode) {
+	t.Helper()
+	l, err := fabric.Listen(server.peer.ID())
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = server.peer.Serve(l) }()
+}
+
+// slowService counts invocations and sleeps (on the rig's clock) past
+// the caller's timeout.
+func slowService(v *clock.Virtual, calls *atomic.Int64, d time.Duration) *MethodTable {
 	return NewService("test.Slow").
 		Method("Nap", nil, "int", func(args []any) (any, error) {
 			calls.Add(1)
-			time.Sleep(d)
+			v.Sleep(d)
 			return int64(42), nil
 		}).
 		Method("Fast", nil, "int", func(args []any) (any, error) {
@@ -80,9 +178,9 @@ func slowService(calls *atomic.Int64, d time.Duration) *MethodTable {
 		})
 }
 
-func exportSlow(t *testing.T, n *testNode, calls *atomic.Int64, d time.Duration) {
+func exportSlow(t *testing.T, r *vrig, calls *atomic.Int64, d time.Duration) {
 	t.Helper()
-	if _, err := n.fw.Registry().Register([]string{"test.Slow"}, slowService(calls, d),
+	if _, err := r.server.fw.Registry().Register([]string{"test.Slow"}, slowService(r.v, calls, d),
 		service.Properties{PropExported: true}, "test"); err != nil {
 		t.Fatalf("Register: %v", err)
 	}
@@ -101,28 +199,27 @@ func soleServiceID(t *testing.T, ch *Channel) int64 {
 // Invoke wraps ErrTimeout, is never retried (the outcome of the first
 // attempt is unknown), and the channel stays usable afterwards.
 func TestInvokeTimeoutTyped(t *testing.T) {
-	var calls atomic.Int64
-	server := newTestNode(t, "target")
-	client := newRetryNode(t, "phone", 100*time.Millisecond,
+	r := newVRig(t, 1, 100*time.Millisecond,
 		RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond})
-	exportSlow(t, server, &calls, 300*time.Millisecond)
-
-	fabric := netsim.NewFabric()
-	serveFabric(t, fabric, server)
-	ch, _ := connectRaw(t, fabric, server, client, netsim.Loopback)
+	var calls atomic.Int64
+	exportSlow(t, r, &calls, 300*time.Millisecond)
+	ch, _ := r.connect(t, netsim.Loopback)
 	id := soleServiceID(t, ch)
 
-	_, err := ch.Invoke(id, "Nap", nil)
+	var err error
+	r.drive(t, time.Second, func() { _, err = ch.Invoke(id, "Nap", nil) })
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("Invoke error = %v, want ErrTimeout", err)
 	}
-	// Even with MaxAttempts=3 the non-idempotent path must not replay.
-	time.Sleep(400 * time.Millisecond)
+	// Even with MaxAttempts=3 the non-idempotent path must not replay:
+	// advance past the handler's sleep and count executions.
+	r.v.Advance(400 * time.Millisecond)
 	if n := calls.Load(); n != 1 {
 		t.Errorf("slow method executed %d times after Invoke, want 1", n)
 	}
 	// The channel survives the timeout (the stale reply is discarded).
-	v, err := ch.Invoke(id, "Fast", nil)
+	var v any
+	r.drive(t, time.Second, func() { v, err = ch.Invoke(id, "Fast", nil) })
 	if err != nil || v != int64(7) {
 		t.Errorf("Fast after timeout = %v, %v", v, err)
 	}
@@ -132,25 +229,23 @@ func TestInvokeTimeoutTyped(t *testing.T) {
 // attempt times out, the call is replayed MaxAttempts times, and the
 // final error reports the attempt count and wraps ErrTimeout.
 func TestInvokeIdempotentRetries(t *testing.T) {
-	var calls atomic.Int64
-	server := newTestNode(t, "target")
-	client := newRetryNode(t, "phone", 80*time.Millisecond,
+	r := newVRig(t, 2, 80*time.Millisecond,
 		RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond})
-	exportSlow(t, server, &calls, 250*time.Millisecond)
-
-	fabric := netsim.NewFabric()
-	serveFabric(t, fabric, server)
-	ch, _ := connectRaw(t, fabric, server, client, netsim.Loopback)
+	var calls atomic.Int64
+	exportSlow(t, r, &calls, 250*time.Millisecond)
+	ch, _ := r.connect(t, netsim.Loopback)
 	id := soleServiceID(t, ch)
 
-	_, err := ch.InvokeIdempotent(id, "Nap", nil)
+	var err error
+	r.drive(t, 2*time.Second, func() { _, err = ch.InvokeIdempotent(id, "Nap", nil) })
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("InvokeIdempotent error = %v, want ErrTimeout", err)
 	}
 	if !strings.Contains(err.Error(), "after 3 attempts") {
 		t.Errorf("error does not report attempt count: %v", err)
 	}
-	time.Sleep(400 * time.Millisecond)
+	// Let every in-flight server-side Nap run to completion, then count.
+	r.v.Advance(time.Second)
 	if n := calls.Load(); n != 3 {
 		t.Errorf("idempotent method executed %d times, want 3", n)
 	}
@@ -158,65 +253,59 @@ func TestInvokeIdempotentRetries(t *testing.T) {
 
 // TestInvokeIdempotentRecovers asserts a retry succeeding once a
 // partition lifts: the first attempt times out inside the stall, a
-// later one lands after it.
+// later one lands after it. On the virtual clock this is exact, not
+// timing-dependent.
 func TestInvokeIdempotentRecovers(t *testing.T) {
-	if testing.Short() {
-		t.Skip("timing-dependent retry test")
-	}
-	server := newTestNode(t, "target")
-	client := newRetryNode(t, "phone", 150*time.Millisecond,
+	r := newVRig(t, 3, 150*time.Millisecond,
 		RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, Multiplier: 1})
 	var calls atomic.Int64
-	exportSlow(t, server, &calls, 0)
-
-	fabric := netsim.NewFabric()
-	serveFabric(t, fabric, server)
-	ch, conn := connectRaw(t, fabric, server, client, netsim.Loopback)
+	exportSlow(t, r, &calls, 0)
+	ch, conn := r.connect(t, netsim.Loopback)
 	id := soleServiceID(t, ch)
 
 	conn.Partition(250 * time.Millisecond)
-	v, err := ch.InvokeIdempotent(id, "Fast", nil)
+	var v any
+	var err error
+	r.drive(t, 5*time.Second, func() { v, err = ch.InvokeIdempotent(id, "Fast", nil) })
 	if err != nil || v != int64(7) {
 		t.Fatalf("InvokeIdempotent across partition = %v, %v", v, err)
 	}
 }
 
 func TestFetchTimeoutTyped(t *testing.T) {
+	r := newVRig(t, 4, 100*time.Millisecond, RetryPolicy{MaxAttempts: 1})
 	var calls atomic.Int64
-	server := newTestNode(t, "target")
-	client := newRetryNode(t, "phone", 100*time.Millisecond, RetryPolicy{MaxAttempts: 1})
-	exportSlow(t, server, &calls, 0)
-
-	fabric := netsim.NewFabric()
-	serveFabric(t, fabric, server)
-	ch, conn := connectRaw(t, fabric, server, client, netsim.Loopback)
+	exportSlow(t, r, &calls, 0)
+	ch, conn := r.connect(t, netsim.Loopback)
 	id := soleServiceID(t, ch)
 
 	conn.Partition(300 * time.Millisecond)
-	if _, err := ch.Fetch(id); !errors.Is(err, ErrTimeout) {
+	var err error
+	r.drive(t, time.Second, func() { _, err = ch.Fetch(id) })
+	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("Fetch error = %v, want ErrTimeout", err)
 	}
 	// After the partition lifts the channel works again.
-	time.Sleep(300 * time.Millisecond)
-	if _, err := ch.Fetch(id); err != nil {
+	r.v.Advance(300 * time.Millisecond)
+	r.drive(t, time.Second, func() { _, err = ch.Fetch(id) })
+	if err != nil {
 		t.Errorf("Fetch after partition = %v", err)
 	}
 }
 
 func TestPingTimeoutTyped(t *testing.T) {
-	server := newTestNode(t, "target")
-	client := newRetryNode(t, "phone", 100*time.Millisecond, RetryPolicy{MaxAttempts: 1})
-
-	fabric := netsim.NewFabric()
-	serveFabric(t, fabric, server)
-	ch, conn := connectRaw(t, fabric, server, client, netsim.Loopback)
+	r := newVRig(t, 5, 100*time.Millisecond, RetryPolicy{MaxAttempts: 1})
+	ch, conn := r.connect(t, netsim.Loopback)
 
 	conn.Partition(300 * time.Millisecond)
-	if _, err := ch.Ping(); !errors.Is(err, ErrTimeout) {
+	var err error
+	r.drive(t, time.Second, func() { _, err = ch.Ping() })
+	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("Ping error = %v, want ErrTimeout", err)
 	}
-	time.Sleep(300 * time.Millisecond)
-	if _, err := ch.Ping(); err != nil {
+	r.v.Advance(300 * time.Millisecond)
+	r.drive(t, time.Second, func() { _, err = ch.Ping() })
+	if err != nil {
 		t.Errorf("Ping after partition = %v", err)
 	}
 }
@@ -226,18 +315,14 @@ func TestPingTimeoutTyped(t *testing.T) {
 // comes back Up with a fresh channel, the lease is re-established, and
 // invocations work again.
 func TestLinkReconnect(t *testing.T) {
-	server := newTestNode(t, "target")
-	client := newRetryNode(t, "phone", time.Second,
+	r := newVRig(t, 6, time.Second,
 		RetryPolicy{MaxAttempts: 3, BaseDelay: 20 * time.Millisecond, ReconnectBudget: 5 * time.Second})
-	exportCalculator(t, server)
-
-	fabric := netsim.NewFabric()
-	serveFabric(t, fabric, server)
+	exportCalculator(t, r.server)
 
 	var mu sync.Mutex
 	var conns []*netsim.Conn
 	dial := func() (net.Conn, error) {
-		c, err := fabric.Dial(server.peer.ID(), netsim.Loopback)
+		c, err := r.fabric.Dial(r.server.peer.ID(), netsim.Loopback)
 		if err != nil {
 			return nil, err
 		}
@@ -246,11 +331,21 @@ func TestLinkReconnect(t *testing.T) {
 		mu.Unlock()
 		return c, nil
 	}
-	link, err := client.peer.DialLink(dial)
-	if err != nil {
-		t.Fatalf("DialLink: %v", err)
+	var link *Link
+	r.drive(t, time.Minute, func() {
+		l, err := r.client.peer.DialLink(dial)
+		if err != nil {
+			t.Errorf("DialLink: %v", err)
+			return
+		}
+		link = l
+	})
+	if link == nil {
+		t.FailNow()
 	}
-	defer link.Close()
+	defer func() {
+		r.drive(t, time.Minute, link.Close)
+	}()
 
 	var states []LinkState
 	link.OnStateChange(func(st LinkState, _ *Channel) {
@@ -261,7 +356,10 @@ func TestLinkReconnect(t *testing.T) {
 
 	first := link.Channel()
 	id := soleServiceID(t, first)
-	if v, err := first.Invoke(id, "Add", []any{int64(2), int64(3)}); err != nil || v != int64(5) {
+	var v any
+	var err error
+	r.drive(t, time.Second, func() { v, err = first.Invoke(id, "Add", []any{int64(2), int64(3)}) })
+	if err != nil || v != int64(5) {
 		t.Fatalf("Add before drop = %v, %v", v, err)
 	}
 
@@ -270,12 +368,12 @@ func TestLinkReconnect(t *testing.T) {
 	mu.Unlock()
 	// The failure propagates through the dead channel's read loop; wait
 	// for the link to notice before asking for recovery.
-	deadline := time.Now().Add(2 * time.Second)
-	for link.State() == LinkUp && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	if !r.v.WaitCond(2*time.Second, func() bool { return link.State() != LinkUp }) {
+		t.Fatal("link never left Up after the transport dropped")
 	}
 
-	ch, err := link.Await(5 * time.Second)
+	var ch *Channel
+	r.drive(t, 10*time.Second, func() { ch, err = link.Await(5 * time.Second) })
 	if err != nil {
 		t.Fatalf("Await after drop: %v", err)
 	}
@@ -284,7 +382,8 @@ func TestLinkReconnect(t *testing.T) {
 	}
 	// The lease was re-exchanged during the reconnect handshake.
 	id2 := soleServiceID(t, ch)
-	if v, err := ch.Invoke(id2, "Add", []any{int64(20), int64(30)}); err != nil || v != int64(50) {
+	r.drive(t, time.Second, func() { v, err = ch.Invoke(id2, "Add", []any{int64(20), int64(30)}) })
+	if err != nil || v != int64(50) {
 		t.Errorf("Add after reconnect = %v, %v", v, err)
 	}
 	if link.State() != LinkUp {
@@ -301,30 +400,38 @@ func TestLinkReconnect(t *testing.T) {
 // attempt fails: the link must go terminally Down within its budget and
 // surface the typed error.
 func TestLinkDownAfterBudget(t *testing.T) {
-	server := newTestNode(t, "target")
-	client := newRetryNode(t, "phone", time.Second,
+	r := newVRig(t, 7, time.Second,
 		RetryPolicy{MaxAttempts: 2, BaseDelay: 20 * time.Millisecond, ReconnectBudget: 250 * time.Millisecond})
-	exportCalculator(t, server)
+	exportCalculator(t, r.server)
 
-	fabric := netsim.NewFabric()
-	serveFabric(t, fabric, server)
-
-	dial := func() (net.Conn, error) { return fabric.Dial(server.peer.ID(), netsim.Loopback) }
-	link, err := client.peer.DialLink(dial)
-	if err != nil {
-		t.Fatalf("DialLink: %v", err)
+	dial := func() (net.Conn, error) { return r.fabric.Dial(r.server.peer.ID(), netsim.Loopback) }
+	var link *Link
+	r.drive(t, time.Minute, func() {
+		l, err := r.client.peer.DialLink(dial)
+		if err != nil {
+			t.Errorf("DialLink: %v", err)
+			return
+		}
+		link = l
+	})
+	if link == nil {
+		t.FailNow()
 	}
-	defer link.Close()
+	defer func() {
+		r.drive(t, time.Minute, link.Close)
+	}()
 
-	fabric.Block(server.peer.ID(), time.Hour)
+	r.fabric.Block(r.server.peer.ID(), time.Hour)
 	link.Channel().Close()
 
-	start := time.Now()
-	if _, err := link.Await(5 * time.Second); !errors.Is(err, ErrLinkDown) {
+	start := r.v.Elapsed()
+	var err error
+	r.drive(t, 10*time.Second, func() { _, err = link.Await(5 * time.Second) })
+	if !errors.Is(err, ErrLinkDown) {
 		t.Fatalf("Await = %v, want ErrLinkDown", err)
 	}
-	if d := time.Since(start); d > 3*time.Second {
-		t.Errorf("link took %v to go down, budget was 250ms", d)
+	if d := r.v.Elapsed() - start; d > 3*time.Second {
+		t.Errorf("link took %v of virtual time to go down, budget was 250ms", d)
 	}
 	if link.State() != LinkDown {
 		t.Errorf("state = %v, want down", link.State())
@@ -337,23 +444,27 @@ func TestLinkDownAfterBudget(t *testing.T) {
 // TestLinkCloseStopsReconnect closes the link while it is mid-reconnect
 // and asserts the monitor goroutine exits without going Down.
 func TestLinkCloseStopsReconnect(t *testing.T) {
-	server := newTestNode(t, "target")
-	client := newRetryNode(t, "phone", time.Second,
+	r := newVRig(t, 8, time.Second,
 		RetryPolicy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond, ReconnectBudget: time.Hour})
-	exportCalculator(t, server)
+	exportCalculator(t, r.server)
 
-	fabric := netsim.NewFabric()
-	serveFabric(t, fabric, server)
-
-	dial := func() (net.Conn, error) { return fabric.Dial(server.peer.ID(), netsim.Loopback) }
-	link, err := client.peer.DialLink(dial)
-	if err != nil {
-		t.Fatalf("DialLink: %v", err)
+	dial := func() (net.Conn, error) { return r.fabric.Dial(r.server.peer.ID(), netsim.Loopback) }
+	var link *Link
+	r.drive(t, time.Minute, func() {
+		l, err := r.client.peer.DialLink(dial)
+		if err != nil {
+			t.Errorf("DialLink: %v", err)
+			return
+		}
+		link = l
+	})
+	if link == nil {
+		t.FailNow()
 	}
-	fabric.Block(server.peer.ID(), time.Hour)
+	r.fabric.Block(r.server.peer.ID(), time.Hour)
 	link.Channel().Close()
-	time.Sleep(30 * time.Millisecond) // let the monitor enter redial
-	link.Close()                      // must return (waits for the monitor)
+	r.v.Advance(30 * time.Millisecond) // let the monitor enter redial
+	r.drive(t, time.Minute, link.Close)
 	if st := link.State(); st != LinkClosed {
 		t.Errorf("state after Close = %v, want closed", st)
 	}

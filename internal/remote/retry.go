@@ -2,6 +2,7 @@ package remote
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -66,8 +67,17 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 }
 
 // Backoff returns the jittered delay before retry number attempt
-// (0-based: Backoff(0) precedes the second try).
+// (0-based: Backoff(0) precedes the second try), drawing jitter from
+// the process-global source.
 func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	return p.BackoffRand(attempt, nil)
+}
+
+// BackoffRand is Backoff with an explicit jitter source: the simulation
+// harness passes a seeded RNG (Config.Seed) so a replayed run draws the
+// exact same retry schedule. A nil rng selects the process-global
+// source, the production default.
+func (p RetryPolicy) BackoffRand(attempt int, rng *rand.Rand) time.Duration {
 	d := float64(p.BaseDelay)
 	for i := 0; i < attempt; i++ {
 		d *= p.Multiplier
@@ -79,9 +89,13 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	if d > float64(p.MaxDelay) {
 		d = float64(p.MaxDelay)
 	}
+	u := rand.Float64
+	if rng != nil {
+		u = rng.Float64
+	}
 	// Full-range jitter: uniform in [d*(1-J), d*(1+J)], clamped to the
 	// cap so the worst case stays bounded.
-	d *= 1 + p.Jitter*(2*rand.Float64()-1)
+	d *= 1 + p.Jitter*(2*u()-1)
 	if d > float64(p.MaxDelay) {
 		d = float64(p.MaxDelay)
 	}
@@ -89,4 +103,30 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 		d = 0
 	}
 	return time.Duration(d)
+}
+
+// lockedSource makes a rand.Source64 safe for the concurrent backoff
+// calls issued by channels, links and pipelined invokes sharing one
+// peer-level seeded RNG.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
 }

@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
-	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 	"github.com/alfredo-mw/alfredo/internal/ui"
 )
 
@@ -39,6 +39,9 @@ type Host interface {
 type Controller struct {
 	prog *Program
 	host Host
+	// clk drives the poll-rule tickers; wall by default, virtual under
+	// the simulation harness (see WithClock).
+	clk clock.Clock
 	// exprs caches compiled expressions by source; populated once at
 	// construction so rule execution never reparses.
 	exprs map[string]*Expr
@@ -63,6 +66,7 @@ func NewController(prog *Program, host Host) (*Controller, error) {
 	c := &Controller{
 		prog:  prog,
 		host:  host,
+		clk:   clock.Wall,
 		exprs: make(map[string]*Expr),
 		vars:  make(map[string]any),
 	}
@@ -79,6 +83,14 @@ func NewController(prog *Program, host Host) (*Controller, error) {
 		c.exprs[src] = e
 	}
 	return c, nil
+}
+
+// WithClock sets the time source for poll-rule tickers (nil restores
+// the wall clock). Call before Start; returns the controller for
+// chaining.
+func (c *Controller) WithClock(clk clock.Clock) *Controller {
+	c.clk = clock.Or(clk)
+	return c
 }
 
 // expr returns the precompiled expression for src (compiling on the
@@ -208,7 +220,7 @@ func (c *Controller) EventPatterns() []string {
 func (c *Controller) pollLoop(rule *Rule) {
 	defer c.wg.Done()
 	poll := rule.On.Poll
-	ticker := time.NewTicker(poll.Interval())
+	ticker := c.clk.NewTicker(poll.Interval())
 	defer ticker.Stop()
 	var last any
 	first := true

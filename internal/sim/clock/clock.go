@@ -1,0 +1,98 @@
+// Package clock is the time seam of the simulation harness: a Clock
+// interface over the handful of time primitives the stack uses (now,
+// sleep, one-shot timers, tickers), a wall implementation that is the
+// production default, and a deterministic virtual implementation
+// (virtual.go) under which the whole stack — netsim links, remote
+// retries and reconnects, core session recovery, controller polls —
+// runs on simulated time.
+//
+// The package sits below everything: it imports only the standard
+// library, so netsim, remote, core and script can all depend on it
+// while internal/sim (the harness, which imports those layers) reuses
+// it without a cycle.
+package clock
+
+import "time"
+
+// Clock abstracts the time operations used by the stack. The zero
+// value of a Config field of this type is nil; call Or to default it
+// to the wall clock.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Since returns the time elapsed on this clock since t.
+	Since(t time.Time) time.Duration
+	// Until returns the duration on this clock until t.
+	Until(t time.Time) time.Duration
+	// Sleep blocks for d of this clock's time (returns immediately for
+	// d <= 0).
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time after d.
+	// Prefer NewTimer in loops: an After channel cannot be stopped and
+	// holds its timer until it fires.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a stoppable one-shot timer firing after d.
+	NewTimer(d time.Duration) *Timer
+	// NewTicker returns a repeating ticker with period d (d must be
+	// positive).
+	NewTicker(d time.Duration) *Ticker
+}
+
+// Timer is a stoppable one-shot timer from a Clock. Like time.Timer,
+// C receives the firing time once; Stop prevents an unfired timer
+// from firing (it does not drain C).
+type Timer struct {
+	C     <-chan time.Time
+	stop  func() bool
+	reset func(d time.Duration) bool
+}
+
+// Stop cancels the timer, reporting whether it was still pending.
+func (t *Timer) Stop() bool { return t.stop() }
+
+// Reset re-arms the timer for d, reporting whether it was still
+// pending. Like time.Timer.Reset it must only be used on stopped or
+// fired timers whose channel has been drained.
+func (t *Timer) Reset(d time.Duration) bool { return t.reset(d) }
+
+// Ticker delivers clock ticks on C at a fixed period; slow receivers
+// see ticks dropped, never queued beyond one.
+type Ticker struct {
+	C    <-chan time.Time
+	stop func()
+}
+
+// Stop turns the ticker off (it does not close C).
+func (t *Ticker) Stop() { t.stop() }
+
+// Wall is the production clock: plain stdlib time.
+var Wall Clock = wall{}
+
+// Or returns c, or the wall clock when c is nil — the idiom for
+// defaulting a Config field.
+func Or(c Clock) Clock {
+	if c == nil {
+		return Wall
+	}
+	return c
+}
+
+type wall struct{}
+
+func (wall) Now() time.Time                  { return time.Now() }
+func (wall) Since(t time.Time) time.Duration { return time.Since(t) }
+func (wall) Until(t time.Time) time.Duration { return time.Until(t) }
+func (wall) Sleep(d time.Duration)           { time.Sleep(d) }
+func (wall) After(d time.Duration) <-chan time.Time {
+	return time.After(d)
+}
+
+func (wall) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop, reset: t.Reset}
+}
+
+func (wall) NewTicker(d time.Duration) *Ticker {
+	t := time.NewTicker(d)
+	return &Ticker{C: t.C, stop: t.Stop}
+}

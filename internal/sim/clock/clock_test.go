@@ -1,0 +1,176 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWallDefaulting(t *testing.T) {
+	if Or(nil) != Wall {
+		t.Fatal("Or(nil) != Wall")
+	}
+	v := NewVirtual(1)
+	if Or(v) != Clock(v) {
+		t.Fatal("Or(v) != v")
+	}
+}
+
+func TestVirtualNowAdvances(t *testing.T) {
+	v := NewVirtual(1)
+	if !v.Now().Equal(Epoch) {
+		t.Fatalf("fresh virtual clock at %v, want %v", v.Now(), Epoch)
+	}
+	v.Advance(3 * time.Second)
+	if got := v.Elapsed(); got != 3*time.Second {
+		t.Fatalf("Elapsed = %v, want 3s", got)
+	}
+}
+
+func TestVirtualTimerFiresInOrder(t *testing.T) {
+	v := NewVirtual(1)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			v.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	v.WaitCond(time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == 3
+	})
+	wg.Wait()
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("fire order = %v, want [1 2 0]", order)
+	}
+	if v.Elapsed() != 30*time.Millisecond {
+		t.Fatalf("elapsed %v, want 30ms", v.Elapsed())
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtual(1)
+	tm := v.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer = false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop = true")
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("stopped timer still pending (%d)", v.Pending())
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-tm.C:
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestVirtualTimerReset(t *testing.T) {
+	v := NewVirtual(1)
+	tm := v.NewTimer(time.Hour)
+	tm.Stop()
+	tm.Reset(time.Millisecond)
+	v.Advance(2 * time.Millisecond)
+	select {
+	case at := <-tm.C:
+		if got := at.Sub(Epoch); got != time.Millisecond {
+			t.Fatalf("fired at +%v, want +1ms", got)
+		}
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestVirtualImmediateTimer(t *testing.T) {
+	v := NewVirtual(1)
+	tm := v.NewTimer(0)
+	select {
+	case <-tm.C:
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+}
+
+func TestVirtualTicker(t *testing.T) {
+	v := NewVirtual(1)
+	var ticks atomic.Int64
+	done := make(chan struct{})
+	tk := v.NewTicker(10 * time.Millisecond)
+	go func() {
+		defer close(done)
+		for range tk.C {
+			if ticks.Add(1) == 3 {
+				return
+			}
+		}
+	}()
+	v.WaitCond(time.Second, func() bool { return ticks.Load() >= 3 })
+	<-done
+	tk.Stop()
+	if v.Elapsed() != 30*time.Millisecond {
+		t.Fatalf("3 ticks took %v of virtual time, want 30ms", v.Elapsed())
+	}
+}
+
+// TestVirtualSameSeedSameSchedule locks in the determinism contract
+// at the clock layer: the same seed yields the same step sequence for
+// the same timer population, run after run.
+func TestVirtualSameSeedSameSchedule(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		v := NewVirtual(seed)
+		// Staggered plus colliding deadlines, including a ticker.
+		for _, d := range []time.Duration{5, 5, 3, 9, 3, 5} {
+			v.NewTimer(d * time.Millisecond)
+		}
+		tk := v.NewTicker(2 * time.Millisecond)
+		go func() {
+			for range tk.C {
+			}
+		}()
+		var steps []time.Duration
+		for i := 0; i < 12 && v.Step(); i++ {
+			steps = append(steps, v.Elapsed())
+		}
+		tk.Stop()
+		return steps
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different step counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+		}
+	}
+}
+
+func TestWaitCondBudgetExpires(t *testing.T) {
+	v := NewVirtual(1)
+	// A condition that never holds, with a ticker to keep deadlines
+	// pending: WaitCond must stop at its virtual budget, not loop.
+	tk := v.NewTicker(time.Second)
+	defer tk.Stop()
+	go func() {
+		for range tk.C {
+		}
+	}()
+	if v.WaitCond(5*time.Second, func() bool { return false }) {
+		t.Fatal("WaitCond reported success for an impossible condition")
+	}
+	if v.Elapsed() > 7*time.Second {
+		t.Fatalf("WaitCond overran its budget: %v elapsed", v.Elapsed())
+	}
+}

@@ -1,0 +1,345 @@
+package clock
+
+import (
+	"container/heap"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Epoch is where virtual time starts: an arbitrary fixed instant, so
+// every simulation run begins at the same Now() and virtual timestamps
+// are comparable across runs and seeds.
+var Epoch = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Virtual is a deterministic simulated clock. Time never moves on its
+// own: it advances only through Step or Advance, firing pending timers
+// in (deadline, registration-order) order — ties at the same instant
+// are broken by the seed's shuffle, so different seeds explore
+// different same-instant interleavings while the same seed always
+// fires them identically.
+//
+// Goroutines blocked in Sleep or on timer channels are woken by the
+// goroutine driving the clock; Quiesce lets the driver wait until the
+// woken work has settled (registered its next timers, delivered its
+// messages) before taking the next step. A timer registered with a
+// deadline at or before the current virtual time fires immediately, so
+// a late registration is never silently skipped.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	seq     int64
+	timers  vtimerHeap
+	rng     *rand.Rand
+	stepped int64 // total Step/Advance fire groups, for diagnostics
+
+	// gen counts clock mutations (register, stop, fire); Quiesce uses
+	// its stability, together with the goroutine count, to detect that
+	// the woken work has settled.
+	gen atomic.Int64
+}
+
+// NewVirtual returns a virtual clock starting at Epoch, with
+// same-instant timer ordering fixed by seed.
+func NewVirtual(seed int64) *Virtual {
+	return &Virtual{now: Epoch, rng: rand.New(rand.NewSource(seed))}
+}
+
+type vtimer struct {
+	at     time.Time
+	seq    int64
+	ch     chan time.Time
+	period time.Duration // > 0 re-arms after each fire (ticker)
+	idx    int           // heap index, -1 when not queued
+}
+
+type vtimerHeap []*vtimer
+
+func (h vtimerHeap) Len() int { return len(h) }
+func (h vtimerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vtimerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *vtimerHeap) Push(x any) {
+	t := x.(*vtimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *vtimerHeap) Pop() any {
+	old := *h
+	t := old[len(old)-1]
+	old[len(old)-1] = nil
+	t.idx = -1
+	*h = old[:len(old)-1]
+	return t
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since returns virtual time elapsed since t.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Until returns virtual time remaining until t.
+func (v *Virtual) Until(t time.Time) time.Duration { return t.Sub(v.Now()) }
+
+// Elapsed returns virtual time elapsed since Epoch.
+func (v *Virtual) Elapsed() time.Duration { return v.Since(Epoch) }
+
+// Sleep blocks until d of virtual time passes (immediately for d<=0,
+// with a yield so a spinning caller cannot starve the driver).
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	<-v.NewTimer(d).C
+}
+
+// After returns a channel firing after d of virtual time. As with the
+// wall clock, prefer NewTimer in loops — an unfired After timer stays
+// registered (and keeps WaitCond stepping) until it fires.
+func (v *Virtual) After(d time.Duration) <-chan time.Time { return v.NewTimer(d).C }
+
+// NewTimer returns a stoppable one-shot virtual timer.
+func (v *Virtual) NewTimer(d time.Duration) *Timer {
+	vt := &vtimer{ch: make(chan time.Time, 1), idx: -1}
+	v.arm(vt, d)
+	return &Timer{
+		C:     vt.ch,
+		stop:  func() bool { return v.remove(vt) },
+		reset: func(d time.Duration) bool { return v.rearm(vt, d) },
+	}
+}
+
+// NewTicker returns a repeating virtual ticker (d must be positive).
+func (v *Virtual) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker period")
+	}
+	vt := &vtimer{ch: make(chan time.Time, 1), period: d, idx: -1}
+	v.arm(vt, d)
+	return &Ticker{C: vt.ch, stop: func() { v.remove(vt) }}
+}
+
+// arm queues vt to fire after d; d<=0 fires it immediately.
+func (v *Virtual) arm(vt *vtimer, d time.Duration) {
+	v.mu.Lock()
+	v.gen.Add(1)
+	v.seq++
+	vt.seq = v.seq
+	vt.at = v.now.Add(d)
+	if d <= 0 {
+		v.deliver(vt)
+		v.mu.Unlock()
+		return
+	}
+	heap.Push(&v.timers, vt)
+	v.mu.Unlock()
+}
+
+func (v *Virtual) remove(vt *vtimer) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.gen.Add(1)
+	if vt.idx < 0 {
+		return false
+	}
+	heap.Remove(&v.timers, vt.idx)
+	return true
+}
+
+func (v *Virtual) rearm(vt *vtimer, d time.Duration) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.gen.Add(1)
+	was := vt.idx >= 0
+	if was {
+		heap.Remove(&v.timers, vt.idx)
+	}
+	v.seq++
+	vt.seq = v.seq
+	vt.at = v.now.Add(d)
+	if d <= 0 {
+		v.deliver(vt)
+		return was
+	}
+	heap.Push(&v.timers, vt)
+	return was
+}
+
+// deliver sends the fire time without blocking (a lagging ticker
+// receiver drops ticks, like time.Ticker) and re-arms periodics.
+// Caller holds v.mu.
+func (v *Virtual) deliver(vt *vtimer) {
+	select {
+	case vt.ch <- v.now:
+	default:
+	}
+	if vt.period > 0 {
+		v.seq++
+		vt.seq = v.seq
+		vt.at = vt.at.Add(vt.period)
+		if !vt.at.After(v.now) {
+			// The driver advanced past several periods at once; skip
+			// to the next tick after now rather than burst-firing.
+			vt.at = v.now.Add(vt.period)
+		}
+		heap.Push(&v.timers, vt)
+	}
+}
+
+// NextDeadline reports the earliest pending timer deadline.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.timers) == 0 {
+		return time.Time{}, false
+	}
+	return v.timers[0].at, true
+}
+
+// Pending returns the number of registered, unfired timers.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}
+
+// Steps returns how many fire groups have executed, a cheap progress
+// measure for harness diagnostics.
+func (v *Virtual) Steps() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stepped
+}
+
+// Step advances virtual time to the earliest pending deadline and
+// fires every timer registered for that exact instant (same-instant
+// order shuffled by the clock's seed). It reports false when no timer
+// is pending.
+func (v *Virtual) Step() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.timers) == 0 {
+		return false
+	}
+	v.fireGroup(v.timers[0].at)
+	return true
+}
+
+// fireGroup fires all timers due at exactly `at`, advancing now to at.
+// Caller holds v.mu.
+func (v *Virtual) fireGroup(at time.Time) {
+	v.now = at
+	v.stepped++
+	v.gen.Add(1)
+	group := make([]*vtimer, 0, 4)
+	for len(v.timers) > 0 && v.timers[0].at.Equal(at) {
+		group = append(group, heap.Pop(&v.timers).(*vtimer))
+	}
+	// Same-instant firing order is a seed-controlled shuffle: distinct
+	// seeds explore distinct interleavings, one seed always replays the
+	// same one.
+	v.rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+	for _, vt := range group {
+		v.deliver(vt)
+	}
+}
+
+// Advance moves virtual time forward by d, firing every timer that
+// falls due and quiescing between fire groups so that work triggered
+// by one group can register earlier timers before the next group is
+// chosen.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.mu.Unlock()
+	for {
+		v.Quiesce()
+		v.mu.Lock()
+		if len(v.timers) == 0 || v.timers[0].at.After(target) {
+			if target.After(v.now) {
+				v.now = target
+				v.gen.Add(1)
+			}
+			v.mu.Unlock()
+			break
+		}
+		v.fireGroup(v.timers[0].at)
+		v.mu.Unlock()
+	}
+	v.Quiesce()
+}
+
+// Quiescence tuning: a round yields the scheduler quiesceYields times,
+// and the clock is considered settled after quiesceStable consecutive
+// rounds with no clock mutations and a stable goroutine count.
+const (
+	quiesceYields = 64
+	quiesceStable = 4
+	quiesceMax    = 20000
+)
+
+// Quiesce blocks until goroutines woken by the last advance have
+// settled: no clock registrations/stops and no goroutine creation or
+// exit across several full scheduler-yield rounds. It never sleeps
+// wall time — settling is scheduler yields only — so a sweep of
+// hundreds of seeded runs stays CPU-bound and fast.
+func (v *Virtual) Quiesce() {
+	lastGen := v.gen.Load()
+	lastN := runtime.NumGoroutine()
+	stable := 0
+	for i := 0; i < quiesceMax; i++ {
+		for j := 0; j < quiesceYields; j++ {
+			runtime.Gosched()
+		}
+		g, n := v.gen.Load(), runtime.NumGoroutine()
+		if g == lastGen && n == lastN {
+			if stable++; stable >= quiesceStable {
+				return
+			}
+			continue
+		}
+		stable = 0
+		lastGen, lastN = g, n
+	}
+}
+
+// WaitCond drives the clock until cond holds, no more than budget of
+// virtual time. It quiesces, checks, and steps to the next deadline in
+// a loop — the virtual-clock replacement for sleep-polling loops — and
+// reports whether cond held. When no timers remain pending it allows a
+// few extra settles (in-flight non-timer work may still complete the
+// condition) before giving up.
+func (v *Virtual) WaitCond(budget time.Duration, cond func() bool) bool {
+	deadline := v.Now().Add(budget)
+	idle := 0
+	for {
+		v.Quiesce()
+		if cond() {
+			return true
+		}
+		next, ok := v.NextDeadline()
+		if !ok || next.After(deadline) {
+			if idle++; idle >= 3 {
+				return cond()
+			}
+			continue
+		}
+		idle = 0
+		v.Step()
+	}
+}

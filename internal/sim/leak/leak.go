@@ -1,0 +1,65 @@
+// Package leak provides goroutine-leak detection for tests. It lives in
+// its own leaf package (importing only the standard library) so that the
+// remote and core test packages can use it without importing internal/sim
+// — which imports remote and core, and would form a cycle.
+package leak
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs. Taking an interface
+// (rather than *testing.T) lets the leak regression test drive the
+// checker with a fake and assert that it reports a planted leak.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// Slack is how many goroutines above the baseline a check tolerates:
+// the runtime itself (GC workers, timer goroutine) fluctuates by a few.
+const Slack = 3
+
+// CheckGoroutines snapshots the current goroutine count and registers a
+// cleanup that fails the test if, by the end of the test, the count has
+// not settled back to the baseline (plus Slack). Call it first thing in
+// a test that spawns channels, links or sessions.
+func CheckGoroutines(t TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if n, ok := Settle(base+Slack, 2*time.Second); !ok {
+			t.Errorf("goroutine leak: %d goroutines, baseline %d (+%d slack)\n%s",
+				n, base, Slack, Stacks())
+		}
+	})
+}
+
+// Settle waits for the goroutine count to drop to limit or below,
+// yielding the scheduler first and falling back to short wall sleeps
+// only if yields are not enough (teardown I/O can take real time). It
+// returns the last observed count and whether the limit was reached.
+func Settle(limit int, budget time.Duration) (int, bool) {
+	n := runtime.NumGoroutine()
+	for round := 0; round < 200 && n > limit; round++ {
+		runtime.Gosched()
+		n = runtime.NumGoroutine()
+	}
+	deadline := time.Now().Add(budget)
+	for n > limit && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n, n <= limit
+}
+
+// Stacks returns a bounded dump of all goroutine stacks for the leak
+// report.
+func Stacks() string {
+	buf := make([]byte, 64<<10)
+	n := runtime.Stack(buf, true)
+	return string(buf[:n])
+}

@@ -1,0 +1,111 @@
+package leak
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTB records Errorf calls and collects cleanups so the tests can
+// run the checker's end-of-test logic on demand, against a planted
+// leak, without failing the real test.
+type fakeTB struct {
+	mu       sync.Mutex
+	errors   []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper() {}
+
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+
+func (f *fakeTB) Cleanup(fn func()) {
+	f.cleanups = append(f.cleanups, fn)
+}
+
+// runCleanups runs registered cleanups in testing's LIFO order.
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func (f *fakeTB) reported() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.errors...)
+}
+
+// TestCheckGoroutinesCatchesLeak plants Slack+1 goroutines that outlive
+// the fake test and asserts the checker reports them — the regression
+// test for the leak detector itself.
+func TestCheckGoroutinesCatchesLeak(t *testing.T) {
+	ft := &fakeTB{}
+	CheckGoroutines(ft)
+
+	stop := make(chan struct{})
+	for i := 0; i < Slack+1; i++ {
+		go func() { <-stop }()
+	}
+	ft.runCleanups()
+	close(stop) // release the planted goroutines before asserting
+
+	errs := ft.reported()
+	if len(errs) == 0 {
+		t.Fatal("CheckGoroutines did not report a planted leak of Slack+1 goroutines")
+	}
+	if !strings.Contains(errs[0], "goroutine leak") {
+		t.Errorf("leak report %q does not name the failure", errs[0])
+	}
+	if !strings.Contains(errs[0], "goroutine ") {
+		t.Errorf("leak report does not include stack dumps:\n%s", errs[0])
+	}
+
+	// Don't leak the plant into later tests.
+	if n, ok := Settle(50, time.Second); !ok {
+		t.Logf("planted goroutines slow to exit: %d still running", n)
+	}
+}
+
+// TestCheckGoroutinesAllowsSettledTest asserts the happy path: a test
+// whose transient goroutines exit before cleanup reports nothing.
+func TestCheckGoroutinesAllowsSettledTest(t *testing.T) {
+	ft := &fakeTB{}
+	CheckGoroutines(ft)
+
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	ft.runCleanups()
+
+	if errs := ft.reported(); len(errs) != 0 {
+		t.Fatalf("false positive from a settled test: %v", errs)
+	}
+}
+
+// TestSettleReportsCount pins Settle's contract: it returns the last
+// observed count and whether the limit was met, without hanging past
+// its budget.
+func TestSettleReportsCount(t *testing.T) {
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	defer close(stop)
+
+	start := time.Now()
+	if _, ok := Settle(0, 50*time.Millisecond); ok {
+		t.Fatal("Settle(0) reported success with goroutines running")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Settle overran its budget: took %v", d)
+	}
+
+	if n, ok := Settle(1<<20, time.Millisecond); !ok || n <= 0 {
+		t.Fatalf("Settle with a huge limit = (%d, %v), want immediate success", n, ok)
+	}
+}

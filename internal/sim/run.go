@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// Invariant is a property checked against the cluster after every
+// schedule step (quiescent, so checks never race in-flight work).
+type Invariant struct {
+	Name  string
+	Check func(*Cluster) error
+}
+
+// Failure describes the first invariant violation of a run.
+type Failure struct {
+	// Step is the schedule index after which the invariant broke; -1
+	// means the final (post-drain or post-teardown) check.
+	Step int
+	// Invariant names the violated property.
+	Invariant string
+	// Err carries the violation detail.
+	Err error
+}
+
+func (f *Failure) String() string {
+	where := "final check"
+	if f.Step >= 0 {
+		where = fmt.Sprintf("step %d", f.Step)
+	}
+	return fmt.Sprintf("invariant %q violated at %s: %v", f.Invariant, where, f.Err)
+}
+
+// Result is the outcome of one seeded run.
+type Result struct {
+	Seed int64
+	// Trace is the canonical event log (of the minimized run when
+	// minimization kicked in).
+	Trace *Trace
+	// Failure is nil on a passing run.
+	Failure *Failure
+	// Schedule is the full generated schedule, for diagnostics.
+	Schedule []SchedEvent
+	// Minimized counts schedule events the minimizer proved irrelevant
+	// to the failure (only set on failing runs).
+	Minimized int
+}
+
+// SchedEvent is one entry of the seeded schedule: a fault or a user
+// operation, landing at a fixed virtual instant on a fixed phone.
+type SchedEvent struct {
+	Step  int
+	At    time.Duration
+	Kind  string // "invoke", "drop", "block", "partition", "loss", "heal"
+	Phone int
+	Dur   time.Duration
+	Prob  float64
+}
+
+func (e SchedEvent) describe() string {
+	switch e.Kind {
+	case "block":
+		return fmt.Sprintf("target blackhole %v then drop", e.Dur)
+	case "partition":
+		return fmt.Sprintf("stall %v", e.Dur)
+	case "loss":
+		return fmt.Sprintf("out-loss %.2f", e.Prob)
+	default:
+		return ""
+	}
+}
+
+// isFault reports whether the minimizer may remove the event. User
+// operations are kept: they are the workload, not the perturbation.
+func (e SchedEvent) isFault() bool { return e.Kind != "invoke" }
+
+// generateSchedule derives the run's event schedule from the seed: a
+// mix of user operations and faults at strictly increasing virtual
+// instants. A "loss" pulse emits a paired "heal" so lossy windows are
+// bounded.
+func generateSchedule(seed int64, opts Options) []SchedEvent {
+	rng := rand.New(rand.NewSource(seed ^ 0x51ed5eed))
+	events := make([]SchedEvent, 0, opts.Events+4)
+	at := time.Duration(0)
+	for len(events) < opts.Events {
+		at += 20*time.Millisecond + time.Duration(rng.Intn(180))*time.Millisecond
+		ev := SchedEvent{Step: len(events), At: at, Phone: rng.Intn(opts.Phones)}
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			ev.Kind = "invoke"
+		case r < 0.60:
+			ev.Kind = "drop"
+		case r < 0.75:
+			ev.Kind = "block"
+			ev.Dur = 50*time.Millisecond + time.Duration(rng.Intn(350))*time.Millisecond
+		case r < 0.90:
+			ev.Kind = "partition"
+			ev.Dur = 50*time.Millisecond + time.Duration(rng.Intn(200))*time.Millisecond
+		default:
+			ev.Kind = "loss"
+			ev.Prob = 0.05 + 0.20*rng.Float64()
+			events = append(events, ev)
+			at += 100*time.Millisecond + time.Duration(rng.Intn(200))*time.Millisecond
+			ev = SchedEvent{Step: len(events), At: at, Phone: ev.Phone, Kind: "heal"}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// builtinInvariants are the properties every run must hold at every
+// step.
+func builtinInvariants() []Invariant {
+	return []Invariant{
+		{
+			// Chunk conservation: every chunk a pipe accepted is
+			// eventually delivered, lost to injection, or dropped by a
+			// crash — never double-counted. Orderly closes may strand
+			// unread chunks (accepted, never read), hence ≤ not =.
+			Name: "netsim-chunk-conservation",
+			Check: func(c *Cluster) error {
+				s := c.Fabric.Stats()
+				w := s.Written.Load()
+				d, l, x := s.Delivered.Load(), s.Lost.Load(), s.Dropped.Load()
+				if d+l+x > w {
+					return fmt.Errorf("delivered %d + lost %d + dropped %d > written %d", d, l, x, w)
+				}
+				return nil
+			},
+		},
+		{
+			// A terminally down link must have degraded its
+			// application — controls disabled, typed errors — never a
+			// live-looking UI over a dead link.
+			Name: "down-implies-degraded",
+			Check: func(c *Cluster) error {
+				for _, p := range c.Phones {
+					if p.Session.Link().State() == remote.LinkDown && !p.App.Degraded() {
+						return fmt.Errorf("%s: link down but application not degraded", p.Name)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Goroutine ceiling: fault churn must not accumulate
+			// goroutines step over step (each phone/target owns a small
+			// bounded set: channel read loop, dispatch workers, link
+			// monitor).
+			Name: "goroutine-ceiling",
+			Check: func(c *Cluster) error {
+				limit := c.baseGos + 64 + 50*(len(c.Phones)+len(c.Targets))
+				if n := runtime.NumGoroutine(); n > limit {
+					return fmt.Errorf("%d goroutines, ceiling %d (baseline %d)", n, limit, c.baseGos)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// Run executes one seeded simulation: build the cluster, apply the
+// seeded schedule step by step, check invariants after every step,
+// drain, converge, tear down, and leak-check. On failure the fault
+// schedule is minimized — faults whose removal keeps the same
+// invariant failing are discarded — and the minimized run's trace is
+// returned, still reproducible from the same seed.
+func Run(seed int64, opts Options) *Result {
+	opts = opts.normalized()
+	res := runOnce(seed, opts)
+	if res.Failure != nil {
+		res = minimize(seed, opts, res)
+	}
+	return res
+}
+
+func runOnce(seed int64, opts Options) *Result {
+	schedule := generateSchedule(seed, opts)
+	res := &Result{Seed: seed, Schedule: schedule, Trace: &Trace{}}
+
+	c, err := NewCluster(seed, opts)
+	if err != nil {
+		res.Failure = &Failure{Step: -1, Invariant: "setup", Err: err}
+		return res
+	}
+	res.Trace = c.Trace
+	defer c.Close()
+
+	invariants := append(builtinInvariants(), opts.Extra...)
+	check := func(step int) *Failure {
+		for _, inv := range invariants {
+			if err := inv.Check(c); err != nil {
+				return &Failure{Step: step, Invariant: inv.Name, Err: err}
+			}
+		}
+		return nil
+	}
+
+	// Event times are relative to the end of setup (setup itself costs
+	// deterministic virtual time: handshakes, bundle transfers).
+	start := c.Clock.Elapsed()
+	for i, ev := range schedule {
+		if i < len(opts.mask) && opts.mask[i] {
+			continue
+		}
+		c.Clock.Advance(start + ev.At - c.Clock.Elapsed())
+		c.apply(ev)
+		c.Clock.Quiesce()
+		if f := check(ev.Step); f != nil {
+			res.Failure = f
+			return res
+		}
+	}
+
+	// Drain: every started operation finishes, every link settles out
+	// of Reconnecting, and every channel's pending-exchange maps empty
+	// — all within the virtual budget. Requiring quiet channels here
+	// (rather than only after the wait) keeps the later pending-ops
+	// assertion from sampling a legitimate in-flight protocol exchange,
+	// e.g. the resubscription a session issues right after recovery.
+	settled := c.Eventually(opts.Drain, func() bool {
+		return c.OpsInFlight() == 0 && c.Converged() && c.pendingOps() == 0
+	})
+	if !settled {
+		res.Failure = &Failure{
+			Step: -1, Invariant: "convergence",
+			Err: fmt.Errorf("ops in flight %d, converged %v, pending ops %d after %v virtual drain",
+				c.OpsInFlight(), c.Converged(), c.pendingOps(), opts.Drain),
+		}
+		return res
+	}
+	if f := check(-1); f != nil {
+		res.Failure = f
+		return res
+	}
+	// No pending-call/fetch/ping map entries may outlive the drained,
+	// quiescent workload — a nonzero count here is exactly the leak a
+	// lost reply frame would cause.
+	for _, p := range c.Phones {
+		if n := p.Session.Channel().PendingOps(); n != 0 {
+			res.Failure = &Failure{
+				Step: -1, Invariant: "pending-ops",
+				Err: fmt.Errorf("%s: %d pending operations after drain", p.Name, n),
+			}
+			return res
+		}
+	}
+
+	c.Close()
+	if err := c.LeakCheck(); err != nil {
+		res.Failure = &Failure{Step: -1, Invariant: "teardown-leak", Err: err}
+	}
+	return res
+}
+
+// apply lands one schedule event on the cluster.
+func (c *Cluster) apply(ev SchedEvent) {
+	p := c.Phones[ev.Phone]
+	if ev.Kind != "invoke" && ev.Kind != "invoke-skip" {
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: ev.Step, Kind: ev.Kind,
+			Node: p.Name, Detail: ev.describe(),
+		})
+	}
+	switch ev.Kind {
+	case "invoke":
+		c.StartInvoke(p, ev.Step)
+	case "drop":
+		if conn := p.LastConn(); conn != nil {
+			conn.Drop()
+		}
+	case "block":
+		// Blackhole the phone's target (refusing redials too), then
+		// cut the live connection: the reconnect loop has to back off
+		// until the blackout lifts.
+		c.Fabric.Block(p.target, ev.Dur)
+		if conn := p.LastConn(); conn != nil {
+			conn.Drop()
+		}
+	case "partition":
+		if conn := p.LastConn(); conn != nil {
+			conn.Partition(ev.Dur)
+		}
+	case "loss":
+		if conn := p.LastConn(); conn != nil {
+			conn.SetLoss(0, ev.Prob)
+		}
+	case "heal":
+		if conn := p.LastConn(); conn != nil {
+			conn.SetLoss(0, 0)
+		}
+	}
+}
+
+// minimizeBudget caps how many extra runs the minimizer spends.
+const minimizeBudget = 40
+
+// minimize greedily removes fault events whose absence keeps the same
+// invariant failing, so the reported trace carries only faults that
+// matter. Re-running is cheap — each run is pure virtual time.
+func minimize(seed int64, opts Options, failing *Result) *Result {
+	mask := make([]bool, len(failing.Schedule))
+	best := failing
+	runs := 0
+	for i, ev := range failing.Schedule {
+		if !ev.isFault() || runs >= minimizeBudget {
+			continue
+		}
+		mask[i] = true
+		opts.mask = mask
+		runs++
+		if r := runOnce(seed, opts); r.Failure != nil && r.Failure.Invariant == best.Failure.Invariant {
+			best = r // still fails the same way without this fault
+		} else {
+			mask[i] = false // this fault is load-bearing; keep it
+		}
+	}
+	removed := 0
+	for _, m := range mask {
+		if m {
+			removed++
+		}
+	}
+	best.Minimized = removed
+	return best
+}

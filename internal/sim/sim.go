@@ -1,0 +1,415 @@
+// Package sim is the deterministic whole-stack simulation harness: an
+// in-process cluster of phone nodes and target nodes wired over the
+// netsim fabric, run entirely on a virtual clock. One int64 seed fixes
+// everything that varies — the fault schedule, netsim latency jitter
+// and loss draws, retry jitter, and same-instant timer firing order —
+// so any run, including a failing one, replays exactly from its seed
+// (FoundationDB-style simulation testing).
+//
+// Two entry points:
+//
+//   - NewCluster builds the cluster and lets a test script faults and
+//     assertions by hand (the ported chaos scenarios).
+//   - Run generates a seeded schedule of faults and user operations,
+//     drives it, and checks invariants after every step (the property
+//     runner behind `make sim`).
+package sim
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
+)
+
+// CheckGoroutines snapshots the goroutine count and registers a test
+// cleanup that fails if the count has not returned to the baseline by
+// the end of the test. It is a re-export of leak.CheckGoroutines; test
+// packages that internal/sim itself imports (remote, core) use the
+// leak package directly to avoid an import cycle.
+func CheckGoroutines(t leak.TB) {
+	t.Helper()
+	leak.CheckGoroutines(t)
+}
+
+// Options parameterize a simulated cluster and, for Run, its generated
+// schedule. The zero value is a usable default.
+type Options struct {
+	// Phones is the number of client nodes (default 2).
+	Phones int
+	// Targets is the number of target nodes; phones connect round-robin
+	// (default 1).
+	Targets int
+	// Events is the number of scheduled events Run generates (default 12).
+	Events int
+	// Link is the simulated radio profile (default netsim.WLAN11b).
+	Link netsim.LinkProfile
+	// Timeout bounds each remote invocation (default 400ms virtual).
+	Timeout time.Duration
+	// Retry governs invocation retries and link reconnection (default
+	// 3 attempts, 20ms base delay, 3s reconnect budget).
+	Retry remote.RetryPolicy
+	// UI builds views and controllers during acquisition; off by
+	// default since the property runner exercises the proxy pipeline.
+	UI bool
+	// Drain bounds the virtual time allowed after the last event for
+	// in-flight operations to finish and links to converge (default
+	// Retry.ReconnectBudget + Timeout + 3s).
+	Drain time.Duration
+	// Extra invariants are checked after every schedule step, in
+	// addition to the built-in ones. Used by tests to plant a failing
+	// invariant and assert that failures replay deterministically.
+	Extra []Invariant
+
+	// mask disables individual schedule events during trace
+	// minimization; nil applies all of them.
+	mask []bool
+}
+
+func (o Options) normalized() Options {
+	if o.Phones <= 0 {
+		o.Phones = 2
+	}
+	if o.Targets <= 0 {
+		o.Targets = 1
+	}
+	if o.Events <= 0 {
+		o.Events = 12
+	}
+	if o.Link.Name == "" {
+		o.Link = netsim.WLAN11b
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 400 * time.Millisecond
+	}
+	if o.Retry.MaxAttempts == 0 {
+		o.Retry = remote.RetryPolicy{
+			MaxAttempts:     3,
+			BaseDelay:       20 * time.Millisecond,
+			ReconnectBudget: 3 * time.Second,
+		}
+	}
+	if o.Drain <= 0 {
+		o.Drain = o.Retry.ReconnectBudget + o.Timeout + 3*time.Second
+	}
+	return o
+}
+
+// Phone is one simulated client node with its resilient session and
+// acquired shop application.
+type Phone struct {
+	Name    string
+	Node    *core.Node
+	Session *core.Session
+	App     *core.Application
+
+	target string
+	busy   atomic.Bool
+
+	mu    sync.Mutex
+	conns []*netsim.Conn
+}
+
+// LastConn returns the phone's most recently dialed connection — the
+// one faults should land on.
+func (p *Phone) LastConn() *netsim.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.conns) == 0 {
+		return nil
+	}
+	return p.conns[len(p.conns)-1]
+}
+
+// Cluster is a running simulated deployment: N phones leasing the shop
+// application from M targets over one netsim fabric, all sharing one
+// virtual clock and one per-run telemetry hub.
+type Cluster struct {
+	Seed    int64
+	Opts    Options
+	Clock   *clock.Virtual
+	Fabric  *netsim.Fabric
+	Hub     *obs.Hub
+	Phones  []*Phone
+	Targets []*core.Node
+	Trace   *Trace
+
+	listeners []*netsim.Listener
+	baseGos   int
+	opsActive atomic.Int64
+	closed    bool
+}
+
+func targetAddr(i int) string { return fmt.Sprintf("sim-target-%d", i) }
+
+// NewCluster builds and connects a cluster. Setup (dialing, handshakes,
+// acquisition) itself runs on the virtual clock, driven internally, so
+// the returned cluster is quiescent at a deterministic virtual instant.
+func NewCluster(seed int64, opts Options) (*Cluster, error) {
+	opts = opts.normalized()
+	c := &Cluster{
+		Seed:    seed,
+		Opts:    opts,
+		Clock:   clock.NewVirtual(seed),
+		Hub:     obs.NewHub(),
+		Trace:   &Trace{},
+		baseGos: runtime.NumGoroutine(),
+	}
+	c.Fabric = netsim.NewFabric().WithClock(c.Clock).WithSeed(seed)
+
+	for i := 0; i < opts.Targets; i++ {
+		target, err := core.NewNode(core.NodeConfig{
+			Name:          targetAddr(i),
+			Profile:       device.Notebook(),
+			InvokeTimeout: opts.Timeout,
+			Obs:           c.Hub,
+			Clock:         c.Clock,
+			Seed:          seed + int64(1000+i),
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Targets = append(c.Targets, target)
+		if err := target.RegisterApp(shop.New().App()); err != nil {
+			c.Close()
+			return nil, err
+		}
+		l, err := c.Fabric.Listen(targetAddr(i))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.listeners = append(c.listeners, l)
+		target.Serve(l)
+	}
+
+	for i := 0; i < opts.Phones; i++ {
+		name := fmt.Sprintf("sim-phone-%d", i)
+		node, err := core.NewNode(core.NodeConfig{
+			Name:          name,
+			Profile:       device.Nokia9300i(),
+			InvokeTimeout: opts.Timeout,
+			Retry:         opts.Retry,
+			Obs:           c.Hub,
+			Clock:         c.Clock,
+			Seed:          seed + int64(1+i),
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Phones = append(c.Phones, &Phone{
+			Name:   name,
+			Node:   node,
+			target: targetAddr(i % opts.Targets),
+		})
+	}
+
+	// Dialing and acquisition block on virtual timers (RTTs, transfer
+	// times), so they must run off the driver goroutine while the
+	// driver steps the clock.
+	if err := c.Do(time.Minute, c.connectAll); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("sim: cluster setup: %w", err)
+	}
+	return c, nil
+}
+
+func (c *Cluster) connectAll() error {
+	for _, p := range c.Phones {
+		p := p
+		session, err := p.Node.ConnectResilient(func() (net.Conn, error) {
+			conn, err := c.Fabric.Dial(p.target, c.Opts.Link)
+			if err != nil {
+				return nil, err
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, conn.(*netsim.Conn))
+			p.mu.Unlock()
+			return conn, nil
+		})
+		if err != nil {
+			return fmt.Errorf("%s connect: %w", p.Name, err)
+		}
+		p.Session = session
+		session.Link().OnStateChange(func(st remote.LinkState, _ *remote.Channel) {
+			c.Trace.add(TraceEvent{
+				At: c.Clock.Elapsed(), Step: -1, Kind: "link",
+				Node: p.Name, Detail: st.String(),
+			})
+		})
+		app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{SkipUI: !c.Opts.UI})
+		if err != nil {
+			return fmt.Errorf("%s acquire: %w", p.Name, err)
+		}
+		p.App = app
+	}
+	return nil
+}
+
+// Do runs fn on a fresh goroutine while driving the virtual clock, and
+// returns fn's error once it finishes. It fails if fn is still blocked
+// after `budget` of virtual time — the harness's answer to "this call
+// would have hung forever".
+func (c *Cluster) Do(budget time.Duration, fn func() error) error {
+	var err error
+	var done atomic.Bool
+	go func() {
+		err = fn()
+		done.Store(true)
+	}()
+	if !c.Clock.WaitCond(budget, done.Load) {
+		return fmt.Errorf("sim: operation still blocked after %v virtual time", budget)
+	}
+	return err
+}
+
+// Eventually drives the clock until cond holds, for at most `budget`
+// of virtual time, and reports whether it did. It replaces the
+// sleep-poll loops of wall-clock tests.
+func (c *Cluster) Eventually(budget time.Duration, cond func() bool) bool {
+	return c.Clock.WaitCond(budget, cond)
+}
+
+// OpsInFlight reports how many started operations have not completed.
+func (c *Cluster) OpsInFlight() int64 { return c.opsActive.Load() }
+
+// pendingOps sums the pending-exchange map sizes (calls, fetches,
+// pings) across every phone's live channel.
+func (c *Cluster) pendingOps() int {
+	total := 0
+	for _, p := range c.Phones {
+		total += p.Session.Channel().PendingOps()
+	}
+	return total
+}
+
+// StartInvoke launches one user operation — Categories on the phone's
+// shop lease — on its own goroutine, recording launch and completion
+// in the trace. At most one operation per phone is in flight at a
+// time: per-pipe write order is what keeps netsim delivery times
+// deterministic, so a phone never races two of its own calls. step is
+// the schedule index for the trace (-1 for scripted scenarios).
+func (c *Cluster) StartInvoke(p *Phone, step int) {
+	if !p.busy.CompareAndSwap(false, true) {
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: step, Kind: "invoke-skip",
+			Node: p.Name, Detail: "previous call still in flight",
+		})
+		return
+	}
+	c.Trace.add(TraceEvent{
+		At: c.Clock.Elapsed(), Step: step, Kind: "invoke",
+		Node: p.Name, Detail: "Categories",
+	})
+	c.opsActive.Add(1)
+	go func() {
+		v, err := p.App.Invoke("Categories")
+		detail := describeOutcome(v, err)
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: -1, Kind: "invoke-done",
+			Node: p.Name, Detail: detail,
+		})
+		p.busy.Store(false)
+		c.opsActive.Add(-1)
+	}()
+}
+
+// describeOutcome renders an operation result deterministically: value
+// shapes and typed error strings only contain seed-derived quantities.
+func describeOutcome(v any, err error) string {
+	if err != nil {
+		return "err=" + err.Error()
+	}
+	if list, ok := v.([]any); ok {
+		return fmt.Sprintf("ok items=%d", len(list))
+	}
+	return fmt.Sprintf("ok %T", v)
+}
+
+// Converged reports whether every phone has settled: its link is Up,
+// Down, or Closed (not mid-reconnect), and a terminally down link has
+// a degraded application. An app degraded on a live link is accepted —
+// that is the documented outcome of a failed recovery attempt ("stays
+// degraded; next LinkUp retries") and is still a clean degrade.
+func (c *Cluster) Converged() bool {
+	for _, p := range c.Phones {
+		st := p.Session.Link().State()
+		switch st {
+		case remote.LinkReconnecting:
+			return false
+		case remote.LinkDown, remote.LinkClosed:
+			if !p.App.Degraded() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// drainTimers fires any timers left registered (bounded, in case a
+// ticker re-arms) so goroutines parked on virtual deadlines unblock
+// during teardown.
+func (c *Cluster) drainTimers() {
+	for i := 0; i < 10000; i++ {
+		if !c.Clock.Step() {
+			return
+		}
+	}
+}
+
+// Close tears the cluster down: phone nodes (sessions, links,
+// channels), listeners, then target nodes. Teardown itself is driven
+// on the virtual clock so goroutines blocked on virtual deadlines can
+// run to completion. Idempotent.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	_ = c.Do(time.Minute, func() error {
+		for _, p := range c.Phones {
+			if p.Session != nil {
+				p.Session.Close()
+			}
+			if p.Node != nil {
+				p.Node.Close()
+			}
+		}
+		for _, l := range c.listeners {
+			_ = l.Close()
+		}
+		for _, t := range c.Targets {
+			t.Close()
+		}
+		return nil
+	})
+	c.drainTimers()
+	c.Clock.Quiesce()
+}
+
+// LeakCheck verifies that, post-Close, goroutines returned to the
+// pre-cluster baseline and no channel is still accounted active in the
+// run's telemetry hub. Returns nil when clean.
+func (c *Cluster) LeakCheck() error {
+	if n := c.Hub.Metrics.Gauge("alfredo_remote_channels_active").Value(); n != 0 {
+		return fmt.Errorf("sim: %d channels still active after teardown", n)
+	}
+	if n, ok := leak.Settle(c.baseGos+leak.Slack, 2*time.Second); !ok {
+		return fmt.Errorf("sim: goroutine leak: %d goroutines, baseline %d\n%s",
+			n, c.baseGos, leak.Stacks())
+	}
+	return nil
+}

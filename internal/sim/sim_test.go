@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/render"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// Replay controls. A failing sweep prints its seed; rerun exactly that
+// schedule with:
+//
+//	go test ./internal/sim -run 'TestSim$' -sim.seed=<N> -v
+var (
+	simSeed = flag.Int64("sim.seed", 0, "replay a single simulation seed (0 = run the sweep)")
+	simN    = flag.Int("sim.n", 25, "number of seeds in the sweep")
+)
+
+// TestSim is the property runner: every seed generates a different
+// fault/operation schedule, and the built-in invariants must hold at
+// every step of every seed.
+func TestSim(t *testing.T) {
+	if *simSeed != 0 {
+		res := Run(*simSeed, Options{})
+		t.Logf("seed %d trace:\n%s", res.Seed, res.Trace)
+		if res.Failure != nil {
+			t.Fatalf("seed %d: %s (minimized away %d events)", res.Seed, res.Failure, res.Minimized)
+		}
+		return
+	}
+	for seed := int64(1); seed <= int64(*simN); seed++ {
+		res := Run(seed, Options{})
+		if res.Failure != nil {
+			t.Fatalf("seed %d: %s\nreplay: go test ./internal/sim -run 'TestSim$' -sim.seed=%d -v\ntrace (%d events minimized away):\n%s",
+				seed, res.Failure, seed, res.Minimized, res.Trace)
+		}
+	}
+}
+
+// TestSimDeterministic reruns one seed and requires byte-identical
+// traces: same schedule, same delivery and drop outcomes, same link
+// transitions at the same virtual instants.
+func TestSimDeterministic(t *testing.T) {
+	opts := Options{Events: 14}
+	a := Run(7, opts)
+	b := Run(7, opts)
+	if a.Failure != nil || b.Failure != nil {
+		t.Fatalf("runs failed: %v / %v", a.Failure, b.Failure)
+	}
+	if at, bt := a.Trace.String(), b.Trace.String(); at != bt {
+		t.Fatalf("same seed, different traces:\n--- run 1 ---\n%s--- run 2 ---\n%s", at, bt)
+	}
+	// And a different seed must explore a different schedule.
+	c := Run(8, opts)
+	if c.Failure != nil {
+		t.Fatalf("seed 8 failed: %v", c.Failure)
+	}
+	if a.Trace.String() == c.Trace.String() {
+		t.Fatal("seeds 7 and 8 produced identical traces; seed is not reaching the schedule")
+	}
+}
+
+// TestSimFailureReplaysDeterministically plants a failing invariant —
+// "no phone may ever leave LinkUp" — which the first disruptive fault
+// violates. The failure must reproduce at the same step with the same
+// trace on every run, and the minimizer must strip the failure down to
+// a single load-bearing fault.
+func TestSimFailureReplaysDeterministically(t *testing.T) {
+	opts := Options{
+		Events: 14,
+		Extra: []Invariant{{
+			Name: "planted-always-up",
+			Check: func(c *Cluster) error {
+				for _, p := range c.Phones {
+					if st := p.Session.Link().State(); st != remote.LinkUp {
+						return fmt.Errorf("%s: link %s", p.Name, st)
+					}
+				}
+				return nil
+			},
+		}},
+	}
+	a := Run(11, opts)
+	b := Run(11, opts)
+	if a.Failure == nil || b.Failure == nil {
+		t.Fatalf("planted invariant did not fire: %v / %v", a.Failure, b.Failure)
+	}
+	if a.Failure.Step != b.Failure.Step || a.Failure.Invariant != b.Failure.Invariant {
+		t.Fatalf("failure not deterministic: step %d/%q vs step %d/%q",
+			a.Failure.Step, a.Failure.Invariant, b.Failure.Step, b.Failure.Invariant)
+	}
+	if a.Trace.String() != b.Trace.String() {
+		t.Fatalf("failing traces differ:\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			a.Trace.String(), b.Trace.String())
+	}
+	if a.Minimized == 0 {
+		t.Error("minimizer removed no events; expected irrelevant faults to be stripped")
+	}
+	faults := 0
+	for i, ev := range a.Schedule {
+		_ = i
+		if ev.isFault() {
+			faults++
+		}
+	}
+	if faults-a.Minimized != 1 {
+		t.Errorf("minimized run keeps %d faults, want exactly 1 (schedule had %d)", faults-a.Minimized, faults)
+	}
+}
+
+// TestSimMultiTarget runs one seed against a wider topology to keep
+// the round-robin wiring honest.
+func TestSimMultiTarget(t *testing.T) {
+	res := Run(3, Options{Phones: 3, Targets: 2, Events: 10})
+	if res.Failure != nil {
+		t.Fatalf("seed 3 (3 phones, 2 targets): %s\n%s", res.Failure, res.Trace)
+	}
+}
+
+// --- Ported chaos scenarios ----------------------------------------
+//
+// These are the wall-clock scenarios from internal/chaos/chaos_test.go
+// re-expressed on the harness: identical fault arcs and assertions,
+// but every wait is a virtual-clock Eventually and the whole arc runs
+// in microseconds of wall time, deterministically, under -race.
+
+// TestSimShopSurvivesMidSessionDisconnect: a hard disconnect lands
+// mid-interaction, the UI degrades, the link redials after the
+// blackout, the lease re-establishes, and an invocation issued during
+// the outage completes inside the reconnect budget.
+func TestSimShopSurvivesMidSessionDisconnect(t *testing.T) {
+	CheckGoroutines(t)
+	retry := remote.RetryPolicy{
+		MaxAttempts:     3,
+		BaseDelay:       20 * time.Millisecond,
+		ReconnectBudget: 5 * time.Second,
+	}
+	c, err := NewCluster(42, Options{Phones: 1, Timeout: 2 * time.Second, Retry: retry, UI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p := c.Phones[0]
+
+	// Normal interaction before the fault.
+	if err := c.Do(time.Second, func() error {
+		return p.App.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Blackout the target briefly, then cut the radio link mid-session.
+	c.Fabric.Block(p.target, 250*time.Millisecond)
+	p.LastConn().Drop()
+
+	if !c.Eventually(2*time.Second, p.App.Degraded) {
+		t.Fatal("application never degraded")
+	}
+	// While degraded, user input bounces off the disabled controls.
+	err = p.App.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "chairs"})
+	if !errors.Is(err, render.ErrControlDisabled) {
+		t.Errorf("Inject while degraded = %v, want ErrControlDisabled", err)
+	}
+
+	// An invocation issued during the outage blocks, then succeeds once
+	// the lease is re-established — within the budget, in virtual time.
+	start := c.Clock.Elapsed()
+	var cats any
+	if err := c.Do(retry.ReconnectBudget+time.Second, func() error {
+		var err error
+		cats, err = p.App.Invoke("Categories")
+		return err
+	}); err != nil {
+		t.Fatalf("Invoke across disconnect: %v", err)
+	}
+	if d := c.Clock.Elapsed() - start; d > retry.ReconnectBudget {
+		t.Errorf("recovery took %v virtual, budget %v", d, retry.ReconnectBudget)
+	}
+	if list, ok := cats.([]any); !ok || len(list) == 0 {
+		t.Errorf("Categories after recovery = %#v", cats)
+	}
+
+	if !c.Eventually(2*time.Second, func() bool { return !p.App.Degraded() }) {
+		t.Fatal("application never recovered")
+	}
+	// Controls are live again and the interaction works end to end.
+	if err := c.Do(time.Second, func() error {
+		return p.App.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"})
+	}); err != nil {
+		t.Fatalf("Inject after recovery: %v", err)
+	}
+	items, _ := p.App.View.Property("products", "items")
+	if list, ok := items.([]any); !ok || len(list) != 2 {
+		t.Errorf("tables after recovery = %v (ctl err %v)", items, p.App.Controller.LastError())
+	}
+	// The lease was re-exchanged on the new channel.
+	if len(p.Session.Services()) == 0 {
+		t.Error("lease empty after recovery")
+	}
+
+	c.Close()
+	if err := c.LeakCheck(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimPermanentPartitionDegrades keeps the target unreachable past
+// the reconnect budget: the link goes terminally down, invocations
+// fail fast with ErrDegraded, and the UI stays disabled.
+func TestSimPermanentPartitionDegrades(t *testing.T) {
+	CheckGoroutines(t)
+	retry := remote.RetryPolicy{
+		MaxAttempts:     2,
+		BaseDelay:       20 * time.Millisecond,
+		ReconnectBudget: 300 * time.Millisecond,
+	}
+	c, err := NewCluster(99, Options{Phones: 1, Timeout: time.Second, Retry: retry, UI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p := c.Phones[0]
+
+	// Permanent partition: every redial is refused.
+	c.Fabric.Block(p.target, time.Hour)
+	p.LastConn().Drop()
+
+	if !c.Eventually(5*time.Second, func() bool {
+		return p.Session.Link().State() == remote.LinkDown
+	}) {
+		t.Fatal("link never went down")
+	}
+
+	start := c.Clock.Elapsed()
+	if err := c.Do(3*time.Second, func() error {
+		_, err := p.App.Invoke("Categories")
+		if !errors.Is(err, core.ErrDegraded) {
+			return fmt.Errorf("Invoke on downed link = %v, want ErrDegraded", err)
+		}
+		return nil
+	}); err != nil {
+		t.Error(err)
+	}
+	if d := c.Clock.Elapsed() - start; d > 2*time.Second {
+		t.Errorf("degraded Invoke took %v virtual, want fast typed failure", d)
+	}
+	if err := p.App.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"}); !errors.Is(err, render.ErrControlDisabled) {
+		t.Errorf("Inject on downed link = %v, want ErrControlDisabled", err)
+	}
+	if !p.App.Degraded() {
+		t.Error("application not degraded with link down")
+	}
+}

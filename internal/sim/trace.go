@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one observation made during a simulation run: a
+// scheduled event being applied, an operation completing, or a link
+// state transition. At is virtual time since clock.Epoch, so two runs
+// of the same seed produce identical events.
+type TraceEvent struct {
+	// At is the virtual instant of the observation.
+	At time.Duration
+	// Step is the schedule index the observation belongs to, or -1 for
+	// asynchronous observations (op completions, link transitions).
+	Step int
+	// Kind classifies the event: "drop", "block", "partition", "loss",
+	// "heal", "invoke", "invoke-skip", "invoke-done", "link".
+	Kind string
+	// Node names the phone involved ("" for cluster-wide events).
+	Node string
+	// Detail is a deterministic human-readable payload.
+	Detail string
+}
+
+func (e TraceEvent) String() string {
+	step := "     "
+	if e.Step >= 0 {
+		step = fmt.Sprintf("#%-4d", e.Step)
+	}
+	return fmt.Sprintf("%-12s %s %-12s %-10s %s", e.At, step, e.Kind, e.Node, e.Detail)
+}
+
+// Trace is the ordered event log of one run. Appends are safe from any
+// goroutine; String canonicalizes the order so that two runs of the
+// same seed render byte-identically even though asynchronous
+// observations may be appended in different goroutine interleavings
+// within one virtual instant.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+func (t *Trace) add(e TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns the canonically sorted event list.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Detail < b.Detail
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

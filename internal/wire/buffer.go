@@ -119,6 +119,28 @@ func (b *Buffer) ReadUvarint() uint64 {
 	return v
 }
 
+// WriteU64 appends a fixed-width big-endian 64-bit word. Used for
+// values with no small-number bias (trace IDs are uniformly spread
+// 64-bit), where a uvarint would average more than 9 bytes and make
+// the frame length depend on the value.
+func (b *Buffer) WriteU64(v uint64) {
+	b.b = binary.BigEndian.AppendUint64(b.b, v)
+}
+
+// ReadU64 consumes a fixed-width big-endian 64-bit word.
+func (b *Buffer) ReadU64() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	if len(b.b)-b.off < 8 {
+		b.fail(fmt.Errorf("%w: reading u64 at offset %d", ErrTruncated, b.off))
+		return 0
+	}
+	v := binary.BigEndian.Uint64(b.b[b.off:])
+	b.off += 8
+	return v
+}
+
 // WriteU8 appends a single byte.
 func (b *Buffer) WriteU8(v byte) {
 	b.b = append(b.b, v)

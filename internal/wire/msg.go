@@ -280,7 +280,10 @@ type FetchService struct {
 	// serving peer can parent its handling span under the caller's.
 	// Zero TraceID means "no trace context": the pair is then omitted
 	// from the frame entirely, keeping the encoding byte-identical to
-	// peers that predate tracing.
+	// peers that predate tracing. The pair is fixed-width (two 8-byte
+	// words): IDs are uniformly spread 64-bit values, so varints would
+	// be larger on average and — worse — make the frame length depend
+	// on the ID drawn, which breaks byte-identical simulation replays.
 	TraceID uint64
 	SpanID  uint64
 }
@@ -292,8 +295,8 @@ func (m *FetchService) encode(b *Buffer) error {
 	b.WriteInt64(m.RequestID)
 	b.WriteInt64(m.ServiceID)
 	if m.TraceID != 0 {
-		b.WriteUvarint(m.TraceID)
-		b.WriteUvarint(m.SpanID)
+		b.WriteU64(m.TraceID)
+		b.WriteU64(m.SpanID)
 	}
 	return nil
 }
@@ -302,8 +305,8 @@ func (m *FetchService) decode(b *Buffer) {
 	m.RequestID = b.ReadInt64()
 	m.ServiceID = b.ReadInt64()
 	if b.err == nil && b.Remaining() > 0 {
-		m.TraceID = b.ReadUvarint()
-		m.SpanID = b.ReadUvarint()
+		m.TraceID = b.ReadU64()
+		m.SpanID = b.ReadU64()
 	}
 }
 
@@ -394,7 +397,11 @@ type Invoke struct {
 	// wire so one trace covers phone -> target -> phone. Zero TraceID
 	// means "no trace context": the pair is then omitted from the frame
 	// entirely, keeping the encoding byte-identical to peers that
-	// predate tracing, and decoders accept both forms.
+	// predate tracing, and decoders accept both forms. The pair is
+	// fixed-width (two 8-byte words): IDs are uniformly spread 64-bit
+	// values, so varints would be larger on average and — worse — make
+	// the frame length depend on the ID drawn, which breaks
+	// byte-identical simulation replays.
 	TraceID uint64
 	SpanID  uint64
 }
@@ -410,8 +417,8 @@ func (m *Invoke) encode(b *Buffer) error {
 		return err
 	}
 	if m.TraceID != 0 {
-		b.WriteUvarint(m.TraceID)
-		b.WriteUvarint(m.SpanID)
+		b.WriteU64(m.TraceID)
+		b.WriteU64(m.SpanID)
 	}
 	return nil
 }
@@ -422,8 +429,8 @@ func (m *Invoke) decode(b *Buffer) {
 	m.Method = b.ReadString()
 	m.Args = b.ReadValues()
 	if b.err == nil && b.Remaining() > 0 {
-		m.TraceID = b.ReadUvarint()
-		m.SpanID = b.ReadUvarint()
+		m.TraceID = b.ReadU64()
+		m.SpanID = b.ReadU64()
 	}
 }
 

@@ -7,13 +7,17 @@ import (
 )
 
 // Trace-context framing: Invoke and FetchService optionally carry the
-// caller's (TraceID, SpanID) as two trailing uvarints. A zero TraceID
-// omits the pair entirely, so the untraced encoding stays byte-
-// identical to the pre-tracing protocol, and decoders accept both.
+// caller's (TraceID, SpanID) as two trailing fixed-width 8-byte words
+// — fixed width so the frame length never depends on the ID values
+// drawn, which deterministic simulation replays rely on. A zero
+// TraceID omits the pair entirely, so the untraced encoding stays
+// byte-identical to the pre-tracing protocol, and decoders accept
+// both.
 
 func TestInvokeTraceContextGolden(t *testing.T) {
 	legacy := "0000000b07020404576f726b010254"
-	traced := "0000000d07020404576f726b0102540506"
+	traced := "0000001b07020404576f726b010254" +
+		"0000000000000005" + "0000000000000006"
 
 	m := &Invoke{CallID: 1, ServiceID: 2, Method: "Work", Args: []any{int64(42)}}
 	frame, err := EncodeMessage(m)
@@ -45,7 +49,8 @@ func TestInvokeTraceContextGolden(t *testing.T) {
 
 func TestFetchServiceTraceContextGolden(t *testing.T) {
 	legacy := "00000003050a04"
-	traced := "00000005050a040506"
+	traced := "00000013050a04" +
+		"0000000000000005" + "0000000000000006"
 
 	m := &FetchService{RequestID: 5, ServiceID: 2}
 	frame, err := EncodeMessage(m)
