@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments throughput fuzz fmt vet chaos sim obs check clean
+.PHONY: all build test race cover bench experiments throughput acquire-bench fuzz fmt vet chaos sim obs check clean
 
 all: build test
 
@@ -31,6 +31,13 @@ experiments:
 # sync vs pipelined, pooled encoder vs seed-ablation dispatch.
 throughput:
 	$(GO) run ./cmd/alfredo-bench -exp throughput
+
+# Acquire data-plane smoke: a tiny cold/warm/delta cycle on the virtual
+# clock asserting warm re-acquisition moves < 10% of the cold bytes,
+# then the full sweep table (bundle size x loss rate).
+acquire-bench:
+	$(GO) test -run TestAcquireBenchSmoke -count=1 ./internal/bench/
+	$(GO) run ./cmd/alfredo-bench -exp acquire
 
 # Short fuzz pass over every untrusted-input parser.
 fuzz:

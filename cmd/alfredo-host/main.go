@@ -31,26 +31,27 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:9278", "TCP address to serve AlfredO on")
-		apps     = flag.String("apps", "shop,mouse", "comma-separated apps to host: shop, mouse")
-		name     = flag.String("name", "alfredo-host", "device name announced to peers")
-		announce = flag.Bool("announce", false, "broadcast SLP invitations on the discovery group")
-		group    = flag.String("group", discovery.DefaultGroup, "discovery multicast group")
-		snapshot = flag.Duration("snapshot", 500*time.Millisecond, "mouse screen snapshot interval")
-		storage  = flag.String("storage", "", "directory for persistent bundle storage")
-		obsAddr  = flag.String("obs", "", "serve the telemetry introspection endpoint (metrics + traces) on this address")
-		dispatch = flag.Int("dispatch-workers", 0, "max concurrent inbound invocation handlers per channel (0 = default, negative = unbounded)")
+		listen     = flag.String("listen", "127.0.0.1:9278", "TCP address to serve AlfredO on")
+		apps       = flag.String("apps", "shop,mouse", "comma-separated apps to host: shop, mouse")
+		name       = flag.String("name", "alfredo-host", "device name announced to peers")
+		announce   = flag.Bool("announce", false, "broadcast SLP invitations on the discovery group")
+		group      = flag.String("group", discovery.DefaultGroup, "discovery multicast group")
+		snapshot   = flag.Duration("snapshot", 500*time.Millisecond, "mouse screen snapshot interval")
+		storage    = flag.String("storage", "", "directory for persistent bundle storage")
+		obsAddr    = flag.String("obs", "", "serve the telemetry introspection endpoint (metrics + traces) on this address")
+		dispatch   = flag.Int("dispatch-workers", 0, "max concurrent inbound invocation handlers per channel (0 = default, negative = unbounded)")
+		chunkBytes = flag.Int("chunk-bytes", 0, "chunk size for content-addressed bundle serving (0 = default 4KB)")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *apps, *name, *group, *storage, *obsAddr, *snapshot, *announce, *dispatch); err != nil {
+	if err := run(*listen, *apps, *name, *group, *storage, *obsAddr, *snapshot, *announce, *dispatch, *chunkBytes); err != nil {
 		log.Fatalf("alfredo-host: %v", err)
 	}
 }
 
-func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool, dispatchWorkers int) error {
+func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool, dispatchWorkers, chunkBytes int) error {
 	node, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Notebook(), StorageDir: storage,
-		DispatchWorkers: dispatchWorkers})
+		DispatchWorkers: dispatchWorkers, ChunkBytes: chunkBytes})
 	if err != nil {
 		return err
 	}

@@ -47,23 +47,25 @@ import (
 
 func main() {
 	var (
-		connect  = flag.String("connect", "", "TCP address of an alfredo-host")
-		discover = flag.Bool("discover", false, "discover a host via SLP instead of -connect")
-		group    = flag.String("group", discovery.DefaultGroup, "discovery multicast group")
-		profile  = flag.String("profile", "nokia9300i", "device profile: nokia9300i, se-m600i, iphone, notebook")
-		simulate = flag.Bool("simulate-cpu", false, "simulate the profile's CPU speed (realistic acquire times)")
-		httpAddr = flag.String("http", "", "serve html-rendered apps on this address (the browser/iPhone path)")
-		obsAddr  = flag.String("obs", "", "serve the telemetry introspection endpoint (metrics + traces) on this address")
-		dispatch = flag.Int("dispatch-workers", 0, "max concurrent inbound invocation handlers per channel (0 = default, negative = unbounded)")
+		connect    = flag.String("connect", "", "TCP address of an alfredo-host")
+		discover   = flag.Bool("discover", false, "discover a host via SLP instead of -connect")
+		group      = flag.String("group", discovery.DefaultGroup, "discovery multicast group")
+		profile    = flag.String("profile", "nokia9300i", "device profile: nokia9300i, se-m600i, iphone, notebook")
+		simulate   = flag.Bool("simulate-cpu", false, "simulate the profile's CPU speed (realistic acquire times)")
+		httpAddr   = flag.String("http", "", "serve html-rendered apps on this address (the browser/iPhone path)")
+		obsAddr    = flag.String("obs", "", "serve the telemetry introspection endpoint (metrics + traces) on this address")
+		dispatch   = flag.Int("dispatch-workers", 0, "max concurrent inbound invocation handlers per channel (0 = default, negative = unbounded)")
+		cacheBytes = flag.Int64("cache-bytes", 8<<20, "chunk cache byte budget for warm-start acquisitions (0 disables)")
+		cacheDir   = flag.String("cache-dir", "", "persist cached chunks in this directory so warm starts survive restarts")
 	)
 	flag.Parse()
 
-	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate, *dispatch); err != nil {
+	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate, *dispatch, *cacheBytes, *cacheDir); err != nil {
 		log.Fatalf("alfredo-phone: %v", err)
 	}
 }
 
-func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool, dispatchWorkers int) error {
+func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool, dispatchWorkers int, cacheBytes int64, cacheDir string) error {
 	prof, ok := device.ProfileByName(profileName)
 	if !ok {
 		return fmt.Errorf("unknown profile %q", profileName)
@@ -95,6 +97,8 @@ func run(connect, group, profileName, httpAddr, obsAddr string, discover, simula
 		Sim:             sim,
 		ProxyCode:       proxyCode,
 		DispatchWorkers: dispatchWorkers,
+		CacheBytes:      cacheBytes,
+		CacheDir:        cacheDir,
 	})
 	if err != nil {
 		return err
@@ -241,6 +245,10 @@ func repl(session *core.Session, prof device.Profile, web *httpd.Service) error 
 				t.TotalStart().Round(time.Millisecond), t.AcquireInterface.Round(time.Millisecond),
 				t.BuildProxy.Round(time.Millisecond), t.InstallProxy.Round(time.Millisecond),
 				t.StartProxy.Round(time.Millisecond))
+			if f := a.Fetch; f.Mode != "" && f.Mode != remote.FetchModeLegacy {
+				fmt.Printf("  fetch %s: %d/%d chunks over the wire, %d bytes served from cache\n",
+					f.Mode, f.ChunksFetched, f.ChunksTotal, f.BytesSaved)
+			}
 			fmt.Println(a.View.Render())
 		case "show":
 			if app == nil {

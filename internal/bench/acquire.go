@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+)
+
+// acquireSeed fixes the virtual clock, the fabric's loss/jitter draws
+// and the generated bundle bytes, so every run of the sweep reproduces
+// the same table.
+const acquireSeed = 0xacc1
+
+// AcquirePoint is one row of the acquisition sweep: one phase of the
+// cold/warm/delta cycle at one bundle size and loss rate.
+type AcquirePoint struct {
+	Bundle int     // descriptor payload bytes
+	Loss   float64 // injected symmetric per-chunk loss probability
+	Phase  string  // "cold", "warm", "delta"
+	// WireBytes is what the fabric actually carried for the phase,
+	// summed across every dial attempt (loss can kill a channel
+	// mid-fetch; retries resume from the cache).
+	WireBytes int64
+	// Virtual is the phase's virtual-clock duration, dial to assembled
+	// bundle.
+	Virtual time.Duration
+	// Attempts counts dials (1 = no mid-fetch channel loss).
+	Attempts int
+	// Stats is the final successful attempt's fetch accounting.
+	Stats remote.FetchStats
+}
+
+// RunAcquire measures the acquire data plane end to end: a cold fetch
+// into an empty cache, a warm re-lease of the unchanged service, and a
+// delta re-lease after a tail mutation — per bundle size, per loss
+// rate. Everything runs on a seeded virtual clock over netsim, so the
+// table is reproducible bit for bit and the lossy cells cost no wall
+// time. The warm row is the headline: an unchanged service re-lease
+// moves only the manifest exchange (and survives loss by retrying a
+// transfer that is already almost entirely local).
+func RunAcquire(cfg Config) ([]AcquirePoint, error) {
+	cfg = cfg.withDefaults()
+	sizes := []int{8 << 10, 64 << 10}
+	if cfg.Full {
+		sizes = append(sizes, 256<<10)
+	}
+	losses := []float64{0, 0.01, 0.05}
+
+	fmt.Fprintln(cfg.Out, "Acquire data plane: wire bytes per phase vs bundle size and loss")
+	fmt.Fprintf(cfg.Out, "%-8s %6s %-6s %12s %9s %9s %10s %8s\n",
+		"bundle", "loss", "phase", "wire-bytes", "of-cold", "attempts", "chunks", "virtual")
+
+	var out []AcquirePoint
+	for _, size := range sizes {
+		for _, loss := range losses {
+			pts, err := measureAcquire(size, loss)
+			if err != nil {
+				return nil, fmt.Errorf("bench: acquire %dKB loss %.0f%%: %w", size>>10, loss*100, err)
+			}
+			cold := pts[0].WireBytes
+			for _, p := range pts {
+				ofCold := "-"
+				if cold > 0 {
+					ofCold = fmt.Sprintf("%.1f%%", 100*float64(p.WireBytes)/float64(cold))
+				}
+				fmt.Fprintf(cfg.Out, "%-8s %5.0f%% %-6s %12d %9s %9d %6d/%-3d %8s\n",
+					fmt.Sprintf("%dKB", p.Bundle>>10), p.Loss*100, p.Phase,
+					p.WireBytes, ofCold, p.Attempts,
+					p.Stats.ChunksFetched, p.Stats.ChunksTotal, fmtDur(p.Virtual))
+			}
+			out = append(out, pts...)
+		}
+	}
+	fmt.Fprintln(cfg.Out)
+	return out, nil
+}
+
+// measureAcquire runs one cold/warm/delta cycle at the given bundle
+// size and loss rate on a fresh virtual-clock fabric.
+func measureAcquire(size int, loss float64) ([]AcquirePoint, error) {
+	clk := clock.NewVirtual(acquireSeed)
+	fabric := netsim.NewFabric().WithClock(clk).WithSeed(acquireSeed)
+	retry := remote.RetryPolicy{MaxAttempts: 4, BaseDelay: 20 * time.Millisecond}
+
+	hostFW := module.NewFramework(module.Config{Name: "acq-host"})
+	hostEv := event.NewAdmin(0)
+	host, err := remote.NewPeer(remote.Config{
+		Framework: hostFW,
+		Events:    hostEv,
+		ProxyCode: remote.NewProxyCodeRegistry(),
+		Timeout:   2 * time.Second,
+		Retry:     retry,
+		Obs:       obs.NewHub(),
+		Clock:     clk,
+		Seed:      acquireSeed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		host.Close()
+		hostEv.Close()
+		_ = hostFW.Shutdown()
+	}()
+
+	rng := rand.New(rand.NewSource(acquireSeed))
+	desc := acquirePayload(rng, size)
+	svc := remote.NewService("bench.Acquire").
+		Method("Noop", nil, "int", func([]any) (any, error) { return int64(1), nil }).
+		WithDescriptor(desc)
+	if _, err := hostFW.Registry().Register([]string{"bench.Acquire"}, svc,
+		service.Properties{remote.PropExported: true}, "acq-host"); err != nil {
+		return nil, err
+	}
+
+	cache, err := module.NewChunkCache(8<<20, "")
+	if err != nil {
+		return nil, err
+	}
+	phoneFW := module.NewFramework(module.Config{Name: "acq-phone"})
+	phoneEv := event.NewAdmin(0)
+	phone, err := remote.NewPeer(remote.Config{
+		Framework:  phoneFW,
+		Events:     phoneEv,
+		ProxyCode:  remote.NewProxyCodeRegistry(),
+		Timeout:    2 * time.Second,
+		Retry:      retry,
+		Obs:        obs.NewHub(),
+		Clock:      clk,
+		Seed:       acquireSeed + 2,
+		ChunkCache: cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		phone.Close()
+		phoneEv.Close()
+		_ = phoneFW.Shutdown()
+	}()
+
+	l, err := fabric.Listen("acq-host")
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	go func() { _ = host.Serve(l) }()
+
+	// Everything below blocks on virtual timers (handshakes, transfer
+	// pacing, retransmit timeouts), so it runs off the driver goroutine
+	// while WaitCond steps the clock.
+	do := func(fn func() error) error {
+		var err error
+		var done atomic.Bool
+		go func() { err = fn(); done.Store(true) }()
+		if !clk.WaitCond(10*time.Minute, done.Load) {
+			return fmt.Errorf("operation stalled past virtual budget")
+		}
+		return err
+	}
+
+	// phase dials until one acquisition completes. A lost frame desyncs
+	// the stream and kills the channel, so under loss an attempt can die
+	// mid-transfer — but verified chunks are already cached, and the
+	// next attempt fetches only what is still missing.
+	phase := func(name string) (AcquirePoint, error) {
+		p := AcquirePoint{Bundle: size, Loss: loss, Phase: name}
+		before := fabric.Stats().Bytes.Load()
+		start := clk.Elapsed()
+		err := do(func() error {
+			const maxDials = 40
+			var lastErr error
+			for p.Attempts = 1; p.Attempts <= maxDials; p.Attempts++ {
+				conn, err := fabric.Dial("acq-host", netsim.WLAN11b)
+				if err != nil {
+					return err
+				}
+				if loss > 0 {
+					conn.(*netsim.Conn).SetLoss(loss, loss)
+				}
+				ch, err := phone.Connect(conn)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				info, ok := ch.FindRemoteService("bench.Acquire")
+				if !ok {
+					ch.Close()
+					lastErr = fmt.Errorf("bench.Acquire not offered")
+					continue
+				}
+				_, st, err := ch.AcquireFetch(context.Background(), info.ID)
+				ch.Close()
+				if err == nil {
+					p.Stats = st
+					return nil
+				}
+				lastErr = err
+			}
+			return fmt.Errorf("no successful acquisition in %d dials: %w", maxDials, lastErr)
+		})
+		p.WireBytes = fabric.Stats().Bytes.Load() - before
+		p.Virtual = clk.Elapsed() - start
+		return p, err
+	}
+
+	cold, err := phase("cold")
+	if err != nil {
+		return nil, err
+	}
+	warm, err := phase("warm")
+	if err != nil {
+		return nil, err
+	}
+	// Mutate the tail quarter of the bundle: the re-lease must move
+	// only the chunks the mutation touched.
+	delta := desc
+	if len(desc) >= 8 {
+		delta = append([]byte(nil), desc...)
+		tail := acquirePayload(rng, len(desc)/4)
+		copy(delta[len(delta)-len(tail):], tail)
+	}
+	svc.WithDescriptor(delta)
+	dp, err := phase("delta")
+	if err != nil {
+		return nil, err
+	}
+	return []AcquirePoint{cold, warm, dp}, nil
+}
+
+// acquirePayload generates deterministic base64-alphabet bytes — text-
+// like enough to be a plausible descriptor, random enough that the
+// table measures chunking rather than compression.
+func acquirePayload(rng *rand.Rand, n int) []byte {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789+/"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return b
+}

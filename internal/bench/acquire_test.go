@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAcquireBenchSmoke is the CI gate behind `make acquire-bench`: a
+// tiny cold/warm/delta cycle on the virtual clock asserting the
+// warm-start guarantee — re-leasing an unchanged service must move
+// less than 10% of the cold-fetch bytes.
+func TestAcquireBenchSmoke(t *testing.T) {
+	for _, loss := range []float64{0, 0.05} {
+		pts, err := measureAcquire(16<<10, loss)
+		if err != nil {
+			t.Fatalf("loss %.0f%%: %v", loss*100, err)
+		}
+		if len(pts) != 3 {
+			t.Fatalf("loss %.0f%%: got %d phases, want 3", loss*100, len(pts))
+		}
+		cold, warm, delta := pts[0], pts[1], pts[2]
+		if cold.Stats.Mode != "cold" {
+			t.Errorf("loss %.0f%%: first fetch mode = %q, want cold", loss*100, cold.Stats.Mode)
+		}
+		if warm.Stats.Mode != "warm" || warm.Stats.ChunksFetched != 0 {
+			t.Errorf("loss %.0f%%: warm fetch mode=%q chunks=%d, want warm/0",
+				loss*100, warm.Stats.Mode, warm.Stats.ChunksFetched)
+		}
+		if warm.WireBytes*10 >= cold.WireBytes {
+			t.Errorf("loss %.0f%%: warm re-acquire moved %d bytes, cold moved %d — want warm < 10%% of cold",
+				loss*100, warm.WireBytes, cold.WireBytes)
+		}
+		if delta.Stats.Mode != "delta" {
+			t.Errorf("loss %.0f%%: delta fetch mode = %q, want delta", loss*100, delta.Stats.Mode)
+		}
+		if delta.WireBytes >= cold.WireBytes {
+			t.Errorf("loss %.0f%%: delta moved %d bytes, not less than cold's %d",
+				loss*100, delta.WireBytes, cold.WireBytes)
+		}
+	}
+}
+
+// TestAcquireExperimentRegistered keeps the runner wiring honest.
+func TestAcquireExperimentRegistered(t *testing.T) {
+	if _, ok := Experiments["acquire"]; !ok {
+		t.Fatal("acquire missing from Experiments map")
+	}
+	if !strings.Contains(strings.Join(Order, ","), "acquire") {
+		t.Fatal("acquire missing from Order")
+	}
+}

@@ -22,6 +22,7 @@ var Experiments = map[string]func(Config) error{
 	"payload":    func(c Config) error { _, err := RunPayloadAblation(c); return err },
 	"faults":     func(c Config) error { _, err := RunFaultAblation(c); return err },
 	"throughput": func(c Config) error { _, err := RunThroughput(c); return err },
+	"acquire":    func(c Config) error { _, err := RunAcquire(c); return err },
 	"obs":        RunObsDemo,
 }
 
@@ -29,7 +30,7 @@ var Experiments = map[string]func(Config) error{
 var Order = []string{
 	"footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6",
 	"tiers", "renderers", "smartproxy", "buildcost", "payload", "faults",
-	"throughput", "obs",
+	"throughput", "acquire", "obs",
 }
 
 // RunAll executes every experiment in order.

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// fetchTotal sums the client-side fetch-mode counters on hub — the
+// number of interface fetches the session actually performed.
+func fetchTotal(hub *obs.Hub) int64 {
+	var n int64
+	for _, mode := range []string{remote.FetchModeCold, remote.FetchModeWarm, remote.FetchModeDelta, remote.FetchModeLegacy} {
+		n += hub.Metrics.Counter("alfredo_remote_fetch_mode_total", "mode", mode).Value()
+	}
+	return n
+}
+
+// Two goroutines acquiring the same service on one session must
+// coalesce into a single fetch and share the resulting application —
+// not race each other into double installs or spurious
+// ErrAlreadyAcquired.
+func TestConcurrentAcquireCoalesces(t *testing.T) {
+	hub := obs.NewHub()
+	// A link with real latency keeps the first acquisition in flight
+	// long enough that the second call reliably lands inside it.
+	slow := netsim.LinkProfile{Name: "slow", Latency: 20 * time.Millisecond}
+	p := newTestPair(t, slow, NodeConfig{
+		Name:       "phone",
+		Profile:    device.Nokia9300i(),
+		CacheBytes: 1 << 20,
+		Obs:        hub,
+	})
+
+	const goroutines = 2
+	apps := make([]*Application, goroutines)
+	errs := make([]error, goroutines)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			apps[i], errs[i] = p.session.Acquire("demo.Counter", AcquireOptions{})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: Acquire: %v", i, errs[i])
+		}
+		if apps[i] == nil {
+			t.Fatalf("goroutine %d: nil application", i)
+		}
+	}
+	if apps[0] != apps[1] {
+		t.Fatalf("concurrent acquires returned distinct applications %p and %p", apps[0], apps[1])
+	}
+	if got := fetchTotal(hub); got != 1 {
+		t.Fatalf("coalesced acquire performed %d fetches, want 1", got)
+	}
+
+	// A later sequential acquire is a duplicate, not a coalesced waiter.
+	if _, err := p.session.Acquire("demo.Counter", AcquireOptions{}); !errors.Is(err, ErrAlreadyAcquired) {
+		t.Fatalf("re-acquire after completion: got %v, want ErrAlreadyAcquired", err)
+	}
+}
+
+// A second session from a cache-equipped phone re-leases an unchanged
+// service warm: the manifest is exchanged, but no chunk moves.
+func TestSessionWarmReacquire(t *testing.T) {
+	provider, err := NewNode(NodeConfig{Name: "shop-screen", Profile: device.Notebook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer provider.Close()
+	if err := provider.RegisterApp(counterApp()); err != nil {
+		t.Fatal(err)
+	}
+	phone, err := NewNode(NodeConfig{
+		Name:       "phone",
+		Profile:    device.Nokia9300i(),
+		CacheBytes: 1 << 20,
+		Obs:        obs.NewHub(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer phone.Close()
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("shop-screen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	provider.Serve(l)
+
+	lease := func() *Application {
+		conn, err := fabric.Dial("shop-screen", netsim.Loopback)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := phone.Connect(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := s.Acquire("demo.Counter", AcquireOptions{})
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		t.Cleanup(s.Close)
+		return app
+	}
+
+	cold := lease()
+	if cold.Fetch.Mode != remote.FetchModeCold {
+		t.Fatalf("first lease mode = %q, want cold", cold.Fetch.Mode)
+	}
+	warm := lease()
+	if warm.Fetch.Mode != remote.FetchModeWarm {
+		t.Fatalf("second lease mode = %q, want warm", warm.Fetch.Mode)
+	}
+	if warm.Fetch.ChunksFetched != 0 {
+		t.Fatalf("warm lease fetched %d chunks, want 0", warm.Fetch.ChunksFetched)
+	}
+	if warm.Fetch.BytesSaved != warm.Fetch.BytesTotal {
+		t.Fatalf("warm lease saved %d of %d bytes", warm.Fetch.BytesSaved, warm.Fetch.BytesTotal)
+	}
+	if err := phone.ChunkCache().Validate(); err != nil {
+		t.Fatalf("cache validation: %v", err)
+	}
+}

@@ -58,6 +58,22 @@ type NodeConfig struct {
 	// StorageDir enables Concierge-style bundle persistence for the
 	// node's framework (proxies are never persisted).
 	StorageDir string
+	// CacheBytes, when positive, gives the node a phone-side chunk
+	// cache with that byte budget: acquisitions go through the chunked
+	// fetch path and re-leasing an unchanged service moves only the
+	// manifest over the network (DESIGN.md §10). Zero disables the
+	// cache (every fetch is a legacy cold fetch).
+	CacheBytes int64
+	// CacheDir persists cached chunks on disk (one file per hash) so
+	// the cache survives process restarts. Empty keeps it in memory.
+	// Ignored when CacheBytes is zero.
+	CacheDir string
+	// ChunkBytes overrides the served-artifact chunk size (zero =
+	// module.DefaultChunkBytes).
+	ChunkBytes int
+	// FetchWindow bounds in-flight chunk hashes per request window
+	// during chunked fetches (zero = remote.DefaultFetchWindow).
+	FetchWindow int
 	// HideCapabilities withholds the device's input capabilities from
 	// the handshake. By default they are announced so the target can
 	// tailor what it offers (§3.2: "the device can decide which
@@ -106,6 +122,16 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	cfg.Clock = clock.Or(cfg.Clock)
 	fw := module.NewFramework(module.Config{Name: cfg.Name, StorageDir: cfg.StorageDir})
 	events := event.NewAdmin(0)
+	var cache *module.ChunkCache
+	if cfg.CacheBytes > 0 {
+		var err error
+		cache, err = module.NewChunkCache(cfg.CacheBytes, cfg.CacheDir)
+		if err != nil {
+			events.Close()
+			_ = fw.Shutdown()
+			return nil, fmt.Errorf("core: chunk cache: %w", err)
+		}
+	}
 	helloProps := map[string]any{"profile": cfg.Profile.Name}
 	if !cfg.HideCapabilities {
 		caps := make([]string, 0, 4)
@@ -127,6 +153,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Obs:              cfg.Obs,
 		Clock:            cfg.Clock,
 		Seed:             cfg.Seed,
+		ChunkCache:       cache,
+		ChunkBytes:       cfg.ChunkBytes,
+		FetchWindow:      cfg.FetchWindow,
 	})
 	if err != nil {
 		events.Close()
@@ -155,6 +184,10 @@ func (n *Node) Events() *event.Admin { return n.events }
 
 // Peer returns the node's remote peer.
 func (n *Node) Peer() *remote.Peer { return n.peer }
+
+// ChunkCache returns the node's phone-side chunk cache, or nil when
+// CacheBytes was zero.
+func (n *Node) ChunkCache() *module.ChunkCache { return n.peer.ChunkCache() }
 
 // Profile returns the node's device profile.
 func (n *Node) Profile() device.Profile { return n.cfg.Profile }
@@ -252,9 +285,10 @@ func (n *Node) Connect(conn net.Conn) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		node: n,
-		ch:   ch,
-		apps: make(map[string]*Application),
+		node:    n,
+		ch:      ch,
+		apps:    make(map[string]*Application),
+		flights: make(map[string]*acquireFlight),
 	}
 	n.mu.Lock()
 	if n.closed {
@@ -280,10 +314,11 @@ func (n *Node) ConnectResilient(dial remote.Dialer) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		node: n,
-		link: link,
-		ch:   link.Channel(),
-		apps: make(map[string]*Application),
+		node:    n,
+		link:    link,
+		ch:      link.Channel(),
+		apps:    make(map[string]*Application),
+		flights: make(map[string]*acquireFlight),
 	}
 	n.mu.Lock()
 	if n.closed {

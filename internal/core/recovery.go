@@ -113,7 +113,10 @@ func (s *Session) recoverApp(app *Application) (err error) {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchRemoteService, app.Interface)
 	}
-	reply, err := ch.FetchCtx(ctx, info.ID)
+	// Warm-start fast path: after a reconnect the chunk cache usually
+	// still holds the service bundle, so recovery moves only the
+	// manifest over the fresh link.
+	reply, fstats, err := ch.AcquireFetch(ctx, info.ID)
 	if err != nil {
 		return err
 	}
@@ -140,7 +143,7 @@ func (s *Session) recoverApp(app *Application) (err error) {
 			_ = bundle.Uninstall()
 			return fmt.Errorf("%w: dependency %s", ErrNoSuchRemoteService, depIface)
 		}
-		dreply, err := ch.FetchCtx(ctx, dinfo.ID)
+		dreply, _, err := ch.AcquireFetch(ctx, dinfo.ID)
 		if err != nil {
 			_ = bundle.Uninstall()
 			return err
@@ -162,6 +165,7 @@ func (s *Session) recoverApp(app *Application) (err error) {
 	app.Bundle = bundle
 	app.Proxy = pb.Service
 	app.Deps = deps
+	app.Fetch = fstats
 	app.degraded = false
 	recovered := app.recovered
 	app.recovered = nil

@@ -79,6 +79,11 @@ type Application struct {
 	Timing     Timing
 	// Placement records the tier negotiation outcome.
 	Placement Placement
+	// Fetch records how the main interface fetch moved over the wire:
+	// cold (full transfer), warm (cache hit, manifest only), delta
+	// (changed chunks only) or legacy, with chunk/byte accounting
+	// (DESIGN.md §10).
+	Fetch remote.FetchStats
 	// Deps maps pulled dependency interfaces to their proxies.
 	Deps map[string]*remote.DynamicService
 
@@ -99,10 +104,20 @@ type Session struct {
 	// owns reconnection and drives degrade/recover transitions.
 	link *remote.Link
 
-	mu     sync.Mutex
-	ch     *remote.Channel
-	apps   map[string]*Application
-	closed bool
+	mu      sync.Mutex
+	ch      *remote.Channel
+	apps    map[string]*Application
+	flights map[string]*acquireFlight
+	closed  bool
+}
+
+// acquireFlight coalesces concurrent Acquire calls for one interface:
+// the first caller runs the acquisition, later callers block on done
+// and share its outcome instead of racing a second fetch over the link.
+type acquireFlight struct {
+	done chan struct{}
+	app  *Application
+	err  error
 }
 
 // channel returns the current channel (it changes on reconnection).
@@ -172,8 +187,29 @@ func (s *Session) acquire(ctx context.Context, iface string, opts AcquireOptions
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrAlreadyAcquired, iface)
 	}
+	if f, inflight := s.flights[iface]; inflight {
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.app, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &acquireFlight{done: make(chan struct{})}
+	s.flights[iface] = f
 	s.mu.Unlock()
 
+	app, err := s.doAcquire(ctx, iface, opts)
+	f.app, f.err = app, err
+	s.mu.Lock()
+	delete(s.flights, iface)
+	s.mu.Unlock()
+	close(f.done)
+	return app, err
+}
+
+func (s *Session) doAcquire(ctx context.Context, iface string, opts AcquireOptions) (*Application, error) {
 	info, ok := s.channel().FindRemoteService(iface)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchRemoteService, iface)
@@ -182,11 +218,15 @@ func (s *Session) acquire(ctx context.Context, iface string, opts AcquireOptions
 	app := &Application{Interface: iface, session: s, Deps: make(map[string]*remote.DynamicService)}
 
 	// Phase 1: acquire service interface (+ descriptor) over the link.
+	// The chunked fetch path consults the node's chunk cache first: an
+	// unchanged service re-lease moves only the manifest (warm start),
+	// a changed one moves only the changed chunks (delta).
 	start := time.Now()
-	reply, err := s.channel().FetchCtx(ctx, info.ID)
+	reply, fstats, err := s.channel().AcquireFetch(ctx, info.ID)
 	if err != nil {
 		return nil, err
 	}
+	app.Fetch = fstats
 	app.Timing.AcquireInterface = time.Since(start)
 
 	if len(reply.Descriptor) == 0 {
@@ -295,7 +335,7 @@ func (s *Session) pullDependencies(ctx context.Context, app *Application, opts A
 		if !ok {
 			return fmt.Errorf("%w: dependency %s", ErrNoSuchRemoteService, depIface)
 		}
-		reply, err := s.channel().FetchCtx(ctx, info.ID)
+		reply, _, err := s.channel().AcquireFetch(ctx, info.ID)
 		if err != nil {
 			return fmt.Errorf("core: pulling dependency %s: %w", depIface, err)
 		}

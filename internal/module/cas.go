@@ -1,0 +1,242 @@
+package module
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Content-addressed bundle store (the acquire data plane, DESIGN.md
+// §10). Served artifacts — the encoded service reply a peer ships when
+// a client leases one of its services — are split into fixed-size
+// chunks, each keyed by its content hash. A manifest lists the chunk
+// references plus a root digest over them, so a receiver can fetch only
+// the chunks it is missing (rsync-style delta transfer) and still prove
+// it reassembled exactly the bytes the sender chunked.
+
+// DefaultChunkBytes is the fixed chunk size used when a store or peer
+// is configured with zero: small enough that editing one descriptor
+// field invalidates one chunk, large enough that per-chunk framing and
+// hashing overhead stays below a percent of the payload.
+const DefaultChunkBytes = 4 << 10
+
+// ErrBundleCorrupt marks bundle content whose bytes do not match their
+// digest (a transferred chunk, a reassembled artifact, or a stored
+// archive that no longer decodes). Match it with errors.Is; the
+// concrete *CorruptError carries the digests.
+var ErrBundleCorrupt = errors.New("module: bundle content corrupt")
+
+// CorruptError is the typed form of ErrBundleCorrupt: which ref failed
+// verification and the expected/actual digests. Expected is empty when
+// no digest was recorded for the content (an undecodable stored
+// archive). The remote layer maps this error to a refetch of the
+// offending chunks, never to a session failure.
+type CorruptError struct {
+	Ref      string // chunk hash, manifest root, or archive name
+	Expected string
+	Actual   string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Expected == "" {
+		return fmt.Sprintf("module: %s corrupt (digest %s)", e.Ref, e.Actual)
+	}
+	return fmt.Sprintf("module: %s corrupt: digest %s, want %s", e.Ref, e.Actual, e.Expected)
+}
+
+// Is makes errors.Is(err, ErrBundleCorrupt) hold for CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrBundleCorrupt }
+
+// ChunkHash returns the content key of a chunk: the full hex sha256 of
+// its bytes. (HashRef keeps its short prefixed form for proxy-code
+// refs; chunk keys need the full digest because equality IS identity.)
+func ChunkHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ChunkRef names one chunk of an artifact: its content hash and size.
+type ChunkRef struct {
+	Hash string
+	Size int64
+}
+
+// BundleManifest describes a chunked artifact: the ordered chunk refs,
+// the fixed chunk size they were cut with, and a root digest binding
+// the whole list. Version counts content changes of the artifact under
+// its key (a bump means the root changed; unchanged chunks keep their
+// hashes, so the delta is exactly the changed chunks).
+type BundleManifest struct {
+	Version    int64
+	ChunkBytes int64
+	TotalBytes int64
+	Root       string
+	Chunks     []ChunkRef
+}
+
+// SplitChunks cuts data into fixed-size chunks and returns their refs
+// alongside the chunk bytes (subslices of data, not copies).
+func SplitChunks(data []byte, chunkBytes int) ([]ChunkRef, [][]byte) {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	n := (len(data) + chunkBytes - 1) / chunkBytes
+	refs := make([]ChunkRef, 0, n)
+	parts := make([][]byte, 0, n)
+	for off := 0; off < len(data); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		part := data[off:end]
+		refs = append(refs, ChunkRef{Hash: ChunkHash(part), Size: int64(end - off)})
+		parts = append(parts, part)
+	}
+	return refs, parts
+}
+
+// ManifestRoot digests the ordered chunk list: reassembling chunks that
+// individually hash to their refs, in ref order, yields an artifact
+// whose identity is this root.
+func ManifestRoot(chunks []ChunkRef) string {
+	h := sha256.New()
+	for _, c := range chunks {
+		fmt.Fprintf(h, "%s %d\n", c.Hash, c.Size)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// AssembleChunks rebuilds an artifact from a manifest and a chunk
+// getter, re-verifying every chunk hash and the root digest. A chunk
+// whose bytes do not match its ref yields a *CorruptError — the caller
+// refetches, it never installs poisoned bytes.
+func AssembleChunks(m BundleManifest, get func(hash string) ([]byte, bool)) ([]byte, error) {
+	if root := ManifestRoot(m.Chunks); root != m.Root {
+		return nil, &CorruptError{Ref: "manifest root", Expected: m.Root, Actual: root}
+	}
+	out := make([]byte, 0, m.TotalBytes)
+	for _, ref := range m.Chunks {
+		data, ok := get(ref.Hash)
+		if !ok {
+			return nil, fmt.Errorf("module: assembling artifact: chunk %.12s missing", ref.Hash)
+		}
+		if got := ChunkHash(data); got != ref.Hash || int64(len(data)) != ref.Size {
+			return nil, &CorruptError{Ref: "chunk " + ref.Hash[:12], Expected: ref.Hash, Actual: got}
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// artifact is one chunked payload held by an ArtifactStore.
+type artifact struct {
+	manifest BundleManifest
+	chunks   []string // hashes, in manifest order (data lives in the store)
+}
+
+// ArtifactStore is the serving side of the acquire data plane: it
+// chunks artifacts under a key (one per exported service), keeps the
+// chunk bytes addressable by hash, and reuses the previous manifest
+// when the content is unchanged — so re-leasing an unchanged service
+// yields a byte-identical manifest, and a content change bumps Version
+// while unchanged chunks keep their hashes. Chunks shared between
+// artifacts (or across versions) are stored once and refcounted.
+type ArtifactStore struct {
+	chunkBytes int
+
+	mu    sync.Mutex
+	byKey map[string]*artifact
+	data  map[string][]byte
+	refs  map[string]int
+}
+
+// NewArtifactStore creates a store cutting chunks of chunkBytes
+// (DefaultChunkBytes when <= 0).
+func NewArtifactStore(chunkBytes int) *ArtifactStore {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	return &ArtifactStore{
+		chunkBytes: chunkBytes,
+		byKey:      make(map[string]*artifact),
+		data:       make(map[string][]byte),
+		refs:       make(map[string]int),
+	}
+}
+
+// ChunkBytes returns the store's chunk size.
+func (s *ArtifactStore) ChunkBytes() int { return s.chunkBytes }
+
+// Manifest chunks payload under key and returns its manifest. Unchanged
+// content returns the cached manifest (same Version, same Root); new
+// content replaces the previous artifact, releasing chunks no longer
+// referenced and bumping Version.
+func (s *ArtifactStore) Manifest(key string, payload []byte) BundleManifest {
+	refs, parts := SplitChunks(payload, s.chunkBytes)
+	root := ManifestRoot(refs)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.byKey[key]
+	if prev != nil && prev.manifest.Root == root {
+		return prev.manifest
+	}
+	version := int64(1)
+	if prev != nil {
+		version = prev.manifest.Version + 1
+	}
+	a := &artifact{
+		manifest: BundleManifest{
+			Version:    version,
+			ChunkBytes: int64(s.chunkBytes),
+			TotalBytes: int64(len(payload)),
+			Root:       root,
+			Chunks:     refs,
+		},
+		chunks: make([]string, len(refs)),
+	}
+	for i, ref := range refs {
+		a.chunks[i] = ref.Hash
+		if s.refs[ref.Hash] == 0 {
+			// Copy: parts alias the caller's payload buffer.
+			cp := make([]byte, len(parts[i]))
+			copy(cp, parts[i])
+			s.data[ref.Hash] = cp
+		}
+		s.refs[ref.Hash]++
+	}
+	s.byKey[key] = a
+	if prev != nil {
+		s.releaseLocked(prev)
+	}
+	return a.manifest
+}
+
+// Chunk returns the bytes of a stored chunk by hash.
+func (s *ArtifactStore) Chunk(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.data[hash]
+	return data, ok
+}
+
+// Drop removes the artifact under key, releasing its chunks.
+func (s *ArtifactStore) Drop(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a := s.byKey[key]; a != nil {
+		delete(s.byKey, key)
+		s.releaseLocked(a)
+	}
+}
+
+func (s *ArtifactStore) releaseLocked(a *artifact) {
+	for _, h := range a.chunks {
+		if s.refs[h]--; s.refs[h] <= 0 {
+			delete(s.refs, h)
+			delete(s.data, h)
+		}
+	}
+}

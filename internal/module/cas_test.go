@@ -1,0 +1,137 @@
+package module
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func randBytes(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestSplitChunksRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 4096, 4097, 10000} {
+		data := randBytes(int64(n)+1, n)
+		refs, parts := SplitChunks(data, 4096)
+		if len(refs) != len(parts) {
+			t.Fatalf("n=%d: %d refs vs %d parts", n, len(refs), len(parts))
+		}
+		var total int64
+		var joined []byte
+		for i, p := range parts {
+			if ChunkHash(p) != refs[i].Hash {
+				t.Fatalf("n=%d: chunk %d hash mismatch", n, i)
+			}
+			total += refs[i].Size
+			joined = append(joined, p...)
+		}
+		if total != int64(n) || !bytes.Equal(joined, data) {
+			t.Fatalf("n=%d: reassembly mismatch", n)
+		}
+	}
+}
+
+func TestAssembleChunksVerifies(t *testing.T) {
+	data := randBytes(7, 9000)
+	refs, parts := SplitChunks(data, 4096)
+	m := BundleManifest{
+		Version:    1,
+		ChunkBytes: 4096,
+		TotalBytes: int64(len(data)),
+		Root:       ManifestRoot(refs),
+		Chunks:     refs,
+	}
+	byHash := make(map[string][]byte)
+	for i, p := range parts {
+		byHash[refs[i].Hash] = p
+	}
+	get := func(h string) ([]byte, bool) { d, ok := byHash[h]; return d, ok }
+
+	out, err := AssembleChunks(m, get)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("assemble: err=%v, equal=%v", err, bytes.Equal(out, data))
+	}
+
+	// A flipped bit in one chunk must surface as ErrBundleCorrupt.
+	bad := append([]byte(nil), parts[1]...)
+	bad[0] ^= 0xff
+	byHash[refs[1].Hash] = bad
+	if _, err := AssembleChunks(m, get); !errors.Is(err, ErrBundleCorrupt) {
+		t.Fatalf("corrupt chunk: got %v, want ErrBundleCorrupt", err)
+	}
+	byHash[refs[1].Hash] = parts[1]
+
+	// A tampered root must fail before any chunk is read.
+	m.Root = ChunkHash([]byte("not the root"))
+	if _, err := AssembleChunks(m, get); !errors.Is(err, ErrBundleCorrupt) {
+		t.Fatalf("bad root: got %v, want ErrBundleCorrupt", err)
+	}
+}
+
+func TestArtifactStoreVersioning(t *testing.T) {
+	s := NewArtifactStore(4096)
+	a := randBytes(1, 10000)
+
+	m1 := s.Manifest("svc", a)
+	if m1.Version != 1 || m1.TotalBytes != int64(len(a)) || len(m1.Chunks) != 3 {
+		t.Fatalf("first manifest: %+v", m1)
+	}
+	// Unchanged content: identical manifest, no version bump.
+	m2 := s.Manifest("svc", append([]byte(nil), a...))
+	if m2.Version != 1 || m2.Root != m1.Root {
+		t.Fatalf("unchanged content bumped manifest: %+v", m2)
+	}
+
+	// Mutate only the tail: version bumps, shared prefix chunks keep
+	// their hashes (the delta is exactly the changed chunks).
+	b := append([]byte(nil), a...)
+	b[len(b)-1] ^= 0xff
+	m3 := s.Manifest("svc", b)
+	if m3.Version != 2 || m3.Root == m1.Root {
+		t.Fatalf("changed content: %+v", m3)
+	}
+	if m3.Chunks[0] != m1.Chunks[0] || m3.Chunks[1] != m1.Chunks[1] {
+		t.Fatal("unchanged chunks changed hash")
+	}
+	if m3.Chunks[2] == m1.Chunks[2] {
+		t.Fatal("changed chunk kept its hash")
+	}
+
+	// Every chunk of the live manifest is servable; the replaced tail
+	// chunk of version 1 has been released.
+	for _, ref := range m3.Chunks {
+		if _, ok := s.Chunk(ref.Hash); !ok {
+			t.Fatalf("live chunk %.12s not servable", ref.Hash)
+		}
+	}
+	if _, ok := s.Chunk(m1.Chunks[2].Hash); ok {
+		t.Fatal("stale chunk still stored after replacement")
+	}
+
+	s.Drop("svc")
+	if _, ok := s.Chunk(m3.Chunks[0].Hash); ok {
+		t.Fatal("chunk survived Drop")
+	}
+}
+
+func TestArtifactStoreSharedChunks(t *testing.T) {
+	s := NewArtifactStore(4096)
+	shared := randBytes(3, 8192)
+	m1 := s.Manifest("a", shared)
+	m2 := s.Manifest("b", shared)
+	if m1.Root != m2.Root {
+		t.Fatal("identical content under two keys produced different roots")
+	}
+	s.Drop("a")
+	// "b" still references the shared chunks.
+	for _, ref := range m2.Chunks {
+		if _, ok := s.Chunk(ref.Hash); !ok {
+			t.Fatal("shared chunk released while still referenced")
+		}
+	}
+}

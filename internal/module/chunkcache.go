@@ -1,0 +1,221 @@
+package module
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ChunkCache is the phone-side half of the acquire data plane: a
+// content-addressed chunk store with an LRU byte budget, shared by all
+// sessions on a node so chunks persist across leases. Keys are
+// ChunkHash digests, so a cached chunk is valid for any service, any
+// peer, any version that references the same bytes — warm-starting an
+// unchanged service needs only the manifest exchange, and a version
+// bump invalidates exactly the chunks whose content changed.
+//
+// When built with a directory, chunks are additionally persisted as
+// one file per hash and reloaded (hash-verified) on startup, so the
+// cache survives process restarts.
+type ChunkCache struct {
+	budget int64
+	dir    string // "" = memory only
+
+	mu    sync.Mutex
+	order *list.List // front = most recent; values are *cacheEntry
+	byKey map[string]*list.Element
+	used  int64
+
+	hits, misses, puts, evictions, corruptDropped int64
+}
+
+type cacheEntry struct {
+	hash string
+	data []byte
+}
+
+// CacheStats is a snapshot of ChunkCache counters. The conservation
+// identity Puts − Evictions == Chunks (corrupt puts are rejected before
+// counting) is checked as a sim invariant.
+type CacheStats struct {
+	Hits, Misses, Puts, Evictions, CorruptDropped int64
+	Chunks                                        int
+	BytesUsed, BytesBudget                        int64
+}
+
+// NewChunkCache creates a cache holding at most budget bytes of chunk
+// data. dir, when non-empty, enables disk persistence: existing files
+// are loaded (oldest first by name order — access order is lost across
+// restarts), and files whose content no longer matches their name are
+// deleted and counted as CorruptDropped rather than served.
+func NewChunkCache(budget int64, dir string) (*ChunkCache, error) {
+	c := &ChunkCache{
+		budget: budget,
+		dir:    dir,
+		order:  list.New(),
+		byKey:  make(map[string]*list.Element),
+	}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("module: chunk cache dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("module: chunk cache dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		if ChunkHash(data) != e.Name() {
+			os.Remove(path)
+			c.corruptDropped++
+			continue
+		}
+		c.insertLocked(e.Name(), data)
+	}
+	return c, nil
+}
+
+// Budget returns the cache's byte budget.
+func (c *ChunkCache) Budget() int64 { return c.budget }
+
+// Get returns the cached bytes for hash and marks the chunk recently
+// used. The returned slice must not be mutated.
+func (c *ChunkCache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[hash]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// Contains reports whether hash is cached without touching LRU order
+// or hit/miss counters (used when diffing a manifest against the
+// cache before deciding what to fetch).
+func (c *ChunkCache) Contains(hash string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byKey[hash]
+	return ok
+}
+
+// Put stores a verified chunk. Bytes that do not hash to hash are
+// rejected with a *CorruptError — a corrupted transfer can never
+// poison the cache. Chunks larger than the whole budget are silently
+// skipped (caching them would evict everything else for one entry).
+func (c *ChunkCache) Put(hash string, data []byte) error {
+	if got := ChunkHash(data); got != hash {
+		c.mu.Lock()
+		c.corruptDropped++
+		c.mu.Unlock()
+		return &CorruptError{Ref: "chunk " + short(hash), Expected: hash, Actual: got}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[hash]; ok {
+		c.order.MoveToFront(el)
+		return nil
+	}
+	if int64(len(data)) > c.budget {
+		return nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.insertLocked(hash, cp)
+	c.puts++
+	if c.dir != "" {
+		// Best-effort persistence; the in-memory entry is canonical.
+		os.WriteFile(filepath.Join(c.dir, hash), cp, 0o644)
+	}
+	for c.used > c.budget {
+		c.evictLocked()
+	}
+	return nil
+}
+
+func (c *ChunkCache) insertLocked(hash string, data []byte) {
+	c.byKey[hash] = c.order.PushFront(&cacheEntry{hash: hash, data: data})
+	c.used += int64(len(data))
+	for c.used > c.budget {
+		c.evictLocked()
+	}
+}
+
+func (c *ChunkCache) evictLocked() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.byKey, ent.hash)
+	c.used -= int64(len(ent.data))
+	c.evictions++
+	if c.dir != "" {
+		os.Remove(filepath.Join(c.dir, ent.hash))
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ChunkCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Puts:           c.puts,
+		Evictions:      c.evictions,
+		CorruptDropped: c.corruptDropped,
+		Chunks:         c.order.Len(),
+		BytesUsed:      c.used,
+		BytesBudget:    c.budget,
+	}
+}
+
+// Validate is the cache-coherence check used by the sim harness: every
+// entry must still hash to its key, byte accounting must match, and
+// usage must respect the budget. It returns the first violation found.
+func (c *ChunkCache) Validate() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		if got := ChunkHash(ent.data); got != ent.hash {
+			return &CorruptError{Ref: "cached chunk " + short(ent.hash), Expected: ent.hash, Actual: got}
+		}
+		sum += int64(len(ent.data))
+	}
+	if sum != c.used {
+		return fmt.Errorf("module: chunk cache accounting: tracked %d bytes, entries total %d", c.used, sum)
+	}
+	if c.used > c.budget {
+		return fmt.Errorf("module: chunk cache over budget: %d > %d", c.used, c.budget)
+	}
+	if n := c.order.Len(); n != len(c.byKey) {
+		return fmt.Errorf("module: chunk cache index skew: %d entries, %d keys", n, len(c.byKey))
+	}
+	return nil
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}

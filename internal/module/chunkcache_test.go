@@ -1,0 +1,135 @@
+package module
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestChunkCacheLRUBudget(t *testing.T) {
+	c, err := NewChunkCache(3000, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([][]byte, 4)
+	hashes := make([]string, 4)
+	for i := range chunks {
+		chunks[i] = randBytes(int64(i+10), 1000)
+		hashes[i] = ChunkHash(chunks[i])
+		if err := c.Put(hashes[i], chunks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Budget holds 3 chunks: the first (least recently used) is gone.
+	if _, ok := c.Get(hashes[0]); ok {
+		t.Fatal("LRU chunk survived over-budget insert")
+	}
+	if _, ok := c.Get(hashes[3]); !ok {
+		t.Fatal("fresh chunk evicted")
+	}
+	// Touch hashes[1], insert a new chunk: hashes[2] (now LRU) goes.
+	if _, ok := c.Get(hashes[1]); !ok {
+		t.Fatal("chunk 1 missing")
+	}
+	extra := randBytes(99, 1000)
+	if err := c.Put(ChunkHash(extra), extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(hashes[2]); ok {
+		t.Fatal("recently-touched order not respected")
+	}
+	if _, ok := c.Get(hashes[1]); !ok {
+		t.Fatal("touched chunk evicted before colder one")
+	}
+
+	st := c.Stats()
+	if st.BytesUsed != 3000 || st.Chunks != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Puts-st.Evictions != int64(st.Chunks) {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkCacheRejectsCorrupt(t *testing.T) {
+	c, _ := NewChunkCache(1<<20, "")
+	good := randBytes(5, 512)
+	if err := c.Put(ChunkHash(good), append(good, 'x')); !errors.Is(err, ErrBundleCorrupt) {
+		t.Fatalf("mismatched bytes accepted: %v", err)
+	}
+	if st := c.Stats(); st.CorruptDropped != 1 || st.Chunks != 0 {
+		t.Fatalf("stats after corrupt put: %+v", st)
+	}
+	// Oversize chunks are skipped, not cached.
+	small, _ := NewChunkCache(10, "")
+	if err := small.Put(ChunkHash(good), good); err != nil {
+		t.Fatal(err)
+	}
+	if st := small.Stats(); st.Chunks != 0 {
+		t.Fatal("oversize chunk cached")
+	}
+}
+
+func TestChunkCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	data := randBytes(8, 2048)
+	hash := ChunkHash(data)
+
+	c1, err := NewChunkCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(hash, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second cache over the same directory sees the chunk.
+	c2, err := NewChunkCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(hash)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatal("persisted chunk not reloaded")
+	}
+
+	// Corrupt the file on disk: reload must drop it, not serve it.
+	if err := os.WriteFile(filepath.Join(dir, hash), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NewChunkCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Get(hash); ok {
+		t.Fatal("corrupted file served from cache")
+	}
+	if st := c3.Stats(); st.CorruptDropped != 1 {
+		t.Fatalf("stats after corrupt reload: %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, hash)); !os.IsNotExist(err) {
+		t.Fatal("corrupted file left on disk")
+	}
+}
+
+func TestStoredBundleCorruptionTyped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("%06d%s", 1, archiveExt)), []byte("{not an archive"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fw := NewFramework(Config{Name: "corrupt-store", StorageDir: dir})
+	err := fw.BootError()
+	if !errors.Is(err, ErrBundleCorrupt) {
+		t.Fatalf("corrupted archive error not typed: %v", err)
+	}
+	var cerr *CorruptError
+	if !errors.As(err, &cerr) || cerr.Actual == "" {
+		t.Fatalf("boot error missing digest detail: %v", err)
+	}
+}

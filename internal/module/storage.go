@@ -85,7 +85,12 @@ func (f *Framework) loadStorage() error {
 		}
 		a, err := DecodeArchive(data)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("module: stored bundle %s: %w", name, err))
+			// Undecodable stored bytes are corruption, not a config
+			// error: surface a typed CorruptError carrying the content
+			// digest so callers can errors.Is(err, ErrBundleCorrupt)
+			// and refetch instead of failing the session.
+			cerr := &CorruptError{Ref: "stored bundle " + name, Actual: ChunkHash(data)}
+			errs = append(errs, fmt.Errorf("%w: %v", cerr, err))
 			continue
 		}
 		// Remove the stale file; install re-persists under the new id.

@@ -100,15 +100,19 @@ type Channel struct {
 	pendingCalls map[int64]chan callResult
 	pendingFetch map[int64]chan fetchResult
 	pendingPings map[int64]chan error
-	nextID       int64
-	remoteSubs   []string
-	streams      map[int64]*inStream
-	streamFn     func(name string, props map[string]any, r *StreamReader)
-	svcWatchers  []func()
-	proxies      []*module.Bundle
-	evTok        int64
-	hasEvTok     bool
-	closeReason  error
+	// Chunked acquisition (fetch.go): one entry per outstanding
+	// manifest request; one buffered stream per in-flight chunk window.
+	pendingManifests map[int64]chan manifestResult
+	pendingChunks    map[int64]chan *wire.ChunkData
+	nextID           int64
+	remoteSubs       []string
+	streams          map[int64]*inStream
+	streamFn         func(name string, props map[string]any, r *StreamReader)
+	svcWatchers      []func()
+	proxies          []*module.Bundle
+	evTok            int64
+	hasEvTok         bool
+	closeReason      error
 
 	// Cached per-service telemetry handles (see metrics.go).
 	invokeObsBySvc map[int64]*svcObs
@@ -128,17 +132,19 @@ type Channel struct {
 // lease exchange, then the reader starts.
 func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	c := &Channel{
-		peer:           p,
-		conn:           conn,
-		bw:             bufio.NewWriterSize(conn, writeCoalesceBuffer),
-		remoteSvcs:     make(map[int64]wire.ServiceInfo),
-		pendingCalls:   make(map[int64]chan callResult),
-		pendingFetch:   make(map[int64]chan fetchResult),
-		pendingPings:   make(map[int64]chan error),
-		streams:        make(map[int64]*inStream),
-		invokeObsBySvc: make(map[int64]*svcObs),
-		serveObsBySvc:  make(map[int64]*svcObs),
-		closed:         make(chan struct{}),
+		peer:             p,
+		conn:             conn,
+		bw:               bufio.NewWriterSize(conn, writeCoalesceBuffer),
+		remoteSvcs:       make(map[int64]wire.ServiceInfo),
+		pendingCalls:     make(map[int64]chan callResult),
+		pendingFetch:     make(map[int64]chan fetchResult),
+		pendingPings:     make(map[int64]chan error),
+		pendingManifests: make(map[int64]chan manifestResult),
+		pendingChunks:    make(map[int64]chan *wire.ChunkData),
+		streams:          make(map[int64]*inStream),
+		invokeObsBySvc:   make(map[int64]*svcObs),
+		serveObsBySvc:    make(map[int64]*svcObs),
+		closed:           make(chan struct{}),
 	}
 
 	// Bound the handshake: a dead or hostile peer must not hang the
@@ -149,7 +155,13 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 		defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
 	}
 
-	helloProps := map[string]any{"device": p.cfg.Device.Name()}
+	// Every peer serves chunked fetches; announcing it lets requesters
+	// pick the chunked path. Explicit HelloProps may override (tests
+	// and ablations pose as a legacy peer by setting it false).
+	helloProps := map[string]any{
+		"device":         p.cfg.Device.Name(),
+		propFetchChunked: true,
+	}
 	for k, v := range p.cfg.HelloProps {
 		helloProps[k] = v
 	}
@@ -301,7 +313,8 @@ func (c *Channel) Done() <-chan struct{} { return c.closed }
 func (c *Channel) PendingOps() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.pendingCalls) + len(c.pendingFetch) + len(c.pendingPings)
+	return len(c.pendingCalls) + len(c.pendingFetch) + len(c.pendingPings) +
+		len(c.pendingManifests) + len(c.pendingChunks)
 }
 
 // clock returns the peer's time source.
@@ -720,6 +733,9 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 		c.pendingFetch = map[int64]chan fetchResult{}
 		pings := c.pendingPings
 		c.pendingPings = map[int64]chan error{}
+		manifests := c.pendingManifests
+		c.pendingManifests = map[int64]chan manifestResult{}
+		c.pendingChunks = map[int64]chan *wire.ChunkData{}
 		streams := c.streams
 		c.streams = map[int64]*inStream{}
 		proxies := c.proxies
@@ -738,6 +754,11 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 		for _, ch := range pings {
 			ch <- ErrChannelClosed
 		}
+		for _, ch := range manifests {
+			ch <- manifestResult{err: ErrChannelClosed}
+		}
+		// Chunk streams need no drain: their collectors select on
+		// c.closed and re-issue remaining hashes on a surviving link.
 		for _, s := range streams {
 			s.closeWith(ErrChannelClosed)
 		}
@@ -803,6 +824,31 @@ func (c *Channel) readLoop() {
 			c.mu.Unlock()
 			if ok {
 				ch <- fetchResult{reply: m, size: size}
+			}
+		case *wire.FetchManifest:
+			c.handleFetchManifest(m)
+		case *wire.ManifestReply:
+			c.mu.Lock()
+			ch, ok := c.pendingManifests[m.RequestID]
+			delete(c.pendingManifests, m.RequestID)
+			c.mu.Unlock()
+			if ok {
+				ch <- manifestResult{reply: m}
+			}
+		case *wire.FetchChunks:
+			c.handleFetchChunks(m)
+		case *wire.ChunkData:
+			c.mu.Lock()
+			ch, ok := c.pendingChunks[m.RequestID]
+			c.mu.Unlock()
+			if ok {
+				// Non-blocking: an over-full window (duplicate
+				// retransmit deliveries) drops the frame here and the
+				// collector's timeout path re-requests the hash.
+				select {
+				case ch <- m:
+				default:
+				}
 			}
 		case *wire.Invoke:
 			c.dispatchInvoke(m, size)
@@ -872,7 +918,7 @@ func (c *Channel) handleFetch(m *wire.FetchService) {
 	span.SetAttr("node", c.peer.ID())
 	defer span.Finish()
 
-	svc, ok := c.peer.lookupExported(m.ServiceID)
+	reply, ok := c.buildReply(m.ServiceID)
 	if !ok {
 		span.Fail(fmt.Errorf("service %d not exported", m.ServiceID))
 		// An empty reply tells the requester "no such service". No
@@ -881,11 +927,23 @@ func (c *Channel) handleFetch(m *wire.FetchService) {
 		_ = c.send(&wire.ServiceReply{RequestID: m.RequestID})
 		return
 	}
+	reply.RequestID = m.RequestID
+	_ = c.send(reply)
+}
+
+// buildReply assembles the full service reply for an exported service:
+// interface descriptors, lease info, the AlfredO service descriptor,
+// injected types and any smart proxy reference. Both fetch paths (the
+// legacy single frame and the chunked artifact) ship exactly this.
+func (c *Channel) buildReply(serviceID int64) (*wire.ServiceReply, bool) {
+	svc, ok := c.peer.lookupExported(serviceID)
+	if !ok {
+		return nil, false
+	}
 	reply := &wire.ServiceReply{
-		RequestID:  m.RequestID,
 		Interfaces: []wire.InterfaceDesc{svc.Describe()},
 	}
-	if info, known := c.peer.exportedInfo(m.ServiceID); known {
+	if info, known := c.peer.exportedInfo(serviceID); known {
 		reply.Info = info
 	}
 	if dp, ok := svc.(DescriptorProvider); ok {
@@ -897,7 +955,7 @@ func (c *Channel) handleFetch(m *wire.FetchService) {
 	if sp, ok := svc.(SmartProxyProvider); ok {
 		reply.Smart = sp.SmartProxy()
 	}
-	_ = c.send(reply)
+	return reply, true
 }
 
 func (c *Channel) handleInvoke(m *wire.Invoke, size int) {

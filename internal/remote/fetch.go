@@ -1,0 +1,630 @@
+package remote
+
+import (
+	"bytes"
+	"compress/flate"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// Chunked service acquisition (DESIGN.md §10). Instead of shipping the
+// whole service reply in one frame (legacy FetchService), the requester
+// asks for the artifact's chunk manifest, diffs it against its
+// content-addressed cache, and fetches only the missing chunks — with a
+// configurable in-flight window pipelined over the link, spread across
+// several links when available, and per-chunk compression when the
+// bytes look compressible. A warm re-acquire of an unchanged service
+// touches the network only for the manifest exchange.
+
+// propFetchChunked is the Hello property announcing that a peer serves
+// chunked fetches. Absence (an older peer) makes requesters fall back
+// to the legacy single-shot fetch.
+const propFetchChunked = "fetch.chunked"
+
+// DefaultFetchWindow is the number of chunk hashes kept in flight per
+// request batch when Config.FetchWindow is zero.
+const DefaultFetchWindow = 16
+
+// Fetch modes recorded in FetchStats.Mode and the per-mode counter.
+const (
+	FetchModeCold   = "cold"   // no usable cached chunks
+	FetchModeWarm   = "warm"   // fully cached: manifest exchange only
+	FetchModeDelta  = "delta"  // partially cached: fetched the difference
+	FetchModeLegacy = "legacy" // single-shot FetchService path
+)
+
+// FetchStats reports what one acquisition moved over the network.
+type FetchStats struct {
+	Mode          string
+	ChunksTotal   int
+	ChunksFetched int
+	Retransmits   int
+	BytesTotal    int64 // artifact size
+	BytesFetched  int64 // uncompressed bytes actually transferred
+	BytesSaved    int64 // BytesTotal - BytesFetched
+}
+
+type manifestResult struct {
+	reply *wire.ManifestReply
+	err   error
+}
+
+// errChunkGone signals that the serving peer no longer stores a
+// requested chunk (artifact replaced after the manifest was issued);
+// the requester falls back to the legacy fetch.
+var errChunkGone = errors.New("remote: chunk no longer served by peer")
+
+// AcquireFetch retrieves a service reply through the chunked data
+// plane when possible: manifest exchange, cache diff, windowed fetch of
+// missing chunks (spread across extra channels when given — they must
+// reach peers exporting the same content), hash-verified assembly.
+// Without a local chunk cache, or against a peer that does not announce
+// chunked serving, it degrades to the legacy single-shot FetchCtx.
+func (c *Channel) AcquireFetch(ctx context.Context, serviceID int64, extra ...*Channel) (*wire.ServiceReply, FetchStats, error) {
+	cache := c.peer.cfg.ChunkCache
+	if cache == nil || !c.remoteSupportsChunked() {
+		return c.legacyFetch(ctx, serviceID)
+	}
+
+	ctx, span := c.obsHub().Tracer.Start(ctx, "rpc.acquire.chunked")
+	defer span.Finish()
+
+	man, err := c.fetchManifest(ctx, serviceID)
+	if err != nil {
+		span.Fail(err)
+		return nil, FetchStats{}, err
+	}
+	if !man.OK {
+		span.Annotate("peer declined chunked fetch")
+		return c.legacyFetch(ctx, serviceID)
+	}
+
+	reply, stats, err := c.assembleFromManifest(ctx, man, extra)
+	if err != nil {
+		if errors.Is(err, errChunkGone) || errors.Is(err, module.ErrBundleCorrupt) {
+			// The artifact changed under us or reassembly failed
+			// verification: the cache holds only hash-checked chunks, so
+			// nothing is poisoned — retry through the legacy path.
+			span.Annotate("chunked fetch degraded: " + err.Error())
+			return c.legacyFetch(ctx, serviceID)
+		}
+		span.Fail(err)
+		return nil, stats, err
+	}
+	if reply == nil || len(reply.Interfaces) == 0 {
+		err := fmt.Errorf("%w: service %d", ErrNoSuchService, serviceID)
+		span.Fail(err)
+		return nil, stats, err
+	}
+	span.SetAttr("mode", stats.Mode)
+	c.recordFetchStats(stats)
+	return reply, stats, nil
+}
+
+func (c *Channel) legacyFetch(ctx context.Context, serviceID int64) (*wire.ServiceReply, FetchStats, error) {
+	reply, err := c.FetchCtx(ctx, serviceID)
+	stats := FetchStats{Mode: FetchModeLegacy}
+	if err == nil {
+		c.recordFetchStats(stats)
+	}
+	return reply, stats, err
+}
+
+func (c *Channel) recordFetchStats(st FetchStats) {
+	m := c.obsHub().Metrics
+	m.Counter("alfredo_remote_fetch_mode_total", "mode", st.Mode).Inc()
+	hits := st.ChunksTotal - st.ChunksFetched
+	if hits > 0 {
+		m.Counter("alfredo_remote_chunk_cache_hits_total").Add(int64(hits))
+	}
+	if st.ChunksFetched > 0 {
+		m.Counter("alfredo_remote_chunk_cache_misses_total").Add(int64(st.ChunksFetched))
+	}
+	if st.BytesSaved > 0 {
+		m.Gauge("alfredo_remote_fetch_bytes_saved").Add(st.BytesSaved)
+	}
+}
+
+// remoteSupportsChunked reports whether the peer announced chunked
+// serving in its Hello.
+func (c *Channel) remoteSupportsChunked() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remoteProps[propFetchChunked] == true
+}
+
+// fetchManifest retrieves the chunk manifest for a service, retrying
+// timeouts under the peer's policy (manifest requests are read-only).
+func (c *Channel) fetchManifest(ctx context.Context, serviceID int64) (*wire.ManifestReply, error) {
+	policy := c.peer.cfg.Retry
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retryCounter("manifest", "timeout").Inc()
+			if !c.backoff(c.peer.retryDelay(attempt - 1)) {
+				return nil, ErrChannelClosed
+			}
+		}
+		man, err := c.fetchManifestOnce(ctx, serviceID)
+		if err == nil || !errors.Is(err, ErrTimeout) {
+			return man, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("remote: manifest fetch of service %d failed after %d attempts: %w",
+		serviceID, policy.MaxAttempts, lastErr)
+}
+
+func (c *Channel) fetchManifestOnce(ctx context.Context, serviceID int64) (*wire.ManifestReply, error) {
+	_, span := c.obsHub().Tracer.Start(ctx, "rpc.fetch.manifest")
+	defer span.Finish()
+
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan manifestResult, 1)
+	c.pendingManifests[id] = ch
+	c.mu.Unlock()
+	cleanup := func() {
+		c.mu.Lock()
+		delete(c.pendingManifests, id)
+		c.mu.Unlock()
+	}
+
+	sc := span.Context()
+	if err := c.send(&wire.FetchManifest{RequestID: id, ServiceID: serviceID,
+		TraceID: sc.TraceID, SpanID: sc.SpanID}); err != nil {
+		cleanup()
+		span.Fail(err)
+		return nil, err
+	}
+	timer := c.clock().NewTimer(c.peer.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			span.Fail(res.err)
+			return nil, res.err
+		}
+		return res.reply, nil
+	case <-timer.C:
+		cleanup()
+		err := fmt.Errorf("%w: manifest of service %d after %v", ErrTimeout, serviceID, c.peer.cfg.Timeout)
+		span.Fail(err)
+		return nil, err
+	case <-c.closed:
+		cleanup()
+		span.Fail(ErrChannelClosed)
+		return nil, ErrChannelClosed
+	}
+}
+
+// assembleFromManifest diffs the manifest against the cache, fetches
+// missing chunks, and decodes the reassembled artifact.
+func (c *Channel) assembleFromManifest(ctx context.Context, man *wire.ManifestReply, extra []*Channel) (*wire.ServiceReply, FetchStats, error) {
+	cache := c.peer.cfg.ChunkCache
+	stats := FetchStats{BytesTotal: man.TotalBytes}
+
+	// Dedup: a manifest may repeat a hash (identical chunks); each
+	// distinct hash is fetched at most once.
+	seen := make(map[string]bool, len(man.Chunks))
+	sizeOf := make(map[string]int64, len(man.Chunks))
+	var missing []string
+	for _, ref := range man.Chunks {
+		if seen[ref.Hash] {
+			continue
+		}
+		seen[ref.Hash] = true
+		sizeOf[ref.Hash] = ref.Size
+		stats.ChunksTotal++
+		if !cache.Contains(ref.Hash) {
+			missing = append(missing, ref.Hash)
+		}
+	}
+
+	switch {
+	case len(missing) == 0:
+		stats.Mode = FetchModeWarm
+	case len(missing) == stats.ChunksTotal:
+		stats.Mode = FetchModeCold
+	default:
+		stats.Mode = FetchModeDelta
+	}
+
+	if len(missing) > 0 {
+		if err := c.fetchMissingChunks(ctx, man, missing, sizeOf, &stats, extra); err != nil {
+			return nil, stats, err
+		}
+	}
+	stats.BytesSaved = stats.BytesTotal - stats.BytesFetched
+
+	mod := module.BundleManifest{
+		Version:    man.Version,
+		ChunkBytes: man.ChunkBytes,
+		TotalBytes: man.TotalBytes,
+		Root:       man.Root,
+		Chunks:     make([]module.ChunkRef, len(man.Chunks)),
+	}
+	for i, ref := range man.Chunks {
+		mod.Chunks[i] = module.ChunkRef{Hash: ref.Hash, Size: ref.Size}
+	}
+	payload, err := module.AssembleChunks(mod, cache.Get)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	msg, err := wire.DecodeMessage(payload)
+	if err != nil {
+		return nil, stats, fmt.Errorf("%w: %v", module.ErrBundleCorrupt, err)
+	}
+	reply, ok := msg.(*wire.ServiceReply)
+	if !ok {
+		return nil, stats, fmt.Errorf("%w: artifact decodes to %s", module.ErrBundleCorrupt, msg.Type())
+	}
+	// Client-side parse cost proportional to the artifact size, exactly
+	// like the legacy reader-reported frame size.
+	c.peer.cfg.Device.ParseReply(len(payload))
+	return reply, stats, nil
+}
+
+// chunkBatch is one in-flight FetchChunks window on one channel.
+type chunkBatch struct {
+	ch     *Channel
+	id     int64
+	rx     chan *wire.ChunkData
+	want   map[string]bool
+	issued time.Time
+}
+
+// fetchMissingChunks ships the missing hashes in windows: every window
+// is issued immediately (pipelining over one link), round-robin across
+// the given channels when several are usable (parallel links). Chunks
+// are verified and cached as they arrive, so partial progress survives
+// a mid-fetch failure; a corrupted chunk is re-requested immediately, a
+// timed-out window is retransmitted up to the retry budget.
+func (c *Channel) fetchMissingChunks(ctx context.Context, man *wire.ManifestReply, missing []string, sizeOf map[string]int64, stats *FetchStats, extra []*Channel) error {
+	cache := c.peer.cfg.ChunkCache
+	window := c.peer.cfg.FetchWindow
+	if window <= 0 {
+		window = DefaultFetchWindow
+	}
+	channels := []*Channel{c}
+	for _, e := range extra {
+		if e != nil && e != c && e.remoteSupportsChunked() && e.peerAlive() {
+			channels = append(channels, e)
+		}
+	}
+
+	_, span := c.obsHub().Tracer.Start(ctx, "rpc.fetch.chunks")
+	span.SetAttr("chunks", fmt.Sprint(len(missing)))
+	span.SetAttr("links", fmt.Sprint(len(channels)))
+	defer span.Finish()
+
+	// Issue every window up front.
+	var batches []*chunkBatch
+	for i := 0; i < len(missing); i += window {
+		end := i + window
+		if end > len(missing) {
+			end = len(missing)
+		}
+		hashes := missing[i:end]
+		ch := channels[(i/window)%len(channels)]
+		b, err := issueBatch(ch, hashes)
+		if err != nil {
+			// The assigned link failed at send time: fall back to the
+			// primary channel; if that fails too, give up.
+			if ch == c {
+				dropBatches(batches)
+				span.Fail(err)
+				return err
+			}
+			if b, err = issueBatch(c, hashes); err != nil {
+				dropBatches(batches)
+				span.Fail(err)
+				return err
+			}
+		}
+		batches = append(batches, b)
+	}
+	defer dropBatches(batches)
+
+	hist := c.obsHub().Metrics.Histogram("alfredo_remote_fetch_window_seconds")
+	for _, b := range batches {
+		if err := c.collectBatch(b, cache, sizeOf, stats, channels); err != nil {
+			span.Fail(err)
+			return err
+		}
+		hist.Observe(c.clock().Since(b.issued))
+	}
+	return nil
+}
+
+func issueBatch(ch *Channel, hashes []string) (*chunkBatch, error) {
+	ch.mu.Lock()
+	ch.nextID++
+	id := ch.nextID
+	// Buffered beyond the window size so duplicate deliveries from a
+	// retransmit race never block the reader; overflow is dropped at
+	// the router and re-requested by the timeout path.
+	rx := make(chan *wire.ChunkData, 2*len(hashes)+4)
+	ch.pendingChunks[id] = rx
+	ch.mu.Unlock()
+
+	b := &chunkBatch{ch: ch, id: id, rx: rx, want: make(map[string]bool, len(hashes)), issued: ch.clock().Now()}
+	for _, h := range hashes {
+		b.want[h] = true
+	}
+	if err := ch.send(&wire.FetchChunks{RequestID: id, Hashes: hashes}); err != nil {
+		b.drop()
+		return nil, err
+	}
+	return b, nil
+}
+
+func (b *chunkBatch) drop() {
+	b.ch.mu.Lock()
+	delete(b.ch.pendingChunks, b.id)
+	b.ch.mu.Unlock()
+}
+
+func dropBatches(batches []*chunkBatch) {
+	for _, b := range batches {
+		b.drop()
+	}
+}
+
+func (b *chunkBatch) remaining() []string {
+	out := make([]string, 0, len(b.want))
+	for h := range b.want {
+		out = append(out, h)
+	}
+	return out
+}
+
+// collectBatch drains one window, verifying and caching each chunk on
+// arrival. Timeouts retransmit the window's remaining hashes (on a
+// surviving channel if the batch's link died) up to the retry budget;
+// a chunk failing its hash is re-requested immediately.
+func (c *Channel) collectBatch(b *chunkBatch, cache *module.ChunkCache, sizeOf map[string]int64, stats *FetchStats, channels []*Channel) error {
+	policy := c.peer.cfg.Retry
+	rounds := 0
+	timer := c.clock().NewTimer(c.peer.cfg.Timeout)
+	// The timer is replaced after each retransmit round; stop whichever
+	// instance is live on exit.
+	defer func() { timer.Stop() }()
+	for len(b.want) > 0 {
+		select {
+		case cd := <-b.rx:
+			if cd.Missing {
+				return fmt.Errorf("%w: %.12s", errChunkGone, cd.Hash)
+			}
+			if !b.want[cd.Hash] {
+				continue // duplicate from an earlier retransmit
+			}
+			data, err := expandChunk(cd, sizeOf[cd.Hash])
+			if err == nil {
+				err = cache.Put(cd.Hash, data)
+			}
+			if err != nil {
+				// Corruption in flight: count it, re-request just this
+				// hash, keep draining. The bad bytes never enter the
+				// cache (Put verifies before storing).
+				stats.Retransmits++
+				c.retryCounter("chunks", "corrupt").Inc()
+				c.obsHub().Metrics.Counter("alfredo_remote_chunk_retransmits_total", "cause", "corrupt").Inc()
+				if serr := b.ch.send(&wire.FetchChunks{RequestID: b.id, Hashes: []string{cd.Hash}}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			delete(b.want, cd.Hash)
+			stats.ChunksFetched++
+			stats.BytesFetched += int64(len(data))
+		case <-timer.C:
+			rounds++
+			if rounds >= policy.MaxAttempts {
+				return fmt.Errorf("%w: %d chunks still missing after %d rounds",
+					ErrTimeout, len(b.want), rounds)
+			}
+			stats.Retransmits += len(b.want)
+			c.retryCounter("chunks", "timeout").Inc()
+			c.obsHub().Metrics.Counter("alfredo_remote_chunk_retransmits_total", "cause", "timeout").Add(int64(len(b.want)))
+			if err := c.reissueBatch(b, channels); err != nil {
+				return err
+			}
+			timer = c.clock().NewTimer(c.peer.cfg.Timeout)
+		case <-b.ch.closed:
+			// The batch's link died mid-window. Chunks already received
+			// are cached; move the rest to a surviving channel.
+			if err := c.reissueBatch(b, channels); err != nil {
+				return err
+			}
+		case <-c.closed:
+			return ErrChannelClosed
+		}
+	}
+	return nil
+}
+
+// reissueBatch re-requests a batch's remaining hashes, re-registering
+// on a live channel if the batch's own link has closed.
+func (c *Channel) reissueBatch(b *chunkBatch, channels []*Channel) error {
+	target := b.ch
+	if !target.peerAlive() {
+		target = nil
+		for _, ch := range channels {
+			if ch.peerAlive() {
+				target = ch
+				break
+			}
+		}
+		if target == nil {
+			return ErrChannelClosed
+		}
+	}
+	if target == b.ch {
+		return b.ch.send(&wire.FetchChunks{RequestID: b.id, Hashes: b.remaining()})
+	}
+	hashes := b.remaining()
+	b.drop()
+	nb, err := issueBatch(target, hashes)
+	if err != nil {
+		return err
+	}
+	// Keep the original issue time: the window histogram should charge
+	// the full wait including the failed link.
+	nb.issued = b.issued
+	*b = *nb
+	return nil
+}
+
+// peerAlive reports whether the channel is still open.
+func (c *Channel) peerAlive() bool {
+	select {
+	case <-c.closed:
+		return false
+	default:
+		return true
+	}
+}
+
+// expandChunk returns a chunk's uncompressed bytes, bounding the
+// inflate by the manifest's declared size.
+func expandChunk(cd *wire.ChunkData, size int64) ([]byte, error) {
+	if !cd.Compressed {
+		return cd.Data, nil
+	}
+	if size <= 0 {
+		size = int64(wire.MaxBlob)
+	}
+	r := flate.NewReader(bytes.NewReader(cd.Data))
+	defer r.Close()
+	out, err := io.ReadAll(io.LimitReader(r, size+1))
+	if err != nil {
+		return nil, fmt.Errorf("remote: inflating chunk %.12s: %w", cd.Hash, err)
+	}
+	if int64(len(out)) > size {
+		return nil, fmt.Errorf("remote: chunk %.12s inflates past declared %d bytes", cd.Hash, size)
+	}
+	return out, nil
+}
+
+// --- serving side ---------------------------------------------------
+
+// artifactKey names a service's artifact in the peer's store.
+func artifactKey(serviceID int64) string { return fmt.Sprintf("svc:%d", serviceID) }
+
+// handleFetchManifest builds (or reuses) the chunked artifact for a
+// service and answers with its manifest. The artifact is the encoded
+// legacy reply payload, so both fetch paths ship byte-identical
+// content and the chunk store detects changes by root digest.
+func (c *Channel) handleFetchManifest(m *wire.FetchManifest) {
+	span := c.obsHub().Tracer.StartRemote(
+		obs.SpanContext{TraceID: m.TraceID, SpanID: m.SpanID}, "rpc.serve.manifest")
+	span.SetAttr("node", c.peer.ID())
+	defer span.Finish()
+
+	reply, ok := c.buildReply(m.ServiceID)
+	if !ok {
+		span.Fail(fmt.Errorf("service %d not exported", m.ServiceID))
+		_ = c.send(&wire.ManifestReply{RequestID: m.RequestID})
+		return
+	}
+	frame, err := wire.EncodeMessage(reply)
+	if err != nil {
+		span.Fail(err)
+		_ = c.send(&wire.ManifestReply{RequestID: m.RequestID})
+		return
+	}
+	// The artifact payload is the frame minus the length prefix: type
+	// byte plus body, exactly what DecodeMessage consumes.
+	man := c.peer.artifacts.Manifest(artifactKey(m.ServiceID), frame[4:])
+	out := &wire.ManifestReply{
+		RequestID:  m.RequestID,
+		OK:         true,
+		Version:    man.Version,
+		ChunkBytes: man.ChunkBytes,
+		TotalBytes: man.TotalBytes,
+		Root:       man.Root,
+		Chunks:     make([]wire.ChunkRef, len(man.Chunks)),
+	}
+	for i, ref := range man.Chunks {
+		out.Chunks[i] = wire.ChunkRef{Hash: ref.Hash, Size: ref.Size}
+	}
+	_ = c.send(out)
+}
+
+// handleFetchChunks streams the requested chunks back in request
+// order, compressing each one that looks compressible. Hashes no
+// longer stored answer Missing, telling the requester to restart from
+// a fresh manifest or the legacy path.
+func (c *Channel) handleFetchChunks(m *wire.FetchChunks) {
+	for _, h := range m.Hashes {
+		data, ok := c.peer.artifacts.Chunk(h)
+		if !ok {
+			_ = c.send(&wire.ChunkData{RequestID: m.RequestID, Hash: h, Missing: true})
+			continue
+		}
+		cd := &wire.ChunkData{RequestID: m.RequestID, Hash: h, Data: data}
+		if z, ok := compressChunk(data); ok {
+			cd.Data, cd.Compressed = z, true
+		}
+		if err := c.send(cd); err != nil {
+			return
+		}
+	}
+}
+
+// compressChunk DEFLATEs a chunk when it looks worthwhile: skip tiny
+// chunks, skip bytes that sample as high-entropy (already compressed
+// or encrypted content — the common case for media payloads), and keep
+// the original when compression does not actually shrink it.
+func compressChunk(data []byte) ([]byte, bool) {
+	if len(data) < 64 || looksIncompressible(data) {
+		return nil, false
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, false
+	}
+	if _, err := w.Write(data); err != nil || w.Close() != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(data) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// looksIncompressible estimates the byte entropy of a sparse sample; a
+// sample near 8 bits/byte will not deflate enough to pay for the CPU.
+func looksIncompressible(data []byte) bool {
+	stride := len(data) / 1024
+	if stride < 1 {
+		stride = 1
+	}
+	var hist [256]int
+	n := 0
+	for i := 0; i < len(data); i += stride {
+		hist[data[i]]++
+		n++
+	}
+	var entropy float64
+	for _, count := range hist {
+		if count == 0 {
+			continue
+		}
+		p := float64(count) / float64(n)
+		entropy -= p * math.Log2(p)
+	}
+	return entropy > 7.2
+}

@@ -1,0 +1,441 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// newCachedNode is newTestNode plus a chunk cache, enabling the
+// chunked acquisition path on the requesting side.
+func newCachedNode(t *testing.T, name string, budget int64) *testNode {
+	t.Helper()
+	n := newTestNode(t, name)
+	cache, err := module.NewChunkCache(budget, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.peer.cfg.ChunkCache = cache
+	return n
+}
+
+// bigPayloadService exports a service whose descriptor is n bytes of
+// seeded random data: incompressible, so wire byte counts reflect the
+// actual transfer volume.
+func bigPayloadService(t *testing.T, n *testNode, size int, seed int64) *MethodTable {
+	t.Helper()
+	desc := make([]byte, size)
+	rand.New(rand.NewSource(seed)).Read(desc)
+	svc := NewService("test.Big").
+		Method("Noop", nil, "void", func(args []any) (any, error) { return nil, nil }).
+		WithDescriptor(desc)
+	if _, err := n.fw.Registry().Register(
+		[]string{"test.Big"}, svc, service.Properties{PropExported: true}, "test"); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// fetchBig runs one AcquireFetch of test.Big and returns the reply
+// stats plus the fabric bytes the exchange moved.
+func fetchBig(t *testing.T, fabric *netsim.Fabric, ch *Channel, extra ...*Channel) (FetchStats, int64) {
+	t.Helper()
+	info, ok := ch.FindRemoteService("test.Big")
+	if !ok {
+		t.Fatal("test.Big not in lease")
+	}
+	before := fabric.Stats().Bytes.Load()
+	reply, stats, err := ch.AcquireFetch(context.Background(), info.ID, extra...)
+	if err != nil {
+		t.Fatalf("AcquireFetch: %v", err)
+	}
+	if len(reply.Interfaces) == 0 || reply.Interfaces[0].Name != "test.Big" {
+		t.Fatalf("bad reply: %+v", reply)
+	}
+	return stats, fabric.Stats().Bytes.Load() - before
+}
+
+// TestAcquireWarmUnder10Percent is the headline acceptance check: a
+// warm re-acquire of an unchanged service must move less than 10% of
+// the cold-fetch bytes over the link (it needs only the manifest
+// exchange).
+func TestAcquireWarmUnder10Percent(t *testing.T) {
+	server := newTestNode(t, "host")
+	client := newCachedNode(t, "phone", 1<<20)
+	bigPayloadService(t, server, 64<<10, 42)
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen(server.peer.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = server.peer.Serve(l) }()
+
+	dial := func() *Channel {
+		conn, err := fabric.Dial(server.peer.ID(), netsim.Loopback)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := client.peer.Connect(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+
+	ch := dial()
+	coldStats, coldBytes := fetchBig(t, fabric, ch)
+	if coldStats.Mode != FetchModeCold {
+		t.Fatalf("first fetch mode = %s, want cold", coldStats.Mode)
+	}
+	if coldBytes < 64<<10 {
+		t.Fatalf("cold fetch moved %d bytes, expected at least the payload", coldBytes)
+	}
+
+	// New session, same node cache: the chunks survive the channel.
+	ch.Close()
+	ch2 := dial()
+	t.Cleanup(ch2.Close)
+	warmStats, warmBytes := fetchBig(t, fabric, ch2)
+	if warmStats.Mode != FetchModeWarm {
+		t.Fatalf("re-acquire mode = %s, want warm", warmStats.Mode)
+	}
+	if warmStats.ChunksFetched != 0 || warmStats.BytesSaved != warmStats.BytesTotal {
+		t.Fatalf("warm stats: %+v", warmStats)
+	}
+	if warmBytes*10 >= coldBytes {
+		t.Fatalf("warm re-acquire moved %d bytes, cold moved %d: want < 10%%", warmBytes, coldBytes)
+	}
+	if err := client.peer.cfg.ChunkCache.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAcquireDelta mutates part of the served payload between two
+// acquisitions: the second must fetch only the changed chunks under a
+// bumped manifest version.
+func TestAcquireDelta(t *testing.T) {
+	server := newTestNode(t, "host")
+	client := newCachedNode(t, "phone", 1<<20)
+	svc := bigPayloadService(t, server, 64<<10, 7)
+
+	fabric := netsim.NewFabric()
+	ch := connectPeers(t, fabric, server, client)
+
+	coldStats, _ := fetchBig(t, fabric, ch)
+	if coldStats.Mode != FetchModeCold {
+		t.Fatalf("first fetch mode = %s", coldStats.Mode)
+	}
+
+	// Rewrite the final quarter of the descriptor: earlier chunks keep
+	// their content and hashes.
+	desc := make([]byte, 64<<10)
+	rand.New(rand.NewSource(7)).Read(desc)
+	rand.New(rand.NewSource(8)).Read(desc[48<<10:])
+	svc.WithDescriptor(desc)
+
+	deltaStats, _ := fetchBig(t, fabric, ch)
+	if deltaStats.Mode != FetchModeDelta {
+		t.Fatalf("second fetch mode = %s, want delta", deltaStats.Mode)
+	}
+	if deltaStats.ChunksFetched == 0 || deltaStats.ChunksFetched >= deltaStats.ChunksTotal {
+		t.Fatalf("delta stats: %+v", deltaStats)
+	}
+	// Roughly a quarter changed; anything at or past half means the
+	// delta diff is not working.
+	if deltaStats.BytesFetched*2 >= deltaStats.BytesTotal {
+		t.Fatalf("delta fetched %d of %d bytes", deltaStats.BytesFetched, deltaStats.BytesTotal)
+	}
+}
+
+// connectPeers wires two test nodes over a given fabric.
+func connectPeers(t *testing.T, fabric *netsim.Fabric, server, client *testNode) *Channel {
+	t.Helper()
+	l, err := fabric.Listen(server.peer.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = server.peer.Serve(l) }()
+	conn, err := fabric.Dial(server.peer.ID(), netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := client.peer.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ch.Close)
+	return ch
+}
+
+// TestAcquireLegacyFallbacks: without a local cache, or against a peer
+// that does not announce chunked serving, acquisition degrades to the
+// legacy single-shot fetch.
+func TestAcquireLegacyFallbacks(t *testing.T) {
+	t.Run("no-cache", func(t *testing.T) {
+		server := newTestNode(t, "host")
+		client := newTestNode(t, "phone") // no ChunkCache
+		bigPayloadService(t, server, 8<<10, 1)
+		ch := connectPeers(t, netsim.NewFabric(), server, client)
+		info, _ := ch.FindRemoteService("test.Big")
+		reply, stats, err := ch.AcquireFetch(context.Background(), info.ID)
+		if err != nil || stats.Mode != FetchModeLegacy || len(reply.Interfaces) == 0 {
+			t.Fatalf("mode=%s err=%v", stats.Mode, err)
+		}
+	})
+	t.Run("legacy-peer", func(t *testing.T) {
+		server := newTestNode(t, "host")
+		// Pose as a pre-chunking peer by overriding the capability.
+		server.peer.cfg.HelloProps = map[string]any{propFetchChunked: false}
+		client := newCachedNode(t, "phone", 1<<20)
+		bigPayloadService(t, server, 8<<10, 2)
+		ch := connectPeers(t, netsim.NewFabric(), server, client)
+		info, _ := ch.FindRemoteService("test.Big")
+		reply, stats, err := ch.AcquireFetch(context.Background(), info.ID)
+		if err != nil || stats.Mode != FetchModeLegacy || len(reply.Interfaces) == 0 {
+			t.Fatalf("mode=%s err=%v", stats.Mode, err)
+		}
+	})
+}
+
+// corruptingConn wraps a client conn and flips one byte in the Data
+// field of the first CHUNK_DATA frame it relays inbound, simulating a
+// payload corrupted in transit without desyncing the stream framing.
+type corruptingConn struct {
+	net.Conn
+	pending []byte // parsed frames ready for the reader
+	raw     []byte // bytes read but not yet frame-complete
+	done    bool
+}
+
+func (c *corruptingConn) Read(p []byte) (int, error) {
+	for len(c.pending) == 0 {
+		buf := make([]byte, 32<<10)
+		n, err := c.Conn.Read(buf)
+		if n > 0 {
+			c.raw = append(c.raw, buf[:n]...)
+			c.extractFrames()
+		}
+		if err != nil {
+			// Ship whatever is parsed first; the error resurfaces on
+			// the next call once pending drains.
+			if len(c.pending) == 0 {
+				return 0, err
+			}
+			break
+		}
+	}
+	n := copy(p, c.pending)
+	c.pending = c.pending[n:]
+	return n, nil
+}
+
+func (c *corruptingConn) extractFrames() {
+	for len(c.raw) >= 4 {
+		size := int(binary.BigEndian.Uint32(c.raw[:4]))
+		if len(c.raw) < 4+size {
+			return
+		}
+		frame := c.raw[:4+size]
+		if !c.done && size > 0 && wire.MsgType(frame[4]) == wire.MsgChunkData {
+			// Flip the final byte: the last field of CHUNK_DATA is the
+			// chunk payload, so the frame still parses but the bytes
+			// no longer hash to the advertised chunk key.
+			frame[len(frame)-1] ^= 0xff
+			c.done = true
+		}
+		c.pending = append(c.pending, frame...)
+		c.raw = c.raw[4+size:]
+	}
+}
+
+// TestAcquireCorruptChunkRefetch: a chunk whose bytes fail the hash is
+// re-requested, never cached, and the acquisition still completes.
+func TestAcquireCorruptChunkRefetch(t *testing.T) {
+	server := newTestNode(t, "host")
+	client := newCachedNode(t, "phone", 1<<20)
+	bigPayloadService(t, server, 32<<10, 9)
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen(server.peer.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = server.peer.Serve(l) }()
+	conn, err := fabric.Dial(server.peer.ID(), netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := client.peer.Connect(&corruptingConn{Conn: conn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ch.Close)
+
+	info, ok := ch.FindRemoteService("test.Big")
+	if !ok {
+		t.Fatal("test.Big not in lease")
+	}
+	reply, stats, err := ch.AcquireFetch(context.Background(), info.ID)
+	if err != nil {
+		t.Fatalf("AcquireFetch: %v", err)
+	}
+	if len(reply.Interfaces) == 0 {
+		t.Fatal("empty reply")
+	}
+	if stats.Retransmits == 0 {
+		t.Fatalf("corrupted chunk not counted as retransmit: %+v", stats)
+	}
+	cs := client.peer.cfg.ChunkCache.Stats()
+	if cs.CorruptDropped == 0 {
+		t.Fatalf("corrupt bytes never reached (or silently entered) the cache: %+v", cs)
+	}
+	if err := client.peer.cfg.ChunkCache.Validate(); err != nil {
+		t.Fatalf("cache poisoned: %v", err)
+	}
+}
+
+// TestAcquireMultiChannel spreads the chunk windows across two links
+// to the same host; a dead extra link is skipped, not fatal.
+func TestAcquireMultiChannel(t *testing.T) {
+	server := newTestNode(t, "host")
+	client := newCachedNode(t, "phone", 1<<20)
+	client.peer.cfg.FetchWindow = 2 // force several windows
+	bigPayloadService(t, server, 64<<10, 11)
+
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen(server.peer.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = server.peer.Serve(l) }()
+	dial := func() *Channel {
+		conn, err := fabric.Dial(server.peer.ID(), netsim.Loopback)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := client.peer.Connect(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ch.Close)
+		return ch
+	}
+	primary, second, dead := dial(), dial(), dial()
+	dead.Close()
+
+	stats, _ := fetchBig(t, fabric, primary, second, dead)
+	if stats.Mode != FetchModeCold || stats.ChunksFetched != stats.ChunksTotal {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// TestChunkCompressionRoundTrip covers the per-chunk compression
+// heuristic and its inverse.
+func TestChunkCompressionRoundTrip(t *testing.T) {
+	compressible := bytes.Repeat([]byte("alfredo bundle data "), 400)
+	z, ok := compressChunk(compressible)
+	if !ok || len(z) >= len(compressible) {
+		t.Fatalf("compressible data not compressed (ok=%v, %d -> %d)", ok, len(compressible), len(z))
+	}
+	out, err := expandChunk(&wire.ChunkData{Hash: "h", Compressed: true, Data: z}, int64(len(compressible)))
+	if err != nil || !bytes.Equal(out, compressible) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+
+	random := make([]byte, 8192)
+	rand.New(rand.NewSource(3)).Read(random)
+	if _, ok := compressChunk(random); ok {
+		t.Fatal("high-entropy data should skip compression")
+	}
+	if len(random) < 64 {
+		t.Fatal("bad test setup")
+	}
+	if _, ok := compressChunk(random[:32]); ok {
+		t.Fatal("tiny chunks should skip compression")
+	}
+}
+
+// TestAcquireCompressibleSavesWire: a compressible payload moves far
+// fewer bytes than its size even on a cold fetch.
+func TestAcquireCompressibleSavesWire(t *testing.T) {
+	server := newTestNode(t, "host")
+	client := newCachedNode(t, "phone", 1<<20)
+	desc := bytes.Repeat([]byte("categories and items all the way down; "), 1600) // ~62 KB
+	svc := NewService("test.Big").
+		Method("Noop", nil, "void", func(args []any) (any, error) { return nil, nil }).
+		WithDescriptor(desc)
+	if _, err := server.fw.Registry().Register(
+		[]string{"test.Big"}, svc, service.Properties{PropExported: true}, "test"); err != nil {
+		t.Fatal(err)
+	}
+	fabric := netsim.NewFabric()
+	ch := connectPeers(t, fabric, server, client)
+
+	stats, wireBytes := fetchBig(t, fabric, ch)
+	if stats.Mode != FetchModeCold {
+		t.Fatalf("mode = %s", stats.Mode)
+	}
+	if wireBytes*2 >= stats.BytesTotal {
+		t.Fatalf("compressible cold fetch moved %d wire bytes for a %d byte artifact",
+			wireBytes, stats.BytesTotal)
+	}
+}
+
+// TestStreamWriterSingleCopy guards the pooled-buffer stream write
+// path: the bytes arrive intact and the writer does not retain p.
+func TestStreamWriterSingleCopy(t *testing.T) {
+	server := newTestNode(t, "host")
+	client := newTestNode(t, "phone")
+
+	ch := connectPeers(t, netsim.NewFabric(), server, client)
+
+	got := make(chan []byte, 1)
+	serverChans := server.peer.Channels()
+	if len(serverChans) != 1 {
+		t.Fatalf("server channels = %d", len(serverChans))
+	}
+	serverChans[0].HandleStreams(func(r *StreamReader) {
+		chunk, err := r.Next()
+		if err == nil {
+			got <- chunk
+		}
+	})
+
+	w, err := ch.OpenStream("s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("stream payload through pooled encode buffer")
+	sent := append([]byte(nil), payload...)
+	if _, err := w.Write(sent); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble over the caller's slice immediately: the write must have
+	// already copied it into the frame.
+	for i := range sent {
+		sent[i] = 0
+	}
+	select {
+	case chunk := <-got:
+		if !bytes.Equal(chunk, payload) {
+			t.Fatalf("received %q, want %q", chunk, payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream chunk never arrived")
+	}
+	_ = w.Close()
+}

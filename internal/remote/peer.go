@@ -84,6 +84,18 @@ type Config struct {
 	// the process-global source, so a simulated run replays its exact
 	// retry schedule. Zero keeps the production behavior.
 	Seed int64
+	// ChunkCache enables the chunked acquisition fast path on the
+	// requesting side: manifests are diffed against it and only missing
+	// chunks cross the network (fetch.go). Nil keeps every fetch on the
+	// legacy single-shot path. The cache is typically shared by all
+	// peers of a node and may persist across sessions.
+	ChunkCache *module.ChunkCache
+	// ChunkBytes is the fixed chunk size this peer cuts served
+	// artifacts into; zero selects module.DefaultChunkBytes.
+	ChunkBytes int
+	// FetchWindow bounds the chunk hashes kept in flight per request
+	// window during a chunked fetch; zero selects DefaultFetchWindow.
+	FetchWindow int
 }
 
 type exportedService struct {
@@ -107,6 +119,11 @@ type Peer struct {
 	// concurrent export is either in the snapshot or broadcast — never
 	// lost.
 	leaseMu sync.Mutex
+
+	// artifacts holds this peer's served-side chunked artifacts, built
+	// lazily at the first manifest request per service and refreshed
+	// (version-bumped) when the service content changes.
+	artifacts *module.ArtifactStore
 
 	mu       sync.Mutex
 	exported map[int64]exportedService
@@ -138,9 +155,10 @@ func NewPeer(cfg Config) (*Peer, error) {
 	cfg.Obs = cfg.Obs.OrDefault()
 	cfg.Clock = clock.Or(cfg.Clock)
 	p := &Peer{
-		cfg:      cfg,
-		exported: make(map[int64]exportedService),
-		channels: make(map[*Channel]struct{}),
+		cfg:       cfg,
+		artifacts: module.NewArtifactStore(cfg.ChunkBytes),
+		exported:  make(map[int64]exportedService),
+		channels:  make(map[*Channel]struct{}),
 	}
 	if cfg.Seed != 0 {
 		p.rng = rand.New(&lockedSource{src: rand.NewSource(cfg.Seed).(rand.Source64)})
@@ -174,6 +192,9 @@ func (p *Peer) Events() *event.Admin { return p.cfg.Events }
 
 // Device returns the simulated device (possibly nil).
 func (p *Peer) Device() *devsim.Device { return p.cfg.Device }
+
+// ChunkCache returns the phone-side chunk cache (nil when disabled).
+func (p *Peer) ChunkCache() *module.ChunkCache { return p.cfg.ChunkCache }
 
 // Serve accepts connections from l until the listener closes. Run it
 // in a goroutine; it returns the listener's Accept error.

@@ -47,9 +47,19 @@ func (w *StreamWriter) Write(p []byte) (int, error) {
 	if closed {
 		return 0, fmt.Errorf("remote: write on closed stream %d", w.id)
 	}
-	chunk := make([]byte, len(p))
-	copy(chunk, p)
-	if err := w.c.send(&wire.StreamData{StreamID: w.id, Chunk: chunk}); err != nil {
+	// Encode straight from the caller's slice into a pooled frame
+	// buffer: the encoder copies p into the frame, and the frame is
+	// written out before this call returns, so the io.Writer contract
+	// (p not retained) holds with exactly one copy.
+	buf := wire.GetBuffer()
+	frame, err := wire.EncodeInto(buf, &wire.StreamData{StreamID: w.id, Chunk: p})
+	if err != nil {
+		wire.PutBuffer(buf)
+		return 0, err
+	}
+	err = w.c.sendFrame(frame)
+	wire.PutBuffer(buf)
+	if err != nil {
 		return 0, err
 	}
 	return len(p), nil

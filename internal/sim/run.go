@@ -55,7 +55,7 @@ type Result struct {
 type SchedEvent struct {
 	Step  int
 	At    time.Duration
-	Kind  string // "invoke", "drop", "block", "partition", "loss", "heal"
+	Kind  string // "invoke", "reacquire", "drop", "block", "partition", "loss", "heal"
 	Phone int
 	Dur   time.Duration
 	Prob  float64
@@ -76,7 +76,7 @@ func (e SchedEvent) describe() string {
 
 // isFault reports whether the minimizer may remove the event. User
 // operations are kept: they are the workload, not the perturbation.
-func (e SchedEvent) isFault() bool { return e.Kind != "invoke" }
+func (e SchedEvent) isFault() bool { return e.Kind != "invoke" && e.Kind != "reacquire" }
 
 // generateSchedule derives the run's event schedule from the seed: a
 // mix of user operations and faults at strictly increasing virtual
@@ -90,9 +90,11 @@ func generateSchedule(seed int64, opts Options) []SchedEvent {
 		at += 20*time.Millisecond + time.Duration(rng.Intn(180))*time.Millisecond
 		ev := SchedEvent{Step: len(events), At: at, Phone: rng.Intn(opts.Phones)}
 		switch r := rng.Float64(); {
-		case r < 0.45:
+		case r < 0.38:
 			ev.Kind = "invoke"
-		case r < 0.60:
+		case r < 0.48:
+			ev.Kind = "reacquire"
+		case r < 0.62:
 			ev.Kind = "drop"
 		case r < 0.75:
 			ev.Kind = "block"
@@ -139,8 +141,54 @@ func builtinInvariants() []Invariant {
 			Name: "down-implies-degraded",
 			Check: func(c *Cluster) error {
 				for _, p := range c.Phones {
-					if p.Session.Link().State() == remote.LinkDown && !p.App.Degraded() {
+					app := p.App()
+					if p.Session.Link().State() == remote.LinkDown && app != nil && !app.Degraded() {
 						return fmt.Errorf("%s: link down but application not degraded", p.Name)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Cache coherence: every chunk a phone's cache holds must
+			// still hash to its key, the byte accounting must sum, and
+			// the budget must hold — a corrupted chunk can be dropped or
+			// refetched but never silently poison the cache.
+			Name: "cache-coherence",
+			Check: func(c *Cluster) error {
+				for _, p := range c.Phones {
+					cache := p.Node.ChunkCache()
+					if cache == nil {
+						continue
+					}
+					if err := cache.Validate(); err != nil {
+						return fmt.Errorf("%s: %w", p.Name, err)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Cache chunk conservation: every chunk ever stored is still
+			// resident or was evicted — dropped/retransmitted chunks must
+			// not double-count, and corrupt arrivals must not count at
+			// all. (Phone caches are memory-only, so no disk-loaded
+			// entries skew the identity.)
+			Name: "cache-chunk-conservation",
+			Check: func(c *Cluster) error {
+				for _, p := range c.Phones {
+					cache := p.Node.ChunkCache()
+					if cache == nil {
+						continue
+					}
+					st := cache.Stats()
+					if st.Puts-st.Evictions != int64(st.Chunks) {
+						return fmt.Errorf("%s: puts %d - evictions %d != resident chunks %d",
+							p.Name, st.Puts, st.Evictions, st.Chunks)
+					}
+					if st.BytesUsed > st.BytesBudget {
+						return fmt.Errorf("%s: cache %d bytes used over budget %d",
+							p.Name, st.BytesUsed, st.BytesBudget)
 					}
 				}
 				return nil
@@ -260,7 +308,7 @@ func runOnce(seed int64, opts Options) *Result {
 // apply lands one schedule event on the cluster.
 func (c *Cluster) apply(ev SchedEvent) {
 	p := c.Phones[ev.Phone]
-	if ev.Kind != "invoke" && ev.Kind != "invoke-skip" {
+	if ev.isFault() {
 		c.Trace.add(TraceEvent{
 			At: c.Clock.Elapsed(), Step: ev.Step, Kind: ev.Kind,
 			Node: p.Name, Detail: ev.describe(),
@@ -269,6 +317,8 @@ func (c *Cluster) apply(ev SchedEvent) {
 	switch ev.Kind {
 	case "invoke":
 		c.StartInvoke(p, ev.Step)
+	case "reacquire":
+		c.StartReacquire(p, ev.Step)
 	case "drop":
 		if conn := p.LastConn(); conn != nil {
 			conn.Drop()

@@ -112,13 +112,28 @@ type Phone struct {
 	Name    string
 	Node    *core.Node
 	Session *core.Session
-	App     *core.Application
 
 	target string
 	busy   atomic.Bool
 
 	mu    sync.Mutex
+	app   *core.Application
 	conns []*netsim.Conn
+}
+
+// App returns the phone's current application. Reacquire events swap
+// it — and nil it out when a reacquire fails mid-fault — so readers go
+// through the accessor rather than a bare field.
+func (p *Phone) App() *core.Application {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.app
+}
+
+func (p *Phone) setApp(a *core.Application) {
+	p.mu.Lock()
+	p.app = a
+	p.mu.Unlock()
 }
 
 // LastConn returns the phone's most recently dialed connection — the
@@ -202,9 +217,13 @@ func NewCluster(seed int64, opts Options) (*Cluster, error) {
 			Profile:       device.Nokia9300i(),
 			InvokeTimeout: opts.Timeout,
 			Retry:         opts.Retry,
-			Obs:           c.Hub,
-			Clock:         c.Clock,
-			Seed:          seed + int64(1+i),
+			// A memory-only chunk cache per phone: reacquire events
+			// exercise the warm-start path, and the cache-coherence /
+			// chunk-conservation invariants audit it after every step.
+			CacheBytes: 4 << 20,
+			Obs:        c.Hub,
+			Clock:      c.Clock,
+			Seed:       seed + int64(1+i),
 		})
 		if err != nil {
 			c.Close()
@@ -254,7 +273,7 @@ func (c *Cluster) connectAll() error {
 		if err != nil {
 			return fmt.Errorf("%s acquire: %w", p.Name, err)
 		}
-		p.App = app
+		p.setApp(app)
 	}
 	return nil
 }
@@ -303,6 +322,14 @@ func (c *Cluster) pendingOps() int {
 // deterministic, so a phone never races two of its own calls. step is
 // the schedule index for the trace (-1 for scripted scenarios).
 func (c *Cluster) StartInvoke(p *Phone, step int) {
+	app := p.App()
+	if app == nil {
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: step, Kind: "invoke-skip",
+			Node: p.Name, Detail: "no application (reacquire failed)",
+		})
+		return
+	}
 	if !p.busy.CompareAndSwap(false, true) {
 		c.Trace.add(TraceEvent{
 			At: c.Clock.Elapsed(), Step: step, Kind: "invoke-skip",
@@ -316,10 +343,52 @@ func (c *Cluster) StartInvoke(p *Phone, step int) {
 	})
 	c.opsActive.Add(1)
 	go func() {
-		v, err := p.App.Invoke("Categories")
+		v, err := app.Invoke("Categories")
 		detail := describeOutcome(v, err)
 		c.Trace.add(TraceEvent{
 			At: c.Clock.Elapsed(), Step: -1, Kind: "invoke-done",
+			Node: p.Name, Detail: detail,
+		})
+		p.busy.Store(false)
+		c.opsActive.Add(-1)
+	}()
+}
+
+// StartReacquire launches a release-and-reacquire of the phone's shop
+// lease on its own goroutine: the old application is released locally,
+// then the session acquires the same interface again. With the phone's
+// chunk cache holding the bundle, the second acquisition is the
+// warm-start path — only the manifest moves unless the service changed.
+// A failed reacquire (fault mid-flight) leaves the phone without an
+// application; invoke events skip until a later reacquire succeeds.
+func (c *Cluster) StartReacquire(p *Phone, step int) {
+	if !p.busy.CompareAndSwap(false, true) {
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: step, Kind: "reacquire-skip",
+			Node: p.Name, Detail: "previous call still in flight",
+		})
+		return
+	}
+	c.Trace.add(TraceEvent{
+		At: c.Clock.Elapsed(), Step: step, Kind: "reacquire",
+		Node: p.Name, Detail: shop.InterfaceName,
+	})
+	c.opsActive.Add(1)
+	go func() {
+		if old := p.App(); old != nil {
+			old.Release()
+		}
+		app, err := p.Session.Acquire(shop.InterfaceName, core.AcquireOptions{SkipUI: !c.Opts.UI})
+		detail := ""
+		if err != nil {
+			p.setApp(nil)
+			detail = "err=" + err.Error()
+		} else {
+			p.setApp(app)
+			detail = "ok mode=" + app.Fetch.Mode
+		}
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: -1, Kind: "reacquire-done",
 			Node: p.Name, Detail: detail,
 		})
 		p.busy.Store(false)
@@ -351,7 +420,10 @@ func (c *Cluster) Converged() bool {
 		case remote.LinkReconnecting:
 			return false
 		case remote.LinkDown, remote.LinkClosed:
-			if !p.App.Degraded() {
+			// A nil application (failed reacquire) is as settled as a
+			// degraded one: there is no live-looking UI over the dead
+			// link.
+			if app := p.App(); app != nil && !app.Degraded() {
 				return false
 			}
 		}

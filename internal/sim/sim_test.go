@@ -150,7 +150,7 @@ func TestSimShopSurvivesMidSessionDisconnect(t *testing.T) {
 
 	// Normal interaction before the fault.
 	if err := c.Do(time.Second, func() error {
-		return p.App.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"})
+		return p.App().View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"})
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -159,11 +159,11 @@ func TestSimShopSurvivesMidSessionDisconnect(t *testing.T) {
 	c.Fabric.Block(p.target, 250*time.Millisecond)
 	p.LastConn().Drop()
 
-	if !c.Eventually(2*time.Second, p.App.Degraded) {
+	if !c.Eventually(2*time.Second, p.App().Degraded) {
 		t.Fatal("application never degraded")
 	}
 	// While degraded, user input bounces off the disabled controls.
-	err = p.App.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "chairs"})
+	err = p.App().View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "chairs"})
 	if !errors.Is(err, render.ErrControlDisabled) {
 		t.Errorf("Inject while degraded = %v, want ErrControlDisabled", err)
 	}
@@ -174,7 +174,7 @@ func TestSimShopSurvivesMidSessionDisconnect(t *testing.T) {
 	var cats any
 	if err := c.Do(retry.ReconnectBudget+time.Second, func() error {
 		var err error
-		cats, err = p.App.Invoke("Categories")
+		cats, err = p.App().Invoke("Categories")
 		return err
 	}); err != nil {
 		t.Fatalf("Invoke across disconnect: %v", err)
@@ -186,18 +186,18 @@ func TestSimShopSurvivesMidSessionDisconnect(t *testing.T) {
 		t.Errorf("Categories after recovery = %#v", cats)
 	}
 
-	if !c.Eventually(2*time.Second, func() bool { return !p.App.Degraded() }) {
+	if !c.Eventually(2*time.Second, func() bool { return !p.App().Degraded() }) {
 		t.Fatal("application never recovered")
 	}
 	// Controls are live again and the interaction works end to end.
 	if err := c.Do(time.Second, func() error {
-		return p.App.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"})
+		return p.App().View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"})
 	}); err != nil {
 		t.Fatalf("Inject after recovery: %v", err)
 	}
-	items, _ := p.App.View.Property("products", "items")
+	items, _ := p.App().View.Property("products", "items")
 	if list, ok := items.([]any); !ok || len(list) != 2 {
-		t.Errorf("tables after recovery = %v (ctl err %v)", items, p.App.Controller.LastError())
+		t.Errorf("tables after recovery = %v (ctl err %v)", items, p.App().Controller.LastError())
 	}
 	// The lease was re-exchanged on the new channel.
 	if len(p.Session.Services()) == 0 {
@@ -239,7 +239,7 @@ func TestSimPermanentPartitionDegrades(t *testing.T) {
 
 	start := c.Clock.Elapsed()
 	if err := c.Do(3*time.Second, func() error {
-		_, err := p.App.Invoke("Categories")
+		_, err := p.App().Invoke("Categories")
 		if !errors.Is(err, core.ErrDegraded) {
 			return fmt.Errorf("Invoke on downed link = %v, want ErrDegraded", err)
 		}
@@ -250,10 +250,10 @@ func TestSimPermanentPartitionDegrades(t *testing.T) {
 	if d := c.Clock.Elapsed() - start; d > 2*time.Second {
 		t.Errorf("degraded Invoke took %v virtual, want fast typed failure", d)
 	}
-	if err := p.App.View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"}); !errors.Is(err, render.ErrControlDisabled) {
+	if err := p.App().View.Inject(ui.Event{Control: "categories", Kind: ui.EventSelect, Value: "tables"}); !errors.Is(err, render.ErrControlDisabled) {
 		t.Errorf("Inject on downed link = %v, want ErrControlDisabled", err)
 	}
-	if !p.App.Degraded() {
+	if !p.App().Degraded() {
 		t.Error("application not degraded with link down")
 	}
 }

@@ -76,6 +76,30 @@ func TestProtocolGoldens(t *testing.T) {
 			msg:  &Bye{Reason: "done"},
 			hex:  "000000061104646f6e65",
 		},
+		{
+			name: "fetch-manifest",
+			msg:  &FetchManifest{RequestID: 5, ServiceID: 2},
+			hex:  "00000003120a04",
+		},
+		{
+			name: "manifest-reply",
+			msg: &ManifestReply{
+				RequestID: 5, OK: true, Version: 1, ChunkBytes: 4096, TotalBytes: 3,
+				Root:   "r00t",
+				Chunks: []ChunkRef{{Hash: "abcd", Size: 3}},
+			},
+			hex: "00000013130a0102804006047230307401046162636406",
+		},
+		{
+			name: "fetch-chunks",
+			msg:  &FetchChunks{RequestID: 5, Hashes: []string{"abcd"}},
+			hex:  "00000008140a010461626364",
+		},
+		{
+			name: "chunk-data",
+			msg:  &ChunkData{RequestID: 5, Hash: "abcd", Data: []byte{1, 2, 3}},
+			hex:  "0000000d150a0461626364000003010203",
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -30,6 +30,10 @@ const (
 	MsgPing
 	MsgPong
 	MsgBye
+	MsgFetchManifest
+	MsgManifestReply
+	MsgFetchChunks
+	MsgChunkData
 )
 
 func (t MsgType) String() string {
@@ -37,6 +41,7 @@ func (t MsgType) String() string {
 		"HELLO", "LEASE", "SERVICE_ADDED", "SERVICE_REMOVED", "FETCH_SERVICE",
 		"SERVICE_REPLY", "INVOKE", "RESULT", "ERROR", "EVENT", "SUBSCRIBE",
 		"STREAM_OPEN", "STREAM_DATA", "STREAM_CLOSE", "PING", "PONG", "BYE",
+		"FETCH_MANIFEST", "MANIFEST_REPLY", "FETCH_CHUNKS", "CHUNK_DATA",
 	}
 	if t >= 1 && int(t) <= len(names) {
 		return names[t-1]
@@ -623,6 +628,160 @@ func (m *Bye) encode(b *Buffer) error {
 
 func (m *Bye) decode(b *Buffer) { m.Reason = b.ReadString() }
 
+// ChunkRef names one chunk of a chunked service artifact: its content
+// hash (full hex sha256) and size in bytes.
+type ChunkRef struct {
+	Hash string
+	Size int64
+}
+
+// FetchManifest asks the peer for the chunk manifest of a service's
+// artifact instead of the whole reply in one frame (legacy
+// FetchService). The manifest lets the requester diff against its
+// content-addressed cache and fetch only missing chunks.
+type FetchManifest struct {
+	RequestID int64
+	ServiceID int64
+	// Trace context, same optional fixed-width tail as FetchService.
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Type implements Message.
+func (m *FetchManifest) Type() MsgType { return MsgFetchManifest }
+
+func (m *FetchManifest) encode(b *Buffer) error {
+	b.WriteInt64(m.RequestID)
+	b.WriteInt64(m.ServiceID)
+	if m.TraceID != 0 {
+		b.WriteU64(m.TraceID)
+		b.WriteU64(m.SpanID)
+	}
+	return nil
+}
+
+func (m *FetchManifest) decode(b *Buffer) {
+	m.RequestID = b.ReadInt64()
+	m.ServiceID = b.ReadInt64()
+	if b.err == nil && b.Remaining() > 0 {
+		m.TraceID = b.ReadU64()
+		m.SpanID = b.ReadU64()
+	}
+}
+
+// ManifestReply answers FetchManifest. OK false means the peer does not
+// serve this service chunked (the requester falls back to the legacy
+// single-shot FetchService). Root is the digest over the ordered chunk
+// list; Version bumps whenever the artifact's content changes.
+type ManifestReply struct {
+	RequestID  int64
+	OK         bool
+	Version    int64
+	ChunkBytes int64
+	TotalBytes int64
+	Root       string
+	Chunks     []ChunkRef
+}
+
+// Type implements Message.
+func (m *ManifestReply) Type() MsgType { return MsgManifestReply }
+
+func (m *ManifestReply) encode(b *Buffer) error {
+	b.WriteInt64(m.RequestID)
+	b.WriteBool(m.OK)
+	b.WriteInt64(m.Version)
+	b.WriteInt64(m.ChunkBytes)
+	b.WriteInt64(m.TotalBytes)
+	b.WriteString(m.Root)
+	b.WriteUvarint(uint64(len(m.Chunks)))
+	for _, c := range m.Chunks {
+		b.WriteString(c.Hash)
+		b.WriteInt64(c.Size)
+	}
+	return nil
+}
+
+func (m *ManifestReply) decode(b *Buffer) {
+	m.RequestID = b.ReadInt64()
+	m.OK = b.ReadBool()
+	m.Version = b.ReadInt64()
+	m.ChunkBytes = b.ReadInt64()
+	m.TotalBytes = b.ReadInt64()
+	m.Root = b.ReadString()
+	n := b.ReadUvarint()
+	if b.err != nil {
+		return
+	}
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d chunk refs", ErrBadMsg, n))
+		return
+	}
+	m.Chunks = make([]ChunkRef, 0, n)
+	for i := uint64(0); i < n && b.err == nil; i++ {
+		var c ChunkRef
+		c.Hash = b.ReadString()
+		c.Size = b.ReadInt64()
+		m.Chunks = append(m.Chunks, c)
+	}
+}
+
+// FetchChunks requests the named chunks of an artifact by content
+// hash. The serving peer answers with one ChunkData per hash, in
+// request order. Requesters keep at most a configured window of hashes
+// in flight per link, pipelining requests over one link and spreading
+// windows across links when several are available.
+type FetchChunks struct {
+	RequestID int64
+	Hashes    []string
+}
+
+// Type implements Message.
+func (m *FetchChunks) Type() MsgType { return MsgFetchChunks }
+
+func (m *FetchChunks) encode(b *Buffer) error {
+	b.WriteInt64(m.RequestID)
+	b.WriteStrings(m.Hashes)
+	return nil
+}
+
+func (m *FetchChunks) decode(b *Buffer) {
+	m.RequestID = b.ReadInt64()
+	m.Hashes = b.ReadStrings()
+}
+
+// ChunkData carries one chunk. Missing true means the peer no longer
+// stores the hash (artifact replaced since the manifest was issued);
+// the requester restarts from a fresh manifest or falls back to the
+// legacy fetch. Compressed true means Data is a DEFLATE stream of the
+// chunk; the hash always refers to the uncompressed bytes.
+type ChunkData struct {
+	RequestID  int64
+	Hash       string
+	Missing    bool
+	Compressed bool
+	Data       []byte
+}
+
+// Type implements Message.
+func (m *ChunkData) Type() MsgType { return MsgChunkData }
+
+func (m *ChunkData) encode(b *Buffer) error {
+	b.WriteInt64(m.RequestID)
+	b.WriteString(m.Hash)
+	b.WriteBool(m.Missing)
+	b.WriteBool(m.Compressed)
+	b.WriteBytes(m.Data)
+	return nil
+}
+
+func (m *ChunkData) decode(b *Buffer) {
+	m.RequestID = b.ReadInt64()
+	m.Hash = b.ReadString()
+	m.Missing = b.ReadBool()
+	m.Compressed = b.ReadBool()
+	m.Data = b.ReadBytes()
+}
+
 // newMessage allocates the message struct for a type discriminator.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
@@ -660,6 +819,14 @@ func newMessage(t MsgType) (Message, error) {
 		return &Pong{}, nil
 	case MsgBye:
 		return &Bye{}, nil
+	case MsgFetchManifest:
+		return &FetchManifest{}, nil
+	case MsgManifestReply:
+		return &ManifestReply{}, nil
+	case MsgFetchChunks:
+		return &FetchChunks{}, nil
+	case MsgChunkData:
+		return &ChunkData{}, nil
 	default:
 		return nil, fmt.Errorf("%w: type %d", ErrBadMsg, byte(t))
 	}

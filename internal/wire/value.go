@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Value tags for the tagged codec. Invocation arguments and results, and
@@ -142,11 +143,17 @@ func (b *Buffer) writeNormalized(v any) {
 	case map[string]any:
 		b.WriteU8(tagMap)
 		b.WriteUvarint(uint64(len(vv)))
-		// Deterministic encoding is not required for correctness (maps
-		// are unordered), so iterate directly and keep encoding cheap.
-		for k, e := range vv {
+		// Sorted keys: the acquire data plane content-addresses encoded
+		// replies, so the same value must always encode to the same
+		// bytes — map iteration order must not leak into the frame.
+		keys := make([]string, 0, len(vv))
+		for k := range vv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
 			b.WriteString(k)
-			b.writeNormalized(e)
+			b.writeNormalized(vv[k])
 		}
 	default:
 		// writeNormalized is only called with Normalize output; reaching
