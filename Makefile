@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments throughput acquire-bench fuzz fmt vet chaos sim obs check clean
+.PHONY: all build test race cover bench experiments throughput acquire-bench scale-bench fuzz fmt vet chaos sim obs check clean
 
 all: build test
 
@@ -38,6 +38,14 @@ throughput:
 acquire-bench:
 	$(GO) test -run TestAcquireBenchSmoke -count=1 ./internal/bench/
 	$(GO) run ./cmd/alfredo-bench -exp acquire
+
+# Massive-multitenancy gate: the 10k-session sim-cluster suite (with
+# the per-session memory budget check), then the serve-side scale sweep
+# with p50/p99 invoke latency and bytes/session per point. Add -full to
+# the bench for the 50k/100k points (plan ~4 GB RAM).
+scale-bench:
+	$(GO) test -run 'TestScale' -count=1 ./internal/sim/
+	$(GO) run ./cmd/alfredo-bench -exp scale
 
 # Short fuzz pass over every untrusted-input parser.
 fuzz:

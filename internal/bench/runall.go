@@ -23,6 +23,7 @@ var Experiments = map[string]func(Config) error{
 	"faults":     func(c Config) error { _, err := RunFaultAblation(c); return err },
 	"throughput": func(c Config) error { _, err := RunThroughput(c); return err },
 	"acquire":    func(c Config) error { _, err := RunAcquire(c); return err },
+	"scale":      func(c Config) error { _, err := RunScale(c); return err },
 	"obs":        RunObsDemo,
 }
 
@@ -30,7 +31,7 @@ var Experiments = map[string]func(Config) error{
 var Order = []string{
 	"footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6",
 	"tiers", "renderers", "smartproxy", "buildcost", "payload", "faults",
-	"throughput", "acquire", "obs",
+	"throughput", "acquire", "scale", "obs",
 }
 
 // RunAll executes every experiment in order.

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+)
+
+// scaleTenants is the number of tenant identities (and client peers)
+// the scale sweep spreads its sessions across.
+const scaleTenants = 16
+
+// ScalePoint is one row of the massive-multitenancy sweep: Clients
+// concurrent sessions held open against one serve-side peer, with
+// invoke latency quantiles read from the run's own telemetry hub and
+// the marginal heap cost per session.
+type ScalePoint struct {
+	Clients         int
+	P50, P99        time.Duration
+	BytesPerSession int64
+	Invokes         int64
+	Rejected        int64
+}
+
+// scaleHost is the serve side of the sweep: one peer with the striped
+// tables, the reactor pool and admission control all engaged, sized
+// for tens of thousands of sessions (small write buffers).
+type scaleHost struct {
+	fw   *module.Framework
+	peer *remote.Peer
+	l    *netsim.Listener
+	hub  *obs.Hub
+}
+
+func newScaleHost(fabric *netsim.Fabric) (*scaleHost, error) {
+	h := &scaleHost{hub: obs.NewHub()}
+	h.fw = module.NewFramework(module.Config{Name: "scale-host"})
+	peer, err := remote.NewPeer(remote.Config{
+		Framework: h.fw,
+		Admission: &remote.AdmissionPolicy{
+			MaxInFlight: 4096,
+			RatePerSec:  1 << 20,
+			Burst:       1 << 21,
+		},
+		WriteBufferBytes: 4 << 10,
+		Obs:              h.hub,
+	})
+	if err != nil {
+		_ = h.fw.Shutdown()
+		return nil, err
+	}
+	h.peer = peer
+	if _, err := h.fw.Registry().Register([]string{echoInterface}, newEchoService(),
+		service.Properties{remote.PropExported: true}, "bench"); err != nil {
+		h.close()
+		return nil, err
+	}
+	if h.l, err = fabric.Listen("scale-host"); err != nil {
+		h.close()
+		return nil, err
+	}
+	go func() { _ = peer.Serve(h.l) }()
+	return h, nil
+}
+
+func (h *scaleHost) close() {
+	if h.l != nil {
+		_ = h.l.Close()
+	}
+	if h.peer != nil {
+		h.peer.Close()
+	}
+	_ = h.fw.Shutdown()
+}
+
+// measureScalePoint opens `clients` sessions from scaleTenants client
+// peers, measures the marginal heap per session, then drives a bounded
+// wave of invocations across a sample of the sessions and reads
+// p50/p99 off the hub's invoke histogram.
+func measureScalePoint(clients int) (ScalePoint, error) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	fabric := netsim.NewFabric().WithPipeDepth(8)
+	host, err := newScaleHost(fabric)
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	defer host.close()
+
+	var clientPeers []*remote.Peer
+	var clientFWs []*module.Framework
+	defer func() {
+		for _, p := range clientPeers {
+			p.Close()
+		}
+		for _, fw := range clientFWs {
+			_ = fw.Shutdown()
+		}
+	}()
+	for i := 0; i < scaleTenants; i++ {
+		fw := module.NewFramework(module.Config{Name: fmt.Sprintf("scale-tenant-%d", i)})
+		peer, err := remote.NewPeer(remote.Config{
+			Framework:        fw,
+			Timeout:          30 * time.Second,
+			WriteBufferBytes: 4 << 10,
+			HelloProps:       map[string]any{remote.HelloTenantProp: fmt.Sprintf("tenant-%03d", i)},
+			Obs:              host.hub,
+		})
+		if err != nil {
+			_ = fw.Shutdown()
+			return ScalePoint{}, err
+		}
+		clientFWs = append(clientFWs, fw)
+		clientPeers = append(clientPeers, peer)
+	}
+
+	// Connect in bounded batches so a 100k point does not hold 100k
+	// half-done handshakes at once.
+	channels := make([]*remote.Channel, clients)
+	const batch = 512
+	for start := 0; start < clients; start += batch {
+		end := start + batch
+		if end > clients {
+			end = clients
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, end-start)
+		for i := start; i < end; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn, err := fabric.Dial("scale-host", netsim.Loopback)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ch, err := clientPeers[i%scaleTenants].Connect(conn)
+				if err != nil {
+					errs <- fmt.Errorf("bench: connecting session %d: %w", i, err)
+					return
+				}
+				channels[i] = ch
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return ScalePoint{}, err
+		default:
+		}
+	}
+	defer func() {
+		for _, ch := range channels {
+			if ch != nil {
+				ch.Close()
+			}
+		}
+	}()
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	perSession := (int64(after.HeapAlloc) - int64(before.HeapAlloc)) / int64(clients)
+
+	info, ok := channels[0].FindRemoteService(echoInterface)
+	if !ok {
+		return ScalePoint{}, fmt.Errorf("bench: echo service not leased")
+	}
+
+	// The invoke wave: enough calls for stable tails, bounded so the
+	// 100k point costs invocations proportional to its sample, not its
+	// population. Concurrency is capped well above the admission
+	// window so the serve-side path, not the generator, is measured.
+	invokes := 4 * clients
+	if invokes > 40000 {
+		invokes = 40000
+	}
+	sem := make(chan struct{}, 1024)
+	var wg sync.WaitGroup
+	var rejected int64
+	var rejMu sync.Mutex
+	for i := 0; i < invokes; i++ {
+		ch := channels[i%clients]
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := ch.Invoke(info.ID, "Work", []any{int64(1)}); err != nil {
+				rejMu.Lock()
+				rejected++
+				rejMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	hist := host.hub.Metrics.Histogram("alfredo_remote_invoke_seconds", "service", echoInterface)
+	return ScalePoint{
+		Clients:         clients,
+		P50:             hist.Quantile(0.50),
+		P99:             hist.Quantile(0.99),
+		BytesPerSession: perSession,
+		Invokes:         hist.Count(),
+		Rejected:        rejected,
+	}, nil
+}
+
+// RunScale sweeps concurrent session counts against one serve-side
+// peer — the massive-multitenancy experiment behind `-exp scale` and
+// `make scale-bench`. The default sweep stops at 10k sessions;
+// Config.Full extends it to 100k (plan ~4 GB of RAM for the last
+// point: two endpoints and two transport directions per session).
+func RunScale(cfg Config) ([]ScalePoint, error) {
+	cfg = cfg.withDefaults()
+	counts := []int{1000, 10000}
+	if cfg.Full {
+		counts = append(counts, 50000, 100000)
+	}
+
+	fmt.Fprintln(cfg.Out, "Serve-side scale sweep (striped tables + reactor pool + admission, loopback)")
+	fmt.Fprintf(cfg.Out, "%-10s %12s %12s %14s %10s %10s\n",
+		"clients", "p50", "p99", "bytes/session", "invokes", "rejected")
+
+	var out []ScalePoint
+	for _, n := range counts {
+		p, err := measureScalePoint(n)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scale point %d: %w", n, err)
+		}
+		out = append(out, p)
+		fmt.Fprintf(cfg.Out, "%-10d %12v %12v %14d %10d %10d\n",
+			p.Clients, p.P50.Round(time.Microsecond), p.P99.Round(time.Microsecond),
+			p.BytesPerSession, p.Invokes, p.Rejected)
+	}
+	fmt.Fprintln(cfg.Out)
+	return out, nil
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/netsim"
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/render"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
 	"github.com/alfredo-mw/alfredo/internal/ui"
 )
 
@@ -35,6 +36,10 @@ const hostAddr = "chaos-host"
 
 func newRig(t *testing.T, link netsim.LinkProfile, timeout time.Duration, retry remote.RetryPolicy) *rig {
 	t.Helper()
+	// Registered before the node cleanups so it runs after them (LIFO):
+	// once both nodes close, every channel, link and reactor goroutine
+	// the rig spawned must be gone.
+	leak.CheckGoroutines(t)
 	host, err := core.NewNode(core.NodeConfig{Name: hostAddr, Profile: device.Notebook()})
 	if err != nil {
 		t.Fatal(err)
@@ -337,12 +342,8 @@ func TestMidAcquireDisconnectDoesNotLeak(t *testing.T) {
 	}
 
 	// Goroutines wind down asynchronously after channel teardown.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > baseGoroutines+3 && time.Now().Before(deadline) {
-		runtime.GC()
-		time.Sleep(10 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > baseGoroutines+3 {
-		t.Errorf("goroutines %d after sweep, baseline %d — goroutine leak", g, baseGoroutines)
+	if g, ok := leak.Settle(baseGoroutines+leak.Slack, 5*time.Second); !ok {
+		t.Errorf("goroutines %d after sweep, baseline %d — goroutine leak\n%s",
+			g, baseGoroutines, leak.Stacks())
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/netsim"
 	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
 )
 
 // TestTelemetryMatchesFaultSchedule scripts a fault sequence against a
@@ -20,6 +21,7 @@ import (
 // what the schedule provoked. This is the end-to-end check that the
 // failure-path instrumentation counts real events, not approximations.
 func TestTelemetryMatchesFaultSchedule(t *testing.T) {
+	leak.CheckGoroutines(t)
 	hub := obs.NewHub()     // phone-side: the counters under test
 	hostHub := obs.NewHub() // host-side: server counters, kept separate
 

@@ -15,6 +15,8 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/netsim"
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/script"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
 	"github.com/alfredo-mw/alfredo/internal/ui"
 )
 
@@ -77,6 +79,9 @@ type testPair struct {
 
 func newTestPair(t *testing.T, link netsim.LinkProfile, phoneCfg NodeConfig) *testPair {
 	t.Helper()
+	// First registration, last to run: after the pair tears down, every
+	// goroutine the session spawned must have exited.
+	leak.CheckGoroutines(t)
 	provider, err := NewNode(NodeConfig{
 		Name:    "shop-screen",
 		Profile: device.Notebook(),
@@ -122,6 +127,69 @@ func newTestPair(t *testing.T, link netsim.LinkProfile, phoneCfg NodeConfig) *te
 		_ = l.Close()
 	})
 	return &testPair{provider: provider, phone: phone, session: session}
+}
+
+// newVirtualPair is newTestPair on the clock seam: both nodes, the
+// fabric and all subsequent waits run on one virtual clock, so the
+// test never sleep-polls the real scheduler.
+func newVirtualPair(t *testing.T, v *clock.Virtual, phoneCfg NodeConfig) (provider, phone *Node, session *Session) {
+	t.Helper()
+	leak.CheckGoroutines(t)
+	provider, err := NewNode(NodeConfig{
+		Name:    "shop-screen",
+		Profile: device.Notebook(),
+		Clock:   v,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { driveV(t, v, time.Minute, func() { provider.Close() }) })
+	if err := provider.RegisterApp(counterApp()); err != nil {
+		t.Fatalf("RegisterApp: %v", err)
+	}
+
+	if phoneCfg.Name == "" {
+		phoneCfg.Name = "phone"
+	}
+	if phoneCfg.Profile.Name == "" {
+		phoneCfg.Profile = device.Nokia9300i()
+	}
+	phoneCfg.Clock = v
+	if phoneCfg.Seed == 0 {
+		phoneCfg.Seed = 2
+	}
+	phone, err = NewNode(phoneCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { driveV(t, v, time.Minute, func() { phone.Close() }) })
+
+	fabric := netsim.NewFabric().WithClock(v).WithSeed(1)
+	l, err := fabric.Listen("shop-screen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	provider.Serve(l)
+
+	driveV(t, v, time.Minute, func() {
+		conn, err := fabric.Dial("shop-screen", netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		s, err := phone.Connect(conn)
+		if err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		session = s
+	})
+	if session == nil {
+		t.FailNow()
+	}
+	return provider, phone, session
 }
 
 func TestLeaseListsAppAndDependencies(t *testing.T) {
@@ -349,11 +417,12 @@ func TestRequirementsGate(t *testing.T) {
 }
 
 func TestRemoteEventReachesController(t *testing.T) {
-	provider, err := NewNode(NodeConfig{Name: "prov", Profile: device.Notebook()})
+	v := clock.NewVirtual(1)
+	provider, err := NewNode(NodeConfig{Name: "prov", Profile: device.Notebook(), Clock: v, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer provider.Close()
+	defer driveV(t, v, time.Minute, func() { provider.Close() })
 	app := counterApp()
 	app.Descriptor.Controller.Rules = append(app.Descriptor.Controller.Rules, script.Rule{
 		Name: "on-tick",
@@ -366,29 +435,43 @@ func TestRemoteEventReachesController(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i(), Clock: v, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer phone.Close()
+	defer driveV(t, v, time.Minute, func() { phone.Close() })
 
-	fabric := netsim.NewFabric()
+	fabric := netsim.NewFabric().WithClock(v).WithSeed(1)
 	l, _ := fabric.Listen("prov")
 	defer l.Close()
 	provider.Serve(l)
-	conn, _ := fabric.Dial("prov", netsim.Loopback)
-	session, err := phone.Connect(conn)
-	if err != nil {
-		t.Fatal(err)
+	var session *Session
+	var acquired *Application
+	driveV(t, v, time.Minute, func() {
+		conn, err := fabric.Dial("prov", netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		s, err := phone.Connect(conn)
+		if err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		session = s
+		acquired, err = s.Acquire("demo.Counter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+		}
+	})
+	if session == nil || acquired == nil {
+		t.FailNow()
 	}
-	defer session.Close()
+	defer driveV(t, v, time.Minute, func() { session.Close() })
 
-	acquired, err := session.Acquire("demo.Counter", AcquireOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Give the Subscribe frame a moment to land on the provider.
-	time.Sleep(30 * time.Millisecond)
+	// Drain the in-flight Subscribe frame onto the provider — the
+	// clock-driven replacement for "sleep and hope it landed".
+	v.WaitCond(100*time.Millisecond, func() bool { return false })
 
 	// The target device posts an event; it must cross the link and run
 	// the controller rule.
@@ -398,16 +481,12 @@ func TestRemoteEventReachesController(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if v, _ := acquired.View.Property("display", "text"); v == "tick 7" {
-			break
-		}
-		if time.Now().After(deadline) {
-			v, _ := acquired.View.Property("display", "text")
-			t.Fatalf("event never updated view; text = %v, ctlErr = %v", v, acquired.Controller.LastError())
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !v.WaitCond(2*time.Second, func() bool {
+		val, _ := acquired.View.Property("display", "text")
+		return val == "tick 7"
+	}) {
+		val, _ := acquired.View.Property("display", "text")
+		t.Fatalf("event never updated view; text = %v, ctlErr = %v", val, acquired.Controller.LastError())
 	}
 }
 
@@ -611,67 +690,41 @@ func TestManyConcurrentPhones(t *testing.T) {
 }
 
 func TestCapabilityExposureInHandshake(t *testing.T) {
-	p := newTestPair(t, netsim.Loopback, NodeConfig{})
+	v := clock.NewVirtual(1)
+	provider, phone, session := newVirtualPair(t, v, NodeConfig{})
+	defer driveV(t, v, time.Minute, func() { session.Close() })
+	_ = phone
 	// The provider sees the phone's announced profile and capabilities.
-	waitFor := time.Now().Add(time.Second)
-	for {
-		chans := p.provider.Peer().Channels()
-		if len(chans) == 1 {
-			props := chans[0].RemoteProps()
-			if props["profile"] != "nokia9300i" {
-				t.Fatalf("announced profile = %v", props["profile"])
-			}
-			caps, ok := props["capabilities"].([]any)
-			if !ok || len(caps) == 0 {
-				t.Fatalf("announced capabilities = %v", props["capabilities"])
-			}
-			return
-		}
-		if time.Now().After(waitFor) {
-			t.Fatal("provider never saw the channel")
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !v.WaitCond(time.Second, func() bool {
+		return len(provider.Peer().Channels()) == 1
+	}) {
+		t.Fatal("provider never saw the channel")
+	}
+	props := provider.Peer().Channels()[0].RemoteProps()
+	if props["profile"] != "nokia9300i" {
+		t.Fatalf("announced profile = %v", props["profile"])
+	}
+	caps, ok := props["capabilities"].([]any)
+	if !ok || len(caps) == 0 {
+		t.Fatalf("announced capabilities = %v", props["capabilities"])
 	}
 }
 
 func TestCapabilityHiding(t *testing.T) {
-	provider, err := NewNode(NodeConfig{Name: "nosy-target", Profile: device.Notebook()})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer provider.Close()
-	phone, err := NewNode(NodeConfig{
-		Name: "private-phone", Profile: device.Nokia9300i(), HideCapabilities: true,
+	v := clock.NewVirtual(1)
+	provider, phone, session := newVirtualPair(t, v, NodeConfig{
+		Name: "private-phone", HideCapabilities: true,
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer phone.Close()
+	defer driveV(t, v, time.Minute, func() { session.Close() })
+	_ = phone
 
-	fabric := netsim.NewFabric()
-	l, _ := fabric.Listen("nosy-target")
-	defer l.Close()
-	provider.Serve(l)
-	conn, _ := fabric.Dial("nosy-target", netsim.Loopback)
-	session, err := phone.Connect(conn)
-	if err != nil {
-		t.Fatal(err)
+	if !v.WaitCond(time.Second, func() bool {
+		return len(provider.Peer().Channels()) == 1
+	}) {
+		t.Fatal("provider never saw the channel")
 	}
-	defer session.Close()
-
-	deadline := time.Now().Add(time.Second)
-	for {
-		chans := provider.Peer().Channels()
-		if len(chans) == 1 {
-			props := chans[0].RemoteProps()
-			if _, leaked := props["capabilities"]; leaked {
-				t.Fatalf("capabilities leaked despite HideCapabilities: %v", props)
-			}
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("provider never saw the channel")
-		}
-		time.Sleep(5 * time.Millisecond)
+	props := provider.Peer().Channels()[0].RemoteProps()
+	if _, leaked := props["capabilities"]; leaked {
+		t.Fatalf("capabilities leaked despite HideCapabilities: %v", props)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/alfredo-mw/alfredo/internal/device"
 	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 	"github.com/alfredo-mw/alfredo/internal/ui"
 )
 
@@ -56,6 +57,13 @@ type Renderable interface {
 // renderings to the screen service (a local object or a remote proxy —
 // the call is the same, which is the point of the exercise).
 func MirrorView(view Renderable, screen remote.Invoker, interval time.Duration) *Mirror {
+	return MirrorViewOn(nil, view, screen, interval)
+}
+
+// MirrorViewOn is MirrorView with an explicit time source, so a
+// simulated deployment mirrors on simulated time. A nil clock selects
+// the wall clock.
+func MirrorViewOn(clk clock.Clock, view Renderable, screen remote.Invoker, interval time.Duration) *Mirror {
 	if interval <= 0 {
 		interval = 100 * time.Millisecond
 	}
@@ -63,7 +71,7 @@ func MirrorView(view Renderable, screen remote.Invoker, interval time.Duration) 
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
-		ticker := time.NewTicker(interval)
+		ticker := clock.Or(clk).NewTicker(interval)
 		defer ticker.Stop()
 		last := ""
 		for {

@@ -10,6 +10,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/netsim"
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 	"github.com/alfredo-mw/alfredo/internal/ui"
 )
 
@@ -18,14 +19,15 @@ import (
 // *different* device's larger screen through a remote ScreenDevice
 // proxy.
 func TestFederatedScreen(t *testing.T) {
-	fabric := netsim.NewFabric()
+	v := clock.NewVirtual(1)
+	fabric := netsim.NewFabric().WithClock(v).WithSeed(1)
 
 	// Device A: hosts the counter app.
-	appHost, err := NewNode(NodeConfig{Name: "app-host", Profile: device.Notebook()})
+	appHost, err := NewNode(NodeConfig{Name: "app-host", Profile: device.Notebook(), Clock: v, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer appHost.Close()
+	defer driveV(t, v, time.Minute, func() { appHost.Close() })
 	if err := appHost.RegisterApp(counterApp()); err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +38,11 @@ func TestFederatedScreen(t *testing.T) {
 	// Device B: a notebook exporting its screen.
 	var mu sync.Mutex
 	displayed := ""
-	notebook, err := NewNode(NodeConfig{Name: "big-screen", Profile: device.Notebook()})
+	notebook, err := NewNode(NodeConfig{Name: "big-screen", Profile: device.Notebook(), Clock: v, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer notebook.Close()
+	defer driveV(t, v, time.Minute, func() { notebook.Close() })
 	screenSvc := NewScreenService(func(content string) {
 		mu.Lock()
 		displayed = content
@@ -56,71 +58,86 @@ func TestFederatedScreen(t *testing.T) {
 	notebook.Serve(lb)
 
 	// The phone connects to both devices.
-	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i(), Clock: v, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer phone.Close()
+	defer driveV(t, v, time.Minute, func() { phone.Close() })
 
-	connA, _ := fabric.Dial("app-host", netsim.Loopback)
-	sessionA, err := phone.Connect(connA)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sessionA.Close()
-	app, err := sessionA.Acquire("demo.Counter", AcquireOptions{})
-	if err != nil {
-		t.Fatal(err)
+	var app *Application
+	var screenProxy *remote.DynamicService
+	driveV(t, v, time.Minute, func() {
+		connA, err := fabric.Dial("app-host", netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial app-host: %v", err)
+			return
+		}
+		sessionA, err := phone.Connect(connA)
+		if err != nil {
+			t.Errorf("Connect app-host: %v", err)
+			return
+		}
+		app, err = sessionA.Acquire("demo.Counter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+			return
+		}
+
+		connB, err := fabric.Dial("big-screen", netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial big-screen: %v", err)
+			return
+		}
+		sessionB, err := phone.Connect(connB)
+		if err != nil {
+			t.Errorf("Connect big-screen: %v", err)
+			return
+		}
+		info, ok := sessionB.Channel().FindRemoteService(string(device.ScreenDevice))
+		if !ok {
+			t.Error("screen device not leased")
+			return
+		}
+		reply, err := sessionB.Channel().Fetch(info.ID)
+		if err != nil {
+			t.Errorf("Fetch: %v", err)
+			return
+		}
+		_, screenProxy, err = sessionB.Channel().InstallProxy(reply)
+		if err != nil {
+			t.Errorf("InstallProxy: %v", err)
+		}
+	})
+	if app == nil || screenProxy == nil {
+		t.FailNow()
 	}
 
-	connB, _ := fabric.Dial("big-screen", netsim.Loopback)
-	sessionB, err := phone.Connect(connB)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sessionB.Close()
-	info, ok := sessionB.Channel().FindRemoteService(string(device.ScreenDevice))
-	if !ok {
-		t.Fatal("screen device not leased")
-	}
-	reply, err := sessionB.Channel().Fetch(info.ID)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, screenProxy, err := sessionB.Channel().InstallProxy(reply)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Mirror the phone's view onto the notebook's screen.
-	mirror := MirrorView(app.View, screenProxy, 10*time.Millisecond)
-	defer mirror.Stop()
+	// Mirror the phone's view onto the notebook's screen, on the same
+	// virtual clock as everything else.
+	mirror := MirrorViewOn(v, app.View, screenProxy, 10*time.Millisecond)
+	defer driveV(t, v, time.Minute, mirror.Stop)
 
 	waitDisplayed := func(substr string) {
 		t.Helper()
-		deadline := time.Now().Add(2 * time.Second)
-		for {
+		if !v.WaitCond(2*time.Second, func() bool {
 			mu.Lock()
-			ok := strings.Contains(displayed, substr)
+			defer mu.Unlock()
+			return strings.Contains(displayed, substr)
+		}) {
+			mu.Lock()
+			got := displayed
 			mu.Unlock()
-			if ok {
-				return
-			}
-			if time.Now().After(deadline) {
-				mu.Lock()
-				got := displayed
-				mu.Unlock()
-				t.Fatalf("screen never showed %q; displayed:\n%s", substr, got)
-			}
-			time.Sleep(5 * time.Millisecond)
+			t.Fatalf("screen never showed %q; displayed:\n%s", substr, got)
 		}
 	}
 	waitDisplayed("Counter")
 
 	// Interacting on the phone updates the federated screen.
-	if err := app.View.Inject(ui.Event{Control: "inc", Kind: ui.EventPress}); err != nil {
-		t.Fatal(err)
-	}
+	driveV(t, v, time.Minute, func() {
+		if err := app.View.Inject(ui.Event{Control: "inc", Kind: ui.EventPress}); err != nil {
+			t.Errorf("Inject: %v", err)
+		}
+	})
 	waitDisplayed("1")
 }
 
@@ -170,13 +187,14 @@ func (f *fakeView) Render() string {
 // device's hardware: a notebook keyboard injects events into the
 // phone's acquired view over the network (§3.3 input federation).
 func TestFederatedInput(t *testing.T) {
-	fabric := netsim.NewFabric()
+	v := clock.NewVirtual(1)
+	fabric := netsim.NewFabric().WithClock(v).WithSeed(1)
 
-	appHost, err := NewNode(NodeConfig{Name: "app-host", Profile: device.Notebook()})
+	appHost, err := NewNode(NodeConfig{Name: "app-host", Profile: device.Notebook(), Clock: v, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer appHost.Close()
+	defer driveV(t, v, time.Minute, func() { appHost.Close() })
 	if err := appHost.RegisterApp(counterApp()); err != nil {
 		t.Fatal(err)
 	}
@@ -186,21 +204,33 @@ func TestFederatedInput(t *testing.T) {
 
 	// The phone acquires the app and exports its view's input path
 	// under the KeyboardDevice capability.
-	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i(), Clock: v, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer phone.Close()
-	connA, _ := fabric.Dial("app-host", netsim.Loopback)
-	sessionA, err := phone.Connect(connA)
-	if err != nil {
-		t.Fatal(err)
+	defer driveV(t, v, time.Minute, func() { phone.Close() })
+	var sessionA *Session
+	var app *Application
+	driveV(t, v, time.Minute, func() {
+		connA, err := fabric.Dial("app-host", netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		sessionA, err = phone.Connect(connA)
+		if err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		app, err = sessionA.Acquire("demo.Counter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+		}
+	})
+	if sessionA == nil || app == nil {
+		t.FailNow()
 	}
-	defer sessionA.Close()
-	app, err := sessionA.Acquire("demo.Counter", AcquireOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	defer driveV(t, v, time.Minute, func() { sessionA.Close() })
 
 	inputSvc := NewInputService(string(device.KeyboardDevice), app.View.Inject)
 	if _, err := phone.Framework().Registry().Register(
@@ -214,49 +244,61 @@ func TestFederatedInput(t *testing.T) {
 
 	// The notebook connects to the phone and presses the button through
 	// the federated input path.
-	notebook, err := NewNode(NodeConfig{Name: "kb-notebook", Profile: device.Notebook()})
+	notebook, err := NewNode(NodeConfig{Name: "kb-notebook", Profile: device.Notebook(), Clock: v, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer notebook.Close()
-	connP, _ := fabric.Dial("phone", netsim.Loopback)
-	sessionP, err := notebook.Connect(connP)
-	if err != nil {
-		t.Fatal(err)
+	defer driveV(t, v, time.Minute, func() { notebook.Close() })
+	var input *RemoteInput
+	driveV(t, v, time.Minute, func() {
+		connP, err := fabric.Dial("phone", netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial phone: %v", err)
+			return
+		}
+		sessionP, err := notebook.Connect(connP)
+		if err != nil {
+			t.Errorf("Connect phone: %v", err)
+			return
+		}
+		info, ok := sessionP.Channel().FindRemoteService(string(device.KeyboardDevice))
+		if !ok {
+			t.Error("input service not leased")
+			return
+		}
+		reply, err := sessionP.Channel().Fetch(info.ID)
+		if err != nil {
+			t.Errorf("Fetch: %v", err)
+			return
+		}
+		_, proxy, err := sessionP.Channel().InstallProxy(reply)
+		if err != nil {
+			t.Errorf("InstallProxy: %v", err)
+			return
+		}
+		input = NewRemoteInput(proxy)
+	})
+	if input == nil {
+		t.FailNow()
 	}
-	defer sessionP.Close()
-	info, ok := sessionP.Channel().FindRemoteService(string(device.KeyboardDevice))
-	if !ok {
-		t.Fatal("input service not leased")
-	}
-	reply, err := sessionP.Channel().Fetch(info.ID)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, proxy, err := sessionP.Channel().InstallProxy(reply)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	input := NewRemoteInput(proxy)
-	if err := input.Inject(ui.Event{Control: "inc", Kind: ui.EventPress}); err != nil {
-		t.Fatal(err)
-	}
+	driveV(t, v, time.Minute, func() {
+		if err := input.Inject(ui.Event{Control: "inc", Kind: ui.EventPress}); err != nil {
+			t.Errorf("Inject: %v", err)
+		}
+	})
 	// The press traveled notebook -> phone -> (controller) -> app host
 	// and back into the phone's view.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if v, _ := app.View.Property("display", "value"); v == int64(1) {
-			break
-		}
-		if time.Now().After(deadline) {
-			v, _ := app.View.Property("display", "value")
-			t.Fatalf("federated press never landed; display = %v", v)
-		}
-		time.Sleep(5 * time.Millisecond)
+	if !v.WaitCond(2*time.Second, func() bool {
+		val, _ := app.View.Property("display", "value")
+		return val == int64(1)
+	}) {
+		val, _ := app.View.Property("display", "value")
+		t.Fatalf("federated press never landed; display = %v", val)
 	}
 	// Bad events are rejected across the wire, not swallowed.
-	if err := input.Inject(ui.Event{Control: "ghost", Kind: ui.EventPress}); err == nil {
-		t.Error("invalid federated event accepted")
-	}
+	driveV(t, v, time.Minute, func() {
+		if err := input.Inject(ui.Event{Control: "ghost", Kind: ui.EventPress}); err == nil {
+			t.Error("invalid federated event accepted")
+		}
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/device"
@@ -16,6 +17,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/render"
 	"github.com/alfredo-mw/alfredo/internal/service"
 	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/stripe"
 )
 
 // Node errors.
@@ -51,6 +53,19 @@ type NodeConfig struct {
 	// channel (zero = remote.DefaultDispatchWorkers, negative =
 	// unbounded).
 	DispatchWorkers int
+	// ReactorWorkers bounds concurrent inbound invocation handlers
+	// across all channels of the node's peer (zero =
+	// remote.DefaultReactorWorkers, negative = per-channel bound only).
+	ReactorWorkers int
+	// Admission enables serve-side admission control with per-tenant
+	// fairness; nil admits everything.
+	Admission *remote.AdmissionPolicy
+	// WriteBufferBytes sizes the per-channel write-coalescing buffer
+	// (zero = the 32 KiB default; large session counts shrink it).
+	WriteBufferBytes int
+	// Tenant is announced in the handshake when non-empty: the serving
+	// side scopes tenant-bound services and admission accounting to it.
+	Tenant string
 	// FreeMemoryKB and CPUMHz describe the platform for tier
 	// negotiation.
 	FreeMemoryKB int64
@@ -101,10 +116,19 @@ type Node struct {
 	peer      *remote.Peer
 	renderers *render.Registry
 
-	mu       sync.Mutex
-	sessions map[*Session]struct{}
-	apps     map[string]*App
-	closed   bool
+	// sessions and apps are striped (stripe.Map) so that concurrent
+	// connects, closes and app lookups do not serialize on one node
+	// lock — the serve-side scaling bottleneck this layout removes.
+	sessions *stripe.Map[int64, *Session]
+	apps     *stripe.Map[string, *App]
+
+	nextSessID atomic.Int64
+
+	// closeMu orders session admission against Close: adds take the
+	// read side, Close flips closed under the write side, so a session
+	// is either in the snapshot Close tears down or observes closed.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 // NewNode boots a node.
@@ -133,6 +157,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 	}
 	helloProps := map[string]any{"profile": cfg.Profile.Name}
+	if cfg.Tenant != "" {
+		helloProps[remote.HelloTenantProp] = cfg.Tenant
+	}
 	if !cfg.HideCapabilities {
 		caps := make([]string, 0, 4)
 		for _, c := range cfg.Profile.Capabilities() {
@@ -149,6 +176,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Retry:            cfg.Retry,
 		ClientInvokeCost: cfg.ClientInvokeCost,
 		DispatchWorkers:  cfg.DispatchWorkers,
+		ReactorWorkers:   cfg.ReactorWorkers,
+		Admission:        cfg.Admission,
+		WriteBufferBytes: cfg.WriteBufferBytes,
 		HelloProps:       helloProps,
 		Obs:              cfg.Obs,
 		Clock:            cfg.Clock,
@@ -168,8 +198,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		events:    events,
 		peer:      peer,
 		renderers: cfg.Renderers,
-		sessions:  make(map[*Session]struct{}),
-		apps:      make(map[string]*App),
+		sessions:  stripe.NewMap[int64, *Session](stripe.DefaultShards(), stripe.Int64Hash),
+		apps:      stripe.NewMap[string, *App](stripe.DefaultShards(), stripe.StringHash),
 	}, nil
 }
 
@@ -210,6 +240,11 @@ type App struct {
 	// Every dependency named in the descriptor that the provider hosts
 	// must appear here.
 	Dependencies map[string]*remote.MethodTable
+	// Tenant scopes the app to one tenant: its services carry
+	// remote.PropTenant and are visible only to sessions whose
+	// handshake announced the same tenant. Empty publishes the app to
+	// everyone.
+	Tenant string
 }
 
 // RegisterApp publishes an application: the main service and all its
@@ -234,26 +269,36 @@ func (n *Node) RegisterApp(app *App) error {
 	}
 	app.Service.WithDescriptor(descBytes)
 
-	n.mu.Lock()
+	n.closeMu.RLock()
 	if n.closed {
-		n.mu.Unlock()
+		n.closeMu.RUnlock()
 		return ErrNodeClosed
 	}
-	if _, dup := n.apps[app.Descriptor.Service]; dup {
-		n.mu.Unlock()
+	dup := false
+	n.apps.Update(app.Descriptor.Service, func(old *App, ok bool) (*App, bool) {
+		if ok {
+			dup = true
+			return old, true
+		}
+		return app, true
+	})
+	n.closeMu.RUnlock()
+	if dup {
 		return fmt.Errorf("core: app %s already registered", app.Descriptor.Service)
 	}
-	n.apps[app.Descriptor.Service] = app
-	n.mu.Unlock()
 
+	appProps := service.Properties{remote.PropExported: true, "alfredo.app": true}
+	depProps := service.Properties{remote.PropExported: true, "alfredo.dependency": true}
+	if app.Tenant != "" {
+		appProps[remote.PropTenant] = app.Tenant
+		depProps[remote.PropTenant] = app.Tenant
+	}
 	reg := n.fw.Registry()
-	if _, err := reg.Register([]string{app.Descriptor.Service}, app.Service,
-		service.Properties{remote.PropExported: true, "alfredo.app": true}, n.cfg.Name); err != nil {
+	if _, err := reg.Register([]string{app.Descriptor.Service}, app.Service, appProps, n.cfg.Name); err != nil {
 		return err
 	}
 	for iface, impl := range app.Dependencies {
-		if _, err := reg.Register([]string{iface}, impl,
-			service.Properties{remote.PropExported: true, "alfredo.dependency": true}, n.cfg.Name); err != nil {
+		if _, err := reg.Register([]string{iface}, impl, depProps, n.cfg.Name); err != nil {
 			return err
 		}
 	}
@@ -262,11 +307,19 @@ func (n *Node) RegisterApp(app *App) error {
 
 // RegisteredApp returns a registered app definition by service name.
 func (n *Node) RegisteredApp(name string) (*App, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	app, ok := n.apps[name]
-	return app, ok
+	return n.apps.Get(name)
 }
+
+// SessionCount returns the number of live client sessions.
+func (n *Node) SessionCount() int { return n.sessions.Len() }
+
+// SessionShardCounts returns the per-shard session-table counts; the
+// scale suite sums them against the sessions-active gauge to prove no
+// session is lost or double-counted across shards.
+func (n *Node) SessionShardCounts() []int { return n.sessions.ShardCounts() }
+
+// AppShardCounts returns the per-shard app-registry counts.
+func (n *Node) AppShardCounts() []int { return n.apps.ShardCounts() }
 
 // Serve accepts inbound connections on l in the background; close the
 // listener to stop.
@@ -286,18 +339,15 @@ func (n *Node) Connect(conn net.Conn) (*Session, error) {
 	}
 	s := &Session{
 		node:    n,
+		id:      n.nextSessID.Add(1),
 		ch:      ch,
 		apps:    make(map[string]*Application),
 		flights: make(map[string]*acquireFlight),
 	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if err := n.addSession(s); err != nil {
 		ch.Close()
-		return nil, ErrNodeClosed
+		return nil, err
 	}
-	n.sessions[s] = struct{}{}
-	n.mu.Unlock()
 	n.countSessionOpened()
 	return s, nil
 }
@@ -315,22 +365,29 @@ func (n *Node) ConnectResilient(dial remote.Dialer) (*Session, error) {
 	}
 	s := &Session{
 		node:    n,
+		id:      n.nextSessID.Add(1),
 		link:    link,
 		ch:      link.Channel(),
 		apps:    make(map[string]*Application),
 		flights: make(map[string]*acquireFlight),
 	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if err := n.addSession(s); err != nil {
 		link.Close()
-		return nil, ErrNodeClosed
+		return nil, err
 	}
-	n.sessions[s] = struct{}{}
-	n.mu.Unlock()
 	n.countSessionOpened()
 	link.OnStateChange(s.onLinkState)
 	return s, nil
+}
+
+func (n *Node) addSession(s *Session) error {
+	n.closeMu.RLock()
+	defer n.closeMu.RUnlock()
+	if n.closed {
+		return ErrNodeClosed
+	}
+	n.sessions.Store(s.id, s)
+	return nil
 }
 
 // Footprint returns the installed-bundle footprint in bytes (§4.1).
@@ -338,19 +395,15 @@ func (n *Node) Footprint() int { return n.fw.Footprint() }
 
 // Close releases all sessions and platform services.
 func (n *Node) Close() {
-	n.mu.Lock()
+	n.closeMu.Lock()
 	if n.closed {
-		n.mu.Unlock()
+		n.closeMu.Unlock()
 		return
 	}
 	n.closed = true
-	sessions := make([]*Session, 0, len(n.sessions))
-	for s := range n.sessions {
-		sessions = append(sessions, s)
-	}
-	n.mu.Unlock()
+	n.closeMu.Unlock()
 
-	for _, s := range sessions {
+	for _, s := range n.sessions.Values() {
 		s.Close()
 	}
 	n.peer.Close()
@@ -359,7 +412,5 @@ func (n *Node) Close() {
 }
 
 func (n *Node) removeSession(s *Session) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.sessions, s)
+	n.sessions.Delete(s.id)
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 )
 
 // Optimizer errors.
@@ -129,7 +131,9 @@ func (a *Application) StartOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
 
 func (o *Optimizer) loop() {
 	defer o.wg.Done()
-	ticker := time.NewTicker(o.cfg.Interval)
+	// The probe cadence runs on the node's clock, so a simulated node
+	// optimizes on simulated time.
+	ticker := clock.Or(o.app.session.node.Clock()).NewTicker(o.cfg.Interval)
 	defer ticker.Stop()
 	for {
 		select {

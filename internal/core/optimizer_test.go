@@ -8,56 +8,79 @@ import (
 
 	"github.com/alfredo-mw/alfredo/internal/device"
 	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 )
 
-// optimizerPair builds a provider/phone pair whose link can be degraded
-// at runtime.
-func optimizerPair(t *testing.T) (*Session, *netsim.Conn) {
+// optimizerPair builds a provider/phone pair, on one virtual clock,
+// whose link can be degraded at runtime.
+func optimizerPair(t *testing.T) (*clock.Virtual, *Session, *netsim.Conn) {
 	t.Helper()
-	provider, err := NewNode(NodeConfig{Name: "target", Profile: device.Notebook()})
+	v := clock.NewVirtual(1)
+	provider, err := NewNode(NodeConfig{Name: "target", Profile: device.Notebook(), Clock: v, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := provider.RegisterApp(counterApp()); err != nil {
 		t.Fatal(err)
 	}
-	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i(), Clock: v, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	fabric := netsim.NewFabric()
+	fabric := netsim.NewFabric().WithClock(v).WithSeed(1)
 	l, err := fabric.Listen("target")
 	if err != nil {
 		t.Fatal(err)
 	}
 	provider.Serve(l)
-	conn, err := fabric.Dial("target", netsim.Loopback)
-	if err != nil {
-		t.Fatal(err)
-	}
-	simConn, ok := conn.(*netsim.Conn)
-	if !ok {
-		t.Fatal("expected a netsim conn")
-	}
-	session, err := phone.Connect(conn)
-	if err != nil {
-		t.Fatal(err)
+	var session *Session
+	var simConn *netsim.Conn
+	driveV(t, v, time.Minute, func() {
+		conn, err := fabric.Dial("target", netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		sc, ok := conn.(*netsim.Conn)
+		if !ok {
+			t.Error("expected a netsim conn")
+			return
+		}
+		s, err := phone.Connect(conn)
+		if err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		session, simConn = s, sc
+	})
+	if session == nil {
+		t.FailNow()
 	}
 	t.Cleanup(func() {
-		session.Close()
-		phone.Close()
-		provider.Close()
+		driveV(t, v, time.Minute, func() {
+			session.Close()
+			phone.Close()
+			provider.Close()
+		})
 		_ = l.Close()
 	})
-	return session, simConn
+	return v, session, simConn
 }
 
 func TestOptimizerPullsLogicWhenLinkDegrades(t *testing.T) {
-	session, conn := optimizerPair(t)
-	app, err := session.Acquire("demo.Counter", AcquireOptions{})
-	if err != nil {
-		t.Fatal(err)
+	v, session, conn := optimizerPair(t)
+	var app *Application
+	driveV(t, v, time.Minute, func() {
+		a, err := session.Acquire("demo.Counter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+			return
+		}
+		app = a
+	})
+	if app == nil {
+		t.FailNow()
 	}
 	if _, pulled := app.dep("demo.Stats"); pulled {
 		t.Fatal("logic pulled prematurely")
@@ -77,10 +100,11 @@ func TestOptimizerPullsLogicWhenLinkDegrades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer opt.Stop()
+	defer driveV(t, v, time.Minute, opt.Stop)
 
-	// Fast link: a few probe rounds must not pull anything.
-	time.Sleep(80 * time.Millisecond)
+	// Fast link: a few probe rounds must not pull anything. Advancing
+	// virtual time runs the probe cadence exactly.
+	v.Advance(80 * time.Millisecond)
 	if _, pulled := app.dep("demo.Stats"); pulled {
 		t.Fatal("logic pulled on a fast link")
 	}
@@ -88,22 +112,20 @@ func TestOptimizerPullsLogicWhenLinkDegrades(t *testing.T) {
 	// The user walks away from the access point: RTT jumps to ~60 ms.
 	conn.SetLink(netsim.LinkProfile{Name: "degraded", Latency: 30 * time.Millisecond})
 
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if _, pulled := app.dep("demo.Stats"); pulled {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("optimizer never pulled the logic tier after degradation")
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !v.WaitCond(3*time.Second, func() bool {
+		_, pulled := app.dep("demo.Stats")
+		return pulled
+	}) {
+		t.Fatal("optimizer never pulled the logic tier after degradation")
 	}
 
 	// Invocations through the host now use the local proxy path.
 	host := &sessionHost{app: app}
-	if _, err := host.Invoke("demo.Stats", "Double", []any{int64(4)}); err != nil {
-		t.Fatal(err)
-	}
+	driveV(t, v, time.Minute, func() {
+		if _, err := host.Invoke("demo.Stats", "Double", []any{int64(4)}); err != nil {
+			t.Errorf("federated Double: %v", err)
+		}
+	})
 	mu.Lock()
 	defer mu.Unlock()
 	if len(decisions) == 0 {
@@ -116,21 +138,32 @@ func TestOptimizerPullsLogicWhenLinkDegrades(t *testing.T) {
 }
 
 func TestPullDependencyValidation(t *testing.T) {
-	session, _ := optimizerPair(t)
-	app, err := session.Acquire("demo.Counter", AcquireOptions{})
-	if err != nil {
-		t.Fatal(err)
+	v, session, _ := optimizerPair(t)
+	var app *Application
+	driveV(t, v, time.Minute, func() {
+		a, err := session.Acquire("demo.Counter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+			return
+		}
+		app = a
+	})
+	if app == nil {
+		t.FailNow()
 	}
-	if err := app.PullDependency("no.Such"); !errors.Is(err, ErrNoSuchRemoteService) {
-		t.Errorf("unknown dep = %v", err)
-	}
-	// Pulling twice is a no-op.
-	if err := app.PullDependency("demo.Stats"); err != nil {
-		t.Fatal(err)
-	}
-	if err := app.PullDependency("demo.Stats"); err != nil {
-		t.Errorf("second pull = %v", err)
-	}
+	driveV(t, v, time.Minute, func() {
+		if err := app.PullDependency("no.Such"); !errors.Is(err, ErrNoSuchRemoteService) {
+			t.Errorf("unknown dep = %v", err)
+		}
+		// Pulling twice is a no-op.
+		if err := app.PullDependency("demo.Stats"); err != nil {
+			t.Errorf("first pull: %v", err)
+			return
+		}
+		if err := app.PullDependency("demo.Stats"); err != nil {
+			t.Errorf("second pull = %v", err)
+		}
+	})
 	// Pinned or data-tier dependencies refuse to move.
 	app2desc := app.Descriptor
 	app2desc.Dependencies = append(app2desc.Dependencies, Dependency{
@@ -142,15 +175,23 @@ func TestPullDependencyValidation(t *testing.T) {
 }
 
 func TestOptimizerStopIdempotent(t *testing.T) {
-	session, _ := optimizerPair(t)
-	app, err := session.Acquire("demo.Counter", AcquireOptions{})
-	if err != nil {
-		t.Fatal(err)
+	v, session, _ := optimizerPair(t)
+	var app *Application
+	driveV(t, v, time.Minute, func() {
+		a, err := session.Acquire("demo.Counter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+			return
+		}
+		app = a
+	})
+	if app == nil {
+		t.FailNow()
 	}
 	opt, err := app.StartOptimizer(OptimizerConfig{Interval: 10 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt.Stop()
+	driveV(t, v, time.Minute, opt.Stop)
 	opt.Stop()
 }

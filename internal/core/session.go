@@ -100,6 +100,8 @@ type Application struct {
 // Session is one client connection to a target device.
 type Session struct {
 	node *Node
+	// id keys this session in the node's striped session table.
+	id int64
 	// link is non-nil for resilient sessions (ConnectResilient); it
 	// owns reconnection and drives degrade/recover transitions.
 	link *remote.Link

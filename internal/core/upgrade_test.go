@@ -9,6 +9,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/script"
 	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 	"github.com/alfredo-mw/alfredo/internal/ui"
 )
 
@@ -18,11 +19,12 @@ import (
 // fresh acquisition gets the new descriptor — without the phone ever
 // reinstalling anything by hand.
 func TestProviderUpgradeMidSession(t *testing.T) {
-	provider, err := NewNode(NodeConfig{Name: "target", Profile: device.Notebook()})
+	v := clock.NewVirtual(1)
+	provider, err := NewNode(NodeConfig{Name: "target", Profile: device.Notebook(), Clock: v, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer provider.Close()
+	defer driveV(t, v, time.Minute, func() { provider.Close() })
 
 	mkApp := func(version string, greeting string) (*App, *service.Registration) {
 		svc := remote.NewService("demo.Greeter").
@@ -61,67 +63,87 @@ func TestProviderUpgradeMidSession(t *testing.T) {
 
 	_, regV1 := mkApp("v1", "hello from v1")
 
-	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i()})
+	phone, err := NewNode(NodeConfig{Name: "phone", Profile: device.Nokia9300i(), Clock: v, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer phone.Close()
+	defer driveV(t, v, time.Minute, func() { phone.Close() })
 
-	fabric := netsim.NewFabric()
+	fabric := netsim.NewFabric().WithClock(v).WithSeed(1)
 	l, _ := fabric.Listen("target")
 	defer l.Close()
 	provider.Serve(l)
-	conn, _ := fabric.Dial("target", netsim.Loopback)
-	session, err := phone.Connect(conn)
-	if err != nil {
-		t.Fatal(err)
+	var session *Session
+	var appV1 *Application
+	driveV(t, v, time.Minute, func() {
+		conn, err := fabric.Dial("target", netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		s, err := phone.Connect(conn)
+		if err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		session = s
+		appV1, err = s.Acquire("demo.Greeter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire v1: %v", err)
+		}
+	})
+	if session == nil || appV1 == nil {
+		t.FailNow()
 	}
-	defer session.Close()
+	defer driveV(t, v, time.Minute, func() { session.Close() })
 
-	appV1, err := session.Acquire("demo.Greeter", AcquireOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := appV1.View.Inject(ui.Event{Control: "go", Kind: ui.EventPress}); err != nil {
-		t.Fatal(err)
-	}
-	if v, _ := appV1.View.Property("msg", "value"); v != "hello from v1" {
-		t.Fatalf("v1 greet = %v", v)
+	driveV(t, v, time.Minute, func() {
+		if err := appV1.View.Inject(ui.Event{Control: "go", Kind: ui.EventPress}); err != nil {
+			t.Errorf("Inject: %v", err)
+		}
+	})
+	if got, _ := appV1.View.Property("msg", "value"); got != "hello from v1" {
+		t.Fatalf("v1 greet = %v", got)
 	}
 
 	// The shop owner upgrades the software while the phone is connected.
-	appV1.Release()
+	driveV(t, v, time.Minute, func() { appV1.Release() })
 	if err := regV1.Unregister(); err != nil {
 		t.Fatal(err)
 	}
 	mkApp("v2", "hello from v2")
 
-	// The phone's lease converges on the new registration.
-	deadline := time.Now().Add(2 * time.Second)
-	var newInfo bool
-	for time.Now().Before(deadline) {
-		if info, ok := session.Channel().FindRemoteService("demo.Greeter"); ok && info.Props["version"] == "v2" {
-			newInfo = true
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	if !newInfo {
+	// The phone's lease converges on the new registration — driven on
+	// the virtual clock instead of sleep-polling the scheduler.
+	if !v.WaitCond(2*time.Second, func() bool {
+		info, ok := session.Channel().FindRemoteService("demo.Greeter")
+		return ok && info.Props["version"] == "v2"
+	}) {
 		t.Fatal("lease never showed v2")
 	}
 
 	// Re-acquiring yields the upgraded descriptor and behaviour.
-	appV2, err := session.Acquire("demo.Greeter", AcquireOptions{})
-	if err != nil {
-		t.Fatal(err)
+	var appV2 *Application
+	driveV(t, v, time.Minute, func() {
+		a, err := session.Acquire("demo.Greeter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire v2: %v", err)
+			return
+		}
+		appV2 = a
+	})
+	if appV2 == nil {
+		t.FailNow()
 	}
 	if appV2.Descriptor.UI.Title != "Greeter v2" {
 		t.Errorf("descriptor title = %q", appV2.Descriptor.UI.Title)
 	}
-	if err := appV2.View.Inject(ui.Event{Control: "go", Kind: ui.EventPress}); err != nil {
-		t.Fatal(err)
-	}
-	if v, _ := appV2.View.Property("msg", "value"); v != "hello from v2" {
-		t.Errorf("v2 greet = %v", v)
+	driveV(t, v, time.Minute, func() {
+		if err := appV2.View.Inject(ui.Event{Control: "go", Kind: ui.EventPress}); err != nil {
+			t.Errorf("Inject: %v", err)
+		}
+	})
+	if got, _ := appV2.View.Property("msg", "value"); got != "hello from v2" {
+		t.Errorf("v2 greet = %v", got)
 	}
 }

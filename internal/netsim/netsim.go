@@ -83,15 +83,22 @@ func (a simAddr) String() string  { return string(a) }
 // per-connection link profile. The zero value is not usable; create
 // with NewFabric.
 type Fabric struct {
-	clk   clock.Clock
-	base  int64 // per-run RNG seed offset (see WithSeed)
-	stats Stats
+	clk       clock.Clock
+	base      int64 // per-run RNG seed offset (see WithSeed)
+	pipeDepth int   // per-pipe in-flight chunk budget (see WithPipeDepth)
+	stats     Stats
 
 	mu        sync.Mutex
 	listeners map[string]*Listener
 	blocked   map[string]time.Time
 	seed      int64
 }
+
+// defaultPipeDepth is the per-direction in-flight chunk budget of a
+// connection. Each slot is a chunk struct (~48 bytes), so at the
+// default a connection costs ~100 KB of channel buffer — irrelevant
+// for tens of connections, prohibitive for tens of thousands.
+const defaultPipeDepth = 1024
 
 // NewFabric creates an empty fabric on the wall clock.
 func NewFabric() *Fabric {
@@ -114,6 +121,17 @@ func (f *Fabric) WithClock(c clock.Clock) *Fabric {
 // Dial; returns the fabric for chaining.
 func (f *Fabric) WithSeed(s int64) *Fabric {
 	f.base = s
+	return f
+}
+
+// WithPipeDepth bounds the in-flight chunks buffered per pipe
+// direction (values < 1 select the 1024-chunk default). Scale
+// simulations with tens of thousands of connections shrink it: a
+// writer whose pipe is full blocks, which is transport backpressure,
+// not an error. Call before the first Dial; returns the fabric for
+// chaining.
+func (f *Fabric) WithPipeDepth(depth int) *Fabric {
+	f.pipeDepth = depth
 	return f
 }
 
@@ -173,8 +191,12 @@ func (f *Fabric) Dial(addr string, link LinkProfile) (net.Conn, error) {
 	// loss/jitter pattern on every run of the same seed.
 	seed := int64(linkSeed(link.Name)) + seq + f.base
 	dialerAddr := simAddr(fmt.Sprintf("dialer-%d", seq))
-	c2s := newShapedPipe(link, seed*2, f.clk, &f.stats)
-	s2c := newShapedPipe(link, seed*2+1, f.clk, &f.stats)
+	depth := f.pipeDepth
+	if depth < 1 {
+		depth = defaultPipeDepth
+	}
+	c2s := newShapedPipe(link, seed*2, f.clk, &f.stats, depth)
+	s2c := newShapedPipe(link, seed*2+1, f.clk, &f.stats, depth)
 	clientConn := &Conn{
 		link:   link,
 		read:   s2c,
@@ -269,14 +291,14 @@ type shapedPipe struct {
 	done chan struct{}
 }
 
-func newShapedPipe(link LinkProfile, seed int64, clk clock.Clock, stats *Stats) *shapedPipe {
+func newShapedPipe(link LinkProfile, seed int64, clk clock.Clock, stats *Stats, depth int) *shapedPipe {
 	return &shapedPipe{
 		link:  link,
 		clk:   clock.Or(clk),
 		stats: stats,
 		rng:   rand.New(rand.NewSource(seed)),
 		obs:   newPipeObs(link.Name),
-		ch:    make(chan chunk, 1024),
+		ch:    make(chan chunk, depth),
 		done:  make(chan struct{}),
 	}
 }

@@ -143,6 +143,61 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1, e.g. 0.5, 0.99) by
+// linear interpolation inside the bucket containing the target rank.
+// Observations landing in the +Inf bucket report the largest finite
+// bound — the estimate saturates rather than invents a tail. Nil-safe;
+// returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: saturate at the largest finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := float64(rank-cum) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // metric is the union of the three handle kinds inside a family.
 type metric struct {
 	labels  []string // alternating key, value

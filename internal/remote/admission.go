@@ -1,0 +1,255 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/stripe"
+)
+
+// Serve-side admission control with per-tenant fairness.
+//
+// A host serving many tenants must not let one hot tenant starve the
+// rest, and must shed load it cannot carry *before* spending service
+// CPU on it. Admission runs at the top of the invoke handler: a
+// rejected call has executed nothing, so the phone side may retry it
+// freely — even for non-idempotent methods — which is why ErrOverloaded
+// is the one failure the plain Invoke path retries.
+//
+// Two limits compose:
+//
+//   - A per-tenant token bucket (RatePerSec × weight, depth
+//     Burst × weight) bounds sustained request rate per tenant.
+//
+//   - A global MaxInFlight bound with work-conserving weighted shares:
+//     tenant t may hold up to
+//         share(t) = MaxInFlight × w(t) / Σ w(active tenants)
+//     concurrent invocations, where "active" means tenants with at
+//     least one call in flight. A lone tenant therefore gets the whole
+//     host (work conservation); when others show up, its share shrinks
+//     toward its weighted fraction.
+//
+// Counters are labeled by rejection reason, never by tenant — with
+// 100k tenants a per-tenant label would blow up the metric registry.
+
+// AdmissionPolicy configures serve-side admission control.
+type AdmissionPolicy struct {
+	// MaxInFlight bounds concurrent inbound invocations across all
+	// tenants; zero or negative disables the in-flight bound.
+	MaxInFlight int
+	// RatePerSec is the sustained invocations-per-second budget per
+	// weight unit; a tenant of weight w refills at RatePerSec×w. Zero
+	// disables rate limiting.
+	RatePerSec float64
+	// Burst is the token-bucket depth per weight unit; zero selects
+	// max(RatePerSec, 1).
+	Burst float64
+	// Weights assigns per-tenant weights; tenants not listed get
+	// DefaultWeight. A zero or negative weight rejects every call from
+	// that tenant — the explicit "shut this tenant off" switch.
+	Weights map[string]int
+	// DefaultWeight applies to tenants absent from Weights; zero
+	// selects 1.
+	DefaultWeight int
+}
+
+// Admission rejection reasons (the low-cardinality metric label).
+const (
+	RejectZeroWeight = "zero_weight"
+	RejectRate       = "rate"
+	RejectShare      = "share"
+	RejectCapacity   = "capacity"
+)
+
+type tenantState struct {
+	weight atomic.Int64
+
+	// inFlight is this tenant's concurrent invocation count; the 0↔1
+	// transitions move the tenant's weight in and out of the
+	// active-weight sum.
+	inFlight atomic.Int64
+
+	// Token bucket, guarded by mu; tokens are in invocation units.
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	primed bool
+}
+
+// Admission is the serve-side admission controller. All methods are
+// safe for concurrent use; tenant state is striped so admission itself
+// does not become the global lock it exists to prevent.
+type Admission struct {
+	pol AdmissionPolicy
+	clk clock.Clock
+
+	maxInFlight  atomic.Int64 // runtime-adjustable copy of pol.MaxInFlight
+	inFlight     atomic.Int64
+	activeWeight atomic.Int64
+
+	tenants *stripe.Map[string, *tenantState]
+
+	admitted *obs.Counter
+	gauge    *obs.Gauge
+	rejects  map[string]*obs.Counter
+}
+
+// NewAdmission builds a controller from pol on the given clock (token
+// refills — and therefore rejections — are deterministic under a
+// virtual clock).
+func NewAdmission(pol AdmissionPolicy, clk clock.Clock, m *obs.Registry) *Admission {
+	if pol.DefaultWeight == 0 {
+		pol.DefaultWeight = 1
+	}
+	if pol.Burst <= 0 {
+		pol.Burst = pol.RatePerSec
+		if pol.Burst < 1 {
+			pol.Burst = 1
+		}
+	}
+	a := &Admission{
+		pol:      pol,
+		clk:      clock.Or(clk),
+		tenants:  stripe.NewMap[string, *tenantState](stripe.DefaultShards(), stripe.StringHash),
+		admitted: m.Counter("alfredo_remote_admission_admitted_total"),
+		gauge:    m.Gauge("alfredo_remote_admission_inflight"),
+		rejects:  make(map[string]*obs.Counter, 4),
+	}
+	for _, reason := range []string{RejectZeroWeight, RejectRate, RejectShare, RejectCapacity} {
+		a.rejects[reason] = m.Counter("alfredo_remote_admission_rejected_total", "reason", reason)
+	}
+	a.maxInFlight.Store(int64(pol.MaxInFlight))
+	return a
+}
+
+func (a *Admission) tenant(name string) *tenantState {
+	if ts, ok := a.tenants.Get(name); ok {
+		return ts
+	}
+	fresh := &tenantState{}
+	w := a.pol.DefaultWeight
+	if cw, ok := a.pol.Weights[name]; ok {
+		w = cw
+	}
+	fresh.weight.Store(int64(w))
+	ts, _ := a.tenants.Update(name, func(old *tenantState, ok bool) (*tenantState, bool) {
+		if ok {
+			return old, true
+		}
+		return fresh, true
+	})
+	return ts
+}
+
+func (a *Admission) reject(reason, tenant string) error {
+	a.rejects[reason].Inc()
+	return fmt.Errorf("%w: tenant %s rejected (%s)", ErrOverloaded, tenant, reason)
+}
+
+// Admit decides one inbound invocation for the named tenant. On
+// success it returns a release function the handler must call when the
+// invocation finishes; on overload it returns an error wrapping
+// ErrOverloaded, and nothing has been consumed except a rate token.
+func (a *Admission) Admit(tenant string) (func(), error) {
+	ts := a.tenant(tenant)
+	w := ts.weight.Load()
+	if w <= 0 {
+		return nil, a.reject(RejectZeroWeight, tenant)
+	}
+
+	if a.pol.RatePerSec > 0 && !ts.takeToken(a.clk, a.pol.RatePerSec*float64(w), a.pol.Burst*float64(w)) {
+		return nil, a.reject(RejectRate, tenant)
+	}
+
+	max := a.maxInFlight.Load()
+	if max <= 0 {
+		// No in-flight bound: only the rate limiter applies.
+		a.admitted.Inc()
+		return func() {}, nil
+	}
+
+	// Tenant joins the active set for the duration of its first call.
+	nf := ts.inFlight.Add(1)
+	if nf == 1 {
+		a.activeWeight.Add(w)
+	}
+	undoTenant := func() {
+		if ts.inFlight.Add(-1) == 0 {
+			a.activeWeight.Add(-w)
+		}
+	}
+
+	active := a.activeWeight.Load()
+	if active < w {
+		active = w
+	}
+	share := max * w / active
+	if share < 1 {
+		share = 1 // every admitted tenant may always run one call
+	}
+	if nf > share {
+		undoTenant()
+		return nil, a.reject(RejectShare, tenant)
+	}
+
+	if a.inFlight.Add(1) > max {
+		a.inFlight.Add(-1)
+		undoTenant()
+		return nil, a.reject(RejectCapacity, tenant)
+	}
+	a.gauge.Add(1)
+	a.admitted.Inc()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.inFlight.Add(-1)
+			a.gauge.Add(-1)
+			undoTenant()
+		})
+	}, nil
+}
+
+// takeToken refills the bucket from elapsed clock time and consumes one
+// token if available. A fresh tenant starts with a full bucket.
+func (ts *tenantState) takeToken(clk clock.Clock, rate, burst float64) bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	now := clk.Now()
+	if !ts.primed {
+		ts.tokens = burst
+		ts.primed = true
+	} else if el := now.Sub(ts.last).Seconds(); el > 0 {
+		ts.tokens += el * rate
+	}
+	ts.last = now
+	if ts.tokens > burst {
+		ts.tokens = burst
+	}
+	if ts.tokens < 1 {
+		return false
+	}
+	ts.tokens--
+	return true
+}
+
+// InFlight returns the current admitted-call count.
+func (a *Admission) InFlight() int { return int(a.inFlight.Load()) }
+
+// MaxInFlight returns the current global in-flight limit.
+func (a *Admission) MaxInFlight() int { return int(a.maxInFlight.Load()) }
+
+// SetMaxInFlight changes the global in-flight limit at runtime.
+// Lowering it below the current in-flight count rejects new admissions
+// until enough calls drain — running calls are never cancelled.
+func (a *Admission) SetMaxInFlight(n int) { a.maxInFlight.Store(int64(n)) }
+
+// SetWeight changes a tenant's weight at runtime. Weight 0 (or less)
+// shuts the tenant off: every subsequent call is rejected.
+func (a *Admission) SetWeight(tenant string, w int) {
+	a.tenant(tenant).weight.Store(int64(w))
+}

@@ -1,0 +1,542 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
+)
+
+func newAdm(t *testing.T, pol AdmissionPolicy) (*Admission, *clock.Virtual) {
+	t.Helper()
+	v := clock.NewVirtual(1)
+	return NewAdmission(pol, v, obs.NewHub().Metrics), v
+}
+
+// admitN admits n calls for tenant, failing on rejection, and returns
+// the releases.
+func admitN(t *testing.T, a *Admission, tenant string, n int) []func() {
+	t.Helper()
+	out := make([]func(), 0, n)
+	for i := 0; i < n; i++ {
+		rel, err := a.Admit(tenant)
+		if err != nil {
+			t.Fatalf("Admit(%s) call %d: %v", tenant, i+1, err)
+		}
+		out = append(out, rel)
+	}
+	return out
+}
+
+// TestAdmissionEdgeCases is the table of admission-control edge cases:
+// each row builds a controller, drives a scenario, and checks who got
+// in.
+func TestAdmissionEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{name: "zero weight tenant always rejected", run: func(t *testing.T) {
+			a, _ := newAdm(t, AdmissionPolicy{
+				MaxInFlight: 100,
+				Weights:     map[string]int{"banned": 0},
+				// Weights entries are taken literally: 0 means shut off,
+				// not "use the default".
+				DefaultWeight: 5,
+			})
+			if _, err := a.Admit("banned"); !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("zero-weight tenant admitted (err=%v)", err)
+			}
+			// Other tenants are unaffected.
+			rel, err := a.Admit("fine")
+			if err != nil {
+				t.Fatalf("default-weight tenant rejected: %v", err)
+			}
+			rel()
+			// Weight dropped to zero at runtime shuts the tenant off too.
+			a.SetWeight("fine", 0)
+			if _, err := a.Admit("fine"); !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("tenant with weight zeroed at runtime admitted (err=%v)", err)
+			}
+		}},
+		{name: "limit lowered below current in-flight", run: func(t *testing.T) {
+			a, _ := newAdm(t, AdmissionPolicy{MaxInFlight: 8})
+			rels := admitN(t, a, "t1", 4)
+			a.SetMaxInFlight(2) // below the 4 already running
+			if _, err := a.Admit("t1"); !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("admit above lowered limit succeeded (err=%v)", err)
+			}
+			if got := a.InFlight(); got != 4 {
+				t.Fatalf("running calls were disturbed: in-flight %d, want 4", got)
+			}
+			// Draining below the new limit reopens admission.
+			rels[0]()
+			rels[1]()
+			rels[2]()
+			rel, err := a.Admit("t1")
+			if err != nil {
+				t.Fatalf("admit after drain below new limit: %v", err)
+			}
+			rel()
+			rels[3]()
+			if got := a.InFlight(); got != 0 {
+				t.Fatalf("in-flight after full drain = %d, want 0", got)
+			}
+		}},
+		{name: "single hot tenant cannot starve the rest", run: func(t *testing.T) {
+			a, _ := newAdm(t, AdmissionPolicy{MaxInFlight: 10})
+			// The hot tenant arrives first and, alone, may fill the host
+			// (work conservation)...
+			hot := admitN(t, a, "hot", 10)
+			// ...but once a second tenant is active, the hot tenant is
+			// over its half share, while the newcomer still gets in after
+			// capacity drains.
+			hot[0]()
+			hot[1]()
+			relQuiet, err := a.Admit("quiet")
+			if err != nil {
+				t.Fatalf("quiet tenant rejected despite free capacity: %v", err)
+			}
+			if _, err := a.Admit("hot"); !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("hot tenant admitted above its share (err=%v)", err)
+			}
+			relQuiet()
+			for _, rel := range hot[2:] {
+				rel()
+			}
+			if got := a.InFlight(); got != 0 {
+				t.Fatalf("in-flight after drain = %d, want 0", got)
+			}
+		}},
+		{name: "weighted shares split by weight", run: func(t *testing.T) {
+			a, _ := newAdm(t, AdmissionPolicy{
+				MaxInFlight: 12,
+				Weights:     map[string]int{"gold": 2, "bronze": 1},
+			})
+			// Both active: gold is entitled to 12*2/3 = 8, bronze to 4.
+			g := admitN(t, a, "gold", 1)
+			b := admitN(t, a, "bronze", 1)
+			g = append(g, admitN(t, a, "gold", 7)...)
+			if _, err := a.Admit("gold"); !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("gold admitted above its weighted share (err=%v)", err)
+			}
+			b = append(b, admitN(t, a, "bronze", 3)...)
+			if _, err := a.Admit("bronze"); !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("bronze admitted above its weighted share (err=%v)", err)
+			}
+			for _, rel := range append(g, b...) {
+				rel()
+			}
+		}},
+		{name: "rate limit refills on the clock", run: func(t *testing.T) {
+			a, v := newAdm(t, AdmissionPolicy{RatePerSec: 10, Burst: 2})
+			rel1, err1 := a.Admit("t")
+			rel2, err2 := a.Admit("t")
+			if err1 != nil || err2 != nil {
+				t.Fatalf("burst admits failed: %v, %v", err1, err2)
+			}
+			rel1()
+			rel2()
+			if _, err := a.Admit("t"); !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("admit past burst succeeded (err=%v)", err)
+			}
+			v.Advance(100 * time.Millisecond) // one token at 10/s
+			rel3, err := a.Admit("t")
+			if err != nil {
+				t.Fatalf("admit after refill: %v", err)
+			}
+			rel3()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { tc.run(t) })
+	}
+}
+
+// newAdmissionRig builds a server with admission control plus a client
+// announcing the given tenant, wired over a seeded virtual-clock
+// fabric.
+type admissionRig struct {
+	v      *clock.Virtual
+	fabric *netsim.Fabric
+	server *testNode
+	client *testNode
+}
+
+func newAdmissionRig(t *testing.T, pol *AdmissionPolicy, tenant string, retry RetryPolicy) *admissionRig {
+	t.Helper()
+	leak.CheckGoroutines(t)
+	v := clock.NewVirtual(7)
+	r := &admissionRig{v: v, fabric: netsim.NewFabric().WithClock(v).WithSeed(7)}
+
+	mk := func(name string, pol *AdmissionPolicy, hello map[string]any) *testNode {
+		fw := module.NewFramework(module.Config{Name: name})
+		ev := event.NewAdmin(0)
+		peer, err := NewPeer(Config{
+			Framework:  fw,
+			Events:     ev,
+			ProxyCode:  NewProxyCodeRegistry(),
+			Timeout:    2 * time.Second,
+			Retry:      retry,
+			Clock:      v,
+			Seed:       7,
+			Admission:  pol,
+			HelloProps: hello,
+		})
+		if err != nil {
+			t.Fatalf("NewPeer(%s): %v", name, err)
+		}
+		n := &testNode{fw: fw, events: ev, peer: peer}
+		t.Cleanup(func() {
+			var done atomic.Bool
+			go func() {
+				defer done.Store(true)
+				peer.Close()
+				ev.Close()
+				_ = fw.Shutdown()
+			}()
+			if !v.WaitCond(time.Minute, done.Load) {
+				t.Errorf("teardown of %s stalled under the virtual clock", name)
+			}
+		})
+		return n
+	}
+	r.server = mk("target", pol, nil)
+	r.client = mk("phone", nil, map[string]any{HelloTenantProp: tenant})
+	serveFabric(t, r.fabric, r.server)
+	return r
+}
+
+func (r *admissionRig) drive(t *testing.T, budget time.Duration, fn func()) {
+	t.Helper()
+	var done atomic.Bool
+	go func() {
+		defer done.Store(true)
+		fn()
+	}()
+	if !r.v.WaitCond(budget, done.Load) {
+		t.Fatalf("blocked call did not finish within %v of virtual time", budget)
+	}
+}
+
+// TestOverloadRejectionCrossesTheWire proves the typed error survives
+// the wire: a zero-weight tenant's invoke fails with ErrOverloaded
+// (not a generic remote failure), the channel survives, and no pending
+// op is stranded.
+func TestOverloadRejectionCrossesTheWire(t *testing.T) {
+	pol := &AdmissionPolicy{MaxInFlight: 4, Weights: map[string]int{"deadbeat": 0}}
+	r := newAdmissionRig(t, pol, "deadbeat", RetryPolicy{MaxAttempts: 1})
+	exportCalculator(t, r.server)
+
+	var ch *Channel
+	r.drive(t, time.Minute, func() {
+		conn, err := r.fabric.Dial(r.server.peer.ID(), netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		c, err := r.client.peer.Connect(conn)
+		if err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		ch = c
+	})
+	if ch == nil {
+		t.FailNow()
+	}
+	id := soleServiceID(t, ch)
+
+	var err error
+	r.drive(t, time.Minute, func() { _, err = ch.Invoke(id, "Add", []any{int64(1), int64(2)}) })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("invoke error = %v, want ErrOverloaded", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeOverloaded {
+		t.Fatalf("error = %#v, want RemoteError with CodeOverloaded", err)
+	}
+	if got := ch.PendingOps(); got != 0 {
+		t.Fatalf("rejection stranded %d pending ops", got)
+	}
+	// The channel is still fully usable for admitted tenants' traffic —
+	// prove it by lifting the weight and invoking again.
+	r.server.peer.Admission().SetWeight("deadbeat", 1)
+	var v any
+	r.drive(t, time.Minute, func() { v, err = ch.Invoke(id, "Add", []any{int64(1), int64(2)}) })
+	if err != nil || v != int64(3) {
+		t.Fatalf("invoke after weight restore = %v, %v", v, err)
+	}
+}
+
+// TestOverloadRetriesUntilAdmitted proves the phone-side retry policy
+// understands ErrOverloaded: with the tenant rate-limited, a plain
+// (non-idempotent) Invoke backs off and succeeds on a later attempt
+// once the bucket refills — safe precisely because rejection precedes
+// execution.
+func TestOverloadRetriesUntilAdmitted(t *testing.T) {
+	pol := &AdmissionPolicy{RatePerSec: 2, Burst: 1}
+	r := newAdmissionRig(t, pol, "tenant-a", RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 400 * time.Millisecond, Multiplier: 1, Jitter: 0,
+	})
+	exportCalculator(t, r.server)
+
+	var ch *Channel
+	r.drive(t, time.Minute, func() {
+		conn, err := r.fabric.Dial(r.server.peer.ID(), netsim.Loopback)
+		if err != nil {
+			t.Errorf("Dial: %v", err)
+			return
+		}
+		c, err := r.client.peer.Connect(conn)
+		if err != nil {
+			t.Errorf("Connect: %v", err)
+			return
+		}
+		ch = c
+	})
+	if ch == nil {
+		t.FailNow()
+	}
+	id := soleServiceID(t, ch)
+
+	// First call drains the 1-token burst; the second is rejected, then
+	// retried on backoff until the 2/s refill admits it.
+	var err error
+	r.drive(t, time.Minute, func() { _, err = ch.Invoke(id, "Add", []any{int64(1), int64(1)}) })
+	if err != nil {
+		t.Fatalf("first invoke: %v", err)
+	}
+	var v any
+	r.drive(t, time.Minute, func() { v, err = ch.Invoke(id, "Add", []any{int64(2), int64(2)}) })
+	if err != nil || v != int64(4) {
+		t.Fatalf("retried invoke = %v, %v", v, err)
+	}
+	retries := r.client.peer.cfg.Obs.Metrics.Counter(
+		"alfredo_remote_retries_total", "op", "invoke", "cause", "overloaded").Value()
+	if retries == 0 {
+		t.Fatal("no overload retries recorded; the call was never rejected")
+	}
+}
+
+// TestRejectionDuringSessionRecovery drops the link mid-session while
+// the tenant is shut off: the resilient link must still recover its
+// channel (handshake and leases are not admission-gated), the invoke
+// issued during recovery must fail typed — ErrOverloaded, not a
+// stranded timeout — and traffic must flow again once the tenant is
+// restored.
+func TestRejectionDuringSessionRecovery(t *testing.T) {
+	pol := &AdmissionPolicy{MaxInFlight: 4}
+	r := newAdmissionRig(t, pol, "tenant-r", RetryPolicy{
+		MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, Multiplier: 1, Jitter: 0,
+		ReconnectBudget: 30 * time.Second,
+	})
+	exportCalculator(t, r.server)
+
+	var mu sync.Mutex
+	var conns []*netsim.Conn
+	dial := func() (net.Conn, error) {
+		c, err := r.fabric.Dial(r.server.peer.ID(), netsim.Loopback)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		conns = append(conns, c.(*netsim.Conn))
+		mu.Unlock()
+		return c, nil
+	}
+	var link *Link
+	r.drive(t, time.Minute, func() {
+		l, err := r.client.peer.DialLink(dial)
+		if err != nil {
+			t.Errorf("DialLink: %v", err)
+			return
+		}
+		link = l
+	})
+	if link == nil {
+		t.FailNow()
+	}
+	defer r.drive(t, time.Minute, link.Close)
+
+	id := soleServiceID(t, link.Channel())
+	var v any
+	var err error
+	r.drive(t, time.Minute, func() { v, err = link.Channel().Invoke(id, "Add", []any{int64(2), int64(3)}) })
+	if err != nil || v != int64(5) {
+		t.Fatalf("Add before drop = %v, %v", v, err)
+	}
+
+	// Shut the tenant off, then kill the transport: recovery redials
+	// while every invoke is rejected.
+	r.server.peer.Admission().SetWeight("tenant-r", 0)
+	first := link.Channel()
+	mu.Lock()
+	conns[0].Drop()
+	mu.Unlock()
+	// The failure propagates through the dead channel's read loop; wait
+	// for the link to notice before asking for recovery.
+	if !r.v.WaitCond(2*time.Second, func() bool { return link.State() != LinkUp }) {
+		t.Fatal("link never left Up after the transport dropped")
+	}
+
+	var ch2 *Channel
+	r.drive(t, time.Minute, func() { ch2, err = link.Await(30 * time.Second) })
+	if err != nil {
+		t.Fatalf("link did not recover with tenant shut off: %v", err)
+	}
+	if ch2 == first {
+		t.Fatal("Await returned the dropped channel")
+	}
+	r.drive(t, time.Minute, func() { _, err = ch2.Invoke(id, "Add", []any{int64(1), int64(1)}) })
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("invoke during shut-off = %v, want ErrOverloaded", err)
+	}
+	if got := ch2.PendingOps(); got != 0 {
+		t.Fatalf("rejection during recovery stranded %d pending ops", got)
+	}
+
+	r.server.peer.Admission().SetWeight("tenant-r", 1)
+	r.drive(t, time.Minute, func() { v, err = ch2.Invoke(id, "Add", []any{int64(4), int64(4)}) })
+	if err != nil || v != int64(8) {
+		t.Fatalf("invoke after restore = %v, %v", v, err)
+	}
+}
+
+// TestTenantScopedServiceVisibility proves the isolation boundary at
+// the lease level: a tenant-scoped service appears only in the
+// matching tenant's lease, is invocable only by it, and other tenants
+// get NO_SUCH_SERVICE — indistinguishable from absence.
+func TestTenantScopedServiceVisibility(t *testing.T) {
+	server := newTestNode(t, "host")
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen(server.peer.ID())
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = server.peer.Serve(l) }()
+
+	// One public service, one scoped to tenant-a.
+	exportCalculator(t, server)
+	scoped := NewService("scoped.Secret").
+		Method("Reveal", nil, "string", func([]any) (any, error) { return "classified", nil })
+	reg, err := server.fw.Registry().Register([]string{"scoped.Secret"}, scoped,
+		service.Properties{PropExported: true, PropTenant: "tenant-a"}, "test")
+	if err != nil {
+		t.Fatalf("Register scoped: %v", err)
+	}
+
+	connectTenant := func(name, tenant string) *Channel {
+		t.Helper()
+		fw := module.NewFramework(module.Config{Name: name})
+		ev := event.NewAdmin(0)
+		peer, err := NewPeer(Config{
+			Framework:  fw,
+			Events:     ev,
+			ProxyCode:  NewProxyCodeRegistry(),
+			Timeout:    5 * time.Second,
+			HelloProps: map[string]any{HelloTenantProp: tenant},
+		})
+		if err != nil {
+			t.Fatalf("NewPeer(%s): %v", name, err)
+		}
+		t.Cleanup(func() {
+			peer.Close()
+			ev.Close()
+			_ = fw.Shutdown()
+		})
+		conn, err := fabric.Dial(server.peer.ID(), netsim.Loopback)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		ch, err := peer.Connect(conn)
+		if err != nil {
+			t.Fatalf("Connect(%s): %v", name, err)
+		}
+		t.Cleanup(ch.Close)
+		return ch
+	}
+
+	chA := connectTenant("phone-a", "tenant-a")
+	chB := connectTenant("phone-b", "tenant-b")
+
+	if _, ok := chA.FindRemoteService("scoped.Secret"); !ok {
+		t.Fatal("tenant-a does not see its own scoped service")
+	}
+	if _, ok := chB.FindRemoteService("scoped.Secret"); ok {
+		t.Fatal("tenant-b sees tenant-a's scoped service in its lease")
+	}
+	if _, ok := chB.FindRemoteService("test.Calculator"); !ok {
+		t.Fatal("tenant-b does not see the public service")
+	}
+
+	// Even knowing the id, cross-tenant invocation is refused as absent.
+	info, _ := chA.FindRemoteService("scoped.Secret")
+	if v, err := chA.Invoke(info.ID, "Reveal", nil); err != nil || v != "classified" {
+		t.Fatalf("tenant-a invoke of scoped service = %v, %v", v, err)
+	}
+	if _, err := chB.Invoke(info.ID, "Reveal", nil); !errors.Is(err, ErrNoSuchService) {
+		t.Fatalf("tenant-b invoke of scoped id = %v, want ErrNoSuchService", err)
+	}
+
+	// Unregistration retracts the scoped entry from the scoped tenant.
+	reg.Unregister()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := chA.FindRemoteService("scoped.Secret"); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scoped service not retracted from tenant-a after unregister")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionConcurrentChurn hammers one controller from many
+// goroutines and checks the books balance: this is shared-state fodder
+// for the race detector, and the zero in-flight count at the end is
+// the no-leak invariant.
+func TestAdmissionConcurrentChurn(t *testing.T) {
+	a := NewAdmission(AdmissionPolicy{MaxInFlight: 32}, clock.Wall, obs.NewHub().Metrics)
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", g%5)
+			for i := 0; i < 200; i++ {
+				rel, err := a.Admit(tenant)
+				if err != nil {
+					rejected.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				if i%7 == 0 {
+					a.SetMaxInFlight(16 + (i % 17))
+				}
+				rel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.InFlight() != 0 {
+		t.Fatalf("in-flight after churn = %d, want 0", a.InFlight())
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("nothing was admitted")
+	}
+}

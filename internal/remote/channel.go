@@ -26,6 +26,7 @@ const (
 	CodeBadArgs       = "BAD_ARGS"
 	CodeInvokeFailed  = "INVOKE_FAILED"
 	CodeBadRequest    = "BAD_REQUEST"
+	CodeOverloaded    = "OVERLOADED"
 )
 
 // RemoteError is a failure reported by the remote peer.
@@ -48,6 +49,8 @@ func (e *RemoteError) Is(target error) bool {
 		return e.Code == CodeNoSuchMethod
 	case ErrBadArgs:
 		return e.Code == CodeBadArgs
+	case ErrOverloaded:
+		return e.Code == CodeOverloaded
 	case ErrRemoteFailure:
 		return true
 	default:
@@ -74,6 +77,13 @@ type fetchResult struct {
 type Channel struct {
 	peer *Peer
 	conn net.Conn
+
+	// id keys this channel in the peer's striped channel table.
+	id int64
+	// tenant is the remote peer's announced tenant (HelloTenantProp),
+	// fixed at handshake; it scopes which exported services this
+	// channel may see and the admission accounting it bills to.
+	tenant string
 
 	// Frame writes are coalesced: senders append to bw under wmu, and
 	// the last sender out of the lock flushes (wpend tracks senders
@@ -134,7 +144,8 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	c := &Channel{
 		peer:             p,
 		conn:             conn,
-		bw:               bufio.NewWriterSize(conn, writeCoalesceBuffer),
+		id:               p.nextChanID.Add(1),
+		bw:               bufio.NewWriterSize(conn, p.cfg.WriteBufferBytes),
 		remoteSvcs:       make(map[int64]wire.ServiceInfo),
 		pendingCalls:     make(map[int64]chan callResult),
 		pendingFetch:     make(map[int64]chan fetchResult),
@@ -185,6 +196,9 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	}
 	c.remoteID = hello.PeerID
 	c.remoteProps = hello.Props
+	if t, ok := hello.Props[HelloTenantProp].(string); ok {
+		c.tenant = t
+	}
 
 	// The channel joins the broadcast set *before* the lease snapshot is
 	// taken, under the peer's lease lock: any concurrent export is
@@ -195,7 +209,7 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 		p.leaseMu.Unlock()
 		return nil, err
 	}
-	err = wire.WriteMessage(conn, &wire.Lease{Services: p.exportedInfos()})
+	err = wire.WriteMessage(conn, &wire.Lease{Services: p.exportedInfosFor(c.tenant)})
 	p.leaseMu.Unlock()
 	if err != nil {
 		p.removeChannel(c)
@@ -242,6 +256,21 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	c.wg.Add(1)
 	go c.readLoop()
 	return c, nil
+}
+
+// Tenant returns the tenant announced by the remote peer's Hello
+// (empty when the peer did not announce one). It is immutable after
+// the handshake.
+func (c *Channel) Tenant() string { return c.tenant }
+
+// admissionTenant is the identity admission control bills this
+// channel's calls to: the announced tenant, or the remote peer id for
+// peers outside any tenant.
+func (c *Channel) admissionTenant() string {
+	if c.tenant != "" {
+		return c.tenant
+	}
+	return c.remoteID
 }
 
 // RemoteID returns the peer identity on the other side.
@@ -320,9 +349,11 @@ func (c *Channel) PendingOps() int {
 // clock returns the peer's time source.
 func (c *Channel) clock() clock.Clock { return c.peer.cfg.Clock }
 
-// writeCoalesceBuffer sizes the per-channel write buffer: large enough
-// to merge a burst of invocation frames into one transport write, small
-// enough to be irrelevant per connection.
+// writeCoalesceBuffer is the default per-channel write buffer: large
+// enough to merge a burst of invocation frames into one transport
+// write, small enough to be irrelevant per connection. Hosts serving
+// tens of thousands of sessions shrink it via Config.WriteBufferBytes
+// — at 10k channels the default alone would cost 320 MB.
 const writeCoalesceBuffer = 32 << 10
 
 // send encodes and writes one message through a pooled encode buffer:
@@ -381,12 +412,26 @@ func (c *Channel) Invoke(serviceID int64, method string, args []any) (any, error
 // InvokeCtx is Invoke with a caller context: when ctx carries a span,
 // the invocation joins its trace and ships the span context over the
 // wire, so the serving peer's span lands in the same trace.
+//
+// Admission rejections (ErrOverloaded) are retried with backoff even
+// here, on the non-idempotent path: the serving side rejects before
+// any service code runs, so an overloaded call has definitely not
+// executed and replaying it is safe.
 func (c *Channel) InvokeCtx(ctx context.Context, serviceID int64, method string, args []any) (any, error) {
 	norm, err := normalizeArgs(method, args)
 	if err != nil {
 		return nil, err
 	}
-	return c.invokeOnce(ctx, serviceID, method, norm)
+	policy := c.peer.cfg.Retry
+	value, err := c.invokeOnce(ctx, serviceID, method, norm)
+	for attempt := 1; attempt < policy.MaxAttempts && errors.Is(err, ErrOverloaded); attempt++ {
+		c.retryCounter("invoke", "overloaded").Inc()
+		if !c.backoff(c.peer.retryDelay(attempt - 1)) {
+			return nil, ErrChannelClosed
+		}
+		value, err = c.invokeOnce(ctx, serviceID, method, norm)
+	}
+	return value, err
 }
 
 // InvokeIdempotent invokes a method that is declared safe to execute
@@ -412,15 +457,19 @@ func (c *Channel) InvokeIdempotentCtx(ctx context.Context, serviceID int64, meth
 	var lastErr error
 	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			c.retryCounter("invoke", "timeout").Inc()
-			span.Annotate(fmt.Sprintf("retry %d (cause: timeout)", attempt))
+			cause := "timeout"
+			if errors.Is(lastErr, ErrOverloaded) {
+				cause = "overloaded"
+			}
+			c.retryCounter("invoke", cause).Inc()
+			span.Annotate(fmt.Sprintf("retry %d (cause: %s)", attempt, cause))
 			if !c.backoff(c.peer.retryDelay(attempt - 1)) {
 				span.Fail(ErrChannelClosed)
 				return nil, ErrChannelClosed
 			}
 		}
 		value, err := c.invokeOnce(ctx, serviceID, method, norm)
-		if err == nil || !errors.Is(err, ErrTimeout) {
+		if err == nil || (!errors.Is(err, ErrTimeout) && !errors.Is(err, ErrOverloaded)) {
 			span.Fail(err)
 			return value, err
 		}
@@ -936,14 +985,14 @@ func (c *Channel) handleFetch(m *wire.FetchService) {
 // injected types and any smart proxy reference. Both fetch paths (the
 // legacy single frame and the chunked artifact) ship exactly this.
 func (c *Channel) buildReply(serviceID int64) (*wire.ServiceReply, bool) {
-	svc, ok := c.peer.lookupExported(serviceID)
+	svc, ok := c.peer.lookupExported(serviceID, c.tenant)
 	if !ok {
 		return nil, false
 	}
 	reply := &wire.ServiceReply{
 		Interfaces: []wire.InterfaceDesc{svc.Describe()},
 	}
-	if info, known := c.peer.exportedInfo(serviceID); known {
+	if info, known := c.peer.exportedInfo(serviceID, c.tenant); known {
 		reply.Info = info
 	}
 	if dp, ok := svc.(DescriptorProvider); ok {
@@ -978,7 +1027,22 @@ func (c *Channel) handleInvoke(m *wire.Invoke, size int) {
 		span.Finish()
 	}()
 
-	svc, ok := c.peer.lookupExported(m.ServiceID)
+	// Admission gate: reject before resolving or running any service
+	// code, so a rejected call is always safe to retry. The release is
+	// deferred — an admitted call counts in flight until its reply (or
+	// error) is on the wire.
+	if adm := c.peer.admission; adm != nil {
+		release, err := adm.Admit(c.admissionTenant())
+		if err != nil {
+			failure = err
+			_ = c.send(&wire.ErrorReply{CallID: m.CallID, Code: CodeOverloaded,
+				Message: err.Error()})
+			return
+		}
+		defer release()
+	}
+
+	svc, ok := c.peer.lookupExported(m.ServiceID, c.tenant)
 	if !ok {
 		failure = fmt.Errorf("service %d not exported", m.ServiceID)
 		_ = c.send(&wire.ErrorReply{CallID: m.CallID, Code: CodeNoSuchService,

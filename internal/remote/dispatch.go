@@ -65,6 +65,11 @@ func (c *Channel) startDispatch() {
 // goroutine. It is called from the read loop only; blocking here (all
 // slots taken) is the backpressure mechanism — the reader stops
 // consuming frames until a handler finishes or chains.
+//
+// With the peer-wide reactor enabled (reactor.go), the channel slot is
+// acquired here and ownership travels with the work item into the
+// pool; without it, the handler is spawned per channel exactly as in
+// the original bounded model.
 func (c *Channel) dispatchInvoke(m *wire.Invoke, size int) {
 	if c.dispatchSem == nil {
 		// Ablation mode: unbounded goroutine-per-invoke, as seeded.
@@ -92,13 +97,25 @@ func (c *Channel) dispatchInvoke(m *wire.Invoke, size int) {
 		}
 	}
 	c.dispatchDepth.Add(1)
+	if r := c.peer.reactor; r != nil {
+		r.submit(c, w)
+		return
+	}
 	c.wg.Add(1)
 	go c.invokeWorker(w)
 }
 
+// releaseSlot returns a channel dispatch slot; whoever executes (or
+// drops) a frame releases the slot that frame held.
+func (c *Channel) releaseSlot() {
+	<-c.dispatchSem
+	c.dispatchDepth.Add(-1)
+}
+
 // invokeWorker handles one invocation, then chains into the next parked
 // frame if the reader is stalled on slots — reusing this goroutine and
-// its slot — and releases the slot only when no work is waiting.
+// its slot — and releases the slot only when no work is waiting. This
+// is the per-channel-only path (reactor disabled).
 func (c *Channel) invokeWorker(w invokeWork) {
 	defer c.wg.Done()
 	for {
@@ -107,8 +124,7 @@ func (c *Channel) invokeWorker(w invokeWork) {
 		case w = <-c.chainQ:
 			continue
 		default:
-			<-c.dispatchSem
-			c.dispatchDepth.Add(-1)
+			c.releaseSlot()
 			return
 		}
 	}

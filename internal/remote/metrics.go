@@ -35,7 +35,7 @@ func (c *Channel) remoteServiceName(id int64) string {
 // localServiceName labels a locally exported service by its first
 // interface, falling back to the numeric id.
 func (c *Channel) localServiceName(id int64) string {
-	if info, ok := c.peer.exportedInfo(id); ok && len(info.Interfaces) > 0 {
+	if info, ok := c.peer.exportedInfo(id, c.tenant); ok && len(info.Interfaces) > 0 {
 		return info.Interfaces[0]
 	}
 	return "svc-" + strconv.FormatInt(id, 10)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/devsim"
@@ -13,6 +14,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/service"
 	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/stripe"
 	"github.com/alfredo-mw/alfredo/internal/wire"
 )
 
@@ -20,6 +22,18 @@ import (
 // to true in the service properties and the peer includes the service
 // in its leases. The service object must implement remote.Service.
 const PropExported = "service.exported"
+
+// PropTenant scopes an exported service to one tenant: when set (a
+// string), the service appears only in leases and lookups of channels
+// whose Hello announced the same tenant (HelloTenantProp). Services
+// without the property are public. This is the isolation boundary the
+// scale suite proves: a session must never observe — or invoke —
+// another tenant's services.
+const PropTenant = "service.tenant"
+
+// HelloTenantProp is the handshake property under which a connecting
+// peer announces its tenant identity.
+const HelloTenantProp = "tenant"
 
 // PropOriginPeer is attached to events that arrived from a remote peer,
 // to prevent forwarding loops.
@@ -32,6 +46,13 @@ const DefaultInvokeTimeout = 30 * time.Second
 // DefaultDispatchWorkers bounds in-flight inbound invocation handlers
 // per channel when Config.DispatchWorkers is zero.
 const DefaultDispatchWorkers = 8
+
+// DefaultReactorWorkers bounds in-flight inbound invocation handlers
+// across ALL channels of a peer when Config.ReactorWorkers is zero.
+// Per-channel slots bound what one connection can claim; the reactor
+// bounds the sum, so handler goroutines stay O(pool) instead of
+// O(channels) when tens of thousands of sessions are connected.
+const DefaultReactorWorkers = 256
 
 // Config parameterizes a Peer.
 type Config struct {
@@ -65,9 +86,28 @@ type Config struct {
 	// to the transport: the channel reader stops consuming frames until
 	// a handler finishes.
 	DispatchWorkers int
+	// ReactorWorkers bounds the handler goroutines serving inbound
+	// invocations across all channels of this peer (the reactor pool,
+	// see reactor.go). Zero selects DefaultReactorWorkers; a negative
+	// value disables the peer-wide bound and keeps only the per-channel
+	// one (the PR-3 model, kept for ablation runs). Ignored when
+	// DispatchWorkers is negative.
+	ReactorWorkers int
+	// Admission enables serve-side admission control with per-tenant
+	// fairness (admission.go): inbound invocations past the configured
+	// in-flight and rate limits are rejected with ErrOverloaded before
+	// any service code runs. Nil admits everything.
+	Admission *AdmissionPolicy
+	// WriteBufferBytes sizes the per-channel write-coalescing buffer.
+	// Zero selects writeCoalesceBuffer (32 KiB — right for a handful of
+	// channels); hosts serving tens of thousands of sessions shrink it
+	// to keep per-session memory bounded.
+	WriteBufferBytes int
 	// HelloProps are announced to peers during the handshake (§3.2:
 	// "the device can decide which capabilities to expose to the
-	// target device"). Values must be wire-normalizable.
+	// target device"). Values must be wire-normalizable. The
+	// HelloTenantProp entry, when present, identifies this peer's
+	// tenant to the serving side.
 	HelloProps map[string]any
 	// Obs supplies telemetry: metrics and traces for invokes, fetches,
 	// retries and link transitions. Nil selects the process-wide
@@ -99,8 +139,9 @@ type Config struct {
 }
 
 type exportedService struct {
-	info wire.ServiceInfo
-	svc  Service
+	info   wire.ServiceInfo
+	svc    Service
+	tenant string // from PropTenant; "" means public
 }
 
 // Peer is one endpoint of the remote service layer, bound to a local
@@ -125,11 +166,28 @@ type Peer struct {
 	// (version-bumped) when the service content changes.
 	artifacts *module.ArtifactStore
 
-	mu       sync.Mutex
-	exported map[int64]exportedService
-	channels map[*Channel]struct{}
-	regTok   int64
-	closed   bool
+	// exported and channels are the serve-side hot tables, striped so
+	// concurrent sessions do not serialize on one lock: every inbound
+	// invocation resolves its service in exported, and every connect,
+	// teardown and broadcast walks channels.
+	exported *stripe.Map[int64, exportedService]
+	channels *stripe.Map[int64, *Channel]
+
+	// closeMu orders channel admission against Close: adds take the
+	// read side (concurrent adds proceed on distinct shards), Close
+	// takes the write side once to flip closed, so a channel is either
+	// in the snapshot Close tears down or observes closed and refuses.
+	closeMu sync.RWMutex
+	closed  bool
+
+	nextChanID atomic.Int64
+	regTok     int64
+
+	// reactor is the peer-wide bounded handler pool (nil when disabled).
+	reactor *reactor
+	// admission is the serve-side admission controller (nil when
+	// disabled).
+	admission *Admission
 
 	wg sync.WaitGroup
 }
@@ -151,17 +209,29 @@ func NewPeer(cfg Config) (*Peer, error) {
 	if cfg.DispatchWorkers == 0 {
 		cfg.DispatchWorkers = DefaultDispatchWorkers
 	}
+	if cfg.ReactorWorkers == 0 {
+		cfg.ReactorWorkers = DefaultReactorWorkers
+	}
+	if cfg.WriteBufferBytes <= 0 {
+		cfg.WriteBufferBytes = writeCoalesceBuffer
+	}
 	cfg.Retry = cfg.Retry.withDefaults()
 	cfg.Obs = cfg.Obs.OrDefault()
 	cfg.Clock = clock.Or(cfg.Clock)
 	p := &Peer{
 		cfg:       cfg,
 		artifacts: module.NewArtifactStore(cfg.ChunkBytes),
-		exported:  make(map[int64]exportedService),
-		channels:  make(map[*Channel]struct{}),
+		exported:  stripe.NewMap[int64, exportedService](stripe.DefaultShards(), stripe.Int64Hash),
+		channels:  stripe.NewMap[int64, *Channel](stripe.DefaultShards(), stripe.Int64Hash),
 	}
 	if cfg.Seed != 0 {
 		p.rng = rand.New(&lockedSource{src: rand.NewSource(cfg.Seed).(rand.Source64)})
+	}
+	if cfg.DispatchWorkers > 0 && cfg.ReactorWorkers > 0 {
+		p.reactor = newReactor(cfg.ReactorWorkers, cfg.Obs.Metrics)
+	}
+	if cfg.Admission != nil {
+		p.admission = NewAdmission(*cfg.Admission, cfg.Clock, cfg.Obs.Metrics)
 	}
 
 	reg := cfg.Framework.Registry()
@@ -177,6 +247,10 @@ func (p *Peer) ID() string { return p.cfg.Framework.Name() }
 
 // Clock returns the peer's time source.
 func (p *Peer) Clock() clock.Clock { return p.cfg.Clock }
+
+// Admission returns the peer's admission controller, or nil when
+// admission control is disabled.
+func (p *Peer) Admission() *Admission { return p.admission }
 
 // retryDelay returns the jittered backoff before retry number attempt,
 // drawn from the peer's seeded RNG when configured.
@@ -222,61 +296,89 @@ func (p *Peer) Connect(conn net.Conn) (*Channel, error) {
 
 // Channels returns the currently connected channels.
 func (p *Peer) Channels() []*Channel {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]*Channel, 0, len(p.channels))
-	for c := range p.channels {
-		out = append(out, c)
-	}
-	return out
+	return p.channels.Values()
 }
+
+// ChannelCount returns the number of connected channels.
+func (p *Peer) ChannelCount() int { return p.channels.Len() }
+
+// ChannelShardCounts returns the per-shard channel-table counts; the
+// scale suite sums them against the global channels-active gauge.
+func (p *Peer) ChannelShardCounts() []int { return p.channels.ShardCounts() }
+
+// ExportedShardCounts returns the per-shard export-table counts.
+func (p *Peer) ExportedShardCounts() []int { return p.exported.ShardCounts() }
+
+// ExportedCount returns the number of exported services.
+func (p *Peer) ExportedCount() int { return p.exported.Len() }
 
 // Close tears down all channels. The peer cannot be reused.
 func (p *Peer) Close() {
-	p.mu.Lock()
+	p.closeMu.Lock()
 	if p.closed {
-		p.mu.Unlock()
+		p.closeMu.Unlock()
 		return
 	}
 	p.closed = true
-	chans := make([]*Channel, 0, len(p.channels))
-	for c := range p.channels {
-		chans = append(chans, c)
-	}
-	p.mu.Unlock()
+	p.closeMu.Unlock()
 
 	p.cfg.Framework.Registry().RemoveListener(p.regTok)
-	for _, c := range chans {
+	for _, c := range p.channels.Values() {
 		c.Close()
 	}
 	p.wg.Wait()
+	if p.reactor != nil {
+		p.reactor.wait()
+	}
 }
 
-// exportedInfos snapshots the current lease content.
-func (p *Peer) exportedInfos() []wire.ServiceInfo {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]wire.ServiceInfo, 0, len(p.exported))
-	for _, e := range p.exported {
-		out = append(out, e.info)
-	}
+// visibleTo reports whether a service scoped to svcTenant may be seen
+// by a channel whose peer announced chTenant: public services (no
+// tenant) are visible to everyone, tenant-scoped services only to their
+// own tenant.
+func visibleTo(svcTenant, chTenant string) bool {
+	return svcTenant == "" || svcTenant == chTenant
+}
+
+// exportedInfosFor snapshots the lease content visible to a channel of
+// the given tenant.
+func (p *Peer) exportedInfosFor(tenant string) []wire.ServiceInfo {
+	out := make([]wire.ServiceInfo, 0, 8)
+	p.exported.Range(func(_ int64, e exportedService) bool {
+		if visibleTo(e.tenant, tenant) {
+			out = append(out, e.info)
+		}
+		return true
+	})
 	return out
 }
 
-// lookupExported resolves a service id from an inbound invocation.
-func (p *Peer) lookupExported(id int64) (Service, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.exported[id]
-	return e.svc, ok
+// lookupExported resolves a service id from an inbound invocation on a
+// channel of the given tenant. Services scoped to another tenant are
+// indistinguishable from absent ones — isolation, not an error hint.
+func (p *Peer) lookupExported(id int64, tenant string) (Service, bool) {
+	e, ok := p.exported.Get(id)
+	if !ok || !visibleTo(e.tenant, tenant) {
+		return nil, false
+	}
+	return e.svc, true
 }
 
-// exportedInfo returns the lease entry for an exported service id.
-func (p *Peer) exportedInfo(id int64) (wire.ServiceInfo, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.exported[id]
-	return e.info, ok
+// exportedInfo returns the lease entry for an exported service id,
+// subject to the same tenant visibility as lookupExported.
+func (p *Peer) exportedInfo(id int64, tenant string) (wire.ServiceInfo, bool) {
+	e, ok := p.exported.Get(id)
+	if !ok || !visibleTo(e.tenant, tenant) {
+		return wire.ServiceInfo{}, false
+	}
+	return e.info, true
+}
+
+// tenantOfProps extracts the PropTenant scope from sanitized service
+// properties.
+func tenantOfProps(props map[string]any) string {
+	t, _ := props[PropTenant].(string)
+	return t
 }
 
 func (p *Peer) onServiceEvent(ev service.Event) {
@@ -285,43 +387,41 @@ func (p *Peer) onServiceEvent(ev service.Event) {
 	switch ev.Type {
 	case service.EventRegistered:
 		if info, ok := p.maybeExport(ev.Ref); ok {
-			p.broadcast(&wire.ServiceAdded{Service: info})
+			p.broadcast(&wire.ServiceAdded{Service: info}, tenantOfProps(info.Props))
 		}
 	case service.EventModified:
-		p.mu.Lock()
-		e, exported := p.exported[ev.Ref.ID()]
-		p.mu.Unlock()
+		e, exported := p.exported.Get(ev.Ref.ID())
 		flagged, _ := ev.Ref.Property(PropExported)
 		switch {
 		case exported && flagged != true:
 			// The export flag was withdrawn: retract the lease entry.
-			p.mu.Lock()
-			delete(p.exported, ev.Ref.ID())
-			p.mu.Unlock()
+			p.exported.Delete(ev.Ref.ID())
 			p.cfg.Framework.Registry().Unget(ev.Ref)
-			p.broadcast(&wire.ServiceRemoved{ServiceID: ev.Ref.ID()})
+			p.broadcast(&wire.ServiceRemoved{ServiceID: ev.Ref.ID()}, e.tenant)
 		case exported:
 			// Properties changed: peers keep their lease entries
 			// synchronized (§2.2: "changes of services ... are
 			// immediately visible to all connected machines").
+			prevTenant := e.tenant
 			e.info.Props = sanitizeProps(ev.Ref.Properties())
-			p.mu.Lock()
-			p.exported[ev.Ref.ID()] = e
-			p.mu.Unlock()
-			p.broadcast(&wire.ServiceAdded{Service: e.info})
+			e.tenant = tenantOfProps(e.info.Props)
+			p.exported.Store(ev.Ref.ID(), e)
+			if e.tenant != prevTenant {
+				// The scope itself moved: the old audience loses the
+				// service, the new one gains it.
+				p.broadcast(&wire.ServiceRemoved{ServiceID: ev.Ref.ID()}, prevTenant)
+			}
+			p.broadcast(&wire.ServiceAdded{Service: e.info}, e.tenant)
 		default:
 			if info, ok := p.maybeExport(ev.Ref); ok {
-				p.broadcast(&wire.ServiceAdded{Service: info})
+				p.broadcast(&wire.ServiceAdded{Service: info}, tenantOfProps(info.Props))
 			}
 		}
 	case service.EventUnregistering:
-		p.mu.Lock()
-		_, was := p.exported[ev.Ref.ID()]
-		delete(p.exported, ev.Ref.ID())
-		p.mu.Unlock()
+		e, was := p.exported.Delete(ev.Ref.ID())
 		if was {
 			p.cfg.Framework.Registry().Unget(ev.Ref)
-			p.broadcast(&wire.ServiceRemoved{ServiceID: ev.Ref.ID()})
+			p.broadcast(&wire.ServiceRemoved{ServiceID: ev.Ref.ID()}, e.tenant)
 		}
 	}
 }
@@ -333,12 +433,9 @@ func (p *Peer) maybeExport(ref *service.Reference) (wire.ServiceInfo, bool) {
 	if flagged != true {
 		return wire.ServiceInfo{}, false
 	}
-	p.mu.Lock()
-	if _, dup := p.exported[ref.ID()]; dup {
-		p.mu.Unlock()
+	if _, dup := p.exported.Get(ref.ID()); dup {
 		return wire.ServiceInfo{}, false
 	}
-	p.mu.Unlock()
 
 	obj, ok := p.cfg.Framework.Registry().Get(ref, "remote:"+p.ID())
 	if !ok {
@@ -357,34 +454,47 @@ func (p *Peer) maybeExport(ref *service.Reference) (wire.ServiceInfo, bool) {
 		Interfaces: ref.Interfaces(),
 		Props:      sanitizeProps(ref.Properties()),
 	}
-	p.mu.Lock()
-	p.exported[ref.ID()] = exportedService{info: info, svc: svc}
-	p.mu.Unlock()
+	entry := exportedService{info: info, svc: svc, tenant: tenantOfProps(info.Props)}
+	won := false
+	p.exported.Update(ref.ID(), func(old exportedService, ok bool) (exportedService, bool) {
+		if ok {
+			return old, true // lost the race to a concurrent export
+		}
+		won = true
+		return entry, true
+	})
+	if !won {
+		p.cfg.Framework.Registry().Unget(ref)
+		return wire.ServiceInfo{}, false
+	}
 	return info, true
 }
 
-// broadcast sends a lease update to every channel, dropping channels
-// whose link has failed.
-func (p *Peer) broadcast(m wire.Message) {
-	for _, c := range p.Channels() {
-		_ = c.send(m)
-	}
+// broadcast sends a lease update to every channel allowed to see it:
+// all channels for public services (tenant ""), only the scoped
+// tenant's channels otherwise. Channels whose link has failed drop the
+// frame.
+func (p *Peer) broadcast(m wire.Message, tenant string) {
+	p.channels.Range(func(_ int64, c *Channel) bool {
+		if visibleTo(tenant, c.Tenant()) {
+			_ = c.send(m)
+		}
+		return true
+	})
 }
 
 func (p *Peer) addChannel(c *Channel) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
 	if p.closed {
 		return ErrChannelClosed
 	}
-	p.channels[c] = struct{}{}
+	p.channels.Store(c.id, c)
 	return nil
 }
 
 func (p *Peer) removeChannel(c *Channel) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	delete(p.channels, c)
+	p.channels.Delete(c.id)
 }
 
 // sanitizeProps keeps only wire-encodable property values so that a

@@ -1,0 +1,121 @@
+package remote
+
+import (
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// Peer-wide bounded reactor pool for inbound invocation handlers.
+//
+// The per-channel dispatch slots (dispatch.go) bound what one
+// connection can claim, but with tens of thousands of sessions the sum
+// still grows O(channels): every busy channel holds its own handlers.
+// The reactor layers a second, peer-wide bound on top: a handler
+// goroutine must hold a reactor slot in addition to its channel slot,
+// so total handler goroutines stay O(ReactorWorkers) no matter how many
+// sessions are connected.
+//
+// The two-regime design of the per-channel layer is preserved:
+//
+//   - Slots free: the handler is spawned fresh (the fast sporadic-load
+//     path measured in PR 3).
+//
+//   - Reactor saturated: the reader parks offering the frame on the
+//     reactor's chain channel; a finishing handler adopts it directly —
+//     keeping its reactor slot and goroutine but switching channels.
+//     Under a many-session flood this converges to a fixed set of hot
+//     handler goroutines serving all channels round-robin-ish, which is
+//     the reactor pattern.
+//
+// A handler finishing work first offers itself to its own channel's
+// chain (keeping channel+reactor slots — the single-hot-channel fast
+// path), then releases the channel slot and offers itself peer-wide.
+// Ownership of the channel slot travels with the work item: whoever
+// executes a frame releases that frame's channel slot.
+//
+// There is no stranded-work window, by the same argument as the
+// per-channel layer: the parked reader offers the frame and a slot
+// acquisition in one select, so if every handler exits instead of
+// chaining, a freed slot wakes the reader and it spawns.
+
+// reactorWork is one inbound invocation bound for the pool: the frame
+// plus the channel it arrived on (whose dispatch slot it holds).
+type reactorWork struct {
+	c *Channel
+	w invokeWork
+}
+
+type reactor struct {
+	sem    chan struct{}
+	chain  chan reactorWork
+	active *obs.Gauge
+	stalls *obs.Counter
+	wg     sync.WaitGroup
+}
+
+func newReactor(workers int, m *obs.Registry) *reactor {
+	return &reactor{
+		sem:    make(chan struct{}, workers),
+		chain:  make(chan reactorWork),
+		active: m.Gauge("alfredo_remote_reactor_active"),
+		stalls: m.Counter("alfredo_remote_reactor_stalls_total"),
+	}
+}
+
+// submit hands one invocation (already holding a channel dispatch slot)
+// to the pool. Called from channel read loops only; blocking here is
+// the peer-wide backpressure mechanism.
+func (r *reactor) submit(c *Channel, w invokeWork) {
+	select {
+	case r.sem <- struct{}{}:
+	default:
+		// Pool saturated: park offering the frame to a finishing
+		// handler (chain), a freed slot (spawn), or this channel's
+		// teardown (drop the frame and its channel slot — the channel
+		// is dying).
+		r.stalls.Inc()
+		select {
+		case r.chain <- reactorWork{c, w}:
+			return
+		case r.sem <- struct{}{}:
+		case <-c.closed:
+			c.releaseSlot()
+			return
+		}
+	}
+	r.active.Add(1)
+	r.wg.Add(1)
+	go r.worker(reactorWork{c, w})
+}
+
+// worker handles one invocation, then chains: first into the same
+// channel's parked frame (keeping both slots), then into any channel's
+// parked frame (keeping only the reactor slot), and exits only when no
+// work is waiting anywhere.
+func (r *reactor) worker(rw reactorWork) {
+	defer r.wg.Done()
+	for {
+		rw.c.handleInvoke(rw.w.m, rw.w.size)
+		select {
+		case w := <-rw.c.chainQ:
+			rw.w = w
+			continue
+		default:
+		}
+		rw.c.releaseSlot()
+		select {
+		case rw = <-r.chain:
+			continue
+		default:
+			<-r.sem
+			r.active.Add(-1)
+			return
+		}
+	}
+}
+
+// wait blocks until every pool goroutine has exited. Called from
+// Peer.Close after all channels are down; parked readers have been
+// released by their channels' closed signal, so the pool drains.
+func (r *reactor) wait() { r.wg.Wait() }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -300,78 +301,85 @@ func TestLeaseUpdates(t *testing.T) {
 }
 
 func TestRemoteEvents(t *testing.T) {
-	server := newTestNode(t, "srv")
-	client := newTestNode(t, "cli")
-	ch := connectNodes(t, server, client, netsim.Loopback)
+	r := newVRig(t, 3, 5*time.Second, RetryPolicy{})
+	ch, _ := r.connect(t, netsim.Loopback)
 
 	received := make(chan event.Event, 8)
-	if _, err := client.events.Subscribe("telemetry/*", nil, func(ev event.Event) {
+	if _, err := r.client.events.Subscribe("telemetry/*", nil, func(ev event.Event) {
 		received <- ev
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ch.SetRemoteSubscriptions([]string{"telemetry/*"}); err != nil {
-		t.Fatal(err)
-	}
-	time.Sleep(20 * time.Millisecond) // let the Subscribe frame land
+	r.drive(t, time.Minute, func() {
+		if err := ch.SetRemoteSubscriptions([]string{"telemetry/*"}); err != nil {
+			t.Errorf("SetRemoteSubscriptions: %v", err)
+		}
+	})
+	// Let the Subscribe frame land on the server before posting.
+	r.v.WaitCond(100*time.Millisecond, func() bool { return false })
 
-	if err := server.events.Post(event.Event{
+	if err := r.server.events.Post(event.Event{
 		Topic:      "telemetry/temp",
 		Properties: map[string]any{"celsius": int64(21)},
 	}); err != nil {
 		t.Fatal(err)
 	}
 
-	select {
-	case ev := <-received:
-		if ev.Topic != "telemetry/temp" {
-			t.Errorf("topic = %s", ev.Topic)
-		}
-		if ev.Properties["celsius"] != int64(21) {
-			t.Errorf("props = %v", ev.Properties)
-		}
-		if ev.Properties[PropOriginPeer] != "srv" {
-			t.Errorf("origin = %v", ev.Properties[PropOriginPeer])
-		}
-	case <-time.After(2 * time.Second):
+	if !r.v.WaitCond(2*time.Second, func() bool { return len(received) > 0 }) {
 		t.Fatal("remote event never arrived")
 	}
+	ev := <-received
+	if ev.Topic != "telemetry/temp" {
+		t.Errorf("topic = %s", ev.Topic)
+	}
+	if ev.Properties["celsius"] != int64(21) {
+		t.Errorf("props = %v", ev.Properties)
+	}
+	if ev.Properties[PropOriginPeer] != "target" {
+		t.Errorf("origin = %v", ev.Properties[PropOriginPeer])
+	}
 
-	// Unmatched topics are not forwarded.
-	_ = server.events.Post(event.Event{Topic: "other/topic"})
+	// Unmatched topics are not forwarded: give the fabric a bounded
+	// window of virtual time, then require silence.
+	_ = r.server.events.Post(event.Event{Topic: "other/topic"})
+	r.v.WaitCond(200*time.Millisecond, func() bool { return false })
 	select {
 	case ev := <-received:
 		t.Errorf("unexpected event %v", ev)
-	case <-time.After(50 * time.Millisecond):
+	default:
 	}
 }
 
 func TestEventLoopPrevention(t *testing.T) {
-	a := newTestNode(t, "a")
-	b := newTestNode(t, "b")
-	ch := connectNodes(t, a, b, netsim.Loopback)
+	r := newVRig(t, 4, 5*time.Second, RetryPolicy{})
+	ch, _ := r.connect(t, netsim.Loopback)
 
 	// Both sides subscribe to everything — without origin tracking this
 	// would ping-pong forever.
-	if err := ch.SetRemoteSubscriptions([]string{"*"}); err != nil {
-		t.Fatal(err)
-	}
-	for _, c := range a.peer.Channels() {
-		if err := c.SetRemoteSubscriptions([]string{"*"}); err != nil {
-			t.Fatal(err)
+	r.drive(t, time.Minute, func() {
+		if err := ch.SetRemoteSubscriptions([]string{"*"}); err != nil {
+			t.Errorf("SetRemoteSubscriptions: %v", err)
+			return
 		}
-	}
-	time.Sleep(20 * time.Millisecond)
+		for _, c := range r.server.peer.Channels() {
+			if err := c.SetRemoteSubscriptions([]string{"*"}); err != nil {
+				t.Errorf("SetRemoteSubscriptions (server): %v", err)
+			}
+		}
+	})
+	r.v.WaitCond(100*time.Millisecond, func() bool { return false })
 
 	var mu sync.Mutex
 	count := 0
-	_, _ = a.events.Subscribe("ping/pong", nil, func(event.Event) {
+	_, _ = r.server.events.Subscribe("ping/pong", nil, func(event.Event) {
 		mu.Lock()
 		count++
 		mu.Unlock()
 	})
-	_ = a.events.Post(event.Event{Topic: "ping/pong"})
-	time.Sleep(150 * time.Millisecond)
+	_ = r.server.events.Post(event.Event{Topic: "ping/pong"})
+	// A bounded window of virtual time: any echo storm would ping-pong
+	// across the loopback link well within half a second.
+	r.v.WaitCond(500*time.Millisecond, func() bool { return false })
 	mu.Lock()
 	defer mu.Unlock()
 	if count > 2 {
@@ -556,77 +564,45 @@ func TestConcurrentInvocations(t *testing.T) {
 }
 
 func TestChannelCloseFailsPendingCalls(t *testing.T) {
-	server := newTestNode(t, "srv")
-	client := newTestNode(t, "cli")
-	slow := NewService("test.Slow").
-		Method("Sleep", nil, "void", func(args []any) (any, error) {
-			time.Sleep(2 * time.Second)
-			return nil, nil
-		})
-	_, _ = server.fw.Registry().Register([]string{"test.Slow"}, slow,
-		service.Properties{PropExported: true}, "test")
-	ch := connectNodes(t, server, client, netsim.Loopback)
-	info, _ := ch.FindRemoteService("test.Slow")
+	r := newVRig(t, 5, 5*time.Second, RetryPolicy{})
+	var calls atomic.Int64
+	exportSlow(t, r, &calls, 2*time.Second)
+	ch, _ := r.connect(t, netsim.Loopback)
+	id := soleServiceID(t, ch)
 
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := ch.Invoke(info.ID, "Sleep", nil)
+		_, err := ch.Invoke(id, "Nap", nil)
 		errCh <- err
 	}()
-	time.Sleep(30 * time.Millisecond)
-	ch.Close()
-	select {
-	case err := <-errCh:
-		if !errors.Is(err, ErrChannelClosed) {
-			t.Errorf("pending call error = %v, want ErrChannelClosed", err)
-		}
-	case <-time.After(time.Second):
+	// Close only once the call is provably in flight on the server.
+	if !r.v.WaitCond(time.Second, func() bool { return calls.Load() == 1 }) {
+		t.Fatal("slow call never reached the server")
+	}
+	r.drive(t, time.Minute, ch.Close)
+	if !r.v.WaitCond(time.Second, func() bool { return len(errCh) > 0 }) {
 		t.Fatal("pending call not failed on close")
+	}
+	if err := <-errCh; !errors.Is(err, ErrChannelClosed) {
+		t.Errorf("pending call error = %v, want ErrChannelClosed", err)
 	}
 }
 
 func TestInvokeTimeout(t *testing.T) {
-	fwS := module.NewFramework(module.Config{Name: "slow-srv"})
-	defer fwS.Shutdown()
-	peerS, err := NewPeer(Config{Framework: fwS, Timeout: 5 * time.Second})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer peerS.Close()
-	slow := NewService("test.Slow").
-		Method("Sleep", nil, "void", func(args []any) (any, error) {
-			time.Sleep(time.Second)
-			return nil, nil
-		})
-	_, _ = fwS.Registry().Register([]string{"test.Slow"}, slow,
-		service.Properties{PropExported: true}, "test")
+	// An impatient client (50ms budget) against a 1s-virtual-sleep
+	// handler: the call must surface ErrTimeout after 50ms of simulated
+	// time, not wall time.
+	r := newVRig(t, 6, 50*time.Millisecond, RetryPolicy{})
+	var calls atomic.Int64
+	exportSlow(t, r, &calls, time.Second)
+	ch, _ := r.connect(t, netsim.Loopback)
+	id := soleServiceID(t, ch)
 
-	fwC := module.NewFramework(module.Config{Name: "impatient"})
-	defer fwC.Shutdown()
-	peerC, err := NewPeer(Config{Framework: fwC, Timeout: 50 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer peerC.Close()
-
-	fabric := netsim.NewFabric()
-	l, _ := fabric.Listen("slow-srv")
-	defer l.Close()
-	go func() { _ = peerS.Serve(l) }()
-	conn, err := fabric.Dial("slow-srv", netsim.Loopback)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ch, err := peerC.Connect(conn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ch.Close()
-
-	info, _ := ch.FindRemoteService("test.Slow")
-	if _, err := ch.Invoke(info.ID, "Sleep", nil); !errors.Is(err, ErrTimeout) {
-		t.Errorf("Invoke = %v, want ErrTimeout", err)
-	}
+	r.drive(t, time.Minute, func() {
+		if _, err := ch.Invoke(id, "Nap", nil); !errors.Is(err, ErrTimeout) {
+			t.Errorf("Invoke = %v, want ErrTimeout", err)
+		}
+	})
 }
 
 func TestHandshakeVersionMismatch(t *testing.T) {
@@ -662,7 +638,7 @@ func TestServiceExportRequiresInterface(t *testing.T) {
 	// A plain struct flagged for export is ignored, not fatal.
 	_, _ = n.fw.Registry().Register([]string{"bogus"}, &struct{ X int }{},
 		service.Properties{PropExported: true}, "test")
-	if infos := n.peer.exportedInfos(); len(infos) != 0 {
+	if infos := n.peer.exportedInfosFor(""); len(infos) != 0 {
 		t.Errorf("unexportable service leaked into lease: %v", infos)
 	}
 }

@@ -31,6 +31,11 @@ var (
 	ErrRemoteFailure  = errors.New("remote: remote invocation failed")
 	ErrNotExportable  = errors.New("remote: service does not implement remote.Service")
 	ErrDuplicateProxy = errors.New("remote: proxy code already registered")
+	// ErrOverloaded is a serve-side admission rejection (admission.go).
+	// It is issued before any service code runs, so a call failing with
+	// it has definitely not executed — every invoke path, including the
+	// non-idempotent one, retries it with backoff.
+	ErrOverloaded = errors.New("remote: overloaded")
 )
 
 // Service is the invocable form of an exportable service: a

@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in. The
+// scale suite downsizes its session counts under -race: the detector
+// multiplies memory and scheduling cost per goroutine, and the point
+// of the race build is interleaving coverage, not raw scale.
+const raceEnabled = false

@@ -1,0 +1,594 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/service"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
+)
+
+// ScaleOptions parameterize a scale cluster: one serve-side peer
+// hosting tenant-scoped services, a small pool of per-tenant client
+// peers, and Sessions virtual phone sessions (one remote channel
+// each) spread round-robin across the tenants. The zero value is a
+// usable default sized for a unit test, not a scale run.
+type ScaleOptions struct {
+	// Sessions is the number of virtual phone sessions (default 256).
+	Sessions int
+	// Tenants is the number of tenants, each with its own client peer
+	// announcing its identity in the handshake (default 8).
+	Tenants int
+	// Admission, when non-nil, installs serve-side admission control.
+	Admission *remote.AdmissionPolicy
+	// ReactorWorkers bounds the serve-side handler pool; zero selects
+	// remote.DefaultReactorWorkers.
+	ReactorWorkers int
+	// WriteBufferBytes sizes each channel's write-coalescing buffer.
+	// The scale default is 4 KiB — the 32 KiB production default costs
+	// 320 MB at 10k sessions before a single byte moves.
+	WriteBufferBytes int
+	// PipeDepth bounds each simulated connection's in-flight chunk
+	// queue (default 8; the netsim default of 1024 is ~100 KB/conn).
+	PipeDepth int
+	// Timeout bounds each invocation (default 2s virtual).
+	Timeout time.Duration
+	// Link is the simulated transport (default netsim.Loopback).
+	Link netsim.LinkProfile
+	// ConnectBatch bounds concurrent session handshakes during setup
+	// (default 512).
+	ConnectBatch int
+}
+
+func (o ScaleOptions) normalized() ScaleOptions {
+	if o.Sessions <= 0 {
+		o.Sessions = 256
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 8
+	}
+	if o.Tenants > o.Sessions {
+		o.Tenants = o.Sessions
+	}
+	if o.WriteBufferBytes <= 0 {
+		o.WriteBufferBytes = 4 << 10
+	}
+	if o.PipeDepth <= 0 {
+		o.PipeDepth = 8
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Link.Name == "" {
+		o.Link = netsim.Loopback
+	}
+	if o.ConnectBatch <= 0 {
+		o.ConnectBatch = 512
+	}
+	return o
+}
+
+// ScaleSession is one virtual phone session: a single remote channel
+// from its tenant's client peer to the serve-side peer.
+type ScaleSession struct {
+	Index  int
+	Tenant string
+	Ch     *remote.Channel
+	// EchoID is the serve-side id of the session's tenant-scoped echo
+	// service, resolved from its lease.
+	EchoID int64
+}
+
+// scaleTenant is one tenant's client-side endpoint: a lightweight
+// framework + peer whose handshake announces the tenant identity.
+// Many sessions share it; each session is a separate channel.
+type scaleTenant struct {
+	name string
+	fw   *module.Framework
+	peer *remote.Peer
+}
+
+// ScaleCluster is a running massive-multitenancy deployment on the
+// virtual clock: Sessions channels from Tenants client peers into one
+// serve-side peer, with tenant-scoped services and (optionally)
+// admission control. Everything that varies is derived from Seed.
+type ScaleCluster struct {
+	Seed   int64
+	Opts   ScaleOptions
+	Clock  *clock.Virtual
+	Fabric *netsim.Fabric
+	Hub    *obs.Hub
+
+	Server   *remote.Peer
+	serverFW *module.Framework
+
+	tenants  []*scaleTenant
+	Sessions []*ScaleSession
+
+	// echoIDs maps tenant name -> serve-side id of its scoped echo
+	// service, learned from the leases. Cross-tenant probes invoke
+	// another tenant's id and must see NO_SUCH_SERVICE.
+	echoIDs map[string]int64
+
+	rng      *rand.Rand
+	listener *netsim.Listener
+	baseGos  int
+	closed   bool
+}
+
+// scaleTenantName returns the canonical tenant identity for index i.
+func scaleTenantName(i int) string { return fmt.Sprintf("tenant-%03d", i) }
+
+// ScaleEchoInterface is the tenant-scoped service every session
+// invokes. Its Whoami method returns the owning tenant's name, so a
+// reply is itself an isolation witness: a session that ever receives
+// a name other than its own has crossed the boundary.
+const ScaleEchoInterface = "scale.Echo"
+
+func scaleEchoService(tenant string) *remote.MethodTable {
+	return remote.NewService(ScaleEchoInterface).
+		Method("Whoami", nil, "string", func(args []any) (any, error) {
+			return tenant, nil
+		}).
+		Method("Add", []string{"int", "int"}, "int", func(args []any) (any, error) {
+			return args[0].(int64) + args[1].(int64), nil
+		})
+}
+
+// NewScaleCluster builds the serve-side peer, registers one scoped
+// echo service per tenant, and connects all sessions in seeded
+// batches. Setup runs on the virtual clock; the returned cluster is
+// quiescent at a deterministic virtual instant.
+func NewScaleCluster(seed int64, opts ScaleOptions) (*ScaleCluster, error) {
+	opts = opts.normalized()
+	c := &ScaleCluster{
+		Seed:    seed,
+		Opts:    opts,
+		Clock:   clock.NewVirtual(seed),
+		Hub:     obs.NewHub(),
+		echoIDs: make(map[string]int64, opts.Tenants),
+		rng:     rand.New(rand.NewSource(seed)),
+		baseGos: runtime.NumGoroutine(),
+	}
+	c.Fabric = netsim.NewFabric().WithClock(c.Clock).WithSeed(seed).WithPipeDepth(opts.PipeDepth)
+
+	c.serverFW = module.NewFramework(module.Config{Name: "scale-host"})
+	server, err := remote.NewPeer(remote.Config{
+		Framework:        c.serverFW,
+		Timeout:          opts.Timeout,
+		ReactorWorkers:   opts.ReactorWorkers,
+		Admission:        opts.Admission,
+		WriteBufferBytes: opts.WriteBufferBytes,
+		Obs:              c.Hub,
+		Clock:            c.Clock,
+		Seed:             seed + 17,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Server = server
+
+	// Register every tenant's scoped service before any session
+	// connects, so leases are complete at handshake time and no
+	// broadcast storm walks tens of thousands of channels.
+	for i := 0; i < opts.Tenants; i++ {
+		tenant := scaleTenantName(i)
+		_, err := c.serverFW.Registry().Register(
+			[]string{ScaleEchoInterface}, scaleEchoService(tenant),
+			service.Properties{
+				remote.PropExported: true,
+				remote.PropTenant:   tenant,
+			}, "scale")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+
+	l, err := c.Fabric.Listen(server.ID())
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.listener = l
+	go func() { _ = server.Serve(l) }()
+
+	for i := 0; i < opts.Tenants; i++ {
+		tenant := scaleTenantName(i)
+		fw := module.NewFramework(module.Config{Name: "scale-client-" + tenant})
+		peer, err := remote.NewPeer(remote.Config{
+			Framework:        fw,
+			Timeout:          opts.Timeout,
+			WriteBufferBytes: opts.WriteBufferBytes,
+			HelloProps:       map[string]any{remote.HelloTenantProp: tenant},
+			Obs:              c.Hub,
+			Clock:            c.Clock,
+			Seed:             seed + int64(100+i),
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.tenants = append(c.tenants, &scaleTenant{name: tenant, fw: fw, peer: peer})
+	}
+
+	if err := c.connectAll(); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("sim: scale setup: %w", err)
+	}
+	return c, nil
+}
+
+// connectAll dials every session in bounded concurrent batches, all
+// driven on the virtual clock. Concurrent handshakes share virtual
+// instants, so a batch costs a handful of clock steps regardless of
+// its size.
+func (c *ScaleCluster) connectAll() error {
+	total := c.Opts.Sessions
+	c.Sessions = make([]*ScaleSession, total)
+	for start := 0; start < total; start += c.Opts.ConnectBatch {
+		end := start + c.Opts.ConnectBatch
+		if end > total {
+			end = total
+		}
+		var firstErr atomic.Value
+		err := c.Do(time.Minute, func() error {
+			var wg sync.WaitGroup
+			for i := start; i < end; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := c.connectSession(i); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+					}
+				}()
+			}
+			wg.Wait()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if e := firstErr.Load(); e != nil {
+			return e.(error)
+		}
+	}
+	// Resolve the per-tenant echo ids once from one lease per tenant.
+	for _, s := range c.Sessions {
+		if _, ok := c.echoIDs[s.Tenant]; ok {
+			continue
+		}
+		c.echoIDs[s.Tenant] = s.EchoID
+	}
+	return nil
+}
+
+func (c *ScaleCluster) connectSession(i int) error {
+	tn := c.tenants[i%len(c.tenants)]
+	conn, err := c.Fabric.Dial(c.Server.ID(), c.Opts.Link)
+	if err != nil {
+		return fmt.Errorf("session %d dial: %w", i, err)
+	}
+	ch, err := tn.peer.Connect(conn)
+	if err != nil {
+		return fmt.Errorf("session %d connect: %w", i, err)
+	}
+	s := &ScaleSession{Index: i, Tenant: tn.name, Ch: ch}
+	svc, ok := ch.FindRemoteService(ScaleEchoInterface)
+	if !ok {
+		return fmt.Errorf("session %d (%s): lease is missing %s", i, tn.name, ScaleEchoInterface)
+	}
+	s.EchoID = svc.ID
+	c.Sessions[i] = s
+	return nil
+}
+
+// Do runs fn on a fresh goroutine while driving the virtual clock and
+// returns fn's error, failing if fn is still blocked after budget of
+// virtual time.
+func (c *ScaleCluster) Do(budget time.Duration, fn func() error) error {
+	var err error
+	var done atomic.Bool
+	go func() {
+		err = fn()
+		done.Store(true)
+	}()
+	if !c.Clock.WaitCond(budget, done.Load) {
+		return fmt.Errorf("sim: scale operation still blocked after %v virtual time", budget)
+	}
+	return err
+}
+
+// RoundStats summarizes one invoke round.
+type RoundStats struct {
+	OK         int
+	Overloaded int
+	Failed     int
+}
+
+// RunRound fires one Whoami invocation on each of n seeded-sampled
+// sessions concurrently and waits for all of them. Every reply is
+// checked against the session's own tenant (the isolation witness);
+// an admission rejection is counted, not failed — the caller decides
+// what the policy should have admitted. Any other error fails the
+// round.
+func (c *ScaleCluster) RunRound(n int) (RoundStats, error) {
+	if n > len(c.Sessions) {
+		n = len(c.Sessions)
+	}
+	sample := c.rng.Perm(len(c.Sessions))[:n]
+	var stats RoundStats
+	var mu sync.Mutex
+	var firstErr atomic.Value
+	err := c.Do(time.Minute, func() error {
+		var wg sync.WaitGroup
+		for _, idx := range sample {
+			s := c.Sessions[idx]
+			if s == nil || closedCh(s.Ch) {
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err := s.Ch.Invoke(s.EchoID, "Whoami", nil)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					if v != s.Tenant {
+						firstErr.CompareAndSwap(nil, fmt.Errorf(
+							"session %d (%s): Whoami crossed the tenant boundary: got %v",
+							s.Index, s.Tenant, v))
+						return
+					}
+					stats.OK++
+				case errors.Is(err, remote.ErrOverloaded):
+					stats.Overloaded++
+				default:
+					stats.Failed++
+					firstErr.CompareAndSwap(nil, fmt.Errorf(
+						"session %d (%s): Whoami: %w", s.Index, s.Tenant, err))
+				}
+			}()
+		}
+		wg.Wait()
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	if e := firstErr.Load(); e != nil {
+		return stats, e.(error)
+	}
+	return stats, nil
+}
+
+// CrossTenantProbe invokes another tenant's echo id from n sampled
+// sessions and returns an error unless every probe is rejected with
+// NO_SUCH_SERVICE — cross-tenant ids must be indistinguishable from
+// absent ones — and strands nothing on the channel. An admission
+// rejection (which fires before lookup and reveals nothing about the
+// foreign id either) is the one other acceptable outcome: a shut-off
+// tenant cannot reach the lookup path at all.
+func (c *ScaleCluster) CrossTenantProbe(n int) error {
+	if c.Opts.Tenants < 2 {
+		return fmt.Errorf("sim: cross-tenant probe needs at least 2 tenants")
+	}
+	if n > len(c.Sessions) {
+		n = len(c.Sessions)
+	}
+	sample := c.rng.Perm(len(c.Sessions))[:n]
+	var firstErr atomic.Value
+	err := c.Do(time.Minute, func() error {
+		var wg sync.WaitGroup
+		for _, idx := range sample {
+			s := c.Sessions[idx]
+			if s == nil || closedCh(s.Ch) {
+				continue
+			}
+			// The "next" tenant's scoped service: a real id on the
+			// serve side, invisible to this session.
+			var foreign int64
+			for t, id := range c.echoIDs {
+				if t != s.Tenant {
+					foreign = id
+					break
+				}
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := s.Ch.Invoke(foreign, "Whoami", nil)
+				if !errors.Is(err, remote.ErrNoSuchService) && !errors.Is(err, remote.ErrOverloaded) {
+					firstErr.CompareAndSwap(nil, fmt.Errorf(
+						"session %d (%s): foreign id %d: err=%v, want NO_SUCH_SERVICE",
+						s.Index, s.Tenant, foreign, err))
+				}
+			}()
+		}
+		wg.Wait()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// CheckInvariants audits the cluster's global accounting and a seeded
+// sample of sessions. It is cheap enough to run after every round.
+//
+//   - Shard sums: every striped table's per-shard counts sum to its
+//     global length, and the serve-side channel table matches the
+//     number of live sessions.
+//   - Gauge accounting: the hub's channels-active gauge equals the
+//     serve-side channel count plus every client peer's — no channel
+//     is half-registered.
+//   - Lease isolation (sampled): a session's lease contains only its
+//     own tenant's scoped service.
+//   - Quiescence (sampled): no pending ops are stranded on a channel
+//     between rounds.
+func (c *ScaleCluster) CheckInvariants() error {
+	live := 0
+	for _, s := range c.Sessions {
+		if s != nil && !closedCh(s.Ch) {
+			live++
+		}
+	}
+
+	if got := sumInts(c.Server.ChannelShardCounts()); got != c.Server.ChannelCount() {
+		return fmt.Errorf("serve-side channel shards sum to %d, table holds %d", got, c.Server.ChannelCount())
+	}
+	if got := sumInts(c.Server.ExportedShardCounts()); got != c.Server.ExportedCount() {
+		return fmt.Errorf("serve-side export shards sum to %d, table holds %d", got, c.Server.ExportedCount())
+	}
+	if got := c.Server.ChannelCount(); got != live {
+		return fmt.Errorf("serve side holds %d channels, %d sessions live", got, live)
+	}
+	clientChans := 0
+	for _, tn := range c.tenants {
+		if got := sumInts(tn.peer.ChannelShardCounts()); got != tn.peer.ChannelCount() {
+			return fmt.Errorf("%s channel shards sum to %d, table holds %d", tn.name, got, tn.peer.ChannelCount())
+		}
+		clientChans += tn.peer.ChannelCount()
+	}
+	gauge := c.Hub.Metrics.Gauge("alfredo_remote_channels_active").Value()
+	if want := int64(c.Server.ChannelCount() + clientChans); gauge != want {
+		return fmt.Errorf("channels-active gauge = %d, tables hold %d", gauge, want)
+	}
+
+	// Sampled per-session checks: bound the audit so it stays O(sample)
+	// regardless of cluster size.
+	sampleN := 64
+	if sampleN > len(c.Sessions) {
+		sampleN = len(c.Sessions)
+	}
+	for _, idx := range c.rng.Perm(len(c.Sessions))[:sampleN] {
+		s := c.Sessions[idx]
+		if s == nil || closedCh(s.Ch) {
+			continue
+		}
+		for _, svc := range s.Ch.RemoteServices() {
+			owner, scoped := svc.Props[remote.PropTenant].(string)
+			if scoped && owner != s.Tenant {
+				return fmt.Errorf("session %d (%s): lease leaks %s's service %d",
+					s.Index, s.Tenant, owner, svc.ID)
+			}
+		}
+		if n := s.Ch.PendingOps(); n != 0 {
+			return fmt.Errorf("session %d (%s): %d ops stranded between rounds", s.Index, s.Tenant, n)
+		}
+	}
+	return nil
+}
+
+// GoroutineCeiling returns the maximum goroutine count this cluster
+// should ever reach while serving: the pre-cluster baseline, two read
+// loops per session, the serve-side reactor pool, and slack for
+// transient handshake and driver goroutines. The point of the bound:
+// handler concurrency is O(pool), not O(sessions × per-channel slots).
+func (c *ScaleCluster) GoroutineCeiling() int {
+	workers := c.Opts.ReactorWorkers
+	if workers == 0 {
+		workers = remote.DefaultReactorWorkers
+	}
+	return c.baseGos + 2*len(c.Sessions) + workers + 64
+}
+
+// closedCh reports whether a channel has torn down.
+func closedCh(ch *remote.Channel) bool {
+	select {
+	case <-ch.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+func sumInts(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// CloseSession tears one session's channel down (both ends notice via
+// the transport). Used by the churn stress to shrink the cluster.
+func (c *ScaleCluster) CloseSession(i int) {
+	s := c.Sessions[i]
+	if s == nil {
+		return
+	}
+	s.Ch.Close()
+}
+
+// ReconnectSession re-dials a previously closed session slot.
+func (c *ScaleCluster) ReconnectSession(i int) error {
+	return c.connectSession(i)
+}
+
+// drainTimers fires any timers left registered so goroutines parked on
+// virtual deadlines unblock during teardown.
+func (c *ScaleCluster) drainTimers() {
+	for i := 0; i < 100000; i++ {
+		if !c.Clock.Step() {
+			return
+		}
+	}
+}
+
+// Close tears the cluster down: client peers (which closes every
+// session channel), the listener, then the serve-side peer, all
+// driven on the virtual clock. Idempotent.
+func (c *ScaleCluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	_ = c.Do(5*time.Minute, func() error {
+		for _, tn := range c.tenants {
+			tn.peer.Close()
+			_ = tn.fw.Shutdown()
+		}
+		if c.listener != nil {
+			_ = c.listener.Close()
+		}
+		if c.Server != nil {
+			c.Server.Close()
+		}
+		if c.serverFW != nil {
+			_ = c.serverFW.Shutdown()
+		}
+		return nil
+	})
+	c.drainTimers()
+	c.Clock.Quiesce()
+}
+
+// LeakCheck verifies that, post-Close, the channels-active gauge is
+// zero and goroutines returned to the pre-cluster baseline.
+func (c *ScaleCluster) LeakCheck() error {
+	if n := c.Hub.Metrics.Gauge("alfredo_remote_channels_active").Value(); n != 0 {
+		return fmt.Errorf("sim: %d channels still active after scale teardown", n)
+	}
+	if n, ok := leak.Settle(c.baseGos+leak.Slack, 10*time.Second); !ok {
+		return fmt.Errorf("sim: goroutine leak after scale teardown: %d goroutines, baseline %d",
+			n, c.baseGos)
+	}
+	return nil
+}

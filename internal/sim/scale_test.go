@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// scaleSessionCount picks the session count for a scale test: full in
+// normal mode, downsized in -short mode and under the race detector
+// (interleaving coverage, not raw scale, is the point there).
+func scaleSessionCount(t *testing.T, full, short int) int {
+	t.Helper()
+	n := full
+	if testing.Short() {
+		n = short
+	}
+	if raceEnabled && n > 512 {
+		n = 512
+	}
+	return n
+}
+
+// scalePolicy is the admission policy the scale suite runs under: a
+// serve-side in-flight bound well below the session count (so the
+// reactor and admission controller actually engage), a generous rate,
+// and tenant-000 shut off entirely to generate deterministic
+// rejections every round.
+func scalePolicy() *remote.AdmissionPolicy {
+	return &remote.AdmissionPolicy{
+		MaxInFlight: 128,
+		RatePerSec:  100000,
+		Burst:       200000,
+		Weights:     map[string]int{scaleTenantName(0): 0},
+	}
+}
+
+// TestScaleTenThousandSessions is the headline scale scenario: ten
+// thousand concurrent virtual phone sessions (two thousand in -short
+// mode) across 16 tenants against one serve-side peer, swept over
+// multiple seeds. Every round fires a seeded sample of invocations,
+// then audits the per-event invariants: shard sums match the global
+// tables and the active gauge, leases never leak a foreign tenant's
+// service, replies never cross the tenant boundary, rejections strand
+// nothing, and handler goroutines stay O(reactor pool).
+func TestScaleTenThousandSessions(t *testing.T) {
+	sessions := scaleSessionCount(t, 10000, 2000)
+	seeds := []int64{1, 9}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c, err := NewScaleCluster(seed, ScaleOptions{
+				Sessions:  sessions,
+				Tenants:   16,
+				Admission: scalePolicy(),
+			})
+			if err != nil {
+				t.Fatalf("NewScaleCluster: %v", err)
+			}
+			defer c.Close()
+
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after setup: %v", err)
+			}
+			if got, ceil := runtime.NumGoroutine(), c.GoroutineCeiling(); got > ceil {
+				t.Fatalf("goroutines after setup = %d, ceiling %d", got, ceil)
+			}
+
+			shutOff := 0
+			for _, s := range c.Sessions {
+				if s.Tenant == scaleTenantName(0) {
+					shutOff++
+				}
+			}
+			for round := 0; round < 3; round++ {
+				stats, err := c.RunRound(512)
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if stats.OK == 0 {
+					t.Fatalf("round %d: no invocation succeeded (%+v)", round, stats)
+				}
+				if stats.Failed != 0 {
+					t.Fatalf("round %d: %d hard failures (%+v)", round, stats.Failed, stats)
+				}
+				if err := c.CheckInvariants(); err != nil {
+					t.Fatalf("invariants after round %d: %v", round, err)
+				}
+				if got, ceil := runtime.NumGoroutine(), c.GoroutineCeiling(); got > ceil {
+					t.Fatalf("goroutines after round %d = %d, ceiling %d", round, got, ceil)
+				}
+			}
+
+			// The shut-off tenant is rejected every time, typed, with
+			// nothing stranded on its channel.
+			var probe *ScaleSession
+			for _, s := range c.Sessions {
+				if s.Tenant == scaleTenantName(0) {
+					probe = s
+					break
+				}
+			}
+			var probeErr error
+			if err := c.Do(time.Minute, func() error {
+				_, probeErr = probe.Ch.Invoke(probe.EchoID, "Whoami", nil)
+				return nil
+			}); err != nil {
+				t.Fatalf("shut-off probe: %v", err)
+			}
+			if !errors.Is(probeErr, remote.ErrOverloaded) {
+				t.Fatalf("shut-off tenant invoke = %v, want ErrOverloaded", probeErr)
+			}
+			if n := probe.Ch.PendingOps(); n != 0 {
+				t.Fatalf("shut-off rejection stranded %d ops", n)
+			}
+
+			if err := c.CrossTenantProbe(128); err != nil {
+				t.Fatalf("cross-tenant probe: %v", err)
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("invariants after probes: %v", err)
+			}
+
+			c.Close()
+			if err := c.LeakCheck(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestScaleShardContentionStress churns a two-thousand-session
+// cluster: every iteration closes a seeded slice of sessions, runs an
+// invoke round over the survivors, audits the shard/gauge accounting
+// mid-churn, then reconnects the closed slots. This is the test that
+// puts connect, teardown and invoke traffic on the striped tables at
+// the same time. It stays in -short mode (and the race job) by
+// design — shard contention is exactly what -race should see.
+func TestScaleShardContentionStress(t *testing.T) {
+	sessions := scaleSessionCount(t, 2000, 2000)
+	c, err := NewScaleCluster(7, ScaleOptions{
+		Sessions:  sessions,
+		Tenants:   8,
+		Admission: scalePolicy(),
+	})
+	if err != nil {
+		t.Fatalf("NewScaleCluster: %v", err)
+	}
+	defer c.Close()
+
+	churn := sessions / 10
+	for iter := 0; iter < 3; iter++ {
+		victims := c.rng.Perm(len(c.Sessions))[:churn]
+		if err := c.Do(time.Minute, func() error {
+			for _, idx := range victims {
+				c.CloseSession(idx)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("iter %d close: %v", iter, err)
+		}
+		// Both ends notice teardown through the transport; wait until
+		// the serve side has dropped the victims before auditing.
+		want := len(c.Sessions) - churn
+		if !c.Clock.WaitCond(30*time.Second, func() bool {
+			return c.Server.ChannelCount() == want
+		}) {
+			t.Fatalf("iter %d: serve side still holds %d channels, want %d",
+				iter, c.Server.ChannelCount(), want)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("invariants mid-churn (iter %d): %v", iter, err)
+		}
+		if stats, err := c.RunRound(256); err != nil {
+			t.Fatalf("iter %d round: %v (%+v)", iter, err, stats)
+		}
+		var reErr error
+		if err := c.Do(time.Minute, func() error {
+			for _, idx := range victims {
+				if err := c.ReconnectSession(idx); err != nil {
+					reErr = err
+					return nil
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("iter %d reconnect: %v", iter, err)
+		}
+		if reErr != nil {
+			t.Fatalf("iter %d reconnect: %v", iter, reErr)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("invariants post-reconnect (iter %d): %v", iter, err)
+		}
+	}
+
+	c.Close()
+	if err := c.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScalePerSessionMemoryBudget is the memory gate: at ten thousand
+// sessions (two thousand in -short mode) the heap cost per session —
+// both endpoints, both transport directions included — must stay
+// under the budget. The budget has headroom over the measured
+// baseline (see EXPERIMENTS.md) so it trips on regressions like an
+// oversized per-channel buffer, not on allocator noise.
+func TestScalePerSessionMemoryBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector multiplies per-goroutine memory; budget holds for the plain build")
+	}
+	sessions := scaleSessionCount(t, 10000, 2000)
+	const budgetPerSession = 96 << 10
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	c, err := NewScaleCluster(3, ScaleOptions{Sessions: sessions, Tenants: 16})
+	if err != nil {
+		t.Fatalf("NewScaleCluster: %v", err)
+	}
+	defer c.Close()
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	heap := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	perSession := heap / int64(sessions)
+	t.Logf("sessions=%d heap=%d bytes (%d per session, budget %d)",
+		sessions, heap, perSession, budgetPerSession)
+	if perSession > budgetPerSession {
+		t.Fatalf("per-session heap = %d bytes, budget %d", perSession, budgetPerSession)
+	}
+
+	// The budget must hold for a *working* cluster, not an idle one.
+	if stats, err := c.RunRound(256); err != nil || stats.OK == 0 {
+		t.Fatalf("round on measured cluster: %v (%+v)", err, stats)
+	}
+}

@@ -1,0 +1,210 @@
+// Package stripe provides lock-striped hash maps for the serve-side
+// hot paths. A single mutex around a session or service table serializes
+// every connected phone on one cache line; striping spreads the table
+// over a power-of-two number of shards, each with its own lock, so
+// lookups and inserts for different keys proceed in parallel. The
+// package is a leaf (standard library only) so both internal/core and
+// internal/remote can use it without import cycles.
+package stripe
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultShards picks a power-of-two shard count sized to the machine:
+// enough shards that concurrent sessions rarely collide on a lock, few
+// enough that per-map overhead stays trivial on a phone-class node.
+func DefaultShards() int {
+	n := ceilPow2(4 * runtime.GOMAXPROCS(0))
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Int64Hash mixes an int64 key (service ids, session ids, channel ids
+// are small sequential integers — without mixing they would all land in
+// the first few shards).
+func Int64Hash(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// StringHash is FNV-1a over the key bytes.
+func StringHash(k string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return h
+}
+
+type shard[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+	// Pad each shard to its own cache line so neighboring shard locks
+	// do not false-share under contention.
+	_ [40]byte
+}
+
+// Map is a hash map striped over power-of-two shards with per-shard
+// read-write locks. The zero value is not usable; construct with NewMap.
+type Map[K comparable, V any] struct {
+	hash   func(K) uint64
+	shards []shard[K, V]
+	mask   uint64
+}
+
+// NewMap creates a striped map with the given shard count (rounded up
+// to a power of two; values < 1 select DefaultShards) and hash
+// function.
+func NewMap[K comparable, V any](shards int, hash func(K) uint64) *Map[K, V] {
+	if shards < 1 {
+		shards = DefaultShards()
+	}
+	shards = ceilPow2(shards)
+	m := &Map[K, V]{
+		hash:   hash,
+		shards: make([]shard[K, V], shards),
+		mask:   uint64(shards - 1),
+	}
+	for i := range m.shards {
+		m.shards[i].m = make(map[K]V)
+	}
+	return m
+}
+
+func (m *Map[K, V]) shardFor(k K) *shard[K, V] {
+	return &m.shards[m.hash(k)&m.mask]
+}
+
+// Get returns the value stored under k.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	s := m.shardFor(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Store sets the value under k, replacing any previous value.
+func (m *Map[K, V]) Store(k K, v V) {
+	s := m.shardFor(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Delete removes k and returns the previous value, if any.
+func (m *Map[K, V]) Delete(k K) (V, bool) {
+	s := m.shardFor(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if ok {
+		delete(s.m, k)
+	}
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Update atomically mutates the entry under k while holding its shard
+// lock: fn receives the current value (and whether it exists) and
+// returns the new value and whether to keep it — returning keep=false
+// deletes the entry. Update returns fn's results. Use it for
+// read-modify-write flows (duplicate-checked insert, conditional
+// retract) that a Get/Store pair would race.
+func (m *Map[K, V]) Update(k K, fn func(old V, ok bool) (V, bool)) (V, bool) {
+	s := m.shardFor(k)
+	s.mu.Lock()
+	old, ok := s.m[k]
+	v, keep := fn(old, ok)
+	if keep {
+		s.m[k] = v
+	} else if ok {
+		delete(s.m, k)
+	}
+	s.mu.Unlock()
+	return v, keep
+}
+
+// Len returns the total entry count (sum over shards; each shard is
+// read under its own lock, so concurrent mutation may be partially
+// observed — exact when quiescent).
+func (m *Map[K, V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardCounts returns the per-shard entry counts. The simulation
+// harness sums these against the global gauges to prove no entry is
+// lost or double-counted across shards.
+func (m *Map[K, V]) ShardCounts() []int {
+	out := make([]int, len(m.shards))
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		out[i] = len(s.m)
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Range calls fn for each entry until fn returns false. Each shard is
+// snapshotted under its read lock before fn runs, so fn may call back
+// into the map without deadlocking.
+func (m *Map[K, V]) Range(fn func(k K, v V) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		keys := make([]K, 0, len(s.m))
+		vals := make([]V, 0, len(s.m))
+		for k, v := range s.m {
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		s.mu.RUnlock()
+		for j := range keys {
+			if !fn(keys[j], vals[j]) {
+				return
+			}
+		}
+	}
+}
+
+// Values snapshots all values.
+func (m *Map[K, V]) Values() []V {
+	out := make([]V, 0, m.Len())
+	m.Range(func(_ K, v V) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,139 @@
+package stripe
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	m := NewMap[int64, string](8, Int64Hash)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map returned a value")
+	}
+	m.Store(1, "a")
+	m.Store(2, "b")
+	if v, ok := m.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Delete(1); !ok || v != "a" {
+		t.Fatalf("Delete(1) = %q, %v", v, ok)
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("deleted key still present")
+	}
+	if _, ok := m.Delete(1); ok {
+		t.Fatal("double delete reported a value")
+	}
+}
+
+func TestShardCountsSumToLen(t *testing.T) {
+	m := NewMap[string, int](16, StringHash)
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	for i, k := range keys {
+		m.Store(k, i)
+	}
+	sum := 0
+	nonEmpty := 0
+	for _, c := range m.ShardCounts() {
+		sum += c
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if sum != len(keys) || sum != m.Len() {
+		t.Fatalf("shard counts sum %d, Len %d, want %d", sum, m.Len(), len(keys))
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("all %d keys hashed into %d shard(s); hash is not spreading", len(keys), nonEmpty)
+	}
+}
+
+func TestUpdateInsertIfAbsent(t *testing.T) {
+	m := NewMap[int64, int](4, Int64Hash)
+	ins := func(v int) func(int, bool) (int, bool) {
+		return func(old int, ok bool) (int, bool) {
+			if ok {
+				return old, true // duplicate: keep existing
+			}
+			return v, true
+		}
+	}
+	if v, _ := m.Update(7, ins(1)); v != 1 {
+		t.Fatalf("first insert = %d, want 1", v)
+	}
+	if v, _ := m.Update(7, ins(2)); v != 1 {
+		t.Fatalf("duplicate insert overwrote: got %d, want 1", v)
+	}
+	// keep=false deletes.
+	m.Update(7, func(int, bool) (int, bool) { return 0, false })
+	if _, ok := m.Get(7); ok {
+		t.Fatal("Update with keep=false did not delete")
+	}
+}
+
+func TestRangeSnapshotAllowsReentrancy(t *testing.T) {
+	m := NewMap[int64, int](4, Int64Hash)
+	for i := int64(0); i < 32; i++ {
+		m.Store(i, int(i))
+	}
+	seen := 0
+	m.Range(func(k int64, _ int) bool {
+		seen++
+		m.Get(k) // reentrant read must not deadlock
+		return true
+	})
+	if seen != 32 {
+		t.Fatalf("Range visited %d entries, want 32", seen)
+	}
+}
+
+func TestPowerOfTwoRounding(t *testing.T) {
+	m := NewMap[int64, int](5, Int64Hash)
+	if len(m.shards) != 8 {
+		t.Fatalf("5 shards rounded to %d, want 8", len(m.shards))
+	}
+	if d := DefaultShards(); d&(d-1) != 0 || d < 8 {
+		t.Fatalf("DefaultShards() = %d, want a power of two >= 8", d)
+	}
+}
+
+// TestConcurrentMixedOps gives the race detector shared state to chew
+// on: concurrent stores, deletes, updates and ranges over a small key
+// space so shard locks genuinely contend.
+func TestConcurrentMixedOps(t *testing.T) {
+	m := NewMap[int64, int](8, Int64Hash)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := int64((g*500 + i) % 64)
+				switch i % 4 {
+				case 0:
+					m.Store(k, i)
+				case 1:
+					m.Get(k)
+				case 2:
+					m.Update(k, func(old int, ok bool) (int, bool) { return old + 1, true })
+				case 3:
+					m.Delete(k)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			n := 0
+			m.Range(func(int64, int) bool { n++; return true })
+			m.ShardCounts()
+		}
+	}()
+	wg.Wait()
+	<-done
+}
