@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments throughput acquire-bench scale-bench fuzz fmt vet chaos sim obs check clean
+.PHONY: all build test race cover bench experiments throughput acquire-bench scale-bench obs-bench fuzz fmt vet chaos sim obs check clean
 
 all: build test
 
@@ -46,6 +46,14 @@ acquire-bench:
 scale-bench:
 	$(GO) test -run 'TestScale' -count=1 ./internal/sim/
 	$(GO) run ./cmd/alfredo-bench -exp scale
+
+# Telemetry overhead gate: with the full metric stack enabled
+# (counters, windowed histograms, exemplars, sampled traces) the
+# pipelined invoke path must stay within 5% of its disabled-telemetry
+# throughput, plus the zero-allocation proof for the disabled path.
+obs-bench:
+	$(GO) test -run TestObsOverheadGate -count=1 -v ./internal/bench/
+	$(GO) test -bench 'BenchmarkNopInvokeTelemetry' -benchmem -run '^$$' ./internal/obs/
 
 # Short fuzz pass over every untrusted-input parser.
 fuzz:

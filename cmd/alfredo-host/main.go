@@ -27,6 +27,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/device"
 	"github.com/alfredo-mw/alfredo/internal/discovery"
 	"github.com/alfredo-mw/alfredo/internal/httpd"
+	"github.com/alfredo-mw/alfredo/internal/obs"
 )
 
 func main() {
@@ -50,8 +51,13 @@ func main() {
 }
 
 func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool, dispatchWorkers, chunkBytes int) error {
+	// The host is the fleet telemetry sink: connected phones ship their
+	// metric registries here, and the host scores its own health so the
+	// admission layer sheds before saturation.
+	agg := obs.NewAggregator()
 	node, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Notebook(), StorageDir: storage,
-		DispatchWorkers: dispatchWorkers, ChunkBytes: chunkBytes})
+		DispatchWorkers: dispatchWorkers, ChunkBytes: chunkBytes,
+		Aggregator: agg, Health: &obs.HealthConfig{}})
 	if err != nil {
 		return err
 	}
@@ -92,11 +98,25 @@ func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.
 	node.Serve(l)
 	fmt.Printf("%s serving %s on %s\n", name, strings.Join(hosted, ", "), l.Addr())
 
-	// Live introspection: metrics snapshot and recent traces, curl-able
-	// while the host serves sessions.
+	// Live introspection: local metrics and traces, the fleet view of
+	// every connected phone, the node's health score, and on-demand
+	// pprof — all curl-able while the host serves sessions.
 	if obsAddr != "" {
 		web := httpd.NewService()
 		if err := httpd.RegisterIntrospection(web, nil); err != nil {
+			return err
+		}
+		// The fleet view folds the host's own registry in per scrape, so
+		// one endpoint answers for the whole deployment.
+		if err := httpd.RegisterFleet(web, agg, func() {
+			agg.IngestRegistry(name, "", obs.Default().Metrics)
+		}); err != nil {
+			return err
+		}
+		if err := httpd.RegisterHealth(web, node.Health().Score); err != nil {
+			return err
+		}
+		if err := httpd.RegisterPprof(web); err != nil {
 			return err
 		}
 		addr, err := web.Start(obsAddr)
@@ -109,6 +129,8 @@ func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.
 			_ = web.Stop(ctx)
 		}()
 		fmt.Printf("telemetry at http://%s%s/metrics\n", addr, httpd.IntrospectionAlias)
+		fmt.Printf("fleet view at http://%s%s/metrics, health at http://%s%s\n",
+			addr, httpd.FleetAlias, addr, httpd.HealthAlias)
 	}
 
 	if announce {

@@ -40,6 +40,7 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/devsim"
 	"github.com/alfredo-mw/alfredo/internal/discovery"
 	"github.com/alfredo-mw/alfredo/internal/httpd"
+	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/render"
 	"github.com/alfredo-mw/alfredo/internal/ui"
@@ -57,15 +58,16 @@ func main() {
 		dispatch   = flag.Int("dispatch-workers", 0, "max concurrent inbound invocation handlers per channel (0 = default, negative = unbounded)")
 		cacheBytes = flag.Int64("cache-bytes", 8<<20, "chunk cache byte budget for warm-start acquisitions (0 disables)")
 		cacheDir   = flag.String("cache-dir", "", "persist cached chunks in this directory so warm starts survive restarts")
+		metricsInt = flag.Duration("metrics-interval", 0, "cadence for shipping metrics to a host that is a telemetry sink (0 = default 10s, negative disables)")
 	)
 	flag.Parse()
 
-	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate, *dispatch, *cacheBytes, *cacheDir); err != nil {
+	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate, *dispatch, *cacheBytes, *cacheDir, *metricsInt); err != nil {
 		log.Fatalf("alfredo-phone: %v", err)
 	}
 }
 
-func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool, dispatchWorkers int, cacheBytes int64, cacheDir string) error {
+func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool, dispatchWorkers int, cacheBytes int64, cacheDir string, metricsInterval time.Duration) error {
 	prof, ok := device.ProfileByName(profileName)
 	if !ok {
 		return fmt.Errorf("unknown profile %q", profileName)
@@ -99,6 +101,11 @@ func run(connect, group, profileName, httpAddr, obsAddr string, discover, simula
 		DispatchWorkers: dispatchWorkers,
 		CacheBytes:      cacheBytes,
 		CacheDir:        cacheDir,
+		// Ship this phone's registry to any host that announces a
+		// telemetry sink, and score local health continuously — the
+		// signal the online optimizer's MaxLocalLoad gate reads.
+		MetricsInterval: metricsInterval,
+		Health:          &obs.HealthConfig{},
 	})
 	if err != nil {
 		return err
@@ -139,10 +146,17 @@ func run(connect, group, profileName, httpAddr, obsAddr string, discover, simula
 	}
 
 	// Dedicated telemetry endpoint when no -http service is running (or
-	// a separate port is wanted).
+	// a separate port is wanted). Carries health and pprof alongside the
+	// metrics so an overloaded phone can be profiled in place.
 	if obsAddr != "" {
 		ws := httpd.NewService()
 		if err := httpd.RegisterIntrospection(ws, nil); err != nil {
+			return err
+		}
+		if err := httpd.RegisterHealth(ws, node.Health().Score); err != nil {
+			return err
+		}
+		if err := httpd.RegisterPprof(ws); err != nil {
 			return err
 		}
 		addr, err := ws.Start(obsAddr)

@@ -31,6 +31,12 @@ func FuzzWireDecode(f *testing.F) {
 			TotalBytes: 5, Root: "r", Chunks: []wire.ChunkRef{{Hash: "h", Size: 5}}},
 		&wire.FetchChunks{RequestID: 4, Hashes: []string{"h1", "h2"}},
 		&wire.ChunkData{RequestID: 4, Hash: "h1", Compressed: true, Data: []byte{9}},
+		&wire.MetricsReport{Node: "n", Seq: 2, Full: true, Samples: []wire.MetricSample{
+			{Name: "c", Kind: wire.MetricCounter, Labels: []string{"k", "v"}, Value: 7},
+			{Name: "m", Kind: wire.MetricMeter, Rate: 1.5},
+			{Name: "h", Kind: wire.MetricHistogram, Buckets: []int64{1, 0, 2},
+				Count: 3, Sum: 12, WinBuckets: []int64{1, 0, 0}, WinCount: 1, WinSum: 4},
+		}},
 	} {
 		frame, err := wire.EncodeMessage(m)
 		if err != nil {

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// obsGateMaxOverhead is the telemetry budget `make obs-bench` enforces:
+// with the full metric stack enabled (counters, windowed histograms,
+// meters, exemplars) the pipelined invoke path may lose at most this
+// fraction of its throughput versus the same path with telemetry
+// compiled down to no-ops.
+const obsGateMaxOverhead = 0.05
+
+// TestObsOverheadGate measures pipelined invoke throughput with
+// telemetry enabled (a live hub) and disabled (obs.Nop) and fails when
+// the enabled path is more than obsGateMaxOverhead slower. Throughput
+// on a shared machine is noisy, so the gate takes the best of three
+// attempts before failing — a genuine regression fails all three.
+func TestObsOverheadGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput gate skipped in -short")
+	}
+
+	measure := func(hub *obs.Hub) float64 {
+		t.Helper()
+		env, err := NewThroughputEnvConfig(remote.Config{Obs: hub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer env.Close()
+		// Warmup primes the dispatch pool and the connection.
+		measureThroughput(env, 8, 100*time.Millisecond, true)
+		return measureThroughput(env, 8, 500*time.Millisecond, true)
+	}
+
+	var worst float64
+	for attempt := 1; attempt <= 3; attempt++ {
+		enabled := measure(obs.NewHub())
+		disabled := measure(obs.Nop())
+		overhead := 1 - enabled/disabled
+		t.Logf("attempt %d: enabled %.0f op/s, disabled %.0f op/s, overhead %.2f%%",
+			attempt, enabled, disabled, overhead*100)
+		if overhead <= obsGateMaxOverhead {
+			return
+		}
+		if overhead > worst {
+			worst = overhead
+		}
+	}
+	t.Fatalf("telemetry overhead %.2f%% exceeds the %.0f%% budget in all attempts",
+		worst*100, obsGateMaxOverhead*100)
+}

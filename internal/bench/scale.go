@@ -30,17 +30,19 @@ type ScalePoint struct {
 }
 
 // scaleHost is the serve side of the sweep: one peer with the striped
-// tables, the reactor pool and admission control all engaged, sized
-// for tens of thousands of sessions (small write buffers).
+// tables, the reactor pool, admission control and the fleet aggregator
+// all engaged, sized for tens of thousands of sessions (small write
+// buffers).
 type scaleHost struct {
 	fw   *module.Framework
 	peer *remote.Peer
 	l    *netsim.Listener
 	hub  *obs.Hub
+	agg  *obs.Aggregator
 }
 
 func newScaleHost(fabric *netsim.Fabric) (*scaleHost, error) {
-	h := &scaleHost{hub: obs.NewHub()}
+	h := &scaleHost{hub: obs.NewHub(), agg: obs.NewAggregator()}
 	h.fw = module.NewFramework(module.Config{Name: "scale-host"})
 	peer, err := remote.NewPeer(remote.Config{
 		Framework: h.fw,
@@ -51,6 +53,7 @@ func newScaleHost(fabric *netsim.Fabric) (*scaleHost, error) {
 		},
 		WriteBufferBytes: 4 << 10,
 		Obs:              h.hub,
+		Aggregator:       h.agg,
 	})
 	if err != nil {
 		_ = h.fw.Shutdown()
@@ -106,14 +109,21 @@ func measureScalePoint(clients int) (ScalePoint, error) {
 			_ = fw.Shutdown()
 		}
 	}()
+	clientHubs := make([]*obs.Hub, scaleTenants)
 	for i := 0; i < scaleTenants; i++ {
 		fw := module.NewFramework(module.Config{Name: fmt.Sprintf("scale-tenant-%d", i)})
+		clientHubs[i] = obs.NewHub()
 		peer, err := remote.NewPeer(remote.Config{
 			Framework:        fw,
 			Timeout:          30 * time.Second,
 			WriteBufferBytes: 4 << 10,
 			HelloProps:       map[string]any{remote.HelloTenantProp: fmt.Sprintf("tenant-%03d", i)},
-			Obs:              host.hub,
+			// Each tenant records invoke latency on its own hub and
+			// ships it to the host's aggregator only on the explicit
+			// post-wave flush: interval < 0 keeps the tens of thousands
+			// of open channels from each running a shipping ticker.
+			Obs:             clientHubs[i],
+			MetricsInterval: -1,
 		})
 		if err != nil {
 			_ = fw.Shutdown()
@@ -205,13 +215,35 @@ func measureScalePoint(clients int) (ScalePoint, error) {
 	}
 	wg.Wait()
 
-	hist := host.hub.Metrics.Histogram("alfredo_remote_invoke_seconds", "service", echoInterface)
+	// Cross-node shipping closes the loop: each tenant flushes one full
+	// report over one of its channels (a report carries the whole
+	// per-tenant registry), and the point's quantiles are read back from
+	// the host's fleet aggregator — live windowed p50/p99, the same view
+	// `/obs/fleet` serves in production.
+	const invokeFam = "alfredo_remote_invoke_seconds"
+	var expected int64
+	for i := 0; i < scaleTenants && i < clients; i++ {
+		if err := channels[i].ShipMetricsNow(); err != nil {
+			return ScalePoint{}, fmt.Errorf("bench: tenant %d metrics flush: %w", i, err)
+		}
+		expected += clientHubs[i].Metrics.Histogram(invokeFam, "service", echoInterface).Count()
+	}
+	// Ingestion is asynchronous on the host's read loops; wait briefly
+	// for every flushed report to land.
+	for deadline := time.Now().Add(10 * time.Second); host.agg.Count(invokeFam) < expected; {
+		if time.Now().After(deadline) {
+			return ScalePoint{}, fmt.Errorf("bench: aggregator ingested %d/%d invokes",
+				host.agg.Count(invokeFam), expected)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
 	return ScalePoint{
 		Clients:         clients,
-		P50:             hist.Quantile(0.50),
-		P99:             hist.Quantile(0.99),
+		P50:             host.agg.WindowQuantile(invokeFam, 0.50),
+		P99:             host.agg.WindowQuantile(invokeFam, 0.99),
 		BytesPerSession: perSession,
-		Invokes:         hist.Count(),
+		Invokes:         host.agg.Count(invokeFam),
 		Rejected:        rejected,
 	}, nil
 }
@@ -229,6 +261,7 @@ func RunScale(cfg Config) ([]ScalePoint, error) {
 	}
 
 	fmt.Fprintln(cfg.Out, "Serve-side scale sweep (striped tables + reactor pool + admission, loopback)")
+	fmt.Fprintln(cfg.Out, "p50/p99 are live windowed quantiles from the host's fleet aggregator")
 	fmt.Fprintf(cfg.Out, "%-10s %12s %12s %14s %10s %10s\n",
 		"clients", "p50", "p99", "bytes/session", "invokes", "rejected")
 

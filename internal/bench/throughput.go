@@ -62,6 +62,10 @@ func NewThroughputEnvConfig(serverCfg remote.Config) (*ThroughputEnv, error) {
 	env.clientPeer, err = remote.NewPeer(remote.Config{
 		Framework: env.clientFW,
 		Timeout:   30 * time.Second,
+		// The client records on the same hub as the server, so a run
+		// with telemetry pinned off (obs.Nop) measures the bare path on
+		// both ends.
+		Obs: serverCfg.Obs,
 	})
 	if err != nil {
 		env.Close()

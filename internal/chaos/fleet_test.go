@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
+)
+
+// TestFleetShippingUnderFaults runs the metric-shipping plane through a
+// scripted fault sequence: a phone ships its registry to a host-side
+// aggregator while the link is partitioned, dropped and redialed. The
+// aggregator's view of the phone must never exceed the phone's own
+// registry (no double-counting across retransmits or reconnect
+// resyncs), and once the link heals it must converge to exact equality.
+func TestFleetShippingUnderFaults(t *testing.T) {
+	leak.CheckGoroutines(t)
+	hub := obs.NewHub()
+	agg := obs.NewAggregator()
+
+	host, err := core.NewNode(core.NodeConfig{
+		Name: "fleet-host", Profile: device.Notebook(),
+		Obs: obs.NewHub(), Aggregator: agg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(host.Close)
+	if err := host.RegisterApp(shop.New().App()); err != nil {
+		t.Fatal(err)
+	}
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("fleet-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	host.Serve(l)
+
+	phone, err := core.NewNode(core.NodeConfig{
+		Name:          "fleet-phone",
+		Profile:       device.Nokia9300i(),
+		InvokeTimeout: 150 * time.Millisecond,
+		Retry: remote.RetryPolicy{
+			MaxAttempts: 4, BaseDelay: 100 * time.Millisecond,
+			ReconnectBudget: 10 * time.Second,
+		},
+		Obs:             hub,
+		MetricsInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(phone.Close)
+
+	var mu sync.Mutex
+	var last *netsim.Conn
+	session, err := phone.ConnectResilient(func() (net.Conn, error) {
+		c, err := fabric.Dial("fleet-host", netsim.WLAN11b)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		last = c.(*netsim.Conn)
+		mu.Unlock()
+		return c, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{SkipUI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const fam = "alfredo_remote_invokes_total"
+	conserved := func() bool {
+		shipped, own := agg.NodeTotal("fleet-phone", fam), hub.Metrics.Total(fam)
+		if shipped > own {
+			t.Fatalf("aggregator has %s = %d, phone registry only %d", fam, shipped, own)
+		}
+		return shipped == own
+	}
+
+	if _, err := app.Invoke("Categories"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "first report ingested", conserved)
+	if got := agg.NodeTotal("fleet-phone", fam); got == 0 {
+		t.Fatal("aggregator converged at zero invokes; shipping is not running")
+	}
+
+	// Partition: reports written into the stall are delayed or lost;
+	// the conservation bound must hold throughout and equality must
+	// return once the partition lifts.
+	mu.Lock()
+	last.Partition(200 * time.Millisecond)
+	mu.Unlock()
+	info, ok := session.Channel().FindRemoteService(shop.InterfaceName)
+	if !ok {
+		t.Fatal("shop service not offered")
+	}
+	if _, err := session.Channel().InvokeIdempotent(info.ID, "Categories", nil); err != nil {
+		t.Fatalf("invoke across partition: %v", err)
+	}
+	conserved()
+	waitFor(t, 5*time.Second, "reconverge after partition", conserved)
+
+	// Hard drop: the reconnect builds a fresh channel whose first
+	// report is a full resync — the aggregator heals wholesale, and the
+	// invokes made after recovery show up too.
+	mu.Lock()
+	last.Drop()
+	mu.Unlock()
+	waitFor(t, 5*time.Second, "degrade after drop", app.Degraded)
+	if _, err := app.Invoke("Categories"); err != nil {
+		t.Fatalf("invoke after drop: %v", err)
+	}
+	conserved()
+	waitFor(t, 5*time.Second, "reconverge after reconnect", conserved)
+
+	if nodes := agg.Nodes(); len(nodes) != 1 || nodes[0].Node != "fleet-phone" {
+		t.Fatalf("aggregator nodes = %+v, want exactly fleet-phone", nodes)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+// HealthView is the placement-facing read surface over a node's health
+// scorer: live overload scores derived from queue depth, admission
+// rejections, windowed invoke p99 and heap pressure. The online
+// optimizer consults it before re-placing tiers (pulling a logic tier
+// onto an already-overloaded device makes the device the bottleneck the
+// pull was meant to avoid), and the fleet plane ships the same scores
+// host-ward as gauges. The direct prerequisite for ROADMAP #3.
+
+import "github.com/alfredo-mw/alfredo/internal/obs"
+
+// HealthView reads a node's most recent health score. The zero/nil
+// view reports a permanently healthy node.
+type HealthView struct {
+	scorer *obs.HealthScorer
+}
+
+// Health returns the node's health view, or nil when health scoring
+// was not enabled (NodeConfig.Health). A nil view is safe to read.
+func (n *Node) Health() *HealthView {
+	if n.health == nil {
+		return nil
+	}
+	return &HealthView{scorer: n.health}
+}
+
+// Score returns the most recent health score. Nil-safe: a nil view
+// returns the zero (fully healthy) score.
+func (v *HealthView) Score() obs.HealthScore {
+	if v == nil {
+		return obs.HealthScore{}
+	}
+	return v.scorer.Last()
+}
+
+// Overloaded reports whether the node's overall overload score has
+// reached threshold. Nil-safe (never overloaded).
+func (v *HealthView) Overloaded(threshold float64) bool {
+	if v == nil {
+		return false
+	}
+	return v.scorer.Last().Overall >= threshold
+}

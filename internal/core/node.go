@@ -97,6 +97,22 @@ type NodeConfig struct {
 	// Obs is the telemetry hub for metrics and traces. Nil uses the
 	// process-wide obs.Default(); obs.Nop() disables telemetry.
 	Obs *obs.Hub
+	// Aggregator, when non-nil, makes this node a fleet telemetry sink:
+	// its peer announces "metrics.sink" in the hello exchange and folds
+	// inbound MetricsReport frames into the aggregator under each
+	// sending channel's identity. Hosts set it; phones leave it nil.
+	Aggregator *obs.Aggregator
+	// MetricsInterval is the cadence on which the node's peer ships its
+	// metric registry to peers that announced a metrics sink. Zero
+	// selects remote.DefaultMetricsInterval; negative disables shipping.
+	MetricsInterval time.Duration
+	// Health, when non-nil, starts a health scorer on the node's
+	// registry and clock: overload scores are published as gauges,
+	// drive adaptive admission shedding (when Admission is set), and
+	// are readable through Node.Health — the live signal the optimizer
+	// consults before re-placing tiers. A runtime profiler runs
+	// alongside it so the heap component stays fresh.
+	Health *obs.HealthConfig
 	// Clock is the node's time source: invocation timeouts, retries,
 	// link reconnection, recovery waits and controller poll tickers all
 	// run on it. Nil selects the wall clock; the simulation harness
@@ -129,6 +145,10 @@ type Node struct {
 	// is either in the snapshot Close tears down or observes closed.
 	closeMu sync.RWMutex
 	closed  bool
+
+	// health and profiler run when cfg.Health is set; Close stops them.
+	health   *obs.HealthScorer
+	profiler *obs.Profiler
 }
 
 // NewNode boots a node.
@@ -186,13 +206,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		ChunkCache:       cache,
 		ChunkBytes:       cfg.ChunkBytes,
 		FetchWindow:      cfg.FetchWindow,
+		Aggregator:       cfg.Aggregator,
+		MetricsInterval:  cfg.MetricsInterval,
 	})
 	if err != nil {
 		events.Close()
 		_ = fw.Shutdown()
 		return nil, err
 	}
-	return &Node{
+	n := &Node{
 		cfg:       cfg,
 		fw:        fw,
 		events:    events,
@@ -200,7 +222,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		renderers: cfg.Renderers,
 		sessions:  stripe.NewMap[int64, *Session](stripe.DefaultShards(), stripe.Int64Hash),
 		apps:      stripe.NewMap[string, *App](stripe.DefaultShards(), stripe.StringHash),
-	}, nil
+	}
+	if cfg.Health != nil {
+		// The profiler keeps the heap gauge the scorer reads fresh;
+		// both run on the node's clock.
+		n.profiler = obs.StartProfiler(cfg.Obs.Metrics, cfg.Clock, cfg.Health.Interval)
+		n.health = peer.StartHealthDriver(*cfg.Health)
+	}
+	return n, nil
 }
 
 // Name returns the node name.
@@ -403,6 +432,12 @@ func (n *Node) Close() {
 	n.closed = true
 	n.closeMu.Unlock()
 
+	if n.health != nil {
+		n.health.Stop()
+	}
+	if n.profiler != nil {
+		n.profiler.Stop()
+	}
 	for _, s := range n.sessions.Values() {
 		s.Close()
 	}

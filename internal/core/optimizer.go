@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 )
 
@@ -86,6 +87,16 @@ type OptimizerConfig struct {
 	// RTTThreshold above which movable logic is pulled in (default
 	// DefaultRTTThreshold).
 	RTTThreshold time.Duration
+	// MaxLocalLoad gates pulls on the device's own health: when the
+	// node's overall overload score (NodeConfig.Health) is at or above
+	// this threshold, the optimizer skips pulling logic tiers in that
+	// round — shipping compute onto an overloaded device trades a slow
+	// link for a slower CPU. Zero disables the gate.
+	MaxLocalLoad float64
+	// Health overrides the health signal the MaxLocalLoad gate reads
+	// (defaults to the session node's own HealthView). Tests inject
+	// synthetic scores here.
+	Health func() obs.HealthScore
 	// OnDecision, when non-nil, is called after every probe with the
 	// measured RTT and the dependencies pulled in response (empty when
 	// none).
@@ -146,7 +157,7 @@ func (o *Optimizer) loop() {
 			return // channel gone; the session will clean up
 		}
 		var pulled []string
-		if rtt >= o.cfg.RTTThreshold {
+		if rtt >= o.cfg.RTTThreshold && !o.localOverloaded() {
 			for _, dep := range o.app.Descriptor.Dependencies {
 				if dep.Tier != TierLogic || !dep.Movable {
 					continue
@@ -163,6 +174,19 @@ func (o *Optimizer) loop() {
 			o.cfg.OnDecision(rtt, pulled)
 		}
 	}
+}
+
+// localOverloaded applies the MaxLocalLoad gate: true when the health
+// signal (injected, else the node's own HealthView) scores at or above
+// the threshold. With the gate disabled or no signal it reports false.
+func (o *Optimizer) localOverloaded() bool {
+	if o.cfg.MaxLocalLoad <= 0 {
+		return false
+	}
+	if o.cfg.Health != nil {
+		return o.cfg.Health().Overall >= o.cfg.MaxLocalLoad
+	}
+	return o.app.session.node.Health().Overloaded(o.cfg.MaxLocalLoad)
 }
 
 // Stop halts the optimizer and waits for its loop to exit.

@@ -3,11 +3,13 @@ package core
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/device"
 	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
 	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 )
 
@@ -134,6 +136,64 @@ func TestOptimizerPullsLogicWhenLinkDegrades(t *testing.T) {
 	reason := app.Placement.Reasons["demo.Stats"]
 	if reason == "" {
 		t.Error("placement reason not recorded")
+	}
+}
+
+// TestOptimizerHealthGate degrades the link exactly like the pull
+// test, but with the device reporting overload above MaxLocalLoad: the
+// optimizer must keep probing without pulling — shipping compute onto
+// an overloaded device trades a slow link for a slower CPU. Once the
+// injected score recovers below the gate, the next round pulls.
+func TestOptimizerHealthGate(t *testing.T) {
+	v, session, conn := optimizerPair(t)
+	var app *Application
+	driveV(t, v, time.Minute, func() {
+		a, err := session.Acquire("demo.Counter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+			return
+		}
+		app = a
+	})
+	if app == nil {
+		t.FailNow()
+	}
+
+	var overloadMilli atomic.Int64
+	overloadMilli.Store(950) // above the 0.9 gate
+	var rounds atomic.Int64
+	opt, err := app.StartOptimizer(OptimizerConfig{
+		Interval:     20 * time.Millisecond,
+		RTTThreshold: 20 * time.Millisecond,
+		MaxLocalLoad: 0.9,
+		Health: func() obs.HealthScore {
+			return obs.HealthScore{Overall: float64(overloadMilli.Load()) / 1000}
+		},
+		OnDecision: func(time.Duration, []string) { rounds.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driveV(t, v, time.Minute, opt.Stop)
+
+	conn.SetLink(netsim.LinkProfile{Name: "degraded", Latency: 30 * time.Millisecond})
+
+	// Several slow-link probe rounds under overload: the gate holds.
+	before := rounds.Load()
+	if !v.WaitCond(3*time.Second, func() bool { return rounds.Load() >= before+5 }) {
+		t.Fatal("optimizer stopped probing under the health gate")
+	}
+	if _, pulled := app.dep("demo.Stats"); pulled {
+		t.Fatal("logic pulled onto an overloaded device")
+	}
+
+	// The device recovers: the same slow link now justifies the pull.
+	overloadMilli.Store(100)
+	if !v.WaitCond(3*time.Second, func() bool {
+		_, pulled := app.dep("demo.Stats")
+		return pulled
+	}) {
+		t.Fatal("optimizer never pulled after the device recovered")
 	}
 }
 

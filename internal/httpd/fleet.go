@@ -1,0 +1,129 @@
+package httpd
+
+// Fleet telemetry endpoint: serves an obs.Aggregator — the merged
+// metric state of every node that ships MetricsReport frames to this
+// host — so one scrape of the host answers for the whole fleet. The
+// health endpoint exposes the node's live overload score alongside it.
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// FleetAlias is the servlet alias RegisterFleet uses.
+const FleetAlias = "/obs/fleet"
+
+// HealthAlias is the servlet alias RegisterHealth uses.
+const HealthAlias = "/obs/health"
+
+// NewFleetHandler builds the fleet view mux for an aggregator:
+//
+//	GET /              reporting nodes (name, tenant, seq, series count)
+//	GET /metrics       fleet-wide Prometheus exposition (node/tenant labels)
+//	GET /metrics.json  the same merged sample set as JSON
+//	GET /quantile?family=<hist>&q=0.99   live fleet-wide windowed quantile
+//
+// refresh, when non-nil, runs before each request — hosts use it to
+// fold their own local registry into the aggregator so the fleet view
+// includes the serving node itself. The handler is standalone (paths
+// relative to its mount point); use RegisterFleet to mount it.
+func NewFleetHandler(agg *obs.Aggregator, refresh func()) http.Handler {
+	withRefresh := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if refresh != nil {
+				refresh()
+			}
+			h(w, r)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", withRefresh(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		nodes := agg.Nodes()
+		if nodes == nil {
+			nodes = []obs.NodeInfo{}
+		}
+		writeJSON(w, struct {
+			Nodes   []obs.NodeInfo `json:"nodes"`
+			Dropped int64          `json:"dropped_reports"`
+		}{nodes, agg.Dropped()})
+	}))
+	mux.HandleFunc("/metrics", withRefresh(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheusSamples(w, agg.Snapshot())
+	}))
+	mux.HandleFunc("/metrics.json", withRefresh(func(w http.ResponseWriter, r *http.Request) {
+		snap := agg.Snapshot()
+		if snap == nil {
+			snap = []obs.Sample{}
+		}
+		writeJSON(w, snap)
+	}))
+	mux.HandleFunc("/quantile", withRefresh(func(w http.ResponseWriter, r *http.Request) {
+		family := r.URL.Query().Get("family")
+		if family == "" {
+			http.Error(w, "missing ?family=<histogram family>", http.StatusBadRequest)
+			return
+		}
+		q := 0.99
+		if s := r.URL.Query().Get("q"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v < 0 || v > 1 {
+				http.Error(w, fmt.Sprintf("bad quantile %q", s), http.StatusBadRequest)
+				return
+			}
+			q = v
+		}
+		writeJSON(w, struct {
+			Family   string        `json:"family"`
+			Q        float64       `json:"q"`
+			Window   time.Duration `json:"window_ns"`
+			Quantile time.Duration `json:"quantile_ns"`
+			Pretty   string        `json:"quantile"`
+		}{family, q, obs.WindowSpan, agg.WindowQuantile(family, q),
+			agg.WindowQuantile(family, q).String()})
+	}))
+	return mux
+}
+
+// RegisterFleet mounts the fleet handler on the service under
+// FleetAlias. The bare alias (no trailing slash) serves the node
+// listing rather than bouncing through a redirect.
+func RegisterFleet(s *Service, agg *obs.Aggregator, refresh func()) error {
+	h := NewFleetHandler(agg, refresh)
+	return s.RegisterServlet(FleetAlias,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			r2 := new(http.Request)
+			*r2 = *r
+			r2.URL = new(url.URL)
+			*r2.URL = *r.URL
+			r2.URL.Path = strings.TrimPrefix(r.URL.Path, FleetAlias)
+			if r2.URL.Path == "" {
+				r2.URL.Path = "/"
+			}
+			h.ServeHTTP(w, r2)
+		}))
+}
+
+// RegisterHealth mounts a health-score endpoint under HealthAlias:
+// GET /obs/health returns the most recent obs.HealthScore as JSON.
+// score is called per request (pass view.Score from a core.HealthView
+// or scorer.Last from an obs.HealthScorer).
+func RegisterHealth(s *Service, score func() obs.HealthScore) error {
+	if score == nil {
+		score = func() obs.HealthScore { return obs.HealthScore{} }
+	}
+	return s.RegisterServlet(HealthAlias,
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, score())
+		}))
+}

@@ -1,0 +1,149 @@
+package httpd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+)
+
+// fleetFixture builds a service with an aggregator fed by two fake
+// nodes plus a host registry folded in through refresh.
+func fleetFixture(t *testing.T) (*Service, *obs.Aggregator) {
+	t.Helper()
+	clk := clock.NewVirtual(1)
+	agg := obs.NewAggregator()
+
+	hostReg := obs.NewRegistryOn(clk)
+	hostReg.Counter("alfredo_remote_invokes_total").Add(7)
+	h := hostReg.Histogram("alfredo_remote_invoke_seconds")
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+
+	phoneReg := obs.NewRegistryOn(clk)
+	phoneReg.Counter("alfredo_remote_invokes_total").Add(3)
+	agg.IngestRegistry("phone-1", "tenant-a", phoneReg)
+
+	s := NewService()
+	if err := RegisterFleet(s, agg, func() {
+		agg.IngestRegistry("host", "", hostReg)
+	}); err != nil {
+		t.Fatalf("RegisterFleet: %v", err)
+	}
+	return s, agg
+}
+
+func TestFleetNodesListing(t *testing.T) {
+	s, _ := fleetFixture(t)
+	for _, path := range []string{"/obs/fleet", "/obs/fleet/"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+		var got struct {
+			Nodes   []obs.NodeInfo `json:"nodes"`
+			Dropped int64          `json:"dropped_reports"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+		if len(got.Nodes) != 2 {
+			t.Fatalf("GET %s: nodes = %+v, want host + phone-1", path, got.Nodes)
+		}
+	}
+}
+
+func TestFleetPrometheusExposition(t *testing.T) {
+	s, _ := fleetFixture(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/obs/fleet/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /obs/fleet/metrics = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	// Fleet exposition carries node labels so one scrape distinguishes
+	// every reporting device.
+	for _, want := range []string{
+		`alfredo_remote_invokes_total{node="host"} 7`,
+		`alfredo_remote_invokes_total{node="phone-1",tenant="tenant-a"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestFleetQuantile(t *testing.T) {
+	s, _ := fleetFixture(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/obs/fleet/quantile?family=alfredo_remote_invoke_seconds&q=0.5", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("quantile = %d: %s", rec.Code, rec.Body.String())
+	}
+	var got struct {
+		Quantile time.Duration `json:"quantile_ns"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Quantile <= 0 || got.Quantile > 50*time.Millisecond {
+		t.Errorf("fleet p50 = %v, want ~2ms bucket bound", got.Quantile)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/obs/fleet/quantile", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing family = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/obs/fleet/quantile?family=x&q=1.5", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad q = %d, want 400", rec.Code)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	s := NewService()
+	score := obs.HealthScore{Overall: 0.42, Queue: 0.42}
+	if err := RegisterHealth(s, func() obs.HealthScore { return score }); err != nil {
+		t.Fatalf("RegisterHealth: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/obs/health", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /obs/health = %d", rec.Code)
+	}
+	var got obs.HealthScore
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Overall != 0.42 {
+		t.Errorf("Overall = %v, want 0.42", got.Overall)
+	}
+}
+
+func TestPprofEndpoints(t *testing.T) {
+	s := NewService()
+	if err := RegisterPprof(s); err != nil {
+		t.Fatalf("RegisterPprof: %v", err)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index = %d, body %q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/heap?debug=1", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "heap profile") {
+		t.Fatalf("heap profile = %d", rec.Code)
+	}
+}

@@ -1,0 +1,32 @@
+package httpd
+
+// On-demand runtime profiling: mounts the standard net/http/pprof
+// handlers on the embedded HTTP service, so a node under investigation
+// serves CPU/heap/goroutine/block profiles from the same -obs listener
+// that serves metrics — no restart, no extra port. The continuous
+// profiler (obs.StartProfiler) covers the always-on gauges; this is the
+// deep-dive complement.
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofAlias is the servlet alias RegisterPprof uses. It matches the
+// path net/http/pprof's Index handler links against, so the profile
+// listing's hyperlinks resolve.
+const PprofAlias = "/debug/pprof"
+
+// RegisterPprof mounts the pprof handlers under PprofAlias. The Index
+// handler routes named profiles (heap, goroutine, block, mutex,
+// threadcreate, allocs) by the request path itself, so no prefix
+// stripping is applied.
+func RegisterPprof(s *Service) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s.RegisterServlet(PprofAlias, mux)
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxNodes bounds the number of distinct nodes an Aggregator
+// tracks; reports from nodes beyond the cap are counted and dropped so
+// a hostile node-id stream cannot grow the fleet view without bound.
+const DefaultMaxNodes = 4096
+
+// nodeState is one reporting node's most recent metric state.
+type nodeState struct {
+	node   string
+	tenant string
+	seq    int64
+	// samples maps name+"\xfe"+labelKey to the last shipped sample.
+	// Values are cumulative, so merging a newer report is plain
+	// last-write-wins per series.
+	samples map[string]Sample
+}
+
+// Aggregator merges metric reports from many nodes into one fleet
+// view. The host's remote layer feeds it decoded MetricsReport frames
+// (each already converted to []Sample); internal/httpd serves it at
+// /obs/fleet. Reports carry cumulative values with a per-connection
+// sequence number: stale reorderings are dropped, full reports replace
+// the node's state wholesale (reconnects reset the sequence), delta
+// reports overwrite only the series they carry. Nil-safe.
+type Aggregator struct {
+	maxNodes int
+
+	mu      sync.RWMutex
+	nodes   map[string]*nodeState
+	dropped int64 // reports rejected (node cap or stale seq)
+}
+
+// NewAggregator creates an empty fleet aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		maxNodes: DefaultMaxNodes,
+		nodes:    make(map[string]*nodeState),
+	}
+}
+
+// Ingest merges one node's report. full replaces the node's entire
+// sample state and resets its sequence tracking (a reconnected node
+// restarts at a low seq); delta reports must carry a seq newer than
+// the last applied one or they are dropped as stale reorderings.
+// Returns false when the report was dropped.
+func (a *Aggregator) Ingest(node, tenant string, seq int64, full bool, samples []Sample) bool {
+	if a == nil || node == "" {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.nodes[node]
+	if st == nil {
+		if len(a.nodes) >= a.maxNodes {
+			a.dropped++
+			return false
+		}
+		st = &nodeState{node: node, samples: make(map[string]Sample)}
+		a.nodes[node] = st
+	}
+	if full {
+		// Epoch reset: replace wholesale and accept the new sequence.
+		st.samples = make(map[string]Sample, len(samples))
+		st.seq = seq
+	} else {
+		if seq <= st.seq {
+			a.dropped++
+			return false
+		}
+		st.seq = seq
+	}
+	st.tenant = tenant
+	for _, s := range samples {
+		st.samples[s.Name+"\xfe"+sampleLabelKey(&s)] = s
+	}
+	return true
+}
+
+// sampleLabelKey flattens a sample's label map into a stable key.
+func sampleLabelKey(s *Sample) string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\xff')
+		b.WriteString(s.Labels[k])
+		b.WriteByte('\xff')
+	}
+	return b.String()
+}
+
+// IngestRegistry folds a local registry's snapshot in as a node — the
+// host includes its own metrics in the fleet view this way.
+func (a *Aggregator) IngestRegistry(node, tenant string, r *Registry) {
+	if a == nil || r == nil {
+		return
+	}
+	a.mu.RLock()
+	var seq int64
+	if st := a.nodes[node]; st != nil {
+		seq = st.seq
+	}
+	a.mu.RUnlock()
+	a.Ingest(node, tenant, seq+1, true, r.Snapshot())
+}
+
+// NodeInfo summarizes one reporting node in the fleet view.
+type NodeInfo struct {
+	Node   string `json:"node"`
+	Tenant string `json:"tenant,omitempty"`
+	Seq    int64  `json:"seq"`
+	Series int    `json:"series"`
+}
+
+// Nodes lists the reporting nodes, sorted by name. Nil-safe.
+func (a *Aggregator) Nodes() []NodeInfo {
+	if a == nil {
+		return nil
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]NodeInfo, 0, len(a.nodes))
+	for _, st := range a.nodes {
+		out = append(out, NodeInfo{
+			Node: st.node, Tenant: st.tenant, Seq: st.seq, Series: len(st.samples),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Dropped returns the number of reports rejected (node cap or stale
+// sequence).
+func (a *Aggregator) Dropped() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.dropped
+}
+
+// Snapshot returns every node's series with "node" (and, when set,
+// "tenant") labels folded in, sorted like Registry.Snapshot — the
+// fleet-wide scrape. Nil-safe.
+func (a *Aggregator) Snapshot() []Sample {
+	if a == nil {
+		return nil
+	}
+	a.mu.RLock()
+	var out []Sample
+	for _, st := range a.nodes {
+		for _, s := range st.samples {
+			labels := make(map[string]string, len(s.Labels)+2)
+			for k, v := range s.Labels {
+				labels[k] = v
+			}
+			labels["node"] = st.node
+			if st.tenant != "" {
+				labels["tenant"] = st.tenant
+			}
+			s.Labels = labels
+			out = append(out, s)
+		}
+	}
+	a.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return sampleLabelKey(&out[i]) < sampleLabelKey(&out[j])
+	})
+	return out
+}
+
+// Total sums a counter/gauge family across every node and series — the
+// fleet-wide count the conservation invariant checks. Nil-safe.
+func (a *Aggregator) Total(name string) int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var total int64
+	for _, st := range a.nodes {
+		for _, s := range st.samples {
+			if s.Name == name {
+				total += s.Value
+			}
+		}
+	}
+	return total
+}
+
+// Count sums a histogram family's cumulative observation count across
+// every node and series. Nil-safe.
+func (a *Aggregator) Count(name string) int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var total int64
+	for _, st := range a.nodes {
+		for _, s := range st.samples {
+			if s.Name == name && s.Hist != nil {
+				total += s.Hist.Count
+			}
+		}
+	}
+	return total
+}
+
+// NodeTotal sums a counter/gauge family across one node's series.
+func (a *Aggregator) NodeTotal(node, name string) int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	st := a.nodes[node]
+	if st == nil {
+		return 0
+	}
+	var total int64
+	for _, s := range st.samples {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// WindowQuantile estimates the q-quantile of a histogram family over
+// the merged sliding windows of every node — the live fleet-wide p50 or
+// p99 as of the nodes' most recent reports. Falls back to the
+// cumulative histograms when no report carried a window (e.g. all
+// windows were empty at ship time). Nil-safe.
+func (a *Aggregator) WindowQuantile(name string, q float64) time.Duration {
+	if a == nil {
+		return 0
+	}
+	a.mu.RLock()
+	merged := a.mergedHistogram(name, true)
+	if merged == nil {
+		merged = a.mergedHistogram(name, false)
+	}
+	a.mu.RUnlock()
+	return merged.Quantile(q)
+}
+
+// Quantile estimates the q-quantile of a histogram family over the
+// merged cumulative (all-time) histograms of every node. Nil-safe.
+func (a *Aggregator) Quantile(name string, q float64) time.Duration {
+	if a == nil {
+		return 0
+	}
+	a.mu.RLock()
+	merged := a.mergedHistogram(name, false)
+	a.mu.RUnlock()
+	return merged.Quantile(q)
+}
+
+// mergedHistogram folds one histogram family across all nodes and
+// series into a single snapshot (window or cumulative view). Caller
+// holds at least a read lock. Returns nil when no series matched.
+func (a *Aggregator) mergedHistogram(name string, window bool) *HistogramSnapshot {
+	var out *HistogramSnapshot
+	for _, st := range a.nodes {
+		for _, s := range st.samples {
+			if s.Name != name {
+				continue
+			}
+			h := s.Hist
+			if window {
+				h = s.Win
+			}
+			if h == nil || h.Count == 0 {
+				continue
+			}
+			if out == nil {
+				out = &HistogramSnapshot{Buckets: make([]Bucket, len(h.Buckets))}
+				for i, b := range h.Buckets {
+					out.Buckets[i].UpperBound = b.UpperBound
+				}
+			}
+			if len(h.Buckets) != len(out.Buckets) {
+				continue // mismatched bucket layout: skip rather than misfold
+			}
+			out.Count += h.Count
+			out.Sum += h.Sum
+			for i, b := range h.Buckets {
+				out.Buckets[i].Count += b.Count
+			}
+		}
+	}
+	return out
+}

@@ -13,18 +13,38 @@ import (
 // samples, histograms as cumulative `_bucket{le="..."}` series plus
 // `_sum` (seconds) and `_count`. Nil-safe.
 func WritePrometheus(w io.Writer, r *Registry) error {
+	return WritePrometheusSamples(w, r.Snapshot())
+}
+
+// WritePrometheusSamples renders an already-taken sample set (e.g. an
+// Aggregator's fleet snapshot) in the exposition format. Samples must
+// be sorted by name, as Registry.Snapshot and Aggregator.Snapshot
+// return them, so TYPE headers are emitted once per family.
+func WritePrometheusSamples(w io.Writer, samples []Sample) error {
 	var lastName string
-	for _, s := range r.Snapshot() {
+	for _, s := range samples {
 		if s.Name != lastName {
 			if s.Help != "" {
 				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			// Meters surface as gauges: "meter" is not an exposition
+			// format type, and the smoothed rate reads like one.
+			typ := s.Kind
+			if typ == "meter" {
+				typ = "gauge"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, typ); err != nil {
 				return err
 			}
 			lastName = s.Name
+		}
+		if s.Kind == "meter" {
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", s.Name, s.LabelString(), s.Rate); err != nil {
+				return err
+			}
+			continue
 		}
 		if s.Hist == nil {
 			if _, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, s.LabelString(), s.Value); err != nil {
@@ -59,10 +79,11 @@ func writePromHistogram(w io.Writer, s *Sample) error {
 	return err
 }
 
-// mergeLabels renders the sample's labels with one extra pair appended.
+// mergeLabels renders the sample's labels with one extra pair appended,
+// escaped per the exposition format like LabelString.
 func mergeLabels(s *Sample, key, value string) string {
 	base := s.LabelString()
-	extra := fmt.Sprintf("%s=%q", key, value)
+	extra := key + `="` + escapeLabelValue(value) + `"`
 	if base == "" {
 		return "{" + extra + "}"
 	}

@@ -1,0 +1,245 @@
+package obs
+
+// Health scoring: fold the signals the telemetry plane already
+// collects — dispatch queue depth, admission rejections, live invoke
+// p99, heap pressure — into one overload score in [0, 1] per component
+// and overall. The score is published as gauges (so it ships across
+// nodes like any other metric and shows up in the fleet view), drives
+// adaptive admission shedding through remote.Peer.StartHealthDriver,
+// and reaches placement policy through core.HealthView — the live
+// input the paper's "decide where each tier runs" mechanism needs.
+//
+// The scorer reads the registry by metric name, so it has no
+// dependency on the packages that produce the signals; a component
+// whose family is absent simply reads zero.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+)
+
+// Metric families the scorer reads, and the gauges it publishes.
+const (
+	healthQueueFamily   = "alfredo_remote_dispatch_queue_depth"
+	healthRejectsFamily = "alfredo_remote_admission_rejected_total"
+	healthHeapFamily    = "alfredo_runtime_heap_alloc_bytes"
+
+	HealthOverallGauge   = "alfredo_health_overload_milli"
+	HealthComponentGauge = "alfredo_health_component_milli"
+)
+
+// Health scoring defaults.
+const (
+	DefaultHealthInterval  = 5 * time.Second
+	DefaultInvokeP99Target = 100 * time.Millisecond
+	DefaultHeapLimitBytes  = 1 << 30 // 1 GiB
+	DefaultQueueCapacity   = 256     // remote.DefaultReactorWorkers
+	DefaultRejectRateMax   = 100.0   // rejections/sec that reads as fully overloaded
+)
+
+// defaultLatencyFamilies are the invoke-latency histograms scored when
+// HealthConfig.LatencyFamilies is empty: the serve side and the client
+// side of the invoke path (a node usually populates only one).
+var defaultLatencyFamilies = []string{
+	"alfredo_remote_server_invoke_seconds",
+	"alfredo_remote_invoke_seconds",
+}
+
+// HealthConfig tunes the scorer. The zero value selects every default.
+type HealthConfig struct {
+	// Interval between scoring passes (default DefaultHealthInterval).
+	Interval time.Duration
+	// InvokeP99Target is the live p99 the latency component treats as
+	// healthy: the component reads 0 at or below the target and 1 at
+	// twice the target (default DefaultInvokeP99Target).
+	InvokeP99Target time.Duration
+	// HeapLimitBytes is the soft heap ceiling: the heap component reads
+	// 0 at or below half of it and 1 at the full limit (default
+	// DefaultHeapLimitBytes). Keep a Profiler running so the heap gauge
+	// it reads stays fresh; core.NewNode does this when health scoring
+	// is enabled.
+	HeapLimitBytes int64
+	// QueueCapacity normalizes the dispatch queue depth (default
+	// DefaultQueueCapacity; remote.Peer.StartHealthDriver defaults it to
+	// the peer's reactor width instead).
+	QueueCapacity int64
+	// RejectRateMax is the admission rejection rate (per second) that
+	// reads as fully overloaded (default DefaultRejectRateMax).
+	RejectRateMax float64
+	// LatencyFamilies are the histogram families whose live windowed
+	// p99 feeds the latency component; the worst one wins (default
+	// defaultLatencyFamilies).
+	LatencyFamilies []string
+	// OnScore, when non-nil, is called after every scoring pass.
+	OnScore func(HealthScore)
+}
+
+func (c HealthConfig) normalized() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = DefaultHealthInterval
+	}
+	if c.InvokeP99Target <= 0 {
+		c.InvokeP99Target = DefaultInvokeP99Target
+	}
+	if c.HeapLimitBytes <= 0 {
+		c.HeapLimitBytes = DefaultHeapLimitBytes
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = DefaultQueueCapacity
+	}
+	if c.RejectRateMax <= 0 {
+		c.RejectRateMax = DefaultRejectRateMax
+	}
+	if len(c.LatencyFamilies) == 0 {
+		c.LatencyFamilies = defaultLatencyFamilies
+	}
+	return c
+}
+
+// HealthScore is one scoring pass. Components and Overall are in
+// [0, 1]: 0 is idle, 1 is fully overloaded. Overall is the worst
+// component — overload in any one dimension is overload.
+type HealthScore struct {
+	Overall float64 `json:"overall"`
+	Queue   float64 `json:"queue"`
+	Rejects float64 `json:"rejects"`
+	Latency float64 `json:"latency"`
+	Heap    float64 `json:"heap"`
+
+	// InvokeP99 is the live windowed p99 behind the latency component.
+	InvokeP99 time.Duration `json:"invoke_p99_ns"`
+	// RejectRate is the admission rejection rate (per second) behind
+	// the rejects component.
+	RejectRate float64 `json:"reject_rate"`
+}
+
+// HealthScorer periodically folds registry state into a HealthScore.
+type HealthScorer struct {
+	r   *Registry
+	cfg HealthConfig
+	clk clock.Clock
+
+	lastRejects int64
+	lastAt      time.Time
+
+	last atomic.Pointer[HealthScore]
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartHealthScorer begins scoring r every cfg.Interval on clk (nil
+// selects the wall clock). One pass runs synchronously before it
+// returns, so Last and the published gauges are live immediately.
+// Stop it with Stop.
+func StartHealthScorer(r *Registry, clk clock.Clock, cfg HealthConfig) *HealthScorer {
+	clk = clock.Or(clk)
+	h := &HealthScorer{
+		r: r, cfg: cfg.normalized(), clk: clk,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	h.lastAt = clk.Now()
+	h.lastRejects = r.Total(healthRejectsFamily)
+	h.score()
+	go func() {
+		defer close(h.done)
+		t := clk.NewTicker(h.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.score()
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+	return h
+}
+
+// Stop halts the scorer and waits for its goroutine to exit. The
+// published gauges keep their last values. Safe to call once.
+func (h *HealthScorer) Stop() {
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}
+
+// Last returns the most recent score. Nil-safe; the zero score before
+// the first pass.
+func (h *HealthScorer) Last() HealthScore {
+	if h == nil {
+		return HealthScore{}
+	}
+	if s := h.last.Load(); s != nil {
+		return *s
+	}
+	return HealthScore{}
+}
+
+// clamp01 bounds a component score to [0, 1]; NaN reads as 0.
+func clamp01(f float64) float64 {
+	switch {
+	case f != f || f < 0:
+		return 0
+	case f > 1:
+		return 1
+	}
+	return f
+}
+
+// score runs one pass: read the inputs, derive the components, publish
+// the gauges, remember the score, notify.
+func (h *HealthScorer) score() {
+	s := HealthScore{}
+
+	// Queue: dispatch backlog relative to the reactor's width.
+	depth := h.r.Gauge(healthQueueFamily).Value()
+	s.Queue = clamp01(float64(depth) / float64(h.cfg.QueueCapacity))
+
+	// Rejects: admission rejections per second since the last pass.
+	now := h.clk.Now()
+	rejects := h.r.Total(healthRejectsFamily)
+	if el := now.Sub(h.lastAt); el > 0 {
+		s.RejectRate = float64(rejects-h.lastRejects) / el.Seconds()
+	}
+	h.lastRejects = rejects
+	h.lastAt = now
+	s.Rejects = clamp01(s.RejectRate / h.cfg.RejectRateMax)
+
+	// Latency: the worst live windowed p99 across the invoke families,
+	// scored against the target (0 at target, 1 at 2x target).
+	for _, fam := range h.cfg.LatencyFamilies {
+		if p99 := h.r.WindowQuantile(fam, 0.99); p99 > s.InvokeP99 {
+			s.InvokeP99 = p99
+		}
+	}
+	s.Latency = clamp01(float64(s.InvokeP99-h.cfg.InvokeP99Target) / float64(h.cfg.InvokeP99Target))
+
+	// Heap: pressure against the soft limit (0 at half, 1 at full).
+	heap := h.r.Gauge(healthHeapFamily).Value()
+	half := h.cfg.HeapLimitBytes / 2
+	s.Heap = clamp01(float64(heap-half) / float64(half))
+
+	s.Overall = s.Queue
+	for _, c := range []float64{s.Rejects, s.Latency, s.Heap} {
+		if c > s.Overall {
+			s.Overall = c
+		}
+	}
+
+	h.r.Gauge(HealthOverallGauge).Set(int64(s.Overall * 1000))
+	h.r.Gauge(HealthComponentGauge, "component", "queue").Set(int64(s.Queue * 1000))
+	h.r.Gauge(HealthComponentGauge, "component", "rejects").Set(int64(s.Rejects * 1000))
+	h.r.Gauge(HealthComponentGauge, "component", "latency").Set(int64(s.Latency * 1000))
+	h.r.Gauge(HealthComponentGauge, "component", "heap").Set(int64(s.Heap * 1000))
+
+	h.last.Store(&s)
+	if h.cfg.OnScore != nil {
+		h.cfg.OnScore(s)
+	}
+}

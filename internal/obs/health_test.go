@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+)
+
+// TestHealthScorerComponents seeds the registry with every signal the
+// scorer folds — queue depth, heap pressure, live invoke p99 — and
+// checks the component math, the worst-component overall and the
+// published gauges after the synchronous first pass.
+func TestHealthScorerComponents(t *testing.T) {
+	clk := clock.NewVirtual(1)
+	r := NewRegistryOn(clk)
+
+	// Queue at half the default reactor width: component 0.5.
+	r.Gauge(healthQueueFamily).Set(DefaultQueueCapacity / 2)
+	// Heap at 75% of the 1 GiB default limit: (0.75-0.5)/0.5 = 0.5.
+	r.Gauge(healthHeapFamily).Set(768 << 20)
+	// Invoke p99 at ~2.5x the 100ms target: latency saturates at 1.
+	h := r.Histogram("alfredo_remote_server_invoke_seconds")
+	for i := 0; i < 100; i++ {
+		h.Observe(200 * time.Millisecond)
+	}
+
+	hs := StartHealthScorer(r, clk, HealthConfig{})
+	defer hs.Stop()
+
+	s := hs.Last()
+	if s.Queue < 0.49 || s.Queue > 0.51 {
+		t.Fatalf("queue component = %g, want ~0.5", s.Queue)
+	}
+	if s.Heap < 0.49 || s.Heap > 0.51 {
+		t.Fatalf("heap component = %g, want ~0.5", s.Heap)
+	}
+	if s.Latency != 1 {
+		t.Fatalf("latency component = %g, want 1 (p99 %v far past target)", s.Latency, s.InvokeP99)
+	}
+	if s.InvokeP99 < DefaultInvokeP99Target {
+		t.Fatalf("InvokeP99 = %v, want >= %v", s.InvokeP99, DefaultInvokeP99Target)
+	}
+	if s.Overall != s.Latency {
+		t.Fatalf("overall = %g, want the worst component (latency %g)", s.Overall, s.Latency)
+	}
+
+	// The score ships like any other metric: published as gauges.
+	if got := r.Gauge(HealthOverallGauge).Value(); got != 1000 {
+		t.Fatalf("overall gauge = %d milli, want 1000", got)
+	}
+	if got := r.Gauge(HealthComponentGauge, "component", "queue").Value(); got != 500 {
+		t.Fatalf("queue gauge = %d milli, want 500", got)
+	}
+}
+
+// TestHealthScorerRejectRateOnVirtualClock drives the periodic pass on
+// the virtual clock: admission rejections land between two passes and
+// the rejects component must read the rate over exactly the simulated
+// interval — deterministic, replayable scoring.
+func TestHealthScorerRejectRateOnVirtualClock(t *testing.T) {
+	clk := clock.NewVirtual(2)
+	r := NewRegistryOn(clk)
+
+	hs := StartHealthScorer(r, clk, HealthConfig{})
+	defer hs.Stop()
+	if s := hs.Last(); s.Overall != 0 {
+		t.Fatalf("idle registry scores %+v, want all zero", s)
+	}
+
+	// 250 rejections over one 5s interval: 50/s, half of the 100/s max.
+	r.Counter(healthRejectsFamily).Add(250)
+	if !clk.WaitCond(time.Minute, func() bool { return hs.Last().Rejects > 0 }) {
+		t.Fatal("scorer never observed the rejection burst on virtual time")
+	}
+	s := hs.Last()
+	if s.RejectRate < 49 || s.RejectRate > 51 {
+		t.Fatalf("reject rate = %g/s, want ~50 (250 rejects over 5s virtual)", s.RejectRate)
+	}
+	if s.Rejects < 0.49 || s.Rejects > 0.51 {
+		t.Fatalf("rejects component = %g, want ~0.5", s.Rejects)
+	}
+	if s.Overall != s.Rejects {
+		t.Fatalf("overall = %g, want rejects component %g", s.Overall, s.Rejects)
+	}
+
+	// Quiet interval: the rate decays to zero on the next pass.
+	if !clk.WaitCond(time.Minute, func() bool { return hs.Last().Rejects == 0 }) {
+		t.Fatal("rejects component never decayed after the burst")
+	}
+}
+
+// TestHealthScorerNilSafety: a nil scorer reads the zero score, so
+// HealthView-style consumers need no guards.
+func TestHealthScorerNilSafety(t *testing.T) {
+	var hs *HealthScorer
+	if s := hs.Last(); s != (HealthScore{}) {
+		t.Fatalf("nil scorer Last = %+v, want zero", s)
+	}
+}

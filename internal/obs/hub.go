@@ -1,5 +1,7 @@
 package obs
 
+import "github.com/alfredo-mw/alfredo/internal/sim/clock"
+
 // Hub bundles one registry, tracer and trace store — the unit of
 // telemetry plumbed through remote.Config and core.NodeConfig. Peers
 // sharing a Hub (the common in-process case: tests, netsim experiments,
@@ -17,10 +19,15 @@ type Hub struct {
 
 // NewHub creates a fully enabled hub with a DefaultTraceCap-sized
 // trace store.
-func NewHub() *Hub {
+func NewHub() *Hub { return NewHubOn(nil) }
+
+// NewHubOn is NewHub with an explicit clock for the registry's windowed
+// digests and meters; nil means the wall clock. The simulation harness
+// passes its virtual clock so windows rotate on virtual time.
+func NewHubOn(clk clock.Clock) *Hub {
 	store := NewTraceStore(DefaultTraceCap)
 	return &Hub{
-		Metrics: NewRegistry(),
+		Metrics: NewRegistryOn(clk),
 		Tracer:  NewTracer(store),
 		Traces:  store,
 	}

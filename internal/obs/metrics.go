@@ -13,12 +13,13 @@
 package obs
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 )
 
 // Counter is a monotonically increasing metric.
@@ -93,20 +94,49 @@ var LatencyBuckets = []time.Duration{
 	10 * time.Second,
 }
 
-// Histogram is a fixed-bucket latency histogram. Observations are two
-// atomic adds plus a short linear scan over the bounds.
+// Histogram is a fixed-bucket latency histogram. Observations are a
+// few atomic adds plus a short linear scan over the bounds: the
+// cumulative (all-time) buckets, the sliding-window slot (window.go),
+// and optionally a per-bucket trace exemplar.
 type Histogram struct {
 	bounds []time.Duration
 	counts []atomic.Int64 // len(bounds)+1; last bucket is +Inf
 	count  atomic.Int64
 	sum    atomic.Int64 // nanoseconds
+
+	// clk drives the sliding-window rotation; nil (detached handles)
+	// disables the window but keeps cumulative counting.
+	clk       clock.Clock
+	slots     [winSlotCount]winSlot
+	exemplars []atomic.Uint64 // len(bounds)+1; most recent trace id per bucket
 }
 
-func newHistogram() *Histogram {
-	return &Histogram{
+func newHistogram(clk clock.Clock) *Histogram {
+	h := &Histogram{
 		bounds: LatencyBuckets,
 		counts: make([]atomic.Int64, len(LatencyBuckets)+1),
+		clk:    clk,
 	}
+	if clk != nil {
+		for i := range h.slots {
+			h.slots[i].id.Store(-1)
+			h.slots[i].counts = make([]atomic.Int64, len(h.counts))
+		}
+		h.exemplars = make([]atomic.Uint64, len(h.counts))
+	}
+	return h
+}
+
+// bucketOf returns the index of the bucket containing d (the +Inf
+// bucket for durations past the largest bound).
+func (h *Histogram) bucketOf(d time.Duration) int {
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if d <= h.bounds[i] {
+			break
+		}
+	}
+	return i
 }
 
 // Observe records one duration. Nil-safe.
@@ -117,21 +147,35 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	i := 0
-	for ; i < len(h.bounds); i++ {
-		if d <= h.bounds[i] {
-			break
-		}
-	}
+	i := h.bucketOf(d)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(int64(d))
+	h.observeWindow(i, d)
 }
 
-// ObserveSince records the elapsed time since start. Nil-safe.
+// ObserveSince records the elapsed time since start. Nil-safe. On a
+// wall-clock registry the window slot is derived from start+elapsed
+// rather than a second clock read, so the invoke hot path pays one
+// time.Now per observation, not two.
 func (h *Histogram) ObserveSince(start time.Time) {
-	if h != nil {
-		h.Observe(time.Since(start))
+	if h == nil {
+		return
+	}
+	d := time.Since(start)
+	if d < 0 {
+		d = 0
+	}
+	i := h.bucketOf(d)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	switch {
+	case h.clk == nil:
+	case h.clk == clock.Wall:
+		h.observeWindowAt(start.Add(d), i, d)
+	default:
+		h.observeWindowAt(h.clk.Now(), i, d)
 	}
 }
 
@@ -198,12 +242,13 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// metric is the union of the three handle kinds inside a family.
+// metric is the union of the handle kinds inside a family.
 type metric struct {
 	labels  []string // alternating key, value
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	meter   *Meter
 }
 
 type kind uint8
@@ -212,6 +257,7 @@ const (
 	kindCounter kind = iota
 	kindGauge
 	kindHistogram
+	kindMeter
 )
 
 func (k kind) String() string {
@@ -222,8 +268,26 @@ func (k kind) String() string {
 		return "gauge"
 	case kindHistogram:
 		return "histogram"
+	case kindMeter:
+		return "meter"
 	}
 	return "unknown"
+}
+
+// kindOf maps a snapshot kind string back to the internal kind; used
+// when merging shipped samples. Reports false for unknown strings.
+func kindOf(s string) (kind, bool) {
+	switch s {
+	case "counter":
+		return kindCounter, true
+	case "gauge":
+		return kindGauge, true
+	case "histogram":
+		return kindHistogram, true
+	case "meter":
+		return kindMeter, true
+	}
+	return 0, false
 }
 
 // family is one named metric with any number of label permutations.
@@ -236,17 +300,49 @@ type family struct {
 	series map[string]*metric
 }
 
+// DefaultMaxSeries bounds the label permutations one family may hold.
+// Past the cap, new label sets collapse into a single overflow series
+// whose label values are all "other" — so a hostile or buggy label
+// stream (e.g. per-request ids) cannot grow the registry without
+// bound, while the total stays countable.
+const DefaultMaxSeries = 1024
+
+// OverflowLabel is the label value series are collapsed onto once a
+// family exceeds its series cap.
+const OverflowLabel = "other"
+
 // Registry holds metric families. A nil *Registry is the disabled
 // registry: every lookup returns a nil handle and every handle
 // operation is a no-op.
 type Registry struct {
+	clk       clock.Clock
+	maxSeries int
+
 	mu       sync.RWMutex
 	families map[string]*family
 }
 
-// NewRegistry creates an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+// NewRegistry creates an empty registry on the wall clock.
+func NewRegistry() *Registry { return NewRegistryOn(nil) }
+
+// NewRegistryOn creates an empty registry whose sliding windows and
+// meters advance on clk (nil selects the wall clock). The simulation
+// harness passes its virtual clock so windowed readings replay
+// deterministically.
+func NewRegistryOn(clk clock.Clock) *Registry {
+	return &Registry{
+		clk:       clock.Or(clk),
+		maxSeries: DefaultMaxSeries,
+		families:  make(map[string]*family),
+	}
+}
+
+// Clock returns the registry's time source (wall by default).
+func (r *Registry) Clock() clock.Clock {
+	if r == nil {
+		return clock.Wall
+	}
+	return r.clk
 }
 
 // labelKey encodes alternating key/value pairs into a map key.
@@ -273,27 +369,53 @@ func (r *Registry) lookup(k kind, name string, labels []string) *metric {
 		r.mu.Unlock()
 	}
 	if f.kind != k {
-		return newMetric(k, nil)
+		return newMetric(k, nil, nil)
 	}
 	key := labelKey(labels)
 	f.mu.RLock()
 	m := f.series[key]
+	full := len(f.series) >= r.maxSeries
 	f.mu.RUnlock()
 	if m != nil {
 		return m
+	}
+	if full && len(labels) > 0 {
+		// Cardinality cap: collapse the new label set onto the overflow
+		// series (all label values "other") instead of growing the
+		// family. The overflow series itself is created through the
+		// normal path below and re-entry terminates because its key is
+		// stable.
+		over := overflowLabels(labels)
+		if labelKey(over) != key {
+			return r.lookup(k, name, over)
+		}
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if m = f.series[key]; m == nil {
 		ls := make([]string, len(labels))
 		copy(ls, labels)
-		m = newMetric(k, ls)
+		m = newMetric(k, ls, r.clk)
 		f.series[key] = m
 	}
 	return m
 }
 
-func newMetric(k kind, labels []string) *metric {
+// overflowLabels keeps the label keys and replaces every value with
+// OverflowLabel.
+func overflowLabels(labels []string) []string {
+	out := make([]string, len(labels))
+	for i, v := range labels {
+		if i%2 == 0 {
+			out[i] = v
+		} else {
+			out[i] = OverflowLabel
+		}
+	}
+	return out
+}
+
+func newMetric(k kind, labels []string, clk clock.Clock) *metric {
 	m := &metric{labels: labels}
 	switch k {
 	case kindCounter:
@@ -301,7 +423,9 @@ func newMetric(k kind, labels []string) *metric {
 	case kindGauge:
 		m.gauge = &Gauge{}
 	case kindHistogram:
-		m.hist = newHistogram()
+		m.hist = newHistogram(clk)
+	case kindMeter:
+		m.meter = newMeter(clock.Or(clk))
 	}
 	return m
 }
@@ -332,6 +456,87 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	return r.lookup(kindHistogram, name, labels).hist
 }
 
+// Meter resolves an EWMA rate meter handle. Nil registry returns a nil
+// handle.
+func (r *Registry) Meter(name string, labels ...string) *Meter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(kindMeter, name, labels).meter
+}
+
+// WindowQuantile estimates the q-quantile over the sliding windows of
+// every series in the named histogram family merged together — the
+// "live p99 across all services" reading health scoring consumes.
+// Returns 0 when the family is absent or its windows are empty.
+func (r *Registry) WindowQuantile(name string, q float64) time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil || f.kind != kindHistogram {
+		return 0
+	}
+	f.mu.RLock()
+	series := make([]*metric, 0, len(f.series))
+	for _, m := range f.series {
+		series = append(series, m)
+	}
+	f.mu.RUnlock()
+	var merged []int64
+	var total int64
+	var bounds []time.Duration
+	for _, m := range series {
+		buckets, n, _ := m.hist.windowCounts()
+		if n == 0 {
+			continue
+		}
+		if merged == nil {
+			merged = make([]int64, len(buckets))
+			bounds = m.hist.bounds
+		}
+		for i := range buckets {
+			merged[i] += buckets[i]
+		}
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return bucketQuantile(bounds, merged, total, q)
+}
+
+// Total sums a family across every series: counter and gauge values,
+// or histogram observation counts. Meters (smoothed rates) contribute
+// nothing. Returns 0 for absent families. Nil-safe.
+func (r *Registry) Total(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var total int64
+	for _, m := range f.series {
+		switch {
+		case m.counter != nil:
+			total += m.counter.Value()
+		case m.gauge != nil:
+			total += m.gauge.Value()
+		case m.hist != nil:
+			total += m.hist.Count()
+		}
+	}
+	return total
+}
+
 // Help attaches a help string to a family, emitted as # HELP by the
 // Prometheus exporter.
 func (r *Registry) Help(name, help string) {
@@ -349,9 +554,12 @@ func (r *Registry) Help(name, help string) {
 }
 
 // Bucket is one histogram bucket in a snapshot (non-cumulative count).
+// Exemplar, when non-empty, is the hex trace id of a recent
+// observation that landed in this bucket (see ObserveExemplar).
 type Bucket struct {
 	UpperBound time.Duration `json:"upper_bound"` // 0 marks the +Inf bucket
 	Count      int64         `json:"count"`
+	Exemplar   string        `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram.
@@ -409,11 +617,15 @@ type Sample struct {
 	Labels map[string]string  `json:"labels,omitempty"`
 	Help   string             `json:"help,omitempty"`
 	Value  int64              `json:"value"`
+	Rate   float64            `json:"rate,omitempty"` // meters: events/sec
 	Hist   *HistogramSnapshot `json:"histogram,omitempty"`
+	Win    *HistogramSnapshot `json:"window,omitempty"` // sliding-window view
 }
 
 // LabelString renders the sample's labels as {k="v",...} ("" when
-// unlabeled), in sorted key order.
+// unlabeled), in sorted key order. Values are escaped per the
+// Prometheus exposition format (0.0.4): backslash, double quote and
+// newline only — Go-style \uXXXX escapes are not part of the format.
 func (s *Sample) LabelString() string {
 	if len(s.Labels) == 0 {
 		return ""
@@ -423,11 +635,43 @@ func (s *Sample) LabelString() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	parts := make([]string, len(keys))
+	var b strings.Builder
+	b.WriteByte('{')
 	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s=%q", k, s.Labels[k])
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(s.Labels[k]))
+		b.WriteByte('"')
 	}
-	return "{" + strings.Join(parts, ",") + "}"
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double quote and line feed. All other
+// bytes (including non-ASCII UTF-8) pass through verbatim.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
 }
 
 // Snapshot returns a point-in-time copy of every series, sorted by name
@@ -471,6 +715,9 @@ func (r *Registry) Snapshot() []Sample {
 				s.Value = m.gauge.Value()
 			case kindHistogram:
 				s.Hist = snapshotHistogram(m.hist)
+				s.Win = m.hist.WindowSnapshot()
+			case kindMeter:
+				s.Rate = m.meter.Rate()
 			}
 			out = append(out, s)
 		}
@@ -489,7 +736,13 @@ func snapshotHistogram(h *Histogram) *HistogramSnapshot {
 		if i < len(h.bounds) {
 			ub = h.bounds[i]
 		}
-		snap.Buckets[i] = Bucket{UpperBound: ub, Count: h.counts[i].Load()}
+		b := Bucket{UpperBound: ub, Count: h.counts[i].Load()}
+		if h.exemplars != nil {
+			if id := h.exemplars[i].Load(); id != 0 {
+				b.Exemplar = FormatID(id)
+			}
+		}
+		snap.Buckets[i] = b
 	}
 	return snap
 }

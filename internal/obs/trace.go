@@ -131,11 +131,35 @@ type SpanData struct {
 	Error    string        `json:"error,omitempty"`
 }
 
+// Trace sampling. A span costs an allocation, two clock reads, a few
+// mutex cycles and a store insert — on both ends of every RPC, which
+// measures out to >20% of pipelined invoke throughput when every call
+// is traced. Head-based sampling keeps the trace plane representative
+// at a fraction of that cost: the first traceSampleFirst root spans
+// are always recorded (fresh processes, tests and demos see every
+// early trace), after which one root in traceSampleEvery is kept.
+// The decision is made once at the root and inherited: a sampled
+// client span ships a valid SpanContext, so every downstream span —
+// local children and the serving peer's remote-parented spans — is
+// recorded too, keeping traces whole. An unsampled root returns a nil
+// span, which every instrumented path already treats as a no-op.
+const (
+	traceSampleFirst = 128
+	traceSampleEvery = 64
+)
+
 // Tracer mints spans and publishes finished ones to a TraceStore. A nil
 // *Tracer is the disabled tracer: Start returns the context unchanged
 // and a nil span.
 type Tracer struct {
 	store *TraceStore
+	roots atomic.Uint64 // root spans started, sampled or not
+}
+
+// sampleRoot decides whether the next root span is recorded.
+func (t *Tracer) sampleRoot() bool {
+	n := t.roots.Add(1)
+	return n <= traceSampleFirst || n%traceSampleEvery == 0
 }
 
 // NewTracer creates a tracer publishing to store (which may be nil to
@@ -170,8 +194,10 @@ func SpanFromContext(ctx context.Context) *Span {
 }
 
 // Start begins a span named name. If ctx carries a span, the new span
-// joins its trace as a child; otherwise a new trace begins. The
-// returned context carries the new span for further propagation.
+// joins its trace as a child; otherwise a new trace begins, subject to
+// the sampling decision — an unsampled root yields a nil span (a
+// no-op everywhere) and leaves ctx unchanged. The returned context
+// carries the new span for further propagation.
 func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
@@ -180,15 +206,24 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 	if p := SpanFromContext(ctx); p != nil {
 		parent = p.Context()
 	}
+	if !parent.Valid() && !t.sampleRoot() {
+		return ctx, nil
+	}
 	s := t.startSpan(parent, name)
 	return ContextWithSpan(ctx, s), s
 }
 
 // StartRemote begins the server-side span of a remote operation whose
-// client shipped parent over the wire. An invalid (zero) parent starts
-// a fresh trace, which is what an un-instrumented old client produces.
+// client shipped parent over the wire. A valid parent means the client
+// sampled the trace, so the serving span is always recorded. An
+// invalid (zero) parent — an un-instrumented old client or an
+// unsampled one — starts a fresh trace subject to this tracer's own
+// sampling decision.
 func (t *Tracer) StartRemote(parent SpanContext, name string) *Span {
 	if t == nil {
+		return nil
+	}
+	if !parent.Valid() && !t.sampleRoot() {
 		return nil
 	}
 	return t.startSpan(parent, name)

@@ -1,0 +1,262 @@
+package obs
+
+// Windowed aggregation: every histogram additionally maintains a ring
+// of time slots so snapshots can answer "what is the p99 *now*", not
+// just since process start, and EWMA meters expose smoothed event
+// rates. Both take their notion of "now" from the registry's clock, so
+// under the simulation harness the windows rotate on virtual time and a
+// seeded run replays the exact same windowed readings.
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+)
+
+const (
+	// winSlotCount and winSlotDur define the sliding window every
+	// histogram keeps: winSlotCount slots of winSlotDur each, giving a
+	// window of (winSlotCount-1)..winSlotCount slot durations depending
+	// on how full the current slot is.
+	winSlotCount = 6
+	winSlotDur   = 10 * time.Second
+)
+
+// WindowSpan is the nominal width of the sliding window kept by every
+// histogram (the current, partially filled slot counts toward it).
+const WindowSpan = winSlotCount * winSlotDur
+
+// winSlot is one rotation slot of a histogram's sliding window. Slots
+// are reused in place: a writer landing in a slot whose id is stale
+// CAS-claims it, zeroes it and stamps the new id. The reset races with
+// concurrent adds into the same (stale) slot — an observation may be
+// lost at a slot boundary under contention, which is acceptable for a
+// windowed estimate and keeps the hot path free of locks.
+type winSlot struct {
+	id     atomic.Int64
+	counts []atomic.Int64 // len(bounds)+1, same layout as Histogram.counts
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// slotIndex returns the ring slot and slot id for a given time.
+func slotID(now time.Time) int64 { return now.UnixNano() / int64(winSlotDur) }
+
+// rotate makes the slot for id usable, zeroing it if it still carries
+// an older rotation. Returns the slot.
+func (h *Histogram) rotate(id int64) *winSlot {
+	s := &h.slots[int(id%winSlotCount+winSlotCount)%winSlotCount]
+	for {
+		cur := s.id.Load()
+		if cur >= id {
+			return s // current (or a concurrent rotator got ahead)
+		}
+		if s.id.CompareAndSwap(cur, id) {
+			for i := range s.counts {
+				s.counts[i].Store(0)
+			}
+			s.count.Store(0)
+			s.sum.Store(0)
+			return s
+		}
+	}
+}
+
+// observeWindow records one observation in the sliding window.
+func (h *Histogram) observeWindow(bucket int, d time.Duration) {
+	if h.clk == nil {
+		return // detached handle (kind mismatch): cumulative only
+	}
+	h.observeWindowAt(h.clk.Now(), bucket, d)
+}
+
+// observeWindowAt is observeWindow with the observation time already in
+// hand, saving a clock read on paths that know "now" (ObserveSince).
+// now must come from h.clk's time domain.
+func (h *Histogram) observeWindowAt(now time.Time, bucket int, d time.Duration) {
+	s := h.rotate(slotID(now))
+	s.counts[bucket].Add(1)
+	s.count.Add(1)
+	s.sum.Add(int64(d))
+}
+
+// windowCounts sums the live slots into one bucket array. The returned
+// slice has len(bounds)+1 entries; total and sum aggregate the window.
+func (h *Histogram) windowCounts() (buckets []int64, total int64, sum int64) {
+	if h == nil || h.clk == nil {
+		return nil, 0, 0
+	}
+	oldest := slotID(h.clk.Now()) - winSlotCount + 1
+	buckets = make([]int64, len(h.counts))
+	for i := range h.slots {
+		s := &h.slots[i]
+		if s.id.Load() < oldest {
+			continue
+		}
+		for j := range s.counts {
+			buckets[j] += s.counts[j].Load()
+		}
+		total += s.count.Load()
+		sum += s.sum.Load()
+	}
+	return buckets, total, sum
+}
+
+// WindowCount returns the number of observations inside the sliding
+// window. Nil-safe.
+func (h *Histogram) WindowCount() int64 {
+	_, total, _ := h.windowCounts()
+	return total
+}
+
+// WindowQuantile estimates the q-quantile over the sliding window only
+// — the "what is the latency now" reading the all-time Quantile cannot
+// give once a long run has accumulated history. Nil-safe; returns 0
+// with no observations in the window.
+func (h *Histogram) WindowQuantile(q float64) time.Duration {
+	buckets, total, _ := h.windowCounts()
+	if total == 0 {
+		return 0
+	}
+	return bucketQuantile(h.bounds, buckets, total, q)
+}
+
+// WindowSnapshot returns a point-in-time copy of the sliding window
+// (nil when the histogram is nil, detached, or the window is empty).
+func (h *Histogram) WindowSnapshot() *HistogramSnapshot {
+	buckets, total, sum := h.windowCounts()
+	if total == 0 {
+		return nil
+	}
+	snap := &HistogramSnapshot{
+		Count:   total,
+		Sum:     time.Duration(sum),
+		Buckets: make([]Bucket, len(buckets)),
+	}
+	for i, n := range buckets {
+		var ub time.Duration
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		snap.Buckets[i] = Bucket{UpperBound: ub, Count: n}
+	}
+	return snap
+}
+
+// bucketQuantile estimates the q-quantile from a bucket array by linear
+// interpolation inside the bucket containing the target rank; the +Inf
+// bucket saturates at the largest finite bound.
+func bucketQuantile(bounds []time.Duration, buckets []int64, total int64, q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := float64(rank-cum) / float64(n)
+			return lo + time.Duration(frac*float64(bounds[i]-lo))
+		}
+		cum += n
+	}
+	return bounds[len(bounds)-1]
+}
+
+// ObserveExemplar records one duration and attaches the observing
+// trace's id as the bucket's exemplar, so a high-latency bucket in a
+// snapshot links to a concrete recent trace explaining it. Zero trace
+// ids record the observation without touching the exemplar. Nil-safe.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID uint64) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := h.bucketOf(d)
+	if traceID != 0 && h.exemplars != nil {
+		h.exemplars[i].Store(traceID)
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.observeWindow(i, d)
+}
+
+// meterTau is the EWMA smoothing horizon: readings decay with a time
+// constant of meterTau, so a burst fades from the rate over roughly
+// half a minute.
+const meterTau = 30 * time.Second
+
+// Meter is an exponentially weighted moving-average event-rate meter
+// (events per second). Marks accumulate lock-free; the EWMA folds
+// lazily on reads and on marks that cross a fold boundary, taking
+// elapsed time from the registry clock. A nil *Meter is a no-op.
+type Meter struct {
+	clk clock.Clock
+
+	pending  atomic.Int64  // marks since the last fold
+	lastFold atomic.Int64  // unix nanos of the last fold
+	rateBits atomic.Uint64 // float64 bits of the folded rate
+}
+
+func newMeter(clk clock.Clock) *Meter {
+	m := &Meter{clk: clk}
+	m.lastFold.Store(clk.Now().UnixNano())
+	return m
+}
+
+// Mark records n events. Nil-safe; zero and negative n are ignored.
+func (m *Meter) Mark(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.pending.Add(n)
+}
+
+// Rate returns the smoothed event rate in events/second. Nil-safe.
+func (m *Meter) Rate() float64 {
+	if m == nil {
+		return 0
+	}
+	m.fold()
+	return math.Float64frombits(m.rateBits.Load())
+}
+
+// fold merges pending marks into the EWMA if enough time has elapsed.
+// One reader wins the CAS and folds; others read the pre-fold rate,
+// which is at most one fold interval stale.
+func (m *Meter) fold() {
+	now := m.clk.Now().UnixNano()
+	last := m.lastFold.Load()
+	el := time.Duration(now - last)
+	if el < time.Second {
+		return
+	}
+	if !m.lastFold.CompareAndSwap(last, now) {
+		return
+	}
+	marks := m.pending.Swap(0)
+	inst := float64(marks) / el.Seconds()
+	alpha := 1 - math.Exp(-el.Seconds()/meterTau.Seconds())
+	old := math.Float64frombits(m.rateBits.Load())
+	m.rateBits.Store(math.Float64bits(old + alpha*(inst-old)))
+}

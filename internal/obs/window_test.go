@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+)
+
+// TestWindowExpiry drives a histogram's sliding window on the virtual
+// clock: observations age out of the window while the cumulative view
+// keeps them forever.
+func TestWindowExpiry(t *testing.T) {
+	clk := clock.NewVirtual(1)
+	r := NewRegistryOn(clk)
+	h := r.Histogram("test_latency_seconds")
+
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	if got := h.WindowCount(); got != 100 {
+		t.Fatalf("WindowCount = %d, want 100", got)
+	}
+	if q := h.WindowQuantile(0.5); q == 0 {
+		t.Fatalf("WindowQuantile(0.5) = 0, want > 0")
+	}
+
+	// Age every observation out of the window.
+	clk.Advance(WindowSpan + winSlotDur)
+	if got := h.WindowCount(); got != 0 {
+		t.Fatalf("WindowCount after expiry = %d, want 0", got)
+	}
+	if q := h.WindowQuantile(0.5); q != 0 {
+		t.Fatalf("WindowQuantile after expiry = %v, want 0", q)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("cumulative Count = %d, want 100", got)
+	}
+	if snap := h.WindowSnapshot(); snap != nil {
+		t.Fatalf("WindowSnapshot after expiry = %+v, want nil", snap)
+	}
+}
+
+// TestWindowQuantileTracksRecent is the point of windows: after a slow
+// phase replaces a long fast history, the windowed p99 reports the slow
+// regime while the all-time quantile still averages it away.
+func TestWindowQuantileTracksRecent(t *testing.T) {
+	clk := clock.NewVirtual(2)
+	r := NewRegistryOn(clk)
+	h := r.Histogram("test_latency_seconds")
+
+	for i := 0; i < 10000; i++ {
+		h.Observe(200 * time.Microsecond) // long fast history
+	}
+	clk.Advance(WindowSpan + winSlotDur) // fast history leaves the window
+	for i := 0; i < 100; i++ {
+		h.Observe(200 * time.Millisecond) // current slow regime
+	}
+
+	winP99 := h.WindowQuantile(0.99)
+	allP99 := h.Quantile(0.99)
+	if winP99 < 50*time.Millisecond {
+		t.Fatalf("window p99 = %v, want the slow regime (>= 50ms)", winP99)
+	}
+	if allP99 > 10*time.Millisecond {
+		t.Fatalf("all-time p99 = %v, expected it diluted by history (<= 10ms)", allP99)
+	}
+
+	// The registry-level family merge sees the same live reading.
+	if q := r.WindowQuantile("test_latency_seconds", 0.99); q < 50*time.Millisecond {
+		t.Fatalf("Registry.WindowQuantile = %v, want >= 50ms", q)
+	}
+	if q := r.WindowQuantile("no_such_family", 0.99); q != 0 {
+		t.Fatalf("Registry.WindowQuantile(absent) = %v, want 0", q)
+	}
+}
+
+// TestWindowRotationReusesSlots pushes the clock through many slot
+// widths and checks the ring only ever holds a window's worth.
+func TestWindowRotationReusesSlots(t *testing.T) {
+	clk := clock.NewVirtual(3)
+	r := NewRegistryOn(clk)
+	h := r.Histogram("test_latency_seconds")
+
+	for i := 0; i < 20; i++ {
+		clk.Advance(winSlotDur)
+		h.Observe(time.Millisecond)
+	}
+	// Each slot got exactly one observation; only winSlotCount survive.
+	if got := h.WindowCount(); got != winSlotCount {
+		t.Fatalf("WindowCount = %d, want %d", got, winSlotCount)
+	}
+	if got := h.Count(); got != 20 {
+		t.Fatalf("cumulative Count = %d, want 20", got)
+	}
+}
+
+// TestObserveExemplar checks a trace id lands on the matching bucket
+// and surfaces in the snapshot.
+func TestObserveExemplar(t *testing.T) {
+	clk := clock.NewVirtual(4)
+	r := NewRegistryOn(clk)
+	h := r.Histogram("test_latency_seconds")
+
+	h.ObserveExemplar(3*time.Millisecond, 0xdeadbeef)
+	h.ObserveExemplar(time.Microsecond, 0) // zero id: observation only
+
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	snap := r.Snapshot()
+	var found string
+	for _, s := range snap {
+		if s.Name != "test_latency_seconds" || s.Hist == nil {
+			continue
+		}
+		for _, b := range s.Hist.Buckets {
+			if b.Exemplar != "" {
+				found = b.Exemplar
+			}
+		}
+	}
+	if found != FormatID(0xdeadbeef) {
+		t.Fatalf("exemplar = %q, want %q", found, FormatID(0xdeadbeef))
+	}
+}
+
+// TestMeterEWMA marks a steady rate on the virtual clock and checks the
+// smoothed rate converges toward it, then decays when marks stop.
+func TestMeterEWMA(t *testing.T) {
+	clk := clock.NewVirtual(5)
+	r := NewRegistryOn(clk)
+	m := r.Meter("test_events_rate")
+
+	// 100 events/sec for 5 minutes: EWMA converges to ~100.
+	for i := 0; i < 300; i++ {
+		m.Mark(100)
+		clk.Advance(time.Second)
+	}
+	rate := m.Rate()
+	if rate < 90 || rate > 110 {
+		t.Fatalf("converged rate = %g, want ~100", rate)
+	}
+
+	// Silence: the rate decays toward zero over a few taus.
+	for i := 0; i < 300; i++ {
+		clk.Advance(time.Second)
+		_ = m.Rate()
+	}
+	if rate = m.Rate(); rate > 1 {
+		t.Fatalf("decayed rate = %g, want < 1", rate)
+	}
+
+	var nilMeter *Meter
+	nilMeter.Mark(5)
+	if nilMeter.Rate() != 0 {
+		t.Fatal("nil meter must read 0")
+	}
+}
+
+// TestCardinalityCap floods one family with distinct label values and
+// checks growth stops at the cap with the excess collapsed onto the
+// "other" series — without losing any counts.
+func TestCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	r.maxSeries = 4
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		r.Counter("test_requests_total", "tenant", string(rune('a'+i))).Inc()
+	}
+	snap := r.Snapshot()
+	var series, total int64
+	var overflow int64 = -1
+	for _, s := range snap {
+		if s.Name != "test_requests_total" {
+			continue
+		}
+		series++
+		total += s.Value
+		if s.Labels["tenant"] == OverflowLabel {
+			overflow = s.Value
+		}
+	}
+	// The cap admits maxSeries distinct sets plus the overflow series.
+	if series > int64(r.maxSeries)+1 {
+		t.Fatalf("family grew to %d series, cap %d", series, r.maxSeries)
+	}
+	if total != n {
+		t.Fatalf("counts not conserved: sum = %d, want %d", total, n)
+	}
+	if overflow < int64(n-r.maxSeries-1) {
+		t.Fatalf("overflow series absorbed %d, want >= %d", overflow, n-r.maxSeries-1)
+	}
+}
+
+// TestLabelEscaping locks the exposition-format escaping: backslash,
+// double quote and newline only (no Go-style \uXXXX).
+func TestLabelEscaping(t *testing.T) {
+	s := &Sample{
+		Name:   "test_metric",
+		Labels: map[string]string{"path": "a\\b\"c\nd", "unicode": "héllo"},
+	}
+	got := s.LabelString()
+	want := `{path="a\\b\"c\nd",unicode="héllo"}`
+	if got != want {
+		t.Fatalf("LabelString = %s, want %s", got, want)
+	}
+
+	// The histogram le= merge path escapes through the same helper.
+	r := NewRegistry()
+	r.Histogram("test_hist", "svc", `quo"te`).Observe(time.Millisecond)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `svc="quo\"te"`) {
+		t.Fatalf("exporter output lacks escaped label:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), `\u`) {
+		t.Fatalf("exporter output contains Go-style escapes:\n%s", b.String())
+	}
+}
+
+// TestMeterExportsAsGauge locks the exporter mapping: meters render as
+// gauges (the exposition format has no meter type) with a float value.
+func TestMeterExportsAsGauge(t *testing.T) {
+	clk := clock.NewVirtual(6)
+	r := NewRegistryOn(clk)
+	m := r.Meter("test_rate")
+	m.Mark(50)
+	clk.Advance(5 * time.Second)
+	_ = m.Rate()
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# TYPE test_rate gauge") {
+		t.Fatalf("meter not exported as gauge:\n%s", out)
+	}
+	if strings.Contains(out, "meter") {
+		t.Fatalf("raw meter type leaked into exposition output:\n%s", out)
+	}
+}
+
+// TestEnabledObserveZeroAlloc guards the hot path: an enabled histogram
+// observation (cumulative + window slot) must not allocate, and neither
+// may meter marks or the nil handles.
+func TestEnabledObserveZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds")
+	m := r.Meter("test_rate")
+
+	if n := testing.AllocsPerRun(200, func() { h.Observe(time.Millisecond) }); n != 0 {
+		t.Fatalf("enabled Observe allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { m.Mark(1) }); n != 0 {
+		t.Fatalf("enabled Mark allocates %v/op, want 0", n)
+	}
+
+	var nh *Histogram
+	var nm *Meter
+	if n := testing.AllocsPerRun(200, func() {
+		nh.Observe(time.Millisecond)
+		nh.ObserveExemplar(time.Millisecond, 7)
+		nm.Mark(1)
+		_ = nm.Rate()
+		_ = nh.WindowQuantile(0.99)
+	}); n != 0 {
+		t.Fatalf("nil-handle path allocates %v/op, want 0", n)
+	}
+}

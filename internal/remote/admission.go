@@ -55,7 +55,20 @@ type AdmissionPolicy struct {
 	// DefaultWeight applies to tenants absent from Weights; zero
 	// selects 1.
 	DefaultWeight int
+	// MaxTenants bounds the number of distinct tenant states the
+	// controller tracks; zero selects DefaultMaxTenants. Past the cap,
+	// unseen tenant ids share one overflow state (named OverflowTenant)
+	// so a hostile tenant-id stream cannot grow memory without bound —
+	// they still get admitted, just under a shared budget.
+	MaxTenants int
 }
+
+// DefaultMaxTenants is the default bound on tracked tenant states.
+const DefaultMaxTenants = 8192
+
+// OverflowTenant is the shared tenant state that absorbs tenant ids
+// first seen after the MaxTenants cap is reached.
+const OverflowTenant = "other"
 
 // Admission rejection reasons (the low-cardinality metric label).
 const (
@@ -91,11 +104,17 @@ type Admission struct {
 	inFlight     atomic.Int64
 	activeWeight atomic.Int64
 
+	// shedMilli is the health-driven shed factor in thousandths: the
+	// effective in-flight limit is maxInFlight reduced by this fraction.
+	// Zero means no shedding.
+	shedMilli atomic.Int64
+
 	tenants *stripe.Map[string, *tenantState]
 
-	admitted *obs.Counter
-	gauge    *obs.Gauge
-	rejects  map[string]*obs.Counter
+	admitted  *obs.Counter
+	gauge     *obs.Gauge
+	shedGauge *obs.Gauge
+	rejects   map[string]*obs.Counter
 }
 
 // NewAdmission builds a controller from pol on the given clock (token
@@ -111,13 +130,17 @@ func NewAdmission(pol AdmissionPolicy, clk clock.Clock, m *obs.Registry) *Admiss
 			pol.Burst = 1
 		}
 	}
+	if pol.MaxTenants <= 0 {
+		pol.MaxTenants = DefaultMaxTenants
+	}
 	a := &Admission{
-		pol:      pol,
-		clk:      clock.Or(clk),
-		tenants:  stripe.NewMap[string, *tenantState](stripe.DefaultShards(), stripe.StringHash),
-		admitted: m.Counter("alfredo_remote_admission_admitted_total"),
-		gauge:    m.Gauge("alfredo_remote_admission_inflight"),
-		rejects:  make(map[string]*obs.Counter, 4),
+		pol:       pol,
+		clk:       clock.Or(clk),
+		tenants:   stripe.NewMap[string, *tenantState](stripe.DefaultShards(), stripe.StringHash),
+		admitted:  m.Counter("alfredo_remote_admission_admitted_total"),
+		gauge:     m.Gauge("alfredo_remote_admission_inflight"),
+		shedGauge: m.Gauge("alfredo_remote_admission_shed_milli"),
+		rejects:   make(map[string]*obs.Counter, 4),
 	}
 	for _, reason := range []string{RejectZeroWeight, RejectRate, RejectShare, RejectCapacity} {
 		a.rejects[reason] = m.Counter("alfredo_remote_admission_rejected_total", "reason", reason)
@@ -129,6 +152,13 @@ func NewAdmission(pol AdmissionPolicy, clk clock.Clock, m *obs.Registry) *Admiss
 func (a *Admission) tenant(name string) *tenantState {
 	if ts, ok := a.tenants.Get(name); ok {
 		return ts
+	}
+	// Cardinality cap: tenant ids first seen at the cap collapse onto
+	// the shared overflow state instead of growing the map. The overflow
+	// state itself is created through the normal path (the recursion
+	// terminates because its entry, once present, hits the Get above).
+	if name != OverflowTenant && a.tenants.Len() >= a.pol.MaxTenants {
+		return a.tenant(OverflowTenant)
 	}
 	fresh := &tenantState{}
 	w := a.pol.DefaultWeight
@@ -170,6 +200,15 @@ func (a *Admission) Admit(tenant string) (func(), error) {
 		// No in-flight bound: only the rate limiter applies.
 		a.admitted.Inc()
 		return func() {}, nil
+	}
+	// Health-driven shedding narrows the effective capacity before the
+	// share math, so overload pressure reduces every tenant's share
+	// proportionally instead of only rejecting at the global rim.
+	if shed := a.shedMilli.Load(); shed > 0 {
+		max -= max * shed / 1000
+		if max < 1 {
+			max = 1
+		}
 	}
 
 	// Tenant joins the active set for the duration of its first call.
@@ -252,4 +291,30 @@ func (a *Admission) SetMaxInFlight(n int) { a.maxInFlight.Store(int64(n)) }
 // shuts the tenant off: every subsequent call is rejected.
 func (a *Admission) SetWeight(tenant string, w int) {
 	a.tenant(tenant).weight.Store(int64(w))
+}
+
+// Tenants returns the number of distinct tenant states tracked
+// (bounded by AdmissionPolicy.MaxTenants).
+func (a *Admission) Tenants() int { return a.tenants.Len() }
+
+// SetShedFactor sets the health-driven shed fraction in [0, 1): the
+// effective in-flight capacity becomes MaxInFlight × (1 - f). The
+// health scorer drives this from its overload score; 0 restores full
+// capacity. Values are clamped; shedding never drops capacity below
+// one in-flight call.
+func (a *Admission) SetShedFactor(f float64) {
+	switch {
+	case f < 0 || f != f: // negative or NaN
+		f = 0
+	case f > 0.99:
+		f = 0.99
+	}
+	milli := int64(f * 1000)
+	a.shedMilli.Store(milli)
+	a.shedGauge.Set(milli)
+}
+
+// ShedFactor returns the current shed fraction.
+func (a *Admission) ShedFactor() float64 {
+	return float64(a.shedMilli.Load()) / 1000
 }

@@ -540,3 +540,70 @@ func TestAdmissionConcurrentChurn(t *testing.T) {
 		t.Fatal("nothing was admitted")
 	}
 }
+
+// TestAdmissionTenantCap floods the controller with distinct tenant
+// ids and checks tracked state stops growing at MaxTenants: later ids
+// share the overflow state (and its budget) instead of growing memory.
+func TestAdmissionTenantCap(t *testing.T) {
+	a, _ := newAdm(t, AdmissionPolicy{MaxInFlight: 1000, MaxTenants: 16})
+	for i := 0; i < 500; i++ {
+		rel, err := a.Admit(fmt.Sprintf("hostile-%d", i))
+		if err == nil {
+			rel()
+		}
+	}
+	// 16 tracked states plus the shared overflow entry.
+	if n := a.Tenants(); n > 17 {
+		t.Fatalf("tenant states grew to %d, cap 16", n)
+	}
+	// Overflow tenants still share fairly: with the overflow state busy,
+	// a capped-out fresh tenant competes inside the shared budget rather
+	// than being rejected outright.
+	if _, err := a.Admit("hostile-9999"); err != nil {
+		t.Fatalf("overflow tenant rejected outright: %v", err)
+	}
+}
+
+// TestAdmissionShedFactor checks health-driven shedding narrows the
+// effective capacity without touching the configured limit, and that
+// clearing it restores full capacity.
+func TestAdmissionShedFactor(t *testing.T) {
+	a, _ := newAdm(t, AdmissionPolicy{MaxInFlight: 10})
+
+	a.SetShedFactor(0.5) // effective capacity: 5
+	rels := admitN(t, a, "x", 5)
+	if _, err := a.Admit("x"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("6th call admitted under 50%% shed (err=%v)", err)
+	}
+	if got := a.ShedFactor(); got != 0.5 {
+		t.Fatalf("ShedFactor = %v, want 0.5", got)
+	}
+	if a.MaxInFlight() != 10 {
+		t.Fatalf("shedding mutated MaxInFlight: %d", a.MaxInFlight())
+	}
+
+	a.SetShedFactor(0) // restore
+	rels = append(rels, admitN(t, a, "x", 5)...)
+	for _, rel := range rels {
+		rel()
+	}
+	if a.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after releases", a.InFlight())
+	}
+
+	// Extreme shed still admits one call (never a full blackout), and
+	// out-of-range values clamp instead of panicking.
+	a.SetShedFactor(5.0)
+	rel, err := a.Admit("x")
+	if err != nil {
+		t.Fatalf("full shed blacked out admission entirely: %v", err)
+	}
+	if _, err := a.Admit("y"); !errors.Is(err, ErrOverloaded) {
+		t.Fatal("second call admitted under max shed")
+	}
+	rel()
+	a.SetShedFactor(-1)
+	if a.ShedFactor() != 0 {
+		t.Fatalf("negative shed not clamped: %v", a.ShedFactor())
+	}
+}

@@ -128,6 +128,14 @@ type Channel struct {
 	invokeObsBySvc map[int64]*svcObs
 	serveObsBySvc  map[int64]*svcObs
 
+	// Metric-shipping state (telemetry.go): sequence counter, ship
+	// count (for the periodic full resync), and the per-series
+	// fingerprints of the last successfully shipped report.
+	shipMu    sync.Mutex
+	shipSeq   int64
+	shipTicks int64
+	shipLast  map[string]shipFP
+
 	// opened records that setup completed and the channel was counted
 	// in the opened/active telemetry; teardown mirrors the accounting
 	// only when it is set.
@@ -172,6 +180,11 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	helloProps := map[string]any{
 		"device":         p.cfg.Device.Name(),
 		propFetchChunked: true,
+	}
+	if p.cfg.Aggregator != nil {
+		// Announcing the sink invites the other side to ship its metric
+		// state here (telemetry.go).
+		helloProps[propMetricsSink] = true
 	}
 	for k, v := range p.cfg.HelloProps {
 		helloProps[k] = v
@@ -253,6 +266,14 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	p.cfg.Obs.Metrics.Gauge("alfredo_remote_channels_active").Add(1)
 
 	c.startDispatch()
+	if c.metricsEnabled() {
+		interval := p.cfg.MetricsInterval
+		if interval == 0 {
+			interval = DefaultMetricsInterval
+		}
+		c.wg.Add(1)
+		go c.metricsLoop(interval)
+	}
 	c.wg.Add(1)
 	go c.readLoop()
 	return c, nil
@@ -929,6 +950,8 @@ func (c *Channel) readLoop() {
 			c.handleStreamData(m)
 		case *wire.StreamClose:
 			c.handleStreamClose(m)
+		case *wire.MetricsReport:
+			c.handleMetricsReport(m)
 		case *wire.Ping:
 			_ = c.send(&wire.Pong{Seq: m.Seq})
 		case *wire.Pong:

@@ -1,0 +1,55 @@
+package remote
+
+// Adaptive shedding: the health scorer's overload score drives the
+// admission controller's shed factor, so a node approaching overload
+// narrows every tenant's share proportionally before the queues and
+// tails blow out — instead of rejecting only at the hard capacity rim.
+
+import (
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// Shed mapping: no shedding below shedStart, then linear up to shedMax
+// at a fully overloaded score. shedMax stays below 1 so even a node
+// scoring 1.0 keeps admitting a trickle — the score must be able to
+// recover from its own effect.
+const (
+	shedStart = 0.7
+	shedMax   = 0.8
+)
+
+// ShedFromScore maps an overall health score in [0, 1] to an admission
+// shed fraction: 0 below shedStart, rising linearly to shedMax at 1.
+func ShedFromScore(overall float64) float64 {
+	if overall != overall || overall <= shedStart { // NaN or healthy
+		return 0
+	}
+	if overall > 1 {
+		overall = 1
+	}
+	return (overall - shedStart) / (1 - shedStart) * shedMax
+}
+
+// StartHealthDriver starts an obs.HealthScorer on the peer's registry
+// and clock whose scores drive the peer's admission controller through
+// ShedFromScore. QueueCapacity defaults to the peer's reactor width
+// (the natural normalizer for its dispatch backlog); any OnScore hook
+// in cfg still fires after the shed factor is applied. With admission
+// disabled the scores are still computed and published — the fleet
+// plane sees them — they just shed nothing. Stop the returned scorer
+// before closing the peer.
+func (p *Peer) StartHealthDriver(cfg obs.HealthConfig) *obs.HealthScorer {
+	if cfg.QueueCapacity <= 0 && p.cfg.ReactorWorkers > 0 {
+		cfg.QueueCapacity = int64(p.cfg.ReactorWorkers)
+	}
+	user := cfg.OnScore
+	cfg.OnScore = func(s obs.HealthScore) {
+		if a := p.admission; a != nil {
+			a.SetShedFactor(ShedFromScore(s.Overall))
+		}
+		if user != nil {
+			user(s)
+		}
+	}
+	return obs.StartHealthScorer(p.cfg.Obs.Metrics, p.cfg.Clock, cfg)
+}

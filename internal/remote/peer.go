@@ -136,6 +136,16 @@ type Config struct {
 	// FetchWindow bounds the chunk hashes kept in flight per request
 	// window during a chunked fetch; zero selects DefaultFetchWindow.
 	FetchWindow int
+	// Aggregator, when non-nil, makes this peer a fleet telemetry sink:
+	// it announces "metrics.sink" in its hello and folds inbound
+	// MetricsReport frames into the aggregator under the sending
+	// channel's identity (telemetry.go). Hosts set it; phones leave it
+	// nil.
+	Aggregator *obs.Aggregator
+	// MetricsInterval is the cadence on which this peer ships its metric
+	// registry to peers that announced a metrics sink. Zero selects
+	// DefaultMetricsInterval; negative disables shipping.
+	MetricsInterval time.Duration
 }
 
 type exportedService struct {

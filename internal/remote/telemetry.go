@@ -1,0 +1,296 @@
+package remote
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// Cross-node metric shipping (the fleet telemetry plane, DESIGN.md
+// §12). A peer configured with an obs.Aggregator announces the
+// "metrics.sink" hello property; the other side of every channel that
+// sees the announcement ships its registry state back on a clock-driven
+// cadence as MetricsReport frames. Values on the wire are cumulative —
+// a lost report costs freshness, never correctness — so the receiving
+// aggregator merges them idempotently, last write wins. Most reports
+// are deltas (only series whose state changed since the last shipped
+// report); the first report of a connection and every
+// metricsResyncEvery-th one are full resyncs, which also heal the
+// receiver after drops or a reconnect.
+
+// propMetricsSink is the hello property a peer sets to announce that it
+// ingests MetricsReport frames into a fleet aggregator.
+const propMetricsSink = "metrics.sink"
+
+// ErrNoSink reports an explicit metrics flush on a channel whose
+// remote side never announced a metrics sink.
+var ErrNoSink = errors.New("remote: peer did not announce a metrics sink")
+
+// DefaultMetricsInterval is the shipping cadence when the peer has a
+// metrics sink and Config.MetricsInterval is zero.
+const DefaultMetricsInterval = 10 * time.Second
+
+// metricsResyncEvery forces a full (non-delta) report every n-th ship,
+// bounding how long a receiver that missed deltas can stay stale.
+const metricsResyncEvery = 8
+
+// shipFP is the change fingerprint of one series between ships. Any
+// field moving marks the series dirty for the next delta; winCount and
+// winSum move when a window ages out, so a quieting histogram still
+// gets re-shipped until its window reads empty at the receiver.
+type shipFP struct {
+	value            int64
+	count, sum       int64
+	winCount, winSum int64
+	rate             float64
+}
+
+func fingerprint(s *obs.Sample) shipFP {
+	fp := shipFP{value: s.Value, rate: s.Rate}
+	if s.Hist != nil {
+		fp.count, fp.sum = s.Hist.Count, int64(s.Hist.Sum)
+	}
+	if s.Win != nil {
+		fp.winCount, fp.winSum = s.Win.Count, int64(s.Win.Sum)
+	}
+	return fp
+}
+
+// metricsEnabled reports whether this channel ships its metrics: the
+// remote side announced a sink and shipping is not disabled locally.
+func (c *Channel) metricsEnabled() bool {
+	if c.peer.cfg.MetricsInterval < 0 {
+		return false
+	}
+	c.mu.Lock()
+	sink := c.remoteProps[propMetricsSink] == true
+	c.mu.Unlock()
+	return sink && c.obsHub().Metrics != nil
+}
+
+// metricsLoop ships this channel's registry on the peer's clock until
+// the channel closes.
+func (c *Channel) metricsLoop(interval time.Duration) {
+	defer c.wg.Done()
+	t := c.clock().NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = c.shipMetrics(false)
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// shipMetrics sends one MetricsReport. forceFull (or the resync
+// schedule) ships the entire registry; otherwise only series whose
+// fingerprint moved since the last successful ship. The fingerprint
+// table advances only when the transport write succeeded, so a frame
+// lost in the send path is retried by content on the next tick.
+func (c *Channel) shipMetrics(forceFull bool) error {
+	reg := c.obsHub().Metrics
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+
+	c.shipMu.Lock()
+	defer c.shipMu.Unlock()
+	full := forceFull || c.shipTicks%metricsResyncEvery == 0
+	c.shipTicks++
+
+	var samples []wire.MetricSample
+	fps := make(map[string]shipFP, len(snap))
+	for i := range snap {
+		s := &snap[i]
+		key := s.Name + "\xfe" + strings.Join(flattenLabels(s.Labels), "\xff")
+		fp := fingerprint(s)
+		fps[key] = fp
+		if !full {
+			if last, ok := c.shipLast[key]; ok && last == fp {
+				continue
+			}
+		}
+		samples = append(samples, toWireSample(s))
+	}
+	if !full && len(samples) == 0 {
+		return nil // nothing moved; skip the frame entirely
+	}
+	c.shipSeq++
+	err := c.send(&wire.MetricsReport{
+		Node:    c.peer.ID(),
+		Seq:     c.shipSeq,
+		Full:    full,
+		Samples: samples,
+	})
+	if err != nil {
+		return err
+	}
+	c.shipLast = fps
+	return nil
+}
+
+// handleMetricsReport folds an inbound report into the peer's
+// aggregator. Reports arriving at a peer with no aggregator are
+// dropped — a hostile peer cannot make us accumulate state we never
+// asked for.
+func (c *Channel) handleMetricsReport(m *wire.MetricsReport) {
+	agg := c.peer.cfg.Aggregator
+	if agg == nil {
+		return
+	}
+	// The report's self-declared node name is ignored in favor of the
+	// authenticated channel identity: one peer cannot impersonate (or
+	// overwrite) another's telemetry.
+	agg.Ingest(c.RemoteID(), c.Tenant(), m.Seq, m.Full, fromWireSamples(m.Samples))
+}
+
+// ShipMetricsNow synchronously ships a full report on every channel
+// whose remote side ingests metrics, returning how many were sent.
+// Tests and benchmarks use it to flush telemetry deterministically
+// instead of waiting for the ticker.
+func (p *Peer) ShipMetricsNow() int {
+	n := 0
+	for _, c := range p.Channels() {
+		if c.metricsEnabled() && c.shipMetrics(true) == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ShipMetricsNow synchronously ships one full report on this channel,
+// provided the remote side announced a metrics sink. Unlike the
+// peer-level flush it ignores MetricsInterval, so a peer that disabled
+// the per-channel shipping tickers (interval < 0 — e.g. a benchmark
+// holding 100k channels open) can still flush explicitly on a channel
+// of its choosing. Reports ErrNoSink when the remote is not a sink.
+func (c *Channel) ShipMetricsNow() error {
+	c.mu.Lock()
+	sink := c.remoteProps[propMetricsSink] == true
+	c.mu.Unlock()
+	if !sink {
+		return ErrNoSink
+	}
+	return c.shipMetrics(true)
+}
+
+// flattenLabels converts a snapshot label map to the alternating
+// key/value form used on the wire, sorted by key.
+func flattenLabels(labels map[string]string) []string {
+	if len(labels) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys)*2)
+	for _, k := range keys {
+		out = append(out, k, labels[k])
+	}
+	return out
+}
+
+func kindToWire(kind string) byte {
+	switch kind {
+	case "gauge":
+		return wire.MetricGauge
+	case "histogram":
+		return wire.MetricHistogram
+	case "meter":
+		return wire.MetricMeter
+	default:
+		return wire.MetricCounter
+	}
+}
+
+func kindFromWire(k byte) string {
+	switch k {
+	case wire.MetricGauge:
+		return "gauge"
+	case wire.MetricHistogram:
+		return "histogram"
+	case wire.MetricMeter:
+		return "meter"
+	default:
+		return "counter"
+	}
+}
+
+func toWireSample(s *obs.Sample) wire.MetricSample {
+	out := wire.MetricSample{
+		Name:   s.Name,
+		Kind:   kindToWire(s.Kind),
+		Labels: flattenLabels(s.Labels),
+		Value:  s.Value,
+		Rate:   s.Rate,
+	}
+	if s.Hist != nil {
+		out.Count, out.Sum = s.Hist.Count, int64(s.Hist.Sum)
+		out.Buckets = make([]int64, len(s.Hist.Buckets))
+		for i, b := range s.Hist.Buckets {
+			out.Buckets[i] = b.Count
+		}
+	}
+	if s.Win != nil {
+		out.WinCount, out.WinSum = s.Win.Count, int64(s.Win.Sum)
+		out.WinBuckets = make([]int64, len(s.Win.Buckets))
+		for i, b := range s.Win.Buckets {
+			out.WinBuckets[i] = b.Count
+		}
+	}
+	return out
+}
+
+// bucketsFromWire rebuilds a histogram snapshot from a wire bucket
+// array, mapping bounds from the shared fixed bucket layout
+// (obs.LatencyBuckets; index past the bounds is the +Inf bucket).
+func bucketsFromWire(counts []int64, count, sum int64) *obs.HistogramSnapshot {
+	if len(counts) == 0 {
+		return nil
+	}
+	snap := &obs.HistogramSnapshot{
+		Count:   count,
+		Sum:     time.Duration(sum),
+		Buckets: make([]obs.Bucket, len(counts)),
+	}
+	for i, n := range counts {
+		var ub time.Duration
+		if i < len(obs.LatencyBuckets) {
+			ub = obs.LatencyBuckets[i]
+		}
+		snap.Buckets[i] = obs.Bucket{UpperBound: ub, Count: n}
+	}
+	return snap
+}
+
+func fromWireSamples(in []wire.MetricSample) []obs.Sample {
+	out := make([]obs.Sample, 0, len(in))
+	for i := range in {
+		ws := &in[i]
+		s := obs.Sample{
+			Name:  ws.Name,
+			Kind:  kindFromWire(ws.Kind),
+			Value: ws.Value,
+			Rate:  ws.Rate,
+		}
+		if len(ws.Labels) >= 2 {
+			s.Labels = make(map[string]string, len(ws.Labels)/2)
+			for j := 0; j+1 < len(ws.Labels); j += 2 {
+				s.Labels[ws.Labels[j]] = ws.Labels[j+1]
+			}
+		}
+		s.Hist = bucketsFromWire(ws.Buckets, ws.Count, ws.Sum)
+		s.Win = bucketsFromWire(ws.WinBuckets, ws.WinCount, ws.WinSum)
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+)
+
+// newObsNode is newTestNode with a private hub (so each side's metrics
+// are its own, not the process default's) and optional aggregator.
+func newObsNode(t *testing.T, name string, agg *obs.Aggregator) *testNode {
+	t.Helper()
+	fw := module.NewFramework(module.Config{Name: name})
+	ev := event.NewAdmin(0)
+	peer, err := NewPeer(Config{
+		Framework:  fw,
+		Events:     ev,
+		ProxyCode:  NewProxyCodeRegistry(),
+		Timeout:    5 * time.Second,
+		Obs:        obs.NewHub(),
+		Aggregator: agg,
+	})
+	if err != nil {
+		t.Fatalf("NewPeer(%s): %v", name, err)
+	}
+	n := &testNode{fw: fw, events: ev, peer: peer}
+	t.Cleanup(func() {
+		peer.Close()
+		ev.Close()
+		_ = fw.Shutdown()
+	})
+	return n
+}
+
+// TestMetricsShipping drives invocations phone->host, flushes a report
+// and checks the host's fleet aggregator sees the phone's counters and
+// a live windowed latency digest under the phone's identity.
+func TestMetricsShipping(t *testing.T) {
+	agg := obs.NewAggregator()
+	host := newObsNode(t, "host", agg)
+	phone := newObsNode(t, "phone", nil)
+	exportCalculator(t, host)
+
+	ch := connectNodes(t, host, phone, netsim.Loopback)
+	if !ch.metricsEnabled() {
+		t.Fatal("phone channel did not see the host's metrics.sink announcement")
+	}
+
+	svc, ok := ch.FindRemoteService("test.Calculator")
+	if !ok {
+		t.Fatal("calculator not in lease")
+	}
+	const calls = 25
+	for i := 0; i < calls; i++ {
+		if _, err := ch.Invoke(svc.ID, "Add", []any{int64(1), int64(2)}); err != nil {
+			t.Fatalf("Invoke: %v", err)
+		}
+	}
+
+	if n := phone.peer.ShipMetricsNow(); n != 1 {
+		t.Fatalf("ShipMetricsNow shipped on %d channels, want 1", n)
+	}
+	// The report is applied by the host's read loop; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for agg.Total("alfredo_remote_invokes_total") != calls {
+		if time.Now().After(deadline) {
+			t.Fatalf("aggregated invokes = %d, want %d",
+				agg.Total("alfredo_remote_invokes_total"), calls)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	nodes := agg.Nodes()
+	if len(nodes) != 1 || nodes[0].Node != "phone" {
+		t.Fatalf("aggregator nodes = %+v, want [phone]", nodes)
+	}
+	if agg.NodeTotal("phone", "alfredo_remote_invokes_total") != calls {
+		t.Fatalf("per-node total = %d, want %d",
+			agg.NodeTotal("phone", "alfredo_remote_invokes_total"), calls)
+	}
+	if q := agg.WindowQuantile("alfredo_remote_invoke_seconds", 0.99); q <= 0 {
+		t.Fatalf("fleet windowed p99 = %v, want > 0", q)
+	}
+	// The fleet snapshot labels every series with the reporting node.
+	found := false
+	for _, s := range agg.Snapshot() {
+		if s.Name == "alfredo_remote_invokes_total" && s.Labels["node"] == "phone" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fleet snapshot lacks node-labeled invoke counter")
+	}
+}
+
+// TestMetricsDeltaShipping checks the delta path: an unchanged registry
+// ships nothing, a changed one ships only the moved series, and the
+// aggregator remains exactly consistent with the sender afterwards.
+func TestMetricsDeltaShipping(t *testing.T) {
+	agg := obs.NewAggregator()
+	host := newObsNode(t, "host", agg)
+	phone := newObsNode(t, "phone", nil)
+	exportCalculator(t, host)
+
+	ch := connectNodes(t, host, phone, netsim.Loopback)
+	svc, _ := ch.FindRemoteService("test.Calculator")
+
+	invoke := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := ch.Invoke(svc.ID, "Add", []any{int64(1), int64(2)}); err != nil {
+				t.Fatalf("Invoke: %v", err)
+			}
+		}
+	}
+	waitTotal := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for agg.Total("alfredo_remote_invokes_total") != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("aggregated invokes = %d, want %d",
+					agg.Total("alfredo_remote_invokes_total"), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	invoke(10)
+	if err := ch.shipMetrics(true); err != nil { // full baseline
+		t.Fatal(err)
+	}
+	waitTotal(10)
+	seqAfterFull := ch.shipSeq
+
+	// Nothing changed: the delta tick must not even send a frame.
+	ch.shipMu.Lock()
+	ch.shipTicks = 1 // off the resync schedule so the next ship is a delta
+	ch.shipMu.Unlock()
+	if err := ch.shipMetrics(false); err != nil {
+		t.Fatal(err)
+	}
+	if ch.shipSeq != seqAfterFull {
+		t.Fatalf("idle delta consumed a sequence number (%d -> %d)", seqAfterFull, ch.shipSeq)
+	}
+
+	// Changes ship incrementally and the totals stay exact.
+	invoke(7)
+	ch.shipMu.Lock()
+	ch.shipTicks = 1
+	ch.shipMu.Unlock()
+	if err := ch.shipMetrics(false); err != nil {
+		t.Fatal(err)
+	}
+	waitTotal(17)
+}

@@ -114,6 +114,18 @@ func generateSchedule(seed int64, opts Options) []SchedEvent {
 	return events
 }
 
+// conservedFamilies are the counter families the telemetry-conservation
+// invariant audits: monotone phone-side counters that the workload
+// moves. The aggregator's belief about a phone may lag its registry
+// (reports in flight, dropped, or not yet due) but may never exceed it
+// — an overshoot means a report was double-counted or fabricated.
+var conservedFamilies = []string{
+	"alfredo_remote_invokes_total",
+	"alfredo_remote_retries_total",
+	"alfredo_remote_fetches_total",
+	"alfredo_remote_chunk_cache_hits_total",
+}
+
 // builtinInvariants are the properties every run must hold at every
 // step.
 func builtinInvariants() []Invariant {
@@ -189,6 +201,25 @@ func builtinInvariants() []Invariant {
 					if st.BytesUsed > st.BytesBudget {
 						return fmt.Errorf("%s: cache %d bytes used over budget %d",
 							p.Name, st.BytesUsed, st.BytesBudget)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Telemetry conservation: the fleet aggregator's count for a
+			// phone never exceeds that phone's own registry — cumulative
+			// values plus last-write-wins merging make every drop,
+			// reorder or reconnect cost freshness, never correctness.
+			Name: "telemetry-conservation",
+			Check: func(c *Cluster) error {
+				for _, p := range c.Phones {
+					for _, fam := range conservedFamilies {
+						agg, own := c.Agg.NodeTotal(p.Name, fam), p.Hub.Metrics.Total(fam)
+						if agg > own {
+							return fmt.Errorf("%s: aggregator has %s = %d, phone registry only %d",
+								p.Name, fam, agg, own)
+						}
 					}
 				}
 				return nil
@@ -296,6 +327,53 @@ func runOnce(seed int64, opts Options) *Result {
 			}
 			return res
 		}
+	}
+
+	// Telemetry convergence: with the workload quiescent, flush a full
+	// report from every phone whose link survived, then drive the clock
+	// until the aggregator's counts equal each such phone's registry
+	// exactly — no loss, no double-counting, across every drop,
+	// partition and reconnect the schedule threw. A flush lost in
+	// flight is healed by the shipping cadence's periodic full resync,
+	// which the budget comfortably covers.
+	_ = c.Do(time.Minute, func() error {
+		for _, p := range c.Phones {
+			if p.Session.Link().State() == remote.LinkUp {
+				_ = p.Session.Channel().ShipMetricsNow()
+			}
+		}
+		return nil
+	})
+	telemetrySettled := c.Eventually(30*time.Second, func() bool {
+		for _, p := range c.Phones {
+			if p.Session.Link().State() != remote.LinkUp {
+				continue // a dead link owes nothing
+			}
+			for _, fam := range conservedFamilies {
+				if c.Agg.NodeTotal(p.Name, fam) != p.Hub.Metrics.Total(fam) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if !telemetrySettled {
+		detail := ""
+		for _, p := range c.Phones {
+			if p.Session.Link().State() != remote.LinkUp {
+				continue
+			}
+			for _, fam := range conservedFamilies {
+				if agg, own := c.Agg.NodeTotal(p.Name, fam), p.Hub.Metrics.Total(fam); agg != own {
+					detail += fmt.Sprintf(" %s/%s: agg %d != phone %d;", p.Name, fam, agg, own)
+				}
+			}
+		}
+		res.Failure = &Failure{
+			Step: -1, Invariant: "telemetry-convergence",
+			Err: fmt.Errorf("fleet aggregator never converged to phone registries:%s", detail),
+		}
+		return res
 	}
 
 	c.Close()

@@ -107,11 +107,14 @@ func (o Options) normalized() Options {
 }
 
 // Phone is one simulated client node with its resilient session and
-// acquired shop application.
+// acquired shop application. Each phone owns its own telemetry hub —
+// ground truth for the conservation invariant that audits what the
+// host-side aggregator believes about this phone.
 type Phone struct {
 	Name    string
 	Node    *core.Node
 	Session *core.Session
+	Hub     *obs.Hub
 
 	target string
 	busy   atomic.Bool
@@ -148,14 +151,18 @@ func (p *Phone) LastConn() *netsim.Conn {
 }
 
 // Cluster is a running simulated deployment: N phones leasing the shop
-// application from M targets over one netsim fabric, all sharing one
-// virtual clock and one per-run telemetry hub.
+// application from M targets over one netsim fabric, all on one virtual
+// clock. The targets share the host-side Hub and ingest phone telemetry
+// into Agg (the fleet aggregator); each phone keeps its own hub, so the
+// telemetry-conservation invariant can compare the aggregator's view of
+// a phone against that phone's own registry.
 type Cluster struct {
 	Seed    int64
 	Opts    Options
 	Clock   *clock.Virtual
 	Fabric  *netsim.Fabric
 	Hub     *obs.Hub
+	Agg     *obs.Aggregator
 	Phones  []*Phone
 	Targets []*core.Node
 	Trace   *Trace
@@ -173,11 +180,13 @@ func targetAddr(i int) string { return fmt.Sprintf("sim-target-%d", i) }
 // the returned cluster is quiescent at a deterministic virtual instant.
 func NewCluster(seed int64, opts Options) (*Cluster, error) {
 	opts = opts.normalized()
+	vclk := clock.NewVirtual(seed)
 	c := &Cluster{
 		Seed:    seed,
 		Opts:    opts,
-		Clock:   clock.NewVirtual(seed),
-		Hub:     obs.NewHub(),
+		Clock:   vclk,
+		Hub:     obs.NewHubOn(vclk),
+		Agg:     obs.NewAggregator(),
 		Trace:   &Trace{},
 		baseGos: runtime.NumGoroutine(),
 	}
@@ -191,6 +200,9 @@ func NewCluster(seed int64, opts Options) (*Cluster, error) {
 			Obs:           c.Hub,
 			Clock:         c.Clock,
 			Seed:          seed + int64(1000+i),
+			// Every target ingests phone telemetry into the shared fleet
+			// aggregator — the subject of the conservation invariant.
+			Aggregator: c.Agg,
 		})
 		if err != nil {
 			c.Close()
@@ -212,6 +224,7 @@ func NewCluster(seed int64, opts Options) (*Cluster, error) {
 
 	for i := 0; i < opts.Phones; i++ {
 		name := fmt.Sprintf("sim-phone-%d", i)
+		hub := obs.NewHubOn(c.Clock)
 		node, err := core.NewNode(core.NodeConfig{
 			Name:          name,
 			Profile:       device.Nokia9300i(),
@@ -221,9 +234,13 @@ func NewCluster(seed int64, opts Options) (*Cluster, error) {
 			// exercise the warm-start path, and the cache-coherence /
 			// chunk-conservation invariants audit it after every step.
 			CacheBytes: 4 << 20,
-			Obs:        c.Hub,
+			Obs:        hub,
 			Clock:      c.Clock,
 			Seed:       seed + int64(1+i),
+			// Ship this phone's registry to its target every virtual
+			// second, so faults land mid-shipment and the conservation
+			// invariant exercises drops, reorders and resyncs.
+			MetricsInterval: time.Second,
 		})
 		if err != nil {
 			c.Close()
@@ -232,6 +249,7 @@ func NewCluster(seed int64, opts Options) (*Cluster, error) {
 		c.Phones = append(c.Phones, &Phone{
 			Name:   name,
 			Node:   node,
+			Hub:    hub,
 			target: targetAddr(i % opts.Targets),
 		})
 	}
@@ -473,11 +491,16 @@ func (c *Cluster) Close() {
 }
 
 // LeakCheck verifies that, post-Close, goroutines returned to the
-// pre-cluster baseline and no channel is still accounted active in the
-// run's telemetry hub. Returns nil when clean.
+// pre-cluster baseline and no channel is still accounted active in any
+// node's telemetry hub (host-side and every phone's). Returns nil when
+// clean.
 func (c *Cluster) LeakCheck() error {
-	if n := c.Hub.Metrics.Gauge("alfredo_remote_channels_active").Value(); n != 0 {
-		return fmt.Errorf("sim: %d channels still active after teardown", n)
+	active := c.Hub.Metrics.Gauge("alfredo_remote_channels_active").Value()
+	for _, p := range c.Phones {
+		active += p.Hub.Metrics.Gauge("alfredo_remote_channels_active").Value()
+	}
+	if active != 0 {
+		return fmt.Errorf("sim: %d channels still active after teardown", active)
 	}
 	if n, ok := leak.Settle(c.baseGos+leak.Slack, 2*time.Second); !ok {
 		return fmt.Errorf("sim: goroutine leak: %d goroutines, baseline %d\n%s",

@@ -100,6 +100,24 @@ func TestProtocolGoldens(t *testing.T) {
 			msg:  &ChunkData{RequestID: 5, Hash: "abcd", Data: []byte{1, 2, 3}},
 			hex:  "0000000d150a0461626364000003010203",
 		},
+		{
+			name: "metrics-report",
+			msg: &MetricsReport{
+				Node: "phone", Seq: 3, Full: true,
+				Samples: []MetricSample{
+					{
+						Name: "c", Kind: MetricCounter,
+						Labels: []string{"tenant", "t1"}, Value: 9,
+					},
+					{
+						Name: "h", Kind: MetricHistogram,
+						Buckets: []int64{1, 2}, Count: 3, Sum: 4,
+						WinBuckets: []int64{0, 2}, WinCount: 2, WinSum: 2,
+					},
+				},
+			},
+			hex: "0000003e160570686f6e65060102016300020674656e616e740274311200000000000000000000000000000168020000000000000000000002020406080200040404",
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -34,6 +34,7 @@ const (
 	MsgManifestReply
 	MsgFetchChunks
 	MsgChunkData
+	MsgMetricsReport
 )
 
 func (t MsgType) String() string {
@@ -42,6 +43,7 @@ func (t MsgType) String() string {
 		"SERVICE_REPLY", "INVOKE", "RESULT", "ERROR", "EVENT", "SUBSCRIBE",
 		"STREAM_OPEN", "STREAM_DATA", "STREAM_CLOSE", "PING", "PONG", "BYE",
 		"FETCH_MANIFEST", "MANIFEST_REPLY", "FETCH_CHUNKS", "CHUNK_DATA",
+		"METRICS_REPORT",
 	}
 	if t >= 1 && int(t) <= len(names) {
 		return names[t-1]
@@ -827,6 +829,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &FetchChunks{}, nil
 	case MsgChunkData:
 		return &ChunkData{}, nil
+	case MsgMetricsReport:
+		return &MetricsReport{}, nil
 	default:
 		return nil, fmt.Errorf("%w: type %d", ErrBadMsg, byte(t))
 	}

@@ -1,0 +1,135 @@
+package wire
+
+import "fmt"
+
+// Metric kinds carried inside a MetricsReport. The values are part of
+// the wire format; append only.
+const (
+	MetricCounter   byte = 0
+	MetricGauge     byte = 1
+	MetricHistogram byte = 2
+	MetricMeter     byte = 3
+)
+
+// MetricSample is one metric series inside a MetricsReport. Counters
+// and gauges carry Value; meters carry Rate; histograms carry the
+// cumulative bucket array (Buckets/Count/Sum) plus the sliding-window
+// view (WinBuckets/WinCount/WinSum). Values are cumulative, not deltas:
+// a report lost to the link costs freshness, never correctness, because
+// the next one carries the absolute state again.
+type MetricSample struct {
+	Name   string
+	Kind   byte
+	Labels []string // alternating key, value
+
+	Value int64
+	Rate  float64
+
+	Buckets []int64
+	Count   int64
+	Sum     int64 // nanoseconds
+
+	WinBuckets []int64
+	WinCount   int64
+	WinSum     int64 // nanoseconds
+}
+
+func (s *MetricSample) encode(b *Buffer) {
+	b.WriteString(s.Name)
+	b.WriteU8(s.Kind)
+	b.WriteStrings(s.Labels)
+	b.WriteInt64(s.Value)
+	b.WriteFloat64(s.Rate)
+	writeInt64s(b, s.Buckets)
+	b.WriteInt64(s.Count)
+	b.WriteInt64(s.Sum)
+	writeInt64s(b, s.WinBuckets)
+	b.WriteInt64(s.WinCount)
+	b.WriteInt64(s.WinSum)
+}
+
+func (s *MetricSample) decode(b *Buffer) {
+	s.Name = b.ReadString()
+	s.Kind = b.ReadU8()
+	s.Labels = b.ReadStrings()
+	s.Value = b.ReadInt64()
+	s.Rate = b.ReadFloat64()
+	s.Buckets = readInt64s(b)
+	s.Count = b.ReadInt64()
+	s.Sum = b.ReadInt64()
+	s.WinBuckets = readInt64s(b)
+	s.WinCount = b.ReadInt64()
+	s.WinSum = b.ReadInt64()
+}
+
+func writeInt64s(b *Buffer, vs []int64) {
+	b.WriteUvarint(uint64(len(vs)))
+	for _, v := range vs {
+		b.WriteInt64(v)
+	}
+}
+
+func readInt64s(b *Buffer) []int64 {
+	n := b.ReadUvarint()
+	if n == 0 || b.err != nil {
+		return nil
+	}
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d int64s", ErrTooLarge, n))
+		return nil
+	}
+	vs := make([]int64, 0, min(int(n), 256))
+	for i := uint64(0); i < n && b.err == nil; i++ {
+		vs = append(vs, b.ReadInt64())
+	}
+	return vs
+}
+
+// MetricsReport ships one node's metric state to its peer (phone ->
+// host on a clock-driven cadence; negotiated in hello via the
+// "metrics.sink" prop). Seq increases per sender connection; the
+// receiver drops stale reorderings. Full true means Samples carries the
+// sender's entire registry (sent on the first report of a connection
+// and periodically as a resync); false means only series whose state
+// changed since the previous report. Sample values are always
+// cumulative, so applying a report is idempotent last-write-wins.
+type MetricsReport struct {
+	Node    string
+	Seq     int64
+	Full    bool
+	Samples []MetricSample
+}
+
+// Type implements Message.
+func (m *MetricsReport) Type() MsgType { return MsgMetricsReport }
+
+func (m *MetricsReport) encode(b *Buffer) error {
+	b.WriteString(m.Node)
+	b.WriteInt64(m.Seq)
+	b.WriteBool(m.Full)
+	b.WriteUvarint(uint64(len(m.Samples)))
+	for i := range m.Samples {
+		m.Samples[i].encode(b)
+	}
+	return nil
+}
+
+func (m *MetricsReport) decode(b *Buffer) {
+	m.Node = b.ReadString()
+	m.Seq = b.ReadInt64()
+	m.Full = b.ReadBool()
+	n := b.ReadUvarint()
+	if b.err != nil {
+		return
+	}
+	if n > MaxElems {
+		b.fail(fmt.Errorf("%w: %d metric samples", ErrTooLarge, n))
+		return
+	}
+	m.Samples = make([]MetricSample, 0, min(int(n), 1024))
+	for i := uint64(0); i < n && b.err == nil; i++ {
+		var s MetricSample
+		s.decode(b)
+		m.Samples = append(m.Samples, s)
+	}
+}
