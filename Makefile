@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments throughput acquire-bench scale-bench obs-bench fuzz fmt vet chaos sim obs check clean
+.PHONY: all build test race cover bench experiments throughput acquire-bench scale-bench obs-bench placement fuzz fmt vet chaos sim obs check clean
 
 all: build test
 
@@ -54,6 +54,15 @@ scale-bench:
 obs-bench:
 	$(GO) test -run TestObsOverheadGate -count=1 -v ./internal/bench/
 	$(GO) test -bench 'BenchmarkNopInvokeTelemetry' -benchmem -run '^$$' ./internal/obs/
+
+# Live re-placement gate: the deterministic sweep with pull/push/
+# dep-invoke events interleaved with faults (exactly-once dispatch,
+# placement consistency, zero steady-state flaps), the core cutover
+# and optimizer regression tests, then the wall-clock degrade/recover
+# sweep behind `-exp placement`.
+placement:
+	$(GO) test -run 'TestSim|TestPlacement|TestPull|TestPush|TestCutover|TestOptimizer|TestRelease' -count=1 ./internal/sim/ ./internal/core/ ./internal/bench/
+	$(GO) run ./cmd/alfredo-bench -exp placement
 
 # Short fuzz pass over every untrusted-input parser.
 fuzz:

@@ -42,22 +42,23 @@ func main() {
 		obsAddr    = flag.String("obs", "", "serve the telemetry introspection endpoint (metrics + traces) on this address")
 		dispatch   = flag.Int("dispatch-workers", 0, "max concurrent inbound invocation handlers per channel (0 = default, negative = unbounded)")
 		chunkBytes = flag.Int("chunk-bytes", 0, "chunk size for content-addressed bundle serving (0 = default 4KB)")
+		healthInt  = flag.Duration("health-interval", 0, "health scoring cadence; faster scores sharpen the signal phone optimizers read for re-placement (0 = default 5s)")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *apps, *name, *group, *storage, *obsAddr, *snapshot, *announce, *dispatch, *chunkBytes); err != nil {
+	if err := run(*listen, *apps, *name, *group, *storage, *obsAddr, *snapshot, *announce, *dispatch, *chunkBytes, *healthInt); err != nil {
 		log.Fatalf("alfredo-host: %v", err)
 	}
 }
 
-func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool, dispatchWorkers, chunkBytes int) error {
+func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool, dispatchWorkers, chunkBytes int, healthInterval time.Duration) error {
 	// The host is the fleet telemetry sink: connected phones ship their
 	// metric registries here, and the host scores its own health so the
 	// admission layer sheds before saturation.
 	agg := obs.NewAggregator()
 	node, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Notebook(), StorageDir: storage,
 		DispatchWorkers: dispatchWorkers, ChunkBytes: chunkBytes,
-		Aggregator: agg, Health: &obs.HealthConfig{}})
+		Aggregator: agg, Health: &obs.HealthConfig{Interval: healthInterval}})
 	if err != nil {
 		return err
 	}

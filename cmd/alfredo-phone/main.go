@@ -59,15 +59,29 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 8<<20, "chunk cache byte budget for warm-start acquisitions (0 disables)")
 		cacheDir   = flag.String("cache-dir", "", "persist cached chunks in this directory so warm starts survive restarts")
 		metricsInt = flag.Duration("metrics-interval", 0, "cadence for shipping metrics to a host that is a telemetry sink (0 = default 10s, negative disables)")
+		optimize   = flag.Bool("optimize", false, "run the online optimizer on acquired apps: pull the logic tier when the link degrades, push it back when it recovers")
+		pullRTT    = flag.Duration("pull-rtt", 0, "smoothed RTT above which the optimizer pulls movable logic tiers (0 = default 20ms)")
+		pushRTT    = flag.Duration("push-rtt", 0, "smoothed RTT below which pulled logic tiers are pushed back (0 = default pull-rtt/4)")
+		placeDwell = flag.Duration("place-dwell", 0, "minimum time between placement reversals of one dependency (0 = default 10 probe intervals)")
 	)
 	flag.Parse()
 
-	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate, *dispatch, *cacheBytes, *cacheDir, *metricsInt); err != nil {
+	place := placementFlags{Optimize: *optimize, PullRTT: *pullRTT, PushRTT: *pushRTT, Dwell: *placeDwell}
+	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate, *dispatch, *cacheBytes, *cacheDir, *metricsInt, place); err != nil {
 		log.Fatalf("alfredo-phone: %v", err)
 	}
 }
 
-func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool, dispatchWorkers int, cacheBytes int64, cacheDir string, metricsInterval time.Duration) error {
+// placementFlags carries the live re-placement tuning from the command
+// line to the per-acquisition optimizer.
+type placementFlags struct {
+	Optimize bool
+	PullRTT  time.Duration
+	PushRTT  time.Duration
+	Dwell    time.Duration
+}
+
+func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool, dispatchWorkers int, cacheBytes int64, cacheDir string, metricsInterval time.Duration, place placementFlags) error {
 	prof, ok := device.ProfileByName(profileName)
 	if !ok {
 		return fmt.Errorf("unknown profile %q", profileName)
@@ -171,7 +185,34 @@ func run(connect, group, profileName, httpAddr, obsAddr string, discover, simula
 		fmt.Printf("telemetry at http://%s%s/metrics\n", addr, httpd.IntrospectionAlias)
 	}
 
-	return repl(session, prof, web)
+	return repl(session, prof, web, place)
+}
+
+// startOptimizer attaches the online optimizer to a freshly acquired
+// application, printing each re-placement decision. Release stops it.
+func startOptimizer(app *core.Application, place placementFlags) {
+	_, err := app.StartOptimizer(core.OptimizerConfig{
+		RTTThreshold: place.PullRTT,
+		PushRTT:      place.PushRTT,
+		MinDwell:     place.Dwell,
+		OnDecision: func(d core.Decision) {
+			if d.Skipped {
+				fmt.Println("  [optimizer] probe failed; round skipped")
+				return
+			}
+			for _, s := range d.Pulled {
+				fmt.Printf("  [optimizer] pulled %s (srtt %v)\n", s, d.SmoothedRTT.Round(time.Millisecond))
+			}
+			for _, s := range d.Pushed {
+				fmt.Printf("  [optimizer] pushed %s back (srtt %v)\n", s, d.SmoothedRTT.Round(time.Millisecond))
+			}
+		},
+	})
+	if err != nil {
+		fmt.Println("  optimizer not started:", err)
+		return
+	}
+	fmt.Println("  optimizer online (live pull/push re-placement)")
 }
 
 func discoverHost(group string) (string, error) {
@@ -202,7 +243,7 @@ func discoverHost(group string) (string, error) {
 	return addr, err
 }
 
-func repl(session *core.Session, prof device.Profile, web *httpd.Service) error {
+func repl(session *core.Session, prof device.Profile, web *httpd.Service, place placementFlags) error {
 	var app *core.Application
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
@@ -244,6 +285,9 @@ func repl(session *core.Session, prof device.Profile, web *httpd.Service) error 
 				break
 			}
 			app = a
+			if place.Optimize {
+				startOptimizer(a, place)
+			}
 			if web != nil {
 				if hv, ok := a.View.(*render.HTMLView); ok {
 					alias := "/" + strings.ToLower(args[0])

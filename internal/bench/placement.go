@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// PlacementPhase is one measured phase of the re-placement sweep.
+type PlacementPhase struct {
+	Name    string
+	Local   bool          // where the logic tier ran during measurement
+	Invokes int           // completed dependency invokes
+	Errors  int           // failed dependency invokes
+	Mean    time.Duration // mean dependency-invoke latency
+}
+
+// PlacementResult is the outcome of RunPlacement: the three measured
+// phases plus the decision counters the optimizer produced along the
+// way.
+type PlacementResult struct {
+	Phases []PlacementPhase
+	Pulls  int64
+	Pushes int64
+	Flaps  int64
+	// Issued/Dispatched are the exactly-once accounting totals; they
+	// must be equal once the sweep drains.
+	Issued     int64
+	Dispatched int64
+}
+
+// RunPlacement is the live re-placement sweep behind `-exp placement`:
+// one phone leases the shop over a link that starts fast, degrades,
+// and recovers, with the bidirectional optimizer live the whole time.
+// Dependency invokes run in every phase — including through both
+// cutovers — and the report shows the latency the user experiences in
+// each placement plus the pull/push/flap counters. Every invoke must
+// complete; the issued/dispatched totals must match exactly.
+func RunPlacement(cfg Config) (*PlacementResult, error) {
+	cfg = cfg.withDefaults()
+	hub := obs.NewHub()
+
+	fabric := netsim.NewFabric()
+	host, err := core.NewNode(core.NodeConfig{Name: "place-host", Profile: device.Notebook(), Obs: hub})
+	if err != nil {
+		return nil, err
+	}
+	defer host.Close()
+	if err := host.RegisterApp(shop.New().App()); err != nil {
+		return nil, err
+	}
+	l, err := fabric.Listen("place-host")
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	host.Serve(l)
+
+	proxyCode := remote.NewProxyCodeRegistry()
+	if err := shop.RegisterProxyCode(proxyCode); err != nil {
+		return nil, err
+	}
+	phone, err := core.NewNode(core.NodeConfig{
+		Name:      "place-phone",
+		Profile:   device.Nokia9300i(),
+		ProxyCode: proxyCode,
+		Obs:       hub,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer phone.Close()
+
+	rawConn, err := fabric.Dial("place-host", netsim.Loopback)
+	if err != nil {
+		return nil, err
+	}
+	conn := rawConn.(*netsim.Conn)
+	session, err := phone.Connect(rawConn)
+	if err != nil {
+		return nil, err
+	}
+	defer session.Close()
+	app, err := session.Acquire(shop.InterfaceName, core.AcquireOptions{SkipUI: true})
+	if err != nil {
+		return nil, err
+	}
+
+	opt, err := app.StartOptimizer(core.OptimizerConfig{
+		Interval:     20 * time.Millisecond,
+		RTTThreshold: 20 * time.Millisecond,
+		PushRTT:      5 * time.Millisecond,
+		RTTAlpha:     1, // react on the first post-transition probe
+		MinDwell:     200 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer opt.Stop()
+
+	res := &PlacementResult{}
+	m := hub.Metrics
+
+	// measure drives dependency invokes for the window and records the
+	// phase. Invokes keep flowing while a cutover is still settling, so
+	// the exactly-once property is exercised on the seams, not around
+	// them.
+	measure := func(name string, wantLocal bool, settle time.Duration) error {
+		deadline := time.Now().Add(settle)
+		for {
+			local, _ := app.DependencyLocal(shop.LogicInterface)
+			if local == wantLocal || time.Now().After(deadline) {
+				break
+			}
+			if _, err := app.InvokeDependency(shop.LogicInterface, "FormatPrice", int64(199)); err != nil {
+				return fmt.Errorf("bench: invoke during cutover (%s): %w", name, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		local, _ := app.DependencyLocal(shop.LogicInterface)
+		if local != wantLocal {
+			return fmt.Errorf("bench: phase %s: placement local=%v, want %v", name, local, wantLocal)
+		}
+		ph := PlacementPhase{Name: name, Local: local}
+		var total time.Duration
+		end := time.Now().Add(cfg.Window / 3)
+		for time.Now().Before(end) {
+			start := time.Now()
+			v, err := app.InvokeDependency(shop.LogicInterface, "FormatPrice", int64(199))
+			if err != nil || v != "1.99" {
+				ph.Errors++
+				continue
+			}
+			total += time.Since(start)
+			ph.Invokes++
+		}
+		if ph.Invokes > 0 {
+			ph.Mean = total / time.Duration(ph.Invokes)
+		}
+		res.Phases = append(res.Phases, ph)
+		return nil
+	}
+
+	// Phase 1: fast link, logic stays on the target.
+	if err := measure("baseline-fast", false, time.Second); err != nil {
+		return nil, err
+	}
+	// Phase 2: the user walks away from the access point; the optimizer
+	// pulls the logic tier and invokes go local.
+	conn.SetLink(netsim.LinkProfile{Name: "degraded", Latency: 30 * time.Millisecond})
+	if err := measure("degraded-pulled", true, 5*time.Second); err != nil {
+		return nil, err
+	}
+	// Phase 3: the link recovers; after the dwell the optimizer pushes
+	// the tier back and invokes are remote again.
+	conn.SetLink(netsim.Loopback)
+	if err := measure("recovered-pushed", false, 5*time.Second); err != nil {
+		return nil, err
+	}
+
+	res.Pulls = m.Total("alfredo_core_placement_pulls_total")
+	res.Pushes = m.Total("alfredo_core_placement_pushes_total")
+	res.Flaps = m.Total("alfredo_core_placement_flaps_total")
+	res.Issued = m.Total("alfredo_core_dep_invokes_total")
+	res.Dispatched = m.Total("alfredo_core_dep_dispatch_total")
+
+	fmt.Fprintln(cfg.Out, "Live re-placement sweep (degrade -> pull, recover -> push), optimizer online:")
+	fmt.Fprintf(cfg.Out, "  %-18s %-8s %10s %8s %8s\n", "phase", "tier", "mean", "invokes", "errors")
+	for _, ph := range res.Phases {
+		tier := "remote"
+		if ph.Local {
+			tier = "local"
+		}
+		fmt.Fprintf(cfg.Out, "  %-18s %-8s %10v %8d %8d\n",
+			ph.Name, tier, ph.Mean.Round(time.Microsecond), ph.Invokes, ph.Errors)
+	}
+	fmt.Fprintf(cfg.Out, "  decisions: pulls=%d pushes=%d flaps=%d\n", res.Pulls, res.Pushes, res.Flaps)
+	fmt.Fprintf(cfg.Out, "  exactly-once: issued=%d dispatched=%d\n", res.Issued, res.Dispatched)
+	if res.Issued != res.Dispatched {
+		return nil, fmt.Errorf("bench: %d dep invokes issued but %d dispatched", res.Issued, res.Dispatched)
+	}
+	return res, nil
+}

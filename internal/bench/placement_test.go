@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlacementSweepSmoke runs the re-placement sweep with a short
+// window and checks its contract: one pull on degrade, one push on
+// recover, zero flaps, zero invoke errors, and exact issued/dispatched
+// accounting across both cutovers.
+func TestPlacementSweepSmoke(t *testing.T) {
+	res, err := RunPlacement(Config{Window: 600 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(res.Phases))
+	}
+	wantLocal := []bool{false, true, false}
+	for i, ph := range res.Phases {
+		if ph.Local != wantLocal[i] {
+			t.Errorf("phase %s: local=%v, want %v", ph.Name, ph.Local, wantLocal[i])
+		}
+		if ph.Errors != 0 {
+			t.Errorf("phase %s: %d invoke errors", ph.Name, ph.Errors)
+		}
+		if ph.Invokes == 0 {
+			t.Errorf("phase %s: no invokes completed", ph.Name)
+		}
+	}
+	// On-device execution must beat the degraded 60 ms round trip.
+	if d, r := res.Phases[1].Mean, 30*time.Millisecond; d >= r {
+		t.Errorf("degraded-pulled mean %v not faster than %v: logic did not run locally", d, r)
+	}
+	if res.Pulls != 1 || res.Pushes != 1 {
+		t.Errorf("pulls=%d pushes=%d, want exactly one each", res.Pulls, res.Pushes)
+	}
+	if res.Flaps != 0 {
+		t.Errorf("flaps=%d on a clean degrade/recover arc, want 0", res.Flaps)
+	}
+	if res.Issued != res.Dispatched {
+		t.Errorf("issued %d != dispatched %d", res.Issued, res.Dispatched)
+	}
+}
+
+// TestPlacementExperimentRegistered keeps `-exp placement` wired into
+// the registry and the report order.
+func TestPlacementExperimentRegistered(t *testing.T) {
+	if _, ok := Experiments["placement"]; !ok {
+		t.Fatal("placement experiment not registered")
+	}
+	found := false
+	for _, id := range Order {
+		if id == "placement" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("placement missing from report order")
+	}
+}

@@ -24,6 +24,7 @@ var Experiments = map[string]func(Config) error{
 	"throughput": func(c Config) error { _, err := RunThroughput(c); return err },
 	"acquire":    func(c Config) error { _, err := RunAcquire(c); return err },
 	"scale":      func(c Config) error { _, err := RunScale(c); return err },
+	"placement":  func(c Config) error { _, err := RunPlacement(c); return err },
 	"obs":        RunObsDemo,
 }
 
@@ -31,7 +32,7 @@ var Experiments = map[string]func(Config) error{
 var Order = []string{
 	"footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6",
 	"tiers", "renderers", "smartproxy", "buildcost", "payload", "faults",
-	"throughput", "acquire", "scale", "obs",
+	"throughput", "acquire", "scale", "placement", "obs",
 }
 
 // RunAll executes every experiment in order.

@@ -53,6 +53,12 @@ type Dependency struct {
 	// Movable logic-tier dependencies may be pulled to the client
 	// during tier negotiation.
 	Movable bool `json:"movable,omitempty"`
+	// MinDwellMs extends the re-placement optimizer's minimum dwell for
+	// this dependency: after a placement move it stays put at least this
+	// long before the opposite move (zero uses the optimizer's default).
+	// Services whose logic tier is expensive to ship declare a longer
+	// dwell here.
+	MinDwellMs int64 `json:"minDwellMs,omitempty"`
 	// Requirements gate movement.
 	Requirements Requirements `json:"requirements,omitempty"`
 }
@@ -119,6 +125,9 @@ func (d *Descriptor) Validate() error {
 			// resides on the target device". Automatic data-tier
 			// distribution is the paper's future work; see package sync.
 			return fmt.Errorf("%w: %s data-tier dependency %s cannot be movable", ErrBadDescriptor, d.Service, dep.Service)
+		}
+		if dep.MinDwellMs < 0 {
+			return fmt.Errorf("%w: %s dependency %s has negative placement dwell", ErrBadDescriptor, d.Service, dep.Service)
 		}
 	}
 	if d.StartWorkMs < 0 {

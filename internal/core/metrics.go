@@ -56,3 +56,20 @@ func (s *Session) countPlacement(pulled int) {
 		"pulled", strconv.FormatBool(pulled > 0)).Inc()
 	m.Counter("alfredo_core_tier_pulls_total").Add(int64(pulled))
 }
+
+// Live re-placement telemetry (DESIGN.md §13): the decision counters
+// the fleet view shows, and the per-invoke dispatch accounting the sim
+// harness checks the exactly-once cutover property against — every
+// dependency invoke issued increments depInvokesFamily once and lands
+// on exactly one placement, incrementing depDispatchFamily once.
+const (
+	placementPullsFamily  = "alfredo_core_placement_pulls_total"
+	placementPushesFamily = "alfredo_core_placement_pushes_total"
+	placementFlapsFamily  = "alfredo_core_placement_flaps_total"
+	depInvokesFamily      = "alfredo_core_dep_invokes_total"
+	depDispatchFamily     = "alfredo_core_dep_dispatch_total"
+)
+
+func (s *Session) countPull() { s.obsHub().Metrics.Counter(placementPullsFamily).Inc() }
+func (s *Session) countPush() { s.obsHub().Metrics.Counter(placementPushesFamily).Inc() }
+func (s *Session) countFlap() { s.obsHub().Metrics.Counter(placementFlapsFamily).Inc() }

@@ -2,11 +2,11 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
 	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/sim/clock"
 )
 
@@ -16,125 +16,150 @@ var (
 	ErrNotMovable       = errors.New("core: dependency is not a movable logic tier")
 )
 
-// PullDependency moves one movable logic-tier dependency to the client
-// at runtime: its proxy is fetched, installed and added to the
-// application's dependency set, so subsequent controller invocations of
-// that service run through it (locally, when smart proxy code is
-// installed). It is the mechanism under the online optimizer and may
-// also be called directly.
-func (a *Application) PullDependency(service string) error {
-	var dep *Dependency
-	for i := range a.Descriptor.Dependencies {
-		if a.Descriptor.Dependencies[i].Service == service {
-			dep = &a.Descriptor.Dependencies[i]
-			break
-		}
-	}
-	if dep == nil {
-		return fmt.Errorf("%w: %s not declared", ErrNoSuchRemoteService, service)
-	}
-	if dep.Tier != TierLogic || !dep.Movable {
-		return fmt.Errorf("%w: %s", ErrNotMovable, service)
-	}
-	a.mu.Lock()
-	if a.done {
-		a.mu.Unlock()
-		return ErrAlreadyAcquired
-	}
-	if _, dup := a.Deps[service]; dup {
-		a.mu.Unlock()
-		return nil // already local
-	}
-	a.mu.Unlock()
+// Optimizer defaults.
+const (
+	// DefaultRTTAlpha is the EWMA weight of each new RTT probe.
+	DefaultRTTAlpha = 0.5
+	// DefaultMinDwellRounds sets the default minimum dwell to this many
+	// probe intervals.
+	DefaultMinDwellRounds = 10
+	// DefaultPingRetryBudget bounds consecutive failed probes on a
+	// plain (non-resilient) session before the optimizer exits.
+	DefaultPingRetryBudget = 5
+)
 
-	info, ok := a.session.channel().FindRemoteService(service)
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoSuchRemoteService, service)
-	}
-	reply, err := a.session.channel().Fetch(info.ID)
-	if err != nil {
-		return err
-	}
-	_, proxy, err := a.session.channel().InstallProxy(reply)
-	if err != nil {
-		return err
-	}
-	a.mu.Lock()
-	a.Deps[service] = proxy
-	if a.Placement.Reasons == nil {
-		a.Placement.Reasons = make(map[string]string)
-	}
-	a.Placement.PullLogic = append(a.Placement.PullLogic, service)
-	a.Placement.Reasons[service] = "pulled at runtime by the online optimizer"
-	a.mu.Unlock()
-	return nil
-}
-
-// dep resolves a pulled dependency proxy under the application lock.
-func (a *Application) dep(service string) (invoker interface {
-	Invoke(method string, args []any) (any, error)
-}, ok bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	d, ok := a.Deps[service]
-	return d, ok
-}
-
-// OptimizerConfig tunes the online distribution optimizer.
+// OptimizerConfig tunes the online re-placement engine. The zero value
+// probes every second with the default thresholds.
 type OptimizerConfig struct {
-	// Interval between link probes (default 1s).
+	// Interval between probe rounds (default 1s).
 	Interval time.Duration
-	// RTTThreshold above which movable logic is pulled in (default
-	// DefaultRTTThreshold).
+	// RTTThreshold is the smoothed link RTT at or above which movable
+	// logic is pulled to this node (default DefaultRTTThreshold).
 	RTTThreshold time.Duration
+	// PushRTT is the smoothed RTT at or below which pulled logic is
+	// pushed back to the target (default RTTThreshold/4). Keeping it
+	// well under RTTThreshold is the hysteresis band that prevents a
+	// noisy link from flapping the placement.
+	PushRTT time.Duration
+	// RTTAlpha is the EWMA weight of each new probe, in (0, 1]
+	// (default DefaultRTTAlpha; 1 disables smoothing).
+	RTTAlpha float64
+	// PullInvokeP99 pulls a dependency whose live windowed p99 of
+	// remote invokes (per-service, from the obs plane) reaches it,
+	// even while the raw link RTT looks fine — a target that answers
+	// pings fast but serves slowly still justifies local execution.
+	// Zero disables the latency signal.
+	PullInvokeP99 time.Duration
+	// MinDwell is the minimum time a dependency stays in a placement
+	// before the optimizer reverses it (default DefaultMinDwellRounds
+	// probe intervals, on the node's clock). A reversal demanded inside
+	// the dwell window is a flap: it is suppressed and counted once per
+	// dwell period on alfredo_core_placement_flaps_total, so a steady
+	// system reads zero flaps. Descriptors may extend the dwell per
+	// dependency (Dependency.MinDwellMs).
+	MinDwell time.Duration
 	// MaxLocalLoad gates pulls on the device's own health: when the
 	// node's overall overload score (NodeConfig.Health) is at or above
 	// this threshold, the optimizer skips pulling logic tiers in that
 	// round — shipping compute onto an overloaded device trades a slow
 	// link for a slower CPU. Zero disables the gate.
 	MaxLocalLoad float64
-	// Health overrides the health signal the MaxLocalLoad gate reads
-	// (defaults to the session node's own HealthView). Tests inject
-	// synthetic scores here.
+	// PushLocalLoad pushes pulled logic back to the target when the
+	// overload score reaches it — the inverse of MaxLocalLoad: the
+	// device got busy after the pull. Zero disables the load signal.
+	PushLocalLoad float64
+	// PingRetryBudget bounds consecutive failed probes before a plain
+	// session's optimizer exits (default DefaultPingRetryBudget). On a
+	// resilient session the budget is the link's own recovery window
+	// instead: rounds are skipped while the link can still reconnect.
+	PingRetryBudget int
+	// Health overrides the health signal the load gates read (defaults
+	// to the session node's own HealthView). Tests inject synthetic
+	// scores here.
 	Health func() obs.HealthScore
-	// OnDecision, when non-nil, is called after every probe with the
-	// measured RTT and the dependencies pulled in response (empty when
-	// none).
-	OnDecision func(rtt time.Duration, pulled []string)
+	// OnDecision, when non-nil, is called after every probe round.
+	OnDecision func(Decision)
 }
 
-// Optimizer implements the paper's §7 future work: "an online
-// optimization mechanism to customize service distribution at
-// runtime". It periodically measures the link round-trip time and,
-// when the link degrades past the threshold, pulls the application's
-// movable logic-tier dependencies to the client mid-session —
-// invocations transparently switch from remote to local execution.
-type Optimizer struct {
-	app *Application
-	cfg OptimizerConfig
-
-	stop chan struct{}
-	once sync.Once
-	wg   sync.WaitGroup
-}
-
-// StartOptimizer attaches an optimizer to the application. Stop it
-// before releasing the application.
-func (a *Application) StartOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
+// normalized fills the config defaults.
+func (cfg OptimizerConfig) normalized() OptimizerConfig {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Second
 	}
 	if cfg.RTTThreshold <= 0 {
 		cfg.RTTThreshold = DefaultRTTThreshold
 	}
+	if cfg.PushRTT <= 0 || cfg.PushRTT >= cfg.RTTThreshold {
+		cfg.PushRTT = cfg.RTTThreshold / 4
+	}
+	if cfg.RTTAlpha <= 0 || cfg.RTTAlpha > 1 {
+		cfg.RTTAlpha = DefaultRTTAlpha
+	}
+	if cfg.MinDwell <= 0 {
+		cfg.MinDwell = time.Duration(DefaultMinDwellRounds) * cfg.Interval
+	}
+	if cfg.PingRetryBudget <= 0 {
+		cfg.PingRetryBudget = DefaultPingRetryBudget
+	}
+	return cfg
+}
+
+// Decision is one optimizer probe round: the signals it read and the
+// placement moves it made.
+type Decision struct {
+	// RTT is the raw probe; SmoothedRTT is the EWMA the thresholds
+	// compare against.
+	RTT         time.Duration
+	SmoothedRTT time.Duration
+	// Health is the overall overload score read this round.
+	Health float64
+	// Pulled and Pushed list the dependencies moved this round.
+	Pulled []string
+	Pushed []string
+	// Skipped marks a round whose probe failed (transient link blip):
+	// no signals were read and nothing moved.
+	Skipped bool
+}
+
+// Optimizer implements the paper's §7 future work: "an online
+// optimization mechanism to customize service distribution at
+// runtime" — bidirectionally. It periodically probes the link and
+// folds the probe into an RTT EWMA, reads the per-service live invoke
+// p99 and the node health score from the obs plane, and re-places
+// movable logic-tier dependencies both ways: pulled to the client when
+// the link degrades (or the target serves slowly), pushed back when
+// the link recovers or the device itself becomes the bottleneck.
+// Hysteresis — separate pull/push thresholds plus a minimum dwell on
+// the clock seam — keeps the placement from flapping. Release stops
+// attached optimizers automatically.
+type Optimizer struct {
+	app *Application
+	cfg OptimizerConfig
+
+	srtt     time.Duration
+	failures int
+	// flapAt remembers, per dependency, the move stamp a suppressed
+	// reversal was already counted against, so one flappy dwell period
+	// counts once, not once per probe round.
+	flapAt map[string]time.Time
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// StartOptimizer attaches an optimizer to the application. It is
+// registered on the application: Release (and Session.Close) stops it,
+// so explicit Stop is only needed to end optimization early.
+func (a *Application) StartOptimizer(cfg OptimizerConfig) (*Optimizer, error) {
+	o := &Optimizer{app: a, cfg: cfg.normalized(), stop: make(chan struct{})}
 	a.mu.Lock()
 	if a.done {
 		a.mu.Unlock()
 		return nil, ErrAlreadyAcquired
 	}
+	a.optimizers = append(a.optimizers, o)
 	a.mu.Unlock()
-
-	o := &Optimizer{app: a, cfg: cfg, stop: make(chan struct{})}
 	o.wg.Add(1)
 	go o.loop()
 	return o, nil
@@ -144,7 +169,8 @@ func (o *Optimizer) loop() {
 	defer o.wg.Done()
 	// The probe cadence runs on the node's clock, so a simulated node
 	// optimizes on simulated time.
-	ticker := clock.Or(o.app.session.node.Clock()).NewTicker(o.cfg.Interval)
+	clk := clock.Or(o.app.session.node.Clock())
+	ticker := clk.NewTicker(o.cfg.Interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -152,45 +178,186 @@ func (o *Optimizer) loop() {
 			return
 		case <-ticker.C:
 		}
+		if o.app.isReleased() || o.app.session.isClosed() {
+			return
+		}
 		rtt, err := o.app.session.Ping()
 		if err != nil {
-			return // channel gone; the session will clean up
-		}
-		var pulled []string
-		if rtt >= o.cfg.RTTThreshold && !o.localOverloaded() {
-			for _, dep := range o.app.Descriptor.Dependencies {
-				if dep.Tier != TierLogic || !dep.Movable {
-					continue
-				}
-				if _, already := o.app.dep(dep.Service); already {
-					continue
-				}
-				if err := o.app.PullDependency(dep.Service); err == nil {
-					pulled = append(pulled, dep.Service)
-				}
+			if !o.probeFailed() {
+				return
 			}
+			o.notify(Decision{Skipped: true})
+			continue
 		}
-		if o.cfg.OnDecision != nil {
-			o.cfg.OnDecision(rtt, pulled)
-		}
+		o.failures = 0
+		o.notify(o.decide(clk, rtt))
 	}
 }
 
-// localOverloaded applies the MaxLocalLoad gate: true when the health
-// signal (injected, else the node's own HealthView) scores at or above
-// the threshold. With the gate disabled or no signal it reports false.
-func (o *Optimizer) localOverloaded() bool {
-	if o.cfg.MaxLocalLoad <= 0 {
+// probeFailed absorbs one failed probe. It reports false — optimizer
+// exits — only when the session is actually done: released, closed, or
+// (for a resilient link) terminally down. A transient blip on a link
+// that auto-reconnects is a skipped round, not the end of optimization
+// for the rest of the session.
+func (o *Optimizer) probeFailed() bool {
+	if o.app.isReleased() || o.app.session.isClosed() {
 		return false
 	}
-	if o.cfg.Health != nil {
-		return o.cfg.Health().Overall >= o.cfg.MaxLocalLoad
+	if link := o.app.session.link; link != nil {
+		switch link.State() {
+		case remote.LinkDown, remote.LinkClosed:
+			return false
+		}
+		// Reconnecting (or racing a channel swap): the link heals on
+		// its own, so the failure does not consume the retry budget.
+		return true
 	}
-	return o.app.session.node.Health().Overloaded(o.cfg.MaxLocalLoad)
+	o.failures++
+	return o.failures < o.cfg.PingRetryBudget
 }
 
-// Stop halts the optimizer and waits for its loop to exit.
-func (o *Optimizer) Stop() {
+// decide runs one probe round: fold the probe into the EWMA, read the
+// health score, and evaluate every movable dependency against the
+// hysteresis bands.
+func (o *Optimizer) decide(clk clock.Clock, rtt time.Duration) Decision {
+	o.observeRTT(rtt)
+	d := Decision{RTT: rtt, SmoothedRTT: o.srtt, Health: o.health()}
+	now := clk.Now()
+	for i := range o.app.Descriptor.Dependencies {
+		dep := &o.app.Descriptor.Dependencies[i]
+		if dep.Tier != TierLogic || !dep.Movable {
+			continue
+		}
+		local, _ := o.app.DependencyLocal(dep.Service)
+		if local {
+			if o.shouldPush(d) {
+				if !o.dwellOK(dep, now) {
+					o.countFlap(dep)
+				} else if o.move(dep.Service, false) {
+					d.Pushed = append(d.Pushed, dep.Service)
+				}
+			}
+			continue
+		}
+		if o.shouldPull(d, o.invokeP99(dep.Service)) {
+			if !o.dwellOK(dep, now) {
+				o.countFlap(dep)
+			} else if o.move(dep.Service, true) {
+				d.Pulled = append(d.Pulled, dep.Service)
+			}
+		}
+	}
+	return d
+}
+
+// shouldPull applies the pull band: link EWMA over the pull threshold,
+// or the service's live invoke p99 over its own — and the device not
+// overloaded (MaxLocalLoad gate).
+func (o *Optimizer) shouldPull(d Decision, p99 time.Duration) bool {
+	if o.cfg.MaxLocalLoad > 0 && d.Health >= o.cfg.MaxLocalLoad {
+		return false
+	}
+	if d.SmoothedRTT >= o.cfg.RTTThreshold {
+		return true
+	}
+	return o.cfg.PullInvokeP99 > 0 && p99 >= o.cfg.PullInvokeP99
+}
+
+// shouldPush applies the push band: the link recovered well past the
+// hysteresis gap, or the device itself became the bottleneck.
+func (o *Optimizer) shouldPush(d Decision) bool {
+	if o.cfg.PushLocalLoad > 0 && d.Health >= o.cfg.PushLocalLoad {
+		return true
+	}
+	return d.SmoothedRTT > 0 && d.SmoothedRTT <= o.cfg.PushRTT
+}
+
+// dwellOK enforces the minimum dwell: a dependency moved at t may not
+// be reversed before t+dwell. The first-ever move is always allowed.
+func (o *Optimizer) dwellOK(dep *Dependency, now time.Time) bool {
+	stamp, moved := o.app.lastPlacementMove(dep.Service)
+	if !moved {
+		return true
+	}
+	dwell := o.cfg.MinDwell
+	if d := time.Duration(dep.MinDwellMs) * time.Millisecond; d > dwell {
+		dwell = d
+	}
+	return now.Sub(stamp.at) >= dwell
+}
+
+// countFlap records one suppressed reversal: the signals demanded the
+// opposite placement inside the dwell window, and hysteresis held the
+// line. Counted once per dependency per dwell period.
+func (o *Optimizer) countFlap(dep *Dependency) {
+	stamp, moved := o.app.lastPlacementMove(dep.Service)
+	if !moved {
+		return
+	}
+	if o.flapAt == nil {
+		o.flapAt = make(map[string]time.Time)
+	}
+	if o.flapAt[dep.Service].Equal(stamp.at) {
+		return
+	}
+	o.flapAt[dep.Service] = stamp.at
+	o.app.session.countFlap()
+}
+
+// move performs one re-placement.
+func (o *Optimizer) move(service string, toLocal bool) bool {
+	reason := "pushed back to the target by the online optimizer"
+	if toLocal {
+		reason = "pulled at runtime by the online optimizer"
+	}
+	return o.app.placeDependency(service, toLocal, reason) == nil
+}
+
+// observeRTT folds one probe into the EWMA and publishes it, so the
+// signal behind re-placement decisions is visible on /obs/fleet next
+// to the decision counters.
+func (o *Optimizer) observeRTT(rtt time.Duration) {
+	if o.srtt == 0 {
+		o.srtt = rtt
+	} else {
+		a := o.cfg.RTTAlpha
+		o.srtt = time.Duration(a*float64(rtt) + (1-a)*float64(o.srtt))
+	}
+	o.app.session.obsHub().Metrics.Gauge("alfredo_core_optimizer_srtt_micros").
+		Set(int64(o.srtt / time.Microsecond))
+}
+
+// invokeP99 reads the service's live windowed client-side invoke p99
+// from the node's registry (the PR-7 sliding-window slots).
+func (o *Optimizer) invokeP99(service string) time.Duration {
+	return o.app.session.obsHub().Metrics.
+		WindowQuantileLabeled("alfredo_remote_invoke_seconds", 0.99, "service", service)
+}
+
+// health reads the overall overload score: the injected signal when
+// configured, the node's own HealthView otherwise.
+func (o *Optimizer) health() float64 {
+	if o.cfg.Health != nil {
+		return o.cfg.Health().Overall
+	}
+	return o.app.session.node.Health().Score().Overall
+}
+
+func (o *Optimizer) notify(d Decision) {
+	if o.cfg.OnDecision != nil {
+		o.cfg.OnDecision(d)
+	}
+}
+
+// signal requests stop without waiting for the loop to exit; a loop
+// blocked mid-probe unblocks through the channel's own teardown.
+func (o *Optimizer) signal() {
 	o.once.Do(func() { close(o.stop) })
+}
+
+// Stop halts the optimizer and waits for its loop to exit. Idempotent,
+// and safe after Release already stopped it.
+func (o *Optimizer) Stop() {
+	o.signal()
 	o.wg.Wait()
 }

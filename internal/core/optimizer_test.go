@@ -93,9 +93,9 @@ func TestOptimizerPullsLogicWhenLinkDegrades(t *testing.T) {
 	opt, err := app.StartOptimizer(OptimizerConfig{
 		Interval:     20 * time.Millisecond,
 		RTTThreshold: 20 * time.Millisecond,
-		OnDecision: func(rtt time.Duration, pulled []string) {
+		OnDecision: func(d Decision) {
 			mu.Lock()
-			decisions = append(decisions, rtt)
+			decisions = append(decisions, d.RTT)
 			mu.Unlock()
 		},
 	})
@@ -169,7 +169,7 @@ func TestOptimizerHealthGate(t *testing.T) {
 		Health: func() obs.HealthScore {
 			return obs.HealthScore{Overall: float64(overloadMilli.Load()) / 1000}
 		},
-		OnDecision: func(time.Duration, []string) { rounds.Add(1) },
+		OnDecision: func(Decision) { rounds.Add(1) },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// Live tier re-placement (DESIGN.md §13): the mechanics under the
+// bidirectional optimizer. Each movable logic-tier dependency has one
+// depRoute at a time — the epoch-numbered placement of that tier. A
+// pull installs a local proxy route; a push swaps a remote route back
+// in, drains the invokes still in flight on the local proxy, and only
+// then releases the proxy through the module lifecycle. Routes swap
+// atomically under the application lock and a retired route admits no
+// new invokes, so every dependency invoke issued during a cutover
+// dispatches to exactly one placement and none are dropped.
+
+// depRoute is the live placement of one movable dependency.
+type depRoute struct {
+	// epoch numbers this placement; it is bumped on every cutover so
+	// diagnostics can correlate an invoke with the placement it ran on.
+	epoch int64
+	// local is the installed proxy while the logic tier runs on this
+	// node; nil routes invokes over the channel to the target.
+	local *remote.DynamicService
+	// bundle and ch tie a local proxy to its module and the channel
+	// tracking it, for teardown when the route is replaced.
+	bundle *module.Bundle
+	ch     *remote.Channel
+
+	mu       sync.Mutex
+	inflight int
+	retired  bool
+	idle     chan struct{}
+}
+
+// begin admits one invoke onto the route; false means the route was
+// retired by a cutover and the caller must reload the current one.
+func (r *depRoute) begin() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.retired {
+		return false
+	}
+	r.inflight++
+	return true
+}
+
+// end retires one in-flight invoke, releasing the drain waiter once a
+// retired route empties.
+func (r *depRoute) end() {
+	r.mu.Lock()
+	if r.inflight--; r.inflight == 0 && r.retired {
+		close(r.idle)
+	}
+	r.mu.Unlock()
+}
+
+// retire closes the route to new invokes and returns a channel that is
+// closed once the last in-flight invoke on it finishes. Idempotent.
+func (r *depRoute) retire() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.retired {
+		r.retired = true
+		r.idle = make(chan struct{})
+		if r.inflight == 0 {
+			close(r.idle)
+		}
+	}
+	return r.idle
+}
+
+// releaseLocal uninstalls a drained local route's proxy through the
+// module lifecycle and drops it from channel-teardown tracking (which
+// would otherwise grow without bound across pull/push cycles).
+func (r *depRoute) releaseLocal() {
+	if r.bundle != nil && r.bundle.State() != module.StateUninstalled {
+		_ = r.bundle.Uninstall()
+	}
+	if r.ch != nil {
+		r.ch.UntrackProxy(r.bundle)
+	}
+}
+
+// placeFlight single-flights concurrent re-placements of one service:
+// the first caller performs the move, same-direction callers share its
+// outcome, opposite-direction callers wait and re-evaluate.
+type placeFlight struct {
+	toLocal bool
+	done    chan struct{}
+	err     error
+}
+
+// moveStamp records the last placement move of one dependency, for the
+// optimizer's dwell gating and flap detection on the clock seam.
+type moveStamp struct {
+	at      time.Time
+	toLocal bool
+}
+
+// ensurePlacement initializes the placement maps. Callers hold a.mu or
+// have exclusive access to a fresh Application.
+func (a *Application) ensurePlacement() {
+	if a.routes == nil {
+		a.routes = make(map[string]*depRoute)
+	}
+	if a.placeFlights == nil {
+		a.placeFlights = make(map[string]*placeFlight)
+	}
+	if a.lastMove == nil {
+		a.lastMove = make(map[string]moveStamp)
+	}
+}
+
+// findDependency resolves a declared dependency by interface name.
+func (a *Application) findDependency(service string) *Dependency {
+	for i := range a.Descriptor.Dependencies {
+		if a.Descriptor.Dependencies[i].Service == service {
+			return &a.Descriptor.Dependencies[i]
+		}
+	}
+	return nil
+}
+
+// dep resolves a pulled dependency proxy under the application lock.
+func (a *Application) dep(service string) (invoker interface {
+	Invoke(method string, args []any) (any, error)
+}, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.Deps[service]
+	return d, ok
+}
+
+// PullDependency moves one movable logic-tier dependency to the client
+// at runtime: its proxy is fetched, installed and routed to, so
+// subsequent invocations of that service run through it (locally, when
+// smart proxy code is installed). Concurrent calls for the same
+// service are single-flighted: one caller fetches, the rest share its
+// outcome. It is the mechanism under the online optimizer and may also
+// be called directly.
+func (a *Application) PullDependency(service string) error {
+	return a.placeDependency(service, true, "pulled at runtime by the online optimizer")
+}
+
+// PushDependency is the dual of PullDependency: it returns a pulled
+// logic-tier dependency to target-side execution. New invokes route to
+// the remote service immediately; invokes in flight on the local proxy
+// drain, then the proxy bundle is uninstalled through the module
+// lifecycle. The cutover drops no invokes. Pushing a dependency that
+// is not local is a no-op.
+func (a *Application) PushDependency(service string) error {
+	return a.placeDependency(service, false, "pushed back to the target by the online optimizer")
+}
+
+// placeDependency validates, single-flights and dispatches one
+// re-placement in either direction.
+func (a *Application) placeDependency(service string, toLocal bool, reason string) error {
+	dep := a.findDependency(service)
+	if dep == nil {
+		return fmt.Errorf("%w: %s not declared", ErrNoSuchRemoteService, service)
+	}
+	if dep.Tier != TierLogic || !dep.Movable {
+		return fmt.Errorf("%w: %s", ErrNotMovable, service)
+	}
+	for {
+		a.mu.Lock()
+		if a.done {
+			a.mu.Unlock()
+			return ErrAlreadyAcquired
+		}
+		a.ensurePlacement()
+		r := a.routes[service]
+		if local := r != nil && r.local != nil; local == toLocal {
+			a.mu.Unlock()
+			return nil // already in the requested placement
+		}
+		if f, inflight := a.placeFlights[service]; inflight {
+			sameDir := f.toLocal == toLocal
+			a.mu.Unlock()
+			<-f.done
+			if sameDir {
+				return f.err // share the winner's outcome
+			}
+			continue // opposite move finished; re-evaluate from scratch
+		}
+		f := &placeFlight{toLocal: toLocal, done: make(chan struct{})}
+		a.placeFlights[service] = f
+		a.mu.Unlock()
+
+		if toLocal {
+			f.err = a.pullLocal(service, reason)
+		} else {
+			f.err = a.pushRemote(service, reason)
+		}
+		a.mu.Lock()
+		delete(a.placeFlights, service)
+		a.mu.Unlock()
+		close(f.done)
+		return f.err
+	}
+}
+
+// pullLocal fetches the dependency's service and installs its proxy,
+// then swaps the local route in. The network phase runs off the
+// application lock; the swap re-checks release and lost races, so a
+// proxy installed after Release (or after a concurrent recovery made
+// the dependency local) is torn down instead of leaked.
+func (a *Application) pullLocal(service, reason string) error {
+	ch := a.session.channel()
+	info, ok := ch.FindRemoteService(service)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchRemoteService, service)
+	}
+	reply, err := ch.Fetch(info.ID)
+	if err != nil {
+		return err
+	}
+	b, proxy, err := ch.InstallProxy(reply)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	if done, local := a.done, a.routes[service] != nil && a.routes[service].local != nil; done || local {
+		a.mu.Unlock()
+		_ = b.Uninstall()
+		ch.UntrackProxy(b)
+		if done {
+			return ErrAlreadyAcquired
+		}
+		return nil
+	}
+	old := a.installLocalRoute(service, proxy, b, ch, reason)
+	a.mu.Unlock()
+	if old != nil {
+		// Retired remote route: nothing to release; its in-flight
+		// invokes complete on the channel they were issued on.
+		old.retire()
+	}
+	a.session.countPull()
+	return nil
+}
+
+// installLocalRoute swaps in a fresh local placement for service and
+// returns the replaced route (nil when the dependency had none).
+// Callers hold a.mu or have exclusive access to the Application. An
+// empty reason keeps the recorded placement reason.
+func (a *Application) installLocalRoute(service string, proxy *remote.DynamicService, b *module.Bundle, ch *remote.Channel, reason string) *depRoute {
+	a.ensurePlacement()
+	old := a.routes[service]
+	a.placeEpoch++
+	a.routes[service] = &depRoute{epoch: a.placeEpoch, local: proxy, bundle: b, ch: ch}
+	a.Deps[service] = proxy
+	if !containsString(a.Placement.PullLogic, service) {
+		a.Placement.PullLogic = append(a.Placement.PullLogic, service)
+	}
+	if reason != "" {
+		if a.Placement.Reasons == nil {
+			a.Placement.Reasons = make(map[string]string)
+		}
+		a.Placement.Reasons[service] = reason
+	}
+	a.lastMove[service] = moveStamp{at: a.session.node.cfg.Clock.Now(), toLocal: true}
+	return old
+}
+
+// pushRemote is the lossless push cutover: swap a remote route in
+// under the lock (new invokes go to the target immediately), drain the
+// invokes still in flight on the local proxy, then release the proxy
+// through the module lifecycle.
+func (a *Application) pushRemote(service, reason string) error {
+	a.mu.Lock()
+	a.ensurePlacement()
+	old := a.routes[service]
+	if old == nil || old.local == nil {
+		a.mu.Unlock()
+		return nil
+	}
+	a.placeEpoch++
+	a.routes[service] = &depRoute{epoch: a.placeEpoch}
+	delete(a.Deps, service)
+	a.Placement.PullLogic = removeString(a.Placement.PullLogic, service)
+	if reason != "" {
+		if a.Placement.Reasons == nil {
+			a.Placement.Reasons = make(map[string]string)
+		}
+		a.Placement.Reasons[service] = reason
+	}
+	a.lastMove[service] = moveStamp{at: a.session.node.cfg.Clock.Now(), toLocal: false}
+	a.mu.Unlock()
+
+	<-old.retire()
+	old.releaseLocal()
+	a.session.countPush()
+	return nil
+}
+
+// InvokeDependency calls a method on one of the application's declared
+// dependencies through its current placement: the local proxy while
+// the logic tier is pulled (smart proxy code then executes on-device),
+// the remote service otherwise. A cutover concurrent with the call is
+// lossless — the invoke dispatches to exactly one placement.
+func (a *Application) InvokeDependency(service, method string, args ...any) (any, error) {
+	return a.invokeDependency(service, method, args)
+}
+
+func (a *Application) invokeDependency(service, method string, args []any) (any, error) {
+	m := a.session.obsHub().Metrics
+	m.Counter(depInvokesFamily).Inc()
+	for {
+		a.mu.Lock()
+		r := a.routes[service]
+		a.mu.Unlock()
+		if r == nil {
+			// Never re-placed: invoke straight on the target.
+			m.Counter(depDispatchFamily).Inc()
+			return a.invokeDepRemote(service, method, args)
+		}
+		if !r.begin() {
+			continue // retired mid-lookup; reload the current route
+		}
+		m.Counter(depDispatchFamily).Inc()
+		var res any
+		var err error
+		if r.local != nil {
+			res, err = r.local.Invoke(method, args)
+		} else {
+			res, err = a.invokeDepRemote(service, method, args)
+		}
+		r.end()
+		return res, err
+	}
+}
+
+func (a *Application) invokeDepRemote(service, method string, args []any) (any, error) {
+	ch := a.session.channel()
+	if info, ok := ch.FindRemoteService(service); ok {
+		return ch.Invoke(info.ID, method, args)
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoSuchRemoteService, service)
+}
+
+// DependencyLocal reports whether the dependency currently executes
+// through a local proxy, and the epoch of its placement.
+func (a *Application) DependencyLocal(service string) (local bool, epoch int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r := a.routes[service]; r != nil {
+		return r.local != nil, r.epoch
+	}
+	return false, 0
+}
+
+// PlacementEpoch returns the number of placement cutovers this
+// application has performed (including acquire-time pulls).
+func (a *Application) PlacementEpoch() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.placeEpoch
+}
+
+// lastPlacementMove returns the dwell stamp of the dependency's most
+// recent placement move.
+func (a *Application) lastPlacementMove(service string) (moveStamp, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.lastMove[service]
+	return s, ok
+}
+
+// PlacementConsistent audits the placement bookkeeping under the
+// application lock: PullLogic is duplicate-free and every entry in it,
+// in Deps, and in the route table agrees on where each dependency
+// runs. The sim harness checks it after every schedule step; any
+// divergence means a cutover lost a race.
+func (a *Application) PlacementConsistent() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.done {
+		return nil // released: teardownPlacement cleared the routes
+	}
+	seen := make(map[string]bool, len(a.Placement.PullLogic))
+	for _, s := range a.Placement.PullLogic {
+		if seen[s] {
+			return fmt.Errorf("core: %s listed twice in PullLogic", s)
+		}
+		seen[s] = true
+		if _, ok := a.Deps[s]; !ok {
+			return fmt.Errorf("core: %s in PullLogic but absent from Deps", s)
+		}
+	}
+	for s, proxy := range a.Deps {
+		if !seen[s] {
+			return fmt.Errorf("core: %s in Deps but absent from PullLogic", s)
+		}
+		r := a.routes[s]
+		if r == nil || r.local == nil {
+			return fmt.Errorf("core: %s in Deps but its route is not local", s)
+		}
+		if r.local != proxy {
+			return fmt.Errorf("core: %s route proxy differs from Deps entry", s)
+		}
+	}
+	for s, r := range a.routes {
+		if r.local != nil && !seen[s] {
+			return fmt.Errorf("core: %s has a local route but no PullLogic entry", s)
+		}
+	}
+	return nil
+}
+
+// teardownPlacement retires every route and stops attached optimizers;
+// Release calls it so re-placement machinery never outlives the
+// application. Local proxies still draining are released as soon as
+// their last invoke finishes.
+func (a *Application) teardownPlacement() {
+	a.mu.Lock()
+	opts := a.optimizers
+	a.optimizers = nil
+	routes := a.routes
+	a.routes = nil
+	a.mu.Unlock()
+	for _, o := range opts {
+		// Signal without waiting: an optimizer blocked in a probe on a
+		// slow link unblocks on its own; waiting here would stall
+		// Release on the invoke timeout.
+		o.signal()
+	}
+	for _, r := range routes {
+		drained := r.retire()
+		if r.local == nil {
+			continue
+		}
+		select {
+		case <-drained:
+			r.releaseLocal()
+		default:
+			go func(r *depRoute) {
+				<-drained
+				r.releaseLocal()
+			}(r)
+		}
+	}
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// removeString returns list without s. It allocates a fresh slice so
+// snapshots of the old header (recovery holds one across its fetches)
+// never see the mutation.
+func removeString(list []string, s string) []string {
+	out := make([]string, 0, len(list))
+	for _, v := range list {
+		if v != s {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/device"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
+)
+
+// acquireCounter drives one Acquire of the counter app on the virtual
+// clock and fails the test if it does not complete.
+func acquireCounter(t *testing.T, v *clock.Virtual, session *Session) *Application {
+	t.Helper()
+	var app *Application
+	driveV(t, v, time.Minute, func() {
+		a, err := session.Acquire("demo.Counter", AcquireOptions{})
+		if err != nil {
+			t.Errorf("Acquire: %v", err)
+			return
+		}
+		app = a
+	})
+	if app == nil {
+		t.FailNow()
+	}
+	return app
+}
+
+// TestPullDependencyConcurrentSingleFlight is the regression test for
+// the pull TOCTOU race: the lock used to be dropped between the dup
+// check and the install, so concurrent pulls (optimizer tick + direct
+// call) each fetched and installed a proxy, the losers' proxies were
+// silently overwritten, and Placement.PullLogic collected duplicate
+// entries. Pulls for one service are now single-flighted.
+func TestPullDependencyConcurrentSingleFlight(t *testing.T) {
+	v, session, _ := optimizerPair(t)
+	app := acquireCounter(t, v, session)
+
+	const callers = 8
+	errs := make([]error, callers)
+	driveV(t, v, time.Minute, func() {
+		var wg sync.WaitGroup
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = app.PullDependency("demo.Stats")
+			}(i)
+		}
+		wg.Wait()
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent pull %d: %v", i, err)
+		}
+	}
+	count := 0
+	for _, s := range app.Placement.PullLogic {
+		if s == "demo.Stats" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("PullLogic lists demo.Stats %d times, want exactly 1: %v", count, app.Placement.PullLogic)
+	}
+	if local, _ := app.DependencyLocal("demo.Stats"); !local {
+		t.Fatal("dependency not local after concurrent pulls")
+	}
+	// A single cutover happened: acquire-time epoch bumps aside, the
+	// eight callers produced one new placement, not eight.
+	if _, epoch := app.DependencyLocal("demo.Stats"); epoch != app.PlacementEpoch() {
+		t.Fatalf("route epoch %d is not the latest epoch %d", epoch, app.PlacementEpoch())
+	}
+}
+
+// TestPushDependencyRoundTrip exercises the new dual of PullDependency:
+// pull, invoke locally, push back, invoke remotely — with the module
+// lifecycle releasing the local proxy and the bookkeeping (Deps,
+// PullLogic, counters) returning to the remote state.
+func TestPushDependencyRoundTrip(t *testing.T) {
+	v, session, _ := optimizerPair(t)
+	app := acquireCounter(t, v, session)
+	reg := session.obsHub().Metrics
+	// The default obs hub is shared process-wide; assert deltas.
+	pulls0 := reg.Total(placementPullsFamily)
+	pushes0 := reg.Total(placementPushesFamily)
+	flaps0 := reg.Total(placementFlapsFamily)
+
+	driveV(t, v, time.Minute, func() {
+		// Pushing a dependency that was never pulled is a no-op.
+		if err := app.PushDependency("demo.Stats"); err != nil {
+			t.Errorf("push while remote: %v", err)
+		}
+		if err := app.PullDependency("demo.Stats"); err != nil {
+			t.Errorf("pull: %v", err)
+			return
+		}
+		if local, _ := app.DependencyLocal("demo.Stats"); !local {
+			t.Error("not local after pull")
+		}
+		if _, err := app.InvokeDependency("demo.Stats", "Double", int64(3)); err != nil {
+			t.Errorf("local Double: %v", err)
+		}
+		if err := app.PushDependency("demo.Stats"); err != nil {
+			t.Errorf("push: %v", err)
+			return
+		}
+		if local, _ := app.DependencyLocal("demo.Stats"); local {
+			t.Error("still local after push")
+		}
+		if _, dup := app.Deps["demo.Stats"]; dup {
+			t.Error("Deps still lists the pushed dependency")
+		}
+		if containsString(app.Placement.PullLogic, "demo.Stats") {
+			t.Error("PullLogic still lists the pushed dependency")
+		}
+		// The tier is back on the target; invokes go over the wire again.
+		if res, err := app.InvokeDependency("demo.Stats", "Double", int64(5)); err != nil || res != int64(10) {
+			t.Errorf("remote Double = %v, %v", res, err)
+		}
+	})
+	if got := reg.Total(placementPullsFamily) - pulls0; got != 1 {
+		t.Errorf("placement_pulls_total grew by %d, want 1", got)
+	}
+	if got := reg.Total(placementPushesFamily) - pushes0; got != 1 {
+		t.Errorf("placement_pushes_total grew by %d, want 1", got)
+	}
+	if got := reg.Total(placementFlapsFamily) - flaps0; got != 0 {
+		t.Errorf("placement_flaps_total grew by %d, want 0", got)
+	}
+}
+
+// TestCutoverLosslessUnderTraffic is the exactly-once cutover property
+// in miniature: invokers hammer the dependency while placement flips
+// local/remote several times over a link with real (virtual) latency.
+// Every invoke must complete with the right answer, and the dispatch
+// accounting must show each issued invoke landing on exactly one
+// placement.
+func TestCutoverLosslessUnderTraffic(t *testing.T) {
+	v, session, conn := optimizerPair(t)
+	app := acquireCounter(t, v, session)
+	reg := session.obsHub().Metrics
+
+	// Give remote invokes a real flight time so cutovers overlap them.
+	conn.SetLink(netsim.LinkProfile{Name: "slow", Latency: 5 * time.Millisecond})
+
+	var stop atomic.Bool
+	var issued, completed atomic.Int64
+	const invokers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < invokers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := int64(1); !stop.Load(); k++ {
+				issued.Add(1)
+				res, err := app.InvokeDependency("demo.Stats", "Double", k)
+				if err != nil {
+					t.Errorf("invoker %d call %d: %v", i, k, err)
+					return
+				}
+				if res != 2*k {
+					t.Errorf("invoker %d: Double(%d) = %v", i, k, res)
+					return
+				}
+				completed.Add(1)
+			}
+		}(i)
+	}
+
+	for round := 0; round < 4; round++ {
+		driveV(t, v, time.Minute, func() {
+			if err := app.PullDependency("demo.Stats"); err != nil {
+				t.Errorf("round %d pull: %v", round, err)
+			}
+		})
+		v.Advance(20 * time.Millisecond)
+		driveV(t, v, time.Minute, func() {
+			if err := app.PushDependency("demo.Stats"); err != nil {
+				t.Errorf("round %d push: %v", round, err)
+			}
+		})
+		v.Advance(20 * time.Millisecond)
+	}
+
+	stop.Store(true)
+	var done atomic.Bool
+	go func() { wg.Wait(); done.Store(true) }()
+	if !v.WaitCond(time.Minute, done.Load) {
+		t.Fatal("invokers did not drain after the final cutover")
+	}
+
+	if issued.Load() != completed.Load() {
+		t.Fatalf("issued %d invokes, completed %d", issued.Load(), completed.Load())
+	}
+	inv, disp := reg.Total(depInvokesFamily), reg.Total(depDispatchFamily)
+	if inv != disp {
+		t.Fatalf("dep invokes issued %d != dispatched %d: an invoke was dropped or double-dispatched", inv, disp)
+	}
+	if inv < issued.Load() {
+		t.Fatalf("counter %d below driver count %d", inv, issued.Load())
+	}
+}
+
+// TestOptimizerPushesWhenLinkRecovers drives the full bidirectional
+// arc on live signals: degrade → EWMA crosses the pull threshold →
+// pull; recover → EWMA decays below the push threshold → push after
+// the dwell. Hysteresis keeps the flap counter at zero throughout.
+func TestOptimizerPushesWhenLinkRecovers(t *testing.T) {
+	v, session, conn := optimizerPair(t)
+	app := acquireCounter(t, v, session)
+	reg := session.obsHub().Metrics
+	pushes0 := reg.Total(placementPushesFamily)
+	flaps0 := reg.Total(placementFlapsFamily)
+
+	opt, err := app.StartOptimizer(OptimizerConfig{
+		Interval:     10 * time.Millisecond,
+		RTTThreshold: 20 * time.Millisecond,
+		PushRTT:      5 * time.Millisecond,
+		RTTAlpha:     1, // no smoothing: deterministic rounds
+		MinDwell:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driveV(t, v, time.Minute, opt.Stop)
+
+	conn.SetLink(netsim.LinkProfile{Name: "degraded", Latency: 30 * time.Millisecond})
+	if !v.WaitCond(5*time.Second, func() bool {
+		local, _ := app.DependencyLocal("demo.Stats")
+		return local
+	}) {
+		t.Fatal("never pulled on the degraded link")
+	}
+
+	// Let the dwell expire while the link is still degraded, so the
+	// recovery-driven reversal is a legitimate move, not a flap.
+	v.Advance(60 * time.Millisecond)
+	conn.SetLink(netsim.Loopback)
+	if !v.WaitCond(5*time.Second, func() bool {
+		local, _ := app.DependencyLocal("demo.Stats")
+		return !local
+	}) {
+		t.Fatal("never pushed back after the link recovered")
+	}
+	if got := reg.Total(placementPushesFamily) - pushes0; got != 1 {
+		t.Errorf("placement_pushes_total grew by %d, want 1", got)
+	}
+	if got := reg.Total(placementFlapsFamily) - flaps0; got != 0 {
+		t.Errorf("placement_flaps_total grew by %d, want 0 on a clean degrade/recover arc", got)
+	}
+}
+
+// TestOptimizerDwellSuppressesFlap pins the hysteresis contract: when
+// the link recovers immediately after a pull, the push signal fires
+// inside the dwell window, the reversal is suppressed, and the
+// suppression is counted as exactly one flap per dwell period — the
+// placement itself must not move.
+func TestOptimizerDwellSuppressesFlap(t *testing.T) {
+	v, session, conn := optimizerPair(t)
+	app := acquireCounter(t, v, session)
+	reg := session.obsHub().Metrics
+	flaps0 := reg.Total(placementFlapsFamily)
+	pushes0 := reg.Total(placementPushesFamily)
+
+	opt, err := app.StartOptimizer(OptimizerConfig{
+		Interval:     10 * time.Millisecond,
+		RTTThreshold: 20 * time.Millisecond,
+		PushRTT:      5 * time.Millisecond,
+		RTTAlpha:     1,
+		MinDwell:     10 * time.Second, // effectively pin the placement
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driveV(t, v, time.Minute, opt.Stop)
+
+	conn.SetLink(netsim.LinkProfile{Name: "degraded", Latency: 30 * time.Millisecond})
+	if !v.WaitCond(5*time.Second, func() bool {
+		local, _ := app.DependencyLocal("demo.Stats")
+		return local
+	}) {
+		t.Fatal("never pulled on the degraded link")
+	}
+
+	// Immediate recovery: the push band is satisfied on the very next
+	// probes, but the dwell holds the placement.
+	conn.SetLink(netsim.Loopback)
+	if !v.WaitCond(5*time.Second, func() bool {
+		return reg.Total(placementFlapsFamily) > flaps0
+	}) {
+		t.Fatal("suppressed reversal never counted as a flap")
+	}
+	v.Advance(200 * time.Millisecond)
+	if local, _ := app.DependencyLocal("demo.Stats"); !local {
+		t.Fatal("dwell failed to hold the placement")
+	}
+	if got := reg.Total(placementFlapsFamily) - flaps0; got != 1 {
+		t.Errorf("placement_flaps_total grew by %d, want exactly 1 per dwell period", got)
+	}
+	if got := reg.Total(placementPushesFamily) - pushes0; got != 0 {
+		t.Errorf("placement_pushes_total grew by %d, want 0 while the dwell holds", got)
+	}
+}
+
+// TestReleaseStopsOptimizer is the regression test for the optimizer
+// leak: Release used to leave an attached optimizer ticking (its
+// goroutine alive, its rounds racing the released application) until
+// the whole session closed. Release now stops registered optimizers.
+func TestReleaseStopsOptimizer(t *testing.T) {
+	leak.CheckGoroutines(t)
+	v, session, _ := optimizerPair(t)
+	app := acquireCounter(t, v, session)
+
+	var rounds atomic.Int64
+	_, err := app.StartOptimizer(OptimizerConfig{
+		Interval:   10 * time.Millisecond,
+		OnDecision: func(Decision) { rounds.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.WaitCond(time.Minute, func() bool { return rounds.Load() >= 3 }) {
+		t.Fatal("optimizer never probed")
+	}
+
+	driveV(t, v, time.Minute, app.Release)
+	v.Advance(50 * time.Millisecond) // let an in-flight round finish
+	after := rounds.Load()
+	v.Advance(500 * time.Millisecond)
+	if got := rounds.Load(); got != after {
+		t.Fatalf("optimizer still probing after Release: %d rounds -> %d", after, got)
+	}
+	if _, err := app.StartOptimizer(OptimizerConfig{}); !errors.Is(err, ErrAlreadyAcquired) {
+		t.Errorf("StartOptimizer after Release = %v, want ErrAlreadyAcquired", err)
+	}
+}
+
+// TestPullDiscardedWhenReleasedMidFlight is the regression test for the
+// done re-check: a pull whose fetch was in flight when Release ran used
+// to install its proxy into the released application anyway. The swap
+// now re-checks done under the lock and tears the fresh proxy down.
+func TestPullDiscardedWhenReleasedMidFlight(t *testing.T) {
+	v, session, conn := optimizerPair(t)
+	app := acquireCounter(t, v, session)
+
+	// Slow the link so the pull's fetch is reliably in flight when the
+	// release lands.
+	conn.SetLink(netsim.LinkProfile{Name: "slow", Latency: 20 * time.Millisecond})
+
+	pullErr := make(chan error, 1)
+	go func() { pullErr <- app.PullDependency("demo.Stats") }()
+	v.Advance(5 * time.Millisecond) // fetch underway, far from done
+	driveV(t, v, time.Minute, app.Release)
+
+	var got error
+	var done atomic.Bool
+	go func() { got = <-pullErr; done.Store(true) }()
+	if !v.WaitCond(time.Minute, done.Load) {
+		t.Fatal("pull never returned after release")
+	}
+	if !errors.Is(got, ErrAlreadyAcquired) {
+		t.Fatalf("pull racing release = %v, want ErrAlreadyAcquired", got)
+	}
+	if _, dup := app.Deps["demo.Stats"]; dup {
+		t.Fatal("released application kept the pulled proxy")
+	}
+	if containsString(app.Placement.PullLogic, "demo.Stats") {
+		t.Fatal("released application kept the PullLogic entry")
+	}
+}
+
+// TestOptimizerSurvivesPingBlip is the regression test for
+// death-on-blip: the loop used to exit permanently on the first Ping
+// error, so a transient outage disabled optimization for the rest of
+// the session even though the resilient link auto-reconnects. Failed
+// probes are now skipped rounds; after the link heals, the optimizer
+// still reacts to the (now degraded) link and pulls.
+func TestOptimizerSurvivesPingBlip(t *testing.T) {
+	leak.CheckGoroutines(t)
+	v := clock.NewVirtual(3)
+	provider, err := NewNode(NodeConfig{Name: "target", Profile: device.Notebook(), Clock: v, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := provider.RegisterApp(counterApp()); err != nil {
+		t.Fatal(err)
+	}
+	phone, err := NewNode(NodeConfig{
+		Name: "phone", Profile: device.Nokia9300i(), Clock: v, Seed: 2,
+		InvokeTimeout: 500 * time.Millisecond,
+		Retry: remote.RetryPolicy{
+			MaxAttempts:     3,
+			BaseDelay:       10 * time.Millisecond,
+			ReconnectBudget: 10 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fabric := netsim.NewFabric().WithClock(v).WithSeed(3)
+	l, err := fabric.Listen("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider.Serve(l)
+
+	// The dial profile is swappable: the post-blip reconnect comes up on
+	// a degraded link, which the recovered optimizer must react to.
+	var degradedLink atomic.Bool
+	var mu sync.Mutex
+	var conns []*netsim.Conn
+	dial := func() (net.Conn, error) {
+		profile := netsim.Loopback
+		if degradedLink.Load() {
+			profile = netsim.LinkProfile{Name: "degraded", Latency: 30 * time.Millisecond}
+		}
+		c, err := fabric.Dial("target", profile)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		conns = append(conns, c.(*netsim.Conn))
+		mu.Unlock()
+		return c, nil
+	}
+
+	var session *Session
+	driveV(t, v, time.Minute, func() {
+		s, err := phone.ConnectResilient(dial)
+		if err != nil {
+			t.Errorf("ConnectResilient: %v", err)
+			return
+		}
+		session = s
+	})
+	if session == nil {
+		t.FailNow()
+	}
+	t.Cleanup(func() {
+		driveV(t, v, time.Minute, func() {
+			session.Close()
+			phone.Close()
+			provider.Close()
+		})
+		_ = l.Close()
+	})
+	app := acquireCounter(t, v, session)
+
+	var skipped atomic.Int64
+	opt, err := app.StartOptimizer(OptimizerConfig{
+		Interval:     10 * time.Millisecond,
+		RTTThreshold: 20 * time.Millisecond,
+		RTTAlpha:     1,
+		OnDecision: func(d Decision) {
+			if d.Skipped {
+				skipped.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer driveV(t, v, time.Minute, opt.Stop)
+	v.Advance(50 * time.Millisecond) // healthy rounds on the fast link
+
+	// The blip: drop the conn and keep the target dark briefly. Probes
+	// during the window fail; the old optimizer died right here.
+	degradedLink.Store(true)
+	fabric.Block("target", 100*time.Millisecond)
+	mu.Lock()
+	conns[len(conns)-1].Drop()
+	mu.Unlock()
+
+	if !v.WaitCond(10*time.Second, func() bool { return skipped.Load() >= 1 }) {
+		t.Fatal("no probe round was skipped during the blip")
+	}
+	if !v.WaitCond(30*time.Second, func() bool {
+		local, _ := app.DependencyLocal("demo.Stats")
+		return local
+	}) {
+		t.Fatal("optimizer never pulled after the blip healed: the loop died on the transient error")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/alfredo-mw/alfredo/internal/module"
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/render"
 )
@@ -136,7 +137,11 @@ func (s *Session) recoverApp(app *Application) (err error) {
 	}
 	ch.TrackProxy(bundle)
 
-	deps := make(map[string]*remote.DynamicService, len(pull))
+	type recoveredDep struct {
+		proxy  *remote.DynamicService
+		bundle *module.Bundle
+	}
+	deps := make(map[string]recoveredDep, len(pull))
 	for _, depIface := range pull {
 		dinfo, ok := ch.FindRemoteService(depIface)
 		if !ok {
@@ -148,12 +153,12 @@ func (s *Session) recoverApp(app *Application) (err error) {
 			_ = bundle.Uninstall()
 			return err
 		}
-		_, proxy, err := ch.InstallProxy(dreply)
+		db, proxy, err := ch.InstallProxy(dreply)
 		if err != nil {
 			_ = bundle.Uninstall()
 			return err
 		}
-		deps[depIface] = proxy
+		deps[depIface] = recoveredDep{proxy: proxy, bundle: db}
 	}
 
 	app.mu.Lock()
@@ -164,13 +169,65 @@ func (s *Session) recoverApp(app *Application) (err error) {
 	}
 	app.Bundle = bundle
 	app.Proxy = pb.Service
-	app.Deps = deps
+	// Rebuild the dependency routes on the fresh channel, each with a
+	// new placement epoch — but against the placement as it is NOW, not
+	// the snapshot the fetches ran from: a push that landed while we
+	// were refetching must stay pushed (its refetched proxy is
+	// discarded), and a pull that raced us onto this same channel keeps
+	// its route. The remaining old routes are retired below; any invoke
+	// still holding one completes there before reloading the new route.
+	app.ensurePlacement()
+	oldRoutes := app.routes
+	newRoutes := make(map[string]*depRoute, len(deps))
+	newDeps := make(map[string]*remote.DynamicService, len(deps))
+	var discard []recoveredDep
+	for svc, rd := range deps {
+		if !containsString(app.Placement.PullLogic, svc) {
+			discard = append(discard, rd) // pushed back mid-recovery
+			continue
+		}
+		app.placeEpoch++
+		newRoutes[svc] = &depRoute{epoch: app.placeEpoch, local: rd.proxy, bundle: rd.bundle, ch: ch}
+		newDeps[svc] = rd.proxy
+	}
+	for svc, r := range oldRoutes {
+		if _, replaced := newRoutes[svc]; replaced {
+			continue
+		}
+		if r.local != nil && r.ch == ch && containsString(app.Placement.PullLogic, svc) {
+			// Pulled concurrently on the fresh channel: that placement is
+			// newer than our snapshot — keep it live.
+			newRoutes[svc] = r
+			newDeps[svc] = r.local
+			delete(oldRoutes, svc)
+		}
+	}
+	app.routes = newRoutes
+	app.Deps = newDeps
 	app.Fetch = fstats
 	app.degraded = false
 	recovered := app.recovered
 	app.recovered = nil
 	view := app.View
 	app.mu.Unlock()
+	for _, rd := range discard {
+		_ = rd.bundle.Uninstall()
+		ch.UntrackProxy(rd.bundle)
+	}
+	for _, r := range oldRoutes {
+		drained := r.retire()
+		if r.local == nil {
+			continue
+		}
+		// A displaced local route: usually its proxy already died with
+		// the old channel's teardown (releaseLocal is then a no-op), but
+		// one that lost a race on the live channel must be released once
+		// its last invoke drains.
+		go func(r *depRoute) {
+			<-drained
+			r.releaseLocal()
+		}(r)
+	}
 	if recovered != nil {
 		close(recovered)
 	}

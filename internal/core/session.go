@@ -91,6 +91,15 @@ type Application struct {
 	evToks  []int64
 	mu      sync.Mutex
 	done    bool
+	// Live re-placement state (DESIGN.md §13): the epoch-numbered
+	// placement route per movable dependency, the single-flight table
+	// for concurrent re-placements, dwell stamps for the optimizer's
+	// hysteresis, and the optimizers Release must stop.
+	routes       map[string]*depRoute
+	placeFlights map[string]*placeFlight
+	placeEpoch   int64
+	lastMove     map[string]moveStamp
+	optimizers   []*Optimizer
 	// degraded marks the target unreachable; recovered (non-nil only
 	// while degraded) is closed when the session re-acquires the lease.
 	degraded  bool
@@ -218,6 +227,7 @@ func (s *Session) doAcquire(ctx context.Context, iface string, opts AcquireOptio
 	}
 
 	app := &Application{Interface: iface, session: s, Deps: make(map[string]*remote.DynamicService)}
+	app.ensurePlacement()
 
 	// Phase 1: acquire service interface (+ descriptor) over the link.
 	// The chunked fetch path consults the node's chunk cache first: an
@@ -341,11 +351,14 @@ func (s *Session) pullDependencies(ctx context.Context, app *Application, opts A
 		if err != nil {
 			return fmt.Errorf("core: pulling dependency %s: %w", depIface, err)
 		}
-		_, proxy, err := s.channel().InstallProxy(reply)
+		b, proxy, err := s.channel().InstallProxy(reply)
 		if err != nil {
 			return fmt.Errorf("core: installing dependency %s: %w", depIface, err)
 		}
-		app.Deps[depIface] = proxy
+		// Route the dependency through its acquire-time placement; the
+		// optimizer re-places it live from here on. The policy already
+		// recorded the reason, so keep it.
+		app.installLocalRoute(depIface, proxy, b, s.channel(), "")
 	}
 	app.Timing.Dependencies = time.Since(start)
 	return nil
@@ -494,6 +507,9 @@ func (a *Application) release(unlist bool) {
 	for _, tok := range a.evToks {
 		a.session.node.events.Unsubscribe(tok)
 	}
+	// Stop attached optimizers and retire the dependency routes: no
+	// placement machinery outlives the interaction (§4.1).
+	a.teardownPlacement()
 	if a.Bundle != nil && a.Bundle.State() != module.StateUninstalled {
 		_ = a.Bundle.Uninstall()
 	}
@@ -577,6 +593,20 @@ func (a *Application) Degraded() bool {
 	return a.degraded
 }
 
+// isReleased reports whether Release has run.
+func (a *Application) isReleased() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.done
+}
+
+// isClosed reports whether the session has been closed.
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // sessionHost is the sandbox surface handed to the controller (§3.2):
 // it can reach the session's services, the application's own view, and
 // the event bus — nothing else on the device.
@@ -591,14 +621,15 @@ func (h *sessionHost) Invoke(service, method string, args []any) (any, error) {
 	if service == "" || service == app.Interface {
 		return app.Proxy.Invoke(method, args)
 	}
-	// A pulled dependency runs through its local proxy (possibly smart,
-	// i.e. locally executing)...
-	if dep, ok := app.dep(service); ok {
-		return dep.Invoke(method, args)
+	// A declared dependency routes through its live placement — the
+	// local proxy while the logic tier is pulled (possibly smart, i.e.
+	// locally executing), the target otherwise. The controller cannot
+	// tell the difference: tier placement is transparent, and a
+	// re-placement concurrent with the call is lossless (DESIGN.md §13).
+	if app.findDependency(service) != nil {
+		return app.invokeDependency(service, method, args)
 	}
-	// ...while an unpulled one is invoked directly on the target. The
-	// controller cannot tell the difference: tier placement is
-	// transparent.
+	// Undeclared services are invoked directly on the target.
 	if info, ok := app.session.channel().FindRemoteService(service); ok {
 		return app.session.channel().Invoke(info.ID, method, args)
 	}

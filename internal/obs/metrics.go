@@ -470,6 +470,15 @@ func (r *Registry) Meter(name string, labels ...string) *Meter {
 // "live p99 across all services" reading health scoring consumes.
 // Returns 0 when the family is absent or its windows are empty.
 func (r *Registry) WindowQuantile(name string, q float64) time.Duration {
+	return r.WindowQuantileLabeled(name, q)
+}
+
+// WindowQuantileLabeled is WindowQuantile restricted to the series
+// whose labels include every given key/value pair (alternating, as in
+// the handle constructors) — the per-service latency tap the
+// re-placement optimizer reads. An empty filter merges the whole
+// family. Returns 0 when nothing matches or the windows are empty.
+func (r *Registry) WindowQuantileLabeled(name string, q float64, labels ...string) time.Duration {
 	if r == nil {
 		return 0
 	}
@@ -482,7 +491,9 @@ func (r *Registry) WindowQuantile(name string, q float64) time.Duration {
 	f.mu.RLock()
 	series := make([]*metric, 0, len(f.series))
 	for _, m := range f.series {
-		series = append(series, m)
+		if labelsInclude(m.labels, labels) {
+			series = append(series, m)
+		}
 	}
 	f.mu.RUnlock()
 	var merged []int64
@@ -506,6 +517,24 @@ func (r *Registry) WindowQuantile(name string, q float64) time.Duration {
 		return 0
 	}
 	return bucketQuantile(bounds, merged, total, q)
+}
+
+// labelsInclude reports whether have (alternating key/value) contains
+// every pair of want.
+func labelsInclude(have, want []string) bool {
+	for i := 0; i+1 < len(want); i += 2 {
+		found := false
+		for j := 0; j+1 < len(have); j += 2 {
+			if have[j] == want[i] && have[j+1] == want[i+1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // Total sums a family across every series: counter and gauge values,

@@ -1,0 +1,168 @@
+package remote
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/sim/clock"
+	"github.com/alfredo-mw/alfredo/internal/sim/leak"
+)
+
+// TestShedFromScore pins the shed mapping's boundaries: the dead band
+// below shedStart, the linear ramp, the shedMax ceiling, the >1 clamp,
+// and the NaN guard (a scorer with no inputs must never shed).
+func TestShedFromScore(t *testing.T) {
+	cases := []struct {
+		name    string
+		overall float64
+		want    float64
+	}{
+		{name: "NaN reads as healthy", overall: math.NaN(), want: 0},
+		{name: "negative reads as healthy", overall: -0.5, want: 0},
+		{name: "zero", overall: 0, want: 0},
+		{name: "just below shedStart", overall: shedStart - 0.001, want: 0},
+		{name: "exactly shedStart", overall: shedStart, want: 0},
+		{name: "ramp midpoint", overall: (shedStart + 1) / 2, want: shedMax / 2},
+		{name: "fully overloaded", overall: 1, want: shedMax},
+		{name: "above one clamps to shedMax", overall: 1.5, want: shedMax},
+		{name: "infinity clamps to shedMax", overall: math.Inf(1), want: shedMax},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ShedFromScore(tc.overall)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("ShedFromScore(%v) = %v, want %v", tc.overall, got, tc.want)
+			}
+		})
+	}
+	// Monotone on the ramp: more overload never sheds less.
+	prev := 0.0
+	for s := shedStart; s <= 1.0; s += 0.01 {
+		f := ShedFromScore(s)
+		if f < prev {
+			t.Fatalf("ShedFromScore not monotone: f(%v) = %v < %v", s, f, prev)
+		}
+		prev = f
+	}
+}
+
+// healthDriverPeer builds a standalone peer (no network) with its own
+// obs hub and an optional admission policy, torn down under the
+// virtual clock.
+func healthDriverPeer(t *testing.T, v *clock.Virtual, pol *AdmissionPolicy) (*Peer, *obs.Hub) {
+	t.Helper()
+	hub := obs.NewHub()
+	fw := module.NewFramework(module.Config{Name: "health-driver"})
+	ev := event.NewAdmin(0)
+	peer, err := NewPeer(Config{
+		Framework: fw,
+		Events:    ev,
+		ProxyCode: NewProxyCodeRegistry(),
+		Clock:     v,
+		Seed:      11,
+		Admission: pol,
+		Obs:       hub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		var done atomic.Bool
+		go func() {
+			defer done.Store(true)
+			peer.Close()
+			ev.Close()
+			_ = fw.Shutdown()
+		}()
+		if !v.WaitCond(time.Minute, done.Load) {
+			t.Error("peer teardown stalled under the virtual clock")
+		}
+	})
+	return peer, hub
+}
+
+// TestStartHealthDriverAppliesShedBeforeUserHook pins the hook
+// contract: when a user OnScore hook fires, the shed factor derived
+// from that same score has already been applied to the admission
+// controller — a hook reading Admission().ShedFactor() observes the
+// post-score state, never the previous round's.
+func TestStartHealthDriverAppliesShedBeforeUserHook(t *testing.T) {
+	leak.CheckGoroutines(t)
+	v := clock.NewVirtual(11)
+	pol := AdmissionPolicy{MaxInFlight: 100}
+	peer, hub := healthDriverPeer(t, v, &pol)
+
+	// Drive the queue component: depth 90 of capacity 100 scores 0.9
+	// overall, which is inside the shed ramp.
+	hub.Metrics.Gauge("alfredo_remote_dispatch_queue_depth").Set(90)
+
+	var calls atomic.Int64
+	scorer := peer.StartHealthDriver(obs.HealthConfig{
+		Interval:      10 * time.Millisecond,
+		QueueCapacity: 100,
+		OnScore: func(s obs.HealthScore) {
+			calls.Add(1)
+			want := ShedFromScore(s.Overall)
+			got := peer.Admission().ShedFactor()
+			// ShedFactor quantizes to millis.
+			if math.Abs(got-want) > 0.001 {
+				t.Errorf("inside OnScore: ShedFactor = %v, want %v (score %v already applied)",
+					got, want, s.Overall)
+			}
+		},
+	})
+	defer scorer.Stop()
+
+	// One pass runs synchronously inside StartHealthDriver: the user
+	// hook must have fired (the driver wraps, not replaces, it) and the
+	// shed factor must already reflect the overloaded queue.
+	if calls.Load() != 1 {
+		t.Fatalf("user OnScore fired %d times during the synchronous first pass, want 1", calls.Load())
+	}
+	if f := peer.Admission().ShedFactor(); f <= 0 {
+		t.Fatalf("shed factor %v after overloaded first pass, want > 0", f)
+	}
+
+	// The queue drains; the next pass must restore full capacity and
+	// still call the user hook.
+	hub.Metrics.Gauge("alfredo_remote_dispatch_queue_depth").Set(0)
+	v.Advance(15 * time.Millisecond)
+	if !v.WaitCond(time.Second, func() bool { return calls.Load() >= 2 }) {
+		t.Fatal("user OnScore never fired on a ticker pass")
+	}
+	if f := peer.Admission().ShedFactor(); f != 0 {
+		t.Fatalf("shed factor %v after recovery, want 0", f)
+	}
+}
+
+// TestStartHealthDriverWithoutAdmission: with admission disabled the
+// driver still scores and still fires the user hook — it just has
+// nothing to shed.
+func TestStartHealthDriverWithoutAdmission(t *testing.T) {
+	leak.CheckGoroutines(t)
+	v := clock.NewVirtual(12)
+	peer, hub := healthDriverPeer(t, v, nil)
+	hub.Metrics.Gauge("alfredo_remote_dispatch_queue_depth").Set(90)
+
+	var calls atomic.Int64
+	scorer := peer.StartHealthDriver(obs.HealthConfig{
+		Interval:      10 * time.Millisecond,
+		QueueCapacity: 100,
+		OnScore:       func(obs.HealthScore) { calls.Add(1) },
+	})
+	defer scorer.Stop()
+	if calls.Load() != 1 {
+		t.Fatalf("user OnScore fired %d times, want 1", calls.Load())
+	}
+	if peer.Admission() != nil {
+		t.Fatal("admission unexpectedly enabled")
+	}
+	if got := scorer.Last().Overall; got < 0.89 || got > 0.91 {
+		t.Fatalf("Overall = %v, want ~0.9 from the queue component", got)
+	}
+}

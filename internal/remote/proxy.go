@@ -240,3 +240,22 @@ func (c *Channel) TrackProxy(b *module.Bundle) {
 	defer c.mu.Unlock()
 	c.proxies = append(c.proxies, b)
 }
+
+// UntrackProxy removes a bundle from channel-teardown tracking. The
+// tier re-placement path uninstalls pushed-back proxies itself the
+// moment their last invoke drains; leaving the entry behind would grow
+// the tracking list without bound across pull/push cycles. Unknown
+// bundles are ignored.
+func (c *Channel) UntrackProxy(b *module.Bundle) {
+	if b == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, p := range c.proxies {
+		if p == b {
+			c.proxies = append(c.proxies[:i], c.proxies[i+1:]...)
+			return
+		}
+	}
+}

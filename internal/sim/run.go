@@ -55,7 +55,7 @@ type Result struct {
 type SchedEvent struct {
 	Step  int
 	At    time.Duration
-	Kind  string // "invoke", "reacquire", "drop", "block", "partition", "loss", "heal"
+	Kind  string // "invoke", "depinvoke", "pull", "push", "reacquire", "drop", "block", "partition", "loss", "heal"
 	Phone int
 	Dur   time.Duration
 	Prob  float64
@@ -75,8 +75,15 @@ func (e SchedEvent) describe() string {
 }
 
 // isFault reports whether the minimizer may remove the event. User
-// operations are kept: they are the workload, not the perturbation.
-func (e SchedEvent) isFault() bool { return e.Kind != "invoke" && e.Kind != "reacquire" }
+// operations — invokes, re-placements, reacquires — are kept: they are
+// the workload, not the perturbation.
+func (e SchedEvent) isFault() bool {
+	switch e.Kind {
+	case "invoke", "depinvoke", "pull", "push", "reacquire":
+		return false
+	}
+	return true
+}
 
 // generateSchedule derives the run's event schedule from the seed: a
 // mix of user operations and faults at strictly increasing virtual
@@ -90,13 +97,19 @@ func generateSchedule(seed int64, opts Options) []SchedEvent {
 		at += 20*time.Millisecond + time.Duration(rng.Intn(180))*time.Millisecond
 		ev := SchedEvent{Step: len(events), At: at, Phone: rng.Intn(opts.Phones)}
 		switch r := rng.Float64(); {
-		case r < 0.38:
+		case r < 0.22:
 			ev.Kind = "invoke"
-		case r < 0.48:
+		case r < 0.34:
+			ev.Kind = "depinvoke"
+		case r < 0.42:
+			ev.Kind = "pull"
+		case r < 0.50:
+			ev.Kind = "push"
+		case r < 0.58:
 			ev.Kind = "reacquire"
-		case r < 0.62:
+		case r < 0.68:
 			ev.Kind = "drop"
-		case r < 0.75:
+		case r < 0.78:
 			ev.Kind = "block"
 			ev.Dur = 50*time.Millisecond + time.Duration(rng.Intn(350))*time.Millisecond
 		case r < 0.90:
@@ -113,6 +126,15 @@ func generateSchedule(seed int64, opts Options) []SchedEvent {
 	}
 	return events
 }
+
+// Dependency-invoke accounting families (written by internal/core):
+// every issued invoke counts once in the first and, when it commits to
+// a placement, once in the second. The exactly-once cutover property
+// is their equality at quiescence.
+const (
+	depInvokesFamily  = "alfredo_core_dep_invokes_total"
+	depDispatchFamily = "alfredo_core_dep_dispatch_total"
+)
 
 // conservedFamilies are the counter families the telemetry-conservation
 // invariant audits: monotone phone-side counters that the workload
@@ -226,6 +248,55 @@ func builtinInvariants() []Invariant {
 			},
 		},
 		{
+			// Placement consistency: PullLogic duplicate-free and agreeing
+			// with Deps and the route table on every phone — the single-
+			// flight and cutover locking must never let a racing pull/push
+			// pair leave the bookkeeping split-brained.
+			Name: "placement-consistency",
+			Check: func(c *Cluster) error {
+				for _, p := range c.Phones {
+					app := p.App()
+					if app == nil {
+						continue
+					}
+					if err := app.PlacementConsistent(); err != nil {
+						return fmt.Errorf("%s: %w", p.Name, err)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Dispatch conservation: a dependency invoke dispatches to at
+			// most one placement (≤ at steps; an invoke between issue and
+			// dispatch is legitimately in between). The post-drain check
+			// tightens this to exact equality — exactly-once.
+			Name: "dep-dispatch-conservation",
+			Check: func(c *Cluster) error {
+				for _, p := range c.Phones {
+					issued := p.Hub.Metrics.Total(depInvokesFamily)
+					dispatched := p.Hub.Metrics.Total(depDispatchFamily)
+					if dispatched > issued {
+						return fmt.Errorf("%s: %d dispatches for %d issued dep invokes (double dispatch)",
+							p.Name, dispatched, issued)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Every dependency invoke that completed returned the right
+			// answer — an invoke dispatched onto a retired placement mid-
+			// cutover would surface here as a wrong or stale value.
+			Name: "dep-results-correct",
+			Check: func(c *Cluster) error {
+				if n := c.depWrong.Load(); n != 0 {
+					return fmt.Errorf("%d dependency invokes returned wrong values", n)
+				}
+				return nil
+			},
+		},
+		{
 			// Goroutine ceiling: fault churn must not accumulate
 			// goroutines step over step (each phone/target owns a small
 			// bounded set: channel read loop, dispatch workers, link
@@ -316,6 +387,21 @@ func runOnce(seed int64, opts Options) *Result {
 		res.Failure = f
 		return res
 	}
+	// Exactly-once dispatch: with the workload drained, every issued
+	// dependency invoke must have dispatched to exactly one placement —
+	// pulls, pushes and faults landing mid-invoke included. A shortfall
+	// is a dropped invoke; an excess is a duplicate.
+	for _, p := range c.Phones {
+		issued := p.Hub.Metrics.Total(depInvokesFamily)
+		dispatched := p.Hub.Metrics.Total(depDispatchFamily)
+		if issued != dispatched {
+			res.Failure = &Failure{
+				Step: -1, Invariant: "dep-dispatch-exactly-once",
+				Err: fmt.Errorf("%s: %d dep invokes issued, %d dispatched", p.Name, issued, dispatched),
+			}
+			return res
+		}
+	}
 	// No pending-call/fetch/ping map entries may outlive the drained,
 	// quiescent workload — a nonzero count here is exactly the leak a
 	// lost reply frame would cause.
@@ -395,6 +481,12 @@ func (c *Cluster) apply(ev SchedEvent) {
 	switch ev.Kind {
 	case "invoke":
 		c.StartInvoke(p, ev.Step)
+	case "depinvoke":
+		c.StartDepInvoke(p, ev.Step)
+	case "pull":
+		c.StartPull(p, ev.Step)
+	case "push":
+		c.StartPush(p, ev.Step)
 	case "reacquire":
 		c.StartReacquire(p, ev.Step)
 	case "drop":

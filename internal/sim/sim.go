@@ -170,7 +170,11 @@ type Cluster struct {
 	listeners []*netsim.Listener
 	baseGos   int
 	opsActive atomic.Int64
-	closed    bool
+	// depWrong counts dependency invokes that returned the wrong value —
+	// a cutover dispatching an invoke to a stale placement would show up
+	// here; the dep-results-correct invariant requires it to stay zero.
+	depWrong atomic.Int64
+	closed   bool
 }
 
 func targetAddr(i int) string { return fmt.Sprintf("sim-target-%d", i) }
@@ -225,6 +229,13 @@ func NewCluster(seed int64, opts Options) (*Cluster, error) {
 	for i := 0; i < opts.Phones; i++ {
 		name := fmt.Sprintf("sim-phone-%d", i)
 		hub := obs.NewHubOn(c.Clock)
+		// Pre-install the shop logic's smart proxy code so pull events
+		// exercise on-device execution, not just proxy plumbing.
+		proxyCode := remote.NewProxyCodeRegistry()
+		if err := shop.RegisterProxyCode(proxyCode); err != nil {
+			c.Close()
+			return nil, err
+		}
 		node, err := core.NewNode(core.NodeConfig{
 			Name:          name,
 			Profile:       device.Nokia9300i(),
@@ -234,6 +245,7 @@ func NewCluster(seed int64, opts Options) (*Cluster, error) {
 			// exercise the warm-start path, and the cache-coherence /
 			// chunk-conservation invariants audit it after every step.
 			CacheBytes: 4 << 20,
+			ProxyCode:  proxyCode,
 			Obs:        hub,
 			Clock:      c.Clock,
 			Seed:       seed + int64(1+i),
@@ -412,6 +424,89 @@ func (c *Cluster) StartReacquire(p *Phone, step int) {
 		p.busy.Store(false)
 		c.opsActive.Add(-1)
 	}()
+}
+
+// startPlacementOp is the shared busy-guarded launcher behind the
+// re-placement events: like invokes, at most one operation per phone is
+// in flight at a time, so per-pipe write order — and with it netsim
+// delivery timing — stays deterministic.
+func (c *Cluster) startPlacementOp(p *Phone, step int, kind string, detail string, op func(app *core.Application) string) {
+	app := p.App()
+	if app == nil {
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: step, Kind: kind + "-skip",
+			Node: p.Name, Detail: "no application (reacquire failed)",
+		})
+		return
+	}
+	if !p.busy.CompareAndSwap(false, true) {
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: step, Kind: kind + "-skip",
+			Node: p.Name, Detail: "previous call still in flight",
+		})
+		return
+	}
+	c.Trace.add(TraceEvent{
+		At: c.Clock.Elapsed(), Step: step, Kind: kind,
+		Node: p.Name, Detail: detail,
+	})
+	c.opsActive.Add(1)
+	go func() {
+		out := op(app)
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: -1, Kind: kind + "-done",
+			Node: p.Name, Detail: out,
+		})
+		p.busy.Store(false)
+		c.opsActive.Add(-1)
+	}()
+}
+
+// StartPull launches a runtime pull of the shop's movable logic tier —
+// the PullDependency half of live re-placement. Pulls landing during
+// faults may fail (fetch over a dead link); the trace records the
+// outcome and the placement invariants must hold either way.
+func (c *Cluster) StartPull(p *Phone, step int) {
+	c.startPlacementOp(p, step, "pull", shop.LogicInterface, func(app *core.Application) string {
+		if err := app.PullDependency(shop.LogicInterface); err != nil {
+			return "err=" + err.Error()
+		}
+		local, epoch := app.DependencyLocal(shop.LogicInterface)
+		return fmt.Sprintf("ok local=%v epoch=%d", local, epoch)
+	})
+}
+
+// StartPush launches the reverse move: PushDependency returns the
+// logic tier to the target, draining in-flight invokes losslessly.
+// Pushing while remote is a documented no-op.
+func (c *Cluster) StartPush(p *Phone, step int) {
+	c.startPlacementOp(p, step, "push", shop.LogicInterface, func(app *core.Application) string {
+		if err := app.PushDependency(shop.LogicInterface); err != nil {
+			return "err=" + err.Error()
+		}
+		local, epoch := app.DependencyLocal(shop.LogicInterface)
+		return fmt.Sprintf("ok local=%v epoch=%d", local, epoch)
+	})
+}
+
+// StartDepInvoke launches one dependency invocation through the current
+// placement — the workload the exactly-once cutover property audits.
+// The argument is derived from the step so results are deterministic
+// and verifiable.
+func (c *Cluster) StartDepInvoke(p *Phone, step int) {
+	arg := int64(100 + step)
+	want := shop.FormatPrice(arg)
+	c.startPlacementOp(p, step, "depinvoke", fmt.Sprintf("FormatPrice(%d)", arg), func(app *core.Application) string {
+		v, err := app.InvokeDependency(shop.LogicInterface, "FormatPrice", arg)
+		if err != nil {
+			return "err=" + err.Error()
+		}
+		if s, ok := v.(string); !ok || s != want {
+			c.depWrong.Add(1)
+			return fmt.Sprintf("WRONG got=%v want=%s", v, want)
+		}
+		return "ok " + want
+	})
 }
 
 // describeOutcome renders an operation result deterministically: value

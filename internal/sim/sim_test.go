@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/alfredo-mw/alfredo/internal/apps/shop"
 	"github.com/alfredo-mw/alfredo/internal/core"
 	"github.com/alfredo-mw/alfredo/internal/remote"
 	"github.com/alfredo-mw/alfredo/internal/render"
@@ -120,6 +121,64 @@ func TestSimMultiTarget(t *testing.T) {
 	res := Run(3, Options{Phones: 3, Targets: 2, Events: 10})
 	if res.Failure != nil {
 		t.Fatalf("seed 3 (3 phones, 2 targets): %s\n%s", res.Failure, res.Trace)
+	}
+}
+
+// TestSimSteadyStateOptimizerNeverFlaps runs a faultless cluster with
+// a live optimizer on each phone: on the steady WLAN link the RTT sits
+// above the pull threshold, so each phone pulls the logic tier exactly
+// once, then holds — no pushes, no flaps, placement invariants intact.
+func TestSimSteadyStateOptimizerNeverFlaps(t *testing.T) {
+	CheckGoroutines(t)
+	c, err := NewCluster(17, Options{Phones: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, p := range c.Phones {
+		opt, err := p.App().StartOptimizer(core.OptimizerConfig{
+			Interval:     25 * time.Millisecond,
+			RTTThreshold: 20 * time.Millisecond,
+			MinDwell:     100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := c.Do(time.Minute, func() error { opt.Stop(); return nil }); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+
+	// Every phone converges onto the local placement...
+	if !c.Eventually(10*time.Second, func() bool {
+		for _, p := range c.Phones {
+			if local, _ := p.App().DependencyLocal(shop.LogicInterface); !local {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("optimizers never pulled the logic tier on the slow steady link")
+	}
+	// ...and stays there: many more probe rounds change nothing.
+	c.Clock.Advance(5 * time.Second)
+	for _, p := range c.Phones {
+		m := p.Hub.Metrics
+		if got := m.Total("alfredo_core_placement_pulls_total"); got != 1 {
+			t.Errorf("%s: %d pulls under steady conditions, want exactly 1", p.Name, got)
+		}
+		if got := m.Total("alfredo_core_placement_pushes_total"); got != 0 {
+			t.Errorf("%s: %d pushes under steady conditions, want 0", p.Name, got)
+		}
+		if got := m.Total("alfredo_core_placement_flaps_total"); got != 0 {
+			t.Errorf("%s: %d flaps under steady conditions, want 0", p.Name, got)
+		}
+		if err := p.App().PlacementConsistent(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
 	}
 }
 
