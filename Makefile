@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments throughput acquire-bench scale-bench obs-bench placement fuzz fmt vet chaos sim obs check clean
+.PHONY: all build test race cover bench experiments throughput acquire-bench scale-bench obs-bench stream-bench placement fuzz fmt vet chaos sim obs check clean
 
 all: build test
 
@@ -54,6 +54,16 @@ scale-bench:
 obs-bench:
 	$(GO) test -run TestObsOverheadGate -count=1 -v ./internal/bench/
 	$(GO) test -bench 'BenchmarkNopInvokeTelemetry' -benchmem -run '^$$' ./internal/obs/
+
+# Stream mux gate: head-of-line protection (invoke p99 under a
+# saturating bulk stream), broadcast fan-out p99 at 1k subscribers vs
+# the 1-sub baseline with encode-once accounting, and zero reliable
+# loss across injected partitions; then the wall-clock sweep behind
+# `-exp stream` with its BENCH_stream.json artifact.
+stream-bench:
+	$(GO) test -run 'TestStreamHOLGate|TestStreamFanoutGate|TestStreamFaultGate' -count=1 -v ./internal/bench/
+	$(GO) test -run 'TestStream|TestBroadcaster' -count=1 ./internal/remote/
+	$(GO) run ./cmd/alfredo-bench -exp stream -json .
 
 # Live re-placement gate: the deterministic sweep with pull/push/
 # dep-invoke events interleaved with faults (exactly-once dispatch,

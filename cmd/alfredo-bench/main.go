@@ -23,11 +23,12 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, "+strings.Join(bench.Order, ", "))
-		window = flag.Duration("window", 3*time.Second, "measurement window per point")
-		warmup = flag.Duration("warmup", time.Second, "warmup before each window")
-		full   = flag.Bool("full", false, "include saturation points and full sweeps")
-		reps   = flag.Int("repeats", 3, "repetitions for the startup tables")
+		exp     = flag.String("exp", "all", "experiment: all, "+strings.Join(bench.Order, ", "))
+		window  = flag.Duration("window", 3*time.Second, "measurement window per point")
+		warmup  = flag.Duration("warmup", time.Second, "warmup before each window")
+		full    = flag.Bool("full", false, "include saturation points and full sweeps")
+		reps    = flag.Int("repeats", 3, "repetitions for the startup tables")
+		jsonDir = flag.String("json", "", "directory for BENCH_<exp>.json result files (empty = off)")
 	)
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 		Warmup:  *warmup,
 		Full:    *full,
 		Repeats: *reps,
+		JSONDir: *jsonDir,
 	}
 
 	if *exp == "all" {

@@ -21,19 +21,22 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/alfredo-mw/alfredo/internal/apps/infoscreen"
 	"github.com/alfredo-mw/alfredo/internal/apps/mousecontroller"
+	"github.com/alfredo-mw/alfredo/internal/apps/sensorstream"
 	"github.com/alfredo-mw/alfredo/internal/apps/shop"
 	"github.com/alfredo-mw/alfredo/internal/core"
 	"github.com/alfredo-mw/alfredo/internal/device"
 	"github.com/alfredo-mw/alfredo/internal/discovery"
 	"github.com/alfredo-mw/alfredo/internal/httpd"
 	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
 )
 
 func main() {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:9278", "TCP address to serve AlfredO on")
-		apps       = flag.String("apps", "shop,mouse", "comma-separated apps to host: shop, mouse")
+		apps       = flag.String("apps", "shop,mouse", "comma-separated apps to host: shop, mouse, sensor, info")
 		name       = flag.String("name", "alfredo-host", "device name announced to peers")
 		announce   = flag.Bool("announce", false, "broadcast SLP invitations on the discovery group")
 		group      = flag.String("group", discovery.DefaultGroup, "discovery multicast group")
@@ -43,21 +46,22 @@ func main() {
 		dispatch   = flag.Int("dispatch-workers", 0, "max concurrent inbound invocation handlers per channel (0 = default, negative = unbounded)")
 		chunkBytes = flag.Int("chunk-bytes", 0, "chunk size for content-addressed bundle serving (0 = default 4KB)")
 		healthInt  = flag.Duration("health-interval", 0, "health scoring cadence; faster scores sharpen the signal phone optimizers read for re-placement (0 = default 5s)")
+		streamWin  = flag.Int("stream-window", 0, "per-stream send window in bytes for credited streams (0 = default 256KB)")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *apps, *name, *group, *storage, *obsAddr, *snapshot, *announce, *dispatch, *chunkBytes, *healthInt); err != nil {
+	if err := run(*listen, *apps, *name, *group, *storage, *obsAddr, *snapshot, *announce, *dispatch, *chunkBytes, *healthInt, *streamWin); err != nil {
 		log.Fatalf("alfredo-host: %v", err)
 	}
 }
 
-func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool, dispatchWorkers, chunkBytes int, healthInterval time.Duration) error {
+func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.Duration, announce bool, dispatchWorkers, chunkBytes int, healthInterval time.Duration, streamWindow int) error {
 	// The host is the fleet telemetry sink: connected phones ship their
 	// metric registries here, and the host scores its own health so the
 	// admission layer sheds before saturation.
 	agg := obs.NewAggregator()
 	node, err := core.NewNode(core.NodeConfig{Name: name, Profile: device.Notebook(), StorageDir: storage,
-		DispatchWorkers: dispatchWorkers, ChunkBytes: chunkBytes,
+		DispatchWorkers: dispatchWorkers, ChunkBytes: chunkBytes, StreamWindowBytes: streamWindow,
 		Aggregator: agg, Health: &obs.HealthConfig{Interval: healthInterval}})
 	if err != nil {
 		return err
@@ -65,6 +69,8 @@ func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.
 	defer node.Close()
 
 	var hosted []string
+	var sensor *sensorstream.Service
+	var screen *infoscreen.Screen
 	for _, app := range strings.Split(apps, ",") {
 		switch strings.TrimSpace(app) {
 		case "shop":
@@ -82,9 +88,22 @@ func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.
 			}
 			defer svc.StopSnapshots()
 			hosted = append(hosted, mousecontroller.InterfaceName)
+		case "sensor":
+			sensor = sensorstream.New(nil)
+			if err := node.RegisterApp(sensor.App()); err != nil {
+				return err
+			}
+			hosted = append(hosted, sensorstream.InterfaceName)
+		case "info":
+			screen = infoscreen.NewScreen(remote.BroadcasterConfig{})
+			defer screen.Close()
+			if err := node.RegisterApp(screen.App()); err != nil {
+				return err
+			}
+			hosted = append(hosted, infoscreen.InterfaceName)
 		case "":
 		default:
-			return fmt.Errorf("unknown app %q (want shop, mouse)", app)
+			return fmt.Errorf("unknown app %q (want shop, mouse, sensor, info)", app)
 		}
 	}
 	if len(hosted) == 0 {
@@ -98,6 +117,31 @@ func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.
 	defer l.Close()
 	node.Serve(l)
 	fmt.Printf("%s serving %s on %s\n", name, strings.Join(hosted, ", "), l.Addr())
+
+	// The streaming apps attach to phones as they connect: the sensor
+	// starts its 120 Hz credited feed per channel, the info screen
+	// subscribes the channel to the card broadcaster.
+	if sensor != nil || screen != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go followChannels(node.Peer(), stop, func(ch *remote.Channel) {
+			if sensor != nil {
+				go func() {
+					if err := sensor.Stream(ch, remote.StreamReliable, sensorFeedReadings); err != nil {
+						log.Printf("sensor feed ended: %v", err)
+					}
+				}()
+			}
+			if screen != nil {
+				if _, err := screen.Attach(ch); err != nil {
+					log.Printf("infoscreen attach: %v", err)
+				}
+			}
+		})
+	}
+	if screen != nil {
+		go demoCards(screen)
+	}
 
 	// Live introspection: local metrics and traces, the fleet view of
 	// every connected phone, the node's health score, and on-demand
@@ -159,8 +203,48 @@ func run(listen, apps, name, group, storage, obsAddr string, snapshotEvery time.
 	}
 
 	sig := make(chan os.Signal, 1)
+
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
 	return nil
+}
+
+// sensorFeedReadings is one hour of feed at 120 Hz — effectively "run
+// until the phone disconnects" for an interactive session.
+const sensorFeedReadings = 120 * 3600
+
+// followChannels polls the peer's channel set and calls attach exactly
+// once for every channel that appears (each phone connecting over TCP).
+func followChannels(peer *remote.Peer, stop <-chan struct{}, attach func(*remote.Channel)) {
+	seen := make(map[*remote.Channel]bool)
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			for _, ch := range peer.Channels() {
+				if !seen[ch] {
+					seen[ch] = true
+					attach(ch)
+				}
+			}
+		}
+	}
+}
+
+// demoCards keeps the info screen's board alive with a clock card and
+// a rotating departures card, so attached viewers see keyed updates
+// (and coalescing, on slow links) without any operator input.
+func demoCards(screen *infoscreen.Screen) {
+	gates := []string{"Boarding 14:20", "Final call", "Departed", "Boarding 16:05"}
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for i := 0; ; i++ {
+		<-ticker.C
+		screen.Update("clock", "Time", time.Now().Format(time.RFC1123))
+		screen.Update("gate-4", "Flight LX8", gates[i%len(gates)])
+	}
 }

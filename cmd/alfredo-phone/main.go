@@ -18,6 +18,7 @@
 //	type <control> <text>       change a text input
 //	move <control> <dx> <dy>    move a pad
 //	ping                        measure link RTT
+//	streams                     show live stream feeds (sensor, info screen)
 //	release                     release the current app
 //	quit
 package main
@@ -32,8 +33,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/alfredo-mw/alfredo/internal/apps/infoscreen"
+	"github.com/alfredo-mw/alfredo/internal/apps/sensorstream"
 	"github.com/alfredo-mw/alfredo/internal/apps/shop"
 	"github.com/alfredo-mw/alfredo/internal/core"
 	"github.com/alfredo-mw/alfredo/internal/device"
@@ -63,11 +67,12 @@ func main() {
 		pullRTT    = flag.Duration("pull-rtt", 0, "smoothed RTT above which the optimizer pulls movable logic tiers (0 = default 20ms)")
 		pushRTT    = flag.Duration("push-rtt", 0, "smoothed RTT below which pulled logic tiers are pushed back (0 = default pull-rtt/4)")
 		placeDwell = flag.Duration("place-dwell", 0, "minimum time between placement reversals of one dependency (0 = default 10 probe intervals)")
+		streamWin  = flag.Int("stream-window", 0, "per-stream receive window in bytes granted to credited senders (0 = default 256KB)")
 	)
 	flag.Parse()
 
 	place := placementFlags{Optimize: *optimize, PullRTT: *pullRTT, PushRTT: *pushRTT, Dwell: *placeDwell}
-	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate, *dispatch, *cacheBytes, *cacheDir, *metricsInt, place); err != nil {
+	if err := run(*connect, *group, *profile, *httpAddr, *obsAddr, *discover, *simulate, *dispatch, *cacheBytes, *cacheDir, *metricsInt, *streamWin, place); err != nil {
 		log.Fatalf("alfredo-phone: %v", err)
 	}
 }
@@ -81,7 +86,7 @@ type placementFlags struct {
 	Dwell    time.Duration
 }
 
-func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool, dispatchWorkers int, cacheBytes int64, cacheDir string, metricsInterval time.Duration, place placementFlags) error {
+func run(connect, group, profileName, httpAddr, obsAddr string, discover, simulate bool, dispatchWorkers int, cacheBytes int64, cacheDir string, metricsInterval time.Duration, streamWindow int, place placementFlags) error {
 	prof, ok := device.ProfileByName(profileName)
 	if !ok {
 		return fmt.Errorf("unknown profile %q", profileName)
@@ -120,6 +125,9 @@ func run(connect, group, profileName, httpAddr, obsAddr string, discover, simula
 		// signal the online optimizer's MaxLocalLoad gate reads.
 		MetricsInterval: metricsInterval,
 		Health:          &obs.HealthConfig{},
+		// Receive window granted to each credited stream sender; lower
+		// it on constrained profiles to bound feed memory.
+		StreamWindowBytes: streamWindow,
 	})
 	if err != nil {
 		return err
@@ -136,6 +144,12 @@ func run(connect, group, profileName, httpAddr, obsAddr string, discover, simula
 	}
 	defer session.Close()
 	fmt.Printf("connected to %s as a %s\n", session.RemoteID(), prof.Name)
+
+	// Inbound streams from the host: the sensor feed and the info
+	// screen's card broadcast, dispatched by stream name. Registered
+	// right after connect so the host's first feed finds a handler.
+	feeds := newPhoneFeeds()
+	session.Channel().HandleStreams(feeds.handle)
 
 	// The servlet path: acquired HTML views are registered with the
 	// HTTP service so any browser can drive them (§3.3, the paper's
@@ -185,7 +199,69 @@ func run(connect, group, profileName, httpAddr, obsAddr string, discover, simula
 		fmt.Printf("telemetry at http://%s%s/metrics\n", addr, httpd.IntrospectionAlias)
 	}
 
-	return repl(session, prof, web, place)
+	return repl(session, prof, web, place, feeds)
+}
+
+// phoneFeeds holds the phone ends of the host's streaming apps. Each
+// inbound stream gets a fresh collector so a host restarting a feed
+// (or several hosts' worth of reconnects) never reuses a finished one.
+type phoneFeeds struct {
+	mu     sync.Mutex
+	sensor *sensorstream.Collector
+	viewer *infoscreen.Viewer
+	keys   []string
+}
+
+func newPhoneFeeds() *phoneFeeds { return &phoneFeeds{} }
+
+func (f *phoneFeeds) handle(r *remote.StreamReader) {
+	switch r.Name {
+	case sensorstream.StreamName:
+		c := sensorstream.NewCollector()
+		f.mu.Lock()
+		f.sensor = c
+		f.mu.Unlock()
+		c.Handle(r)
+	case infoscreen.BroadcastName:
+		v := infoscreen.NewViewer()
+		f.mu.Lock()
+		f.viewer = v
+		f.mu.Unlock()
+		v.Handle(r)
+	default:
+		for {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// show prints the live feed state to the REPL.
+func (f *phoneFeeds) show() {
+	f.mu.Lock()
+	sensor, viewer := f.sensor, f.viewer
+	f.mu.Unlock()
+	if sensor == nil && viewer == nil {
+		fmt.Println("  no live streams (host apps: sensor, info)")
+		return
+	}
+	if sensor != nil {
+		latest, received := sensor.Latest()
+		fmt.Printf("  sensor: %d readings, latest #%d accel %.3f,%.3f,%.3f (gaps %d)\n",
+			received, latest.Seq, latest.X, latest.Y, latest.Z, sensor.Gaps())
+		if err := sensor.Err(); err != nil {
+			fmt.Println("  sensor error:", err)
+		}
+	}
+	if viewer != nil {
+		fmt.Printf("  info screen: %d updates\n", viewer.Updates())
+		for _, key := range []string{"clock", "gate-4"} {
+			if c, ok := viewer.Card(key); ok {
+				fmt.Printf("    [%s] %s — %s (rev %d)\n", c.Key, c.Title, c.Body, c.Revision)
+			}
+		}
+	}
 }
 
 // startOptimizer attaches the online optimizer to a freshly acquired
@@ -243,7 +319,7 @@ func discoverHost(group string) (string, error) {
 	return addr, err
 }
 
-func repl(session *core.Session, prof device.Profile, web *httpd.Service, place placementFlags) error {
+func repl(session *core.Session, prof device.Profile, web *httpd.Service, place placementFlags, feeds *phoneFeeds) error {
 	var app *core.Application
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
@@ -261,6 +337,8 @@ func repl(session *core.Session, prof device.Profile, web *httpd.Service, place 
 			for _, s := range session.Services() {
 				fmt.Printf("  #%d %s\n", s.ID, strings.Join(s.Interfaces, ", "))
 			}
+		case "streams":
+			feeds.show()
 		case "ping":
 			rtt, err := session.Ping()
 			if err != nil {
@@ -336,7 +414,7 @@ func repl(session *core.Session, prof device.Profile, web *httpd.Service, place 
 				fmt.Println("  released")
 			}
 		default:
-			fmt.Println("  commands: list, acquire, show, press, select, type, move, ping, release, quit")
+			fmt.Println("  commands: list, acquire, show, press, select, type, move, ping, streams, release, quit")
 		}
 		fmt.Print("> ")
 	}

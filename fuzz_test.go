@@ -26,6 +26,8 @@ func FuzzWireDecode(f *testing.F) {
 		&wire.ServiceReply{RequestID: 1, Descriptor: []byte("{}")},
 		&wire.Event{Topic: "a/b", Props: map[string]any{}},
 		&wire.StreamData{StreamID: 9, Chunk: []byte{1, 2, 3}},
+		&wire.StreamData{StreamID: 9, Chunk: []byte{1, 2, 3}, More: true},
+		&wire.StreamCredit{StreamID: 9, Bytes: 1 << 18},
 		&wire.FetchManifest{RequestID: 4, ServiceID: 9, TraceID: 1, SpanID: 1},
 		&wire.ManifestReply{RequestID: 4, OK: true, Version: 2, ChunkBytes: 4096,
 			TotalBytes: 5, Root: "r", Chunks: []wire.ChunkRef{{Hash: "h", Size: 5}}},

@@ -1,0 +1,233 @@
+// Package infoscreen is the fan-out counterpart of sensorstream: a
+// host publishes a board of keyed "cards" (departures, room bookings,
+// tickers) to every attached phone through a remote.Broadcaster. Each
+// card update is encoded once no matter how many viewers are attached,
+// and a viewer on a slow link coalesces to the latest revision per key
+// instead of falling behind — exactly the semantics a public info
+// screen wants: freshest state, never a backlog of stale updates.
+package infoscreen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/core"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+	"github.com/alfredo-mw/alfredo/internal/ui"
+)
+
+// Interface and stream names.
+const (
+	// InterfaceName is the service interface under which the screen
+	// registers.
+	InterfaceName = "alfredo.apps.InfoScreen"
+	// BroadcastName names the card broadcaster (and so the stream each
+	// viewer receives).
+	BroadcastName = "alfredo/infoscreen/cards"
+)
+
+// Card is one keyed slot on the board.
+type Card struct {
+	// Key identifies the slot; updates to the same key supersede each
+	// other and may coalesce on slow links.
+	Key string
+	// Revision increases with every update to the key.
+	Revision int64
+	// Title and Body are the rendered content.
+	Title string
+	Body  string
+}
+
+// Encode appends the card's binary form to dst: revision, then the
+// three strings length-prefixed.
+func (c Card) Encode(dst []byte) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(c.Revision))
+	dst = append(dst, b[:]...)
+	for _, s := range []string{c.Key, c.Title, c.Body} {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+		dst = append(dst, l[:]...)
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// DecodeCard parses one encoded card.
+func DecodeCard(p []byte) (Card, error) {
+	if len(p) < 8 {
+		return Card{}, fmt.Errorf("infoscreen: card truncated at revision")
+	}
+	c := Card{Revision: int64(binary.BigEndian.Uint64(p[:8]))}
+	p = p[8:]
+	for i, dst := range []*string{&c.Key, &c.Title, &c.Body} {
+		if len(p) < 4 {
+			return Card{}, fmt.Errorf("infoscreen: card truncated at field %d length", i)
+		}
+		n := int(binary.BigEndian.Uint32(p[:4]))
+		p = p[4:]
+		if len(p) < n {
+			return Card{}, fmt.Errorf("infoscreen: card truncated at field %d body", i)
+		}
+		*dst = string(p[:n])
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return Card{}, fmt.Errorf("infoscreen: %d trailing bytes after card", len(p))
+	}
+	return c, nil
+}
+
+// Screen is the host-side publisher: the current board plus the
+// broadcaster that fans updates out to attached viewers.
+type Screen struct {
+	b *remote.Broadcaster
+
+	mu    sync.Mutex
+	cards map[string]Card
+}
+
+// NewScreen creates an empty board. cfg tunes the broadcaster (zero
+// value is fine: reliable class, default per-viewer queue).
+func NewScreen(cfg remote.BroadcasterConfig) *Screen {
+	return &Screen{
+		b:     remote.NewBroadcaster(BroadcastName, cfg),
+		cards: make(map[string]Card),
+	}
+}
+
+// Update sets a card and publishes the new revision to every attached
+// viewer. Encode happens once here regardless of viewer count.
+func (s *Screen) Update(key, title, body string) Card {
+	s.mu.Lock()
+	c := Card{Key: key, Revision: s.cards[key].Revision + 1, Title: title, Body: body}
+	s.cards[key] = c
+	s.mu.Unlock()
+	s.b.Publish(key, c.Encode(nil))
+	return c
+}
+
+// Attach subscribes the phone behind ch to the board and replays the
+// current cards so the new viewer starts complete. The replay goes
+// through the broadcaster (keyed, so established viewers coalesce the
+// duplicate revisions away rather than re-rendering them).
+func (s *Screen) Attach(ch *remote.Channel) (*remote.Subscription, error) {
+	sub, err := s.b.Subscribe(ch, nil)
+	if err != nil {
+		return nil, fmt.Errorf("infoscreen: attach viewer: %w", err)
+	}
+	s.mu.Lock()
+	replay := make([]Card, 0, len(s.cards))
+	for _, c := range s.cards {
+		replay = append(replay, c)
+	}
+	s.mu.Unlock()
+	for _, c := range replay {
+		s.b.Publish(c.Key, c.Encode(nil))
+	}
+	return sub, nil
+}
+
+// Viewers returns the number of attached viewers.
+func (s *Screen) Viewers() int { return s.b.Subscribers() }
+
+// Close detaches every viewer and shuts the broadcaster down.
+func (s *Screen) Close() { s.b.Close() }
+
+// App builds the registerable AlfredO application: board metadata
+// methods plus a descriptor rendering the cards as an ordered list.
+func (s *Screen) App() *core.App {
+	table := remote.NewService(InterfaceName).
+		Method("Keys", nil, "list", func(args []any) (any, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			keys := make([]any, 0, len(s.cards))
+			for k := range s.cards {
+				keys = append(keys, k)
+			}
+			return keys, nil
+		}).
+		Method("Viewers", nil, "int", func(args []any) (any, error) {
+			return int64(s.Viewers()), nil
+		})
+
+	desc := &core.Descriptor{
+		Service: InterfaceName,
+		UI: &ui.Description{
+			Title: "InfoScreen",
+			Controls: []ui.Control{
+				{ID: "board", Kind: ui.KindLabel, Text: "Cards", Importance: 10},
+				{ID: "status", Kind: ui.KindLabel, Text: "Live", Importance: 3},
+			},
+			Relations: []ui.Relation{
+				{Kind: ui.RelOrder, Members: []string{"board", "status"}},
+			},
+		},
+		StartWorkMs: 9,
+	}
+
+	return &core.App{Descriptor: desc, Service: table}
+}
+
+// Viewer is the phone-side consumer: it keeps the latest revision per
+// key, ignoring the stale or duplicate revisions a replay can produce.
+type Viewer struct {
+	mu      sync.Mutex
+	cards   map[string]Card
+	updates int64
+	err     error
+	done    chan struct{}
+}
+
+// NewViewer returns an empty viewer.
+func NewViewer() *Viewer {
+	return &Viewer{cards: make(map[string]Card), done: make(chan struct{})}
+}
+
+// Handle consumes one card stream; pass it to Channel.HandleStreams.
+func (v *Viewer) Handle(r *remote.StreamReader) {
+	defer close(v.done)
+	for {
+		chunk, err := r.Next()
+		if err != nil {
+			return
+		}
+		c, derr := DecodeCard(chunk)
+		v.mu.Lock()
+		if derr != nil {
+			if v.err == nil {
+				v.err = derr
+			}
+		} else if c.Revision > v.cards[c.Key].Revision {
+			v.cards[c.Key] = c
+			v.updates++
+		}
+		v.mu.Unlock()
+	}
+}
+
+// Done is closed when the viewer's stream ends.
+func (v *Viewer) Done() <-chan struct{} { return v.done }
+
+// Card returns the current card for key.
+func (v *Viewer) Card(key string) (Card, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.cards[key]
+	return c, ok
+}
+
+// Updates returns how many fresh (revision-advancing) cards arrived.
+func (v *Viewer) Updates() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.updates
+}
+
+// Err returns the first decode error, or nil.
+func (v *Viewer) Err() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.err
+}

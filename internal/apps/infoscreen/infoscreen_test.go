@@ -1,0 +1,216 @@
+package infoscreen
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+func TestCardRoundTrip(t *testing.T) {
+	in := Card{Key: "gate-4", Revision: 7, Title: "Flight LX8", Body: "Boarding 14:20"}
+	enc := in.Encode(nil)
+	out, err := DecodeCard(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+	for cut := 1; cut < len(enc); cut += 5 {
+		if _, err := DecodeCard(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded", cut)
+		}
+	}
+	if _, err := DecodeCard(append(enc, 'x')); err == nil {
+		t.Error("trailing bytes decoded")
+	}
+	empty := Card{Key: "", Revision: 1}
+	if out, err := DecodeCard(empty.Encode(nil)); err != nil || out != empty {
+		t.Errorf("empty-field card: %+v, %v", out, err)
+	}
+}
+
+// board builds a screen host with n attached viewers and returns the
+// screen plus the viewers.
+func board(t *testing.T, n int) (*Screen, []*Viewer) {
+	t.Helper()
+	hostFW := module.NewFramework(module.Config{Name: "board-host"})
+	t.Cleanup(func() { _ = hostFW.Shutdown() })
+	host, err := remote.NewPeer(remote.Config{Framework: hostFW, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(host.Close)
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("board-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = host.Serve(l) }()
+
+	viewers := make([]*Viewer, n)
+	for i := range viewers {
+		viewers[i] = NewViewer()
+		fw := module.NewFramework(module.Config{Name: fmt.Sprintf("viewer-%d", i)})
+		t.Cleanup(func() { _ = fw.Shutdown() })
+		peer, err := remote.NewPeer(remote.Config{Framework: fw, Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(peer.Close)
+		conn, err := fabric.Dial("board-host", netsim.Gigabit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := peer.Connect(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch.HandleStreams(viewers[i].Handle)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(host.Channels()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d host channels up", len(host.Channels()), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	screen := NewScreen(remote.BroadcasterConfig{})
+	t.Cleanup(screen.Close)
+	for _, ch := range host.Channels() {
+		if _, err := screen.Attach(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return screen, viewers
+}
+
+func waitCard(t *testing.T, v *Viewer, key string, rev int64) Card {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if c, ok := v.Card(key); ok && c.Revision >= rev {
+			return c
+		}
+		if time.Now().After(deadline) {
+			c, _ := v.Card(key)
+			t.Fatalf("viewer never saw %s rev %d (have %+v)", key, rev, c)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBoardFansOutToAllViewers(t *testing.T) {
+	screen, viewers := board(t, 3)
+	if screen.Viewers() != 3 {
+		t.Fatalf("Viewers = %d", screen.Viewers())
+	}
+
+	screen.Update("gate-4", "Flight LX8", "Boarding 14:20")
+	screen.Update("gate-7", "Flight BA2", "Delayed")
+	c := screen.Update("gate-4", "Flight LX8", "Final call")
+
+	for i, v := range viewers {
+		got := waitCard(t, v, "gate-4", c.Revision)
+		if got.Body != "Final call" {
+			t.Errorf("viewer %d gate-4 = %+v", i, got)
+		}
+		waitCard(t, v, "gate-7", 1)
+		if err := v.Err(); err != nil {
+			t.Errorf("viewer %d: %v", i, err)
+		}
+	}
+}
+
+func TestReplayConvergesLateViewer(t *testing.T) {
+	// Build the host with two channels but attach only the first; the
+	// second attaches after updates and must converge via replay.
+	hostFW := module.NewFramework(module.Config{Name: "replay-host"})
+	t.Cleanup(func() { _ = hostFW.Shutdown() })
+	host, err := remote.NewPeer(remote.Config{Framework: hostFW, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(host.Close)
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("replay-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = host.Serve(l) }()
+
+	viewers := make([]*Viewer, 2)
+	for i := range viewers {
+		viewers[i] = NewViewer()
+		fw := module.NewFramework(module.Config{Name: fmt.Sprintf("replay-viewer-%d", i)})
+		t.Cleanup(func() { _ = fw.Shutdown() })
+		peer, err := remote.NewPeer(remote.Config{Framework: fw, Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(peer.Close)
+		conn, err := fabric.Dial("replay-host", netsim.Gigabit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := peer.Connect(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch.HandleStreams(viewers[i].Handle)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(host.Channels()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("host channels never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	screen := NewScreen(remote.BroadcasterConfig{})
+	t.Cleanup(screen.Close)
+	if _, err := screen.Attach(host.Channels()[0]); err != nil {
+		t.Fatal(err)
+	}
+	screen.Update("gate-4", "Flight LX8", "Boarding")
+	screen.Update("gate-7", "Flight BA2", "On time")
+	waitCard(t, viewers[0], "gate-7", 1)
+
+	if _, err := screen.Attach(host.Channels()[1]); err != nil {
+		t.Fatal(err)
+	}
+	waitCard(t, viewers[1], "gate-4", 1)
+	waitCard(t, viewers[1], "gate-7", 1)
+	// The established viewer must not have re-counted the replayed
+	// revisions as fresh updates.
+	if got := viewers[0].Updates(); got != 2 {
+		t.Errorf("established viewer counted %d updates, want 2", got)
+	}
+}
+
+func TestAppShape(t *testing.T) {
+	screen := NewScreen(remote.BroadcasterConfig{})
+	t.Cleanup(screen.Close)
+	screen.Update("gate-4", "LX8", "Boarding")
+	app := screen.App()
+	if app.Descriptor.Service != InterfaceName {
+		t.Errorf("descriptor service = %q", app.Descriptor.Service)
+	}
+	keys, err := app.Service.Invoke("Keys", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks, ok := keys.([]any); !ok || len(ks) != 1 || ks[0] != "gate-4" {
+		t.Errorf("Keys = %v", keys)
+	}
+	if n, _ := app.Service.Invoke("Viewers", nil); n != int64(0) {
+		t.Errorf("Viewers = %v", n)
+	}
+}

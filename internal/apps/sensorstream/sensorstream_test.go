@@ -1,0 +1,142 @@
+package sensorstream
+
+import (
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+func TestReadingRoundTrip(t *testing.T) {
+	in := Reading{Seq: 42, At: 350 * time.Millisecond, X: -0.25, Y: 1.5, Z: 0.98}
+	enc := in.Encode(nil)
+	if len(enc) != ReadingBytes {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), ReadingBytes)
+	}
+	out, err := DecodeReading(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+	if _, err := DecodeReading(enc[:ReadingBytes-1]); err == nil {
+		t.Error("truncated reading decoded")
+	}
+	if _, err := DecodeReading(append(enc, 0)); err == nil {
+		t.Error("oversized reading decoded")
+	}
+}
+
+func TestSampleWaveform(t *testing.T) {
+	x0, y0, z0 := sample(17)
+	x1, y1, z1 := sample(17)
+	if x0 != x1 || y0 != y1 || z0 != z1 {
+		t.Error("sample is not deterministic")
+	}
+	if x0 == y0 || y0 == z0 {
+		t.Errorf("axes not distinct: %v %v %v", x0, y0, z0)
+	}
+}
+
+func TestAppShape(t *testing.T) {
+	svc := New(nil)
+	app := svc.App()
+	if app.Descriptor.Service != InterfaceName {
+		t.Errorf("descriptor service = %q", app.Descriptor.Service)
+	}
+	rate, err := app.Service.Invoke("Rate", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != int64(SampleHz) {
+		t.Errorf("Rate = %v", rate)
+	}
+	if shipped, _ := app.Service.Invoke("Shipped", nil); shipped != int64(0) {
+		t.Errorf("Shipped = %v before any feed", shipped)
+	}
+}
+
+// feedPair is a connected host/phone peer pair; the returned channel
+// is the host side (feeds flow host -> phone).
+func feedPair(t *testing.T, collector *Collector) *remote.Channel {
+	t.Helper()
+	hostFW := module.NewFramework(module.Config{Name: "sensor-host"})
+	t.Cleanup(func() { _ = hostFW.Shutdown() })
+	host, err := remote.NewPeer(remote.Config{Framework: hostFW, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(host.Close)
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("sensor-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() { _ = host.Serve(l) }()
+
+	phoneFW := module.NewFramework(module.Config{Name: "sensor-phone"})
+	t.Cleanup(func() { _ = phoneFW.Shutdown() })
+	phone, err := remote.NewPeer(remote.Config{Framework: phoneFW, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(phone.Close)
+	conn, err := fabric.Dial("sensor-host", netsim.Gigabit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := phone.Connect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.HandleStreams(collector.Handle)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(host.Channels()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("host channel never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return host.Channels()[0]
+}
+
+func TestFeedEndToEnd(t *testing.T) {
+	collector := NewCollector()
+	hostCh := feedPair(t, collector)
+
+	svc := New(nil)
+	const n = 36 // 0.3s of feed at 120 Hz on the wall clock
+	if err := svc.Stream(hostCh, remote.StreamReliable, n); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-collector.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("collector never finished")
+	}
+	if err := collector.Err(); err != nil {
+		t.Fatal(err)
+	}
+	latest, received := collector.Latest()
+	if received != n {
+		t.Fatalf("received %d readings, want %d", received, n)
+	}
+	if collector.Gaps() != 0 {
+		t.Errorf("reliable feed had %d gaps", collector.Gaps())
+	}
+	if latest.Seq != n-1 {
+		t.Errorf("latest seq = %d", latest.Seq)
+	}
+	wx, wy, wz := sample(n - 1)
+	if latest.X != wx || latest.Y != wy || latest.Z != wz {
+		t.Errorf("latest sample mismatch: %+v", latest)
+	}
+	if svc.Shipped() != n {
+		t.Errorf("Shipped = %d", svc.Shipped())
+	}
+}

@@ -21,8 +21,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 )
@@ -41,6 +44,11 @@ type Config struct {
 	// Full includes the slow saturation points of Figure 4 and the
 	// full-length phone sweeps.
 	Full bool
+	// JSONDir, when non-empty, is a directory where experiments also
+	// drop machine-readable BENCH_<name>.json result files next to
+	// their printed tables (for CI gates and trend tracking). Empty
+	// disables emission.
+	JSONDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -169,6 +177,25 @@ func (t *StartupTable) Print(w io.Writer) {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w)
+}
+
+// WriteBenchJSON writes v as indented JSON to BENCH_<name>.json under
+// cfg.JSONDir. With no JSONDir configured it is a no-op, so tests and
+// ad-hoc runs never litter the tree.
+func WriteBenchJSON(cfg Config, name string, v any) error {
+	if cfg.JSONDir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal %s report: %w", name, err)
+	}
+	path := filepath.Join(cfg.JSONDir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write %s report: %w", name, err)
+	}
+	fmt.Fprintf(cfg.Out, "wrote %s\n", path)
+	return nil
 }
 
 func fmtDur(d time.Duration) string {

@@ -25,6 +25,7 @@ var Experiments = map[string]func(Config) error{
 	"acquire":    func(c Config) error { _, err := RunAcquire(c); return err },
 	"scale":      func(c Config) error { _, err := RunScale(c); return err },
 	"placement":  func(c Config) error { _, err := RunPlacement(c); return err },
+	"stream":     func(c Config) error { _, err := RunStream(c); return err },
 	"obs":        RunObsDemo,
 }
 
@@ -32,7 +33,7 @@ var Experiments = map[string]func(Config) error{
 var Order = []string{
 	"footprint", "table1", "table2", "fig3", "fig4", "fig5", "fig6",
 	"tiers", "renderers", "smartproxy", "buildcost", "payload", "faults",
-	"throughput", "acquire", "scale", "placement", "obs",
+	"throughput", "acquire", "scale", "placement", "stream", "obs",
 }
 
 // RunAll executes every experiment in order.

@@ -1,0 +1,442 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// StreamHOL is the head-of-line half of the stream experiment: invoke
+// latency on a quiet channel vs the same channel carrying a saturating
+// bulk stream. The priority gate (control > invoke > stream bulk) is
+// what keeps Ratio near 1.
+type StreamHOL struct {
+	QuietP50  time.Duration `json:"quiet_p50_ns"`
+	QuietP99  time.Duration `json:"quiet_p99_ns"`
+	LoadedP50 time.Duration `json:"loaded_p50_ns"`
+	LoadedP99 time.Duration `json:"loaded_p99_ns"`
+	// BulkMBps is the bulk stream's goodput while invokes were measured
+	// — proof the stream actually saturated the send path.
+	BulkMBps float64 `json:"bulk_mbps"`
+	// Ratio is LoadedP99/QuietP99.
+	Ratio float64 `json:"p99_ratio"`
+}
+
+// StreamFanoutPoint is one subscriber-count cell of the broadcast
+// fan-out sweep.
+type StreamFanoutPoint struct {
+	Subscribers int           `json:"subscribers"`
+	Published   int64         `json:"published"`
+	Delivered   int64         `json:"delivered"`
+	Coalesced   int64         `json:"coalesced"`
+	// Encodes counts payload-segment encodes on the hub; encode-once
+	// means it tracks Published (segments per message), not Delivered.
+	Encodes int64         `json:"encodes"`
+	P50     time.Duration `json:"delivery_p50_ns"`
+	P99     time.Duration `json:"delivery_p99_ns"`
+}
+
+// StreamFaults is the reliability half: a credited reliable stream
+// driven across repeated link partitions must deliver every chunk.
+type StreamFaults struct {
+	Sent       int64 `json:"sent"`
+	Delivered  int64 `json:"delivered"`
+	Partitions int   `json:"partitions"`
+}
+
+// StreamReport is the full -exp stream result, also emitted as
+// BENCH_stream.json when Config.JSONDir is set.
+type StreamReport struct {
+	HeadOfLine StreamHOL           `json:"head_of_line"`
+	Fanout     []StreamFanoutPoint `json:"fanout"`
+	Faults     StreamFaults        `json:"faults"`
+}
+
+// streamPayload lays a sequence number and send timestamp at the head
+// of an n-byte chunk so collectors can compute delivery latency.
+func streamPayload(seq int64, now time.Time, n int) []byte {
+	if n < 16 {
+		n = 16
+	}
+	p := make([]byte, n)
+	binary.BigEndian.PutUint64(p[0:8], uint64(seq))
+	binary.BigEndian.PutUint64(p[8:16], uint64(now.UnixNano()))
+	return p
+}
+
+// quantileDur picks the q-quantile of samples (same convention as
+// summarize, which stops at p95; the stream gates are on p99).
+func quantileDur(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+// RunStream measures the prioritized stream mux end to end: head-of-line
+// protection for invokes under a saturating bulk stream, broadcast
+// fan-out latency vs subscriber count with encode-once accounting, and
+// lossless reliable delivery across link partitions.
+func RunStream(cfg Config) (*StreamReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &StreamReport{}
+
+	hol, err := measureStreamHOL(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.HeadOfLine = *hol
+	fmt.Fprintln(cfg.Out, "Invoke latency with vs without a saturating bulk stream (in-proc Gigabit)")
+	fmt.Fprintf(cfg.Out, "%-10s %10s %10s\n", "", "p50", "p99")
+	fmt.Fprintf(cfg.Out, "%-10s %10s %10s\n", "quiet", fmtDur(hol.QuietP50), fmtDur(hol.QuietP99))
+	fmt.Fprintf(cfg.Out, "%-10s %10s %10s   (bulk %.1f MB/s, p99 ratio %.2fx)\n",
+		"loaded", fmtDur(hol.LoadedP50), fmtDur(hol.LoadedP99), hol.BulkMBps, hol.Ratio)
+	fmt.Fprintln(cfg.Out)
+
+	subs := []int{1, 10, 100, 1000}
+	if cfg.Full {
+		subs = append(subs, 10000)
+	}
+	fmt.Fprintln(cfg.Out, "Broadcast fan-out: delivery latency vs subscribers (encode-once hub)")
+	fmt.Fprintf(cfg.Out, "%-12s %10s %10s %10s %10s %10s\n",
+		"subscribers", "delivered", "coalesced", "encodes", "p50", "p99")
+	for _, n := range subs {
+		p, err := measureStreamFanout(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		rep.Fanout = append(rep.Fanout, *p)
+		fmt.Fprintf(cfg.Out, "%-12d %10d %10d %10d %10s %10s\n",
+			n, p.Delivered, p.Coalesced, p.Encodes, fmtDur(p.P50), fmtDur(p.P99))
+	}
+	fmt.Fprintln(cfg.Out)
+
+	faults, err := measureStreamFaults(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Faults = *faults
+	fmt.Fprintf(cfg.Out, "Reliable stream across %d partitions: %d/%d chunks delivered\n\n",
+		faults.Partitions, faults.Delivered, faults.Sent)
+
+	if err := WriteBenchJSON(cfg, "stream", rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// measureStreamHOL samples invoke latency on the throughput pair twice:
+// once quiet, once while a bulk stream writer saturates the same
+// channel with 64 KB chunks.
+func measureStreamHOL(cfg Config) (*StreamHOL, error) {
+	env, err := NewThroughputEnv()
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	// The stream flows client->server, so the server-side channel needs
+	// the drain handler (channel-level registration works for streams
+	// opened after it).
+	for _, sc := range env.serverPeer.Channels() {
+		sc.HandleStreams(func(r *remote.StreamReader) {
+			for {
+				if _, err := r.Next(); err != nil {
+					return
+				}
+			}
+		})
+	}
+
+	window := cfg.Window / 3
+	if window < 300*time.Millisecond {
+		window = 300 * time.Millisecond
+	}
+	sample := func() ([]time.Duration, error) {
+		var lat []time.Duration
+		args := []any{int64(1)}
+		deadline := time.Now().Add(window)
+		for time.Now().Before(deadline) {
+			start := time.Now()
+			if _, err := env.Ch.Invoke(env.SvcID, "Work", args); err != nil {
+				return nil, err
+			}
+			lat = append(lat, time.Since(start))
+		}
+		return lat, nil
+	}
+
+	quiet, err := sample()
+	if err != nil {
+		return nil, err
+	}
+
+	w, err := env.Ch.OpenStream("bench-bulk", nil)
+	if err != nil {
+		return nil, err
+	}
+	var bulkBytes atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		chunk := make([]byte, 64<<10)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n, err := w.Write(chunk)
+			if err != nil {
+				return
+			}
+			bulkBytes.Add(int64(n))
+		}
+	}()
+	bulkStart := time.Now()
+	loaded, err := sample()
+	bulkDur := time.Since(bulkStart)
+	close(stop)
+	wg.Wait()
+	_ = w.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	hol := &StreamHOL{
+		QuietP50:  quantileDur(quiet, 0.50),
+		QuietP99:  quantileDur(quiet, 0.99),
+		LoadedP50: quantileDur(loaded, 0.50),
+		LoadedP99: quantileDur(loaded, 0.99),
+		BulkMBps:  float64(bulkBytes.Load()) / (1 << 20) / bulkDur.Seconds(),
+	}
+	if hol.QuietP99 > 0 {
+		hol.Ratio = float64(hol.LoadedP99) / float64(hol.QuietP99)
+	}
+	return hol, nil
+}
+
+// fanStats collects delivery latencies across every subscriber of one
+// fan-out point.
+type fanStats struct {
+	mu        sync.Mutex
+	lat       []time.Duration
+	delivered int64
+}
+
+func (fs *fanStats) handler(r *remote.StreamReader) {
+	for {
+		chunk, err := r.Next()
+		if err != nil {
+			return
+		}
+		if len(chunk) < 16 {
+			continue
+		}
+		sent := int64(binary.BigEndian.Uint64(chunk[8:16]))
+		d := time.Since(time.Unix(0, sent))
+		fs.mu.Lock()
+		fs.lat = append(fs.lat, d)
+		fs.delivered++
+		fs.mu.Unlock()
+	}
+}
+
+func (fs *fanStats) count() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.delivered
+}
+
+// measureStreamFanout publishes a paced message train through a
+// Broadcaster to n subscribers spread over up to 32 channels and
+// reports delivery latency plus the hub's encode/coalesce accounting.
+func measureStreamFanout(cfg Config, n int) (*StreamFanoutPoint, error) {
+	serverFW := module.NewFramework(module.Config{Name: "bcast-server"})
+	defer func() { _ = serverFW.Shutdown() }()
+	serverPeer, err := remote.NewPeer(remote.Config{Framework: serverFW, Timeout: 30 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer serverPeer.Close()
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("bcast-server")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = l.Close() }()
+	go func() { _ = serverPeer.Serve(l) }()
+
+	clientFW := module.NewFramework(module.Config{Name: "bcast-client"})
+	defer func() { _ = clientFW.Shutdown() }()
+	clientPeer, err := remote.NewPeer(remote.Config{Framework: clientFW, Timeout: 30 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer clientPeer.Close()
+
+	stats := &fanStats{}
+	conns := n
+	if conns > 32 {
+		conns = 32
+	}
+	for i := 0; i < conns; i++ {
+		conn, err := fabric.Dial("bcast-server", netsim.Gigabit)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := clientPeer.Connect(conn)
+		if err != nil {
+			return nil, err
+		}
+		ch.HandleStreams(stats.handler)
+	}
+	// Wait for the server side of every channel before subscribing.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(serverPeer.Channels()) < conns {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bench: only %d/%d broadcast channels up", len(serverPeer.Channels()), conns)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	hub := obs.NewHub()
+	b := remote.NewBroadcaster("bench-cards", remote.BroadcasterConfig{Obs: hub})
+	defer b.Close()
+	serverChans := serverPeer.Channels()
+	for i := 0; i < n; i++ {
+		if _, err := b.Subscribe(serverChans[i%len(serverChans)], nil); err != nil {
+			return nil, err
+		}
+	}
+
+	const msgs = 40
+	const payloadBytes = 256
+	// Pace with the fan-out degree so each publish drains before the
+	// next: the point then measures per-message fan-out latency, not
+	// backlog from an unsustainable publish rate.
+	interval := 3*time.Millisecond + time.Duration(n)*20*time.Microsecond
+	for i := 0; i < msgs; i++ {
+		b.Publish("card-0", streamPayload(int64(i), time.Now(), payloadBytes))
+		time.Sleep(interval)
+	}
+	// Fast consumers on the in-proc fabric drain everything; coalescing
+	// only engages if the host stalls, and then delivered < n*msgs.
+	want := int64(n) * msgs
+	deadline = time.Now().Add(10 * time.Second)
+	for stats.count() < want && time.Now().After(deadline) == false {
+		time.Sleep(2 * time.Millisecond)
+		m := hub.Metrics
+		if stats.count()+m.Counter("alfredo_remote_broadcast_coalesced_total", "stream", "bench-cards").Value()+
+			m.Counter("alfredo_remote_broadcast_dropped_total", "stream", "bench-cards").Value() >= want {
+			break
+		}
+	}
+
+	m := hub.Metrics
+	stats.mu.Lock()
+	lat := append([]time.Duration(nil), stats.lat...)
+	stats.mu.Unlock()
+	return &StreamFanoutPoint{
+		Subscribers: n,
+		Published:   m.Counter("alfredo_remote_broadcast_published_total", "stream", "bench-cards").Value(),
+		Delivered:   m.Counter("alfredo_remote_broadcast_delivered_total", "stream", "bench-cards").Value(),
+		Coalesced:   m.Counter("alfredo_remote_broadcast_coalesced_total", "stream", "bench-cards").Value(),
+		Encodes:     m.Counter("alfredo_remote_broadcast_encodes_total", "stream", "bench-cards").Value(),
+		P50:         quantileDur(lat, 0.50),
+		P99:         quantileDur(lat, 0.99),
+	}, nil
+}
+
+// measureStreamFaults drives a reliable credited stream across a link
+// that partitions twice mid-transfer and reports delivery accounting;
+// the mux must ride the stall out without losing a chunk.
+func measureStreamFaults(cfg Config) (*StreamFaults, error) {
+	serverFW := module.NewFramework(module.Config{Name: "fault-server"})
+	defer func() { _ = serverFW.Shutdown() }()
+	serverPeer, err := remote.NewPeer(remote.Config{Framework: serverFW, Timeout: 30 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer serverPeer.Close()
+	fabric := netsim.NewFabric()
+	l, err := fabric.Listen("fault-server")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = l.Close() }()
+	go func() { _ = serverPeer.Serve(l) }()
+
+	clientFW := module.NewFramework(module.Config{Name: "fault-client"})
+	defer func() { _ = clientFW.Shutdown() }()
+	clientPeer, err := remote.NewPeer(remote.Config{Framework: clientFW, Timeout: 30 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer clientPeer.Close()
+
+	var delivered atomic.Int64
+	done := make(chan struct{})
+	conn, err := fabric.Dial("fault-server", netsim.Gigabit)
+	if err != nil {
+		return nil, err
+	}
+	ch, err := clientPeer.Connect(conn)
+	if err != nil {
+		return nil, err
+	}
+	ch.HandleStreams(func(r *remote.StreamReader) {
+		defer close(done)
+		for {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+			delivered.Add(1)
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for len(serverPeer.Channels()) == 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("bench: fault-server channel never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w, err := serverPeer.Channels()[0].OpenStream("fault-feed", nil)
+	if err != nil {
+		return nil, err
+	}
+	const chunks = 200
+	rawConn := conn.(*netsim.Conn)
+	partitions := 0
+	for i := 0; i < chunks; i++ {
+		if i == chunks/3 || i == 2*chunks/3 {
+			rawConn.Partition(80 * time.Millisecond)
+			partitions++
+		}
+		if _, err := w.Write(streamPayload(int64(i), time.Now(), 4<<10)); err != nil {
+			return nil, fmt.Errorf("bench: fault stream write %d: %w", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		return nil, fmt.Errorf("bench: fault stream reader never finished (%d/%d chunks)", delivered.Load(), chunks)
+	}
+	return &StreamFaults{Sent: chunks, Delivered: delivered.Load(), Partitions: partitions}, nil
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// Stream gate budgets, enforced by `make stream-bench`. Wall-clock
+// latency on a shared CI machine is noisy, so both latency gates carry
+// generous multipliers and absolute slack on top of the design targets
+// (invoke p99 within 10% under bulk load; fan-out p99 at 1k subs under
+// 2x the 1-sub baseline) — a real priority-inversion or fan-out
+// regression overshoots these by an order of magnitude.
+const (
+	streamGateHOLRatio = 3.0
+	streamGateHOLSlack = 5 * time.Millisecond
+	streamGateFanRatio = 2.0
+	streamGateFanSlack = 100 * time.Millisecond
+	streamGateFanSubs  = 1000
+)
+
+// TestStreamHOLGate checks the priority gate end to end: invoke p99
+// with a saturating bulk stream on the same channel must stay within
+// the budget of the quiet p99, and the bulk stream must actually have
+// moved bytes (otherwise the measurement proves nothing). Best of three
+// attempts; a genuine head-of-line regression fails all three.
+func TestStreamHOLGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency gate skipped in -short")
+	}
+	cfg := Config{Window: 1500 * time.Millisecond}
+	var last *StreamHOL
+	for attempt := 1; attempt <= 3; attempt++ {
+		hol, err := measureStreamHOL(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = hol
+		t.Logf("attempt %d: quiet p99 %v, loaded p99 %v (ratio %.2fx, bulk %.1f MB/s)",
+			attempt, hol.QuietP99, hol.LoadedP99, hol.Ratio, hol.BulkMBps)
+		if hol.BulkMBps < 1 {
+			t.Fatalf("bulk stream only moved %.2f MB/s; the loaded measurement is not loaded", hol.BulkMBps)
+		}
+		budget := time.Duration(float64(hol.QuietP99)*streamGateHOLRatio) + streamGateHOLSlack
+		if hol.LoadedP99 <= budget {
+			return
+		}
+	}
+	t.Fatalf("invoke p99 under bulk load %v exceeds %.1fx quiet p99 %v (+%v slack) in all attempts",
+		last.LoadedP99, streamGateHOLRatio, last.QuietP99, streamGateHOLSlack)
+}
+
+// TestStreamFanoutGate runs the 1-sub and 1k-sub fan-out points and
+// gates the 1k p99 against the scaled baseline, delivery completeness
+// (no coalescing on an unloaded host means every subscriber sees every
+// message), and encode-once accounting (encodes track published
+// messages, not deliveries).
+func TestStreamFanoutGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency gate skipped in -short")
+	}
+	cfg := Config{}
+	base, err := measureStreamFanout(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wide *StreamFanoutPoint
+	for attempt := 1; attempt <= 3; attempt++ {
+		wide, err = measureStreamFanout(cfg, streamGateFanSubs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("attempt %d: 1-sub p99 %v, %d-sub p99 %v, delivered %d, coalesced %d, encodes %d",
+			attempt, base.P99, streamGateFanSubs, wide.P99, wide.Delivered, wide.Coalesced, wide.Encodes)
+		if wide.Encodes != base.Encodes {
+			t.Fatalf("encodes scaled with fan-out (%d at 1 sub, %d at %d subs): encode-once is broken",
+				base.Encodes, wide.Encodes, streamGateFanSubs)
+		}
+		if wide.Delivered+wide.Coalesced+int64(streamGateFanSubs/10) < wide.Published*int64(streamGateFanSubs) {
+			t.Fatalf("fan-out lost messages: %d published x %d subs, %d delivered + %d coalesced",
+				wide.Published, streamGateFanSubs, wide.Delivered, wide.Coalesced)
+		}
+		budget := time.Duration(float64(base.P99)*streamGateFanRatio) + streamGateFanSlack
+		if wide.P99 <= budget {
+			return
+		}
+	}
+	t.Fatalf("fan-out p99 at %d subs %v exceeds %.0fx 1-sub baseline %v (+%v slack) in all attempts",
+		streamGateFanSubs, wide.P99, streamGateFanRatio, base.P99, streamGateFanSlack)
+}
+
+// TestStreamFaultGate drives the reliable credited stream across two
+// link partitions and requires zero loss — the acceptance bar for the
+// flow-control layer. Deterministic: partitions stall, they never drop.
+func TestStreamFaultGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault gate skipped in -short")
+	}
+	f, err := measureStreamFaults(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Delivered != f.Sent {
+		t.Fatalf("reliable stream lost chunks across %d partitions: %d/%d delivered",
+			f.Partitions, f.Delivered, f.Sent)
+	}
+}

@@ -89,6 +89,10 @@ type NodeConfig struct {
 	// FetchWindow bounds in-flight chunk hashes per request window
 	// during chunked fetches (zero = remote.DefaultFetchWindow).
 	FetchWindow int
+	// StreamWindowBytes sizes the per-stream receive window this node
+	// grants to reliable stream senders (zero =
+	// remote.DefaultStreamWindow).
+	StreamWindowBytes int
 	// HideCapabilities withholds the device's input capabilities from
 	// the handshake. By default they are announced so the target can
 	// tailor what it offers (§3.2: "the device can decide which
@@ -188,26 +192,27 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		helloProps["capabilities"] = caps
 	}
 	peer, err := remote.NewPeer(remote.Config{
-		Framework:        fw,
-		Events:           events,
-		Device:           cfg.Sim,
-		ProxyCode:        cfg.ProxyCode,
-		Timeout:          cfg.InvokeTimeout,
-		Retry:            cfg.Retry,
-		ClientInvokeCost: cfg.ClientInvokeCost,
-		DispatchWorkers:  cfg.DispatchWorkers,
-		ReactorWorkers:   cfg.ReactorWorkers,
-		Admission:        cfg.Admission,
-		WriteBufferBytes: cfg.WriteBufferBytes,
-		HelloProps:       helloProps,
-		Obs:              cfg.Obs,
-		Clock:            cfg.Clock,
-		Seed:             cfg.Seed,
-		ChunkCache:       cache,
-		ChunkBytes:       cfg.ChunkBytes,
-		FetchWindow:      cfg.FetchWindow,
-		Aggregator:       cfg.Aggregator,
-		MetricsInterval:  cfg.MetricsInterval,
+		Framework:         fw,
+		Events:            events,
+		Device:            cfg.Sim,
+		ProxyCode:         cfg.ProxyCode,
+		Timeout:           cfg.InvokeTimeout,
+		Retry:             cfg.Retry,
+		ClientInvokeCost:  cfg.ClientInvokeCost,
+		DispatchWorkers:   cfg.DispatchWorkers,
+		ReactorWorkers:    cfg.ReactorWorkers,
+		Admission:         cfg.Admission,
+		WriteBufferBytes:  cfg.WriteBufferBytes,
+		HelloProps:        helloProps,
+		Obs:               cfg.Obs,
+		Clock:             cfg.Clock,
+		Seed:              cfg.Seed,
+		ChunkCache:        cache,
+		ChunkBytes:        cfg.ChunkBytes,
+		FetchWindow:       cfg.FetchWindow,
+		StreamWindowBytes: cfg.StreamWindowBytes,
+		Aggregator:        cfg.Aggregator,
+		MetricsInterval:   cfg.MetricsInterval,
 	})
 	if err != nil {
 		events.Close()

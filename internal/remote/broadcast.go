@@ -1,0 +1,340 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/obs"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// DefaultBroadcastQueue bounds the per-subscriber pending messages of a
+// Broadcaster before coalescing kicks in.
+const DefaultBroadcastQueue = 64
+
+// BroadcasterConfig parameterizes a Broadcaster.
+type BroadcasterConfig struct {
+	// Queue bounds per-subscriber pending messages. When a subscriber's
+	// queue is full, a keyed publish replaces the queued message with
+	// the same key (keep-latest coalescing — a slow infoscreen gets the
+	// freshest weather card, not every stale revision), and an unkeyed
+	// publish evicts the oldest entry. Zero selects
+	// DefaultBroadcastQueue.
+	Queue int
+	// Class selects the subscriber stream class; the default
+	// StreamReliable delivers every non-coalesced message in order,
+	// respecting each subscriber's credit window.
+	Class StreamClass
+	// Obs supplies the hub's telemetry; nil selects obs.Default().
+	Obs *obs.Hub
+}
+
+// bcastMsg is one published message: the payload encoded once into
+// shared segment tails at publish time, delivered to every subscriber
+// by prepending a tiny per-stream header (wire.AppendStreamDataHeader).
+type bcastMsg struct {
+	key     string
+	payload []byte
+	tails   [][]byte // shared StreamData tails, one per segment
+	sizes   []int    // payload bytes per segment (credit accounting)
+}
+
+// Broadcaster delivers published chunks to many subscriber streams:
+// the fan-out hub behind one-to-many feeds (an infoscreen pushing the
+// same cards to every watching phone). Publishing is O(subscribers)
+// sends but O(segments) encodes — the payload is encoded exactly once
+// and the bytes shared — and a slow subscriber never stalls the
+// publisher or its peers: each subscriber has its own bounded queue
+// (coalesced when over limit) drained by its own sender goroutine that
+// alone blocks on that subscriber's credits.
+type Broadcaster struct {
+	name  string
+	queue int
+	class StreamClass
+
+	mu     sync.Mutex
+	subs   map[int64]*bcastSub
+	nextID int64
+	closed bool
+
+	wg sync.WaitGroup
+
+	subscribers *obs.Gauge
+	published   *obs.Counter
+	delivered   *obs.Counter
+	coalesced   *obs.Counter
+	dropped     *obs.Counter
+	encodes     *obs.Counter
+	sendErrors  *obs.Counter
+}
+
+// NewBroadcaster creates a fan-out hub publishing under the given
+// stream name.
+func NewBroadcaster(name string, cfg BroadcasterConfig) *Broadcaster {
+	if cfg.Queue <= 0 {
+		cfg.Queue = DefaultBroadcastQueue
+	}
+	m := cfg.Obs.OrDefault().Metrics
+	return &Broadcaster{
+		name:        name,
+		queue:       cfg.Queue,
+		class:       cfg.Class,
+		subs:        make(map[int64]*bcastSub),
+		subscribers: m.Gauge("alfredo_remote_broadcast_subscribers", "stream", name),
+		published:   m.Counter("alfredo_remote_broadcast_published_total", "stream", name),
+		delivered:   m.Counter("alfredo_remote_broadcast_delivered_total", "stream", name),
+		coalesced:   m.Counter("alfredo_remote_broadcast_coalesced_total", "stream", name),
+		dropped:     m.Counter("alfredo_remote_broadcast_dropped_total", "stream", name),
+		encodes:     m.Counter("alfredo_remote_broadcast_encodes_total", "stream", name),
+		sendErrors:  m.Counter("alfredo_remote_broadcast_send_errors_total", "stream", name),
+	}
+}
+
+// Name returns the stream name subscribers receive.
+func (b *Broadcaster) Name() string { return b.name }
+
+// Subscribers returns the current subscriber count.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Subscribe opens a stream to the channel's peer and attaches it to the
+// hub. The subscription ends when the channel closes, a send fails, the
+// caller cancels it, or the hub closes.
+func (b *Broadcaster) Subscribe(c *Channel, props map[string]any) (*Subscription, error) {
+	w, err := c.OpenStreamClass(b.name, b.class, props)
+	if err != nil {
+		return nil, err
+	}
+	s := &bcastSub{b: b, w: w, done: make(chan struct{})}
+	s.cond = sync.NewCond(&s.mu)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = w.Close()
+		return nil, fmt.Errorf("remote: broadcaster %q closed", b.name)
+	}
+	b.nextID++
+	s.id = b.nextID
+	b.subs[s.id] = s
+	b.mu.Unlock()
+	b.subscribers.Add(1)
+	b.wg.Add(2)
+	go s.run()
+	go s.watch(c)
+	return &Subscription{s: s}, nil
+}
+
+// Publish encodes payload once and queues it to every subscriber. A
+// non-empty key enables keep-latest coalescing for subscribers whose
+// queue is full. Publish never blocks on a slow subscriber.
+func (b *Broadcaster) Publish(key string, payload []byte) {
+	m := &bcastMsg{key: key, payload: payload}
+	// Encode once: segment tails are shared read-only by every
+	// subscriber's sender.
+	for first := true; first || len(payload) > 0; first = false {
+		seg := payload
+		if len(seg) > maxStreamFrame {
+			seg = seg[:maxStreamFrame]
+		}
+		payload = payload[len(seg):]
+		m.tails = append(m.tails, wire.AppendStreamTail(nil, seg, len(payload) > 0))
+		m.sizes = append(m.sizes, len(seg))
+	}
+	b.encodes.Add(int64(len(m.tails)))
+	b.published.Inc()
+	b.mu.Lock()
+	subs := make([]*bcastSub, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.enqueue(m)
+	}
+}
+
+// Close detaches every subscriber (closing their streams cleanly) and
+// stops the hub.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*bcastSub, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		b.detach(s, true)
+	}
+	b.wg.Wait()
+}
+
+// detach removes a subscriber; closeStream selects a clean StreamClose
+// (hub shutdown / unsubscribe) versus leaving the failed writer alone.
+func (b *Broadcaster) detach(s *bcastSub, closeStream bool) {
+	b.mu.Lock()
+	_, present := b.subs[s.id]
+	delete(b.subs, s.id)
+	b.mu.Unlock()
+	if present {
+		b.subscribers.Add(-1)
+	}
+	s.close()
+	if closeStream {
+		_ = s.w.Close()
+	}
+}
+
+// Subscription is a handle to one subscriber of a Broadcaster.
+type Subscription struct{ s *bcastSub }
+
+// Cancel detaches the subscriber and closes its stream.
+func (sub *Subscription) Cancel() { sub.s.b.detach(sub.s, true) }
+
+// Done is closed when the subscription ends (cancel, send failure,
+// channel close, or hub close).
+func (sub *Subscription) Done() <-chan struct{} { return sub.s.done }
+
+// Coalesced reports messages replaced by fresher same-key publishes
+// while queued for this subscriber.
+func (sub *Subscription) Coalesced() int64 {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	return sub.s.coalesced
+}
+
+// Dropped reports unkeyed messages evicted from this subscriber's full
+// queue.
+func (sub *Subscription) Dropped() int64 {
+	sub.s.mu.Lock()
+	defer sub.s.mu.Unlock()
+	return sub.s.dropped
+}
+
+type bcastSub struct {
+	b  *Broadcaster
+	id int64
+	w  *StreamWriter
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	q         []*bcastMsg
+	closed    bool
+	coalesced int64
+	dropped   int64
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+func (s *bcastSub) enqueue(m *bcastMsg) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.q) >= s.b.queue {
+		if m.key != "" {
+			// Keep-latest per key: replace the newest queued revision of
+			// this key in place, preserving its position (and thus
+			// cross-key ordering).
+			for i := len(s.q) - 1; i >= 0; i-- {
+				if s.q[i].key == m.key {
+					s.q[i] = m
+					s.coalesced++
+					s.mu.Unlock()
+					s.b.coalesced.Inc()
+					return
+				}
+			}
+		}
+		// No coalesce target: evict the oldest so the feed stays fresh.
+		copy(s.q, s.q[1:])
+		s.q[len(s.q)-1] = nil
+		s.q = s.q[:len(s.q)-1]
+		s.dropped++
+		s.b.dropped.Inc()
+	}
+	s.q = append(s.q, m)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// run is the subscriber's sender: it alone blocks on this subscriber's
+// credits, so one stalled phone delays only its own feed.
+func (s *bcastSub) run() {
+	defer s.b.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.q) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		m := s.q[0]
+		s.q[0] = nil
+		s.q = s.q[1:]
+		s.mu.Unlock()
+		if err := s.send(m); err != nil {
+			s.b.sendErrors.Inc()
+			s.b.detach(s, false)
+			return
+		}
+		s.b.delivered.Inc()
+	}
+}
+
+// send ships one message over the subscriber's stream. On segmented
+// channels the shared tails are written directly (encode-once: only the
+// ~10-byte header is built per subscriber); a legacy channel falls back
+// to a per-subscriber Write of the original payload.
+func (s *bcastSub) send(m *bcastMsg) error {
+	w := s.w
+	if !w.segmented {
+		_, err := w.Write(m.payload)
+		return err
+	}
+	for i, tail := range m.tails {
+		if err := w.reserveExact(m.sizes[i]); err != nil {
+			return err
+		}
+		var hdrBuf [16]byte
+		hdr := wire.AppendStreamDataHeader(hdrBuf[:0], w.id, len(tail))
+		if err := w.c.sendFrameBulk(hdr, tail); err != nil {
+			return err
+		}
+		w.c.sObs.txFrames.Inc()
+		w.c.sObs.txBytes.Add(int64(m.sizes[i]))
+	}
+	return nil
+}
+
+// watch ends the subscription when the underlying channel dies, so a
+// silent subscriber on a dead link is detached without waiting for the
+// next publish to fail.
+func (s *bcastSub) watch(c *Channel) {
+	defer s.b.wg.Done()
+	select {
+	case <-c.Done():
+		s.b.detach(s, false)
+	case <-s.done:
+	}
+}
+
+func (s *bcastSub) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.q = nil
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.doneOnce.Do(func() { close(s.done) })
+}

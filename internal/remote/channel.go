@@ -94,6 +94,19 @@ type Channel struct {
 	bw    *bufio.Writer
 	wpend atomic.Int32
 
+	// Priority gate between the two send classes. High-priority senders
+	// (control and invoke frames — everything but stream payload) count
+	// themselves in hiPend around the write; bulk senders (StreamData
+	// segments) wait on gateCond while any high-priority sender is
+	// pending, so a bulk chunk train can never head-of-line-block an
+	// invoke or a StreamClose: at worst one ≤16KB segment is ahead of
+	// it in the buffer. When no bulk sender is active (bulkWaiters zero)
+	// the gate costs the invoke path two uncontended atomic ops.
+	hiPend      atomic.Int32
+	bulkWaiters atomic.Int32
+	gateMu      sync.Mutex
+	gateCond    *sync.Cond
+
 	// dispatchSem bounds the handler goroutines serving inbound
 	// invocations: one slot per in-flight handler, the reader blocks
 	// when all are taken (nil selects unbounded goroutine-per-invoke,
@@ -117,7 +130,13 @@ type Channel struct {
 	nextID           int64
 	remoteSubs       []string
 	streams          map[int64]*inStream
-	streamFn         func(name string, props map[string]any, r *StreamReader)
+	outStreams       map[int64]*StreamWriter
+	// nextStream allocates outbound stream ids with direction parity
+	// (dialer odd, acceptor even): StreamClose and StreamCredit flow in
+	// both directions, and disjoint id spaces make their target map
+	// unambiguous.
+	nextStream int64
+	streamFn   func(name string, props map[string]any, r *StreamReader)
 	svcWatchers      []func()
 	proxies          []*module.Bundle
 	evTok            int64
@@ -136,6 +155,14 @@ type Channel struct {
 	shipTicks int64
 	shipLast  map[string]shipFP
 
+	// Stream flow control (stream.go): streamCredit records that both
+	// hellos announced propStreamCredit; streamWindow is the receive
+	// window granted per reliable inbound stream. Both are fixed at
+	// handshake. sObs caches the stream telemetry handles.
+	streamCredit bool
+	streamWindow int64
+	sObs         *streamObs
+
 	// opened records that setup completed and the channel was counted
 	// in the opened/active telemetry; teardown mirrors the accounting
 	// only when it is set.
@@ -147,8 +174,10 @@ type Channel struct {
 }
 
 // setupChannel performs the symmetric handshake: Hello exchange, then
-// lease exchange, then the reader starts.
-func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
+// lease exchange, then the reader starts. initiator marks the dialing
+// side; it seeds the stream-id parity (dialer odd, acceptor even) so
+// both directions can open streams without id collisions.
+func (p *Peer) setupChannel(conn net.Conn, initiator bool) (*Channel, error) {
 	c := &Channel{
 		peer:             p,
 		conn:             conn,
@@ -161,9 +190,16 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 		pendingManifests: make(map[int64]chan manifestResult),
 		pendingChunks:    make(map[int64]chan *wire.ChunkData),
 		streams:          make(map[int64]*inStream),
+		outStreams:       make(map[int64]*StreamWriter),
 		invokeObsBySvc:   make(map[int64]*svcObs),
 		serveObsBySvc:    make(map[int64]*svcObs),
+		streamWindow:     int64(p.cfg.StreamWindowBytes),
+		sObs:             newStreamObs(p.cfg.Obs.Metrics),
 		closed:           make(chan struct{}),
+	}
+	c.gateCond = sync.NewCond(&c.gateMu)
+	if initiator {
+		c.nextStream = -1 // first allocation lands on 1; acceptor side on 2
 	}
 
 	// Bound the handshake: a dead or hostile peer must not hang the
@@ -180,6 +216,7 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	helloProps := map[string]any{
 		"device":         p.cfg.Device.Name(),
 		propFetchChunked: true,
+		propStreamCredit: true,
 	}
 	if p.cfg.Aggregator != nil {
 		// Announcing the sink invites the other side to ship its metric
@@ -211,6 +248,23 @@ func (p *Peer) setupChannel(conn net.Conn) (*Channel, error) {
 	c.remoteProps = hello.Props
 	if t, ok := hello.Props[HelloTenantProp].(string); ok {
 		c.tenant = t
+	}
+	// Stream credit is on only when both hellos announced it (explicit
+	// HelloProps may pose as a legacy peer); otherwise every stream
+	// keeps the seed's unbounded-send / drop-oldest behavior and no
+	// frame ever carries a segmentation marker.
+	localCredit, _ := helloProps[propStreamCredit].(bool)
+	remoteCredit, _ := hello.Props[propStreamCredit].(bool)
+	c.streamCredit = localCredit && remoteCredit
+	// The peer-level default stream handler, installed before the
+	// reader starts so no inbound StreamOpen can miss it.
+	if fn := p.streamHandler(); fn != nil {
+		ch := c
+		c.streamFn = func(name string, props map[string]any, r *StreamReader) {
+			r.Name = name
+			r.Props = props
+			fn(ch, r)
+		}
 	}
 
 	// The channel joins the broadcast set *before* the lease snapshot is
@@ -392,13 +446,61 @@ func (c *Channel) send(m wire.Message) error {
 	return err
 }
 
-// sendFrame writes one encoded frame with write coalescing: the frame
-// goes into the buffered writer, and whoever is the last sender holding
-// the lock flushes. Concurrent senders therefore batch into a single
-// transport write (one netsim chunk, one syscall on real sockets) while
-// an uncontended sender flushes its own frame immediately — there is no
-// flush timer, so coalescing never delays a frame.
+// sendFrame writes one encoded frame at high priority (control and
+// invoke traffic). Bulk stream payload goes through sendFrameBulk,
+// which yields to pending high-priority senders; the hiPend counter
+// around the write is what it yields to. When no bulk sender exists
+// the gate adds two uncontended atomic ops to this path and nothing
+// else.
 func (c *Channel) sendFrame(frame []byte) error {
+	c.hiPend.Add(1)
+	err := c.writeParts(frame)
+	if c.hiPend.Add(-1) == 0 && c.bulkWaiters.Load() > 0 {
+		// Last high-priority sender out wakes parked bulk senders. The
+		// gate lock is taken so the wake cannot slip between a bulk
+		// sender's hiPend check and its Wait (sequencing: a waiter
+		// registers in bulkWaiters before checking hiPend, so either it
+		// sees our decrement or we see its registration).
+		c.gateMu.Lock()
+		c.gateCond.Broadcast()
+		c.gateMu.Unlock()
+	}
+	return err
+}
+
+// sendFrameBulk writes one frame of bulk stream payload, possibly in
+// two parts (a per-subscriber header and a shared encoded tail — the
+// fan-out path), parked while any high-priority send is pending. Bulk
+// frames are bounded (≤ maxStreamFrame payload), so the worst case a
+// control frame waits is one segment already in the buffered writer.
+func (c *Channel) sendFrameBulk(parts ...[]byte) error {
+	if c.hiPend.Load() > 0 {
+		c.bulkWaiters.Add(1)
+		c.gateMu.Lock()
+		for c.hiPend.Load() > 0 {
+			select {
+			case <-c.closed:
+				c.gateMu.Unlock()
+				c.bulkWaiters.Add(-1)
+				return ErrChannelClosed
+			default:
+			}
+			c.gateCond.Wait()
+		}
+		c.gateMu.Unlock()
+		c.bulkWaiters.Add(-1)
+	}
+	return c.writeParts(parts...)
+}
+
+// writeParts writes one frame (possibly split into consecutive parts)
+// with write coalescing: the parts go into the buffered writer under
+// one lock hold, and whoever is the last sender holding the lock
+// flushes. Concurrent senders therefore batch into a single transport
+// write (one netsim chunk, one syscall on real sockets) while an
+// uncontended sender flushes its own frame immediately — there is no
+// flush timer, so coalescing never delays a frame.
+func (c *Channel) writeParts(parts ...[]byte) error {
 	select {
 	case <-c.closed:
 		return ErrChannelClosed
@@ -406,7 +508,12 @@ func (c *Channel) sendFrame(frame []byte) error {
 	}
 	c.wpend.Add(1)
 	c.wmu.Lock()
-	_, err := c.bw.Write(frame)
+	var err error
+	for _, part := range parts {
+		if _, err = c.bw.Write(part); err != nil {
+			break
+		}
+	}
 	if c.wpend.Add(-1) == 0 {
 		// No other sender is committed to the lock: flush now. If one
 		// is, it flushes on its way out (buffered write errors would
@@ -808,6 +915,8 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 		c.pendingChunks = map[int64]chan *wire.ChunkData{}
 		streams := c.streams
 		c.streams = map[int64]*inStream{}
+		outStreams := c.outStreams
+		c.outStreams = map[int64]*StreamWriter{}
 		proxies := c.proxies
 		c.proxies = nil
 		hasTok, tok := c.hasEvTok, c.evTok
@@ -815,6 +924,12 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 		c.mu.Unlock()
 
 		close(c.closed)
+		// Wake bulk senders parked at the priority gate so they observe
+		// the close instead of waiting for a high-priority sender that
+		// will never come.
+		c.gateMu.Lock()
+		c.gateCond.Broadcast()
+		c.gateMu.Unlock()
 		for _, ch := range pending {
 			ch <- callResult{err: ErrChannelClosed}
 		}
@@ -831,6 +946,12 @@ func (c *Channel) teardown(cause error, sendBye bool) {
 		// c.closed and re-issue remaining hashes on a surviving link.
 		for _, s := range streams {
 			s.closeWith(ErrChannelClosed)
+		}
+		// Outbound writers fail with the teardown cause: blocked credit
+		// waits unblock, and later writes error instead of feeding a
+		// dead link.
+		for _, w := range outStreams {
+			w.fail(ErrChannelClosed)
 		}
 		if hasTok && c.peer.cfg.Events != nil {
 			c.peer.cfg.Events.Unsubscribe(tok)
@@ -950,6 +1071,8 @@ func (c *Channel) readLoop() {
 			c.handleStreamData(m)
 		case *wire.StreamClose:
 			c.handleStreamClose(m)
+		case *wire.StreamCredit:
+			c.handleStreamCredit(m)
 		case *wire.MetricsReport:
 			c.handleMetricsReport(m)
 		case *wire.Ping:

@@ -81,7 +81,7 @@ func (p *Peer) DialLink(dial Dialer) (*Link, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := p.setupChannel(conn)
+	ch, err := p.setupChannel(conn, true)
 	if err != nil {
 		_ = conn.Close()
 		return nil, err
@@ -286,7 +286,7 @@ func (l *Link) redial(span *obs.Span) (*Channel, error) {
 		redials.Inc()
 		conn, err := l.dial()
 		if err == nil {
-			ch, herr := l.peer.setupChannel(conn)
+			ch, herr := l.peer.setupChannel(conn, true)
 			if herr == nil {
 				if span != nil {
 					span.Annotate(fmt.Sprintf("redial attempt %d succeeded", attempt+1))

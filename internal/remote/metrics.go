@@ -85,6 +85,38 @@ func (c *Channel) serveObs(id int64) *svcObs {
 	return so
 }
 
+// streamObs bundles the stream-mux telemetry handles of one channel,
+// resolved once at setup so the per-chunk cost is atomic adds only.
+// Counts cover both directions: opened/active track streams with live
+// state on this peer, tx/rx the payload bytes moved, creditGrants and
+// creditStalls the flow-control activity, dropped the unreliable-class
+// evictions.
+type streamObs struct {
+	opened       *obs.Counter
+	closedN      *obs.Counter
+	active       *obs.Gauge
+	txBytes      *obs.Counter
+	rxBytes      *obs.Counter
+	txFrames     *obs.Counter
+	droppedN     *obs.Counter
+	creditGrants *obs.Counter
+	creditStalls *obs.Counter
+}
+
+func newStreamObs(m *obs.Registry) *streamObs {
+	return &streamObs{
+		opened:       m.Counter("alfredo_remote_streams_opened_total"),
+		closedN:      m.Counter("alfredo_remote_streams_closed_total"),
+		active:       m.Gauge("alfredo_remote_streams_active"),
+		txBytes:      m.Counter("alfredo_remote_stream_tx_bytes_total"),
+		rxBytes:      m.Counter("alfredo_remote_stream_rx_bytes_total"),
+		txFrames:     m.Counter("alfredo_remote_stream_tx_frames_total"),
+		droppedN:     m.Counter("alfredo_remote_stream_dropped_total"),
+		creditGrants: m.Counter("alfredo_remote_stream_credit_grants_total"),
+		creditStalls: m.Counter("alfredo_remote_stream_credit_stalls_total"),
+	}
+}
+
 // retryCounter counts one retry of op ("invoke", "fetch", "ping") by
 // cause. Retries are a cold path, so this resolves from the registry
 // each time.

@@ -136,6 +136,13 @@ type Config struct {
 	// FetchWindow bounds the chunk hashes kept in flight per request
 	// window during a chunked fetch; zero selects DefaultFetchWindow.
 	FetchWindow int
+	// StreamWindowBytes is the receive window granted per reliable
+	// inbound stream on credit-negotiated channels: the sender may have
+	// at most this many un-consumed payload bytes in flight before its
+	// writes block (stream.go). Zero selects DefaultStreamWindow; values
+	// below one segment (16 KiB) are raised to it, since the fan-out
+	// path reserves whole segments.
+	StreamWindowBytes int
 	// Aggregator, when non-nil, makes this peer a fleet telemetry sink:
 	// it announces "metrics.sink" in its hello and folds inbound
 	// MetricsReport frames into the aggregator under the sending
@@ -199,7 +206,30 @@ type Peer struct {
 	// disabled).
 	admission *Admission
 
+	// streamFn is the peer-level default stream handler, inherited by
+	// every channel established after HandleStreams (reconnecting links
+	// create fresh channels, so serve-side stream consumers register
+	// here once instead of racing every accept).
+	streamMu sync.Mutex
+	streamFn func(c *Channel, r *StreamReader)
+
 	wg sync.WaitGroup
+}
+
+// HandleStreams registers a default handler invoked (on its own
+// goroutine) for every stream opened on any subsequently established
+// channel of this peer. A channel-level Channel.HandleStreams replaces
+// it for that channel's later streams.
+func (p *Peer) HandleStreams(fn func(c *Channel, r *StreamReader)) {
+	p.streamMu.Lock()
+	p.streamFn = fn
+	p.streamMu.Unlock()
+}
+
+func (p *Peer) streamHandler() func(c *Channel, r *StreamReader) {
+	p.streamMu.Lock()
+	defer p.streamMu.Unlock()
+	return p.streamFn
 }
 
 // NewPeer creates a peer bound to cfg.Framework. Services already
@@ -224,6 +254,13 @@ func NewPeer(cfg Config) (*Peer, error) {
 	}
 	if cfg.WriteBufferBytes <= 0 {
 		cfg.WriteBufferBytes = writeCoalesceBuffer
+	}
+	if cfg.StreamWindowBytes <= 0 {
+		cfg.StreamWindowBytes = DefaultStreamWindow
+	}
+	if cfg.StreamWindowBytes < maxStreamFrame {
+		// reserveExact needs one whole segment to fit the window.
+		cfg.StreamWindowBytes = maxStreamFrame
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
 	cfg.Obs = cfg.Obs.OrDefault()
@@ -291,7 +328,7 @@ func (p *Peer) Serve(l net.Listener) error {
 		p.wg.Add(1)
 		go func(conn net.Conn) {
 			defer p.wg.Done()
-			if _, err := p.setupChannel(conn); err != nil {
+			if _, err := p.setupChannel(conn, false); err != nil {
 				_ = conn.Close()
 			}
 		}(conn)
@@ -301,7 +338,7 @@ func (p *Peer) Serve(l net.Listener) error {
 // Connect establishes a channel over an existing connection (dialer
 // side).
 func (p *Peer) Connect(conn net.Conn) (*Channel, error) {
-	return p.setupChannel(conn)
+	return p.setupChannel(conn, true)
 }
 
 // Channels returns the currently connected channels.

@@ -717,7 +717,10 @@ func TestStreamBackpressureDropsOldest(t *testing.T) {
 		})
 	}
 
-	w, err := ch.OpenStream("firehose", nil)
+	// Unreliable class: the paper's adaptive drop-oldest semantics.
+	// (Reliable streams — the default — now backpressure the writer
+	// instead of dropping; see TestStreamCreditBackpressure.)
+	w, err := ch.OpenStreamClass("firehose", StreamUnreliable, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

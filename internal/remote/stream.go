@@ -8,61 +8,291 @@ import (
 	"github.com/alfredo-mw/alfredo/internal/wire"
 )
 
-// streamBacklog bounds the per-stream receive queue. When the consumer
-// falls behind, the oldest queued chunks are dropped — matching the
-// paper's adaptive semantics for high-volume data ("the application ...
-// sends updates whenever there is enough bandwidth", §5.1). Dropped
-// counts are observable through StreamReader.Dropped.
+// streamBacklog bounds the per-stream receive queue of unreliable (and
+// legacy) streams. When the consumer falls behind, the oldest queued
+// chunks are dropped — matching the paper's adaptive semantics for
+// high-volume data ("the application ... sends updates whenever there
+// is enough bandwidth", §5.1). Dropped counts are observable through
+// StreamReader.Dropped.
 const streamBacklog = 256
+
+// maxStreamFrame bounds one StreamData payload on channels that
+// negotiated stream credit: larger writes are segmented so a bulk chunk
+// train always has preemption points where control and invoke frames
+// can slot in. 16 KiB keeps a single segment's hold on the write lock
+// short even on the paper's WLAN-class links.
+const maxStreamFrame = 16 << 10
+
+// DefaultStreamWindow is the per-stream receive window granted to the
+// sender of a reliable stream when Config.StreamWindowBytes is zero.
+// The receiver grants it on open and replenishes as the application
+// consumes chunks, so a stalled reader bounds the sender's buffered
+// bytes to one window instead of losing data.
+const DefaultStreamWindow = 256 << 10
+
+// propStreamCredit is the hello property announcing credit-based stream
+// flow control. Like propFetchChunked it is negotiated: both sides must
+// announce it, otherwise streams keep the legacy unbounded-send /
+// receiver-drop-oldest behavior (and frames never carry segmentation
+// markers, which legacy decoders reject).
+const propStreamCredit = "stream.credit"
+
+// propStreamClass is the StreamOpen property carrying the stream class;
+// absent means reliable.
+const propStreamClass = "stream.class"
+
+// streamClassUnreliable marks a stream that keeps the adaptive
+// drop-oldest semantics even on credit-negotiated channels: no credits,
+// no backpressure, freshest data wins. Snapshot feeds (mouse positions,
+// sensor previews) want this; transfers want the reliable default.
+const streamClassUnreliable = "unreliable"
+
+// StreamClass selects the delivery contract of an outbound stream.
+type StreamClass int
+
+const (
+	// StreamReliable is the default: writes are credit-gated against the
+	// receiver's window and every chunk is delivered in order. A slow
+	// consumer blocks the writer instead of losing data.
+	StreamReliable StreamClass = iota
+	// StreamUnreliable keeps the paper's §5.1 adaptive semantics: the
+	// receiver queues up to streamBacklog chunks and drops the oldest
+	// when the consumer falls behind. Writers never block on the
+	// consumer.
+	StreamUnreliable
+)
 
 // StreamWriter is the sending end of a transparent stream proxy.
 type StreamWriter struct {
 	c  *Channel
 	id int64
+	// segmented: this channel negotiated stream.credit, so large writes
+	// are cut into ≤maxStreamFrame frames with More markers (the remote
+	// reassembles). credited additionally gates writes on the receiver's
+	// window (reliable class only).
+	segmented bool
+	credited  bool
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	avail   int64 // credit bytes available to send
+	granted int64 // total credit ever granted by the receiver
+	sent    int64 // total payload bytes sent
+	closed  bool
+	failure error // remote close/abort or channel teardown
 }
 
 var _ io.WriteCloser = (*StreamWriter)(nil)
 
-// OpenStream opens a named byte stream to the remote peer (§3.2:
-// "high-volume data exchange through transparent stream proxies").
+// OpenStream opens a named reliable byte stream to the remote peer
+// (§3.2: "high-volume data exchange through transparent stream
+// proxies").
 func (c *Channel) OpenStream(name string, props map[string]any) (*StreamWriter, error) {
-	c.mu.Lock()
-	c.nextID++
-	id := c.nextID
-	c.mu.Unlock()
-	if err := c.send(&wire.StreamOpen{StreamID: id, Name: name, Props: props}); err != nil {
-		return nil, err
-	}
-	return &StreamWriter{c: c, id: id}, nil
+	return c.OpenStreamClass(name, StreamReliable, props)
 }
 
-// Write ships one chunk. Writes after Close fail.
-func (w *StreamWriter) Write(p []byte) (int, error) {
-	w.mu.Lock()
-	closed := w.closed
-	w.mu.Unlock()
-	if closed {
-		return 0, fmt.Errorf("remote: write on closed stream %d", w.id)
+// OpenStreamClass opens a stream with an explicit delivery class.
+func (c *Channel) OpenStreamClass(name string, class StreamClass, props map[string]any) (*StreamWriter, error) {
+	if class == StreamUnreliable {
+		np := make(map[string]any, len(props)+1)
+		for k, v := range props {
+			np[k] = v
+		}
+		np[propStreamClass] = streamClassUnreliable
+		props = np
 	}
-	// Encode straight from the caller's slice into a pooled frame
-	// buffer: the encoder copies p into the frame, and the frame is
-	// written out before this call returns, so the io.Writer contract
-	// (p not retained) holds with exactly one copy.
+	w := &StreamWriter{
+		c:         c,
+		segmented: c.streamCredit,
+		credited:  c.streamCredit && class == StreamReliable,
+	}
+	w.cond = sync.NewCond(&w.mu)
+	// Register before the open frame is on the wire: a remote
+	// StreamClose (no handler, early abort) or credit can race the send
+	// returning. A failed send unregisters, so the writer never leaks.
+	c.mu.Lock()
+	c.nextStream += 2
+	w.id = c.nextStream
+	c.outStreams[w.id] = w
+	c.mu.Unlock()
+	if err := c.send(&wire.StreamOpen{StreamID: w.id, Name: name, Props: props}); err != nil {
+		c.mu.Lock()
+		delete(c.outStreams, w.id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.sObs.opened.Inc()
+	c.sObs.active.Add(1)
+	return w, nil
+}
+
+// Write ships one chunk. On reliable credit-negotiated streams the call
+// blocks while the receiver's window is exhausted (backpressure); large
+// chunks are segmented into bounded frames and reassembled by the
+// remote, so message boundaries are preserved. Writes after Close fail.
+func (w *StreamWriter) Write(p []byte) (int, error) {
+	if !w.segmented {
+		// Legacy peer (or pre-negotiation): one chunk, one frame, no
+		// credits — the seed behavior.
+		if err := w.reserve(0); err != nil {
+			return 0, err
+		}
+		if err := w.writeFrame(p, false); err != nil {
+			return 0, err
+		}
+		w.mu.Lock()
+		w.sent += int64(len(p))
+		w.mu.Unlock()
+		return len(p), nil
+	}
+	total := 0
+	for first := true; first || len(p) > 0; first = false {
+		seg := p
+		if len(seg) > maxStreamFrame {
+			seg = seg[:maxStreamFrame]
+		}
+		if w.credited {
+			n, err := w.reserveUpTo(len(seg))
+			if err != nil {
+				return total, err
+			}
+			seg = seg[:n]
+		} else if err := w.reserve(0); err != nil {
+			return total, err
+		}
+		if err := w.writeFrame(seg, len(p) > len(seg)); err != nil {
+			return total, err
+		}
+		total += len(seg)
+		p = p[len(seg):]
+	}
+	return total, nil
+}
+
+// writeFrame encodes one StreamData frame straight from the caller's
+// slice into a pooled frame buffer: the encoder copies seg into the
+// frame, and the frame is written out before this call returns, so the
+// io.Writer contract (p not retained) holds with exactly one copy.
+// Stream payload travels at bulk priority: it yields to control and
+// invoke frames at every segment boundary.
+func (w *StreamWriter) writeFrame(seg []byte, more bool) error {
 	buf := wire.GetBuffer()
-	frame, err := wire.EncodeInto(buf, &wire.StreamData{StreamID: w.id, Chunk: p})
+	frame, err := wire.EncodeInto(buf, &wire.StreamData{StreamID: w.id, Chunk: seg, More: more})
 	if err != nil {
 		wire.PutBuffer(buf)
-		return 0, err
+		return err
 	}
-	err = w.c.sendFrame(frame)
+	err = w.c.sendFrameBulk(frame)
 	wire.PutBuffer(buf)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	return len(p), nil
+	w.c.sObs.txFrames.Inc()
+	w.c.sObs.txBytes.Add(int64(len(seg)))
+	return nil
+}
+
+// reserve(0) checks the writer is open; reserveUpTo blocks until at
+// least one credit byte is available and consumes up to n of them.
+func (w *StreamWriter) reserve(int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.writeErrLocked()
+	}
+	return nil
+}
+
+func (w *StreamWriter) reserveUpTo(n int) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n == 0 {
+		if w.closed {
+			return 0, w.writeErrLocked()
+		}
+		return 0, nil
+	}
+	for {
+		if w.closed {
+			return 0, w.writeErrLocked()
+		}
+		if w.avail > 0 {
+			if int64(n) > w.avail {
+				n = int(w.avail)
+			}
+			w.avail -= int64(n)
+			w.sent += int64(n)
+			return n, nil
+		}
+		w.c.sObs.creditStalls.Inc()
+		w.cond.Wait()
+	}
+}
+
+// reserveExact blocks until the full n bytes of credit are available:
+// the fan-out path shares pre-encoded segment tails across subscribers
+// and cannot shrink a segment to fit a partial grant. n never exceeds
+// maxStreamFrame, which NewPeer guarantees is at most one window.
+func (w *StreamWriter) reserveExact(n int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.closed {
+			return w.writeErrLocked()
+		}
+		if !w.credited || w.avail >= int64(n) {
+			if w.credited {
+				w.avail -= int64(n)
+			}
+			w.sent += int64(n)
+			return nil
+		}
+		w.c.sObs.creditStalls.Inc()
+		w.cond.Wait()
+	}
+}
+
+func (w *StreamWriter) writeErrLocked() error {
+	if w.failure != nil {
+		return w.failure
+	}
+	return fmt.Errorf("remote: write on closed stream %d", w.id)
+}
+
+// grant adds receiver credit and wakes blocked writers.
+func (w *StreamWriter) grant(n int64) {
+	w.mu.Lock()
+	w.avail += n
+	w.granted += n
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// fail terminates the writer from the remote side (StreamClose) or
+// channel teardown: pending and future writes return err.
+func (w *StreamWriter) fail(err error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.failure = err
+	w.mu.Unlock()
+	w.cond.Broadcast()
+	w.c.sObs.closedN.Inc()
+	w.c.sObs.active.Add(-1)
+}
+
+// FlowStats reports the writer's credit accounting: payload bytes sent
+// and credit bytes granted by the receiver. For credited writers
+// sent ≤ granted always holds — the simulation harness asserts it as a
+// conservation invariant. credited is false for unreliable and legacy
+// streams, whose sent is unbounded by design.
+func (w *StreamWriter) FlowStats() (sent, granted int64, credited bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sent, w.granted, w.credited
 }
 
 // Close terminates the stream cleanly.
@@ -86,6 +316,12 @@ func (w *StreamWriter) closeWith(errMsg string) error {
 	}
 	w.closed = true
 	w.mu.Unlock()
+	w.cond.Broadcast()
+	w.c.mu.Lock()
+	delete(w.c.outStreams, w.id)
+	w.c.mu.Unlock()
+	w.c.sObs.closedN.Inc()
+	w.c.sObs.active.Add(-1)
 	return w.c.send(&wire.StreamClose{StreamID: w.id, Err: errMsg})
 }
 
@@ -100,16 +336,52 @@ type StreamReader struct {
 }
 
 // Next returns the next chunk, blocking until one arrives or the
-// stream ends (io.EOF on clean close).
+// stream ends (io.EOF on clean close). On reliable streams, consuming a
+// chunk replenishes the sender's credit once half the window has been
+// eaten, so a steadily consuming reader keeps the sender running
+// without a credit frame per chunk.
 func (r *StreamReader) Next() ([]byte, error) {
-	chunk, ok := <-r.s.ch
-	if !ok {
-		return nil, r.s.err()
+	s := r.s
+	if !s.credited {
+		chunk, ok := <-s.ch
+		if !ok {
+			return nil, s.err()
+		}
+		return chunk, nil
+	}
+	s.mu.Lock()
+	for len(s.q) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if len(s.q) == 0 {
+		s.mu.Unlock()
+		return nil, s.err()
+	}
+	chunk := s.q[0]
+	s.q[0] = nil
+	s.q = s.q[1:]
+	s.consumed += int64(len(chunk))
+	var grant int64
+	if s.consumed*2 >= s.window && !s.closed {
+		grant = s.consumed
+		s.consumed = 0
+		s.granted += grant
+	}
+	s.mu.Unlock()
+	if grant > 0 {
+		// Credit frames are control traffic: they must overtake bulk
+		// data, or a full-duplex transfer could stall its own reverse
+		// credits behind its forward chunks.
+		_ = s.c.send(&wire.StreamCredit{StreamID: s.id, Bytes: grant})
+		s.c.sObs.creditGrants.Inc()
 	}
 	return chunk, nil
 }
 
-// Read implements io.Reader over the chunk sequence.
+// Read implements io.Reader over the chunk sequence. A chunk larger
+// than p is consumed across multiple reads (the remainder is kept as
+// leftover); a chunk smaller than p returns short — Read never blocks
+// for a second chunk to fill p.
 func (r *StreamReader) Read(p []byte) (int, error) {
 	if len(r.leftover) == 0 {
 		chunk, err := r.Next()
@@ -123,22 +395,41 @@ func (r *StreamReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Dropped reports chunks discarded because the consumer fell behind.
+// Dropped reports chunks discarded because the consumer fell behind
+// (unreliable and legacy streams only; reliable streams never drop).
 func (r *StreamReader) Dropped() int64 {
 	r.s.mu.Lock()
 	defer r.s.mu.Unlock()
 	return r.s.dropped
 }
 
+// inStream is the receive side of one inbound stream. Credited
+// (reliable) streams queue into q under mu — the queue is bounded in
+// bytes by the credit window, not a chunk count. Unreliable and legacy
+// streams keep the fixed-capacity channel with drop-oldest overflow.
 type inStream struct {
-	id int64
-	ch chan []byte
+	id       int64
+	c        *Channel
+	credited bool
 
-	mu      sync.Mutex
-	closed  bool
-	errMsg  string
-	failure error
-	dropped int64
+	ch chan []byte // unreliable/legacy delivery
+
+	// partial accumulates segments of one application message (More
+	// markers). It is touched only by the channel's readLoop, never
+	// concurrently.
+	partial []byte
+
+	mu       sync.Mutex
+	cond     *sync.Cond // credited delivery
+	q        [][]byte
+	window   int64
+	consumed int64 // consumed bytes not yet re-granted
+	granted  int64 // total credit issued to the sender
+	received int64 // total payload bytes delivered into the queue
+	closed   bool
+	errMsg   string
+	failure  error
+	dropped  int64
 }
 
 func (s *inStream) err() error {
@@ -153,6 +444,8 @@ func (s *inStream) err() error {
 	return io.EOF
 }
 
+// closeWith ends the stream. Queued credited chunks stay readable — a
+// cleanly closed reliable stream delivers every chunk before io.EOF.
 func (s *inStream) closeWith(err error) {
 	s.mu.Lock()
 	if s.closed {
@@ -162,7 +455,13 @@ func (s *inStream) closeWith(err error) {
 	s.closed = true
 	s.failure = err
 	s.mu.Unlock()
-	close(s.ch)
+	if s.credited {
+		s.cond.Broadcast()
+	} else {
+		close(s.ch)
+	}
+	s.c.sObs.closedN.Inc()
+	s.c.sObs.active.Add(-1)
 }
 
 // HandleStreams registers the callback invoked (on its own goroutine)
@@ -179,13 +478,54 @@ func (c *Channel) HandleStreams(fn func(r *StreamReader)) {
 }
 
 func (c *Channel) handleStreamOpen(m *wire.StreamOpen) {
-	s := &inStream{id: m.StreamID, ch: make(chan []byte, streamBacklog)}
 	c.mu.Lock()
-	c.streams[m.StreamID] = s
 	fn := c.streamFn
 	c.mu.Unlock()
 	if fn == nil {
+		// No handler: reject instead of registering a stream nobody will
+		// ever read. The seed kept the entry (and its growing queue) in
+		// c.streams forever; now the writer learns immediately and the
+		// receive side holds no state.
+		_ = c.send(&wire.StreamClose{StreamID: m.StreamID, Err: "no stream handler"})
 		return
+	}
+	class, _ := m.Props[propStreamClass].(string)
+	s := &inStream{
+		id:       m.StreamID,
+		c:        c,
+		credited: c.streamCredit && class != streamClassUnreliable,
+		window:   c.streamWindow,
+	}
+	if s.credited {
+		s.cond = sync.NewCond(&s.mu)
+	} else {
+		s.ch = make(chan []byte, streamBacklog)
+	}
+	c.mu.Lock()
+	c.streams[m.StreamID] = s
+	c.mu.Unlock()
+	c.sObs.opened.Inc()
+	c.sObs.active.Add(1)
+	select {
+	case <-c.closed:
+		// Teardown raced the registration: its drain may have missed the
+		// entry, so close it here (idempotent either way).
+		c.mu.Lock()
+		delete(c.streams, m.StreamID)
+		c.mu.Unlock()
+		s.closeWith(ErrChannelClosed)
+		return
+	default:
+	}
+	if s.credited {
+		// The initial window. Credit is receiver-driven from the first
+		// byte: the sender starts at zero and may send nothing until
+		// this grant arrives.
+		s.mu.Lock()
+		s.granted = s.window
+		s.mu.Unlock()
+		_ = c.send(&wire.StreamCredit{StreamID: m.StreamID, Bytes: s.window})
+		c.sObs.creditGrants.Inc()
 	}
 	reader := &StreamReader{s: s}
 	c.wg.Add(1)
@@ -202,41 +542,106 @@ func (c *Channel) handleStreamData(m *wire.StreamData) {
 	if s == nil {
 		return
 	}
-	// The lock is held across the channel sends so that closeWith (which
-	// closes s.ch under the same lock) cannot race a send-on-closed.
+	chunk := m.Chunk
+	if m.More || len(s.partial) > 0 {
+		// Segment of a larger message: reassemble before delivery so
+		// consumers see the writer's message boundaries. partial is
+		// bounded by what credits admitted plus one legacy frame, so a
+		// hostile peer cannot grow it past its granted window.
+		s.partial = append(s.partial, chunk...)
+		if m.More {
+			return
+		}
+		chunk = s.partial
+		s.partial = nil
+	}
+	c.sObs.rxBytes.Add(int64(len(chunk)))
+	if s.credited {
+		s.mu.Lock()
+		if !s.closed {
+			s.received += int64(len(chunk))
+			s.q = append(s.q, chunk)
+		}
+		s.mu.Unlock()
+		s.cond.Signal()
+		return
+	}
+	s.deliverDropOldest(chunk)
+}
+
+// deliverDropOldest enqueues chunk on an unreliable/legacy stream,
+// evicting oldest entries while the queue is full. The channel readLoop
+// is the only producer, so after an eviction the retried send can only
+// fail if a consumer raced in and *refilled* the queue — impossible,
+// consumers only drain — hence the loop terminates and the accounting
+// is exact: every evicted chunk is counted, and the new chunk is never
+// silently lost (the seed's final non-blocking send could lose it
+// uncounted).
+func (s *inStream) deliverDropOldest(chunk []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return
 	}
-	select {
-	case s.ch <- m.Chunk:
-	default:
-		// Consumer is behind: drop the oldest chunk to make room, so
-		// the stream stays fresh rather than ever-later (adaptive
-		// snapshot semantics, §5.1).
+	s.received += int64(len(chunk))
+	for {
 		select {
-		case <-s.ch:
+		case s.ch <- chunk:
+			return
 		default:
 		}
-		s.dropped++
 		select {
-		case s.ch <- m.Chunk:
+		case <-s.ch:
+			s.dropped++
+			s.c.sObs.droppedN.Inc()
 		default:
 		}
 	}
 }
 
 func (c *Channel) handleStreamClose(m *wire.StreamClose) {
+	// Stream ids are direction-disjoint (dial side odd, accept side
+	// even), so the id tells whether this closes an inbound stream we
+	// read (writer finished) or an outbound stream we write (reader
+	// aborted / rejected).
 	c.mu.Lock()
 	s := c.streams[m.StreamID]
 	delete(c.streams, m.StreamID)
+	w := c.outStreams[m.StreamID]
+	delete(c.outStreams, m.StreamID)
 	c.mu.Unlock()
-	if s == nil {
-		return
+	if s != nil {
+		s.mu.Lock()
+		s.errMsg = m.Err
+		s.mu.Unlock()
+		s.closeWith(nil)
 	}
-	s.mu.Lock()
-	s.errMsg = m.Err
-	s.mu.Unlock()
-	s.closeWith(nil)
+	if w != nil {
+		if m.Err != "" {
+			w.fail(fmt.Errorf("remote: stream %d closed by peer: %s", m.StreamID, m.Err))
+		} else {
+			w.fail(fmt.Errorf("remote: stream %d closed by peer", m.StreamID))
+		}
+	}
+}
+
+func (c *Channel) handleStreamCredit(m *wire.StreamCredit) {
+	if m.Bytes < 0 {
+		return // nonsense grant from a broken peer; ignore
+	}
+	c.mu.Lock()
+	w := c.outStreams[m.StreamID]
+	c.mu.Unlock()
+	if w != nil {
+		w.grant(m.Bytes)
+	}
+}
+
+// OpenStreamCount reports streams with live state on this channel, both
+// inbound and outbound. The simulation harness checks it reaches zero
+// after drain — a nonzero residue is a stream registry leak.
+func (c *Channel) OpenStreamCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.streams) + len(c.outStreams)
 }

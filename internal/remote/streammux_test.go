@@ -1,0 +1,708 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/alfredo-mw/alfredo/internal/event"
+	"github.com/alfredo-mw/alfredo/internal/module"
+	"github.com/alfredo-mw/alfredo/internal/netsim"
+	"github.com/alfredo-mw/alfredo/internal/wire"
+)
+
+// newMuxNode builds a test node with a mutated peer config (stream
+// window, hello props) for the flow-control tests.
+func newMuxNode(t *testing.T, name string, mut func(*Config)) *testNode {
+	t.Helper()
+	fw := module.NewFramework(module.Config{Name: name})
+	ev := event.NewAdmin(0)
+	cfg := Config{
+		Framework: fw,
+		Events:    ev,
+		ProxyCode: NewProxyCodeRegistry(),
+		Timeout:   5 * time.Second,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	peer, err := NewPeer(cfg)
+	if err != nil {
+		t.Fatalf("NewPeer(%s): %v", name, err)
+	}
+	n := &testNode{fw: fw, events: ev, peer: peer}
+	t.Cleanup(func() {
+		peer.Close()
+		ev.Close()
+		_ = fw.Shutdown()
+	})
+	return n
+}
+
+// pat builds a deterministic payload so reassembly bugs show as content
+// mismatches, not just length mismatches.
+func pat(n int, seed byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = seed + byte(i*7)
+	}
+	return p
+}
+
+// TestStreamCreditBackpressure: with a one-segment window, the writer's
+// second chunk must block until the reader consumes the first — and the
+// credit books must always show sent ≤ granted.
+func TestStreamCreditBackpressure(t *testing.T) {
+	server := newMuxNode(t, "srv", func(c *Config) { c.StreamWindowBytes = maxStreamFrame })
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	release := make(chan struct{})
+	rcvd := make(chan []byte, 16)
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			<-release
+			for {
+				chunk, err := r.Next()
+				if err != nil {
+					close(rcvd)
+					return
+				}
+				rcvd <- chunk
+			}
+		})
+	}
+
+	w, err := ch.OpenStream("bulk", nil)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	var written atomic.Int32
+	go func() {
+		for i := 0; i < 4; i++ {
+			if _, err := w.Write(pat(maxStreamFrame, byte(i))); err != nil {
+				return
+			}
+			written.Add(1)
+		}
+		_ = w.Close()
+	}()
+
+	waitFor(t, 5*time.Second, func() bool { return written.Load() == 1 })
+	time.Sleep(100 * time.Millisecond)
+	if got := written.Load(); got != 1 {
+		t.Fatalf("writer got past the window without consumption: %d chunks written", got)
+	}
+	sent, granted, credited := w.FlowStats()
+	if !credited {
+		t.Fatal("reliable stream on a negotiated channel should be credited")
+	}
+	if sent > granted {
+		t.Fatalf("sent %d > granted %d", sent, granted)
+	}
+
+	close(release)
+	var chunks [][]byte
+	for chunk := range rcvd {
+		chunks = append(chunks, chunk)
+	}
+	if len(chunks) != 4 {
+		t.Fatalf("received %d chunks, want 4", len(chunks))
+	}
+	for i, chunk := range chunks {
+		if !bytes.Equal(chunk, pat(maxStreamFrame, byte(i))) {
+			t.Fatalf("chunk %d corrupted", i)
+		}
+	}
+	sent, granted, _ = w.FlowStats()
+	if sent != 4*maxStreamFrame || sent > granted {
+		t.Errorf("final books: sent=%d granted=%d", sent, granted)
+	}
+}
+
+// TestStreamSegmentationPreservesBoundaries: a write far larger than one
+// frame arrives as a single reassembled chunk.
+func TestStreamSegmentationPreservesBoundaries(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	rcvd := make(chan []byte, 4)
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			for {
+				chunk, err := r.Next()
+				if err != nil {
+					close(rcvd)
+					return
+				}
+				rcvd <- chunk
+			}
+		})
+	}
+
+	w, err := ch.OpenStream("big", nil)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	big := pat(100_000, 3)
+	if n, err := w.Write(big); err != nil || n != len(big) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if _, err := w.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+
+	var chunks [][]byte
+	for chunk := range rcvd {
+		chunks = append(chunks, chunk)
+	}
+	if len(chunks) != 2 {
+		t.Fatalf("got %d chunks, want 2 (boundaries must survive segmentation)", len(chunks))
+	}
+	if !bytes.Equal(chunks[0], big) {
+		t.Errorf("100KB message corrupted in reassembly (len %d)", len(chunks[0]))
+	}
+	if string(chunks[1]) != "tail" {
+		t.Errorf("second message = %q", chunks[1])
+	}
+}
+
+// TestStreamNoHandlerRejected: opening a stream to a peer without a
+// handler fails the writer promptly and leaves no registry state on
+// either side (the seed leaked the receive entry forever).
+func TestStreamNoHandlerRejected(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	w, err := ch.OpenStream("nobody-home", nil)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		_, err := w.Write([]byte("x"))
+		return err != nil && strings.Contains(err.Error(), "no stream handler")
+	})
+	if n := ch.OpenStreamCount(); n != 0 {
+		t.Errorf("client stream registry holds %d entries after rejection", n)
+	}
+	for _, sc := range server.peer.Channels() {
+		if n := sc.OpenStreamCount(); n != 0 {
+			t.Errorf("server stream registry holds %d entries after rejection", n)
+		}
+	}
+}
+
+// TestStreamTeardownReleasesStreams: closing the channel fails pending
+// writers and drains both registries — no leaked stream state.
+func TestStreamTeardownReleasesStreams(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			for {
+				if _, err := r.Next(); err != nil {
+					return
+				}
+			}
+		})
+	}
+	wr, err := ch.OpenStream("reliable", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wu, err := ch.OpenStreamClass("lossy", StreamUnreliable, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wr.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wu.Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		for _, sc := range server.peer.Channels() {
+			if sc.OpenStreamCount() == 2 {
+				return true
+			}
+		}
+		return false
+	})
+
+	ch.Close()
+	if _, err := wr.Write([]byte("late")); err == nil {
+		t.Error("write on torn-down channel should fail")
+	}
+	if n := ch.OpenStreamCount(); n != 0 {
+		t.Errorf("client holds %d stream entries after teardown", n)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		for _, sc := range server.peer.Channels() {
+			if sc.OpenStreamCount() != 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestStreamDropAccountingExact: on an unreliable stream every sent
+// chunk is either delivered or counted dropped — nothing vanishes
+// silently (the seed's final non-blocking send could lose one uncounted).
+func TestStreamDropAccountingExact(t *testing.T) {
+	const total = 600 // comfortably past the streamBacklog of 256
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	release := make(chan struct{})
+	type tally struct {
+		delivered int64
+		dropped   int64
+	}
+	done := make(chan tally, 1)
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			<-release
+			var n int64
+			for {
+				if _, err := r.Next(); err != nil {
+					done <- tally{delivered: n, dropped: r.Dropped()}
+					return
+				}
+				n++
+			}
+		})
+	}
+
+	w, err := ch.OpenStreamClass("flood", StreamUnreliable, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if _, err := w.Write(pat(64, byte(i))); err != nil {
+			t.Fatalf("unreliable write %d blocked/failed: %v", i, err)
+		}
+	}
+	_ = w.Close()
+	close(release)
+
+	select {
+	case got := <-done:
+		if got.delivered+got.dropped != total {
+			t.Errorf("conservation violated: delivered %d + dropped %d != sent %d",
+				got.delivered, got.dropped, total)
+		}
+		if got.dropped == 0 {
+			t.Errorf("expected drops past backlog %d, got none", streamBacklog)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader never finished")
+	}
+}
+
+// TestStreamLegacyFallback: a peer that does not announce stream.credit
+// gets the seed behavior — no negotiation, no segmentation, no credits.
+func TestStreamLegacyFallback(t *testing.T) {
+	server := newMuxNode(t, "srv", func(c *Config) {
+		c.HelloProps = map[string]any{propStreamCredit: false}
+	})
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	if ch.streamCredit {
+		t.Fatal("stream.credit negotiated against a legacy peer")
+	}
+	rcvd := make(chan []byte, 4)
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			for {
+				chunk, err := r.Next()
+				if err != nil {
+					close(rcvd)
+					return
+				}
+				rcvd <- chunk
+			}
+		})
+	}
+	w, err := ch.OpenStream("old-school", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, credited := w.FlowStats(); credited {
+		t.Error("legacy writer must not be credited")
+	}
+	big := pat(50_000, 9)
+	if _, err := w.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	var chunks [][]byte
+	for chunk := range rcvd {
+		chunks = append(chunks, chunk)
+	}
+	if len(chunks) != 1 || !bytes.Equal(chunks[0], big) {
+		t.Errorf("legacy delivery: %d chunks, want 1 intact 50KB chunk", len(chunks))
+	}
+}
+
+// TestStreamReliableLosslessUnderPartition: a link partition stalls the
+// stream but loses nothing — every chunk arrives intact and in order
+// after the partition lifts. A second stream aborted mid-partition
+// propagates its reason to the reader.
+func TestStreamReliableLosslessUnderPartition(t *testing.T) {
+	const chunks = 50
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	fabric := netsim.NewFabric()
+	serveFabric(t, fabric, server)
+	link := netsim.LinkProfile{Name: "wlan", Latency: time.Millisecond}
+	ch, conn := connectRaw(t, fabric, server, client, link)
+
+	rcvd := make(chan []byte, chunks+1)
+	abortErr := make(chan error, 1)
+	waitFor(t, 5*time.Second, func() bool { return len(server.peer.Channels()) > 0 })
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			if r.Name == "abortive" {
+				for {
+					if _, err := r.Next(); err != nil {
+						abortErr <- err
+						return
+					}
+				}
+			}
+			for {
+				chunk, err := r.Next()
+				if err != nil {
+					close(rcvd)
+					return
+				}
+				rcvd <- chunk
+			}
+		})
+	}
+
+	w, err := ch.OpenStream("telemetry", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := ch.OpenStream("abortive", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wa.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < chunks; i++ {
+			if i == chunks/2 {
+				conn.Partition(150 * time.Millisecond)
+				_ = wa.Abort("sensor died")
+			}
+			if _, err := w.Write(pat(4096, byte(i))); err != nil {
+				return
+			}
+		}
+		_ = w.Close()
+	}()
+
+	var got [][]byte
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case chunk, ok := <-rcvd:
+			if !ok {
+				goto drained
+			}
+			got = append(got, chunk)
+		case <-deadline:
+			t.Fatalf("stalled with %d/%d chunks", len(got), chunks)
+		}
+	}
+drained:
+	if len(got) != chunks {
+		t.Fatalf("lost chunks across partition: got %d, want %d", len(got), chunks)
+	}
+	for i, chunk := range got {
+		if !bytes.Equal(chunk, pat(4096, byte(i))) {
+			t.Fatalf("chunk %d corrupted or reordered", i)
+		}
+	}
+	select {
+	case err := <-abortErr:
+		if err == nil || !strings.Contains(err.Error(), "sensor died") {
+			t.Errorf("abort reason lost: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abort never reached the reader")
+	}
+}
+
+// TestStreamReaderShortRead: the io.Reader view consumes big chunks
+// across calls (leftover) and returns small chunks short — it never
+// blocks to top up the buffer from a second chunk.
+func TestStreamReaderShortRead(t *testing.T) {
+	server := newTestNode(t, "srv")
+	client := newTestNode(t, "cli")
+	ch := connectNodes(t, server, client, netsim.Loopback)
+
+	type readResult struct {
+		s   string
+		err error
+	}
+	results := make(chan readResult, 8)
+	for _, sc := range server.peer.Channels() {
+		sc.HandleStreams(func(r *StreamReader) {
+			buf := make([]byte, 4)
+			for {
+				n, err := r.Read(buf)
+				results <- readResult{s: string(buf[:n]), err: err}
+				if err != nil {
+					close(results)
+					return
+				}
+			}
+		})
+	}
+
+	w, err := ch.OpenStream("text", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+
+	var reads []readResult
+	for r := range results {
+		reads = append(reads, r)
+	}
+	want := []string{"hell", "o wo", "rld", "xy"}
+	if len(reads) != len(want)+1 {
+		t.Fatalf("reads = %+v", reads)
+	}
+	for i, s := range want {
+		if reads[i].s != s || reads[i].err != nil {
+			t.Errorf("read %d = %q, %v; want %q", i, reads[i].s, reads[i].err, s)
+		}
+	}
+	if reads[len(want)].err != io.EOF {
+		t.Errorf("final read error = %v, want io.EOF", reads[len(want)].err)
+	}
+}
+
+// --- Broadcaster ---
+
+// bcastRig wires one server (the publisher) to n clients and registers
+// a per-client collector before subscribing every server channel.
+type bcastRig struct {
+	server  *testNode
+	clients []*testNode
+	feeds   []chan []byte
+	gate    chan struct{} // collectors wait on this before consuming (when gated)
+}
+
+func newBcastRig(t *testing.T, n int, gated bool, clientMut func(*Config)) *bcastRig {
+	t.Helper()
+	rig := &bcastRig{server: newTestNode(t, "host")}
+	if gated {
+		rig.gate = make(chan struct{})
+	}
+	for i := 0; i < n; i++ {
+		cli := newMuxNode(t, fmt.Sprintf("viewer-%d", i), clientMut)
+		feed := make(chan []byte, 256)
+		ch := connectNodes(t, rig.server, cli, netsim.Loopback)
+		ch.HandleStreams(func(r *StreamReader) {
+			if rig.gate != nil {
+				<-rig.gate
+			}
+			for {
+				chunk, err := r.Next()
+				if err != nil {
+					return
+				}
+				feed <- chunk
+			}
+		})
+		rig.clients = append(rig.clients, cli)
+		rig.feeds = append(rig.feeds, feed)
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(rig.server.peer.Channels()) == n })
+	return rig
+}
+
+// Note: collectors above are registered on the CLIENT channel — streams
+// opened by the server's Broadcaster arrive there.
+func (rig *bcastRig) subscribeAll(t *testing.T, b *Broadcaster) []*Subscription {
+	t.Helper()
+	var subs []*Subscription
+	for _, sc := range rig.server.peer.Channels() {
+		sub, err := b.Subscribe(sc, nil)
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		subs = append(subs, sub)
+	}
+	return subs
+}
+
+// TestBroadcasterFanOut: one publish reaches every subscriber intact and
+// in order, and the payload is encoded once per publish — not once per
+// subscriber (the delivered counter proves the sends still happened).
+func TestBroadcasterFanOut(t *testing.T) {
+	const subs, msgs = 3, 5
+	rig := newBcastRig(t, subs, false, nil)
+	b := NewBroadcaster("cards", BroadcasterConfig{Obs: rig.server.peer.cfg.Obs})
+	defer b.Close()
+	rig.subscribeAll(t, b)
+	if got := b.Subscribers(); got != subs {
+		t.Fatalf("Subscribers = %d, want %d", got, subs)
+	}
+
+	encodesBefore := b.encodes.Value()
+	deliveredBefore := b.delivered.Value()
+	for i := 0; i < msgs; i++ {
+		b.Publish("card", pat(2048, byte(i)))
+	}
+	for _, feed := range rig.feeds {
+		for i := 0; i < msgs; i++ {
+			select {
+			case chunk := <-feed:
+				if !bytes.Equal(chunk, pat(2048, byte(i))) {
+					t.Fatalf("subscriber saw corrupted/reordered message %d", i)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("subscriber starved at message %d", i)
+			}
+		}
+	}
+	// Encode-once: each 2KB publish is one segment, shared by all three
+	// subscribers.
+	if got := b.encodes.Value() - encodesBefore; got != msgs {
+		t.Errorf("encodes = %d, want %d (one per publish, not per subscriber)", got, msgs)
+	}
+	waitFor(t, 5*time.Second, func() bool { return b.delivered.Value()-deliveredBefore == subs*msgs })
+}
+
+// TestBroadcasterHeaderAllocFree: the only per-subscriber encoding work
+// is the frame header, and composing it allocates nothing.
+func TestBroadcasterHeaderAllocFree(t *testing.T) {
+	allocs := testing.AllocsPerRun(200, func() {
+		var hdrBuf [16]byte
+		hdr := wire.AppendStreamDataHeader(hdrBuf[:0], 123456, 16400)
+		if len(hdr) == 0 {
+			t.Fatal("empty header")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("per-subscriber header composition allocates %v times", allocs)
+	}
+}
+
+// TestBroadcasterCoalescing: a stalled subscriber with a full queue
+// keeps only the freshest revision of a key; when it finally drains, the
+// last delivered card is the newest one published.
+func TestBroadcasterCoalescing(t *testing.T) {
+	const revisions = 50
+	// One-segment window and no consumption: the sender goroutine jams
+	// after the first message, so the queue fills and coalescing engages.
+	rig := newBcastRig(t, 1, true, func(c *Config) { c.StreamWindowBytes = maxStreamFrame })
+	b := NewBroadcaster("cards", BroadcasterConfig{Queue: 4, Obs: rig.server.peer.cfg.Obs})
+	defer b.Close()
+	sub := rig.subscribeAll(t, b)[0]
+
+	payload := func(rev int) []byte { return pat(maxStreamFrame, byte(rev)) }
+	deliveredBefore := b.delivered.Value()
+	for i := 0; i < revisions; i++ {
+		b.Publish("weather", payload(i))
+	}
+	waitFor(t, 5*time.Second, func() bool { return sub.Coalesced() > 0 })
+
+	// Drain: open the gate and collect until the latest revision arrives.
+	close(rig.gate)
+	var last []byte
+	deadline := time.After(10 * time.Second)
+	for !bytes.Equal(last, payload(revisions-1)) {
+		select {
+		case chunk := <-rig.feeds[0]:
+			last = chunk
+		case <-deadline:
+			t.Fatal("latest revision never delivered after coalescing")
+		}
+	}
+	if sub.Coalesced()+sub.Dropped() == 0 {
+		t.Error("stalled subscriber should have coalesced or dropped")
+	}
+	// Far fewer than `revisions` messages may actually be sent; the
+	// queue bound guarantees it.
+	if d := b.delivered.Value() - deliveredBefore; d > 4+2 {
+		t.Errorf("delivered %d messages to a stalled subscriber; queue bound leaked", d)
+	}
+}
+
+// TestBroadcasterDetachOnChannelClose: a dead subscriber link detaches
+// its subscription without a publish having to fail first.
+func TestBroadcasterDetachOnChannelClose(t *testing.T) {
+	rig := newBcastRig(t, 2, false, nil)
+	b := NewBroadcaster("cards", BroadcasterConfig{Obs: rig.server.peer.cfg.Obs})
+	defer b.Close()
+	subs := rig.subscribeAll(t, b)
+
+	rig.server.peer.Channels()[0].Close()
+	waitFor(t, 5*time.Second, func() bool { return b.Subscribers() == 1 })
+	select {
+	case <-subs[0].Done():
+	case <-subs[1].Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no subscription ended after channel close")
+	}
+
+	// The surviving subscriber still gets publishes.
+	b.Publish("card", []byte("still-here"))
+	gotOne := false
+	for _, feed := range rig.feeds {
+		select {
+		case chunk := <-feed:
+			if string(chunk) == "still-here" {
+				gotOne = true
+			}
+		case <-time.After(2 * time.Second):
+		}
+	}
+	if !gotOne {
+		t.Error("surviving subscriber missed the publish")
+	}
+}
+
+// TestBroadcasterCancelAndClose: Cancel detaches one subscriber; Close
+// detaches the rest and further subscribes fail.
+func TestBroadcasterCancelAndClose(t *testing.T) {
+	rig := newBcastRig(t, 2, false, nil)
+	b := NewBroadcaster("cards", BroadcasterConfig{Obs: rig.server.peer.cfg.Obs})
+	subs := rig.subscribeAll(t, b)
+
+	subs[0].Cancel()
+	waitFor(t, 5*time.Second, func() bool { return b.Subscribers() == 1 })
+	b.Close()
+	if got := b.Subscribers(); got != 0 {
+		t.Errorf("Subscribers after Close = %d", got)
+	}
+	if _, err := b.Subscribe(rig.server.peer.Channels()[0], nil); err == nil {
+		t.Error("Subscribe after Close should fail")
+	}
+}

@@ -55,7 +55,7 @@ type Result struct {
 type SchedEvent struct {
 	Step  int
 	At    time.Duration
-	Kind  string // "invoke", "depinvoke", "pull", "push", "reacquire", "drop", "block", "partition", "loss", "heal"
+	Kind  string // "invoke", "depinvoke", "pull", "push", "reacquire", "stream", "ustream", "drop", "block", "partition", "loss", "heal"
 	Phone int
 	Dur   time.Duration
 	Prob  float64
@@ -79,7 +79,7 @@ func (e SchedEvent) describe() string {
 // the workload, not the perturbation.
 func (e SchedEvent) isFault() bool {
 	switch e.Kind {
-	case "invoke", "depinvoke", "pull", "push", "reacquire":
+	case "invoke", "depinvoke", "pull", "push", "reacquire", "stream", "ustream":
 		return false
 	}
 	return true
@@ -97,19 +97,23 @@ func generateSchedule(seed int64, opts Options) []SchedEvent {
 		at += 20*time.Millisecond + time.Duration(rng.Intn(180))*time.Millisecond
 		ev := SchedEvent{Step: len(events), At: at, Phone: rng.Intn(opts.Phones)}
 		switch r := rng.Float64(); {
-		case r < 0.22:
+		case r < 0.18:
 			ev.Kind = "invoke"
-		case r < 0.34:
+		case r < 0.28:
 			ev.Kind = "depinvoke"
-		case r < 0.42:
+		case r < 0.36:
 			ev.Kind = "pull"
-		case r < 0.50:
+		case r < 0.43:
 			ev.Kind = "push"
-		case r < 0.58:
+		case r < 0.50:
 			ev.Kind = "reacquire"
-		case r < 0.68:
+		case r < 0.58:
+			ev.Kind = "stream"
+		case r < 0.64:
+			ev.Kind = "ustream"
+		case r < 0.72:
 			ev.Kind = "drop"
-		case r < 0.78:
+		case r < 0.80:
 			ev.Kind = "block"
 			ev.Dur = 50*time.Millisecond + time.Duration(rng.Intn(350))*time.Millisecond
 		case r < 0.90:
@@ -340,7 +344,8 @@ func runOnce(seed int64, opts Options) *Result {
 	res.Trace = c.Trace
 	defer c.Close()
 
-	invariants := append(builtinInvariants(), opts.Extra...)
+	invariants := append(builtinInvariants(), streamInvariants()...)
+	invariants = append(invariants, opts.Extra...)
 	check := func(step int) *Failure {
 		for _, inv := range invariants {
 			if err := inv.Check(c); err != nil {
@@ -372,9 +377,18 @@ func runOnce(seed int64, opts Options) *Result {
 	// (rather than only after the wait) keeps the later pending-ops
 	// assertion from sampling a legitimate in-flight protocol exchange,
 	// e.g. the resubscription a session issues right after recovery.
-	settled := c.Eventually(opts.Drain, func() bool {
-		return c.OpsInFlight() == 0 && c.Converged() && c.pendingOps() == 0
-	})
+	drained := func() bool {
+		return c.OpsInFlight() == 0 && c.Converged() && c.pendingOps() == 0 &&
+			c.streams.settled()
+	}
+	settled := c.Eventually(opts.Drain, drained)
+	if !settled && c.streams.abortTainted() {
+		// A loss window can eat a stream's credit grant, leaving its
+		// credited writer waiting forever on a transport that broke its
+		// contract. Abort those writers and give the drain one more
+		// bounded pass; an untainted stall still fails below.
+		settled = c.Eventually(opts.Drain, drained)
+	}
 	if !settled {
 		res.Failure = &Failure{
 			Step: -1, Invariant: "convergence",
@@ -413,6 +427,13 @@ func runOnce(seed int64, opts Options) *Result {
 			}
 			return res
 		}
+	}
+	// Stream accounting must balance exactly at quiescence: reliable
+	// streams that closed cleanly lost nothing, unreliable ones account
+	// for every drop, and no phone holds residual stream state.
+	if f := c.checkStreamsFinal(); f != nil {
+		res.Failure = f
+		return res
 	}
 
 	// Telemetry convergence: with the workload quiescent, flush a full
@@ -489,6 +510,10 @@ func (c *Cluster) apply(ev SchedEvent) {
 		c.StartPush(p, ev.Step)
 	case "reacquire":
 		c.StartReacquire(p, ev.Step)
+	case "stream":
+		c.StartStream(p, ev.Step, remote.StreamReliable)
+	case "ustream":
+		c.StartStream(p, ev.Step, remote.StreamUnreliable)
 	case "drop":
 		if conn := p.LastConn(); conn != nil {
 			conn.Drop()
@@ -506,10 +531,13 @@ func (c *Cluster) apply(ev SchedEvent) {
 			conn.Partition(ev.Dur)
 		}
 	case "loss":
+		p.lossyNow.Store(true)
+		p.lossEpochs.Add(1)
 		if conn := p.LastConn(); conn != nil {
 			conn.SetLoss(0, ev.Prob)
 		}
 	case "heal":
+		p.lossyNow.Store(false)
 		if conn := p.LastConn(); conn != nil {
 			conn.SetLoss(0, 0)
 		}

@@ -119,6 +119,14 @@ type Phone struct {
 	target string
 	busy   atomic.Bool
 
+	// lossyNow / lossEpochs track injected-loss windows on the phone's
+	// connection. Streams have no retransmit layer — a frame eaten by
+	// link-level loss on a surviving channel is gone — so the exact
+	// stream-conservation checks skip streams whose lifetime overlapped
+	// a lossy window (the step-wise ≤ bounds still apply).
+	lossyNow   atomic.Bool
+	lossEpochs atomic.Int64
+
 	mu    sync.Mutex
 	app   *core.Application
 	conns []*netsim.Conn
@@ -170,6 +178,10 @@ type Cluster struct {
 	listeners []*netsim.Listener
 	baseGos   int
 	opsActive atomic.Int64
+	// streams is the ground-truth ledger of stream events: what each
+	// writer sent versus what the target collectors observed, audited by
+	// the stream conservation invariants.
+	streams *streamLedger
 	// depWrong counts dependency invokes that returned the wrong value —
 	// a cutover dispatching an invoke to a stale placement would show up
 	// here; the dep-results-correct invariant requires it to stay zero.
@@ -192,6 +204,7 @@ func NewCluster(seed int64, opts Options) (*Cluster, error) {
 		Hub:     obs.NewHubOn(vclk),
 		Agg:     obs.NewAggregator(),
 		Trace:   &Trace{},
+		streams: newStreamLedger(),
 		baseGos: runtime.NumGoroutine(),
 	}
 	c.Fabric = netsim.NewFabric().WithClock(c.Clock).WithSeed(seed)
@@ -207,12 +220,20 @@ func NewCluster(seed int64, opts Options) (*Cluster, error) {
 			// Every target ingests phone telemetry into the shared fleet
 			// aggregator — the subject of the conservation invariant.
 			Aggregator: c.Agg,
+			// A window a little above one stream event's total bytes:
+			// credit replenishment (not just the initial grant) runs on
+			// every stream, and a stalled collector would jam writers
+			// instead of ballooning memory.
+			StreamWindowBytes: 32 << 10,
 		})
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		c.Targets = append(c.Targets, target)
+		// The stream collector verifies and tallies every sim stream;
+		// peer-level handlers must be installed before channels exist.
+		target.Peer().HandleStreams(c.streamCollector)
 		if err := target.RegisterApp(shop.New().App()); err != nil {
 			c.Close()
 			return nil, err

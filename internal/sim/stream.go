@@ -1,0 +1,403 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"github.com/alfredo-mw/alfredo/internal/remote"
+)
+
+// Stream workload parameters. Each stream event writes a fixed chunk
+// train: one oversized head chunk (forcing segmentation and reassembly
+// on credit-negotiated channels) followed by small chunks. The total is
+// near the targets' receive window, so replenishment — not just the
+// initial grant — is exercised on every stream.
+const (
+	streamHeadBytes  = 20 << 10
+	streamChunkBytes = 1 << 10
+	simStreamPrefix  = "sim-stream-"
+)
+
+// streamChunk builds chunk #seq: an 8-byte big-endian sequence number
+// followed by a seq-derived byte pattern, so the collector detects
+// reordering, corruption and gaps — not just miscounts.
+func streamChunk(seq int64, size int) []byte {
+	p := make([]byte, size)
+	binary.BigEndian.PutUint64(p, uint64(seq))
+	fill := byte(0x5a + seq*13)
+	for i := 8; i < len(p); i++ {
+		p[i] = fill + byte(i)
+	}
+	return p
+}
+
+// checkStreamChunk validates the pattern and returns the sequence
+// number.
+func checkStreamChunk(p []byte) (int64, error) {
+	if len(p) < 8 {
+		return -1, fmt.Errorf("runt chunk (%d bytes)", len(p))
+	}
+	seq := int64(binary.BigEndian.Uint64(p))
+	fill := byte(0x5a + seq*13)
+	for i := 8; i < len(p); i++ {
+		if p[i] != fill+byte(i) {
+			return seq, fmt.Errorf("chunk %d corrupt at byte %d", seq, i)
+		}
+	}
+	return seq, nil
+}
+
+// streamTally is the ground truth for one stream event: what the writer
+// actually sent versus what the target's collector observed. The stream
+// conservation invariants compare the two.
+type streamTally struct {
+	name     string
+	reliable bool
+	phone    *Phone
+	// Loss taint: exactness is only enforceable when no injected-loss
+	// window overlapped the stream's lifetime (see Phone.lossyNow).
+	lossyAtStart bool
+	lossEpoch    int64
+
+	mu         sync.Mutex
+	sent       int64 // chunks whose Write returned nil
+	senderDone bool
+	closedOK   bool // every write and the Close succeeded
+	openFailed bool // StreamOpen never left the phone
+
+	rcvd        int64
+	dropped     int64 // receiver-side drop count at stream end
+	readerDone  bool
+	readerClean bool // reader ended in io.EOF (clean close delivered)
+	violations  []string
+}
+
+func (t *streamTally) violate(format string, args ...any) {
+	t.violations = append(t.violations, fmt.Sprintf(format, args...))
+}
+
+// tainted reports whether an injected-loss window overlapped this
+// stream's lifetime. The mux assumes a reliable transport (TCP in a
+// real deployment); a loss window can eat any single frame — open,
+// data, credit or close — so tainted streams keep the ≤ and ordering
+// bounds but are exempt from exactness and liveness.
+func (t *streamTally) tainted() bool {
+	return t.lossyAtStart || t.phone.lossEpochs.Load() != t.lossEpoch
+}
+
+// streamLedger tracks every stream event of a run plus the live writers
+// whose credit books the flow invariant audits.
+type streamLedger struct {
+	mu      sync.Mutex
+	tallies []*streamTally
+	byName  map[string]*streamTally
+	writers []writerEntry
+}
+
+type writerEntry struct {
+	w *remote.StreamWriter
+	t *streamTally
+}
+
+func newStreamLedger() *streamLedger {
+	return &streamLedger{byName: make(map[string]*streamTally)}
+}
+
+func (l *streamLedger) register(t *streamTally) {
+	l.mu.Lock()
+	l.tallies = append(l.tallies, t)
+	l.byName[t.name] = t
+	l.mu.Unlock()
+}
+
+func (l *streamLedger) lookup(name string) *streamTally {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.byName[name]
+}
+
+func (l *streamLedger) addWriter(w *remote.StreamWriter, t *streamTally) {
+	l.mu.Lock()
+	l.writers = append(l.writers, writerEntry{w: w, t: t})
+	l.mu.Unlock()
+}
+
+func (l *streamLedger) snapshot() ([]*streamTally, []writerEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*streamTally(nil), l.tallies...), append([]writerEntry(nil), l.writers...)
+}
+
+// settled reports whether every stream event has resolved: the writer
+// goroutine finished and the target-side reader reached its end (or the
+// open never made it out). Two escape hatches, both for streams the
+// final exactness check already skips: a sender that finished with an
+// error (!closedOK) rode a channel that died — its reader either never
+// came to exist (open swallowed by a blackhole) or will be woken by
+// channel teardown; and loss-tainted streams, where a lost StreamClose
+// leaves the reader parked until teardown — the transport's fault, not
+// a mux leak. Part of the drain condition.
+func (l *streamLedger) settled() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, t := range l.tallies {
+		t.mu.Lock()
+		done := t.senderDone && (t.readerDone || t.openFailed || !t.closedOK || t.tainted())
+		t.mu.Unlock()
+		if !done {
+			return false
+		}
+	}
+	return true
+}
+
+// abortTainted aborts writers of loss-tainted streams and reports
+// whether any were. A credited writer whose grant (or whose StreamOpen)
+// was eaten by a loss window would otherwise wait forever; Abort wakes
+// it with an error so the drain can complete.
+func (l *streamLedger) abortTainted() bool {
+	l.mu.Lock()
+	entries := append([]writerEntry(nil), l.writers...)
+	l.mu.Unlock()
+	any := false
+	for _, e := range entries {
+		if e.t.tainted() {
+			_ = e.w.Abort("sim: loss window violated transport reliability")
+			any = true
+		}
+	}
+	return any
+}
+
+// streamCollector is the target-side handler for sim streams: it
+// verifies chunk integrity and ordering as it consumes, and records the
+// stream's final accounting for the conservation invariants.
+func (c *Cluster) streamCollector(_ *remote.Channel, r *remote.StreamReader) {
+	if !strings.HasPrefix(r.Name, simStreamPrefix) {
+		for {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	}
+	t := c.streams.lookup(r.Name)
+	last := int64(-1)
+	for {
+		chunk, err := r.Next()
+		if err != nil {
+			if t != nil {
+				t.mu.Lock()
+				t.readerDone = true
+				t.readerClean = err == io.EOF
+				t.dropped = r.Dropped()
+				t.mu.Unlock()
+			}
+			return
+		}
+		seq, verr := checkStreamChunk(chunk)
+		if t == nil {
+			continue
+		}
+		t.mu.Lock()
+		t.rcvd++
+		// Integrity and ordering hold on any reliable transport, but an
+		// injected-loss window can eat one frame of a segmented chunk
+		// and splice the next chunk's bytes onto the dangling partial —
+		// a corrupt-looking merge that is the link's fault, not the
+		// mux's. Exempt tainted streams, like the exactness checks do.
+		if verr != nil && !t.tainted() {
+			t.violate("%v", verr)
+		}
+		// Both classes deliver in send order, never backwards or twice.
+		// Gaps on reliable streams are caught by the final exactness
+		// check (rcvd == sent with strictly increasing seqs implies
+		// gap-free), which exempts loss-tainted streams.
+		if seq <= last && !t.tainted() {
+			t.violate("stream went backwards: seq %d after %d", seq, last)
+		}
+		last = seq
+		t.mu.Unlock()
+	}
+}
+
+// StartStream launches one stream user operation: the phone opens a
+// stream of the given class to its target, writes the seeded chunk
+// train (one segmented head chunk, then small chunks), and closes. The
+// busy guard keeps it serialized with the phone's other operations, so
+// per-pipe write order stays deterministic.
+func (c *Cluster) StartStream(p *Phone, step int, class remote.StreamClass) {
+	kind := "stream"
+	if class == remote.StreamUnreliable {
+		kind = "ustream"
+	}
+	if !p.busy.CompareAndSwap(false, true) {
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: step, Kind: kind + "-skip",
+			Node: p.Name, Detail: "previous call still in flight",
+		})
+		return
+	}
+	chunks := int64(6 + step%6)
+	name := fmt.Sprintf("%s%s-%d", simStreamPrefix, p.Name, step)
+	t := &streamTally{
+		name:         name,
+		reliable:     class == remote.StreamReliable,
+		phone:        p,
+		lossyAtStart: p.lossyNow.Load(),
+		lossEpoch:    p.lossEpochs.Load(),
+	}
+	// Register before the open frame can reach the target: the
+	// collector looks the tally up by name on arrival.
+	c.streams.register(t)
+	c.Trace.add(TraceEvent{
+		At: c.Clock.Elapsed(), Step: step, Kind: kind,
+		Node: p.Name, Detail: fmt.Sprintf("%s chunks=%d", name, chunks),
+	})
+	c.opsActive.Add(1)
+	go func() {
+		detail := c.runStream(p, t, class, chunks)
+		c.Trace.add(TraceEvent{
+			At: c.Clock.Elapsed(), Step: -1, Kind: kind + "-done",
+			Node: p.Name, Detail: detail,
+		})
+		p.busy.Store(false)
+		c.opsActive.Add(-1)
+	}()
+}
+
+func (c *Cluster) runStream(p *Phone, t *streamTally, class remote.StreamClass, chunks int64) string {
+	w, err := p.Session.Channel().OpenStreamClass(t.name, class, nil)
+	if err != nil {
+		t.mu.Lock()
+		t.openFailed = true
+		t.senderDone = true
+		t.mu.Unlock()
+		return "open err=" + err.Error()
+	}
+	c.streams.addWriter(w, t)
+	writeErr := error(nil)
+	for seq := int64(0); seq < chunks; seq++ {
+		size := streamChunkBytes
+		if seq == 0 {
+			size = streamHeadBytes
+		}
+		if _, err := w.Write(streamChunk(seq, size)); err != nil {
+			writeErr = err
+			break
+		}
+		t.mu.Lock()
+		t.sent++
+		t.mu.Unlock()
+	}
+	closeErr := w.Close()
+	t.mu.Lock()
+	t.closedOK = writeErr == nil && closeErr == nil
+	t.senderDone = true
+	sent := t.sent
+	t.mu.Unlock()
+	if writeErr != nil {
+		return fmt.Sprintf("err after %d chunks: %v", sent, writeErr)
+	}
+	if closeErr != nil {
+		return fmt.Sprintf("close err after %d chunks: %v", sent, closeErr)
+	}
+	return fmt.Sprintf("ok chunks=%d", sent)
+}
+
+// streamInvariants are the stream-mux conservation properties, checked
+// after every schedule step.
+//
+//   - credit books: a credited writer never sends past its grants;
+//   - integrity: no corrupt, reordered or duplicated delivery, with
+//     reliable streams additionally gap-free;
+//   - conservation: the target never observes more chunks than the
+//     phone sent — and unreliable streams count every receiver-side
+//     drop, so delivered + dropped never exceeds sent either.
+func streamInvariants() []Invariant {
+	return []Invariant{
+		{
+			Name: "stream-credit-books",
+			Check: func(c *Cluster) error {
+				_, writers := c.streams.snapshot()
+				for _, e := range writers {
+					if sent, granted, credited := e.w.FlowStats(); credited && sent > granted {
+						return fmt.Errorf("writer sent %d bytes with only %d granted", sent, granted)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "stream-conservation",
+			Check: func(c *Cluster) error {
+				tallies, _ := c.streams.snapshot()
+				for _, t := range tallies {
+					t.mu.Lock()
+					err := func() error {
+						if len(t.violations) > 0 {
+							return fmt.Errorf("%s: %s", t.name, t.violations[0])
+						}
+						if t.rcvd+t.dropped > t.sent {
+							return fmt.Errorf("%s: delivered %d + dropped %d > sent %d",
+								t.name, t.rcvd, t.dropped, t.sent)
+						}
+						return nil
+					}()
+					t.mu.Unlock()
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// checkStreamsFinal is the post-drain tightening: a stream whose writer
+// finished cleanly and whose reader saw the clean close must balance
+// exactly — reliable streams lose nothing, unreliable streams account
+// for every drop. Phones must also hold no residual stream state.
+func (c *Cluster) checkStreamsFinal() *Failure {
+	tallies, _ := c.streams.snapshot()
+	for _, t := range tallies {
+		t.mu.Lock()
+		closedOK, readerClean := t.closedOK, t.readerClean
+		sent, rcvd, dropped := t.sent, t.rcvd, t.dropped
+		reliable := t.reliable
+		t.mu.Unlock()
+		if !closedOK || !readerClean {
+			continue // torn by a fault; the step-wise ≤ bounds still held
+		}
+		if t.tainted() {
+			// A lossy window overlapped this stream: frames may have been
+			// eaten below the mux, which has no retransmit layer. The
+			// step-wise ≤ and ordering bounds still held.
+			continue
+		}
+		if reliable && rcvd != sent {
+			return &Failure{
+				Step: -1, Invariant: "stream-reliable-lossless",
+				Err: fmt.Errorf("%s: clean close but %d/%d chunks delivered", t.name, rcvd, sent),
+			}
+		}
+		if !reliable && rcvd+dropped != sent {
+			return &Failure{
+				Step: -1, Invariant: "stream-drop-accounting",
+				Err: fmt.Errorf("%s: delivered %d + dropped %d != sent %d", t.name, rcvd, dropped, sent),
+			}
+		}
+	}
+	for _, p := range c.Phones {
+		if n := p.Session.Channel().OpenStreamCount(); n != 0 {
+			return &Failure{
+				Step: -1, Invariant: "stream-leak",
+				Err: fmt.Errorf("%s: %d stream entries after drain", p.Name, n),
+			}
+		}
+	}
+	return nil
+}

@@ -52,6 +52,36 @@ func WriteMessage(w io.Writer, m Message) error {
 	return nil
 }
 
+// AppendStreamTail appends the encoded tail of a StreamData frame — the
+// length-prefixed chunk plus the optional More marker — to dst and
+// returns the extended slice. Together with AppendStreamDataHeader it
+// lets fan-out paths encode a chunk's payload once and share the tail
+// bytes across many subscriber streams: only the tiny per-stream header
+// differs. The concatenation header+tail is byte-identical to
+// EncodeMessage of the equivalent StreamData (locked by a test).
+func AppendStreamTail(dst []byte, chunk []byte, more bool) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(chunk)))
+	dst = append(dst, chunk...)
+	if more {
+		dst = append(dst, 1)
+	}
+	return dst
+}
+
+// AppendStreamDataHeader appends the wire prefix of a StreamData frame
+// whose tail (see AppendStreamTail) is tailLen bytes: the 4-byte frame
+// length, the type discriminator, and the stream id. The header is at
+// most 4+1+binary.MaxVarintLen64 bytes, so callers keep it on the
+// stack.
+func AppendStreamDataHeader(dst []byte, streamID int64, tailLen int) []byte {
+	var idb [binary.MaxVarintLen64]byte
+	idn := binary.PutVarint(idb[:], streamID)
+	payload := 1 + idn + tailLen
+	dst = append(dst, byte(payload>>24), byte(payload>>16), byte(payload>>8), byte(payload))
+	dst = append(dst, byte(MsgStreamData))
+	return append(dst, idb[:idn]...)
+}
+
 // ReadMessage reads and decodes one framed message.
 func ReadMessage(r io.Reader) (Message, error) {
 	m, _, err := ReadMessageSize(r)

@@ -67,6 +67,16 @@ func TestProtocolGoldens(t *testing.T) {
 			hex:  "000000060d0603010203",
 		},
 		{
+			name: "stream-data-segmented",
+			msg:  &StreamData{StreamID: 3, Chunk: []byte{1, 2, 3}, More: true},
+			hex:  "000000070d060301020301",
+		},
+		{
+			name: "stream-credit",
+			msg:  &StreamCredit{StreamID: 3, Bytes: 65536},
+			hex:  "000000051706808008",
+		},
+		{
 			name: "ping",
 			msg:  &Ping{Seq: 42},
 			hex:  "000000020f54",

@@ -35,6 +35,7 @@ const (
 	MsgFetchChunks
 	MsgChunkData
 	MsgMetricsReport
+	MsgStreamCredit
 )
 
 func (t MsgType) String() string {
@@ -43,7 +44,7 @@ func (t MsgType) String() string {
 		"SERVICE_REPLY", "INVOKE", "RESULT", "ERROR", "EVENT", "SUBSCRIBE",
 		"STREAM_OPEN", "STREAM_DATA", "STREAM_CLOSE", "PING", "PONG", "BYE",
 		"FETCH_MANIFEST", "MANIFEST_REPLY", "FETCH_CHUNKS", "CHUNK_DATA",
-		"METRICS_REPORT",
+		"METRICS_REPORT", "STREAM_CREDIT",
 	}
 	if t >= 1 && int(t) <= len(names) {
 		return names[t-1]
@@ -547,6 +548,15 @@ func (m *StreamOpen) decode(b *Buffer) {
 type StreamData struct {
 	StreamID int64
 	Chunk    []byte
+	// More marks a segment of a larger application message: the receiver
+	// buffers segments until a frame with More false arrives, then
+	// delivers the reassembled message. Senders segment large writes into
+	// bounded frames so bulk streams yield the channel to latency-bound
+	// traffic between segments. More is encoded as an optional trailing
+	// bool only when true, keeping frames byte-identical to peers that
+	// predate segmentation — and senders only segment once stream credit
+	// support has been negotiated in Hello, so legacy peers never see it.
+	More bool
 }
 
 // Type implements Message.
@@ -555,12 +565,46 @@ func (m *StreamData) Type() MsgType { return MsgStreamData }
 func (m *StreamData) encode(b *Buffer) error {
 	b.WriteInt64(m.StreamID)
 	b.WriteBytes(m.Chunk)
+	if m.More {
+		b.WriteBool(true)
+	}
 	return nil
 }
 
 func (m *StreamData) decode(b *Buffer) {
 	m.StreamID = b.ReadInt64()
 	m.Chunk = b.ReadBytes()
+	if b.err == nil && b.Remaining() > 0 {
+		m.More = b.ReadBool()
+	}
+}
+
+// StreamCredit grants the sender of a stream permission to transmit
+// Bytes more payload bytes on StreamID. Credits are issued by the
+// receiving side: an initial window when the stream handler attaches,
+// then replenishments as the application consumes chunks, so a slow
+// reader exerts backpressure instead of silently losing data. Credits
+// are cumulative grants, not a window position — the sender adds Bytes
+// to its available budget. The message only flows between peers that
+// both announced "stream.credit" in Hello; legacy peers keep the
+// original unbounded send / receiver drop-oldest behavior.
+type StreamCredit struct {
+	StreamID int64
+	Bytes    int64
+}
+
+// Type implements Message.
+func (m *StreamCredit) Type() MsgType { return MsgStreamCredit }
+
+func (m *StreamCredit) encode(b *Buffer) error {
+	b.WriteInt64(m.StreamID)
+	b.WriteInt64(m.Bytes)
+	return nil
+}
+
+func (m *StreamCredit) decode(b *Buffer) {
+	m.StreamID = b.ReadInt64()
+	m.Bytes = b.ReadInt64()
 }
 
 // StreamClose terminates a stream; Err is empty on clean EOF.
@@ -831,6 +875,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &ChunkData{}, nil
 	case MsgMetricsReport:
 		return &MetricsReport{}, nil
+	case MsgStreamCredit:
+		return &StreamCredit{}, nil
 	default:
 		return nil, fmt.Errorf("%w: type %d", ErrBadMsg, byte(t))
 	}
